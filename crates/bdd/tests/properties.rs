@@ -1,0 +1,178 @@
+//! Property tests: BDD operations agree with truth-table semantics on
+//! random formula structures, and canonicalization collapses equivalent
+//! functions to identical nodes.
+
+use proptest::prelude::*;
+use verdict_bdd::{Bdd, BddManager};
+
+/// A tiny formula AST we can both evaluate directly and build as a BDD.
+#[derive(Clone, Debug)]
+enum F {
+    Var(u32),
+    Not(Box<F>),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+    Xor(Box<F>, Box<F>),
+    Ite(Box<F>, Box<F>, Box<F>),
+}
+
+impl F {
+    fn eval(&self, a: &[bool]) -> bool {
+        match self {
+            F::Var(v) => a[*v as usize],
+            F::Not(f) => !f.eval(a),
+            F::And(f, g) => f.eval(a) && g.eval(a),
+            F::Or(f, g) => f.eval(a) || g.eval(a),
+            F::Xor(f, g) => f.eval(a) ^ g.eval(a),
+            F::Ite(c, t, e) => {
+                if c.eval(a) {
+                    t.eval(a)
+                } else {
+                    e.eval(a)
+                }
+            }
+        }
+    }
+
+    fn build(&self, m: &mut BddManager) -> Bdd {
+        match self {
+            F::Var(v) => m.var(*v),
+            F::Not(f) => {
+                let f = f.build(m);
+                m.not(f)
+            }
+            F::And(f, g) => {
+                let (f, g) = (f.build(m), g.build(m));
+                m.and(f, g)
+            }
+            F::Or(f, g) => {
+                let (f, g) = (f.build(m), g.build(m));
+                m.or(f, g)
+            }
+            F::Xor(f, g) => {
+                let (f, g) = (f.build(m), g.build(m));
+                m.xor(f, g)
+            }
+            F::Ite(c, t, e) => {
+                let (c, t, e) = (c.build(m), t.build(m), e.build(m));
+                m.ite(c, t, e)
+            }
+        }
+    }
+}
+
+fn formula(n: u32, depth: u32) -> BoxedStrategy<F> {
+    let leaf = (0..n).prop_map(F::Var);
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| F::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| F::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| F::Ite(Box::new(c), Box::new(t), Box::new(e))),
+        ]
+    })
+    .boxed()
+}
+
+const N: u32 = 5;
+
+fn manager() -> BddManager {
+    let mut m = BddManager::new();
+    for _ in 0..N {
+        m.new_var();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(f in formula(N, 4)) {
+        let mut m = manager();
+        let b = f.build(&mut m);
+        for bits in 0u32..1 << N {
+            let a: Vec<bool> = (0..N).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(m.eval(b, &a), f.eval(&a), "bits {:05b}", bits);
+        }
+    }
+
+    /// Two structurally different but semantically equal functions must be
+    /// the identical node (canonicity).
+    #[test]
+    fn canonicity(f in formula(N, 3)) {
+        let mut m = manager();
+        let b = f.build(&mut m);
+        // Rebuild via double negation and De Morgan-ish rewrites.
+        let nb = m.not(b);
+        let b2 = m.not(nb);
+        prop_assert_eq!(b, b2);
+        // ite(f, true, false) == f
+        let b3 = m.ite(b, Bdd::TRUE, Bdd::FALSE);
+        prop_assert_eq!(b, b3);
+    }
+
+    /// sat_count equals brute-force counting.
+    #[test]
+    fn sat_count_matches_enumeration(f in formula(N, 3)) {
+        let mut m = manager();
+        let b = f.build(&mut m);
+        let expected = (0u32..1 << N)
+            .filter(|bits| {
+                let a: Vec<bool> = (0..N).map(|i| bits >> i & 1 == 1).collect();
+                f.eval(&a)
+            })
+            .count() as f64;
+        prop_assert_eq!(m.sat_count(b, N), expected);
+    }
+
+    /// Existential quantification over x equals the OR of both cofactors.
+    #[test]
+    fn exists_is_or_of_cofactors(f in formula(N, 3), v in 0u32..N) {
+        let mut m = manager();
+        let b = f.build(&mut m);
+        let vs = m.var_set([v]);
+        let e = m.exists(b, vs);
+        let c0 = m.restrict(b, v, false);
+        let c1 = m.restrict(b, v, true);
+        let expect = m.or(c0, c1);
+        prop_assert_eq!(e, expect);
+    }
+
+    /// Renaming all variables up by N and back is the identity.
+    #[test]
+    fn rename_round_trip(f in formula(N, 3)) {
+        let mut m = manager();
+        for _ in 0..N {
+            m.new_var(); // targets N..2N
+        }
+        let b = f.build(&mut m);
+        let up: Vec<(u32, u32)> = (0..N).map(|i| (i, i + N)).collect();
+        let down: Vec<(u32, u32)> = (0..N).map(|i| (i + N, i)).collect();
+        let shifted = m.rename(b, &up);
+        let back = m.rename(shifted, &down);
+        prop_assert_eq!(b, back);
+    }
+
+    /// sat_one returns a satisfying cube whenever the function is not ⊥.
+    #[test]
+    fn sat_one_is_satisfying(f in formula(N, 3)) {
+        let mut m = manager();
+        let b = f.build(&mut m);
+        match m.sat_one(b) {
+            None => prop_assert_eq!(b, Bdd::FALSE),
+            Some(cube) => {
+                let mut a = vec![false; N as usize];
+                for (v, val) in cube {
+                    a[v as usize] = val;
+                }
+                prop_assert!(m.eval(b, &a));
+            }
+        }
+    }
+}

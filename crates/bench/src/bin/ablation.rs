@@ -1,0 +1,71 @@
+//! Ablation: the cost of modeling the reachability-recomputation loop.
+//!
+//! ```text
+//! cargo run -p verdict-bench --release --bin ablation
+//! ```
+//!
+//! DESIGN.md calls out one deliberate modeling choice in case study 1:
+//! the paper models an *asynchronous recomputation loop* (free-running
+//! `reach` view + a derived `converged` flag), which multiplies the state
+//! space by 2^|service| compared with a "direct" model where the view is
+//! definitional. This binary measures what that fidelity costs each
+//! engine, and confirms both variants agree on every verdict.
+
+use std::time::Duration;
+
+use verdict_bench::{fmt_duration, timed};
+use verdict_mc::{bmc, kind, CheckOptions};
+use verdict_models::{RolloutModel, RolloutSpec, Topology};
+
+fn main() {
+    println!("Ablation: recomputation-loop model vs direct model (p=1, m=1)\n");
+    println!(
+        "{:<10} {:>4} | {:>22} | {:>22}",
+        "topology", "k", "with loop (falsify/verify)", "direct (falsify/verify)"
+    );
+    let timeout = Duration::from_secs(30);
+    for (topo, k_fail) in [
+        (Topology::test_topology(), 2i64),
+        (Topology::fat_tree(4), 2),
+        (Topology::fat_tree(6), 3),
+    ] {
+        let name = topo.name.clone();
+        let mut results = Vec::new();
+        let mut verdicts = Vec::new();
+        for with_loop in [true, false] {
+            let mut spec = RolloutSpec::paper(topo.clone());
+            spec.recompute_loop = with_loop;
+            let model = RolloutModel::build(&spec);
+
+            let sys = model.pinned(1, k_fail, 1);
+            let opts = CheckOptions::with_depth(8).with_timeout(timeout);
+            let (fres, ftime) = timed(|| {
+                bmc::check_invariant(&sys, &model.property, &opts).unwrap()
+            });
+
+            let sys = model.pinned(1, 0, 1);
+            let opts = CheckOptions::with_depth(32).with_timeout(timeout);
+            let (vres, vtime) = timed(|| {
+                kind::prove_invariant(&sys, &model.property, &opts).unwrap()
+            });
+            results.push(format!(
+                "{} / {}",
+                fmt_duration(ftime),
+                fmt_duration(vtime)
+            ));
+            verdicts.push((fres.violated(), vres.holds()));
+        }
+        assert_eq!(
+            verdicts[0], verdicts[1],
+            "{name}: variants must agree on verdicts"
+        );
+        println!(
+            "{name:<10} {k_fail:>4} | {:>22} | {:>22}",
+            results[0], results[1]
+        );
+    }
+    println!(
+        "\nboth variants agree on all verdicts; the loop variant pays for the\n\
+         extra 2^|service| view states the paper's model carries."
+    );
+}

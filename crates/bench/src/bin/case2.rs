@@ -1,0 +1,58 @@
+//! Regenerates the **case study 2** results (§4.2): load balancer + ECMP
+//! liveness over real-valued parameters.
+//!
+//! ```text
+//! cargo run -p verdict-bench --release --bin case2 [-- --depth N]
+//! ```
+//!
+//! Checks `F G stable` (fails even without the external event) and
+//! `equilibrium → F G stable` (fails with a lasso that starts oscillating
+//! after the one-time external traffic on R1–R4), printing the
+//! synthesized latency parameters and the weight-flapping loop.
+
+use verdict_bench::{flag_value, fmt_duration, timed};
+use verdict_mc::{smtbmc, CheckOptions};
+use verdict_models::lb_ecmp::{LbModel, LbSpec};
+
+fn main() {
+    let depth: usize = flag_value("--depth")
+        .and_then(|d| d.parse().ok())
+        .unwrap_or(12);
+    let model = LbModel::build(&LbSpec::default());
+    println!(
+        "Case study 2: LB + ECMP (Fig. 3 topology; traffic t_a = t_b = 1, \
+         external e = 2; latency coefficients symbolic)\n"
+    );
+
+    for (name, phi) in [
+        ("F G stable", &model.liveness),
+        ("equilibrium -> F G stable", &model.conditional_liveness),
+    ] {
+        let (result, took) = timed(|| {
+            smtbmc::check_ltl(&model.system, phi, &CheckOptions::with_depth(depth))
+                .unwrap()
+        });
+        println!("{name}  ({}):", fmt_duration(took));
+        let Some(trace) = result.trace() else {
+            println!("  {result}\n");
+            continue;
+        };
+        let l = trace.loop_back.expect("lasso");
+        println!("  VIOLATED — lasso of {} states, loop at {l}", trace.len());
+        println!("  synthesized parameters:");
+        for p in ["m_a", "m_b", "m_link", "l_a", "l_b", "l_link"] {
+            println!("    {p:<7} = {}", trace.value(0, p).unwrap());
+        }
+        println!("  oscillation (wa = app a on p1, wb = app b on p3):");
+        for step in 0..trace.len() {
+            println!(
+                "   {} step {step}: wa={:<5} wb={:<5} ext={}",
+                if step == l { "↺" } else { " " },
+                trace.value(step, "wa_p1").unwrap().to_string(),
+                trace.value(step, "wb_p3").unwrap().to_string(),
+                trace.value(step, "external_traffic").unwrap(),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Renders **Figure 1** — the controller/metric interaction graph — as
+//! graphviz DOT (pipe through `dot -Tpng` to draw it).
+//!
+//! ```text
+//! cargo run -p verdict-bench --bin fig1_dot
+//! ```
+
+fn main() {
+    let g = verdict_models::interaction::InteractionGraph::figure1();
+    print!("{}", g.to_dot());
+    eprintln!(
+        "// {} nodes, {} edges; multi-controller feedback cycle present: {}",
+        g.nodes.len(),
+        g.edges.len(),
+        g.has_multi_controller_cycle()
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Figure 2**: "Oscillation in Kubernetes experiment".
+//!
+//! ```text
+//! cargo run -p verdict-bench --release --bin fig2 [-- --minutes N]
+//! ```
+//!
+//! Runs the simulated 6-VM cluster (2 masters + 3 workers) with the
+//! paper's configuration — one pod requesting 50% CPU, descheduler
+//! cronjob every 2 minutes with a 45% `LowNodeUtilization` eviction
+//! threshold — and plots the pod's worker index over time, the series
+//! Fig. 2 shows oscillating between workers 2 and 3.
+
+use verdict_bench::flag_value;
+use verdict_ksim::ClusterSpec;
+
+fn main() {
+    let minutes: u64 = flag_value("--minutes")
+        .and_then(|m| m.parse().ok())
+        .unwrap_or(30);
+    let metrics = ClusterSpec::figure2().run(minutes * 60);
+
+    println!("Figure 2: pod placement over {minutes} minutes");
+    println!("(request 50% CPU, evict above 45%, descheduler every 2 min)\n");
+
+    // The same series the paper plots: worker index vs time.
+    println!("{:>8}  {:<8}  plot", "time", "node");
+    let mut series = Vec::new();
+    for (t, node) in metrics.placement_changes("app-") {
+        let idx = match node.as_str() {
+            "worker1" => 1,
+            "worker2" => 2,
+            "worker3" => 3,
+            _ => 0,
+        };
+        series.push((t, idx));
+        println!(
+            "{:>6} s  {:<8}  {}*",
+            t,
+            node,
+            "      ".repeat(idx as usize)
+        );
+    }
+
+    let flips = series.windows(2).filter(|w| w[0].1 != w[1].1).count();
+    println!(
+        "\n{} placements, {flips} worker switches in {minutes} min \
+         (paper: sustained w2 <-> w3 oscillation)",
+        series.len()
+    );
+}

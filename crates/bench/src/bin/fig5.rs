@@ -1,0 +1,99 @@
+//! Regenerates **Figure 5** and the case-study-1 results (§4.2).
+//!
+//! ```text
+//! cargo run -p verdict-bench --release --bin fig5
+//! ```
+//!
+//! 1. The counterexample for `p = m = 1, k = 2` on the "test" topology,
+//!    printed as the paper's `available` progression.
+//! 2. Verification of safe configurations.
+//! 3. Parameter synthesis: for `k = 1, m = 1`, safe non-zero `p ∈ {1, 2}`.
+
+use verdict_bench::{fmt_duration, timed};
+use verdict_mc::params::Property;
+use verdict_mc::{bmc, kind, CheckOptions, Verifier};
+use verdict_models::{RolloutModel, RolloutSpec, Topology};
+use verdict_ts::explicit::eval_state;
+use verdict_ts::Expr;
+
+fn main() {
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+    println!(
+        "Case study 1: update rollout + network partition (test topology: \
+         5 nodes, 5 links, 4 service nodes)\n"
+    );
+
+    // ---- Fig. 5 counterexample -----------------------------------------
+    let sys = model.pinned(1, 2, 1);
+    let (result, took) = timed(|| {
+        bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(10))
+            .unwrap()
+    });
+    println!("p = 1, k = 2, m = 1  ({}):", fmt_duration(took));
+    let trace = result.trace().expect("the paper's Fig. 5 violation");
+    // The paper annotates each state with `available`.
+    print!("  available:");
+    for state in &trace.states {
+        let avail = eval_state(&model.available, state);
+        print!(" {avail}");
+    }
+    println!("   (property: converged -> available >= 1)");
+    println!("  final state:");
+    for &row in &trace.changing_vars() {
+        let name = &trace.var_names[row];
+        let vals: Vec<String> = trace.states.iter().map(|s| s[row].to_string()).collect();
+        println!("    {name:<14} {}", vals.join(" -> "));
+    }
+
+    // ---- Fig. 5 storyboard (gradual failures) ----------------------------
+    // The paper's figure shows the failure unfolding step by step; with at
+    // most one new link failure per transition the counterexample matches
+    // that storyboard.
+    let gradual =
+        RolloutModel::build(&RolloutSpec::paper_gradual(Topology::test_topology()));
+    let sys = gradual.pinned(1, 2, 1);
+    let (result, took) = timed(|| {
+        bmc::check_invariant(&sys, &gradual.property, &CheckOptions::with_depth(10))
+            .unwrap()
+    });
+    if let Some(trace) = result.trace() {
+        print!(
+            "\ngradual variant (≤ 1 new failure/step, {}): true availability",
+            fmt_duration(took)
+        );
+        for state in &trace.states {
+            print!(" -> {}", eval_state(&gradual.true_available, state));
+        }
+        println!("   (the paper's 4 … 1 -> 0 storyboard)");
+    }
+
+    // ---- verification ----------------------------------------------------
+    for (p, k, m) in [(1i64, 0i64, 1i64), (1, 1, 1), (2, 1, 1)] {
+        let sys = model.pinned(p, k, m);
+        let (result, took) = timed(|| {
+            kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(24))
+                .unwrap()
+        });
+        println!(
+            "\np = {p}, k = {k}, m = {m}  ({}): {}",
+            fmt_duration(took),
+            if result.holds() { "HOLDS" } else { "violated/unknown" }
+        );
+    }
+
+    // ---- parameter synthesis ---------------------------------------------
+    let mut pinned = model.system.clone();
+    pinned.add_invar(Expr::var(model.k).eq(Expr::int(1)));
+    pinned.add_invar(Expr::var(model.m).eq(Expr::int(1)));
+    let verifier = Verifier::new(&pinned).options(CheckOptions::with_depth(16));
+    let (synth, took) = timed(|| {
+        verifier
+            .synthesize_params(&[model.p], &Property::Invariant(model.property.clone()))
+            .unwrap()
+    });
+    println!(
+        "\nparameter synthesis for k = 1, m = 1 ({}) — paper suggests p ∈ {{1, 2}}:",
+        fmt_duration(took)
+    );
+    print!("{synth}");
+}

@@ -1,0 +1,65 @@
+//! Shared harness pieces for the table/figure regeneration binaries.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md's
+//! per-experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — incident-study characteristic counts |
+//! | `fig2` | Fig. 2 — pod oscillation time series (ksim) |
+//! | `fig5` | Fig. 5 — case study 1 counterexample + parameter synthesis |
+//! | `fig6` | Fig. 6 — scalability sweep over fat-tree topologies |
+//! | `case2` | Case study 2 — LB+ECMP liveness lassos (§4.2) |
+//! | `fig1_dot` | Fig. 1 — interaction graph, DOT rendering |
+
+use std::time::{Duration, Instant};
+
+/// Runs a closure, returning its result and wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration the way the figure tables print it.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 100 {
+        format!("{:.0}s", d.as_secs_f64())
+    } else if d.as_secs_f64() >= 1.0 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else {
+        format!("{:.0}ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+/// Simple `--flag value` extraction for the harness binaries.
+pub fn flag_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True if a bare `--flag` is present.
+pub fn flag_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formats() {
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12ms");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(2.34)), "2.3s");
+        assert_eq!(fmt_duration(Duration::from_secs(120)), "120s");
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (x, d) = timed(|| 41 + 1);
+        assert_eq!(x, 42);
+        assert!(d.as_secs() < 5);
+    }
+}

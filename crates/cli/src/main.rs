@@ -1,0 +1,339 @@
+//! `verdict` — the command-line interface.
+//!
+//! ```text
+//! verdict check <model.vd> [--prop NAME] [--engine E] [--depth N] [--timeout SECS]
+//! verdict table1
+//! verdict fig2 [--minutes N]
+//! verdict fig1-dot
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use verdict_dsl::{parse, CompiledProperty};
+use verdict_mc::{CheckOptions, Engine, Verifier};
+
+const USAGE: &str = "\
+verdict — symbolic model checking for self-driving infrastructure control
+
+USAGE:
+    verdict check <model.vd> [OPTIONS]   check properties of a .vd model
+    verdict synth <model.vd> --params a,b [OPTIONS]
+                                         synthesize safe values for frozen params
+    verdict blast <model.vd> --event EXPR --metric EXPR [OPTIONS]
+                                         worst metric value reachable after event
+    verdict table1                       print the incident-study table (Table 1)
+    verdict fig2 [--minutes N]           run the Fig. 2 cluster simulation
+    verdict fig1-dot                     print the Fig. 1 interaction graph as DOT
+
+OPTIONS (check/synth):
+    --prop NAME        check only the named property (synth: required if
+                       the model has several)
+    --engine ENGINE    auto | bmc | kind | bdd | explicit | smtbmc  [default: auto]
+    --depth N          unrolling depth bound                        [default: 64]
+    --timeout SECS     wall-clock budget per property
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("synth") => synth(&args[1..]),
+        Some("blast") => blast(&args[1..]),
+        Some("table1") => {
+            print!("{}", verdict_incidents::table1());
+            ExitCode::SUCCESS
+        }
+        Some("fig2") => fig2(&args[1..]),
+        Some("fig1-dot") => {
+            print!(
+                "{}",
+                verdict_models::interaction::InteractionGraph::figure1().to_dot()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--depth` / `--timeout` with validation (a typo'd value is an
+/// error, not a silent fallback to the default).
+fn options_from(args: &[String]) -> Result<CheckOptions, String> {
+    let mut opts = CheckOptions::default();
+    if let Some(d) = flag_value(args, "--depth") {
+        opts.max_depth = d
+            .parse()
+            .map_err(|_| format!("--depth expects a number, got `{d}`"))?;
+    }
+    if let Some(t) = flag_value(args, "--timeout") {
+        let secs: u64 = t
+            .parse()
+            .map_err(|_| format!("--timeout expects seconds, got `{t}`"))?;
+        opts = opts.with_timeout(Duration::from_secs(secs));
+    }
+    Ok(opts)
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("check: missing model path\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match parse(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let engine = match flag_value(args, "--engine").as_deref() {
+        None | Some("auto") => Engine::Auto,
+        Some("bmc") => Engine::Bmc,
+        Some("kind") => Engine::KInduction,
+        Some("bdd") => Engine::Bdd,
+        Some("explicit") => Engine::Explicit,
+        Some("smtbmc") => Engine::SmtBmc,
+        Some(other) => {
+            eprintln!("unknown engine `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match options_from(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let only = flag_value(args, "--prop");
+
+    let selected: Vec<&(String, CompiledProperty)> = model
+        .properties
+        .iter()
+        .filter(|(name, _)| only.as_deref().is_none_or(|p| p == name))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "no matching properties (model has: {})",
+            model
+                .properties
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let verifier = Verifier::new(&model.system).engine(engine).options(opts);
+    let mut any_violated = false;
+    for (name, property) in selected {
+        let started = std::time::Instant::now();
+        let result = match property {
+            CompiledProperty::Invariant(p) => verifier.check_invariant(p),
+            CompiledProperty::Ltl(f) => verifier.check_ltl(f),
+            CompiledProperty::Ctl(f) => verifier.check_ctl(f),
+        };
+        match result {
+            Ok(r) => {
+                println!(
+                    "property `{name}` ({:.2?}): {r}",
+                    started.elapsed()
+                );
+                any_violated |= r.violated();
+            }
+            Err(e) => {
+                eprintln!("property `{name}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if any_violated {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn synth(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("synth: missing model path\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match parse(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(param_list) = flag_value(args, "--params") else {
+        eprintln!("synth: --params a,b,... is required");
+        return ExitCode::FAILURE;
+    };
+    let mut params = Vec::new();
+    for name in param_list.split(',') {
+        match model.system.var_by_name(name.trim()) {
+            Some(v) => params.push(v),
+            None => {
+                eprintln!("unknown parameter `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let only = flag_value(args, "--prop");
+    let selected: Vec<&(String, CompiledProperty)> = model
+        .properties
+        .iter()
+        .filter(|(name, _)| only.as_deref().is_none_or(|p| p == name))
+        .collect();
+    let [(name, property)] = selected.as_slice() else {
+        eprintln!(
+            "synth needs exactly one property (use --prop); model has: {}",
+            model
+                .properties
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let prop = match property {
+        CompiledProperty::Invariant(p) => {
+            verdict_mc::params::Property::Invariant(p.clone())
+        }
+        CompiledProperty::Ltl(f) => verdict_mc::params::Property::Ltl(f.clone()),
+        CompiledProperty::Ctl(_) => {
+            eprintln!("synth supports invariant and ltl properties");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match options_from(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verifier = Verifier::new(&model.system).options(opts);
+    match verifier.synthesize_params(&params, &prop) {
+        Ok(result) => {
+            println!("property `{name}`:");
+            print!("{result}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("synthesis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn blast(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("blast: missing model path\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match parse(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(event_src), Some(metric_src)) =
+        (flag_value(args, "--event"), flag_value(args, "--metric"))
+    else {
+        eprintln!("blast: --event EXPR and --metric EXPR are required");
+        return ExitCode::FAILURE;
+    };
+    let event = match model.compile_bool_expr(&event_src) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("--event: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let metric = match model.compile_int_expr(&metric_src) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("--metric: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match options_from(args) {
+        Ok(o) => o.max_depth_defaulted(16),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match verdict_mc::blast::worst_case_after(&model.system, &event, &metric, &opts) {
+        Ok(Some(r)) => {
+            println!(
+                "worst `{metric_src}` at-or-after `{event_src}` within {} steps: {} (range {}..={})",
+                opts.max_depth, r.worst, r.range.0, r.range.1
+            );
+            println!("witness:\n{}", r.witness);
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            println!("event `{event_src}` not reachable within {} steps", opts.max_depth);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("blast failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fig2(args: &[String]) -> ExitCode {
+    let minutes: u64 = flag_value(args, "--minutes")
+        .and_then(|m| m.parse().ok())
+        .unwrap_or(30);
+    let metrics = verdict_ksim::ClusterSpec::figure2().run(minutes * 60);
+    println!("pod placement over {minutes} minutes (descheduler every 2 min):");
+    println!("  time   node");
+    for (t, node) in metrics.placement_changes("app-") {
+        println!("  {t:>5}  {node}");
+    }
+    ExitCode::SUCCESS
+}

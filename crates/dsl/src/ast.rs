@@ -1,0 +1,198 @@
+//! Surface syntax tree.
+
+/// A parsed `system` block.
+#[derive(Clone, Debug)]
+pub struct SystemAst {
+    /// System name.
+    pub name: String,
+    /// Variable/parameter declarations, in order.
+    pub decls: Vec<DeclAst>,
+    /// Named expression definitions (`define name = expr;`), in order.
+    pub defines: Vec<(String, ExprAst, usize)>,
+    /// `init` constraints.
+    pub init: Vec<ExprAst>,
+    /// `invar` constraints.
+    pub invar: Vec<ExprAst>,
+    /// `trans` constraints.
+    pub trans: Vec<ExprAst>,
+    /// `fairness` constraints.
+    pub fairness: Vec<ExprAst>,
+    /// Named properties.
+    pub properties: Vec<PropertyAst>,
+}
+
+/// A declaration: `var`/`param` name and type.
+#[derive(Clone, Debug)]
+pub struct DeclAst {
+    /// Declared name.
+    pub name: String,
+    /// True for `param` (frozen), false for `var`.
+    pub frozen: bool,
+    /// Declared type.
+    pub ty: TypeAst,
+    /// Source offset (for errors).
+    pub offset: usize,
+}
+
+/// A surface type.
+#[derive(Clone, Debug)]
+pub enum TypeAst {
+    /// `bool`
+    Bool,
+    /// `lo..hi`
+    Range(i64, i64),
+    /// `{a, b, c}`
+    Enum(Vec<String>),
+    /// `real`
+    Real,
+}
+
+/// A named property.
+#[derive(Clone, Debug)]
+pub struct PropertyAst {
+    /// Property name.
+    pub name: String,
+    /// Body.
+    pub kind: PropertyKind,
+    /// Source offset.
+    pub offset: usize,
+}
+
+/// Property body kinds.
+#[derive(Clone, Debug)]
+pub enum PropertyKind {
+    /// `invariant name: expr;` — sugar for `ltl name: G (expr)`.
+    Invariant(ExprAst),
+    /// `ltl name: formula;`
+    Ltl(LtlAst),
+    /// `ctl name: formula;`
+    Ctl(CtlAst),
+}
+
+/// Surface expressions (state predicates and arithmetic).
+#[derive(Clone, Debug)]
+pub enum ExprAst {
+    /// Integer literal.
+    Int(i64, usize),
+    /// Rational literal from a decimal or fraction.
+    Rational(i128, i128, usize),
+    /// `true` / `false`.
+    Bool(bool, usize),
+    /// Identifier (variable or enum variant; resolved by the compiler).
+    Ident(String, usize),
+    /// `next(x)`.
+    Next(String, usize),
+    /// Unary.
+    Not(Box<ExprAst>),
+    /// Arithmetic negation.
+    Neg(Box<ExprAst>),
+    /// Binary operation.
+    Bin(BinOp, Box<ExprAst>, Box<ExprAst>, usize),
+    /// `if c then a else b`.
+    Ite(Box<ExprAst>, Box<ExprAst>, Box<ExprAst>),
+    /// `count(e1, …, en)`.
+    Count(Vec<ExprAst>),
+}
+
+impl ExprAst {
+    /// Source offset of the expression head (best effort).
+    pub fn offset(&self) -> usize {
+        match self {
+            ExprAst::Int(_, o)
+            | ExprAst::Rational(_, _, o)
+            | ExprAst::Bool(_, o)
+            | ExprAst::Ident(_, o)
+            | ExprAst::Next(_, o)
+            | ExprAst::Bin(_, _, _, o) => *o,
+            ExprAst::Not(e) | ExprAst::Neg(e) => e.offset(),
+            ExprAst::Ite(c, _, _) => c.offset(),
+            ExprAst::Count(es) => es.first().map_or(0, ExprAst::offset),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `->`
+    Implies,
+    /// `<->`
+    Iff,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*` (at least one side must be a constant — linear arithmetic).
+    Mul,
+    /// `/` (divisor must be a constant).
+    Div,
+}
+
+/// LTL surface formulas.
+#[derive(Clone, Debug)]
+pub enum LtlAst {
+    /// An embedded state predicate.
+    Atom(ExprAst),
+    /// `!f`
+    Not(Box<LtlAst>),
+    /// `f & g`, `f | g`, `f -> g`, `f <-> g`
+    Bin(BinOp, Box<LtlAst>, Box<LtlAst>),
+    /// `G f`
+    Globally(Box<LtlAst>),
+    /// `F f`
+    Finally(Box<LtlAst>),
+    /// `X f`
+    Next(Box<LtlAst>),
+    /// `f U g`
+    Until(Box<LtlAst>, Box<LtlAst>),
+    /// `f R g`
+    Release(Box<LtlAst>, Box<LtlAst>),
+}
+
+/// CTL surface formulas.
+#[derive(Clone, Debug)]
+pub enum CtlAst {
+    /// An embedded state predicate.
+    Atom(ExprAst),
+    /// `!f`
+    Not(Box<CtlAst>),
+    /// Boolean connective.
+    Bin(BinOp, Box<CtlAst>, Box<CtlAst>),
+    /// `EX f`, `EF f`, `EG f`, `AX f`, `AF f`, `AG f`
+    Unary(CtlQuant, Box<CtlAst>),
+    /// `E [f U g]` / `A [f U g]`
+    Until(bool, Box<CtlAst>, Box<CtlAst>),
+}
+
+/// CTL unary quantifier-operator pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtlQuant {
+    /// `EX`
+    Ex,
+    /// `EF`
+    Ef,
+    /// `EG`
+    Eg,
+    /// `AX`
+    Ax,
+    /// `AF`
+    Af,
+    /// `AG`
+    Ag,
+}

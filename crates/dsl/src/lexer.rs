@@ -1,0 +1,339 @@
+//! Tokenizer for the modeling language.
+
+use std::fmt;
+
+/// A token kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal kept as text (exact rational conversion happens in
+    /// the compiler).
+    Decimal(String),
+    /// `{ } ( ) [ ] : ; , ..`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `..`
+    DotDot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `->`
+    Arrow,
+    /// `<->`
+    DArrow,
+}
+
+/// A token with its byte offset (for error messages).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Kind.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the source. `//` comments run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => push(&mut out, TokenKind::LBrace, start, &mut i),
+            '}' => push(&mut out, TokenKind::RBrace, start, &mut i),
+            '(' => push(&mut out, TokenKind::LParen, start, &mut i),
+            ')' => push(&mut out, TokenKind::RParen, start, &mut i),
+            '[' => push(&mut out, TokenKind::LBracket, start, &mut i),
+            ']' => push(&mut out, TokenKind::RBracket, start, &mut i),
+            ':' => push(&mut out, TokenKind::Colon, start, &mut i),
+            ';' => push(&mut out, TokenKind::Semi, start, &mut i),
+            ',' => push(&mut out, TokenKind::Comma, start, &mut i),
+            '+' => push(&mut out, TokenKind::Plus, start, &mut i),
+            '*' => push(&mut out, TokenKind::Star, start, &mut i),
+            '/' => push(&mut out, TokenKind::Slash, start, &mut i),
+            '&' => push(&mut out, TokenKind::Amp, start, &mut i),
+            '|' => push(&mut out, TokenKind::Pipe, start, &mut i),
+            '=' => push(&mut out, TokenKind::Eq, start, &mut i),
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Bang, start, &mut i);
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token {
+                        kind: TokenKind::Arrow,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Minus, start, &mut i);
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    out.push(Token {
+                        kind: TokenKind::DArrow,
+                        offset: start,
+                    });
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Lt, start, &mut i);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Gt, start, &mut i);
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    out.push(Token {
+                        kind: TokenKind::DotDot,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: start,
+                        message: "unexpected '.'".to_string(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Decimal (not range): digit '.' digit
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    let mut k = j + 1;
+                    while k < bytes.len() && bytes[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Decimal(source[i..k].to_string()),
+                        offset: start,
+                    });
+                    i = k;
+                } else {
+                    let value: i64 = source[i..j].parse().map_err(|_| LexError {
+                        offset: start,
+                        message: "integer literal out of range".to_string(),
+                    })?;
+                    out.push(Token {
+                        kind: TokenKind::Int(value),
+                        offset: start,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(source[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    offset: start,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Token>, kind: TokenKind, start: usize, i: &mut usize) {
+    out.push(Token {
+        kind,
+        offset: start,
+    });
+    *i += 1;
+}
+
+/// Converts a byte offset to (line, column), 1-based.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in source.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lone_dot_is_an_error() {
+        assert!(lex("a . b").is_err());
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("var n : 0..7; n <= 5 & x -> y <-> !z"),
+            vec![
+                Ident("var".into()),
+                Ident("n".into()),
+                Colon,
+                Int(0),
+                DotDot,
+                Int(7),
+                Semi,
+                Ident("n".into()),
+                Le,
+                Int(5),
+                Amp,
+                Ident("x".into()),
+                Arrow,
+                Ident("y".into()),
+                DArrow,
+                Bang,
+                Ident("z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn decimals_vs_ranges() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0.45 1..2 3/4"),
+            vec![
+                Decimal("0.45".into()),
+                Int(1),
+                DotDot,
+                Int(2),
+                Int(3),
+                Slash,
+                Int(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("x // comment\ny"), kinds("x\ny"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = lex("abc $").unwrap_err();
+        assert_eq!(e.offset, 4);
+        assert_eq!(line_col("abc $", 4), (1, 5));
+        assert_eq!(line_col("a\nbc", 3), (2, 2));
+    }
+}

@@ -1,0 +1,54 @@
+//! `verdict`'s high-level modeling language.
+//!
+//! The paper (§4.1, §5) envisions "a high-level modeling language that
+//! facilitates modeling of control components and environment", compiled
+//! down to the checker's low-level input. This crate is that language:
+//! a small, SMV-flavored text format that compiles to the `verdict-ts`
+//! IR, with variables, frozen parameters, enums, bounded integers, reals,
+//! `init`/`invar`/`trans`/`fairness` sections, and named LTL / CTL /
+//! invariant properties.
+//!
+//! ```text
+//! system counter {
+//!     var n : 0..7;
+//!     param step : 1..2;
+//!     init n = 0;
+//!     trans next(n) = if n < 6 then n + step else n;
+//!
+//!     invariant bounded: n <= 7;
+//!     ltl hits_six: F (n = 6);
+//!     ctl reach: EF (n >= 6);
+//! }
+//! ```
+//!
+//! ```
+//! use verdict_dsl::parse;
+//! let src = r#"
+//!     system demo {
+//!         var x : bool;
+//!         init x;
+//!         trans next(x) = !x;
+//!         ltl oscillates: G (F x);
+//!     }
+//! "#;
+//! let model = parse(src).unwrap();
+//! assert_eq!(model.system.name(), "demo");
+//! assert_eq!(model.properties.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+
+pub use compile::{CompiledModel, CompiledProperty};
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::ParseError;
+
+/// Parses and compiles a `.vd` source file into a transition system and
+/// its properties.
+pub fn parse(source: &str) -> Result<CompiledModel, ParseError> {
+    let tokens = lexer::lex(source).map_err(ParseError::from)?;
+    let ast = parser::parse_tokens(&tokens, source)?;
+    compile::compile(&ast, source)
+}

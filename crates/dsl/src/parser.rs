@@ -1,0 +1,754 @@
+//! Recursive-descent parser.
+//!
+//! Expression precedence (loosest first):
+//! `<->`, `->` (right-assoc), `|`, `&`, `!`/comparisons, `+ -`, `* /`,
+//! unary `-`, primaries. Temporal operators bind like `!` in property
+//! formulas; `U`/`R` sit between `->` and `|`.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{line_col, LexError, Token, TokenKind};
+
+/// A parse (or lex) error with position info.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Line (1-based), if source was available.
+    pub line: usize,
+    /// Column (1-based).
+    pub column: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            offset: e.offset,
+            line: 0,
+            column: 0,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a standalone expression from source text.
+pub fn parse_expr_str(source: &str) -> Result<ExprAst, ParseError> {
+    let tokens = crate::lexer::lex(source).map_err(ParseError::from)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        source,
+    };
+    let e = p.expr()?;
+    if p.pos != tokens.len() {
+        return Err(p.error_here("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+/// Parses a token stream (the source is used for line/column rendering).
+pub fn parse_tokens(tokens: &[Token], source: &str) -> Result<SystemAst, ParseError> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        source,
+    };
+    let sys = p.system()?;
+    if p.pos != tokens.len() {
+        return Err(p.error_here("trailing input after system block"));
+    }
+    Ok(sys)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    source: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset_here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.source.len(), |t| t.offset)
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let offset = self.offset_here();
+        let (line, column) = line_col(self.source, offset);
+        ParseError {
+            offset,
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, usize), ParseError> {
+        let offset = self.offset_here();
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok((s, offset))
+            }
+            _ => Err(self.error_here(format!("expected {what}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(TokenKind::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(s)) if s == kw)
+    }
+
+    // ---- grammar ----------------------------------------------------
+
+    fn system(&mut self) -> Result<SystemAst, ParseError> {
+        if !self.keyword("system") {
+            return Err(self.error_here("expected `system`"));
+        }
+        let (name, _) = self.ident("system name")?;
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut sys = SystemAst {
+            name,
+            decls: Vec::new(),
+            defines: Vec::new(),
+            init: Vec::new(),
+            invar: Vec::new(),
+            trans: Vec::new(),
+            fairness: Vec::new(),
+            properties: Vec::new(),
+        };
+        loop {
+            if self.eat(&TokenKind::RBrace) {
+                break;
+            }
+            if self.keyword("var") {
+                sys.decls.push(self.decl(false)?);
+            } else if self.keyword("param") {
+                sys.decls.push(self.decl(true)?);
+            } else if self.keyword("init") {
+                sys.init.push(self.terminated_expr()?);
+            } else if self.keyword("invar") {
+                sys.invar.push(self.terminated_expr()?);
+            } else if self.keyword("trans") {
+                sys.trans.push(self.terminated_expr()?);
+            } else if self.keyword("fairness") {
+                sys.fairness.push(self.terminated_expr()?);
+            } else if self.keyword("define") {
+                let offset = self.offset_here();
+                let (name, _) = self.ident("definition name")?;
+                self.expect(&TokenKind::Eq, "`=`")?;
+                let e = self.terminated_expr()?;
+                sys.defines.push((name, e, offset));
+            } else if self.peek_keyword("invariant")
+                || self.peek_keyword("ltl")
+                || self.peek_keyword("ctl")
+            {
+                sys.properties.push(self.property()?);
+            } else {
+                return Err(self.error_here(
+                    "expected declaration, constraint, property, or `}`",
+                ));
+            }
+        }
+        Ok(sys)
+    }
+
+    fn decl(&mut self, frozen: bool) -> Result<DeclAst, ParseError> {
+        let (name, offset) = self.ident("variable name")?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let ty = self.type_ast()?;
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(DeclAst {
+            name,
+            frozen,
+            ty,
+            offset,
+        })
+    }
+
+    fn type_ast(&mut self) -> Result<TypeAst, ParseError> {
+        if self.keyword("bool") {
+            return Ok(TypeAst::Bool);
+        }
+        if self.keyword("real") {
+            return Ok(TypeAst::Real);
+        }
+        if self.eat(&TokenKind::LBrace) {
+            let mut variants = Vec::new();
+            loop {
+                let (v, _) = self.ident("enum variant")?;
+                variants.push(v);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RBrace, "`}`")?;
+            return Ok(TypeAst::Enum(variants));
+        }
+        // Range: int `..` int (either bound may be negative).
+        let lo = self.signed_int()?;
+        self.expect(&TokenKind::DotDot, "`..`")?;
+        let hi = self.signed_int()?;
+        Ok(TypeAst::Range(lo, hi))
+    }
+
+    fn signed_int(&mut self) -> Result<i64, ParseError> {
+        let negative = self.eat(&TokenKind::Minus);
+        match self.bump() {
+            Some(TokenKind::Int(n)) => Ok(if negative { -n } else { *n }),
+            _ => Err(self.error_here("expected integer")),
+        }
+    }
+
+    fn terminated_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let e = self.expr()?;
+        self.expect(&TokenKind::Semi, "`;`")?;
+        Ok(e)
+    }
+
+    fn property(&mut self) -> Result<PropertyAst, ParseError> {
+        let offset = self.offset_here();
+        if self.keyword("invariant") {
+            let (name, _) = self.ident("property name")?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let e = self.terminated_expr()?;
+            return Ok(PropertyAst {
+                name,
+                kind: PropertyKind::Invariant(e),
+                offset,
+            });
+        }
+        if self.keyword("ltl") {
+            let (name, _) = self.ident("property name")?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let f = self.ltl()?;
+            self.expect(&TokenKind::Semi, "`;`")?;
+            return Ok(PropertyAst {
+                name,
+                kind: PropertyKind::Ltl(f),
+                offset,
+            });
+        }
+        if self.keyword("ctl") {
+            let (name, _) = self.ident("property name")?;
+            self.expect(&TokenKind::Colon, "`:`")?;
+            let f = self.ctl()?;
+            self.expect(&TokenKind::Semi, "`;`")?;
+            return Ok(PropertyAst {
+                name,
+                kind: PropertyKind::Ctl(f),
+                offset,
+            });
+        }
+        Err(self.error_here("expected property"))
+    }
+
+    // ---- state expressions -------------------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst, ParseError> {
+        self.iff_expr()
+    }
+
+    fn iff_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.implies_expr()?;
+        while self.eat(&TokenKind::DArrow) {
+            let offset = lhs.offset();
+            let rhs = self.implies_expr()?;
+            lhs = ExprAst::Bin(BinOp::Iff, Box::new(lhs), Box::new(rhs), offset);
+        }
+        Ok(lhs)
+    }
+
+    fn implies_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let lhs = self.or_expr()?;
+        if self.eat(&TokenKind::Arrow) {
+            let offset = lhs.offset();
+            // Right-associative.
+            let rhs = self.implies_expr()?;
+            return Ok(ExprAst::Bin(
+                BinOp::Implies,
+                Box::new(lhs),
+                Box::new(rhs),
+                offset,
+            ));
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::Pipe) {
+            let offset = lhs.offset();
+            let rhs = self.and_expr()?;
+            lhs = ExprAst::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), offset);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::Amp) {
+            let offset = lhs.offset();
+            let rhs = self.cmp_expr()?;
+            lhs = ExprAst::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), offset);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => Some(BinOp::Eq),
+            Some(TokenKind::Ne) => Some(BinOp::Ne),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let offset = lhs.offset();
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            return Ok(ExprAst::Bin(op, Box::new(lhs), Box::new(rhs), offset));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            let offset = lhs.offset();
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = ExprAst::Bin(op, Box::new(lhs), Box::new(rhs), offset);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprAst, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                _ => break,
+            };
+            let offset = lhs.offset();
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = ExprAst::Bin(op, Box::new(lhs), Box::new(rhs), offset);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst, ParseError> {
+        if self.eat(&TokenKind::Bang) {
+            return Ok(ExprAst::Not(Box::new(self.unary_expr()?)));
+        }
+        if self.eat(&TokenKind::Minus) {
+            return Ok(ExprAst::Neg(Box::new(self.unary_expr()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<ExprAst, ParseError> {
+        let offset = self.offset_here();
+        match self.peek().cloned() {
+            Some(TokenKind::Int(n)) => {
+                self.pos += 1;
+                Ok(ExprAst::Int(n, offset))
+            }
+            Some(TokenKind::Decimal(text)) => {
+                self.pos += 1;
+                // "12.5" -> 125/10, exact.
+                let (int_part, frac_part) =
+                    text.split_once('.').expect("decimal has a dot");
+                let scale = 10i128.pow(frac_part.len() as u32);
+                let num: i128 = int_part.parse::<i128>().map_err(|_| {
+                    self.error_here("decimal out of range")
+                })? * scale
+                    + frac_part.parse::<i128>().map_err(|_| {
+                        self.error_here("decimal out of range")
+                    })?;
+                Ok(ExprAst::Rational(num, scale, offset))
+            }
+            Some(TokenKind::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(name)) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "true" => Ok(ExprAst::Bool(true, offset)),
+                    "false" => Ok(ExprAst::Bool(false, offset)),
+                    "next" => {
+                        self.expect(&TokenKind::LParen, "`(` after next")?;
+                        let (var, _) = self.ident("variable in next()")?;
+                        self.expect(&TokenKind::RParen, "`)`")?;
+                        Ok(ExprAst::Next(var, offset))
+                    }
+                    "count" => {
+                        self.expect(&TokenKind::LParen, "`(` after count")?;
+                        let mut items = Vec::new();
+                        if !self.eat(&TokenKind::RParen) {
+                            loop {
+                                items.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&TokenKind::RParen, "`)`")?;
+                        }
+                        Ok(ExprAst::Count(items))
+                    }
+                    "if" => {
+                        let c = self.expr()?;
+                        if !self.keyword("then") {
+                            return Err(self.error_here("expected `then`"));
+                        }
+                        let t = self.expr()?;
+                        if !self.keyword("else") {
+                            return Err(self.error_here("expected `else`"));
+                        }
+                        let e = self.expr()?;
+                        Ok(ExprAst::Ite(Box::new(c), Box::new(t), Box::new(e)))
+                    }
+                    _ => Ok(ExprAst::Ident(name, offset)),
+                }
+            }
+            _ => Err(self.error_here("expected expression")),
+        }
+    }
+
+    // ---- LTL ----------------------------------------------------------
+
+    fn ltl(&mut self) -> Result<LtlAst, ParseError> {
+        self.ltl_iff()
+    }
+
+    fn ltl_iff(&mut self) -> Result<LtlAst, ParseError> {
+        let mut lhs = self.ltl_implies()?;
+        while self.eat(&TokenKind::DArrow) {
+            let rhs = self.ltl_implies()?;
+            lhs = LtlAst::Bin(BinOp::Iff, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ltl_implies(&mut self) -> Result<LtlAst, ParseError> {
+        let lhs = self.ltl_until()?;
+        if self.eat(&TokenKind::Arrow) {
+            let rhs = self.ltl_implies()?;
+            return Ok(LtlAst::Bin(BinOp::Implies, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn ltl_until(&mut self) -> Result<LtlAst, ParseError> {
+        let mut lhs = self.ltl_or()?;
+        loop {
+            if self.keyword("U") {
+                let rhs = self.ltl_or()?;
+                lhs = LtlAst::Until(Box::new(lhs), Box::new(rhs));
+            } else if self.keyword("R") {
+                let rhs = self.ltl_or()?;
+                lhs = LtlAst::Release(Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn ltl_or(&mut self) -> Result<LtlAst, ParseError> {
+        let mut lhs = self.ltl_and()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.ltl_and()?;
+            lhs = LtlAst::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ltl_and(&mut self) -> Result<LtlAst, ParseError> {
+        let mut lhs = self.ltl_unary()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.ltl_unary()?;
+            lhs = LtlAst::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ltl_unary(&mut self) -> Result<LtlAst, ParseError> {
+        if self.eat(&TokenKind::Bang) {
+            return Ok(LtlAst::Not(Box::new(self.ltl_unary()?)));
+        }
+        if self.keyword("G") {
+            return Ok(LtlAst::Globally(Box::new(self.ltl_unary()?)));
+        }
+        if self.keyword("F") {
+            return Ok(LtlAst::Finally(Box::new(self.ltl_unary()?)));
+        }
+        if self.keyword("X") {
+            return Ok(LtlAst::Next(Box::new(self.ltl_unary()?)));
+        }
+        if self.peek() == Some(&TokenKind::LParen) {
+            // Could be a parenthesized LTL formula or a state expression;
+            // parse as LTL (state expressions embed via atoms anyway).
+            self.pos += 1;
+            let f = self.ltl()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(f);
+        }
+        // Fall back to a state-expression atom.
+        let e = self.cmp_expr()?;
+        Ok(LtlAst::Atom(e))
+    }
+
+    // ---- CTL ----------------------------------------------------------
+
+    fn ctl(&mut self) -> Result<CtlAst, ParseError> {
+        self.ctl_iff()
+    }
+
+    fn ctl_iff(&mut self) -> Result<CtlAst, ParseError> {
+        let mut lhs = self.ctl_implies()?;
+        while self.eat(&TokenKind::DArrow) {
+            let rhs = self.ctl_implies()?;
+            lhs = CtlAst::Bin(BinOp::Iff, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ctl_implies(&mut self) -> Result<CtlAst, ParseError> {
+        let lhs = self.ctl_or()?;
+        if self.eat(&TokenKind::Arrow) {
+            let rhs = self.ctl_implies()?;
+            return Ok(CtlAst::Bin(BinOp::Implies, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn ctl_or(&mut self) -> Result<CtlAst, ParseError> {
+        let mut lhs = self.ctl_and()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.ctl_and()?;
+            lhs = CtlAst::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ctl_and(&mut self) -> Result<CtlAst, ParseError> {
+        let mut lhs = self.ctl_unary()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.ctl_unary()?;
+            lhs = CtlAst::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn ctl_unary(&mut self) -> Result<CtlAst, ParseError> {
+        if self.eat(&TokenKind::Bang) {
+            return Ok(CtlAst::Not(Box::new(self.ctl_unary()?)));
+        }
+        for (kw, q) in [
+            ("EX", CtlQuant::Ex),
+            ("EF", CtlQuant::Ef),
+            ("EG", CtlQuant::Eg),
+            ("AX", CtlQuant::Ax),
+            ("AF", CtlQuant::Af),
+            ("AG", CtlQuant::Ag),
+        ] {
+            if self.keyword(kw) {
+                return Ok(CtlAst::Unary(q, Box::new(self.ctl_unary()?)));
+            }
+        }
+        for (kw, exists) in [("E", true), ("A", false)] {
+            if self.peek_keyword(kw)
+                && self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                    == Some(&TokenKind::LBracket)
+            {
+                self.pos += 2;
+                let lhs = self.ctl()?;
+                if !self.keyword("U") {
+                    return Err(self.error_here("expected `U` in E[.. U ..]"));
+                }
+                let rhs = self.ctl()?;
+                self.expect(&TokenKind::RBracket, "`]`")?;
+                return Ok(CtlAst::Until(exists, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.pos += 1;
+            let f = self.ctl()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(f);
+        }
+        let e = self.cmp_expr()?;
+        Ok(CtlAst::Atom(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Result<SystemAst, ParseError> {
+        parse_tokens(&lex(src).unwrap(), src)
+    }
+
+    #[test]
+    fn minimal_system() {
+        let sys = parse("system s { var x : bool; init x; trans next(x) = !x; }")
+            .unwrap();
+        assert_eq!(sys.name, "s");
+        assert_eq!(sys.decls.len(), 1);
+        assert_eq!(sys.init.len(), 1);
+        assert_eq!(sys.trans.len(), 1);
+    }
+
+    #[test]
+    fn all_type_forms() {
+        let sys = parse(
+            "system t { var a : bool; var b : 0..7; var c : -3..3; \
+             var d : {red, green}; param p : 1..2; var r : real; }",
+        )
+        .unwrap();
+        assert_eq!(sys.decls.len(), 6);
+        assert!(matches!(sys.decls[2].ty, TypeAst::Range(-3, 3)));
+        assert!(sys.decls[4].frozen);
+        assert!(matches!(sys.decls[5].ty, TypeAst::Real));
+    }
+
+    #[test]
+    fn precedence_shapes() {
+        let sys = parse(
+            "system p { var a : bool; var b : bool; var c : bool; \
+             init a | b & !c; init a -> b -> c; }",
+        )
+        .unwrap();
+        // a | (b & !c)
+        let ExprAst::Bin(BinOp::Or, _, rhs, _) = &sys.init[0] else {
+            panic!("expected Or at top: {:?}", sys.init[0])
+        };
+        assert!(matches!(**rhs, ExprAst::Bin(BinOp::And, _, _, _)));
+        // a -> (b -> c)  (right associative)
+        let ExprAst::Bin(BinOp::Implies, _, rhs, _) = &sys.init[1] else {
+            panic!()
+        };
+        assert!(matches!(**rhs, ExprAst::Bin(BinOp::Implies, _, _, _)));
+    }
+
+    #[test]
+    fn properties_parse() {
+        let sys = parse(
+            "system q { var n : 0..3; \
+             invariant cap: n <= 3; \
+             ltl live: G (F (n = 0)); \
+             ltl u: (n = 0) U (n = 1); \
+             ctl reach: EF (n = 3); \
+             ctl eu: E [ n <= 1 U n = 2 ]; }",
+        )
+        .unwrap();
+        assert_eq!(sys.properties.len(), 5);
+        assert!(matches!(
+            sys.properties[1].kind,
+            PropertyKind::Ltl(LtlAst::Globally(_))
+        ));
+        assert!(matches!(
+            sys.properties[4].kind,
+            PropertyKind::Ctl(CtlAst::Until(true, _, _))
+        ));
+    }
+
+    #[test]
+    fn if_then_else_and_count() {
+        let sys = parse(
+            "system r { var n : 0..7; var a : bool; var b : bool; \
+             trans next(n) = if n < 7 then n + 1 else n; \
+             invar count(a, b) <= 1; }",
+        )
+        .unwrap();
+        assert!(matches!(sys.trans[0], ExprAst::Bin(BinOp::Eq, _, _, _)));
+        assert_eq!(sys.invar.len(), 1);
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse("system s { var x bool; }").unwrap_err();
+        assert!(e.line >= 1 && e.column > 1, "{e}");
+        assert!(e.message.contains("expected"), "{e}");
+        assert!(parse("system s { var x : bool; } extra").is_err());
+        assert!(parse("system s { init ; }").is_err());
+    }
+
+    #[test]
+    fn decimals_parse_to_rationals() {
+        let sys = parse("system d { var r : real; init r = 0.45; }").unwrap();
+        let ExprAst::Bin(BinOp::Eq, _, rhs, _) = &sys.init[0] else {
+            panic!()
+        };
+        assert!(matches!(**rhs, ExprAst::Rational(45, 100, _)));
+    }
+}

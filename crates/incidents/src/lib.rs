@@ -1,0 +1,290 @@
+//! The cloud incident-report study behind the paper's Table 1.
+//!
+//! The paper reviewed every public incident report from Google Cloud
+//! (2017–2019) and Amazon AWS (2011–2019) — 242 in total — and studied
+//! the 53 with enough documented detail (42 Google, 11 AWS), labeling
+//! each with the four key characteristics of §2: dynamic control,
+//! nontrivial interactions, quantitative metrics, and cross-layer
+//! effects. Table 1 reports the per-provider counts.
+//!
+//! **Provenance.** The paper publishes only the aggregates, not the
+//! per-incident labels, and the raw reports live on provider status
+//! pages. This crate therefore embeds a *reconstruction*: the two
+//! incidents the paper describes in detail (Google tickets #19007 and
+//! #18037) carry their documented labels verbatim; the remaining 51
+//! entries are synthetic-but-plausible records (each flagged
+//! `reconstructed: true`) whose flags are calibrated so every aggregate
+//! equals the published Table 1 exactly. The reproducible artifact is
+//! the dataset schema and the aggregation pipeline; see EXPERIMENTS.md.
+
+mod table;
+
+pub use table::INCIDENTS;
+
+use std::fmt;
+
+/// Cloud provider of an incident report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Provider {
+    /// Google Cloud status-page incidents, 2017–2019.
+    GoogleCloud,
+    /// Amazon AWS post-event summaries, 2011–2019.
+    Aws,
+}
+
+/// One studied incident with its characteristic labels.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// Stable identifier (real ticket ids for the documented incidents).
+    pub id: &'static str,
+    /// Provider.
+    pub provider: Provider,
+    /// Year of the incident.
+    pub year: u16,
+    /// One-sentence root-cause summary.
+    pub summary: &'static str,
+    /// Involves continuously-running dynamic control (§2).
+    pub dynamic_control: bool,
+    /// Involves nontrivial interactions among components (§2).
+    pub nontrivial_interactions: bool,
+    /// Involves quantitative metrics like load or latency (§2).
+    pub quantitative_metrics: bool,
+    /// Spans multiple logical layers (§2).
+    pub cross_layer: bool,
+    /// True for entries reconstructed to match the published aggregates
+    /// (false only for the incidents the paper documents individually).
+    pub reconstructed: bool,
+}
+
+/// One row of Table 1: a characteristic with per-provider counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Characteristic name as printed in the paper.
+    pub characteristic: &'static str,
+    /// Count among the Google Cloud incidents.
+    pub google: usize,
+    /// Count among the AWS incidents.
+    pub aws: usize,
+    /// Count among all studied incidents.
+    pub total: usize,
+}
+
+/// The aggregated study: Table 1 plus the population sizes.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// Number of Google Cloud incidents studied.
+    pub google_studied: usize,
+    /// Number of AWS incidents studied.
+    pub aws_studied: usize,
+    /// The four characteristic rows, in the paper's order.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Percentage (rounded to nearest) for a row's Google column.
+    pub fn google_pct(&self, row: &Table1Row) -> u32 {
+        pct(row.google, self.google_studied)
+    }
+
+    /// Percentage for a row's AWS column.
+    pub fn aws_pct(&self, row: &Table1Row) -> u32 {
+        pct(row.aws, self.aws_studied)
+    }
+
+    /// Percentage for a row's total column.
+    pub fn total_pct(&self, row: &Table1Row) -> u32 {
+        pct(row.total, self.google_studied + self.aws_studied)
+    }
+}
+
+fn pct(part: usize, whole: usize) -> u32 {
+    ((part as f64 / whole as f64) * 100.0).round() as u32
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<26} | {:^18} | {:^14} | {:^12}",
+            "Characteristic", "Google Cloud", "Amazon AWS", "Total"
+        )?;
+        writeln!(f, "{:-<26}-+-{:-<18}-+-{:-<14}-+-{:-<12}", "", "", "", "")?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<26} | {:>8} ({:>3}%)   | {:>5} ({:>3}%)  | {:>4} ({:>3}%)",
+                row.characteristic,
+                row.google,
+                self.google_pct(row),
+                row.aws,
+                self.aws_pct(row),
+                row.total,
+                self.total_pct(row),
+            )?;
+        }
+        writeln!(
+            f,
+            "(studied: {} Google Cloud, {} AWS, {} total)",
+            self.google_studied,
+            self.aws_studied,
+            self.google_studied + self.aws_studied
+        )
+    }
+}
+
+/// Aggregates the dataset into Table 1.
+pub fn table1() -> Table1 {
+    table1_of(INCIDENTS)
+}
+
+/// Aggregates an arbitrary incident slice (exposed for tests and for
+/// studies over subsets, e.g. per-year slices).
+pub fn table1_of(incidents: &[Incident]) -> Table1 {
+    let google: Vec<&Incident> = incidents
+        .iter()
+        .filter(|i| i.provider == Provider::GoogleCloud)
+        .collect();
+    let aws: Vec<&Incident> = incidents
+        .iter()
+        .filter(|i| i.provider == Provider::Aws)
+        .collect();
+    let count =
+        |xs: &[&Incident], f: fn(&Incident) -> bool| xs.iter().filter(|i| f(i)).count();
+    let characteristics: [(&'static str, fn(&Incident) -> bool); 4] = [
+        ("Dynamic control", |i| i.dynamic_control),
+        ("Nontrivial interactions", |i| i.nontrivial_interactions),
+        ("Quantitative metrics", |i| i.quantitative_metrics),
+        ("Cross-layer", |i| i.cross_layer),
+    ];
+    let rows = characteristics
+        .into_iter()
+        .map(|(name, f)| Table1Row {
+            characteristic: name,
+            google: count(&google, f),
+            aws: count(&aws, f),
+            total: count(&google, f) + count(&aws, f),
+        })
+        .collect();
+    Table1 {
+        google_studied: google.len(),
+        aws_studied: aws.len(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_sizes_match_paper() {
+        let t = table1();
+        assert_eq!(t.google_studied, 42);
+        assert_eq!(t.aws_studied, 11);
+    }
+
+    #[test]
+    fn counts_match_table1_exactly() {
+        let t = table1();
+        let expect = [
+            ("Dynamic control", 30, 8, 38),
+            ("Nontrivial interactions", 12, 7, 19),
+            ("Quantitative metrics", 20, 7, 27),
+            ("Cross-layer", 21, 9, 30),
+        ];
+        for ((name, g, a, tot), row) in expect.into_iter().zip(&t.rows) {
+            assert_eq!(row.characteristic, name);
+            assert_eq!(row.google, g, "{name} google");
+            assert_eq!(row.aws, a, "{name} aws");
+            assert_eq!(row.total, tot, "{name} total");
+        }
+    }
+
+    #[test]
+    fn percentages_match_paper() {
+        // Paper: 71/73/72, 29/64/36, 48/64/51, 50/82/56. All match under
+        // round-to-nearest except the last total: 30/53 = 56.6% which
+        // rounds to 57 — the paper prints 56 (floor). Documented in
+        // EXPERIMENTS.md.
+        let t = table1();
+        let g: Vec<u32> = t.rows.iter().map(|r| t.google_pct(r)).collect();
+        let a: Vec<u32> = t.rows.iter().map(|r| t.aws_pct(r)).collect();
+        let tot: Vec<u32> = t.rows.iter().map(|r| t.total_pct(r)).collect();
+        assert_eq!(g, vec![71, 29, 48, 50]);
+        assert_eq!(a, vec![73, 64, 64, 82]);
+        assert_eq!(tot, vec![72, 36, 51, 57]);
+    }
+
+    #[test]
+    fn documented_incidents_are_not_reconstructed() {
+        let real: Vec<&Incident> =
+            INCIDENTS.iter().filter(|i| !i.reconstructed).collect();
+        assert_eq!(real.len(), 2);
+        let ids: Vec<&str> = real.iter().map(|i| i.id).collect();
+        assert!(ids.contains(&"google-stackdriver-19007"));
+        assert!(ids.contains(&"google-bigquery-18037"));
+        // #19007 exhibits all four characteristics; #18037 all but
+        // cross-layer — exactly as the paper describes.
+        let i19007 = real
+            .iter()
+            .find(|i| i.id.contains("19007"))
+            .unwrap();
+        assert!(
+            i19007.dynamic_control
+                && i19007.nontrivial_interactions
+                && i19007.quantitative_metrics
+                && i19007.cross_layer
+        );
+        let i18037 = real
+            .iter()
+            .find(|i| i.id.contains("18037"))
+            .unwrap();
+        assert!(
+            i18037.dynamic_control
+                && i18037.nontrivial_interactions
+                && i18037.quantitative_metrics
+                && !i18037.cross_layer
+        );
+    }
+
+    #[test]
+    fn ids_unique_and_years_in_range() {
+        let mut ids = std::collections::HashSet::new();
+        for i in INCIDENTS {
+            assert!(ids.insert(i.id), "duplicate id {}", i.id);
+            match i.provider {
+                Provider::GoogleCloud => {
+                    assert!((2017..=2019).contains(&i.year), "{}", i.id)
+                }
+                Provider::Aws => assert!((2011..=2019).contains(&i.year), "{}", i.id),
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_over_subsets() {
+        let aws_only: Vec<Incident> = INCIDENTS
+            .iter()
+            .filter(|i| i.provider == Provider::Aws)
+            .cloned()
+            .collect();
+        let t = table1_of(&aws_only);
+        assert_eq!(t.google_studied, 0);
+        assert_eq!(t.aws_studied, 11);
+        assert_eq!(t.rows[0].total, 8);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let shown = table1().to_string();
+        for name in [
+            "Dynamic control",
+            "Nontrivial interactions",
+            "Quantitative metrics",
+            "Cross-layer",
+        ] {
+            assert!(shown.contains(name), "{shown}");
+        }
+        assert!(shown.contains("42"), "{shown}");
+    }
+}

@@ -1,0 +1,481 @@
+//! The control loops.
+//!
+//! Each controller is a pure function over the mutable cluster state,
+//! invoked by the engine at its configured period in a fixed order
+//! (deployment controller → HPA → rolling update → scheduler →
+//! descheduler → taint manager), one tick at a time. The ordering is part
+//! of the deterministic contract.
+
+use crate::types::{DeschedulerPolicy, Pod, PodPhase, RolloutStrategy};
+
+/// Shared mutable view passed to controllers.
+pub struct ClusterState {
+    /// Node definitions.
+    pub nodes: Vec<crate::types::NodeSpec>,
+    /// Deployment definitions (mutable: HPA edits `replicas`).
+    pub deployments: Vec<crate::types::DeploymentSpec>,
+    /// All pods ever created (terminated pods stay for bookkeeping).
+    pub pods: Vec<Pod>,
+    /// Monotonic pod-name ordinals per deployment.
+    pub ordinals: Vec<u32>,
+}
+
+impl ClusterState {
+    /// CPU requested by pods occupying a node (running or still
+    /// terminating — terminating pods keep their reservation).
+    pub fn node_usage(&self, node: usize) -> u32 {
+        self.pods
+            .iter()
+            .filter(|p| {
+                p.node == Some(node)
+                    && matches!(
+                        p.phase,
+                        PodPhase::Running | PodPhase::Terminating { .. }
+                    )
+            })
+            .map(|p| p.cpu_request)
+            .sum()
+    }
+
+    /// Completes shutdown of terminating pods whose grace expired.
+    pub fn reap_terminating(&mut self, now: u64) {
+        for p in &mut self.pods {
+            if let PodPhase::Terminating { until } = p.phase {
+                if now >= until {
+                    p.phase = PodPhase::Terminated;
+                    p.node = None;
+                }
+            }
+        }
+    }
+
+    /// Starts eviction of a pod: running pods get a grace window during
+    /// which they still occupy their node; pending pods die instantly.
+    pub fn evict(&mut self, pod: usize, now: u64, grace: u64) {
+        match self.pods[pod].phase {
+            PodPhase::Running => {
+                self.pods[pod].phase = PodPhase::Terminating { until: now + grace };
+            }
+            PodPhase::Pending => {
+                self.pods[pod].phase = PodPhase::Terminated;
+                self.pods[pod].node = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Utilization in per-mille of capacity.
+    pub fn node_utilization_permille(&self, node: usize) -> u32 {
+        let cap = self.nodes[node].cpu_capacity.max(1);
+        self.node_usage(node) * 1000 / cap
+    }
+
+    /// Live (non-terminated) pods of a deployment.
+    pub fn live_pods(&self, deployment: usize) -> Vec<usize> {
+        self.pods
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.deployment == deployment
+                    && matches!(p.phase, PodPhase::Pending | PodPhase::Running)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Deployment/ReplicaSet controller: create pods up to the expected count
+/// and delete excess (newest first, pending before running — the
+/// Kubernetes victim preference, simplified).
+pub fn deployment_controller(state: &mut ClusterState, now: u64) {
+    for d in 0..state.deployments.len() {
+        let spec = state.deployments[d].clone();
+        let surge_allowance = match spec.strategy {
+            RolloutStrategy::RollingUpdate { max_surge } => max_surge,
+            RolloutStrategy::None => 0,
+        };
+        let live = state.live_pods(d);
+        let count = live.len() as u32;
+        if count < spec.replicas {
+            for _ in 0..(spec.replicas - count) {
+                let ordinal = state.ordinals[d];
+                state.ordinals[d] += 1;
+                state.pods.push(Pod {
+                    name: format!("{}-{}", spec.name, ordinal),
+                    deployment: d,
+                    cpu_request: spec.cpu_request,
+                    phase: PodPhase::Pending,
+                    node: None,
+                    created_at: now,
+                    generation: spec.generation,
+                    tolerations: spec.tolerations.clone(),
+                });
+            }
+        } else if count > spec.replicas + surge_allowance {
+            // Scale down: terminate newest pending first, then newest
+            // running.
+            let mut victims: Vec<usize> = live;
+            victims.sort_by_key(|&i| {
+                let p = &state.pods[i];
+                (
+                    u8::from(p.phase == PodPhase::Running),
+                    u64::MAX - p.created_at,
+                )
+            });
+            for &v in victims
+                .iter()
+                .take((count - spec.replicas - surge_allowance) as usize)
+            {
+                state.evict(v, now, 0);
+            }
+        }
+    }
+}
+
+/// Horizontal pod autoscaler. The `buggy` flag reproduces issue #90461:
+/// instead of computing demand from utilization, the buggy HPA copies the
+/// observed current replica count (including the rollout surge) into the
+/// expected count.
+pub fn hpa(state: &mut ClusterState, buggy: bool, max_replicas: u32) {
+    for d in 0..state.deployments.len() {
+        let live = state.live_pods(d).len() as u32;
+        if buggy {
+            let current = live.max(1).min(max_replicas);
+            if current > state.deployments[d].replicas {
+                state.deployments[d].replicas = current;
+            }
+        }
+        // The non-buggy HPA in this simulator holds replicas steady (no
+        // load signal is modeled at pod level); it exists so the buggy
+        // variant has a baseline.
+    }
+}
+
+/// Rolling-update controller: while any live pod has an old generation,
+/// create up to `max_surge` new-generation pods above the expected count,
+/// and terminate one old pod once a new one runs.
+pub fn rolling_update(state: &mut ClusterState, now: u64, grace: u64) {
+    for d in 0..state.deployments.len() {
+        let spec = state.deployments[d].clone();
+        let RolloutStrategy::RollingUpdate { max_surge } = spec.strategy else {
+            continue;
+        };
+        let live = state.live_pods(d);
+        let old: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| state.pods[i].generation < spec.generation)
+            .collect();
+        if old.is_empty() {
+            continue;
+        }
+        let total = live.len() as u32;
+        // Surge: create new-generation pods beyond expected, bounded.
+        if total < spec.replicas + max_surge {
+            let ordinal = state.ordinals[d];
+            state.ordinals[d] += 1;
+            state.pods.push(Pod {
+                name: format!("{}-{}", spec.name, ordinal),
+                deployment: d,
+                cpu_request: spec.cpu_request,
+                phase: PodPhase::Pending,
+                node: None,
+                created_at: now,
+                generation: spec.generation,
+                tolerations: spec.tolerations.clone(),
+            });
+        }
+        // Replace (maxUnavailable = 0): retire an old pod only once the
+        // full expected complement of new-generation pods is running —
+        // the conservative rollout the issue report describes. While the
+        // (buggy) HPA keeps raising `replicas`, this bar keeps receding
+        // and the surge loop continues.
+        let new_running = live
+            .iter()
+            .filter(|&&i| {
+                state.pods[i].generation == spec.generation
+                    && state.pods[i].phase == PodPhase::Running
+            })
+            .count() as u32;
+        if new_running >= spec.replicas {
+            if let Some(&victim) = old.first() {
+                state.evict(victim, now, grace);
+            }
+        }
+    }
+}
+
+/// Scheduler: binds each pending pod to the feasible node with the lowest
+/// requested CPU (least-requested scoring), ties broken by node index.
+/// Feasibility: not a master, enough free capacity, taints tolerated.
+pub fn scheduler(state: &mut ClusterState) {
+    for i in 0..state.pods.len() {
+        if state.pods[i].phase != PodPhase::Pending {
+            continue;
+        }
+        let request = state.pods[i].cpu_request;
+        let tolerations = state.pods[i].tolerations.clone();
+        let mut best: Option<(u32, usize)> = None;
+        for n in 0..state.nodes.len() {
+            let node = &state.nodes[n];
+            if node.master {
+                continue;
+            }
+            if !node.taints.iter().all(|t| tolerations.contains(t)) {
+                continue;
+            }
+            let used = state.node_usage(n);
+            if used + request > node.cpu_capacity {
+                continue;
+            }
+            let score = (used, n);
+            if best.map_or(true, |b| score < b) {
+                best = Some(score);
+            }
+        }
+        if let Some((_, n)) = best {
+            state.pods[i].phase = PodPhase::Running;
+            state.pods[i].node = Some(n);
+        }
+    }
+}
+
+/// Descheduler cronjob: applies each policy once per invocation.
+pub fn descheduler(state: &mut ClusterState, policies: &[DeschedulerPolicy], now: u64, grace: u64) {
+    for policy in policies {
+        match policy {
+            DeschedulerPolicy::LowNodeUtilization {
+                evict_above_permille,
+            } => {
+                for n in 0..state.nodes.len() {
+                    if state.node_utilization_permille(n) > *evict_above_permille {
+                        // Evict the newest pod on the node (one per tick,
+                        // like the real strategy's incremental eviction).
+                        let victim = state
+                            .pods
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| {
+                                p.phase == PodPhase::Running && p.node == Some(n)
+                            })
+                            .max_by_key(|(i, p)| (p.created_at, *i))
+                            .map(|(i, _)| i);
+                        if let Some(v) = victim {
+                            state.evict(v, now, grace);
+                        }
+                    }
+                }
+            }
+            DeschedulerPolicy::RemoveDuplicates => {
+                for n in 0..state.nodes.len() {
+                    for d in 0..state.deployments.len() {
+                        let dups: Vec<usize> = state
+                            .pods
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| {
+                                p.phase == PodPhase::Running
+                                    && p.node == Some(n)
+                                    && p.deployment == d
+                            })
+                            .map(|(i, _)| i)
+                            .collect();
+                        for &v in dups.iter().skip(1) {
+                            state.evict(v, now, grace);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Taint manager: evicts running pods from nodes whose taints they do not
+/// tolerate (NoExecute semantics).
+pub fn taint_manager(state: &mut ClusterState, now: u64, grace: u64) {
+    for i in 0..state.pods.len() {
+        let Some(n) = state.pods[i].node else { continue };
+        if state.pods[i].phase != PodPhase::Running {
+            continue;
+        }
+        let node_taints = state.nodes[n].taints.clone();
+        let tolerated = node_taints
+            .iter()
+            .all(|t| state.pods[i].tolerations.contains(t));
+        if !tolerated {
+            state.evict(i, now, grace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DeploymentSpec, NodeSpec};
+
+    fn state(nodes: Vec<NodeSpec>, deployments: Vec<DeploymentSpec>) -> ClusterState {
+        let n = deployments.len();
+        ClusterState {
+            nodes,
+            deployments,
+            pods: Vec::new(),
+            ordinals: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn deployment_controller_maintains_replicas() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 1000)],
+            vec![DeploymentSpec::new("app", 3, 100)],
+        );
+        deployment_controller(&mut s, 0);
+        assert_eq!(s.live_pods(0).len(), 3);
+        // Terminate one; the controller recreates it.
+        s.pods[0].phase = PodPhase::Terminated;
+        deployment_controller(&mut s, 1);
+        assert_eq!(s.live_pods(0).len(), 3);
+        // Scale down.
+        s.deployments[0].replicas = 1;
+        deployment_controller(&mut s, 2);
+        assert_eq!(s.live_pods(0).len(), 1);
+    }
+
+    #[test]
+    fn scheduler_picks_least_requested() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 1000), NodeSpec::worker("w2", 1000)],
+            vec![DeploymentSpec::new("app", 1, 300)],
+        );
+        deployment_controller(&mut s, 0);
+        // Pre-load w1.
+        s.pods.push(Pod {
+            name: "sys-0".to_string(),
+            deployment: 0,
+            cpu_request: 400,
+            phase: PodPhase::Running,
+            node: Some(0),
+            created_at: 0,
+            generation: 0,
+            tolerations: vec![],
+        });
+        scheduler(&mut s);
+        let app = s.pods.iter().find(|p| p.name == "app-0").unwrap();
+        assert_eq!(app.node, Some(1), "least-requested picks the empty node");
+    }
+
+    #[test]
+    fn scheduler_respects_capacity_masters_and_taints() {
+        let mut s = state(
+            vec![
+                NodeSpec::master("m1", 4000),
+                NodeSpec::worker("small", 100),
+                NodeSpec::worker("gpu", 1000).tainted("gpu"),
+            ],
+            vec![DeploymentSpec::new("app", 1, 300)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        let app = &s.pods[0];
+        assert_eq!(app.phase, PodPhase::Pending, "nowhere feasible: {app:?}");
+    }
+
+    #[test]
+    fn low_node_utilization_evicts() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 1000)],
+            vec![DeploymentSpec::new("app", 1, 500)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        assert_eq!(s.node_utilization_permille(0), 500);
+        descheduler(
+            &mut s,
+            &[DeschedulerPolicy::LowNodeUtilization {
+                evict_above_permille: 450,
+            }],
+            0,
+            0,
+        );
+        assert_eq!(s.live_pods(0).len(), 0, "50% > 45% threshold evicts");
+        // Below threshold: no eviction.
+        let mut s2 = state(
+            vec![NodeSpec::worker("w1", 1000)],
+            vec![DeploymentSpec::new("app", 1, 400)],
+        );
+        deployment_controller(&mut s2, 0);
+        scheduler(&mut s2);
+        descheduler(
+            &mut s2,
+            &[DeschedulerPolicy::LowNodeUtilization {
+                evict_above_permille: 450,
+            }],
+            0,
+            0,
+        );
+        assert_eq!(s2.live_pods(0).len(), 1);
+    }
+
+    #[test]
+    fn remove_duplicates_keeps_one() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 1000)],
+            vec![DeploymentSpec::new("app", 2, 100)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        assert_eq!(s.live_pods(0).len(), 2);
+        descheduler(&mut s, &[DeschedulerPolicy::RemoveDuplicates], 0, 0);
+        assert_eq!(s.live_pods(0).len(), 1);
+    }
+
+    #[test]
+    fn taint_manager_evicts_intolerant_pods() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 1000)],
+            vec![DeploymentSpec::new("app", 1, 100)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        assert_eq!(s.live_pods(0).len(), 1);
+        s.nodes[0].taints.push("maintenance".to_string());
+        taint_manager(&mut s, 0, 0);
+        s.reap_terminating(0);
+        assert_eq!(
+            s.pods[0].phase,
+            PodPhase::Terminated,
+            "NoExecute taint evicts"
+        );
+    }
+
+    #[test]
+    fn buggy_hpa_copies_current_count() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 10000)],
+            vec![DeploymentSpec {
+                strategy: RolloutStrategy::RollingUpdate { max_surge: 1 },
+                generation: 1,
+                ..DeploymentSpec::new("app", 1, 100)
+            }],
+        );
+        // One old-generation running pod.
+        s.pods.push(Pod {
+            name: "app-0".to_string(),
+            deployment: 0,
+            cpu_request: 100,
+            phase: PodPhase::Running,
+            node: Some(0),
+            created_at: 0,
+            generation: 0,
+            tolerations: vec![],
+        });
+        s.ordinals[0] = 1;
+        // Rolling update surges to 2; buggy HPA bumps expected to 2; the
+        // next surge goes to 3 …
+        rolling_update(&mut s, 1, 0);
+        scheduler(&mut s);
+        assert_eq!(s.live_pods(0).len(), 2);
+        hpa(&mut s, true, 100);
+        assert_eq!(s.deployments[0].replicas, 2, "bug: expected := current");
+    }
+}

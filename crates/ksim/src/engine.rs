@@ -1,0 +1,310 @@
+//! The simulation loop and cluster specification.
+
+use crate::controllers::{
+    deployment_controller, descheduler, hpa, rolling_update, scheduler,
+    taint_manager, ClusterState,
+};
+use crate::metrics::Metrics;
+use crate::types::{DeploymentSpec, DeschedulerPolicy, NodeSpec, RolloutStrategy};
+
+/// Full specification of a simulated cluster and its controllers.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Nodes.
+    pub nodes: Vec<NodeSpec>,
+    /// Deployments.
+    pub deployments: Vec<DeploymentSpec>,
+    /// Descheduler policies (empty = no descheduler).
+    pub descheduler_policies: Vec<DeschedulerPolicy>,
+    /// Descheduler period in seconds (the paper's cronjob runs every
+    /// 2 minutes).
+    pub descheduler_period: u64,
+    /// Reconcile period of the other controllers, seconds.
+    pub control_period: u64,
+    /// Enable the buggy HPA of issue #90461.
+    pub buggy_hpa: bool,
+    /// Pod termination grace period in seconds (evicted pods keep their
+    /// node reservation this long).
+    pub eviction_grace: u64,
+    /// HPA replica ceiling (bounds the runaway for finite runs).
+    pub hpa_max_replicas: u32,
+}
+
+impl ClusterSpec {
+    /// An empty cluster with the paper's periods.
+    pub fn new() -> ClusterSpec {
+        ClusterSpec {
+            nodes: Vec::new(),
+            deployments: Vec::new(),
+            descheduler_policies: Vec::new(),
+            descheduler_period: 120,
+            control_period: 1,
+            buggy_hpa: false,
+            eviction_grace: 10,
+            hpa_max_replicas: 64,
+        }
+    }
+
+    /// The paper's Fig. 2 experiment: 2 masters + 3 workers (and an
+    /// external LB VM that plays no role in scheduling), one app pod
+    /// requesting 50% CPU, `LowNodeUtilization` evicting above 45%,
+    /// descheduler every 2 minutes. Worker 1 carries a 30%-CPU system
+    /// pod (the cluster add-ons), so the scheduler's least-requested
+    /// scoring alternates between workers 2 and 3.
+    pub fn figure2() -> ClusterSpec {
+        let mut spec = ClusterSpec::new();
+        spec.nodes = vec![
+            NodeSpec::master("master1", 2000),
+            NodeSpec::master("master2", 2000),
+            NodeSpec::worker("worker1", 1000),
+            NodeSpec::worker("worker2", 1000),
+            NodeSpec::worker("worker3", 1000),
+        ];
+        // System pod pinning worker1 at 30%: modeled as a deployment the
+        // scheduler places first (created at tick 0, before the app).
+        spec.deployments = vec![
+            DeploymentSpec::new("sysaddon", 1, 300),
+            DeploymentSpec::new("app", 1, 500),
+        ];
+        spec.descheduler_policies = vec![DeschedulerPolicy::LowNodeUtilization {
+            evict_above_permille: 450,
+        }];
+        spec.descheduler_period = 120;
+        spec
+    }
+
+    /// Runs the simulation for `duration_secs`, returning metrics.
+    pub fn run(&self, duration_secs: u64) -> Metrics {
+        let mut sim = Simulation::new(self.clone());
+        sim.run_for(duration_secs);
+        sim.into_metrics()
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec::new()
+    }
+}
+
+/// A stepping simulation (for callers that want to inspect state or
+/// mutate the spec mid-run, e.g. to trigger a rolling update).
+pub struct Simulation {
+    spec: ClusterSpec,
+    state: ClusterState,
+    time: u64,
+    metrics: Metrics,
+}
+
+impl Simulation {
+    /// Initializes the cluster (no pods yet; controllers create them).
+    pub fn new(spec: ClusterSpec) -> Simulation {
+        let state = ClusterState {
+            nodes: spec.nodes.clone(),
+            deployments: spec.deployments.clone(),
+            pods: Vec::new(),
+            ordinals: vec![0; spec.deployments.len()],
+        };
+        let node_names = spec.nodes.iter().map(|n| n.name.clone()).collect();
+        Simulation {
+            spec,
+            state,
+            time: 0,
+            metrics: Metrics::new(node_names),
+        }
+    }
+
+    /// Current simulated time (seconds).
+    pub fn now(&self) -> u64 {
+        self.time
+    }
+
+    /// Read access to the cluster state.
+    pub fn state(&self) -> &ClusterState {
+        &self.state
+    }
+
+    /// Bumps a deployment's template generation, starting a rolling
+    /// update on the next reconcile.
+    pub fn trigger_rollout(&mut self, deployment: usize) {
+        self.state.deployments[deployment].generation += 1;
+    }
+
+    /// Adds a deployment mid-run (workload arrival); returns its index.
+    pub fn add_deployment(&mut self, spec: DeploymentSpec) -> usize {
+        self.state.deployments.push(spec);
+        self.state.ordinals.push(0);
+        self.state.deployments.len() - 1
+    }
+
+    /// Scales a deployment's expected replica count.
+    pub fn scale(&mut self, deployment: usize, replicas: u32) {
+        self.state.deployments[deployment].replicas = replicas;
+    }
+
+    /// Sets a deployment's strategy.
+    pub fn set_strategy(&mut self, deployment: usize, strategy: RolloutStrategy) {
+        self.state.deployments[deployment].strategy = strategy;
+    }
+
+    /// Advances one tick (one second), running due controllers in the
+    /// fixed order.
+    pub fn step(&mut self) {
+        let t = self.time;
+        let grace = self.spec.eviction_grace;
+        self.state.reap_terminating(t);
+        if t % self.spec.control_period == 0 {
+            deployment_controller(&mut self.state, t);
+            hpa(
+                &mut self.state,
+                self.spec.buggy_hpa,
+                self.spec.hpa_max_replicas,
+            );
+            rolling_update(&mut self.state, t, grace);
+            scheduler(&mut self.state);
+        }
+        if !self.spec.descheduler_policies.is_empty()
+            && t > 0
+            && t % self.spec.descheduler_period == 0
+        {
+            descheduler(&mut self.state, &self.spec.descheduler_policies, t, grace);
+        }
+        if t % self.spec.control_period == 0 {
+            taint_manager(&mut self.state, t, grace);
+        }
+        self.metrics.sample(t, &self.state);
+        self.time += 1;
+    }
+
+    /// Runs for the given number of seconds.
+    pub fn run_for(&mut self, seconds: u64) {
+        for _ in 0..seconds {
+            self.step();
+        }
+    }
+
+    /// Finishes and returns the collected metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_pod_oscillates_between_workers_2_and_3() {
+        let spec = ClusterSpec::figure2();
+        let metrics = spec.run(30 * 60);
+        let moves = metrics.placement_changes("app-");
+        // Every 2 minutes the pod is evicted and rescheduled on the other
+        // worker: in 30 minutes that is ~14 moves.
+        assert!(
+            moves.len() >= 10,
+            "expected sustained oscillation, got {} moves: {moves:?}",
+            moves.len()
+        );
+        // The pod only ever lands on worker2 / worker3 and alternates.
+        let nodes: Vec<&str> = moves.iter().map(|(_, n)| n.as_str()).collect();
+        for w in windows2(&nodes) {
+            assert_ne!(w.0, w.1, "consecutive placements must alternate");
+            assert!(
+                ["worker2", "worker3"].contains(&w.0),
+                "unexpected node {}",
+                w.0
+            );
+        }
+        // The system pod stays put on worker1.
+        let sys_moves = metrics.placement_changes("sysaddon-");
+        assert_eq!(sys_moves.len(), 1, "{sys_moves:?}");
+        assert_eq!(sys_moves[0].1, "worker1");
+    }
+
+    fn windows2<'a>(xs: &'a [&'a str]) -> Vec<(&'a str, &'a str)> {
+        xs.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    #[test]
+    fn no_descheduler_means_no_oscillation() {
+        let mut spec = ClusterSpec::figure2();
+        spec.descheduler_policies.clear();
+        let metrics = spec.run(30 * 60);
+        let moves = metrics.placement_changes("app-");
+        assert_eq!(moves.len(), 1, "placed once, never moved: {moves:?}");
+    }
+
+    #[test]
+    fn threshold_above_request_is_stable() {
+        let mut spec = ClusterSpec::figure2();
+        spec.descheduler_policies = vec![DeschedulerPolicy::LowNodeUtilization {
+            evict_above_permille: 550, // 55% > 50% request
+        }];
+        let metrics = spec.run(30 * 60);
+        let moves = metrics.placement_changes("app-");
+        assert_eq!(moves.len(), 1, "no eviction below threshold: {moves:?}");
+    }
+
+    #[test]
+    fn determinism_same_spec_same_trace() {
+        let a = ClusterSpec::figure2().run(600);
+        let b = ClusterSpec::figure2().run(600);
+        assert_eq!(a.placement_changes("app-"), b.placement_changes("app-"));
+    }
+
+    #[test]
+    fn hpa_ruc_runaway_in_simulation() {
+        // Issue #90461 end-to-end in the simulator: rolling update with
+        // maxSurge=1 + buggy HPA. Replicas climb to the ceiling.
+        let mut spec = ClusterSpec::new();
+        spec.nodes = vec![NodeSpec::worker("w1", 100_000)];
+        spec.deployments = vec![DeploymentSpec {
+            strategy: RolloutStrategy::RollingUpdate { max_surge: 1 },
+            ..DeploymentSpec::new("app", 1, 100)
+        }];
+        spec.buggy_hpa = true;
+        spec.hpa_max_replicas = 10;
+        let mut sim = Simulation::new(spec);
+        sim.run_for(3); // settle at 1 replica
+        sim.trigger_rollout(0);
+        sim.run_for(60);
+        let live = sim.state().live_pods(0).len();
+        assert!(
+            live >= 10,
+            "replica runaway expected, got {live} live pods"
+        );
+    }
+
+    #[test]
+    fn healthy_hpa_no_runaway() {
+        let mut spec = ClusterSpec::new();
+        spec.nodes = vec![NodeSpec::worker("w1", 100_000)];
+        spec.deployments = vec![DeploymentSpec {
+            strategy: RolloutStrategy::RollingUpdate { max_surge: 1 },
+            ..DeploymentSpec::new("app", 1, 100)
+        }];
+        spec.buggy_hpa = false;
+        let mut sim = Simulation::new(spec);
+        sim.run_for(3);
+        sim.trigger_rollout(0);
+        sim.run_for(60);
+        let live = sim.state().live_pods(0).len();
+        assert!(live <= 2, "rollout completes without runaway, got {live}");
+    }
+
+    #[test]
+    fn remove_duplicates_vs_two_replica_deployment() {
+        // §3.3's other oscillation: RemoveDuplicates conflicts with a
+        // deployment that wants 2 replicas but only one node exists —
+        // the controller recreates what the descheduler removes, forever.
+        let mut spec = ClusterSpec::new();
+        spec.nodes = vec![NodeSpec::worker("w1", 10_000)];
+        spec.deployments = vec![DeploymentSpec::new("app", 2, 100)];
+        spec.descheduler_policies = vec![DeschedulerPolicy::RemoveDuplicates];
+        spec.descheduler_period = 10;
+        let metrics = spec.run(300);
+        // Pod churn: terminations keep happening through the whole run.
+        let churn = metrics.termination_count();
+        assert!(churn >= 25, "sustained churn expected, got {churn}");
+    }
+}

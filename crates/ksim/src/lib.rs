@@ -1,0 +1,38 @@
+//! A deterministic discrete-event Kubernetes cluster simulator.
+//!
+//! This crate is the substrate for reproducing the paper's §3.3 cluster
+//! experiment (Fig. 2): the original used a 6-VM Kubernetes cluster
+//! (2 masters, 3 workers, 1 load balancer); we simulate the control-plane
+//! behavior that matters — the scheduler, the descheduler cronjob, the
+//! deployment controller, the horizontal pod autoscaler, the
+//! rolling-update controller, and the taint manager — against a cluster
+//! state of nodes and pods, on a 1-second-tick clock.
+//!
+//! Determinism is a design rule (same spec → same trace → same figure):
+//! all tie-breaks are by index, controllers run in a fixed order at fixed
+//! periods, and the optional workload generator takes an explicit seed.
+//!
+//! ```
+//! use verdict_ksim::{ClusterSpec, DeschedulerPolicy};
+//!
+//! // The paper's Fig. 2 setup: 3 workers, one CPU-heavy pod, eviction
+//! // threshold below the pod's request.
+//! let spec = ClusterSpec::figure2();
+//! let metrics = spec.run(30 * 60);
+//! // Each eviction replaces the pod (app-0, app-1, …); match by prefix.
+//! let moves = metrics.placement_changes("app-");
+//! assert!(moves.len() > 5, "the pod must keep moving");
+//! ```
+
+pub mod controllers;
+pub mod engine;
+pub mod metrics;
+pub mod types;
+pub mod workload;
+
+pub use engine::{ClusterSpec, Simulation};
+pub use metrics::Metrics;
+pub use types::{
+    DeploymentSpec, DeschedulerPolicy, NodeSpec, PodPhase, RolloutStrategy,
+};
+pub use workload::{WorkloadGen, WorkloadSpec};

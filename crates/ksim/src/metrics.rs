@@ -1,0 +1,153 @@
+//! Time-series capture: the data behind Fig. 2.
+
+use crate::controllers::ClusterState;
+use crate::types::PodPhase;
+
+/// Collected samples (one per tick).
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    node_names: Vec<String>,
+    /// Per tick: `(time, pod name, node index)` for every running pod.
+    samples: Vec<(u64, String, usize)>,
+    /// Per tick: node utilization per-mille.
+    utilization: Vec<(u64, Vec<u32>)>,
+    /// Cumulative pod terminations observed.
+    terminations: Vec<(u64, usize)>,
+}
+
+impl Metrics {
+    pub(crate) fn new(node_names: Vec<String>) -> Metrics {
+        Metrics {
+            node_names,
+            samples: Vec::new(),
+            utilization: Vec::new(),
+            terminations: Vec::new(),
+        }
+    }
+
+    pub(crate) fn sample(&mut self, time: u64, state: &ClusterState) {
+        for p in &state.pods {
+            if p.phase == PodPhase::Running {
+                if let Some(n) = p.node {
+                    self.samples.push((time, p.name.clone(), n));
+                }
+            }
+        }
+        let util = (0..state.nodes.len())
+            .map(|n| state.node_utilization_permille(n))
+            .collect();
+        self.utilization.push((time, util));
+        let dead = state
+            .pods
+            .iter()
+            .filter(|p| p.phase == PodPhase::Terminated)
+            .count();
+        self.terminations.push((time, dead));
+    }
+
+    /// Node names (indexable by the node indices in samples).
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+
+    /// The placement-change series for pods whose name starts with
+    /// `pod_prefix`: one `(time, node name)` entry per (re)placement —
+    /// exactly the series Fig. 2 plots (worker index over time).
+    pub fn placement_changes(&self, pod_prefix: &str) -> Vec<(u64, String)> {
+        let mut out: Vec<(u64, String)> = Vec::new();
+        let mut last: Option<usize> = None;
+        let mut last_seen: Option<u64> = None;
+        for &(t, ref name, node) in &self.samples {
+            if !name.starts_with(pod_prefix) {
+                continue;
+            }
+            // A gap in running samples or a node change is a new placement.
+            let gap = last_seen.is_some_and(|ls| t > ls + 1);
+            if last != Some(node) || gap {
+                out.push((t, self.node_names[node].clone()));
+                last = Some(node);
+            }
+            last_seen = Some(t);
+        }
+        out
+    }
+
+    /// The full `(time, node name)` residency series for a pod prefix
+    /// (one entry per tick the pod runs) — used to print the Fig. 2 plot.
+    pub fn residency_series(&self, pod_prefix: &str) -> Vec<(u64, String)> {
+        self.samples
+            .iter()
+            .filter(|(_, name, _)| name.starts_with(pod_prefix))
+            .map(|&(t, _, node)| (t, self.node_names[node].clone()))
+            .collect()
+    }
+
+    /// Node utilization (per-mille) time series.
+    pub fn utilization_series(&self) -> &[(u64, Vec<u32>)] {
+        &self.utilization
+    }
+
+    /// Total pod terminations at the end of the run.
+    pub fn termination_count(&self) -> usize {
+        self.terminations.last().map_or(0, |&(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DeploymentSpec, NodeSpec, Pod};
+
+    fn tiny_state() -> ClusterState {
+        ClusterState {
+            nodes: vec![NodeSpec::worker("w1", 1000), NodeSpec::worker("w2", 1000)],
+            deployments: vec![DeploymentSpec::new("app", 1, 500)],
+            pods: vec![Pod {
+                name: "app-0".to_string(),
+                deployment: 0,
+                cpu_request: 500,
+                phase: PodPhase::Running,
+                node: Some(0),
+                created_at: 0,
+                generation: 0,
+                tolerations: vec![],
+            }],
+            ordinals: vec![1],
+        }
+    }
+
+    #[test]
+    fn placement_changes_detect_moves_and_gaps() {
+        let mut m = Metrics::new(vec!["w1".to_string(), "w2".to_string()]);
+        let mut s = tiny_state();
+        m.sample(0, &s);
+        m.sample(1, &s);
+        // Move the pod.
+        s.pods[0].node = Some(1);
+        m.sample(2, &s);
+        // Gap (evicted at t=3), then back on w1.
+        s.pods[0].phase = PodPhase::Terminated;
+        m.sample(3, &s);
+        s.pods[0].phase = PodPhase::Running;
+        s.pods[0].node = Some(0);
+        m.sample(4, &s);
+        let moves = m.placement_changes("app-");
+        assert_eq!(
+            moves,
+            vec![
+                (0, "w1".to_string()),
+                (2, "w2".to_string()),
+                (4, "w1".to_string())
+            ]
+        );
+        assert_eq!(m.termination_count(), 0, "terminated pod revived");
+    }
+
+    #[test]
+    fn utilization_tracks_load() {
+        let mut m = Metrics::new(vec!["w1".to_string(), "w2".to_string()]);
+        let s = tiny_state();
+        m.sample(0, &s);
+        assert_eq!(m.utilization_series()[0].1, vec![500, 0]);
+    }
+}

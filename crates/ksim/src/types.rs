@@ -1,0 +1,166 @@
+//! Core cluster-state types.
+
+/// CPU is measured in millicores (1000 = one core), following Kubernetes.
+pub type Milli = u32;
+
+/// A node definition.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Node name.
+    pub name: String,
+    /// Allocatable CPU.
+    pub cpu_capacity: Milli,
+    /// Taint keys on the node (pods need a matching toleration).
+    pub taints: Vec<String>,
+    /// True for control-plane nodes: they never accept workload pods.
+    pub master: bool,
+}
+
+impl NodeSpec {
+    /// A worker node with the given capacity and no taints.
+    pub fn worker(name: &str, cpu_capacity: Milli) -> NodeSpec {
+        NodeSpec {
+            name: name.to_string(),
+            cpu_capacity,
+            taints: Vec::new(),
+            master: false,
+        }
+    }
+
+    /// A control-plane node (never schedulable for workloads).
+    pub fn master(name: &str, cpu_capacity: Milli) -> NodeSpec {
+        NodeSpec {
+            name: name.to_string(),
+            cpu_capacity,
+            taints: Vec::new(),
+            master: true,
+        }
+    }
+
+    /// Adds a taint key.
+    pub fn tainted(mut self, key: &str) -> NodeSpec {
+        self.taints.push(key.to_string());
+        self
+    }
+}
+
+/// Pod lifecycle phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PodPhase {
+    /// Created, not yet bound to a node.
+    Pending,
+    /// Bound and running.
+    Running,
+    /// Evicted/deleted but still shutting down on its node: the
+    /// replacement is already being created, yet the pod's resources are
+    /// still reserved (this overlap is what makes the Fig. 2 scheduler
+    /// pick the *other* worker).
+    Terminating {
+        /// Tick at which shutdown completes.
+        until: u64,
+    },
+    /// Terminated (shutdown finished); kept for bookkeeping.
+    Terminated,
+}
+
+/// A live pod.
+#[derive(Clone, Debug)]
+pub struct Pod {
+    /// Unique name, `<deployment>-<ordinal>`.
+    pub name: String,
+    /// Owning deployment index.
+    pub deployment: usize,
+    /// CPU request.
+    pub cpu_request: Milli,
+    /// Phase.
+    pub phase: PodPhase,
+    /// Node index while `Running`.
+    pub node: Option<usize>,
+    /// Tick of creation.
+    pub created_at: u64,
+    /// Template generation (for rolling updates: pods of an old
+    /// generation are replaced).
+    pub generation: u32,
+    /// Toleration keys.
+    pub tolerations: Vec<String>,
+}
+
+/// Update strategy of a deployment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RolloutStrategy {
+    /// No automated rollout.
+    None,
+    /// Rolling update with the given `maxSurge` (extra pods allowed above
+    /// the expected count during the rollout).
+    RollingUpdate {
+        /// Extra pods allowed beyond the expected replica count.
+        max_surge: u32,
+    },
+}
+
+/// A deployment (and its optional autoscaler).
+#[derive(Clone, Debug)]
+pub struct DeploymentSpec {
+    /// Deployment name.
+    pub name: String,
+    /// Desired ("expected") replica count.
+    pub replicas: u32,
+    /// Per-pod CPU request.
+    pub cpu_request: Milli,
+    /// Toleration keys pods carry.
+    pub tolerations: Vec<String>,
+    /// Update strategy.
+    pub strategy: RolloutStrategy,
+    /// Template generation; bump to trigger a rolling update.
+    pub generation: u32,
+}
+
+impl DeploymentSpec {
+    /// A plain deployment.
+    pub fn new(name: &str, replicas: u32, cpu_request: Milli) -> DeploymentSpec {
+        DeploymentSpec {
+            name: name.to_string(),
+            replicas,
+            cpu_request,
+            tolerations: Vec::new(),
+            strategy: RolloutStrategy::None,
+            generation: 0,
+        }
+    }
+}
+
+/// Descheduler strategy (a cronjob in the paper's experiment).
+#[derive(Clone, Debug)]
+pub enum DeschedulerPolicy {
+    /// Evict pods from nodes whose CPU utilization exceeds the threshold
+    /// (per-mille of capacity): the paper's `LowNodeUtilization` with the
+    /// eviction side only.
+    LowNodeUtilization {
+        /// Eviction threshold, per-mille of node capacity (450 = 45%).
+        evict_above_permille: u32,
+    },
+    /// Evict duplicates: more than one pod of the same deployment on a
+    /// node.
+    RemoveDuplicates,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_builders() {
+        let n = NodeSpec::worker("w1", 1000).tainted("gpu");
+        assert_eq!(n.taints, vec!["gpu".to_string()]);
+        assert!(!n.master);
+        assert!(NodeSpec::master("m1", 2000).master);
+    }
+
+    #[test]
+    fn deployment_defaults() {
+        let d = DeploymentSpec::new("app", 2, 500);
+        assert_eq!(d.replicas, 2);
+        assert_eq!(d.strategy, RolloutStrategy::None);
+        assert_eq!(d.generation, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based invariants of the cluster simulator under random
+//! cluster shapes and workloads.
+
+use proptest::prelude::*;
+use verdict_ksim::workload::{WorkloadGen, WorkloadSpec};
+use verdict_ksim::{ClusterSpec, DeschedulerPolicy, NodeSpec, PodPhase, Simulation};
+
+fn cluster(workers: usize, capacity: u32, descheduler: bool) -> ClusterSpec {
+    let mut spec = ClusterSpec::new();
+    spec.nodes = (0..workers)
+        .map(|i| NodeSpec::worker(&format!("w{i}"), capacity))
+        .collect();
+    if descheduler {
+        spec.descheduler_policies = vec![DeschedulerPolicy::LowNodeUtilization {
+            evict_above_permille: 800,
+        }];
+        spec.descheduler_period = 30;
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under arbitrary workloads the scheduler never oversubscribes a
+    /// node, running pods always have nodes, and pending pods never have
+    /// nodes — at every tick, not just at the end.
+    #[test]
+    fn structural_invariants_hold_every_tick(
+        seed in 0u64..5000,
+        workers in 1usize..5,
+        capacity in 500u32..4000,
+        descheduler in any::<bool>(),
+    ) {
+        let mut sim = Simulation::new(cluster(workers, capacity, descheduler));
+        let mut gen = WorkloadGen::new(WorkloadSpec {
+            seed,
+            mean_interarrival: 20,
+            ..WorkloadSpec::default()
+        });
+        for _ in 0..400 {
+            gen.drive(&mut sim);
+            sim.step();
+            let state = sim.state();
+            for n in 0..state.nodes.len() {
+                prop_assert!(
+                    state.node_usage(n) <= state.nodes[n].cpu_capacity,
+                    "node {n} oversubscribed at t={}",
+                    sim.now()
+                );
+            }
+            for p in &state.pods {
+                match p.phase {
+                    PodPhase::Running | PodPhase::Terminating { .. } => {
+                        prop_assert!(p.node.is_some(), "{:?}", p.name)
+                    }
+                    PodPhase::Pending | PodPhase::Terminated => {
+                        prop_assert!(p.node.is_none(), "{:?}", p.name)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Determinism: two runs with identical spec and seed produce the
+    /// same pod set and the same termination count.
+    #[test]
+    fn runs_are_reproducible(seed in 0u64..5000, workers in 1usize..4) {
+        let run = || {
+            let mut sim = Simulation::new(cluster(workers, 2000, true));
+            let mut gen = WorkloadGen::new(WorkloadSpec {
+                seed,
+                ..WorkloadSpec::default()
+            });
+            for _ in 0..300 {
+                gen.drive(&mut sim);
+                sim.step();
+            }
+            let names: Vec<String> =
+                sim.state().pods.iter().map(|p| p.name.clone()).collect();
+            let phases: Vec<String> =
+                sim.state().pods.iter().map(|p| format!("{:?}", p.phase)).collect();
+            (names, phases)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,412 @@
+//! Propositional formula AST.
+//!
+//! [`Formula`] is a reference-counted tree over Boolean variables. The
+//! constructors perform cheap constant folding and involution/idempotence
+//! simplification so that naive formula construction in encoders does not
+//! balloon; heavier normalization belongs to the Tseitin pass in
+//! [`crate::cnf`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::lit::Var;
+
+/// A propositional formula over [`Var`]s.
+///
+/// ```
+/// use verdict_logic::{Formula, Var};
+/// let x = Formula::var(Var(0));
+/// let y = Formula::var(Var(1));
+/// let f = x.clone().and(y.clone()).or(x.not());
+/// assert!(f.eval(&|_| true)); // x & y
+/// assert!(f.eval(&|_| false)); // !x is true
+/// assert!(!f.eval(&|v| v == Var(0))); // x=1, y=0: both disjuncts false
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A variable.
+    Var(Var),
+    /// Negation.
+    Not(Rc<Formula>),
+    /// N-ary conjunction (empty = true).
+    And(Rc<Vec<Formula>>),
+    /// N-ary disjunction (empty = false).
+    Or(Rc<Vec<Formula>>),
+    /// Exclusive or (binary).
+    Xor(Rc<Formula>, Rc<Formula>),
+    /// If-and-only-if (binary).
+    Iff(Rc<Formula>, Rc<Formula>),
+    /// If-then-else on formulas: `Ite(c, t, e)` means `(c ∧ t) ∨ (¬c ∧ e)`.
+    Ite(Rc<Formula>, Rc<Formula>, Rc<Formula>),
+}
+
+impl Formula {
+    /// The constant true.
+    pub fn tt() -> Formula {
+        Formula::True
+    }
+
+    /// The constant false.
+    pub fn ff() -> Formula {
+        Formula::False
+    }
+
+    /// A single-variable formula.
+    pub fn var(v: Var) -> Formula {
+        Formula::Var(v)
+    }
+
+    /// A literal as a formula: `v` or `¬v`.
+    pub fn lit(v: Var, positive: bool) -> Formula {
+        if positive {
+            Formula::Var(v)
+        } else {
+            Formula::Var(v).not()
+        }
+    }
+
+    /// Boolean constant as a formula.
+    pub fn constant(b: bool) -> Formula {
+        if b {
+            Formula::True
+        } else {
+            Formula::False
+        }
+    }
+
+    /// Negation with involution and constant folding.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => inner.as_ref().clone(),
+            other => Formula::Not(Rc::new(other)),
+        }
+    }
+
+    /// Conjunction with unit/zero folding and flattening of nested `And`s.
+    pub fn and(self, rhs: Formula) -> Formula {
+        Formula::and_all([self, rhs])
+    }
+
+    /// Disjunction with unit/zero folding and flattening of nested `Or`s.
+    pub fn or(self, rhs: Formula) -> Formula {
+        Formula::or_all([self, rhs])
+    }
+
+    /// N-ary conjunction of an iterator of formulas.
+    pub fn and_all<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let mut parts = Vec::new();
+        for f in items {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(xs) => parts.extend(xs.iter().cloned()),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.pop().expect("len checked"),
+            _ => Formula::And(Rc::new(parts)),
+        }
+    }
+
+    /// Raw binary conjunction without flattening — for encoder-generated
+    /// shared DAGs, where the flattening constructors would copy child
+    /// vectors quadratically.
+    pub fn and_pair(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::False, _) | (_, Formula::False) => return Formula::False,
+            (Formula::True, _) => return b,
+            (_, Formula::True) => return a,
+            _ => {}
+        }
+        Formula::And(Rc::new(vec![a, b]))
+    }
+
+    /// Raw binary disjunction without flattening (see [`Formula::and_pair`]).
+    pub fn or_pair(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::True, _) | (_, Formula::True) => return Formula::True,
+            (Formula::False, _) => return b,
+            (_, Formula::False) => return a,
+            _ => {}
+        }
+        Formula::Or(Rc::new(vec![a, b]))
+    }
+
+    /// N-ary disjunction of an iterator of formulas.
+    pub fn or_all<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let mut parts = Vec::new();
+        for f in items {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(xs) => parts.extend(xs.iter().cloned()),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::False,
+            1 => parts.pop().expect("len checked"),
+            _ => Formula::Or(Rc::new(parts)),
+        }
+    }
+
+    /// Implication `self → rhs`.
+    pub fn implies(self, rhs: Formula) -> Formula {
+        self.not().or(rhs)
+    }
+
+    /// Exclusive or, with constant folding.
+    pub fn xor(self, rhs: Formula) -> Formula {
+        match (self, rhs) {
+            (Formula::False, f) | (f, Formula::False) => f,
+            (Formula::True, f) | (f, Formula::True) => f.not(),
+            (a, b) => Formula::Xor(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// If-and-only-if, with constant folding.
+    pub fn iff(self, rhs: Formula) -> Formula {
+        match (self, rhs) {
+            (Formula::True, f) | (f, Formula::True) => f,
+            (Formula::False, f) | (f, Formula::False) => f.not(),
+            (a, b) => Formula::Iff(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// If-then-else, with condition folding.
+    pub fn ite(cond: Formula, then: Formula, els: Formula) -> Formula {
+        match cond {
+            Formula::True => then,
+            Formula::False => els,
+            c => Formula::Ite(Rc::new(c), Rc::new(then), Rc::new(els)),
+        }
+    }
+
+    /// "Exactly one of" over a slice of formulas (pairwise encoding —
+    /// adequate for the small cardinalities used in controller models).
+    pub fn exactly_one(items: &[Formula]) -> Formula {
+        let at_least = Formula::or_all(items.iter().cloned());
+        at_least.and(Formula::at_most_one(items))
+    }
+
+    /// "At most one of" over a slice of formulas (pairwise encoding).
+    pub fn at_most_one(items: &[Formula]) -> Formula {
+        let mut clauses = Vec::new();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                clauses.push(
+                    items[i]
+                        .clone()
+                        .not()
+                        .or(items[j].clone().not()),
+                );
+            }
+        }
+        Formula::and_all(clauses)
+    }
+
+    /// Evaluates under an assignment of variables to truth values.
+    pub fn eval(&self, assignment: &dyn Fn(Var) -> bool) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(v) => assignment(*v),
+            Formula::Not(f) => !f.eval(assignment),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(assignment)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(assignment)),
+            Formula::Xor(a, b) => a.eval(assignment) ^ b.eval(assignment),
+            Formula::Iff(a, b) => a.eval(assignment) == b.eval(assignment),
+            Formula::Ite(c, t, e) => {
+                if c.eval(assignment) {
+                    t.eval(assignment)
+                } else {
+                    e.eval(assignment)
+                }
+            }
+        }
+    }
+
+    /// Collects the set of variables occurring in the formula.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Var(v) => {
+                out.insert(*v);
+            }
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs.iter() {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Xor(a, b) | Formula::Iff(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Formula::Ite(c, t, e) => {
+                c.collect_vars(out);
+                t.collect_vars(out);
+                e.collect_vars(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes; used by tests and encoder diagnostics.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Var(_) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(Formula::size).sum::<usize>()
+            }
+            Formula::Xor(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
+            Formula::Ite(c, t, e) => 1 + c.size() + t.size() + e.size(),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(
+            f: &mut fmt::Formatter<'_>,
+            items: &[Formula],
+            sep: &str,
+            empty: &str,
+        ) -> fmt::Result {
+            if items.is_empty() {
+                return write!(f, "{empty}");
+            }
+            write!(f, "(")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " {sep} ")?;
+                }
+                write!(f, "{item}")?;
+            }
+            write!(f, ")")
+        }
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Var(v) => write!(f, "{v}"),
+            Formula::Not(inner) => write!(f, "!{inner}"),
+            Formula::And(fs) => join(f, fs, "&", "true"),
+            Formula::Or(fs) => join(f, fs, "|", "false"),
+            Formula::Xor(a, b) => write!(f, "({a} ^ {b})"),
+            Formula::Iff(a, b) => write!(f, "({a} <-> {b})"),
+            Formula::Ite(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Formula {
+        Formula::var(Var(0))
+    }
+    fn y() -> Formula {
+        Formula::var(Var(1))
+    }
+    fn z() -> Formula {
+        Formula::var(Var(2))
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(Formula::tt().not(), Formula::ff());
+        assert_eq!(x().not().not(), x());
+        assert_eq!(x().and(Formula::tt()), x());
+        assert_eq!(x().and(Formula::ff()), Formula::ff());
+        assert_eq!(x().or(Formula::ff()), x());
+        assert_eq!(x().or(Formula::tt()), Formula::tt());
+        assert_eq!(x().xor(Formula::ff()), x());
+        assert_eq!(x().xor(Formula::tt()), x().not());
+        assert_eq!(x().iff(Formula::tt()), x());
+        assert_eq!(x().iff(Formula::ff()), x().not());
+        assert_eq!(Formula::ite(Formula::tt(), x(), y()), x());
+        assert_eq!(Formula::ite(Formula::ff(), x(), y()), y());
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let f = x().and(y()).and(z());
+        match &f {
+            Formula::And(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flattened And, got {other}"),
+        }
+        let f = x().or(y()).or(z());
+        match &f {
+            Formula::Or(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("expected flattened Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn eval_basic() {
+        let f = x().and(y().not()).or(z());
+        // x=1, y=0, z=0 -> true
+        assert!(f.eval(&|v| v == Var(0)));
+        // x=1, y=1, z=0 -> false
+        assert!(!f.eval(&|v| v == Var(0) || v == Var(1)));
+        // z=1 alone -> true
+        assert!(f.eval(&|v| v == Var(2)));
+    }
+
+    #[test]
+    fn implies_truth_table() {
+        let f = x().implies(y());
+        assert!(f.eval(&|_| false)); // 0 -> 0
+        assert!(f.eval(&|v| v == Var(1))); // 0 -> 1
+        assert!(!f.eval(&|v| v == Var(0))); // 1 -> 0
+        assert!(f.eval(&|_| true)); // 1 -> 1
+    }
+
+    #[test]
+    fn exactly_one_semantics() {
+        let items = [x(), y(), z()];
+        let f = Formula::exactly_one(&items);
+        // Exhaustive over 8 assignments: true iff exactly one var set.
+        for bits in 0u8..8 {
+            let assign = move |v: Var| bits >> v.0 & 1 == 1;
+            let expected = bits.count_ones() == 1;
+            assert_eq!(f.eval(&assign), expected, "bits={bits:03b}");
+        }
+    }
+
+    #[test]
+    fn variables_collected_sorted() {
+        let f = z().and(x()).xor(y());
+        let vars: Vec<Var> = f.variables().into_iter().collect();
+        assert_eq!(vars, vec![Var(0), Var(1), Var(2)]);
+    }
+
+    #[test]
+    fn display_readable() {
+        let f = x().and(y()).not();
+        assert_eq!(f.to_string(), "!(v0 & v1)");
+    }
+}

@@ -1,0 +1,180 @@
+//! Boolean variables and literals.
+//!
+//! A [`Var`] is a dense index (0-based). A [`Lit`] packs a variable and a
+//! polarity into one `u32` using the common `2 * var + sign` scheme, so a
+//! literal can index watch lists directly and negation is a single XOR.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A Boolean variable, identified by a dense 0-based index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's 0-based index, for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Literal of this variable with the given polarity.
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        Lit::new(self, positive)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable with a polarity.
+///
+/// Encoded as `2 * var + (positive ? 0 : 1)`, so `!lit` flips the low bit.
+///
+/// ```
+/// use verdict_logic::{Lit, Var};
+/// let x = Var(3);
+/// let l = x.positive();
+/// assert_eq!(!l, x.negative());
+/// assert_eq!((!l).var(), x);
+/// assert!(l.is_positive() && !(!l).is_positive());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Builds a literal from a variable and polarity.
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(!positive))
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True iff the literal is the positive phase of its variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index of the literal itself (for watch lists): `2v` or `2v+1`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::index`].
+    #[inline]
+    pub fn from_index(index: usize) -> Lit {
+        Lit(index as u32)
+    }
+
+    /// DIMACS representation: 1-based, sign = polarity.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 >> 1) + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS literal (non-zero 1-based signed integer).
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    pub fn from_dimacs(d: i64) -> Lit {
+        assert!(d != 0, "DIMACS literal cannot be zero");
+        Lit::new(Var((d.unsigned_abs() - 1) as u32), d > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.0 >> 1)
+        } else {
+            write!(f, "!v{}", self.0 >> 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        for idx in [0u32, 1, 2, 41, 1000] {
+            let v = Var(idx);
+            assert_eq!(v.positive().var(), v);
+            assert_eq!(v.negative().var(), v);
+            assert!(v.positive().is_positive());
+            assert!(!v.negative().is_positive());
+            assert_eq!(!v.positive(), v.negative());
+            assert_eq!(!!v.positive(), v.positive());
+            assert_eq!(Lit::from_index(v.positive().index()), v.positive());
+        }
+    }
+
+    #[test]
+    fn dimacs_round_trips() {
+        for d in [1i64, -1, 5, -42] {
+            assert_eq!(Lit::from_dimacs(d).to_dimacs(), d);
+        }
+        assert_eq!(Var(0).positive().to_dimacs(), 1);
+        assert_eq!(Var(0).negative().to_dimacs(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Var(3).positive().to_string(), "v3");
+        assert_eq!(Var(3).negative().to_string(), "!v3");
+    }
+}

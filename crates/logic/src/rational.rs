@@ -1,0 +1,466 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! All quantitative model semantics in `verdict` (link latency, traffic
+//! loads, thresholds) are exact rationals — never floats — so that the SMT
+//! simplex core and the transition-system evaluator agree bit-for-bit and
+//! counterexamples replay deterministically.
+//!
+//! Values are kept normalized: the denominator is strictly positive and
+//! `gcd(num, den) == 1`. Arithmetic uses checked `i128` operations and
+//! panics on overflow with a descriptive message; model-checking workloads
+//! stay far below the ~1.7e38 ceiling, and a loud panic is preferable to a
+//! silent wrap in a verification tool.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) == 1`.
+///
+/// ```
+/// use verdict_logic::Rational;
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// assert!(a > b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor of the absolute values (Euclid).
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Builds `num / den`, normalizing sign and common factors.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den < 0 {
+            num = num.checked_neg().expect("rational overflow: negate");
+            den = den.checked_neg().expect("rational overflow: negate");
+        }
+        if num == 0 {
+            return Rational::ZERO;
+        }
+        let g = gcd(num, den);
+        Rational {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// Builds the integer rational `n / 1`.
+    pub const fn integer(n: i128) -> Rational {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The numerator (normalized; carries the sign).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always strictly positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// True iff the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// True iff the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// True iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        if self.num < 0 {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero rational");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Largest integer `<= self` (floor), as an `i128`.
+    pub fn floor(self) -> i128 {
+        if self.num >= 0 {
+            self.num / self.den
+        } else {
+            // Round toward negative infinity.
+            (self.num - (self.den - 1)) / self.den
+        }
+    }
+
+    /// Smallest integer `>= self` (ceiling), as an `i128`.
+    pub fn ceil(self) -> i128 {
+        -((-self).floor())
+    }
+
+    /// Lossy conversion to `f64` for display and plotting only — never for
+    /// model semantics.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The midpoint `(self + other) / 2`, used by simplex when picking a
+    /// concrete value strictly between two bounds.
+    pub fn midpoint(self, other: Rational) -> Rational {
+        (self + other) / Rational::integer(2)
+    }
+
+    /// Checked addition used by all operator impls.
+    fn checked_add(self, rhs: Rational) -> Rational {
+        // a/b + c/d = (a*d + c*b) / (b*d), then normalize. Reduce by
+        // gcd(b, d) first to keep intermediates small.
+        let g = gcd(self.den, rhs.den);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+            .expect("rational overflow: add");
+        let den = self
+            .den
+            .checked_mul(lhs_scale)
+            .expect("rational overflow: add");
+        Rational::new(num, den)
+    }
+
+    fn checked_mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .expect("rational overflow: mul");
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .expect("rational overflow: mul");
+        Rational::new(num, den)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::integer(n as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(rhs)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_add(-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(rhs)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_mul(rhs.recip())
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: self.num.checked_neg().expect("rational overflow: negate"),
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0)
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational overflow: cmp");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational overflow: cmp");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error produced when parsing a [`Rational`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"3"`, `"-3"`, `"3/4"`, or decimal notation `"0.45"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || ParseRationalError(s.to_string());
+        if let Some((n, d)) = s.split_once('/') {
+            let num: i128 = n.trim().parse().map_err(|_| bad())?;
+            let den: i128 = d.trim().parse().map_err(|_| bad())?;
+            if den == 0 {
+                return Err(bad());
+            }
+            Ok(Rational::new(num, den))
+        } else if let Some((int_part, frac_part)) = s.split_once('.') {
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(bad());
+            }
+            let negative = int_part.trim_start().starts_with('-');
+            let int: i128 = if int_part.is_empty() || int_part == "-" {
+                0
+            } else {
+                int_part.trim().parse().map_err(|_| bad())?
+            };
+            let frac: i128 = frac_part.parse().map_err(|_| bad())?;
+            let scale = 10i128
+                .checked_pow(frac_part.len() as u32)
+                .ok_or_else(bad)?;
+            let magnitude =
+                Rational::integer(int.abs()) + Rational::new(frac, scale);
+            Ok(if negative { -magnitude } else { magnitude })
+        } else {
+            let num: i128 = s.trim().parse().map_err(|_| bad())?;
+            Ok(Rational::integer(num))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+        assert_eq!(Rational::new(1, 2).denom(), 2);
+        assert_eq!(Rational::new(-1, 2).numer(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 6);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(a / b, Rational::integer(2));
+        assert_eq!(-a, Rational::new(-1, 3));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) > Rational::new(1, 6));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+        let mut v = vec![
+            Rational::ONE,
+            Rational::new(-3, 2),
+            Rational::ZERO,
+            Rational::new(1, 2),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Rational::new(-3, 2),
+                Rational::ZERO,
+                Rational::new(1, 2),
+                Rational::ONE
+            ]
+        );
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::integer(5).floor(), 5);
+        assert_eq!(Rational::integer(5).ceil(), 5);
+        assert_eq!(Rational::integer(-5).floor(), -5);
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3".parse::<Rational>().unwrap(), Rational::integer(3));
+        assert_eq!("-3".parse::<Rational>().unwrap(), Rational::integer(-3));
+        assert_eq!("3/4".parse::<Rational>().unwrap(), Rational::new(3, 4));
+        assert_eq!("-3/4".parse::<Rational>().unwrap(), Rational::new(-3, 4));
+        assert_eq!("0.45".parse::<Rational>().unwrap(), Rational::new(9, 20));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), Rational::new(-1, 2));
+        assert_eq!("2.25".parse::<Rational>().unwrap(), Rational::new(9, 4));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("abc".parse::<Rational>().is_err());
+        assert!("1.".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for r in [
+            Rational::new(3, 4),
+            Rational::integer(-7),
+            Rational::ZERO,
+            Rational::new(-22, 7),
+        ] {
+            let shown = r.to_string();
+            assert_eq!(shown.parse::<Rational>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn midpoint_between() {
+        let a = Rational::new(1, 3);
+        let b = Rational::new(1, 2);
+        let m = a.midpoint(b);
+        assert!(a < m && m < b);
+        assert_eq!(m, Rational::new(5, 12));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Rational::new(3, 4).recip(), Rational::new(4, 3));
+        assert_eq!(Rational::new(-3, 4).recip(), Rational::new(-4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "reciprocal of zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for `verdict-logic`: rational field laws and
+//! Tseitin equisatisfiability on random formulas.
+
+use proptest::prelude::*;
+use verdict_logic::{Formula, Rational, Tseitin, Var};
+
+/// Strategy for rationals with small components (keeps products in range).
+fn small_rational() -> impl Strategy<Value = Rational> {
+    (-1000i128..1000, 1i128..1000).prop_map(|(n, d)| Rational::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn rational_mul_commutes(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn rational_add_associates(
+        a in small_rational(), b in small_rational(), c in small_rational()
+    ) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn rational_distributes(
+        a in small_rational(), b in small_rational(), c in small_rational()
+    ) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn rational_sub_neg(a in small_rational(), b in small_rational()) {
+        prop_assert_eq!(a - b, a + (-b));
+        prop_assert_eq!(a - a, Rational::ZERO);
+    }
+
+    #[test]
+    fn rational_div_inverts(a in small_rational(), b in small_rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn rational_order_total(a in small_rational(), b in small_rational()) {
+        let lt = a < b;
+        let gt = a > b;
+        let eq = a == b;
+        prop_assert_eq!(u8::from(lt) + u8::from(gt) + u8::from(eq), 1);
+        // Order respects addition.
+        if lt {
+            prop_assert!(a + Rational::ONE <= b + Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn rational_display_parses_back(a in small_rational()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(a in small_rational()) {
+        let f = Rational::integer(a.floor());
+        let c = Rational::integer(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(c - f <= Rational::ONE);
+    }
+}
+
+/// Random formula over `n` variables with bounded depth.
+fn formula(n: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        (0..n).prop_map(|i| Formula::var(Var(i))),
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Formula::ite(c, t, e)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For every input assignment, the Tseitin CNF (with inputs fixed) is
+    /// satisfiable iff the formula evaluates true — full functional
+    /// equivalence of the encoding, brute-forced over auxiliary variables.
+    #[test]
+    fn tseitin_is_faithful(f in formula(4, 3)) {
+        let n = 4u32;
+        let mut enc = Tseitin::new();
+        enc.reserve_inputs(n);
+        enc.assert(&f);
+        let cnf = enc.into_cnf();
+        let aux = cnf.num_vars() - n;
+        prop_assume!(aux <= 14);
+        for bits in 0u32..1 << n {
+            let fval = f.eval(&|v| bits >> v.0 & 1 == 1);
+            let sat = (0u64..1u64 << aux).any(|aux_bits| {
+                let assignment: Vec<bool> = (0..cnf.num_vars())
+                    .map(|i| if i < n {
+                        bits >> i & 1 == 1
+                    } else {
+                        aux_bits >> (i - n) & 1 == 1
+                    })
+                    .collect();
+                cnf.eval(&assignment)
+            });
+            prop_assert_eq!(fval, sat);
+        }
+    }
+
+    /// eval is consistent with the simplifying constructors.
+    #[test]
+    fn constructors_preserve_semantics(f in formula(4, 3), bits in 0u32..16) {
+        let assign = move |v: Var| bits >> v.0 & 1 == 1;
+        prop_assert_eq!(f.clone().not().eval(&assign), !f.eval(&assign));
+        let g = f.clone().and(f.clone());
+        prop_assert_eq!(g.eval(&assign), f.eval(&assign));
+        let h = f.clone().or(f.clone());
+        prop_assert_eq!(h.eval(&assign), f.eval(&assign));
+        let x = f.clone().xor(f.clone());
+        prop_assert!(!x.eval(&assign));
+    }
+}

@@ -1,0 +1,918 @@
+//! BDD fixpoint engine: complete verification for finite systems.
+//!
+//! * [`check_invariant`] — forward reachability with onion-ring trace
+//!   reconstruction.
+//! * [`check_ctl`] — full CTL over the `{EX, EU, EG}` base, with the
+//!   system's fairness constraints honored via fair-EG.
+//! * [`check_ltl`] — tableau product + Emerson–Lei fair-cycle detection;
+//!   counterexample traces are reconstructed by a bounded fair-lasso
+//!   search on the product.
+//!
+//! This engine exhausts the state space, which is what the paper's Fig. 6
+//! "verification" runs measure (and why they grow exponentially while
+//! falsification stays cheap).
+
+use verdict_bdd::{Bdd, BddManager, VarSet};
+use verdict_ts::bits::{self, BoolAlg, Num};
+use verdict_ts::{Ctl, Expr, Ltl, Sort, System, Trace, Value, VarId, VarKind};
+
+use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::tableau::violation_product;
+
+/// [`BoolAlg`] adapter over a [`BddManager`] (newtype for coherence).
+pub struct BddAlg<'m>(pub &'m mut BddManager);
+
+impl BoolAlg for BddAlg<'_> {
+    type B = Bdd;
+
+    fn tt(&mut self) -> Bdd {
+        self.0.constant(true)
+    }
+    fn ff(&mut self) -> Bdd {
+        self.0.constant(false)
+    }
+    fn not(&mut self, a: &Bdd) -> Bdd {
+        self.0.not(*a)
+    }
+    fn and(&mut self, a: &Bdd, b: &Bdd) -> Bdd {
+        self.0.and(*a, *b)
+    }
+    fn or(&mut self, a: &Bdd, b: &Bdd) -> Bdd {
+        self.0.or(*a, *b)
+    }
+    fn xor(&mut self, a: &Bdd, b: &Bdd) -> Bdd {
+        self.0.xor(*a, *b)
+    }
+    fn iff(&mut self, a: &Bdd, b: &Bdd) -> Bdd {
+        self.0.iff(*a, *b)
+    }
+    fn ite(&mut self, c: &Bdd, t: &Bdd, e: &Bdd) -> Bdd {
+        self.0.ite(*c, *t, *e)
+    }
+}
+
+/// Bit width of a finite sort.
+fn sort_width(sort: &Sort) -> Result<usize, McError> {
+    let card = sort
+        .cardinality()
+        .ok_or_else(|| McError("BDD engine requires finite sorts".to_string()))?;
+    Ok(64 - (card - 1).leading_zeros() as usize)
+}
+
+/// The symbolic encoding of a finite system: interleaved current/next BDD
+/// variables per state bit, plus the INIT / TRANS / INVAR BDDs.
+pub struct SymbolicSystem<'s> {
+    sys: &'s System,
+    man: BddManager,
+    /// `bit_base[v]` = index of the first bit of variable `v`; bit `j` of
+    /// `v` has current BDD var `2*(bit_base[v]+j)` and next var `+1`.
+    bit_base: Vec<usize>,
+    widths: Vec<usize>,
+    total_bits: usize,
+    /// ∃-sets and rename maps for image computation.
+    current_set: VarSet,
+    next_set: VarSet,
+    cur_to_next: Vec<(u32, u32)>,
+    next_to_cur: Vec<(u32, u32)>,
+    /// INIT ∧ INVAR ∧ domains.
+    pub init: Bdd,
+    /// TRANS ∧ frozen-equality ∧ next-state INVAR/domains.
+    pub trans: Bdd,
+    /// INVAR ∧ domain constraints (the legal state space).
+    pub space: Bdd,
+}
+
+impl<'s> SymbolicSystem<'s> {
+    /// Builds the encoding. Fails on real-sorted variables.
+    pub fn new(sys: &'s System) -> Result<SymbolicSystem<'s>, McError> {
+        sys.check()?;
+        let mut man = BddManager::new();
+        let mut bit_base = Vec::with_capacity(sys.num_vars());
+        let mut widths = Vec::with_capacity(sys.num_vars());
+        let mut total_bits = 0usize;
+        for v in sys.var_ids() {
+            let w = sort_width(sys.sort_of(v))?;
+            bit_base.push(total_bits);
+            widths.push(w);
+            total_bits += w;
+        }
+        // Interleaved allocation: current bit 2i, next bit 2i+1.
+        for _ in 0..2 * total_bits {
+            man.new_var();
+        }
+        let current_set = man.var_set((0..total_bits).map(|i| 2 * i as u32));
+        let next_set = man.var_set((0..total_bits).map(|i| 2 * i as u32 + 1));
+        let cur_to_next: Vec<(u32, u32)> = (0..total_bits)
+            .map(|i| (2 * i as u32, 2 * i as u32 + 1))
+            .collect();
+        let next_to_cur: Vec<(u32, u32)> = (0..total_bits)
+            .map(|i| (2 * i as u32 + 1, 2 * i as u32))
+            .collect();
+
+        let mut enc = SymbolicSystem {
+            sys,
+            man,
+            bit_base,
+            widths,
+            total_bits,
+            current_set,
+            next_set,
+            cur_to_next,
+            next_to_cur,
+            init: Bdd::TRUE,
+            trans: Bdd::TRUE,
+            space: Bdd::TRUE,
+        };
+
+        // Legal state space: domain constraints + INVAR (current vars).
+        let mut space = Bdd::TRUE;
+        for v in sys.var_ids() {
+            let d = enc.domain_constraint(v, false);
+            space = enc.man.and(space, d);
+        }
+        for inv in sys.invar() {
+            let b = enc.expr_bdd(inv)?;
+            space = enc.man.and(space, b);
+        }
+        enc.space = space;
+
+        // INIT.
+        let mut init = space;
+        for e in sys.init() {
+            let b = enc.expr_bdd(e)?;
+            init = enc.man.and(init, b);
+        }
+        enc.init = init;
+
+        // TRANS: constraints ∧ frozen equality ∧ next-space.
+        let mut trans = Bdd::TRUE;
+        for e in sys.trans() {
+            let b = enc.expr_bdd(e)?;
+            trans = enc.man.and(trans, b);
+        }
+        for v in sys.var_ids() {
+            if sys.decl(v).kind == VarKind::Frozen {
+                let eq = enc.var_bits_equal_cur_next(v);
+                trans = enc.man.and(trans, eq);
+            }
+        }
+        let next_space = {
+            let map = enc.cur_to_next.clone();
+            enc.man.rename(space, &map)
+        };
+        trans = enc.man.and(trans, next_space);
+        enc.trans = trans;
+        Ok(enc)
+    }
+
+    /// The manager (for node-count diagnostics).
+    pub fn manager(&self) -> &BddManager {
+        &self.man
+    }
+
+    fn bdd_var_index(&self, v: VarId, bit: usize, next: bool) -> u32 {
+        (2 * (self.bit_base[v.index()] + bit) + usize::from(next)) as u32
+    }
+
+    fn var_bits(&mut self, v: VarId, next: bool) -> Vec<Bdd> {
+        (0..self.widths[v.index()])
+            .map(|j| {
+                let idx = self.bdd_var_index(v, j, next);
+                self.man.var(idx)
+            })
+            .collect()
+    }
+
+    fn domain_constraint(&mut self, v: VarId, next: bool) -> Bdd {
+        let card = self.sys.sort_of(v).cardinality().expect("finite");
+        if card.is_power_of_two() {
+            return Bdd::TRUE;
+        }
+        let bits = self.var_bits(v, next);
+        let mut alg = BddAlg(&mut self.man);
+        bits::unsigned_le_const(&mut alg, &bits, card - 1)
+    }
+
+    /// Lowers a boolean expression (current and next vars allowed).
+    pub fn expr_bdd(&mut self, e: &Expr) -> Result<Bdd, McError> {
+        // Per-call pointer memo: expressions are shared DAGs and BDD
+        // results are canonical, so caching by node identity is exact.
+        let mut seen = std::collections::HashMap::new();
+        Ok(self.lower_bool(e, &mut seen))
+    }
+
+    fn lower_bool(
+        &mut self,
+        e: &Expr,
+        seen: &mut std::collections::HashMap<*const Expr, Bdd>,
+    ) -> Bdd {
+        let key = e as *const Expr;
+        if let Some(&hit) = seen.get(&key) {
+            return hit;
+        }
+        let result = self.lower_bool_uncached(e, seen);
+        seen.insert(key, result);
+        result
+    }
+
+    fn lower_bool_uncached(
+        &mut self,
+        e: &Expr,
+        seen: &mut std::collections::HashMap<*const Expr, Bdd>,
+    ) -> Bdd {
+        match e {
+            Expr::Const(Value::Bool(b)) => self.man.constant(*b),
+            Expr::Var(v) => self.bool_bit(*v, false),
+            Expr::Next(v) => self.bool_bit(*v, true),
+            Expr::Not(a) => {
+                let a = self.lower_bool(a, seen);
+                self.man.not(a)
+            }
+            Expr::And(xs) => {
+                let mut acc = Bdd::TRUE;
+                for x in xs.iter() {
+                    let b = self.lower_bool(x, seen);
+                    acc = self.man.and(acc, b);
+                }
+                acc
+            }
+            Expr::Or(xs) => {
+                let mut acc = Bdd::FALSE;
+                for x in xs.iter() {
+                    let b = self.lower_bool(x, seen);
+                    acc = self.man.or(acc, b);
+                }
+                acc
+            }
+            Expr::Implies(a, b) => {
+                let a = self.lower_bool(a, seen);
+                let b = self.lower_bool(b, seen);
+                self.man.implies(a, b)
+            }
+            Expr::Iff(a, b) => {
+                let a = self.lower_bool(a, seen);
+                let b = self.lower_bool(b, seen);
+                self.man.iff(a, b)
+            }
+            Expr::Ite(c, t, f) => {
+                let c = self.lower_bool(c, seen);
+                let t = self.lower_bool(t, seen);
+                let f = self.lower_bool(f, seen);
+                self.man.ite(c, t, f)
+            }
+            Expr::Eq(a, b) => {
+                let sort = a.sort(self.sys).expect("type-checked");
+                match sort {
+                    Sort::Bool => {
+                        let a = self.lower_bool(a, seen);
+                        let b = self.lower_bool(b, seen);
+                        self.man.iff(a, b)
+                    }
+                    Sort::Enum(_) => {
+                        let a = self.lower_enum_bits(a, seen);
+                        let b = self.lower_enum_bits(b, seen);
+                        let mut alg = BddAlg(&mut self.man);
+                        bits::bits_eq(&mut alg, &a, &b)
+                    }
+                    Sort::Int { .. } => {
+                        let a = self.lower_num(a, seen);
+                        let b = self.lower_num(b, seen);
+                        let mut alg = BddAlg(&mut self.man);
+                        bits::eq(&mut alg, &a, &b)
+                    }
+                    Sort::Real => unreachable!("finite engine"),
+                }
+            }
+            Expr::Le(a, b) => {
+                let a = self.lower_num(a, seen);
+                let b = self.lower_num(b, seen);
+                let mut alg = BddAlg(&mut self.man);
+                bits::le(&mut alg, &a, &b)
+            }
+            Expr::Lt(a, b) => {
+                let a = self.lower_num(a, seen);
+                let b = self.lower_num(b, seen);
+                let mut alg = BddAlg(&mut self.man);
+                bits::lt(&mut alg, &a, &b)
+            }
+            other => panic!("boolean lowering of {other}"),
+        }
+    }
+
+    fn bool_bit(&mut self, v: VarId, next: bool) -> Bdd {
+        let idx = self.bdd_var_index(v, 0, next);
+        self.man.var(idx)
+    }
+
+    fn lower_num(
+        &mut self,
+        e: &Expr,
+        seen: &mut std::collections::HashMap<*const Expr, Bdd>,
+    ) -> Num<Bdd> {
+        match e {
+            Expr::Const(Value::Int(n)) => {
+                let mut alg = BddAlg(&mut self.man);
+                bits::num_const(&mut alg, *n)
+            }
+            Expr::Var(v) | Expr::Next(v) => {
+                let next = matches!(e, Expr::Next(_));
+                let Sort::Int { lo, .. } = *self.sys.sort_of(*v) else {
+                    panic!("numeric lowering of non-int var");
+                };
+                let raw = self.var_bits(*v, next);
+                let mut alg = BddAlg(&mut self.man);
+                let unsigned = bits::from_unsigned(&mut alg, &raw);
+                if lo == 0 {
+                    unsigned
+                } else {
+                    let off = bits::num_const(&mut alg, lo);
+                    bits::add(&mut alg, &unsigned, &off)
+                }
+            }
+            Expr::Add(xs) => {
+                let mut acc = {
+                    let mut alg = BddAlg(&mut self.man);
+                    bits::num_const(&mut alg, 0)
+                };
+                for x in xs.iter() {
+                    let n = self.lower_num(x, seen);
+                    let mut alg = BddAlg(&mut self.man);
+                    acc = bits::add(&mut alg, &acc, &n);
+                }
+                acc
+            }
+            Expr::Sub(a, b) => {
+                let a = self.lower_num(a, seen);
+                let b = self.lower_num(b, seen);
+                let mut alg = BddAlg(&mut self.man);
+                bits::sub(&mut alg, &a, &b)
+            }
+            Expr::Neg(a) => {
+                let a = self.lower_num(a, seen);
+                let mut alg = BddAlg(&mut self.man);
+                bits::neg(&mut alg, &a)
+            }
+            Expr::MulConst(k, a) => {
+                let a = self.lower_num(a, seen);
+                let mut alg = BddAlg(&mut self.man);
+                bits::mul_const(&mut alg, &a, k.numer() as i64)
+            }
+            Expr::CountTrue(xs) => {
+                let flags: Vec<Bdd> =
+                    xs.iter().map(|x| self.lower_bool(x, seen)).collect();
+                let mut alg = BddAlg(&mut self.man);
+                bits::count_true(&mut alg, &flags)
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool(c, seen);
+                let a = self.lower_num(a, seen);
+                let b = self.lower_num(b, seen);
+                let mut alg = BddAlg(&mut self.man);
+                bits::mux(&mut alg, &c, &a, &b)
+            }
+            other => panic!("numeric lowering of {other}"),
+        }
+    }
+
+    fn lower_enum_bits(
+        &mut self,
+        e: &Expr,
+        seen: &mut std::collections::HashMap<*const Expr, Bdd>,
+    ) -> Vec<Bdd> {
+        match e {
+            Expr::Const(Value::Enum(sort, idx)) => {
+                let w = sort_width(&Sort::Enum(sort.clone())).expect("finite");
+                (0..w)
+                    .map(|i| self.man.constant(idx >> i & 1 == 1))
+                    .collect()
+            }
+            Expr::Var(v) | Expr::Next(v) => {
+                self.var_bits(*v, matches!(e, Expr::Next(_)))
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool(c, seen);
+                let a = self.lower_enum_bits(a, seen);
+                let b = self.lower_enum_bits(b, seen);
+                a.into_iter()
+                    .zip(b)
+                    .map(|(x, y)| self.man.ite(c, x, y))
+                    .collect()
+            }
+            other => panic!("enum lowering of {other}"),
+        }
+    }
+
+    fn var_bits_equal_cur_next(&mut self, v: VarId) -> Bdd {
+        let cur = self.var_bits(v, false);
+        let next = self.var_bits(v, true);
+        let mut alg = BddAlg(&mut self.man);
+        bits::bits_eq(&mut alg, &cur, &next)
+    }
+
+    /// Forward image: states reachable in one step from `s`.
+    pub fn image(&mut self, s: Bdd) -> Bdd {
+        let stepped = self.man.and_exists(s, self.trans, self.current_set);
+        let map = self.next_to_cur.clone();
+        self.man.rename(stepped, &map)
+    }
+
+    /// Backward image: states with a successor in `s`.
+    pub fn preimage(&mut self, s: Bdd) -> Bdd {
+        let map = self.cur_to_next.clone();
+        let s_next = self.man.rename(s, &map);
+        self.man.and_exists(self.trans, s_next, self.next_set)
+    }
+
+    /// Onion rings of reachability from `init`; `None` on timeout.
+    pub fn reachable(
+        &mut self,
+        deadline: Option<std::time::Instant>,
+    ) -> Option<Vec<Bdd>> {
+        let mut rings = vec![self.init];
+        let mut reach = self.init;
+        loop {
+            if past(deadline) {
+                return None;
+            }
+            let frontier = *rings.last().expect("nonempty");
+            let img = self.image(frontier);
+            let not_reach = self.man.not(reach);
+            let new = self.man.and(img, not_reach);
+            if new == Bdd::FALSE {
+                return Some(rings);
+            }
+            reach = self.man.or(reach, new);
+            rings.push(new);
+        }
+    }
+
+    /// Decodes one concrete state out of a nonempty set.
+    pub fn pick_state(&mut self, set: Bdd) -> Vec<Value> {
+        let cube = self.man.sat_one(set).expect("nonempty set");
+        // Assignments for current bits; unmentioned bits default to 0.
+        let mut bits_on = vec![false; self.total_bits];
+        for (var, val) in cube {
+            if var % 2 == 0 {
+                bits_on[(var / 2) as usize] = val;
+            }
+        }
+        self.sys
+            .var_ids()
+            .map(|v| {
+                let base = self.bit_base[v.index()];
+                let w = self.widths[v.index()];
+                let mut u: u64 = 0;
+                for j in 0..w {
+                    if bits_on[base + j] {
+                        u |= 1 << j;
+                    }
+                }
+                match self.sys.sort_of(v) {
+                    Sort::Bool => Value::Bool(u == 1),
+                    Sort::Enum(en) => Value::Enum(
+                        en.clone(),
+                        (u as u32).min(en.variants.len() as u32 - 1),
+                    ),
+                    Sort::Int { lo, hi } => Value::Int((*lo + u as i64).min(*hi)),
+                    Sort::Real => unreachable!(),
+                }
+            })
+            .collect()
+    }
+
+    /// BDD of the single concrete state `state` (current vars).
+    pub fn state_bdd(&mut self, state: &[Value]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for v in self.sys.var_ids() {
+            let u: u64 = match &state[v.index()] {
+                Value::Bool(b) => u64::from(*b),
+                Value::Int(n) => {
+                    let Sort::Int { lo, .. } = self.sys.sort_of(v) else {
+                        unreachable!()
+                    };
+                    (n - lo) as u64
+                }
+                Value::Enum(_, i) => u64::from(*i),
+                Value::Real(_) => unreachable!(),
+            };
+            for j in 0..self.widths[v.index()] {
+                let idx = self.bdd_var_index(v, j, false);
+                let lit = if u >> j & 1 == 1 {
+                    self.man.var(idx)
+                } else {
+                    self.man.nvar(idx)
+                };
+                acc = self.man.and(acc, lit);
+            }
+        }
+        acc
+    }
+}
+
+/// Complete invariant check by forward reachability.
+pub fn check_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let deadline = opts.deadline();
+    let mut enc = SymbolicSystem::new(sys)?;
+    let p_bdd = enc.expr_bdd(p)?;
+    let bad = enc.man.not(p_bdd);
+    let Some(rings) = enc.reachable(deadline) else {
+        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    };
+    // First ring intersecting ¬p.
+    let mut hit = None;
+    for (i, &ring) in rings.iter().enumerate() {
+        let overlap = enc.man.and(ring, bad);
+        if overlap != Bdd::FALSE {
+            hit = Some((i, overlap));
+            break;
+        }
+    }
+    let Some((i, overlap)) = hit else {
+        return Ok(CheckResult::Holds);
+    };
+    // Reconstruct a path init → overlap through the onion rings.
+    let mut states = vec![enc.pick_state(overlap)];
+    for ring_idx in (0..i).rev() {
+        let cur_bdd = enc.state_bdd(states.last().expect("nonempty"));
+        let pre = enc.preimage(cur_bdd);
+        let in_ring = enc.man.and(pre, rings[ring_idx]);
+        debug_assert!(in_ring != Bdd::FALSE, "onion ring reconstruction");
+        states.push(enc.pick_state(in_ring));
+    }
+    states.reverse();
+    Ok(CheckResult::Violated(Trace::new(sys, states, None)))
+}
+
+/// Full CTL model checking: does `phi` hold in every initial state?
+/// Fairness constraints of the system restrict path quantifiers to fair
+/// paths (fair-CTL semantics).
+pub fn check_ctl(
+    sys: &System,
+    phi: &Ctl,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let deadline = opts.deadline();
+    let mut enc = SymbolicSystem::new(sys)?;
+    let justice: Vec<Bdd> = sys
+        .fairness()
+        .iter()
+        .map(|e| enc.expr_bdd(e))
+        .collect::<Result<_, _>>()?;
+    let Some(fair) = fair_states(&mut enc, &justice, deadline) else {
+        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    };
+    let base = phi.to_base();
+    let Some(sat) = eval_ctl(&mut enc, &base, fair, &justice, deadline) else {
+        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    };
+    let nsat = enc.man.not(sat);
+    let cex = enc.man.and(enc.init, nsat);
+    if cex == Bdd::FALSE {
+        Ok(CheckResult::Holds)
+    } else {
+        // CTL counterexamples are trees in general; report the offending
+        // initial state as a single-state trace.
+        let state = enc.pick_state(cex);
+        Ok(CheckResult::Violated(Trace::new(sys, vec![state], None)))
+    }
+}
+
+/// States with at least one (fair) infinite path: the Emerson–Lei fixpoint
+/// `gfp Z. space ∧ ⋀_j pre(E[Z U (Z ∧ j)])`, specializing to
+/// `gfp Z. pre(Z)` when there are no justice constraints.
+fn fair_states(
+    enc: &mut SymbolicSystem<'_>,
+    justice: &[Bdd],
+    deadline: Option<std::time::Instant>,
+) -> Option<Bdd> {
+    let space = enc.space;
+    eg_fair(enc, space, justice, deadline)
+}
+
+/// `E[p U q]` least fixpoint.
+fn eu_fix(
+    enc: &mut SymbolicSystem<'_>,
+    p: Bdd,
+    q: Bdd,
+    deadline: Option<std::time::Instant>,
+) -> Option<Bdd> {
+    let mut y = q;
+    loop {
+        if past(deadline) {
+            return None;
+        }
+        let pre = enc.preimage(y);
+        let step = enc.man.and(p, pre);
+        let ynew = enc.man.or(y, step);
+        if ynew == y {
+            return Some(y);
+        }
+        y = ynew;
+    }
+}
+
+/// `EG p` greatest fixpoint restricted to fair paths:
+/// `gfp Z. p ∧ ⋀_j pre(E[Z U (Z ∧ j)])` (plain `gfp Z. p ∧ pre(Z)`
+/// without justice).
+fn eg_fair(
+    enc: &mut SymbolicSystem<'_>,
+    p: Bdd,
+    justice: &[Bdd],
+    deadline: Option<std::time::Instant>,
+) -> Option<Bdd> {
+    let mut z = p;
+    loop {
+        if past(deadline) {
+            return None;
+        }
+        let mut znew = z;
+        if justice.is_empty() {
+            let pre = enc.preimage(z);
+            znew = enc.man.and(z, pre);
+        } else {
+            for &j in justice {
+                let target = enc.man.and(z, j);
+                let eu = eu_fix(enc, z, target, deadline)?;
+                let pre = enc.preimage(eu);
+                znew = enc.man.and(znew, pre);
+            }
+        }
+        if znew == z {
+            return Some(z);
+        }
+        z = znew;
+    }
+}
+
+/// Evaluates a base-form CTL formula to its satisfying state set.
+/// Path quantifiers are restricted to `fair` states.
+fn eval_ctl(
+    enc: &mut SymbolicSystem<'_>,
+    phi: &Ctl,
+    fair: Bdd,
+    justice: &[Bdd],
+    deadline: Option<std::time::Instant>,
+) -> Option<Bdd> {
+    Some(match phi {
+        Ctl::Atom(e) => {
+            let b = enc.expr_bdd(e).ok()?;
+            enc.man.and(b, enc.space)
+        }
+        Ctl::Not(a) => {
+            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            let na = enc.man.not(a);
+            enc.man.and(na, enc.space)
+        }
+        Ctl::And(a, b) => {
+            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            let b = eval_ctl(enc, b, fair, justice, deadline)?;
+            enc.man.and(a, b)
+        }
+        Ctl::Or(a, b) => {
+            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            let b = eval_ctl(enc, b, fair, justice, deadline)?;
+            enc.man.or(a, b)
+        }
+        Ctl::EX(a) => {
+            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            let af = enc.man.and(a, fair);
+            enc.preimage(af)
+        }
+        Ctl::EU(a, b) => {
+            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            let b = eval_ctl(enc, b, fair, justice, deadline)?;
+            let bf = enc.man.and(b, fair);
+            eu_fix(enc, a, bf, deadline)?
+        }
+        Ctl::EG(a) => {
+            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            eg_fair(enc, a, justice, deadline)?
+        }
+        other => {
+            // to_base() eliminates the A-quantifiers and EF.
+            unreachable!("non-base CTL form {other}")
+        }
+    })
+}
+
+/// Complete LTL check: tableau product + fair-cycle detection. A violation
+/// exists iff some initial product state starts a fair path; the trace is
+/// recovered by bounded fair-lasso search on the product.
+pub fn check_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let deadline = opts.deadline();
+    let product = violation_product(sys, phi);
+    let mut enc = SymbolicSystem::new(&product.system)?;
+    let justice: Vec<Bdd> = product
+        .justice
+        .iter()
+        .map(|e| enc.expr_bdd(e))
+        .collect::<Result<_, _>>()?;
+    // Restrict to reachable states: cheaper fixpoints and sound verdicts
+    // (fair cycles must be reachable from init).
+    let Some(rings) = enc.reachable(deadline) else {
+        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    };
+    let mut reach = Bdd::FALSE;
+    for r in rings {
+        reach = enc.man.or(reach, r);
+    }
+    let saved_space = enc.space;
+    enc.space = reach;
+    let fair = fair_states(&mut enc, &justice, deadline);
+    enc.space = saved_space;
+    let Some(fair) = fair else {
+        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    };
+    let witness = enc.man.and(enc.init, fair);
+    if witness == Bdd::FALSE {
+        return Ok(CheckResult::Holds);
+    }
+    // Property violated; reconstruct a concrete lasso via bounded search.
+    match crate::bmc::find_fair_lasso(&product, opts)? {
+        crate::bmc::LassoOutcome::Found(trace) => Ok(CheckResult::Violated(trace)),
+        // The violation is certain; only the trace search hit a limit, so
+        // report the witnessing initial state.
+        _ => Ok(CheckResult::Violated(Trace::new(
+            sys,
+            vec![enc.pick_state(witness)[..product.original_vars].to_vec()],
+            None,
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(limit: i64) -> (System, VarId) {
+        let mut sys = System::new("counter");
+        let n = sys.int_var("n", 0, limit);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).lt(Expr::int(limit)),
+            Expr::var(n).add(Expr::int(1)),
+            Expr::var(n),
+        )));
+        (sys, n)
+    }
+
+    #[test]
+    fn reachability_proves_invariant() {
+        let (sys, n) = counter(5);
+        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(5)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.holds(), "{r}");
+    }
+
+    #[test]
+    fn reachability_finds_shortest_violation() {
+        let (sys, n) = counter(5);
+        let r = check_invariant(&sys, &Expr::var(n).lt(Expr::int(3)), &CheckOptions::default())
+            .unwrap();
+        let t = r.trace().expect("violated");
+        assert_eq!(t.len(), 4, "shortest path is 0,1,2,3:\n{t}");
+        assert_eq!(t.value(3, "n"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn unreachable_range_values_ignored() {
+        // n cycles 0..3 inside range 0..7: G(n <= 3) holds.
+        let mut sys = System::new("mod");
+        let n = sys.int_var("n", 0, 7);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).ge(Expr::int(3)),
+            Expr::int(0),
+            Expr::var(n).add(Expr::int(1)),
+        )));
+        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(3)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.holds(), "{r}");
+    }
+
+    #[test]
+    fn ctl_ef_and_ag() {
+        let (sys, n) = counter(3);
+        let r = check_ctl(
+            &sys,
+            &Ctl::atom(Expr::var(n).eq(Expr::int(3))).ef(),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(r.holds(), "{r}");
+        let r = check_ctl(
+            &sys,
+            &Ctl::atom(Expr::var(n).le(Expr::int(3))).ag(),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(r.holds(), "{r}");
+        let r = check_ctl(
+            &sys,
+            &Ctl::atom(Expr::var(n).le(Expr::int(2))).ag(),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(r.violated(), "{r}");
+    }
+
+    #[test]
+    fn ctl_nondeterminism_ex_vs_ax() {
+        // x unconstrained: from any state both next values possible.
+        let mut sys = System::new("free");
+        let x = sys.bool_var("x");
+        sys.add_init(Expr::var(x).not());
+        let ex_x = Ctl::atom(Expr::var(x)).ex();
+        let r = check_ctl(&sys, &ex_x, &CheckOptions::default()).unwrap();
+        assert!(r.holds(), "EX x: {r}");
+        let ax_x = Ctl::atom(Expr::var(x)).ax();
+        let r = check_ctl(&sys, &ax_x, &CheckOptions::default()).unwrap();
+        assert!(r.violated(), "AX x: {r}");
+    }
+
+    #[test]
+    fn ctl_fairness_restricts_paths() {
+        // x fully nondeterministic; AF x fails without fairness but holds
+        // when fairness demands x infinitely often.
+        let mut sys = System::new("fair");
+        let x = sys.bool_var("x");
+        sys.add_init(Expr::var(x).not());
+        let af_x = Ctl::atom(Expr::var(x)).af();
+        let r = check_ctl(&sys, &af_x, &CheckOptions::default()).unwrap();
+        assert!(r.violated(), "AF x without fairness: {r}");
+        sys.add_fairness(Expr::var(x));
+        let r = check_ctl(&sys, &af_x, &CheckOptions::default()).unwrap();
+        assert!(r.holds(), "AF x with fairness: {r}");
+    }
+
+    #[test]
+    fn ltl_complete_verdicts() {
+        // Oscillator: G F x holds, F G x fails with a lasso trace.
+        let mut sys = System::new("flip");
+        let x = sys.bool_var("x");
+        sys.add_init(Expr::var(x));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        let gfx = Ltl::atom(Expr::var(x)).eventually().always();
+        let r = check_ltl(&sys, &gfx, &CheckOptions::default()).unwrap();
+        assert!(r.holds(), "G F x: {r}");
+        let fgx = Ltl::atom(Expr::var(x)).always().eventually();
+        let r = check_ltl(&sys, &fgx, &CheckOptions::default()).unwrap();
+        let t = r.trace().expect("F G x violated");
+        assert!(t.loop_back.is_some(), "lasso expected:\n{t}");
+    }
+
+    #[test]
+    fn ltl_holds_where_bmc_was_unknown() {
+        // The stabilizing system from the BMC tests: BDD proves F G x.
+        let mut sys = System::new("stabilize");
+        let x = sys.bool_var("x");
+        let done = sys.bool_var("done");
+        sys.add_init(Expr::var(x).and(Expr::var(done).not()));
+        sys.add_trans(Expr::var(done).implies(Expr::next(done)));
+        sys.add_trans(Expr::next(done).implies(Expr::next(x)));
+        sys.add_trans(
+            Expr::next(done)
+                .not()
+                .implies(Expr::next(x).eq(Expr::var(x).not())),
+        );
+        sys.add_fairness(Expr::var(done));
+        let phi = Ltl::atom(Expr::var(x)).always().eventually();
+        let r = check_ltl(&sys, &phi, &CheckOptions::default()).unwrap();
+        assert!(r.holds(), "{r}");
+    }
+
+    #[test]
+    fn frozen_params_in_bdd_engine() {
+        // Step counter: BDD proves safety over all parameter values.
+        let mut sys = System::new("param");
+        let n = sys.int_var("n", 0, 10);
+        let p = sys.int_param("p", 1, 2);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).le(Expr::int(8)),
+            Expr::var(n).add(Expr::var(p)),
+            Expr::var(n),
+        )));
+        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(10)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.holds(), "{r}");
+        let r = check_invariant(&sys, &Expr::var(n).ne(Expr::int(9)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.violated(), "p=1 reaches 9: {r}");
+    }
+
+    #[test]
+    fn real_vars_rejected() {
+        let mut sys = System::new("real");
+        sys.real_var("r");
+        assert!(SymbolicSystem::new(&sys).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! Blast-radius risk assessment (paper §5, "Beyond traditional
+//! verification": *"We could also help with risk assessment by examining
+//! the blast radius of an operational event."*).
+//!
+//! Given an *event* (a state predicate — a link failing, a rollout
+//! starting, an autoscaler decision) and an integer *metric* (available
+//! replicas, capacity, queue depth), [`worst_case_after`] computes the
+//! worst (lowest) metric value reachable at or after an occurrence of the
+//! event, within a bounded horizon — plus the execution that realizes it.
+//!
+//! Implementation: the system is instrumented with a latched `event_seen`
+//! flag, then the minimal reachable metric under `event_seen` is found by
+//! binary search over the metric's static range, each probe a bounded
+//! model-checking query.
+
+//!
+//! ```
+//! use verdict_mc::{blast, CheckOptions};
+//! use verdict_ts::{Expr, System};
+//!
+//! // A counter that may be reset by an operator action at any time.
+//! let mut sys = System::new("resettable");
+//! let n = sys.int_var("n", 0, 7);
+//! let reset = sys.bool_var("reset");
+//! sys.add_init(Expr::var(n).eq(Expr::int(5)));
+//! sys.add_trans(Expr::next(n).eq(Expr::ite(
+//!     Expr::next(reset), Expr::int(0), Expr::var(n))));
+//! // Blast radius of the reset event on n: worst value is 0.
+//! let r = blast::worst_case_after(&sys, &Expr::var(reset), &Expr::var(n),
+//!                                 &CheckOptions::with_depth(6)).unwrap().unwrap();
+//! assert_eq!(r.worst, 0);
+//! ```
+use verdict_ts::{Expr, Sort, System, Trace, VarKind};
+
+use crate::result::{CheckOptions, CheckResult, McError};
+use crate::tableau::shift_to_next;
+
+/// The outcome of a blast-radius analysis.
+#[derive(Clone, Debug)]
+pub struct BlastRadius {
+    /// The worst (minimal) metric value reachable at or after the event
+    /// within the horizon.
+    pub worst: i64,
+    /// Metric value range that was searched (the metric's static range).
+    pub range: (i64, i64),
+    /// A witness execution ending in a state with `metric = worst` after
+    /// the event (projected to the original variables).
+    pub witness: Trace,
+}
+
+/// Computes the worst reachable value of `metric` at-or-after a state
+/// satisfying `event`, over executions of length ≤ `opts.max_depth`.
+///
+/// Returns `Ok(None)` if no execution within the horizon contains the
+/// event at all. The result is a *bounded* worst case: deeper executions
+/// could in principle be worse; increase `opts.max_depth` to tighten.
+pub fn worst_case_after(
+    sys: &System,
+    event: &Expr,
+    metric: &Expr,
+    opts: &CheckOptions,
+) -> Result<Option<BlastRadius>, McError> {
+    if event.mentions_next() || metric.mentions_next() {
+        return Err(McError(
+            "blast-radius event and metric must be current-state expressions \
+             (no next())"
+                .into(),
+        ));
+    }
+    let Sort::Int { lo, hi } = metric.sort(sys)? else {
+        return Err(McError("blast-radius metric must be integer-sorted".into()));
+    };
+    // Instrument: seen latches once the event holds (checked on both the
+    // initial state and every successor state).
+    let mut inst = sys.clone();
+    let seen = inst.add_var("__event_seen", Sort::Bool, VarKind::State);
+    inst.add_init(Expr::var(seen).iff(event.clone()));
+    inst.add_trans(Expr::next(seen).iff(Expr::var(seen).or(shift_to_next(event))));
+
+    let probe = |bound: i64| -> Result<CheckResult, McError> {
+        // Violation of G(seen -> metric > bound) ⇔ metric ≤ bound is
+        // reachable after the event.
+        let p = Expr::var(seen)
+            .implies(metric.clone().gt(Expr::int(bound)));
+        crate::bmc::check_invariant(&inst, &p, opts)
+    };
+
+    // Is the event itself reachable (metric ≤ hi always holds, so this
+    // probe is exactly "event reachable within the horizon")?
+    let at_all = probe(hi)?;
+    let CheckResult::Violated(_) = at_all else {
+        // Holds (proved unreachable) and depth exhaustion both mean "no
+        // event within the horizon" — the bounded-analysis answer.
+        return match at_all {
+            CheckResult::Unknown(crate::result::UnknownReason::Timeout) => Err(
+                McError("blast-radius probe timed out".to_string()),
+            ),
+            _ => Ok(None),
+        };
+    };
+
+    // Binary search the minimal reachable bound.
+    let (mut lo_b, mut hi_b) = (lo, hi); // invariant: reachable(≤ hi_b)
+    let mut witness = at_all;
+    while lo_b < hi_b {
+        let mid = lo_b + (hi_b - lo_b) / 2;
+        match probe(mid)? {
+            CheckResult::Violated(t) => {
+                witness = CheckResult::Violated(t);
+                hi_b = mid;
+            }
+            CheckResult::Holds | CheckResult::Unknown(_) => {
+                // Not reachable within the horizon: worst is above mid.
+                lo_b = mid + 1;
+            }
+        }
+    }
+    let trace = witness.trace().expect("witness kept").clone();
+    // Project the instrumentation variable away.
+    let mut projected = trace;
+    projected.var_names.truncate(sys.num_vars());
+    for s in &mut projected.states {
+        s.truncate(sys.num_vars());
+    }
+    Ok(Some(BlastRadius {
+        worst: lo_b,
+        range: (lo, hi),
+        witness: projected,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Saturating step counter: n += step while n ≤ 7, step ∈ {1, 2}.
+    fn counter() -> (System, verdict_ts::VarId) {
+        let mut sys = System::new("blast-counter");
+        let n = sys.int_var("n", 0, 9);
+        let step = sys.int_param("step", 1, 2);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).le(Expr::int(7)),
+            Expr::var(n).add(Expr::var(step)),
+            Expr::var(n),
+        )));
+        (sys, n)
+    }
+
+    #[test]
+    fn next_state_expressions_rejected() {
+        let (sys, n) = counter();
+        let e = worst_case_after(
+            &sys,
+            &Expr::next(n).eq(Expr::int(3)),
+            &Expr::var(n),
+            &CheckOptions::with_depth(4),
+        );
+        assert!(e.is_err(), "next() in the event must be a clean error");
+    }
+
+    #[test]
+    fn unreachable_event_returns_none() {
+        let (sys, n) = counter();
+        let r = worst_case_after(
+            &sys,
+            &Expr::var(n).gt(Expr::int(20)).and(Expr::var(n).lt(Expr::int(0))),
+            &Expr::var(n),
+            &CheckOptions::with_depth(6),
+        )
+        .unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn worst_metric_after_event() {
+        // Event: n reaches 4 (needs step=2 at depth small). Metric: n.
+        // After n ≥ 4, n never decreases, so the worst value *at* the
+        // event is 4 (step=2) or 5 (overshoot); minimal over runs is 4.
+        let (sys, n) = counter();
+        let r = worst_case_after(
+            &sys,
+            &Expr::var(n).ge(Expr::int(4)),
+            &Expr::var(n),
+            &CheckOptions::with_depth(10),
+        )
+        .unwrap()
+        .expect("event reachable");
+        assert_eq!(r.worst, 4, "witness:\n{}", r.witness);
+        // The witness ends at the worst state and hides instrumentation.
+        assert!(!r.witness.var_names.iter().any(|n| n.starts_with("__")));
+        let last = r.witness.states.last().unwrap();
+        assert_eq!(last[0], verdict_ts::Value::Int(4));
+    }
+
+    #[test]
+    fn rollout_blast_radius_of_link_failure() {
+        use verdict_models_shim::*;
+        // Test topology, p = 1, k = 1, m = 0: after any link failure the
+        // worst true availability is 2 (failure isolates one node and an
+        // update takes another down).
+        let model = rollout_test_model();
+        let sys = model.0.pinned(1, 1, 0);
+        let any_failure = Expr::or_all(model.0.failed.iter().map(|&f| Expr::var(f)));
+        let r = worst_case_after(
+            &sys,
+            &any_failure,
+            &model.0.true_available,
+            &CheckOptions::with_depth(6),
+        )
+        .unwrap()
+        .expect("failures reachable");
+        assert_eq!(r.worst, 2, "witness:\n{}", r.witness);
+    }
+
+    /// Tiny shim so mc's tests can build the rollout model without a
+    /// circular dev-dependency on verdict-models: replicate the topology
+    /// and reuse the public builder through a local copy.
+    mod verdict_models_shim {
+        pub struct ModelBox(pub verdict_models_like::Model);
+
+        pub fn rollout_test_model() -> ModelBox {
+            ModelBox(verdict_models_like::build())
+        }
+
+        /// Minimal inline re-derivation of the test-topology rollout
+        /// model (5 nodes, 5 links) for this test only.
+        pub mod verdict_models_like {
+            use verdict_ts::{Expr, System, VarId};
+
+            pub struct Model {
+                pub system: System,
+                pub failed: Vec<VarId>,
+                pub true_available: Expr,
+                p: VarId,
+                k: VarId,
+                m: VarId,
+            }
+
+            impl Model {
+                pub fn pinned(&self, p: i64, k: i64, m: i64) -> System {
+                    let mut sys = self.system.clone();
+                    sys.add_invar(Expr::var(self.p).eq(Expr::int(p)));
+                    sys.add_invar(Expr::var(self.k).eq(Expr::int(k)));
+                    sys.add_invar(Expr::var(self.m).eq(Expr::int(m)));
+                    sys
+                }
+            }
+
+            pub fn build() -> Model {
+                // Topology: fe=0; links 0-1, 0-2, 0-3, 1-2, 1-4.
+                let links = [(0usize, 1usize), (0, 2), (0, 3), (1, 2), (1, 4)];
+                let n_nodes = 5;
+                let service = [1usize, 2, 3, 4];
+                let mut sys = System::new("blast-rollout");
+                let p = sys.int_param("p", 0, 3);
+                let k = sys.int_param("k", 0, 3);
+                let m = sys.int_param("m", 0, 3);
+                let down: Vec<VarId> = service
+                    .iter()
+                    .map(|i| sys.bool_var(&format!("down{i}")))
+                    .collect();
+                let failed: Vec<VarId> = links
+                    .iter()
+                    .map(|(a, b)| sys.bool_var(&format!("fail{a}{b}")))
+                    .collect();
+                for &d in &down {
+                    sys.add_init(Expr::var(d).not());
+                }
+                for &f in &failed {
+                    sys.add_init(Expr::var(f).not());
+                    sys.add_trans(Expr::var(f).implies(Expr::next(f)));
+                }
+                let downs = Expr::count_true(down.iter().map(|&d| Expr::var(d)));
+                sys.add_invar(downs.le(Expr::var(p)));
+                let fails = Expr::count_true(failed.iter().map(|&f| Expr::var(f)));
+                sys.add_invar(fails.le(Expr::var(k)));
+                // Layered reachability over 5 nodes.
+                let mut layer: Vec<Expr> =
+                    (0..n_nodes).map(|i| Expr::bool(i == 0)).collect();
+                for _ in 0..n_nodes - 1 {
+                    let mut next = Vec::new();
+                    for i in 0..n_nodes {
+                        let mut grow = Expr::ff();
+                        for (li, &(a, b)) in links.iter().enumerate() {
+                            if a == i || b == i {
+                                let j = if a == i { b } else { a };
+                                grow = Expr::or_pair(
+                                    grow,
+                                    Expr::and_pair(
+                                        Expr::var(failed[li]).not(),
+                                        layer[j].clone(),
+                                    ),
+                                );
+                            }
+                        }
+                        next.push(Expr::or_pair(layer[i].clone(), grow));
+                    }
+                    layer = next;
+                }
+                let true_available = Expr::count_true(
+                    service.iter().zip(&down).map(|(&node, &d)| {
+                        Expr::var(d).not().and(layer[node].clone())
+                    }),
+                );
+                Model {
+                    system: sys,
+                    failed,
+                    true_available,
+                    p,
+                    k,
+                    m,
+                }
+            }
+        }
+    }
+}

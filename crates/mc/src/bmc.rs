@@ -1,0 +1,317 @@
+//! SAT-based bounded model checking.
+//!
+//! * [`check_invariant`] — falsification of `G p`: unroll incrementally,
+//!   ask for `¬p` at each new step under an assumption literal, decode the
+//!   finite counterexample on success.
+//! * [`check_ltl`] — falsification of an arbitrary LTL property by
+//!   *fair-lasso search* on the tableau product ([`crate::tableau`]): find
+//!   a path `s₀ … s_k` with `s_k = s_l` whose loop satisfies every justice
+//!   constraint at least once.
+//!
+//! BMC answers `Violated` definitively; on exhausting the depth bound it
+//! answers `Unknown` (use [`crate::kind`] or [`crate::bdd`] to prove).
+
+//!
+//! ```
+//! use verdict_mc::{bmc, CheckOptions};
+//! use verdict_ts::{Expr, System};
+//!
+//! let mut sys = System::new("counter");
+//! let n = sys.int_var("n", 0, 7);
+//! sys.add_init(Expr::var(n).eq(Expr::int(0)));
+//! sys.add_trans(Expr::next(n).eq(Expr::var(n).add(Expr::int(1))));
+//! // n reaches 3, so G(n < 3) is violated with a 4-state trace.
+//! let r = bmc::check_invariant(&sys, &Expr::var(n).lt(Expr::int(3)),
+//!                              &CheckOptions::with_depth(8)).unwrap();
+//! assert_eq!(r.trace().unwrap().len(), 4);
+//! ```
+use verdict_logic::Formula;
+use verdict_sat::{Limits, Solver};
+use verdict_ts::{Expr, Ltl, System, Trace, Unroller};
+
+use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::tableau::{violation_product, TableauProduct};
+
+/// Feeds newly produced clauses into the solver.
+fn sync(unroller: &mut Unroller<'_>, solver: &mut Solver) {
+    for clause in unroller.drain_clauses() {
+        solver.add_clause(clause);
+    }
+}
+
+/// Bounded falsification of the invariant `G p` (`p` a boolean expression
+/// over current-state variables).
+///
+/// Returns `Violated` with a shortest-per-depth-schedule counterexample,
+/// or `Unknown(DepthBound | Timeout)`. Never returns `Holds` — BMC alone
+/// cannot prove.
+pub fn check_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let deadline = opts.deadline();
+    let mut unroller = Unroller::new(sys)?;
+    let mut solver = Solver::new();
+    let bad = p.clone().not();
+    for k in 0..=opts.max_depth {
+        if past(deadline) {
+            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        }
+        unroller.extend_to(k);
+        let bad_k = unroller.lower_bool(&bad, k);
+        let bad_lit = unroller.literal_for(&bad_k);
+        sync(&mut unroller, &mut solver);
+        let limits = Limits {
+            max_conflicts: None,
+            deadline,
+        };
+        match solver.solve_limited(&[bad_lit], limits) {
+            verdict_sat::SolveResult::Sat(model) => {
+                let states = unroller.decode_trace(k + 1, &|v| model.value(v));
+                return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
+            }
+            verdict_sat::SolveResult::Unsat => {
+                // Proven: no violation at exactly step k. Pin it for the
+                // benefit of later iterations.
+                solver.add_clause([!bad_lit]);
+            }
+            verdict_sat::SolveResult::Unknown => {
+                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+            }
+        }
+    }
+    Ok(CheckResult::Unknown(UnknownReason::DepthBound))
+}
+
+/// Bounded falsification of an arbitrary LTL property via fair-lasso
+/// search on the tableau product.
+pub fn check_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let product = violation_product(sys, phi);
+    match find_fair_lasso(&product, opts)? {
+        LassoOutcome::Found(trace) => Ok(CheckResult::Violated(trace)),
+        LassoOutcome::Exhausted => Ok(CheckResult::Unknown(UnknownReason::DepthBound)),
+        LassoOutcome::Timeout => Ok(CheckResult::Unknown(UnknownReason::Timeout)),
+    }
+}
+
+/// Result of a bounded fair-lasso search.
+pub(crate) enum LassoOutcome {
+    /// A fair lasso exists; the trace is projected to the original
+    /// variables and carries the loop-back index.
+    Found(Trace),
+    /// No lasso up to the depth bound.
+    Exhausted,
+    /// Resource limit.
+    Timeout,
+}
+
+/// Searches the tableau product for a fair lasso of length ≤ `max_depth`.
+/// Shared by the LTL BMC entry point and the BDD engine's counterexample
+/// reconstruction.
+pub(crate) fn find_fair_lasso(
+    product: &TableauProduct,
+    opts: &CheckOptions,
+) -> Result<LassoOutcome, McError> {
+    let deadline = opts.deadline();
+    let sys = &product.system;
+    let mut unroller = Unroller::new(sys)?;
+    let mut solver = Solver::new();
+    for k in 1..=opts.max_depth {
+        if past(deadline) {
+            return Ok(LassoOutcome::Timeout);
+        }
+        unroller.extend_to(k);
+        // lasso_k = ∨_{l<k} [ s_l = s_k ∧ ∧_j ∨_{i=l..k-1} j@i ]
+        let mut options = Vec::with_capacity(k);
+        for l in 0..k {
+            let eq = unroller.states_equal(l, k);
+            let mut parts = vec![eq];
+            for j in &product.justice {
+                let hits: Vec<Formula> =
+                    (l..k).map(|i| unroller.lower_bool(j, i)).collect();
+                parts.push(Formula::or_all(hits));
+            }
+            options.push(Formula::and_all(parts));
+        }
+        let lasso = Formula::or_all(options);
+        let lasso_lit = unroller.literal_for(&lasso);
+        sync(&mut unroller, &mut solver);
+        let limits = Limits {
+            max_conflicts: None,
+            deadline,
+        };
+        match solver.solve_limited(&[lasso_lit], limits) {
+            verdict_sat::SolveResult::Sat(model) => {
+                let full = unroller.decode_trace(k + 1, &|v| model.value(v));
+                // Find the loop-back index by comparing decoded states.
+                let loop_back = (0..k)
+                    .find(|&l| states_match(&full[l], &full[k]))
+                    .unwrap_or(0);
+                // Project to the original variables for reporting.
+                let projected: Vec<Vec<verdict_ts::Value>> = full
+                    .iter()
+                    .map(|s| s[..product.original_vars].to_vec())
+                    .collect();
+                let mut trace = Trace::new(sys, projected, Some(loop_back));
+                trace.var_names.truncate(product.original_vars);
+                return Ok(LassoOutcome::Found(trace));
+            }
+            verdict_sat::SolveResult::Unsat => {}
+            verdict_sat::SolveResult::Unknown => return Ok(LassoOutcome::Timeout),
+        }
+    }
+    Ok(LassoOutcome::Exhausted)
+}
+
+fn states_match(a: &[verdict_ts::Value], b: &[verdict_ts::Value]) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_ts::Value;
+
+    /// Saturating counter 0..=5.
+    fn counter(limit: i64) -> (System, verdict_ts::VarId) {
+        let mut sys = System::new("counter");
+        let n = sys.int_var("n", 0, limit);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).lt(Expr::int(limit)),
+            Expr::var(n).add(Expr::int(1)),
+            Expr::var(n),
+        )));
+        (sys, n)
+    }
+
+    #[test]
+    fn invariant_violation_found_at_right_depth() {
+        let (sys, n) = counter(5);
+        // G(n < 4) is violated first at step 4.
+        let r = check_invariant(&sys, &Expr::var(n).lt(Expr::int(4)), &CheckOptions::default())
+            .unwrap();
+        let trace = r.trace().expect("violated");
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.value(4, "n"), Some(&Value::Int(4)));
+        assert_eq!(trace.value(0, "n"), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn invariant_that_holds_is_unknown_for_bmc() {
+        let (sys, n) = counter(5);
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(5)),
+            &CheckOptions::with_depth(8),
+        )
+        .unwrap();
+        assert!(matches!(
+            r,
+            CheckResult::Unknown(UnknownReason::DepthBound)
+        ));
+    }
+
+    #[test]
+    fn parameters_are_solved_for() {
+        // Counter increments by frozen step p in 1..=3; G(n != 6) should be
+        // violated exactly when p ∈ {1, 2, 3} divides... reaches 6: p=1,2,3
+        // all reach 6 (6 divisible by 1,2,3). Use target 5: only p=1 and 5
+        // ... keep p in 1..=3, target 5: p=1 reaches 5, p=2: 0,2,4,6 skips,
+        // p=3: 0,3,6 skips. The model checker must pick p=1.
+        let mut sys = System::new("step-counter");
+        let n = sys.int_var("n", 0, 10);
+        let p = sys.int_param("p", 1, 3);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).le(Expr::int(7)),
+            Expr::var(n).add(Expr::var(p)),
+            Expr::var(n),
+        )));
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).ne(Expr::int(5)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        let trace = r.trace().expect("violated for p=1");
+        assert_eq!(trace.value(0, "p"), Some(&Value::Int(1)));
+        assert_eq!(trace.value(trace.len() - 1, "n"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn ltl_fg_violated_by_oscillator() {
+        // x flips forever: F G x is false; counterexample is a lasso.
+        let mut sys = System::new("flip");
+        let x = sys.bool_var("x");
+        sys.add_init(Expr::var(x));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        let phi = Ltl::atom(Expr::var(x)).always().eventually();
+        let r = check_ltl(&sys, &phi, &CheckOptions::default()).unwrap();
+        let trace = r.trace().expect("violated");
+        assert!(trace.loop_back.is_some());
+        // The loop must contain a ¬x state.
+        let l = trace.loop_back.unwrap();
+        let has_not_x = (l..trace.len())
+            .any(|t| trace.value(t, "x") == Some(&Value::Bool(false)));
+        assert!(has_not_x, "loop must visit !x:\n{trace}");
+    }
+
+    #[test]
+    fn ltl_fg_holds_on_stabilizing_system() {
+        // x flips until a latch sets, then stays true: F G x holds, so BMC
+        // finds no lasso and reports DepthBound.
+        let mut sys = System::new("stabilize");
+        let x = sys.bool_var("x");
+        let done = sys.bool_var("done");
+        sys.add_init(Expr::var(x).and(Expr::var(done).not()));
+        // done latches nondeterministically; once done, x stays true.
+        sys.add_trans(Expr::var(done).implies(Expr::next(done)));
+        sys.add_trans(
+            Expr::next(done).implies(Expr::next(x)),
+        );
+        sys.add_trans(
+            Expr::next(done)
+                .not()
+                .implies(Expr::next(x).eq(Expr::var(x).not())),
+        );
+        // Fairness: done happens eventually (on fair paths).
+        sys.add_fairness(Expr::var(done));
+        let phi = Ltl::atom(Expr::var(x)).always().eventually();
+        let r = check_ltl(&sys, &phi, &CheckOptions::with_depth(12)).unwrap();
+        assert!(
+            matches!(r, CheckResult::Unknown(UnknownReason::DepthBound)),
+            "got {r}"
+        );
+    }
+
+    #[test]
+    fn ltl_until_witnessed() {
+        // Counter: G(n=0 -> (n<=2 U n=3)) — false since n<=2 holds only
+        // until 3 arrives... actually (n<=2 U n=3) holds on the increment
+        // path. Check its negation is found for a *stuck* variant.
+        let mut sys = System::new("stuck");
+        let n = sys.int_var("n", 0, 3);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        // n stays put forever: never reaches 3.
+        sys.add_trans(Expr::next(n).eq(Expr::var(n)));
+        let phi = Ltl::atom(Expr::var(n).le(Expr::int(2)))
+            .until(Ltl::atom(Expr::var(n).eq(Expr::int(3))));
+        let r = check_ltl(&sys, &phi, &CheckOptions::default()).unwrap();
+        assert!(r.violated(), "stuck counter never reaches 3: {r}");
+    }
+
+    #[test]
+    fn timeout_respected() {
+        let (sys, n) = counter(5);
+        let opts = CheckOptions::with_depth(64)
+            .with_timeout(std::time::Duration::from_nanos(1));
+        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(5)), &opts).unwrap();
+        assert!(matches!(r, CheckResult::Unknown(UnknownReason::Timeout)));
+    }
+}

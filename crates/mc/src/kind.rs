@@ -1,0 +1,195 @@
+//! k-induction: proving invariants on finite systems.
+//!
+//! Combines the BMC base case with the strengthened induction step of
+//! Sheeran–Singh–Stålmarck: if no counterexample of length ≤ k exists
+//! (base) and every *simple* path of k+1 states that satisfies `p` in its
+//! first k states satisfies `p` in the last (step), then `G p` holds.
+//! The simple-path constraint makes the method complete for finite
+//! systems: k eventually exceeds the recurrence diameter.
+
+//!
+//! ```
+//! use verdict_mc::{kind, CheckOptions};
+//! use verdict_ts::{Expr, System};
+//!
+//! let mut sys = System::new("latch");
+//! let x = sys.bool_var("x");
+//! sys.add_init(Expr::var(x));
+//! sys.add_trans(Expr::var(x).implies(Expr::next(x))); // x latches
+//! let r = kind::prove_invariant(&sys, &Expr::var(x),
+//!                               &CheckOptions::default()).unwrap();
+//! assert!(r.holds());
+//! ```
+use verdict_sat::{Limits, Solver};
+use verdict_ts::{Expr, System, Trace, Unroller};
+
+use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+
+/// Proves or refutes the invariant `G p`.
+///
+/// Returns `Holds` (proved by induction), `Violated` with a trace (found
+/// by the embedded base case), or `Unknown` on resource limits.
+pub fn prove_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let deadline = opts.deadline();
+    let bad = p.clone().not();
+
+    // Base-case engine: init-anchored unrolling.
+    let mut base_unr = Unroller::new(sys)?;
+    let mut base_solver = Solver::new();
+
+    // Induction engine: free (any-state) unrolling with simple paths.
+    let mut ind_unr = Unroller::new_free(sys)?;
+    let mut ind_solver = Solver::new();
+
+    let limits = |d| Limits {
+        max_conflicts: None,
+        deadline: d,
+    };
+
+    for k in 0..=opts.max_depth {
+        if past(deadline) {
+            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        }
+        // ---- base case: violation at exactly step k?
+        base_unr.extend_to(k);
+        let bad_k = base_unr.lower_bool(&bad, k);
+        let bad_lit = base_unr.literal_for(&bad_k);
+        for c in base_unr.drain_clauses() {
+            base_solver.add_clause(c);
+        }
+        match base_solver.solve_limited(&[bad_lit], limits(deadline)) {
+            verdict_sat::SolveResult::Sat(model) => {
+                let states = base_unr.decode_trace(k + 1, &|v| model.value(v));
+                return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
+            }
+            verdict_sat::SolveResult::Unsat => {
+                base_solver.add_clause([!bad_lit]);
+            }
+            verdict_sat::SolveResult::Unknown => {
+                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+            }
+        }
+
+        // ---- induction step: p@0..k-1 ∧ simple-path ∧ ¬p@k unsat?
+        ind_unr.extend_to(k);
+        if k > 0 {
+            // p holds at the newly-previous step on induction paths.
+            ind_unr.assert_expr(p, k - 1);
+            // Simple path: the new state differs from all earlier ones.
+            for i in 0..k {
+                let diff = ind_unr.states_differ(i, k);
+                ind_unr.assert_formula(&diff);
+            }
+        }
+        let ind_bad = ind_unr.lower_bool(&bad, k);
+        let ind_bad_lit = ind_unr.literal_for(&ind_bad);
+        for c in ind_unr.drain_clauses() {
+            ind_solver.add_clause(c);
+        }
+        match ind_solver.solve_limited(&[ind_bad_lit], limits(deadline)) {
+            verdict_sat::SolveResult::Sat(_) => {
+                // Induction failed at this k; deepen.
+            }
+            verdict_sat::SolveResult::Unsat => {
+                // Base (≤ k) + step (k) ⇒ G p.
+                return Ok(CheckResult::Holds);
+            }
+            verdict_sat::SolveResult::Unknown => {
+                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+            }
+        }
+    }
+    Ok(CheckResult::Unknown(UnknownReason::DepthBound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(limit: i64) -> (System, verdict_ts::VarId) {
+        let mut sys = System::new("counter");
+        let n = sys.int_var("n", 0, limit);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).lt(Expr::int(limit)),
+            Expr::var(n).add(Expr::int(1)),
+            Expr::var(n),
+        )));
+        (sys, n)
+    }
+
+    #[test]
+    fn proves_true_invariant() {
+        let (sys, n) = counter(5);
+        let r = prove_invariant(&sys, &Expr::var(n).le(Expr::int(5)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.holds(), "got {r}");
+    }
+
+    #[test]
+    fn refutes_false_invariant_with_trace() {
+        let (sys, n) = counter(5);
+        let r = prove_invariant(&sys, &Expr::var(n).lt(Expr::int(3)), &CheckOptions::default())
+            .unwrap();
+        let t = r.trace().expect("violated");
+        assert_eq!(t.len(), 4); // 0,1,2,3
+    }
+
+    #[test]
+    fn proves_non_inductive_invariant_via_strengthening() {
+        // Two-phase counter: a goes 0..3 then wraps, b tracks whether a
+        // ever exceeded 2. Property G(n <= 3) holds but needs path depth.
+        let mut sys = System::new("mod");
+        let n = sys.int_var("n", 0, 7);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        // n cycles 0,1,2,3,0,...: values 4..7 unreachable though in range.
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).ge(Expr::int(3)),
+            Expr::int(0),
+            Expr::var(n).add(Expr::int(1)),
+        )));
+        let r = prove_invariant(&sys, &Expr::var(n).le(Expr::int(3)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.holds(), "got {r}");
+    }
+
+    #[test]
+    fn frozen_parameters_universally_quantified() {
+        // Counter step p in 1..=2; G(n <= 10) holds for all p (saturates).
+        let mut sys = System::new("paramcounter");
+        let n = sys.int_var("n", 0, 10);
+        let p = sys.int_param("p", 1, 2);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).le(Expr::int(8)),
+            Expr::var(n).add(Expr::var(p)),
+            Expr::var(n),
+        )));
+        let r = prove_invariant(&sys, &Expr::var(n).le(Expr::int(10)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.holds(), "got {r}");
+        // But G(n != 10) fails for p=2 (0,2,...,8,10) and p=1.
+        let r = prove_invariant(&sys, &Expr::var(n).ne(Expr::int(10)), &CheckOptions::default())
+            .unwrap();
+        assert!(r.violated(), "got {r}");
+    }
+
+    #[test]
+    fn depth_bound_reported() {
+        let (sys, n) = counter(5);
+        let r = prove_invariant(
+            &sys,
+            // Holds, but not 1-inductive; depth 0 budget can't prove it.
+            &Expr::var(n).le(Expr::int(5)),
+            &CheckOptions::with_depth(0),
+        )
+        .unwrap();
+        // With depth 0 the step case may or may not conclude; accept
+        // either Holds (0-inductive) or DepthBound, never Violated.
+        assert!(!r.violated());
+    }
+}

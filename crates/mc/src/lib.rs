@@ -1,0 +1,49 @@
+//! Symbolic model-checking engines for infrastructure control models.
+//!
+//! This crate is the reproduction of the paper's §4 proof of concept: it
+//! takes a parametric transition system (`verdict-ts`), a safety or
+//! liveness property (LTL or CTL), and answers with a verdict — `Holds`,
+//! `Violated` with a concrete counterexample trace (finite for safety,
+//! lasso-shaped for liveness), or `Unknown` when a resource limit is hit —
+//! and can synthesize safe configuration-parameter values.
+//!
+//! Engines:
+//!
+//! * [`bmc`] — SAT-based bounded model checking: invariant falsification
+//!   by unrolling, and full LTL falsification by fair-lasso search on the
+//!   tableau product.
+//! * [`kind`] — k-induction with simple-path strengthening: *proves*
+//!   invariants on finite systems.
+//! * [`bdd`] — BDD fixpoint engine: forward reachability for invariants,
+//!   full CTL (with fairness), and LTL via tableau + Emerson–Lei fair-cycle
+//!   detection. Complete for finite systems.
+//! * [`smtbmc`] — SMT-based BMC for systems with real-valued variables and
+//!   parameters (case study 2): safety and lasso liveness over QF_LRA.
+//! * [`explicit_engine`] — explicit-state reference engine (BFS safety,
+//!   SCC-based fair-cycle liveness); exponential, used as the differential
+//!   oracle in tests and fine for tiny models.
+//! * [`tableau`] — the LTL → symbolic-tableau translation shared by the
+//!   BMC, BDD, and SMT engines.
+//! * [`blast`] — §5's risk-assessment extension: the worst reachable
+//!   value of a metric after an operational event ("blast radius"),
+//!   found by binary search over bounded reachability queries.
+//! * [`params`] — parameter synthesis: enumerate assignments of the frozen
+//!   variables and classify each as safe/unsafe (paper: "suggest safe
+//!   configuration parameters", e.g. p ∈ {1, 2} in case study 1).
+//! * [`verifier`] — the [`Verifier`] façade implementing the Fig. 4
+//!   workflow: model + property + constraints in, verdict + trace or
+//!   suggested parameters out.
+
+pub mod bdd;
+pub mod blast;
+pub mod bmc;
+pub mod explicit_engine;
+pub mod kind;
+pub mod params;
+pub mod result;
+pub mod smtbmc;
+pub mod tableau;
+pub mod verifier;
+
+pub use result::{CheckOptions, CheckResult, McError};
+pub use verifier::{Engine, Verifier};

@@ -1,0 +1,334 @@
+//! Parameter synthesis over frozen variables.
+//!
+//! The paper (§4.2, case study 1) asks: *"find safe non-zero values for
+//! `p`, given the property and `k = 1`, `m = 1` — the system suggests
+//! `p ∈ {1, 2}`."* This module implements that workflow: enumerate the
+//! (finite) assignments of chosen frozen parameters, verify the property
+//! under each assignment with a complete engine, and partition the space
+//! into safe and unsafe values with witnesses for the unsafe ones.
+
+use std::fmt;
+
+use verdict_ts::{Expr, Ltl, System, Trace, Value, VarId};
+
+use crate::result::{CheckOptions, CheckResult, McError, UnknownReason};
+
+/// The property being synthesized against.
+#[derive(Clone, Debug)]
+pub enum Property {
+    /// `G p` for a boolean state expression `p`.
+    Invariant(Expr),
+    /// An arbitrary LTL property.
+    Ltl(Ltl),
+}
+
+/// Verdict for one parameter assignment.
+#[derive(Clone, Debug)]
+pub struct ParamVerdict {
+    /// Values of the synthesized parameters, in the order given to
+    /// [`synthesize`].
+    pub values: Vec<Value>,
+    /// The verification outcome under this assignment.
+    pub result: CheckResult,
+}
+
+/// Aggregated synthesis output.
+#[derive(Clone, Debug, Default)]
+pub struct SynthesisResult {
+    /// Names of the synthesized parameters.
+    pub param_names: Vec<String>,
+    /// One verdict per enumerated assignment.
+    pub verdicts: Vec<ParamVerdict>,
+}
+
+impl SynthesisResult {
+    /// Assignments under which the property was proved.
+    pub fn safe(&self) -> Vec<&[Value]> {
+        self.verdicts
+            .iter()
+            .filter(|v| v.result.holds())
+            .map(|v| v.values.as_slice())
+            .collect()
+    }
+
+    /// Assignments with a counterexample.
+    pub fn unsafe_values(&self) -> Vec<(&[Value], &Trace)> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| v.result.trace().map(|t| (v.values.as_slice(), t)))
+            .collect()
+    }
+
+    /// True iff any assignment came back `Unknown`.
+    pub fn has_unknown(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|v| matches!(v.result, CheckResult::Unknown(_)))
+    }
+}
+
+impl fmt::Display for SynthesisResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "parameter synthesis over ({})", self.param_names.join(", "))?;
+        for v in &self.verdicts {
+            let vals: Vec<String> = v.values.iter().map(Value::to_string).collect();
+            let verdict = match &v.result {
+                CheckResult::Holds => "SAFE".to_string(),
+                CheckResult::Violated(_) => "UNSAFE".to_string(),
+                CheckResult::Unknown(r) => format!("UNKNOWN ({r})"),
+            };
+            writeln!(f, "  ({}) -> {verdict}", vals.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete engine used per assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SynthesisEngine {
+    /// k-induction (safety only).
+    KInduction,
+    /// BDD fixpoints (safety and LTL).
+    Bdd,
+    /// Explicit state (safety and LTL; tiny models only).
+    Explicit,
+}
+
+/// Enumerates every assignment of `params` (all must have finite sorts)
+/// and verifies the property under each.
+///
+/// The remaining frozen variables stay symbolic (universally quantified by
+/// the underlying engine).
+pub fn synthesize(
+    sys: &System,
+    params: &[VarId],
+    property: &Property,
+    engine: SynthesisEngine,
+    opts: &CheckOptions,
+) -> Result<SynthesisResult, McError> {
+    for &p in params {
+        if !sys.sort_of(p).is_finite() {
+            return Err(McError(format!(
+                "cannot enumerate real-sorted parameter {}",
+                sys.name_of(p)
+            )));
+        }
+    }
+    let domains: Vec<Vec<Value>> = params.iter().map(|&p| sys.sort_of(p).values()).collect();
+    let mut result = SynthesisResult {
+        param_names: params.iter().map(|&p| sys.name_of(p).to_string()).collect(),
+        verdicts: Vec::new(),
+    };
+    let mut indices = vec![0usize; params.len()];
+    loop {
+        let assignment: Vec<Value> = indices
+            .iter()
+            .zip(&domains)
+            .map(|(&i, d)| d[i].clone())
+            .collect();
+        // Pin the parameters via INVAR constraints: frozen variables are
+        // constant, so INVAR equals INIT on executions, but INVAR also
+        // constrains free-start engines (k-induction's step case).
+        let mut pinned = sys.clone();
+        for (&p, v) in params.iter().zip(&assignment) {
+            pinned.add_invar(Expr::var(p).eq(Expr::Const(v.clone())));
+        }
+        let res = match (property, engine) {
+            (Property::Invariant(p), SynthesisEngine::KInduction) => {
+                crate::kind::prove_invariant(&pinned, p, opts)?
+            }
+            (Property::Invariant(p), SynthesisEngine::Bdd) => {
+                crate::bdd::check_invariant(&pinned, p, opts)?
+            }
+            (Property::Invariant(p), SynthesisEngine::Explicit) => {
+                crate::explicit_engine::check_invariant(&pinned, p, opts)?
+            }
+            (Property::Ltl(phi), SynthesisEngine::Bdd) => {
+                crate::bdd::check_ltl(&pinned, phi, opts)?
+            }
+            (Property::Ltl(phi), SynthesisEngine::Explicit) => {
+                crate::explicit_engine::check_ltl(&pinned, phi, opts)?
+            }
+            (Property::Ltl(_), SynthesisEngine::KInduction) => {
+                return Err(McError(
+                    "k-induction synthesizes safety properties only".to_string(),
+                ))
+            }
+        };
+        result.verdicts.push(ParamVerdict {
+            values: assignment,
+            result: res,
+        });
+        // Advance odometer.
+        let mut pos = 0;
+        loop {
+            if pos == indices.len() {
+                return Ok(result);
+            }
+            indices[pos] += 1;
+            if indices[pos] < domains[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+        if indices.iter().all(|&i| i == 0) {
+            return Ok(result);
+        }
+    }
+}
+
+/// Convenience for the falsification direction the paper also uses: leave
+/// the parameters symbolic and let BMC pick violating values (they appear
+/// in the returned trace, constant over time since parameters are frozen).
+pub fn find_violating_params(
+    sys: &System,
+    property: &Property,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    match property {
+        Property::Invariant(p) => crate::bmc::check_invariant(sys, p, opts),
+        Property::Ltl(phi) => crate::bmc::check_ltl(sys, phi, opts),
+    }
+}
+
+/// Guard for empty parameter lists in [`synthesize`] callers: with no
+/// parameters the function still runs exactly one verification.
+pub fn no_params_is_single_check(result: &SynthesisResult) -> bool {
+    result.param_names.is_empty() && result.verdicts.len() == 1
+}
+
+#[allow(dead_code)]
+fn unused(_: UnknownReason) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Step counter: n += p (saturating at 10); G(n != target) safety.
+    fn step_counter() -> (System, VarId) {
+        let mut sys = System::new("step");
+        let n = sys.int_var("n", 0, 10);
+        let p = sys.int_param("p", 1, 3);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).le(Expr::int(7)),
+            Expr::var(n).add(Expr::var(p)),
+            Expr::var(n),
+        )));
+        (sys, p)
+    }
+
+    #[test]
+    fn synthesis_partitions_parameter_space() {
+        let (sys, p) = step_counter();
+        // n hits 5 exactly iff p=1 (0,1,..) or p=5... p∈{1..3}: p=1 yes,
+        // p=2 (0,2,4,6,8,10) no, p=3 (0,3,6,9,10?) 9+3 clamps... n<=7
+        // guard: from 9 no step (9>7) stays 9. So p=3 path: 0,3,6,9,9...
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
+        let r = synthesize(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.verdicts.len(), 3);
+        let safe = r.safe();
+        assert_eq!(safe.len(), 2, "{r}");
+        assert!(safe.contains(&&[Value::Int(2)][..]));
+        assert!(safe.contains(&&[Value::Int(3)][..]));
+        let unsafe_ = r.unsafe_values();
+        assert_eq!(unsafe_.len(), 1);
+        assert_eq!(unsafe_[0].0, &[Value::Int(1)][..]);
+        assert!(!r.has_unknown());
+    }
+
+    #[test]
+    fn engines_agree_on_synthesis() {
+        let (sys, p) = step_counter();
+        let prop = Property::Invariant(
+            Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(6)),
+        );
+        let opts = CheckOptions::default();
+        let a = synthesize(&sys, &[p], &prop, SynthesisEngine::KInduction, &opts).unwrap();
+        let b = synthesize(&sys, &[p], &prop, SynthesisEngine::Bdd, &opts).unwrap();
+        let c = synthesize(&sys, &[p], &prop, SynthesisEngine::Explicit, &opts).unwrap();
+        for ((x, y), z) in a.verdicts.iter().zip(&b.verdicts).zip(&c.verdicts) {
+            assert_eq!(x.result.holds(), y.result.holds(), "kind vs bdd");
+            assert_eq!(y.result.holds(), z.result.holds(), "bdd vs explicit");
+        }
+    }
+
+    #[test]
+    fn ltl_synthesis_via_bdd() {
+        // p chooses whether x eventually latches: F G x holds iff p = 1.
+        let mut sys = System::new("latchable");
+        let x = sys.bool_var("x");
+        let p = sys.int_param("p", 0, 1);
+        sys.add_init(Expr::var(x));
+        // p=1: x stays true. p=0: x flips forever.
+        sys.add_trans(Expr::ite(
+            Expr::var(p).eq(Expr::int(1)),
+            Expr::next(x).eq(Expr::var(x)),
+            Expr::next(x).eq(Expr::var(x).not()),
+        ));
+        let prop = Property::Ltl(Ltl::atom(Expr::var(x)).always().eventually());
+        let r = synthesize(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::Bdd,
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        let safe = r.safe();
+        assert_eq!(safe, vec![&[Value::Int(1)][..]], "{r}");
+    }
+
+    #[test]
+    fn violating_params_found_symbolically() {
+        let (sys, _) = step_counter();
+        let prop = Property::Invariant(
+            Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)),
+        );
+        let r = find_violating_params(&sys, &prop, &CheckOptions::default()).unwrap();
+        let t = r.trace().expect("p=1 violates");
+        assert_eq!(t.value(0, "p"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn real_params_rejected_for_enumeration() {
+        let mut sys = System::new("r");
+        let p = sys.real_param("p");
+        let prop = Property::Invariant(Expr::tt());
+        let e = synthesize(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::Bdd,
+            &CheckOptions::default(),
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn display_lists_verdicts() {
+        let (sys, p) = step_counter();
+        let prop = Property::Invariant(
+            Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)),
+        );
+        let r = synthesize(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        let shown = r.to_string();
+        assert!(shown.contains("SAFE"), "{shown}");
+        assert!(shown.contains("UNSAFE"), "{shown}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Verdicts, options, and errors shared by every engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use verdict_ts::Trace;
+
+/// Outcome of a model-checking run.
+#[derive(Clone, Debug)]
+pub enum CheckResult {
+    /// The property holds (engine-specific guarantee: complete engines
+    /// prove it; BMC reports `Holds` only when an inductive argument or
+    /// a completeness threshold applies — otherwise it returns
+    /// [`CheckResult::Unknown`]).
+    Holds,
+    /// The property is violated; the trace is the evidence.
+    Violated(Trace),
+    /// No verdict within the given resource limits.
+    Unknown(UnknownReason),
+}
+
+impl CheckResult {
+    /// True iff the verdict is `Holds`.
+    pub fn holds(&self) -> bool {
+        matches!(self, CheckResult::Holds)
+    }
+
+    /// True iff the verdict is `Violated`.
+    pub fn violated(&self) -> bool {
+        matches!(self, CheckResult::Violated(_))
+    }
+
+    /// The counterexample trace, if violated.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            CheckResult::Violated(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CheckResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckResult::Holds => write!(f, "property HOLDS"),
+            CheckResult::Violated(t) => {
+                writeln!(f, "property VIOLATED; counterexample:")?;
+                write!(f, "{t}")
+            }
+            CheckResult::Unknown(r) => write!(f, "UNKNOWN ({r})"),
+        }
+    }
+}
+
+/// Why an engine stopped without a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// Unrolling reached the depth bound without a violation or proof.
+    DepthBound,
+    /// Wall-clock timeout.
+    Timeout,
+    /// Conflict/step budget exhausted.
+    EffortBound,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::DepthBound => write!(f, "depth bound reached"),
+            UnknownReason::Timeout => write!(f, "timeout"),
+            UnknownReason::EffortBound => write!(f, "effort budget exhausted"),
+        }
+    }
+}
+
+/// An error that prevents checking at all (ill-typed model, wrong engine
+/// for the model's sorts, …) — as opposed to a resource-limited
+/// [`CheckResult::Unknown`].
+#[derive(Clone, Debug)]
+pub struct McError(pub String);
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model checking error: {}", self.0)
+    }
+}
+
+impl std::error::Error for McError {}
+
+impl From<verdict_ts::TypeError> for McError {
+    fn from(e: verdict_ts::TypeError) -> McError {
+        McError(e.to_string())
+    }
+}
+
+/// Resource limits and knobs for a checking run.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Maximum BMC unrolling depth (transitions).
+    pub max_depth: usize,
+    /// Wall-clock budget.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            max_depth: 64,
+            timeout: None,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// Options with a depth bound.
+    pub fn with_depth(max_depth: usize) -> CheckOptions {
+        CheckOptions {
+            max_depth,
+            ..CheckOptions::default()
+        }
+    }
+
+    /// Adds a wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> CheckOptions {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Returns self with `max_depth` replaced by `depth` **iff** it still
+    /// holds the default value — used by CLIs whose subcommands have
+    /// different depth defaults.
+    pub fn max_depth_defaulted(mut self, depth: usize) -> CheckOptions {
+        if self.max_depth == CheckOptions::default().max_depth {
+            self.max_depth = depth;
+        }
+        self
+    }
+
+    /// The absolute deadline implied by the timeout, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.timeout.map(|t| Instant::now() + t)
+    }
+}
+
+/// True if the deadline has passed.
+pub(crate) fn past(deadline: Option<Instant>) -> bool {
+    matches!(deadline, Some(d) if Instant::now() >= d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_accessors() {
+        assert!(CheckResult::Holds.holds());
+        assert!(!CheckResult::Holds.violated());
+        let r = CheckResult::Unknown(UnknownReason::Timeout);
+        assert!(!r.holds() && !r.violated());
+        assert!(r.trace().is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CheckResult::Holds.to_string(), "property HOLDS");
+        assert!(CheckResult::Unknown(UnknownReason::DepthBound)
+            .to_string()
+            .contains("depth"));
+    }
+
+    #[test]
+    fn options_builder() {
+        let o = CheckOptions::with_depth(10).with_timeout(Duration::from_secs(1));
+        assert_eq!(o.max_depth, 10);
+        assert!(o.deadline().is_some());
+        assert!(!past(o.deadline()));
+        assert!(past(Some(Instant::now())));
+    }
+}

@@ -1,0 +1,738 @@
+//! SMT-based bounded model checking for systems with real-valued state.
+//!
+//! Case study 2 of the paper (load balancer + ECMP) models traffic volumes
+//! and latency coefficients as symbolic *reals*; finite bit-blasting does
+//! not apply. This engine mirrors [`crate::bmc`] with a mixed encoding:
+//!
+//! * finite-sorted variables are bit-blasted exactly like the SAT engine,
+//!   but into the SMT solver's Boolean skeleton;
+//! * real-sorted variables become one [`TheoryVar`] per (variable, step);
+//! * real comparisons become linear atoms; real `ite` terms are flattened
+//!   through fresh theory variables with defining implications;
+//! * lasso loop-backs include exact rational equality of the real state.
+
+//!
+//! ```
+//! use verdict_logic::Rational;
+//! use verdict_mc::{smtbmc, CheckOptions};
+//! use verdict_ts::{Expr, System};
+//!
+//! // A drifting real-valued metric with a symbolic rate parameter.
+//! let mut sys = System::new("drift");
+//! let x = sys.real_var("x");
+//! let rate = sys.real_param("rate");
+//! sys.add_init(Expr::var(x).eq(Expr::real(Rational::ZERO)));
+//! sys.add_init(Expr::var(rate).le(Expr::real(Rational::integer(2))));
+//! sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::var(rate))));
+//! // The checker picks a rate that breaks G(x < 3).
+//! let r = smtbmc::check_invariant(&sys, &Expr::var(x).lt(Expr::real(Rational::integer(3))),
+//!                                 &CheckOptions::with_depth(6)).unwrap();
+//! assert!(r.violated());
+//! ```
+use verdict_logic::{Formula, Rational};
+use verdict_sat::Limits;
+use verdict_smt::{LinExpr, Rel, SmtResult, SmtSolver, TheoryVar};
+use verdict_ts::bits::{self, FormulaAlg, Num};
+use verdict_ts::{Expr, Ltl, Sort, System, Trace, Value, VarId, VarKind};
+
+use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::tableau::violation_product;
+
+/// Per-variable, per-step solver handles.
+#[derive(Clone)]
+enum StepVar {
+    /// Offset-binary bit block (bool/enum/int).
+    Bits(Vec<verdict_logic::Var>),
+    /// A real variable.
+    Real(TheoryVar),
+}
+
+/// The mixed finite/real unroller over an [`SmtSolver`].
+pub struct SmtUnroller<'s> {
+    sys: &'s System,
+    smt: SmtSolver,
+    widths: Vec<usize>,
+    steps: Vec<Vec<StepVar>>,
+    fresh_ite: usize,
+}
+
+impl<'s> SmtUnroller<'s> {
+    /// Creates the unroller (the system must type-check).
+    pub fn new(sys: &'s System) -> Result<SmtUnroller<'s>, McError> {
+        sys.check()?;
+        let widths = sys
+            .var_ids()
+            .map(|v| match sys.sort_of(v).cardinality() {
+                Some(card) => 64 - (card - 1).leading_zeros() as usize,
+                None => 0,
+            })
+            .collect();
+        Ok(SmtUnroller {
+            sys,
+            smt: SmtSolver::new(),
+            widths,
+            steps: Vec::new(),
+            fresh_ite: 0,
+        })
+    }
+
+    /// Extends the unrolling through step `t` with all path constraints.
+    pub fn extend_to(&mut self, t: usize) {
+        while self.steps.len() <= t {
+            self.push_step();
+        }
+    }
+
+    fn push_step(&mut self) {
+        let t = self.steps.len();
+        let mut step = Vec::with_capacity(self.sys.num_vars());
+        for v in self.sys.var_ids() {
+            match self.sys.sort_of(v) {
+                Sort::Real => {
+                    let name = format!("{}@{t}", self.sys.name_of(v));
+                    step.push(StepVar::Real(self.smt.real_var(&name)));
+                }
+                _ => {
+                    let bits: Vec<verdict_logic::Var> = (0..self.widths[v.index()])
+                        .map(|_| self.smt.bool_var())
+                        .collect();
+                    step.push(StepVar::Bits(bits));
+                }
+            }
+        }
+        self.steps.push(step);
+        // Domain constraints for finite vars.
+        for v in self.sys.var_ids() {
+            if let Some(card) = self.sys.sort_of(v).cardinality() {
+                if !card.is_power_of_two() && self.widths[v.index()] > 0 {
+                    let bit_forms = self.bit_formulas(v, t);
+                    let mut alg = FormulaAlg;
+                    let dom = bits::unsigned_le_const(&mut alg, &bit_forms, card - 1);
+                    self.smt.assert_formula(dom);
+                }
+            }
+        }
+        // INVAR.
+        for inv in self.sys.invar().to_vec() {
+            let f = self.lower_bool(&inv, t);
+            self.smt.assert_formula(f);
+        }
+        if t == 0 {
+            for init in self.sys.init().to_vec() {
+                let f = self.lower_bool(&init, 0);
+                self.smt.assert_formula(f);
+            }
+        } else {
+            for tr in self.sys.trans().to_vec() {
+                let f = self.lower_bool(&tr, t - 1);
+                self.smt.assert_formula(f);
+            }
+            for v in self.sys.var_ids() {
+                if self.sys.decl(v).kind == VarKind::Frozen {
+                    let eq = self.var_equal(v, t - 1, t);
+                    self.smt.assert_formula(eq);
+                }
+            }
+        }
+    }
+
+    fn bit_formulas(&self, v: VarId, t: usize) -> Vec<Formula> {
+        match &self.steps[t][v.index()] {
+            StepVar::Bits(bs) => bs.iter().map(|&b| Formula::var(b)).collect(),
+            StepVar::Real(_) => panic!("bit access on real var"),
+        }
+    }
+
+    fn real_var_at(&self, v: VarId, t: usize) -> TheoryVar {
+        match &self.steps[t][v.index()] {
+            StepVar::Real(tv) => *tv,
+            StepVar::Bits(_) => panic!("real access on finite var"),
+        }
+    }
+
+    /// Equality of variable `v` between two steps.
+    fn var_equal(&mut self, v: VarId, t1: usize, t2: usize) -> Formula {
+        match self.sys.sort_of(v) {
+            Sort::Real => {
+                let a = LinExpr::var(self.real_var_at(v, t1));
+                let b = LinExpr::var(self.real_var_at(v, t2));
+                self.smt.eq_atom(a - b, Rational::ZERO)
+            }
+            _ => {
+                let a = self.bit_formulas(v, t1);
+                let b = self.bit_formulas(v, t2);
+                let mut alg = FormulaAlg;
+                bits::bits_eq(&mut alg, &a, &b)
+            }
+        }
+    }
+
+    /// Loop-back condition: states `i` and `j` agree on every non-frozen
+    /// variable (frozen ones are equal by construction).
+    pub fn states_equal(&mut self, i: usize, j: usize) -> Formula {
+        self.extend_to(i.max(j));
+        let vars: Vec<VarId> = self
+            .sys
+            .var_ids()
+            .filter(|v| self.sys.decl(*v).kind == VarKind::State)
+            .collect();
+        let parts: Vec<Formula> =
+            vars.into_iter().map(|v| self.var_equal(v, i, j)).collect();
+        Formula::and_all(parts)
+    }
+
+    /// Lowers a boolean expression at step `t`.
+    pub fn lower_bool(&mut self, e: &Expr, t: usize) -> Formula {
+        if e.mentions_next() {
+            self.extend_to(t + 1);
+        } else {
+            self.extend_to(t);
+        }
+        // Per-call pointer memo over the shared expression DAG.
+        let mut seen = std::collections::HashMap::new();
+        self.lower_bool_in(e, t, &mut seen)
+    }
+
+    fn lower_bool_in(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Formula {
+        let key = e as *const Expr;
+        if let Some(hit) = seen.get(&key) {
+            return hit.clone();
+        }
+        let result = self.lower_bool_uncached(e, t, seen);
+        seen.insert(key, result.clone());
+        result
+    }
+
+    fn lower_bool_uncached(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Formula {
+        match e {
+            Expr::Const(Value::Bool(b)) => Formula::constant(*b),
+            Expr::Var(v) if *self.sys.sort_of(*v) == Sort::Bool => {
+                Formula::var(match &self.steps[t][v.index()] {
+                    StepVar::Bits(bs) => bs[0],
+                    _ => unreachable!(),
+                })
+            }
+            Expr::Next(v) if *self.sys.sort_of(*v) == Sort::Bool => {
+                Formula::var(match &self.steps[t + 1][v.index()] {
+                    StepVar::Bits(bs) => bs[0],
+                    _ => unreachable!(),
+                })
+            }
+            Expr::Not(a) => self.lower_bool_in(a, t, seen).not(),
+            Expr::And(xs) => {
+                let mut acc = Formula::tt();
+                for x in xs.iter() {
+                    let f = self.lower_bool_in(x, t, seen);
+                    acc = Formula::and_pair(acc, f);
+                }
+                acc
+            }
+            Expr::Or(xs) => {
+                let mut acc = Formula::ff();
+                for x in xs.iter() {
+                    let f = self.lower_bool_in(x, t, seen);
+                    acc = Formula::or_pair(acc, f);
+                }
+                acc
+            }
+            Expr::Implies(a, b) => {
+                let a = self.lower_bool_in(a, t, seen);
+                let b = self.lower_bool_in(b, t, seen);
+                a.implies(b)
+            }
+            Expr::Iff(a, b) => {
+                let a = self.lower_bool_in(a, t, seen);
+                let b = self.lower_bool_in(b, t, seen);
+                a.iff(b)
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool_in(c, t, seen);
+                let a = self.lower_bool_in(a, t, seen);
+                let b = self.lower_bool_in(b, t, seen);
+                Formula::ite(c, a, b)
+            }
+            Expr::Eq(a, b) => {
+                let sort = a.sort(self.sys).expect("type-checked");
+                match sort {
+                    Sort::Bool => {
+                        let a = self.lower_bool_in(a, t, seen);
+                        let b = self.lower_bool_in(b, t, seen);
+                        a.iff(b)
+                    }
+                    Sort::Enum(_) => {
+                        let a = self.lower_enum_bits(a, t, seen);
+                        let b = self.lower_enum_bits(b, t, seen);
+                        let mut alg = FormulaAlg;
+                        bits::bits_eq(&mut alg, &a, &b)
+                    }
+                    Sort::Int { .. } => {
+                        let a = self.lower_num(a, t, seen);
+                        let b = self.lower_num(b, t, seen);
+                        let mut alg = FormulaAlg;
+                        bits::eq(&mut alg, &a, &b)
+                    }
+                    Sort::Real => {
+                        let a = self.lower_real(a, t, seen);
+                        let b = self.lower_real(b, t, seen);
+                        self.smt.eq_atom(a - b, Rational::ZERO)
+                    }
+                }
+            }
+            Expr::Le(a, _b) | Expr::Lt(a, _b) => {
+                let strict = matches!(e, Expr::Lt(_, _));
+                let sort = a.sort(self.sys).expect("type-checked");
+                if sort == Sort::Real {
+                    let a = self.lower_real_of(e, t, 0, seen);
+                    let b = self.lower_real_of(e, t, 1, seen);
+                    let rel = if strict { Rel::Lt } else { Rel::Le };
+                    self.smt.atom(a - b, rel, Rational::ZERO)
+                } else {
+                    let (a, b) = match e {
+                        Expr::Le(a, b) | Expr::Lt(a, b) => (a, b),
+                        _ => unreachable!(),
+                    };
+                    let a = self.lower_num(a, t, seen);
+                    let b = self.lower_num(b, t, seen);
+                    let mut alg = FormulaAlg;
+                    if strict {
+                        bits::lt(&mut alg, &a, &b)
+                    } else {
+                        bits::le(&mut alg, &a, &b)
+                    }
+                }
+            }
+            other => panic!("boolean lowering of {other}"),
+        }
+    }
+
+    /// Helper to pull the nth operand of a comparison as a real expression.
+    fn lower_real_of(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        which: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> LinExpr {
+        match e {
+            Expr::Le(a, b) | Expr::Lt(a, b) => {
+                if which == 0 {
+                    self.lower_real(a, t, seen)
+                } else {
+                    self.lower_real(b, t, seen)
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    fn lower_real(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> LinExpr {
+        match e {
+            Expr::Const(Value::Real(r)) => LinExpr::constant(*r),
+            Expr::Var(v) => LinExpr::var(self.real_var_at(*v, t)),
+            Expr::Next(v) => LinExpr::var(self.real_var_at(*v, t + 1)),
+            Expr::Add(xs) => LinExpr::sum(
+                xs.iter()
+                    .map(|x| self.lower_real(x, t, seen))
+                    .collect::<Vec<_>>(),
+            ),
+            Expr::Sub(a, b) => {
+                self.lower_real(a, t, seen) - self.lower_real(b, t, seen)
+            }
+            Expr::Neg(a) => -self.lower_real(a, t, seen),
+            Expr::MulConst(k, a) => self.lower_real(a, t, seen) * *k,
+            Expr::Ite(c, a, b) => {
+                // Flatten through a fresh theory variable:
+                // (c → r = a) ∧ (¬c → r = b).
+                let c = self.lower_bool_in(c, t, seen);
+                let a = self.lower_real(a, t, seen);
+                let b = self.lower_real(b, t, seen);
+                let name = format!("__ite{}", self.fresh_ite);
+                self.fresh_ite += 1;
+                let r = self.smt.real_var(&name);
+                let eq_a = self
+                    .smt
+                    .eq_atom(LinExpr::var(r) - a, Rational::ZERO);
+                let eq_b = self
+                    .smt
+                    .eq_atom(LinExpr::var(r) - b, Rational::ZERO);
+                self.smt
+                    .assert_formula(c.clone().implies(eq_a));
+                self.smt.assert_formula(c.not().implies(eq_b));
+                LinExpr::var(r)
+            }
+            other => panic!("real lowering of {other}"),
+        }
+    }
+
+    fn lower_num(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Num<Formula> {
+        let mut alg = FormulaAlg;
+        match e {
+            Expr::Const(Value::Int(n)) => bits::num_const(&mut alg, *n),
+            Expr::Var(v) | Expr::Next(v) => {
+                let tt = if matches!(e, Expr::Next(_)) { t + 1 } else { t };
+                let Sort::Int { lo, .. } = *self.sys.sort_of(*v) else {
+                    panic!("numeric lowering of non-int var");
+                };
+                let raw = self.bit_formulas(*v, tt);
+                let unsigned = bits::from_unsigned(&mut alg, &raw);
+                if lo == 0 {
+                    unsigned
+                } else {
+                    let off = bits::num_const(&mut alg, lo);
+                    bits::add(&mut alg, &unsigned, &off)
+                }
+            }
+            Expr::Add(xs) => {
+                let mut acc = bits::num_const(&mut alg, 0);
+                for x in xs.iter() {
+                    let n = self.lower_num(x, t, seen);
+                    let mut alg = FormulaAlg;
+                    acc = bits::add(&mut alg, &acc, &n);
+                }
+                acc
+            }
+            Expr::Sub(a, b) => {
+                let a = self.lower_num(a, t, seen);
+                let b = self.lower_num(b, t, seen);
+                bits::sub(&mut FormulaAlg, &a, &b)
+            }
+            Expr::Neg(a) => {
+                let a = self.lower_num(a, t, seen);
+                bits::neg(&mut FormulaAlg, &a)
+            }
+            Expr::MulConst(k, a) => {
+                let a = self.lower_num(a, t, seen);
+                bits::mul_const(&mut FormulaAlg, &a, k.numer() as i64)
+            }
+            Expr::CountTrue(xs) => {
+                let flags: Vec<Formula> =
+                    xs.iter().map(|x| self.lower_bool_in(x, t, seen)).collect();
+                bits::count_true(&mut FormulaAlg, &flags)
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool_in(c, t, seen);
+                let a = self.lower_num(a, t, seen);
+                let b = self.lower_num(b, t, seen);
+                bits::mux(&mut FormulaAlg, &c, &a, &b)
+            }
+            other => panic!("numeric lowering of {other}"),
+        }
+    }
+
+    fn lower_enum_bits(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Vec<Formula> {
+        match e {
+            Expr::Const(Value::Enum(sort, idx)) => {
+                let card = sort.variants.len() as u64;
+                let w = 64 - (card - 1).leading_zeros() as usize;
+                (0..w)
+                    .map(|i| Formula::constant(idx >> i & 1 == 1))
+                    .collect()
+            }
+            Expr::Var(v) | Expr::Next(v) => {
+                let tt = if matches!(e, Expr::Next(_)) { t + 1 } else { t };
+                self.bit_formulas(*v, tt)
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool_in(c, t, seen);
+                let a = self.lower_enum_bits(a, t, seen);
+                let b = self.lower_enum_bits(b, t, seen);
+                a.into_iter()
+                    .zip(b)
+                    .map(|(x, y)| Formula::ite(c.clone(), x, y))
+                    .collect()
+            }
+            other => panic!("enum lowering of {other}"),
+        }
+    }
+
+    /// Asserts a boolean expression at step `t`.
+    pub fn assert_expr(&mut self, e: &Expr, t: usize) {
+        let f = self.lower_bool(e, t);
+        self.smt.assert_formula(f);
+    }
+
+    /// Decodes variable `v` at step `t` from a model.
+    pub fn decode(&self, t: usize, v: VarId, model: &verdict_smt::SmtModel) -> Value {
+        match &self.steps[t][v.index()] {
+            StepVar::Real(tv) => Value::Real(model.real_value(*tv)),
+            StepVar::Bits(bs) => {
+                let mut u: u64 = 0;
+                for (i, &b) in bs.iter().enumerate() {
+                    if model.bool_value(b) {
+                        u |= 1 << i;
+                    }
+                }
+                match self.sys.sort_of(v) {
+                    Sort::Bool => Value::Bool(u == 1),
+                    Sort::Enum(e) => Value::Enum(
+                        e.clone(),
+                        (u as u32).min(e.variants.len() as u32 - 1),
+                    ),
+                    Sort::Int { lo, hi } => Value::Int((*lo + u as i64).min(*hi)),
+                    Sort::Real => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Decodes the states `0..len`.
+    pub fn decode_trace(&self, len: usize, model: &verdict_smt::SmtModel) -> Vec<Vec<Value>> {
+        (0..len)
+            .map(|t| {
+                self.sys
+                    .var_ids()
+                    .map(|v| self.decode(t, v, model))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Access to the solver (for defining assumption literals).
+    pub fn smt_mut(&mut self) -> &mut SmtSolver {
+        &mut self.smt
+    }
+}
+
+/// Bounded falsification of `G p` on a (possibly real-valued) system.
+pub fn check_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let deadline = opts.deadline();
+    let mut unr = SmtUnroller::new(sys)?;
+    let bad = p.clone().not();
+    for k in 0..=opts.max_depth {
+        if past(deadline) {
+            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        }
+        unr.extend_to(k);
+        let bad_k = unr.lower_bool(&bad, k);
+        let bad_lit = unr.smt_mut().define_literal(&bad_k);
+        let limits = Limits {
+            max_conflicts: None,
+            deadline,
+        };
+        match unr.smt_mut().solve_limited(&[bad_lit], limits) {
+            SmtResult::Sat(model) => {
+                let states = unr.decode_trace(k + 1, &model);
+                return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
+            }
+            SmtResult::Unsat => {
+                // Pin the refuted step: assert ¬bad_lit (mind the polarity
+                // of the defined literal).
+                let neg = Formula::lit(bad_lit.var(), !bad_lit.is_positive());
+                unr.smt_mut().assert_formula(neg);
+            }
+            SmtResult::Unknown => {
+                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+            }
+        }
+    }
+    Ok(CheckResult::Unknown(UnknownReason::DepthBound))
+}
+
+/// Bounded LTL falsification by fair-lasso search with exact loop-back on
+/// real variables (the paper's case study 2 shape).
+pub fn check_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    let deadline = opts.deadline();
+    let product = violation_product(sys, phi);
+    let psys = &product.system;
+    let mut unr = SmtUnroller::new(psys)?;
+    for k in 1..=opts.max_depth {
+        if past(deadline) {
+            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        }
+        unr.extend_to(k);
+        let mut options = Vec::with_capacity(k);
+        for l in 0..k {
+            let eq = unr.states_equal(l, k);
+            let mut parts = vec![eq];
+            for j in &product.justice {
+                let hits: Vec<Formula> =
+                    (l..k).map(|i| unr.lower_bool(j, i)).collect();
+                parts.push(Formula::or_all(hits));
+            }
+            options.push(Formula::and_all(parts));
+        }
+        let lasso = Formula::or_all(options);
+        let lasso_lit = unr.smt_mut().define_literal(&lasso);
+        let limits = Limits {
+            max_conflicts: None,
+            deadline,
+        };
+        match unr.smt_mut().solve_limited(&[lasso_lit], limits) {
+            SmtResult::Sat(model) => {
+                let full = unr.decode_trace(k + 1, &model);
+                let loop_back = (0..k).find(|&l| full[l] == full[k]).unwrap_or(0);
+                let projected: Vec<Vec<Value>> = full
+                    .iter()
+                    .map(|s| s[..product.original_vars].to_vec())
+                    .collect();
+                let mut trace = Trace::new(psys, projected, Some(loop_back));
+                trace.var_names.truncate(product.original_vars);
+                return Ok(CheckResult::Violated(trace));
+            }
+            SmtResult::Unsat => {}
+            SmtResult::Unknown => {
+                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+            }
+        }
+    }
+    Ok(CheckResult::Unknown(UnknownReason::DepthBound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// Leaky bucket: level' = level + inflow - 1, inflow a frozen real
+    /// parameter; G(level <= 10) fails iff inflow > 1 can push it over.
+    fn bucket() -> (System, VarId, VarId) {
+        let mut sys = System::new("bucket");
+        let level = sys.real_var("level");
+        let inflow = sys.real_param("inflow");
+        sys.add_init(Expr::var(level).eq(Expr::real(Rational::ZERO)));
+        sys.add_init(Expr::var(inflow).ge(Expr::real(Rational::ZERO)));
+        sys.add_init(Expr::var(inflow).le(Expr::real(r(3, 1))));
+        sys.add_trans(Expr::next(level).eq(Expr::var(level)
+            .add(Expr::var(inflow))
+            .sub(Expr::real(Rational::ONE))));
+        (sys, level, inflow)
+    }
+
+    #[test]
+    fn real_invariant_violation_with_parameter_solving() {
+        let (sys, level, inflow) = bucket();
+        let r10 = Expr::real(r(10, 1));
+        let res = check_invariant(
+            &sys,
+            &Expr::var(level).le(r10),
+            &CheckOptions::with_depth(16),
+        )
+        .unwrap();
+        let t = res.trace().expect("violated: inflow can be 3");
+        // The chosen inflow must actually cause the overflow.
+        let Value::Real(inf) = t.value(0, "inflow").unwrap() else {
+            panic!("inflow should be real");
+        };
+        assert!(*inf > Rational::ONE, "inflow = {inf}");
+        let Value::Real(last) = t.value(t.len() - 1, "level").unwrap() else {
+            panic!()
+        };
+        assert!(*last > r(10, 1));
+        let _ = (level, inflow);
+    }
+
+    #[test]
+    fn real_invariant_unknown_when_safe() {
+        let (sys, level, _) = bucket();
+        // level >= -depth is a trivially-safe bound BMC cannot violate.
+        let res = check_invariant(
+            &sys,
+            &Expr::var(level).ge(Expr::real(r(-100, 1))),
+            &CheckOptions::with_depth(6),
+        )
+        .unwrap();
+        assert!(matches!(
+            res,
+            CheckResult::Unknown(UnknownReason::DepthBound)
+        ));
+    }
+
+    #[test]
+    fn mixed_finite_and_real_state() {
+        // Mode switch (bool) gates which increment applies to a real var.
+        let mut sys = System::new("mixed");
+        let fast = sys.bool_var("fast");
+        let x = sys.real_var("x");
+        sys.add_init(Expr::var(x).eq(Expr::real(Rational::ZERO)));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::ite(
+            Expr::var(fast),
+            Expr::real(r(2, 1)),
+            Expr::real(r(1, 2)),
+        ))));
+        // Reaching x = 4 at step 2 requires fast twice.
+        let res = check_invariant(
+            &sys,
+            &Expr::var(x).lt(Expr::real(r(4, 1))),
+            &CheckOptions::with_depth(4),
+        )
+        .unwrap();
+        let t = res.trace().expect("violated");
+        assert_eq!(t.value(0, "fast"), Some(&Value::Bool(true)));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn ltl_lasso_over_reals() {
+        // x alternates between 0 and 1 (real-valued oscillator):
+        // F G (x = 0) is violated with a lasso.
+        let mut sys = System::new("rflip");
+        let x = sys.real_var("x");
+        sys.add_init(Expr::var(x).eq(Expr::real(Rational::ZERO)));
+        sys.add_trans(Expr::next(x).eq(Expr::ite(
+            Expr::var(x).eq(Expr::real(Rational::ZERO)),
+            Expr::real(Rational::ONE),
+            Expr::real(Rational::ZERO),
+        )));
+        let phi = Ltl::atom(Expr::var(x).eq(Expr::real(Rational::ZERO)))
+            .always()
+            .eventually();
+        let res = check_ltl(&sys, &phi, &CheckOptions::with_depth(8)).unwrap();
+        let t = res.trace().expect("violated");
+        assert!(t.loop_back.is_some(), "{t}");
+    }
+
+    #[test]
+    fn strict_real_comparisons() {
+        // G(x < 1) with x' = x + 1/2 from 0: violated at step 2 (x = 1 is
+        // not < 1).
+        let mut sys = System::new("strict");
+        let x = sys.real_var("x");
+        sys.add_init(Expr::var(x).eq(Expr::real(Rational::ZERO)));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::real(r(1, 2)))));
+        let res = check_invariant(
+            &sys,
+            &Expr::var(x).lt(Expr::real(Rational::ONE)),
+            &CheckOptions::with_depth(4),
+        )
+        .unwrap();
+        let t = res.trace().expect("violated");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(2, "x"), Some(&Value::Real(Rational::ONE)));
+    }
+}

@@ -1,0 +1,257 @@
+//! LTL → symbolic tableau translation (Clarke–Grumberg–Hamaguchi style).
+//!
+//! To check `φ` we search for a *witness of `¬φ`*: the negation is put in
+//! negation normal form, every temporal subformula gets a fresh boolean
+//! state variable with its expansion law as a `TRANS` constraint, and every
+//! until-subformula contributes a justice (fairness) constraint ruling out
+//! paths that promise `g U h` forever without delivering `h`:
+//!
+//! * `X g`   : `v ↔ next(sat(g))`
+//! * `g U h` : `v ↔ h ∨ (g ∧ next(v))`, justice `¬v ∨ h`
+//! * `g R h` : `v ↔ h ∧ (g ∨ next(v))`
+//!
+//! (`F`/`G` are desugared to `U`/`R` first.) The product system is the
+//! original system plus the tableau variables, with `sat(¬φ)` added as an
+//! `INIT` constraint. `φ` fails on the original system **iff** the product
+//! has a fair infinite path — which the BDD engine decides by fair-cycle
+//! detection and the BMC/SMT engines by fair-lasso search.
+
+use std::collections::HashMap;
+
+use verdict_ts::{Expr, Ltl, System, VarId, VarKind};
+
+/// The tableau product: the instrumented system and its justice set.
+pub struct TableauProduct {
+    /// Original system + tableau variables + expansion constraints +
+    /// `sat(¬φ)` as an additional INIT constraint.
+    pub system: System,
+    /// Justice constraints: every fair path satisfies each infinitely often.
+    /// Includes the original system's own fairness constraints.
+    pub justice: Vec<Expr>,
+    /// Number of variables in the original system (prefix of the product's
+    /// variable list) — used to project traces back.
+    pub original_vars: usize,
+}
+
+/// Builds the tableau product for a *violation search* of `φ` on `sys`:
+/// the product has a fair path iff `sys` has a path satisfying `¬φ`.
+pub fn violation_product(sys: &System, phi: &Ltl) -> TableauProduct {
+    build_product(sys, &phi.clone().not().nnf())
+}
+
+/// Builds the tableau product for a *witness search* of `ψ` (already the
+/// formula whose satisfying path we want).
+pub fn witness_product(sys: &System, psi: &Ltl) -> TableauProduct {
+    build_product(sys, &psi.nnf())
+}
+
+fn build_product(sys: &System, nnf: &Ltl) -> TableauProduct {
+    let mut product = sys.clone();
+    let original_vars = sys.num_vars();
+    let mut builder = Builder {
+        sys: &mut product,
+        justice: sys.fairness().to_vec(),
+        cache: HashMap::new(),
+        counter: 0,
+    };
+    let root = builder.sat(nnf);
+    let justice = std::mem::take(&mut builder.justice);
+    product.add_init(root);
+    TableauProduct {
+        system: product,
+        justice,
+        original_vars,
+    }
+}
+
+struct Builder<'a> {
+    sys: &'a mut System,
+    justice: Vec<Expr>,
+    /// Structural cache so repeated subformulas share tableau variables.
+    cache: HashMap<String, VarId>,
+    counter: usize,
+}
+
+impl Builder<'_> {
+    /// Returns an expression over product state variables that holds in a
+    /// state iff the path from that state satisfies `f` (on fair paths of
+    /// the tableau).
+    fn sat(&mut self, f: &Ltl) -> Expr {
+        match f {
+            Ltl::Atom(e) => e.clone(),
+            Ltl::Not(inner) => {
+                // NNF: negation only on atoms.
+                match inner.as_ref() {
+                    Ltl::Atom(e) => e.clone().not(),
+                    other => panic!("tableau input not in NNF: !({other})"),
+                }
+            }
+            Ltl::And(a, b) => {
+                let (a, b) = (self.sat(a), self.sat(b));
+                a.and(b)
+            }
+            Ltl::Or(a, b) => {
+                let (a, b) = (self.sat(a), self.sat(b));
+                a.or(b)
+            }
+            Ltl::X(g) => {
+                let key = format!("X({g})");
+                if let Some(&v) = self.cache.get(&key) {
+                    return Expr::var(v);
+                }
+                let v = self.fresh(&key);
+                self.cache.insert(key, v);
+                let g_expr = self.sat(g);
+                // v ↔ next(sat(g)): sat(g) may itself mention tableau vars;
+                // shift it to the next state.
+                let shifted = shift_to_next(&g_expr);
+                self.sys
+                    .add_trans(Expr::var(v).iff(shifted));
+                Expr::var(v)
+            }
+            Ltl::F(g) => self.sat(&Ltl::atom(Expr::tt()).until((**g).clone())),
+            Ltl::G(g) => self.sat(&Ltl::atom(Expr::ff()).release((**g).clone())),
+            Ltl::U(g, h) => {
+                let key = format!("({g})U({h})");
+                if let Some(&v) = self.cache.get(&key) {
+                    return Expr::var(v);
+                }
+                let v = self.fresh(&key);
+                self.cache.insert(key, v);
+                let ge = self.sat(g);
+                let he = self.sat(h);
+                // v ↔ h ∨ (g ∧ X v)
+                let expansion = he
+                    .clone()
+                    .or(ge.and(Expr::next(v)));
+                self.sys.add_trans(Expr::var(v).iff(expansion));
+                // Justice: infinitely often (¬v ∨ h) — h cannot be promised
+                // forever.
+                self.justice.push(Expr::var(v).not().or(he));
+                Expr::var(v)
+            }
+            Ltl::R(g, h) => {
+                let key = format!("({g})R({h})");
+                if let Some(&v) = self.cache.get(&key) {
+                    return Expr::var(v);
+                }
+                let v = self.fresh(&key);
+                self.cache.insert(key, v);
+                let ge = self.sat(g);
+                let he = self.sat(h);
+                // v ↔ h ∧ (g ∨ X v)
+                let expansion = he.and(ge.or(Expr::next(v)));
+                self.sys.add_trans(Expr::var(v).iff(expansion));
+                Expr::var(v)
+            }
+        }
+    }
+
+    fn fresh(&mut self, purpose: &str) -> VarId {
+        let name = format!("__ltl{}_{}", self.counter, sanitize(purpose));
+        self.counter += 1;
+        self.sys
+            .add_var(&name, verdict_ts::Sort::Bool, VarKind::State)
+    }
+}
+
+/// Replaces every `Var(v)` by `Next(v)` (the expression must not already
+/// mention `next()` — tableau sat() expressions never do).
+pub(crate) fn shift_to_next(e: &Expr) -> Expr {
+    match e {
+        Expr::Const(_) => e.clone(),
+        Expr::Var(v) => Expr::next(*v),
+        Expr::Next(_) => panic!("shift_to_next on expression already using next()"),
+        Expr::Not(a) => shift_to_next(a).not(),
+        Expr::And(xs) => Expr::and_all(xs.iter().map(shift_to_next)),
+        Expr::Or(xs) => Expr::or_all(xs.iter().map(shift_to_next)),
+        Expr::Implies(a, b) => shift_to_next(a).implies(shift_to_next(b)),
+        Expr::Iff(a, b) => shift_to_next(a).iff(shift_to_next(b)),
+        Expr::Ite(c, t, f) => {
+            Expr::ite(shift_to_next(c), shift_to_next(t), shift_to_next(f))
+        }
+        Expr::Eq(a, b) => shift_to_next(a).eq(shift_to_next(b)),
+        Expr::Le(a, b) => shift_to_next(a).le(shift_to_next(b)),
+        Expr::Lt(a, b) => shift_to_next(a).lt(shift_to_next(b)),
+        Expr::Add(xs) => Expr::sum(xs.iter().map(shift_to_next)),
+        Expr::Sub(a, b) => shift_to_next(a).sub(shift_to_next(b)),
+        Expr::Neg(a) => shift_to_next(a).neg(),
+        Expr::MulConst(k, a) => shift_to_next(a).scale(*k),
+        Expr::CountTrue(xs) => Expr::count_true(xs.iter().map(shift_to_next)),
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .take(16)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip_system() -> (System, VarId) {
+        let mut sys = System::new("flip");
+        let x = sys.bool_var("x");
+        sys.add_init(Expr::var(x));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        (sys, x)
+    }
+
+    #[test]
+    fn safety_product_adds_no_tableau_vars_for_pure_g() {
+        // ¬G(p) = F(¬p) = true U ¬p: one tableau var, one justice.
+        let (sys, x) = flip_system();
+        let phi = Ltl::atom(Expr::var(x)).always();
+        let prod = violation_product(&sys, &phi);
+        assert_eq!(prod.system.num_vars(), sys.num_vars() + 1);
+        assert_eq!(prod.justice.len(), 1);
+        assert_eq!(prod.original_vars, 1);
+    }
+
+    #[test]
+    fn fg_product_has_two_temporal_vars() {
+        // ¬F(G p) = G(F ¬p) = false R (true U ¬p): R-var + U-var, 1 justice.
+        let (sys, x) = flip_system();
+        let phi = Ltl::atom(Expr::var(x)).always().eventually();
+        let prod = violation_product(&sys, &phi);
+        assert_eq!(prod.system.num_vars(), sys.num_vars() + 2);
+        assert_eq!(prod.justice.len(), 1);
+    }
+
+    #[test]
+    fn shared_subformulas_cached() {
+        let (sys, x) = flip_system();
+        let fx = Ltl::atom(Expr::var(x)).eventually();
+        // F x ∧ F x should introduce the U variable once.
+        let phi = fx.clone().and(fx).not(); // witness search of ¬φ below
+        let prod = witness_product(&sys, &phi.not().nnf());
+        assert_eq!(prod.system.num_vars(), sys.num_vars() + 1);
+    }
+
+    #[test]
+    fn product_type_checks() {
+        let (sys, x) = flip_system();
+        let phi = Ltl::atom(Expr::var(x))
+            .until(Ltl::atom(Expr::var(x).not()))
+            .next();
+        let prod = violation_product(&sys, &phi);
+        assert!(prod.system.check().is_ok());
+        for j in &prod.justice {
+            assert!(!j.mentions_next());
+        }
+    }
+
+    #[test]
+    fn x_operator_shifts() {
+        let (sys, x) = flip_system();
+        let phi = Ltl::atom(Expr::var(x)).next(); // X x
+        let prod = violation_product(&sys, &phi);
+        // ¬X x = X ¬x: one tableau var whose TRANS mentions next().
+        assert_eq!(prod.system.num_vars(), 2);
+        let added_trans = &prod.system.trans()[sys.trans().len()..];
+        assert!(added_trans.iter().any(Expr::mentions_next));
+    }
+}

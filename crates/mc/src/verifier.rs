@@ -1,0 +1,253 @@
+//! The [`Verifier`] façade — the paper's Fig. 4 workflow as an API.
+//!
+//! Inputs: a control-component/environment model (a `verdict-ts`
+//! [`System`]), a property (invariant, LTL, or CTL), optional parameter
+//! constraints. Outputs: verification results, counterexamples, or
+//! suggested safe parameters.
+//!
+//! ```
+//! use verdict_mc::{Engine, Verifier};
+//! use verdict_ts::{Expr, System};
+//!
+//! let mut sys = System::new("counter");
+//! let n = sys.int_var("n", 0, 7);
+//! sys.add_init(Expr::var(n).eq(Expr::int(0)));
+//! sys.add_trans(Expr::next(n).eq(Expr::ite(
+//!     Expr::var(n).lt(Expr::int(7)),
+//!     Expr::var(n).add(Expr::int(1)),
+//!     Expr::var(n),
+//! )));
+//! let verifier = Verifier::new(&sys);
+//! let ok = verifier.check_invariant(&Expr::var(n).le(Expr::int(7))).unwrap();
+//! assert!(ok.holds());
+//! let bad = verifier.check_invariant(&Expr::var(n).lt(Expr::int(7))).unwrap();
+//! assert!(bad.violated());
+//! ```
+
+use verdict_ts::{Ctl, Expr, Ltl, System, VarId};
+
+use crate::params::{self, Property, SynthesisEngine, SynthesisResult};
+use crate::result::{CheckOptions, CheckResult, McError};
+
+/// Engine selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Choose automatically: SMT-BMC for real-sorted systems; otherwise
+    /// k-induction for invariants (falsify + prove) and BDD for LTL/CTL.
+    #[default]
+    Auto,
+    /// SAT bounded model checking (falsification only).
+    Bmc,
+    /// k-induction (invariants; proves and falsifies).
+    KInduction,
+    /// BDD fixpoint engine (complete on finite systems).
+    Bdd,
+    /// Explicit-state reference engine (tiny finite systems).
+    Explicit,
+    /// SMT bounded model checking (real-valued systems; falsification).
+    SmtBmc,
+}
+
+/// The verification façade. Borrowing the system keeps the API cheap to
+/// use in parameter sweeps; all state lives in the engines per call.
+pub struct Verifier<'s> {
+    sys: &'s System,
+    engine: Engine,
+    opts: CheckOptions,
+}
+
+impl<'s> Verifier<'s> {
+    /// A verifier with default options and automatic engine choice.
+    pub fn new(sys: &'s System) -> Verifier<'s> {
+        Verifier {
+            sys,
+            engine: Engine::Auto,
+            opts: CheckOptions::default(),
+        }
+    }
+
+    /// Selects a specific engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets resource options.
+    pub fn options(mut self, opts: CheckOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    fn effective_engine(&self) -> Engine {
+        match self.engine {
+            Engine::Auto => {
+                if self.sys.has_real_vars() {
+                    Engine::SmtBmc
+                } else {
+                    Engine::KInduction
+                }
+            }
+            e => e,
+        }
+    }
+
+    /// Checks the safety property `G p`.
+    pub fn check_invariant(&self, p: &Expr) -> Result<CheckResult, McError> {
+        match self.effective_engine() {
+            Engine::Bmc => crate::bmc::check_invariant(self.sys, p, &self.opts),
+            Engine::KInduction => crate::kind::prove_invariant(self.sys, p, &self.opts),
+            Engine::Bdd => crate::bdd::check_invariant(self.sys, p, &self.opts),
+            Engine::Explicit => {
+                crate::explicit_engine::check_invariant(self.sys, p, &self.opts)
+            }
+            Engine::SmtBmc => crate::smtbmc::check_invariant(self.sys, p, &self.opts),
+            Engine::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Checks an LTL property.
+    pub fn check_ltl(&self, phi: &Ltl) -> Result<CheckResult, McError> {
+        match self.effective_engine() {
+            Engine::Bmc => crate::bmc::check_ltl(self.sys, phi, &self.opts),
+            Engine::Bdd => crate::bdd::check_ltl(self.sys, phi, &self.opts),
+            Engine::Explicit => crate::explicit_engine::check_ltl(self.sys, phi, &self.opts),
+            Engine::SmtBmc => crate::smtbmc::check_ltl(self.sys, phi, &self.opts),
+            // k-induction does not handle liveness; fall back to the
+            // complete finite engine.
+            Engine::KInduction => crate::bdd::check_ltl(self.sys, phi, &self.opts),
+            Engine::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Checks a CTL property (finite engines only).
+    pub fn check_ctl(&self, phi: &Ctl) -> Result<CheckResult, McError> {
+        match self.effective_engine() {
+            Engine::Explicit => crate::explicit_engine::check_ctl(self.sys, phi, &self.opts),
+            Engine::SmtBmc | Engine::Bmc => Err(McError(
+                "CTL requires a complete engine (BDD or explicit)".to_string(),
+            )),
+            _ => crate::bdd::check_ctl(self.sys, phi, &self.opts),
+        }
+    }
+
+    /// Synthesizes safe values for the given frozen parameters against an
+    /// invariant (paper case study 1's `p ∈ {1, 2}` workflow).
+    pub fn synthesize_params(
+        &self,
+        params: &[VarId],
+        property: &Property,
+    ) -> Result<SynthesisResult, McError> {
+        let engine = match self.effective_engine() {
+            Engine::Bdd => SynthesisEngine::Bdd,
+            Engine::Explicit => SynthesisEngine::Explicit,
+            _ => match property {
+                Property::Invariant(_) => SynthesisEngine::KInduction,
+                Property::Ltl(_) => SynthesisEngine::Bdd,
+            },
+        };
+        params::synthesize(self.sys, params, property, engine, &self.opts)
+    }
+
+    /// Finds violating parameter values symbolically (they appear in the
+    /// returned counterexample trace).
+    pub fn find_violating_params(
+        &self,
+        property: &Property,
+    ) -> Result<CheckResult, McError> {
+        params::find_violating_params(self.sys, property, &self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_ts::Value;
+
+    fn counter() -> (System, VarId) {
+        let mut sys = System::new("counter");
+        let n = sys.int_var("n", 0, 7);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).lt(Expr::int(7)),
+            Expr::var(n).add(Expr::int(1)),
+            Expr::var(n),
+        )));
+        (sys, n)
+    }
+
+    #[test]
+    fn auto_engine_proves_and_falsifies() {
+        let (sys, n) = counter();
+        let v = Verifier::new(&sys);
+        assert!(v.check_invariant(&Expr::var(n).le(Expr::int(7))).unwrap().holds());
+        assert!(v
+            .check_invariant(&Expr::var(n).lt(Expr::int(5)))
+            .unwrap()
+            .violated());
+    }
+
+    #[test]
+    fn engine_selection_respected() {
+        let (sys, n) = counter();
+        let bmc = Verifier::new(&sys).engine(Engine::Bmc);
+        // BMC can only falsify; a holding invariant gives Unknown.
+        let r = bmc
+            .options(CheckOptions::with_depth(10))
+            .check_invariant(&Expr::var(n).le(Expr::int(7)))
+            .unwrap();
+        assert!(matches!(r, CheckResult::Unknown(_)));
+    }
+
+    #[test]
+    fn auto_routes_real_systems_to_smt() {
+        let mut sys = System::new("real");
+        let x = sys.real_var("x");
+        sys.add_init(Expr::var(x).eq(Expr::real(verdict_logic::Rational::ZERO)));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::real(
+            verdict_logic::Rational::ONE,
+        ))));
+        let v = Verifier::new(&sys).options(CheckOptions::with_depth(6));
+        let r = v
+            .check_invariant(&Expr::var(x).lt(Expr::real(
+                verdict_logic::Rational::integer(3),
+            )))
+            .unwrap();
+        assert!(r.violated(), "{r}");
+    }
+
+    #[test]
+    fn ctl_requires_complete_engine() {
+        let (sys, n) = counter();
+        let v = Verifier::new(&sys).engine(Engine::Bmc);
+        assert!(v
+            .check_ctl(&Ctl::atom(Expr::var(n).eq(Expr::int(7))).ef())
+            .is_err());
+        let v = Verifier::new(&sys);
+        assert!(v
+            .check_ctl(&Ctl::atom(Expr::var(n).eq(Expr::int(7))).ef())
+            .unwrap()
+            .holds());
+    }
+
+    #[test]
+    fn synthesis_through_facade() {
+        let mut sys = System::new("step");
+        let n = sys.int_var("n", 0, 10);
+        let p = sys.int_param("p", 1, 3);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).le(Expr::int(7)),
+            Expr::var(n).add(Expr::var(p)),
+            Expr::var(n),
+        )));
+        let v = Verifier::new(&sys);
+        let prop = Property::Invariant(Expr::var(n).ne(Expr::int(5)));
+        let r = v.synthesize_params(&[p], &prop).unwrap();
+        assert_eq!(r.safe().len(), 2);
+        let viol = v.find_violating_params(&prop).unwrap();
+        assert_eq!(
+            viol.trace().unwrap().value(0, "p"),
+            Some(&Value::Int(1))
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Differential testing: all engines must agree on random small systems.
+//!
+//! The explicit-state engine is the semantics oracle; k-induction, BDD,
+//! and (for falsification) BMC must match it on invariants, and BDD must
+//! match it on LTL verdicts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verdict_mc::{bdd, bmc, explicit_engine, kind, CheckOptions, CheckResult};
+use verdict_ts::{Expr, Ltl, System, VarId};
+
+/// A random small finite system over a few booleans and one bounded int.
+/// Transitions are built from random guarded assignments so the system is
+/// total (unconstrained variables evolve nondeterministically).
+fn random_system(seed: u64) -> (System, Vec<VarId>, VarId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sys = System::new("random");
+    let nbools = rng.gen_range(1..=3usize);
+    let bools: Vec<VarId> = (0..nbools)
+        .map(|i| sys.bool_var(&format!("b{i}")))
+        .collect();
+    let hi = rng.gen_range(2..=5i64);
+    let n = sys.int_var("n", 0, hi);
+
+    // Random INIT: fix each bool with probability 1/2; n starts at 0.
+    for &b in &bools {
+        if rng.gen_bool(0.5) {
+            let positive = rng.gen_bool(0.5);
+            sys.add_init(if positive {
+                Expr::var(b)
+            } else {
+                Expr::var(b).not()
+            });
+        }
+    }
+    sys.add_init(Expr::var(n).eq(Expr::int(0)));
+
+    // Random TRANS: n evolves by a guarded increment; bools may latch,
+    // flip, or stay free.
+    let guard_bool = bools[rng.gen_range(0..nbools)];
+    sys.add_trans(Expr::next(n).eq(Expr::ite(
+        Expr::var(guard_bool).and(Expr::var(n).lt(Expr::int(hi))),
+        Expr::var(n).add(Expr::int(1)),
+        Expr::var(n),
+    )));
+    for &b in &bools {
+        match rng.gen_range(0..3) {
+            0 => sys.add_trans(Expr::var(b).implies(Expr::next(b))), // latch
+            1 => sys.add_trans(Expr::next(b).eq(Expr::var(b).not())), // flip
+            _ => {} // free
+        }
+    }
+    (sys, bools, n)
+}
+
+#[test]
+fn invariant_verdicts_agree_across_engines() {
+    let opts = CheckOptions::with_depth(32);
+    for seed in 0..40u64 {
+        let (sys, _bools, n) = random_system(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let bound = rng.gen_range(1..=4i64);
+        let p = Expr::var(n).lt(Expr::int(bound));
+
+        let oracle = explicit_engine::check_invariant(&sys, &p, &opts).unwrap();
+        let by_kind = kind::prove_invariant(&sys, &p, &opts).unwrap();
+        let by_bdd = bdd::check_invariant(&sys, &p, &opts).unwrap();
+        let by_bmc = bmc::check_invariant(&sys, &p, &opts).unwrap();
+
+        assert_eq!(
+            oracle.holds(),
+            by_kind.holds(),
+            "seed {seed}: explicit vs k-induction\n{sys}"
+        );
+        assert_eq!(
+            oracle.holds(),
+            by_bdd.holds(),
+            "seed {seed}: explicit vs BDD\n{sys}"
+        );
+        if oracle.violated() {
+            assert!(by_bmc.violated(), "seed {seed}: BMC must find violation");
+            // Traces from BDD and explicit are shortest; compare lengths.
+            assert_eq!(
+                oracle.trace().unwrap().len(),
+                by_bdd.trace().unwrap().len(),
+                "seed {seed}: shortest-counterexample lengths differ"
+            );
+            assert_eq!(
+                oracle.trace().unwrap().len(),
+                by_bmc.trace().unwrap().len(),
+                "seed {seed}: BMC counterexample not minimal"
+            );
+        } else {
+            assert!(
+                !by_bmc.violated(),
+                "seed {seed}: BMC found phantom violation"
+            );
+        }
+    }
+}
+
+#[test]
+fn ltl_verdicts_agree_between_bdd_and_explicit() {
+    let opts = CheckOptions::with_depth(24);
+    for seed in 0..30u64 {
+        let (sys, bools, n) = random_system(seed.wrapping_mul(7919));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+        // Random property from a small grammar.
+        let atom_n = Expr::var(n).ge(Expr::int(rng.gen_range(1..=3i64)));
+        let atom_b = Expr::var(bools[rng.gen_range(0..bools.len())]);
+        let phi = match rng.gen_range(0..5) {
+            0 => Ltl::atom(atom_n).eventually(),
+            1 => Ltl::atom(atom_b.clone()).always(),
+            2 => Ltl::atom(atom_b.clone()).always().eventually(), // F G
+            3 => Ltl::atom(atom_n).eventually().always(),         // G F
+            _ => Ltl::atom(atom_b).until(Ltl::atom(atom_n)),
+        };
+        let oracle = explicit_engine::check_ltl(&sys, &phi, &opts).unwrap();
+        let by_bdd = bdd::check_ltl(&sys, &phi, &opts).unwrap();
+        assert_eq!(
+            oracle.holds(),
+            by_bdd.holds(),
+            "seed {seed} property {phi}\n{sys}"
+        );
+        // BMC lasso search must agree whenever it returns a verdict.
+        let by_bmc = bmc::check_ltl(&sys, &phi, &opts).unwrap();
+        if by_bmc.violated() {
+            assert!(oracle.violated(), "seed {seed}: BMC phantom lasso {phi}");
+        }
+        if oracle.violated() {
+            // The lasso is within reach of the bound for these tiny models.
+            assert!(
+                matches!(by_bmc, CheckResult::Violated(_)),
+                "seed {seed}: BMC missed lasso for {phi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lasso_counterexamples_replay_under_semantics() {
+    // Liveness counterexamples must be genuine lassos: legal transitions
+    // throughout, a loop that actually closes (the final state equals the
+    // loop-back state), and — for F G p violations — a ¬p state inside
+    // the loop.
+    let opts = CheckOptions::with_depth(24);
+    for seed in 0..25u64 {
+        let (sys, bools, _n) = random_system(seed.wrapping_mul(131));
+        let p = Expr::var(bools[0]);
+        let phi = Ltl::atom(p.clone()).always().eventually(); // F G p
+        let r = bmc::check_ltl(&sys, &phi, &opts).unwrap();
+        let Some(trace) = r.trace() else { continue };
+        let l = trace.loop_back.expect("liveness trace is a lasso");
+        // Legal transitions.
+        for w in trace.states.windows(2) {
+            for tr in sys.trans() {
+                assert!(
+                    verdict_ts::explicit::eval_trans(tr, &w[0], &w[1]),
+                    "seed {seed}: illegal transition"
+                );
+            }
+        }
+        // Loop closes: last state equals the loop-back state.
+        assert_eq!(
+            trace.states.last().unwrap(),
+            &trace.states[l],
+            "seed {seed}: lasso does not close\n{trace}"
+        );
+        // The loop contains a ¬p state (otherwise F G p would hold on it).
+        let has_not_p = (l..trace.len() - 1)
+            .any(|t| !verdict_ts::explicit::holds(&p, &trace.states[t]));
+        assert!(has_not_p, "seed {seed}: loop satisfies G p\n{trace}");
+    }
+}
+
+#[test]
+fn counterexample_traces_replay_under_semantics() {
+    // Every violated-invariant trace must be a genuine execution: init
+    // holds, each step is a legal transition, and the last state breaks p.
+    let opts = CheckOptions::with_depth(32);
+    for seed in 0..25u64 {
+        let (sys, _b, n) = random_system(seed.wrapping_mul(31));
+        let p = Expr::var(n).lt(Expr::int(2));
+        let r = bmc::check_invariant(&sys, &p, &opts).unwrap();
+        let Some(trace) = r.trace() else { continue };
+        // Initial state satisfies INIT and INVAR.
+        let first = &trace.states[0];
+        for init in sys.init() {
+            assert!(
+                verdict_ts::explicit::holds(init, first),
+                "seed {seed}: INIT violated by trace head"
+            );
+        }
+        // Transitions are legal.
+        for w in trace.states.windows(2) {
+            for tr in sys.trans() {
+                assert!(
+                    verdict_ts::explicit::eval_trans(tr, &w[0], &w[1]),
+                    "seed {seed}: illegal transition in counterexample"
+                );
+            }
+        }
+        // Final state violates p.
+        let last = trace.states.last().unwrap();
+        assert!(
+            !verdict_ts::explicit::holds(&p, last),
+            "seed {seed}: final state satisfies the invariant"
+        );
+    }
+}

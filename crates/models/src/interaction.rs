@@ -1,0 +1,215 @@
+//! The controller/metric interaction graph of the paper's Fig. 1.
+//!
+//! Fig. 1 is illustrative rather than experimental, but it is the mental
+//! model behind the whole verification effort: controllers observe
+//! metrics and manipulate system elements that move other metrics other
+//! controllers observe. This module encodes that graph as data, with a
+//! DOT export for rendering and simple analyses (e.g. feedback-cycle
+//! detection — the cycles are where oscillations live).
+
+use std::fmt::Write as _;
+
+/// The kind of a graph node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// A control component (scheduler, load balancer, …).
+    Controller,
+    /// A quantitative metric (latency, bandwidth, …).
+    Metric,
+    /// An environment element (node status, …).
+    Environment,
+}
+
+/// A node in the interaction graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Display name.
+    pub name: String,
+    /// Kind.
+    pub kind: NodeKind,
+}
+
+/// The interaction graph: controllers observe metrics (metric → controller
+/// edges) and act on metrics (controller → metric edges).
+#[derive(Clone, Debug, Default)]
+pub struct InteractionGraph {
+    /// Nodes.
+    pub nodes: Vec<Node>,
+    /// Directed edges `(from, to)` as node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl InteractionGraph {
+    /// Adds a node, returning its index.
+    pub fn add(&mut self, name: &str, kind: NodeKind) -> usize {
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Adds a directed edge.
+    pub fn connect(&mut self, from: usize, to: usize) {
+        self.edges.push((from, to));
+    }
+
+    /// The paper's Fig. 1 instance.
+    pub fn figure1() -> InteractionGraph {
+        let mut g = InteractionGraph::default();
+        // Controllers.
+        let routing = g.add("Routing/TE", NodeKind::Controller);
+        let lb = g.add("Load balancer", NodeKind::Controller);
+        let autoscaler = g.add("Autoscaler", NodeKind::Controller);
+        let scheduler = g.add("Scheduler", NodeKind::Controller);
+        let descheduler = g.add("Descheduler / Rate limiter", NodeKind::Controller);
+        let ruc = g.add("Rolling update controller", NodeKind::Controller);
+        // Metrics.
+        let reach = g.add("Network reachability", NodeKind::Metric);
+        let latency = g.add("Latency", NodeKind::Metric);
+        let bandwidth = g.add("Bandwidth", NodeKind::Metric);
+        let usage = g.add("Resource usage", NodeKind::Metric);
+        let replicas = g.add("Number of app replicas", NodeKind::Metric);
+        // Environment.
+        let node_status = g.add("Node status", NodeKind::Environment);
+
+        // Observations (metric → controller) and actions (controller →
+        // metric), following the figure's arrows.
+        g.connect(reach, routing);
+        g.connect(routing, latency);
+        g.connect(routing, bandwidth);
+        g.connect(latency, lb);
+        g.connect(lb, latency);
+        g.connect(lb, bandwidth);
+        g.connect(latency, autoscaler);
+        g.connect(usage, autoscaler);
+        g.connect(autoscaler, replicas);
+        g.connect(usage, scheduler);
+        g.connect(scheduler, usage);
+        g.connect(usage, descheduler);
+        g.connect(descheduler, usage);
+        g.connect(descheduler, replicas);
+        g.connect(replicas, ruc);
+        g.connect(ruc, replicas);
+        g.connect(node_status, scheduler);
+        g.connect(node_status, ruc);
+        g.connect(replicas, lb);
+        g.connect(bandwidth, routing);
+        g
+    }
+
+    /// DOT rendering for graphviz.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph interactions {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = match n.kind {
+                NodeKind::Controller => "box",
+                NodeKind::Metric => "ellipse",
+                NodeKind::Environment => "diamond",
+            };
+            let _ = writeln!(out, "  n{i} [label=\"{}\", shape={shape}];", n.name);
+        }
+        for &(a, b) in &self.edges {
+            let _ = writeln!(out, "  n{a} -> n{b};");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Feedback cycles passing through at least two controllers — the
+    /// shapes the paper's failure studies keep finding.
+    pub fn has_multi_controller_cycle(&self) -> bool {
+        // DFS cycle detection remembering controllers on the path.
+        fn dfs(
+            g: &InteractionGraph,
+            v: usize,
+            start: usize,
+            visited: &mut Vec<bool>,
+            controllers: usize,
+        ) -> bool {
+            for &(a, b) in &g.edges {
+                if a != v {
+                    continue;
+                }
+                let c = controllers
+                    + usize::from(g.nodes[b].kind == NodeKind::Controller);
+                if b == start && c >= 2 {
+                    return true;
+                }
+                if !visited[b] {
+                    visited[b] = true;
+                    if dfs(g, b, start, visited, c) {
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        (0..self.nodes.len()).any(|start| {
+            let mut visited = vec![false; self.nodes.len()];
+            visited[start] = true;
+            let c = usize::from(self.nodes[start].kind == NodeKind::Controller);
+            dfs(self, start, start, &mut visited, c)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let g = InteractionGraph::figure1();
+        let controllers = g
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Controller)
+            .count();
+        let metrics = g
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Metric)
+            .count();
+        assert_eq!(controllers, 6);
+        assert_eq!(metrics, 5);
+        assert!(!g.edges.is_empty());
+    }
+
+    #[test]
+    fn figure1_contains_feedback() {
+        let g = InteractionGraph::figure1();
+        assert!(
+            g.has_multi_controller_cycle(),
+            "Fig. 1's point is cyclic controller interaction"
+        );
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let g = InteractionGraph::figure1();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Load balancer"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(
+            dot.matches("->").count(),
+            g.edges.len(),
+            "every edge rendered"
+        );
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let mut g = InteractionGraph::default();
+        let a = g.add("A", NodeKind::Controller);
+        let m = g.add("m", NodeKind::Metric);
+        let b = g.add("B", NodeKind::Controller);
+        g.connect(a, m);
+        g.connect(m, b);
+        assert!(!g.has_multi_controller_cycle());
+        // Close the loop: now there is one.
+        g.connect(b, a);
+        assert!(g.has_multi_controller_cycle());
+    }
+}

@@ -1,0 +1,304 @@
+//! Kubernetes failure-mode models (paper §3.2 / §3.3).
+//!
+//! Three finite models of real controller interaction bugs, each returning
+//! the system together with the property whose violation exhibits the bug:
+//!
+//! * [`taint_loop`] — issue #75913: the deployment controller keeps
+//!   creating pods that the taint manager keeps evicting, forever.
+//! * [`hpa_ruc`] — issue #90461: a rolling-update controller with
+//!   `maxSurge = 1` and an HPA that mistakes the surged *current* replica
+//!   count for the *expected* count feed each other until the replica
+//!   count runs away.
+//! * [`descheduler_oscillation`] — §3.3: a `LowNodeUtilization`
+//!   descheduler whose eviction threshold (45% CPU) sits below the pod's
+//!   request (50%) bounces the pod between two workers forever — the
+//!   model-checking twin of the paper's Fig. 2 cluster experiment.
+
+use verdict_ts::{EnumSort, Expr, Ltl, Sort, System, VarKind};
+
+/// A built model plus its property.
+pub struct K8sModel {
+    /// The transition system.
+    pub system: System,
+    /// The property expected to be violated (the bug).
+    pub property: K8sProperty,
+}
+
+/// The property kind per model.
+pub enum K8sProperty {
+    /// Safety `G p`: violation is a finite trace.
+    Invariant(Expr),
+    /// Liveness: violation is a lasso.
+    Ltl(Ltl),
+}
+
+/// Issue #75913: deployment controller × taint manager.
+///
+/// A deployment wants one replica; the only schedulable node is tainted
+/// `NoExecute`. Pod lifecycle: the deployment controller creates a pod
+/// (`none → pending`), the scheduler binds it to the tainted node
+/// (`pending → running`), the taint manager evicts it
+/// (`running → none`), and the controller acts again — a livelock. The
+/// violated property is `F G (pod = running)`: the pod never stays up.
+pub fn taint_loop() -> K8sModel {
+    let phase = EnumSort::new("pod_phase", &["none", "pending", "running"]);
+    let c = |i: u32| Expr::Const(verdict_ts::Value::Enum(phase.clone(), i));
+    let (none, pending, running) = (c(0), c(1), c(2));
+
+    let mut sys = System::new("k8s-taint-loop");
+    let pod = sys.add_var("pod", Sort::Enum(phase.clone()), VarKind::State);
+    let node_tainted = sys.bool_var("node_tainted");
+
+    sys.add_init(Expr::var(pod).eq(none.clone()));
+    sys.add_init(Expr::var(node_tainted));
+    // The taint never goes away (the misconfiguration under study).
+    sys.add_trans(Expr::next(node_tainted).iff(Expr::var(node_tainted)));
+    // Deployment controller: missing replica -> create.
+    sys.add_trans(
+        Expr::var(pod)
+            .eq(none.clone())
+            .implies(Expr::next(pod).eq(pending.clone())),
+    );
+    // Scheduler binds pending pods (taints do not influence scheduling in
+    // the buggy configuration — that is the point of the issue).
+    sys.add_trans(
+        Expr::var(pod)
+            .eq(pending.clone())
+            .implies(Expr::next(pod).eq(running.clone())),
+    );
+    // Taint manager evicts running pods from tainted nodes.
+    sys.add_trans(Expr::var(pod).eq(running.clone()).implies(Expr::ite(
+        Expr::var(node_tainted),
+        Expr::next(pod).eq(none),
+        Expr::next(pod).eq(running.clone()),
+    )));
+
+    let property = K8sProperty::Ltl(
+        Ltl::atom(Expr::var(pod).eq(running)).always().eventually(),
+    );
+    let model = K8sModel {
+        system: sys,
+        property,
+    };
+    model.system.check().expect("taint model type-checks");
+    model
+}
+
+/// Issue #90461: rolling-update controller (`maxSurge = 1`) × buggy HPA.
+///
+/// `expected` is the deployment's desired replica count, `current` the
+/// live count. During a rollout the RUC may surge `current` up to
+/// `expected + maxSurge`. The buggy HPA then reads the surged `current`
+/// and stores it back as `expected` ("basically returning the 'expected'
+/// number of pods as the 'current' number of pods"). The two feed each
+/// other: `G(current ≤ bound)` is violated for any bound below the
+/// representable maximum.
+pub fn hpa_ruc(max_surge: i64, bound: i64) -> K8sModel {
+    let cap = bound + max_surge + 2;
+    let mut sys = System::new("k8s-hpa-ruc");
+    let expected = sys.int_var("expected", 1, cap);
+    let current = sys.int_var("current", 1, cap);
+    let rolling = sys.bool_var("rolling_update");
+
+    sys.add_init(Expr::var(expected).eq(Expr::int(1)));
+    sys.add_init(Expr::var(current).eq(Expr::int(1)));
+
+    // Rolling update may start/stop nondeterministically (no constraint
+    // on `rolling`' — free).
+    // RUC: while rolling, current may surge to expected + maxSurge
+    // (capped by the domain); otherwise current tracks expected.
+    let surged = Expr::var(expected).add(Expr::int(max_surge));
+    let clamp = |e: Expr| {
+        Expr::ite(e.clone().le(Expr::int(cap)), e, Expr::int(cap))
+    };
+    sys.add_trans(Expr::ite(
+        Expr::var(rolling),
+        Expr::next(current)
+            .eq(clamp(surged))
+            .or(Expr::next(current).eq(Expr::var(expected))),
+        Expr::next(current).eq(Expr::var(expected)),
+    ));
+    // Buggy HPA: expected' = current (reads the surged count as demand).
+    sys.add_trans(Expr::next(expected).eq(Expr::var(current)));
+
+    let property =
+        K8sProperty::Invariant(Expr::var(current).le(Expr::int(bound)));
+    let model = K8sModel {
+        system: sys,
+        property,
+    };
+    model.system.check().expect("hpa model type-checks");
+    model
+}
+
+/// §3.3 descheduler oscillation (model twin of the Fig. 2 experiment).
+///
+/// One CPU-heavy pod (request = `request_pct`% of a node) and two equal
+/// workers. The scheduler places pending pods on the least-utilized
+/// worker; the `LowNodeUtilization` descheduler, running on its own
+/// period, evicts pods from any node whose utilization exceeds
+/// `evict_threshold_pct`%. With `request > threshold` (the paper's
+/// 50% vs 45%) every placement is immediately evictable: the pod bounces
+/// between the workers forever and `F G placed-somewhere-steadily` fails.
+pub fn descheduler_oscillation(request_pct: i64, evict_threshold_pct: i64) -> K8sModel {
+    let loc = EnumSort::new("pod_node", &["pending", "w2", "w3"]);
+    let c = |i: u32| Expr::Const(verdict_ts::Value::Enum(loc.clone(), i));
+    let (pending, w2, w3) = (c(0), c(1), c(2));
+
+    let mut sys = System::new("k8s-descheduler");
+    let pod = sys.add_var("pod", Sort::Enum(loc.clone()), VarKind::State);
+    // Which worker the scheduler currently ranks lowest (alternates as
+    // utilization moves with the pod).
+    let last_evicted_w2 = sys.bool_var("last_evicted_from_w2");
+
+    sys.add_init(Expr::var(pod).eq(pending.clone()));
+
+    // Utilization: the pod is the only load; a worker hosting it sits at
+    // `request_pct`, the other at 0. The descheduler evicts iff
+    // utilization > threshold.
+    let evictable = request_pct > evict_threshold_pct;
+
+    // Scheduler: pending pod goes to the least-utilized worker — the one
+    // it was *not* just evicted from (both empty ⇒ pick w2).
+    sys.add_trans(Expr::var(pod).eq(pending.clone()).implies(Expr::ite(
+        Expr::var(last_evicted_w2),
+        Expr::next(pod).eq(w3.clone()),
+        Expr::next(pod).eq(w2.clone()),
+    )));
+    // Descheduler cron: a placed pod on an over-threshold node is evicted
+    // on the next tick; otherwise it stays.
+    for (here, flag_value) in [(w2.clone(), true), (w3.clone(), false)] {
+        if evictable {
+            sys.add_trans(Expr::var(pod).eq(here.clone()).implies(
+                Expr::next(pod)
+                    .eq(pending.clone())
+                    .and(Expr::next(last_evicted_w2).eq(Expr::bool(flag_value))),
+            ));
+        } else {
+            sys.add_trans(
+                Expr::var(pod)
+                    .eq(here.clone())
+                    .implies(Expr::next(pod).eq(here)),
+            );
+        }
+    }
+    // The eviction memory only changes on eviction.
+    sys.add_trans(
+        Expr::var(pod)
+            .eq(pending.clone())
+            .implies(Expr::next(last_evicted_w2).eq(Expr::var(last_evicted_w2))),
+    );
+    if !evictable {
+        sys.add_trans(Expr::next(last_evicted_w2).eq(Expr::var(last_evicted_w2)));
+    }
+
+    // Liveness: eventually the pod settles on some worker.
+    let settled_w2 = Ltl::atom(Expr::var(pod).eq(w2)).always();
+    let settled_w3 = Ltl::atom(Expr::var(pod).eq(w3)).always();
+    let property = K8sProperty::Ltl(settled_w2.or(settled_w3).eventually());
+    let model = K8sModel {
+        system: sys,
+        property,
+    };
+    model
+        .system
+        .check()
+        .expect("descheduler model type-checks");
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_mc::{bdd, bmc, kind, CheckOptions};
+
+    fn check(model: &K8sModel, opts: &CheckOptions) -> verdict_mc::CheckResult {
+        match &model.property {
+            K8sProperty::Invariant(p) => {
+                bmc::check_invariant(&model.system, p, opts).unwrap()
+            }
+            K8sProperty::Ltl(phi) => bmc::check_ltl(&model.system, phi, opts).unwrap(),
+        }
+    }
+
+    #[test]
+    fn taint_loop_livelocks() {
+        let m = taint_loop();
+        let r = check(&m, &CheckOptions::with_depth(10));
+        let t = r.trace().expect("pod never stays running");
+        assert!(t.loop_back.is_some(), "lasso:\n{t}");
+        // The loop cycles through creation and eviction: the pod is
+        // `none` somewhere in the loop and `running` somewhere.
+        let l = t.loop_back.unwrap();
+        let phases: Vec<String> = (l..t.len())
+            .map(|s| t.states[s][0].to_string())
+            .collect();
+        assert!(phases.contains(&"none".to_string()), "{phases:?}");
+        assert!(phases.contains(&"running".to_string()), "{phases:?}");
+    }
+
+    #[test]
+    fn taint_loop_fixed_by_untainting() {
+        // The same lifecycle without the taint: the pod settles on
+        // `running` and BDD proves the liveness property.
+        let mut fixed = System::new("k8s-taint-fixed");
+        let phase = EnumSort::new("pod_phase", &["none", "pending", "running"]);
+        let c = |i: u32| Expr::Const(verdict_ts::Value::Enum(phase.clone(), i));
+        let pod = fixed.add_var("pod", Sort::Enum(phase.clone()), VarKind::State);
+        fixed.add_init(Expr::var(pod).eq(c(0)));
+        fixed.add_trans(Expr::var(pod).eq(c(0)).implies(Expr::next(pod).eq(c(1))));
+        fixed.add_trans(Expr::var(pod).eq(c(1)).implies(Expr::next(pod).eq(c(2))));
+        fixed.add_trans(Expr::var(pod).eq(c(2)).implies(Expr::next(pod).eq(c(2))));
+        let phi = Ltl::atom(Expr::var(pod).eq(c(2))).always().eventually();
+        let r = bdd::check_ltl(&fixed, &phi, &CheckOptions::default()).unwrap();
+        assert!(r.holds(), "{r}");
+    }
+
+    #[test]
+    fn hpa_ruc_replicas_run_away() {
+        let m = hpa_ruc(1, 5);
+        let r = check(&m, &CheckOptions::with_depth(16));
+        let t = r.trace().expect("replica count exceeds 5");
+        // Counts must be non-decreasing toward the violation and reach 6.
+        let last = t.states.last().unwrap();
+        assert_eq!(last[1].to_string(), "6", "{t}");
+    }
+
+    #[test]
+    fn hpa_ruc_without_surge_is_safe() {
+        // maxSurge = 0 removes the feedback: counts stay at 1.
+        let m = hpa_ruc(0, 5);
+        let K8sProperty::Invariant(p) = &m.property else {
+            panic!()
+        };
+        let r = kind::prove_invariant(&m.system, p, &CheckOptions::with_depth(12))
+            .unwrap();
+        assert!(r.holds(), "{r}");
+    }
+
+    #[test]
+    fn descheduler_oscillates_at_paper_thresholds() {
+        // Paper: request 50%, threshold 45% -> permanent oscillation.
+        let m = descheduler_oscillation(50, 45);
+        let r = check(&m, &CheckOptions::with_depth(12));
+        let t = r.trace().expect("pod never settles");
+        let l = t.loop_back.expect("lasso");
+        let nodes: Vec<String> = (l..t.len())
+            .map(|s| t.states[s][0].to_string())
+            .collect();
+        assert!(
+            nodes.contains(&"w2".to_string()) && nodes.contains(&"w3".to_string()),
+            "pod must bounce between workers: {nodes:?}\n{t}"
+        );
+    }
+
+    #[test]
+    fn descheduler_stable_when_threshold_above_request() {
+        // Threshold 60% > request 50%: the pod settles; BDD proves the
+        // liveness property.
+        let m = descheduler_oscillation(50, 60);
+        let K8sProperty::Ltl(phi) = &m.property else { panic!() };
+        let r = bdd::check_ltl(&m.system, phi, &CheckOptions::default()).unwrap();
+        assert!(r.holds(), "{r}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Library of infrastructure control-component and environment models.
+//!
+//! The paper (§4.1) envisions "a library of common control system and
+//! environment models"; this crate is that library. Every function builds
+//! a `verdict-ts` [`verdict_ts::System`] (plus the property expressions
+//! that go with it) ready to hand to the engines in `verdict-mc`:
+//!
+//! * [`topology`] — network graphs: the 5-node "test" topology of the
+//!   paper's Fig. 5 and the fat-tree family of Fig. 6.
+//! * [`rollout`] — case study 1: an update-rollout controller over a
+//!   service topology with nondeterministic link failures and a
+//!   reachability-recomputation loop; safety
+//!   `G(converged → available ≥ m)` with frozen parameters `p`, `k`, `m`.
+//! * [`lb_ecmp`] — case study 2: the latency-based load balancer over
+//!   hard-coded ECMP paths of Fig. 3, with real-valued traffic and
+//!   latency parameters and a one-time external-traffic event; liveness
+//!   `F G stable` / `stable → F G stable`.
+//! * [`k8s`] — finite models of the Kubernetes failure modes of §3.2/§3.3:
+//!   the taint-manager × deployment-controller loop (issue #75913), the
+//!   HPA × rolling-update replica runaway (issue #90461), and the
+//!   scheduler × descheduler threshold oscillation (the model twin of the
+//!   Fig. 2 experiment).
+//! * [`interaction`] — the controller/metric interaction graph of Fig. 1
+//!   as a data structure with DOT export.
+//! * [`library`] — further common controllers from §2/§3.1: an
+//!   autoscaler, a rate limiter with retry amplification, and an abstract
+//!   model of Google ticket #18037 (router × GC × load balancer).
+
+pub mod interaction;
+pub mod k8s;
+pub mod library;
+pub mod lb_ecmp;
+pub mod rollout;
+pub mod topology;
+
+pub use rollout::{RolloutModel, RolloutSpec};
+pub use topology::Topology;

@@ -1,0 +1,271 @@
+//! The "library of common control system and environment models" the
+//! paper's §4.1 envisions, beyond the two case studies:
+//!
+//! * [`autoscaler`] — a horizontal autoscaler reacting to a free-moving
+//!   load signal, with its minimum-replica floor as the synthesizable
+//!   parameter.
+//! * [`rate_limiter_retry`] — a rate limiter in front of clients that
+//!   retry rejected requests: the classic metastable amplification loop
+//!   (§2 lists the rate limiter among the service-layer controllers).
+//! * [`bigquery_router_18037`] — an abstract model of Google ticket
+//!   #18037 (§3.1): request memory pressure drives garbage-collection
+//!   CPU, which a load balancer's abuse heuristic misreads, cutting the
+//!   router's capacity until requests are rejected.
+//!
+//! Each builder returns the system plus the property whose violation is
+//! the failure mode under study, ready for any engine in `verdict-mc`.
+
+use verdict_ts::{Expr, System, VarId};
+
+/// A built library model: system + property + interesting handles.
+pub struct LibraryModel {
+    /// The transition system.
+    pub system: System,
+    /// The safety property body (check `G property`).
+    pub property: Expr,
+    /// The synthesizable configuration parameter, if the model has one.
+    pub parameter: Option<VarId>,
+}
+
+/// A horizontal autoscaler with replica range `1..=max_replicas`:
+/// adds one replica under high load, removes one under low load, never
+/// below the configured floor. Property: the serving floor of 2 replicas
+/// is never breached — safe iff `min_replicas ≥ 2`.
+pub fn autoscaler(max_replicas: i64) -> LibraryModel {
+    assert!(max_replicas >= 2);
+    let mut sys = System::new("autoscaler");
+    let replicas = sys.int_var("replicas", 1, max_replicas);
+    let load = sys.int_var("load", 0, 2); // environment: low/normal/high
+    let min_replicas = sys.int_param("min_replicas", 1, 3);
+
+    sys.add_init(Expr::var(replicas).eq(Expr::int(max_replicas / 2)));
+    let up = Expr::ite(
+        Expr::var(replicas).lt(Expr::int(max_replicas)),
+        Expr::var(replicas).add(Expr::int(1)),
+        Expr::var(replicas),
+    );
+    let down = Expr::ite(
+        Expr::var(replicas).gt(Expr::var(min_replicas)),
+        Expr::var(replicas).sub(Expr::int(1)),
+        Expr::var(replicas),
+    );
+    sys.add_trans(Expr::next(replicas).eq(Expr::ite(
+        Expr::var(load).eq(Expr::int(2)),
+        up,
+        Expr::ite(Expr::var(load).eq(Expr::int(0)), down, Expr::var(replicas)),
+    )));
+
+    let property = Expr::var(replicas).ge(Expr::int(2));
+    let model = LibraryModel {
+        system: sys,
+        property,
+        parameter: Some(min_replicas),
+    };
+    model.system.check().expect("autoscaler type-checks");
+    model
+}
+
+/// A rate limiter feeding a retry loop: offered load is fresh demand plus
+/// retries of previously rejected requests (every rejected request — by
+/// the limiter or by a saturated backend — retries next round). The
+/// limiter admits up to `limit`; the backend serves up to `capacity`.
+///
+/// The failure mode is an *under-provisioned limiter*: with
+/// `limit < demand`, every round rejects `demand − limit` requests whose
+/// retries add to the next round's offered load, so the backlog grows
+/// without bound — the limiter meant to protect the backend starves
+/// legitimate traffic into a retry storm. Property:
+/// `G(retries ≤ demand_max)` — the backlog stays bounded by one round of
+/// demand. Safe iff `limit ≥ demand_max` (the backend itself is
+/// provisioned for peak demand here, `capacity ≥ demand_max`).
+pub fn rate_limiter_retry(capacity: i64, demand_max: i64) -> LibraryModel {
+    let qmax = 4 * demand_max;
+    let mut sys = System::new("rate-limiter-retry");
+    let demand = sys.int_var("demand", 0, demand_max); // environment
+    let retries = sys.int_var("retries", 0, qmax);
+    let limit = sys.int_param("limit", 1, capacity + 2);
+
+    sys.add_init(Expr::var(retries).eq(Expr::int(0)));
+
+    // offered = demand + retries; admitted = min(offered, limit);
+    // served = min(admitted, capacity); rejected = offered - served.
+    let offered = Expr::var(demand).add(Expr::var(retries));
+    let admitted = Expr::ite(
+        offered.clone().le(Expr::var(limit)),
+        offered.clone(),
+        Expr::var(limit),
+    );
+    let served = Expr::ite(
+        admitted.clone().le(Expr::int(capacity)),
+        admitted.clone(),
+        Expr::int(capacity),
+    );
+    let rejected = offered.sub(served);
+    // Next retries = rejected, clamped to the queue bound.
+    let clamped = Expr::ite(
+        rejected.clone().le(Expr::int(qmax)),
+        rejected,
+        Expr::int(qmax),
+    );
+    sys.add_trans(Expr::next(retries).eq(clamped));
+
+    let property = Expr::var(retries).le(Expr::int(demand_max));
+    let model = LibraryModel {
+        system: sys,
+        property,
+        parameter: Some(limit),
+    };
+    model.system.check().expect("rate limiter type-checks");
+    model
+}
+
+/// Google ticket #18037 (§3.1), abstracted: BigQuery "router servers"
+/// proxy requests; unusually large requests raise memory use; the
+/// garbage collector's CPU tracks memory pressure; a load balancer
+/// interprets high CPU as abuse and reduces the router's capacity; with
+/// capacity below demand, requests are rejected.
+///
+/// State: `pressure` (memory/GC level, follows the `large_requests`
+/// environment flag), `capacity` (LB-controlled). The LB cuts capacity
+/// while `pressure ≥ abuse_threshold` and restores it otherwise.
+/// Property: `G(capacity ≥ demand)` — no rejected requests. Safe iff
+/// the abuse threshold is above any pressure level reachable from
+/// legitimate traffic (here: `abuse_threshold ≥ 4`, unreachable).
+pub fn bigquery_router_18037(demand: i64) -> LibraryModel {
+    let cap_max = demand + 2;
+    let mut sys = System::new("bigquery-18037");
+    let large_requests = sys.bool_var("large_requests"); // environment
+    let pressure = sys.int_var("pressure", 0, 3);
+    let capacity = sys.int_var("capacity", 0, cap_max);
+    let abuse_threshold = sys.int_param("abuse_threshold", 1, 4);
+
+    sys.add_init(Expr::var(pressure).eq(Expr::int(0)));
+    sys.add_init(Expr::var(capacity).eq(Expr::int(cap_max)));
+
+    // Memory/GC pressure rises while large requests flow, decays after.
+    sys.add_trans(Expr::next(pressure).eq(Expr::ite(
+        Expr::var(large_requests),
+        Expr::ite(
+            Expr::var(pressure).lt(Expr::int(3)),
+            Expr::var(pressure).add(Expr::int(1)),
+            Expr::var(pressure),
+        ),
+        Expr::ite(
+            Expr::var(pressure).gt(Expr::int(0)),
+            Expr::var(pressure).sub(Expr::int(1)),
+            Expr::var(pressure),
+        ),
+    )));
+    // The LB's abuse heuristic: throttle while pressure ≥ threshold.
+    sys.add_trans(Expr::next(capacity).eq(Expr::ite(
+        Expr::var(pressure).ge(Expr::var(abuse_threshold)),
+        Expr::ite(
+            Expr::var(capacity).gt(Expr::int(0)),
+            Expr::var(capacity).sub(Expr::int(1)),
+            Expr::var(capacity),
+        ),
+        Expr::ite(
+            Expr::var(capacity).lt(Expr::int(cap_max)),
+            Expr::var(capacity).add(Expr::int(1)),
+            Expr::var(capacity),
+        ),
+    )));
+
+    let property = Expr::var(capacity).ge(Expr::int(demand));
+    let model = LibraryModel {
+        system: sys,
+        property,
+        parameter: Some(abuse_threshold),
+    };
+    model.system.check().expect("18037 model type-checks");
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_mc::params::Property;
+    use verdict_mc::{CheckOptions, Verifier};
+    use verdict_ts::Value;
+
+    fn synth(model: &LibraryModel, depth: usize) -> Vec<i64> {
+        let verifier =
+            Verifier::new(&model.system).options(CheckOptions::with_depth(depth));
+        let result = verifier
+            .synthesize_params(
+                &[model.parameter.expect("has parameter")],
+                &Property::Invariant(model.property.clone()),
+            )
+            .unwrap();
+        result
+            .safe()
+            .iter()
+            .map(|v| match v[0] {
+                Value::Int(n) => n,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autoscaler_floor_synthesis() {
+        let model = autoscaler(8);
+        assert_eq!(synth(&model, 16), vec![2, 3]);
+    }
+
+    #[test]
+    fn rate_limiter_safe_iff_limit_covers_demand() {
+        // capacity 3, demand up to 2: limit 1 starves legitimate traffic
+        // and the retry backlog diverges; limits 2..=5 keep it bounded.
+        let model = rate_limiter_retry(3, 2);
+        assert_eq!(synth(&model, 24), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rate_limiter_retry_storm_trace() {
+        let model = rate_limiter_retry(3, 2);
+        let mut sys = model.system.clone();
+        sys.add_invar(Expr::var(model.parameter.unwrap()).eq(Expr::int(1)));
+        let r = verdict_mc::bmc::check_invariant(
+            &sys,
+            &model.property,
+            &CheckOptions::with_depth(16),
+        )
+        .unwrap();
+        let t = r.trace().expect("retry storm");
+        // The retry backlog exceeds a full round of demand.
+        let last = t.states.last().unwrap();
+        let retries = verdict_ts::explicit::eval_state(
+            &Expr::var(sys.var_by_name("retries").unwrap()),
+            last,
+        );
+        assert!(matches!(retries, Value::Int(n) if n > 2), "{t}");
+    }
+
+    #[test]
+    fn bigquery_18037_reproduces_and_fixes() {
+        // Thresholds 1..=3 are reachable by legitimate pressure: the LB
+        // eventually throttles capacity below demand. Threshold 4 is
+        // unreachable (pressure caps at 3): safe.
+        let model = bigquery_router_18037(3);
+        assert_eq!(synth(&model, 32), vec![4]);
+
+        // The violating trace walks the incident's causal chain: large
+        // requests -> pressure -> throttling -> capacity < demand.
+        let mut sys = model.system.clone();
+        sys.add_invar(
+            Expr::var(model.parameter.unwrap()).eq(Expr::int(2)),
+        );
+        let r = verdict_mc::bmc::check_invariant(
+            &sys,
+            &model.property,
+            &CheckOptions::with_depth(16),
+        )
+        .unwrap();
+        let t = r.trace().expect("incident reproduces");
+        let pressure_peaked = (0..t.len()).any(|s| {
+            matches!(t.value(s, "pressure"), Some(Value::Int(n)) if *n >= 2)
+        });
+        assert!(pressure_peaked, "{t}");
+    }
+}

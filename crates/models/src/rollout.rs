@@ -1,0 +1,429 @@
+//! Case study 1: update rollout + network partition (paper §4.2).
+//!
+//! A service runs on the service nodes of a [`Topology`]; the front-end
+//! distributes requests. A rollout controller takes service nodes down
+//! for update (at most `p` simultaneously, nondeterministic order), and
+//! up to `k` links fail at nondeterministic points. A recomputation loop
+//! tracks front-end reachability; `converged` holds when its view matches
+//! the true topology. The safety property is the paper's
+//!
+//! ```text
+//! G(converged → available ≥ m)
+//! ```
+//!
+//! with `available` = number of service nodes that are up and reachable,
+//! and `p`, `k`, `m` frozen (symbolic) configuration parameters.
+
+use verdict_ts::{Expr, System, VarId};
+
+use crate::topology::Topology;
+
+/// Model-construction knobs.
+#[derive(Clone, Debug)]
+pub struct RolloutSpec {
+    /// The network.
+    pub topology: Topology,
+    /// Upper bound of the `p` parameter's range (`p ∈ 0..=p_max`).
+    pub p_max: i64,
+    /// Upper bound of the `k` parameter's range.
+    pub k_max: i64,
+    /// Upper bound of the `m` parameter's range.
+    pub m_max: i64,
+    /// Model the asynchronous reachability-recomputation loop with
+    /// free-running `reach` state variables and a derived `converged`
+    /// flag (the paper's model). With `false`, `reach` is definitional
+    /// and `converged` is constantly true — a smaller "direct" variant
+    /// used for ablation.
+    pub recompute_loop: bool,
+    /// Limit how many link failures may *newly* occur per transition
+    /// (`None` = unbounded, the default). `Some(1)` forces gradual
+    /// executions and yields step-by-step counterexamples shaped like the
+    /// paper's Fig. 5 storyboard instead of everything-at-once shortest
+    /// traces.
+    pub max_new_failures_per_step: Option<i64>,
+}
+
+impl RolloutSpec {
+    /// The paper's configuration for a given topology: parameter ranges
+    /// wide enough for the Fig. 5/6 experiments.
+    pub fn paper(topology: Topology) -> RolloutSpec {
+        let service = topology.service_nodes.len() as i64;
+        RolloutSpec {
+            topology,
+            p_max: 3.min(service),
+            k_max: 6,
+            m_max: 3.min(service),
+            recompute_loop: true,
+            max_new_failures_per_step: None,
+        }
+    }
+
+    /// The paper configuration with gradual failures (at most one new
+    /// link failure per step) — produces Fig. 5-storyboard traces.
+    pub fn paper_gradual(topology: Topology) -> RolloutSpec {
+        RolloutSpec {
+            max_new_failures_per_step: Some(1),
+            ..RolloutSpec::paper(topology)
+        }
+    }
+}
+
+/// The constructed model: system plus handles to its pieces.
+pub struct RolloutModel {
+    /// The parametric transition system.
+    pub system: System,
+    /// Frozen parameter: max nodes simultaneously down.
+    pub p: VarId,
+    /// Frozen parameter: max link failures.
+    pub k: VarId,
+    /// Frozen parameter: required available service nodes.
+    pub m: VarId,
+    /// Per-service-node `down` flags (parallel to
+    /// `spec.topology.service_nodes`).
+    pub down: Vec<VarId>,
+    /// Per-service-node `updated` flags.
+    pub updated: Vec<VarId>,
+    /// Per-link `failed` flags.
+    pub failed: Vec<VarId>,
+    /// The `converged` state predicate.
+    pub converged: Expr,
+    /// The `available` count expression **as the controllers see it**
+    /// (through the possibly-lagging reachability view).
+    pub available: Expr,
+    /// The ground-truth availability (up ∧ actually reachable),
+    /// independent of the recomputation loop's lag.
+    pub true_available: Expr,
+    /// The safety property body: `converged → available ≥ m`.
+    pub property: Expr,
+}
+
+impl RolloutModel {
+    /// Builds the model from a spec.
+    pub fn build(spec: &RolloutSpec) -> RolloutModel {
+        let topo = &spec.topology;
+        topo.validate().expect("valid topology");
+        let mut sys = System::new(&format!("rollout-{}", topo.name));
+
+        let p = sys.int_param("p", 0, spec.p_max);
+        let k = sys.int_param("k", 0, spec.k_max);
+        let m = sys.int_param("m", 0, spec.m_max);
+
+        let service = &topo.service_nodes;
+        let down: Vec<VarId> = service
+            .iter()
+            .map(|&n| sys.bool_var(&format!("down_{}", topo.nodes[n])))
+            .collect();
+        let updated: Vec<VarId> = service
+            .iter()
+            .map(|&n| sys.bool_var(&format!("updated_{}", topo.nodes[n])))
+            .collect();
+        let failed: Vec<VarId> = topo
+            .links
+            .iter()
+            .map(|&(a, b)| {
+                sys.bool_var(&format!("failed_{}_{}", topo.nodes[a], topo.nodes[b]))
+            })
+            .collect();
+
+        // True reachability of each node from the front-end, as a layered
+        // expansion: reach⁰ = {fe}; reachᵈ⁺¹(i) = reachᵈ(i) ∨
+        // (∃ live link (i,j): reachᵈ(j)). A node being updated stops
+        // *serving* but keeps *forwarding* (the update restarts the
+        // service process, not the switch), so only link failures affect
+        // connectivity. Depth n-1 suffices for any residual graph; shared
+        // Rc subtrees keep the DAG compact.
+        let mut layer: Vec<Expr> = (0..topo.num_nodes())
+            .map(|i| Expr::bool(i == topo.front_end))
+            .collect();
+        for _ in 0..topo.num_nodes().saturating_sub(1) {
+            let mut next_layer = Vec::with_capacity(layer.len());
+            for i in 0..topo.num_nodes() {
+                // Built with the non-flattening pair constructors: the
+                // layers form a deep shared DAG and flattening would copy
+                // child vectors quadratically.
+                let mut grow = Expr::ff();
+                for (l, j) in topo.incident(i) {
+                    let hop =
+                        Expr::and_pair(Expr::var(failed[l]).not(), layer[j].clone());
+                    grow = Expr::or_pair(grow, hop);
+                }
+                next_layer.push(Expr::or_pair(layer[i].clone(), grow));
+            }
+            layer = next_layer;
+        }
+        let true_reach: Vec<Expr> = service.iter().map(|&n| layer[n].clone()).collect();
+
+        // INIT: nothing down, nothing updated, nothing failed.
+        for &d in &down {
+            sys.add_init(Expr::var(d).not());
+        }
+        for &u in &updated {
+            sys.add_init(Expr::var(u).not());
+        }
+        for &f in &failed {
+            sys.add_init(Expr::var(f).not());
+        }
+
+        // TRANS: link failures are permanent; rollout state machine.
+        for &f in &failed {
+            sys.add_trans(Expr::var(f).implies(Expr::next(f)));
+        }
+        if let Some(max_new) = spec.max_new_failures_per_step {
+            // Gradual executions: at most `max_new` fresh failures per
+            // transition.
+            let fresh = Expr::count_true(
+                failed
+                    .iter()
+                    .map(|&f| Expr::next(f).and(Expr::var(f).not())),
+            );
+            sys.add_trans(fresh.le(Expr::int(max_new)));
+        }
+        for i in 0..down.len() {
+            let (d, u) = (down[i], updated[i]);
+            // Updated nodes stay up and updated.
+            sys.add_trans(
+                Expr::var(u).implies(Expr::next(u).and(Expr::next(d).not())),
+            );
+            // Coming back up completes the update.
+            sys.add_trans(Expr::next(u).iff(
+                Expr::var(u).or(Expr::var(d).and(Expr::next(d).not())),
+            ));
+            // Fresh downs only for not-yet-updated nodes.
+            sys.add_trans(
+                Expr::next(d).implies(Expr::var(d).or(Expr::var(u).not())),
+            );
+        }
+
+        // INVAR: rollout width and failure budget.
+        let downs = Expr::count_true(down.iter().map(|&d| Expr::var(d)));
+        sys.add_invar(downs.le(Expr::var(p)));
+        let fails = Expr::count_true(failed.iter().map(|&f| Expr::var(f)));
+        sys.add_invar(fails.le(Expr::var(k)));
+
+        // Reachability view and convergence.
+        let (converged, reach_view): (Expr, Vec<Expr>) = if spec.recompute_loop {
+            let reach_vars: Vec<VarId> = service
+                .iter()
+                .map(|&n| sys.bool_var(&format!("reach_{}", topo.nodes[n])))
+                .collect();
+            // The loop starts converged (nothing failed or down yet, and
+            // the paper's topologies are connected).
+            for (&rv, te) in reach_vars.iter().zip(&true_reach) {
+                // INIT: view matches truth in the initial state. Since the
+                // initial truth is "connected", and INIT pins all inputs,
+                // equate view with the expression directly.
+                sys.add_init(Expr::var(rv).iff(te.clone()));
+            }
+            // No TRANS constraint: the recomputation loop may lag
+            // arbitrarily (free-running view).
+            let conv = Expr::and_all(
+                reach_vars
+                    .iter()
+                    .zip(&true_reach)
+                    .map(|(&rv, te)| Expr::var(rv).iff(te.clone())),
+            );
+            let view = reach_vars.iter().map(|&rv| Expr::var(rv)).collect();
+            (conv, view)
+        } else {
+            (Expr::tt(), true_reach.clone())
+        };
+
+        // available = #{service node : up ∧ reachable-in-view}.
+        let available = Expr::count_true(
+            down.iter()
+                .zip(&reach_view)
+                .map(|(&d, rv)| Expr::var(d).not().and(rv.clone())),
+        );
+        let true_available = Expr::count_true(
+            down.iter()
+                .zip(&true_reach)
+                .map(|(&d, te)| Expr::var(d).not().and(te.clone())),
+        );
+        let property = converged
+            .clone()
+            .implies(available.clone().ge(Expr::var(m)));
+
+        let model = RolloutModel {
+            system: sys,
+            p,
+            k,
+            m,
+            down,
+            updated,
+            failed,
+            converged,
+            available,
+            true_available,
+            property,
+        };
+        model.system.check().expect("rollout model type-checks");
+        model
+    }
+
+    /// A copy of the system with `p`, `k`, `m` pinned to concrete values —
+    /// the unit of work for the Fig. 6 sweep.
+    pub fn pinned(&self, p: i64, k: i64, m: i64) -> System {
+        // INVAR (not INIT) so the pin also constrains engines that explore
+        // free starting states, like k-induction's step case. For frozen
+        // variables the two are equivalent on real executions.
+        let mut sys = self.system.clone();
+        sys.add_invar(Expr::var(self.p).eq(Expr::int(p)));
+        sys.add_invar(Expr::var(self.k).eq(Expr::int(k)));
+        sys.add_invar(Expr::var(self.m).eq(Expr::int(m)));
+        sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_mc::{bmc, kind, CheckOptions};
+    use verdict_ts::Value;
+
+    fn test_model(recompute: bool) -> RolloutModel {
+        let mut spec = RolloutSpec::paper(Topology::test_topology());
+        spec.recompute_loop = recompute;
+        RolloutModel::build(&spec)
+    }
+
+    #[test]
+    fn builds_and_type_checks() {
+        for recompute in [false, true] {
+            let m = test_model(recompute);
+            assert!(m.system.check().is_ok());
+            assert_eq!(m.down.len(), 4);
+            assert_eq!(m.failed.len(), 5);
+        }
+    }
+
+    #[test]
+    fn paper_counterexample_p1_k2_m1() {
+        // Fig. 5: p = m = 1, k = 2 violates the property.
+        let model = test_model(true);
+        let sys = model.pinned(1, 2, 1);
+        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8))
+            .unwrap();
+        let t = r.trace().expect("violated, as in the paper's Fig. 5");
+        // The violating state has fewer available nodes than m = 1.
+        let last = t.states.last().unwrap();
+        let avail = verdict_ts::explicit::eval_state(&model.available, last);
+        assert_eq!(avail, Value::Int(0), "available must be 0:\n{t}");
+    }
+
+    #[test]
+    fn safe_when_no_failures_and_no_rollout() {
+        // p = 0, k = 0, m = 1: no node ever goes down, no link fails;
+        // 4 available forever.
+        let model = test_model(true);
+        let sys = model.pinned(0, 0, 1);
+        let r = kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(12))
+            .unwrap();
+        assert!(r.holds(), "{r}");
+    }
+
+    #[test]
+    fn direct_variant_matches_loop_variant_on_verdicts() {
+        // For pinned (p, k, m), the direct (always-converged) variant and
+        // the recompute-loop variant agree on whether the property can be
+        // violated: the loop only adds stutter states.
+        for (p, k, m, expect_violation) in
+            [(1, 2, 1, true), (0, 0, 1, false), (1, 0, 3, false), (2, 0, 3, true)]
+        {
+            let with_loop = test_model(true);
+            let direct = test_model(false);
+            let r1 = bmc::check_invariant(
+                &with_loop.pinned(p, k, m),
+                &with_loop.property,
+                &CheckOptions::with_depth(8),
+            )
+            .unwrap();
+            let r2 = bmc::check_invariant(
+                &direct.pinned(p, k, m),
+                &direct.property,
+                &CheckOptions::with_depth(8),
+            )
+            .unwrap();
+            assert_eq!(
+                r1.violated(),
+                expect_violation,
+                "loop variant (p={p},k={k},m={m})"
+            );
+            assert_eq!(
+                r2.violated(),
+                expect_violation,
+                "direct variant (p={p},k={k},m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn rollout_eventually_updates_under_progress() {
+        // Sanity of the rollout state machine: a node that goes down and
+        // comes back is updated; updated nodes never go down again.
+        let model = test_model(false);
+        let sys = model.pinned(1, 0, 0);
+        // Violation of "updated_s1 is never true" shows updates do happen.
+        let never_updated = Expr::var(model.updated[0]).not();
+        let r = bmc::check_invariant(&sys, &never_updated, &CheckOptions::with_depth(6))
+            .unwrap();
+        assert!(r.violated(), "s1 can be updated");
+        // An updated node that is down again would violate the machine.
+        let bad = Expr::var(model.updated[0]).and(Expr::var(model.down[0]));
+        let r = kind::prove_invariant(&sys, &bad.not(), &CheckOptions::with_depth(10))
+            .unwrap();
+        assert!(r.holds(), "updated implies up: {r}");
+    }
+
+    #[test]
+    fn gradual_variant_produces_storyboard_trace() {
+        // With ≤ 1 new failure per step, the Fig. 5 counterexample
+        // unfolds gradually: available degrades over several steps
+        // instead of collapsing in one transition.
+        let spec = RolloutSpec::paper_gradual(Topology::test_topology());
+        let model = RolloutModel::build(&spec);
+        let sys = model.pinned(1, 2, 1);
+        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8))
+            .unwrap();
+        let t = r.trace().expect("still violated, just gradually");
+        assert!(t.len() >= 3, "gradual trace has ≥ 2 failure steps:\n{t}");
+        // No step introduces more than one new failure.
+        for w in t.states.windows(2) {
+            let count = |s: &Vec<verdict_ts::Value>| {
+                model
+                    .failed
+                    .iter()
+                    .filter(|&&f| s[f.index()] == Value::Bool(true))
+                    .count()
+            };
+            assert!(count(&w[1]) <= count(&w[0]) + 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn synthesis_reproduces_paper_p_in_1_2() {
+        // Paper: "say we are interested in finding safe non-zero values
+        // for p, given the property and k = 1, m = 1. The system suggests
+        // p ∈ {1, 2}." With 4 service nodes, m = 1 needs ≥ 1 available:
+        // k = 1 link failure can cut off at most one... (test topology)
+        // p ∈ {1, 2} keeps one node up and reachable; p = 3 can leave only
+        // one node up which a single failure can then isolate.
+        let model = test_model(true);
+        let mut sys = model.system.clone();
+        sys.add_invar(Expr::var(model.k).eq(Expr::int(1)));
+        sys.add_invar(Expr::var(model.m).eq(Expr::int(1)));
+        let verifier = verdict_mc::Verifier::new(&sys)
+            .options(CheckOptions::with_depth(16));
+        let prop = verdict_mc::params::Property::Invariant(model.property.clone());
+        let result = verifier.synthesize_params(&[model.p], &prop).unwrap();
+        let safe: Vec<i64> = result
+            .safe()
+            .iter()
+            .map(|vals| match vals[0] {
+                Value::Int(n) => n,
+                _ => unreachable!(),
+            })
+            .filter(|&n| n > 0)
+            .collect();
+        assert_eq!(safe, vec![1, 2], "{result}");
+    }
+}

@@ -1,0 +1,41 @@
+//! A CDCL SAT solver.
+//!
+//! `verdict-sat` is the search core under every finite-domain engine in the
+//! workspace: bounded model checking, k-induction, and the Boolean skeleton
+//! of the lazy SMT solver in `verdict-smt`.
+//!
+//! The design follows the MiniSat lineage:
+//!
+//! * conflict-driven clause learning with first-UIP resolution and
+//!   clause minimization,
+//! * two-watched-literal propagation,
+//! * exponential VSIDS activity with phase saving,
+//! * Luby-sequence restarts,
+//! * LBD-aware learnt-clause database reduction,
+//! * incremental solving under assumptions with unsat-core extraction
+//!   (the hook `verdict-smt` uses for theory lemmas), and
+//! * a pluggable [`TheoryHook`] final check, so DPLL(T) lives outside this
+//!   crate.
+//!
+//! The solver is deterministic: same input, same decisions, same model.
+//!
+//! ```
+//! use verdict_logic::{Cnf, Var};
+//! use verdict_sat::{Solver, SolveResult};
+//!
+//! let mut cnf = Cnf::new();
+//! let (a, b) = (Var(0), Var(1));
+//! cnf.add_clause([a.positive(), b.positive()]);
+//! cnf.add_clause([a.negative()]);
+//! let mut solver = Solver::from_cnf(&cnf);
+//! match solver.solve() {
+//!     SolveResult::Sat(model) => {
+//!         assert!(!model.value(a) && model.value(b));
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod solver;
+
+pub use solver::{Limits, Model, SolveResult, Solver, Stats, TheoryHook, TheoryVerdict};

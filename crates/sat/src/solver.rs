@@ -1,0 +1,1261 @@
+//! The CDCL solver implementation.
+//!
+//! One `struct Solver` owns the clause arena, the two-watched-literal
+//! scheme, the trail, and the VSIDS order heap. The public surface is
+//! intentionally small: add clauses, solve (optionally under assumptions
+//! and/or with a theory hook), read the model or the failed-assumption core.
+
+use std::time::Instant;
+
+use verdict_logic::{Cnf, Lit, Var};
+
+/// Three-valued assignment state of a variable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// A clause stored in the arena.
+#[derive(Debug)]
+struct ClauseData {
+    lits: Vec<Lit>,
+    learnt: bool,
+    /// Literal-block distance at learn time; lower is better.
+    lbd: u32,
+    deleted: bool,
+}
+
+type ClauseId = u32;
+
+/// Watcher entry: the watched clause plus a "blocker" literal whose
+/// satisfaction lets propagation skip the clause without touching it.
+#[derive(Clone, Copy)]
+struct Watcher {
+    clause: ClauseId,
+    blocker: Lit,
+}
+
+/// Reason for an assignment: a clause, a decision, or a theory/assumption.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    Decision,
+    Clause(ClauseId),
+}
+
+/// A satisfying assignment, indexed by [`Var`].
+#[derive(Clone, Debug)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    /// Truth value of `v` in the model.
+    ///
+    /// # Panics
+    /// Panics if `v` was never declared to the solver.
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// Truth value of a literal.
+    pub fn lit_value(&self, l: Lit) -> bool {
+        self.value(l.var()) == l.is_positive()
+    }
+
+    /// The raw assignment vector, indexed by variable.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Clone, Debug)]
+pub enum SolveResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable (under the given assumptions, if any).
+    Unsat,
+    /// A resource limit was hit before a decision was reached.
+    Unknown,
+}
+
+impl SolveResult {
+    /// True iff the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// True iff the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+
+    /// Extracts the model if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Verdict returned by a theory's final check in DPLL(T).
+pub enum TheoryVerdict {
+    /// The Boolean model is theory-consistent; the solver reports SAT.
+    Consistent,
+    /// The Boolean model is theory-inconsistent. The payload is a *lemma*
+    /// clause (valid in the theory) that the current model falsifies; the
+    /// solver learns it and continues searching.
+    Lemma(Vec<Lit>),
+}
+
+/// DPLL(T) final-check hook.
+///
+/// `verdict-smt` implements this with a simplex-backed linear-arithmetic
+/// checker; plain SAT solving uses the default no-op theory.
+pub trait TheoryHook {
+    /// Called with every total Boolean assignment the SAT core finds.
+    fn final_check(&mut self, model: &Model) -> TheoryVerdict;
+}
+
+/// The trivial theory: every Boolean model is consistent.
+struct NoTheory;
+
+impl TheoryHook for NoTheory {
+    fn final_check(&mut self, _model: &Model) -> TheoryVerdict {
+        TheoryVerdict::Consistent
+    }
+}
+
+/// Resource limits for a solve call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Limits {
+    /// Give up after this many conflicts (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Give up at this wall-clock instant (`None` = unlimited).
+    pub deadline: Option<Instant>,
+}
+
+impl Limits {
+    /// No limits.
+    pub const NONE: Limits = Limits {
+        max_conflicts: None,
+        deadline: None,
+    };
+}
+
+/// Solver statistics, cumulative across solve calls.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Decisions made.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by database reductions.
+    pub deleted_clauses: u64,
+    /// Theory final-check invocations.
+    pub theory_checks: u64,
+    /// Theory lemmas learnt.
+    pub theory_lemmas: u64,
+}
+
+/// A CDCL SAT solver. See the [crate docs](crate) for the feature list.
+pub struct Solver {
+    clauses: Vec<ClauseData>,
+    watches: Vec<Vec<Watcher>>, // indexed by Lit::index()
+    assign: Vec<LBool>,         // indexed by Var
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: IndexedHeap,
+    saved_phase: Vec<bool>,
+
+    // Learning scratch
+    seen: Vec<bool>,
+
+    // Restarts / DB reduction
+    conflicts_since_restart: u64,
+    luby_index: u64,
+    max_learnts: f64,
+
+    // Assumptions / core
+    assumptions: Vec<Lit>,
+    conflict_core: Vec<Lit>,
+
+    ok: bool,
+    stats: Stats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+const LUBY_UNIT: u64 = 128;
+
+impl Solver {
+    /// An empty solver with no variables or clauses.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: IndexedHeap::new(),
+            saved_phase: Vec::new(),
+            seen: Vec::new(),
+            conflicts_since_restart: 0,
+            luby_index: 0,
+            max_learnts: 2000.0,
+            assumptions: Vec::new(),
+            conflict_core: Vec::new(),
+            ok: true,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Builds a solver pre-loaded with a CNF instance.
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        let mut s = Solver::new();
+        s.reserve_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> u32 {
+        self.assign.len() as u32
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.reserve_vars(v.0 + 1);
+        v
+    }
+
+    /// Ensures variables `0..n` exist.
+    pub fn reserve_vars(&mut self, n: u32) {
+        while (self.assign.len() as u32) < n {
+            let v = Var(self.assign.len() as u32);
+            self.assign.push(LBool::Undef);
+            self.level.push(0);
+            self.reason.push(Reason::Decision);
+            self.activity.push(0.0);
+            self.saved_phase.push(false);
+            self.seen.push(false);
+            self.watches.push(Vec::new());
+            self.watches.push(Vec::new());
+            self.heap.insert(v, &self.activity);
+        }
+    }
+
+    /// Adds a clause. May be called between solve calls (the solver must be
+    /// at decision level 0, which it always is between calls).
+    ///
+    /// Returns `false` if the database became unsatisfiable at level 0.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        for l in &c {
+            self.reserve_vars(l.var().0 + 1);
+        }
+        // Normalize: sort, dedup, drop false lits, detect tautology/sat.
+        c.sort_unstable();
+        c.dedup();
+        let mut out = Vec::with_capacity(c.len());
+        let mut prev: Option<Lit> = None;
+        for l in c {
+            if let Some(p) = prev {
+                if p == !l {
+                    return true; // tautology
+                }
+            }
+            prev = Some(l);
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], Reason::Decision);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out, false, 0);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseId {
+        debug_assert!(lits.len() >= 2);
+        let id = self.clauses.len() as ClauseId;
+        let w0 = Watcher {
+            clause: id,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            clause: id,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).index()].push(w0);
+        self.watches[(!lits[1]).index()].push(w1);
+        self.clauses.push(ClauseData {
+            lits,
+            learnt,
+            lbd,
+            deleted: false,
+        });
+        if learnt {
+            self.stats.learnt_clauses += 1;
+        }
+        id
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assign[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => LBool::from_bool(l.is_positive()),
+            LBool::False => LBool::from_bool(!l.is_positive()),
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Reason) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var();
+        self.assign[v.index()] = LBool::from_bool(l.is_positive());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail.push(l);
+    }
+
+    /// Propagates all enqueued assignments. Returns the conflicting clause
+    /// if a conflict is found.
+    fn propagate(&mut self) -> Option<ClauseId> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let mut i = 0;
+            // Take the watch list; entries are pushed back or moved.
+            let mut ws = std::mem::take(&mut self.watches[p.index()]);
+            while i < ws.len() {
+                let w = ws[i];
+                // Blocker short-circuit.
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cid = w.clause as usize;
+                if self.clauses[cid].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Make sure false_lit is at position 1.
+                {
+                    let lits = &mut self.clauses[cid].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[cid].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[cid].lits.len() {
+                    let cand = self.clauses[cid].lits[k];
+                    if self.lit_value(cand) != LBool::False {
+                        self.clauses[cid].lits.swap(1, k);
+                        self.watches[(!cand).index()].push(Watcher {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore the watch list (no entries were
+                    // added to `watches[p]` while we held it) and stop.
+                    self.watches[p.index()] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(w.clause);
+                }
+                self.enqueue(first, Reason::Clause(w.clause));
+                i += 1;
+            }
+            self.watches[p.index()] = ws;
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc *= VAR_DECAY;
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level,
+    /// LBD). `learnt[0]` is the asserting literal.
+    fn analyze(&mut self, confl: ClauseId) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            let clause = &self.clauses[confl as usize];
+            let start = usize::from(p.is_some());
+            // For the initial conflict clause consider all literals; for
+            // reason clauses skip position 0 (the propagated literal).
+            for k in start..clause.lits.len() {
+                let q = clause.lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    if self.level[v.index()] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Bump all variables in the clause.
+            let vars: Vec<Var> = self.clauses[confl as usize]
+                .lits
+                .iter()
+                .map(|l| l.var())
+                .collect();
+            for v in vars {
+                self.bump_var(v);
+            }
+            // Find next literal to expand.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("p set above").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = match self.reason[pv.index()] {
+                Reason::Clause(c) => c,
+                Reason::Decision => unreachable!("UIP reached before decision"),
+            };
+        }
+        let uip = !p.expect("analysis found a UIP");
+
+        // Clause minimization: drop literals implied by the rest.
+        let mut minimized: Vec<Lit> = Vec::with_capacity(learnt.len() + 1);
+        minimized.push(uip);
+        'next: for &q in &learnt {
+            let v = q.var();
+            if let Reason::Clause(c) = self.reason[v.index()] {
+                // q is redundant if every other literal of its reason is
+                // already seen (i.e. in the learnt clause) or at level 0.
+                for &r in &self.clauses[c as usize].lits {
+                    if r.var() == v {
+                        continue;
+                    }
+                    if !self.seen[r.var().index()] && self.level[r.var().index()] > 0 {
+                        minimized.push(q);
+                        continue 'next;
+                    }
+                }
+                // redundant: skip
+            } else {
+                minimized.push(q);
+            }
+        }
+
+        // Clear seen flags.
+        for &q in &learnt {
+            self.seen[q.var().index()] = false;
+        }
+
+        // Backtrack level = second-highest level in the clause.
+        let mut bt = 0;
+        if minimized.len() > 1 {
+            // Move the literal with the highest level to position 1.
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.level[minimized[i].var().index()]
+                    > self.level[minimized[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            bt = self.level[minimized[1].var().index()];
+        }
+
+        // LBD: number of distinct decision levels.
+        let mut levels: Vec<u32> = minimized
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        (minimized, bt, lbd)
+    }
+
+    /// Undoes all assignments above `target` decision level.
+    fn cancel_until(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let keep = self.trail_lim[target as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.saved_phase[v.index()] = l.is_positive();
+            self.assign[v.index()] = LBool::Undef;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = keep;
+    }
+
+    /// Picks the next decision literal, or `None` when all vars assigned.
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(v.lit(self.saved_phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Reduces the learnt-clause database, keeping low-LBD clauses and any
+    /// clause currently acting as a reason.
+    fn reduce_db(&mut self) {
+        let mut candidates: Vec<(u32, usize, ClauseId)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lbd > 2)
+            .map(|(i, c)| (c.lbd, c.lits.len(), i as ClauseId))
+            .collect();
+        // Worst first: high LBD, then long.
+        candidates.sort_unstable_by(|a, b| b.cmp(a));
+        let locked: std::collections::HashSet<ClauseId> = self
+            .trail
+            .iter()
+            .filter_map(|l| match self.reason[l.var().index()] {
+                Reason::Clause(c) => Some(c),
+                Reason::Decision => None,
+            })
+            .collect();
+        let target = candidates.len() / 2;
+        let mut removed = 0;
+        for &(_, _, cid) in candidates.iter().take(target) {
+            if locked.contains(&cid) {
+                continue;
+            }
+            self.clauses[cid as usize].deleted = true;
+            removed += 1;
+        }
+        self.stats.deleted_clauses += removed;
+        self.stats.learnt_clauses -= removed;
+    }
+
+    /// The failed-assumption core from the most recent `Unsat` answer to
+    /// [`Solver::solve_with_assumptions`]: a subset of the assumptions that
+    /// is already jointly inconsistent with the clause database.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// Builds the failed-assumption core by walking the implication graph
+    /// backwards from a literal that contradicts an assumption.
+    fn analyze_final(&mut self, p: Lit) {
+        // `p` is the implied-true literal that contradicts assumption `!p`.
+        // The core collects *assumption literals* (as passed by the caller)
+        // that jointly cannot hold.
+        self.conflict_core.clear();
+        self.conflict_core.push(!p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                Reason::Decision => {
+                    // All decisions during the assumption phase are
+                    // assumptions, enqueued with their own polarity.
+                    if l.var() != p.var() {
+                        self.conflict_core.push(l);
+                    }
+                }
+                Reason::Clause(c) => {
+                    for &q in &self.clauses[c as usize].lits {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    /// Solves the current database with no assumptions and no theory.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_full(&[], &mut NoTheory, Limits::NONE)
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On `Unsat`, [`Solver::unsat_core`] holds a subset of the assumptions
+    /// sufficient for unsatisfiability (negated: the core lists the
+    /// assumption literals that failed).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_full(assumptions, &mut NoTheory, Limits::NONE)
+    }
+
+    /// Solves with a DPLL(T) theory hook and optional limits.
+    pub fn solve_with_theory(
+        &mut self,
+        assumptions: &[Lit],
+        theory: &mut dyn TheoryHook,
+        limits: Limits,
+    ) -> SolveResult {
+        self.solve_full(assumptions, theory, limits)
+    }
+
+    /// Solves with limits only.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: Limits) -> SolveResult {
+        self.solve_full(assumptions, &mut NoTheory, limits)
+    }
+
+    fn solve_full(
+        &mut self,
+        assumptions: &[Lit],
+        theory: &mut dyn TheoryHook,
+        limits: Limits,
+    ) -> SolveResult {
+        if !self.ok {
+            self.conflict_core.clear();
+            return SolveResult::Unsat;
+        }
+        for l in assumptions {
+            self.reserve_vars(l.var().0 + 1);
+        }
+        self.assumptions = assumptions.to_vec();
+        self.conflict_core.clear();
+        self.conflicts_since_restart = 0;
+        self.luby_index = 0;
+        let mut restart_budget = LUBY_UNIT * luby(1);
+        let mut checked_since = 0u64;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                self.conflicts_since_restart += 1;
+                checked_since += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                if self.decision_level() <= self.assumptions.len() as u32 {
+                    // Conflict within the assumption prefix: extract core.
+                    // Find the conflicting clause's deepest assumption.
+                    self.build_core_from_conflict(confl);
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt, lbd) = self.analyze(confl);
+                // Backtracking below the assumption prefix is fine: the main
+                // loop re-queues assumptions while decision level < prefix.
+                self.cancel_until(bt);
+                let asserting = learnt[0];
+                if learnt.len() == 1 {
+                    self.cancel_until(0);
+                    if self.lit_value(asserting) == LBool::False {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    if self.lit_value(asserting) == LBool::Undef {
+                        self.enqueue(asserting, Reason::Decision);
+                    }
+                    // Re-establish assumptions on next iterations.
+                } else {
+                    let cid = self.attach_clause(learnt, true, lbd);
+                    self.enqueue(asserting, Reason::Clause(cid));
+                }
+                self.decay_activities();
+
+                if let Some(max) = limits.max_conflicts {
+                    if self.stats.conflicts >= max {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if checked_since >= 256 {
+                    checked_since = 0;
+                    if let Some(d) = limits.deadline {
+                        if Instant::now() >= d {
+                            self.cancel_until(0);
+                            return SolveResult::Unknown;
+                        }
+                    }
+                }
+                if self.conflicts_since_restart >= restart_budget {
+                    self.stats.restarts += 1;
+                    self.conflicts_since_restart = 0;
+                    self.luby_index += 1;
+                    restart_budget = LUBY_UNIT * luby(self.luby_index + 1);
+                    self.cancel_until(0);
+                }
+                if self.stats.learnt_clauses as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+            } else {
+                // No conflict: place assumptions, then decide.
+                let dl = self.decision_level() as usize;
+                if dl < self.assumptions.len() {
+                    let a = self.assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already satisfied; open an empty level so the
+                            // prefix invariant (level i = assumption i) holds.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.analyze_final(!a);
+                            self.cancel_until(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, Reason::Decision);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, Reason::Decision);
+                    }
+                    None => {
+                        // Total assignment: run the theory final check.
+                        let model = self.extract_model();
+                        self.stats.theory_checks += 1;
+                        match theory.final_check(&model) {
+                            TheoryVerdict::Consistent => {
+                                self.cancel_until(0);
+                                return SolveResult::Sat(model);
+                            }
+                            TheoryVerdict::Lemma(lemma) => {
+                                self.stats.theory_lemmas += 1;
+                                self.cancel_until(0);
+                                if !self.add_clause(lemma) {
+                                    return SolveResult::Unsat;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds an unsat core when a conflict occurs inside the assumption
+    /// prefix: walk the implication graph from the conflict clause.
+    fn build_core_from_conflict(&mut self, confl: ClauseId) {
+        self.conflict_core.clear();
+        let mut stack: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+        let mut visited = vec![false; self.assign.len()];
+        while let Some(l) = stack.pop() {
+            let v = l.var();
+            if visited[v.index()] || self.level[v.index()] == 0 {
+                continue;
+            }
+            visited[v.index()] = true;
+            match self.reason[v.index()] {
+                Reason::Decision => {
+                    // An assumption.
+                    self.conflict_core.push(!l);
+                }
+                Reason::Clause(c) => {
+                    for &q in &self.clauses[c as usize].lits {
+                        if q.var() != v {
+                            stack.push(q);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn extract_model(&self) -> Model {
+        Model {
+            values: self
+                .assign
+                .iter()
+                .map(|&a| a == LBool::True)
+                .collect(),
+        }
+    }
+}
+
+/// The Luby restart sequence (1-indexed): 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+fn luby(i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    let mut x = i - 1; // 0-indexed position
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+/// Max-heap over variables keyed by activity, with a position index for
+/// O(log n) increase-key. Ties break toward the smaller variable index so
+/// runs are deterministic.
+struct IndexedHeap {
+    heap: Vec<Var>,
+    pos: Vec<Option<u32>>, // indexed by var
+}
+
+impl IndexedHeap {
+    fn new() -> IndexedHeap {
+        IndexedHeap {
+            heap: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    fn less(a: Var, b: Var, act: &[f64]) -> bool {
+        // "less" in heap order means higher priority.
+        let (aa, ab) = (act[a.index()], act[b.index()]);
+        aa > ab || (aa == ab && a.0 < b.0)
+    }
+
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        while self.pos.len() <= v.index() {
+            self.pos.push(None);
+        }
+        if self.pos[v.index()].is_some() {
+            return;
+        }
+        self.heap.push(v);
+        self.pos[v.index()] = Some(self.heap.len() as u32 - 1);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        if let Some(i) = self.pos.get(v.index()).copied().flatten() {
+            self.sift_up(i as usize, act);
+        }
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top.index()] = None;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = Some(0);
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if Self::less(self.heap[i], self.heap[parent], act) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && Self::less(self.heap[l], self.heap[best], act) {
+                best = l;
+            }
+            if r < self.heap.len() && Self::less(self.heap[r], self.heap[best], act) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = Some(i as u32);
+        self.pos[self.heap[j].index()] = Some(j as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Var(v).lit(pos)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true)]);
+        let m = s.solve().model().unwrap();
+        assert!(m.value(Var(0)));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true)]);
+        s.add_clause([lit(0, false)]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn empty_db_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn chain_propagation() {
+        // x0 & (x_i -> x_{i+1}) forces all true.
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true)]);
+        for i in 0..20 {
+            s.add_clause([lit(i, false), lit(i + 1, true)]);
+        }
+        let m = s.solve().model().unwrap();
+        for i in 0..21 {
+            assert!(m.value(Var(i)), "x{i}");
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // Parity cycle with odd total parity is unsatisfiable:
+        // a^b=1, b^c=1 imply a^c=0, so also requiring a^c=1 conflicts.
+        let mut s = Solver::new();
+        let xor = |s: &mut Solver, a: u32, b: u32, val: bool| {
+            if val {
+                s.add_clause([lit(a, true), lit(b, true)]);
+                s.add_clause([lit(a, false), lit(b, false)]);
+            } else {
+                s.add_clause([lit(a, true), lit(b, false)]);
+                s.add_clause([lit(a, false), lit(b, true)]);
+            }
+        };
+        xor(&mut s, 0, 1, true);
+        xor(&mut s, 1, 2, true);
+        xor(&mut s, 0, 2, true);
+        assert!(s.solve().is_unsat());
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is a classic hard UNSAT family.
+    fn pigeonhole(holes: u32) -> Solver {
+        let pigeons = holes + 1;
+        let var = |p: u32, h: u32| Var(p * holes + h);
+        let mut s = Solver::new();
+        // Every pigeon in some hole.
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=6 {
+            let mut s = pigeonhole(holes);
+            assert!(s.solve().is_unsat(), "PHP({}, {holes})", holes + 1);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_exact_fit_sat() {
+        // n pigeons, n holes is satisfiable.
+        let holes = 5u32;
+        let var = |p: u32, h: u32| Var(p * holes + h);
+        let mut s = Solver::new();
+        for p in 0..holes {
+            s.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..holes {
+                for p2 in (p1 + 1)..holes {
+                    s.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true), lit(1, true)]);
+        assert!(s.solve_with_assumptions(&[lit(0, false)]).is_sat());
+        assert!(s
+            .solve_with_assumptions(&[lit(0, false), lit(1, false)])
+            .is_unsat());
+        // Solver is reusable after assumption UNSAT.
+        assert!(s.solve().is_sat());
+        assert!(s.solve_with_assumptions(&[lit(0, true)]).is_sat());
+    }
+
+    #[test]
+    fn unsat_core_is_subset_of_assumptions() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, false), lit(1, false)]); // !a | !b
+        let assumptions = [lit(2, true), lit(0, true), lit(1, true)];
+        assert!(s.solve_with_assumptions(&assumptions).is_unsat());
+        let core = s.unsat_core().to_vec();
+        assert!(!core.is_empty());
+        for l in &core {
+            assert!(assumptions.contains(l), "core lit {l} not an assumption");
+        }
+        // x2 is irrelevant, so a good core excludes it.
+        assert!(core.contains(&lit(0, true)) || core.contains(&lit(1, true)));
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        // Random-ish structured instance solved and cross-checked.
+        let mut cnf = verdict_logic::Cnf::new();
+        let n = 12u32;
+        for i in 0..n {
+            cnf.add_clause([
+                Var(i).positive(),
+                Var((i + 1) % n).negative(),
+                Var((i + 5) % n).positive(),
+            ]);
+            cnf.add_clause([Var(i).negative(), Var((i + 3) % n).positive()]);
+        }
+        let mut s = Solver::from_cnf(&cnf);
+        let m = s.solve().model().unwrap();
+        assert!(cnf.eval(m.as_slice()));
+    }
+
+    #[test]
+    fn incremental_add_after_solve() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true), lit(1, true)]);
+        assert!(s.solve().is_sat());
+        s.add_clause([lit(0, false)]);
+        let m = s.solve().model().unwrap();
+        assert!(m.value(Var(1)));
+        s.add_clause([lit(1, false)]);
+        assert!(s.solve().is_unsat());
+        // Once level-0 UNSAT, stays UNSAT.
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn conflict_limit_returns_unknown() {
+        let mut s = pigeonhole(8);
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                max_conflicts: Some(5),
+                deadline: None,
+            },
+        );
+        assert!(matches!(r, SolveResult::Unknown));
+    }
+
+    #[test]
+    fn theory_hook_drives_lemmas() {
+        // Theory: "x0 and x1 cannot both be true" expressed only via hook.
+        struct AtMostOne;
+        impl TheoryHook for AtMostOne {
+            fn final_check(&mut self, model: &Model) -> TheoryVerdict {
+                if model.value(Var(0)) && model.value(Var(1)) {
+                    TheoryVerdict::Lemma(vec![Var(0).negative(), Var(1).negative()])
+                } else {
+                    TheoryVerdict::Consistent
+                }
+            }
+        }
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true)]);
+        s.reserve_vars(2);
+        let r = s.solve_with_theory(&[], &mut AtMostOne, Limits::NONE);
+        let m = r.model().unwrap();
+        assert!(m.value(Var(0)) && !m.value(Var(1)));
+        assert!(s.stats().theory_lemmas <= 1);
+    }
+
+    #[test]
+    fn theory_hook_can_force_unsat() {
+        struct Never;
+        impl TheoryHook for Never {
+            fn final_check(&mut self, model: &Model) -> TheoryVerdict {
+                // Reject every model by blocking it.
+                let lemma = (0..model.as_slice().len() as u32)
+                    .map(|i| Var(i).lit(!model.value(Var(i))))
+                    .collect();
+                TheoryVerdict::Lemma(lemma)
+            }
+        }
+        let mut s = Solver::new();
+        s.reserve_vars(3);
+        let r = s.solve_with_theory(&[], &mut Never, Limits::NONE);
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = pigeonhole(5);
+        let _ = s.solve();
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.decisions > 0);
+        assert!(st.propagations > 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Differential testing of the CDCL solver against brute-force enumeration
+//! on random CNF instances, plus Tseitin pipeline round trips.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verdict_logic::{Cnf, Formula, Lit, Tseitin, Var};
+use verdict_sat::Solver;
+
+/// Brute-force satisfiability of a CNF over `n <= 20` variables.
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    let n = cnf.num_vars();
+    assert!(n <= 20);
+    (0u64..1 << n).any(|bits| {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        cnf.eval(&assignment)
+    })
+}
+
+/// Random k-CNF with the given shape.
+fn random_cnf(seed: u64, vars: u32, clauses: usize, max_len: usize) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(vars);
+    for _ in 0..clauses {
+        let len = rng.gen_range(1..=max_len);
+        let lits: Vec<Lit> = (0..len)
+            .map(|_| Var(rng.gen_range(0..vars)).lit(rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+#[test]
+fn solver_matches_brute_force_on_many_seeds() {
+    // Dense sweep over the sat/unsat transition region (ratio ~4.3).
+    for seed in 0..300u64 {
+        let vars = 4 + (seed % 7) as u32; // 4..=10
+        let clauses = (vars as usize) * 4 + (seed % 9) as usize;
+        let cnf = random_cnf(seed, vars, clauses, 3);
+        let expected = brute_force_sat(&cnf);
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            verdict_sat::SolveResult::Sat(m) => {
+                assert!(expected, "seed {seed}: solver SAT, brute force UNSAT");
+                assert!(
+                    cnf.eval(&m.as_slice()[..cnf.num_vars() as usize]),
+                    "seed {seed}: model does not satisfy CNF"
+                );
+            }
+            verdict_sat::SolveResult::Unsat => {
+                assert!(!expected, "seed {seed}: solver UNSAT, brute force SAT");
+            }
+            verdict_sat::SolveResult::Unknown => panic!("no limits set"),
+        }
+    }
+}
+
+#[test]
+fn assumptions_match_conditioning() {
+    // Solving with assumption l must equal solving cnf + unit clause l.
+    for seed in 0..100u64 {
+        let vars = 5 + (seed % 4) as u32;
+        let cnf = random_cnf(seed.wrapping_mul(77), vars, vars as usize * 4, 3);
+        let assumption = Var((seed % vars as u64) as u32).lit(seed % 2 == 0);
+        let mut s1 = Solver::from_cnf(&cnf);
+        let r1 = s1.solve_with_assumptions(&[assumption]).is_sat();
+        let mut cnf2 = cnf.clone();
+        cnf2.add_clause([assumption]);
+        let mut s2 = Solver::from_cnf(&cnf2);
+        let r2 = s2.solve().is_sat();
+        assert_eq!(r1, r2, "seed {seed} assumption {assumption}");
+    }
+}
+
+#[test]
+fn incremental_matches_monolithic() {
+    // Adding clause batches incrementally must agree with a fresh solve.
+    for seed in 0..60u64 {
+        let vars = 6u32;
+        let full = random_cnf(seed.wrapping_mul(1313), vars, 30, 3);
+        let mut inc = Solver::new();
+        inc.reserve_vars(vars);
+        let mut reference = Cnf::new();
+        reference.reserve_vars(vars);
+        for (i, clause) in full.clauses().iter().enumerate() {
+            inc.add_clause(clause.iter().copied());
+            reference.add_clause(clause.iter().copied());
+            if i % 7 == 6 {
+                let got = inc.solve().is_sat();
+                let want = brute_force_sat(&reference);
+                assert_eq!(got, want, "seed {seed} after {i} clauses");
+                if !got {
+                    break; // solver is permanently unsat; so is reference
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unsat_core_is_sound() {
+    // The returned core, asserted as units, must itself be UNSAT.
+    for seed in 0..80u64 {
+        let vars = 6u32;
+        let cnf = random_cnf(seed.wrapping_mul(9091), vars, 18, 3);
+        let assumptions: Vec<Lit> = (0..vars).map(|i| Var(i).lit(i % 2 == 0)).collect();
+        let mut s = Solver::from_cnf(&cnf);
+        if s.solve_with_assumptions(&assumptions).is_unsat() {
+            let core = s.unsat_core().to_vec();
+            if core.is_empty() {
+                // Legitimate only when the CNF is unsatisfiable on its own.
+                let mut base = Solver::from_cnf(&cnf);
+                assert!(base.solve().is_unsat(), "seed {seed}: empty core");
+                continue;
+            }
+            for l in &core {
+                assert!(assumptions.contains(l), "seed {seed}: {l} not assumed");
+            }
+            let mut s2 = Solver::from_cnf(&cnf);
+            for &l in &core {
+                s2.add_clause([l]);
+            }
+            assert!(s2.solve().is_unsat(), "seed {seed}: core not sufficient");
+        }
+    }
+}
+
+/// Random formula strategy mirroring the one in verdict-logic tests.
+fn formula(n: u32, depth: u32) -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        (0..n).prop_map(|i| Formula::var(Var(i))),
+        Just(Formula::tt()),
+        Just(Formula::ff()),
+    ];
+    leaf.prop_recursive(depth, 48, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, t, e)| Formula::ite(c, t, e)),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// End-to-end: formula -> Tseitin -> CDCL agrees with formula
+    /// brute-force satisfiability.
+    #[test]
+    fn pipeline_formula_to_solver(f in formula(5, 4)) {
+        let n = 5u32;
+        let expected = (0u32..1 << n).any(|bits| f.eval(&|v| bits >> v.0 & 1 == 1));
+        let mut enc = Tseitin::new();
+        enc.reserve_inputs(n);
+        enc.assert(&f);
+        let cnf = enc.into_cnf();
+        let mut solver = Solver::from_cnf(&cnf);
+        match solver.solve() {
+            verdict_sat::SolveResult::Sat(m) => {
+                prop_assert!(expected);
+                // The model restricted to inputs satisfies the formula.
+                prop_assert!(f.eval(&|v| m.value(v)));
+            }
+            verdict_sat::SolveResult::Unsat => prop_assert!(!expected),
+            verdict_sat::SolveResult::Unknown => prop_assert!(false),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Rationals extended with an infinitesimal: `r + k·δ`.
+//!
+//! Strict inequalities over the rationals have no weakest satisfying value,
+//! so the simplex works in the ordered field Q(δ) where `x < c` becomes
+//! `x ≤ c - δ`. At the end, any found solution can be mapped back to plain
+//! rationals by substituting a small enough concrete positive δ
+//! ([`DeltaRational::concretize`] in `solver.rs` picks one by search).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use verdict_logic::Rational;
+
+/// A value `real + delta_coeff · δ` where δ is a positive infinitesimal.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaRational {
+    /// The standard (real) part.
+    pub real: Rational,
+    /// The coefficient of δ.
+    pub delta: Rational,
+}
+
+impl DeltaRational {
+    /// Zero.
+    pub const ZERO: DeltaRational = DeltaRational {
+        real: Rational::ZERO,
+        delta: Rational::ZERO,
+    };
+
+    /// A plain rational (no infinitesimal part).
+    pub fn from_rational(r: Rational) -> DeltaRational {
+        DeltaRational {
+            real: r,
+            delta: Rational::ZERO,
+        }
+    }
+
+    /// `r + k·δ`.
+    pub fn new(real: Rational, delta: Rational) -> DeltaRational {
+        DeltaRational { real, delta }
+    }
+
+    /// `r - δ`: the value just below `r` (upper bound for `x < r`).
+    pub fn just_below(r: Rational) -> DeltaRational {
+        DeltaRational {
+            real: r,
+            delta: -Rational::ONE,
+        }
+    }
+
+    /// `r + δ`: the value just above `r` (lower bound for `x > r`).
+    pub fn just_above(r: Rational) -> DeltaRational {
+        DeltaRational {
+            real: r,
+            delta: Rational::ONE,
+        }
+    }
+
+    /// Evaluates at a concrete positive value of δ.
+    pub fn at(self, delta_value: Rational) -> Rational {
+        self.real + self.delta * delta_value
+    }
+
+    /// Scales by a rational.
+    pub fn scale(self, k: Rational) -> DeltaRational {
+        DeltaRational {
+            real: self.real * k,
+            delta: self.delta * k,
+        }
+    }
+}
+
+impl Add for DeltaRational {
+    type Output = DeltaRational;
+    fn add(self, rhs: DeltaRational) -> DeltaRational {
+        DeltaRational {
+            real: self.real + rhs.real,
+            delta: self.delta + rhs.delta,
+        }
+    }
+}
+
+impl Sub for DeltaRational {
+    type Output = DeltaRational;
+    fn sub(self, rhs: DeltaRational) -> DeltaRational {
+        DeltaRational {
+            real: self.real - rhs.real,
+            delta: self.delta - rhs.delta,
+        }
+    }
+}
+
+impl Neg for DeltaRational {
+    type Output = DeltaRational;
+    fn neg(self) -> DeltaRational {
+        DeltaRational {
+            real: -self.real,
+            delta: -self.delta,
+        }
+    }
+}
+
+impl AddAssign for DeltaRational {
+    fn add_assign(&mut self, rhs: DeltaRational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for DeltaRational {
+    fn sub_assign(&mut self, rhs: DeltaRational) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<Rational> for DeltaRational {
+    type Output = DeltaRational;
+    fn mul(self, rhs: Rational) -> DeltaRational {
+        self.scale(rhs)
+    }
+}
+
+impl PartialOrd for DeltaRational {
+    fn partial_cmp(&self, other: &DeltaRational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeltaRational {
+    fn cmp(&self, other: &DeltaRational) -> Ordering {
+        // Lexicographic: δ is infinitesimally small but positive.
+        self.real
+            .cmp(&other.real)
+            .then_with(|| self.delta.cmp(&other.delta))
+    }
+}
+
+impl fmt::Debug for DeltaRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for DeltaRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.delta.is_zero() {
+            write!(f, "{}", self.real)
+        } else if self.delta.is_positive() {
+            write!(f, "{}+{}δ", self.real, self.delta)
+        } else {
+            write!(f, "{}-{}δ", self.real, -self.delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let below = DeltaRational::just_below(r(1, 1));
+        let exact = DeltaRational::from_rational(r(1, 1));
+        let above = DeltaRational::just_above(r(1, 1));
+        assert!(below < exact);
+        assert!(exact < above);
+        assert!(below < above);
+        // Any real gap dominates any delta amount.
+        let big_delta = DeltaRational::new(r(0, 1), r(1000000, 1));
+        assert!(big_delta < DeltaRational::from_rational(r(1, 1000000)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = DeltaRational::new(r(1, 2), r(1, 1));
+        let b = DeltaRational::new(r(1, 4), r(-2, 1));
+        assert_eq!(a + b, DeltaRational::new(r(3, 4), r(-1, 1)));
+        assert_eq!(a - b, DeltaRational::new(r(1, 4), r(3, 1)));
+        assert_eq!(-a, DeltaRational::new(r(-1, 2), r(-1, 1)));
+        assert_eq!(a.scale(r(2, 1)), DeltaRational::new(r(1, 1), r(2, 1)));
+    }
+
+    #[test]
+    fn concretization() {
+        let x = DeltaRational::just_above(r(3, 1));
+        assert_eq!(x.at(r(1, 100)), r(301, 100));
+        let y = DeltaRational::just_below(r(3, 1));
+        assert!(y.at(r(1, 100)) < r(3, 1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DeltaRational::from_rational(r(3, 2)).to_string(), "3/2");
+        assert_eq!(DeltaRational::just_above(r(1, 1)).to_string(), "1+1δ");
+        assert_eq!(DeltaRational::just_below(r(1, 1)).to_string(), "1-1δ");
+    }
+}

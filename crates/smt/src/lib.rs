@@ -1,0 +1,54 @@
+//! Lazy SMT solving for quantifier-free linear real arithmetic (QF_LRA).
+//!
+//! The paper's second case study (load balancer + ECMP, §4.2) models input
+//! traffic, link/server latency coefficients, and external traffic as
+//! symbolic *real-valued parameters*, and checks a liveness property whose
+//! counterexample is a lasso through real-valued states. Reproducing it
+//! needs a solver for Boolean structure mixed with linear arithmetic over
+//! the rationals — this crate.
+//!
+//! Architecture (classic lazy DPLL(T), Dutertre & de Moura, CAV'06):
+//!
+//! * [`LinExpr`] — linear expressions over [`TheoryVar`]s with exact
+//!   [`Rational`] coefficients.
+//! * [`delta::DeltaRational`] — rationals extended with an infinitesimal
+//!   `δ`, so strict bounds (`<`, `>`) reduce to weak bounds.
+//! * [`simplex::Simplex`] — the general simplex with per-variable bounds,
+//!   Bland-rule pivoting, and minimal conflict explanations.
+//! * [`SmtSolver`] — maps linear atoms to SAT variables, Tseitin-encodes
+//!   asserted formulas into the CDCL core from `verdict-sat`, and runs the
+//!   simplex as a [`verdict_sat::TheoryHook`] final check; theory conflicts
+//!   come back as blocking lemmas built from simplex explanations.
+//!
+//! ```
+//! use verdict_logic::{Formula, Rational};
+//! use verdict_smt::{LinExpr, Rel, SmtResult, SmtSolver};
+//!
+//! let mut smt = SmtSolver::new();
+//! let x = smt.real_var("x");
+//! let y = smt.real_var("y");
+//! // x + y <= 2  and  x - y >= 1  and  y > 1/4  is unsatisfiable.
+//! let a1 = smt.atom(LinExpr::var(x) + LinExpr::var(y), Rel::Le, Rational::integer(2));
+//! let a2 = smt.atom(LinExpr::var(x) - LinExpr::var(y), Rel::Ge, Rational::integer(1));
+//! let a3 = smt.atom(LinExpr::var(y), Rel::Gt, Rational::new(1, 4));
+//! smt.assert_formula(Formula::and_all([a1.clone(), a2.clone(), a3.clone()]));
+//! assert!(matches!(smt.solve(), SmtResult::Sat(_)));
+//! // Tighten: y > 1/2 forces x >= 3/2 and x <= 3/2... add x + y >= 3 to break it.
+//! let a4 = smt.atom(
+//!     LinExpr::var(x) + LinExpr::var(y),
+//!     Rel::Ge,
+//!     Rational::integer(3),
+//! );
+//! smt.assert_formula(a4);
+//! assert!(matches!(smt.solve(), SmtResult::Unsat));
+//! ```
+
+pub mod delta;
+pub mod linexpr;
+pub mod simplex;
+pub mod solver;
+
+pub use delta::DeltaRational;
+pub use linexpr::{LinExpr, TheoryVar};
+pub use simplex::{BoundKind, Simplex, SimplexResult};
+pub use solver::{Rel, SmtModel, SmtResult, SmtSolver};

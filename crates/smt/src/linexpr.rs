@@ -1,0 +1,263 @@
+//! Linear expressions over theory variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use verdict_logic::Rational;
+
+/// A real-valued theory variable, identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TheoryVar(pub u32);
+
+impl TheoryVar {
+    /// The variable's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TheoryVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant` with exact coefficients.
+///
+/// Stored sparsely; zero coefficients are never kept. Construction via
+/// operators keeps encoders readable:
+///
+/// ```
+/// use verdict_logic::Rational;
+/// use verdict_smt::{LinExpr, TheoryVar};
+/// let x = TheoryVar(0);
+/// let y = TheoryVar(1);
+/// let e = LinExpr::var(x) * Rational::integer(2) + LinExpr::var(y)
+///     - LinExpr::constant(Rational::ONE);
+/// assert_eq!(e.coeff(x), Rational::integer(2));
+/// assert_eq!(e.constant_term(), Rational::integer(-1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<TheoryVar, Rational>,
+    constant: Rational,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn var(v: TheoryVar) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, Rational::ONE);
+        LinExpr {
+            terms,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// A constant expression.
+    pub fn constant(c: Rational) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// `coeff · v`.
+    pub fn term(coeff: Rational, v: TheoryVar) -> LinExpr {
+        LinExpr::var(v) * coeff
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: TheoryVar) -> Rational {
+        self.terms.get(&v).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> Rational {
+        self.constant
+    }
+
+    /// Iterates `(variable, coefficient)` pairs in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (TheoryVar, Rational)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// True iff there are no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of variable terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluates under an assignment.
+    pub fn eval(&self, assignment: &dyn Fn(TheoryVar) -> Rational) -> Rational {
+        let mut acc = self.constant;
+        for (&v, &c) in &self.terms {
+            acc += c * assignment(v);
+        }
+        acc
+    }
+
+    /// Adds `coeff · v` in place.
+    pub fn add_term(&mut self, coeff: Rational, v: TheoryVar) {
+        if coeff.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(v).or_insert(Rational::ZERO);
+        *entry += coeff;
+        if entry.is_zero() {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Sum of a sequence of expressions.
+    pub fn sum<I: IntoIterator<Item = LinExpr>>(items: I) -> LinExpr {
+        let mut acc = LinExpr::zero();
+        for e in items {
+            acc = acc + e;
+        }
+        acc
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms {
+            self.add_term(c, v);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<Rational> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, k: Rational) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::zero();
+        }
+        for c in self.terms.values_mut() {
+            *c *= k;
+        }
+        self.constant *= k;
+        self
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (&v, &c) in &self.terms {
+            if first {
+                if c == Rational::ONE {
+                    write!(f, "{v:?}")?;
+                } else {
+                    write!(f, "{c}·{v:?}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                write!(f, " - {}·{v:?}", -c)?;
+            } else {
+                write!(f, " + {c}·{v:?}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if !self.constant.is_zero() {
+            if self.constant.is_negative() {
+                write!(f, " - {}", -self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128) -> Rational {
+        Rational::integer(n)
+    }
+
+    #[test]
+    fn builders_and_accessors() {
+        let x = TheoryVar(0);
+        let y = TheoryVar(1);
+        let e = LinExpr::term(r(3), x) + LinExpr::term(r(-1), y) + LinExpr::constant(r(5));
+        assert_eq!(e.coeff(x), r(3));
+        assert_eq!(e.coeff(y), r(-1));
+        assert_eq!(e.coeff(TheoryVar(7)), r(0));
+        assert_eq!(e.constant_term(), r(5));
+        assert_eq!(e.num_terms(), 2);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let x = TheoryVar(0);
+        let e = LinExpr::var(x) - LinExpr::var(x);
+        assert!(e.is_constant());
+        assert_eq!(e, LinExpr::zero());
+    }
+
+    #[test]
+    fn eval() {
+        let x = TheoryVar(0);
+        let y = TheoryVar(1);
+        let e = LinExpr::term(r(2), x) + LinExpr::var(y) + LinExpr::constant(r(1));
+        let val = e.eval(&|v| if v == x { r(3) } else { r(10) });
+        assert_eq!(val, r(17));
+    }
+
+    #[test]
+    fn scaling_by_zero() {
+        let x = TheoryVar(0);
+        let e = LinExpr::var(x) * Rational::ZERO;
+        assert_eq!(e, LinExpr::zero());
+    }
+
+    #[test]
+    fn display() {
+        let x = TheoryVar(0);
+        let y = TheoryVar(1);
+        let e = LinExpr::term(r(2), x) - LinExpr::var(y) + LinExpr::constant(r(-3));
+        assert_eq!(e.to_string(), "2·r0 - 1·r1 - 3");
+        assert_eq!(LinExpr::constant(r(4)).to_string(), "4");
+    }
+}

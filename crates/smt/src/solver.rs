@@ -1,0 +1,534 @@
+//! The lazy DPLL(T) driver tying the CDCL core to the simplex.
+//!
+//! Linear atoms are interned: each distinct normalized atom
+//! `form ⋈ bound` gets one SAT variable and one simplex slack variable for
+//! its linear form (forms are deduplicated up to positive scaling).
+//! Formulas over atoms and plain Boolean variables are Tseitin-encoded into
+//! the CDCL solver; whenever the SAT core completes a Boolean model, the
+//! [`verdict_sat::TheoryHook`] final check asserts each atom's bound with
+//! the polarity the model chose and runs the simplex. Conflicts become
+//! blocking lemmas (negated explanations), exactly the classic lazy loop.
+
+use std::collections::HashMap;
+
+use verdict_logic::{Formula, Lit, Rational, Tseitin, Var};
+use verdict_sat::{Limits, Model, SolveResult, Solver, TheoryHook, TheoryVerdict};
+
+use crate::delta::DeltaRational;
+use crate::linexpr::{LinExpr, TheoryVar};
+use crate::simplex::{BoundKind, Simplex, SimplexResult};
+
+/// Relational operator of a linear atom. Equality is deliberately absent:
+/// encode `e = c` as `e ≤ c ∧ e ≥ c` (see [`SmtSolver::eq_atom`]) so every
+/// atom maps to a single simplex bound in both polarities.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rel {
+    /// `≤`
+    Le,
+    /// `<`
+    Lt,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl Rel {
+    fn flip(self) -> Rel {
+        match self {
+            Rel::Le => Rel::Ge,
+            Rel::Lt => Rel::Gt,
+            Rel::Ge => Rel::Le,
+            Rel::Gt => Rel::Lt,
+        }
+    }
+
+    /// Evaluates `lhs ⋈ rhs` over plain rationals.
+    pub fn eval(self, lhs: Rational, rhs: Rational) -> bool {
+        match self {
+            Rel::Le => lhs <= rhs,
+            Rel::Lt => lhs < rhs,
+            Rel::Ge => lhs >= rhs,
+            Rel::Gt => lhs > rhs,
+        }
+    }
+}
+
+/// The bound a registered atom imposes when true / when false.
+#[derive(Clone, Debug)]
+struct AtomData {
+    sat_var: Var,
+    simplex_var: usize,
+    rel: Rel,
+    bound: Rational,
+}
+
+impl AtomData {
+    /// The simplex bound asserted when the atom has the given polarity.
+    fn bound_for(&self, polarity: bool) -> (BoundKind, DeltaRational) {
+        let rel = if polarity {
+            self.rel
+        } else {
+            // ¬(e ≤ b) = e > b, ¬(e < b) = e ≥ b, etc.
+            match self.rel {
+                Rel::Le => Rel::Gt,
+                Rel::Lt => Rel::Ge,
+                Rel::Ge => Rel::Lt,
+                Rel::Gt => Rel::Le,
+            }
+        };
+        match rel {
+            Rel::Le => (BoundKind::Upper, DeltaRational::from_rational(self.bound)),
+            Rel::Lt => (BoundKind::Upper, DeltaRational::just_below(self.bound)),
+            Rel::Ge => (BoundKind::Lower, DeltaRational::from_rational(self.bound)),
+            Rel::Gt => (BoundKind::Lower, DeltaRational::just_above(self.bound)),
+        }
+    }
+}
+
+/// A satisfying assignment: Boolean values plus exact rational values for
+/// every theory variable.
+#[derive(Clone, Debug)]
+pub struct SmtModel {
+    bools: Model,
+    reals: Vec<Rational>,
+}
+
+impl SmtModel {
+    /// Truth value of a Boolean (or atom) variable.
+    pub fn bool_value(&self, v: Var) -> bool {
+        self.bools.value(v)
+    }
+
+    /// Value of a real-valued theory variable.
+    pub fn real_value(&self, v: TheoryVar) -> Rational {
+        self.reals[v.index()]
+    }
+
+    /// Evaluates a linear expression under the model.
+    pub fn eval(&self, e: &LinExpr) -> Rational {
+        e.eval(&|v| self.real_value(v))
+    }
+}
+
+/// Outcome of an [`SmtSolver::solve`] call.
+#[derive(Clone, Debug)]
+pub enum SmtResult {
+    /// Satisfiable with a model.
+    Sat(SmtModel),
+    /// Unsatisfiable.
+    Unsat,
+    /// Resource limit hit.
+    Unknown,
+}
+
+impl SmtResult {
+    /// True iff satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+
+    /// Extracts the model if satisfiable.
+    pub fn model(self) -> Option<SmtModel> {
+        match self {
+            SmtResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Normalized-form key: strictly sorted `(theory var, coefficient)` pairs
+/// with the leading coefficient scaled to 1.
+type FormKey = Vec<(TheoryVar, Rational)>;
+
+/// The SMT solver. See the [crate docs](crate) for an end-to-end example.
+pub struct SmtSolver {
+    sat: Solver,
+    simplex: Simplex,
+    next_var: u32,
+    atoms: Vec<AtomData>,
+    /// Dedup: (simplex var, rel, bound) -> existing atom index.
+    atom_index: HashMap<(usize, Rel, Rational), usize>,
+    /// Dedup: normalized linear form -> simplex (slack or original) var.
+    form_slack: HashMap<FormKey, usize>,
+    /// Theory var -> simplex var.
+    tvar_to_svar: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl Default for SmtSolver {
+    fn default() -> Self {
+        SmtSolver::new()
+    }
+}
+
+impl SmtSolver {
+    /// An empty solver.
+    pub fn new() -> SmtSolver {
+        SmtSolver {
+            sat: Solver::new(),
+            simplex: Simplex::new(),
+            next_var: 0,
+            atoms: Vec::new(),
+            atom_index: HashMap::new(),
+            form_slack: HashMap::new(),
+            tvar_to_svar: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Declares a fresh real-valued variable.
+    pub fn real_var(&mut self, name: &str) -> TheoryVar {
+        let tv = TheoryVar(self.tvar_to_svar.len() as u32);
+        let sv = self.simplex.add_var();
+        self.tvar_to_svar.push(sv);
+        self.names.push(name.to_string());
+        // Register the singleton form so `atom` maps x ⋈ c onto sv directly.
+        self.form_slack.insert(vec![(tv, Rational::ONE)], sv);
+        tv
+    }
+
+    /// The name a real variable was declared with.
+    pub fn var_name(&self, v: TheoryVar) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of declared real variables.
+    pub fn num_real_vars(&self) -> usize {
+        self.tvar_to_svar.len()
+    }
+
+    /// Declares a fresh Boolean variable (for non-arithmetic state bits).
+    pub fn bool_var(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        self.sat.reserve_vars(self.next_var);
+        v
+    }
+
+    /// Registers the linear atom `expr ⋈ rhs` and returns it as a formula
+    /// (a single literal, or a constant when the atom is ground).
+    pub fn atom(&mut self, expr: LinExpr, rel: Rel, rhs: Rational) -> Formula {
+        // Move the constant to the right-hand side.
+        let constant = expr.constant_term();
+        let bound = rhs - constant;
+        let form = expr - LinExpr::constant(constant);
+        if form.is_constant() {
+            return Formula::constant(rel.eval(Rational::ZERO, bound));
+        }
+        // Normalize: scale so the leading coefficient is 1.
+        let lead = form
+            .terms()
+            .next()
+            .map(|(_, c)| c)
+            .expect("non-constant form");
+        let scaled = form * lead.recip();
+        let bound = bound / lead;
+        let rel = if lead.is_negative() { rel.flip() } else { rel };
+
+        let key: FormKey = scaled.terms().collect();
+        let svar = match self.form_slack.get(&key) {
+            Some(&sv) => sv,
+            None => {
+                let definition: Vec<(usize, Rational)> = key
+                    .iter()
+                    .map(|&(tv, c)| (self.tvar_to_svar[tv.index()], c))
+                    .collect();
+                let sv = self.simplex.add_slack(&definition);
+                self.form_slack.insert(key, sv);
+                sv
+            }
+        };
+        if let Some(&idx) = self.atom_index.get(&(svar, rel, bound)) {
+            return Formula::var(self.atoms[idx].sat_var);
+        }
+        let sat_var = self.bool_var();
+        self.atom_index.insert((svar, rel, bound), self.atoms.len());
+        self.atoms.push(AtomData {
+            sat_var,
+            simplex_var: svar,
+            rel,
+            bound,
+        });
+        Formula::var(sat_var)
+    }
+
+    /// `expr = rhs` as the conjunction of two inequalities.
+    pub fn eq_atom(&mut self, expr: LinExpr, rhs: Rational) -> Formula {
+        let le = self.atom(expr.clone(), Rel::Le, rhs);
+        let ge = self.atom(expr, Rel::Ge, rhs);
+        le.and(ge)
+    }
+
+    /// Tseitin-defines a formula and returns a literal equivalent to it
+    /// (constants are materialized through a constrained fresh variable),
+    /// suitable as an assumption literal for [`SmtSolver::solve_limited`].
+    pub fn define_literal(&mut self, f: &Formula) -> Lit {
+        let mut enc = Tseitin::new();
+        enc.reserve_inputs(self.next_var);
+        let encoded = enc.define(f);
+        let lit = match encoded {
+            verdict_logic::cnf::EncodedLit::Lit(l) => l,
+            verdict_logic::cnf::EncodedLit::True => {
+                let v = enc.cnf_mut().fresh_var();
+                enc.cnf_mut().add_unit(v.positive());
+                v.positive()
+            }
+            verdict_logic::cnf::EncodedLit::False => {
+                let v = enc.cnf_mut().fresh_var();
+                enc.cnf_mut().add_unit(v.negative());
+                v.positive()
+            }
+        };
+        let cnf = enc.into_cnf();
+        self.next_var = self.next_var.max(cnf.num_vars());
+        for clause in cnf.clauses() {
+            self.sat.add_clause(clause.iter().copied());
+        }
+        lit
+    }
+
+    /// Asserts a formula over atom and Boolean variables.
+    pub fn assert_formula(&mut self, f: Formula) {
+        let mut enc = Tseitin::new();
+        enc.reserve_inputs(self.next_var);
+        enc.assert(&f);
+        let cnf = enc.into_cnf();
+        self.next_var = self.next_var.max(cnf.num_vars());
+        for clause in cnf.clauses() {
+            self.sat.add_clause(clause.iter().copied());
+        }
+    }
+
+    /// Solves the asserted formulas. See [`SmtSolver::solve_limited`].
+    pub fn solve(&mut self) -> SmtResult {
+        self.solve_limited(&[], Limits::NONE)
+    }
+
+    /// Solves under assumption literals and resource limits.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: Limits) -> SmtResult {
+        let mut hook = LraHook {
+            atoms: &self.atoms,
+            simplex: &mut self.simplex,
+        };
+        match self.sat.solve_with_theory(assumptions, &mut hook, limits) {
+            SolveResult::Sat(bools) => {
+                // The simplex still holds the bounds of the accepted model;
+                // concretize δ and read off real values.
+                let delta = self.simplex.concrete_delta();
+                let reals = self
+                    .tvar_to_svar
+                    .iter()
+                    .map(|&sv| self.simplex.value(sv).at(delta))
+                    .collect();
+                SmtResult::Sat(SmtModel { bools, reals })
+            }
+            SolveResult::Unsat => SmtResult::Unsat,
+            SolveResult::Unknown => SmtResult::Unknown,
+        }
+    }
+
+    /// Cumulative statistics from the underlying SAT core.
+    pub fn sat_stats(&self) -> verdict_sat::Stats {
+        self.sat.stats()
+    }
+
+    /// Pivot count from the simplex core.
+    pub fn simplex_pivots(&self) -> u64 {
+        self.simplex.pivots()
+    }
+}
+
+/// The theory hook: asserts atom bounds per the Boolean model's polarity
+/// and checks with simplex.
+struct LraHook<'a> {
+    atoms: &'a [AtomData],
+    simplex: &'a mut Simplex,
+}
+
+impl TheoryHook for LraHook<'_> {
+    fn final_check(&mut self, model: &Model) -> TheoryVerdict {
+        self.simplex.reset_bounds();
+        for atom in self.atoms {
+            let polarity = model.value(atom.sat_var);
+            let (kind, bound) = atom.bound_for(polarity);
+            // The literal that is true in the current Boolean model.
+            let reason = atom.sat_var.lit(polarity);
+            if let Err(expl) = self
+                .simplex
+                .assert_bound(atom.simplex_var, kind, bound, reason)
+            {
+                return TheoryVerdict::Lemma(negate_all(&expl));
+            }
+        }
+        match self.simplex.check() {
+            SimplexResult::Sat => TheoryVerdict::Consistent,
+            SimplexResult::Conflict(expl) => TheoryVerdict::Lemma(negate_all(&expl)),
+        }
+    }
+}
+
+fn negate_all(lits: &[Lit]) -> Vec<Lit> {
+    lits.iter().map(|&l| !l).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn pure_boolean_still_works() {
+        let mut smt = SmtSolver::new();
+        let a = smt.bool_var();
+        let b = smt.bool_var();
+        smt.assert_formula(Formula::var(a).or(Formula::var(b)));
+        smt.assert_formula(Formula::var(a).not());
+        let m = smt.solve().model().unwrap();
+        assert!(!m.bool_value(a) && m.bool_value(b));
+    }
+
+    #[test]
+    fn simple_arithmetic_sat() {
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let a = smt.atom(LinExpr::var(x), Rel::Ge, r(2, 1));
+        let b = smt.atom(LinExpr::var(x), Rel::Le, r(3, 1));
+        smt.assert_formula(a.and(b));
+        let m = smt.solve().model().unwrap();
+        let v = m.real_value(x);
+        assert!(v >= r(2, 1) && v <= r(3, 1), "x = {v}");
+    }
+
+    #[test]
+    fn simple_arithmetic_unsat() {
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let a = smt.atom(LinExpr::var(x), Rel::Gt, r(3, 1));
+        let b = smt.atom(LinExpr::var(x), Rel::Lt, r(3, 1));
+        smt.assert_formula(a.and(b));
+        assert!(matches!(smt.solve(), SmtResult::Unsat));
+    }
+
+    #[test]
+    fn strict_boundary_excluded() {
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let a = smt.atom(LinExpr::var(x), Rel::Gt, r(3, 1));
+        let b = smt.atom(LinExpr::var(x), Rel::Le, r(3, 1));
+        smt.assert_formula(a.and(b));
+        assert!(matches!(smt.solve(), SmtResult::Unsat));
+    }
+
+    #[test]
+    fn boolean_structure_over_atoms() {
+        // (x >= 5 or x <= 1) and x >= 2  =>  x >= 5 branch must be taken.
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let hi = smt.atom(LinExpr::var(x), Rel::Ge, r(5, 1));
+        let lo = smt.atom(LinExpr::var(x), Rel::Le, r(1, 1));
+        let mid = smt.atom(LinExpr::var(x), Rel::Ge, r(2, 1));
+        smt.assert_formula(hi.or(lo).and(mid));
+        let m = smt.solve().model().unwrap();
+        assert!(m.real_value(x) >= r(5, 1));
+    }
+
+    #[test]
+    fn multi_var_system() {
+        // x + y = 10, x - y >= 4, y > 1  =>  1 < y <= 3.
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let y = smt.real_var("y");
+        let sum = smt.eq_atom(LinExpr::var(x) + LinExpr::var(y), r(10, 1));
+        let diff = smt.atom(LinExpr::var(x) - LinExpr::var(y), Rel::Ge, r(4, 1));
+        let ypos = smt.atom(LinExpr::var(y), Rel::Gt, r(1, 1));
+        smt.assert_formula(Formula::and_all([sum, diff, ypos]));
+        let m = smt.solve().model().unwrap();
+        let (vx, vy) = (m.real_value(x), m.real_value(y));
+        assert_eq!(vx + vy, r(10, 1));
+        assert!(vx - vy >= r(4, 1));
+        assert!(vy > r(1, 1) && vy <= r(3, 1), "y = {vy}");
+    }
+
+    #[test]
+    fn negated_atoms_in_formula() {
+        // not (x <= 0) and x < 1  =>  0 < x < 1.
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let nonpos = smt.atom(LinExpr::var(x), Rel::Le, r(0, 1));
+        let lt1 = smt.atom(LinExpr::var(x), Rel::Lt, r(1, 1));
+        smt.assert_formula(nonpos.not().and(lt1));
+        let m = smt.solve().model().unwrap();
+        let v = m.real_value(x);
+        assert!(v > r(0, 1) && v < r(1, 1), "x = {v}");
+    }
+
+    #[test]
+    fn atom_deduplication() {
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        // 2x <= 4 and x <= 2 normalize to the same atom.
+        let a = smt.atom(LinExpr::term(r(2, 1), x), Rel::Le, r(4, 1));
+        let b = smt.atom(LinExpr::var(x), Rel::Le, r(2, 1));
+        assert_eq!(a, b);
+        // -x >= -2 is also the same constraint.
+        let c = smt.atom(LinExpr::term(r(-1, 1), x), Rel::Ge, r(-2, 1));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn ground_atoms_fold() {
+        let mut smt = SmtSolver::new();
+        let t = smt.atom(LinExpr::constant(r(1, 1)), Rel::Le, r(2, 1));
+        assert_eq!(t, Formula::tt());
+        let f = smt.atom(LinExpr::constant(r(3, 1)), Rel::Le, r(2, 1));
+        assert_eq!(f, Formula::ff());
+    }
+
+    #[test]
+    fn constants_inside_expressions() {
+        // (x + 1) <= 3  ==  x <= 2.
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let a = smt.atom(
+            LinExpr::var(x) + LinExpr::constant(r(1, 1)),
+            Rel::Le,
+            r(3, 1),
+        );
+        let b = smt.atom(LinExpr::var(x), Rel::Le, r(2, 1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_assertions() {
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let ge = smt.atom(LinExpr::var(x), Rel::Ge, r(0, 1));
+        smt.assert_formula(ge);
+        assert!(smt.solve().is_sat());
+        let le = smt.atom(LinExpr::var(x), Rel::Lt, r(0, 1));
+        smt.assert_formula(le);
+        assert!(matches!(smt.solve(), SmtResult::Unsat));
+    }
+
+    #[test]
+    fn model_evaluates_expressions() {
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let y = smt.real_var("y");
+        let c1 = smt.eq_atom(LinExpr::var(x), r(3, 2));
+        let c2 = smt.eq_atom(
+            LinExpr::var(y) - LinExpr::term(r(2, 1), x),
+            r(0, 1),
+        );
+        smt.assert_formula(c1.and(c2));
+        let m = smt.solve().model().unwrap();
+        assert_eq!(m.real_value(x), r(3, 2));
+        assert_eq!(m.real_value(y), r(3, 1));
+        let e = LinExpr::var(x) + LinExpr::var(y);
+        assert_eq!(m.eval(&e), r(9, 2));
+    }
+}

@@ -1,0 +1,189 @@
+//! Differential testing of the DPLL(T)+simplex stack against an
+//! independent Fourier–Motzkin elimination oracle on random conjunctions
+//! of linear atoms, plus model soundness on arbitrary Boolean structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verdict_logic::{Formula, Rational};
+use verdict_smt::{LinExpr, Rel, SmtResult, SmtSolver, TheoryVar};
+
+/// A constraint `Σ coeffs·x ⋈ rhs` in dense form for the oracle.
+#[derive(Clone, Debug)]
+struct Constraint {
+    coeffs: Vec<Rational>,
+    rel: Rel,
+    rhs: Rational,
+}
+
+/// Fourier–Motzkin satisfiability for conjunctions of {≤,<,≥,>} atoms.
+fn fm_sat(mut cs: Vec<Constraint>, nvars: usize) -> bool {
+    // Normalize everything to `expr ≤ rhs` or `expr < rhs`.
+    for c in &mut cs {
+        match c.rel {
+            Rel::Le | Rel::Lt => {}
+            Rel::Ge => {
+                for k in &mut c.coeffs {
+                    *k = -*k;
+                }
+                c.rhs = -c.rhs;
+                c.rel = Rel::Le;
+            }
+            Rel::Gt => {
+                for k in &mut c.coeffs {
+                    *k = -*k;
+                }
+                c.rhs = -c.rhs;
+                c.rel = Rel::Lt;
+            }
+        }
+    }
+    for v in 0..nvars {
+        let (with_pos, mut rest): (Vec<_>, Vec<_>) =
+            cs.into_iter().partition(|c| c.coeffs[v].is_positive());
+        let (with_neg, others): (Vec<_>, Vec<_>) =
+            rest.drain(..).partition(|c| c.coeffs[v].is_negative());
+        let mut next = others;
+        // Combine every (upper on v) with every (lower on v).
+        for up in &with_pos {
+            for lo in &with_neg {
+                let a = up.coeffs[v];
+                let b = -lo.coeffs[v];
+                // up: a·v + e1 ≤/< r1  =>  v ≤/< (r1 - e1)/a
+                // lo: -b·v + e2 ≤/< r2  =>  v ≥/> (e2 - r2)/b
+                // combine: b·e1 + a·e2 ≤/< b·r1 + a·r2
+                let mut coeffs = vec![Rational::ZERO; nvars];
+                for (i, k) in coeffs.iter_mut().enumerate() {
+                    *k = up.coeffs[i] * b + lo.coeffs[i] * a;
+                }
+                coeffs[v] = Rational::ZERO;
+                let rhs = up.rhs * b + lo.rhs * a;
+                let rel = if up.rel == Rel::Lt || lo.rel == Rel::Lt {
+                    Rel::Lt
+                } else {
+                    Rel::Le
+                };
+                next.push(Constraint { coeffs, rel, rhs });
+            }
+        }
+        cs = next;
+    }
+    // All variables eliminated: every constraint is ground `0 ⋈ rhs`.
+    cs.iter().all(|c| {
+        debug_assert!(c.coeffs.iter().all(|k| k.is_zero()));
+        c.rel.eval(Rational::ZERO, c.rhs)
+    })
+}
+
+fn random_constraint(rng: &mut StdRng, nvars: usize) -> Constraint {
+    let rel = match rng.gen_range(0..4) {
+        0 => Rel::Le,
+        1 => Rel::Lt,
+        2 => Rel::Ge,
+        _ => Rel::Gt,
+    };
+    let coeffs: Vec<Rational> = (0..nvars)
+        .map(|_| Rational::integer(rng.gen_range(-3i128..=3)))
+        .collect();
+    Constraint {
+        coeffs,
+        rel,
+        rhs: Rational::new(rng.gen_range(-12i128..=12), rng.gen_range(1i128..=3)),
+    }
+}
+
+#[test]
+fn conjunctions_match_fourier_motzkin() {
+    for seed in 0..250u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nvars = rng.gen_range(1..=3usize);
+        let natoms = rng.gen_range(1..=8usize);
+        let constraints: Vec<Constraint> =
+            (0..natoms).map(|_| random_constraint(&mut rng, nvars)).collect();
+
+        let expected = fm_sat(constraints.clone(), nvars);
+
+        let mut smt = SmtSolver::new();
+        let vars: Vec<TheoryVar> =
+            (0..nvars).map(|i| smt.real_var(&format!("x{i}"))).collect();
+        let mut formulas = Vec::new();
+        for c in &constraints {
+            let mut e = LinExpr::zero();
+            for (i, &k) in c.coeffs.iter().enumerate() {
+                e = e + LinExpr::term(k, vars[i]);
+            }
+            formulas.push(smt.atom(e, c.rel, c.rhs));
+        }
+        smt.assert_formula(Formula::and_all(formulas));
+        match smt.solve() {
+            SmtResult::Sat(m) => {
+                assert!(expected, "seed {seed}: SMT sat, FM unsat");
+                // Model must actually satisfy every constraint.
+                for (ci, c) in constraints.iter().enumerate() {
+                    let lhs: Rational = c
+                        .coeffs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &k)| k * m.real_value(vars[i]))
+                        .fold(Rational::ZERO, |a, b| a + b);
+                    assert!(
+                        c.rel.eval(lhs, c.rhs),
+                        "seed {seed}: constraint {ci} violated: {lhs} {:?} {}",
+                        c.rel,
+                        c.rhs
+                    );
+                }
+            }
+            SmtResult::Unsat => assert!(!expected, "seed {seed}: SMT unsat, FM sat"),
+            SmtResult::Unknown => panic!("seed {seed}: unexpected Unknown"),
+        }
+    }
+}
+
+#[test]
+fn disjunctive_structure_soundness() {
+    // Random CNF-ish structure over atoms: whenever SAT, the model must
+    // satisfy the formula with atoms evaluated over the real model.
+    for seed in 0..120u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let nvars = 2usize;
+        let mut smt = SmtSolver::new();
+        let vars: Vec<TheoryVar> =
+            (0..nvars).map(|i| smt.real_var(&format!("x{i}"))).collect();
+        let mut clause_data = Vec::new();
+        let nclauses = rng.gen_range(1..=5usize);
+        let mut clauses = Vec::new();
+        for _ in 0..nclauses {
+            let width = rng.gen_range(1..=3usize);
+            let mut lits = Vec::new();
+            let mut data = Vec::new();
+            for _ in 0..width {
+                let c = random_constraint(&mut rng, nvars);
+                let negate = rng.gen_bool(0.3);
+                let mut e = LinExpr::zero();
+                for (i, &k) in c.coeffs.iter().enumerate() {
+                    e = e + LinExpr::term(k, vars[i]);
+                }
+                let atom = smt.atom(e, c.rel, c.rhs);
+                lits.push(if negate { atom.not() } else { atom });
+                data.push((c, negate));
+            }
+            clauses.push(Formula::or_all(lits));
+            clause_data.push(data);
+        }
+        smt.assert_formula(Formula::and_all(clauses));
+        if let SmtResult::Sat(m) = smt.solve() {
+            for (ci, clause) in clause_data.iter().enumerate() {
+                let ok = clause.iter().any(|(c, negate)| {
+                    let lhs: Rational = c
+                        .coeffs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &k)| k * m.real_value(vars[i]))
+                        .fold(Rational::ZERO, |a, b| a + b);
+                    c.rel.eval(lhs, c.rhs) != *negate
+                });
+                assert!(ok, "seed {seed}: clause {ci} falsified by model");
+            }
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! Bit-blasting circuits over an abstract Boolean algebra.
+//!
+//! The SAT unrolling encoder (here, producing [`Formula`]s) and the BDD
+//! encoder (in `verdict-mc`, producing BDD nodes) need the same arithmetic
+//! circuits: two's-complement adders, comparators, multiplexers, and
+//! population counts. They are written once against [`BoolAlg`] and
+//! instantiated per backend.
+
+use verdict_logic::{Formula, Var};
+
+/// An abstract Boolean algebra: the operations circuits need.
+///
+/// Implementations may allocate nodes (`&mut self`) — the `Formula` backend
+/// is pure, the BDD backend hash-conses into its manager.
+pub trait BoolAlg {
+    /// The carrier type (a formula, a BDD node, …).
+    type B: Clone;
+
+    /// Constant true.
+    fn tt(&mut self) -> Self::B;
+    /// Constant false.
+    fn ff(&mut self) -> Self::B;
+    /// Negation.
+    fn not(&mut self, a: &Self::B) -> Self::B;
+    /// Conjunction.
+    fn and(&mut self, a: &Self::B, b: &Self::B) -> Self::B;
+    /// Disjunction.
+    fn or(&mut self, a: &Self::B, b: &Self::B) -> Self::B;
+    /// Exclusive or.
+    fn xor(&mut self, a: &Self::B, b: &Self::B) -> Self::B;
+    /// Equivalence.
+    fn iff(&mut self, a: &Self::B, b: &Self::B) -> Self::B {
+        let x = self.xor(a, b);
+        self.not(&x)
+    }
+    /// If-then-else.
+    fn ite(&mut self, c: &Self::B, t: &Self::B, e: &Self::B) -> Self::B {
+        let ct = self.and(c, t);
+        let nc = self.not(c);
+        let ce = self.and(&nc, e);
+        self.or(&ct, &ce)
+    }
+    /// Constant of a boolean.
+    fn constant(&mut self, b: bool) -> Self::B {
+        if b {
+            self.tt()
+        } else {
+            self.ff()
+        }
+    }
+}
+
+/// The [`Formula`]-producing backend.
+#[derive(Default)]
+pub struct FormulaAlg;
+
+impl FormulaAlg {
+    /// A variable as a formula (helper mirroring BDD `var`).
+    pub fn var(&mut self, v: Var) -> Formula {
+        Formula::var(v)
+    }
+}
+
+impl BoolAlg for FormulaAlg {
+    type B = Formula;
+
+    fn tt(&mut self) -> Formula {
+        Formula::tt()
+    }
+    fn ff(&mut self) -> Formula {
+        Formula::ff()
+    }
+    fn not(&mut self, a: &Formula) -> Formula {
+        a.clone().not()
+    }
+    fn and(&mut self, a: &Formula, b: &Formula) -> Formula {
+        a.clone().and(b.clone())
+    }
+    fn or(&mut self, a: &Formula, b: &Formula) -> Formula {
+        a.clone().or(b.clone())
+    }
+    fn xor(&mut self, a: &Formula, b: &Formula) -> Formula {
+        a.clone().xor(b.clone())
+    }
+    fn iff(&mut self, a: &Formula, b: &Formula) -> Formula {
+        a.clone().iff(b.clone())
+    }
+    fn ite(&mut self, c: &Formula, t: &Formula, e: &Formula) -> Formula {
+        Formula::ite(c.clone(), t.clone(), e.clone())
+    }
+}
+
+/// A two's-complement signed bit-vector (LSB first). The most significant
+/// bit is the sign. Widths grow as needed; operations never truncate, so
+/// overflow cannot occur.
+#[derive(Clone)]
+pub struct Num<B> {
+    /// Bits, least significant first; last bit is the sign.
+    pub bits: Vec<B>,
+}
+
+impl<B: Clone> Num<B> {
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Minimal two's-complement width for a constant.
+fn const_width(v: i64) -> usize {
+    // Need w such that -2^(w-1) <= v < 2^(w-1).
+    let mut w = 1;
+    while !(-(1i128 << (w - 1)) <= v as i128 && (v as i128) < (1i128 << (w - 1))) {
+        w += 1;
+    }
+    w
+}
+
+/// Builds the constant `v`.
+pub fn num_const<A: BoolAlg>(alg: &mut A, v: i64) -> Num<A::B> {
+    let w = const_width(v);
+    let bits = (0..w)
+        .map(|i| alg.constant(v >> i & 1 == 1))
+        .collect();
+    Num { bits }
+}
+
+/// Sign-extends to `width` (must be ≥ current width).
+pub fn sext<A: BoolAlg>(alg: &mut A, n: &Num<A::B>, width: usize) -> Num<A::B> {
+    let _ = alg;
+    assert!(width >= n.width());
+    let sign = n.bits.last().expect("nonempty bitvector").clone();
+    let mut bits = n.bits.clone();
+    while bits.len() < width {
+        bits.push(sign.clone());
+    }
+    Num { bits }
+}
+
+/// Interprets an *unsigned* bit block as a non-negative number (appends a
+/// zero sign bit).
+pub fn from_unsigned<A: BoolAlg>(alg: &mut A, bits: &[A::B]) -> Num<A::B> {
+    let mut bits: Vec<A::B> = bits.to_vec();
+    bits.push(alg.ff());
+    Num { bits }
+}
+
+/// Full adder over three bits: returns (sum, carry).
+fn full_adder<A: BoolAlg>(alg: &mut A, a: &A::B, b: &A::B, c: &A::B) -> (A::B, A::B) {
+    let ab = alg.xor(a, b);
+    let sum = alg.xor(&ab, c);
+    let ab_and = alg.and(a, b);
+    let c_and = alg.and(&ab, c);
+    let carry = alg.or(&ab_and, &c_and);
+    (sum, carry)
+}
+
+/// Signed addition; result width = max + 1 (never overflows).
+pub fn add<A: BoolAlg>(alg: &mut A, a: &Num<A::B>, b: &Num<A::B>) -> Num<A::B> {
+    let w = a.width().max(b.width()) + 1;
+    let a = sext(alg, a, w);
+    let b = sext(alg, b, w);
+    let mut carry = alg.ff();
+    let mut bits = Vec::with_capacity(w);
+    for i in 0..w {
+        let (s, c) = full_adder(alg, &a.bits[i], &b.bits[i], &carry);
+        bits.push(s);
+        carry = c;
+    }
+    Num { bits }
+}
+
+/// Arithmetic negation; result width = width + 1.
+pub fn neg<A: BoolAlg>(alg: &mut A, a: &Num<A::B>) -> Num<A::B> {
+    // -a = ~a + 1, at one extra bit to cover -MIN.
+    let w = a.width() + 1;
+    let a = sext(alg, a, w);
+    let mut carry = alg.tt();
+    let mut bits = Vec::with_capacity(w);
+    for i in 0..w {
+        let na = alg.not(&a.bits[i]);
+        let s = alg.xor(&na, &carry);
+        carry = alg.and(&na, &carry);
+        bits.push(s);
+    }
+    Num { bits }
+}
+
+/// Signed subtraction `a - b`.
+pub fn sub<A: BoolAlg>(alg: &mut A, a: &Num<A::B>, b: &Num<A::B>) -> Num<A::B> {
+    let nb = neg(alg, b);
+    add(alg, a, &nb)
+}
+
+/// Multiplication by a constant via binary shift-and-add.
+pub fn mul_const<A: BoolAlg>(alg: &mut A, a: &Num<A::B>, k: i64) -> Num<A::B> {
+    if k == 0 {
+        return num_const(alg, 0);
+    }
+    let negative = k < 0;
+    let mut k = k.unsigned_abs();
+    let mut acc: Option<Num<A::B>> = None;
+    let mut shifted = a.clone();
+    while k > 0 {
+        if k & 1 == 1 {
+            acc = Some(match acc {
+                None => shifted.clone(),
+                Some(acc) => add(alg, &acc, &shifted),
+            });
+        }
+        k >>= 1;
+        if k > 0 {
+            // Shift left by one: prepend a zero bit.
+            let mut bits = vec![alg.ff()];
+            bits.extend(shifted.bits.iter().cloned());
+            shifted = Num { bits };
+        }
+    }
+    let acc = acc.expect("k != 0");
+    if negative {
+        neg(alg, &acc)
+    } else {
+        acc
+    }
+}
+
+/// Equality.
+pub fn eq<A: BoolAlg>(alg: &mut A, a: &Num<A::B>, b: &Num<A::B>) -> A::B {
+    let w = a.width().max(b.width());
+    let a = sext(alg, a, w);
+    let b = sext(alg, b, w);
+    let mut acc = alg.tt();
+    for i in 0..w {
+        let bit_eq = alg.iff(&a.bits[i], &b.bits[i]);
+        acc = alg.and(&acc, &bit_eq);
+    }
+    acc
+}
+
+/// Signed `a < b`: the sign bit of `a - b`.
+pub fn lt<A: BoolAlg>(alg: &mut A, a: &Num<A::B>, b: &Num<A::B>) -> A::B {
+    let d = sub(alg, a, b);
+    d.bits.last().expect("nonempty").clone()
+}
+
+/// Signed `a ≤ b` = `¬(b < a)`.
+pub fn le<A: BoolAlg>(alg: &mut A, a: &Num<A::B>, b: &Num<A::B>) -> A::B {
+    let gt = lt(alg, b, a);
+    alg.not(&gt)
+}
+
+/// Bitwise multiplexer over numbers.
+pub fn mux<A: BoolAlg>(alg: &mut A, c: &A::B, t: &Num<A::B>, e: &Num<A::B>) -> Num<A::B> {
+    let w = t.width().max(e.width());
+    let t = sext(alg, t, w);
+    let e = sext(alg, e, w);
+    let bits = (0..w)
+        .map(|i| alg.ite(c, &t.bits[i], &e.bits[i]))
+        .collect();
+    Num { bits }
+}
+
+/// Population count: the number of true bits, as a non-negative number.
+/// Balanced adder tree for O(n log n) circuit size.
+pub fn count_true<A: BoolAlg>(alg: &mut A, flags: &[A::B]) -> Num<A::B> {
+    if flags.is_empty() {
+        return num_const(alg, 0);
+    }
+    let mut layer: Vec<Num<A::B>> = flags
+        .iter()
+        .map(|f| Num {
+            bits: vec![f.clone(), alg.ff()],
+        })
+        .collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(add(alg, &a, &b)),
+                None => next.push(a),
+            }
+        }
+        layer = next;
+    }
+    layer.pop().expect("nonempty")
+}
+
+/// Equality of two raw unsigned bit blocks of equal width (used for enum
+/// sorts, which have no arithmetic).
+pub fn bits_eq<A: BoolAlg>(alg: &mut A, a: &[A::B], b: &[A::B]) -> A::B {
+    assert_eq!(a.len(), b.len());
+    let mut acc = alg.tt();
+    for (x, y) in a.iter().zip(b) {
+        let e = alg.iff(x, y);
+        acc = alg.and(&acc, &e);
+    }
+    acc
+}
+
+/// Unsigned `value(bits) ≤ k` for a raw bit block — the domain constraint
+/// for offset-encoded variables.
+pub fn unsigned_le_const<A: BoolAlg>(alg: &mut A, bits: &[A::B], k: u64) -> A::B {
+    if bits.len() >= 64 || k >= 1u64 << bits.len() {
+        return alg.tt(); // every representable value fits
+    }
+    // LSB-to-MSB chain: le_{0..i} = (bit_i < k_i) | (bit_i == k_i) & le_{0..i-1}
+    let mut acc = alg.tt();
+    for (i, bit) in bits.iter().enumerate() {
+        let kbit = k >> i & 1 == 1;
+        if kbit {
+            // bit=0 -> strictly smaller at this position: true regardless
+            // of lower bits; bit=1 -> equal here, defer to lower bits.
+            let nb = alg.not(bit);
+            acc = alg.or(&nb, &acc);
+        } else {
+            // bit=1 -> strictly greater: false; bit=0 -> defer.
+            let nb = alg.not(bit);
+            acc = alg.and(&nb, &acc);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluate a Formula-backed Num under an assignment.
+    fn num_value(n: &Num<Formula>, assign: &dyn Fn(Var) -> bool) -> i64 {
+        let w = n.bits.len();
+        let mut v: i64 = 0;
+        for (i, b) in n.bits.iter().enumerate() {
+            if b.eval(assign) {
+                if i == w - 1 {
+                    v -= 1 << i; // sign bit
+                } else {
+                    v += 1 << i;
+                }
+            }
+        }
+        v
+    }
+
+    fn constant_value(n: &Num<Formula>) -> i64 {
+        num_value(n, &|_| unreachable!("constant circuit"))
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let mut alg = FormulaAlg;
+        for v in [-17i64, -8, -1, 0, 1, 2, 7, 8, 100] {
+            let n = num_const(&mut alg, v);
+            assert_eq!(constant_value(&n), v, "const {v}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_on_constants() {
+        let mut alg = FormulaAlg;
+        for a in [-9i64, -3, 0, 5, 12] {
+            for b in [-7i64, -1, 0, 2, 11] {
+                let na = num_const(&mut alg, a);
+                let nb = num_const(&mut alg, b);
+                let s = add(&mut alg, &na, &nb);
+                assert_eq!(constant_value(&s), a + b, "{a}+{b}");
+                let d = sub(&mut alg, &na, &nb);
+                assert_eq!(constant_value(&d), a - b, "{a}-{b}");
+                let l = lt(&mut alg, &na, &nb);
+                assert_eq!(l.eval(&|_| false), a < b, "{a}<{b}");
+                let e = eq(&mut alg, &na, &nb);
+                assert_eq!(e.eval(&|_| false), a == b, "{a}=={b}");
+                let le_ = le(&mut alg, &na, &nb);
+                assert_eq!(le_.eval(&|_| false), a <= b, "{a}<={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn negation_and_scaling() {
+        let mut alg = FormulaAlg;
+        for a in [-9i64, -1, 0, 3, 8] {
+            let na = num_const(&mut alg, a);
+            let n = neg(&mut alg, &na);
+            assert_eq!(constant_value(&n), -a);
+            for k in [-5i64, -1, 0, 1, 3, 10] {
+                let m = mul_const(&mut alg, &na, k);
+                assert_eq!(constant_value(&m), a * k, "{a}*{k}");
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_addition_exhaustive() {
+        // Two 3-bit unsigned inputs (vars 0..3, 3..6) as numbers; check all
+        // 64 assignments against integer addition.
+        let mut alg = FormulaAlg;
+        let a_bits: Vec<Formula> = (0..3).map(|i| Formula::var(Var(i))).collect();
+        let b_bits: Vec<Formula> = (3..6).map(|i| Formula::var(Var(i))).collect();
+        let a = from_unsigned(&mut alg, &a_bits);
+        let b = from_unsigned(&mut alg, &b_bits);
+        let s = add(&mut alg, &a, &b);
+        for bits in 0u32..64 {
+            let assign = move |v: Var| bits >> v.0 & 1 == 1;
+            let av = (bits & 7) as i64;
+            let bv = (bits >> 3 & 7) as i64;
+            assert_eq!(num_value(&s, &assign), av + bv, "{av}+{bv}");
+        }
+    }
+
+    #[test]
+    fn count_true_matches_popcount() {
+        let mut alg = FormulaAlg;
+        for n in 0..=9usize {
+            let flags: Vec<Formula> = (0..n as u32).map(|i| Formula::var(Var(i))).collect();
+            let cnt = count_true(&mut alg, &flags);
+            for bits in 0u32..1 << n {
+                let assign = move |v: Var| bits >> v.0 & 1 == 1;
+                assert_eq!(
+                    num_value(&cnt, &assign),
+                    bits.count_ones() as i64,
+                    "n={n} bits={bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut alg = FormulaAlg;
+        let t = num_const(&mut alg, 5);
+        let e = num_const(&mut alg, -3);
+        let c = Formula::var(Var(0));
+        let m = mux(&mut alg, &c, &t, &e);
+        assert_eq!(num_value(&m, &|_| true), 5);
+        assert_eq!(num_value(&m, &|_| false), -3);
+    }
+
+    #[test]
+    fn unsigned_le_const_exhaustive() {
+        let mut alg = FormulaAlg;
+        let bits: Vec<Formula> = (0..4).map(|i| Formula::var(Var(i))).collect();
+        for k in 0u64..=16 {
+            let f = unsigned_le_const(&mut alg, &bits, k);
+            for v in 0u32..16 {
+                let assign = move |var: Var| v >> var.0 & 1 == 1;
+                assert_eq!(f.eval(&assign), u64::from(v) <= k, "v={v} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bits_eq_works() {
+        let mut alg = FormulaAlg;
+        let a: Vec<Formula> = (0..2).map(|i| Formula::var(Var(i))).collect();
+        let b: Vec<Formula> = (2..4).map(|i| Formula::var(Var(i))).collect();
+        let e = bits_eq(&mut alg, &a, &b);
+        for bits in 0u32..16 {
+            let assign = move |v: Var| bits >> v.0 & 1 == 1;
+            let expect = (bits & 3) == (bits >> 2 & 3);
+            assert_eq!(e.eval(&assign), expect);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Explicit-state interpretation of finite systems.
+//!
+//! Enumerates initial states and successors by brute force over variable
+//! domains. Exponential, so only suitable for small models — which is
+//! exactly its role: a trustworthy differential oracle for the symbolic
+//! engines, and the semantics reference for tests.
+
+use crate::expr::Expr;
+use crate::sorts::Value;
+use crate::system::{System, VarId, VarKind};
+
+/// A concrete state: one value per declared variable, in declaration order.
+pub type State = Vec<Value>;
+
+/// Evaluates a current-state expression in a state.
+///
+/// # Panics
+/// Panics if the expression mentions `next()`.
+pub fn eval_state(e: &Expr, state: &State) -> Value {
+    e.eval(&|v: VarId, next: bool| {
+        assert!(!next, "eval_state on expression with next()");
+        state[v.index()].clone()
+    })
+}
+
+/// True iff the boolean expression holds in the state.
+pub fn holds(e: &Expr, state: &State) -> bool {
+    eval_state(e, state).as_bool()
+}
+
+/// Evaluates a transition expression over a state pair.
+pub fn eval_trans(e: &Expr, current: &State, next: &State) -> bool {
+    e.eval(&|v: VarId, is_next: bool| {
+        if is_next {
+            next[v.index()].clone()
+        } else {
+            current[v.index()].clone()
+        }
+    })
+    .as_bool()
+}
+
+/// Iterator over the cartesian product of per-variable domains.
+struct Product {
+    domains: Vec<Vec<Value>>,
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Product {
+    fn new(domains: Vec<Vec<Value>>) -> Product {
+        let done = domains.iter().any(Vec::is_empty);
+        let indices = vec![0; domains.len()];
+        Product {
+            domains,
+            indices,
+            done,
+        }
+    }
+}
+
+impl Iterator for Product {
+    type Item = State;
+
+    fn next(&mut self) -> Option<State> {
+        if self.done {
+            return None;
+        }
+        let state: State = self
+            .indices
+            .iter()
+            .zip(&self.domains)
+            .map(|(&i, d)| d[i].clone())
+            .collect();
+        // Advance odometer.
+        let mut pos = 0;
+        loop {
+            if pos == self.indices.len() {
+                self.done = true;
+                break;
+            }
+            self.indices[pos] += 1;
+            if self.indices[pos] < self.domains[pos].len() {
+                break;
+            }
+            self.indices[pos] = 0;
+            pos += 1;
+        }
+        Some(state)
+    }
+}
+
+/// All states satisfying `INVAR` (the state space).
+///
+/// # Panics
+/// Panics if the system has real-sorted variables.
+pub fn all_states(sys: &System) -> Vec<State> {
+    let domains: Vec<Vec<Value>> = sys
+        .var_ids()
+        .map(|v| sys.sort_of(v).values())
+        .collect();
+    Product::new(domains)
+        .filter(|s| sys.invar().iter().all(|inv| holds(inv, s)))
+        .collect()
+}
+
+/// All initial states (satisfying `INIT` and `INVAR`).
+pub fn initial_states(sys: &System) -> Vec<State> {
+    all_states(sys)
+        .into_iter()
+        .filter(|s| sys.init().iter().all(|init| holds(init, s)))
+        .collect()
+}
+
+/// All successors of `state`: next-states satisfying every `TRANS`
+/// constraint, `INVAR`, and frozen-variable equality.
+pub fn successors(sys: &System, state: &State) -> Vec<State> {
+    let domains: Vec<Vec<Value>> = sys
+        .var_ids()
+        .map(|v| {
+            if sys.decl(v).kind == VarKind::Frozen {
+                vec![state[v.index()].clone()]
+            } else {
+                sys.sort_of(v).values()
+            }
+        })
+        .collect();
+    Product::new(domains)
+        .filter(|next| sys.invar().iter().all(|inv| holds(inv, next)))
+        .filter(|next| sys.trans().iter().all(|tr| eval_trans(tr, state, next)))
+        .collect()
+}
+
+/// Breadth-first reachability: returns a shortest path from an initial
+/// state to a state satisfying `target`, if one exists within
+/// `max_states` explored states.
+pub fn find_reachable(
+    sys: &System,
+    target: &Expr,
+    max_states: usize,
+) -> Option<Vec<State>> {
+    use std::collections::{HashMap, VecDeque};
+    let key = |s: &State| format!("{s:?}");
+    let mut parent: HashMap<String, Option<State>> = HashMap::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    for s in initial_states(sys) {
+        if parent.insert(key(&s), None).is_none() {
+            queue.push_back(s);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        if holds(target, &s) {
+            // Reconstruct path.
+            let mut path = vec![s.clone()];
+            let mut cur = s;
+            while let Some(Some(p)) = parent.get(&key(&cur)) {
+                path.push(p.clone());
+                cur = p.clone();
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if parent.len() >= max_states {
+            return None;
+        }
+        for n in successors(sys, &s) {
+            let k = key(&n);
+            if !parent.contains_key(&k) {
+                parent.insert(k, Some(s.clone()));
+                queue.push_back(n);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorts::Sort;
+
+    fn counter() -> (System, VarId) {
+        let mut sys = System::new("counter");
+        let n = sys.int_var("n", 0, 3);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).lt(Expr::int(3)),
+            Expr::var(n).add(Expr::int(1)),
+            Expr::int(0),
+        )));
+        (sys, n)
+    }
+
+    #[test]
+    fn initial_and_successors() {
+        let (sys, _) = counter();
+        let init = initial_states(&sys);
+        assert_eq!(init, vec![vec![Value::Int(0)]]);
+        let succ = successors(&sys, &init[0]);
+        assert_eq!(succ, vec![vec![Value::Int(1)]]);
+        let succ3 = successors(&sys, &vec![Value::Int(3)]);
+        assert_eq!(succ3, vec![vec![Value::Int(0)]], "wraps");
+    }
+
+    #[test]
+    fn bfs_finds_shortest_path() {
+        let (sys, n) = counter();
+        let path = find_reachable(&sys, &Expr::var(n).eq(Expr::int(2)), 100).unwrap();
+        assert_eq!(path.len(), 3); // 0 -> 1 -> 2
+        assert!(find_reachable(&sys, &Expr::var(n).gt(Expr::int(3)), 100).is_none());
+    }
+
+    #[test]
+    fn invar_prunes_state_space() {
+        let mut sys = System::new("pruned");
+        let n = sys.int_var("n", 0, 7);
+        sys.add_invar(Expr::var(n).le(Expr::int(2)));
+        assert_eq!(all_states(&sys).len(), 3);
+    }
+
+    #[test]
+    fn frozen_vars_fixed_in_successors() {
+        let mut sys = System::new("frozen");
+        let p = sys.add_var("p", Sort::int(0, 3), VarKind::Frozen);
+        let x = sys.bool_var("x");
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        let state = vec![Value::Int(2), Value::Bool(false)];
+        let succ = successors(&sys, &state);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0][p.index()], Value::Int(2));
+        assert_eq!(succ[0][x.index()], Value::Bool(true));
+    }
+
+    #[test]
+    fn nondeterminism_enumerated() {
+        // No TRANS constraint on x: both next values allowed.
+        let mut sys = System::new("nondet");
+        sys.bool_var("x");
+        let state = vec![Value::Bool(false)];
+        assert_eq!(successors(&sys, &state).len(), 2);
+    }
+}

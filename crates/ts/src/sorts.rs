@@ -1,0 +1,215 @@
+//! Sorts (types) and runtime values.
+
+use std::fmt;
+use std::rc::Rc;
+
+use verdict_logic::Rational;
+
+/// A named finite enumeration sort.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EnumSort {
+    /// Sort name (for diagnostics and trace printing).
+    pub name: String,
+    /// Variant names; a value is an index into this list.
+    pub variants: Vec<String>,
+}
+
+impl EnumSort {
+    /// Builds an enum sort from variant names.
+    pub fn new(name: &str, variants: &[&str]) -> Rc<EnumSort> {
+        assert!(!variants.is_empty(), "enum sort needs at least one variant");
+        Rc::new(EnumSort {
+            name: name.to_string(),
+            variants: variants.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Index of a variant by name.
+    pub fn variant(&self, name: &str) -> Option<u32> {
+        self.variants.iter().position(|v| v == name).map(|i| i as u32)
+    }
+}
+
+/// The sort of a variable or expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Sort {
+    /// Booleans.
+    Bool,
+    /// A finite enumeration.
+    Enum(Rc<EnumSort>),
+    /// Bounded integers in `lo..=hi` (inclusive).
+    Int {
+        /// Smallest representable value.
+        lo: i64,
+        /// Largest representable value.
+        hi: i64,
+    },
+    /// Exact rationals (infinite domain; SMT engines only).
+    Real,
+}
+
+impl Sort {
+    /// Bounded integer sort `lo..=hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn int(lo: i64, hi: i64) -> Sort {
+        assert!(lo <= hi, "empty integer range {lo}..={hi}");
+        Sort::Int { lo, hi }
+    }
+
+    /// Number of values in a finite sort (`None` for `Real`).
+    pub fn cardinality(&self) -> Option<u64> {
+        match self {
+            Sort::Bool => Some(2),
+            Sort::Enum(e) => Some(e.variants.len() as u64),
+            Sort::Int { lo, hi } => Some((hi - lo) as u64 + 1),
+            Sort::Real => None,
+        }
+    }
+
+    /// True iff the sort has finitely many values.
+    pub fn is_finite(&self) -> bool {
+        !matches!(self, Sort::Real)
+    }
+
+    /// Enumerates every value of a finite sort (panics on `Real`).
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            Sort::Bool => vec![Value::Bool(false), Value::Bool(true)],
+            Sort::Enum(e) => (0..e.variants.len() as u32)
+                .map(|i| Value::Enum(e.clone(), i))
+                .collect(),
+            Sort::Int { lo, hi } => (*lo..=*hi).map(Value::Int).collect(),
+            Sort::Real => panic!("cannot enumerate Real sort"),
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => write!(f, "bool"),
+            Sort::Enum(e) => write!(f, "{}", e.name),
+            Sort::Int { lo, hi } => write!(f, "int[{lo}..{hi}]"),
+            Sort::Real => write!(f, "real"),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A bounded integer.
+    Int(i64),
+    /// An exact rational.
+    Real(Rational),
+    /// An enum variant (sort + variant index).
+    Enum(Rc<EnumSort>, u32),
+}
+
+impl Value {
+    /// The value's sort. Integer values report a singleton range; callers
+    /// compare integer sorts by family, not exact range.
+    pub fn sort_of(&self) -> Sort {
+        match self {
+            Value::Bool(_) => Sort::Bool,
+            Value::Int(n) => Sort::Int { lo: *n, hi: *n },
+            Value::Real(_) => Sort::Real,
+            Value::Enum(e, _) => Sort::Enum(e.clone()),
+        }
+    }
+
+    /// Extracts a boolean.
+    ///
+    /// # Panics
+    /// Panics on non-boolean values (a type-checker bug upstream).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, got {other}"),
+        }
+    }
+
+    /// Extracts an integer.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(n) => *n,
+            other => panic!("expected int, got {other}"),
+        }
+    }
+
+    /// Extracts a rational.
+    pub fn as_real(&self) -> Rational {
+        match self {
+            Value::Real(r) => *r,
+            other => panic!("expected real, got {other}"),
+        }
+    }
+
+    /// Extracts an enum variant index.
+    pub fn as_enum(&self) -> u32 {
+        match self {
+            Value::Enum(_, i) => *i,
+            other => panic!("expected enum, got {other}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Enum(e, i) => write!(f, "{}", e.variants[*i as usize]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_sort_lookup() {
+        let s = EnumSort::new("phase", &["idle", "updating", "down"]);
+        assert_eq!(s.variant("updating"), Some(1));
+        assert_eq!(s.variant("nope"), None);
+    }
+
+    #[test]
+    fn cardinalities() {
+        assert_eq!(Sort::Bool.cardinality(), Some(2));
+        assert_eq!(Sort::int(-2, 5).cardinality(), Some(8));
+        assert_eq!(Sort::Real.cardinality(), None);
+        let e = Sort::Enum(EnumSort::new("e", &["a", "b", "c"]));
+        assert_eq!(e.cardinality(), Some(3));
+    }
+
+    #[test]
+    fn value_enumeration_ordered() {
+        let vals = Sort::int(3, 6).values();
+        assert_eq!(
+            vals,
+            vec![Value::Int(3), Value::Int(4), Value::Int(5), Value::Int(6)]
+        );
+        assert_eq!(Sort::Bool.values().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer range")]
+    fn bad_int_range() {
+        let _ = Sort::int(2, 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::int(0, 7).to_string(), "int[0..7]");
+        let e = EnumSort::new("phase", &["idle", "busy"]);
+        assert_eq!(Value::Enum(e, 1).to_string(), "busy");
+        assert_eq!(Value::Real(Rational::new(1, 2)).to_string(), "1/2");
+    }
+}

@@ -1,0 +1,154 @@
+//! Counterexample traces.
+//!
+//! A [`Trace`] is the model checker's evidence: a sequence of states, and —
+//! for liveness counterexamples — a lasso loop-back index marking the state
+//! the path returns to (the paper's case study 2 produces exactly such a
+//! "lasso-shaped execution path").
+
+use std::fmt;
+
+use crate::sorts::Value;
+use crate::system::System;
+
+/// A finite or lasso-shaped execution trace with variable names attached.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// One name per variable, in declaration order.
+    pub var_names: Vec<String>,
+    /// States in execution order.
+    pub states: Vec<Vec<Value>>,
+    /// For lasso traces: index of the state the last state loops back to.
+    pub loop_back: Option<usize>,
+}
+
+impl Trace {
+    /// Builds a trace, taking variable names from the system.
+    pub fn new(sys: &System, states: Vec<Vec<Value>>, loop_back: Option<usize>) -> Trace {
+        Trace {
+            var_names: sys.var_ids().map(|v| sys.name_of(v).to_string()).collect(),
+            states,
+            loop_back,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True iff the trace has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Value of the named variable at the given step.
+    pub fn value(&self, step: usize, var: &str) -> Option<&Value> {
+        let idx = self.var_names.iter().position(|n| n == var)?;
+        self.states.get(step).map(|s| &s[idx])
+    }
+
+    /// The variables whose value changes at least once — the interesting
+    /// rows when printing wide system traces.
+    pub fn changing_vars(&self) -> Vec<usize> {
+        (0..self.var_names.len())
+            .filter(|&i| self.states.windows(2).any(|w| w[0][i] != w[1][i]))
+            .collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.states.is_empty() {
+            return writeln!(f, "(empty trace)");
+        }
+        // Column widths.
+        let name_w = self
+            .var_names
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(4);
+        let mut col_w = vec![0usize; self.states.len()];
+        for (t, s) in self.states.iter().enumerate() {
+            col_w[t] = s
+                .iter()
+                .map(|v| v.to_string().len())
+                .max()
+                .unwrap_or(1)
+                .max(format!("{t}").len())
+                .max(2);
+        }
+        // Header.
+        write!(f, "{:name_w$}", "step")?;
+        for (t, w) in col_w.iter().enumerate() {
+            let marker = if Some(t) == self.loop_back { "↺" } else { "" };
+            write!(f, " | {marker}{t:>0$}", w - marker.chars().count())?;
+        }
+        writeln!(f)?;
+        write!(f, "{:-<name_w$}", "")?;
+        for w in &col_w {
+            write!(f, "-+-{:-<w$}", "")?;
+        }
+        writeln!(f)?;
+        // Rows.
+        for (i, name) in self.var_names.iter().enumerate() {
+            write!(f, "{name:name_w$}")?;
+            for (t, s) in self.states.iter().enumerate() {
+                write!(f, " | {:>1$}", s[i].to_string(), col_w[t])?;
+            }
+            writeln!(f)?;
+        }
+        if let Some(l) = self.loop_back {
+            writeln!(f, "(lasso: last state loops back to step {l})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::system::System;
+
+    fn sample() -> Trace {
+        let mut sys = System::new("s");
+        let n = sys.int_var("n", 0, 3);
+        let b = sys.bool_var("flag");
+        sys.add_init(Expr::var(n).eq(Expr::int(0)).and(Expr::var(b)));
+        Trace::new(
+            &sys,
+            vec![
+                vec![Value::Int(0), Value::Bool(true)],
+                vec![Value::Int(1), Value::Bool(true)],
+                vec![Value::Int(2), Value::Bool(true)],
+            ],
+            Some(1),
+        )
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let t = sample();
+        assert_eq!(t.value(2, "n"), Some(&Value::Int(2)));
+        assert_eq!(t.value(0, "flag"), Some(&Value::Bool(true)));
+        assert_eq!(t.value(0, "zzz"), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn changing_vars_filters_constant_rows() {
+        let t = sample();
+        assert_eq!(t.changing_vars(), vec![0]); // only `n` changes
+    }
+
+    #[test]
+    fn display_contains_table_and_lasso() {
+        let t = sample();
+        let shown = t.to_string();
+        assert!(shown.contains("n"), "{shown}");
+        assert!(shown.contains("flag"), "{shown}");
+        assert!(shown.contains("loops back to step 1"), "{shown}");
+    }
+}

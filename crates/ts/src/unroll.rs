@@ -1,0 +1,662 @@
+//! Timed unrolling of a finite-domain [`System`] to CNF.
+//!
+//! The [`Unroller`] allocates a block of SAT variables per (state variable,
+//! step) pair, lowers expressions at a given step through the circuits in
+//! [`crate::bits`], and Tseitin-encodes everything into one growing clause
+//! database. Bounded model checking, k-induction, and the finite part of
+//! the parameter-synthesis loop in `verdict-mc` all drive this type.
+//!
+//! Encodings:
+//! * `bool` variables are one bit;
+//! * `enum`/bounded-`int` variables are offset-binary blocks of
+//!   `⌈log₂(cardinality)⌉` bits with a domain constraint `value ≤ card-1`;
+//! * `real` variables are rejected ([`Unroller::new`] fails) — real-sorted
+//!   systems go through the SMT encoder in `verdict-mc` instead.
+
+use verdict_logic::{Clause, Formula, Lit, Var};
+
+use crate::bits::{self, FormulaAlg, Num};
+use crate::expr::{Expr, TypeError};
+use crate::sorts::{Sort, Value};
+use crate::system::{System, VarId, VarKind};
+
+/// Bit width for a finite sort.
+fn sort_width(sort: &Sort) -> Result<usize, TypeError> {
+    let card = sort
+        .cardinality()
+        .ok_or_else(|| TypeError("real variable in finite encoder".to_string()))?;
+    Ok(64 - (card - 1).leading_zeros() as usize)
+}
+
+/// The timed SAT encoder. See the [module docs](self).
+pub struct Unroller<'s> {
+    sys: &'s System,
+    enc: verdict_logic::Tseitin,
+    widths: Vec<usize>,
+    /// `steps[t][v]` = SAT bit block of variable `v` at step `t`.
+    steps: Vec<Vec<Vec<Var>>>,
+    drained: usize,
+    use_init: bool,
+}
+
+impl<'s> Unroller<'s> {
+    /// Creates an encoder for a finite-domain system. Fails if the system
+    /// has real-sorted variables or does not type-check.
+    pub fn new(sys: &'s System) -> Result<Unroller<'s>, TypeError> {
+        Unroller::with_init(sys, true)
+    }
+
+    /// Like [`Unroller::new`] but does **not** assert `INIT` at step 0:
+    /// paths may start in any state satisfying `INVAR`. This is the
+    /// encoder k-induction uses for its induction step.
+    pub fn new_free(sys: &'s System) -> Result<Unroller<'s>, TypeError> {
+        Unroller::with_init(sys, false)
+    }
+
+    fn with_init(sys: &'s System, use_init: bool) -> Result<Unroller<'s>, TypeError> {
+        sys.check()?;
+        let widths = sys
+            .var_ids()
+            .map(|v| sort_width(sys.sort_of(v)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Unroller {
+            sys,
+            enc: verdict_logic::Tseitin::new(),
+            widths,
+            steps: Vec::new(),
+            drained: 0,
+            use_init,
+        })
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        self.sys
+    }
+
+    /// Number of materialized steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total SAT variables allocated so far.
+    pub fn num_sat_vars(&mut self) -> u32 {
+        self.enc.cnf_mut().num_vars()
+    }
+
+    /// Extends the unrolling to include step `t`, asserting all path
+    /// constraints: `INIT` at step 0, `INVAR` and domain constraints at
+    /// every step, `TRANS` and frozen-variable equality between every
+    /// consecutive pair.
+    pub fn extend_to(&mut self, t: usize) {
+        while self.steps.len() <= t {
+            self.push_step();
+        }
+    }
+
+    fn push_step(&mut self) {
+        let t = self.steps.len();
+        // Allocate bit blocks.
+        let mut blocks = Vec::with_capacity(self.sys.num_vars());
+        for v in self.sys.var_ids() {
+            let w = self.widths[v.index()];
+            let bits: Vec<Var> = (0..w).map(|_| self.enc.cnf_mut().fresh_var()).collect();
+            blocks.push(bits);
+        }
+        self.steps.push(blocks);
+        // Domain constraints.
+        for v in self.sys.var_ids() {
+            let card = self.sys.sort_of(v).cardinality().expect("finite");
+            let w = self.widths[v.index()];
+            if w > 0 && !card.is_power_of_two() {
+                let bit_forms: Vec<Formula> = self.steps[t][v.index()]
+                    .iter()
+                    .map(|&b| Formula::var(b))
+                    .collect();
+                let mut alg = FormulaAlg;
+                let dom = bits::unsigned_le_const(&mut alg, &bit_forms, card - 1);
+                self.enc.assert(&dom);
+            }
+        }
+        // INVAR at this step.
+        for inv in self.sys.invar() {
+            let f = self.lower_bool(inv, t);
+            self.enc.assert(&f);
+        }
+        if t == 0 {
+            if self.use_init {
+                for init in self.sys.init() {
+                    let f = self.lower_bool(init, 0);
+                    self.enc.assert(&f);
+                }
+            }
+        } else {
+            // TRANS between t-1 and t.
+            for tr in self.sys.trans() {
+                let f = self.lower_bool(tr, t - 1);
+                self.enc.assert(&f);
+            }
+            // Frozen variables keep their value.
+            for v in self.sys.var_ids() {
+                if self.sys.decl(v).kind == VarKind::Frozen {
+                    let f = self.var_bits_equal(v, t - 1, t);
+                    self.enc.assert(&f);
+                }
+            }
+        }
+    }
+
+    fn var_bits_equal(&mut self, v: VarId, t1: usize, t2: usize) -> Formula {
+        let a: Vec<Formula> = self.steps[t1][v.index()]
+            .iter()
+            .map(|&b| Formula::var(b))
+            .collect();
+        let b: Vec<Formula> = self.steps[t2][v.index()]
+            .iter()
+            .map(|&b| Formula::var(b))
+            .collect();
+        let mut alg = FormulaAlg;
+        bits::bits_eq(&mut alg, &a, &b)
+    }
+
+    /// Formula asserting that the *state* (non-frozen) variables at steps
+    /// `i` and `j` are equal — the lasso loop-back condition.
+    pub fn states_equal(&mut self, i: usize, j: usize) -> Formula {
+        self.extend_to(i.max(j));
+        let vars: Vec<VarId> = self
+            .sys
+            .var_ids()
+            .filter(|v| self.sys.decl(*v).kind == VarKind::State)
+            .collect();
+        let parts: Vec<Formula> = vars
+            .into_iter()
+            .map(|v| self.var_bits_equal(v, i, j))
+            .collect();
+        Formula::and_all(parts)
+    }
+
+    /// Formula asserting the states at `i` and `j` differ — the simple-path
+    /// strengthening used by k-induction.
+    pub fn states_differ(&mut self, i: usize, j: usize) -> Formula {
+        self.states_equal(i, j).not()
+    }
+
+    /// Lowers a boolean expression at step `t` (allocating step `t+1` if
+    /// the expression mentions `next()`).
+    pub fn lower_bool(&mut self, e: &Expr, t: usize) -> Formula {
+        if e.mentions_next() {
+            self.extend_to(t + 1);
+        } else {
+            self.extend_to(t);
+        }
+        // Per-call pointer memo: expressions are shared DAGs (layered
+        // reachability expansions especially) and an unmemoized walk is
+        // exponential. The cache must not outlive the call — addresses of
+        // dropped expressions could be reused.
+        let mut seen = std::collections::HashMap::new();
+        self.lower_bool_in(e, t, &mut seen)
+    }
+
+    fn lower_bool_in(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Formula {
+        let key = e as *const Expr;
+        if let Some(hit) = seen.get(&key) {
+            return hit.clone();
+        }
+        let result = self.lower_bool_uncached(e, t, seen);
+        seen.insert(key, result.clone());
+        result
+    }
+
+    fn lower_bool_uncached(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Formula {
+        match e {
+            Expr::Const(Value::Bool(b)) => Formula::constant(*b),
+            Expr::Var(v) => self.bool_bit(*v, t),
+            Expr::Next(v) => self.bool_bit(*v, t + 1),
+            Expr::Not(a) => self.lower_bool_in(a, t, seen).not(),
+            Expr::And(xs) => {
+                let mut acc = Formula::tt();
+                for x in xs.iter() {
+                    let f = self.lower_bool_in(x, t, seen);
+                    acc = Formula::and_pair(acc, f);
+                }
+                acc
+            }
+            Expr::Or(xs) => {
+                let mut acc = Formula::ff();
+                for x in xs.iter() {
+                    let f = self.lower_bool_in(x, t, seen);
+                    acc = Formula::or_pair(acc, f);
+                }
+                acc
+            }
+            Expr::Implies(a, b) => {
+                let a = self.lower_bool_in(a, t, seen);
+                let b = self.lower_bool_in(b, t, seen);
+                a.implies(b)
+            }
+            Expr::Iff(a, b) => {
+                let a = self.lower_bool_in(a, t, seen);
+                let b = self.lower_bool_in(b, t, seen);
+                a.iff(b)
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool_in(c, t, seen);
+                let a = self.lower_bool_in(a, t, seen);
+                let b = self.lower_bool_in(b, t, seen);
+                Formula::ite(c, a, b)
+            }
+            Expr::Eq(a, b) => {
+                let sort = a
+                    .sort(self.sys)
+                    .expect("type-checked system");
+                match sort {
+                    Sort::Bool => {
+                        let a = self.lower_bool_in(a, t, seen);
+                        let b = self.lower_bool_in(b, t, seen);
+                        a.iff(b)
+                    }
+                    Sort::Enum(_) => {
+                        let a = self.lower_enum_bits(a, t, seen);
+                        let b = self.lower_enum_bits(b, t, seen);
+                        let mut alg = FormulaAlg;
+                        bits::bits_eq(&mut alg, &a, &b)
+                    }
+                    Sort::Int { .. } => {
+                        let a = self.lower_num(a, t, seen);
+                        let b = self.lower_num(b, t, seen);
+                        let mut alg = FormulaAlg;
+                        bits::eq(&mut alg, &a, &b)
+                    }
+                    Sort::Real => unreachable!("finite encoder"),
+                }
+            }
+            Expr::Le(a, b) => {
+                let a = self.lower_num(a, t, seen);
+                let b = self.lower_num(b, t, seen);
+                let mut alg = FormulaAlg;
+                bits::le(&mut alg, &a, &b)
+            }
+            Expr::Lt(a, b) => {
+                let a = self.lower_num(a, t, seen);
+                let b = self.lower_num(b, t, seen);
+                let mut alg = FormulaAlg;
+                bits::lt(&mut alg, &a, &b)
+            }
+            other => panic!("boolean lowering of non-boolean expr {other}"),
+        }
+    }
+
+    fn bool_bit(&self, v: VarId, t: usize) -> Formula {
+        debug_assert_eq!(*self.sys.sort_of(v), Sort::Bool);
+        Formula::var(self.steps[t][v.index()][0])
+    }
+
+    fn lower_num(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Num<Formula> {
+        let mut alg = FormulaAlg;
+        match e {
+            Expr::Const(Value::Int(n)) => bits::num_const(&mut alg, *n),
+            Expr::Var(v) | Expr::Next(v) => {
+                let tt = if matches!(e, Expr::Next(_)) { t + 1 } else { t };
+                let sort = self.sys.sort_of(*v).clone();
+                let Sort::Int { lo, .. } = sort else {
+                    panic!("numeric lowering of non-int var");
+                };
+                let raw: Vec<Formula> = self.steps[tt][v.index()]
+                    .iter()
+                    .map(|&b| Formula::var(b))
+                    .collect();
+                let unsigned = bits::from_unsigned(&mut alg, &raw);
+                if lo == 0 {
+                    unsigned
+                } else {
+                    let off = bits::num_const(&mut alg, lo);
+                    bits::add(&mut alg, &unsigned, &off)
+                }
+            }
+            Expr::Add(xs) => {
+                let mut acc = bits::num_const(&mut alg, 0);
+                for x in xs.iter() {
+                    let n = self.lower_num(x, t, seen);
+                    let mut alg = FormulaAlg;
+                    acc = bits::add(&mut alg, &acc, &n);
+                }
+                acc
+            }
+            Expr::Sub(a, b) => {
+                let a = self.lower_num(a, t, seen);
+                let b = self.lower_num(b, t, seen);
+                let mut alg = FormulaAlg;
+                bits::sub(&mut alg, &a, &b)
+            }
+            Expr::Neg(a) => {
+                let a = self.lower_num(a, t, seen);
+                let mut alg = FormulaAlg;
+                bits::neg(&mut alg, &a)
+            }
+            Expr::MulConst(k, a) => {
+                assert!(k.is_integer(), "type-checked");
+                let a = self.lower_num(a, t, seen);
+                let mut alg = FormulaAlg;
+                bits::mul_const(&mut alg, &a, k.numer() as i64)
+            }
+            Expr::CountTrue(xs) => {
+                let flags: Vec<Formula> =
+                    xs.iter().map(|x| self.lower_bool_in(x, t, seen)).collect();
+                let mut alg = FormulaAlg;
+                bits::count_true(&mut alg, &flags)
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool_in(c, t, seen);
+                let a = self.lower_num(a, t, seen);
+                let b = self.lower_num(b, t, seen);
+                let mut alg = FormulaAlg;
+                bits::mux(&mut alg, &c, &a, &b)
+            }
+            other => panic!("numeric lowering of non-numeric expr {other}"),
+        }
+    }
+
+    fn lower_enum_bits(
+        &mut self,
+        e: &Expr,
+        t: usize,
+        seen: &mut std::collections::HashMap<*const Expr, Formula>,
+    ) -> Vec<Formula> {
+        match e {
+            Expr::Const(Value::Enum(sort, idx)) => {
+                let w = sort_width(&Sort::Enum(sort.clone())).expect("finite");
+                (0..w)
+                    .map(|i| Formula::constant(idx >> i & 1 == 1))
+                    .collect()
+            }
+            Expr::Var(v) | Expr::Next(v) => {
+                let tt = if matches!(e, Expr::Next(_)) { t + 1 } else { t };
+                self.steps[tt][v.index()]
+                    .iter()
+                    .map(|&b| Formula::var(b))
+                    .collect()
+            }
+            Expr::Ite(c, a, b) => {
+                let c = self.lower_bool_in(c, t, seen);
+                let a = self.lower_enum_bits(a, t, seen);
+                let b = self.lower_enum_bits(b, t, seen);
+                a.into_iter()
+                    .zip(b)
+                    .map(|(x, y)| Formula::ite(c.clone(), x, y))
+                    .collect()
+            }
+            other => panic!("enum lowering of unsupported expr {other}"),
+        }
+    }
+
+    /// Asserts a boolean expression at step `t`.
+    pub fn assert_expr(&mut self, e: &Expr, t: usize) {
+        let f = self.lower_bool(e, t);
+        self.enc.assert(&f);
+    }
+
+    /// Asserts a pre-built formula (e.g. loop-back conditions).
+    pub fn assert_formula(&mut self, f: &Formula) {
+        self.enc.assert(f);
+    }
+
+    /// Returns a literal equivalent to the formula, materializing constants
+    /// through a constrained fresh variable — suitable as an activation or
+    /// assumption literal.
+    pub fn literal_for(&mut self, f: &Formula) -> Lit {
+        match self.enc.define(f) {
+            verdict_logic::cnf::EncodedLit::Lit(l) => l,
+            verdict_logic::cnf::EncodedLit::True => {
+                let v = self.enc.cnf_mut().fresh_var();
+                self.enc.cnf_mut().add_unit(v.positive());
+                v.positive()
+            }
+            verdict_logic::cnf::EncodedLit::False => {
+                let v = self.enc.cnf_mut().fresh_var();
+                self.enc.cnf_mut().add_unit(v.negative());
+                v.positive()
+            }
+        }
+    }
+
+    /// A fresh unconstrained literal (for activation variables).
+    pub fn fresh_lit(&mut self) -> Lit {
+        self.enc.cnf_mut().fresh_var().positive()
+    }
+
+    /// Clauses added since the previous drain (feed these to the solver).
+    pub fn drain_clauses(&mut self) -> Vec<Clause> {
+        let all = self.enc.cnf_mut().clauses();
+        let new: Vec<Clause> = all[self.drained..].to_vec();
+        self.drained = all.len();
+        new
+    }
+
+    /// Decodes the value of variable `v` at step `t` from a SAT model.
+    pub fn decode(&self, t: usize, v: VarId, model: &dyn Fn(Var) -> bool) -> Value {
+        let bits = &self.steps[t][v.index()];
+        let mut u: u64 = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            if model(b) {
+                u |= 1 << i;
+            }
+        }
+        match self.sys.sort_of(v) {
+            Sort::Bool => Value::Bool(u == 1),
+            Sort::Enum(e) => {
+                let idx = (u as u32).min(e.variants.len() as u32 - 1);
+                Value::Enum(e.clone(), idx)
+            }
+            Sort::Int { lo, hi } => Value::Int((*lo + u as i64).min(*hi)),
+            Sort::Real => unreachable!("finite encoder"),
+        }
+    }
+
+    /// Decodes the full state at step `t`.
+    pub fn decode_state(&self, t: usize, model: &dyn Fn(Var) -> bool) -> Vec<Value> {
+        self.sys
+            .var_ids()
+            .map(|v| self.decode(t, v, model))
+            .collect()
+    }
+
+    /// Decodes states `0..len`.
+    pub fn decode_trace(&self, len: usize, model: &dyn Fn(Var) -> bool) -> Vec<Vec<Value>> {
+        (0..len).map(|t| self.decode_state(t, model)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sorts::EnumSort;
+    use crate::system::System;
+    /// Solves the drained clauses with the real CDCL solver (dev-dependency).
+    fn solve_cnf(num_vars: u32, clauses: &[Clause]) -> Option<Vec<bool>> {
+        let mut solver = verdict_sat::Solver::new();
+        solver.reserve_vars(num_vars);
+        for c in clauses {
+            solver.add_clause(c.iter().copied());
+        }
+        solver.solve().model().map(|m| m.as_slice().to_vec())
+    }
+
+    fn drain_all(u: &mut Unroller<'_>) -> (u32, Vec<Clause>) {
+        let clauses = u.drain_clauses();
+        (u.num_sat_vars(), clauses)
+    }
+
+    #[test]
+    fn counter_reaches_three_and_not_five() {
+        // n: 0..7, starts 0, increments by 1 until 7 (stays).
+        let mut sys = System::new("counter");
+        let n = sys.int_var("n", 0, 7);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).lt(Expr::int(7)),
+            Expr::var(n).add(Expr::int(1)),
+            Expr::var(n),
+        )));
+
+        // Reached n == 3 at step 3?
+        let mut u = Unroller::new(&sys).unwrap();
+        u.assert_expr(&Expr::var(n).eq(Expr::int(3)), 3);
+        let (vars, clauses) = drain_all(&mut u);
+        let model = solve_cnf(vars, &clauses).expect("n reaches 3 at step 3");
+        let val = u.decode(3, n, &|v| model[v.index()]);
+        assert_eq!(val, Value::Int(3));
+        // And the whole trace is 0,1,2,3.
+        let trace = u.decode_trace(4, &|v| model[v.index()]);
+        for (t, st) in trace.iter().enumerate() {
+            assert_eq!(st[0], Value::Int(t as i64));
+        }
+
+        // n == 5 at step 3 must be UNSAT.
+        let mut u = Unroller::new(&sys).unwrap();
+        u.assert_expr(&Expr::var(n).eq(Expr::int(5)), 3);
+        let (vars, clauses) = drain_all(&mut u);
+        assert!(solve_cnf(vars, &clauses).is_none());
+    }
+
+    #[test]
+    fn frozen_vars_stay_constant() {
+        let mut sys = System::new("frozen");
+        let p = sys.int_param("p", 0, 3);
+        let x = sys.bool_var("x");
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.extend_to(3);
+        // p at step 0 is 2, p at step 3 must also be 2.
+        u.assert_expr(&Expr::var(p).eq(Expr::int(2)), 0);
+        u.assert_expr(&Expr::var(p).eq(Expr::int(1)), 3);
+        let (vars, clauses) = drain_all(&mut u);
+        assert!(solve_cnf(vars, &clauses).is_none(), "frozen var changed");
+    }
+
+    #[test]
+    fn invar_constrains_every_step() {
+        let mut sys = System::new("invar");
+        let n = sys.int_var("n", 0, 7);
+        sys.add_invar(Expr::var(n).le(Expr::int(5)));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.assert_expr(&Expr::var(n).eq(Expr::int(6)), 2);
+        let (vars, clauses) = drain_all(&mut u);
+        assert!(solve_cnf(vars, &clauses).is_none());
+    }
+
+    #[test]
+    fn enum_transition() {
+        let phase = EnumSort::new("phase", &["idle", "busy", "done"]);
+        let mut sys = System::new("enum");
+        let s = sys.add_var("s", Sort::Enum(phase.clone()), VarKind::State);
+        let c = |i: u32| Expr::Const(Value::Enum(phase.clone(), i));
+        sys.add_init(Expr::var(s).eq(c(0)));
+        // idle -> busy -> done -> done
+        sys.add_trans(Expr::and_all([
+            Expr::var(s).eq(c(0)).implies(Expr::next(s).eq(c(1))),
+            Expr::var(s).eq(c(1)).implies(Expr::next(s).eq(c(2))),
+            Expr::var(s).eq(c(2)).implies(Expr::next(s).eq(c(2))),
+        ]));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.assert_expr(&Expr::var(s).eq(c(2)), 2);
+        let (vars, clauses) = drain_all(&mut u);
+        let model = solve_cnf(vars, &clauses).expect("done reachable at 2");
+        assert_eq!(u.decode(1, s, &|v| model[v.index()]), Value::Enum(phase, 1));
+    }
+
+    #[test]
+    fn enum_domain_constraint_blocks_phantom_value() {
+        // 3-variant enum in 2 bits: value 3 must be unreachable.
+        let phase = EnumSort::new("phase", &["a", "b", "c"]);
+        let mut sys = System::new("enum-dom");
+        let s = sys.add_var("s", Sort::Enum(phase.clone()), VarKind::State);
+        let mut u = Unroller::new(&sys).unwrap();
+        u.extend_to(0);
+        // Force both raw bits true via not-equal to each variant.
+        let ne_all = Expr::and_all([
+            Expr::var(s).ne(Expr::Const(Value::Enum(phase.clone(), 0))),
+            Expr::var(s).ne(Expr::Const(Value::Enum(phase.clone(), 1))),
+            Expr::var(s).ne(Expr::Const(Value::Enum(phase.clone(), 2))),
+        ]);
+        u.assert_expr(&ne_all, 0);
+        let (vars, clauses) = drain_all(&mut u);
+        assert!(solve_cnf(vars, &clauses).is_none());
+    }
+
+    #[test]
+    fn count_true_guard() {
+        // Three flags; invariant: at least 2 set. All-false initial state
+        // must be unsat.
+        let mut sys = System::new("count");
+        let a = sys.bool_var("a");
+        let b = sys.bool_var("b");
+        let c = sys.bool_var("c");
+        let count = Expr::count_true([Expr::var(a), Expr::var(b), Expr::var(c)]);
+        sys.add_invar(count.ge(Expr::int(2)));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.assert_expr(
+            &Expr::and_all([Expr::var(a).not(), Expr::var(b).not()]),
+            0,
+        );
+        let (vars, clauses) = drain_all(&mut u);
+        assert!(solve_cnf(vars, &clauses).is_none());
+    }
+
+    #[test]
+    fn states_equal_and_differ() {
+        let mut sys = System::new("loop");
+        let x = sys.bool_var("x");
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        sys.add_init(Expr::var(x));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.extend_to(2);
+        // x flips each step: state 0 == state 2, state 0 != state 1.
+        let eq02 = u.states_equal(0, 2);
+        u.assert_formula(&eq02);
+        let df01 = u.states_differ(0, 1);
+        u.assert_formula(&df01);
+        let (vars, clauses) = drain_all(&mut u);
+        assert!(solve_cnf(vars, &clauses).is_some());
+
+        let mut u = Unroller::new(&sys).unwrap();
+        let eq01 = u.states_equal(0, 1);
+        u.assert_formula(&eq01);
+        let (vars, clauses) = drain_all(&mut u);
+        assert!(solve_cnf(vars, &clauses).is_none(), "x must flip");
+    }
+
+    #[test]
+    fn real_vars_rejected() {
+        let mut sys = System::new("real");
+        sys.real_var("r");
+        assert!(Unroller::new(&sys).is_err());
+    }
+
+    #[test]
+    fn negative_ranges() {
+        let mut sys = System::new("neg");
+        let n = sys.int_var("n", -4, 3);
+        sys.add_init(Expr::var(n).eq(Expr::int(-4)));
+        sys.add_trans(Expr::next(n).eq(Expr::var(n).add(Expr::int(1))));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.assert_expr(&Expr::var(n).eq(Expr::int(-1)), 3);
+        let (vars, clauses) = drain_all(&mut u);
+        let model = solve_cnf(vars, &clauses).expect("-4 + 3 = -1");
+        assert_eq!(u.decode(3, n, &|v| model[v.index()]), Value::Int(-1));
+    }
+}
