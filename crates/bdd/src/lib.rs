@@ -545,7 +545,8 @@ mod tests {
         let mut m = BddManager::new();
         let x = m.new_var();
         let y = m.new_var();
-        let cases: Vec<(&str, Bdd, fn(bool, bool) -> bool)> = vec![
+        type Case = (&'static str, Bdd, fn(bool, bool) -> bool);
+        let cases: Vec<Case> = vec![
             ("and", m.and(x, y), |a, b| a && b),
             ("or", m.or(x, y), |a, b| a || b),
             ("xor", m.xor(x, y), |a, b| a ^ b),

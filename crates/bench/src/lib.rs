@@ -11,6 +11,7 @@
 //! | `fig6` | Fig. 6 — scalability sweep over fat-tree topologies |
 //! | `case2` | Case study 2 — LB+ECMP liveness lassos (§4.2) |
 //! | `fig1_dot` | Fig. 1 — interaction graph, DOT rendering |
+//! | `parallel` | parallel layer: sweep sharding + portfolio racing → `BENCH_parallel.json` |
 
 use std::time::{Duration, Instant};
 

@@ -29,9 +29,16 @@ USAGE:
 OPTIONS (check/synth):
     --prop NAME        check only the named property (synth: required if
                        the model has several)
-    --engine ENGINE    auto | bmc | kind | bdd | explicit | smtbmc  [default: auto]
+    --engine ENGINE    auto | bmc | kind | bdd | explicit | smtbmc | portfolio
+                       (portfolio races BMC against the provers in
+                       parallel threads and keeps the first verdict)
+                                                                    [default: auto]
     --depth N          unrolling depth bound                        [default: 64]
     --timeout SECS     wall-clock budget per property
+    --jobs N           worker threads for parallel operations
+                       (synth assignment sweep)  [default: all cores]
+    --first-safe       synth only: stop at the first SAFE assignment,
+                       cancelling the rest of the sweep
 ";
 
 fn main() -> ExitCode {
@@ -78,6 +85,15 @@ fn options_from(args: &[String]) -> Result<CheckOptions, String> {
             .map_err(|_| format!("--timeout expects seconds, got `{t}`"))?;
         opts = opts.with_timeout(Duration::from_secs(secs));
     }
+    if let Some(j) = flag_value(args, "--jobs") {
+        let jobs: usize = j
+            .parse()
+            .map_err(|_| format!("--jobs expects a number, got `{j}`"))?;
+        if jobs == 0 {
+            return Err("--jobs must be at least 1".to_string());
+        }
+        opts = opts.with_jobs(jobs);
+    }
     Ok(opts)
 }
 
@@ -115,6 +131,7 @@ fn check(args: &[String]) -> ExitCode {
         Some("bdd") => Engine::Bdd,
         Some("explicit") => Engine::Explicit,
         Some("smtbmc") => Engine::SmtBmc,
+        Some("portfolio") => Engine::Portfolio,
         Some(other) => {
             eprintln!("unknown engine `{other}`");
             return ExitCode::FAILURE;
@@ -147,10 +164,40 @@ fn check(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let verifier = Verifier::new(&model.system).engine(engine).options(opts);
+    let verifier = Verifier::new(&model.system)
+        .engine(engine)
+        .options(opts.clone());
     let mut any_violated = false;
     for (name, property) in selected {
         let started = std::time::Instant::now();
+        // Portfolio runs report which engine won the race.
+        if engine == Engine::Portfolio {
+            let report = match property {
+                CompiledProperty::Invariant(p) => {
+                    verdict_mc::portfolio::check_invariant(&model.system, p, &opts)
+                }
+                CompiledProperty::Ltl(f) => {
+                    verdict_mc::portfolio::check_ltl(&model.system, f, &opts)
+                }
+                CompiledProperty::Ctl(f) => {
+                    verdict_mc::portfolio::check_ctl(&model.system, f, &opts)
+                }
+            };
+            match report {
+                Ok(r) => {
+                    println!(
+                        "property `{name}` ({:.2?}, won by {:?}): {}",
+                        r.wall, r.winner, r.result
+                    );
+                    any_violated |= r.result.violated();
+                }
+                Err(e) => {
+                    eprintln!("property `{name}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            continue;
+        }
         let result = match property {
             CompiledProperty::Invariant(p) => verifier.check_invariant(p),
             CompiledProperty::Ltl(f) => verifier.check_ltl(f),
@@ -246,7 +293,13 @@ fn synth(args: &[String]) -> ExitCode {
         }
     };
     let verifier = Verifier::new(&model.system).options(opts);
-    match verifier.synthesize_params(&params, &prop) {
+    let first_safe = args.iter().any(|a| a == "--first-safe");
+    let synthesis = if first_safe {
+        verifier.synthesize_params_first_safe(&params, &prop)
+    } else {
+        verifier.synthesize_params(&params, &prop)
+    };
+    match synthesis {
         Ok(result) => {
             println!("property `{name}`:");
             print!("{result}");

@@ -10,7 +10,7 @@
 //!   constant divisor, mirroring what the engines can decide.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use verdict_logic::Rational;
 use verdict_ts::{Ctl, EnumSort, Expr, Ltl, Sort, System, Value, VarId, VarKind};
@@ -45,7 +45,7 @@ pub struct CompiledModel {
 #[derive(Clone, Debug, Default)]
 struct Symbols {
     vars: HashMap<String, VarId>,
-    variants: HashMap<String, Option<(Rc<EnumSort>, u32)>>,
+    variants: HashMap<String, Option<(Arc<EnumSort>, u32)>>,
     defines: HashMap<String, (Expr, Kind)>,
 }
 
@@ -174,11 +174,11 @@ enum Kind {
 struct Ctx<'a> {
     system: System,
     vars: HashMap<String, VarId>,
-    /// `define` bodies, compiled once and shared (Rc DAG) at each use.
+    /// `define` bodies, compiled once and shared (Arc DAG) at each use.
     defines: HashMap<String, (Expr, Kind)>,
     /// variant name -> (sort, index); duplicates across sorts are marked
     /// ambiguous with a sentinel.
-    variants: HashMap<String, Option<(Rc<EnumSort>, u32)>>,
+    variants: HashMap<String, Option<(Arc<EnumSort>, u32)>>,
     source: &'a str,
 }
 

@@ -150,7 +150,8 @@ pub fn table1_of(incidents: &[Incident]) -> Table1 {
         .collect();
     let count =
         |xs: &[&Incident], f: fn(&Incident) -> bool| xs.iter().filter(|i| f(i)).count();
-    let characteristics: [(&'static str, fn(&Incident) -> bool); 4] = [
+    type Characteristic = (&'static str, fn(&Incident) -> bool);
+    let characteristics: [Characteristic; 4] = [
         ("Dynamic control", |i| i.dynamic_control),
         ("Nontrivial interactions", |i| i.nontrivial_interactions),
         ("Quantitative metrics", |i| i.quantitative_metrics),

@@ -229,7 +229,7 @@ pub fn scheduler(state: &mut ClusterState) {
                 continue;
             }
             let score = (used, n);
-            if best.map_or(true, |b| score < b) {
+            if best.is_none_or(|b| score < b) {
                 best = Some(score);
             }
         }

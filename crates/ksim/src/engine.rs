@@ -153,7 +153,7 @@ impl Simulation {
         let t = self.time;
         let grace = self.spec.eviction_grace;
         self.state.reap_terminating(t);
-        if t % self.spec.control_period == 0 {
+        if t.is_multiple_of(self.spec.control_period) {
             deployment_controller(&mut self.state, t);
             hpa(
                 &mut self.state,
@@ -165,11 +165,11 @@ impl Simulation {
         }
         if !self.spec.descheduler_policies.is_empty()
             && t > 0
-            && t % self.spec.descheduler_period == 0
+            && t.is_multiple_of(self.spec.descheduler_period)
         {
             descheduler(&mut self.state, &self.spec.descheduler_policies, t, grace);
         }
-        if t % self.spec.control_period == 0 {
+        if t.is_multiple_of(self.spec.control_period) {
             taint_manager(&mut self.state, t, grace);
         }
         self.metrics.sample(t, &self.state);

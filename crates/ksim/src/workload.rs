@@ -5,8 +5,7 @@
 //! interactions (and the invariants the model checker reasons about)
 //! get exercised. Fully deterministic per seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use verdict_prng::Prng;
 
 use crate::engine::Simulation;
 use crate::types::DeploymentSpec;
@@ -42,7 +41,7 @@ impl Default for WorkloadSpec {
 /// A generator to step alongside a simulation.
 pub struct WorkloadGen {
     spec: WorkloadSpec,
-    rng: StdRng,
+    rng: Prng,
     next_event: u64,
     created: usize,
 }
@@ -50,8 +49,8 @@ pub struct WorkloadGen {
 impl WorkloadGen {
     /// A generator with its first event scheduled.
     pub fn new(spec: WorkloadSpec) -> WorkloadGen {
-        let mut rng = StdRng::seed_from_u64(spec.seed);
-        let first = 1 + rng.gen_range(0..=2 * spec.mean_interarrival);
+        let mut rng = Prng::seed_from_u64(spec.seed);
+        let first = 1 + rng.gen_range_u64(0, 2 * spec.mean_interarrival);
         WorkloadGen {
             spec,
             rng,
@@ -69,28 +68,31 @@ impl WorkloadGen {
     /// Call once per tick, before `sim.step()`.
     pub fn drive(&mut self, sim: &mut Simulation) {
         while sim.now() >= self.next_event {
-            let rescale = self.created > 0
-                && self.rng.gen_range(0..100) < self.spec.rescale_percent;
+            let rescale =
+                self.created > 0 && self.rng.gen_percent(self.spec.rescale_percent);
             if rescale {
-                let target = self.rng.gen_range(0..sim.state().deployments.len());
+                let target = self.rng.gen_index(sim.state().deployments.len());
                 let replicas = self
                     .rng
-                    .gen_range(self.spec.replicas.0..=self.spec.replicas.1);
+                    .gen_range_u64(self.spec.replicas.0.into(), self.spec.replicas.1.into())
+                    as u32;
                 sim.scale(target, replicas);
             } else {
                 let replicas = self
                     .rng
-                    .gen_range(self.spec.replicas.0..=self.spec.replicas.1);
+                    .gen_range_u64(self.spec.replicas.0.into(), self.spec.replicas.1.into())
+                    as u32;
                 let cpu = self
                     .rng
-                    .gen_range(self.spec.cpu_request.0..=self.spec.cpu_request.1);
+                    .gen_range_u64(self.spec.cpu_request.0.into(), self.spec.cpu_request.1.into())
+                    as u32;
                 let name = format!("wl{}", self.created);
                 sim.add_deployment(DeploymentSpec::new(&name, replicas, cpu));
                 self.created += 1;
             }
             let gap = 1 + self
                 .rng
-                .gen_range(0..=2 * self.spec.mean_interarrival);
+                .gen_range_u64(0, 2 * self.spec.mean_interarrival);
             self.next_event += gap;
         }
     }

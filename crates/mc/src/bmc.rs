@@ -26,10 +26,10 @@
 //! assert_eq!(r.trace().unwrap().len(), 4);
 //! ```
 use verdict_logic::Formula;
-use verdict_sat::{Limits, Solver};
+use verdict_sat::Solver;
 use verdict_ts::{Expr, Ltl, System, Trace, Unroller};
 
-use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
 use crate::tableau::{violation_product, TableauProduct};
 
 /// Feeds newly produced clauses into the solver.
@@ -43,30 +43,26 @@ fn sync(unroller: &mut Unroller<'_>, solver: &mut Solver) {
 /// over current-state variables).
 ///
 /// Returns `Violated` with a shortest-per-depth-schedule counterexample,
-/// or `Unknown(DepthBound | Timeout)`. Never returns `Holds` — BMC alone
+/// or `Unknown(DepthBound | Timeout | Cancelled)`. Never returns `Holds` — BMC alone
 /// cannot prove.
 pub fn check_invariant(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let mut unroller = Unroller::new(sys)?;
     let mut solver = Solver::new();
     let bad = p.clone().not();
     for k in 0..=opts.max_depth {
-        if past(deadline) {
-            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        if let Some(reason) = budget.exceeded() {
+            return Ok(CheckResult::Unknown(reason));
         }
         unroller.extend_to(k);
         let bad_k = unroller.lower_bool(&bad, k);
         let bad_lit = unroller.literal_for(&bad_k);
         sync(&mut unroller, &mut solver);
-        let limits = Limits {
-            max_conflicts: None,
-            deadline,
-        };
-        match solver.solve_limited(&[bad_lit], limits) {
+        match solver.solve_limited(&[bad_lit], budget.limits()) {
             verdict_sat::SolveResult::Sat(model) => {
                 let states = unroller.decode_trace(k + 1, &|v| model.value(v));
                 return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
@@ -77,7 +73,7 @@ pub fn check_invariant(
                 solver.add_clause([!bad_lit]);
             }
             verdict_sat::SolveResult::Unknown => {
-                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+                return Ok(CheckResult::Unknown(budget.unknown_reason()));
             }
         }
     }
@@ -95,7 +91,7 @@ pub fn check_ltl(
     match find_fair_lasso(&product, opts)? {
         LassoOutcome::Found(trace) => Ok(CheckResult::Violated(trace)),
         LassoOutcome::Exhausted => Ok(CheckResult::Unknown(UnknownReason::DepthBound)),
-        LassoOutcome::Timeout => Ok(CheckResult::Unknown(UnknownReason::Timeout)),
+        LassoOutcome::GaveUp(reason) => Ok(CheckResult::Unknown(reason)),
     }
 }
 
@@ -106,8 +102,8 @@ pub(crate) enum LassoOutcome {
     Found(Trace),
     /// No lasso up to the depth bound.
     Exhausted,
-    /// Resource limit.
-    Timeout,
+    /// Resource limit: timed out or cancelled without a verdict.
+    GaveUp(UnknownReason),
 }
 
 /// Searches the tableau product for a fair lasso of length ≤ `max_depth`.
@@ -117,13 +113,13 @@ pub(crate) fn find_fair_lasso(
     product: &TableauProduct,
     opts: &CheckOptions,
 ) -> Result<LassoOutcome, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let sys = &product.system;
     let mut unroller = Unroller::new(sys)?;
     let mut solver = Solver::new();
     for k in 1..=opts.max_depth {
-        if past(deadline) {
-            return Ok(LassoOutcome::Timeout);
+        if let Some(reason) = budget.exceeded() {
+            return Ok(LassoOutcome::GaveUp(reason));
         }
         unroller.extend_to(k);
         // lasso_k = ∨_{l<k} [ s_l = s_k ∧ ∧_j ∨_{i=l..k-1} j@i ]
@@ -141,11 +137,7 @@ pub(crate) fn find_fair_lasso(
         let lasso = Formula::or_all(options);
         let lasso_lit = unroller.literal_for(&lasso);
         sync(&mut unroller, &mut solver);
-        let limits = Limits {
-            max_conflicts: None,
-            deadline,
-        };
-        match solver.solve_limited(&[lasso_lit], limits) {
+        match solver.solve_limited(&[lasso_lit], budget.limits()) {
             verdict_sat::SolveResult::Sat(model) => {
                 let full = unroller.decode_trace(k + 1, &|v| model.value(v));
                 // Find the loop-back index by comparing decoded states.
@@ -162,7 +154,9 @@ pub(crate) fn find_fair_lasso(
                 return Ok(LassoOutcome::Found(trace));
             }
             verdict_sat::SolveResult::Unsat => {}
-            verdict_sat::SolveResult::Unknown => return Ok(LassoOutcome::Timeout),
+            verdict_sat::SolveResult::Unknown => {
+                return Ok(LassoOutcome::GaveUp(budget.unknown_reason()))
+            }
         }
     }
     Ok(LassoOutcome::Exhausted)

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use verdict_ts::explicit::{holds, initial_states, successors, State};
 use verdict_ts::{Ctl, Expr, Ltl, System, Trace};
 
-use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::result::{Budget, CheckOptions, CheckResult, McError};
 use crate::tableau::violation_product;
 
 /// The explored reachable graph of a finite system.
@@ -34,8 +34,8 @@ fn state_key(s: &State) -> String {
     format!("{s:?}")
 }
 
-/// Explores the reachable graph; `None` on timeout.
-fn explore(sys: &System, deadline: Option<std::time::Instant>) -> Option<Graph> {
+/// Explores the reachable graph; `None` on timeout or cancellation.
+fn explore(sys: &System, budget: &Budget) -> Option<Graph> {
     let mut g = Graph {
         states: Vec::new(),
         index: HashMap::new(),
@@ -57,7 +57,7 @@ fn explore(sys: &System, deadline: Option<std::time::Instant>) -> Option<Graph> 
         }
     }
     while let Some(id) = queue.pop() {
-        if past(deadline) {
+        if budget.exceeded().is_some() {
             return None;
         }
         let succs = successors(sys, &g.states[id].clone());
@@ -89,7 +89,7 @@ pub fn check_invariant(
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
     sys.check()?;
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let bad = p.clone().not();
     // BFS keeping parents for trace reconstruction.
     let mut parent: HashMap<String, Option<State>> = HashMap::new();
@@ -100,8 +100,8 @@ pub fn check_invariant(
         }
     }
     while let Some(s) = queue.pop_front() {
-        if past(deadline) {
-            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        if let Some(reason) = budget.exceeded() {
+            return Ok(CheckResult::Unknown(reason));
         }
         if holds(&bad, &s) {
             let mut path = vec![s.clone()];
@@ -115,8 +115,8 @@ pub fn check_invariant(
         }
         for n in successors(sys, &s) {
             let k = state_key(&n);
-            if !parent.contains_key(&k) {
-                parent.insert(k, Some(s.clone()));
+            if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(k) {
+                slot.insert(Some(s.clone()));
                 queue.push_back(n);
             }
         }
@@ -185,11 +185,11 @@ pub fn check_ltl(
     phi: &Ltl,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let product = violation_product(sys, phi);
     product.system.check()?;
-    let Some(g) = explore(&product.system, deadline) else {
-        return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+    let Some(g) = explore(&product.system, &budget) else {
+        return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     // A fair SCC: has at least one internal edge (or self-loop) and
     // intersects every justice constraint.
@@ -327,7 +327,7 @@ pub fn check_ctl(
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
     sys.check()?;
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     // CTL must be evaluated over the whole (invar-legal) state graph, not
     // just reachable states, to keep subformula semantics standard; for
     // the tiny models this engine targets that is fine.
@@ -341,8 +341,8 @@ pub fn check_ctl(
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, s) in states.iter().enumerate() {
-        if past(deadline) {
-            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        if let Some(reason) = budget.exceeded() {
+            return Ok(CheckResult::Unknown(reason));
         }
         for nx in successors(sys, s) {
             if let Some(&j) = index.get(&state_key(&nx)) {

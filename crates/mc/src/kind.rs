@@ -20,10 +20,10 @@
 //!                               &CheckOptions::default()).unwrap();
 //! assert!(r.holds());
 //! ```
-use verdict_sat::{Limits, Solver};
+use verdict_sat::Solver;
 use verdict_ts::{Expr, System, Trace, Unroller};
 
-use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
 
 /// Proves or refutes the invariant `G p`.
 ///
@@ -34,7 +34,7 @@ pub fn prove_invariant(
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let bad = p.clone().not();
 
     // Base-case engine: init-anchored unrolling.
@@ -45,14 +45,9 @@ pub fn prove_invariant(
     let mut ind_unr = Unroller::new_free(sys)?;
     let mut ind_solver = Solver::new();
 
-    let limits = |d| Limits {
-        max_conflicts: None,
-        deadline: d,
-    };
-
     for k in 0..=opts.max_depth {
-        if past(deadline) {
-            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        if let Some(reason) = budget.exceeded() {
+            return Ok(CheckResult::Unknown(reason));
         }
         // ---- base case: violation at exactly step k?
         base_unr.extend_to(k);
@@ -61,7 +56,7 @@ pub fn prove_invariant(
         for c in base_unr.drain_clauses() {
             base_solver.add_clause(c);
         }
-        match base_solver.solve_limited(&[bad_lit], limits(deadline)) {
+        match base_solver.solve_limited(&[bad_lit], budget.limits()) {
             verdict_sat::SolveResult::Sat(model) => {
                 let states = base_unr.decode_trace(k + 1, &|v| model.value(v));
                 return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
@@ -70,7 +65,7 @@ pub fn prove_invariant(
                 base_solver.add_clause([!bad_lit]);
             }
             verdict_sat::SolveResult::Unknown => {
-                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+                return Ok(CheckResult::Unknown(budget.unknown_reason()));
             }
         }
 
@@ -90,7 +85,7 @@ pub fn prove_invariant(
         for c in ind_unr.drain_clauses() {
             ind_solver.add_clause(c);
         }
-        match ind_solver.solve_limited(&[ind_bad_lit], limits(deadline)) {
+        match ind_solver.solve_limited(&[ind_bad_lit], budget.limits()) {
             verdict_sat::SolveResult::Sat(_) => {
                 // Induction failed at this k; deepen.
             }
@@ -99,7 +94,7 @@ pub fn prove_invariant(
                 return Ok(CheckResult::Holds);
             }
             verdict_sat::SolveResult::Unknown => {
-                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+                return Ok(CheckResult::Unknown(budget.unknown_reason()));
             }
         }
     }

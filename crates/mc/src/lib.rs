@@ -29,7 +29,12 @@
 //!   found by binary search over bounded reachability queries.
 //! * [`params`] — parameter synthesis: enumerate assignments of the frozen
 //!   variables and classify each as safe/unsafe (paper: "suggest safe
-//!   configuration parameters", e.g. p ∈ {1, 2} in case study 1).
+//!   configuration parameters", e.g. p ∈ {1, 2} in case study 1). The
+//!   assignment sweep shards over a worker pool (`CheckOptions::jobs`).
+//! * [`portfolio`] — engine racing: run a falsifier (BMC) and the provers
+//!   (k-induction, BDD) in parallel threads on the same system, keep the
+//!   first definitive verdict, and cancel the losers via a shared stop
+//!   flag ([`result::Budget`]).
 //! * [`verifier`] — the [`Verifier`] façade implementing the Fig. 4
 //!   workflow: model + property + constraints in, verdict + trace or
 //!   suggested parameters out.
@@ -40,10 +45,12 @@ pub mod bmc;
 pub mod explicit_engine;
 pub mod kind;
 pub mod params;
+pub mod portfolio;
 pub mod result;
 pub mod smtbmc;
 pub mod tableau;
 pub mod verifier;
 
-pub use result::{CheckOptions, CheckResult, McError};
+pub use portfolio::CheckReport;
+pub use result::{CheckOptions, CheckResult, McError, UnknownReason};
 pub use verifier::{Engine, Verifier};

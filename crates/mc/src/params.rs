@@ -6,8 +6,20 @@
 //! (finite) assignments of chosen frozen parameters, verify the property
 //! under each assignment with a complete engine, and partition the space
 //! into safe and unsafe values with witnesses for the unsafe ones.
+//!
+//! Assignments are independent, so the sweep shards them over a worker
+//! pool ([`CheckOptions::jobs`], default `available_parallelism()`); the
+//! verdict vector keeps odometer order regardless of which worker finished
+//! first, so parallel output is identical to a `jobs = 1` run.
+//! [`synthesize_first_safe`] additionally stops the sweep as soon as one
+//! SAFE assignment is found, cancelling outstanding workers cooperatively
+//! (their slots report [`UnknownReason::Cancelled`]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
 
 use verdict_ts::{Expr, Ltl, System, Trace, Value, VarId};
 
@@ -94,18 +106,197 @@ pub enum SynthesisEngine {
     Explicit,
 }
 
-/// Enumerates every assignment of `params` (all must have finite sorts)
-/// and verifies the property under each.
-///
-/// The remaining frozen variables stay symbolic (universally quantified by
-/// the underlying engine).
-pub fn synthesize(
+/// All assignments of the given domains in odometer order (the first
+/// parameter varies fastest) — the order the original sequential sweep
+/// visited, which callers and tests rely on.
+fn enumerate_assignments(domains: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    let mut indices = vec![0usize; domains.len()];
+    loop {
+        out.push(
+            indices
+                .iter()
+                .zip(domains)
+                .map(|(&i, d)| d[i].clone())
+                .collect(),
+        );
+        // Advance odometer.
+        let mut pos = 0;
+        loop {
+            if pos == indices.len() {
+                return out;
+            }
+            indices[pos] += 1;
+            if indices[pos] < domains[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// Verifies the property on `sys` with `params` pinned to `assignment`.
+fn check_assignment(
     sys: &System,
     params: &[VarId],
+    assignment: &[Value],
     property: &Property,
     engine: SynthesisEngine,
     opts: &CheckOptions,
-) -> Result<SynthesisResult, McError> {
+) -> Result<CheckResult, McError> {
+    // Pin the parameters via INVAR constraints: frozen variables are
+    // constant, so INVAR equals INIT on executions, but INVAR also
+    // constrains free-start engines (k-induction's step case).
+    let mut pinned = sys.clone();
+    for (&p, v) in params.iter().zip(assignment) {
+        pinned.add_invar(Expr::var(p).eq(Expr::Const(v.clone())));
+    }
+    match (property, engine) {
+        (Property::Invariant(p), SynthesisEngine::KInduction) => {
+            crate::kind::prove_invariant(&pinned, p, opts)
+        }
+        (Property::Invariant(p), SynthesisEngine::Bdd) => {
+            crate::bdd::check_invariant(&pinned, p, opts)
+        }
+        (Property::Invariant(p), SynthesisEngine::Explicit) => {
+            crate::explicit_engine::check_invariant(&pinned, p, opts)
+        }
+        (Property::Ltl(phi), SynthesisEngine::Bdd) => crate::bdd::check_ltl(&pinned, phi, opts),
+        (Property::Ltl(phi), SynthesisEngine::Explicit) => {
+            crate::explicit_engine::check_ltl(&pinned, phi, opts)
+        }
+        (Property::Ltl(_), SynthesisEngine::KInduction) => Err(McError(
+            "k-induction synthesizes safety properties only".to_string(),
+        )),
+    }
+}
+
+/// Shards `assignments` over `opts.effective_jobs()` workers and returns
+/// the verdicts in input (odometer) order.
+///
+/// With `stop_at_first_safe`, the first `Holds` verdict raises a shared
+/// stop flag: outstanding workers exit cooperatively and unvisited
+/// assignments report `Unknown(Cancelled)`. A worker error is returned for
+/// the smallest-index erroring assignment, matching what the sequential
+/// sweep would have hit first.
+fn run_assignments(
+    sys: &System,
+    params: &[VarId],
+    assignments: &[Vec<Value>],
+    property: &Property,
+    engine: SynthesisEngine,
+    opts: &CheckOptions,
+    stop_at_first_safe: bool,
+) -> Result<Vec<ParamVerdict>, McError> {
+    if matches!(
+        (property, engine),
+        (Property::Ltl(_), SynthesisEngine::KInduction)
+    ) {
+        return Err(McError(
+            "k-induction synthesizes safety properties only".to_string(),
+        ));
+    }
+    let jobs = opts.effective_jobs().min(assignments.len().max(1));
+    if jobs <= 1 {
+        let mut verdicts = Vec::with_capacity(assignments.len());
+        let mut found_safe = false;
+        for a in assignments {
+            let result = if found_safe && stop_at_first_safe {
+                CheckResult::Unknown(UnknownReason::Cancelled)
+            } else {
+                let r = check_assignment(sys, params, a, property, engine, opts)?;
+                found_safe |= r.holds();
+                r
+            };
+            verdicts.push(ParamVerdict {
+                values: a.clone(),
+                result,
+            });
+        }
+        return Ok(verdicts);
+    }
+
+    let pool_stop = Arc::new(AtomicBool::new(false));
+    let caller_stop = opts.stop.clone();
+    let worker_opts = CheckOptions {
+        stop: Some(pool_stop.clone()),
+        ..opts.clone()
+    };
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<CheckResult, McError>)>();
+    let mut slots: Vec<Option<Result<CheckResult, McError>>> =
+        (0..assignments.len()).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let pool_stop = pool_stop.clone();
+            let worker_opts = worker_opts.clone();
+            scope.spawn(move || loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= assignments.len() {
+                    break;
+                }
+                if pool_stop.load(Ordering::Relaxed) {
+                    // The sweep is already decided (first-safe hit or
+                    // caller cancellation); don't start new work.
+                    let _ = tx.send((idx, Ok(CheckResult::Unknown(UnknownReason::Cancelled))));
+                    continue;
+                }
+                let res =
+                    check_assignment(sys, params, &assignments[idx], property, engine, &worker_opts);
+                if stop_at_first_safe && matches!(res, Ok(CheckResult::Holds)) {
+                    pool_stop.store(true, Ordering::Relaxed);
+                }
+                let _ = tx.send((idx, res));
+            });
+        }
+        drop(tx);
+
+        let mut received = 0;
+        while received < assignments.len() {
+            match rx.recv_timeout(Duration::from_millis(5)) {
+                Ok((idx, res)) => {
+                    slots[idx] = Some(res);
+                    received += 1;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Forward caller-side cancellation into the pool.
+                    if caller_stop
+                        .as_ref()
+                        .is_some_and(|s| s.load(Ordering::Relaxed))
+                    {
+                        pool_stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    });
+
+    let mut verdicts = Vec::with_capacity(assignments.len());
+    for (a, slot) in assignments.iter().zip(slots) {
+        match slot {
+            Some(Ok(result)) => verdicts.push(ParamVerdict {
+                values: a.clone(),
+                result,
+            }),
+            Some(Err(e)) => return Err(e),
+            None => verdicts.push(ParamVerdict {
+                values: a.clone(),
+                result: CheckResult::Unknown(UnknownReason::Cancelled),
+            }),
+        }
+    }
+    Ok(verdicts)
+}
+
+fn validate_and_enumerate(
+    sys: &System,
+    params: &[VarId],
+) -> Result<(Vec<String>, Vec<Vec<Value>>), McError> {
     for &p in params {
         if !sys.sort_of(p).is_finite() {
             return Err(McError(format!(
@@ -115,67 +306,54 @@ pub fn synthesize(
         }
     }
     let domains: Vec<Vec<Value>> = params.iter().map(|&p| sys.sort_of(p).values()).collect();
-    let mut result = SynthesisResult {
-        param_names: params.iter().map(|&p| sys.name_of(p).to_string()).collect(),
-        verdicts: Vec::new(),
-    };
-    let mut indices = vec![0usize; params.len()];
-    loop {
-        let assignment: Vec<Value> = indices
-            .iter()
-            .zip(&domains)
-            .map(|(&i, d)| d[i].clone())
-            .collect();
-        // Pin the parameters via INVAR constraints: frozen variables are
-        // constant, so INVAR equals INIT on executions, but INVAR also
-        // constrains free-start engines (k-induction's step case).
-        let mut pinned = sys.clone();
-        for (&p, v) in params.iter().zip(&assignment) {
-            pinned.add_invar(Expr::var(p).eq(Expr::Const(v.clone())));
-        }
-        let res = match (property, engine) {
-            (Property::Invariant(p), SynthesisEngine::KInduction) => {
-                crate::kind::prove_invariant(&pinned, p, opts)?
-            }
-            (Property::Invariant(p), SynthesisEngine::Bdd) => {
-                crate::bdd::check_invariant(&pinned, p, opts)?
-            }
-            (Property::Invariant(p), SynthesisEngine::Explicit) => {
-                crate::explicit_engine::check_invariant(&pinned, p, opts)?
-            }
-            (Property::Ltl(phi), SynthesisEngine::Bdd) => {
-                crate::bdd::check_ltl(&pinned, phi, opts)?
-            }
-            (Property::Ltl(phi), SynthesisEngine::Explicit) => {
-                crate::explicit_engine::check_ltl(&pinned, phi, opts)?
-            }
-            (Property::Ltl(_), SynthesisEngine::KInduction) => {
-                return Err(McError(
-                    "k-induction synthesizes safety properties only".to_string(),
-                ))
-            }
-        };
-        result.verdicts.push(ParamVerdict {
-            values: assignment,
-            result: res,
-        });
-        // Advance odometer.
-        let mut pos = 0;
-        loop {
-            if pos == indices.len() {
-                return Ok(result);
-            }
-            indices[pos] += 1;
-            if indices[pos] < domains[pos].len() {
-                break;
-            }
-            indices[pos] = 0;
-            pos += 1;
-        }
-        if indices.iter().all(|&i| i == 0) {
-            return Ok(result);
-        }
-    }
+    let names = params.iter().map(|&p| sys.name_of(p).to_string()).collect();
+    Ok((names, enumerate_assignments(&domains)))
+}
+
+/// Enumerates every assignment of `params` (all must have finite sorts)
+/// and verifies the property under each, sharding assignments over
+/// `opts.effective_jobs()` worker threads.
+///
+/// The remaining frozen variables stay symbolic (universally quantified by
+/// the underlying engine). Verdict order is the sequential odometer order
+/// whatever the worker count.
+pub fn synthesize(
+    sys: &System,
+    params: &[VarId],
+    property: &Property,
+    engine: SynthesisEngine,
+    opts: &CheckOptions,
+) -> Result<SynthesisResult, McError> {
+    let (param_names, assignments) = validate_and_enumerate(sys, params)?;
+    let verdicts = run_assignments(sys, params, &assignments, property, engine, opts, false)?;
+    Ok(SynthesisResult {
+        param_names,
+        verdicts,
+    })
+}
+
+/// Like [`synthesize`], but stops the sweep at the first SAFE assignment:
+/// the winning worker raises a shared stop flag, outstanding workers exit
+/// cooperatively, and every assignment not fully checked reports
+/// `Unknown(Cancelled)`.
+///
+/// Use this when any one safe configuration is enough (the paper's
+/// "suggest safe parameters" workflow) — on sweeps where most values are
+/// safe it turns a full cross-product scan into a near-constant-time
+/// query.
+pub fn synthesize_first_safe(
+    sys: &System,
+    params: &[VarId],
+    property: &Property,
+    engine: SynthesisEngine,
+    opts: &CheckOptions,
+) -> Result<SynthesisResult, McError> {
+    let (param_names, assignments) = validate_and_enumerate(sys, params)?;
+    let verdicts = run_assignments(sys, params, &assignments, property, engine, opts, true)?;
+    Ok(SynthesisResult {
+        param_names,
+        verdicts,
+    })
 }
 
 /// Convenience for the falsification direction the paper also uses: leave
@@ -197,9 +375,6 @@ pub fn find_violating_params(
 pub fn no_params_is_single_check(result: &SynthesisResult) -> bool {
     result.param_names.is_empty() && result.verdicts.len() == 1
 }
-
-#[allow(dead_code)]
-fn unused(_: UnknownReason) {}
 
 #[cfg(test)]
 mod tests {
@@ -285,6 +460,85 @@ mod tests {
         .unwrap();
         let safe = r.safe();
         assert_eq!(safe, vec![&[Value::Int(1)][..]], "{r}");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential_order() {
+        let (sys, p) = step_counter();
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
+        let baseline = synthesize(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default().with_jobs(1),
+        )
+        .unwrap();
+        for jobs in 2..=4 {
+            let r = synthesize(
+                &sys,
+                &[p],
+                &prop,
+                SynthesisEngine::KInduction,
+                &CheckOptions::default().with_jobs(jobs),
+            )
+            .unwrap();
+            assert_eq!(r.verdicts.len(), baseline.verdicts.len());
+            for (x, y) in baseline.verdicts.iter().zip(&r.verdicts) {
+                assert_eq!(x.values, y.values, "jobs={jobs}");
+                assert_eq!(x.result.holds(), y.result.holds(), "jobs={jobs}");
+                assert_eq!(x.result.violated(), y.result.violated(), "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_safe_stops_sequential_sweep() {
+        let (sys, p) = step_counter();
+        // p=1 is unsafe, p=2 safe, p=3 safe: with jobs=1 the sweep must
+        // check p=1 (UNSAFE), find p=2 SAFE, and skip p=3 as Cancelled.
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
+        let r = synthesize_first_safe(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default().with_jobs(1),
+        )
+        .unwrap();
+        assert_eq!(r.verdicts.len(), 3);
+        assert!(r.verdicts[0].result.violated());
+        assert!(r.verdicts[1].result.holds());
+        assert!(matches!(
+            r.verdicts[2].result,
+            CheckResult::Unknown(UnknownReason::Cancelled)
+        ));
+        assert_eq!(r.safe().len(), 1);
+    }
+
+    #[test]
+    fn first_safe_parallel_finds_a_safe_value() {
+        let (sys, p) = step_counter();
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
+        let r = synthesize_first_safe(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default().with_jobs(3),
+        )
+        .unwrap();
+        // Racing workers may complete more than one assignment before the
+        // flag propagates, but at least one SAFE value must be reported
+        // and no verdict may contradict the sequential partition.
+        assert!(!r.safe().is_empty(), "{r}");
+        for v in &r.verdicts {
+            if v.values == [Value::Int(1)] {
+                assert!(!v.result.holds());
+            } else {
+                assert!(!v.result.violated());
+            }
+        }
     }
 
     #[test]

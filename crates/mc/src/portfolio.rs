@@ -1,0 +1,339 @@
+//! Portfolio racing: run a falsifier and a prover concurrently, keep the
+//! first definitive answer.
+//!
+//! The paper's Fig. 5/6 observation is that falsification (BMC) is cheap
+//! while proving (k-induction, BDD fixpoints) is exponentially expensive —
+//! but which one terminates first depends on whether the property actually
+//! holds, which is exactly what we don't know going in. The portfolio
+//! engine hedges: it spawns one thread per contender engine on the same
+//! system, takes the first `Holds`/`Violated` verdict, and raises a shared
+//! stop flag so the losers exit cooperatively (see
+//! [`crate::result::Budget`]). Because every contender is sound, any two
+//! definitive answers agree, so first-wins is deterministic in the verdict
+//! (the winning *engine* may differ run to run; it is reported in the
+//! [`CheckReport`]).
+//!
+//! Contender line-ups (finite-state systems):
+//!
+//! | property  | falsifier | provers          |
+//! |-----------|-----------|------------------|
+//! | invariant | [`crate::bmc`] | [`crate::kind`], [`crate::bdd`] |
+//! | LTL       | [`crate::bmc`] | [`crate::bdd`]  |
+//! | CTL       | —         | [`crate::bdd`], [`crate::explicit_engine`] |
+//!
+//! Real-valued systems fall back to a solo [`crate::smtbmc`] run — there
+//! is no second complete engine for QF_LRA models to race it against.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use verdict_ts::{Ctl, Expr, Ltl, System};
+
+use crate::result::{CheckOptions, CheckResult, McError, UnknownReason};
+use crate::verifier::Engine;
+
+/// A verdict plus racing metadata: which engine won and how long the
+/// portfolio took wall-clock.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// The portfolio verdict (the winner's verdict).
+    pub result: CheckResult,
+    /// The engine that produced `result`. For a solo (non-raced) run this
+    /// is simply the engine used.
+    pub winner: Engine,
+    /// Wall-clock time from spawn to verdict.
+    pub wall: Duration,
+    /// Every contender's final outcome, in spawn order — losers typically
+    /// report `Unknown(Cancelled)`.
+    pub outcomes: Vec<(Engine, CheckResult)>,
+}
+
+/// One contender: an engine tag plus the closure that runs it.
+type Contender<'a> =
+    Box<dyn FnOnce(&CheckOptions) -> Result<CheckResult, McError> + Send + 'a>;
+
+/// Races `contenders` to the first definitive (`Holds`/`Violated`) verdict
+/// and cancels the rest via a shared stop flag.
+///
+/// A stop flag already present in `opts` still works: the race monitor
+/// polls it and forwards a caller-side cancellation to every contender.
+fn race(
+    opts: &CheckOptions,
+    contenders: Vec<(Engine, Contender<'_>)>,
+) -> Result<CheckReport, McError> {
+    let start = Instant::now();
+    let caller_stop = opts.stop.clone();
+    let race_stop = Arc::new(AtomicBool::new(false));
+    let n = contenders.len();
+    let (tx, rx) = mpsc::channel::<(usize, Engine, Result<CheckResult, McError>)>();
+
+    let (slots, winner_idx) = std::thread::scope(|scope| {
+        for (idx, (engine, run)) in contenders.into_iter().enumerate() {
+            let tx = tx.clone();
+            let worker_opts = CheckOptions {
+                stop: Some(race_stop.clone()),
+                ..opts.clone()
+            };
+            scope.spawn(move || {
+                let res = run(&worker_opts);
+                // The receiver never hangs up before all results arrive,
+                // but a send error must not panic the worker either way.
+                let _ = tx.send((idx, engine, res));
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<(Engine, Result<CheckResult, McError>)>> =
+            (0..n).map(|_| None).collect();
+        let mut winner_idx = None;
+        let mut received = 0;
+        while received < n {
+            match rx.recv_timeout(Duration::from_millis(5)) {
+                Ok((idx, engine, res)) => {
+                    received += 1;
+                    let definitive = matches!(
+                        res,
+                        Ok(CheckResult::Holds | CheckResult::Violated(_))
+                    );
+                    slots[idx] = Some((engine, res));
+                    if definitive && winner_idx.is_none() {
+                        winner_idx = Some(idx);
+                        // First definitive verdict: cancel the losers.
+                        race_stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Forward caller-side cancellation into the race.
+                    if caller_stop
+                        .as_ref()
+                        .is_some_and(|s| s.load(Ordering::Relaxed))
+                    {
+                        race_stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        (slots, winner_idx)
+    });
+
+    let wall = start.elapsed();
+    let mut outcomes: Vec<(Engine, CheckResult)> = Vec::with_capacity(n);
+    let mut first_err: Option<McError> = None;
+    let mut winner: Option<(Engine, CheckResult)> = None;
+    for (idx, slot) in slots.into_iter().enumerate() {
+        let Some((engine, res)) = slot else { continue };
+        match res {
+            Ok(r) => {
+                if winner_idx == Some(idx) {
+                    winner = Some((engine, r.clone()));
+                }
+                outcomes.push((engine, r));
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+
+    if let Some((engine, result)) = winner {
+        return Ok(CheckReport {
+            result,
+            winner: engine,
+            wall,
+            outcomes,
+        });
+    }
+    // No definitive verdict: prefer the most informative Unknown.
+    let rank = |r: &CheckResult| match r {
+        CheckResult::Unknown(UnknownReason::DepthBound) => 0,
+        CheckResult::Unknown(UnknownReason::EffortBound) => 1,
+        CheckResult::Unknown(UnknownReason::Timeout) => 2,
+        CheckResult::Unknown(UnknownReason::Cancelled) => 3,
+        _ => 4,
+    };
+    let best = outcomes
+        .iter()
+        .min_by_key(|(_, r)| rank(r))
+        .cloned();
+    match best {
+        Some((engine, result)) => Ok(CheckReport {
+            result,
+            winner: engine,
+            wall,
+            outcomes,
+        }),
+        None => Err(first_err
+            .unwrap_or_else(|| McError("portfolio: no contenders".to_string()))),
+    }
+}
+
+/// Runs a single engine and wraps its verdict in a [`CheckReport`] (used
+/// when there is nothing to race, e.g. real-valued systems → SMT only).
+fn solo(
+    engine: Engine,
+    opts: &CheckOptions,
+    run: impl FnOnce(&CheckOptions) -> Result<CheckResult, McError>,
+) -> Result<CheckReport, McError> {
+    let start = Instant::now();
+    let result = run(opts)?;
+    Ok(CheckReport {
+        winner: engine,
+        wall: start.elapsed(),
+        outcomes: vec![(engine, result.clone())],
+        result,
+    })
+}
+
+/// Portfolio invariant check: BMC (falsifier) vs k-induction and BDD
+/// (provers) on finite systems; solo SMT-BMC on real-valued ones.
+pub fn check_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+) -> Result<CheckReport, McError> {
+    if sys.has_real_vars() {
+        return solo(Engine::SmtBmc, opts, |o| {
+            crate::smtbmc::check_invariant(sys, p, o)
+        });
+    }
+    race(
+        opts,
+        vec![
+            (
+                Engine::Bmc,
+                Box::new(|o: &CheckOptions| crate::bmc::check_invariant(sys, p, o)),
+            ),
+            (
+                Engine::KInduction,
+                Box::new(|o: &CheckOptions| crate::kind::prove_invariant(sys, p, o)),
+            ),
+            (
+                Engine::Bdd,
+                Box::new(|o: &CheckOptions| crate::bdd::check_invariant(sys, p, o)),
+            ),
+        ],
+    )
+}
+
+/// Portfolio LTL check: BMC fair-lasso search (falsifier) vs the complete
+/// BDD tableau engine; solo SMT-BMC on real-valued systems.
+pub fn check_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+) -> Result<CheckReport, McError> {
+    if sys.has_real_vars() {
+        return solo(Engine::SmtBmc, opts, |o| crate::smtbmc::check_ltl(sys, phi, o));
+    }
+    race(
+        opts,
+        vec![
+            (
+                Engine::Bmc,
+                Box::new(|o: &CheckOptions| crate::bmc::check_ltl(sys, phi, o)),
+            ),
+            (
+                Engine::Bdd,
+                Box::new(|o: &CheckOptions| crate::bdd::check_ltl(sys, phi, o)),
+            ),
+        ],
+    )
+}
+
+/// Portfolio CTL check: BDD fixpoints vs the explicit-state engine (both
+/// complete; whichever shape of state space is kinder wins).
+pub fn check_ctl(
+    sys: &System,
+    phi: &Ctl,
+    opts: &CheckOptions,
+) -> Result<CheckReport, McError> {
+    if sys.has_real_vars() {
+        return Err(McError(
+            "CTL checking requires a finite-state system".to_string(),
+        ));
+    }
+    race(
+        opts,
+        vec![
+            (
+                Engine::Bdd,
+                Box::new(|o: &CheckOptions| crate::bdd::check_ctl(sys, phi, o)),
+            ),
+            (
+                Engine::Explicit,
+                Box::new(|o: &CheckOptions| crate::explicit_engine::check_ctl(sys, phi, o)),
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter(limit: i64) -> (System, verdict_ts::VarId) {
+        let mut sys = System::new("counter");
+        let n = sys.int_var("n", 0, limit);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).lt(Expr::int(limit)),
+            Expr::var(n).add(Expr::int(1)),
+            Expr::var(n),
+        )));
+        (sys, n)
+    }
+
+    #[test]
+    fn portfolio_proves_and_falsifies() {
+        let (sys, n) = counter(7);
+        let opts = CheckOptions::default();
+        let holds = check_invariant(&sys, &Expr::var(n).le(Expr::int(7)), &opts).unwrap();
+        assert!(holds.result.holds(), "{}", holds.result);
+        // BMC cannot prove, so the winner must be a prover.
+        assert!(matches!(holds.winner, Engine::KInduction | Engine::Bdd));
+
+        let viol = check_invariant(&sys, &Expr::var(n).lt(Expr::int(5)), &opts).unwrap();
+        assert!(viol.result.violated());
+        assert!(!viol.outcomes.is_empty());
+        assert!(viol.outcomes.iter().any(|(e, _)| *e == viol.winner));
+    }
+
+    #[test]
+    fn caller_stop_flag_cancels_whole_portfolio() {
+        let (sys, n) = counter(7);
+        let stop = Arc::new(AtomicBool::new(true)); // raised before the race
+        let opts = CheckOptions::default().with_stop(stop);
+        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(7)), &opts);
+        // Workers may still finish (tiny model) or come back Cancelled —
+        // but the call must return, not hang, and never report Violated.
+        let report = r.unwrap();
+        assert!(!report.result.violated());
+    }
+
+    #[test]
+    fn ltl_portfolio_agrees_with_bdd() {
+        let mut sys = System::new("flip");
+        let x = sys.bool_var("x");
+        sys.add_init(Expr::var(x));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        let phi = Ltl::atom(Expr::var(x)).always().eventually();
+        let opts = CheckOptions::default();
+        let racy = check_ltl(&sys, &phi, &opts).unwrap();
+        let seq = crate::bdd::check_ltl(&sys, &phi, &opts).unwrap();
+        assert_eq!(racy.result.violated(), seq.violated());
+    }
+
+    #[test]
+    fn ctl_portfolio() {
+        let (sys, n) = counter(7);
+        let phi = Ctl::atom(Expr::var(n).eq(Expr::int(7))).ef();
+        let r = check_ctl(&sys, &phi, &CheckOptions::default()).unwrap();
+        assert!(r.result.holds());
+        assert!(matches!(r.winner, Engine::Bdd | Engine::Explicit));
+    }
+}

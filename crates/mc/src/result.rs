@@ -1,8 +1,11 @@
 //! Verdicts, options, and errors shared by every engine.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use verdict_sat::Limits;
 use verdict_ts::Trace;
 
 /// Outcome of a model-checking run.
@@ -61,6 +64,9 @@ pub enum UnknownReason {
     Timeout,
     /// Conflict/step budget exhausted.
     EffortBound,
+    /// Another worker raised the shared stop flag (portfolio racing or
+    /// early-exit synthesis) and this engine exited cooperatively.
+    Cancelled,
 }
 
 impl fmt::Display for UnknownReason {
@@ -69,6 +75,7 @@ impl fmt::Display for UnknownReason {
             UnknownReason::DepthBound => write!(f, "depth bound reached"),
             UnknownReason::Timeout => write!(f, "timeout"),
             UnknownReason::EffortBound => write!(f, "effort budget exhausted"),
+            UnknownReason::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -94,12 +101,20 @@ impl From<verdict_ts::TypeError> for McError {
 }
 
 /// Resource limits and knobs for a checking run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CheckOptions {
     /// Maximum BMC unrolling depth (transitions).
     pub max_depth: usize,
     /// Wall-clock budget.
     pub timeout: Option<Duration>,
+    /// Cooperative cancellation: engines exit with
+    /// [`UnknownReason::Cancelled`] soon after this shared flag is raised
+    /// by another thread. `None` = never cancelled.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Worker threads for parallel operations (portfolio racing already
+    /// uses one thread per engine; parameter synthesis shards assignments
+    /// over this many workers). `None` = `std::thread::available_parallelism()`.
+    pub jobs: Option<usize>,
 }
 
 impl Default for CheckOptions {
@@ -107,6 +122,8 @@ impl Default for CheckOptions {
         CheckOptions {
             max_depth: 64,
             timeout: None,
+            stop: None,
+            jobs: None,
         }
     }
 }
@@ -126,6 +143,18 @@ impl CheckOptions {
         self
     }
 
+    /// Attaches a shared cancellation flag.
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> CheckOptions {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Sets the worker-thread count for parallel operations.
+    pub fn with_jobs(mut self, jobs: usize) -> CheckOptions {
+        self.jobs = Some(jobs);
+        self
+    }
+
     /// Returns self with `max_depth` replaced by `depth` **iff** it still
     /// holds the default value — used by CLIs whose subcommands have
     /// different depth defaults.
@@ -140,11 +169,75 @@ impl CheckOptions {
     pub fn deadline(&self) -> Option<Instant> {
         self.timeout.map(|t| Instant::now() + t)
     }
+
+    /// The effective worker count for parallel operations.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            })
+            .max(1)
+    }
 }
 
-/// True if the deadline has passed.
-pub(crate) fn past(deadline: Option<Instant>) -> bool {
-    matches!(deadline, Some(d) if Instant::now() >= d)
+/// The wall-clock + cancellation budget of one engine run, snapshotted
+/// from [`CheckOptions`] at entry so the deadline is fixed once.
+///
+/// Engines poll [`Budget::exceeded`] in their outer loops and pass
+/// [`Budget::limits`] into SAT/SMT solve calls; when a solver returns
+/// `Unknown`, [`Budget::unknown_reason`] distinguishes a raised stop flag
+/// ([`UnknownReason::Cancelled`]) from an expired deadline
+/// ([`UnknownReason::Timeout`]).
+#[derive(Clone, Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    stop: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// Snapshots the budget (deadline + stop flag) of `opts`.
+    pub fn new(opts: &CheckOptions) -> Budget {
+        Budget {
+            deadline: opts.deadline(),
+            stop: opts.stop.clone(),
+        }
+    }
+
+    /// True if the stop flag has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    /// The reason to abort now, if any (cancellation wins over timeout).
+    pub fn exceeded(&self) -> Option<UnknownReason> {
+        if self.cancelled() {
+            return Some(UnknownReason::Cancelled);
+        }
+        if matches!(self.deadline, Some(d) if Instant::now() >= d) {
+            return Some(UnknownReason::Timeout);
+        }
+        None
+    }
+
+    /// Why a solver just gave up `Unknown` under `self.limits()`.
+    pub fn unknown_reason(&self) -> UnknownReason {
+        if self.cancelled() {
+            UnknownReason::Cancelled
+        } else {
+            UnknownReason::Timeout
+        }
+    }
+
+    /// Solver limits carrying this budget's deadline and stop flag.
+    pub fn limits(&self) -> Limits {
+        Limits {
+            max_conflicts: None,
+            deadline: self.deadline,
+            stop: self.stop.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +266,23 @@ mod tests {
         let o = CheckOptions::with_depth(10).with_timeout(Duration::from_secs(1));
         assert_eq!(o.max_depth, 10);
         assert!(o.deadline().is_some());
-        assert!(!past(o.deadline()));
-        assert!(past(Some(Instant::now())));
+        assert!(o.effective_jobs() >= 1);
+        assert_eq!(o.with_jobs(3).effective_jobs(), 3);
+    }
+
+    #[test]
+    fn budget_distinguishes_cancel_from_timeout() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let opts = CheckOptions::default().with_stop(stop.clone());
+        let budget = Budget::new(&opts);
+        assert!(budget.exceeded().is_none());
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(budget.exceeded(), Some(UnknownReason::Cancelled));
+        assert_eq!(budget.unknown_reason(), UnknownReason::Cancelled);
+        assert!(budget.limits().interrupted());
+
+        let timed = Budget::new(&CheckOptions::default().with_timeout(Duration::ZERO));
+        assert_eq!(timed.exceeded(), Some(UnknownReason::Timeout));
+        assert_eq!(timed.unknown_reason(), UnknownReason::Timeout);
     }
 }

@@ -30,12 +30,11 @@
 //! assert!(r.violated());
 //! ```
 use verdict_logic::{Formula, Rational};
-use verdict_sat::Limits;
 use verdict_smt::{LinExpr, Rel, SmtResult, SmtSolver, TheoryVar};
 use verdict_ts::bits::{self, FormulaAlg, Num};
 use verdict_ts::{Expr, Ltl, Sort, System, Trace, Value, VarId, VarKind};
 
-use crate::result::{past, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
 use crate::tableau::violation_product;
 
 /// Per-variable, per-step solver handles.
@@ -524,21 +523,17 @@ pub fn check_invariant(
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let mut unr = SmtUnroller::new(sys)?;
     let bad = p.clone().not();
     for k in 0..=opts.max_depth {
-        if past(deadline) {
-            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        if let Some(reason) = budget.exceeded() {
+            return Ok(CheckResult::Unknown(reason));
         }
         unr.extend_to(k);
         let bad_k = unr.lower_bool(&bad, k);
         let bad_lit = unr.smt_mut().define_literal(&bad_k);
-        let limits = Limits {
-            max_conflicts: None,
-            deadline,
-        };
-        match unr.smt_mut().solve_limited(&[bad_lit], limits) {
+        match unr.smt_mut().solve_limited(&[bad_lit], budget.limits()) {
             SmtResult::Sat(model) => {
                 let states = unr.decode_trace(k + 1, &model);
                 return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
@@ -550,7 +545,7 @@ pub fn check_invariant(
                 unr.smt_mut().assert_formula(neg);
             }
             SmtResult::Unknown => {
-                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+                return Ok(CheckResult::Unknown(budget.unknown_reason()));
             }
         }
     }
@@ -564,13 +559,13 @@ pub fn check_ltl(
     phi: &Ltl,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let deadline = opts.deadline();
+    let budget = Budget::new(opts);
     let product = violation_product(sys, phi);
     let psys = &product.system;
     let mut unr = SmtUnroller::new(psys)?;
     for k in 1..=opts.max_depth {
-        if past(deadline) {
-            return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+        if let Some(reason) = budget.exceeded() {
+            return Ok(CheckResult::Unknown(reason));
         }
         unr.extend_to(k);
         let mut options = Vec::with_capacity(k);
@@ -586,11 +581,7 @@ pub fn check_ltl(
         }
         let lasso = Formula::or_all(options);
         let lasso_lit = unr.smt_mut().define_literal(&lasso);
-        let limits = Limits {
-            max_conflicts: None,
-            deadline,
-        };
-        match unr.smt_mut().solve_limited(&[lasso_lit], limits) {
+        match unr.smt_mut().solve_limited(&[lasso_lit], budget.limits()) {
             SmtResult::Sat(model) => {
                 let full = unr.decode_trace(k + 1, &model);
                 let loop_back = (0..k).find(|&l| full[l] == full[k]).unwrap_or(0);
@@ -604,7 +595,7 @@ pub fn check_ltl(
             }
             SmtResult::Unsat => {}
             SmtResult::Unknown => {
-                return Ok(CheckResult::Unknown(UnknownReason::Timeout));
+                return Ok(CheckResult::Unknown(budget.unknown_reason()));
             }
         }
     }

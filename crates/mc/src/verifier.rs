@@ -46,6 +46,9 @@ pub enum Engine {
     Explicit,
     /// SMT bounded model checking (real-valued systems; falsification).
     SmtBmc,
+    /// Race a falsifier against the provers in parallel threads and keep
+    /// the first definitive verdict (see [`crate::portfolio`]).
+    Portfolio,
 }
 
 /// The verification façade. Borrowing the system keeps the API cheap to
@@ -101,7 +104,34 @@ impl<'s> Verifier<'s> {
                 crate::explicit_engine::check_invariant(self.sys, p, &self.opts)
             }
             Engine::SmtBmc => crate::smtbmc::check_invariant(self.sys, p, &self.opts),
+            Engine::Portfolio => {
+                crate::portfolio::check_invariant(self.sys, p, &self.opts).map(|r| r.result)
+            }
             Engine::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// Like [`Verifier::check_invariant`] but always returns the racing
+    /// metadata ([`crate::portfolio::CheckReport`]): winning engine and
+    /// wall-clock time. Non-portfolio engines run solo and report
+    /// themselves as the winner.
+    pub fn check_invariant_report(
+        &self,
+        p: &Expr,
+    ) -> Result<crate::portfolio::CheckReport, McError> {
+        use std::time::Instant;
+        match self.effective_engine() {
+            Engine::Portfolio => crate::portfolio::check_invariant(self.sys, p, &self.opts),
+            engine => {
+                let start = Instant::now();
+                let result = self.check_invariant(p)?;
+                Ok(crate::portfolio::CheckReport {
+                    winner: engine,
+                    wall: start.elapsed(),
+                    outcomes: vec![(engine, result.clone())],
+                    result,
+                })
+            }
         }
     }
 
@@ -115,6 +145,9 @@ impl<'s> Verifier<'s> {
             // k-induction does not handle liveness; fall back to the
             // complete finite engine.
             Engine::KInduction => crate::bdd::check_ltl(self.sys, phi, &self.opts),
+            Engine::Portfolio => {
+                crate::portfolio::check_ltl(self.sys, phi, &self.opts).map(|r| r.result)
+            }
             Engine::Auto => unreachable!("resolved above"),
         }
     }
@@ -126,6 +159,9 @@ impl<'s> Verifier<'s> {
             Engine::SmtBmc | Engine::Bmc => Err(McError(
                 "CTL requires a complete engine (BDD or explicit)".to_string(),
             )),
+            Engine::Portfolio => {
+                crate::portfolio::check_ctl(self.sys, phi, &self.opts).map(|r| r.result)
+            }
             _ => crate::bdd::check_ctl(self.sys, phi, &self.opts),
         }
     }
@@ -137,15 +173,41 @@ impl<'s> Verifier<'s> {
         params: &[VarId],
         property: &Property,
     ) -> Result<SynthesisResult, McError> {
-        let engine = match self.effective_engine() {
+        params::synthesize(
+            self.sys,
+            params,
+            property,
+            self.synthesis_engine(property),
+            &self.opts,
+        )
+    }
+
+    /// Like [`Verifier::synthesize_params`] but stops at the first SAFE
+    /// assignment, cancelling outstanding workers (assignments not fully
+    /// checked report `Unknown(Cancelled)`).
+    pub fn synthesize_params_first_safe(
+        &self,
+        params: &[VarId],
+        property: &Property,
+    ) -> Result<SynthesisResult, McError> {
+        params::synthesize_first_safe(
+            self.sys,
+            params,
+            property,
+            self.synthesis_engine(property),
+            &self.opts,
+        )
+    }
+
+    fn synthesis_engine(&self, property: &Property) -> SynthesisEngine {
+        match self.effective_engine() {
             Engine::Bdd => SynthesisEngine::Bdd,
             Engine::Explicit => SynthesisEngine::Explicit,
             _ => match property {
                 Property::Invariant(_) => SynthesisEngine::KInduction,
                 Property::Ltl(_) => SynthesisEngine::Bdd,
             },
-        };
-        params::synthesize(self.sys, params, property, engine, &self.opts)
+        }
     }
 
     /// Finds violating parameter values symbolically (they appear in the

@@ -4,8 +4,7 @@
 //! and (for falsification) BMC must match it on invariants, and BDD must
 //! match it on LTL verdicts.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use verdict_prng::Prng;
 use verdict_mc::{bdd, bmc, explicit_engine, kind, CheckOptions, CheckResult};
 use verdict_ts::{Expr, Ltl, System, VarId};
 
@@ -13,19 +12,19 @@ use verdict_ts::{Expr, Ltl, System, VarId};
 /// Transitions are built from random guarded assignments so the system is
 /// total (unconstrained variables evolve nondeterministically).
 fn random_system(seed: u64) -> (System, Vec<VarId>, VarId) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut sys = System::new("random");
-    let nbools = rng.gen_range(1..=3usize);
+    let nbools = 1 + rng.gen_index(3);
     let bools: Vec<VarId> = (0..nbools)
         .map(|i| sys.bool_var(&format!("b{i}")))
         .collect();
-    let hi = rng.gen_range(2..=5i64);
+    let hi = rng.gen_range_i64(2, 5);
     let n = sys.int_var("n", 0, hi);
 
     // Random INIT: fix each bool with probability 1/2; n starts at 0.
     for &b in &bools {
-        if rng.gen_bool(0.5) {
-            let positive = rng.gen_bool(0.5);
+        if rng.gen_bool() {
+            let positive = rng.gen_bool();
             sys.add_init(if positive {
                 Expr::var(b)
             } else {
@@ -37,14 +36,14 @@ fn random_system(seed: u64) -> (System, Vec<VarId>, VarId) {
 
     // Random TRANS: n evolves by a guarded increment; bools may latch,
     // flip, or stay free.
-    let guard_bool = bools[rng.gen_range(0..nbools)];
+    let guard_bool = bools[rng.gen_index(nbools)];
     sys.add_trans(Expr::next(n).eq(Expr::ite(
         Expr::var(guard_bool).and(Expr::var(n).lt(Expr::int(hi))),
         Expr::var(n).add(Expr::int(1)),
         Expr::var(n),
     )));
     for &b in &bools {
-        match rng.gen_range(0..3) {
+        match rng.gen_index(3) {
             0 => sys.add_trans(Expr::var(b).implies(Expr::next(b))), // latch
             1 => sys.add_trans(Expr::next(b).eq(Expr::var(b).not())), // flip
             _ => {} // free
@@ -58,8 +57,8 @@ fn invariant_verdicts_agree_across_engines() {
     let opts = CheckOptions::with_depth(32);
     for seed in 0..40u64 {
         let (sys, _bools, n) = random_system(seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
-        let bound = rng.gen_range(1..=4i64);
+        let mut rng = Prng::seed_from_u64(seed ^ 0xabcd);
+        let bound = rng.gen_range_i64(1, 4);
         let p = Expr::var(n).lt(Expr::int(bound));
 
         let oracle = explicit_engine::check_invariant(&sys, &p, &opts).unwrap();
@@ -104,11 +103,11 @@ fn ltl_verdicts_agree_between_bdd_and_explicit() {
     let opts = CheckOptions::with_depth(24);
     for seed in 0..30u64 {
         let (sys, bools, n) = random_system(seed.wrapping_mul(7919));
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5555);
+        let mut rng = Prng::seed_from_u64(seed ^ 0x5555);
         // Random property from a small grammar.
-        let atom_n = Expr::var(n).ge(Expr::int(rng.gen_range(1..=3i64)));
-        let atom_b = Expr::var(bools[rng.gen_range(0..bools.len())]);
-        let phi = match rng.gen_range(0..5) {
+        let atom_n = Expr::var(n).ge(Expr::int(rng.gen_range_i64(1, 3)));
+        let atom_b = Expr::var(bools[rng.gen_index(bools.len())]);
+        let phi = match rng.gen_index(5) {
             0 => Ltl::atom(atom_n).eventually(),
             1 => Ltl::atom(atom_b.clone()).always(),
             2 => Ltl::atom(atom_b.clone()).always().eventually(), // F G

@@ -144,7 +144,7 @@ impl Topology {
     /// Sizes match the paper's labels: fat-tree(4) = 20 nodes / 32 links /
     /// 7 service nodes, fat-tree(12) = 180 / 864 / 71.
     pub fn fat_tree(k: usize) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
         let half = k / 2;
         let num_core = half * half;
         let num_agg = k * half;

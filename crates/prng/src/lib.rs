@@ -1,0 +1,196 @@
+//! A small, dependency-free, deterministic pseudo-random number
+//! generator: xoshiro256** seeded through splitmix64.
+//!
+//! The container this project builds in has no access to crates.io, so
+//! `rand` is not available; this crate provides the subset the workspace
+//! actually needs — seeded construction, uniform integer ranges, and
+//! Bernoulli draws — with stable output across platforms and releases
+//! (the ksim workload generator and the differential test suites all
+//! promise "same seed ⇒ same trace").
+//!
+//! ```
+//! use verdict_prng::Prng;
+//!
+//! let mut a = Prng::seed_from_u64(7);
+//! let mut b = Prng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let die = a.gen_range_u64(1, 6);
+//! assert!((1..=6).contains(&die));
+//! ```
+
+/// xoshiro256** state, seeded via splitmix64.
+#[derive(Clone, Debug)]
+pub struct Prng {
+    s: [u64; 4],
+}
+
+/// One splitmix64 step — used to expand a 64-bit seed into generator
+/// state that is never all-zero.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Prng {
+    /// A generator whose whole stream is a deterministic function of
+    /// `seed`.
+    pub fn seed_from_u64(seed: u64) -> Prng {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Prng { s }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from the **inclusive** range `lo..=hi`.
+    ///
+    /// Uses rejection sampling (Lemire-style threshold on the low word)
+    /// so the distribution is exactly uniform.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "gen_range_u64: empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let bound = span + 1;
+        // Rejection sampling on the top bits: unbiased and cheap for the
+        // small ranges this workspace draws from.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % bound;
+            }
+        }
+    }
+
+    /// Uniform draw from the inclusive signed range `lo..=hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "gen_range_i64: empty range {lo}..={hi}");
+        let span = (hi as i128 - lo as i128) as u64;
+        let off = self.gen_range_u64(0, span);
+        (lo as i128 + off as i128) as i64
+    }
+
+    /// Uniform draw from the **exclusive** range `0..n` as a `usize`
+    /// (the `rng.gen_range(0..len)` indexing idiom).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index: empty range");
+        self.gen_range_u64(0, n as u64 - 1) as usize
+    }
+
+    /// `true` with probability `percent / 100`.
+    pub fn gen_percent(&mut self, percent: u32) -> bool {
+        self.gen_range_u64(0, 99) < u64::from(percent)
+    }
+
+    /// A uniformly random `bool`.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::seed_from_u64(43);
+        assert_ne!(Prng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_locks_the_stream() {
+        // Lock the exact output so refactors cannot silently change every
+        // seeded simulation in the workspace.
+        let mut p = Prng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| p.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut p = Prng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = p.gen_range_u64(3, 9);
+            assert!((3..=9).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 9;
+        }
+        assert!(seen_lo && seen_hi);
+        for _ in 0..100 {
+            let v = p.gen_range_i64(-5, 5);
+            assert!((-5..=5).contains(&v));
+            let i = p.gen_index(3);
+            assert!(i < 3);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges() {
+        let mut p = Prng::seed_from_u64(1);
+        assert_eq!(p.gen_range_u64(4, 4), 4);
+        assert_eq!(p.gen_range_i64(-2, -2), -2);
+        assert!(!p.gen_percent(0));
+        assert!(p.gen_percent(100));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut p = Prng::seed_from_u64(99);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[p.gen_index(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} out of range");
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! intentionally small: add clauses, solve (optionally under assumptions
 //! and/or with a theory hook), read the model or the failed-assumption core.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use verdict_logic::{Cnf, Lit, Var};
@@ -140,12 +142,17 @@ impl TheoryHook for NoTheory {
 }
 
 /// Resource limits for a solve call.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Limits {
     /// Give up after this many conflicts (`None` = unlimited).
     pub max_conflicts: Option<u64>,
     /// Give up at this wall-clock instant (`None` = unlimited).
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation: give up as soon as this shared flag is
+    /// observed `true` (`None` = never). Another thread raises the flag;
+    /// the solver polls it alongside the deadline, so cancellation lands
+    /// within a few hundred conflicts/decisions.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Limits {
@@ -153,7 +160,24 @@ impl Limits {
     pub const NONE: Limits = Limits {
         max_conflicts: None,
         deadline: None,
+        stop: None,
     };
+
+    /// True once the deadline has passed or the stop flag is raised —
+    /// the solver gives up with [`SolveResult::Unknown`].
+    pub fn interrupted(&self) -> bool {
+        if let Some(stop) = &self.stop {
+            if stop.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Solver statistics, cumulative across solve calls.
@@ -790,11 +814,9 @@ impl Solver {
                 }
                 if checked_since >= 256 {
                     checked_since = 0;
-                    if let Some(d) = limits.deadline {
-                        if Instant::now() >= d {
-                            self.cancel_until(0);
-                            return SolveResult::Unknown;
-                        }
+                    if limits.interrupted() {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
                     }
                 }
                 if self.conflicts_since_restart >= restart_budget {
@@ -834,6 +856,16 @@ impl Solver {
                 match self.pick_branch() {
                     Some(l) => {
                         self.stats.decisions += 1;
+                        // Conflict-free stretches also poll the limits, so a
+                        // cancelled solve cannot run away on an easy instance.
+                        checked_since += 1;
+                        if checked_since >= 256 {
+                            checked_since = 0;
+                            if limits.interrupted() {
+                                self.cancel_until(0);
+                                return SolveResult::Unknown;
+                            }
+                        }
                         self.trail_lim.push(self.trail.len());
                         self.enqueue(l, Reason::Decision);
                     }
@@ -1195,9 +1227,49 @@ mod tests {
             &[],
             Limits {
                 max_conflicts: Some(5),
-                deadline: None,
+                ..Limits::NONE
             },
         );
+        assert!(matches!(r, SolveResult::Unknown));
+    }
+
+    #[test]
+    fn pre_raised_stop_flag_returns_unknown() {
+        let mut s = pigeonhole(8);
+        let stop = Arc::new(AtomicBool::new(true));
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                stop: Some(stop),
+                ..Limits::NONE
+            },
+        );
+        assert!(matches!(r, SolveResult::Unknown));
+        // The solver stays usable after an interrupted solve.
+        let mut easy = Solver::new();
+        easy.add_clause([lit(0, true)]);
+        assert!(easy.solve().is_sat());
+    }
+
+    #[test]
+    fn stop_flag_cancels_running_solve() {
+        // Raise the flag from another thread mid-solve; the solver must
+        // come back Unknown promptly instead of finishing PHP(11,10).
+        let mut s = pigeonhole(10);
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let raiser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                stop: Some(stop),
+                ..Limits::NONE
+            },
+        );
+        raiser.join().unwrap();
         assert!(matches!(r, SolveResult::Unknown));
     }
 

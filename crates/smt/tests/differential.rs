@@ -2,8 +2,7 @@
 //! independent Fourier–Motzkin elimination oracle on random conjunctions
 //! of linear atoms, plus model soundness on arbitrary Boolean structure.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use verdict_prng::Prng;
 use verdict_logic::{Formula, Rational};
 use verdict_smt::{LinExpr, Rel, SmtResult, SmtSolver, TheoryVar};
 
@@ -74,29 +73,32 @@ fn fm_sat(mut cs: Vec<Constraint>, nvars: usize) -> bool {
     })
 }
 
-fn random_constraint(rng: &mut StdRng, nvars: usize) -> Constraint {
-    let rel = match rng.gen_range(0..4) {
+fn random_constraint(rng: &mut Prng, nvars: usize) -> Constraint {
+    let rel = match rng.gen_index(4) {
         0 => Rel::Le,
         1 => Rel::Lt,
         2 => Rel::Ge,
         _ => Rel::Gt,
     };
     let coeffs: Vec<Rational> = (0..nvars)
-        .map(|_| Rational::integer(rng.gen_range(-3i128..=3)))
+        .map(|_| Rational::integer(rng.gen_range_i64(-3, 3) as i128))
         .collect();
     Constraint {
         coeffs,
         rel,
-        rhs: Rational::new(rng.gen_range(-12i128..=12), rng.gen_range(1i128..=3)),
+        rhs: Rational::new(
+            rng.gen_range_i64(-12, 12) as i128,
+            rng.gen_range_i64(1, 3) as i128,
+        ),
     }
 }
 
 #[test]
 fn conjunctions_match_fourier_motzkin() {
     for seed in 0..250u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let nvars = rng.gen_range(1..=3usize);
-        let natoms = rng.gen_range(1..=8usize);
+        let mut rng = Prng::seed_from_u64(seed);
+        let nvars = 1 + rng.gen_index(3);
+        let natoms = 1 + rng.gen_index(8);
         let constraints: Vec<Constraint> =
             (0..natoms).map(|_| random_constraint(&mut rng, nvars)).collect();
 
@@ -144,21 +146,21 @@ fn disjunctive_structure_soundness() {
     // Random CNF-ish structure over atoms: whenever SAT, the model must
     // satisfy the formula with atoms evaluated over the real model.
     for seed in 0..120u64 {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+        let mut rng = Prng::seed_from_u64(seed.wrapping_mul(31));
         let nvars = 2usize;
         let mut smt = SmtSolver::new();
         let vars: Vec<TheoryVar> =
             (0..nvars).map(|i| smt.real_var(&format!("x{i}"))).collect();
         let mut clause_data = Vec::new();
-        let nclauses = rng.gen_range(1..=5usize);
+        let nclauses = 1 + rng.gen_index(5);
         let mut clauses = Vec::new();
         for _ in 0..nclauses {
-            let width = rng.gen_range(1..=3usize);
+            let width = 1 + rng.gen_index(3);
             let mut lits = Vec::new();
             let mut data = Vec::new();
             for _ in 0..width {
                 let c = random_constraint(&mut rng, nvars);
-                let negate = rng.gen_bool(0.3);
+                let negate = rng.gen_percent(30);
                 let mut e = LinExpr::zero();
                 for (i, &k) in c.coeffs.iter().enumerate() {
                     e = e + LinExpr::term(k, vars[i]);

@@ -165,8 +165,8 @@ pub fn find_reachable(
         }
         for n in successors(sys, &s) {
             let k = key(&n);
-            if !parent.contains_key(&k) {
-                parent.insert(k, Some(s.clone()));
+            if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(k) {
+                slot.insert(Some(s.clone()));
                 queue.push_back(n);
             }
         }

@@ -7,7 +7,7 @@
 //! models need and what the simplex backend can decide.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use verdict_logic::Rational;
 
@@ -28,34 +28,34 @@ pub enum Expr {
     /// Next-state value of a variable (TRANS constraints only).
     Next(VarId),
     /// Boolean negation.
-    Not(Rc<Expr>),
+    Not(Arc<Expr>),
     /// N-ary conjunction.
-    And(Rc<Vec<Expr>>),
+    And(Arc<Vec<Expr>>),
     /// N-ary disjunction.
-    Or(Rc<Vec<Expr>>),
+    Or(Arc<Vec<Expr>>),
     /// Implication.
-    Implies(Rc<Expr>, Rc<Expr>),
+    Implies(Arc<Expr>, Arc<Expr>),
     /// Bi-implication.
-    Iff(Rc<Expr>, Rc<Expr>),
+    Iff(Arc<Expr>, Arc<Expr>),
     /// If-then-else (any sort, both branches alike).
-    Ite(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    Ite(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// Equality (bool, enum, int, or real operands of matching sort).
-    Eq(Rc<Expr>, Rc<Expr>),
+    Eq(Arc<Expr>, Arc<Expr>),
     /// Less-or-equal on int or real operands.
-    Le(Rc<Expr>, Rc<Expr>),
+    Le(Arc<Expr>, Arc<Expr>),
     /// Strictly-less on int or real operands.
-    Lt(Rc<Expr>, Rc<Expr>),
+    Lt(Arc<Expr>, Arc<Expr>),
     /// N-ary sum (int or real, homogeneous).
-    Add(Rc<Vec<Expr>>),
+    Add(Arc<Vec<Expr>>),
     /// Difference.
-    Sub(Rc<Expr>, Rc<Expr>),
+    Sub(Arc<Expr>, Arc<Expr>),
     /// Arithmetic negation.
-    Neg(Rc<Expr>),
+    Neg(Arc<Expr>),
     /// Multiplication by a constant (keeps arithmetic linear).
-    MulConst(Rational, Rc<Expr>),
+    MulConst(Rational, Arc<Expr>),
     /// Number of true operands, as a bounded integer — the idiom behind
     /// quantitative guards like "available service nodes ≥ m".
-    CountTrue(Rc<Vec<Expr>>),
+    CountTrue(Arc<Vec<Expr>>),
 }
 
 /// A sort error found while checking an expression.
@@ -118,7 +118,7 @@ impl Expr {
         match self {
             Expr::Const(Value::Bool(b)) => Expr::bool(!b),
             Expr::Not(e) => e.as_ref().clone(),
-            other => Expr::Not(Rc::new(other)),
+            other => Expr::Not(Arc::new(other)),
         }
     }
 
@@ -146,7 +146,7 @@ impl Expr {
         match parts.len() {
             0 => Expr::tt(),
             1 => parts.pop().expect("len checked"),
-            _ => Expr::And(Rc::new(parts)),
+            _ => Expr::And(Arc::new(parts)),
         }
     }
 
@@ -163,7 +163,7 @@ impl Expr {
             (_, Expr::Const(Value::Bool(true))) => return a,
             _ => {}
         }
-        Expr::And(Rc::new(vec![a, b]))
+        Expr::And(Arc::new(vec![a, b]))
     }
 
     /// Raw binary disjunction without flattening (see [`Expr::and_pair`]).
@@ -176,7 +176,7 @@ impl Expr {
             (_, Expr::Const(Value::Bool(false))) => return a,
             _ => {}
         }
-        Expr::Or(Rc::new(vec![a, b]))
+        Expr::Or(Arc::new(vec![a, b]))
     }
 
     /// N-ary disjunction.
@@ -193,18 +193,18 @@ impl Expr {
         match parts.len() {
             0 => Expr::ff(),
             1 => parts.pop().expect("len checked"),
-            _ => Expr::Or(Rc::new(parts)),
+            _ => Expr::Or(Arc::new(parts)),
         }
     }
 
     /// Implication.
     pub fn implies(self, rhs: Expr) -> Expr {
-        Expr::Implies(Rc::new(self), Rc::new(rhs))
+        Expr::Implies(Arc::new(self), Arc::new(rhs))
     }
 
     /// Bi-implication.
     pub fn iff(self, rhs: Expr) -> Expr {
-        Expr::Iff(Rc::new(self), Rc::new(rhs))
+        Expr::Iff(Arc::new(self), Arc::new(rhs))
     }
 
     /// If-then-else.
@@ -212,13 +212,13 @@ impl Expr {
         match cond {
             Expr::Const(Value::Bool(true)) => then,
             Expr::Const(Value::Bool(false)) => els,
-            c => Expr::Ite(Rc::new(c), Rc::new(then), Rc::new(els)),
+            c => Expr::Ite(Arc::new(c), Arc::new(then), Arc::new(els)),
         }
     }
 
     /// Equality.
     pub fn eq(self, rhs: Expr) -> Expr {
-        Expr::Eq(Rc::new(self), Rc::new(rhs))
+        Expr::Eq(Arc::new(self), Arc::new(rhs))
     }
 
     /// Disequality.
@@ -228,12 +228,12 @@ impl Expr {
 
     /// `self ≤ rhs`.
     pub fn le(self, rhs: Expr) -> Expr {
-        Expr::Le(Rc::new(self), Rc::new(rhs))
+        Expr::Le(Arc::new(self), Arc::new(rhs))
     }
 
     /// `self < rhs`.
     pub fn lt(self, rhs: Expr) -> Expr {
-        Expr::Lt(Rc::new(self), Rc::new(rhs))
+        Expr::Lt(Arc::new(self), Arc::new(rhs))
     }
 
     /// `self ≥ rhs`.
@@ -247,6 +247,7 @@ impl Expr {
     }
 
     /// Sum.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not std::ops
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::sum([self, rhs])
     }
@@ -263,28 +264,30 @@ impl Expr {
         match parts.len() {
             0 => Expr::int(0),
             1 => parts.pop().expect("len checked"),
-            _ => Expr::Add(Rc::new(parts)),
+            _ => Expr::Add(Arc::new(parts)),
         }
     }
 
     /// Difference.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not std::ops
     pub fn sub(self, rhs: Expr) -> Expr {
-        Expr::Sub(Rc::new(self), Rc::new(rhs))
+        Expr::Sub(Arc::new(self), Arc::new(rhs))
     }
 
     /// Arithmetic negation.
+    #[allow(clippy::should_implement_trait)] // builder DSL, not std::ops
     pub fn neg(self) -> Expr {
-        Expr::Neg(Rc::new(self))
+        Expr::Neg(Arc::new(self))
     }
 
     /// Multiplication by a rational constant.
     pub fn scale(self, k: Rational) -> Expr {
-        Expr::MulConst(k, Rc::new(self))
+        Expr::MulConst(k, Arc::new(self))
     }
 
     /// Number of true expressions among `items`.
     pub fn count_true<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
-        Expr::CountTrue(Rc::new(items.into_iter().collect()))
+        Expr::CountTrue(Arc::new(items.into_iter().collect()))
     }
 
     // ---- analysis ---------------------------------------------------

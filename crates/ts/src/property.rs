@@ -6,7 +6,7 @@
 //! variables.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::expr::Expr;
 
@@ -16,21 +16,21 @@ pub enum Ltl {
     /// A state predicate.
     Atom(Expr),
     /// Negation.
-    Not(Rc<Ltl>),
+    Not(Arc<Ltl>),
     /// Conjunction.
-    And(Rc<Ltl>, Rc<Ltl>),
+    And(Arc<Ltl>, Arc<Ltl>),
     /// Disjunction.
-    Or(Rc<Ltl>, Rc<Ltl>),
+    Or(Arc<Ltl>, Arc<Ltl>),
     /// Next.
-    X(Rc<Ltl>),
+    X(Arc<Ltl>),
     /// Eventually.
-    F(Rc<Ltl>),
+    F(Arc<Ltl>),
     /// Always.
-    G(Rc<Ltl>),
+    G(Arc<Ltl>),
     /// Until: `a U b`.
-    U(Rc<Ltl>, Rc<Ltl>),
+    U(Arc<Ltl>, Arc<Ltl>),
     /// Release: `a R b` (dual of until).
-    R(Rc<Ltl>, Rc<Ltl>),
+    R(Arc<Ltl>, Arc<Ltl>),
 }
 
 impl Ltl {
@@ -44,18 +44,18 @@ impl Ltl {
     pub fn not(self) -> Ltl {
         match self {
             Ltl::Not(inner) => inner.as_ref().clone(),
-            other => Ltl::Not(Rc::new(other)),
+            other => Ltl::Not(Arc::new(other)),
         }
     }
 
     /// Conjunction.
     pub fn and(self, rhs: Ltl) -> Ltl {
-        Ltl::And(Rc::new(self), Rc::new(rhs))
+        Ltl::And(Arc::new(self), Arc::new(rhs))
     }
 
     /// Disjunction.
     pub fn or(self, rhs: Ltl) -> Ltl {
-        Ltl::Or(Rc::new(self), Rc::new(rhs))
+        Ltl::Or(Arc::new(self), Arc::new(rhs))
     }
 
     /// Implication (sugar).
@@ -65,27 +65,27 @@ impl Ltl {
 
     /// Next.
     pub fn next(self) -> Ltl {
-        Ltl::X(Rc::new(self))
+        Ltl::X(Arc::new(self))
     }
 
     /// Eventually.
     pub fn eventually(self) -> Ltl {
-        Ltl::F(Rc::new(self))
+        Ltl::F(Arc::new(self))
     }
 
     /// Always.
     pub fn always(self) -> Ltl {
-        Ltl::G(Rc::new(self))
+        Ltl::G(Arc::new(self))
     }
 
     /// Until.
     pub fn until(self, rhs: Ltl) -> Ltl {
-        Ltl::U(Rc::new(self), Rc::new(rhs))
+        Ltl::U(Arc::new(self), Arc::new(rhs))
     }
 
     /// Release.
     pub fn release(self, rhs: Ltl) -> Ltl {
-        Ltl::R(Rc::new(self), Rc::new(rhs))
+        Ltl::R(Arc::new(self), Arc::new(rhs))
     }
 
     /// Pushes negations down to atoms (negation normal form), rewriting
@@ -156,27 +156,27 @@ pub enum Ctl {
     /// A state predicate.
     Atom(Expr),
     /// Negation.
-    Not(Rc<Ctl>),
+    Not(Arc<Ctl>),
     /// Conjunction.
-    And(Rc<Ctl>, Rc<Ctl>),
+    And(Arc<Ctl>, Arc<Ctl>),
     /// Disjunction.
-    Or(Rc<Ctl>, Rc<Ctl>),
+    Or(Arc<Ctl>, Arc<Ctl>),
     /// Exists-next.
-    EX(Rc<Ctl>),
+    EX(Arc<Ctl>),
     /// Exists-finally.
-    EF(Rc<Ctl>),
+    EF(Arc<Ctl>),
     /// Exists-globally.
-    EG(Rc<Ctl>),
+    EG(Arc<Ctl>),
     /// Exists-until.
-    EU(Rc<Ctl>, Rc<Ctl>),
+    EU(Arc<Ctl>, Arc<Ctl>),
     /// All-next.
-    AX(Rc<Ctl>),
+    AX(Arc<Ctl>),
     /// All-finally.
-    AF(Rc<Ctl>),
+    AF(Arc<Ctl>),
     /// All-globally.
-    AG(Rc<Ctl>),
+    AG(Arc<Ctl>),
     /// All-until.
-    AU(Rc<Ctl>, Rc<Ctl>),
+    AU(Arc<Ctl>, Arc<Ctl>),
 }
 
 impl Ctl {
@@ -190,18 +190,18 @@ impl Ctl {
     pub fn not(self) -> Ctl {
         match self {
             Ctl::Not(inner) => inner.as_ref().clone(),
-            other => Ctl::Not(Rc::new(other)),
+            other => Ctl::Not(Arc::new(other)),
         }
     }
 
     /// Conjunction.
     pub fn and(self, rhs: Ctl) -> Ctl {
-        Ctl::And(Rc::new(self), Rc::new(rhs))
+        Ctl::And(Arc::new(self), Arc::new(rhs))
     }
 
     /// Disjunction.
     pub fn or(self, rhs: Ctl) -> Ctl {
-        Ctl::Or(Rc::new(self), Rc::new(rhs))
+        Ctl::Or(Arc::new(self), Arc::new(rhs))
     }
 
     /// Implication (sugar).
@@ -211,42 +211,42 @@ impl Ctl {
 
     /// EX.
     pub fn ex(self) -> Ctl {
-        Ctl::EX(Rc::new(self))
+        Ctl::EX(Arc::new(self))
     }
 
     /// EF.
     pub fn ef(self) -> Ctl {
-        Ctl::EF(Rc::new(self))
+        Ctl::EF(Arc::new(self))
     }
 
     /// EG.
     pub fn eg(self) -> Ctl {
-        Ctl::EG(Rc::new(self))
+        Ctl::EG(Arc::new(self))
     }
 
     /// EU.
     pub fn eu(self, rhs: Ctl) -> Ctl {
-        Ctl::EU(Rc::new(self), Rc::new(rhs))
+        Ctl::EU(Arc::new(self), Arc::new(rhs))
     }
 
     /// AX.
     pub fn ax(self) -> Ctl {
-        Ctl::AX(Rc::new(self))
+        Ctl::AX(Arc::new(self))
     }
 
     /// AF.
     pub fn af(self) -> Ctl {
-        Ctl::AF(Rc::new(self))
+        Ctl::AF(Arc::new(self))
     }
 
     /// AG.
     pub fn ag(self) -> Ctl {
-        Ctl::AG(Rc::new(self))
+        Ctl::AG(Arc::new(self))
     }
 
     /// AU.
     pub fn au(self, rhs: Ctl) -> Ctl {
-        Ctl::AU(Rc::new(self), Rc::new(rhs))
+        Ctl::AU(Arc::new(self), Arc::new(rhs))
     }
 
     /// Rewrites into the `{EX, EU, EG, ¬, ∧, atoms}` adequate base used by

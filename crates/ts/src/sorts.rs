@@ -1,7 +1,7 @@
 //! Sorts (types) and runtime values.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use verdict_logic::Rational;
 
@@ -16,9 +16,9 @@ pub struct EnumSort {
 
 impl EnumSort {
     /// Builds an enum sort from variant names.
-    pub fn new(name: &str, variants: &[&str]) -> Rc<EnumSort> {
+    pub fn new(name: &str, variants: &[&str]) -> Arc<EnumSort> {
         assert!(!variants.is_empty(), "enum sort needs at least one variant");
-        Rc::new(EnumSort {
+        Arc::new(EnumSort {
             name: name.to_string(),
             variants: variants.iter().map(|s| s.to_string()).collect(),
         })
@@ -36,7 +36,7 @@ pub enum Sort {
     /// Booleans.
     Bool,
     /// A finite enumeration.
-    Enum(Rc<EnumSort>),
+    Enum(Arc<EnumSort>),
     /// Bounded integers in `lo..=hi` (inclusive).
     Int {
         /// Smallest representable value.
@@ -107,7 +107,7 @@ pub enum Value {
     /// An exact rational.
     Real(Rational),
     /// An enum variant (sort + variant index).
-    Enum(Rc<EnumSort>, u32),
+    Enum(Arc<EnumSort>, u32),
 }
 
 impl Value {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint — no network required.
+#
+#   scripts/check.sh            # the full gate
+#   scripts/check.sh --quick    # skip clippy (fast inner loop)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --workspace --release
+cargo test --workspace -q
+
+if [[ "${1:-}" != "--quick" ]]; then
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "check.sh: all green"
