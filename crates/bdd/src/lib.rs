@@ -194,6 +194,19 @@ impl BddManager {
         self.nodes[b.0 as usize]
     }
 
+    /// Decomposes a non-constant node into `(var, low, high)`: branch on
+    /// `var`, `low` when it is false, `high` when it is true. This is the
+    /// read-only introspection hook external checkers use to convert a BDD
+    /// back into a formula (e.g. certificate re-checking in `verdict-mc`).
+    ///
+    /// # Panics
+    /// Panics on the constant nodes.
+    pub fn node_parts(&self, b: Bdd) -> (u32, Bdd, Bdd) {
+        assert!(!b.is_constant(), "node_parts on constant BDD");
+        let n = self.node(b);
+        (n.var, n.low, n.high)
+    }
+
     /// Top variable of `b` (`u32::MAX` for constants).
     fn top_var(&self, b: Bdd) -> u32 {
         if b.is_constant() {

@@ -98,7 +98,7 @@ fn bmc_depth() {
 /// The Fig. 6 unit of work: falsify and verify the rollout property on
 /// the test topology.
 fn rollout_check() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
     let falsify = model.pinned(1, 2, 1);
     bench("rollout_test_falsify", 10, || {
         let r = bmc::check_invariant(&falsify, &model.property, &CheckOptions::with_depth(8))

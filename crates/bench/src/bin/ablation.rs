@@ -35,7 +35,7 @@ fn main() {
         for with_loop in [true, false] {
             let mut spec = RolloutSpec::paper(topo.clone());
             spec.recompute_loop = with_loop;
-            let model = RolloutModel::build(&spec);
+            let model = RolloutModel::build(&spec).expect("valid topology");
 
             let sys = model.pinned(1, k_fail, 1);
             let opts = CheckOptions::with_depth(8).with_timeout(timeout);

@@ -17,7 +17,7 @@ use verdict_ts::explicit::eval_state;
 use verdict_ts::Expr;
 
 fn main() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
     println!(
         "Case study 1: update rollout + network partition (test topology: \
          5 nodes, 5 links, 4 service nodes)\n"
@@ -50,7 +50,7 @@ fn main() {
     // most one new link failure per transition the counterexample matches
     // that storyboard.
     let gradual =
-        RolloutModel::build(&RolloutSpec::paper_gradual(Topology::test_topology()));
+        RolloutModel::build(&RolloutSpec::paper_gradual(Topology::test_topology())).expect("valid topology");
     let sys = gradual.pinned(1, 2, 1);
     let (result, took) = timed(|| {
         bmc::check_invariant(&sys, &gradual.property, &CheckOptions::with_depth(10))

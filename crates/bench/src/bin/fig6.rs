@@ -89,7 +89,7 @@ fn main() {
         let (nodes, links, service) =
             (topo.num_nodes(), topo.num_links(), topo.service_nodes.len());
         let name = topo.name.clone();
-        let model = RolloutModel::build(&RolloutSpec::paper(topo));
+        let model = RolloutModel::build(&RolloutSpec::paper(topo)).expect("valid topology");
 
         // Property-failure run (the paper's blue line): BMC with enough
         // failures allowed to cut off the front-end.

@@ -66,7 +66,7 @@ fn main() {
         m_max: 1,
         ..RolloutSpec::paper(topo)
     };
-    let model = RolloutModel::build(&spec);
+    let model = RolloutModel::build(&spec).expect("valid topology");
     let prop = Property::Invariant(model.property.clone());
     let params = [model.p, model.k, model.m];
     let engine = SynthesisEngine::KInduction;
@@ -112,7 +112,7 @@ fn main() {
     );
 
     // ---- Experiment 2: portfolio racing on Fig. 5/6 configurations. ---
-    let paper_model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+    let paper_model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
     let configs: [(i64, i64, i64); 6] =
         [(1, 2, 1), (0, 0, 1), (1, 0, 1), (1, 1, 1), (2, 0, 3), (2, 1, 1)];
     let mut histogram: Vec<(Engine, usize)> = Vec::new();

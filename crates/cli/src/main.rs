@@ -11,7 +11,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use verdict_dsl::{parse, CompiledProperty};
-use verdict_mc::{CheckOptions, Engine, Verifier};
+use verdict_mc::{certify, CheckOptions, CheckResult, Engine, PropertyKind, Verifier};
 
 const USAGE: &str = "\
 verdict — symbolic model checking for self-driving infrastructure control
@@ -39,6 +39,19 @@ OPTIONS (check/synth):
                        (synth assignment sweep)  [default: all cores]
     --first-safe       synth only: stop at the first SAFE assignment,
                        cancelling the rest of the sweep
+    --certify          independently validate every verdict: replay
+                       counterexamples through the reference interpreter,
+                       re-check proofs with fresh proof-logged SAT queries;
+                       a failed check demotes the verdict to UNKNOWN
+                       (certificate rejected)
+    --json             machine-readable output on stdout (one JSON
+                       document: verdicts, winning engine, certificate
+                       status, wall-clock millis)
+
+EXIT CODES (check):
+    0   no violation found (every property holds or came back unknown)
+    2   at least one property is violated
+    1   usage, parse, or engine error
 ";
 
 fn main() -> ExitCode {
@@ -94,7 +107,40 @@ fn options_from(args: &[String]) -> Result<CheckOptions, String> {
         }
         opts = opts.with_jobs(jobs);
     }
+    if args.iter().any(|a| a == "--certify") {
+        opts = opts.with_certify();
+    }
     Ok(opts)
+}
+
+/// Minimal JSON string quoting (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The coarse verdict bucket used in JSON output and the exit code.
+fn verdict_tag(r: &CheckResult) -> &'static str {
+    match r {
+        CheckResult::Holds => "safe",
+        CheckResult::Violated(_) => "unsafe",
+        CheckResult::Unknown(_) => "unknown",
+    }
 }
 
 /// Pulls `--flag value` out of an argument list.
@@ -164,14 +210,22 @@ fn check(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let json = args.iter().any(|a| a == "--json");
     let verifier = Verifier::new(&model.system)
         .engine(engine)
         .options(opts.clone());
     let mut any_violated = false;
+    let mut rows: Vec<String> = Vec::new();
     for (name, property) in selected {
         let started = std::time::Instant::now();
-        // Portfolio runs report which engine won the race.
-        if engine == Engine::Portfolio {
+        let kind = match property {
+            CompiledProperty::Invariant(_) => PropertyKind::Invariant,
+            CompiledProperty::Ltl(_) => PropertyKind::Ltl,
+            CompiledProperty::Ctl(_) => PropertyKind::Ctl,
+        };
+        // Portfolio runs report which engine won the race; solo engines
+        // report themselves.
+        let outcome = if engine == Engine::Portfolio {
             let report = match property {
                 CompiledProperty::Invariant(p) => {
                     verdict_mc::portfolio::check_invariant(&model.system, p, &opts)
@@ -183,45 +237,52 @@ fn check(args: &[String]) -> ExitCode {
                     verdict_mc::portfolio::check_ctl(&model.system, f, &opts)
                 }
             };
-            match report {
-                Ok(r) => {
-                    println!(
-                        "property `{name}` ({:.2?}, won by {:?}): {}",
-                        r.wall, r.winner, r.result
-                    );
-                    any_violated |= r.result.violated();
-                }
-                Err(e) => {
-                    eprintln!("property `{name}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            continue;
-        }
-        let result = match property {
-            CompiledProperty::Invariant(p) => verifier.check_invariant(p),
-            CompiledProperty::Ltl(f) => verifier.check_ltl(f),
-            CompiledProperty::Ctl(f) => verifier.check_ctl(f),
+            report.map(|r| (r.result, r.winner, r.wall))
+        } else {
+            let result = match property {
+                CompiledProperty::Invariant(p) => verifier.check_invariant(p),
+                CompiledProperty::Ltl(f) => verifier.check_ltl(f),
+                CompiledProperty::Ctl(f) => verifier.check_ctl(f),
+            };
+            result.map(|r| (r, verifier.effective_engine(), started.elapsed()))
         };
-        match result {
-            Ok(r) => {
-                println!(
-                    "property `{name}` ({:.2?}): {r}",
-                    started.elapsed()
-                );
-                any_violated |= r.violated();
-            }
+        let (result, used_engine, wall) = match outcome {
+            Ok(o) => o,
             Err(e) => {
                 eprintln!("property `{name}`: {e}");
                 return ExitCode::FAILURE;
             }
+        };
+        let cert = certify::status(opts.certify, used_engine, kind, &result);
+        any_violated |= result.violated();
+        if json {
+            rows.push(format!(
+                "{{\"name\":{},\"verdict\":{},\"detail\":{},\"engine\":{},\"certificate\":{},\"wall_ms\":{}}}",
+                json_str(name),
+                json_str(verdict_tag(&result)),
+                json_str(&result.to_string()),
+                json_str(&used_engine.to_string()),
+                json_str(&cert.to_string()),
+                wall.as_millis()
+            ));
+        } else {
+            let cert_note = if opts.certify {
+                format!("  [certificate: {cert}]")
+            } else {
+                String::new()
+            };
+            println!("property `{name}` ({wall:.2?}, engine {used_engine}): {result}{cert_note}");
         }
     }
-    if any_violated {
-        ExitCode::from(2)
-    } else {
-        ExitCode::SUCCESS
+    let code = if any_violated { 2u8 } else { 0u8 };
+    if json {
+        println!(
+            "{{\"command\":\"check\",\"model\":{},\"properties\":[{}],\"exit_code\":{code}}}",
+            json_str(path),
+            rows.join(",")
+        );
     }
+    ExitCode::from(code)
 }
 
 fn synth(args: &[String]) -> ExitCode {
@@ -292,8 +353,10 @@ fn synth(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let json = args.iter().any(|a| a == "--json");
     let verifier = Verifier::new(&model.system).options(opts);
     let first_safe = args.iter().any(|a| a == "--first-safe");
+    let started = std::time::Instant::now();
     let synthesis = if first_safe {
         verifier.synthesize_params_first_safe(&params, &prop)
     } else {
@@ -301,8 +364,35 @@ fn synth(args: &[String]) -> ExitCode {
     };
     match synthesis {
         Ok(result) => {
-            println!("property `{name}`:");
-            print!("{result}");
+            if json {
+                let rows: Vec<String> = result
+                    .verdicts
+                    .iter()
+                    .map(|v| {
+                        let vals: Vec<String> =
+                            v.values.iter().map(|x| json_str(&x.to_string())).collect();
+                        format!(
+                            "{{\"values\":[{}],\"verdict\":{},\"detail\":{}}}",
+                            vals.join(","),
+                            json_str(verdict_tag(&v.result)),
+                            json_str(&v.result.to_string())
+                        )
+                    })
+                    .collect();
+                let names: Vec<String> =
+                    result.param_names.iter().map(|n| json_str(n)).collect();
+                println!(
+                    "{{\"command\":\"synth\",\"model\":{},\"property\":{},\"params\":[{}],\"verdicts\":[{}],\"wall_ms\":{}}}",
+                    json_str(path),
+                    json_str(name),
+                    names.join(","),
+                    rows.join(","),
+                    started.elapsed().as_millis()
+                );
+            } else {
+                println!("property `{name}`:");
+                print!("{result}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

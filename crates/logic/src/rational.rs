@@ -152,8 +152,10 @@ impl Rational {
         (self + other) / Rational::integer(2)
     }
 
-    /// Checked addition used by all operator impls.
-    fn checked_add(self, rhs: Rational) -> Rational {
+    /// Fallible addition: `None` when an `i128` intermediate overflows.
+    /// The simplex core uses this so an overflow degrades the verdict
+    /// instead of aborting the process.
+    pub fn try_add(self, rhs: Rational) -> Option<Rational> {
         // a/b + c/d = (a*d + c*b) / (b*d), then normalize. Reduce by
         // gcd(b, d) first to keep intermediates small.
         let g = gcd(self.den, rhs.den);
@@ -162,26 +164,29 @@ impl Rational {
         let num = self
             .num
             .checked_mul(lhs_scale)
-            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
-            .expect("rational overflow: add");
-        let den = self
-            .den
-            .checked_mul(lhs_scale)
-            .expect("rational overflow: add");
-        Rational::new(num, den)
+            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Rational::new(num, den))
     }
 
-    fn checked_mul(self, rhs: Rational) -> Rational {
+    /// Fallible multiplication: `None` when an `i128` intermediate
+    /// overflows. See [`Rational::try_add`].
+    pub fn try_mul(self, rhs: Rational) -> Option<Rational> {
         // Cross-reduce before multiplying to keep intermediates small.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
-        let num = (self.num / g1)
-            .checked_mul(rhs.num / g2)
-            .expect("rational overflow: mul");
-        let den = (self.den / g2)
-            .checked_mul(rhs.den / g1)
-            .expect("rational overflow: mul");
-        Rational::new(num, den)
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational::new(num, den))
+    }
+
+    /// Checked addition used by all operator impls.
+    fn checked_add(self, rhs: Rational) -> Rational {
+        self.try_add(rhs).expect("rational overflow: add")
+    }
+
+    fn checked_mul(self, rhs: Rational) -> Rational {
+        self.try_mul(rhs).expect("rational overflow: mul")
     }
 }
 
@@ -462,5 +467,20 @@ mod tests {
     #[should_panic(expected = "reciprocal of zero")]
     fn recip_zero_panics() {
         let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn try_arithmetic_detects_overflow() {
+        let half_max = Rational::integer(i128::MAX / 2);
+        assert_eq!(
+            half_max.try_add(Rational::ONE),
+            Some(half_max + Rational::ONE)
+        );
+        assert_eq!(Rational::integer(i128::MAX).try_add(Rational::ONE), None);
+        assert_eq!(half_max.try_mul(Rational::integer(3)), None);
+        assert_eq!(
+            Rational::new(1, 3).try_mul(Rational::new(3, 7)),
+            Some(Rational::new(1, 7))
+        );
     }
 }

@@ -423,13 +423,14 @@ impl<'s> SymbolicSystem<'s> {
         self.man.and_exists(self.trans, s_next, self.next_set)
     }
 
-    /// Onion rings of reachability from `init`; `None` on timeout or
-    /// cancellation (consult the budget for which).
+    /// Onion rings of reachability from `init`; `None` on timeout,
+    /// cancellation, or node-count overflow (consult the budget for
+    /// which).
     pub fn reachable(&mut self, budget: &Budget) -> Option<Vec<Bdd>> {
         let mut rings = vec![self.init];
         let mut reach = self.init;
         loop {
-            if budget.exceeded().is_some() {
+            if budget.check_nodes(self.man.node_count()).is_some() {
                 return None;
             }
             let frontier = *rings.last().expect("nonempty");
@@ -476,6 +477,80 @@ impl<'s> SymbolicSystem<'s> {
                 }
             })
             .collect()
+    }
+
+    /// Converts a current-state BDD back into a boolean [`Expr`] over the
+    /// system's variables, via Shannon expansion over the decision nodes.
+    /// A decision on bit `j` of an int/enum variable becomes a disjunction
+    /// of the domain values whose offset-binary encoding has that bit set,
+    /// so the result mentions only the system's own vocabulary — this is
+    /// what lets an independent SAT-based checker re-verify a reachable
+    /// set computed symbolically (see [`crate::certify`]).
+    pub fn bdd_to_expr(&mut self, b: Bdd) -> Expr {
+        let mut memo = std::collections::HashMap::new();
+        self.bdd_to_expr_in(b, &mut memo)
+    }
+
+    fn bdd_to_expr_in(
+        &mut self,
+        b: Bdd,
+        memo: &mut std::collections::HashMap<Bdd, Expr>,
+    ) -> Expr {
+        if b == Bdd::TRUE {
+            return Expr::tt();
+        }
+        if b == Bdd::FALSE {
+            return Expr::ff();
+        }
+        if let Some(hit) = memo.get(&b) {
+            return hit.clone();
+        }
+        let (var, low, high) = self.man.node_parts(b);
+        let cond = self.bit_expr(var);
+        let low_e = self.bdd_to_expr_in(low, memo);
+        let high_e = self.bdd_to_expr_in(high, memo);
+        let e = Expr::ite(cond, high_e, low_e);
+        memo.insert(b, e.clone());
+        e
+    }
+
+    /// The predicate "BDD variable `idx` is true" over the system's
+    /// variables. Only current-state bits are convertible.
+    fn bit_expr(&self, idx: u32) -> Expr {
+        assert!(idx.is_multiple_of(2), "next-state bit in a current-state BDD");
+        let pos = (idx / 2) as usize;
+        let v = self
+            .sys
+            .var_ids()
+            .find(|v| {
+                let base = self.bit_base[v.index()];
+                pos >= base && pos < base + self.widths[v.index()]
+            })
+            .expect("bit belongs to a declared variable");
+        let j = pos - self.bit_base[v.index()];
+        match self.sys.sort_of(v) {
+            Sort::Bool => Expr::var(v),
+            Sort::Int { lo, hi } => Expr::or_all((*lo..=*hi).filter_map(|val| {
+                if (val - lo) as u64 >> j & 1 == 1 {
+                    Some(Expr::var(v).eq(Expr::int(val)))
+                } else {
+                    None
+                }
+            })),
+            Sort::Enum(en) => {
+                Expr::or_all((0..en.variants.len() as u32).filter_map(|i| {
+                    if i >> j & 1 == 1 {
+                        Some(
+                            Expr::var(v)
+                                .eq(Expr::Const(Value::Enum(en.clone(), i))),
+                        )
+                    } else {
+                        None
+                    }
+                }))
+            }
+            Sort::Real => unreachable!("finite engine"),
+        }
     }
 
     /// BDD of the single concrete state `state` (current vars).
@@ -530,6 +605,20 @@ pub fn check_invariant(
         }
     }
     let Some((i, overlap)) = hit else {
+        if opts.certify {
+            // Certificate: the reachable set is an inductive invariant
+            // implying p. Export it as an expression and re-check the
+            // three obligations with fresh proof-logged SAT queries.
+            let mut reach = Bdd::FALSE;
+            for &r in &rings {
+                reach = enc.man.or(reach, r);
+            }
+            let inv = enc.bdd_to_expr(reach);
+            return Ok(crate::certify::gate_holds(
+                "BDD reachable-set",
+                crate::certify::check_inductive_invariant(sys, p, &inv, &budget),
+            ));
+        }
         return Ok(CheckResult::Holds);
     };
     // Reconstruct a path init → overlap through the onion rings.
@@ -542,7 +631,12 @@ pub fn check_invariant(
         states.push(enc.pick_state(in_ring));
     }
     states.reverse();
-    Ok(CheckResult::Violated(Trace::new(sys, states, None)))
+    let trace = Trace::new(sys, states, None);
+    Ok(if opts.certify {
+        crate::certify::gate_invariant_cex(sys, p, trace)
+    } else {
+        CheckResult::Violated(trace)
+    })
 }
 
 /// Full CTL model checking: does `phi` hold in every initial state?
@@ -600,7 +694,7 @@ fn eu_fix(
 ) -> Option<Bdd> {
     let mut y = q;
     loop {
-        if budget.exceeded().is_some() {
+        if budget.check_nodes(enc.man.node_count()).is_some() {
             return None;
         }
         let pre = enc.preimage(y);
@@ -624,7 +718,7 @@ fn eg_fair(
 ) -> Option<Bdd> {
     let mut z = p;
     loop {
-        if budget.exceeded().is_some() {
+        if budget.check_nodes(enc.man.node_count()).is_some() {
             return None;
         }
         let mut znew = z;
@@ -735,14 +829,26 @@ pub fn check_ltl(
     }
     // Property violated; reconstruct a concrete lasso via bounded search.
     match crate::bmc::find_fair_lasso(&product, opts)? {
-        crate::bmc::LassoOutcome::Found(trace) => Ok(CheckResult::Violated(trace)),
+        crate::bmc::LassoOutcome::Found(trace) => Ok(if opts.certify {
+            crate::certify::gate_ltl_cex(sys, phi, trace)
+        } else {
+            CheckResult::Violated(trace)
+        }),
         // The violation is certain; only the trace search hit a limit, so
-        // report the witnessing initial state.
-        _ => Ok(CheckResult::Violated(Trace::new(
-            sys,
-            vec![enc.pick_state(witness)[..product.original_vars].to_vec()],
-            None,
-        ))),
+        // report the witnessing initial state. No lasso means the replay
+        // interpreter cannot validate it, so certify mode withholds it.
+        _ => {
+            let trace = Trace::new(
+                sys,
+                vec![enc.pick_state(witness)[..product.original_vars].to_vec()],
+                None,
+            );
+            Ok(if opts.certify {
+                crate::certify::gate_ltl_cex(sys, phi, trace)
+            } else {
+                CheckResult::Violated(trace)
+            })
+        }
     }
 }
 

@@ -65,7 +65,12 @@ pub fn check_invariant(
         match solver.solve_limited(&[bad_lit], budget.limits()) {
             verdict_sat::SolveResult::Sat(model) => {
                 let states = unroller.decode_trace(k + 1, &|v| model.value(v));
-                return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
+                let trace = Trace::new(sys, states, None);
+                return Ok(if opts.certify {
+                    crate::certify::gate_invariant_cex(sys, p, trace)
+                } else {
+                    CheckResult::Violated(trace)
+                });
             }
             verdict_sat::SolveResult::Unsat => {
                 // Proven: no violation at exactly step k. Pin it for the
@@ -73,7 +78,9 @@ pub fn check_invariant(
                 solver.add_clause([!bad_lit]);
             }
             verdict_sat::SolveResult::Unknown => {
-                return Ok(CheckResult::Unknown(budget.unknown_reason()));
+                return Ok(CheckResult::Unknown(
+                    budget.unknown_reason_sat(solver.num_clauses()),
+                ));
             }
         }
     }
@@ -89,7 +96,11 @@ pub fn check_ltl(
 ) -> Result<CheckResult, McError> {
     let product = violation_product(sys, phi);
     match find_fair_lasso(&product, opts)? {
-        LassoOutcome::Found(trace) => Ok(CheckResult::Violated(trace)),
+        LassoOutcome::Found(trace) => Ok(if opts.certify {
+            crate::certify::gate_ltl_cex(sys, phi, trace)
+        } else {
+            CheckResult::Violated(trace)
+        }),
         LassoOutcome::Exhausted => Ok(CheckResult::Unknown(UnknownReason::DepthBound)),
         LassoOutcome::GaveUp(reason) => Ok(CheckResult::Unknown(reason)),
     }
@@ -155,7 +166,9 @@ pub(crate) fn find_fair_lasso(
             }
             verdict_sat::SolveResult::Unsat => {}
             verdict_sat::SolveResult::Unknown => {
-                return Ok(LassoOutcome::GaveUp(budget.unknown_reason()))
+                return Ok(LassoOutcome::GaveUp(
+                    budget.unknown_reason_sat(solver.num_clauses()),
+                ))
             }
         }
     }

@@ -111,7 +111,12 @@ pub fn check_invariant(
                 cur = p.clone();
             }
             path.reverse();
-            return Ok(CheckResult::Violated(Trace::new(sys, path, None)));
+            let trace = Trace::new(sys, path, None);
+            return Ok(if opts.certify {
+                crate::certify::gate_invariant_cex(sys, p, trace)
+            } else {
+                CheckResult::Violated(trace)
+            });
         }
         for n in successors(sys, &s) {
             let k = state_key(&n);
@@ -283,7 +288,11 @@ pub fn check_ltl(
         .collect();
     let mut trace = Trace::new(&product.system, states, Some(loop_back));
     trace.var_names.truncate(product.original_vars);
-    Ok(CheckResult::Violated(trace))
+    Ok(if opts.certify {
+        crate::certify::gate_ltl_cex(sys, phi, trace)
+    } else {
+        CheckResult::Violated(trace)
+    })
 }
 
 /// Shortest path from `from` to `to` staying inside `allowed`.

@@ -59,13 +59,20 @@ pub fn prove_invariant(
         match base_solver.solve_limited(&[bad_lit], budget.limits()) {
             verdict_sat::SolveResult::Sat(model) => {
                 let states = base_unr.decode_trace(k + 1, &|v| model.value(v));
-                return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
+                let trace = Trace::new(sys, states, None);
+                return Ok(if opts.certify {
+                    crate::certify::gate_invariant_cex(sys, p, trace)
+                } else {
+                    CheckResult::Violated(trace)
+                });
             }
             verdict_sat::SolveResult::Unsat => {
                 base_solver.add_clause([!bad_lit]);
             }
             verdict_sat::SolveResult::Unknown => {
-                return Ok(CheckResult::Unknown(budget.unknown_reason()));
+                return Ok(CheckResult::Unknown(
+                    budget.unknown_reason_sat(base_solver.num_clauses()),
+                ));
             }
         }
 
@@ -90,11 +97,21 @@ pub fn prove_invariant(
                 // Induction failed at this k; deepen.
             }
             verdict_sat::SolveResult::Unsat => {
-                // Base (≤ k) + step (k) ⇒ G p.
-                return Ok(CheckResult::Holds);
+                // Base (≤ k) + step (k) ⇒ G p. In certify mode the proven
+                // depth is re-checked from scratch before it is trusted.
+                return Ok(if opts.certify {
+                    crate::certify::gate_holds(
+                        "k-induction",
+                        crate::certify::recheck_induction(sys, p, k, &budget),
+                    )
+                } else {
+                    CheckResult::Holds
+                });
             }
             verdict_sat::SolveResult::Unknown => {
-                return Ok(CheckResult::Unknown(budget.unknown_reason()));
+                return Ok(CheckResult::Unknown(
+                    budget.unknown_reason_sat(ind_solver.num_clauses()),
+                ));
             }
         }
     }

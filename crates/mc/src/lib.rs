@@ -35,6 +35,11 @@
 //!   (k-induction, BDD) in parallel threads on the same system, keep the
 //!   first definitive verdict, and cancel the losers via a shared stop
 //!   flag ([`result::Budget`]).
+//! * [`certify`] — verdict certification ([`CheckOptions::certify`]):
+//!   counterexample traces replayed through the independent reference
+//!   interpreter, k-induction and BDD proofs re-checked by fresh
+//!   proof-logged SAT queries; failures demote the verdict to
+//!   [`UnknownReason::CertificateRejected`].
 //! * [`verifier`] — the [`Verifier`] façade implementing the Fig. 4
 //!   workflow: model + property + constraints in, verdict + trace or
 //!   suggested parameters out.
@@ -42,6 +47,7 @@
 pub mod bdd;
 pub mod blast;
 pub mod bmc;
+pub mod certify;
 pub mod explicit_engine;
 pub mod kind;
 pub mod params;
@@ -51,6 +57,7 @@ pub mod smtbmc;
 pub mod tableau;
 pub mod verifier;
 
+pub use certify::{CertificateKind, CertificateStatus, PropertyKind};
 pub use portfolio::CheckReport;
 pub use result::{CheckOptions, CheckResult, McError, UnknownReason};
 pub use verifier::{Engine, Verifier};

@@ -172,6 +172,37 @@ fn check_assignment(
     }
 }
 
+/// [`check_assignment`] with panic containment: an engine crash on one
+/// assignment becomes `Unknown(EngineFailure)` for that slot instead of
+/// poisoning the whole sweep (the payload is reported on stderr).
+fn check_assignment_contained(
+    sys: &System,
+    params: &[VarId],
+    assignment: &[Value],
+    property: &Property,
+    engine: SynthesisEngine,
+    opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        check_assignment(sys, params, assignment, property, engine, opts)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s
+        } else {
+            "non-string panic payload"
+        };
+        let vals: Vec<String> = assignment.iter().map(Value::to_string).collect();
+        eprintln!(
+            "verdict-mc: synthesis worker panicked on ({}): {msg}",
+            vals.join(", ")
+        );
+        Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+    })
+}
+
 /// Shards `assignments` over `opts.effective_jobs()` workers and returns
 /// the verdicts in input (odometer) order.
 ///
@@ -205,7 +236,7 @@ fn run_assignments(
             let result = if found_safe && stop_at_first_safe {
                 CheckResult::Unknown(UnknownReason::Cancelled)
             } else {
-                let r = check_assignment(sys, params, a, property, engine, opts)?;
+                let r = check_assignment_contained(sys, params, a, property, engine, opts)?;
                 found_safe |= r.holds();
                 r
             };
@@ -245,8 +276,14 @@ fn run_assignments(
                     let _ = tx.send((idx, Ok(CheckResult::Unknown(UnknownReason::Cancelled))));
                     continue;
                 }
-                let res =
-                    check_assignment(sys, params, &assignments[idx], property, engine, &worker_opts);
+                let res = check_assignment_contained(
+                    sys,
+                    params,
+                    &assignments[idx],
+                    property,
+                    engine,
+                    &worker_opts,
+                );
                 if stop_at_first_safe && matches!(res, Ok(CheckResult::Holds)) {
                     pool_stop.store(true, Ordering::Relaxed);
                 }

@@ -50,8 +50,19 @@ pub struct CheckReport {
     pub outcomes: Vec<(Engine, CheckResult)>,
 }
 
+/// Best-effort extraction of a panic payload's message for diagnostics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
 /// One contender: an engine tag plus the closure that runs it.
-type Contender<'a> =
+pub type Contender<'a> =
     Box<dyn FnOnce(&CheckOptions) -> Result<CheckResult, McError> + Send + 'a>;
 
 /// Races `contenders` to the first definitive (`Holds`/`Violated`) verdict
@@ -59,7 +70,13 @@ type Contender<'a> =
 ///
 /// A stop flag already present in `opts` still works: the race monitor
 /// polls it and forwards a caller-side cancellation to every contender.
-fn race(
+///
+/// Contenders are panic-isolated: a panicking engine is contained by its
+/// worker thread and recorded as `Unknown(EngineFailure)`, so one buggy
+/// contender cannot take down the race (the panic payload is reported on
+/// stderr). Public mainly so tests can inject custom contenders; the
+/// `check_*` wrappers cover the standard line-ups.
+pub fn race(
     opts: &CheckOptions,
     contenders: Vec<(Engine, Contender<'_>)>,
 ) -> Result<CheckReport, McError> {
@@ -77,7 +94,17 @@ fn race(
                 ..opts.clone()
             };
             scope.spawn(move || {
-                let res = run(&worker_opts);
+                // Contain contender panics: a crashing engine becomes an
+                // `Unknown(EngineFailure)` outcome instead of unwinding
+                // through the scope and aborting the whole race.
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || run(&worker_opts),
+                ))
+                .unwrap_or_else(|payload| {
+                    let msg = panic_message(payload.as_ref());
+                    eprintln!("verdict-mc: {engine} engine panicked: {msg}");
+                    Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+                });
                 // The receiver never hangs up before all results arrive,
                 // but a send error must not panic the worker either way.
                 let _ = tx.send((idx, engine, res));
@@ -152,9 +179,12 @@ fn race(
     let rank = |r: &CheckResult| match r {
         CheckResult::Unknown(UnknownReason::DepthBound) => 0,
         CheckResult::Unknown(UnknownReason::EffortBound) => 1,
-        CheckResult::Unknown(UnknownReason::Timeout) => 2,
-        CheckResult::Unknown(UnknownReason::Cancelled) => 3,
-        _ => 4,
+        CheckResult::Unknown(UnknownReason::ResourceExhausted) => 2,
+        CheckResult::Unknown(UnknownReason::Timeout) => 3,
+        CheckResult::Unknown(UnknownReason::CertificateRejected) => 4,
+        CheckResult::Unknown(UnknownReason::Cancelled) => 5,
+        CheckResult::Unknown(UnknownReason::EngineFailure) => 6,
+        _ => 7,
     };
     let best = outcomes
         .iter()

@@ -67,6 +67,17 @@ pub enum UnknownReason {
     /// Another worker raised the shared stop flag (portfolio racing or
     /// early-exit synthesis) and this engine exited cooperatively.
     Cancelled,
+    /// The engine produced a verdict whose certificate (counterexample
+    /// replay, inductive-invariant re-check, or UNSAT proof) failed
+    /// independent validation — the verdict is withheld rather than
+    /// reported unverified.
+    CertificateRejected,
+    /// The engine panicked and the panic was contained at the isolation
+    /// boundary (portfolio contender thread or synthesis worker).
+    EngineFailure,
+    /// A memory-shaped resource ceiling was hit: SAT clause count, BDD
+    /// node count, or exact-rational overflow in the simplex.
+    ResourceExhausted,
 }
 
 impl fmt::Display for UnknownReason {
@@ -76,6 +87,15 @@ impl fmt::Display for UnknownReason {
             UnknownReason::Timeout => write!(f, "timeout"),
             UnknownReason::EffortBound => write!(f, "effort budget exhausted"),
             UnknownReason::Cancelled => write!(f, "cancelled"),
+            UnknownReason::CertificateRejected => {
+                write!(f, "certificate rejected by independent check")
+            }
+            UnknownReason::EngineFailure => {
+                write!(f, "engine failure (panic contained)")
+            }
+            UnknownReason::ResourceExhausted => {
+                write!(f, "resource budget exhausted")
+            }
         }
     }
 }
@@ -115,6 +135,20 @@ pub struct CheckOptions {
     /// uses one thread per engine; parameter synthesis shards assignments
     /// over this many workers). `None` = `std::thread::available_parallelism()`.
     pub jobs: Option<usize>,
+    /// Certify verdicts before reporting: counterexample traces are
+    /// replayed through the independent reference interpreter
+    /// (`verdict_ts::replay`) and k-induction/BDD `Holds` verdicts are
+    /// re-checked with fresh SAT queries. A failed check demotes the
+    /// verdict to [`UnknownReason::CertificateRejected`].
+    pub certify: bool,
+    /// SAT clause-count ceiling (original + learnt, a memory backstop):
+    /// solvers give up `Unknown` ([`UnknownReason::ResourceExhausted`])
+    /// once the clause database grows past this. `None` = unbounded.
+    pub max_clauses: Option<usize>,
+    /// BDD node-count ceiling: symbolic fixpoints give up `Unknown`
+    /// ([`UnknownReason::ResourceExhausted`]) once the manager holds more
+    /// nodes than this. `None` = unbounded.
+    pub max_bdd_nodes: Option<usize>,
 }
 
 impl Default for CheckOptions {
@@ -124,6 +158,9 @@ impl Default for CheckOptions {
             timeout: None,
             stop: None,
             jobs: None,
+            certify: false,
+            max_clauses: None,
+            max_bdd_nodes: None,
         }
     }
 }
@@ -152,6 +189,24 @@ impl CheckOptions {
     /// Sets the worker-thread count for parallel operations.
     pub fn with_jobs(mut self, jobs: usize) -> CheckOptions {
         self.jobs = Some(jobs);
+        self
+    }
+
+    /// Enables verdict certification (trace replay + proof re-checking).
+    pub fn with_certify(mut self) -> CheckOptions {
+        self.certify = true;
+        self
+    }
+
+    /// Caps the SAT clause database (memory backstop).
+    pub fn with_max_clauses(mut self, max: usize) -> CheckOptions {
+        self.max_clauses = Some(max);
+        self
+    }
+
+    /// Caps the BDD node count (memory backstop).
+    pub fn with_max_bdd_nodes(mut self, max: usize) -> CheckOptions {
+        self.max_bdd_nodes = Some(max);
         self
     }
 
@@ -192,14 +247,25 @@ impl CheckOptions {
 pub struct Budget {
     deadline: Option<Instant>,
     stop: Option<Arc<AtomicBool>>,
+    max_clauses: Option<usize>,
+    max_bdd_nodes: Option<usize>,
+    /// Set by [`Budget::check_nodes`] when the BDD node ceiling is hit,
+    /// so [`Budget::unknown_reason`] can report `ResourceExhausted` from
+    /// fixpoint helpers that only return `None`. Shared across clones of
+    /// the budget.
+    node_overflow: Arc<AtomicBool>,
 }
 
 impl Budget {
-    /// Snapshots the budget (deadline + stop flag) of `opts`.
+    /// Snapshots the budget (deadline + stop flag + resource ceilings)
+    /// of `opts`.
     pub fn new(opts: &CheckOptions) -> Budget {
         Budget {
             deadline: opts.deadline(),
             stop: opts.stop.clone(),
+            max_clauses: opts.max_clauses,
+            max_bdd_nodes: opts.max_bdd_nodes,
+            node_overflow: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -221,21 +287,51 @@ impl Budget {
         None
     }
 
+    /// Like [`Budget::exceeded`], additionally enforcing the BDD
+    /// node-count ceiling against the manager's current `node_count`.
+    pub fn check_nodes(&self, node_count: usize) -> Option<UnknownReason> {
+        if let Some(reason) = self.exceeded() {
+            return Some(reason);
+        }
+        if matches!(self.max_bdd_nodes, Some(max) if node_count > max) {
+            self.node_overflow.store(true, Ordering::Relaxed);
+            return Some(UnknownReason::ResourceExhausted);
+        }
+        None
+    }
+
     /// Why a solver just gave up `Unknown` under `self.limits()`.
     pub fn unknown_reason(&self) -> UnknownReason {
         if self.cancelled() {
             UnknownReason::Cancelled
+        } else if self.node_overflow.load(Ordering::Relaxed) {
+            UnknownReason::ResourceExhausted
         } else {
             UnknownReason::Timeout
         }
     }
 
-    /// Solver limits carrying this budget's deadline and stop flag.
+    /// Why a SAT/SMT solver holding `num_clauses` clauses gave up
+    /// `Unknown`: the clause ceiling is distinguished from
+    /// cancellation/timeout.
+    pub fn unknown_reason_sat(&self, num_clauses: usize) -> UnknownReason {
+        if self.cancelled() {
+            UnknownReason::Cancelled
+        } else if matches!(self.max_clauses, Some(max) if num_clauses >= max) {
+            UnknownReason::ResourceExhausted
+        } else {
+            UnknownReason::Timeout
+        }
+    }
+
+    /// Solver limits carrying this budget's deadline, stop flag, and
+    /// clause ceiling.
     pub fn limits(&self) -> Limits {
         Limits {
             max_conflicts: None,
             deadline: self.deadline,
             stop: self.stop.clone(),
+            max_clauses: self.max_clauses,
         }
     }
 }

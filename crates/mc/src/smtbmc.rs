@@ -517,6 +517,17 @@ impl<'s> SmtUnroller<'s> {
     }
 }
 
+/// Maps an SMT `Unknown` to the most specific reason: simplex arithmetic
+/// overflow and clause-ceiling hits are resource exhaustion, otherwise the
+/// budget decides (cancellation vs. timeout).
+fn unknown_reason_smt(unr: &mut SmtUnroller<'_>, budget: &Budget) -> UnknownReason {
+    if unr.smt_mut().overflowed() {
+        return UnknownReason::ResourceExhausted;
+    }
+    let clauses = unr.smt_mut().num_clauses();
+    budget.unknown_reason_sat(clauses)
+}
+
 /// Bounded falsification of `G p` on a (possibly real-valued) system.
 pub fn check_invariant(
     sys: &System,
@@ -536,7 +547,12 @@ pub fn check_invariant(
         match unr.smt_mut().solve_limited(&[bad_lit], budget.limits()) {
             SmtResult::Sat(model) => {
                 let states = unr.decode_trace(k + 1, &model);
-                return Ok(CheckResult::Violated(Trace::new(sys, states, None)));
+                let trace = Trace::new(sys, states, None);
+                return Ok(if opts.certify {
+                    crate::certify::gate_invariant_cex(sys, p, trace)
+                } else {
+                    CheckResult::Violated(trace)
+                });
             }
             SmtResult::Unsat => {
                 // Pin the refuted step: assert ¬bad_lit (mind the polarity
@@ -545,7 +561,7 @@ pub fn check_invariant(
                 unr.smt_mut().assert_formula(neg);
             }
             SmtResult::Unknown => {
-                return Ok(CheckResult::Unknown(budget.unknown_reason()));
+                return Ok(CheckResult::Unknown(unknown_reason_smt(&mut unr, &budget)));
             }
         }
     }
@@ -591,11 +607,15 @@ pub fn check_ltl(
                     .collect();
                 let mut trace = Trace::new(psys, projected, Some(loop_back));
                 trace.var_names.truncate(product.original_vars);
-                return Ok(CheckResult::Violated(trace));
+                return Ok(if opts.certify {
+                    crate::certify::gate_ltl_cex(sys, phi, trace)
+                } else {
+                    CheckResult::Violated(trace)
+                });
             }
             SmtResult::Unsat => {}
             SmtResult::Unknown => {
-                return Ok(CheckResult::Unknown(budget.unknown_reason()));
+                return Ok(CheckResult::Unknown(unknown_reason_smt(&mut unr, &budget)));
             }
         }
     }

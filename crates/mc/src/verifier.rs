@@ -51,6 +51,20 @@ pub enum Engine {
     Portfolio,
 }
 
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Auto => "auto",
+            Engine::Bmc => "bmc",
+            Engine::KInduction => "k-induction",
+            Engine::Bdd => "bdd",
+            Engine::Explicit => "explicit",
+            Engine::SmtBmc => "smt-bmc",
+            Engine::Portfolio => "portfolio",
+        })
+    }
+}
+
 /// The verification façade. Borrowing the system keeps the API cheap to
 /// use in parameter sweeps; all state lives in the engines per call.
 pub struct Verifier<'s> {
@@ -81,7 +95,9 @@ impl<'s> Verifier<'s> {
         self
     }
 
-    fn effective_engine(&self) -> Engine {
+    /// The engine a check will actually use once `Auto` is resolved
+    /// against the system's sorts (reported in CLI/JSON output).
+    pub fn effective_engine(&self) -> Engine {
         match self.engine {
             Engine::Auto => {
                 if self.sys.has_real_vars() {

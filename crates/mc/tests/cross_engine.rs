@@ -5,8 +5,10 @@
 //! match it on LTL verdicts.
 
 use verdict_prng::Prng;
-use verdict_mc::{bdd, bmc, explicit_engine, kind, CheckOptions, CheckResult};
-use verdict_ts::{Expr, Ltl, System, VarId};
+use verdict_mc::{
+    bdd, bmc, certify, explicit_engine, kind, CheckOptions, CheckResult, UnknownReason,
+};
+use verdict_ts::{Expr, Ltl, System, Value, VarId};
 
 /// A random small finite system over a few booleans and one bounded int.
 /// Transitions are built from random guarded assignments so the system is
@@ -170,6 +172,127 @@ fn lasso_counterexamples_replay_under_semantics() {
             .any(|t| !verdict_ts::explicit::holds(&p, &trace.states[t]));
         assert!(has_not_p, "seed {seed}: loop satisfies G p\n{trace}");
     }
+}
+
+#[test]
+fn certify_mode_agrees_with_plain_verdicts_across_engines() {
+    // With certification on, every engine's verdict on random systems must
+    // be identical to its plain verdict: genuine counterexamples survive
+    // replay, genuine proofs survive the re-check — no spurious
+    // `CertificateRejected` demotions.
+    let plain = CheckOptions::with_depth(32);
+    let certified = CheckOptions::with_depth(32).with_certify();
+    for seed in 0..25u64 {
+        let (sys, _bools, n) = random_system(seed.wrapping_mul(577));
+        let mut rng = Prng::seed_from_u64(seed ^ 0x77aa);
+        let p = Expr::var(n).lt(Expr::int(rng.gen_range_i64(1, 4)));
+        type Check = fn(&System, &Expr, &CheckOptions) -> Result<CheckResult, verdict_mc::McError>;
+        let engines: [(&str, Check); 4] = [
+            ("bmc", bmc::check_invariant),
+            ("kind", kind::prove_invariant),
+            ("bdd", bdd::check_invariant),
+            ("explicit", explicit_engine::check_invariant),
+        ];
+        for (name, check) in engines {
+            let a = check(&sys, &p, &plain).unwrap();
+            let b = check(&sys, &p, &certified).unwrap();
+            assert_eq!(a.holds(), b.holds(), "seed {seed} {name}\n{sys}");
+            assert_eq!(a.violated(), b.violated(), "seed {seed} {name}\n{sys}");
+            assert!(
+                !matches!(
+                    b,
+                    CheckResult::Unknown(UnknownReason::CertificateRejected)
+                ),
+                "seed {seed} {name}: spurious certificate rejection"
+            );
+        }
+    }
+}
+
+#[test]
+fn certified_ltl_verdicts_survive_replay() {
+    // LTL: BMC and BDD lasso counterexamples pass the replay interpreter
+    // (certify keeps Violated); BDD proofs of liveness have no certificate
+    // format and must stay Holds untouched.
+    let plain = CheckOptions::with_depth(24);
+    let certified = CheckOptions::with_depth(24).with_certify();
+    for seed in 0..15u64 {
+        let (sys, bools, _n) = random_system(seed.wrapping_mul(8121));
+        let phi = Ltl::atom(Expr::var(bools[0])).always().eventually();
+        let a = bmc::check_ltl(&sys, &phi, &plain).unwrap();
+        let b = bmc::check_ltl(&sys, &phi, &certified).unwrap();
+        assert_eq!(a.violated(), b.violated(), "seed {seed} bmc\n{sys}");
+        let a = bdd::check_ltl(&sys, &phi, &plain).unwrap();
+        let b = bdd::check_ltl(&sys, &phi, &certified).unwrap();
+        assert_eq!(a.holds(), b.holds(), "seed {seed} bdd\n{sys}");
+        assert_eq!(a.violated(), b.violated(), "seed {seed} bdd\n{sys}");
+    }
+}
+
+/// A deterministic saturating counter: `n` increments to `limit`, stays.
+fn det_counter(limit: i64) -> (System, VarId) {
+    let mut sys = System::new("det");
+    let n = sys.int_var("n", 0, limit);
+    sys.add_init(Expr::var(n).eq(Expr::int(0)));
+    sys.add_trans(Expr::next(n).eq(Expr::ite(
+        Expr::var(n).lt(Expr::int(limit)),
+        Expr::var(n).add(Expr::int(1)),
+        Expr::var(n),
+    )));
+    (sys, n)
+}
+
+#[test]
+fn mutated_invariant_trace_is_rejected() {
+    // Corrupting one step of a genuine counterexample must demote the
+    // verdict to Unknown(CertificateRejected): the mutated step is not a
+    // legal transition of the deterministic counter.
+    let (sys, n) = det_counter(5);
+    let p = Expr::var(n).lt(Expr::int(3));
+    let r = bmc::check_invariant(&sys, &p, &CheckOptions::with_depth(8)).unwrap();
+    let CheckResult::Violated(mut trace) = r else {
+        panic!("n reaches 3")
+    };
+    assert_eq!(trace.len(), 4); // 0, 1, 2, 3
+    certify::validate_invariant_cex(&sys, &p, &trace).expect("pristine trace replays");
+    trace.states[2][n.index()] = Value::Int(0); // 1 → 0 is not a step
+    let gated = certify::gate_invariant_cex(&sys, &p, trace);
+    assert!(
+        matches!(
+            gated,
+            CheckResult::Unknown(UnknownReason::CertificateRejected)
+        ),
+        "got {gated}"
+    );
+}
+
+#[test]
+fn mutated_lasso_trace_is_rejected() {
+    // An oscillator violates F G x with a lasso; breaking the loop
+    // closure must be caught by the replayer.
+    let mut sys = System::new("flip");
+    let x = sys.bool_var("x");
+    sys.add_init(Expr::var(x));
+    sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+    let phi = Ltl::atom(Expr::var(x)).always().eventually();
+    let r = bmc::check_ltl(&sys, &phi, &CheckOptions::with_depth(8)).unwrap();
+    let CheckResult::Violated(mut trace) = r else {
+        panic!("oscillator violates F G x")
+    };
+    certify::validate_ltl_cex(&sys, &phi, &trace).expect("pristine lasso replays");
+    let last = trace.len() - 1;
+    let Value::Bool(b) = trace.states[last][x.index()] else {
+        panic!()
+    };
+    trace.states[last][x.index()] = Value::Bool(!b); // loop no longer closes
+    let gated = certify::gate_ltl_cex(&sys, &phi, trace);
+    assert!(
+        matches!(
+            gated,
+            CheckResult::Unknown(UnknownReason::CertificateRejected)
+        ),
+        "got {gated}"
+    );
 }
 
 #[test]

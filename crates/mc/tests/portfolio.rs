@@ -80,6 +80,63 @@ fn portfolio_agrees_with_every_sequential_engine() {
 }
 
 #[test]
+fn injected_panicking_contender_is_contained() {
+    // A contender that panics mid-race must be contained by its worker
+    // thread and recorded as Unknown(EngineFailure); the sound survivor
+    // still delivers the verdict.
+    let (sys, c) = slow_for_bdd(7);
+    let p = Expr::var(c).le(Expr::int(7));
+    let contenders: Vec<(Engine, portfolio::Contender)> = vec![
+        (
+            Engine::Bmc,
+            Box::new(|_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
+                panic!("injected engine failure")
+            }),
+        ),
+        (
+            Engine::KInduction,
+            Box::new(|o: &CheckOptions| kind::prove_invariant(&sys, &p, o)),
+        ),
+    ];
+    let report = portfolio::race(&CheckOptions::default(), contenders).unwrap();
+    assert!(report.result.holds(), "survivor verdict: {}", report.result);
+    assert_eq!(report.winner, Engine::KInduction);
+    let crashed = report
+        .outcomes
+        .iter()
+        .find(|(e, _)| *e == Engine::Bmc)
+        .map(|(_, r)| r.clone());
+    assert!(
+        matches!(
+            crashed,
+            Some(CheckResult::Unknown(UnknownReason::EngineFailure))
+        ),
+        "expected EngineFailure for the crashed contender, got {crashed:?}"
+    );
+}
+
+#[test]
+fn all_contenders_panicking_degrades_to_engine_failure() {
+    // With every contender down the race must still return (no hang, no
+    // propagated panic), reporting the failure as an Unknown verdict.
+    let contenders: Vec<(Engine, portfolio::Contender)> = vec![(
+        Engine::Bmc,
+        Box::new(|_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
+            panic!("injected engine failure")
+        }),
+    )];
+    let report = portfolio::race(&CheckOptions::default(), contenders).unwrap();
+    assert!(
+        matches!(
+            report.result,
+            CheckResult::Unknown(UnknownReason::EngineFailure)
+        ),
+        "{}",
+        report.result
+    );
+}
+
+#[test]
 fn deadline_still_bounds_a_portfolio_without_winner() {
     // An invariant that holds but is not k-inductive within the depth
     // bound, on a state space too big for BDD within the timeout: no

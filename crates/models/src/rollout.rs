@@ -99,9 +99,15 @@ pub struct RolloutModel {
 
 impl RolloutModel {
     /// Builds the model from a spec.
-    pub fn build(spec: &RolloutSpec) -> RolloutModel {
+    ///
+    /// Fails with a diagnostic if the topology is malformed (duplicate or
+    /// out-of-range links, bad front-end index, ...) or the constructed
+    /// system does not type-check, instead of panicking deep inside a
+    /// sweep or API caller.
+    pub fn build(spec: &RolloutSpec) -> Result<RolloutModel, String> {
         let topo = &spec.topology;
-        topo.validate().expect("valid topology");
+        topo.validate()
+            .map_err(|e| format!("invalid topology `{}`: {e}", topo.name))?;
         let mut sys = System::new(&format!("rollout-{}", topo.name));
 
         let p = sys.int_param("p", 0, spec.p_max);
@@ -256,8 +262,11 @@ impl RolloutModel {
             true_available,
             property,
         };
-        model.system.check().expect("rollout model type-checks");
         model
+            .system
+            .check()
+            .map_err(|e| format!("rollout model does not type-check: {e}"))?;
+        Ok(model)
     }
 
     /// A copy of the system with `p`, `k`, `m` pinned to concrete values —
@@ -283,7 +292,18 @@ mod tests {
     fn test_model(recompute: bool) -> RolloutModel {
         let mut spec = RolloutSpec::paper(Topology::test_topology());
         spec.recompute_loop = recompute;
-        RolloutModel::build(&spec)
+        RolloutModel::build(&spec).expect("test topology is valid")
+    }
+
+    #[test]
+    fn invalid_topology_is_an_error_not_a_panic() {
+        let mut topo = Topology::test_topology();
+        topo.links.push((0, 99)); // out-of-range endpoint
+        let err = match RolloutModel::build(&RolloutSpec::paper(topo)) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a build error"),
+        };
+        assert!(err.contains("invalid topology"), "{err}");
     }
 
     #[test]
@@ -380,7 +400,7 @@ mod tests {
         // unfolds gradually: available degrades over several steps
         // instead of collapsing in one transition.
         let spec = RolloutSpec::paper_gradual(Topology::test_topology());
-        let model = RolloutModel::build(&spec);
+        let model = RolloutModel::build(&spec).expect("valid topology");
         let sys = model.pinned(1, 2, 1);
         let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8))
             .unwrap();

@@ -36,6 +36,8 @@
 //! }
 //! ```
 
+pub mod proof;
 pub mod solver;
 
+pub use proof::{check_proof, ProofError, ProofEvent};
 pub use solver::{Limits, Model, SolveResult, Solver, Stats, TheoryHook, TheoryVerdict};

@@ -1,0 +1,305 @@
+//! DRUP-style clause proofs and an independent checker.
+//!
+//! When proof logging is enabled ([`crate::Solver::enable_proof`]), the
+//! solver records every original clause it is given, every clause it
+//! learns, and every learnt clause it deletes. A refutation ends with the
+//! empty clause. The log is exactly a DRUP (Delete Reverse Unit
+//! Propagation) proof: each learnt clause must be derivable from the
+//! clauses active at that point by unit propagation alone — assert the
+//! negation of every literal in the learnt clause, propagate, and demand a
+//! conflict.
+//!
+//! [`check_proof`] replays the log with its own naive unit propagator. It
+//! shares no code with the CDCL search, so a bug in the solver's watched
+//! literals, conflict analysis, or clause minimization cannot also hide in
+//! the checker. The propagator is deliberately simple (repeated full scans
+//! to fixpoint) — proof checking is an audit path, not a hot path.
+//!
+//! Theory lemmas from DPLL(T) enter the solver through `add_clause` and are
+//! therefore recorded as *inputs* (axioms): they are valid in the theory,
+//! not propositionally derivable, so the checker treats them the same way
+//! it treats user clauses. A proof checked here certifies "UNSAT given the
+//! recorded inputs".
+
+use std::collections::HashMap;
+
+use verdict_logic::Lit;
+
+/// One entry in a clause-proof log, in emission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofEvent {
+    /// An original (or theory-lemma) clause added to the database. Axiom.
+    Input(Vec<Lit>),
+    /// A clause the solver learnt; must pass reverse unit propagation.
+    Learn(Vec<Lit>),
+    /// A learnt clause removed from the database; the checker drops it so
+    /// later RUP checks run against the clauses the solver actually had.
+    Delete(Vec<Lit>),
+}
+
+/// Why a proof was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofError {
+    /// A `Learn` clause is not a reverse-unit-propagation consequence of
+    /// the active database. Payload: event index and the offending clause.
+    NotRup(usize, Vec<Lit>),
+    /// A `Delete` event names a clause that is not active.
+    UnknownDelete(usize, Vec<Lit>),
+    /// The log never derives the empty clause, so it proves nothing.
+    NoEmptyClause,
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::NotRup(i, c) => {
+                write!(f, "proof event {i}: clause {c:?} is not RUP")
+            }
+            ProofError::UnknownDelete(i, c) => {
+                write!(f, "proof event {i}: delete of inactive clause {c:?}")
+            }
+            ProofError::NoEmptyClause => {
+                write!(f, "proof does not derive the empty clause")
+            }
+        }
+    }
+}
+
+/// Three-valued assignment used by the checker's propagator.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Val {
+    True,
+    False,
+    Undef,
+}
+
+/// A clause plus its liveness flag in the checker's database.
+struct Entry {
+    lits: Vec<Lit>,
+    active: bool,
+}
+
+fn key(lits: &[Lit]) -> Vec<Lit> {
+    let mut k = lits.to_vec();
+    k.sort_unstable();
+    k.dedup();
+    k
+}
+
+/// Checks a DRUP-style proof log for a refutation.
+///
+/// Every `Learn` event is verified by reverse unit propagation against the
+/// clauses active at that point; `Ok(())` additionally requires that some
+/// `Learn` event derives the empty clause (directly, or via a clause whose
+/// negated literals propagate to a conflict with nothing assumed — the
+/// empty clause is the conventional terminator).
+pub fn check_proof(events: &[ProofEvent]) -> Result<(), ProofError> {
+    let mut db: Vec<Entry> = Vec::new();
+    // Sorted-deduped clause -> indices of active copies, for deletes.
+    let mut index: HashMap<Vec<Lit>, Vec<usize>> = HashMap::new();
+    let mut refuted = false;
+
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            ProofEvent::Input(c) => {
+                index.entry(key(c)).or_default().push(db.len());
+                db.push(Entry {
+                    lits: c.clone(),
+                    active: true,
+                });
+            }
+            ProofEvent::Learn(c) => {
+                if !is_rup(&db, c) {
+                    return Err(ProofError::NotRup(i, c.clone()));
+                }
+                if c.is_empty() {
+                    refuted = true;
+                }
+                index.entry(key(c)).or_default().push(db.len());
+                db.push(Entry {
+                    lits: c.clone(),
+                    active: true,
+                });
+            }
+            ProofEvent::Delete(c) => {
+                let slot = index
+                    .get_mut(&key(c))
+                    .and_then(|ids| ids.iter().position(|&id| db[id].active).map(|p| ids[p]));
+                match slot {
+                    Some(id) => db[id].active = false,
+                    None => return Err(ProofError::UnknownDelete(i, c.clone())),
+                }
+            }
+        }
+    }
+    if refuted {
+        Ok(())
+    } else {
+        Err(ProofError::NoEmptyClause)
+    }
+}
+
+/// Reverse unit propagation: assume the negation of every literal in
+/// `clause`, propagate the active database to fixpoint, and report whether
+/// a conflict (empty or all-false clause) is reached.
+fn is_rup(db: &[Entry], clause: &[Lit]) -> bool {
+    let mut assign: HashMap<u32, Val> = HashMap::new();
+    let set = |assign: &mut HashMap<u32, Val>, l: Lit| -> bool {
+        // Returns false on contradiction with an existing assignment.
+        let want = if l.is_positive() { Val::True } else { Val::False };
+        match assign.insert(l.var().0, want) {
+            None => true,
+            Some(prev) => prev == want,
+        }
+    };
+    let value = |assign: &HashMap<u32, Val>, l: Lit| -> Val {
+        match assign.get(&l.var().0) {
+            None | Some(Val::Undef) => Val::Undef,
+            Some(Val::True) => {
+                if l.is_positive() {
+                    Val::True
+                } else {
+                    Val::False
+                }
+            }
+            Some(Val::False) => {
+                if l.is_positive() {
+                    Val::False
+                } else {
+                    Val::True
+                }
+            }
+        }
+    };
+
+    // Assume the negated clause. A tautologous clause is trivially RUP.
+    for &l in clause {
+        if !set(&mut assign, !l) {
+            return true;
+        }
+    }
+
+    loop {
+        let mut progressed = false;
+        for e in db {
+            if !e.active {
+                continue;
+            }
+            let mut unassigned: Option<Lit> = None;
+            let mut n_unassigned = 0usize;
+            let mut satisfied = false;
+            for &l in &e.lits {
+                match value(&assign, l) {
+                    Val::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    Val::False => {}
+                    Val::Undef => {
+                        n_unassigned += 1;
+                        unassigned = Some(l);
+                    }
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            match n_unassigned {
+                0 => return true, // conflict: clause fully falsified
+                1 => {
+                    let u = unassigned.expect("counted one unassigned literal");
+                    if !set(&mut assign, u) {
+                        return true;
+                    }
+                    progressed = true;
+                }
+                _ => {}
+            }
+        }
+        if !progressed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_logic::Var;
+
+    fn l(v: u32, pos: bool) -> Lit {
+        Var(v).lit(pos)
+    }
+
+    #[test]
+    fn hand_built_rup_proof_accepted() {
+        // (a | b), (!a | b), (a | !b), (!a | !b) is UNSAT.
+        // RUP derivation: learn (b), then (a)... then empty.
+        let events = vec![
+            ProofEvent::Input(vec![l(0, true), l(1, true)]),
+            ProofEvent::Input(vec![l(0, false), l(1, true)]),
+            ProofEvent::Input(vec![l(0, true), l(1, false)]),
+            ProofEvent::Input(vec![l(0, false), l(1, false)]),
+            ProofEvent::Learn(vec![l(1, true)]),
+            ProofEvent::Learn(vec![]),
+        ];
+        assert_eq!(check_proof(&events), Ok(()));
+    }
+
+    #[test]
+    fn bogus_learn_rejected() {
+        let events = vec![
+            ProofEvent::Input(vec![l(0, true), l(1, true)]),
+            // (x2) is not implied by anything.
+            ProofEvent::Learn(vec![l(2, true)]),
+            ProofEvent::Learn(vec![]),
+        ];
+        assert!(matches!(check_proof(&events), Err(ProofError::NotRup(1, _))));
+    }
+
+    #[test]
+    fn missing_empty_clause_rejected() {
+        let events = vec![
+            ProofEvent::Input(vec![l(0, true)]),
+            ProofEvent::Input(vec![l(0, false), l(1, true)]),
+            ProofEvent::Learn(vec![l(1, true)]),
+        ];
+        assert_eq!(check_proof(&events), Err(ProofError::NoEmptyClause));
+    }
+
+    #[test]
+    fn delete_of_unknown_clause_rejected() {
+        let events = vec![
+            ProofEvent::Input(vec![l(0, true)]),
+            ProofEvent::Delete(vec![l(1, true)]),
+        ];
+        assert!(matches!(
+            check_proof(&events),
+            Err(ProofError::UnknownDelete(1, _))
+        ));
+    }
+
+    #[test]
+    fn deleted_clause_no_longer_supports_rup() {
+        // (a), (!a | b) |- (b) by RUP — but not once (a) is deleted.
+        let events = vec![
+            ProofEvent::Input(vec![l(0, true)]),
+            ProofEvent::Input(vec![l(0, false), l(1, true)]),
+            ProofEvent::Delete(vec![l(0, true)]),
+            ProofEvent::Learn(vec![l(1, true)]),
+        ];
+        assert!(matches!(check_proof(&events), Err(ProofError::NotRup(3, _))));
+    }
+
+    #[test]
+    fn tautology_is_trivially_rup() {
+        let events = vec![
+            ProofEvent::Input(vec![l(0, true), l(0, false)]),
+            ProofEvent::Learn(vec![l(1, true), l(1, false)]),
+            ProofEvent::Input(vec![l(2, true)]),
+            ProofEvent::Input(vec![l(2, false)]),
+            ProofEvent::Learn(vec![]),
+        ];
+        assert_eq!(check_proof(&events), Ok(()));
+    }
+}

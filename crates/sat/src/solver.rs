@@ -11,6 +11,8 @@ use std::time::Instant;
 
 use verdict_logic::{Cnf, Lit, Var};
 
+use crate::proof::ProofEvent;
+
 /// Three-valued assignment state of a variable.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum LBool {
@@ -153,6 +155,10 @@ pub struct Limits {
     /// the solver polls it alongside the deadline, so cancellation lands
     /// within a few hundred conflicts/decisions.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Give up once the clause arena holds this many clauses (`None` =
+    /// unlimited). A memory-budget backstop: clause explosion degrades to
+    /// `Unknown` instead of exhausting the machine.
+    pub max_clauses: Option<usize>,
 }
 
 impl Limits {
@@ -161,6 +167,7 @@ impl Limits {
         max_conflicts: None,
         deadline: None,
         stop: None,
+        max_clauses: None,
     };
 
     /// True once the deadline has passed or the stop flag is raised —
@@ -230,6 +237,9 @@ pub struct Solver {
     assumptions: Vec<Lit>,
     conflict_core: Vec<Lit>,
 
+    /// DRUP-style proof log; `Some` once [`Solver::enable_proof`] is called.
+    proof: Option<Vec<ProofEvent>>,
+
     ok: bool,
     stats: Stats,
 }
@@ -266,9 +276,51 @@ impl Solver {
             max_learnts: 2000.0,
             assumptions: Vec::new(),
             conflict_core: Vec::new(),
+            proof: None,
             ok: true,
             stats: Stats::default(),
         }
+    }
+
+    /// Turns on DRUP-style proof logging. Every clause added from now on is
+    /// recorded as an input (theory lemmas included — they are axioms to the
+    /// propositional proof), every learnt clause as a derivation step, and
+    /// every database deletion as a delete. Call before adding clauses so
+    /// the log covers the whole database.
+    pub fn enable_proof(&mut self) {
+        if self.proof.is_none() {
+            self.proof = Some(Vec::new());
+        }
+    }
+
+    /// True iff proof logging is on.
+    pub fn proof_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Takes the proof log accumulated so far (logging stays enabled, the
+    /// internal log restarts empty). After an assumption-free `Unsat`
+    /// answer the log ends with the empty clause and
+    /// [`crate::proof::check_proof`] can certify it; an `Unsat` under
+    /// assumptions has no empty-clause step and is not checkable this way.
+    pub fn take_proof(&mut self) -> Vec<ProofEvent> {
+        match &mut self.proof {
+            Some(p) => std::mem::take(p),
+            None => Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn log_proof(&mut self, ev: ProofEvent) {
+        if let Some(p) = &mut self.proof {
+            p.push(ev);
+        }
+    }
+
+    /// Number of clauses in the arena (deleted slots included — the arena
+    /// never shrinks, so this tracks memory footprint).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
     }
 
     /// Builds a solver pre-loaded with a CNF instance.
@@ -327,6 +379,9 @@ impl Solver {
         for l in &c {
             self.reserve_vars(l.var().0 + 1);
         }
+        if self.proof.is_some() {
+            self.log_proof(ProofEvent::Input(c.clone()));
+        }
         // Normalize: sort, dedup, drop false lits, detect tautology/sat.
         c.sort_unstable();
         c.dedup();
@@ -347,12 +402,16 @@ impl Solver {
         }
         match out.len() {
             0 => {
+                // All literals false at level 0: the empty clause follows
+                // by unit propagation from the recorded database.
+                self.log_proof(ProofEvent::Learn(Vec::new()));
                 self.ok = false;
                 false
             }
             1 => {
                 self.enqueue(out[0], Reason::Decision);
                 if self.propagate().is_some() {
+                    self.log_proof(ProofEvent::Learn(Vec::new()));
                     self.ok = false;
                 }
                 self.ok
@@ -667,6 +726,10 @@ impl Solver {
                 continue;
             }
             self.clauses[cid as usize].deleted = true;
+            if self.proof.is_some() {
+                let lits = self.clauses[cid as usize].lits.clone();
+                self.log_proof(ProofEvent::Delete(lits));
+            }
             removed += 1;
         }
         self.stats.deleted_clauses += removed;
@@ -763,6 +826,11 @@ impl Solver {
         }
         self.assumptions = assumptions.to_vec();
         self.conflict_core.clear();
+        if let Some(max) = limits.max_clauses {
+            if self.clauses.len() >= max {
+                return SolveResult::Unknown;
+            }
+        }
         self.conflicts_since_restart = 0;
         self.luby_index = 0;
         let mut restart_budget = LUBY_UNIT * luby(1);
@@ -774,6 +842,7 @@ impl Solver {
                 self.conflicts_since_restart += 1;
                 checked_since += 1;
                 if self.decision_level() == 0 {
+                    self.log_proof(ProofEvent::Learn(Vec::new()));
                     self.ok = false;
                     self.cancel_until(0);
                     return SolveResult::Unsat;
@@ -790,9 +859,13 @@ impl Solver {
                 // loop re-queues assumptions while decision level < prefix.
                 self.cancel_until(bt);
                 let asserting = learnt[0];
+                if self.proof.is_some() {
+                    self.log_proof(ProofEvent::Learn(learnt.clone()));
+                }
                 if learnt.len() == 1 {
                     self.cancel_until(0);
                     if self.lit_value(asserting) == LBool::False {
+                        self.log_proof(ProofEvent::Learn(Vec::new()));
                         self.ok = false;
                         return SolveResult::Unsat;
                     }
@@ -808,6 +881,12 @@ impl Solver {
 
                 if let Some(max) = limits.max_conflicts {
                     if self.stats.conflicts >= max {
+                        self.cancel_until(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if let Some(max) = limits.max_clauses {
+                    if self.clauses.len() >= max {
                         self.cancel_until(0);
                         return SolveResult::Unknown;
                     }
@@ -1319,6 +1398,84 @@ mod tests {
         for (i, &e) in expected.iter().enumerate() {
             assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
         }
+    }
+
+    #[test]
+    fn clause_limit_returns_unknown() {
+        let mut s = pigeonhole(8);
+        let n = s.num_clauses();
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                max_clauses: Some(n + 3),
+                ..Limits::NONE
+            },
+        );
+        assert!(matches!(r, SolveResult::Unknown));
+        assert!(s.num_clauses() >= n);
+        // Without the ceiling the same instance still resolves.
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn proof_log_certifies_unsat() {
+        use crate::proof::check_proof;
+        for holes in 2..=5 {
+            let pigeons = holes + 1;
+            let var = |p: u32, h: u32| Var(p * holes + h);
+            let mut s = Solver::new();
+            s.enable_proof();
+            for p in 0..pigeons {
+                s.add_clause((0..holes).map(|h| var(p, h).positive()));
+            }
+            for h in 0..holes {
+                for p1 in 0..pigeons {
+                    for p2 in (p1 + 1)..pigeons {
+                        s.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                    }
+                }
+            }
+            assert!(s.solve().is_unsat());
+            let proof = s.take_proof();
+            assert!(check_proof(&proof).is_ok(), "PHP({}, {holes})", holes + 1);
+        }
+    }
+
+    #[test]
+    fn proof_log_covers_level_zero_unsat() {
+        use crate::proof::check_proof;
+        let mut s = Solver::new();
+        s.enable_proof();
+        s.add_clause([lit(0, true), lit(1, true)]);
+        s.add_clause([lit(0, false)]);
+        s.add_clause([lit(1, false)]);
+        assert!(s.solve().is_unsat());
+        assert!(check_proof(&s.take_proof()).is_ok());
+    }
+
+    #[test]
+    fn proof_log_with_db_reduction_still_checks() {
+        use crate::proof::check_proof;
+        // Big enough to trigger restarts; deletions (if any) must be
+        // reflected in the log so the checker sees the same database.
+        let holes = 7u32;
+        let pigeons = holes + 1;
+        let var = |p: u32, h: u32| Var(p * holes + h);
+        let mut s = Solver::new();
+        s.enable_proof();
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        let proof = s.take_proof();
+        assert!(check_proof(&proof).is_ok());
     }
 
     #[test]

@@ -69,6 +69,27 @@ impl DeltaRational {
             delta: self.delta * k,
         }
     }
+
+    /// Fallible addition: `None` on `i128` overflow in either component.
+    pub fn try_add(self, rhs: DeltaRational) -> Option<DeltaRational> {
+        Some(DeltaRational {
+            real: self.real.try_add(rhs.real)?,
+            delta: self.delta.try_add(rhs.delta)?,
+        })
+    }
+
+    /// Fallible subtraction: `None` on `i128` overflow.
+    pub fn try_sub(self, rhs: DeltaRational) -> Option<DeltaRational> {
+        self.try_add(-rhs)
+    }
+
+    /// Fallible scaling: `None` on `i128` overflow.
+    pub fn try_scale(self, k: Rational) -> Option<DeltaRational> {
+        Some(DeltaRational {
+            real: self.real.try_mul(k)?,
+            delta: self.delta.try_mul(k)?,
+        })
+    }
 }
 
 impl Add for DeltaRational {

@@ -34,6 +34,10 @@ pub enum SimplexResult {
     /// Unsatisfiable. The payload lists the reason literals of a minimal
     /// inconsistent set of asserted bounds.
     Conflict(Vec<Lit>),
+    /// An `i128` overflow occurred in tableau arithmetic. The valuation is
+    /// no longer trustworthy; the caller must degrade to an unknown
+    /// verdict ([`Simplex::overflowed`] stays raised).
+    Overflow,
 }
 
 impl SimplexResult {
@@ -69,6 +73,9 @@ pub struct Simplex {
     upper: Vec<Option<Bound>>,
     /// Pivot counter (diagnostics).
     pivots: u64,
+    /// Raised when tableau arithmetic overflowed `i128`; the valuation is
+    /// then unreliable and `check` reports [`SimplexResult::Overflow`].
+    poisoned: bool,
 }
 
 impl Default for Simplex {
@@ -88,7 +95,14 @@ impl Simplex {
             lower: Vec::new(),
             upper: Vec::new(),
             pivots: 0,
+            poisoned: false,
         }
+    }
+
+    /// True once tableau arithmetic has overflowed `i128`. Results after
+    /// that point are meaningless; callers degrade to an unknown verdict.
+    pub fn overflowed(&self) -> bool {
+        self.poisoned
     }
 
     /// Number of variables (original + slack).
@@ -125,15 +139,28 @@ impl Simplex {
             if c.is_zero() {
                 continue;
             }
-            value += self.val[v].scale(c);
+            match self.val[v].try_scale(c).and_then(|t| value.try_add(t)) {
+                Some(next) => value = next,
+                None => {
+                    self.poisoned = true;
+                    return s;
+                }
+            }
             if let Some(ri) = self.row_of[v] {
                 // Substitute the basic variable's defining row.
                 let row = self.rows[ri].coeffs.clone();
                 for (&u, &cu) in &row {
-                    add_coeff(&mut coeffs, u, c * cu);
+                    let ok = c
+                        .try_mul(cu)
+                        .is_some_and(|ccu| add_coeff(&mut coeffs, u, ccu));
+                    if !ok {
+                        self.poisoned = true;
+                        return s;
+                    }
                 }
-            } else {
-                add_coeff(&mut coeffs, v, c);
+            } else if !add_coeff(&mut coeffs, v, c) {
+                self.poisoned = true;
+                return s;
             }
         }
         self.val[s] = value;
@@ -217,11 +244,22 @@ impl Simplex {
     }
 
     /// Sets a nonbasic variable's value, propagating to basic variables.
+    /// On `i128` overflow the tableau is poisoned and the update aborted.
     fn update_nonbasic(&mut self, v: usize, to: DeltaRational) {
-        let d = to - self.val[v];
-        for row in &self.rows {
-            if let Some(&c) = row.coeffs.get(&v) {
-                self.val[row.basic] += d.scale(c);
+        let Some(d) = to.try_sub(self.val[v]) else {
+            self.poisoned = true;
+            return;
+        };
+        for i in 0..self.rows.len() {
+            if let Some(&c) = self.rows[i].coeffs.get(&v) {
+                let basic = self.rows[i].basic;
+                match d.try_scale(c).and_then(|t| self.val[basic].try_add(t)) {
+                    Some(next) => self.val[basic] = next,
+                    None => {
+                        self.poisoned = true;
+                        return;
+                    }
+                }
             }
         }
         self.val[v] = to;
@@ -230,6 +268,9 @@ impl Simplex {
     /// Restores feasibility or reports a minimal conflict.
     pub fn check(&mut self) -> SimplexResult {
         loop {
+            if self.poisoned {
+                return SimplexResult::Overflow;
+            }
             // Bland's rule: smallest violating basic variable.
             let violated = (0..self.num_vars).find(|&v| {
                 self.row_of[v].is_some()
@@ -327,7 +368,8 @@ impl Simplex {
     }
 
     /// Pivots `xi` (basic, row `ri`) with `xj` (nonbasic) and sets
-    /// `val[xi] = target`.
+    /// `val[xi] = target`. On `i128` overflow the tableau is poisoned and
+    /// the pivot aborted; `check` then reports [`SimplexResult::Overflow`].
     fn pivot_and_update(&mut self, ri: usize, xi: usize, xj: usize, target: DeltaRational) {
         self.pivots += 1;
         let a_ij = *self.rows[ri]
@@ -336,16 +378,38 @@ impl Simplex {
             .expect("pivot column in row");
         debug_assert!(!a_ij.is_zero());
         // Adjust values: xi jumps to target; xj absorbs the change.
-        let theta = (target - self.val[xi]).scale(a_ij.recip());
+        let theta = match target
+            .try_sub(self.val[xi])
+            .and_then(|d| d.try_scale(a_ij.recip()))
+        {
+            Some(t) => t,
+            None => {
+                self.poisoned = true;
+                return;
+            }
+        };
         self.val[xi] = target;
-        self.val[xj] += theta;
+        match self.val[xj].try_add(theta) {
+            Some(next) => self.val[xj] = next,
+            None => {
+                self.poisoned = true;
+                return;
+            }
+        }
         // Other basic variables move with xj.
-        for (k, row) in self.rows.iter().enumerate() {
+        for k in 0..self.rows.len() {
             if k == ri {
                 continue;
             }
-            if let Some(&c) = row.coeffs.get(&xj) {
-                self.val[row.basic] += theta.scale(c);
+            if let Some(&c) = self.rows[k].coeffs.get(&xj) {
+                let basic = self.rows[k].basic;
+                match theta.try_scale(c).and_then(|t| self.val[basic].try_add(t)) {
+                    Some(next) => self.val[basic] = next,
+                    None => {
+                        self.poisoned = true;
+                        return;
+                    }
+                }
             }
         }
 
@@ -357,7 +421,15 @@ impl Simplex {
         new_coeffs.insert(xi, inv);
         for (&k, &a) in &old {
             if k != xj {
-                new_coeffs.insert(k, -a * inv);
+                match a.try_mul(inv) {
+                    Some(ai) => {
+                        new_coeffs.insert(k, -ai);
+                    }
+                    None => {
+                        self.poisoned = true;
+                        return;
+                    }
+                }
             }
         }
         self.rows[ri].basic = xj;
@@ -371,12 +443,14 @@ impl Simplex {
                 continue;
             }
             if let Some(c) = self.rows[k].coeffs.remove(&xj) {
-                let addend: Vec<(usize, Rational)> = new_coeffs
-                    .iter()
-                    .map(|(&u, &cu)| (u, c * cu))
-                    .collect();
-                for (u, cu) in addend {
-                    add_coeff(&mut self.rows[k].coeffs, u, cu);
+                for (&u, &cu) in &new_coeffs {
+                    let ok = c
+                        .try_mul(cu)
+                        .is_some_and(|ccu| add_coeff(&mut self.rows[k].coeffs, u, ccu));
+                    if !ok {
+                        self.poisoned = true;
+                        return;
+                    }
                 }
             }
         }
@@ -416,14 +490,22 @@ impl Simplex {
     }
 }
 
-fn add_coeff(map: &mut BTreeMap<usize, Rational>, v: usize, c: Rational) {
+/// Adds `c` to the coefficient of `v`. Returns `false` on `i128` overflow
+/// (the map is left unchanged in that case).
+fn add_coeff(map: &mut BTreeMap<usize, Rational>, v: usize, c: Rational) -> bool {
     if c.is_zero() {
-        return;
+        return true;
     }
     let entry = map.entry(v).or_insert(Rational::ZERO);
-    *entry += c;
-    if entry.is_zero() {
-        map.remove(&v);
+    match entry.try_add(c) {
+        Some(sum) => {
+            *entry = sum;
+            if entry.is_zero() {
+                map.remove(&v);
+            }
+            true
+        }
+        None => false,
     }
 }
 
@@ -523,7 +605,7 @@ mod tests {
             SimplexResult::Conflict(expl) => {
                 assert_eq!(expl.len(), 3, "explanation: {expl:?}");
             }
-            SimplexResult::Sat => panic!("expected conflict"),
+            other => panic!("expected conflict, got {other:?}"),
         }
     }
 
@@ -604,6 +686,18 @@ mod tests {
         s.assert_bound(x, BoundKind::Upper, dr(7, 1), lit(1)).unwrap();
         s.assert_bound(s2, BoundKind::Lower, dr(8, 1), lit(2)).unwrap();
         assert!(!s.check().is_sat());
+    }
+
+    #[test]
+    fn overflow_poisons_instead_of_panicking() {
+        let mut s = Simplex::new();
+        let x = s.add_var();
+        let big = Rational::integer(i128::MAX / 2);
+        let _slack = s.add_slack(&[(x, big)]);
+        // Raising x to 3 would set the slack to 3·(i128::MAX/2): overflow.
+        s.assert_bound(x, BoundKind::Lower, dr(3, 1), lit(0)).unwrap();
+        assert!(s.overflowed());
+        assert!(matches!(s.check(), SimplexResult::Overflow));
     }
 
     #[test]

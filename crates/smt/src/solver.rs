@@ -154,6 +154,9 @@ pub struct SmtSolver {
     /// Theory var -> simplex var.
     tvar_to_svar: Vec<usize>,
     names: Vec<String>,
+    /// Raised when rational arithmetic overflowed during a solve; the
+    /// corresponding result was degraded to [`SmtResult::Unknown`].
+    overflowed: bool,
 }
 
 impl Default for SmtSolver {
@@ -174,7 +177,14 @@ impl SmtSolver {
             form_slack: HashMap::new(),
             tvar_to_svar: Vec::new(),
             names: Vec::new(),
+            overflowed: false,
         }
+    }
+
+    /// True once a solve degraded to `Unknown` because exact rational
+    /// arithmetic overflowed `i128` (resource exhaustion, not a timeout).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
     }
 
     /// Declares a fresh real-valued variable.
@@ -306,31 +316,71 @@ impl SmtSolver {
     }
 
     /// Solves under assumption literals and resource limits.
+    ///
+    /// An `i128` overflow in the simplex (poisoned tableau, or a panic from
+    /// a checked rational operation) degrades the answer to
+    /// [`SmtResult::Unknown`] with [`SmtSolver::overflowed`] raised — the
+    /// process survives resource exhaustion in exact arithmetic.
     pub fn solve_limited(&mut self, assumptions: &[Lit], limits: Limits) -> SmtResult {
-        let mut hook = LraHook {
-            atoms: &self.atoms,
-            simplex: &mut self.simplex,
-        };
-        match self.sat.solve_with_theory(assumptions, &mut hook, limits) {
-            SolveResult::Sat(bools) => {
-                // The simplex still holds the bounds of the accepted model;
-                // concretize δ and read off real values.
-                let delta = self.simplex.concrete_delta();
-                let reals = self
-                    .tvar_to_svar
-                    .iter()
-                    .map(|&sv| self.simplex.value(sv).at(delta))
-                    .collect();
-                SmtResult::Sat(SmtModel { bools, reals })
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut hook = LraHook {
+                atoms: &self.atoms,
+                simplex: &mut self.simplex,
+            };
+            match self.sat.solve_with_theory(assumptions, &mut hook, limits) {
+                SolveResult::Sat(bools) => {
+                    if self.simplex.overflowed() {
+                        // The theory hook had to wave the model through to
+                        // stop the search; the valuation is garbage.
+                        return SmtResult::Unknown;
+                    }
+                    // The simplex still holds the bounds of the accepted
+                    // model; concretize δ and read off real values.
+                    let delta = self.simplex.concrete_delta();
+                    let reals = self
+                        .tvar_to_svar
+                        .iter()
+                        .map(|&sv| self.simplex.value(sv).at(delta))
+                        .collect();
+                    SmtResult::Sat(SmtModel { bools, reals })
+                }
+                SolveResult::Unsat => SmtResult::Unsat,
+                SolveResult::Unknown => SmtResult::Unknown,
             }
-            SolveResult::Unsat => SmtResult::Unsat,
-            SolveResult::Unknown => SmtResult::Unknown,
+        }));
+        match outcome {
+            Ok(res) => {
+                if self.simplex.overflowed() {
+                    self.overflowed = true;
+                }
+                res
+            }
+            Err(payload) => {
+                // Only swallow overflow panics from checked rational
+                // arithmetic; anything else is a genuine bug.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+                if msg.is_some_and(|m| m.contains("rational overflow")) {
+                    self.overflowed = true;
+                    SmtResult::Unknown
+                } else {
+                    std::panic::resume_unwind(payload)
+                }
+            }
         }
     }
 
     /// Cumulative statistics from the underlying SAT core.
     pub fn sat_stats(&self) -> verdict_sat::Stats {
         self.sat.stats()
+    }
+
+    /// Clause-arena size of the underlying SAT core (for resource-ceiling
+    /// diagnostics; see [`verdict_sat::Limits::max_clauses`]).
+    pub fn num_clauses(&self) -> usize {
+        self.sat.num_clauses()
     }
 
     /// Pivot count from the simplex core.
@@ -364,6 +414,10 @@ impl TheoryHook for LraHook<'_> {
         match self.simplex.check() {
             SimplexResult::Sat => TheoryVerdict::Consistent,
             SimplexResult::Conflict(expl) => TheoryVerdict::Lemma(negate_all(&expl)),
+            // There is no "abort" verdict; accept the Boolean model so the
+            // search ends, and let the driver notice the poisoned tableau
+            // and degrade to Unknown.
+            SimplexResult::Overflow => TheoryVerdict::Consistent,
         }
     }
 }
@@ -512,6 +566,21 @@ mod tests {
         let le = smt.atom(LinExpr::var(x), Rel::Lt, r(0, 1));
         smt.assert_formula(le);
         assert!(matches!(smt.solve(), SmtResult::Unsat));
+    }
+
+    #[test]
+    fn rational_overflow_degrades_to_unknown() {
+        let mut smt = SmtSolver::new();
+        let x = smt.real_var("x");
+        let big = Rational::integer(i128::MAX / 2);
+        let a = smt.atom(LinExpr::var(x), Rel::Ge, big);
+        let b = smt.atom(LinExpr::var(x), Rel::Le, r(1, 3));
+        smt.assert_formula(a.and(b));
+        // Comparing the two bounds multiplies i128::MAX/2 by 3 — overflow.
+        // The solver must degrade gracefully, not abort the process.
+        let result = smt.solve();
+        assert!(matches!(result, SmtResult::Unknown), "{result:?}");
+        assert!(smt.overflowed());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod bits;
 pub mod explicit;
 pub mod expr;
 pub mod property;
+pub mod replay;
 pub mod sorts;
 pub mod system;
 pub mod trace;

@@ -14,7 +14,7 @@
 use verdict::prelude::*;
 
 fn main() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
     println!(
         "model: {} ({} state vars, {} links, {} service nodes)",
         model.system.name(),

@@ -15,4 +15,23 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
 fi
 
+# Certified verdicts on the case-study examples: every counterexample must
+# replay through the reference interpreter and every proof must survive
+# its independent re-check — any certificate rejection fails the gate.
+# (Exit 2 = property violated, which the examples are; only exit 1 is an
+# error.)
+for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
+    status=0
+    out=$(./target/release/verdict check "$model" --certify --json) || status=$?
+    if [[ $status != 0 && $status != 2 ]]; then
+        echo "check.sh: verdict check failed on $model (exit $status)" >&2
+        exit 1
+    fi
+    if grep -q '"certificate":"rejected"' <<<"$out"; then
+        echo "check.sh: certificate REJECTED on $model" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+
 echo "check.sh: all green"

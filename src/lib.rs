@@ -18,7 +18,7 @@
 //! use verdict::prelude::*;
 //!
 //! // A rollout controller on the paper's 5-node "test" topology.
-//! let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+//! let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
 //! // The paper's Fig. 5 setting: p = m = 1, k = 2 — violated.
 //! let system = model.pinned(1, 2, 1);
 //! let verifier = Verifier::new(&system).options(CheckOptions::with_depth(8));

@@ -34,7 +34,7 @@ fn figure2_oscillation() {
 /// topology; `k ≤ 1` is safe; synthesis suggests `p ∈ {1, 2}`.
 #[test]
 fn case_study_1() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
 
     // Fig. 5 falsification.
     let r = bmc::check_invariant(
@@ -121,7 +121,7 @@ fn kubernetes_issue_models() {
 fn figure6_shape_smallest() {
     for topo in [Topology::test_topology(), Topology::fat_tree(4)] {
         let name = topo.name.clone();
-        let model = RolloutModel::build(&RolloutSpec::paper(topo));
+        let model = RolloutModel::build(&RolloutSpec::paper(topo)).expect("valid topology");
         for (k, expect_holds) in [(0i64, true), (1, true), (2, false)] {
             let r = kind::prove_invariant(
                 &model.pinned(1, k, 1),

@@ -15,7 +15,7 @@ fn sweep_model() -> RolloutModel {
         m_max: 1,
         ..RolloutSpec::paper(Topology::test_topology())
     };
-    RolloutModel::build(&spec)
+    RolloutModel::build(&spec).expect("valid topology")
 }
 
 #[test]
@@ -97,7 +97,7 @@ fn first_safe_sweep_reports_a_genuinely_safe_assignment() {
 
 #[test]
 fn portfolio_agrees_with_sequential_engines_on_case_study_1() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()));
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
     // (p, k, m, expected violated) — the paper's Fig. 5 configuration and
     // a safe one.
     for (p, k, m, expect_violated) in [(1, 2, 1, true), (0, 0, 1, false)] {
