@@ -246,10 +246,7 @@ impl BddManager {
         if let Some(&r) = self.ite_cache.get(&key) {
             return r;
         }
-        let v = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let v = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
@@ -461,12 +458,7 @@ impl BddManager {
         // where topv(constant) = total_vars.
         let topv = |b: Bdd| self.top_var(b).min(total_vars);
         let mut cache: HashMap<Bdd, f64> = HashMap::new();
-        fn go(
-            m: &BddManager,
-            b: Bdd,
-            total: u32,
-            cache: &mut HashMap<Bdd, f64>,
-        ) -> f64 {
+        fn go(m: &BddManager, b: Bdd, total: u32, cache: &mut HashMap<Bdd, f64>) -> f64 {
             if b == Bdd::FALSE {
                 return 0.0;
             }

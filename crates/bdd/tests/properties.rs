@@ -71,14 +71,14 @@ fn formula(n: u32, depth: u32) -> BoxedStrategy<F> {
     leaf.prop_recursive(depth, 64, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(|f| F::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| F::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| F::Ite(Box::new(c), Box::new(t), Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| F::Ite(
+                Box::new(c),
+                Box::new(t),
+                Box::new(e)
+            )),
         ]
     })
     .boxed()

@@ -57,16 +57,16 @@ fn sat_pigeonhole() {
 fn smt_simplex() {
     bench("smt_lra_chain", 20, || {
         let mut smt = SmtSolver::new();
-        let vars: Vec<_> = (0..12)
-            .map(|i| smt.real_var(&format!("x{i}")))
-            .collect();
+        let vars: Vec<_> = (0..12).map(|i| smt.real_var(&format!("x{i}"))).collect();
         // Chain: x0 >= 1, x_{i+1} >= x_i + 1/2, sum cap forces UNSAT.
         let mut fs = vec![smt.atom(LinExpr::var(vars[0]), Rel::Ge, Rational::ONE)];
         for w in vars.windows(2) {
             let diff = LinExpr::var(w[1]) - LinExpr::var(w[0]);
             fs.push(smt.atom(diff, Rel::Ge, Rational::new(1, 2)));
         }
-        let total = vars.iter().fold(LinExpr::zero(), |acc, &v| acc + LinExpr::var(v));
+        let total = vars
+            .iter()
+            .fold(LinExpr::zero(), |acc, &v| acc + LinExpr::var(v));
         fs.push(smt.atom(total, Rel::Le, Rational::integer(10)));
         for f in fs {
             smt.assert_formula(f);
@@ -88,8 +88,7 @@ fn bmc_depth() {
         )));
         let p = Expr::var(n).lt(Expr::int(depth as i64));
         bench(&format!("bmc_counter_depth/{depth}"), 10, || {
-            let r = bmc::check_invariant(&sys, &p, &CheckOptions::with_depth(depth + 1))
-                .unwrap();
+            let r = bmc::check_invariant(&sys, &p, &CheckOptions::with_depth(depth + 1)).unwrap();
             assert!(r.violated());
         });
     }
@@ -98,17 +97,18 @@ fn bmc_depth() {
 /// The Fig. 6 unit of work: falsify and verify the rollout property on
 /// the test topology.
 fn rollout_check() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()))
+        .expect("valid topology");
     let falsify = model.pinned(1, 2, 1);
     bench("rollout_test_falsify", 10, || {
-        let r = bmc::check_invariant(&falsify, &model.property, &CheckOptions::with_depth(8))
-            .unwrap();
+        let r =
+            bmc::check_invariant(&falsify, &model.property, &CheckOptions::with_depth(8)).unwrap();
         assert!(r.violated());
     });
     let verify = model.pinned(1, 1, 1);
     bench("rollout_test_verify", 5, || {
-        let r = kind::prove_invariant(&verify, &model.property, &CheckOptions::with_depth(24))
-            .unwrap();
+        let r =
+            kind::prove_invariant(&verify, &model.property, &CheckOptions::with_depth(24)).unwrap();
         assert!(r.holds());
     });
 }

@@ -39,20 +39,14 @@ fn main() {
 
             let sys = model.pinned(1, k_fail, 1);
             let opts = CheckOptions::with_depth(8).with_timeout(timeout);
-            let (fres, ftime) = timed(|| {
-                bmc::check_invariant(&sys, &model.property, &opts).unwrap()
-            });
+            let (fres, ftime) =
+                timed(|| bmc::check_invariant(&sys, &model.property, &opts).unwrap());
 
             let sys = model.pinned(1, 0, 1);
             let opts = CheckOptions::with_depth(32).with_timeout(timeout);
-            let (vres, vtime) = timed(|| {
-                kind::prove_invariant(&sys, &model.property, &opts).unwrap()
-            });
-            results.push(format!(
-                "{} / {}",
-                fmt_duration(ftime),
-                fmt_duration(vtime)
-            ));
+            let (vres, vtime) =
+                timed(|| kind::prove_invariant(&sys, &model.property, &opts).unwrap());
+            results.push(format!("{} / {}", fmt_duration(ftime), fmt_duration(vtime)));
             verdicts.push((fres.violated(), vres.holds()));
         }
         assert_eq!(

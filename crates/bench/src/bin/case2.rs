@@ -29,8 +29,7 @@ fn main() {
         ("equilibrium -> F G stable", &model.conditional_liveness),
     ] {
         let (result, took) = timed(|| {
-            smtbmc::check_ltl(&model.system, phi, &CheckOptions::with_depth(depth))
-                .unwrap()
+            smtbmc::check_ltl(&model.system, phi, &CheckOptions::with_depth(depth)).unwrap()
         });
         println!("{name}  ({}):", fmt_duration(took));
         let Some(trace) = result.trace() else {

@@ -17,7 +17,8 @@ use verdict_ts::explicit::eval_state;
 use verdict_ts::Expr;
 
 fn main() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()))
+        .expect("valid topology");
     println!(
         "Case study 1: update rollout + network partition (test topology: \
          5 nodes, 5 links, 4 service nodes)\n"
@@ -26,8 +27,7 @@ fn main() {
     // ---- Fig. 5 counterexample -----------------------------------------
     let sys = model.pinned(1, 2, 1);
     let (result, took) = timed(|| {
-        bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(10))
-            .unwrap()
+        bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(10)).unwrap()
     });
     println!("p = 1, k = 2, m = 1  ({}):", fmt_duration(took));
     let trace = result.trace().expect("the paper's Fig. 5 violation");
@@ -49,12 +49,11 @@ fn main() {
     // The paper's figure shows the failure unfolding step by step; with at
     // most one new link failure per transition the counterexample matches
     // that storyboard.
-    let gradual =
-        RolloutModel::build(&RolloutSpec::paper_gradual(Topology::test_topology())).expect("valid topology");
+    let gradual = RolloutModel::build(&RolloutSpec::paper_gradual(Topology::test_topology()))
+        .expect("valid topology");
     let sys = gradual.pinned(1, 2, 1);
     let (result, took) = timed(|| {
-        bmc::check_invariant(&sys, &gradual.property, &CheckOptions::with_depth(10))
-            .unwrap()
+        bmc::check_invariant(&sys, &gradual.property, &CheckOptions::with_depth(10)).unwrap()
     });
     if let Some(trace) = result.trace() {
         print!(
@@ -71,13 +70,16 @@ fn main() {
     for (p, k, m) in [(1i64, 0i64, 1i64), (1, 1, 1), (2, 1, 1)] {
         let sys = model.pinned(p, k, m);
         let (result, took) = timed(|| {
-            kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(24))
-                .unwrap()
+            kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(24)).unwrap()
         });
         println!(
             "\np = {p}, k = {k}, m = {m}  ({}): {}",
             fmt_duration(took),
-            if result.holds() { "HOLDS" } else { "violated/unknown" }
+            if result.holds() {
+                "HOLDS"
+            } else {
+                "violated/unknown"
+            }
         );
     }
 

@@ -61,8 +61,14 @@ fn main() {
     );
     println!(
         "{:<10} {:>6} {:>6} {:>8} | {:>18} | {:>14} {:>14} {:>14}",
-        "topology", "nodes", "links", "service",
-        "falsify (k_fail)", "verify k=0", "verify k=1", "verify k=2"
+        "topology",
+        "nodes",
+        "links",
+        "service",
+        "falsify (k_fail)",
+        "verify k=0",
+        "verify k=1",
+        "verify k=2"
     );
 
     // (topology builder, k needed to disconnect the front-end)
@@ -95,9 +101,7 @@ fn main() {
         // failures allowed to cut off the front-end.
         let sys = model.pinned(1, k_fail, 1);
         let opts = CheckOptions::with_depth(depth).with_timeout(timeout);
-        let (res, took) = timed(|| {
-            bmc::check_invariant(&sys, &model.property, &opts).unwrap()
-        });
+        let (res, took) = timed(|| bmc::check_invariant(&sys, &model.property, &opts).unwrap());
         let falsify = format!("{} {} (k={k_fail})", outcome(&res), fmt_duration(took));
 
         // Verification runs for k = 0, 1, 2 (k-induction; complete for

@@ -46,7 +46,12 @@ fn main() {
         .and_then(|d| d.parse().ok())
         .unwrap_or(10);
     let out: PathBuf = flag_value("--out").map_or_else(
-        || PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json")),
+        || {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_parallel.json"
+            ))
+        },
         PathBuf::from,
     );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -72,16 +77,13 @@ fn main() {
     let engine = SynthesisEngine::KInduction;
 
     let seq_opts = CheckOptions::with_depth(depth).with_jobs(1);
-    let (seq, seq_wall) = timed(|| {
-        synthesize(&model.system, &params, &prop, engine, &seq_opts).unwrap()
-    });
+    let (seq, seq_wall) =
+        timed(|| synthesize(&model.system, &params, &prop, engine, &seq_opts).unwrap());
     let par_opts = CheckOptions::with_depth(depth).with_jobs(jobs);
-    let (par, par_wall) = timed(|| {
-        synthesize(&model.system, &params, &prop, engine, &par_opts).unwrap()
-    });
-    let (first_safe, fs_wall) = timed(|| {
-        synthesize_first_safe(&model.system, &params, &prop, engine, &par_opts).unwrap()
-    });
+    let (par, par_wall) =
+        timed(|| synthesize(&model.system, &params, &prop, engine, &par_opts).unwrap());
+    let (first_safe, fs_wall) =
+        timed(|| synthesize_first_safe(&model.system, &params, &prop, engine, &par_opts).unwrap());
     assert_eq!(seq.verdicts.len(), par.verdicts.len());
     for (a, b) in seq.verdicts.iter().zip(&par.verdicts) {
         assert_eq!(a.values, b.values, "sharding must not reorder verdicts");
@@ -112,9 +114,16 @@ fn main() {
     );
 
     // ---- Experiment 2: portfolio racing on Fig. 5/6 configurations. ---
-    let paper_model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
-    let configs: [(i64, i64, i64); 6] =
-        [(1, 2, 1), (0, 0, 1), (1, 0, 1), (1, 1, 1), (2, 0, 3), (2, 1, 1)];
+    let paper_model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()))
+        .expect("valid topology");
+    let configs: [(i64, i64, i64); 6] = [
+        (1, 2, 1),
+        (0, 0, 1),
+        (1, 0, 1),
+        (1, 1, 1),
+        (2, 0, 3),
+        (2, 1, 1),
+    ];
     let mut histogram: Vec<(Engine, usize)> = Vec::new();
     let mut config_rows = String::new();
     println!("portfolio racing (bmc vs kind vs bdd), per configuration:");

@@ -12,6 +12,7 @@
 //! | `case2` | Case study 2 — LB+ECMP liveness lassos (§4.2) |
 //! | `fig1_dot` | Fig. 1 — interaction graph, DOT rendering |
 //! | `parallel` | parallel layer: sweep sharding + portfolio racing → `BENCH_parallel.json` |
+//! | `synth` | clone vs incremental (assumption-pinned) synthesis sweep → `BENCH_synth.json` |
 
 use std::time::{Duration, Instant};
 

@@ -11,7 +11,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use verdict_dsl::{parse, CompiledProperty};
-use verdict_mc::{certify, CheckOptions, CheckResult, Engine, PropertyKind, Verifier};
+use verdict_mc::{
+    certify, CheckOptions, CheckResult, Engine, PropertyKind, UnknownReason, Verifier,
+};
 
 const USAGE: &str = "\
 verdict — symbolic model checking for self-driving infrastructure control
@@ -39,6 +41,13 @@ OPTIONS (check/synth):
                        (synth assignment sweep)  [default: all cores]
     --first-safe       synth only: stop at the first SAFE assignment,
                        cancelling the rest of the sweep
+    --incremental      synth only: pin assignments with assumption
+                       literals over one shared unrolling so each worker
+                       keeps one solver for its whole sweep (learned
+                       clauses carry over, unsat cores prune parameters
+                       that don't matter). Default for invariant
+                       properties under the k-induction engine
+    --no-incremental   synth only: force the clone-per-assignment sweep
     --certify          independently validate every verdict: replay
                        counterexamples through the reference interpreter,
                        re-check proofs with fresh proof-logged SAT queries;
@@ -110,6 +119,16 @@ fn options_from(args: &[String]) -> Result<CheckOptions, String> {
     if args.iter().any(|a| a == "--certify") {
         opts = opts.with_certify();
     }
+    let incremental = args.iter().any(|a| a == "--incremental");
+    let no_incremental = args.iter().any(|a| a == "--no-incremental");
+    if incremental && no_incremental {
+        return Err("--incremental and --no-incremental are mutually exclusive".to_string());
+    }
+    if incremental {
+        opts = opts.with_incremental(true);
+    } else if no_incremental {
+        opts = opts.with_incremental(false);
+    }
     Ok(opts)
 }
 
@@ -135,10 +154,13 @@ fn json_str(s: &str) -> String {
 }
 
 /// The coarse verdict bucket used in JSON output and the exit code.
+/// Cooperatively-cancelled slots (a first-safe sweep skipping its tail)
+/// get their own tag: they are skipped on purpose, not failed.
 fn verdict_tag(r: &CheckResult) -> &'static str {
     match r {
         CheckResult::Holds => "safe",
         CheckResult::Violated(_) => "unsafe",
+        CheckResult::Unknown(UnknownReason::Cancelled) => "cancelled",
         CheckResult::Unknown(_) => "unknown",
     }
 }
@@ -337,9 +359,7 @@ fn synth(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let prop = match property {
-        CompiledProperty::Invariant(p) => {
-            verdict_mc::params::Property::Invariant(p.clone())
-        }
+        CompiledProperty::Invariant(p) => verdict_mc::params::Property::Invariant(p.clone()),
         CompiledProperty::Ltl(f) => verdict_mc::params::Property::Ltl(f.clone()),
         CompiledProperty::Ctl(_) => {
             eprintln!("synth supports invariant and ltl properties");
@@ -379,8 +399,7 @@ fn synth(args: &[String]) -> ExitCode {
                         )
                     })
                     .collect();
-                let names: Vec<String> =
-                    result.param_names.iter().map(|n| json_str(n)).collect();
+                let names: Vec<String> = result.param_names.iter().map(|n| json_str(n)).collect();
                 println!(
                     "{{\"command\":\"synth\",\"model\":{},\"property\":{},\"params\":[{}],\"verdicts\":[{}],\"wall_ms\":{}}}",
                     json_str(path),
@@ -458,7 +477,10 @@ fn blast(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(None) => {
-            println!("event `{event_src}` not reachable within {} steps", opts.max_depth);
+            println!(
+                "event `{event_src}` not reachable within {} steps",
+                opts.max_depth
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -109,9 +109,7 @@ pub fn compile(ast: &SystemAst, source: &str) -> Result<CompiledModel, ParseErro
     }
     for (name, e, offset) in &ast.defines {
         if ctx.vars.contains_key(name) || ctx.defines.contains_key(name) {
-            return Err(
-                ctx.error(*offset, format!("`{name}` is already defined"))
-            );
+            return Err(ctx.error(*offset, format!("`{name}` is already defined")));
         }
         let compiled = ctx.expr(e)?;
         ctx.defines.insert(name.clone(), compiled);
@@ -205,9 +203,7 @@ impl Ctx<'_> {
             TypeAst::Real => Sort::Real,
             TypeAst::Range(lo, hi) => {
                 if lo > hi {
-                    return Err(
-                        self.error(decl.offset, format!("empty range {lo}..{hi}"))
-                    );
+                    return Err(self.error(decl.offset, format!("empty range {lo}..{hi}")));
                 }
                 Sort::int(*lo, *hi)
             }
@@ -226,9 +222,7 @@ impl Ctx<'_> {
                         Some(existing) => {
                             // Same sort (structural) re-registering is fine;
                             // different sorts make the name ambiguous.
-                            let same = existing
-                                .as_ref()
-                                .is_some_and(|(s, _)| s.name == sort.name);
+                            let same = existing.as_ref().is_some_and(|(s, _)| s.name == sort.name);
                             if !same {
                                 *existing = None;
                             }
@@ -276,9 +270,7 @@ impl Ctx<'_> {
             ExprAst::Not(inner) => {
                 let (x, k) = self.expr(inner)?;
                 if k != Kind::Bool {
-                    return Err(
-                        self.error(inner.offset(), "`!` expects a boolean operand")
-                    );
+                    return Err(self.error(inner.offset(), "`!` expects a boolean operand"));
                 }
                 Ok((x.not(), Kind::Bool))
             }
@@ -321,12 +313,7 @@ impl Ctx<'_> {
         }
     }
 
-    fn resolve(
-        &self,
-        name: &str,
-        offset: usize,
-        next: bool,
-    ) -> Result<(Expr, Kind), ParseError> {
+    fn resolve(&self, name: &str, offset: usize, next: bool) -> Result<(Expr, Kind), ParseError> {
         if let Some(&v) = self.vars.get(name) {
             let kind = match self.system.sort_of(v) {
                 Sort::Bool => Kind::Bool,
@@ -375,12 +362,8 @@ impl Ctx<'_> {
             // Integer literals coerce into real contexts.
             (Real, IntLit(n)) => (a, Expr::real(Rational::integer(n as i128)), Real),
             (IntLit(n), Real) => (Expr::real(Rational::integer(n as i128)), b, Real),
-            (RatLit(r), IntLit(n)) => {
-                (a, Expr::real(Rational::integer(n as i128)), RatLit(r))
-            }
-            (IntLit(n), RatLit(_)) => {
-                (Expr::real(Rational::integer(n as i128)), b, Real)
-            }
+            (RatLit(r), IntLit(n)) => (a, Expr::real(Rational::integer(n as i128)), RatLit(r)),
+            (IntLit(n), RatLit(_)) => (Expr::real(Rational::integer(n as i128)), b, Real),
             (Enum(x), Enum(y)) if x == y => (a, b, Enum(x)),
             (ka, kb) => {
                 return Err(self.error(
@@ -404,10 +387,7 @@ impl Ctx<'_> {
         match op {
             BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff => {
                 if ka != Kind::Bool || kb != Kind::Bool {
-                    return Err(self.error(
-                        offset,
-                        "boolean connective expects boolean operands",
-                    ));
+                    return Err(self.error(offset, "boolean connective expects boolean operands"));
                 }
                 let e = match op {
                     BinOp::And => ea.and(eb),
@@ -430,9 +410,7 @@ impl Ctx<'_> {
             BinOp::Le | BinOp::Lt | BinOp::Ge | BinOp::Gt => {
                 let (ea, eb, k) = self.unify(ea, ka, eb, kb, offset)?;
                 if matches!(k, Kind::Bool | Kind::Enum(_)) {
-                    return Err(
-                        self.error(offset, "comparison expects numeric operands")
-                    );
+                    return Err(self.error(offset, "comparison expects numeric operands"));
                 }
                 let e = match op {
                     BinOp::Le => ea.le(eb),
@@ -465,8 +443,12 @@ impl Ctx<'_> {
             BinOp::Mul => {
                 // Linear arithmetic: at least one side constant.
                 match (ka.clone(), kb.clone()) {
-                    (Kind::IntLit(n), _) => self.scale(eb, kb, Rational::integer(n as i128), offset),
-                    (_, Kind::IntLit(n)) => self.scale(ea, ka, Rational::integer(n as i128), offset),
+                    (Kind::IntLit(n), _) => {
+                        self.scale(eb, kb, Rational::integer(n as i128), offset)
+                    }
+                    (_, Kind::IntLit(n)) => {
+                        self.scale(ea, ka, Rational::integer(n as i128), offset)
+                    }
                     (Kind::RatLit(r), _) => self.scale(eb, kb, r, offset),
                     (_, Kind::RatLit(r)) => self.scale(ea, ka, r, offset),
                     _ => Err(self.error(
@@ -479,12 +461,8 @@ impl Ctx<'_> {
                 Kind::IntLit(n) if n != 0 => {
                     self.scale(ea, ka, Rational::new(1, n as i128), offset)
                 }
-                Kind::RatLit(r) if !r.is_zero() => {
-                    self.scale(ea, ka, r.recip(), offset)
-                }
-                Kind::IntLit(_) | Kind::RatLit(_) => {
-                    Err(self.error(offset, "division by zero"))
-                }
+                Kind::RatLit(r) if !r.is_zero() => self.scale(ea, ka, r.recip(), offset),
+                Kind::IntLit(_) | Kind::RatLit(_) => Err(self.error(offset, "division by zero")),
                 _ => Err(self.error(
                     offset,
                     "`/` needs a constant divisor (linear arithmetic only)",
@@ -543,9 +521,7 @@ impl Ctx<'_> {
                     BinOp::And => a.and(b),
                     BinOp::Or => a.or(b),
                     BinOp::Implies => a.implies(b),
-                    BinOp::Iff => {
-                        a.clone().implies(b.clone()).and(b.implies(a))
-                    }
+                    BinOp::Iff => a.clone().implies(b.clone()).and(b.implies(a)),
                     _ => unreachable!("parser only builds connectives"),
                 }
             }
@@ -662,10 +638,7 @@ mod tests {
 
     #[test]
     fn linearity_enforced() {
-        let e = parse(
-            "system nl { var x : real; var y : real; init x * y > 1; }",
-        )
-        .unwrap_err();
+        let e = parse("system nl { var x : real; var y : real; init x * y > 1; }").unwrap_err();
         assert!(e.message.contains("constant factor"), "{e}");
         let e = parse("system nl2 { var x : real; init 1 / x > 1; }").unwrap_err();
         assert!(e.message.contains("constant divisor"), "{e}");
@@ -721,10 +694,7 @@ mod tests {
         assert_eq!(m.system.num_vars(), 3);
         // Redefinition and define/var clashes are errors.
         assert!(parse("system d { var a : bool; define a = true; }").is_err());
-        assert!(parse(
-            "system d { define x = true; define x = false; }"
-        )
-        .is_err());
+        assert!(parse("system d { define x = true; define x = false; }").is_err());
         // Defines can reference earlier defines.
         let m = parse(
             "system d2 {
@@ -762,11 +732,14 @@ mod tests {
              invar (if c then 2 else 3) + n <= 10; }"
         )
         .is_ok());
-        assert!(parse(
-            "system k3 { var c : bool; var n : 0..7; \
+        assert!(
+            parse(
+                "system k3 { var c : bool; var n : 0..7; \
              invar n * (if c then 2 else 3) <= 10; }"
-        )
-        .is_err(), "non-constant factor must be rejected");
+            )
+            .is_err(),
+            "non-constant factor must be rejected"
+        );
     }
 
     #[test]

@@ -198,9 +198,7 @@ impl Parser<'_> {
             {
                 sys.properties.push(self.property()?);
             } else {
-                return Err(self.error_here(
-                    "expected declaration, constraint, property, or `}`",
-                ));
+                return Err(self.error_here("expected declaration, constraint, property, or `}`"));
             }
         }
         Ok(sys)
@@ -420,15 +418,15 @@ impl Parser<'_> {
             Some(TokenKind::Decimal(text)) => {
                 self.pos += 1;
                 // "12.5" -> 125/10, exact.
-                let (int_part, frac_part) =
-                    text.split_once('.').expect("decimal has a dot");
+                let (int_part, frac_part) = text.split_once('.').expect("decimal has a dot");
                 let scale = 10i128.pow(frac_part.len() as u32);
-                let num: i128 = int_part.parse::<i128>().map_err(|_| {
-                    self.error_here("decimal out of range")
-                })? * scale
-                    + frac_part.parse::<i128>().map_err(|_| {
-                        self.error_here("decimal out of range")
-                    })?;
+                let num: i128 = int_part
+                    .parse::<i128>()
+                    .map_err(|_| self.error_here("decimal out of range"))?
+                    * scale
+                    + frac_part
+                        .parse::<i128>()
+                        .map_err(|_| self.error_here("decimal out of range"))?;
                 Ok(ExprAst::Rational(num, scale, offset))
             }
             Some(TokenKind::LParen) => {
@@ -625,8 +623,7 @@ impl Parser<'_> {
         }
         for (kw, exists) in [("E", true), ("A", false)] {
             if self.peek_keyword(kw)
-                && self.tokens.get(self.pos + 1).map(|t| &t.kind)
-                    == Some(&TokenKind::LBracket)
+                && self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LBracket)
             {
                 self.pos += 2;
                 let lhs = self.ctl()?;
@@ -660,8 +657,7 @@ mod tests {
 
     #[test]
     fn minimal_system() {
-        let sys = parse("system s { var x : bool; init x; trans next(x) = !x; }")
-            .unwrap();
+        let sys = parse("system s { var x : bool; init x; trans next(x) = !x; }").unwrap();
         assert_eq!(sys.name, "s");
         assert_eq!(sys.decls.len(), 1);
         assert_eq!(sys.init.len(), 1);

@@ -4,8 +4,7 @@ use verdict_dsl::{parse, CompiledProperty};
 use verdict_mc::{CheckOptions, Verifier};
 
 fn check(model: &verdict_dsl::CompiledModel, name: &str) -> verdict_mc::CheckResult {
-    let verifier =
-        Verifier::new(&model.system).options(CheckOptions::with_depth(24));
+    let verifier = Verifier::new(&model.system).options(CheckOptions::with_depth(24));
     match model.property(name).expect("property exists") {
         CompiledProperty::Invariant(p) => verifier.check_invariant(p).unwrap(),
         CompiledProperty::Ltl(f) => verifier.check_ltl(f).unwrap(),
@@ -31,7 +30,11 @@ fn counter_properties_verified() {
     .unwrap();
     assert!(check(&m, "in_range").holds());
     let r = check(&m, "wrong");
-    assert_eq!(r.trace().unwrap().len(), 7, "0..=6 then 6 -> violation at 6");
+    assert_eq!(
+        r.trace().unwrap().len(),
+        7,
+        "0..=6 then 6 -> violation at 6"
+    );
     assert!(check(&m, "saturates").holds());
     assert!(check(&m, "reach_top").holds());
     assert!(check(&m, "never_nine").violated());
@@ -56,10 +59,7 @@ fn parameterized_dsl_model_synthesis() {
     };
     let verifier = Verifier::new(&m.system);
     let result = verifier
-        .synthesize_params(
-            &[p],
-            &verdict_mc::params::Property::Invariant(inv.clone()),
-        )
+        .synthesize_params(&[p], &verdict_mc::params::Property::Invariant(inv.clone()))
         .unwrap();
     // p = 1 hits 5; p = 2 and p = 3 skip it.
     assert_eq!(result.safe().len(), 2, "{result}");

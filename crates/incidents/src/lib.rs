@@ -148,8 +148,7 @@ pub fn table1_of(incidents: &[Incident]) -> Table1 {
         .iter()
         .filter(|i| i.provider == Provider::Aws)
         .collect();
-    let count =
-        |xs: &[&Incident], f: fn(&Incident) -> bool| xs.iter().filter(|i| f(i)).count();
+    let count = |xs: &[&Incident], f: fn(&Incident) -> bool| xs.iter().filter(|i| f(i)).count();
     type Characteristic = (&'static str, fn(&Incident) -> bool);
     let characteristics: [Characteristic; 4] = [
         ("Dynamic control", |i| i.dynamic_control),
@@ -218,28 +217,21 @@ mod tests {
 
     #[test]
     fn documented_incidents_are_not_reconstructed() {
-        let real: Vec<&Incident> =
-            INCIDENTS.iter().filter(|i| !i.reconstructed).collect();
+        let real: Vec<&Incident> = INCIDENTS.iter().filter(|i| !i.reconstructed).collect();
         assert_eq!(real.len(), 2);
         let ids: Vec<&str> = real.iter().map(|i| i.id).collect();
         assert!(ids.contains(&"google-stackdriver-19007"));
         assert!(ids.contains(&"google-bigquery-18037"));
         // #19007 exhibits all four characteristics; #18037 all but
         // cross-layer — exactly as the paper describes.
-        let i19007 = real
-            .iter()
-            .find(|i| i.id.contains("19007"))
-            .unwrap();
+        let i19007 = real.iter().find(|i| i.id.contains("19007")).unwrap();
         assert!(
             i19007.dynamic_control
                 && i19007.nontrivial_interactions
                 && i19007.quantitative_metrics
                 && i19007.cross_layer
         );
-        let i18037 = real
-            .iter()
-            .find(|i| i.id.contains("18037"))
-            .unwrap();
+        let i18037 = real.iter().find(|i| i.id.contains("18037")).unwrap();
         assert!(
             i18037.dynamic_control
                 && i18037.nontrivial_interactions

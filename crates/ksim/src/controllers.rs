@@ -28,10 +28,7 @@ impl ClusterState {
             .iter()
             .filter(|p| {
                 p.node == Some(node)
-                    && matches!(
-                        p.phase,
-                        PodPhase::Running | PodPhase::Terminating { .. }
-                    )
+                    && matches!(p.phase, PodPhase::Running | PodPhase::Terminating { .. })
             })
             .map(|p| p.cpu_request)
             .sum()
@@ -255,9 +252,7 @@ pub fn descheduler(state: &mut ClusterState, policies: &[DeschedulerPolicy], now
                             .pods
                             .iter()
                             .enumerate()
-                            .filter(|(_, p)| {
-                                p.phase == PodPhase::Running && p.node == Some(n)
-                            })
+                            .filter(|(_, p)| p.phase == PodPhase::Running && p.node == Some(n))
                             .max_by_key(|(i, p)| (p.created_at, *i))
                             .map(|(i, _)| i);
                         if let Some(v) = victim {
@@ -294,7 +289,9 @@ pub fn descheduler(state: &mut ClusterState, policies: &[DeschedulerPolicy], now
 /// tolerate (NoExecute semantics).
 pub fn taint_manager(state: &mut ClusterState, now: u64, grace: u64) {
     for i in 0..state.pods.len() {
-        let Some(n) = state.pods[i].node else { continue };
+        let Some(n) = state.pods[i].node else {
+            continue;
+        };
         if state.pods[i].phase != PodPhase::Running {
             continue;
         }

@@ -1,8 +1,7 @@
 //! The simulation loop and cluster specification.
 
 use crate::controllers::{
-    deployment_controller, descheduler, hpa, rolling_update, scheduler,
-    taint_manager, ClusterState,
+    deployment_controller, descheduler, hpa, rolling_update, scheduler, taint_manager, ClusterState,
 };
 use crate::metrics::Metrics;
 use crate::types::{DeploymentSpec, DeschedulerPolicy, NodeSpec, RolloutStrategy};
@@ -269,10 +268,7 @@ mod tests {
         sim.trigger_rollout(0);
         sim.run_for(60);
         let live = sim.state().live_pods(0).len();
-        assert!(
-            live >= 10,
-            "replica runaway expected, got {live} live pods"
-        );
+        assert!(live >= 10, "replica runaway expected, got {live} live pods");
     }
 
     #[test]

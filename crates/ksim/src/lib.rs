@@ -32,7 +32,5 @@ pub mod workload;
 
 pub use engine::{ClusterSpec, Simulation};
 pub use metrics::Metrics;
-pub use types::{
-    DeploymentSpec, DeschedulerPolicy, NodeSpec, PodPhase, RolloutStrategy,
-};
+pub use types::{DeploymentSpec, DeschedulerPolicy, NodeSpec, PodPhase, RolloutStrategy};
 pub use workload::{WorkloadGen, WorkloadSpec};

@@ -68,8 +68,7 @@ impl WorkloadGen {
     /// Call once per tick, before `sim.step()`.
     pub fn drive(&mut self, sim: &mut Simulation) {
         while sim.now() >= self.next_event {
-            let rescale =
-                self.created > 0 && self.rng.gen_percent(self.spec.rescale_percent);
+            let rescale = self.created > 0 && self.rng.gen_percent(self.spec.rescale_percent);
             if rescale {
                 let target = self.rng.gen_index(sim.state().deployments.len());
                 let replicas = self
@@ -82,17 +81,15 @@ impl WorkloadGen {
                     .rng
                     .gen_range_u64(self.spec.replicas.0.into(), self.spec.replicas.1.into())
                     as u32;
-                let cpu = self
-                    .rng
-                    .gen_range_u64(self.spec.cpu_request.0.into(), self.spec.cpu_request.1.into())
-                    as u32;
+                let cpu = self.rng.gen_range_u64(
+                    self.spec.cpu_request.0.into(),
+                    self.spec.cpu_request.1.into(),
+                ) as u32;
                 let name = format!("wl{}", self.created);
                 sim.add_deployment(DeploymentSpec::new(&name, replicas, cpu));
                 self.created += 1;
             }
-            let gap = 1 + self
-                .rng
-                .gen_range_u64(0, 2 * self.spec.mean_interarrival);
+            let gap = 1 + self.rng.gen_range_u64(0, 2 * self.spec.mean_interarrival);
             self.next_event += gap;
         }
     }
@@ -133,9 +130,7 @@ mod tests {
         assert_eq!(a.state().pods.len(), b.state().pods.len());
         let (c, gc) = run(8, 600);
         // Different seed, different trace (with overwhelming likelihood).
-        assert!(
-            gc.created() != ga.created() || c.state().pods.len() != a.state().pods.len()
-        );
+        assert!(gc.created() != ga.created() || c.state().pods.len() != a.state().pods.len());
     }
 
     #[test]

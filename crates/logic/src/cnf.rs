@@ -158,7 +158,12 @@ impl DimacsError {
 
 impl fmt::Display for DimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DIMACS parse error at line {}: {}", self.line + 1, self.message)
+        write!(
+            f,
+            "DIMACS parse error at line {}: {}",
+            self.line + 1,
+            self.message
+        )
     }
 }
 
@@ -352,8 +357,7 @@ impl Tseitin {
                             (t, e) => {
                                 let t = self.materialize(t);
                                 let e = self.materialize(e);
-                                let key =
-                                    FormulaKey::Ite(c.index(), t.index(), e.index());
+                                let key = FormulaKey::Ite(c.index(), t.index(), e.index());
                                 if let Some(&l) = self.cache.get(&key) {
                                     return EncodedLit::Lit(l);
                                 }
@@ -505,8 +509,7 @@ mod tests {
         assert!(cnf_vars <= 24, "test formula too large to brute force");
         let formula_sat = (0u32..1 << n).any(|bits| f.eval(&|v| bits >> v.0 & 1 == 1));
         let cnf_sat = (0u64..1 << cnf_vars).any(|bits| {
-            let assignment: Vec<bool> =
-                (0..cnf_vars).map(|i| bits >> i & 1 == 1).collect();
+            let assignment: Vec<bool> = (0..cnf_vars).map(|i| bits >> i & 1 == 1).collect();
             cnf.eval(&assignment)
         });
         assert_eq!(formula_sat, cnf_sat, "formula: {f}");

@@ -204,12 +204,7 @@ impl Formula {
         let mut clauses = Vec::new();
         for i in 0..items.len() {
             for j in (i + 1)..items.len() {
-                clauses.push(
-                    items[i]
-                        .clone()
-                        .not()
-                        .or(items[j].clone().not()),
-                );
+                clauses.push(items[i].clone().not().or(items[j].clone().not()));
             }
         }
         Formula::and_all(clauses)
@@ -272,9 +267,7 @@ impl Formula {
         match self {
             Formula::True | Formula::False | Formula::Var(_) => 1,
             Formula::Not(f) => 1 + f.size(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(Formula::size).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
             Formula::Xor(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
             Formula::Ite(c, t, e) => 1 + c.size() + t.size() + e.size(),
         }

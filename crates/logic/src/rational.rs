@@ -161,10 +161,11 @@ impl Rational {
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
-        let num = self
-            .num
-            .checked_mul(lhs_scale)
-            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))?;
+        let num = self.num.checked_mul(lhs_scale).and_then(|a| {
+            rhs.num
+                .checked_mul(rhs_scale)
+                .and_then(|b| a.checked_add(b))
+        })?;
         let den = self.den.checked_mul(lhs_scale)?;
         Some(Rational::new(num, den))
     }
@@ -343,11 +344,8 @@ impl FromStr for Rational {
                 int_part.trim().parse().map_err(|_| bad())?
             };
             let frac: i128 = frac_part.parse().map_err(|_| bad())?;
-            let scale = 10i128
-                .checked_pow(frac_part.len() as u32)
-                .ok_or_else(bad)?;
-            let magnitude =
-                Rational::integer(int.abs()) + Rational::new(frac, scale);
+            let scale = 10i128.checked_pow(frac_part.len() as u32).ok_or_else(bad)?;
+            let magnitude = Rational::integer(int.abs()) + Rational::new(frac, scale);
             Ok(if negative { -magnitude } else { magnitude })
         } else {
             let num: i128 = s.trim().parse().map_err(|_| bad())?;

@@ -92,8 +92,7 @@ fn formula(n: u32, depth: u32) -> BoxedStrategy<Formula> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.iff(b)),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, e)| Formula::ite(c, t, e)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Formula::ite(c, t, e)),
         ]
     })
     .boxed()

@@ -358,8 +358,7 @@ impl<'s> SymbolicSystem<'s> {
                 bits::mul_const(&mut alg, &a, k.numer() as i64)
             }
             Expr::CountTrue(xs) => {
-                let flags: Vec<Bdd> =
-                    xs.iter().map(|x| self.lower_bool(x, seen)).collect();
+                let flags: Vec<Bdd> = xs.iter().map(|x| self.lower_bool(x, seen)).collect();
                 let mut alg = BddAlg(&mut self.man);
                 bits::count_true(&mut alg, &flags)
             }
@@ -386,9 +385,7 @@ impl<'s> SymbolicSystem<'s> {
                     .map(|i| self.man.constant(idx >> i & 1 == 1))
                     .collect()
             }
-            Expr::Var(v) | Expr::Next(v) => {
-                self.var_bits(*v, matches!(e, Expr::Next(_)))
-            }
+            Expr::Var(v) | Expr::Next(v) => self.var_bits(*v, matches!(e, Expr::Next(_))),
             Expr::Ite(c, a, b) => {
                 let c = self.lower_bool(c, seen);
                 let a = self.lower_enum_bits(a, seen);
@@ -468,10 +465,9 @@ impl<'s> SymbolicSystem<'s> {
                 }
                 match self.sys.sort_of(v) {
                     Sort::Bool => Value::Bool(u == 1),
-                    Sort::Enum(en) => Value::Enum(
-                        en.clone(),
-                        (u as u32).min(en.variants.len() as u32 - 1),
-                    ),
+                    Sort::Enum(en) => {
+                        Value::Enum(en.clone(), (u as u32).min(en.variants.len() as u32 - 1))
+                    }
                     Sort::Int { lo, hi } => Value::Int((*lo + u as i64).min(*hi)),
                     Sort::Real => unreachable!(),
                 }
@@ -491,11 +487,7 @@ impl<'s> SymbolicSystem<'s> {
         self.bdd_to_expr_in(b, &mut memo)
     }
 
-    fn bdd_to_expr_in(
-        &mut self,
-        b: Bdd,
-        memo: &mut std::collections::HashMap<Bdd, Expr>,
-    ) -> Expr {
+    fn bdd_to_expr_in(&mut self, b: Bdd, memo: &mut std::collections::HashMap<Bdd, Expr>) -> Expr {
         if b == Bdd::TRUE {
             return Expr::tt();
         }
@@ -517,7 +509,10 @@ impl<'s> SymbolicSystem<'s> {
     /// The predicate "BDD variable `idx` is true" over the system's
     /// variables. Only current-state bits are convertible.
     fn bit_expr(&self, idx: u32) -> Expr {
-        assert!(idx.is_multiple_of(2), "next-state bit in a current-state BDD");
+        assert!(
+            idx.is_multiple_of(2),
+            "next-state bit in a current-state BDD"
+        );
         let pos = (idx / 2) as usize;
         let v = self
             .sys
@@ -537,18 +532,13 @@ impl<'s> SymbolicSystem<'s> {
                     None
                 }
             })),
-            Sort::Enum(en) => {
-                Expr::or_all((0..en.variants.len() as u32).filter_map(|i| {
-                    if i >> j & 1 == 1 {
-                        Some(
-                            Expr::var(v)
-                                .eq(Expr::Const(Value::Enum(en.clone(), i))),
-                        )
-                    } else {
-                        None
-                    }
-                }))
-            }
+            Sort::Enum(en) => Expr::or_all((0..en.variants.len() as u32).filter_map(|i| {
+                if i >> j & 1 == 1 {
+                    Some(Expr::var(v).eq(Expr::Const(Value::Enum(en.clone(), i))))
+                } else {
+                    None
+                }
+            })),
             Sort::Real => unreachable!("finite engine"),
         }
     }
@@ -642,11 +632,7 @@ pub fn check_invariant(
 /// Full CTL model checking: does `phi` hold in every initial state?
 /// Fairness constraints of the system restrict path quantifiers to fair
 /// paths (fair-CTL semantics).
-pub fn check_ctl(
-    sys: &System,
-    phi: &Ctl,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
+pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
     let budget = Budget::new(opts);
     let mut enc = SymbolicSystem::new(sys)?;
     let justice: Vec<Bdd> = sys
@@ -676,22 +662,13 @@ pub fn check_ctl(
 /// States with at least one (fair) infinite path: the Emerson–Lei fixpoint
 /// `gfp Z. space ∧ ⋀_j pre(E[Z U (Z ∧ j)])`, specializing to
 /// `gfp Z. pre(Z)` when there are no justice constraints.
-fn fair_states(
-    enc: &mut SymbolicSystem<'_>,
-    justice: &[Bdd],
-    budget: &Budget,
-) -> Option<Bdd> {
+fn fair_states(enc: &mut SymbolicSystem<'_>, justice: &[Bdd], budget: &Budget) -> Option<Bdd> {
     let space = enc.space;
     eg_fair(enc, space, justice, budget)
 }
 
 /// `E[p U q]` least fixpoint.
-fn eu_fix(
-    enc: &mut SymbolicSystem<'_>,
-    p: Bdd,
-    q: Bdd,
-    budget: &Budget,
-) -> Option<Bdd> {
+fn eu_fix(enc: &mut SymbolicSystem<'_>, p: Bdd, q: Bdd, budget: &Budget) -> Option<Bdd> {
     let mut y = q;
     loop {
         if budget.check_nodes(enc.man.node_count()).is_some() {
@@ -710,12 +687,7 @@ fn eu_fix(
 /// `EG p` greatest fixpoint restricted to fair paths:
 /// `gfp Z. p ∧ ⋀_j pre(E[Z U (Z ∧ j)])` (plain `gfp Z. p ∧ pre(Z)`
 /// without justice).
-fn eg_fair(
-    enc: &mut SymbolicSystem<'_>,
-    p: Bdd,
-    justice: &[Bdd],
-    budget: &Budget,
-) -> Option<Bdd> {
+fn eg_fair(enc: &mut SymbolicSystem<'_>, p: Bdd, justice: &[Bdd], budget: &Budget) -> Option<Bdd> {
     let mut z = p;
     loop {
         if budget.check_nodes(enc.man.node_count()).is_some() {
@@ -794,11 +766,7 @@ fn eval_ctl(
 /// Complete LTL check: tableau product + fair-cycle detection. A violation
 /// exists iff some initial product state starts a fair path; the trace is
 /// recovered by bounded fair-lasso search on the product.
-pub fn check_ltl(
-    sys: &System,
-    phi: &Ltl,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
+pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
     let budget = Budget::new(opts);
     let product = violation_product(sys, phi);
     let mut enc = SymbolicSystem::new(&product.system)?;
@@ -871,16 +839,24 @@ mod tests {
     #[test]
     fn reachability_proves_invariant() {
         let (sys, n) = counter(5);
-        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(5)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(5)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.holds(), "{r}");
     }
 
     #[test]
     fn reachability_finds_shortest_violation() {
         let (sys, n) = counter(5);
-        let r = check_invariant(&sys, &Expr::var(n).lt(Expr::int(3)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).lt(Expr::int(3)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         let t = r.trace().expect("violated");
         assert_eq!(t.len(), 4, "shortest path is 0,1,2,3:\n{t}");
         assert_eq!(t.value(3, "n"), Some(&Value::Int(3)));
@@ -897,8 +873,12 @@ mod tests {
             Expr::int(0),
             Expr::var(n).add(Expr::int(1)),
         )));
-        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(3)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(3)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.holds(), "{r}");
     }
 
@@ -1005,11 +985,19 @@ mod tests {
             Expr::var(n).add(Expr::var(p)),
             Expr::var(n),
         )));
-        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(10)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(10)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.holds(), "{r}");
-        let r = check_invariant(&sys, &Expr::var(n).ne(Expr::int(9)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).ne(Expr::int(9)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.violated(), "p=1 reaches 9: {r}");
     }
 

@@ -80,8 +80,7 @@ pub fn worst_case_after(
     let probe = |bound: i64| -> Result<CheckResult, McError> {
         // Violation of G(seen -> metric > bound) ⇔ metric ≤ bound is
         // reachable after the event.
-        let p = Expr::var(seen)
-            .implies(metric.clone().gt(Expr::int(bound)));
+        let p = Expr::var(seen).implies(metric.clone().gt(Expr::int(bound)));
         crate::bmc::check_invariant(&inst, &p, opts)
     };
 
@@ -92,9 +91,9 @@ pub fn worst_case_after(
         // Holds (proved unreachable) and depth exhaustion both mean "no
         // event within the horizon" — the bounded-analysis answer.
         return match at_all {
-            CheckResult::Unknown(crate::result::UnknownReason::Timeout) => Err(
-                McError("blast-radius probe timed out".to_string()),
-            ),
+            CheckResult::Unknown(crate::result::UnknownReason::Timeout) => {
+                Err(McError("blast-radius probe timed out".to_string()))
+            }
             _ => Ok(None),
         };
     };
@@ -164,7 +163,9 @@ mod tests {
         let (sys, n) = counter();
         let r = worst_case_after(
             &sys,
-            &Expr::var(n).gt(Expr::int(20)).and(Expr::var(n).lt(Expr::int(0))),
+            &Expr::var(n)
+                .gt(Expr::int(20))
+                .and(Expr::var(n).lt(Expr::int(0))),
             &Expr::var(n),
             &CheckOptions::with_depth(6),
         )
@@ -276,8 +277,7 @@ mod tests {
                 let fails = Expr::count_true(failed.iter().map(|&f| Expr::var(f)));
                 sys.add_invar(fails.le(Expr::var(k)));
                 // Layered reachability over 5 nodes.
-                let mut layer: Vec<Expr> =
-                    (0..n_nodes).map(|i| Expr::bool(i == 0)).collect();
+                let mut layer: Vec<Expr> = (0..n_nodes).map(|i| Expr::bool(i == 0)).collect();
                 for _ in 0..n_nodes - 1 {
                     let mut next = Vec::new();
                     for i in 0..n_nodes {
@@ -287,10 +287,7 @@ mod tests {
                                 let j = if a == i { b } else { a };
                                 grow = Expr::or_pair(
                                     grow,
-                                    Expr::and_pair(
-                                        Expr::var(failed[li]).not(),
-                                        layer[j].clone(),
-                                    ),
+                                    Expr::and_pair(Expr::var(failed[li]).not(), layer[j].clone()),
                                 );
                             }
                         }
@@ -299,9 +296,10 @@ mod tests {
                     layer = next;
                 }
                 let true_available = Expr::count_true(
-                    service.iter().zip(&down).map(|(&node, &d)| {
-                        Expr::var(d).not().and(layer[node].clone())
-                    }),
+                    service
+                        .iter()
+                        .zip(&down)
+                        .map(|(&node, &d)| Expr::var(d).not().and(layer[node].clone())),
                 );
                 Model {
                     system: sys,

@@ -89,11 +89,7 @@ pub fn check_invariant(
 
 /// Bounded falsification of an arbitrary LTL property via fair-lasso
 /// search on the tableau product.
-pub fn check_ltl(
-    sys: &System,
-    phi: &Ltl,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
+pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
     let product = violation_product(sys, phi);
     match find_fair_lasso(&product, opts)? {
         LassoOutcome::Found(trace) => Ok(if opts.certify {
@@ -139,8 +135,7 @@ pub(crate) fn find_fair_lasso(
             let eq = unroller.states_equal(l, k);
             let mut parts = vec![eq];
             for j in &product.justice {
-                let hits: Vec<Formula> =
-                    (l..k).map(|i| unroller.lower_bool(j, i)).collect();
+                let hits: Vec<Formula> = (l..k).map(|i| unroller.lower_bool(j, i)).collect();
                 parts.push(Formula::or_all(hits));
             }
             options.push(Formula::and_all(parts));
@@ -201,8 +196,12 @@ mod tests {
     fn invariant_violation_found_at_right_depth() {
         let (sys, n) = counter(5);
         // G(n < 4) is violated first at step 4.
-        let r = check_invariant(&sys, &Expr::var(n).lt(Expr::int(4)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).lt(Expr::int(4)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         let trace = r.trace().expect("violated");
         assert_eq!(trace.len(), 5);
         assert_eq!(trace.value(4, "n"), Some(&Value::Int(4)));
@@ -218,10 +217,7 @@ mod tests {
             &CheckOptions::with_depth(8),
         )
         .unwrap();
-        assert!(matches!(
-            r,
-            CheckResult::Unknown(UnknownReason::DepthBound)
-        ));
+        assert!(matches!(r, CheckResult::Unknown(UnknownReason::DepthBound)));
     }
 
     #[test]
@@ -264,8 +260,7 @@ mod tests {
         assert!(trace.loop_back.is_some());
         // The loop must contain a ¬x state.
         let l = trace.loop_back.unwrap();
-        let has_not_x = (l..trace.len())
-            .any(|t| trace.value(t, "x") == Some(&Value::Bool(false)));
+        let has_not_x = (l..trace.len()).any(|t| trace.value(t, "x") == Some(&Value::Bool(false)));
         assert!(has_not_x, "loop must visit !x:\n{trace}");
     }
 
@@ -279,9 +274,7 @@ mod tests {
         sys.add_init(Expr::var(x).and(Expr::var(done).not()));
         // done latches nondeterministically; once done, x stays true.
         sys.add_trans(Expr::var(done).implies(Expr::next(done)));
-        sys.add_trans(
-            Expr::next(done).implies(Expr::next(x)),
-        );
+        sys.add_trans(Expr::next(done).implies(Expr::next(x)));
         sys.add_trans(
             Expr::next(done)
                 .not()
@@ -316,9 +309,47 @@ mod tests {
     #[test]
     fn timeout_respected() {
         let (sys, n) = counter(5);
-        let opts = CheckOptions::with_depth(64)
-            .with_timeout(std::time::Duration::from_nanos(1));
+        let opts = CheckOptions::with_depth(64).with_timeout(std::time::Duration::from_nanos(1));
         let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(5)), &opts).unwrap();
         assert!(matches!(r, CheckResult::Unknown(UnknownReason::Timeout)));
+    }
+
+    /// Nine frozen 3-bit values in eight slots: "some pair collides" as
+    /// the property makes the bad state all-different — an UNSAT
+    /// pigeonhole instance that is exponentially hard for CDCL, so a
+    /// single per-depth query blows any small deadline unless
+    /// `Budget::limits()` interrupts the solver *mid-solve*.
+    fn pigeonhole_system() -> (System, Expr) {
+        let mut sys = System::new("php");
+        let vs: Vec<_> = (0..9)
+            .map(|i| sys.int_var(&format!("v{i}"), 0, 7))
+            .collect();
+        for &v in &vs {
+            sys.add_trans(Expr::next(v).eq(Expr::var(v)));
+        }
+        let mut collision = Expr::ff();
+        for i in 0..9 {
+            for j in i + 1..9 {
+                collision = collision.or(Expr::var(vs[i]).eq(Expr::var(vs[j])));
+            }
+        }
+        (sys, collision)
+    }
+
+    #[test]
+    fn deadline_bounds_a_hard_mid_depth_solve() {
+        use std::time::{Duration, Instant};
+        let (sys, collision) = pigeonhole_system();
+        let opts = CheckOptions::with_depth(4).with_timeout(Duration::from_millis(20));
+        let start = Instant::now();
+        let r = check_invariant(&sys, &collision, &opts).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(r, CheckResult::Unknown(UnknownReason::Timeout)),
+            "got {r}"
+        );
+        // Unchecked, the depth-0 query alone runs for minutes; the
+        // in-solve deadline polls must stop it within a conflict batch.
+        assert!(elapsed < Duration::from_secs(5), "overshot: {elapsed:?}");
     }
 }

@@ -110,9 +110,7 @@ pub fn status(
         return CertificateStatus::NotRequested;
     }
     match result {
-        CheckResult::Unknown(UnknownReason::CertificateRejected) => {
-            CertificateStatus::Rejected
-        }
+        CheckResult::Unknown(UnknownReason::CertificateRejected) => CertificateStatus::Rejected,
         CheckResult::Unknown(_) => CertificateStatus::Unsupported,
         CheckResult::Violated(_) => match kind {
             PropertyKind::Ctl => CertificateStatus::Unsupported,
@@ -132,11 +130,7 @@ pub fn status(
 
 /// Replays an invariant counterexample through the reference interpreter;
 /// `Err` carries a human-readable diagnostic.
-pub fn validate_invariant_cex(
-    sys: &System,
-    p: &Expr,
-    trace: &Trace,
-) -> Result<(), String> {
+pub fn validate_invariant_cex(sys: &System, p: &Expr, trace: &Trace) -> Result<(), String> {
     replay::check_invariant_trace(sys, p, trace).map_err(|e| e.to_string())
 }
 
@@ -195,8 +189,7 @@ fn run_unsat_query(unr: &mut Unroller<'_>, budget: &Budget, what: &str) -> Resul
         }
         verdict_sat::SolveResult::Unsat => {
             let proof = solver.take_proof();
-            check_proof(&proof)
-                .map_err(|e| format!("{what}: UNSAT proof rejected: {e}"))
+            check_proof(&proof).map_err(|e| format!("{what}: UNSAT proof rejected: {e}"))
         }
     }
 }
@@ -204,12 +197,7 @@ fn run_unsat_query(unr: &mut Unroller<'_>, budget: &Budget, what: &str) -> Resul
 /// Independently re-checks a k-induction proof of `G p` at depth `k`:
 /// fresh unrollers, fresh solvers, no incremental state, no assumption
 /// literals — and each UNSAT answer carries a checked DRUP proof.
-pub fn recheck_induction(
-    sys: &System,
-    p: &Expr,
-    k: usize,
-    budget: &Budget,
-) -> Result<(), String> {
+pub fn recheck_induction(sys: &System, p: &Expr, k: usize, budget: &Budget) -> Result<(), String> {
     let bad = p.clone().not();
     // Base: no violation within the first k+1 steps.
     {

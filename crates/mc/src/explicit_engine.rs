@@ -185,11 +185,7 @@ fn sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
 }
 
 /// Complete LTL check by SCC analysis on the tableau product.
-pub fn check_ltl(
-    sys: &System,
-    phi: &Ltl,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
+pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
     let budget = Budget::new(opts);
     let product = violation_product(sys, phi);
     product.system.check()?;
@@ -199,14 +195,14 @@ pub fn check_ltl(
     // A fair SCC: has at least one internal edge (or self-loop) and
     // intersects every justice constraint.
     let fair_scc = sccs(&g.succs).into_iter().find(|comp| {
-        let has_cycle = comp.len() > 1
-            || g.succs[comp[0]].contains(&comp[0]);
+        let has_cycle = comp.len() > 1 || g.succs[comp[0]].contains(&comp[0]);
         if !has_cycle {
             return false;
         }
-        product.justice.iter().all(|j| {
-            comp.iter().any(|&s| holds(j, &g.states[s]))
-        })
+        product
+            .justice
+            .iter()
+            .all(|j| comp.iter().any(|&s| holds(j, &g.states[s])))
     });
     let Some(comp) = fair_scc else {
         return Ok(CheckResult::Holds);
@@ -330,11 +326,7 @@ fn bfs_within(
 
 /// Complete CTL check by explicit fixpoints (fairness honored like the BDD
 /// engine: quantifiers restricted to states opening a fair path).
-pub fn check_ctl(
-    sys: &System,
-    phi: &Ctl,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
+pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
     sys.check()?;
     let budget = Budget::new(opts);
     // CTL must be evaluated over the whole (invar-legal) state graph, not
@@ -367,14 +359,7 @@ pub fn check_ctl(
         .collect();
 
     let fair = fair_set(&succs, &preds, &justice, &vec![true; n]);
-    let sat = eval_ctl(
-        &states,
-        &succs,
-        &preds,
-        &justice,
-        &fair,
-        &phi.to_base(),
-    );
+    let sat = eval_ctl(&states, &succs, &preds, &justice, &fair, &phi.to_base());
     let bad_init = initial_states(sys)
         .into_iter()
         .find(|s| !sat[index[&state_key(s)]]);
@@ -405,8 +390,7 @@ fn fair_set(
         } else {
             for j in justice {
                 // target = z ∧ j; eu = E[z U target]; znew ∧= pre(eu)
-                let target: Vec<bool> =
-                    (0..n).map(|v| z[v] && j[v]).collect();
+                let target: Vec<bool> = (0..n).map(|v| z[v] && j[v]).collect();
                 let eu = eu_explicit(succs, preds, &z, &target);
                 for v in 0..n {
                     if znew[v] && !succs[v].iter().any(|&w| eu[w]) {
@@ -422,12 +406,7 @@ fn fair_set(
     }
 }
 
-fn eu_explicit(
-    _succs: &[Vec<usize>],
-    preds: &[Vec<usize>],
-    p: &[bool],
-    q: &[bool],
-) -> Vec<bool> {
+fn eu_explicit(_succs: &[Vec<usize>], preds: &[Vec<usize>], p: &[bool], q: &[bool]) -> Vec<bool> {
     let mut y = q.to_vec();
     let mut queue: Vec<usize> = (0..y.len()).filter(|&v| y[v]).collect();
     while let Some(v) = queue.pop() {
@@ -507,11 +486,19 @@ mod tests {
     #[test]
     fn invariant_agreement_with_expectations() {
         let (sys, n) = counter(4);
-        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(4)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(4)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.holds());
-        let r = check_invariant(&sys, &Expr::var(n).lt(Expr::int(2)), &CheckOptions::default())
-            .unwrap();
+        let r = check_invariant(
+            &sys,
+            &Expr::var(n).lt(Expr::int(2)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         let t = r.trace().unwrap();
         assert_eq!(t.len(), 3);
         assert_eq!(t.value(2, "n"), Some(&Value::Int(2)));
@@ -542,13 +529,8 @@ mod tests {
             Ctl::atom(Expr::var(n).eq(Expr::int(2))).ef().not(),
         ] {
             let explicit = check_ctl(&sys, &phi, &CheckOptions::default()).unwrap();
-            let symbolic =
-                crate::bdd::check_ctl(&sys, &phi, &CheckOptions::default()).unwrap();
-            assert_eq!(
-                explicit.holds(),
-                symbolic.holds(),
-                "disagreement on {phi}"
-            );
+            let symbolic = crate::bdd::check_ctl(&sys, &phi, &CheckOptions::default()).unwrap();
+            assert_eq!(explicit.holds(), symbolic.holds(), "disagreement on {phi}");
         }
     }
 

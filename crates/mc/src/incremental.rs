@@ -1,0 +1,412 @@
+//! Assumption-pinned k-induction: the incremental core of the parameter
+//! synthesis sweep.
+//!
+//! The clone-per-assignment sweep in [`crate::params`] re-encodes the
+//! whole system and builds fresh SAT solvers for every parameter
+//! assignment, even though assignments differ only in the pinned values of
+//! a few frozen variables. [`PinnedKInduction`] instead unrolls the
+//! *unpinned* system once and pins each assignment with **assumption
+//! literals** over the frozen parameters' step-0 bit blocks
+//! ([`Unroller::assumptions_for`]); one base solver and one induction
+//! solver survive the whole sweep, so learned clauses, VSIDS activity,
+//! and saved phases transfer from assignment to assignment.
+//!
+//! Soundness of the sharing: the clause database only ever contains
+//! (a) the Tseitin encoding of the shared unrolling — INIT, TRANS, INVAR,
+//! domain constraints, frozen-variable equality, and definitional clauses
+//! for the per-depth query literals — and (b) clauses the solver *learned*,
+//! which are resolvents of database clauses and therefore consequences of
+//! the shared unrolling alone. Assumptions never enter the database, so
+//! nothing proved under one assignment can poison another. For the same
+//! reason the per-depth facts the clone path asserts permanently
+//! (`¬bad@i` after a base refutation, `p@i` and pairwise state
+//! distinctness in the induction engine) are passed as assumptions here:
+//! they are true only *under the current assignment*.
+//!
+//! **Unsat-core pruning.** When a query is UNSAT the solver reports which
+//! assumptions participated ([`verdict_sat::Solver::failed_assumptions`]).
+//! A parameter whose pin literals are absent from *every* core of a proof
+//! (all base depths and the final step) is irrelevant to that proof: the
+//! same refutations go through verbatim under any other value of that
+//! parameter, so every sibling assignment that differs only in irrelevant
+//! parameters inherits the `Holds` verdict without a solve. The per-depth
+//! `¬bad@i` assumptions keep this argument inductive: if the depth-`k`
+//! core leans on `¬bad@i`, the parameters relevant at depth `i` are
+//! already in the accumulated mask, so the transfer at depth `i` justifies
+//! the transfer at depth `k`. Only `Holds` is ever transferred — a SAT
+//! answer (counterexample) has no core, and `Unknown` is not a verdict.
+
+use std::collections::HashMap;
+
+use verdict_logic::{Lit, Var};
+use verdict_sat::{SolveResult, Solver};
+use verdict_ts::{Expr, System, Trace, Unroller, Value, VarId};
+
+use crate::result::{Budget, CheckOptions, McError, UnknownReason};
+
+/// Outcome of one assumption-pinned k-induction run.
+#[derive(Clone, Debug)]
+pub enum PinnedOutcome {
+    /// `G p` proved at induction depth `depth`. `relevant[i]` is true iff
+    /// parameter `i`'s assumption literals appeared in at least one unsat
+    /// core along the way — parameters with `relevant[i] == false` did not
+    /// contribute to the proof, so the verdict transfers to assignments
+    /// varying only those parameters (see [`HoldsPattern`]).
+    Holds {
+        /// The depth at which the induction step closed.
+        depth: usize,
+        /// Per-parameter core participation, in `params` order.
+        relevant: Vec<bool>,
+    },
+    /// A counterexample of minimal depth under this assignment.
+    Violated(Trace),
+    /// No verdict within the resource limits.
+    Unknown(UnknownReason),
+}
+
+/// A `Holds` verdict whose unsat cores ignored some parameters: any
+/// assignment agreeing with `values` on all `relevant` positions inherits
+/// the verdict (provable by the same refutations at the same `depth`).
+#[derive(Clone, Debug)]
+pub struct HoldsPattern {
+    /// The representative assignment that was actually solved.
+    pub values: Vec<Value>,
+    /// Positions that participated in the proof; `false` = wildcard.
+    pub relevant: Vec<bool>,
+    /// The induction depth of the representative's proof.
+    pub depth: usize,
+}
+
+impl HoldsPattern {
+    /// True iff `assignment` matches this pattern (agrees on every
+    /// relevant position).
+    pub fn matches(&self, assignment: &[Value]) -> bool {
+        self.values.len() == assignment.len()
+            && self
+                .values
+                .iter()
+                .zip(&self.relevant)
+                .zip(assignment)
+                .all(|((v, &rel), a)| !rel || v == a)
+    }
+}
+
+/// One worker's persistent k-induction engine for an assignment sweep.
+///
+/// Construct once per worker with the *unpinned* system, then call
+/// [`PinnedKInduction::check`] for each assignment. The unrolling and both
+/// solvers grow monotonically and are shared across calls.
+pub struct PinnedKInduction<'s> {
+    sys: &'s System,
+    params: Vec<VarId>,
+    prop: Expr,
+    bad: Expr,
+    // Base-case engine: init-anchored unrolling, one solver.
+    base_unr: Unroller<'s>,
+    base_solver: Solver,
+    // Induction engine: free (any-state) unrolling, one solver.
+    ind_unr: Unroller<'s>,
+    ind_solver: Solver,
+    // Bit-variable → parameter-index maps for reading unsat cores.
+    base_param_bits: HashMap<Var, usize>,
+    ind_param_bits: HashMap<Var, usize>,
+    // Per-depth query literals, cached so later assignments reuse the
+    // encodings (and the structural Tseitin cache keeps them unique).
+    base_bad_lits: Vec<Lit>,
+    ind_bad_lits: Vec<Lit>,
+    ind_good_lits: Vec<Lit>,
+    /// `ind_diff_lits[t]` = literals of `states_differ(i, t)` for `i < t`.
+    ind_diff_lits: Vec<Vec<Lit>>,
+}
+
+impl<'s> PinnedKInduction<'s> {
+    /// Builds the shared engines for sweeping `params` of `sys` against
+    /// the invariant `G prop`. Fails on real-sorted (non-finite) systems,
+    /// like [`Unroller::new`].
+    pub fn new(sys: &'s System, params: &[VarId], prop: &Expr) -> Result<Self, McError> {
+        let mut base_unr = Unroller::new(sys)?;
+        let mut ind_unr = Unroller::new_free(sys)?;
+        let mut base_param_bits = HashMap::new();
+        let mut ind_param_bits = HashMap::new();
+        for (i, &p) in params.iter().enumerate() {
+            for b in base_unr.var_bits(p, 0) {
+                base_param_bits.insert(b, i);
+            }
+            for b in ind_unr.var_bits(p, 0) {
+                ind_param_bits.insert(b, i);
+            }
+        }
+        Ok(PinnedKInduction {
+            sys,
+            params: params.to_vec(),
+            prop: prop.clone(),
+            bad: prop.clone().not(),
+            base_unr,
+            base_solver: Solver::new(),
+            ind_unr,
+            ind_solver: Solver::new(),
+            base_param_bits,
+            ind_param_bits,
+            base_bad_lits: Vec::new(),
+            ind_bad_lits: Vec::new(),
+            ind_good_lits: Vec::new(),
+            ind_diff_lits: Vec::new(),
+        })
+    }
+
+    /// The invariant this engine proves.
+    pub fn property(&self) -> &Expr {
+        &self.prop
+    }
+
+    /// Checks `G prop` with the parameters pinned to `assignment` by
+    /// assumption literals. Runs the same per-depth schedule as
+    /// [`crate::kind::prove_invariant`] on a pinned clone, so verdicts
+    /// match the clone path query for query.
+    pub fn check(
+        &mut self,
+        assignment: &[Value],
+        opts: &CheckOptions,
+    ) -> Result<PinnedOutcome, McError> {
+        let budget = Budget::new(opts);
+        let base_pin = self.base_unr.assumptions_for(&self.params, assignment)?;
+        let ind_pin = self.ind_unr.assumptions_for(&self.params, assignment)?;
+        let mut relevant = vec![false; self.params.len()];
+        for k in 0..=opts.max_depth {
+            if let Some(reason) = budget.exceeded() {
+                return Ok(PinnedOutcome::Unknown(reason));
+            }
+            // ---- base case: violation at exactly step k under the pin?
+            self.extend_base(k);
+            let mut assumps = base_pin.clone();
+            // Depths already refuted under this assignment (the clone
+            // path's permanent `¬bad@i` units, assumption-guarded here).
+            assumps.extend(self.base_bad_lits[..k].iter().map(|&l| !l));
+            assumps.push(self.base_bad_lits[k]);
+            match self.base_solver.solve_limited(&assumps, budget.limits()) {
+                SolveResult::Sat(model) => {
+                    let states = self.base_unr.decode_trace(k + 1, &|v| model.value(v));
+                    return Ok(PinnedOutcome::Violated(Trace::new(self.sys, states, None)));
+                }
+                SolveResult::Unsat => {
+                    mark_core_hits(
+                        &mut relevant,
+                        self.base_solver.failed_assumptions(),
+                        &self.base_param_bits,
+                    );
+                }
+                SolveResult::Unknown => {
+                    return Ok(PinnedOutcome::Unknown(
+                        budget.unknown_reason_sat(self.base_solver.num_clauses()),
+                    ));
+                }
+            }
+            // ---- induction step: p@0..k-1 ∧ simple-path ∧ ¬p@k unsat?
+            self.extend_ind(k);
+            let mut assumps = ind_pin.clone();
+            assumps.extend_from_slice(&self.ind_good_lits[..k]);
+            for diffs in &self.ind_diff_lits[..=k] {
+                assumps.extend_from_slice(diffs);
+            }
+            assumps.push(self.ind_bad_lits[k]);
+            match self.ind_solver.solve_limited(&assumps, budget.limits()) {
+                SolveResult::Sat(_) => {
+                    // Induction failed at this k; deepen.
+                }
+                SolveResult::Unsat => {
+                    mark_core_hits(
+                        &mut relevant,
+                        self.ind_solver.failed_assumptions(),
+                        &self.ind_param_bits,
+                    );
+                    return Ok(PinnedOutcome::Holds { depth: k, relevant });
+                }
+                SolveResult::Unknown => {
+                    return Ok(PinnedOutcome::Unknown(
+                        budget.unknown_reason_sat(self.ind_solver.num_clauses()),
+                    ));
+                }
+            }
+        }
+        Ok(PinnedOutcome::Unknown(UnknownReason::DepthBound))
+    }
+
+    /// Materializes base-case depths `..=k`: the unrolling constraints go
+    /// into the solver as clauses, the per-depth `bad@t` literal into the
+    /// cache (to be assumed positively at its own depth, negatively at
+    /// later ones).
+    fn extend_base(&mut self, k: usize) {
+        while self.base_bad_lits.len() <= k {
+            let t = self.base_bad_lits.len();
+            let bad_t = self.base_unr.lower_bool(&self.bad, t);
+            let lit = self.base_unr.literal_for(&bad_t);
+            self.base_bad_lits.push(lit);
+            for c in self.base_unr.drain_clauses() {
+                self.base_solver.add_clause(c);
+            }
+        }
+    }
+
+    /// Materializes induction depths `..=k` with per-depth `p@t`,
+    /// pairwise-distinctness, and `bad@t` literals — all assumption
+    /// literals, never asserted, because which of them hold depends on
+    /// the depth being queried.
+    fn extend_ind(&mut self, k: usize) {
+        while self.ind_bad_lits.len() <= k {
+            let t = self.ind_bad_lits.len();
+            let good_t = self.ind_unr.lower_bool(&self.prop, t);
+            let good_lit = self.ind_unr.literal_for(&good_t);
+            self.ind_good_lits.push(good_lit);
+            let mut diffs = Vec::with_capacity(t);
+            for i in 0..t {
+                let d = self.ind_unr.states_differ(i, t);
+                diffs.push(self.ind_unr.literal_for(&d));
+            }
+            self.ind_diff_lits.push(diffs);
+            let bad_t = self.ind_unr.lower_bool(&self.bad, t);
+            self.ind_bad_lits.push(self.ind_unr.literal_for(&bad_t));
+            for c in self.ind_unr.drain_clauses() {
+                self.ind_solver.add_clause(c);
+            }
+        }
+    }
+}
+
+/// Records which parameters' pin literals appear in a failed-assumption
+/// core.
+fn mark_core_hits(relevant: &mut [bool], core: &[Lit], param_bits: &HashMap<Var, usize>) {
+    for l in core {
+        if let Some(&i) = param_bits.get(&l.var()) {
+            relevant[i] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::CheckResult;
+
+    /// The params.rs fixture: n += p (guard n ≤ 7), p ∈ 1..=3.
+    /// G(n != 5) is violated for p = 1 and holds for p ∈ {2, 3}.
+    fn step_counter() -> (System, VarId) {
+        let mut sys = System::new("step");
+        let n = sys.int_var("n", 0, 10);
+        let p = sys.int_param("p", 1, 3);
+        sys.add_init(Expr::var(n).eq(Expr::int(0)));
+        sys.add_trans(Expr::next(n).eq(Expr::ite(
+            Expr::var(n).le(Expr::int(7)),
+            Expr::var(n).add(Expr::var(p)),
+            Expr::var(n),
+        )));
+        (sys, p)
+    }
+
+    #[test]
+    fn one_engine_sweeps_all_assignments() {
+        let (sys, p) = step_counter();
+        let n = sys.var_by_name("n").unwrap();
+        let prop = Expr::var(n).ne(Expr::int(5));
+        let opts = CheckOptions::default();
+        let mut engine = PinnedKInduction::new(&sys, &[p], &prop).unwrap();
+        let mut verdicts = Vec::new();
+        for v in 1..=3 {
+            verdicts.push(engine.check(&[Value::Int(v)], &opts).unwrap());
+        }
+        assert!(matches!(&verdicts[0], PinnedOutcome::Violated(t)
+            if t.value(t.len() - 1, "n") == Some(&Value::Int(5))));
+        assert!(matches!(verdicts[1], PinnedOutcome::Holds { .. }));
+        assert!(matches!(verdicts[2], PinnedOutcome::Holds { .. }));
+    }
+
+    #[test]
+    fn matches_clone_path_verdicts_in_both_orders() {
+        // Solver state carried over from earlier assignments must not
+        // change any verdict, whichever order the sweep visits them in.
+        let (sys, p) = step_counter();
+        let n = sys.var_by_name("n").unwrap();
+        let prop = Expr::var(n).ne(Expr::int(5));
+        let opts = CheckOptions::default();
+        for order in [[1i64, 2, 3], [3, 2, 1], [2, 1, 3]] {
+            let mut engine = PinnedKInduction::new(&sys, &[p], &prop).unwrap();
+            for v in order {
+                let pinned = {
+                    let mut s = sys.clone();
+                    s.add_invar(Expr::var(p).eq(Expr::int(v)));
+                    s
+                };
+                let reference = crate::kind::prove_invariant(&pinned, &prop, &opts).unwrap();
+                let got = engine.check(&[Value::Int(v)], &opts).unwrap();
+                match reference {
+                    CheckResult::Holds => {
+                        assert!(matches!(got, PinnedOutcome::Holds { .. }), "p={v}")
+                    }
+                    CheckResult::Violated(_) => {
+                        assert!(matches!(got, PinnedOutcome::Violated(_)), "p={v}")
+                    }
+                    CheckResult::Unknown(_) => {
+                        assert!(matches!(got, PinnedOutcome::Unknown(_)), "p={v}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irrelevant_parameter_left_out_of_core() {
+        // q drives an independent toggle; the property only mentions n,
+        // so q's pin literals can never enter a core and the Holds
+        // verdict must transfer over all values of q.
+        let (mut sys, p) = step_counter();
+        let q = sys.int_param("q", 0, 3);
+        let x = sys.bool_var("x");
+        sys.add_trans(Expr::next(x).eq(Expr::ite(
+            Expr::var(q).ge(Expr::int(2)),
+            Expr::var(x).not(),
+            Expr::var(x),
+        )));
+        let n = sys.var_by_name("n").unwrap();
+        let prop = Expr::var(n).ne(Expr::int(5));
+        let opts = CheckOptions::default();
+        let mut engine = PinnedKInduction::new(&sys, &[p, q], &prop).unwrap();
+        let got = engine
+            .check(&[Value::Int(2), Value::Int(0)], &opts)
+            .unwrap();
+        let PinnedOutcome::Holds { depth, relevant } = got else {
+            panic!("p=2 is safe, got {got:?}");
+        };
+        assert!(!relevant[1], "q never participates in the proof");
+        let pattern = HoldsPattern {
+            values: vec![Value::Int(2), Value::Int(0)],
+            relevant,
+            depth,
+        };
+        for qv in 0..=3 {
+            assert!(pattern.matches(&[Value::Int(2), Value::Int(qv)]));
+            assert!(!pattern.matches(&[Value::Int(1), Value::Int(qv)]));
+        }
+        // The transfer is real: the siblings the pattern claims are safe
+        // actually are.
+        for qv in 1..=3 {
+            let got = engine
+                .check(&[Value::Int(2), Value::Int(qv)], &opts)
+                .unwrap();
+            assert!(matches!(got, PinnedOutcome::Holds { .. }), "q={qv}");
+        }
+    }
+
+    #[test]
+    fn unknown_on_exhausted_depth() {
+        let (sys, p) = step_counter();
+        let n = sys.var_by_name("n").unwrap();
+        // Holds but not 0-inductive: depth 0 cannot close the induction.
+        let prop = Expr::var(n).le(Expr::int(10));
+        let mut engine = PinnedKInduction::new(&sys, &[p], &prop).unwrap();
+        let got = engine
+            .check(&[Value::Int(1)], &CheckOptions::with_depth(0))
+            .unwrap();
+        // Either 0-inductive (it is: the range bound is structural) or
+        // DepthBound; never Violated.
+        assert!(!matches!(got, PinnedOutcome::Violated(_)));
+    }
+}

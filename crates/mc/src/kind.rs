@@ -137,16 +137,24 @@ mod tests {
     #[test]
     fn proves_true_invariant() {
         let (sys, n) = counter(5);
-        let r = prove_invariant(&sys, &Expr::var(n).le(Expr::int(5)), &CheckOptions::default())
-            .unwrap();
+        let r = prove_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(5)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.holds(), "got {r}");
     }
 
     #[test]
     fn refutes_false_invariant_with_trace() {
         let (sys, n) = counter(5);
-        let r = prove_invariant(&sys, &Expr::var(n).lt(Expr::int(3)), &CheckOptions::default())
-            .unwrap();
+        let r = prove_invariant(
+            &sys,
+            &Expr::var(n).lt(Expr::int(3)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         let t = r.trace().expect("violated");
         assert_eq!(t.len(), 4); // 0,1,2,3
     }
@@ -164,8 +172,12 @@ mod tests {
             Expr::int(0),
             Expr::var(n).add(Expr::int(1)),
         )));
-        let r = prove_invariant(&sys, &Expr::var(n).le(Expr::int(3)), &CheckOptions::default())
-            .unwrap();
+        let r = prove_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(3)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.holds(), "got {r}");
     }
 
@@ -181,12 +193,20 @@ mod tests {
             Expr::var(n).add(Expr::var(p)),
             Expr::var(n),
         )));
-        let r = prove_invariant(&sys, &Expr::var(n).le(Expr::int(10)), &CheckOptions::default())
-            .unwrap();
+        let r = prove_invariant(
+            &sys,
+            &Expr::var(n).le(Expr::int(10)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.holds(), "got {r}");
         // But G(n != 10) fails for p=2 (0,2,...,8,10) and p=1.
-        let r = prove_invariant(&sys, &Expr::var(n).ne(Expr::int(10)), &CheckOptions::default())
-            .unwrap();
+        let r = prove_invariant(
+            &sys,
+            &Expr::var(n).ne(Expr::int(10)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
         assert!(r.violated(), "got {r}");
     }
 
@@ -203,5 +223,36 @@ mod tests {
         // With depth 0 the step case may or may not conclude; accept
         // either Holds (0-inductive) or DepthBound, never Violated.
         assert!(!r.violated());
+    }
+
+    #[test]
+    fn deadline_bounds_a_hard_base_case_solve() {
+        use std::time::{Duration, Instant};
+        // Nine frozen 3-bit values in eight slots: the k = 0 base query
+        // is an UNSAT pigeonhole instance (all-different), exponentially
+        // hard for CDCL. The deadline must interrupt it mid-solve rather
+        // than letting the depth loop run the query to completion.
+        let mut sys = System::new("php");
+        let vs: Vec<_> = (0..9)
+            .map(|i| sys.int_var(&format!("v{i}"), 0, 7))
+            .collect();
+        for &v in &vs {
+            sys.add_trans(Expr::next(v).eq(Expr::var(v)));
+        }
+        let mut collision = Expr::ff();
+        for i in 0..9 {
+            for j in i + 1..9 {
+                collision = collision.or(Expr::var(vs[i]).eq(Expr::var(vs[j])));
+            }
+        }
+        let opts = CheckOptions::with_depth(4).with_timeout(Duration::from_millis(20));
+        let start = Instant::now();
+        let r = prove_invariant(&sys, &collision, &opts).unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            matches!(r, CheckResult::Unknown(UnknownReason::Timeout)),
+            "got {r}"
+        );
+        assert!(elapsed < Duration::from_secs(5), "overshot: {elapsed:?}");
     }
 }

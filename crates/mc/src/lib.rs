@@ -31,6 +31,10 @@
 //!   variables and classify each as safe/unsafe (paper: "suggest safe
 //!   configuration parameters", e.g. p ∈ {1, 2} in case study 1). The
 //!   assignment sweep shards over a worker pool (`CheckOptions::jobs`).
+//! * [`incremental`] — assumption-pinned k-induction for the synthesis
+//!   sweep: one shared unrolling and one solver pair per worker survive
+//!   the whole sweep (learned clauses and heuristic state transfer), with
+//!   unsat-core pruning of parameters that don't participate in a proof.
 //! * [`portfolio`] — engine racing: run a falsifier (BMC) and the provers
 //!   (k-induction, BDD) in parallel threads on the same system, keep the
 //!   first definitive verdict, and cancel the losers via a shared stop
@@ -49,6 +53,7 @@ pub mod blast;
 pub mod bmc;
 pub mod certify;
 pub mod explicit_engine;
+pub mod incremental;
 pub mod kind;
 pub mod params;
 pub mod portfolio;

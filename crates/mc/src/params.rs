@@ -7,23 +7,38 @@
 //! under each assignment with a complete engine, and partition the space
 //! into safe and unsafe values with witnesses for the unsafe ones.
 //!
-//! Assignments are independent, so the sweep shards them over a worker
-//! pool ([`CheckOptions::jobs`], default `available_parallelism()`); the
-//! verdict vector keeps odometer order regardless of which worker finished
-//! first, so parallel output is identical to a `jobs = 1` run.
-//! [`synthesize_first_safe`] additionally stops the sweep as soon as one
-//! SAFE assignment is found, cancelling outstanding workers cooperatively
-//! (their slots report [`UnknownReason::Cancelled`]).
+//! Assignments are indexed lazily in odometer order ([`AssignmentSpace`]):
+//! the sweep decodes assignment `i` on demand instead of materializing the
+//! cross-product up front. They are independent, so the sweep shards them
+//! over a worker pool ([`CheckOptions::jobs`], default
+//! `available_parallelism()`); the verdict vector keeps odometer order
+//! regardless of which worker finished first, so parallel output is
+//! identical to a `jobs = 1` run. [`synthesize_first_safe`] additionally
+//! stops the sweep as soon as one SAFE assignment is found, cancelling
+//! outstanding workers cooperatively (their slots report
+//! [`UnknownReason::Cancelled`]).
+//!
+//! For invariants under the k-induction engine the sweep defaults to the
+//! **incremental** path ([`crate::incremental`]): each worker keeps one
+//! assumption-pinned [`PinnedKInduction`] engine for its whole shard, so
+//! learned clauses and solver heuristics transfer between assignments, and
+//! unsat-core pruning lets assignments differing only in parameters that
+//! never entered a proof inherit the `Holds` verdict without a solve.
+//! `CheckOptions::with_incremental(false)` forces the original
+//! clone-per-assignment path; with [`CheckOptions::certify`] every
+//! incremental verdict (inherited ones included) is re-proved with fresh
+//! proof-logged solvers before being reported.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use verdict_ts::{Expr, Ltl, System, Trace, Value, VarId};
 
-use crate::result::{CheckOptions, CheckResult, McError, UnknownReason};
+use crate::incremental::{HoldsPattern, PinnedKInduction, PinnedOutcome};
+use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
 
 /// The property being synthesized against.
 #[derive(Clone, Debug)]
@@ -71,22 +86,39 @@ impl SynthesisResult {
             .collect()
     }
 
-    /// True iff any assignment came back `Unknown`.
+    /// True iff any assignment failed to get a verdict for a reason other
+    /// than cooperative cancellation. Cancelled slots are the *expected*
+    /// outcome of a successful [`synthesize_first_safe`] sweep (the tail
+    /// is skipped on purpose), not a verification failure — see
+    /// [`SynthesisResult::has_cancelled`] for those.
     pub fn has_unknown(&self) -> bool {
         self.verdicts
             .iter()
-            .any(|v| matches!(v.result, CheckResult::Unknown(_)))
+            .any(|v| matches!(&v.result, CheckResult::Unknown(r) if *r != UnknownReason::Cancelled))
+    }
+
+    /// True iff any assignment was skipped by cooperative cancellation
+    /// (first-safe early exit or a caller stop flag).
+    pub fn has_cancelled(&self) -> bool {
+        self.verdicts
+            .iter()
+            .any(|v| matches!(&v.result, CheckResult::Unknown(UnknownReason::Cancelled)))
     }
 }
 
 impl fmt::Display for SynthesisResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "parameter synthesis over ({})", self.param_names.join(", "))?;
+        writeln!(
+            f,
+            "parameter synthesis over ({})",
+            self.param_names.join(", ")
+        )?;
         for v in &self.verdicts {
             let vals: Vec<String> = v.values.iter().map(Value::to_string).collect();
             let verdict = match &v.result {
                 CheckResult::Holds => "SAFE".to_string(),
                 CheckResult::Violated(_) => "UNSAFE".to_string(),
+                CheckResult::Unknown(UnknownReason::Cancelled) => "SKIPPED (cancelled)".to_string(),
                 CheckResult::Unknown(r) => format!("UNKNOWN ({r})"),
             };
             writeln!(f, "  ({}) -> {verdict}", vals.join(", "))?;
@@ -106,34 +138,71 @@ pub enum SynthesisEngine {
     Explicit,
 }
 
-/// All assignments of the given domains in odometer order (the first
-/// parameter varies fastest) — the order the original sequential sweep
-/// visited, which callers and tests rely on.
-fn enumerate_assignments(domains: &[Vec<Value>]) -> Vec<Vec<Value>> {
-    let mut out = Vec::new();
-    let mut indices = vec![0usize; domains.len()];
-    loop {
-        out.push(
-            indices
-                .iter()
-                .zip(domains)
-                .map(|(&i, d)| d[i].clone())
-                .collect(),
-        );
-        // Advance odometer.
-        let mut pos = 0;
-        loop {
-            if pos == indices.len() {
-                return out;
-            }
-            indices[pos] += 1;
-            if indices[pos] < domains[pos].len() {
-                break;
-            }
-            indices[pos] = 0;
-            pos += 1;
+/// The assignment cross-product in odometer order (the first parameter
+/// varies fastest — the order the original sequential sweep visited, which
+/// callers and tests rely on), indexed lazily: assignment `i` is decoded
+/// from its mixed-radix index on demand, so the sweep never materializes
+/// the whole product.
+#[derive(Clone, Debug)]
+pub struct AssignmentSpace {
+    domains: Vec<Vec<Value>>,
+    total: usize,
+}
+
+impl AssignmentSpace {
+    /// Builds the space over the given per-parameter domains. Errors if
+    /// the product size overflows `usize`.
+    pub fn new(domains: Vec<Vec<Value>>) -> Result<AssignmentSpace, McError> {
+        let mut total = 1usize;
+        for d in &domains {
+            total = total
+                .checked_mul(d.len())
+                .ok_or_else(|| McError("parameter space size overflows usize".to_string()))?;
         }
+        Ok(AssignmentSpace { domains, total })
     }
+
+    /// Number of assignments in the space (1 for an empty parameter list:
+    /// the single empty assignment).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True iff the space has no assignments (some domain is empty).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Decodes assignment `idx` (odometer order, first parameter fastest).
+    pub fn get(&self, idx: usize) -> Vec<Value> {
+        debug_assert!(idx < self.total);
+        let mut i = idx;
+        self.domains
+            .iter()
+            .map(|d| {
+                let v = d[i % d.len()].clone();
+                i /= d.len();
+                v
+            })
+            .collect()
+    }
+
+    /// All assignments, lazily, in odometer order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.total).map(|i| self.get(i))
+    }
+}
+
+/// Clones `sys` with `params` pinned to `assignment` via INVAR
+/// constraints: frozen variables are constant, so INVAR equals INIT on
+/// executions, but INVAR also constrains free-start engines (k-induction's
+/// step case).
+fn pin_system(sys: &System, params: &[VarId], assignment: &[Value]) -> System {
+    let mut pinned = sys.clone();
+    for (&p, v) in params.iter().zip(assignment) {
+        pinned.add_invar(Expr::var(p).eq(Expr::Const(v.clone())));
+    }
+    pinned
 }
 
 /// Verifies the property on `sys` with `params` pinned to `assignment`.
@@ -145,13 +214,7 @@ fn check_assignment(
     engine: SynthesisEngine,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    // Pin the parameters via INVAR constraints: frozen variables are
-    // constant, so INVAR equals INIT on executions, but INVAR also
-    // constrains free-start engines (k-induction's step case).
-    let mut pinned = sys.clone();
-    for (&p, v) in params.iter().zip(assignment) {
-        pinned.add_invar(Expr::var(p).eq(Expr::Const(v.clone())));
-    }
+    let pinned = pin_system(sys, params, assignment);
     match (property, engine) {
         (Property::Invariant(p), SynthesisEngine::KInduction) => {
             crate::kind::prove_invariant(&pinned, p, opts)
@@ -172,6 +235,21 @@ fn check_assignment(
     }
 }
 
+fn report_panic(assignment: &[Value], payload: &(dyn std::any::Any + Send)) {
+    let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    };
+    let vals: Vec<String> = assignment.iter().map(Value::to_string).collect();
+    eprintln!(
+        "verdict-mc: synthesis worker panicked on ({}): {msg}",
+        vals.join(", ")
+    );
+}
+
 /// [`check_assignment`] with panic containment: an engine crash on one
 /// assignment becomes `Unknown(EngineFailure)` for that slot instead of
 /// poisoning the whole sweep (the payload is reported on stderr).
@@ -187,24 +265,139 @@ fn check_assignment_contained(
         check_assignment(sys, params, assignment, property, engine, opts)
     }))
     .unwrap_or_else(|payload| {
-        let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
-            s
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            s
-        } else {
-            "non-string panic payload"
-        };
-        let vals: Vec<String> = assignment.iter().map(Value::to_string).collect();
-        eprintln!(
-            "verdict-mc: synthesis worker panicked on ({}): {msg}",
-            vals.join(", ")
-        );
+        report_panic(assignment, payload.as_ref());
         Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
     })
 }
 
-/// Shards `assignments` over `opts.effective_jobs()` workers and returns
-/// the verdicts in input (odometer) order.
+/// A worker's persistent incremental state: one lazily-built
+/// [`PinnedKInduction`] engine plus the sweep-wide pool of transferable
+/// `Holds` patterns.
+struct IncrementalChecker<'a> {
+    engine: Option<PinnedKInduction<'a>>,
+    sys: &'a System,
+    params: &'a [VarId],
+    prop: &'a Expr,
+    patterns: &'a Mutex<Vec<HoldsPattern>>,
+}
+
+impl IncrementalChecker<'_> {
+    fn check(&mut self, assignment: &[Value], opts: &CheckOptions) -> Result<CheckResult, McError> {
+        // Core-pruned inheritance: a previous Holds proof whose unsat
+        // cores ignored every parameter this assignment differs in
+        // transfers verbatim. A poisoned lock only means another worker
+        // panicked mid-push; the Vec is append-only, so its contents stay
+        // well-formed.
+        let inherited = {
+            let pats = self.patterns.lock().unwrap_or_else(|e| e.into_inner());
+            pats.iter().find(|p| p.matches(assignment)).map(|p| p.depth)
+        };
+        if let Some(depth) = inherited {
+            if !opts.certify {
+                return Ok(CheckResult::Holds);
+            }
+            // Certification never trusts the transfer argument: re-prove
+            // the inherited verdict at the recorded depth with fresh
+            // proof-logged solvers; on failure fall through to a full
+            // incremental solve.
+            let budget = Budget::new(opts);
+            let pinned = pin_system(self.sys, self.params, assignment);
+            if crate::certify::recheck_induction(&pinned, self.prop, depth, &budget).is_ok() {
+                return Ok(CheckResult::Holds);
+            }
+        }
+        let engine = match &mut self.engine {
+            Some(e) => e,
+            None => self
+                .engine
+                .insert(PinnedKInduction::new(self.sys, self.params, self.prop)?),
+        };
+        match engine.check(assignment, opts)? {
+            PinnedOutcome::Violated(trace) => {
+                if opts.certify {
+                    let pinned = pin_system(self.sys, self.params, assignment);
+                    Ok(crate::certify::gate_invariant_cex(
+                        &pinned, self.prop, trace,
+                    ))
+                } else {
+                    Ok(CheckResult::Violated(trace))
+                }
+            }
+            PinnedOutcome::Holds { depth, relevant } => {
+                let result = if opts.certify {
+                    let budget = Budget::new(opts);
+                    let pinned = pin_system(self.sys, self.params, assignment);
+                    crate::certify::gate_holds(
+                        "k-induction",
+                        crate::certify::recheck_induction(&pinned, self.prop, depth, &budget),
+                    )
+                } else {
+                    CheckResult::Holds
+                };
+                if result.holds() && relevant.iter().any(|&r| !r) {
+                    let mut pats = self.patterns.lock().unwrap_or_else(|e| e.into_inner());
+                    pats.push(HoldsPattern {
+                        values: assignment.to_vec(),
+                        relevant,
+                        depth,
+                    });
+                }
+                Ok(result)
+            }
+            PinnedOutcome::Unknown(r) => Ok(CheckResult::Unknown(r)),
+        }
+    }
+
+    fn check_contained(
+        &mut self,
+        assignment: &[Value],
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, McError> {
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.check(assignment, opts)
+        }));
+        res.unwrap_or_else(|payload| {
+            // The shared engine may be mid-update; rebuild it from scratch
+            // on the next assignment rather than trusting its state.
+            self.engine = None;
+            report_panic(assignment, payload.as_ref());
+            Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+        })
+    }
+}
+
+/// One worker's checking strategy for the sweep.
+enum Checker<'a> {
+    /// Clone the system and pin parameters with INVAR per assignment.
+    Clone,
+    /// Shared-unrolling assumption pinning ([`crate::incremental`]).
+    /// Boxed: the engine carries two unrollings and two solvers, far
+    /// larger than the dataless `Clone` variant.
+    Incremental(Box<IncrementalChecker<'a>>),
+}
+
+impl Checker<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn check(
+        &mut self,
+        sys: &System,
+        params: &[VarId],
+        assignment: &[Value],
+        property: &Property,
+        engine: SynthesisEngine,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, McError> {
+        match self {
+            Checker::Clone => {
+                check_assignment_contained(sys, params, assignment, property, engine, opts)
+            }
+            Checker::Incremental(inc) => inc.check_contained(assignment, opts),
+        }
+    }
+}
+
+/// Shards the assignments of `space` over `opts.effective_jobs()` workers
+/// and returns the verdicts in input (odometer) order.
 ///
 /// With `stop_at_first_safe`, the first `Holds` verdict raises a shared
 /// stop flag: outstanding workers exit cooperatively and unvisited
@@ -214,7 +407,7 @@ fn check_assignment_contained(
 fn run_assignments(
     sys: &System,
     params: &[VarId],
-    assignments: &[Vec<Value>],
+    space: &AssignmentSpace,
     property: &Property,
     engine: SynthesisEngine,
     opts: &CheckOptions,
@@ -228,22 +421,44 @@ fn run_assignments(
             "k-induction synthesizes safety properties only".to_string(),
         ));
     }
-    let jobs = opts.effective_jobs().min(assignments.len().max(1));
+    // The incremental path handles invariants under k-induction and is
+    // the default there; `with_incremental(false)` forces the clone path.
+    let inc_prop: Option<&Expr> = match (property, engine) {
+        (Property::Invariant(p), SynthesisEngine::KInduction)
+            if opts.incremental.unwrap_or(true) =>
+        {
+            Some(p)
+        }
+        _ => None,
+    };
+    let patterns = Mutex::new(Vec::<HoldsPattern>::new());
+    let make_checker = || match inc_prop {
+        Some(prop) => Checker::Incremental(Box::new(IncrementalChecker {
+            engine: None,
+            sys,
+            params,
+            prop,
+            patterns: &patterns,
+        })),
+        None => Checker::Clone,
+    };
+
+    let n = space.len();
+    let jobs = opts.effective_jobs().min(n.max(1));
     if jobs <= 1 {
-        let mut verdicts = Vec::with_capacity(assignments.len());
+        let mut checker = make_checker();
+        let mut verdicts = Vec::with_capacity(n);
         let mut found_safe = false;
-        for a in assignments {
+        for idx in 0..n {
+            let a = space.get(idx);
             let result = if found_safe && stop_at_first_safe {
                 CheckResult::Unknown(UnknownReason::Cancelled)
             } else {
-                let r = check_assignment_contained(sys, params, a, property, engine, opts)?;
+                let r = checker.check(sys, params, &a, property, engine, opts)?;
                 found_safe |= r.holds();
                 r
             };
-            verdicts.push(ParamVerdict {
-                values: a.clone(),
-                result,
-            });
+            verdicts.push(ParamVerdict { values: a, result });
         }
         return Ok(verdicts);
     }
@@ -256,44 +471,43 @@ fn run_assignments(
     };
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<CheckResult, McError>)>();
-    let mut slots: Vec<Option<Result<CheckResult, McError>>> =
-        (0..assignments.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<CheckResult, McError>>> = (0..n).map(|_| None).collect();
 
     std::thread::scope(|scope| {
+        let make_checker = &make_checker;
         for _ in 0..jobs {
             let tx = tx.clone();
             let next = &next;
             let pool_stop = pool_stop.clone();
             let worker_opts = worker_opts.clone();
-            scope.spawn(move || loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= assignments.len() {
-                    break;
+            scope.spawn(move || {
+                // One persistent checker per worker: in incremental mode
+                // its solvers survive every assignment this worker claims.
+                let mut checker = make_checker();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    if pool_stop.load(Ordering::Relaxed) {
+                        // The sweep is already decided (first-safe hit or
+                        // caller cancellation); don't start new work.
+                        let _ = tx.send((idx, Ok(CheckResult::Unknown(UnknownReason::Cancelled))));
+                        continue;
+                    }
+                    let a = space.get(idx);
+                    let res = checker.check(sys, params, &a, property, engine, &worker_opts);
+                    if stop_at_first_safe && matches!(res, Ok(CheckResult::Holds)) {
+                        pool_stop.store(true, Ordering::Relaxed);
+                    }
+                    let _ = tx.send((idx, res));
                 }
-                if pool_stop.load(Ordering::Relaxed) {
-                    // The sweep is already decided (first-safe hit or
-                    // caller cancellation); don't start new work.
-                    let _ = tx.send((idx, Ok(CheckResult::Unknown(UnknownReason::Cancelled))));
-                    continue;
-                }
-                let res = check_assignment_contained(
-                    sys,
-                    params,
-                    &assignments[idx],
-                    property,
-                    engine,
-                    &worker_opts,
-                );
-                if stop_at_first_safe && matches!(res, Ok(CheckResult::Holds)) {
-                    pool_stop.store(true, Ordering::Relaxed);
-                }
-                let _ = tx.send((idx, res));
             });
         }
         drop(tx);
 
         let mut received = 0;
-        while received < assignments.len() {
+        while received < n {
             match rx.recv_timeout(Duration::from_millis(5)) {
                 Ok((idx, res)) => {
                     slots[idx] = Some(res);
@@ -313,16 +527,14 @@ fn run_assignments(
         }
     });
 
-    let mut verdicts = Vec::with_capacity(assignments.len());
-    for (a, slot) in assignments.iter().zip(slots) {
+    let mut verdicts = Vec::with_capacity(n);
+    for (idx, slot) in slots.into_iter().enumerate() {
+        let values = space.get(idx);
         match slot {
-            Some(Ok(result)) => verdicts.push(ParamVerdict {
-                values: a.clone(),
-                result,
-            }),
+            Some(Ok(result)) => verdicts.push(ParamVerdict { values, result }),
             Some(Err(e)) => return Err(e),
             None => verdicts.push(ParamVerdict {
-                values: a.clone(),
+                values,
                 result: CheckResult::Unknown(UnknownReason::Cancelled),
             }),
         }
@@ -333,7 +545,7 @@ fn run_assignments(
 fn validate_and_enumerate(
     sys: &System,
     params: &[VarId],
-) -> Result<(Vec<String>, Vec<Vec<Value>>), McError> {
+) -> Result<(Vec<String>, AssignmentSpace), McError> {
     for &p in params {
         if !sys.sort_of(p).is_finite() {
             return Err(McError(format!(
@@ -344,7 +556,7 @@ fn validate_and_enumerate(
     }
     let domains: Vec<Vec<Value>> = params.iter().map(|&p| sys.sort_of(p).values()).collect();
     let names = params.iter().map(|&p| sys.name_of(p).to_string()).collect();
-    Ok((names, enumerate_assignments(&domains)))
+    Ok((names, AssignmentSpace::new(domains)?))
 }
 
 /// Enumerates every assignment of `params` (all must have finite sorts)
@@ -361,8 +573,8 @@ pub fn synthesize(
     engine: SynthesisEngine,
     opts: &CheckOptions,
 ) -> Result<SynthesisResult, McError> {
-    let (param_names, assignments) = validate_and_enumerate(sys, params)?;
-    let verdicts = run_assignments(sys, params, &assignments, property, engine, opts, false)?;
+    let (param_names, space) = validate_and_enumerate(sys, params)?;
+    let verdicts = run_assignments(sys, params, &space, property, engine, opts, false)?;
     Ok(SynthesisResult {
         param_names,
         verdicts,
@@ -385,8 +597,8 @@ pub fn synthesize_first_safe(
     engine: SynthesisEngine,
     opts: &CheckOptions,
 ) -> Result<SynthesisResult, McError> {
-    let (param_names, assignments) = validate_and_enumerate(sys, params)?;
-    let verdicts = run_assignments(sys, params, &assignments, property, engine, opts, true)?;
+    let (param_names, space) = validate_and_enumerate(sys, params)?;
+    let verdicts = run_assignments(sys, params, &space, property, engine, opts, true)?;
     Ok(SynthesisResult {
         param_names,
         verdicts,
@@ -460,9 +672,7 @@ mod tests {
     #[test]
     fn engines_agree_on_synthesis() {
         let (sys, p) = step_counter();
-        let prop = Property::Invariant(
-            Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(6)),
-        );
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(6)));
         let opts = CheckOptions::default();
         let a = synthesize(&sys, &[p], &prop, SynthesisEngine::KInduction, &opts).unwrap();
         let b = synthesize(&sys, &[p], &prop, SynthesisEngine::Bdd, &opts).unwrap();
@@ -500,6 +710,54 @@ mod tests {
     }
 
     #[test]
+    fn lazy_odometer_matches_eager_reference() {
+        // The eager cross-product this sweep used to materialize, kept
+        // here as the order oracle: first parameter varies fastest.
+        fn eager(domains: &[Vec<Value>]) -> Vec<Vec<Value>> {
+            let mut out = Vec::new();
+            let mut indices = vec![0usize; domains.len()];
+            'outer: loop {
+                out.push(
+                    indices
+                        .iter()
+                        .zip(domains)
+                        .map(|(&i, d)| d[i].clone())
+                        .collect(),
+                );
+                let mut pos = 0;
+                loop {
+                    if pos == indices.len() {
+                        break 'outer;
+                    }
+                    indices[pos] += 1;
+                    if indices[pos] < domains[pos].len() {
+                        break;
+                    }
+                    indices[pos] = 0;
+                    pos += 1;
+                }
+            }
+            out
+        }
+        let domains = vec![
+            vec![Value::Int(0), Value::Int(1), Value::Int(2)],
+            vec![Value::Bool(false), Value::Bool(true)],
+            vec![Value::Int(7), Value::Int(8)],
+        ];
+        let reference = eager(&domains);
+        let space = AssignmentSpace::new(domains).unwrap();
+        assert_eq!(space.len(), reference.len());
+        for (i, a) in reference.iter().enumerate() {
+            assert_eq!(&space.get(i), a, "index {i}");
+        }
+        assert_eq!(space.iter().collect::<Vec<_>>(), reference);
+        // Empty parameter list = exactly one empty assignment.
+        let empty = AssignmentSpace::new(Vec::new()).unwrap();
+        assert_eq!(empty.len(), 1);
+        assert!(empty.get(0).is_empty());
+    }
+
+    #[test]
     fn parallel_sweep_matches_sequential_order() {
         let (sys, p) = step_counter();
         let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
@@ -530,6 +788,117 @@ mod tests {
     }
 
     #[test]
+    fn incremental_sweep_matches_clone_sweep() {
+        let (sys, p) = step_counter();
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
+        for jobs in [1, 4] {
+            for certify in [false, true] {
+                let mut base = CheckOptions::default().with_jobs(jobs);
+                if certify {
+                    base = base.with_certify();
+                }
+                let cloned = synthesize(
+                    &sys,
+                    &[p],
+                    &prop,
+                    SynthesisEngine::KInduction,
+                    &base.clone().with_incremental(false),
+                )
+                .unwrap();
+                let inc = synthesize(
+                    &sys,
+                    &[p],
+                    &prop,
+                    SynthesisEngine::KInduction,
+                    &base.with_incremental(true),
+                )
+                .unwrap();
+                assert_eq!(cloned.verdicts.len(), inc.verdicts.len());
+                for (x, y) in cloned.verdicts.iter().zip(&inc.verdicts) {
+                    assert_eq!(x.values, y.values, "jobs={jobs} certify={certify}");
+                    assert_eq!(
+                        x.result.holds(),
+                        y.result.holds(),
+                        "jobs={jobs} certify={certify} values={:?}",
+                        x.values
+                    );
+                    assert_eq!(
+                        x.result.violated(),
+                        y.result.violated(),
+                        "jobs={jobs} certify={certify} values={:?}",
+                        x.values
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_pruning_agrees_with_clone_path() {
+        // q is irrelevant to the property (it only drives the x toggle),
+        // so the incremental sweep inherits q-siblings of each safe p via
+        // core pruning — the verdict partition must still match the clone
+        // path on the full 12-assignment product.
+        let (mut sys, p) = step_counter();
+        let q = sys.int_param("q", 0, 3);
+        let x = sys.bool_var("x");
+        sys.add_trans(Expr::next(x).eq(Expr::ite(
+            Expr::var(q).ge(Expr::int(2)),
+            Expr::var(x).not(),
+            Expr::var(x),
+        )));
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
+        let cloned = synthesize(
+            &sys,
+            &[p, q],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default().with_jobs(1).with_incremental(false),
+        )
+        .unwrap();
+        let inc = synthesize(
+            &sys,
+            &[p, q],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default().with_jobs(1).with_incremental(true),
+        )
+        .unwrap();
+        assert_eq!(cloned.verdicts.len(), 12);
+        assert_eq!(inc.verdicts.len(), 12);
+        for (x, y) in cloned.verdicts.iter().zip(&inc.verdicts) {
+            assert_eq!(x.values, y.values);
+            assert_eq!(x.result.holds(), y.result.holds(), "values={:?}", x.values);
+            assert_eq!(
+                x.result.violated(),
+                y.result.violated(),
+                "values={:?}",
+                x.values
+            );
+        }
+        // Inherited verdicts survive certification: every slot gets a
+        // definitive verdict, none demoted to CertificateRejected.
+        let certified = synthesize(
+            &sys,
+            &[p, q],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default().with_jobs(1).with_certify(),
+        )
+        .unwrap();
+        for v in &certified.verdicts {
+            assert!(
+                !matches!(
+                    v.result,
+                    CheckResult::Unknown(UnknownReason::CertificateRejected)
+                ),
+                "{certified}"
+            );
+        }
+        assert!(!certified.has_unknown(), "{certified}");
+    }
+
+    #[test]
     fn first_safe_stops_sequential_sweep() {
         let (sys, p) = step_counter();
         // p=1 is unsafe, p=2 safe, p=3 safe: with jobs=1 the sweep must
@@ -551,6 +920,32 @@ mod tests {
             CheckResult::Unknown(UnknownReason::Cancelled)
         ));
         assert_eq!(r.safe().len(), 1);
+    }
+
+    #[test]
+    fn cancelled_slots_do_not_count_as_unknown() {
+        // Regression: a successful first-safe sweep used to report
+        // has_unknown() because its skipped tail is Unknown(Cancelled) —
+        // making every early exit look like a verification failure.
+        let (sys, p) = step_counter();
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
+        let r = synthesize_first_safe(
+            &sys,
+            &[p],
+            &prop,
+            SynthesisEngine::KInduction,
+            &CheckOptions::default().with_jobs(1),
+        )
+        .unwrap();
+        assert!(matches!(
+            r.verdicts[2].result,
+            CheckResult::Unknown(UnknownReason::Cancelled)
+        ));
+        assert!(!r.has_unknown(), "{r}");
+        assert!(r.has_cancelled());
+        // Display distinguishes the skipped slot from a real unknown.
+        let shown = r.to_string();
+        assert!(shown.contains("SKIPPED (cancelled)"), "{shown}");
     }
 
     #[test]
@@ -581,9 +976,7 @@ mod tests {
     #[test]
     fn violating_params_found_symbolically() {
         let (sys, _) = step_counter();
-        let prop = Property::Invariant(
-            Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)),
-        );
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
         let r = find_violating_params(&sys, &prop, &CheckOptions::default()).unwrap();
         let t = r.trace().expect("p=1 violates");
         assert_eq!(t.value(0, "p"), Some(&Value::Int(1)));
@@ -607,9 +1000,7 @@ mod tests {
     #[test]
     fn display_lists_verdicts() {
         let (sys, p) = step_counter();
-        let prop = Property::Invariant(
-            Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)),
-        );
+        let prop = Property::Invariant(Expr::var(sys.var_by_name("n").unwrap()).ne(Expr::int(5)));
         let r = synthesize(
             &sys,
             &[p],

@@ -62,8 +62,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 }
 
 /// One contender: an engine tag plus the closure that runs it.
-pub type Contender<'a> =
-    Box<dyn FnOnce(&CheckOptions) -> Result<CheckResult, McError> + Send + 'a>;
+pub type Contender<'a> = Box<dyn FnOnce(&CheckOptions) -> Result<CheckResult, McError> + Send + 'a>;
 
 /// Races `contenders` to the first definitive (`Holds`/`Violated`) verdict
 /// and cancels the rest via a shared stop flag.
@@ -97,14 +96,13 @@ pub fn race(
                 // Contain contender panics: a crashing engine becomes an
                 // `Unknown(EngineFailure)` outcome instead of unwinding
                 // through the scope and aborting the whole race.
-                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                    || run(&worker_opts),
-                ))
-                .unwrap_or_else(|payload| {
-                    let msg = panic_message(payload.as_ref());
-                    eprintln!("verdict-mc: {engine} engine panicked: {msg}");
-                    Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
-                });
+                let res =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&worker_opts)))
+                        .unwrap_or_else(|payload| {
+                            let msg = panic_message(payload.as_ref());
+                            eprintln!("verdict-mc: {engine} engine panicked: {msg}");
+                            Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+                        });
                 // The receiver never hangs up before all results arrive,
                 // but a send error must not panic the worker either way.
                 let _ = tx.send((idx, engine, res));
@@ -120,10 +118,8 @@ pub fn race(
             match rx.recv_timeout(Duration::from_millis(5)) {
                 Ok((idx, engine, res)) => {
                     received += 1;
-                    let definitive = matches!(
-                        res,
-                        Ok(CheckResult::Holds | CheckResult::Violated(_))
-                    );
+                    let definitive =
+                        matches!(res, Ok(CheckResult::Holds | CheckResult::Violated(_)));
                     slots[idx] = Some((engine, res));
                     if definitive && winner_idx.is_none() {
                         winner_idx = Some(idx);
@@ -186,10 +182,7 @@ pub fn race(
         CheckResult::Unknown(UnknownReason::EngineFailure) => 6,
         _ => 7,
     };
-    let best = outcomes
-        .iter()
-        .min_by_key(|(_, r)| rank(r))
-        .cloned();
+    let best = outcomes.iter().min_by_key(|(_, r)| rank(r)).cloned();
     match best {
         Some((engine, result)) => Ok(CheckReport {
             result,
@@ -197,8 +190,7 @@ pub fn race(
             wall,
             outcomes,
         }),
-        None => Err(first_err
-            .unwrap_or_else(|| McError("portfolio: no contenders".to_string()))),
+        None => Err(first_err.unwrap_or_else(|| McError("portfolio: no contenders".to_string()))),
     }
 }
 
@@ -252,13 +244,11 @@ pub fn check_invariant(
 
 /// Portfolio LTL check: BMC fair-lasso search (falsifier) vs the complete
 /// BDD tableau engine; solo SMT-BMC on real-valued systems.
-pub fn check_ltl(
-    sys: &System,
-    phi: &Ltl,
-    opts: &CheckOptions,
-) -> Result<CheckReport, McError> {
+pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckReport, McError> {
     if sys.has_real_vars() {
-        return solo(Engine::SmtBmc, opts, |o| crate::smtbmc::check_ltl(sys, phi, o));
+        return solo(Engine::SmtBmc, opts, |o| {
+            crate::smtbmc::check_ltl(sys, phi, o)
+        });
     }
     race(
         opts,
@@ -277,11 +267,7 @@ pub fn check_ltl(
 
 /// Portfolio CTL check: BDD fixpoints vs the explicit-state engine (both
 /// complete; whichever shape of state space is kinder wins).
-pub fn check_ctl(
-    sys: &System,
-    phi: &Ctl,
-    opts: &CheckOptions,
-) -> Result<CheckReport, McError> {
+pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckReport, McError> {
     if sys.has_real_vars() {
         return Err(McError(
             "CTL checking requires a finite-state system".to_string(),

@@ -149,6 +149,14 @@ pub struct CheckOptions {
     /// ([`UnknownReason::ResourceExhausted`]) once the manager holds more
     /// nodes than this. `None` = unbounded.
     pub max_bdd_nodes: Option<usize>,
+    /// Parameter synthesis only: pin assignments with assumption literals
+    /// over one shared unrolling (one SAT solver per worker survives the
+    /// whole sweep), instead of cloning and re-encoding the system per
+    /// assignment. `None` = auto: on where the incremental path exists
+    /// (invariant properties under the k-induction synthesis engine),
+    /// clone-per-assignment everywhere else. `Some(false)` forces the
+    /// clone path even there.
+    pub incremental: Option<bool>,
 }
 
 impl Default for CheckOptions {
@@ -161,6 +169,7 @@ impl Default for CheckOptions {
             certify: false,
             max_clauses: None,
             max_bdd_nodes: None,
+            incremental: None,
         }
     }
 }
@@ -210,6 +219,13 @@ impl CheckOptions {
         self
     }
 
+    /// Forces the incremental (assumption-pinned) synthesis sweep on or
+    /// off instead of the auto default.
+    pub fn with_incremental(mut self, on: bool) -> CheckOptions {
+        self.incremental = Some(on);
+        self
+    }
+
     /// Returns self with `max_depth` replaced by `depth` **iff** it still
     /// holds the default value — used by CLIs whose subcommands have
     /// different depth defaults.
@@ -228,9 +244,7 @@ impl CheckOptions {
     /// The effective worker count for parallel operations.
     pub fn effective_jobs(&self) -> usize {
         self.jobs
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, |n| n.get())
-            })
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
             .max(1)
     }
 }

@@ -175,8 +175,7 @@ impl<'s> SmtUnroller<'s> {
             .var_ids()
             .filter(|v| self.sys.decl(*v).kind == VarKind::State)
             .collect();
-        let parts: Vec<Formula> =
-            vars.into_iter().map(|v| self.var_equal(v, i, j)).collect();
+        let parts: Vec<Formula> = vars.into_iter().map(|v| self.var_equal(v, i, j)).collect();
         Formula::and_all(parts)
     }
 
@@ -349,9 +348,7 @@ impl<'s> SmtUnroller<'s> {
                     .map(|x| self.lower_real(x, t, seen))
                     .collect::<Vec<_>>(),
             ),
-            Expr::Sub(a, b) => {
-                self.lower_real(a, t, seen) - self.lower_real(b, t, seen)
-            }
+            Expr::Sub(a, b) => self.lower_real(a, t, seen) - self.lower_real(b, t, seen),
             Expr::Neg(a) => -self.lower_real(a, t, seen),
             Expr::MulConst(k, a) => self.lower_real(a, t, seen) * *k,
             Expr::Ite(c, a, b) => {
@@ -363,14 +360,9 @@ impl<'s> SmtUnroller<'s> {
                 let name = format!("__ite{}", self.fresh_ite);
                 self.fresh_ite += 1;
                 let r = self.smt.real_var(&name);
-                let eq_a = self
-                    .smt
-                    .eq_atom(LinExpr::var(r) - a, Rational::ZERO);
-                let eq_b = self
-                    .smt
-                    .eq_atom(LinExpr::var(r) - b, Rational::ZERO);
-                self.smt
-                    .assert_formula(c.clone().implies(eq_a));
+                let eq_a = self.smt.eq_atom(LinExpr::var(r) - a, Rational::ZERO);
+                let eq_b = self.smt.eq_atom(LinExpr::var(r) - b, Rational::ZERO);
+                self.smt.assert_formula(c.clone().implies(eq_a));
                 self.smt.assert_formula(c.not().implies(eq_b));
                 LinExpr::var(r)
             }
@@ -488,10 +480,9 @@ impl<'s> SmtUnroller<'s> {
                 }
                 match self.sys.sort_of(v) {
                     Sort::Bool => Value::Bool(u == 1),
-                    Sort::Enum(e) => Value::Enum(
-                        e.clone(),
-                        (u as u32).min(e.variants.len() as u32 - 1),
-                    ),
+                    Sort::Enum(e) => {
+                        Value::Enum(e.clone(), (u as u32).min(e.variants.len() as u32 - 1))
+                    }
                     Sort::Int { lo, hi } => Value::Int((*lo + u as i64).min(*hi)),
                     Sort::Real => unreachable!(),
                 }
@@ -570,11 +561,7 @@ pub fn check_invariant(
 
 /// Bounded LTL falsification by fair-lasso search with exact loop-back on
 /// real variables (the paper's case study 2 shape).
-pub fn check_ltl(
-    sys: &System,
-    phi: &Ltl,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
+pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
     let budget = Budget::new(opts);
     let product = violation_product(sys, phi);
     let psys = &product.system;
@@ -589,8 +576,7 @@ pub fn check_ltl(
             let eq = unr.states_equal(l, k);
             let mut parts = vec![eq];
             for j in &product.justice {
-                let hits: Vec<Formula> =
-                    (l..k).map(|i| unr.lower_bool(j, i)).collect();
+                let hits: Vec<Formula> = (l..k).map(|i| unr.lower_bool(j, i)).collect();
                 parts.push(Formula::or_all(hits));
             }
             options.push(Formula::and_all(parts));
@@ -639,9 +625,11 @@ mod tests {
         sys.add_init(Expr::var(level).eq(Expr::real(Rational::ZERO)));
         sys.add_init(Expr::var(inflow).ge(Expr::real(Rational::ZERO)));
         sys.add_init(Expr::var(inflow).le(Expr::real(r(3, 1))));
-        sys.add_trans(Expr::next(level).eq(Expr::var(level)
-            .add(Expr::var(inflow))
-            .sub(Expr::real(Rational::ONE))));
+        sys.add_trans(
+            Expr::next(level).eq(Expr::var(level)
+                .add(Expr::var(inflow))
+                .sub(Expr::real(Rational::ONE))),
+        );
         (sys, level, inflow)
     }
 

@@ -105,8 +105,7 @@ impl Builder<'_> {
                 // v ↔ next(sat(g)): sat(g) may itself mention tableau vars;
                 // shift it to the next state.
                 let shifted = shift_to_next(&g_expr);
-                self.sys
-                    .add_trans(Expr::var(v).iff(shifted));
+                self.sys.add_trans(Expr::var(v).iff(shifted));
                 Expr::var(v)
             }
             Ltl::F(g) => self.sat(&Ltl::atom(Expr::tt()).until((**g).clone())),
@@ -121,9 +120,7 @@ impl Builder<'_> {
                 let ge = self.sat(g);
                 let he = self.sat(h);
                 // v ↔ h ∨ (g ∧ X v)
-                let expansion = he
-                    .clone()
-                    .or(ge.and(Expr::next(v)));
+                let expansion = he.clone().or(ge.and(Expr::next(v)));
                 self.sys.add_trans(Expr::var(v).iff(expansion));
                 // Justice: infinitely often (¬v ∨ h) — h cannot be promised
                 // forever.
@@ -167,9 +164,7 @@ pub(crate) fn shift_to_next(e: &Expr) -> Expr {
         Expr::Or(xs) => Expr::or_all(xs.iter().map(shift_to_next)),
         Expr::Implies(a, b) => shift_to_next(a).implies(shift_to_next(b)),
         Expr::Iff(a, b) => shift_to_next(a).iff(shift_to_next(b)),
-        Expr::Ite(c, t, f) => {
-            Expr::ite(shift_to_next(c), shift_to_next(t), shift_to_next(f))
-        }
+        Expr::Ite(c, t, f) => Expr::ite(shift_to_next(c), shift_to_next(t), shift_to_next(f)),
         Expr::Eq(a, b) => shift_to_next(a).eq(shift_to_next(b)),
         Expr::Le(a, b) => shift_to_next(a).le(shift_to_next(b)),
         Expr::Lt(a, b) => shift_to_next(a).lt(shift_to_next(b)),

@@ -116,9 +116,7 @@ impl<'s> Verifier<'s> {
             Engine::Bmc => crate::bmc::check_invariant(self.sys, p, &self.opts),
             Engine::KInduction => crate::kind::prove_invariant(self.sys, p, &self.opts),
             Engine::Bdd => crate::bdd::check_invariant(self.sys, p, &self.opts),
-            Engine::Explicit => {
-                crate::explicit_engine::check_invariant(self.sys, p, &self.opts)
-            }
+            Engine::Explicit => crate::explicit_engine::check_invariant(self.sys, p, &self.opts),
             Engine::SmtBmc => crate::smtbmc::check_invariant(self.sys, p, &self.opts),
             Engine::Portfolio => {
                 crate::portfolio::check_invariant(self.sys, p, &self.opts).map(|r| r.result)
@@ -228,10 +226,7 @@ impl<'s> Verifier<'s> {
 
     /// Finds violating parameter values symbolically (they appear in the
     /// returned counterexample trace).
-    pub fn find_violating_params(
-        &self,
-        property: &Property,
-    ) -> Result<CheckResult, McError> {
+    pub fn find_violating_params(&self, property: &Property) -> Result<CheckResult, McError> {
         params::find_violating_params(self.sys, property, &self.opts)
     }
 }
@@ -257,7 +252,10 @@ mod tests {
     fn auto_engine_proves_and_falsifies() {
         let (sys, n) = counter();
         let v = Verifier::new(&sys);
-        assert!(v.check_invariant(&Expr::var(n).le(Expr::int(7))).unwrap().holds());
+        assert!(v
+            .check_invariant(&Expr::var(n).le(Expr::int(7)))
+            .unwrap()
+            .holds());
         assert!(v
             .check_invariant(&Expr::var(n).lt(Expr::int(5)))
             .unwrap()
@@ -281,14 +279,10 @@ mod tests {
         let mut sys = System::new("real");
         let x = sys.real_var("x");
         sys.add_init(Expr::var(x).eq(Expr::real(verdict_logic::Rational::ZERO)));
-        sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::real(
-            verdict_logic::Rational::ONE,
-        ))));
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::real(verdict_logic::Rational::ONE))));
         let v = Verifier::new(&sys).options(CheckOptions::with_depth(6));
         let r = v
-            .check_invariant(&Expr::var(x).lt(Expr::real(
-                verdict_logic::Rational::integer(3),
-            )))
+            .check_invariant(&Expr::var(x).lt(Expr::real(verdict_logic::Rational::integer(3))))
             .unwrap();
         assert!(r.violated(), "{r}");
     }
@@ -323,9 +317,6 @@ mod tests {
         let r = v.synthesize_params(&[p], &prop).unwrap();
         assert_eq!(r.safe().len(), 2);
         let viol = v.find_violating_params(&prop).unwrap();
-        assert_eq!(
-            viol.trace().unwrap().value(0, "p"),
-            Some(&Value::Int(1))
-        );
+        assert_eq!(viol.trace().unwrap().value(0, "p"), Some(&Value::Int(1)));
     }
 }

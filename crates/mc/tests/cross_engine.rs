@@ -4,10 +4,10 @@
 //! and (for falsification) BMC must match it on invariants, and BDD must
 //! match it on LTL verdicts.
 
-use verdict_prng::Prng;
 use verdict_mc::{
     bdd, bmc, certify, explicit_engine, kind, CheckOptions, CheckResult, UnknownReason,
 };
+use verdict_prng::Prng;
 use verdict_ts::{Expr, Ltl, System, Value, VarId};
 
 /// A random small finite system over a few booleans and one bounded int.
@@ -48,7 +48,7 @@ fn random_system(seed: u64) -> (System, Vec<VarId>, VarId) {
         match rng.gen_index(3) {
             0 => sys.add_trans(Expr::var(b).implies(Expr::next(b))), // latch
             1 => sys.add_trans(Expr::next(b).eq(Expr::var(b).not())), // flip
-            _ => {} // free
+            _ => {}                                                  // free
         }
     }
     (sys, bools, n)
@@ -168,8 +168,8 @@ fn lasso_counterexamples_replay_under_semantics() {
             "seed {seed}: lasso does not close\n{trace}"
         );
         // The loop contains a ¬p state (otherwise F G p would hold on it).
-        let has_not_p = (l..trace.len() - 1)
-            .any(|t| !verdict_ts::explicit::holds(&p, &trace.states[t]));
+        let has_not_p =
+            (l..trace.len() - 1).any(|t| !verdict_ts::explicit::holds(&p, &trace.states[t]));
         assert!(has_not_p, "seed {seed}: loop satisfies G p\n{trace}");
     }
 }
@@ -199,10 +199,7 @@ fn certify_mode_agrees_with_plain_verdicts_across_engines() {
             assert_eq!(a.holds(), b.holds(), "seed {seed} {name}\n{sys}");
             assert_eq!(a.violated(), b.violated(), "seed {seed} {name}\n{sys}");
             assert!(
-                !matches!(
-                    b,
-                    CheckResult::Unknown(UnknownReason::CertificateRejected)
-                ),
+                !matches!(b, CheckResult::Unknown(UnknownReason::CertificateRejected)),
                 "seed {seed} {name}: spurious certificate rejection"
             );
         }

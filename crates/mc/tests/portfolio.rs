@@ -31,8 +31,7 @@ fn loser_observes_stop_flag_and_exits_promptly() {
     let (sys, c) = slow_for_bdd(1 << 20);
     let p = Expr::var(c).le(Expr::int(1 << 20));
     let started = Instant::now();
-    let report =
-        portfolio::check_invariant(&sys, &p, &CheckOptions::default()).unwrap();
+    let report = portfolio::check_invariant(&sys, &p, &CheckOptions::default()).unwrap();
     let wall = started.elapsed();
     assert!(report.result.holds(), "{}", report.result);
     assert_eq!(report.winner, Engine::KInduction);
@@ -60,9 +59,9 @@ fn portfolio_agrees_with_every_sequential_engine() {
     let (sys, c) = slow_for_bdd(7);
     let opts = CheckOptions::default();
     for prop in [
-        Expr::var(c).le(Expr::int(7)),  // holds
-        Expr::var(c).lt(Expr::int(4)),  // violated at depth 4
-        Expr::var(c).ne(Expr::int(7)),  // violated at the fixpoint
+        Expr::var(c).le(Expr::int(7)), // holds
+        Expr::var(c).lt(Expr::int(4)), // violated at depth 4
+        Expr::var(c).ne(Expr::int(7)), // violated at the fixpoint
     ] {
         let report = portfolio::check_invariant(&sys, &prop, &opts).unwrap();
         let b = bdd::check_invariant(&sys, &prop, &opts).unwrap();
@@ -89,9 +88,11 @@ fn injected_panicking_contender_is_contained() {
     let contenders: Vec<(Engine, portfolio::Contender)> = vec![
         (
             Engine::Bmc,
-            Box::new(|_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
-                panic!("injected engine failure")
-            }),
+            Box::new(
+                |_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
+                    panic!("injected engine failure")
+                },
+            ),
         ),
         (
             Engine::KInduction,
@@ -121,9 +122,11 @@ fn all_contenders_panicking_degrades_to_engine_failure() {
     // propagated panic), reporting the failure as an Unknown verdict.
     let contenders: Vec<(Engine, portfolio::Contender)> = vec![(
         Engine::Bmc,
-        Box::new(|_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
-            panic!("injected engine failure")
-        }),
+        Box::new(
+            |_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
+                panic!("injected engine failure")
+            },
+        ),
     )];
     let report = portfolio::race(&CheckOptions::default(), contenders).unwrap();
     assert!(

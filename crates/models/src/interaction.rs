@@ -131,8 +131,7 @@ impl InteractionGraph {
                 if a != v {
                     continue;
                 }
-                let c = controllers
-                    + usize::from(g.nodes[b].kind == NodeKind::Controller);
+                let c = controllers + usize::from(g.nodes[b].kind == NodeKind::Controller);
                 if b == start && c >= 2 {
                     return true;
                 }

@@ -73,9 +73,7 @@ pub fn taint_loop() -> K8sModel {
         Expr::next(pod).eq(running.clone()),
     )));
 
-    let property = K8sProperty::Ltl(
-        Ltl::atom(Expr::var(pod).eq(running)).always().eventually(),
-    );
+    let property = K8sProperty::Ltl(Ltl::atom(Expr::var(pod).eq(running)).always().eventually());
     let model = K8sModel {
         system: sys,
         property,
@@ -108,9 +106,7 @@ pub fn hpa_ruc(max_surge: i64, bound: i64) -> K8sModel {
     // RUC: while rolling, current may surge to expected + maxSurge
     // (capped by the domain); otherwise current tracks expected.
     let surged = Expr::var(expected).add(Expr::int(max_surge));
-    let clamp = |e: Expr| {
-        Expr::ite(e.clone().le(Expr::int(cap)), e, Expr::int(cap))
-    };
+    let clamp = |e: Expr| Expr::ite(e.clone().le(Expr::int(cap)), e, Expr::int(cap));
     sys.add_trans(Expr::ite(
         Expr::var(rolling),
         Expr::next(current)
@@ -121,8 +117,7 @@ pub fn hpa_ruc(max_surge: i64, bound: i64) -> K8sModel {
     // Buggy HPA: expected' = current (reads the surged count as demand).
     sys.add_trans(Expr::next(expected).eq(Expr::var(current)));
 
-    let property =
-        K8sProperty::Invariant(Expr::var(current).le(Expr::int(bound)));
+    let property = K8sProperty::Invariant(Expr::var(current).le(Expr::int(bound)));
     let model = K8sModel {
         system: sys,
         property,
@@ -169,11 +164,13 @@ pub fn descheduler_oscillation(request_pct: i64, evict_threshold_pct: i64) -> K8
     // on the next tick; otherwise it stays.
     for (here, flag_value) in [(w2.clone(), true), (w3.clone(), false)] {
         if evictable {
-            sys.add_trans(Expr::var(pod).eq(here.clone()).implies(
-                Expr::next(pod)
-                    .eq(pending.clone())
-                    .and(Expr::next(last_evicted_w2).eq(Expr::bool(flag_value))),
-            ));
+            sys.add_trans(
+                Expr::var(pod).eq(here.clone()).implies(
+                    Expr::next(pod)
+                        .eq(pending.clone())
+                        .and(Expr::next(last_evicted_w2).eq(Expr::bool(flag_value))),
+                ),
+            );
         } else {
             sys.add_trans(
                 Expr::var(pod)
@@ -200,10 +197,7 @@ pub fn descheduler_oscillation(request_pct: i64, evict_threshold_pct: i64) -> K8
         system: sys,
         property,
     };
-    model
-        .system
-        .check()
-        .expect("descheduler model type-checks");
+    model.system.check().expect("descheduler model type-checks");
     model
 }
 
@@ -214,9 +208,7 @@ mod tests {
 
     fn check(model: &K8sModel, opts: &CheckOptions) -> verdict_mc::CheckResult {
         match &model.property {
-            K8sProperty::Invariant(p) => {
-                bmc::check_invariant(&model.system, p, opts).unwrap()
-            }
+            K8sProperty::Invariant(p) => bmc::check_invariant(&model.system, p, opts).unwrap(),
             K8sProperty::Ltl(phi) => bmc::check_ltl(&model.system, phi, opts).unwrap(),
         }
     }
@@ -230,9 +222,7 @@ mod tests {
         // The loop cycles through creation and eviction: the pod is
         // `none` somewhere in the loop and `running` somewhere.
         let l = t.loop_back.unwrap();
-        let phases: Vec<String> = (l..t.len())
-            .map(|s| t.states[s][0].to_string())
-            .collect();
+        let phases: Vec<String> = (l..t.len()).map(|s| t.states[s][0].to_string()).collect();
         assert!(phases.contains(&"none".to_string()), "{phases:?}");
         assert!(phases.contains(&"running".to_string()), "{phases:?}");
     }
@@ -271,8 +261,7 @@ mod tests {
         let K8sProperty::Invariant(p) = &m.property else {
             panic!()
         };
-        let r = kind::prove_invariant(&m.system, p, &CheckOptions::with_depth(12))
-            .unwrap();
+        let r = kind::prove_invariant(&m.system, p, &CheckOptions::with_depth(12)).unwrap();
         assert!(r.holds(), "{r}");
     }
 
@@ -283,9 +272,7 @@ mod tests {
         let r = check(&m, &CheckOptions::with_depth(12));
         let t = r.trace().expect("pod never settles");
         let l = t.loop_back.expect("lasso");
-        let nodes: Vec<String> = (l..t.len())
-            .map(|s| t.states[s][0].to_string())
-            .collect();
+        let nodes: Vec<String> = (l..t.len()).map(|s| t.states[s][0].to_string()).collect();
         assert!(
             nodes.contains(&"w2".to_string()) && nodes.contains(&"w3".to_string()),
             "pod must bounce between workers: {nodes:?}\n{t}"
@@ -297,7 +284,9 @@ mod tests {
         // Threshold 60% > request 50%: the pod settles; BDD proves the
         // liveness property.
         let m = descheduler_oscillation(50, 60);
-        let K8sProperty::Ltl(phi) = &m.property else { panic!() };
+        let K8sProperty::Ltl(phi) = &m.property else {
+            panic!()
+        };
         let r = bdd::check_ltl(&m.system, phi, &CheckOptions::default()).unwrap();
         assert!(r.holds(), "{r}");
     }

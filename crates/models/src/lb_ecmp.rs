@@ -75,11 +75,7 @@ pub struct LbModel {
 /// `ite(cond, slope·t, 0)` — the linear latency contribution of one
 /// traffic source when active.
 fn scaled_if(cond: Expr, slope: VarId, t: Rational) -> Expr {
-    Expr::ite(
-        cond,
-        Expr::var(slope).scale(t),
-        Expr::real(Rational::ZERO),
-    )
+    Expr::ite(cond, Expr::var(slope).scale(t), Expr::real(Rational::ZERO))
 }
 
 impl LbModel {
@@ -154,10 +150,8 @@ impl LbModel {
 
         // The LB's "smart" decisions: candidate assignments evaluated with
         // the *other* app's weight held at its current value.
-        let decide_a = resp_p1(Expr::tt(), Expr::var(wb))
-            .le(resp_p2(Expr::ff(), Expr::var(wb)));
-        let decide_b = resp_p3(Expr::var(wa), Expr::tt())
-            .le(resp_p4(Expr::ff(), Expr::var(ext)));
+        let decide_a = resp_p1(Expr::tt(), Expr::var(wb)).le(resp_p2(Expr::ff(), Expr::var(wb)));
+        let decide_b = resp_p3(Expr::var(wa), Expr::tt()).le(resp_p4(Expr::ff(), Expr::var(ext)));
 
         // INIT: no external traffic yet; weights free; history matches so
         // step 0 is not spuriously "unstable".
@@ -185,13 +179,11 @@ impl LbModel {
         let stable = Expr::var(wa)
             .iff(Expr::var(prev_wa))
             .and(Expr::var(wb).iff(Expr::var(prev_wb)));
-        let equilibrium = decide_a
-            .iff(Expr::var(wa))
-            .and(decide_b.iff(Expr::var(wb)));
+        let equilibrium = decide_a.iff(Expr::var(wa)).and(decide_b.iff(Expr::var(wb)));
 
         let liveness = Ltl::atom(stable.clone()).always().eventually();
-        let conditional_liveness = Ltl::atom(equilibrium.clone())
-            .implies(Ltl::atom(stable.clone()).always().eventually());
+        let conditional_liveness =
+            Ltl::atom(equilibrium.clone()).implies(Ltl::atom(stable.clone()).always().eventually());
 
         let model = LbModel {
             system: sys,
@@ -226,8 +218,7 @@ mod tests {
         // The paper: "the model checker finds a counter-example where the
         // system is unstable even before the sudden external traffic."
         let m = LbModel::build(&LbSpec::default());
-        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10))
-            .unwrap();
+        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10)).unwrap();
         let t = r.trace().expect("F G stable must fail");
         assert!(t.loop_back.is_some(), "lasso expected:\n{t}");
     }
@@ -261,8 +252,7 @@ mod tests {
     #[test]
     fn counterexample_parameters_are_positive() {
         let m = LbModel::build(&LbSpec::default());
-        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10))
-            .unwrap();
+        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10)).unwrap();
         let t = r.trace().unwrap();
         for name in ["m_a", "m_b", "m_link", "l_a", "l_b", "l_link"] {
             let Value::Real(v) = t.value(0, name).unwrap() else {
@@ -275,8 +265,7 @@ mod tests {
     #[test]
     fn turns_alternate_and_history_shifts() {
         let m = LbModel::build(&LbSpec::default());
-        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10))
-            .unwrap();
+        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10)).unwrap();
         let t = r.trace().unwrap();
         for step in 0..t.len() - 1 {
             assert_ne!(

@@ -28,8 +28,8 @@
 
 pub mod interaction;
 pub mod k8s;
-pub mod library;
 pub mod lb_ecmp;
+pub mod library;
 pub mod rollout;
 pub mod topology;
 

@@ -189,8 +189,7 @@ mod tests {
     use verdict_ts::Value;
 
     fn synth(model: &LibraryModel, depth: usize) -> Vec<i64> {
-        let verifier =
-            Verifier::new(&model.system).options(CheckOptions::with_depth(depth));
+        let verifier = Verifier::new(&model.system).options(CheckOptions::with_depth(depth));
         let result = verifier
             .synthesize_params(
                 &[model.parameter.expect("has parameter")],
@@ -226,19 +225,14 @@ mod tests {
         let model = rate_limiter_retry(3, 2);
         let mut sys = model.system.clone();
         sys.add_invar(Expr::var(model.parameter.unwrap()).eq(Expr::int(1)));
-        let r = verdict_mc::bmc::check_invariant(
-            &sys,
-            &model.property,
-            &CheckOptions::with_depth(16),
-        )
-        .unwrap();
+        let r =
+            verdict_mc::bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(16))
+                .unwrap();
         let t = r.trace().expect("retry storm");
         // The retry backlog exceeds a full round of demand.
         let last = t.states.last().unwrap();
-        let retries = verdict_ts::explicit::eval_state(
-            &Expr::var(sys.var_by_name("retries").unwrap()),
-            last,
-        );
+        let retries =
+            verdict_ts::explicit::eval_state(&Expr::var(sys.var_by_name("retries").unwrap()), last);
         assert!(matches!(retries, Value::Int(n) if n > 2), "{t}");
     }
 
@@ -253,19 +247,13 @@ mod tests {
         // The violating trace walks the incident's causal chain: large
         // requests -> pressure -> throttling -> capacity < demand.
         let mut sys = model.system.clone();
-        sys.add_invar(
-            Expr::var(model.parameter.unwrap()).eq(Expr::int(2)),
-        );
-        let r = verdict_mc::bmc::check_invariant(
-            &sys,
-            &model.property,
-            &CheckOptions::with_depth(16),
-        )
-        .unwrap();
+        sys.add_invar(Expr::var(model.parameter.unwrap()).eq(Expr::int(2)));
+        let r =
+            verdict_mc::bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(16))
+                .unwrap();
         let t = r.trace().expect("incident reproduces");
-        let pressure_peaked = (0..t.len()).any(|s| {
-            matches!(t.value(s, "pressure"), Some(Value::Int(n)) if *n >= 2)
-        });
+        let pressure_peaked =
+            (0..t.len()).any(|s| matches!(t.value(s, "pressure"), Some(Value::Int(n)) if *n >= 2));
         assert!(pressure_peaked, "{t}");
     }
 }

@@ -126,9 +126,7 @@ impl RolloutModel {
         let failed: Vec<VarId> = topo
             .links
             .iter()
-            .map(|&(a, b)| {
-                sys.bool_var(&format!("failed_{}_{}", topo.nodes[a], topo.nodes[b]))
-            })
+            .map(|&(a, b)| sys.bool_var(&format!("failed_{}_{}", topo.nodes[a], topo.nodes[b])))
             .collect();
 
         // True reachability of each node from the front-end, as a layered
@@ -149,8 +147,7 @@ impl RolloutModel {
                 // child vectors quadratically.
                 let mut grow = Expr::ff();
                 for (l, j) in topo.incident(i) {
-                    let hop =
-                        Expr::and_pair(Expr::var(failed[l]).not(), layer[j].clone());
+                    let hop = Expr::and_pair(Expr::var(failed[l]).not(), layer[j].clone());
                     grow = Expr::or_pair(grow, hop);
                 }
                 next_layer.push(Expr::or_pair(layer[i].clone(), grow));
@@ -187,17 +184,13 @@ impl RolloutModel {
         for i in 0..down.len() {
             let (d, u) = (down[i], updated[i]);
             // Updated nodes stay up and updated.
-            sys.add_trans(
-                Expr::var(u).implies(Expr::next(u).and(Expr::next(d).not())),
-            );
+            sys.add_trans(Expr::var(u).implies(Expr::next(u).and(Expr::next(d).not())));
             // Coming back up completes the update.
-            sys.add_trans(Expr::next(u).iff(
-                Expr::var(u).or(Expr::var(d).and(Expr::next(d).not())),
-            ));
-            // Fresh downs only for not-yet-updated nodes.
             sys.add_trans(
-                Expr::next(d).implies(Expr::var(d).or(Expr::var(u).not())),
+                Expr::next(u).iff(Expr::var(u).or(Expr::var(d).and(Expr::next(d).not()))),
             );
+            // Fresh downs only for not-yet-updated nodes.
+            sys.add_trans(Expr::next(d).implies(Expr::var(d).or(Expr::var(u).not())));
         }
 
         // INVAR: rollout width and failure budget.
@@ -321,8 +314,7 @@ mod tests {
         // Fig. 5: p = m = 1, k = 2 violates the property.
         let model = test_model(true);
         let sys = model.pinned(1, 2, 1);
-        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8))
-            .unwrap();
+        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8)).unwrap();
         let t = r.trace().expect("violated, as in the paper's Fig. 5");
         // The violating state has fewer available nodes than m = 1.
         let last = t.states.last().unwrap();
@@ -336,8 +328,8 @@ mod tests {
         // 4 available forever.
         let model = test_model(true);
         let sys = model.pinned(0, 0, 1);
-        let r = kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(12))
-            .unwrap();
+        let r =
+            kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(12)).unwrap();
         assert!(r.holds(), "{r}");
     }
 
@@ -346,9 +338,12 @@ mod tests {
         // For pinned (p, k, m), the direct (always-converged) variant and
         // the recompute-loop variant agree on whether the property can be
         // violated: the loop only adds stutter states.
-        for (p, k, m, expect_violation) in
-            [(1, 2, 1, true), (0, 0, 1, false), (1, 0, 3, false), (2, 0, 3, true)]
-        {
+        for (p, k, m, expect_violation) in [
+            (1, 2, 1, true),
+            (0, 0, 1, false),
+            (1, 0, 3, false),
+            (2, 0, 3, true),
+        ] {
             let with_loop = test_model(true);
             let direct = test_model(false);
             let r1 = bmc::check_invariant(
@@ -384,13 +379,11 @@ mod tests {
         let sys = model.pinned(1, 0, 0);
         // Violation of "updated_s1 is never true" shows updates do happen.
         let never_updated = Expr::var(model.updated[0]).not();
-        let r = bmc::check_invariant(&sys, &never_updated, &CheckOptions::with_depth(6))
-            .unwrap();
+        let r = bmc::check_invariant(&sys, &never_updated, &CheckOptions::with_depth(6)).unwrap();
         assert!(r.violated(), "s1 can be updated");
         // An updated node that is down again would violate the machine.
         let bad = Expr::var(model.updated[0]).and(Expr::var(model.down[0]));
-        let r = kind::prove_invariant(&sys, &bad.not(), &CheckOptions::with_depth(10))
-            .unwrap();
+        let r = kind::prove_invariant(&sys, &bad.not(), &CheckOptions::with_depth(10)).unwrap();
         assert!(r.holds(), "updated implies up: {r}");
     }
 
@@ -402,8 +395,7 @@ mod tests {
         let spec = RolloutSpec::paper_gradual(Topology::test_topology());
         let model = RolloutModel::build(&spec).expect("valid topology");
         let sys = model.pinned(1, 2, 1);
-        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8))
-            .unwrap();
+        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8)).unwrap();
         let t = r.trace().expect("still violated, just gradually");
         assert!(t.len() >= 3, "gradual trace has ≥ 2 failure steps:\n{t}");
         // No step introduces more than one new failure.
@@ -431,8 +423,7 @@ mod tests {
         let mut sys = model.system.clone();
         sys.add_invar(Expr::var(model.k).eq(Expr::int(1)));
         sys.add_invar(Expr::var(model.m).eq(Expr::int(1)));
-        let verifier = verdict_mc::Verifier::new(&sys)
-            .options(CheckOptions::with_depth(16));
+        let verifier = verdict_mc::Verifier::new(&sys).options(CheckOptions::with_depth(16));
         let prop = verdict_mc::params::Property::Invariant(model.property.clone());
         let result = verifier.synthesize_params(&[model.p], &prop).unwrap();
         let safe: Vec<i64> = result

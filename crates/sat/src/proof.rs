@@ -146,7 +146,11 @@ fn is_rup(db: &[Entry], clause: &[Lit]) -> bool {
     let mut assign: HashMap<u32, Val> = HashMap::new();
     let set = |assign: &mut HashMap<u32, Val>, l: Lit| -> bool {
         // Returns false on contradiction with an existing assignment.
-        let want = if l.is_positive() { Val::True } else { Val::False };
+        let want = if l.is_positive() {
+            Val::True
+        } else {
+            Val::False
+        };
         match assign.insert(l.var().0, want) {
             None => true,
             Some(prev) => prev == want,
@@ -254,7 +258,10 @@ mod tests {
             ProofEvent::Learn(vec![l(2, true)]),
             ProofEvent::Learn(vec![]),
         ];
-        assert!(matches!(check_proof(&events), Err(ProofError::NotRup(1, _))));
+        assert!(matches!(
+            check_proof(&events),
+            Err(ProofError::NotRup(1, _))
+        ));
     }
 
     #[test]
@@ -288,7 +295,10 @@ mod tests {
             ProofEvent::Delete(vec![l(0, true)]),
             ProofEvent::Learn(vec![l(1, true)]),
         ];
-        assert!(matches!(check_proof(&events), Err(ProofError::NotRup(3, _))));
+        assert!(matches!(
+            check_proof(&events),
+            Err(ProofError::NotRup(3, _))
+        ));
     }
 
     #[test]

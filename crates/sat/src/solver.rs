@@ -743,6 +743,16 @@ impl Solver {
         &self.conflict_core
     }
 
+    /// MiniSat-style name for [`Solver::unsat_core`]: the assumption
+    /// literals that participated in the last `Unsat` answer. Assumptions
+    /// absent from this set played no part in the refutation, so the same
+    /// query stays `Unsat` under any polarity of those literals — the
+    /// property incremental parameter synthesis exploits to transfer
+    /// verdicts across assignments (unsat-core pruning).
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
     /// Builds the failed-assumption core by walking the implication graph
     /// backwards from a literal that contradicts an assumption.
     fn analyze_final(&mut self, p: Lit) {
@@ -830,6 +840,14 @@ impl Solver {
             if self.clauses.len() >= max {
                 return SolveResult::Unknown;
             }
+        }
+        // Check the deadline/stop flag before doing any work: the in-loop
+        // polls only fire every 256 conflicts/decisions, so a trivially
+        // easy query would otherwise return a real verdict after its
+        // budget already expired (and a caller looping over such queries
+        // could overshoot its deadline by many solve calls).
+        if limits.interrupted() {
+            return SolveResult::Unknown;
         }
         self.conflicts_since_restart = 0;
         self.luby_index = 0;
@@ -1001,11 +1019,7 @@ impl Solver {
 
     fn extract_model(&self) -> Model {
         Model {
-            values: self
-                .assign
-                .iter()
-                .map(|&a| a == LBool::True)
-                .collect(),
+            values: self.assign.iter().map(|&a| a == LBool::True).collect(),
         }
     }
 }
@@ -1265,6 +1279,98 @@ mod tests {
         }
         // x2 is irrelevant, so a good core excludes it.
         assert!(core.contains(&lit(0, true)) || core.contains(&lit(1, true)));
+    }
+
+    #[test]
+    fn failed_assumptions_subset_survives_learned_clause_reuse() {
+        // A pigeonhole instance plus a relaxation switch r: with r assumed
+        // false the PHP clauses bite and the query is UNSAT; the core must
+        // name only assumptions that took part.
+        let holes = 4u32;
+        let pigeons = holes + 1;
+        let var = |p: u32, h: u32| Var(1 + p * holes + h);
+        let r = lit(0, true); // relaxation: r | php-clause
+        let mut s = Solver::new();
+        for p in 0..pigeons {
+            let mut c: Vec<Lit> = (0..holes).map(|h| var(p, h).positive()).collect();
+            c.push(r);
+            s.add_clause(c);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([var(p1, h).negative(), var(p2, h).negative(), r]);
+                }
+            }
+        }
+        let spare = Var(1 + pigeons * holes).positive();
+        let assumptions = [spare, !r];
+        assert!(s.solve_with_assumptions(&assumptions).is_unsat());
+        let first_core = s.failed_assumptions().to_vec();
+        assert!(!first_core.is_empty());
+        for l in &first_core {
+            assert!(assumptions.contains(l), "core lit {l} not an assumption");
+        }
+        assert!(first_core.contains(&!r), "refutation needs !r");
+        assert!(!first_core.contains(&spare), "spare lit is irrelevant");
+
+        // Re-running the same query reuses the learnt clauses from the
+        // first solve (possibly concluding inside the assumption prefix);
+        // the core must still be a subset of the assumptions and still
+        // name the relaxation literal.
+        assert!(s.solve_with_assumptions(&assumptions).is_unsat());
+        let second_core = s.failed_assumptions().to_vec();
+        assert!(!second_core.is_empty());
+        for l in &second_core {
+            assert!(assumptions.contains(l), "core lit {l} not an assumption");
+        }
+        assert!(second_core.contains(&!r));
+        assert!(!second_core.contains(&spare));
+        // And flipping the relaxation on is SAT — the solver state is not
+        // poisoned by the two UNSAT answers.
+        assert!(s.solve_with_assumptions(&[spare, r]).is_sat());
+    }
+
+    #[test]
+    fn failed_assumptions_empty_after_assumption_free_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true)]);
+        s.add_clause([lit(0, false)]);
+        assert!(s.solve().is_unsat());
+        assert!(s.failed_assumptions().is_empty());
+        // Same for a level-0 refutation reached with assumptions passed
+        // but irrelevant: a DB-only UNSAT leaves no failed assumptions.
+        let mut s2 = Solver::new();
+        s2.add_clause([lit(0, true), lit(1, true)]);
+        s2.add_clause([lit(0, true), lit(1, false)]);
+        s2.add_clause([lit(0, false), lit(1, true)]);
+        s2.add_clause([lit(0, false), lit(1, false)]);
+        let r = s2.solve_with_assumptions(&[lit(2, true)]);
+        assert!(r.is_unsat());
+        for l in s2.failed_assumptions() {
+            assert_eq!(*l, lit(2, true), "only passed assumptions may appear");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_checked_at_solve_entry() {
+        // A trivially satisfiable query must still return Unknown when its
+        // deadline has already passed: the in-loop polls (every 256
+        // conflicts) never fire on easy instances, so without the entry
+        // check a caller sweeping many easy queries could overshoot its
+        // budget arbitrarily.
+        let mut s = Solver::new();
+        s.add_clause([lit(0, true)]);
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                deadline: Some(Instant::now()),
+                ..Limits::NONE
+            },
+        );
+        assert!(matches!(r, SolveResult::Unknown));
+        // Without the expired deadline the same query is Sat.
+        assert!(s.solve().is_sat());
     }
 
     #[test]

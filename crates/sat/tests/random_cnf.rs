@@ -148,8 +148,7 @@ mod proptest_suite {
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| a.xor(b)),
-                (inner.clone(), inner.clone(), inner)
-                    .prop_map(|(c, t, e)| Formula::ite(c, t, e)),
+                (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Formula::ite(c, t, e)),
             ]
         })
         .boxed()

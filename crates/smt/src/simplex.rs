@@ -273,8 +273,7 @@ impl Simplex {
             }
             // Bland's rule: smallest violating basic variable.
             let violated = (0..self.num_vars).find(|&v| {
-                self.row_of[v].is_some()
-                    && (self.below_lower(v) || self.above_upper(v))
+                self.row_of[v].is_some() && (self.below_lower(v) || self.above_upper(v))
             });
             let Some(xi) = violated else {
                 return SimplexResult::Sat;
@@ -292,19 +291,12 @@ impl Simplex {
                     Some((&xj, _)) => self.pivot_and_update(ri, xi, xj, target),
                     None => {
                         // Conflict: xi stuck below its lower bound.
-                        let mut expl = vec![self.lower[xi]
-                            .as_ref()
-                            .expect("checked")
-                            .reason];
+                        let mut expl = vec![self.lower[xi].as_ref().expect("checked").reason];
                         for (&xj, &a) in &coeffs {
                             if a.is_positive() {
-                                expl.push(
-                                    self.upper[xj].as_ref().expect("blocked").reason,
-                                );
+                                expl.push(self.upper[xj].as_ref().expect("blocked").reason);
                             } else {
-                                expl.push(
-                                    self.lower[xj].as_ref().expect("blocked").reason,
-                                );
+                                expl.push(self.lower[xj].as_ref().expect("blocked").reason);
                             }
                         }
                         dedup_lits(&mut expl);
@@ -322,19 +314,12 @@ impl Simplex {
                 match candidate {
                     Some((&xj, _)) => self.pivot_and_update(ri, xi, xj, target),
                     None => {
-                        let mut expl = vec![self.upper[xi]
-                            .as_ref()
-                            .expect("checked")
-                            .reason];
+                        let mut expl = vec![self.upper[xi].as_ref().expect("checked").reason];
                         for (&xj, &a) in &coeffs {
                             if a.is_positive() {
-                                expl.push(
-                                    self.lower[xj].as_ref().expect("blocked").reason,
-                                );
+                                expl.push(self.lower[xj].as_ref().expect("blocked").reason);
                             } else {
-                                expl.push(
-                                    self.upper[xj].as_ref().expect("blocked").reason,
-                                );
+                                expl.push(self.upper[xj].as_ref().expect("blocked").reason);
                             }
                         }
                         dedup_lits(&mut expl);
@@ -372,10 +357,7 @@ impl Simplex {
     /// the pivot aborted; `check` then reports [`SimplexResult::Overflow`].
     fn pivot_and_update(&mut self, ri: usize, xi: usize, xj: usize, target: DeltaRational) {
         self.pivots += 1;
-        let a_ij = *self.rows[ri]
-            .coeffs
-            .get(&xj)
-            .expect("pivot column in row");
+        let a_ij = *self.rows[ri].coeffs.get(&xj).expect("pivot column in row");
         debug_assert!(!a_ij.is_zero());
         // Adjust values: xi jumps to target; xj absorbs the change.
         let theta = match target
@@ -516,7 +498,12 @@ fn dedup_lits(lits: &mut Vec<Lit>) {
 
 impl fmt::Debug for Simplex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Simplex ({} vars, {} rows):", self.num_vars, self.rows.len())?;
+        writeln!(
+            f,
+            "Simplex ({} vars, {} rows):",
+            self.num_vars,
+            self.rows.len()
+        )?;
         for row in &self.rows {
             write!(f, "  x{} =", row.basic)?;
             for (&v, &c) in &row.coeffs {
@@ -549,8 +536,10 @@ mod tests {
     fn single_var_bounds() {
         let mut s = Simplex::new();
         let x = s.add_var();
-        s.assert_bound(x, BoundKind::Lower, dr(1, 1), lit(0)).unwrap();
-        s.assert_bound(x, BoundKind::Upper, dr(3, 1), lit(1)).unwrap();
+        s.assert_bound(x, BoundKind::Lower, dr(1, 1), lit(0))
+            .unwrap();
+        s.assert_bound(x, BoundKind::Upper, dr(3, 1), lit(1))
+            .unwrap();
         assert!(s.check().is_sat());
         let v = s.value(x);
         assert!(v >= dr(1, 1) && v <= dr(3, 1));
@@ -569,8 +558,10 @@ mod tests {
         let y = s.add_var();
         let s1 = s.add_slack(&[(x, r(1, 1)), (y, r(1, 1))]);
         let s2 = s.add_slack(&[(x, r(1, 1)), (y, r(-1, 1))]);
-        s.assert_bound(s1, BoundKind::Upper, dr(2, 1), lit(0)).unwrap();
-        s.assert_bound(s2, BoundKind::Lower, dr(1, 1), lit(1)).unwrap();
+        s.assert_bound(s1, BoundKind::Upper, dr(2, 1), lit(0))
+            .unwrap();
+        s.assert_bound(s2, BoundKind::Lower, dr(1, 1), lit(1))
+            .unwrap();
         assert!(s.check().is_sat());
         let (vx, vy) = (s.value(x), s.value(y));
         assert!(vx + vy <= dr(2, 1));
@@ -584,7 +575,8 @@ mod tests {
         let x = s.add_var();
         let y = s.add_var();
         let sum = s.add_slack(&[(x, r(1, 1)), (y, r(1, 1))]);
-        s.assert_bound(sum, BoundKind::Upper, dr(2, 1), lit(0)).unwrap();
+        s.assert_bound(sum, BoundKind::Upper, dr(2, 1), lit(0))
+            .unwrap();
         let err = s
             .assert_bound(sum, BoundKind::Lower, dr(3, 1), lit(1))
             .unwrap_err();
@@ -598,9 +590,12 @@ mod tests {
         let x = s.add_var();
         let y = s.add_var();
         let sum = s.add_slack(&[(x, r(1, 1)), (y, r(1, 1))]);
-        s.assert_bound(x, BoundKind::Upper, dr(1, 1), lit(0)).unwrap();
-        s.assert_bound(y, BoundKind::Upper, dr(1, 1), lit(1)).unwrap();
-        s.assert_bound(sum, BoundKind::Lower, dr(3, 1), lit(2)).unwrap();
+        s.assert_bound(x, BoundKind::Upper, dr(1, 1), lit(0))
+            .unwrap();
+        s.assert_bound(y, BoundKind::Upper, dr(1, 1), lit(1))
+            .unwrap();
+        s.assert_bound(sum, BoundKind::Lower, dr(3, 1), lit(2))
+            .unwrap();
         match s.check() {
             SimplexResult::Conflict(expl) => {
                 assert_eq!(expl.len(), 3, "explanation: {expl:?}");
@@ -614,8 +609,13 @@ mod tests {
         // x < 1 and x > 1 is unsat; x < 1 and x > 0 is sat.
         let mut s = Simplex::new();
         let x = s.add_var();
-        s.assert_bound(x, BoundKind::Upper, DeltaRational::just_below(r(1, 1)), lit(0))
-            .unwrap();
+        s.assert_bound(
+            x,
+            BoundKind::Upper,
+            DeltaRational::just_below(r(1, 1)),
+            lit(0),
+        )
+        .unwrap();
         let err = s.assert_bound(
             x,
             BoundKind::Lower,
@@ -626,10 +626,20 @@ mod tests {
 
         let mut s = Simplex::new();
         let x = s.add_var();
-        s.assert_bound(x, BoundKind::Upper, DeltaRational::just_below(r(1, 1)), lit(0))
-            .unwrap();
-        s.assert_bound(x, BoundKind::Lower, DeltaRational::just_above(r(0, 1)), lit(1))
-            .unwrap();
+        s.assert_bound(
+            x,
+            BoundKind::Upper,
+            DeltaRational::just_below(r(1, 1)),
+            lit(0),
+        )
+        .unwrap();
+        s.assert_bound(
+            x,
+            BoundKind::Lower,
+            DeltaRational::just_above(r(0, 1)),
+            lit(1),
+        )
+        .unwrap();
         assert!(s.check().is_sat());
         let d = s.concrete_delta();
         assert!(d.is_positive());
@@ -644,10 +654,14 @@ mod tests {
         let x = s.add_var();
         let y = s.add_var();
         let form = s.add_slack(&[(x, r(1, 1)), (y, r(2, 1))]);
-        s.assert_bound(form, BoundKind::Lower, dr(4, 1), lit(0)).unwrap();
-        s.assert_bound(form, BoundKind::Upper, dr(4, 1), lit(1)).unwrap();
-        s.assert_bound(x, BoundKind::Lower, dr(2, 1), lit(2)).unwrap();
-        s.assert_bound(x, BoundKind::Upper, dr(2, 1), lit(3)).unwrap();
+        s.assert_bound(form, BoundKind::Lower, dr(4, 1), lit(0))
+            .unwrap();
+        s.assert_bound(form, BoundKind::Upper, dr(4, 1), lit(1))
+            .unwrap();
+        s.assert_bound(x, BoundKind::Lower, dr(2, 1), lit(2))
+            .unwrap();
+        s.assert_bound(x, BoundKind::Upper, dr(2, 1), lit(3))
+            .unwrap();
         assert!(s.check().is_sat());
         assert_eq!(s.value(y), dr(1, 1));
     }
@@ -656,11 +670,14 @@ mod tests {
     fn reset_bounds_allows_reuse() {
         let mut s = Simplex::new();
         let x = s.add_var();
-        s.assert_bound(x, BoundKind::Lower, dr(5, 1), lit(0)).unwrap();
-        s.assert_bound(x, BoundKind::Upper, dr(5, 1), lit(1)).unwrap();
+        s.assert_bound(x, BoundKind::Lower, dr(5, 1), lit(0))
+            .unwrap();
+        s.assert_bound(x, BoundKind::Upper, dr(5, 1), lit(1))
+            .unwrap();
         assert!(s.check().is_sat());
         s.reset_bounds();
-        s.assert_bound(x, BoundKind::Upper, dr(0, 1), lit(2)).unwrap();
+        s.assert_bound(x, BoundKind::Upper, dr(0, 1), lit(2))
+            .unwrap();
         assert!(s.check().is_sat());
         assert!(s.value(x) <= dr(0, 1));
     }
@@ -675,16 +692,23 @@ mod tests {
         let s1 = s.add_slack(&[(x, r(1, 1)), (y, r(1, 1))]);
         let s2 = s.add_slack(&[(s1, r(1, 1)), (y, r(-1, 1))]);
         // s2 == x structurally: constrain x=7 and s2=7 must be consistent.
-        s.assert_bound(x, BoundKind::Lower, dr(7, 1), lit(0)).unwrap();
-        s.assert_bound(x, BoundKind::Upper, dr(7, 1), lit(1)).unwrap();
-        s.assert_bound(s2, BoundKind::Lower, dr(7, 1), lit(2)).unwrap();
-        s.assert_bound(s2, BoundKind::Upper, dr(7, 1), lit(3)).unwrap();
+        s.assert_bound(x, BoundKind::Lower, dr(7, 1), lit(0))
+            .unwrap();
+        s.assert_bound(x, BoundKind::Upper, dr(7, 1), lit(1))
+            .unwrap();
+        s.assert_bound(s2, BoundKind::Lower, dr(7, 1), lit(2))
+            .unwrap();
+        s.assert_bound(s2, BoundKind::Upper, dr(7, 1), lit(3))
+            .unwrap();
         assert!(s.check().is_sat());
         // And s2 = 8 must conflict.
         s.reset_bounds();
-        s.assert_bound(x, BoundKind::Lower, dr(7, 1), lit(0)).unwrap();
-        s.assert_bound(x, BoundKind::Upper, dr(7, 1), lit(1)).unwrap();
-        s.assert_bound(s2, BoundKind::Lower, dr(8, 1), lit(2)).unwrap();
+        s.assert_bound(x, BoundKind::Lower, dr(7, 1), lit(0))
+            .unwrap();
+        s.assert_bound(x, BoundKind::Upper, dr(7, 1), lit(1))
+            .unwrap();
+        s.assert_bound(s2, BoundKind::Lower, dr(8, 1), lit(2))
+            .unwrap();
         assert!(!s.check().is_sat());
     }
 
@@ -695,7 +719,8 @@ mod tests {
         let big = Rational::integer(i128::MAX / 2);
         let _slack = s.add_slack(&[(x, big)]);
         // Raising x to 3 would set the slack to 3·(i128::MAX/2): overflow.
-        s.assert_bound(x, BoundKind::Lower, dr(3, 1), lit(0)).unwrap();
+        s.assert_bound(x, BoundKind::Lower, dr(3, 1), lit(0))
+            .unwrap();
         assert!(s.overflowed());
         assert!(matches!(s.check(), SimplexResult::Overflow));
     }
@@ -706,7 +731,8 @@ mod tests {
         let x = s.add_var();
         let z = s.add_slack(&[(x, r(0, 1))]);
         // z is identically zero.
-        s.assert_bound(z, BoundKind::Lower, dr(1, 1), lit(0)).unwrap();
+        s.assert_bound(z, BoundKind::Lower, dr(1, 1), lit(0))
+            .unwrap();
         assert!(!s.check().is_sat());
     }
 }

@@ -589,10 +589,7 @@ mod tests {
         let x = smt.real_var("x");
         let y = smt.real_var("y");
         let c1 = smt.eq_atom(LinExpr::var(x), r(3, 2));
-        let c2 = smt.eq_atom(
-            LinExpr::var(y) - LinExpr::term(r(2, 1), x),
-            r(0, 1),
-        );
+        let c2 = smt.eq_atom(LinExpr::var(y) - LinExpr::term(r(2, 1), x), r(0, 1));
         smt.assert_formula(c1.and(c2));
         let m = smt.solve().model().unwrap();
         assert_eq!(m.real_value(x), r(3, 2));

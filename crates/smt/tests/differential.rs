@@ -2,8 +2,8 @@
 //! independent Fourier–Motzkin elimination oracle on random conjunctions
 //! of linear atoms, plus model soundness on arbitrary Boolean structure.
 
-use verdict_prng::Prng;
 use verdict_logic::{Formula, Rational};
+use verdict_prng::Prng;
 use verdict_smt::{LinExpr, Rel, SmtResult, SmtSolver, TheoryVar};
 
 /// A constraint `Σ coeffs·x ⋈ rhs` in dense form for the oracle.
@@ -99,14 +99,14 @@ fn conjunctions_match_fourier_motzkin() {
         let mut rng = Prng::seed_from_u64(seed);
         let nvars = 1 + rng.gen_index(3);
         let natoms = 1 + rng.gen_index(8);
-        let constraints: Vec<Constraint> =
-            (0..natoms).map(|_| random_constraint(&mut rng, nvars)).collect();
+        let constraints: Vec<Constraint> = (0..natoms)
+            .map(|_| random_constraint(&mut rng, nvars))
+            .collect();
 
         let expected = fm_sat(constraints.clone(), nvars);
 
         let mut smt = SmtSolver::new();
-        let vars: Vec<TheoryVar> =
-            (0..nvars).map(|i| smt.real_var(&format!("x{i}"))).collect();
+        let vars: Vec<TheoryVar> = (0..nvars).map(|i| smt.real_var(&format!("x{i}"))).collect();
         let mut formulas = Vec::new();
         for c in &constraints {
             let mut e = LinExpr::zero();
@@ -149,8 +149,7 @@ fn disjunctive_structure_soundness() {
         let mut rng = Prng::seed_from_u64(seed.wrapping_mul(31));
         let nvars = 2usize;
         let mut smt = SmtSolver::new();
-        let vars: Vec<TheoryVar> =
-            (0..nvars).map(|i| smt.real_var(&format!("x{i}"))).collect();
+        let vars: Vec<TheoryVar> = (0..nvars).map(|i| smt.real_var(&format!("x{i}"))).collect();
         let mut clause_data = Vec::new();
         let nclauses = 1 + rng.gen_index(5);
         let mut clauses = Vec::new();

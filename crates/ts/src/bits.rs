@@ -119,9 +119,7 @@ fn const_width(v: i64) -> usize {
 /// Builds the constant `v`.
 pub fn num_const<A: BoolAlg>(alg: &mut A, v: i64) -> Num<A::B> {
     let w = const_width(v);
-    let bits = (0..w)
-        .map(|i| alg.constant(v >> i & 1 == 1))
-        .collect();
+    let bits = (0..w).map(|i| alg.constant(v >> i & 1 == 1)).collect();
     Num { bits }
 }
 
@@ -254,9 +252,7 @@ pub fn mux<A: BoolAlg>(alg: &mut A, c: &A::B, t: &Num<A::B>, e: &Num<A::B>) -> N
     let w = t.width().max(e.width());
     let t = sext(alg, t, w);
     let e = sext(alg, e, w);
-    let bits = (0..w)
-        .map(|i| alg.ite(c, &t.bits[i], &e.bits[i]))
-        .collect();
+    let bits = (0..w).map(|i| alg.ite(c, &t.bits[i], &e.bits[i])).collect();
     Num { bits }
 }
 

@@ -95,10 +95,7 @@ impl Iterator for Product {
 /// # Panics
 /// Panics if the system has real-sorted variables.
 pub fn all_states(sys: &System) -> Vec<State> {
-    let domains: Vec<Vec<Value>> = sys
-        .var_ids()
-        .map(|v| sys.sort_of(v).values())
-        .collect();
+    let domains: Vec<Vec<Value>> = sys.var_ids().map(|v| sys.sort_of(v).values()).collect();
     Product::new(domains)
         .filter(|s| sys.invar().iter().all(|inv| holds(inv, s)))
         .collect()
@@ -134,11 +131,7 @@ pub fn successors(sys: &System, state: &State) -> Vec<State> {
 /// Breadth-first reachability: returns a shortest path from an initial
 /// state to a state satisfying `target`, if one exists within
 /// `max_states` explored states.
-pub fn find_reachable(
-    sys: &System,
-    target: &Expr,
-    max_states: usize,
-) -> Option<Vec<State>> {
+pub fn find_reachable(sys: &System, target: &Expr, max_states: usize) -> Option<Vec<State>> {
     use std::collections::{HashMap, VecDeque};
     let key = |s: &State| format!("{s:?}");
     let mut parent: HashMap<String, Option<State>> = HashMap::new();

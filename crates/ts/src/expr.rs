@@ -417,12 +417,10 @@ impl Expr {
                 for e in &xs[1..] {
                     let s = e.sort_rec(sys, cache)?;
                     acc = match (acc, s) {
-                        (Sort::Int { lo: a, hi: b }, Sort::Int { lo: c, hi: d }) => {
-                            Sort::Int {
-                                lo: a.checked_add(c).ok_or_else(range_overflow)?,
-                                hi: b.checked_add(d).ok_or_else(range_overflow)?,
-                            }
-                        }
+                        (Sort::Int { lo: a, hi: b }, Sort::Int { lo: c, hi: d }) => Sort::Int {
+                            lo: a.checked_add(c).ok_or_else(range_overflow)?,
+                            hi: b.checked_add(d).ok_or_else(range_overflow)?,
+                        },
                         (Sort::Real, Sort::Real) => Sort::Real,
                         (a, b) => return err(format!("add on sorts {a} and {b}")),
                     };
@@ -433,12 +431,10 @@ impl Expr {
                 let sa = a.sort_rec(sys, cache)?;
                 let sb = b.sort_rec(sys, cache)?;
                 match (sa, sb) {
-                    (Sort::Int { lo: a, hi: b }, Sort::Int { lo: c, hi: d }) => {
-                        Ok(Sort::Int {
-                            lo: a.checked_sub(d).ok_or_else(range_overflow)?,
-                            hi: b.checked_sub(c).ok_or_else(range_overflow)?,
-                        })
-                    }
+                    (Sort::Int { lo: a, hi: b }, Sort::Int { lo: c, hi: d }) => Ok(Sort::Int {
+                        lo: a.checked_sub(d).ok_or_else(range_overflow)?,
+                        hi: b.checked_sub(c).ok_or_else(range_overflow)?,
+                    }),
                     (Sort::Real, Sort::Real) => Ok(Sort::Real),
                     (a, b) => err(format!("sub on sorts {a} and {b}")),
                 }
@@ -491,9 +487,7 @@ impl Expr {
             Expr::Not(e) => Value::Bool(!e.eval(env).as_bool()),
             Expr::And(xs) => Value::Bool(xs.iter().all(|e| e.eval(env).as_bool())),
             Expr::Or(xs) => Value::Bool(xs.iter().any(|e| e.eval(env).as_bool())),
-            Expr::Implies(a, b) => {
-                Value::Bool(!a.eval(env).as_bool() || b.eval(env).as_bool())
-            }
+            Expr::Implies(a, b) => Value::Bool(!a.eval(env).as_bool() || b.eval(env).as_bool()),
             Expr::Iff(a, b) => Value::Bool(a.eval(env).as_bool() == b.eval(env).as_bool()),
             Expr::Ite(c, t, e) => {
                 if c.eval(env).as_bool() {
@@ -600,12 +594,7 @@ fn compare(a: &Value, b: &Value) -> i32 {
 
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn join(
-            f: &mut fmt::Formatter<'_>,
-            xs: &[Expr],
-            sep: &str,
-            empty: &str,
-        ) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, xs: &[Expr], sep: &str, empty: &str) -> fmt::Result {
             if xs.is_empty() {
                 return write!(f, "{empty}");
             }
@@ -683,10 +672,7 @@ mod tests {
         assert!(Expr::var(n).le(Expr::var(r)).sort(&sys).is_err());
         assert!(Expr::var(n).eq(Expr::var(b)).sort(&sys).is_err());
         assert!(Expr::var(b).not().not().sort(&sys).is_ok());
-        assert!(Expr::var(r)
-            .scale(Rational::new(1, 2))
-            .sort(&sys)
-            .is_ok());
+        assert!(Expr::var(r).scale(Rational::new(1, 2)).sort(&sys).is_ok());
         assert!(Expr::var(n).scale(Rational::new(1, 2)).sort(&sys).is_err());
     }
 

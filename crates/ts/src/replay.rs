@@ -22,8 +22,8 @@
 //!   lasso word falsifies the LTL formula ([`check_ltl_trace`]) under the
 //!   textbook semantics evaluated positionally on the lasso.
 
-use crate::expr::Expr;
 use crate::explicit::{eval_trans, holds, State};
+use crate::expr::Expr;
 use crate::property::Ltl;
 use crate::system::{System, VarKind};
 use crate::trace::Trace;
@@ -114,7 +114,10 @@ impl std::fmt::Display for ReplayError {
                 step,
                 expected,
                 got,
-            } => write!(f, "state {step} has {got} values, system declares {expected}"),
+            } => write!(
+                f,
+                "state {step} has {got} values, system declares {expected}"
+            ),
             ReplayError::InitViolated { constraint } => {
                 write!(f, "initial state violates INIT {constraint}")
             }
@@ -125,22 +128,35 @@ impl std::fmt::Display for ReplayError {
                 write!(f, "step {step} -> {} violates TRANS {constraint}", step + 1)
             }
             ReplayError::FrozenChanged { step, var } => {
-                write!(f, "frozen variable {var} changes at step {step} -> {}", step + 1)
+                write!(
+                    f,
+                    "frozen variable {var} changes at step {step} -> {}",
+                    step + 1
+                )
             }
             ReplayError::BadLoopBack { loop_back, len } => {
-                write!(f, "loop_back {loop_back} out of range for {len}-state trace")
+                write!(
+                    f,
+                    "loop_back {loop_back} out of range for {len}-state trace"
+                )
             }
             ReplayError::LoopNotClosed { loop_back } => {
                 write!(f, "last state does not equal loop-back state {loop_back}")
             }
             ReplayError::FairnessUnmet { constraint } => {
-                write!(f, "fairness constraint {constraint} never holds in the loop")
+                write!(
+                    f,
+                    "fairness constraint {constraint} never holds in the loop"
+                )
             }
             ReplayError::NotLasso => {
                 write!(f, "liveness counterexample has no lasso loop")
             }
             ReplayError::PropertyNotRefuted => {
-                write!(f, "trace is a legal execution but does not refute the property")
+                write!(
+                    f,
+                    "trace is a legal execution but does not refute the property"
+                )
             }
         }
     }
@@ -499,7 +515,10 @@ mod tests {
         );
         // A finite trace is no liveness counterexample.
         let finite = Trace::new(&sys, int_states(&[0, 1]), None);
-        assert_eq!(check_ltl_trace(&sys, &g, &finite), Err(ReplayError::NotLasso));
+        assert_eq!(
+            check_ltl_trace(&sys, &g, &finite),
+            Err(ReplayError::NotLasso)
+        );
     }
 
     #[test]

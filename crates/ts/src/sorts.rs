@@ -26,7 +26,10 @@ impl EnumSort {
 
     /// Index of a variant by name.
     pub fn variant(&self, name: &str) -> Option<u32> {
-        self.variants.iter().position(|v| v == name).map(|i| i as u32)
+        self.variants
+            .iter()
+            .position(|v| v == name)
+            .map(|i| i as u32)
     }
 }
 

@@ -159,6 +159,90 @@ impl<'s> Unroller<'s> {
         bits::bits_eq(&mut alg, &a, &b)
     }
 
+    /// The SAT bit block of variable `v` at step `t` (allocating steps up
+    /// to `t` if needed). Bit `i` is the `2^i` weight of the offset-binary
+    /// encoding; `bool` variables have a single bit, width-0 (singleton)
+    /// sorts an empty block.
+    pub fn var_bits(&mut self, v: VarId, t: usize) -> Vec<Var> {
+        self.extend_to(t);
+        self.steps[t][v.index()].clone()
+    }
+
+    /// The unsigned offset encoding of `value` under `sort` — the number
+    /// whose bits the variable's SAT block carries.
+    fn unsigned_encoding(sort: &Sort, value: &Value) -> Result<u64, TypeError> {
+        let card = sort
+            .cardinality()
+            .ok_or_else(|| TypeError("cannot pin a real-sorted value".to_string()))?;
+        let u = match (sort, value) {
+            (Sort::Bool, Value::Bool(b)) => u64::from(*b),
+            (Sort::Int { lo, hi }, Value::Int(n)) if n >= lo && n <= hi => (n - lo) as u64,
+            (Sort::Enum(e), Value::Enum(ve, idx)) if e == ve => u64::from(*idx),
+            _ => {
+                return Err(TypeError(format!(
+                    "value {value} does not inhabit sort {sort:?}"
+                )))
+            }
+        };
+        debug_assert!(u < card);
+        Ok(u)
+    }
+
+    /// Assumption literals pinning variable `v` to `value` at step 0 —
+    /// one literal per bit of the block, positive where the encoding has a
+    /// 1-bit. For frozen variables the per-step equality clauses propagate
+    /// the pin to every step, so passing these to
+    /// `Solver::solve_with_assumptions` is equivalent to (but reversible,
+    /// unlike) asserting `INVAR v = value`.
+    pub fn pin_value(&mut self, v: VarId, value: &Value) -> Result<Vec<Lit>, TypeError> {
+        let u = Self::unsigned_encoding(self.sys.sort_of(v), value)?;
+        Ok(self
+            .var_bits(v, 0)
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| b.lit(u >> i & 1 == 1))
+            .collect())
+    }
+
+    /// Per-parameter assumption blocks for an assignment: element `i`
+    /// holds the literals pinning `params[i]` to `assignment[i]`. Keeping
+    /// the blocks separate lets callers map a failed-assumption core back
+    /// to the parameters it mentions (unsat-core pruning).
+    pub fn assumptions_per_param(
+        &mut self,
+        params: &[VarId],
+        assignment: &[Value],
+    ) -> Result<Vec<Vec<Lit>>, TypeError> {
+        if params.len() != assignment.len() {
+            return Err(TypeError(format!(
+                "{} parameters but {} values",
+                params.len(),
+                assignment.len()
+            )));
+        }
+        params
+            .iter()
+            .zip(assignment)
+            .map(|(&p, v)| self.pin_value(p, v))
+            .collect()
+    }
+
+    /// Flattened assumption literals pinning `params` to `assignment` —
+    /// the list to pass to `Solver::solve_with_assumptions` /
+    /// `solve_limited` so one incremental solver can sweep many
+    /// assignments over a shared unrolling.
+    pub fn assumptions_for(
+        &mut self,
+        params: &[VarId],
+        assignment: &[Value],
+    ) -> Result<Vec<Lit>, TypeError> {
+        Ok(self
+            .assumptions_per_param(params, assignment)?
+            .into_iter()
+            .flatten()
+            .collect())
+    }
+
     /// Formula asserting that the *state* (non-frozen) variables at steps
     /// `i` and `j` are equal — the lasso loop-back condition.
     pub fn states_equal(&mut self, i: usize, j: usize) -> Formula {
@@ -256,9 +340,7 @@ impl<'s> Unroller<'s> {
                 Formula::ite(c, a, b)
             }
             Expr::Eq(a, b) => {
-                let sort = a
-                    .sort(self.sys)
-                    .expect("type-checked system");
+                let sort = a.sort(self.sys).expect("type-checked system");
                 match sort {
                     Sort::Bool => {
                         let a = self.lower_bool_in(a, t, seen);
@@ -609,10 +691,7 @@ mod tests {
         let count = Expr::count_true([Expr::var(a), Expr::var(b), Expr::var(c)]);
         sys.add_invar(count.ge(Expr::int(2)));
         let mut u = Unroller::new(&sys).unwrap();
-        u.assert_expr(
-            &Expr::and_all([Expr::var(a).not(), Expr::var(b).not()]),
-            0,
-        );
+        u.assert_expr(&Expr::and_all([Expr::var(a).not(), Expr::var(b).not()]), 0);
         let (vars, clauses) = drain_all(&mut u);
         assert!(solve_cnf(vars, &clauses).is_none());
     }
@@ -658,5 +737,81 @@ mod tests {
         let (vars, clauses) = drain_all(&mut u);
         let model = solve_cnf(vars, &clauses).expect("-4 + 3 = -1");
         assert_eq!(u.decode(3, n, &|v| model[v.index()]), Value::Int(-1));
+    }
+
+    /// Loads the drained clauses into a fresh solver kept alive by the
+    /// caller, for assumption-based queries against one clause set.
+    fn load_solver(num_vars: u32, clauses: &[Clause]) -> verdict_sat::Solver {
+        let mut solver = verdict_sat::Solver::new();
+        solver.reserve_vars(num_vars);
+        for c in clauses {
+            solver.add_clause(c.iter().copied());
+        }
+        solver
+    }
+
+    #[test]
+    fn assumptions_pin_parameters_without_asserting() {
+        // Pin p at step 0 via assumptions only; the frozen-variable
+        // step-to-step equality must propagate the pin to later steps,
+        // and the SAME solver must accept a different pin afterwards
+        // (nothing entered the clause database).
+        let mut sys = System::new("pin");
+        let p = sys.int_param("p", 0, 3);
+        let x = sys.bool_var("x");
+        sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.extend_to(3);
+        let pin2 = u.assumptions_for(&[p], &[Value::Int(2)]).unwrap();
+        let pin0 = u.assumptions_for(&[p], &[Value::Int(0)]).unwrap();
+        let (vars, clauses) = drain_all(&mut u);
+        let mut solver = load_solver(vars, &clauses);
+        let m = solver
+            .solve_with_assumptions(&pin2)
+            .model()
+            .map(|m| m.as_slice().to_vec())
+            .expect("p = 2 is satisfiable");
+        assert_eq!(u.decode(3, p, &|v| m[v.index()]), Value::Int(2));
+        let m = solver
+            .solve_with_assumptions(&pin0)
+            .model()
+            .map(|m| m.as_slice().to_vec())
+            .expect("same solver accepts a different pin");
+        assert_eq!(u.decode(3, p, &|v| m[v.index()]), Value::Int(0));
+    }
+
+    #[test]
+    fn conflicting_pin_unsat_but_recoverable() {
+        // INIT forces p = 1: assuming p = 2 refutes, and the refutation
+        // leaves the solver reusable for the consistent pin.
+        let mut sys = System::new("pin-conflict");
+        let p = sys.int_param("p", 0, 3);
+        sys.add_init(Expr::var(p).eq(Expr::int(1)));
+        let mut u = Unroller::new(&sys).unwrap();
+        u.extend_to(1);
+        let bad = u.assumptions_for(&[p], &[Value::Int(2)]).unwrap();
+        let good = u.assumptions_for(&[p], &[Value::Int(1)]).unwrap();
+        let (vars, clauses) = drain_all(&mut u);
+        let mut solver = load_solver(vars, &clauses);
+        assert!(solver.solve_with_assumptions(&bad).model().is_none());
+        assert!(solver.solve_with_assumptions(&good).model().is_some());
+    }
+
+    #[test]
+    fn pin_rejects_values_outside_the_sort() {
+        let mut sys = System::new("pin-sorts");
+        let p = sys.int_param("p", 1, 3);
+        let b = sys.bool_var("b");
+        let mut u = Unroller::new(&sys).unwrap();
+        assert!(u.pin_value(p, &Value::Int(0)).is_err(), "below lo");
+        assert!(u.pin_value(p, &Value::Int(4)).is_err(), "above hi");
+        assert!(u.pin_value(p, &Value::Bool(true)).is_err(), "wrong sort");
+        assert!(u.pin_value(b, &Value::Bool(true)).is_ok());
+        let e = EnumSort::new("other", &["a", "b"]);
+        assert!(u.pin_value(p, &Value::Enum(e, 0)).is_err());
+        // Arity mismatch between params and values.
+        assert!(u
+            .assumptions_for(&[p], &[Value::Int(1), Value::Int(2)])
+            .is_err());
     }
 }

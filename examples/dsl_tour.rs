@@ -35,8 +35,7 @@ fn main() {
     let model = parse(SOURCE).expect("the tour model parses");
     println!("compiled `{}`:\n{}", model.system.name(), model.system);
 
-    let verifier =
-        Verifier::new(&model.system).options(CheckOptions::with_depth(24));
+    let verifier = Verifier::new(&model.system).options(CheckOptions::with_depth(24));
     for (name, property) in &model.properties {
         let result = match property {
             CompiledProperty::Invariant(p) => verifier.check_invariant(p),

@@ -33,8 +33,7 @@ fn main() {
     let K8sProperty::Ltl(phi) = &model.property else {
         unreachable!()
     };
-    let result = bmc::check_ltl(&model.system, phi, &CheckOptions::with_depth(12))
-        .unwrap();
+    let result = bmc::check_ltl(&model.system, phi, &CheckOptions::with_depth(12)).unwrap();
     match result.trace() {
         Some(t) => println!(
             "  F(G settled) VIOLATED — lasso of {} states (loop at {}):\n{t}",

@@ -28,8 +28,7 @@ fn main() {
     // ---- equilibrium -> F G stable ---------------------------------------
     println!("\nchecking equilibrium -> F G stable (the refined property):");
     let opts = CheckOptions::with_depth(12);
-    let result =
-        smtbmc::check_ltl(&model.system, &model.conditional_liveness, &opts).unwrap();
+    let result = smtbmc::check_ltl(&model.system, &model.conditional_liveness, &opts).unwrap();
     report(&result);
 }
 
@@ -38,7 +37,9 @@ fn report(result: &CheckResult) {
         println!("  {result}");
         return;
     };
-    let loop_back = trace.loop_back.expect("liveness counterexamples are lassos");
+    let loop_back = trace
+        .loop_back
+        .expect("liveness counterexamples are lassos");
     println!(
         "  VIOLATED: lasso of {} states, loop back to step {loop_back}",
         trace.len()

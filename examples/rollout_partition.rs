@@ -14,7 +14,8 @@
 use verdict::prelude::*;
 
 fn main() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()))
+        .expect("valid topology");
     println!(
         "model: {} ({} state vars, {} links, {} service nodes)",
         model.system.name(),
@@ -38,11 +39,7 @@ fn main() {
             let interesting = trace.changing_vars();
             for &row in &interesting {
                 let name = &trace.var_names[row];
-                let values: Vec<String> = trace
-                    .states
-                    .iter()
-                    .map(|s| s[row].to_string())
-                    .collect();
+                let values: Vec<String> = trace.states.iter().map(|s| s[row].to_string()).collect();
                 println!("  {:<14} {}", name, values.join(" -> "));
             }
         }
@@ -59,8 +56,7 @@ fn main() {
     // Worst-case true availability after any single link failure, with a
     // rollout of width 1 in flight (k = 1 failure budget).
     let sys = model.pinned(1, 1, 0);
-    let any_failure =
-        Expr::or_all(model.failed.iter().map(|&f| Expr::var(f)));
+    let any_failure = Expr::or_all(model.failed.iter().map(|&f| Expr::var(f)));
     let blast = verdict::mc::blast::worst_case_after(
         &sys,
         &any_failure,
@@ -78,13 +74,9 @@ fn main() {
     let mut pinned_km = model.system.clone();
     pinned_km.add_invar(Expr::var(model.k).eq(Expr::int(1)));
     pinned_km.add_invar(Expr::var(model.m).eq(Expr::int(1)));
-    let verifier =
-        Verifier::new(&pinned_km).options(CheckOptions::with_depth(16));
+    let verifier = Verifier::new(&pinned_km).options(CheckOptions::with_depth(16));
     let synth = verifier
-        .synthesize_params(
-            &[model.p],
-            &Property::Invariant(model.property.clone()),
-        )
+        .synthesize_params(&[model.p], &Property::Invariant(model.property.clone()))
         .unwrap();
     println!("\nsynthesis for k = 1, m = 1 (paper: safe non-zero p ∈ {{1, 2}}):");
     print!("{synth}");

@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
+cargo fmt --all --check
 cargo build --workspace --release
 cargo test --workspace -q
 
@@ -33,5 +34,13 @@ for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
         exit 1
     fi
 done
+
+# Incremental-synthesis smoke: one repetition on the small test topology.
+# The bench binary asserts the incremental sweep is verdict-for-verdict
+# identical to the clone path before it reports any timing, so this also
+# gates correctness, not just that the binary runs.
+synth_out=$(mktemp)
+trap 'rm -f "$synth_out"' EXIT
+./target/release/synth --topology test --reps 1 --out "$synth_out" >/dev/null
 
 echo "check.sh: all green"

@@ -30,7 +30,9 @@ fn case_study_1_counterexamples_certify_across_engines() {
 
     // k-induction's embedded base case finds the same violation.
     let r = kind::prove_invariant(&sys, &model.property, &opts).unwrap();
-    let t = r.trace().expect("k-induction violation must survive replay");
+    let t = r
+        .trace()
+        .expect("k-induction violation must survive replay");
     certify::validate_invariant_cex(&sys, &model.property, t).expect("replay");
 }
 
@@ -67,8 +69,7 @@ fn case_study_2_lasso_counterexamples_certify() {
 #[test]
 fn corrupted_case_study_trace_is_rejected() {
     let (model, sys) = fig5_model();
-    let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8))
-        .unwrap();
+    let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8)).unwrap();
     let CheckResult::Violated(mut trace) = r else {
         panic!("Fig. 5 configuration must be violated")
     };

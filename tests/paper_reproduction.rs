@@ -34,7 +34,8 @@ fn figure2_oscillation() {
 /// topology; `k ≤ 1` is safe; synthesis suggests `p ∈ {1, 2}`.
 #[test]
 fn case_study_1() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()))
+        .expect("valid topology");
 
     // Fig. 5 falsification.
     let r = bmc::check_invariant(
@@ -78,8 +79,12 @@ fn case_study_1() {
 #[test]
 fn case_study_2() {
     let model = LbModel::build(&LbSpec::default());
-    let r = smtbmc::check_ltl(&model.system, &model.liveness, &CheckOptions::with_depth(10))
-        .unwrap();
+    let r = smtbmc::check_ltl(
+        &model.system,
+        &model.liveness,
+        &CheckOptions::with_depth(10),
+    )
+    .unwrap();
     assert!(r.trace().is_some_and(|t| t.loop_back.is_some()));
     let r = smtbmc::check_ltl(
         &model.system,
@@ -89,8 +94,8 @@ fn case_study_2() {
     .unwrap();
     let t = r.trace().expect("violated");
     // The external event fires somewhere before the loop completes.
-    let ext_fired = (0..t.len())
-        .any(|s| t.value(s, "external_traffic") == Some(&Value::Bool(true)));
+    let ext_fired =
+        (0..t.len()).any(|s| t.value(s, "external_traffic") == Some(&Value::Bool(true)));
     assert!(ext_fired, "{t}");
 }
 
@@ -101,17 +106,21 @@ fn kubernetes_issue_models() {
     let k8s::K8sProperty::Ltl(phi) = &m.property else {
         panic!()
     };
-    assert!(bmc::check_ltl(&m.system, phi, &CheckOptions::with_depth(10))
-        .unwrap()
-        .violated());
+    assert!(
+        bmc::check_ltl(&m.system, phi, &CheckOptions::with_depth(10))
+            .unwrap()
+            .violated()
+    );
 
     let m = k8s::hpa_ruc(1, 5);
     let k8s::K8sProperty::Invariant(p) = &m.property else {
         panic!()
     };
-    assert!(bmc::check_invariant(&m.system, p, &CheckOptions::with_depth(16))
-        .unwrap()
-        .violated());
+    assert!(
+        bmc::check_invariant(&m.system, p, &CheckOptions::with_depth(16))
+            .unwrap()
+            .violated()
+    );
 }
 
 /// Figure 6's qualitative shape on the smallest instances: falsification
@@ -129,11 +138,7 @@ fn figure6_shape_smallest() {
                 &CheckOptions::with_depth(24),
             )
             .unwrap();
-            assert_eq!(
-                r.holds(),
-                expect_holds,
-                "{name} k={k}: {r:.0}"
-            );
+            assert_eq!(r.holds(), expect_holds, "{name} k={k}: {r:.0}");
         }
     }
 }

@@ -97,7 +97,8 @@ fn first_safe_sweep_reports_a_genuinely_safe_assignment() {
 
 #[test]
 fn portfolio_agrees_with_sequential_engines_on_case_study_1() {
-    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology())).expect("valid topology");
+    let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()))
+        .expect("valid topology");
     // (p, k, m, expected violated) — the paper's Fig. 5 configuration and
     // a safe one.
     for (p, k, m, expect_violated) in [(1, 2, 1, true), (0, 0, 1, false)] {
