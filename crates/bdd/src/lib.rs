@@ -229,6 +229,10 @@ impl BddManager {
 
     /// If-then-else: `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Fault-injection probe at site `bdd.ite` (panic only; node
+        // exhaustion is simulated at the mc budget layer). Free when no
+        // fault plan is armed.
+        verdict_journal::fault::panic_if_armed("bdd.ite");
         // Terminal cases.
         if f == Bdd::TRUE {
             return g;

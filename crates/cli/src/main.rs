@@ -7,13 +7,18 @@
 //! verdict fig1-dot
 //! ```
 
+use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use verdict_dsl::{parse, CompiledProperty};
+use verdict_journal::VerdictTag;
 use verdict_mc::{
-    certify, CheckOptions, CheckResult, Engine, PropertyKind, UnknownReason, Verifier,
+    certify, CheckOptions, CheckResult, Engine, PropertyKind, RetryPolicy, UnknownReason, Verifier,
 };
+
+mod sigint;
 
 const USAGE: &str = "\
 verdict — symbolic model checking for self-driving infrastructure control
@@ -53,14 +58,36 @@ OPTIONS (check/synth):
                        re-check proofs with fresh proof-logged SAT queries;
                        a failed check demotes the verdict to UNKNOWN
                        (certificate rejected)
+    --retries N        re-run assignments/properties that came back
+                       unknown for an infrastructure reason
+                       (engine-failure, resource-exhausted, timeout) up
+                       to N extra times with escalating budgets and
+                       jittered backoff                          [default: 0]
+    --retry-factor F   budget multiplier between attempts        [default: 2]
+    --retry-backoff-ms MS
+                       base backoff before a retry               [default: 20]
+    --journal PATH     append every decided verdict to a crash-safe
+                       (fsync'd, checksummed) journal at PATH
+    --resume PATH      resume from a journal written by --journal:
+                       trusted verdicts are skipped, undecided work
+                       re-runs, new verdicts append to the same file
+    --fault SPEC       deterministic fault injection for testing:
+                       site:kind[:hit], comma-separated (kinds: panic,
+                       overflow, exhaust; also via env VERDICT_FAULT)
+    --fault-seed N     derive a random fault spec from seed N
     --json             machine-readable output on stdout (one JSON
                        document: verdicts, winning engine, certificate
-                       status, wall-clock millis)
+                       status, attempt counts, wall-clock millis)
 
 EXIT CODES (check):
-    0   no violation found (every property holds or came back unknown)
+    0   every property holds or is unknown for an honest reason
+        (depth-bound, timeout, effort-bound, cancelled)
     2   at least one property is violated
-    1   usage, parse, or engine error
+    1   usage, parse, or engine error — including a property left
+        unknown by an infrastructure failure (engine-failure,
+        resource-exhausted, certificate-rejected)
+    130 interrupted (first Ctrl-C drains workers and keeps the
+        journal intact; resume with --resume)
 ";
 
 fn main() -> ExitCode {
@@ -129,7 +156,81 @@ fn options_from(args: &[String]) -> Result<CheckOptions, String> {
     } else if no_incremental {
         opts = opts.with_incremental(false);
     }
+    if let Some(r) = flag_value(args, "--retries") {
+        let retries: u32 = r
+            .parse()
+            .map_err(|_| format!("--retries expects a number, got `{r}`"))?;
+        if retries > 0 {
+            let mut policy = RetryPolicy::with_retries(retries);
+            if let Some(f) = flag_value(args, "--retry-factor") {
+                policy = policy.with_factor(
+                    f.parse()
+                        .map_err(|_| format!("--retry-factor expects a number, got `{f}`"))?,
+                );
+            }
+            if let Some(b) = flag_value(args, "--retry-backoff-ms") {
+                policy = policy
+                    .with_backoff(Duration::from_millis(b.parse().map_err(|_| {
+                        format!("--retry-backoff-ms expects millis, got `{b}`")
+                    })?));
+            }
+            opts = opts.with_retry(policy);
+        }
+    }
     Ok(opts)
+}
+
+/// Installs the deterministic fault-injection plan from `--fault SPEC`,
+/// `--fault-seed N`, or the `VERDICT_FAULT` environment variable
+/// (testing only; a no-op when none is given).
+fn install_faults(args: &[String]) -> Result<(), String> {
+    use verdict_journal::fault;
+    if let Some(seed) = flag_value(args, "--fault-seed") {
+        if flag_value(args, "--fault").is_some() {
+            return Err("--fault and --fault-seed are mutually exclusive".to_string());
+        }
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("--fault-seed expects a number, got `{seed}`"))?;
+        let plan = fault::FaultPlan::seeded(seed);
+        eprintln!("fault injection (seed {seed}): {}", plan.to_spec_string());
+        fault::install(&plan);
+        return Ok(());
+    }
+    let spec = flag_value(args, "--fault").or_else(|| std::env::var("VERDICT_FAULT").ok());
+    if let Some(spec) = spec {
+        let plan = fault::FaultPlan::parse(&spec).map_err(|e| format!("--fault: {e}"))?;
+        fault::install(&plan);
+    }
+    Ok(())
+}
+
+/// Journal flags shared by `check` and `synth`: `--resume PATH` implies
+/// journaling to the same file.
+fn journal_flags(args: &[String]) -> Result<(Option<String>, bool), String> {
+    let journal = flag_value(args, "--journal");
+    let resume = flag_value(args, "--resume");
+    if journal.is_some() && resume.is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (resume appends to the same journal)"
+                .to_string(),
+        );
+    }
+    let is_resume = resume.is_some();
+    Ok((resume.or(journal), is_resume))
+}
+
+/// True for `Unknown` reasons that indicate the infrastructure (not the
+/// model) failed — these map to exit code 1 under the check contract.
+fn infra_failure(r: &CheckResult) -> bool {
+    matches!(
+        r,
+        CheckResult::Unknown(
+            UnknownReason::EngineFailure
+                | UnknownReason::ResourceExhausted
+                | UnknownReason::CertificateRejected
+        )
+    )
 }
 
 /// Minimal JSON string quoting (quotes, backslashes, control characters).
@@ -212,6 +313,11 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = install_faults(args) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let opts = opts.with_stop(sigint::install());
     let only = flag_value(args, "--prop");
 
     let selected: Vec<&(String, CompiledProperty)> = model
@@ -232,51 +338,141 @@ fn check(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    let (journal_path, resume) = match journal_flags(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let prop_names: Vec<String> = selected.iter().map(|(n, _)| n.clone()).collect();
+    let (recorder, resumed) = match &journal_path {
+        Some(p) => {
+            match verdict_mc::durable::start_check_journal(
+                Path::new(p),
+                resume,
+                model.system.name(),
+                &prop_names,
+                &engine.to_string(),
+            ) {
+                Ok((rec, map)) => (Some(rec), map),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => (None, HashMap::new()),
+    };
+
     let json = args.iter().any(|a| a == "--json");
-    let verifier = Verifier::new(&model.system)
-        .engine(engine)
-        .options(opts.clone());
     let mut any_violated = false;
+    let mut infra_unknown = false;
     let mut rows: Vec<String> = Vec::new();
-    for (name, property) in selected {
-        let started = std::time::Instant::now();
+    for (prop_idx, (name, property)) in selected.into_iter().enumerate() {
+        // A resumed verdict is reused only without --certify; with it,
+        // every property is re-verified (trivially sound).
+        if !opts.certify {
+            if let Some(prev) = resumed.get(name.as_str()) {
+                any_violated |= prev.verdict == VerdictTag::Unsafe;
+                if prev.verdict == VerdictTag::Unknown {
+                    let reason = prev.reason.as_deref().and_then(UnknownReason::from_tag);
+                    infra_unknown |= matches!(
+                        reason,
+                        Some(
+                            UnknownReason::EngineFailure
+                                | UnknownReason::ResourceExhausted
+                                | UnknownReason::CertificateRejected
+                        )
+                    );
+                }
+                let detail = match prev.reason.as_deref() {
+                    Some(r) => format!("{} ({r})", prev.verdict.tag()),
+                    None => prev.verdict.tag().to_string(),
+                };
+                if json {
+                    rows.push(format!(
+                        "{{\"name\":{},\"verdict\":{},\"detail\":{},\"engine\":{},\"certificate\":{},\"wall_ms\":0,\"resumed\":true}}",
+                        json_str(name),
+                        json_str(prev.verdict.tag()),
+                        json_str(&detail),
+                        json_str(&prev.engine),
+                        json_str("skipped"),
+                    ));
+                } else {
+                    println!(
+                        "property `{name}` (resumed from journal, engine {}): {detail}",
+                        prev.engine
+                    );
+                }
+                continue;
+            }
+        }
         let kind = match property {
             CompiledProperty::Invariant(_) => PropertyKind::Invariant,
             CompiledProperty::Ltl(_) => PropertyKind::Ltl,
             CompiledProperty::Ctl(_) => PropertyKind::Ctl,
         };
-        // Portfolio runs report which engine won the race; solo engines
-        // report themselves.
-        let outcome = if engine == Engine::Portfolio {
-            let report = match property {
-                CompiledProperty::Invariant(p) => {
-                    verdict_mc::portfolio::check_invariant(&model.system, p, &opts)
-                }
-                CompiledProperty::Ltl(f) => {
-                    verdict_mc::portfolio::check_ltl(&model.system, f, &opts)
-                }
-                CompiledProperty::Ctl(f) => {
-                    verdict_mc::portfolio::check_ctl(&model.system, f, &opts)
+        let max_attempts = opts.retry.as_ref().map_or(1, |p| p.max_attempts);
+        let mut attempt = 1u32;
+        let (result, used_engine, wall) = loop {
+            // Retries re-run the property with escalated budgets
+            // (timeout, clause/node ceilings) per the policy.
+            let run_opts = match &opts.retry {
+                Some(policy) if attempt > 1 => policy.escalate(&opts, attempt),
+                _ => opts.clone(),
+            };
+            let started = std::time::Instant::now();
+            // Portfolio runs report which engine won the race; solo
+            // engines report themselves.
+            let outcome = if engine == Engine::Portfolio {
+                let report = match property {
+                    CompiledProperty::Invariant(p) => {
+                        verdict_mc::portfolio::check_invariant(&model.system, p, &run_opts)
+                    }
+                    CompiledProperty::Ltl(f) => {
+                        verdict_mc::portfolio::check_ltl(&model.system, f, &run_opts)
+                    }
+                    CompiledProperty::Ctl(f) => {
+                        verdict_mc::portfolio::check_ctl(&model.system, f, &run_opts)
+                    }
+                };
+                report.map(|r| (r.result, r.winner, r.wall))
+            } else {
+                let verifier = Verifier::new(&model.system)
+                    .engine(engine)
+                    .options(run_opts);
+                let result = match property {
+                    CompiledProperty::Invariant(p) => verifier.check_invariant(p),
+                    CompiledProperty::Ltl(f) => verifier.check_ltl(f),
+                    CompiledProperty::Ctl(f) => verifier.check_ctl(f),
+                };
+                result.map(|r| (r, verifier.effective_engine(), started.elapsed()))
+            };
+            let (result, used_engine, wall) = match outcome {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("property `{name}`: {e}");
+                    return ExitCode::FAILURE;
                 }
             };
-            report.map(|r| (r.result, r.winner, r.wall))
-        } else {
-            let result = match property {
-                CompiledProperty::Invariant(p) => verifier.check_invariant(p),
-                CompiledProperty::Ltl(f) => verifier.check_ltl(f),
-                CompiledProperty::Ctl(f) => verifier.check_ctl(f),
-            };
-            result.map(|r| (r, verifier.effective_engine(), started.elapsed()))
-        };
-        let (result, used_engine, wall) = match outcome {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("property `{name}`: {e}");
-                return ExitCode::FAILURE;
+            let retryable = matches!(&result, CheckResult::Unknown(r) if r.retryable())
+                && !sigint::interrupted();
+            if retryable && attempt < max_attempts {
+                if let Some(policy) = &opts.retry {
+                    std::thread::sleep(policy.backoff_for(prop_idx as u64, attempt + 1));
+                }
+                attempt += 1;
+                continue;
             }
+            break (result, used_engine, wall);
         };
         let cert = certify::status(opts.certify, used_engine, kind, &result);
         any_violated |= result.violated();
+        infra_unknown |= infra_failure(&result);
+        if let Some(rec) = &recorder {
+            rec.record_property(name, &result, &used_engine.to_string());
+        }
         if json {
             rows.push(format!(
                 "{{\"name\":{},\"verdict\":{},\"detail\":{},\"engine\":{},\"certificate\":{},\"wall_ms\":{}}}",
@@ -296,13 +492,22 @@ fn check(args: &[String]) -> ExitCode {
             println!("property `{name}` ({wall:.2?}, engine {used_engine}): {result}{cert_note}");
         }
     }
-    let code = if any_violated { 2u8 } else { 0u8 };
+    let code = if any_violated {
+        2u8
+    } else if infra_unknown {
+        1u8
+    } else {
+        0u8
+    };
     if json {
         println!(
             "{{\"command\":\"check\",\"model\":{},\"properties\":[{}],\"exit_code\":{code}}}",
             json_str(path),
             rows.join(",")
         );
+    }
+    if sigint::interrupted() {
+        return ExitCode::from(130);
     }
     ExitCode::from(code)
 }
@@ -373,14 +578,65 @@ fn synth(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = install_faults(args) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    let opts = opts.with_stop(sigint::install());
     let json = args.iter().any(|a| a == "--json");
-    let verifier = Verifier::new(&model.system).options(opts);
+    let verifier = Verifier::new(&model.system).options(opts.clone());
     let first_safe = args.iter().any(|a| a == "--first-safe");
+
+    let (journal_path, resume) = match journal_flags(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal = match &journal_path {
+        Some(p) => {
+            let engine = verifier.synthesis_engine(&prop);
+            match verdict_mc::durable::start_sweep_journal(
+                Path::new(p),
+                resume,
+                &model.system,
+                &params,
+                &prop,
+                engine,
+                &opts,
+            ) {
+                Ok(pair) => Some(pair),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let durability = match &journal {
+        Some((recorder, state)) => {
+            if resume && !state.is_empty() {
+                eprintln!(
+                    "resumed {} decided assignment(s) from {}",
+                    state.len(),
+                    journal_path.as_deref().unwrap_or("journal")
+                );
+            }
+            verdict_mc::Durability {
+                recorder: Some(recorder),
+                resume: Some(state),
+            }
+        }
+        None => verdict_mc::Durability::none(),
+    };
+
     let started = std::time::Instant::now();
     let synthesis = if first_safe {
-        verifier.synthesize_params_first_safe(&params, &prop)
+        verifier.synthesize_params_first_safe_durable(&params, &prop, &durability)
     } else {
-        verifier.synthesize_params(&params, &prop)
+        verifier.synthesize_params_durable(&params, &prop, &durability)
     };
     match synthesis {
         Ok(result) => {
@@ -391,11 +647,17 @@ fn synth(args: &[String]) -> ExitCode {
                     .map(|v| {
                         let vals: Vec<String> =
                             v.values.iter().map(|x| json_str(&x.to_string())).collect();
+                        let reason = match &v.result {
+                            CheckResult::Unknown(r) => json_str(r.tag()),
+                            _ => "null".to_string(),
+                        };
                         format!(
-                            "{{\"values\":[{}],\"verdict\":{},\"detail\":{}}}",
+                            "{{\"values\":[{}],\"verdict\":{},\"detail\":{},\"attempts\":{},\"reason\":{}}}",
                             vals.join(","),
                             json_str(verdict_tag(&v.result)),
-                            json_str(&v.result.to_string())
+                            json_str(&v.result.to_string()),
+                            v.attempts,
+                            reason
                         )
                     })
                     .collect();
@@ -411,6 +673,9 @@ fn synth(args: &[String]) -> ExitCode {
             } else {
                 println!("property `{name}`:");
                 print!("{result}");
+            }
+            if sigint::interrupted() {
+                return ExitCode::from(130);
             }
             ExitCode::SUCCESS
         }

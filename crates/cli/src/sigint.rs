@@ -1,0 +1,65 @@
+//! Cooperative SIGINT handling without external crates.
+//!
+//! The first Ctrl-C must not kill the process mid-write: engines poll a
+//! shared stop flag, workers drain, and the verdict journal keeps every
+//! fsync'd record. The handler itself only stores to a process-global
+//! atomic (async-signal-safe) and restores the default disposition so a
+//! second Ctrl-C hard-kills; a watcher thread bridges the atomic into
+//! the `Arc<AtomicBool>` the engines actually poll.
+//!
+//! This is the one place the workspace's `unsafe_code = "deny"` lint is
+//! overridden: registering a handler needs `signal(2)`, declared here
+//! directly rather than through an external binding crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIG_DFL: usize = 0;
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+}
+
+extern "C" fn on_sigint(_sig: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+    // Restore the default disposition: a second Ctrl-C kills immediately
+    // instead of being swallowed by a stuck drain.
+    #[allow(unsafe_code)]
+    unsafe {
+        ffi::signal(SIGINT, SIG_DFL);
+    }
+}
+
+/// Installs the handler and returns the stop flag it raises. Wire the
+/// flag into [`verdict_mc::CheckOptions::with_stop`]; interrupted
+/// engines report `Unknown(Cancelled)`, which is never journaled, so a
+/// resumed run re-checks exactly the undecided assignments.
+pub fn install() -> Arc<AtomicBool> {
+    let stop = Arc::new(AtomicBool::new(false));
+    #[allow(unsafe_code)]
+    unsafe {
+        ffi::signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+    let flag = stop.clone();
+    std::thread::spawn(move || loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            eprintln!("interrupted: draining workers, journal stays intact (Ctrl-C again to kill)");
+            flag.store(true, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+    stop
+}
+
+/// True once the first Ctrl-C has been seen.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}

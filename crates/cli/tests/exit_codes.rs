@@ -1,0 +1,210 @@
+//! Assertion tests over the `verdict` binary's exit-code contract:
+//!
+//! | code | meaning                                                    |
+//! |------|------------------------------------------------------------|
+//! | 0    | every property holds or is unknown for an honest reason    |
+//! | 2    | at least one property violated                             |
+//! | 1    | usage/parse/engine error, or a property left unknown by an |
+//! |      | infrastructure failure (engine-failure, resource-exhausted,|
+//! |      | certificate-rejected)                                      |
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SAFE_MODEL: &str = "
+system safe {
+    var n : 0..7;
+    init n = 0;
+    trans next(n) = if n < 7 then n + 1 else n;
+    invariant bounded: n <= 7;
+}
+";
+
+const UNSAFE_MODEL: &str = "
+system unsafe {
+    var n : 0..7;
+    init n = 0;
+    trans next(n) = if n < 7 then n + 1 else n;
+    invariant low: n < 5;
+}
+";
+
+const SWEEP_MODEL: &str = "
+system sweep {
+    var n : 0..10;
+    param step : 1..3;
+    init n = 0;
+    trans next(n) = if n <= 7 then n + step else n;
+    invariant miss5: n != 5;
+}
+";
+
+fn write_model(tag: &str, body: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("verdict-exit-{}-{tag}.vd", std::process::id()));
+    std::fs::write(&path, body).expect("model written");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_verdict"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("not signal-killed")
+}
+
+#[test]
+fn safe_model_exits_zero() {
+    let m = write_model("safe", SAFE_MODEL);
+    let out = run(&["check", m.to_str().unwrap()]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn violated_model_exits_two() {
+    let m = write_model("unsafe", UNSAFE_MODEL);
+    let out = run(&["check", m.to_str().unwrap()]);
+    assert_eq!(code(&out), 2, "{out:?}");
+}
+
+#[test]
+fn honest_unknown_exits_zero() {
+    // BMC cannot prove a holding invariant: depth-bound is an honest
+    // Unknown, not an infrastructure failure.
+    let m = write_model("honest", SAFE_MODEL);
+    let out = run(&[
+        "check",
+        m.to_str().unwrap(),
+        "--engine",
+        "bmc",
+        "--depth",
+        "4",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UNKNOWN"), "{text}");
+}
+
+#[test]
+fn parse_error_exits_one() {
+    let m = write_model("garbled", "system { nope");
+    let out = run(&["check", m.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "{out:?}");
+}
+
+#[test]
+fn infrastructure_unknown_exits_one() {
+    // An injected resource-exhaustion fault leaves the property unknown
+    // for an infrastructure reason → exit 1 under the contract.
+    let m = write_model("infra", SAFE_MODEL);
+    let out = run(&[
+        "check",
+        m.to_str().unwrap(),
+        "--engine",
+        "kind",
+        "--fault",
+        "sat.solve:exhaust:1",
+    ]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("UNKNOWN"), "{text}");
+}
+
+#[test]
+fn retries_recover_infrastructure_failures() {
+    let m = write_model("retry", SAFE_MODEL);
+    let out = run(&[
+        "check",
+        m.to_str().unwrap(),
+        "--engine",
+        "kind",
+        "--fault",
+        "sat.solve:exhaust:1",
+        "--retries",
+        "2",
+        "--retry-backoff-ms",
+        "0",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("HOLDS"), "{text}");
+}
+
+#[test]
+fn contained_panic_exits_one_not_crash() {
+    let m = write_model("panic", SAFE_MODEL);
+    let out = run(&[
+        "check",
+        m.to_str().unwrap(),
+        "--engine",
+        "kind",
+        "--fault",
+        "sat.solve:panic:1",
+    ]);
+    // Contained at the verifier boundary: a clean exit 1, not a signal
+    // or a Rust panic abort (101).
+    assert_eq!(code(&out), 1, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("engine failure"), "{text}");
+}
+
+#[test]
+fn synth_json_reports_attempts_and_reasons() {
+    let m = write_model("synthjson", SWEEP_MODEL);
+    let out = run(&[
+        "synth",
+        m.to_str().unwrap(),
+        "--params",
+        "step",
+        "--fault",
+        "mc.synth.worker:panic:1",
+        "--retries",
+        "2",
+        "--retry-backoff-ms",
+        "0",
+        "--json",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("\"attempts\":2"),
+        "retried assignment: {text}"
+    );
+    assert!(
+        text.contains("\"attempts\":1"),
+        "untouched assignment: {text}"
+    );
+    assert!(text.contains("\"reason\":null"), "{text}");
+
+    // Without retries the injected panic stays visible as a tagged
+    // UnknownReason.
+    let out = run(&[
+        "synth",
+        m.to_str().unwrap(),
+        "--params",
+        "step",
+        "--fault",
+        "mc.synth.worker:panic:1",
+        "--json",
+    ]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"reason\":\"engine-failure\""), "{text}");
+}
+
+#[test]
+fn conflicting_flags_exit_one() {
+    let m = write_model("flags", SAFE_MODEL);
+    for args in [
+        ["check", "--journal", "/tmp/a", "--resume", "/tmp/b"].as_slice(),
+        ["check", "--fault", "sat.solve:panic", "--fault-seed", "1"].as_slice(),
+    ] {
+        let mut full = vec![args[0], m.to_str().unwrap()];
+        full.extend_from_slice(&args[1..]);
+        let out = run(&full);
+        assert_eq!(code(&out), 1, "{args:?}: {out:?}");
+    }
+}

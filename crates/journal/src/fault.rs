@@ -1,0 +1,317 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] arms a set of probe *sites* — well-known string names
+//! compiled into the solver and orchestration crates — so that the k-th
+//! time execution reaches a site, a failure is injected: a panic, a
+//! simulated arithmetic-overflow poisoning, or simulated resource
+//! exhaustion. Probes are zero-cost when nothing is armed (one relaxed
+//! atomic load) and every fault fires exactly once, so a run with a plan
+//! installed is deterministic given the same schedule of probe hits.
+//!
+//! The registry is process-global because the alternative — threading a
+//! handle through every solver loop — would contaminate dozens of hot
+//! signatures for a test-only facility. Tests that install plans must
+//! serialize on [`test_lock`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use verdict_prng::Prng;
+
+/// What a probe does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the probe site (exercises `catch_unwind` containment).
+    Panic,
+    /// Simulate arithmetic overflow: the probing component poisons itself
+    /// as if an `i128` computation had overflowed.
+    Overflow,
+    /// Simulate resource exhaustion: the probing component behaves as if
+    /// a clause/node/memory ceiling had been hit.
+    Exhaust,
+}
+
+impl FaultKind {
+    /// Stable lowercase tag, for CLI specs and logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Overflow => "overflow",
+            FaultKind::Exhaust => "exhaust",
+        }
+    }
+
+    /// Parses a tag produced by [`FaultKind::tag`].
+    pub fn from_tag(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "overflow" => Some(FaultKind::Overflow),
+            "exhaust" => Some(FaultKind::Exhaust),
+            _ => None,
+        }
+    }
+}
+
+/// Every probe site compiled into the workspace. `FaultPlan::seeded` draws
+/// from this list, and tests sweep it.
+pub const SITES: &[&str] = &[
+    "sat.solve",
+    "smt.pivot",
+    "bdd.ite",
+    "mc.budget",
+    "mc.synth.worker",
+    "mc.portfolio.worker",
+    "mc.certify",
+    "journal.append",
+];
+
+/// One armed fault: fire `kind` on the `hit`-th arrival at `site`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Probe-site name (see [`SITES`]).
+    pub site: String,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// 1-based hit count at which to fire (1 = first arrival).
+    pub hit: u64,
+}
+
+/// A set of faults to install for one run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The armed faults. Multiple specs may target the same site.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with a single fault.
+    pub fn single(site: &str, kind: FaultKind, hit: u64) -> FaultPlan {
+        FaultPlan {
+            specs: vec![FaultSpec {
+                site: site.to_string(),
+                kind,
+                hit,
+            }],
+        }
+    }
+
+    /// Parses `site:kind:hit[,site:kind:hit...]`, e.g.
+    /// `sat.solve:panic:3,mc.budget:exhaust:1`. `hit` defaults to 1 when
+    /// omitted (`site:kind`).
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut specs = Vec::new();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let fields: Vec<&str> = part.trim().split(':').collect();
+            let (site, kind, hit) = match fields.as_slice() {
+                [site, kind] => (*site, *kind, 1),
+                [site, kind, hit] => (
+                    *site,
+                    *kind,
+                    hit.parse::<u64>()
+                        .map_err(|_| format!("bad hit count in fault spec `{part}`"))?,
+                ),
+                _ => return Err(format!("bad fault spec `{part}` (want site:kind[:hit])")),
+            };
+            let kind = FaultKind::from_tag(kind)
+                .ok_or_else(|| format!("unknown fault kind `{kind}` in `{part}`"))?;
+            if hit == 0 {
+                return Err(format!("hit count must be >= 1 in `{part}`"));
+            }
+            if !SITES.contains(&site) {
+                return Err(format!(
+                    "unknown probe site `{site}` (known: {})",
+                    SITES.join(", ")
+                ));
+            }
+            specs.push(FaultSpec {
+                site: site.to_string(),
+                kind,
+                hit,
+            });
+        }
+        Ok(FaultPlan { specs })
+    }
+
+    /// A deterministic single-fault plan drawn from `seed`: uniformly
+    /// picks a site, a kind, and a hit count in 1..=5.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut rng = Prng::seed_from_u64(seed);
+        let site = SITES[(rng.next_u64() % SITES.len() as u64) as usize];
+        let kind = match rng.next_u64() % 3 {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Overflow,
+            _ => FaultKind::Exhaust,
+        };
+        let hit = 1 + rng.next_u64() % 5;
+        FaultPlan::single(site, kind, hit)
+    }
+
+    /// Renders the plan back into the `parse` syntax.
+    pub fn to_spec_string(&self) -> String {
+        self.specs
+            .iter()
+            .map(|s| format!("{}:{}:{}", s.site, s.kind.tag(), s.hit))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+struct ArmedFault {
+    spec: FaultSpec,
+    remaining: u64,
+    fired: bool,
+}
+
+/// Fast-path flag: probes bail immediately when nothing is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Set when an `Exhaust` fault fires anywhere, so budget accounting can
+/// report `ResourceExhausted` even though no real ceiling was hit.
+static EXHAUST_FIRED: AtomicBool = AtomicBool::new(false);
+
+static ACTIVE: OnceLock<Mutex<Vec<ArmedFault>>> = OnceLock::new();
+
+fn active() -> &'static Mutex<Vec<ArmedFault>> {
+    ACTIVE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Installs `plan` process-wide, replacing any previous plan and clearing
+/// hit counters.
+pub fn install(plan: &FaultPlan) {
+    let mut g = active().lock().unwrap_or_else(|e| e.into_inner());
+    *g = plan
+        .specs
+        .iter()
+        .map(|s| ArmedFault {
+            spec: s.clone(),
+            remaining: s.hit,
+            fired: false,
+        })
+        .collect();
+    EXHAUST_FIRED.store(false, Ordering::SeqCst);
+    ARMED.store(!g.is_empty(), Ordering::SeqCst);
+}
+
+/// Disarms all faults and clears the exhaust flag.
+pub fn clear() {
+    let mut g = active().lock().unwrap_or_else(|e| e.into_inner());
+    g.clear();
+    ARMED.store(false, Ordering::SeqCst);
+    EXHAUST_FIRED.store(false, Ordering::SeqCst);
+}
+
+/// Records a hit at `site`; returns the fault to inject if one fires now.
+///
+/// Each armed spec fires at most once. When several specs on the same
+/// site fire on the same hit, the first installed wins.
+pub fn probe(site: &str) -> Option<FaultKind> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut g = active().lock().unwrap_or_else(|e| e.into_inner());
+    let mut fired = None;
+    for f in g.iter_mut() {
+        if f.fired || f.spec.site != site {
+            continue;
+        }
+        // Count this arrival against every live spec on the site, but
+        // only the first one to reach zero fires.
+        if f.remaining > 0 {
+            f.remaining -= 1;
+        }
+        if f.remaining == 0 && fired.is_none() {
+            f.fired = true;
+            fired = Some(f.spec.kind);
+        }
+    }
+    if fired == Some(FaultKind::Exhaust) {
+        EXHAUST_FIRED.store(true, Ordering::SeqCst);
+    }
+    fired
+}
+
+/// Whether an `Exhaust` fault has fired since the last `install`/`clear`.
+/// Budget accounting consults this to report `ResourceExhausted` for
+/// simulated exhaustion.
+pub fn exhaust_fired() -> bool {
+    EXHAUST_FIRED.load(Ordering::SeqCst)
+}
+
+/// The message carried by injected panics, so containment layers (and
+/// humans reading logs) can tell them from organic bugs.
+pub const PANIC_TAG: &str = "verdict-fault: injected panic";
+
+/// Probes `site` and panics if a `Panic` fault fires there. Convenience
+/// for sites that only support panic injection.
+pub fn panic_if_armed(site: &str) {
+    if probe(site) == Some(FaultKind::Panic) {
+        panic!("{PANIC_TAG} at {site}");
+    }
+}
+
+static TEST_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+/// Serializes tests that install fault plans (the registry is global).
+/// Poisoned locks are recovered: a panicking fault test must not poison
+/// the rest of the suite.
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        let p = FaultPlan::parse("sat.solve:panic:3,mc.budget:exhaust").unwrap();
+        assert_eq!(p.specs.len(), 2);
+        assert_eq!(p.specs[0].hit, 3);
+        assert_eq!(p.specs[1].hit, 1);
+        assert_eq!(
+            FaultPlan::parse(&p.to_spec_string()).unwrap(),
+            FaultPlan::parse("sat.solve:panic:3,mc.budget:exhaust:1").unwrap()
+        );
+        assert!(FaultPlan::parse("nope.site:panic:1").is_err());
+        assert!(FaultPlan::parse("sat.solve:frob:1").is_err());
+        assert!(FaultPlan::parse("sat.solve:panic:0").is_err());
+        assert!(FaultPlan::parse("").unwrap().specs.is_empty());
+    }
+
+    #[test]
+    fn fires_on_kth_hit_once() {
+        let _g = test_lock();
+        install(&FaultPlan::single("sat.solve", FaultKind::Panic, 3));
+        assert_eq!(probe("sat.solve"), None);
+        assert_eq!(probe("smt.pivot"), None);
+        assert_eq!(probe("sat.solve"), None);
+        assert_eq!(probe("sat.solve"), Some(FaultKind::Panic));
+        assert_eq!(probe("sat.solve"), None);
+        clear();
+        assert_eq!(probe("sat.solve"), None);
+    }
+
+    #[test]
+    fn exhaust_flag() {
+        let _g = test_lock();
+        install(&FaultPlan::single("mc.budget", FaultKind::Exhaust, 1));
+        assert!(!exhaust_fired());
+        assert_eq!(probe("mc.budget"), Some(FaultKind::Exhaust));
+        assert!(exhaust_fired());
+        clear();
+        assert!(!exhaust_fired());
+    }
+
+    #[test]
+    fn seeded_is_deterministic_and_valid() {
+        for seed in 0..64 {
+            let a = FaultPlan::seeded(seed);
+            assert_eq!(a, FaultPlan::seeded(seed));
+            assert_eq!(a.specs.len(), 1);
+            assert!(SITES.contains(&a.specs[0].site.as_str()));
+            assert!((1..=5).contains(&a.specs[0].hit));
+        }
+    }
+}

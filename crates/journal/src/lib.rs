@@ -1,0 +1,734 @@
+//! Crash-safe verdict journal + deterministic fault injection.
+//!
+//! This crate gives long-running verification jobs two robustness
+//! primitives:
+//!
+//! * [`Journal`] — an append-only JSONL file of verification records.
+//!   Every line carries an FNV-1a checksum and is `fsync`'d before the
+//!   append returns, so a record that the writer observed as durable
+//!   survives `SIGKILL`. On resume, [`Journal::open_resume`] verifies
+//!   every line and truncates the file at the first torn or corrupt
+//!   record, returning the intact prefix.
+//! * [`fault`] — a process-global registry of deterministic fault
+//!   probes. Solver and orchestration code calls [`fault::probe`] at
+//!   well-known sites; tests and the CLI arm a [`fault::FaultPlan`] to
+//!   inject panics, simulated overflow, or simulated resource exhaustion
+//!   at the k-th hit.
+//!
+//! The journal format is deliberately engine-agnostic: records carry
+//! string tags and stringified parameter values, so this crate depends
+//! on nothing but `verdict-prng` and the model-checking layer maps its
+//! own types in and out.
+
+pub mod fault;
+pub mod json;
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use json::Json;
+
+/// Journal format version, bumped on incompatible record changes.
+pub const FORMAT_VERSION: i64 = 1;
+
+/// FNV-1a 64-bit hash — the journal's line checksum and the basis of run
+/// fingerprints. Not cryptographic; it guards against torn writes and
+/// bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Outcome tag for a journaled verdict. `Cancelled` exists for
+/// completeness but recorders should not persist cancelled verdicts —
+/// they carry no reusable information.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictTag {
+    /// Property holds under this assignment.
+    Safe,
+    /// Property violated; the record carries the counterexample trace.
+    Unsafe,
+    /// Undecided (reason tag in [`Record::Verdict::reason`]).
+    Unknown,
+    /// Run was cancelled mid-check.
+    Cancelled,
+}
+
+impl VerdictTag {
+    /// Stable lowercase tag used on disk.
+    pub fn tag(self) -> &'static str {
+        match self {
+            VerdictTag::Safe => "safe",
+            VerdictTag::Unsafe => "unsafe",
+            VerdictTag::Unknown => "unknown",
+            VerdictTag::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a tag produced by [`VerdictTag::tag`].
+    pub fn from_tag(s: &str) -> Option<VerdictTag> {
+        match s {
+            "safe" => Some(VerdictTag::Safe),
+            "unsafe" => Some(VerdictTag::Unsafe),
+            "unknown" => Some(VerdictTag::Unknown),
+            "cancelled" => Some(VerdictTag::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+/// A counterexample trace in journal form: variable names plus states of
+/// stringified values, in `Display` form the model layer can re-parse
+/// against the system's sorts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRec {
+    /// State-variable names, in state-vector order.
+    pub vars: Vec<String>,
+    /// One vector of `Display`-formatted values per step.
+    pub states: Vec<Vec<String>>,
+    /// Lasso loop-back index for liveness counterexamples.
+    pub loop_back: Option<usize>,
+}
+
+/// One journal record (one JSONL line).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// First line of every journal: identifies the run so `--resume`
+    /// can refuse to mix verdicts from a different model/property/engine.
+    Header {
+        /// Journal format version ([`FORMAT_VERSION`]).
+        version: i64,
+        /// Fingerprint of (system, params, property, engine) computed by
+        /// the recording layer; resume must match exactly.
+        fingerprint: u64,
+        /// Total number of assignments in the sweep (0 for single checks).
+        space: u64,
+        /// Parameter names, in assignment-vector order.
+        params: Vec<String>,
+        /// Property name or rendering.
+        property: String,
+        /// Engine tag.
+        engine: String,
+    },
+    /// A failed attempt that will be retried; audit trail for escalation.
+    Attempt {
+        /// Assignment index in odometer order.
+        idx: u64,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// `UnknownReason` tag for the failure.
+        reason: String,
+    },
+    /// A final per-assignment verdict.
+    Verdict {
+        /// Assignment index in odometer order.
+        idx: u64,
+        /// Parameter values, `Display`-formatted, in `params` order.
+        values: Vec<String>,
+        /// The outcome.
+        verdict: VerdictTag,
+        /// `UnknownReason` tag when `verdict` is `Unknown`.
+        reason: Option<String>,
+        /// Total attempts spent (1 = first try succeeded).
+        attempts: u32,
+        /// Induction depth at which a `Safe` verdict was proved, when the
+        /// engine reports it; enables certificate re-checking on resume.
+        depth: Option<u64>,
+        /// Counterexample for `Unsafe` verdicts.
+        trace: Option<TraceRec>,
+    },
+    /// A per-property verdict from `check` (portfolio or solo engine).
+    Property {
+        /// Property name.
+        name: String,
+        /// The outcome.
+        verdict: VerdictTag,
+        /// `UnknownReason` tag when `verdict` is `Unknown`.
+        reason: Option<String>,
+        /// Engine that produced the verdict (portfolio winner, if racing).
+        engine: String,
+    },
+}
+
+fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn str_arr(xs: &[String]) -> Json {
+    Json::Arr(xs.iter().map(|s| Json::Str(s.clone())).collect())
+}
+
+fn opt_str(x: &Option<String>) -> Json {
+    match x {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        match self {
+            Record::Header {
+                version,
+                fingerprint,
+                space,
+                params,
+                property,
+                engine,
+            } => obj(vec![
+                ("type", Json::Str("header".into())),
+                ("version", Json::Int(*version)),
+                ("fingerprint", Json::Str(format!("{fingerprint:016x}"))),
+                ("space", Json::Int(*space as i64)),
+                ("params", str_arr(params)),
+                ("property", Json::Str(property.clone())),
+                ("engine", Json::Str(engine.clone())),
+            ]),
+            Record::Attempt {
+                idx,
+                attempt,
+                reason,
+            } => obj(vec![
+                ("type", Json::Str("attempt".into())),
+                ("idx", Json::Int(*idx as i64)),
+                ("attempt", Json::Int(*attempt as i64)),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+            Record::Verdict {
+                idx,
+                values,
+                verdict,
+                reason,
+                attempts,
+                depth,
+                trace,
+            } => {
+                let mut pairs = vec![
+                    ("type", Json::Str("verdict".into())),
+                    ("idx", Json::Int(*idx as i64)),
+                    ("values", str_arr(values)),
+                    ("verdict", Json::Str(verdict.tag().into())),
+                    ("reason", opt_str(reason)),
+                    ("attempts", Json::Int(*attempts as i64)),
+                    (
+                        "depth",
+                        match depth {
+                            Some(d) => Json::Int(*d as i64),
+                            None => Json::Null,
+                        },
+                    ),
+                ];
+                if let Some(t) = trace {
+                    pairs.push((
+                        "trace",
+                        obj(vec![
+                            ("vars", str_arr(&t.vars)),
+                            (
+                                "states",
+                                Json::Arr(t.states.iter().map(|s| str_arr(s)).collect()),
+                            ),
+                            (
+                                "loop_back",
+                                match t.loop_back {
+                                    Some(l) => Json::Int(l as i64),
+                                    None => Json::Null,
+                                },
+                            ),
+                        ]),
+                    ));
+                } else {
+                    pairs.push(("trace", Json::Null));
+                }
+                obj(pairs)
+            }
+            Record::Property {
+                name,
+                verdict,
+                reason,
+                engine,
+            } => obj(vec![
+                ("type", Json::Str("property".into())),
+                ("name", Json::Str(name.clone())),
+                ("verdict", Json::Str(verdict.tag().into())),
+                ("reason", opt_str(reason)),
+                ("engine", Json::Str(engine.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<Record, String> {
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("record missing `type`")?;
+        let get_str = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("record missing string `{k}`"))
+        };
+        let get_int = |k: &str| -> Result<i64, String> {
+            v.get(k)
+                .and_then(Json::as_int)
+                .ok_or_else(|| format!("record missing int `{k}`"))
+        };
+        let get_strs = |k: &str| -> Result<Vec<String>, String> {
+            v.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("record missing array `{k}`"))?
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("non-string element in `{k}`"))
+                })
+                .collect()
+        };
+        let get_opt_str =
+            |k: &str| -> Option<String> { v.get(k).and_then(Json::as_str).map(str::to_string) };
+        match ty {
+            "header" => Ok(Record::Header {
+                version: get_int("version")?,
+                fingerprint: u64::from_str_radix(&get_str("fingerprint")?, 16)
+                    .map_err(|_| "bad fingerprint".to_string())?,
+                space: get_int("space")? as u64,
+                params: get_strs("params")?,
+                property: get_str("property")?,
+                engine: get_str("engine")?,
+            }),
+            "attempt" => Ok(Record::Attempt {
+                idx: get_int("idx")? as u64,
+                attempt: get_int("attempt")? as u32,
+                reason: get_str("reason")?,
+            }),
+            "verdict" => {
+                let verdict =
+                    VerdictTag::from_tag(&get_str("verdict")?).ok_or("bad verdict tag")?;
+                let trace = match v.get("trace") {
+                    None | Some(Json::Null) => None,
+                    Some(t) => {
+                        let vars = t
+                            .get("vars")
+                            .and_then(Json::as_arr)
+                            .ok_or("trace missing vars")?
+                            .iter()
+                            .map(|x| x.as_str().map(str::to_string))
+                            .collect::<Option<Vec<_>>>()
+                            .ok_or("non-string trace var")?;
+                        let states = t
+                            .get("states")
+                            .and_then(Json::as_arr)
+                            .ok_or("trace missing states")?
+                            .iter()
+                            .map(|st| {
+                                st.as_arr()?
+                                    .iter()
+                                    .map(|x| x.as_str().map(str::to_string))
+                                    .collect::<Option<Vec<_>>>()
+                            })
+                            .collect::<Option<Vec<_>>>()
+                            .ok_or("malformed trace state")?;
+                        let loop_back = match t.get("loop_back") {
+                            None | Some(Json::Null) => None,
+                            Some(l) => Some(l.as_int().ok_or("bad loop_back")? as usize),
+                        };
+                        Some(TraceRec {
+                            vars,
+                            states,
+                            loop_back,
+                        })
+                    }
+                };
+                Ok(Record::Verdict {
+                    idx: get_int("idx")? as u64,
+                    values: get_strs("values")?,
+                    verdict,
+                    reason: get_opt_str("reason"),
+                    attempts: get_int("attempts")? as u32,
+                    depth: match v.get("depth") {
+                        None | Some(Json::Null) => None,
+                        Some(d) => Some(d.as_int().ok_or("bad depth")? as u64),
+                    },
+                    trace,
+                })
+            }
+            "property" => Ok(Record::Property {
+                name: get_str("name")?,
+                verdict: VerdictTag::from_tag(&get_str("verdict")?).ok_or("bad verdict tag")?,
+                reason: get_opt_str("reason"),
+                engine: get_str("engine")?,
+            }),
+            other => Err(format!("unknown record type `{other}`")),
+        }
+    }
+}
+
+/// Serializes a record to its on-disk line (no trailing newline): the
+/// record body with a trailing `,"crc":"<16 hex>"` field whose value is
+/// the FNV-1a hash of the body rendered *without* the crc field.
+pub fn encode_line(rec: &Record) -> String {
+    let body = rec.to_json().to_string();
+    debug_assert!(body.ends_with('}'));
+    let inner = &body[..body.len() - 1];
+    let crc = fnv1a64(body.as_bytes());
+    format!("{inner},\"crc\":\"{crc:016x}\"}}")
+}
+
+/// Verifies and parses one on-disk line. Returns an error for any
+/// checksum mismatch, missing crc field, or malformed body.
+pub fn decode_line(line: &str) -> Result<Record, String> {
+    let (prefix, rest) = line.rsplit_once(",\"crc\":\"").ok_or("missing crc field")?;
+    let hex = rest.strip_suffix("\"}").ok_or("malformed crc field")?;
+    let stored = u64::from_str_radix(hex, 16).map_err(|_| "bad crc hex".to_string())?;
+    let body = format!("{prefix}}}");
+    if fnv1a64(body.as_bytes()) != stored {
+        return Err("checksum mismatch".to_string());
+    }
+    let v = json::parse(&body).map_err(|e| e.to_string())?;
+    Record::from_json(&v)
+}
+
+/// Errors from opening or appending to a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// An existing journal's header does not match the current run
+    /// (different model, property, engine, or format version).
+    Mismatch(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// An open, append-only verdict journal.
+///
+/// Each [`Journal::append`] writes one checksummed JSONL line, flushes,
+/// and `fsync`s before returning — after `append` returns, the record
+/// survives `SIGKILL`. This is deliberately unbuffered across records:
+/// solver time dwarfs fsync time for every model in this repo, and the
+/// whole point is that *every* completed verdict is durable.
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates a new journal at `path` (truncating any existing file) and
+    /// writes `header` as its first record.
+    pub fn create(path: &Path, header: &Record) -> Result<Journal, JournalError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        let mut j = Journal {
+            file,
+            path: path.to_path_buf(),
+        };
+        j.append(header)?;
+        Ok(j)
+    }
+
+    /// Opens an existing journal for resumption.
+    ///
+    /// Reads and verifies every line; at the first torn or corrupt line
+    /// the file is truncated back to the end of the last good record and
+    /// a warning is printed to stderr. Returns the open journal
+    /// (positioned for append) and the intact records, header first.
+    ///
+    /// Fails with [`JournalError::Mismatch`] if the file is empty, has no
+    /// header, or the header's fingerprint/version differ from
+    /// `expect_fingerprint` (pass `None` to skip the fingerprint check).
+    pub fn open_resume(
+        path: &Path,
+        expect_fingerprint: Option<u64>,
+    ) -> Result<(Journal, Vec<Record>), JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut raw = String::new();
+        file.read_to_string(&mut raw)?;
+
+        let mut records = Vec::new();
+        let mut good_end = 0usize; // byte offset just past the last good line
+        let mut pos = 0usize;
+        let mut bad: Option<String> = None;
+        while pos < raw.len() {
+            let Some(nl) = raw[pos..].find('\n') else {
+                bad = Some("torn final record (no newline)".to_string());
+                break;
+            };
+            let line = &raw[pos..pos + nl];
+            match decode_line(line) {
+                Ok(rec) => {
+                    records.push(rec);
+                    pos += nl + 1;
+                    good_end = pos;
+                }
+                Err(e) => {
+                    bad = Some(e);
+                    break;
+                }
+            }
+        }
+
+        match records.first() {
+            Some(Record::Header {
+                version,
+                fingerprint,
+                ..
+            }) => {
+                if *version != FORMAT_VERSION {
+                    return Err(JournalError::Mismatch(format!(
+                        "journal format v{version}, this binary writes v{FORMAT_VERSION}"
+                    )));
+                }
+                if let Some(want) = expect_fingerprint {
+                    if *fingerprint != want {
+                        return Err(JournalError::Mismatch(format!(
+                            "journal was written for a different run \
+                             (fingerprint {fingerprint:016x}, expected {want:016x})"
+                        )));
+                    }
+                }
+            }
+            Some(_) => {
+                return Err(JournalError::Mismatch(
+                    "first record is not a header".to_string(),
+                ))
+            }
+            None => {
+                return Err(JournalError::Mismatch(if bad.is_some() {
+                    "journal header is corrupt".to_string()
+                } else {
+                    "journal is empty".to_string()
+                }))
+            }
+        }
+
+        if let Some(why) = bad {
+            eprintln!(
+                "warning: journal {}: truncating corrupt tail at byte {good_end} ({why}); \
+                 {} intact record(s) kept",
+                path.display(),
+                records.len()
+            );
+            file.set_len(good_end as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record durably (write + flush + fsync).
+    pub fn append(&mut self, rec: &Record) -> Result<(), JournalError> {
+        if fault::probe("journal.append") == Some(fault::FaultKind::Exhaust) {
+            return Err(JournalError::Io(io::Error::other(
+                "verdict-fault: injected journal write failure",
+            )));
+        }
+        let mut line = encode_line(rec);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "verdict-journal-test-{}-{name}",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn header() -> Record {
+        Record::Header {
+            version: FORMAT_VERSION,
+            fingerprint: 0xdead_beef_0123_4567,
+            space: 4,
+            params: vec!["N".into(), "CAP".into()],
+            property: "no_overflow".into(),
+            engine: "kind".into(),
+        }
+    }
+
+    fn verdict(idx: u64) -> Record {
+        Record::Verdict {
+            idx,
+            values: vec![format!("{idx}"), "true".into()],
+            verdict: if idx.is_multiple_of(2) {
+                VerdictTag::Safe
+            } else {
+                VerdictTag::Unsafe
+            },
+            reason: None,
+            attempts: 1 + idx as u32 % 3,
+            depth: if idx.is_multiple_of(2) {
+                Some(idx + 1)
+            } else {
+                None
+            },
+            trace: (idx % 2 == 1).then(|| TraceRec {
+                vars: vec!["x".into()],
+                states: vec![vec!["0".into()], vec!["1".into()]],
+                loop_back: Some(0),
+            }),
+        }
+    }
+
+    #[test]
+    fn line_round_trip() {
+        for rec in [
+            header(),
+            verdict(0),
+            verdict(1),
+            Record::Attempt {
+                idx: 3,
+                attempt: 2,
+                reason: "timeout".into(),
+            },
+            Record::Property {
+                name: "p \"quoted\"".into(),
+                verdict: VerdictTag::Unknown,
+                reason: Some("engine-failure".into()),
+                engine: "portfolio".into(),
+            },
+        ] {
+            let line = encode_line(&rec);
+            assert_eq!(decode_line(&line).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn corrupt_line_rejected() {
+        let line = encode_line(&verdict(0));
+        let flipped = line.replace("\"safe\"", "\"unsafe\"");
+        assert_ne!(line, flipped);
+        assert!(decode_line(&flipped).is_err());
+        assert!(decode_line("not json").is_err());
+        assert!(decode_line("").is_err());
+    }
+
+    #[test]
+    fn create_append_resume() {
+        let p = tmp("basic");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = Journal::create(&p, &header()).unwrap();
+            j.append(&verdict(0)).unwrap();
+            j.append(&verdict(1)).unwrap();
+        }
+        let (mut j, recs) = Journal::open_resume(&p, Some(0xdead_beef_0123_4567)).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1], verdict(0));
+        // Appending after resume keeps the file valid.
+        j.append(&verdict(2)).unwrap();
+        drop(j);
+        let (_, recs) = Journal::open_resume(&p, None).unwrap();
+        assert_eq!(recs.len(), 4);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejected() {
+        let p = tmp("fp");
+        let _ = std::fs::remove_file(&p);
+        drop(Journal::create(&p, &header()).unwrap());
+        assert!(matches!(
+            Journal::open_resume(&p, Some(1)),
+            Err(JournalError::Mismatch(_))
+        ));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncated() {
+        let p = tmp("torn");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = Journal::create(&p, &header()).unwrap();
+            j.append(&verdict(0)).unwrap();
+            j.append(&verdict(1)).unwrap();
+        }
+        let full = std::fs::read(&p).unwrap();
+        // Chop the file at every byte boundary inside the last record and
+        // check resume always recovers the intact prefix.
+        let second_last_nl = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .unwrap();
+        for cut in (second_last_nl + 1..full.len()).step_by(7) {
+            std::fs::write(&p, &full[..cut]).unwrap();
+            let (_, recs) = Journal::open_resume(&p, None).unwrap();
+            assert_eq!(recs.len(), 2, "cut at {cut}");
+            assert_eq!(recs[1], verdict(0));
+            // The file was repaired: reopening sees a clean journal.
+            let (_, recs2) = Journal::open_resume(&p, None).unwrap();
+            assert_eq!(recs2.len(), 2);
+        }
+        // Bit-flip inside the second record: it and everything after are
+        // dropped, leaving only the header.
+        let mut bad = full.clone();
+        let idx = second_last_nl - 20;
+        bad[idx] ^= 0x01;
+        std::fs::write(&p, &bad).unwrap();
+        let (_, recs) = Journal::open_resume(&p, None).unwrap();
+        assert_eq!(recs.len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_or_headerless_rejected() {
+        let p = tmp("empty");
+        std::fs::write(&p, b"").unwrap();
+        assert!(matches!(
+            Journal::open_resume(&p, None),
+            Err(JournalError::Mismatch(_))
+        ));
+        let line = encode_line(&verdict(0));
+        std::fs::write(&p, format!("{line}\n")).unwrap();
+        assert!(matches!(
+            Journal::open_resume(&p, None),
+            Err(JournalError::Mismatch(_))
+        ));
+        std::fs::remove_file(&p).unwrap();
+    }
+}

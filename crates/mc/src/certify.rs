@@ -175,6 +175,11 @@ fn reject(what: &str, diagnostic: &str) -> CheckResult {
 /// Runs the accumulated clauses of `unr` through a fresh proof-logged SAT
 /// solver and demands UNSAT with a DRUP proof that checks.
 fn run_unsat_query(unr: &mut Unroller<'_>, budget: &Budget, what: &str) -> Result<(), String> {
+    // Fault-injection probe at site `mc.certify`: a panic here models the
+    // certifier itself dying mid-re-proof. Callers that contain panics
+    // (synthesis workers, portfolio contenders) degrade it to
+    // `Unknown(EngineFailure)`.
+    verdict_journal::fault::panic_if_armed("mc.certify");
     let mut solver = Solver::new();
     solver.enable_proof();
     for c in unr.drain_clauses() {

@@ -52,17 +52,21 @@ pub mod bdd;
 pub mod blast;
 pub mod bmc;
 pub mod certify;
+pub mod durable;
 pub mod explicit_engine;
 pub mod incremental;
 pub mod kind;
 pub mod params;
 pub mod portfolio;
 pub mod result;
+pub mod retry;
 pub mod smtbmc;
 pub mod tableau;
 pub mod verifier;
 
 pub use certify::{CertificateKind, CertificateStatus, PropertyKind};
+pub use durable::{Durability, ResumeState, SweepRecorder};
 pub use portfolio::CheckReport;
 pub use result::{CheckOptions, CheckResult, McError, UnknownReason};
+pub use retry::RetryPolicy;
 pub use verifier::{Engine, Verifier};

@@ -37,6 +37,9 @@ use std::time::Duration;
 
 use verdict_ts::{Expr, Ltl, System, Trace, Value, VarId};
 
+use verdict_journal::fault;
+
+use crate::durable::Durability;
 use crate::incremental::{HoldsPattern, PinnedKInduction, PinnedOutcome};
 use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
 
@@ -57,6 +60,10 @@ pub struct ParamVerdict {
     pub values: Vec<Value>,
     /// The verification outcome under this assignment.
     pub result: CheckResult,
+    /// Attempts spent on the verdict: 1 for a first-try result, more when
+    /// a [`crate::RetryPolicy`] re-ran an infrastructure failure. Resumed
+    /// verdicts keep the attempt count recorded in the journal.
+    pub attempts: u32,
 }
 
 /// Aggregated synthesis output.
@@ -138,6 +145,17 @@ pub enum SynthesisEngine {
     Explicit,
 }
 
+impl SynthesisEngine {
+    /// Stable lowercase tag used in journal headers.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SynthesisEngine::KInduction => "kind",
+            SynthesisEngine::Bdd => "bdd",
+            SynthesisEngine::Explicit => "explicit",
+        }
+    }
+}
+
 /// The assignment cross-product in odometer order (the first parameter
 /// varies fastest — the order the original sequential sweep visited, which
 /// callers and tests rely on), indexed lazily: assignment `i` is decoded
@@ -197,7 +215,7 @@ impl AssignmentSpace {
 /// constraints: frozen variables are constant, so INVAR equals INIT on
 /// executions, but INVAR also constrains free-start engines (k-induction's
 /// step case).
-fn pin_system(sys: &System, params: &[VarId], assignment: &[Value]) -> System {
+pub(crate) fn pin_system(sys: &System, params: &[VarId], assignment: &[Value]) -> System {
     let mut pinned = sys.clone();
     for (&p, v) in params.iter().zip(assignment) {
         pinned.add_invar(Expr::var(p).eq(Expr::Const(v.clone())));
@@ -250,6 +268,23 @@ fn report_panic(assignment: &[Value], payload: &(dyn std::any::Any + Send)) {
     );
 }
 
+/// A contained check outcome plus the induction depth when the engine
+/// reports one — recorded in the journal so a certified resume can
+/// re-prove the verdict at that depth.
+struct Checked {
+    result: CheckResult,
+    depth: Option<usize>,
+}
+
+impl Checked {
+    fn plain(result: CheckResult) -> Checked {
+        Checked {
+            result,
+            depth: None,
+        }
+    }
+}
+
 /// [`check_assignment`] with panic containment: an engine crash on one
 /// assignment becomes `Unknown(EngineFailure)` for that slot instead of
 /// poisoning the whole sweep (the payload is reported on stderr).
@@ -260,13 +295,18 @@ fn check_assignment_contained(
     property: &Property,
     engine: SynthesisEngine,
     opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
+) -> Result<Checked, McError> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        check_assignment(sys, params, assignment, property, engine, opts)
+        // Fault-injection probe at site `mc.synth.worker`, inside the
+        // containment boundary so an injected panic exercises it.
+        fault::panic_if_armed("mc.synth.worker");
+        check_assignment(sys, params, assignment, property, engine, opts).map(Checked::plain)
     }))
     .unwrap_or_else(|payload| {
         report_panic(assignment, payload.as_ref());
-        Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+        Ok(Checked::plain(CheckResult::Unknown(
+            UnknownReason::EngineFailure,
+        )))
     })
 }
 
@@ -282,7 +322,7 @@ struct IncrementalChecker<'a> {
 }
 
 impl IncrementalChecker<'_> {
-    fn check(&mut self, assignment: &[Value], opts: &CheckOptions) -> Result<CheckResult, McError> {
+    fn check(&mut self, assignment: &[Value], opts: &CheckOptions) -> Result<Checked, McError> {
         // Core-pruned inheritance: a previous Holds proof whose unsat
         // cores ignored every parameter this assignment differs in
         // transfers verbatim. A poisoned lock only means another worker
@@ -294,7 +334,10 @@ impl IncrementalChecker<'_> {
         };
         if let Some(depth) = inherited {
             if !opts.certify {
-                return Ok(CheckResult::Holds);
+                return Ok(Checked {
+                    result: CheckResult::Holds,
+                    depth: Some(depth),
+                });
             }
             // Certification never trusts the transfer argument: re-prove
             // the inherited verdict at the recorded depth with fresh
@@ -303,7 +346,10 @@ impl IncrementalChecker<'_> {
             let budget = Budget::new(opts);
             let pinned = pin_system(self.sys, self.params, assignment);
             if crate::certify::recheck_induction(&pinned, self.prop, depth, &budget).is_ok() {
-                return Ok(CheckResult::Holds);
+                return Ok(Checked {
+                    result: CheckResult::Holds,
+                    depth: Some(depth),
+                });
             }
         }
         let engine = match &mut self.engine {
@@ -316,11 +362,11 @@ impl IncrementalChecker<'_> {
             PinnedOutcome::Violated(trace) => {
                 if opts.certify {
                     let pinned = pin_system(self.sys, self.params, assignment);
-                    Ok(crate::certify::gate_invariant_cex(
+                    Ok(Checked::plain(crate::certify::gate_invariant_cex(
                         &pinned, self.prop, trace,
-                    ))
+                    )))
                 } else {
-                    Ok(CheckResult::Violated(trace))
+                    Ok(Checked::plain(CheckResult::Violated(trace)))
                 }
             }
             PinnedOutcome::Holds { depth, relevant } => {
@@ -342,9 +388,10 @@ impl IncrementalChecker<'_> {
                         depth,
                     });
                 }
-                Ok(result)
+                let depth = result.holds().then_some(depth);
+                Ok(Checked { result, depth })
             }
-            PinnedOutcome::Unknown(r) => Ok(CheckResult::Unknown(r)),
+            PinnedOutcome::Unknown(r) => Ok(Checked::plain(CheckResult::Unknown(r))),
         }
     }
 
@@ -352,8 +399,11 @@ impl IncrementalChecker<'_> {
         &mut self,
         assignment: &[Value],
         opts: &CheckOptions,
-    ) -> Result<CheckResult, McError> {
+    ) -> Result<Checked, McError> {
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Fault-injection probe, inside containment (see the clone
+            // path in `check_assignment_contained`).
+            fault::panic_if_armed("mc.synth.worker");
             self.check(assignment, opts)
         }));
         res.unwrap_or_else(|payload| {
@@ -361,7 +411,9 @@ impl IncrementalChecker<'_> {
             // on the next assignment rather than trusting its state.
             self.engine = None;
             report_panic(assignment, payload.as_ref());
-            Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+            Ok(Checked::plain(CheckResult::Unknown(
+                UnknownReason::EngineFailure,
+            )))
         })
     }
 }
@@ -386,12 +438,55 @@ impl Checker<'_> {
         property: &Property,
         engine: SynthesisEngine,
         opts: &CheckOptions,
-    ) -> Result<CheckResult, McError> {
+    ) -> Result<Checked, McError> {
         match self {
             Checker::Clone => {
                 check_assignment_contained(sys, params, assignment, property, engine, opts)
             }
             Checker::Incremental(inc) => inc.check_contained(assignment, opts),
+        }
+    }
+
+    /// [`Checker::check`] under the sweep's retry policy: a verdict of
+    /// `Unknown` with a [retryable](UnknownReason::retryable) reason is
+    /// re-run with escalated budgets (each failed attempt journaled)
+    /// until it decides, stops being retryable, or the attempt cap is
+    /// hit. Returns the final outcome and the attempts spent.
+    #[allow(clippy::too_many_arguments)]
+    fn check_with_retry(
+        &mut self,
+        sys: &System,
+        params: &[VarId],
+        idx: usize,
+        assignment: &[Value],
+        property: &Property,
+        engine: SynthesisEngine,
+        opts: &CheckOptions,
+        durability: &Durability<'_>,
+    ) -> Result<(Checked, u32), McError> {
+        let max_attempts = opts.retry.as_ref().map_or(1, |p| p.max_attempts.max(1));
+        let mut attempt = 1u32;
+        loop {
+            let run_opts = match &opts.retry {
+                Some(policy) if attempt > 1 => policy.escalate(opts, attempt),
+                _ => opts.clone(),
+            };
+            let checked = self.check(sys, params, assignment, property, engine, &run_opts)?;
+            let reason = match &checked.result {
+                CheckResult::Unknown(r) if r.retryable() => *r,
+                _ => return Ok((checked, attempt)),
+            };
+            if attempt >= max_attempts {
+                return Ok((checked, attempt));
+            }
+            durability.record_attempt(idx, attempt, reason);
+            if let Some(policy) = &opts.retry {
+                let pause = policy.backoff_for(idx as u64, attempt + 1);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            attempt += 1;
         }
     }
 }
@@ -404,6 +499,7 @@ impl Checker<'_> {
 /// assignments report `Unknown(Cancelled)`. A worker error is returned for
 /// the smallest-index erroring assignment, matching what the sequential
 /// sweep would have hit first.
+#[allow(clippy::too_many_arguments)]
 fn run_assignments(
     sys: &System,
     params: &[VarId],
@@ -412,6 +508,7 @@ fn run_assignments(
     engine: SynthesisEngine,
     opts: &CheckOptions,
     stop_at_first_safe: bool,
+    durability: &Durability<'_>,
 ) -> Result<Vec<ParamVerdict>, McError> {
     if matches!(
         (property, engine),
@@ -451,14 +548,25 @@ fn run_assignments(
         let mut found_safe = false;
         for idx in 0..n {
             let a = space.get(idx);
-            let result = if found_safe && stop_at_first_safe {
-                CheckResult::Unknown(UnknownReason::Cancelled)
+            let (result, attempts) = if let Some((result, attempts)) = durability.resumed(idx) {
+                // Already durably decided by a previous run: skip the
+                // solve, don't re-journal.
+                found_safe |= result.holds();
+                (result, attempts)
+            } else if found_safe && stop_at_first_safe {
+                (CheckResult::Unknown(UnknownReason::Cancelled), 0)
             } else {
-                let r = checker.check(sys, params, &a, property, engine, opts)?;
-                found_safe |= r.holds();
-                r
+                let (checked, attempts) = checker
+                    .check_with_retry(sys, params, idx, &a, property, engine, opts, durability)?;
+                found_safe |= checked.result.holds();
+                durability.record_verdict(idx, &a, &checked.result, attempts, checked.depth);
+                (checked.result, attempts)
             };
-            verdicts.push(ParamVerdict { values: a, result });
+            verdicts.push(ParamVerdict {
+                values: a,
+                result,
+                attempts,
+            });
         }
         return Ok(verdicts);
     }
@@ -470,8 +578,9 @@ fn run_assignments(
         ..opts.clone()
     };
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<CheckResult, McError>)>();
-    let mut slots: Vec<Option<Result<CheckResult, McError>>> = (0..n).map(|_| None).collect();
+    type Slot = Result<(CheckResult, u32), McError>;
+    let (tx, rx) = mpsc::channel::<(usize, Slot)>();
+    let mut slots: Vec<Option<Slot>> = (0..n).map(|_| None).collect();
 
     std::thread::scope(|scope| {
         let make_checker = &make_checker;
@@ -489,17 +598,49 @@ fn run_assignments(
                     if idx >= n {
                         break;
                     }
+                    if let Some((result, attempts)) = durability.resumed(idx) {
+                        // Durably decided by a previous run: skip the
+                        // solve, don't re-journal.
+                        if stop_at_first_safe && result.holds() {
+                            pool_stop.store(true, Ordering::Relaxed);
+                        }
+                        let _ = tx.send((idx, Ok((result, attempts))));
+                        continue;
+                    }
                     if pool_stop.load(Ordering::Relaxed) {
                         // The sweep is already decided (first-safe hit or
                         // caller cancellation); don't start new work.
-                        let _ = tx.send((idx, Ok(CheckResult::Unknown(UnknownReason::Cancelled))));
+                        let _ =
+                            tx.send((idx, Ok((CheckResult::Unknown(UnknownReason::Cancelled), 0))));
                         continue;
                     }
                     let a = space.get(idx);
-                    let res = checker.check(sys, params, &a, property, engine, &worker_opts);
-                    if stop_at_first_safe && matches!(res, Ok(CheckResult::Holds)) {
-                        pool_stop.store(true, Ordering::Relaxed);
-                    }
+                    let res = checker.check_with_retry(
+                        sys,
+                        params,
+                        idx,
+                        &a,
+                        property,
+                        engine,
+                        &worker_opts,
+                        durability,
+                    );
+                    let res = match res {
+                        Ok((checked, attempts)) => {
+                            if stop_at_first_safe && checked.result.holds() {
+                                pool_stop.store(true, Ordering::Relaxed);
+                            }
+                            durability.record_verdict(
+                                idx,
+                                &a,
+                                &checked.result,
+                                attempts,
+                                checked.depth,
+                            );
+                            Ok((checked.result, attempts))
+                        }
+                        Err(e) => Err(e),
+                    };
                     let _ = tx.send((idx, res));
                 }
             });
@@ -531,18 +672,23 @@ fn run_assignments(
     for (idx, slot) in slots.into_iter().enumerate() {
         let values = space.get(idx);
         match slot {
-            Some(Ok(result)) => verdicts.push(ParamVerdict { values, result }),
+            Some(Ok((result, attempts))) => verdicts.push(ParamVerdict {
+                values,
+                result,
+                attempts,
+            }),
             Some(Err(e)) => return Err(e),
             None => verdicts.push(ParamVerdict {
                 values,
                 result: CheckResult::Unknown(UnknownReason::Cancelled),
+                attempts: 0,
             }),
         }
     }
     Ok(verdicts)
 }
 
-fn validate_and_enumerate(
+pub(crate) fn validate_and_enumerate(
     sys: &System,
     params: &[VarId],
 ) -> Result<(Vec<String>, AssignmentSpace), McError> {
@@ -573,8 +719,25 @@ pub fn synthesize(
     engine: SynthesisEngine,
     opts: &CheckOptions,
 ) -> Result<SynthesisResult, McError> {
+    synthesize_durable(sys, params, property, engine, opts, &Durability::none())
+}
+
+/// [`synthesize`] with durability hooks: completed verdicts are appended
+/// to `durability.recorder`'s journal as workers finish, and assignments
+/// already decided in `durability.resume` are skipped (their recorded
+/// verdict and attempt count reported as-is).
+pub fn synthesize_durable(
+    sys: &System,
+    params: &[VarId],
+    property: &Property,
+    engine: SynthesisEngine,
+    opts: &CheckOptions,
+    durability: &Durability<'_>,
+) -> Result<SynthesisResult, McError> {
     let (param_names, space) = validate_and_enumerate(sys, params)?;
-    let verdicts = run_assignments(sys, params, &space, property, engine, opts, false)?;
+    let verdicts = run_assignments(
+        sys, params, &space, property, engine, opts, false, durability,
+    )?;
     Ok(SynthesisResult {
         param_names,
         verdicts,
@@ -597,8 +760,24 @@ pub fn synthesize_first_safe(
     engine: SynthesisEngine,
     opts: &CheckOptions,
 ) -> Result<SynthesisResult, McError> {
+    synthesize_first_safe_durable(sys, params, property, engine, opts, &Durability::none())
+}
+
+/// [`synthesize_first_safe`] with durability hooks (see
+/// [`synthesize_durable`]). A resumed SAFE verdict stops the sweep just
+/// like a freshly proved one.
+pub fn synthesize_first_safe_durable(
+    sys: &System,
+    params: &[VarId],
+    property: &Property,
+    engine: SynthesisEngine,
+    opts: &CheckOptions,
+    durability: &Durability<'_>,
+) -> Result<SynthesisResult, McError> {
     let (param_names, space) = validate_and_enumerate(sys, params)?;
-    let verdicts = run_assignments(sys, params, &space, property, engine, opts, true)?;
+    let verdicts = run_assignments(
+        sys, params, &space, property, engine, opts, true, durability,
+    )?;
     Ok(SynthesisResult {
         param_names,
         verdicts,

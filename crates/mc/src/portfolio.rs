@@ -96,13 +96,18 @@ pub fn race(
                 // Contain contender panics: a crashing engine becomes an
                 // `Unknown(EngineFailure)` outcome instead of unwinding
                 // through the scope and aborting the whole race.
-                let res =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&worker_opts)))
-                        .unwrap_or_else(|payload| {
-                            let msg = panic_message(payload.as_ref());
-                            eprintln!("verdict-mc: {engine} engine panicked: {msg}");
-                            Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
-                        });
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Fault-injection probe at site `mc.portfolio.worker`,
+                    // inside the containment boundary so an injected
+                    // panic exercises it.
+                    verdict_journal::fault::panic_if_armed("mc.portfolio.worker");
+                    run(&worker_opts)
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = panic_message(payload.as_ref());
+                    eprintln!("verdict-mc: {engine} engine panicked: {msg}");
+                    Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+                });
                 // The receiver never hangs up before all results arrive,
                 // but a send error must not panic the worker either way.
                 let _ = tx.send((idx, engine, res));

@@ -5,11 +5,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use verdict_journal::fault;
 use verdict_sat::Limits;
 use verdict_ts::Trace;
 
-/// Outcome of a model-checking run.
-#[derive(Clone, Debug)]
+use crate::retry::RetryPolicy;
+
+/// Outcome of a model-checking run. `PartialEq` compares verdicts
+/// structurally (traces included) — what resume tests use to show a
+/// recovered run is identical to an uninterrupted one.
+#[derive(Clone, Debug, PartialEq)]
 pub enum CheckResult {
     /// The property holds (engine-specific guarantee: complete engines
     /// prove it; BMC reports `Holds` only when an inductive argument or
@@ -78,6 +83,48 @@ pub enum UnknownReason {
     /// A memory-shaped resource ceiling was hit: SAT clause count, BDD
     /// node count, or exact-rational overflow in the simplex.
     ResourceExhausted,
+}
+
+impl UnknownReason {
+    /// Stable lowercase tag used in JSON output and journal records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            UnknownReason::DepthBound => "depth-bound",
+            UnknownReason::Timeout => "timeout",
+            UnknownReason::EffortBound => "effort-bound",
+            UnknownReason::Cancelled => "cancelled",
+            UnknownReason::CertificateRejected => "certificate-rejected",
+            UnknownReason::EngineFailure => "engine-failure",
+            UnknownReason::ResourceExhausted => "resource-exhausted",
+        }
+    }
+
+    /// Parses a tag produced by [`UnknownReason::tag`].
+    pub fn from_tag(s: &str) -> Option<UnknownReason> {
+        match s {
+            "depth-bound" => Some(UnknownReason::DepthBound),
+            "timeout" => Some(UnknownReason::Timeout),
+            "effort-bound" => Some(UnknownReason::EffortBound),
+            "cancelled" => Some(UnknownReason::Cancelled),
+            "certificate-rejected" => Some(UnknownReason::CertificateRejected),
+            "engine-failure" => Some(UnknownReason::EngineFailure),
+            "resource-exhausted" => Some(UnknownReason::ResourceExhausted),
+            _ => None,
+        }
+    }
+
+    /// Whether this reason signals an *infrastructure* failure (engine
+    /// death, resource ceiling, deadline) rather than an honest logical
+    /// limit (depth/effort bound) — infrastructure failures are worth
+    /// retrying with a bigger budget, logical limits are not.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            UnknownReason::EngineFailure
+                | UnknownReason::ResourceExhausted
+                | UnknownReason::Timeout
+        )
+    }
 }
 
 impl fmt::Display for UnknownReason {
@@ -157,6 +204,12 @@ pub struct CheckOptions {
     /// clone-per-assignment everywhere else. `Some(false)` forces the
     /// clone path even there.
     pub incremental: Option<bool>,
+    /// Retry failed checks with escalating budgets: a verdict of
+    /// `Unknown` with a [retryable](UnknownReason::retryable) reason is
+    /// re-run up to the policy's attempt cap, each time with the
+    /// deadline/clause/node ceilings multiplied and a jittered backoff
+    /// pause in between. `None` = one attempt, no retries.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for CheckOptions {
@@ -170,6 +223,7 @@ impl Default for CheckOptions {
             max_clauses: None,
             max_bdd_nodes: None,
             incremental: None,
+            retry: None,
         }
     }
 }
@@ -223,6 +277,12 @@ impl CheckOptions {
     /// off instead of the auto default.
     pub fn with_incremental(mut self, on: bool) -> CheckOptions {
         self.incremental = Some(on);
+        self
+    }
+
+    /// Attaches a retry policy for infrastructure failures.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> CheckOptions {
+        self.retry = Some(policy);
         self
     }
 
@@ -298,6 +358,13 @@ impl Budget {
         if matches!(self.deadline, Some(d) if Instant::now() >= d) {
             return Some(UnknownReason::Timeout);
         }
+        // Fault-injection probe at site `mc.budget`: `Exhaust` makes the
+        // budget report a spent resource ceiling (and marks the overflow
+        // flag so solver-level `Unknown`s get the same reason).
+        if fault::probe("mc.budget") == Some(fault::FaultKind::Exhaust) {
+            self.node_overflow.store(true, Ordering::Relaxed);
+            return Some(UnknownReason::ResourceExhausted);
+        }
         None
     }
 
@@ -318,7 +385,7 @@ impl Budget {
     pub fn unknown_reason(&self) -> UnknownReason {
         if self.cancelled() {
             UnknownReason::Cancelled
-        } else if self.node_overflow.load(Ordering::Relaxed) {
+        } else if self.node_overflow.load(Ordering::Relaxed) || fault::exhaust_fired() {
             UnknownReason::ResourceExhausted
         } else {
             UnknownReason::Timeout
@@ -331,7 +398,9 @@ impl Budget {
     pub fn unknown_reason_sat(&self, num_clauses: usize) -> UnknownReason {
         if self.cancelled() {
             UnknownReason::Cancelled
-        } else if matches!(self.max_clauses, Some(max) if num_clauses >= max) {
+        } else if matches!(self.max_clauses, Some(max) if num_clauses >= max)
+            || fault::exhaust_fired()
+        {
             UnknownReason::ResourceExhausted
         } else {
             UnknownReason::Timeout

@@ -1,0 +1,153 @@
+//! Retry with escalating budgets.
+//!
+//! Long sweeps hit transient infrastructure failures — a worker panic, a
+//! clause ceiling tuned too low, a deadline that was fine for 95% of
+//! assignments. A [`RetryPolicy`] re-runs a check whose verdict was
+//! `Unknown` with a [retryable](crate::UnknownReason::retryable) reason,
+//! multiplying the wall-clock/clause/node ceilings each attempt and
+//! sleeping a jittered backoff in between so parallel workers don't
+//! re-stampede a shared bottleneck in lockstep.
+
+use std::time::Duration;
+
+use verdict_prng::Prng;
+
+use crate::CheckOptions;
+
+/// How to retry infrastructure-failed checks. See the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per check, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Budget multiplier per retry: attempt `n` (1-based) runs with
+    /// timeout/clause/node ceilings scaled by `factor^(n-1)`.
+    pub factor: u32,
+    /// Base backoff slept before each retry, jittered to 50–150%.
+    pub backoff: Duration,
+    /// Seed for deterministic jitter (mixed with assignment index and
+    /// attempt number, so workers don't share a schedule).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            factor: 2,
+            backoff: Duration::from_millis(20),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` retries after the first attempt.
+    pub fn with_retries(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sets the per-retry budget multiplier.
+    pub fn with_factor(mut self, factor: u32) -> RetryPolicy {
+        self.factor = factor.max(1);
+        self
+    }
+
+    /// Sets the base backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// `base` options with every resource ceiling scaled for the given
+    /// 1-based `attempt`: timeout, `max_clauses`, and `max_bdd_nodes`
+    /// multiplied by `factor^(attempt-1)` (saturating). Attempt 1 returns
+    /// `base` unchanged.
+    pub fn escalate(&self, base: &CheckOptions, attempt: u32) -> CheckOptions {
+        let mut opts = base.clone();
+        let exp = attempt.saturating_sub(1);
+        if exp == 0 {
+            return opts;
+        }
+        let mult = (self.factor as u64).saturating_pow(exp);
+        opts.timeout = opts
+            .timeout
+            .map(|t| t.saturating_mul(mult.min(u32::MAX as u64) as u32));
+        opts.max_clauses = opts.max_clauses.map(|c| c.saturating_mul(mult as usize));
+        opts.max_bdd_nodes = opts.max_bdd_nodes.map(|n| n.saturating_mul(mult as usize));
+        opts
+    }
+
+    /// The jittered pause before 1-based `attempt` of assignment `idx`:
+    /// `backoff * factor^(attempt-2)`, scaled by a deterministic jitter
+    /// in 50–150%. Attempt 1 never sleeps.
+    pub fn backoff_for(&self, idx: u64, attempt: u32) -> Duration {
+        if attempt <= 1 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(2);
+        let base = self
+            .backoff
+            .saturating_mul(self.factor.saturating_pow(exp).min(1 << 16));
+        let mut rng =
+            Prng::seed_from_u64(self.seed ^ idx.rotate_left(17) ^ ((attempt as u64) << 48));
+        // 50%..150% in per-mille steps.
+        let jitter_pm = 500 + rng.next_u64() % 1001;
+        base.saturating_mul(jitter_pm as u32) / 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_multiplies_ceilings() {
+        let p = RetryPolicy::with_retries(2).with_factor(3);
+        let base = CheckOptions::default()
+            .with_timeout(Duration::from_millis(100))
+            .with_max_clauses(1000)
+            .with_max_bdd_nodes(500);
+        let a1 = p.escalate(&base, 1);
+        assert_eq!(a1.timeout, Some(Duration::from_millis(100)));
+        assert_eq!(a1.max_clauses, Some(1000));
+        let a3 = p.escalate(&base, 3);
+        assert_eq!(a3.timeout, Some(Duration::from_millis(900)));
+        assert_eq!(a3.max_clauses, Some(9000));
+        assert_eq!(a3.max_bdd_nodes, Some(4500));
+        // Unset ceilings stay unset.
+        let a = p.escalate(&CheckOptions::default(), 3);
+        assert_eq!(a.timeout, None);
+        assert_eq!(a.max_clauses, None);
+    }
+
+    #[test]
+    fn backoff_is_jittered_and_deterministic() {
+        let p = RetryPolicy::with_retries(3).with_backoff(Duration::from_millis(100));
+        assert_eq!(p.backoff_for(0, 1), Duration::ZERO);
+        let b = p.backoff_for(7, 2);
+        assert_eq!(b, p.backoff_for(7, 2));
+        assert!(b >= Duration::from_millis(50) && b <= Duration::from_millis(150));
+        // Different assignments get different jitter (with overwhelming
+        // likelihood for these fixed seeds).
+        assert_ne!(p.backoff_for(7, 2), p.backoff_for(8, 2));
+        // Later attempts back off harder on average: attempt 3 has a
+        // doubled base.
+        let b3 = p.backoff_for(7, 3);
+        assert!(b3 >= Duration::from_millis(100) && b3 <= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn zero_backoff_never_sleeps() {
+        let p = RetryPolicy::with_retries(3).with_backoff(Duration::ZERO);
+        assert_eq!(p.backoff_for(1, 5), Duration::ZERO);
+    }
+}

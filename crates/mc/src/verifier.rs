@@ -26,8 +26,30 @@
 
 use verdict_ts::{Ctl, Expr, Ltl, System, VarId};
 
+use crate::durable::Durability;
 use crate::params::{self, Property, SynthesisEngine, SynthesisResult};
-use crate::result::{CheckOptions, CheckResult, McError};
+use crate::result::{CheckOptions, CheckResult, McError, UnknownReason};
+
+/// Runs a solo engine with panic containment: an engine crash becomes
+/// `Unknown(EngineFailure)` instead of unwinding into the caller, so a
+/// CLI run survives a dying solver the same way portfolio contenders and
+/// synthesis workers do.
+fn contained(
+    engine: Engine,
+    f: impl FnOnce() -> Result<CheckResult, McError>,
+) -> Result<CheckResult, McError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+        let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s
+        } else {
+            "non-string panic payload"
+        };
+        eprintln!("verdict-mc: {engine} engine panicked: {msg}");
+        Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
+    })
+}
 
 /// Engine selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -112,7 +134,8 @@ impl<'s> Verifier<'s> {
 
     /// Checks the safety property `G p`.
     pub fn check_invariant(&self, p: &Expr) -> Result<CheckResult, McError> {
-        match self.effective_engine() {
+        let engine = self.effective_engine();
+        contained(engine, || match engine {
             Engine::Bmc => crate::bmc::check_invariant(self.sys, p, &self.opts),
             Engine::KInduction => crate::kind::prove_invariant(self.sys, p, &self.opts),
             Engine::Bdd => crate::bdd::check_invariant(self.sys, p, &self.opts),
@@ -122,7 +145,7 @@ impl<'s> Verifier<'s> {
                 crate::portfolio::check_invariant(self.sys, p, &self.opts).map(|r| r.result)
             }
             Engine::Auto => unreachable!("resolved above"),
-        }
+        })
     }
 
     /// Like [`Verifier::check_invariant`] but always returns the racing
@@ -151,7 +174,8 @@ impl<'s> Verifier<'s> {
 
     /// Checks an LTL property.
     pub fn check_ltl(&self, phi: &Ltl) -> Result<CheckResult, McError> {
-        match self.effective_engine() {
+        let engine = self.effective_engine();
+        contained(engine, || match engine {
             Engine::Bmc => crate::bmc::check_ltl(self.sys, phi, &self.opts),
             Engine::Bdd => crate::bdd::check_ltl(self.sys, phi, &self.opts),
             Engine::Explicit => crate::explicit_engine::check_ltl(self.sys, phi, &self.opts),
@@ -163,12 +187,13 @@ impl<'s> Verifier<'s> {
                 crate::portfolio::check_ltl(self.sys, phi, &self.opts).map(|r| r.result)
             }
             Engine::Auto => unreachable!("resolved above"),
-        }
+        })
     }
 
     /// Checks a CTL property (finite engines only).
     pub fn check_ctl(&self, phi: &Ctl) -> Result<CheckResult, McError> {
-        match self.effective_engine() {
+        let engine = self.effective_engine();
+        contained(engine, || match engine {
             Engine::Explicit => crate::explicit_engine::check_ctl(self.sys, phi, &self.opts),
             Engine::SmtBmc | Engine::Bmc => Err(McError(
                 "CTL requires a complete engine (BDD or explicit)".to_string(),
@@ -177,7 +202,7 @@ impl<'s> Verifier<'s> {
                 crate::portfolio::check_ctl(self.sys, phi, &self.opts).map(|r| r.result)
             }
             _ => crate::bdd::check_ctl(self.sys, phi, &self.opts),
-        }
+        })
     }
 
     /// Synthesizes safe values for the given frozen parameters against an
@@ -213,7 +238,45 @@ impl<'s> Verifier<'s> {
         )
     }
 
-    fn synthesis_engine(&self, property: &Property) -> SynthesisEngine {
+    /// Like [`Verifier::synthesize_params`] but records every verdict in a
+    /// journal and/or skips assignments already decided by a resumed run
+    /// (see [`crate::durable`]).
+    pub fn synthesize_params_durable(
+        &self,
+        params: &[VarId],
+        property: &Property,
+        durability: &Durability<'_>,
+    ) -> Result<SynthesisResult, McError> {
+        params::synthesize_durable(
+            self.sys,
+            params,
+            property,
+            self.synthesis_engine(property),
+            &self.opts,
+            durability,
+        )
+    }
+
+    /// Durable variant of [`Verifier::synthesize_params_first_safe`].
+    pub fn synthesize_params_first_safe_durable(
+        &self,
+        params: &[VarId],
+        property: &Property,
+        durability: &Durability<'_>,
+    ) -> Result<SynthesisResult, McError> {
+        params::synthesize_first_safe_durable(
+            self.sys,
+            params,
+            property,
+            self.synthesis_engine(property),
+            &self.opts,
+            durability,
+        )
+    }
+
+    /// The synthesis engine a parameter sweep will use for `property`
+    /// (needed by callers to fingerprint a journal before the sweep runs).
+    pub fn synthesis_engine(&self, property: &Property) -> SynthesisEngine {
         match self.effective_engine() {
             Engine::Bdd => SynthesisEngine::Bdd,
             Engine::Explicit => SynthesisEngine::Explicit,

@@ -821,6 +821,19 @@ impl Solver {
         self.solve_full(assumptions, &mut NoTheory, limits)
     }
 
+    /// Fault-injection probe at site `sat.solve`: `Panic` kills the
+    /// solve (exercising caller containment), `Exhaust` makes it return
+    /// `Unknown` as if the clause ceiling had been hit. Free when no
+    /// fault plan is armed.
+    fn fault_check(&mut self) -> Option<SolveResult> {
+        use verdict_journal::fault;
+        match fault::probe("sat.solve") {
+            Some(fault::FaultKind::Panic) => panic!("{} at sat.solve", fault::PANIC_TAG),
+            Some(fault::FaultKind::Exhaust) => Some(SolveResult::Unknown),
+            _ => None,
+        }
+    }
+
     fn solve_full(
         &mut self,
         assumptions: &[Lit],
@@ -848,6 +861,9 @@ impl Solver {
         // could overshoot its deadline by many solve calls).
         if limits.interrupted() {
             return SolveResult::Unknown;
+        }
+        if let Some(res) = self.fault_check() {
+            return res;
         }
         self.conflicts_since_restart = 0;
         self.luby_index = 0;
@@ -914,6 +930,10 @@ impl Solver {
                     if limits.interrupted() {
                         self.cancel_until(0);
                         return SolveResult::Unknown;
+                    }
+                    if let Some(res) = self.fault_check() {
+                        self.cancel_until(0);
+                        return res;
                     }
                 }
                 if self.conflicts_since_restart >= restart_budget {

@@ -267,6 +267,17 @@ impl Simplex {
 
     /// Restores feasibility or reports a minimal conflict.
     pub fn check(&mut self) -> SimplexResult {
+        // Fault-injection probe at site `smt.pivot`: `Overflow` poisons
+        // the tableau exactly as a real i128 overflow would, `Panic`
+        // kills the check. Free when no fault plan is armed.
+        {
+            use verdict_journal::fault;
+            match fault::probe("smt.pivot") {
+                Some(fault::FaultKind::Panic) => panic!("{} at smt.pivot", fault::PANIC_TAG),
+                Some(fault::FaultKind::Overflow) => self.poisoned = true,
+                _ => {}
+            }
+        }
         loop {
             if self.poisoned {
                 return SimplexResult::Overflow;

@@ -40,7 +40,57 @@ done
 # identical to the clone path before it reports any timing, so this also
 # gates correctness, not just that the binary runs.
 synth_out=$(mktemp)
-trap 'rm -f "$synth_out"' EXIT
+smoke_dir=$(mktemp -d)
+trap 'rm -f "$synth_out"; rm -rf "$smoke_dir"' EXIT
 ./target/release/synth --topology test --reps 1 --out "$synth_out" >/dev/null
+
+# Kill-and-resume smoke: SIGINT a journaled sweep mid-flight, resume it,
+# and require the verdict map to match an uninterrupted run exactly
+# (wall-clock stripped).
+cat >"$smoke_dir/sweep.vd" <<'VD'
+system smoke {
+    var n : 0..120;
+    param a : 1..8;
+    param b : 1..8;
+    init n = 0;
+    trans next(n) = if n <= 100 then n + a + b else n;
+    invariant miss: n != 37;
+}
+VD
+clean=$(./target/release/verdict synth "$smoke_dir/sweep.vd" --params a,b --json \
+    | sed 's/"wall_ms":[0-9]*//')
+./target/release/verdict synth "$smoke_dir/sweep.vd" --params a,b \
+    --journal "$smoke_dir/sweep.jsonl" --json >/dev/null &
+victim=$!
+for _ in $(seq 1 500); do
+    if [[ $(grep -c '"type":"verdict"' "$smoke_dir/sweep.jsonl" 2>/dev/null || true) -ge 3 ]]; then
+        break
+    fi
+    sleep 0.01
+done
+kill -INT "$victim" 2>/dev/null || true
+wait "$victim" || true   # 130 when interrupted mid-run; 0 if it finished first
+resumed=$(./target/release/verdict synth "$smoke_dir/sweep.vd" --params a,b \
+    --resume "$smoke_dir/sweep.jsonl" --json 2>/dev/null \
+    | sed 's/"wall_ms":[0-9]*//')
+if [[ "$resumed" != "$clean" ]]; then
+    echo "check.sh: resumed sweep differs from uninterrupted run" >&2
+    diff <(echo "$clean") <(echo "$resumed") >&2 || true
+    exit 1
+fi
+
+# Fault-injection smoke: an injected worker panic plus retries must land
+# on the clean verdict map; without retries it must not crash.
+faulted=$(./target/release/verdict synth "$smoke_dir/sweep.vd" --params a,b \
+    --fault mc.synth.worker:panic:1 --retries 2 --retry-backoff-ms 0 --json 2>/dev/null \
+    | sed 's/"wall_ms":[0-9]*//; s/"attempts":[0-9]*//g')
+clean_noattempts=$(sed 's/"attempts":[0-9]*//g' <<<"$clean")
+if [[ "$faulted" != "$clean_noattempts" ]]; then
+    echo "check.sh: faulted+retried sweep differs from clean run" >&2
+    exit 1
+fi
+./target/release/verdict synth "$smoke_dir/sweep.vd" --params a,b \
+    --fault mc.synth.worker:panic:1 --json >/dev/null 2>&1 \
+    || { echo "check.sh: fault injection crashed the sweep" >&2; exit 1; }
 
 echo "check.sh: all green"
