@@ -67,7 +67,9 @@ OPTIONS (check/synth):
     --retry-backoff-ms MS
                        base backoff before a retry               [default: 20]
     --journal PATH     append every decided verdict to a crash-safe
-                       (fsync'd, checksummed) journal at PATH
+                       (fsync'd, checksummed) journal at PATH; refuses
+                       to overwrite an existing journal (resume or
+                       delete it)
     --resume PATH      resume from a journal written by --journal:
                        trusted verdicts are skipped, undecided work
                        re-runs, new verdicts append to the same file
@@ -345,14 +347,19 @@ fn check(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let prop_names: Vec<String> = selected.iter().map(|(n, _)| n.clone()).collect();
+    // Fingerprint material: property formulas (not just names), so an
+    // edited property body invalidates the journal.
+    let prop_specs: Vec<(String, String)> = selected
+        .iter()
+        .map(|(n, p)| (n.clone(), format!("{p:?}")))
+        .collect();
     let (recorder, resumed) = match &journal_path {
         Some(p) => {
             match verdict_mc::durable::start_check_journal(
                 Path::new(p),
                 resume,
-                model.system.name(),
-                &prop_names,
+                &model.system,
+                &prop_specs,
                 &engine.to_string(),
             ) {
                 Ok((rec, map)) => (Some(rec), map),
@@ -371,38 +378,27 @@ fn check(args: &[String]) -> ExitCode {
     let mut rows: Vec<String> = Vec::new();
     for (prop_idx, (name, property)) in selected.into_iter().enumerate() {
         // A resumed verdict is reused only without --certify; with it,
-        // every property is re-verified (trivially sound).
+        // every property is re-verified (trivially sound). Only decided
+        // (safe/unsafe) verdicts are ever resumed — unknowns are
+        // filtered out by `start_check_journal` and re-solved here, so
+        // `--resume --retries N` can clear a journaled infra failure.
         if !opts.certify {
             if let Some(prev) = resumed.get(name.as_str()) {
                 any_violated |= prev.verdict == VerdictTag::Unsafe;
-                if prev.verdict == VerdictTag::Unknown {
-                    let reason = prev.reason.as_deref().and_then(UnknownReason::from_tag);
-                    infra_unknown |= matches!(
-                        reason,
-                        Some(
-                            UnknownReason::EngineFailure
-                                | UnknownReason::ResourceExhausted
-                                | UnknownReason::CertificateRejected
-                        )
-                    );
-                }
-                let detail = match prev.reason.as_deref() {
-                    Some(r) => format!("{} ({r})", prev.verdict.tag()),
-                    None => prev.verdict.tag().to_string(),
-                };
                 if json {
                     rows.push(format!(
                         "{{\"name\":{},\"verdict\":{},\"detail\":{},\"engine\":{},\"certificate\":{},\"wall_ms\":0,\"resumed\":true}}",
                         json_str(name),
                         json_str(prev.verdict.tag()),
-                        json_str(&detail),
+                        json_str(prev.verdict.tag()),
                         json_str(&prev.engine),
                         json_str("skipped"),
                     ));
                 } else {
                     println!(
-                        "property `{name}` (resumed from journal, engine {}): {detail}",
-                        prev.engine
+                        "property `{name}` (resumed from journal, engine {}): {}",
+                        prev.engine,
+                        prev.verdict.tag()
                     );
                 }
                 continue;
@@ -492,12 +488,17 @@ fn check(args: &[String]) -> ExitCode {
             println!("property `{name}` ({wall:.2?}, engine {used_engine}): {result}{cert_note}");
         }
     }
-    let code = if any_violated {
-        2u8
+    // Interruption takes precedence over the verdict-derived code, and
+    // the JSON document must report the code the process actually exits
+    // with.
+    let code: u8 = if sigint::interrupted() {
+        130
+    } else if any_violated {
+        2
     } else if infra_unknown {
-        1u8
+        1
     } else {
-        0u8
+        0
     };
     if json {
         println!(
@@ -505,9 +506,6 @@ fn check(args: &[String]) -> ExitCode {
             json_str(path),
             rows.join(",")
         );
-    }
-    if sigint::interrupted() {
-        return ExitCode::from(130);
     }
     ExitCode::from(code)
 }

@@ -402,6 +402,9 @@ pub enum JournalError {
     /// An existing journal's header does not match the current run
     /// (different model, property, engine, or format version).
     Mismatch(String),
+    /// [`Journal::create`] found an existing file at the path; a prior
+    /// crash-recovery journal is never silently destroyed.
+    Exists,
 }
 
 impl fmt::Display for JournalError {
@@ -409,6 +412,10 @@ impl fmt::Display for JournalError {
         match self {
             JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
             JournalError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+            JournalError::Exists => write!(
+                f,
+                "file already exists (resume it with --resume, or delete it first)"
+            ),
         }
     }
 }
@@ -434,14 +441,16 @@ pub struct Journal {
 }
 
 impl Journal {
-    /// Creates a new journal at `path` (truncating any existing file) and
-    /// writes `header` as its first record.
+    /// Creates a new journal at `path` and writes `header` as its first
+    /// record. Refuses with [`JournalError::Exists`] if the path already
+    /// exists: an old journal may be the only copy of a crashed run's
+    /// verdicts, so overwriting requires an explicit delete (or a resume).
     pub fn create(path: &Path, header: &Record) -> Result<Journal, JournalError> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
+        let file = match OpenOptions::new().create_new(true).write(true).open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => return Err(JournalError::Exists),
+            Err(e) => return Err(e.into()),
+        };
         let mut j = Journal {
             file,
             path: path.to_path_buf(),
@@ -465,20 +474,25 @@ impl Journal {
         expect_fingerprint: Option<u64>,
     ) -> Result<(Journal, Vec<Record>), JournalError> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut raw = String::new();
-        file.read_to_string(&mut raw)?;
+        // Read as bytes: a corrupt tail may not be valid UTF-8, and it
+        // must be truncated like any other bad record, not turn the
+        // whole open into an I/O error.
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
 
         let mut records = Vec::new();
         let mut good_end = 0usize; // byte offset just past the last good line
         let mut pos = 0usize;
         let mut bad: Option<String> = None;
         while pos < raw.len() {
-            let Some(nl) = raw[pos..].find('\n') else {
+            let Some(nl) = raw[pos..].iter().position(|&b| b == b'\n') else {
                 bad = Some("torn final record (no newline)".to_string());
                 break;
             };
-            let line = &raw[pos..pos + nl];
-            match decode_line(line) {
+            let decoded = std::str::from_utf8(&raw[pos..pos + nl])
+                .map_err(|_| "invalid utf-8".to_string())
+                .and_then(decode_line);
+            match decoded {
                 Ok(rec) => {
                     records.push(rec);
                     pos += nl + 1;
@@ -710,6 +724,44 @@ mod tests {
         let idx = second_last_nl - 20;
         bad[idx] ^= 0x01;
         std::fs::write(&p, &bad).unwrap();
+        let (_, recs) = Journal::open_resume(&p, None).unwrap();
+        assert_eq!(recs.len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn non_utf8_tail_truncated() {
+        let p = tmp("utf8");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = Journal::create(&p, &header()).unwrap();
+            j.append(&verdict(0)).unwrap();
+        }
+        // A torn write can leave arbitrary bytes; 0xFF 0xFE is not valid
+        // UTF-8 anywhere. With a newline the bad line is corrupt; without
+        // one it is torn — both must truncate back to the good prefix.
+        let good = std::fs::read(&p).unwrap();
+        for tail in [&b"\xff\xfe{\"type\":\"verdict\"}\n"[..], &b"\xff\xfe"[..]] {
+            let mut bytes = good.clone();
+            bytes.extend_from_slice(tail);
+            std::fs::write(&p, &bytes).unwrap();
+            let (_, recs) = Journal::open_resume(&p, None).unwrap();
+            assert_eq!(recs.len(), 2);
+            assert_eq!(std::fs::read(&p).unwrap(), good);
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_existing_file() {
+        let p = tmp("exists");
+        let _ = std::fs::remove_file(&p);
+        drop(Journal::create(&p, &header()).unwrap());
+        assert!(matches!(
+            Journal::create(&p, &header()),
+            Err(JournalError::Exists)
+        ));
+        // The existing journal is untouched and still resumable.
         let (_, recs) = Journal::open_resume(&p, None).unwrap();
         assert_eq!(recs.len(), 1);
         std::fs::remove_file(&p).unwrap();

@@ -399,32 +399,54 @@ pub fn start_sweep_journal(
     }
 }
 
-/// A per-property verdict recovered from a `check` journal.
+/// A per-property verdict recovered from a `check` journal. Only
+/// decided outcomes (`Safe`/`Unsafe`) are ever returned — see
+/// [`start_check_journal`].
 pub struct ResumedProperty {
     /// The recorded outcome.
     pub verdict: VerdictTag,
-    /// `UnknownReason` tag if the outcome was `unknown`.
-    pub reason: Option<String>,
     /// Engine that produced it.
     pub engine: String,
 }
 
-/// Opens (or creates) the journal for a `check` run over named
-/// properties. On resume, returns the recorded per-property verdicts;
-/// deciding which to trust is the caller's business (the CLI skips
-/// decided properties only when certification is off — with `--certify`
-/// every property is re-verified, which is trivially sound).
+/// Fingerprint of a `check` run over named properties. Hashes the same
+/// canonical material as [`sweep_fingerprint`] — the system's name and
+/// every variable's `name:sort`, plus each selected property's name
+/// *and formula rendering*, plus the engine — so editing the model or a
+/// property body between runs (names unchanged) invalidates the journal
+/// instead of silently resuming stale verdicts.
+pub fn check_fingerprint(sys: &System, properties: &[(String, String)], engine: &str) -> u64 {
+    let mut canon = String::from("check:");
+    canon.push_str(sys.name());
+    for v in sys.var_ids() {
+        canon.push_str(&format!(";{}:{}", sys.name_of(v), sys.sort_of(v)));
+    }
+    canon.push('|');
+    for (name, formula) in properties {
+        canon.push_str(&format!("{name}={formula};"));
+    }
+    canon.push('|');
+    canon.push_str(engine);
+    fnv1a64(canon.as_bytes())
+}
+
+/// Opens (or creates) the journal for a `check` run over `properties`,
+/// given as `(name, formula rendering)` pairs. On resume, returns the
+/// recorded *decided* per-property verdicts: `Unknown` and cancelled
+/// records are filtered out here so a resumed run always re-solves them
+/// (possibly with bigger budgets), matching the sweep trust policy.
+/// Whether to reuse the decided ones is the caller's business (the CLI
+/// skips them only when certification is off — with `--certify` every
+/// property is re-verified, which is trivially sound).
 pub fn start_check_journal(
     path: &Path,
     resume: bool,
-    model_name: &str,
-    property_names: &[String],
+    sys: &System,
+    properties: &[(String, String)],
     engine: &str,
 ) -> Result<(SweepRecorder, HashMap<String, ResumedProperty>), McError> {
-    let mut canon = format!("check:{model_name}|{}", property_names.join(","));
-    canon.push('|');
-    canon.push_str(engine);
-    let fp = fnv1a64(canon.as_bytes());
+    let fp = check_fingerprint(sys, properties, engine);
+    let property_names: Vec<String> = properties.iter().map(|(n, _)| n.clone()).collect();
     let header = Record::Header {
         version: verdict_journal::FORMAT_VERSION,
         fingerprint: fp,
@@ -440,19 +462,12 @@ pub fn start_check_journal(
         for rec in records {
             if let Record::Property {
                 name,
-                verdict,
-                reason,
+                verdict: verdict @ (VerdictTag::Safe | VerdictTag::Unsafe),
                 engine,
+                ..
             } = rec
             {
-                props.insert(
-                    name,
-                    ResumedProperty {
-                        verdict,
-                        reason,
-                        engine,
-                    },
-                );
+                props.insert(name, ResumedProperty { verdict, engine });
             }
         }
         Ok((SweepRecorder::new(journal), props))
@@ -516,6 +531,58 @@ mod tests {
         let mut bad = rec.clone();
         bad.loop_back = Some(9);
         assert_eq!(parse_trace(&sys, &bad), None);
+    }
+
+    #[test]
+    fn check_fingerprint_tracks_model_and_formulas() {
+        let mut sys = System::new("s");
+        let _n = sys.int_var("n", 0, 5);
+        let props = vec![("p".to_string(), "n != 5".to_string())];
+        let a = check_fingerprint(&sys, &props, "kind");
+        assert_eq!(a, check_fingerprint(&sys, &props, "kind"));
+        // Same property name, edited body → different fingerprint.
+        let edited = vec![("p".to_string(), "n != 4".to_string())];
+        assert_ne!(a, check_fingerprint(&sys, &edited, "kind"));
+        // Same property names, edited model → different fingerprint.
+        let mut sys2 = System::new("s");
+        let _n = sys2.int_var("n", 0, 5);
+        let _m = sys2.bool_var("m");
+        assert_ne!(a, check_fingerprint(&sys2, &props, "kind"));
+        assert_ne!(a, check_fingerprint(&sys, &props, "bdd"));
+    }
+
+    #[test]
+    fn check_resume_skips_unknown_records() {
+        let mut sys = System::new("cj");
+        let _n = sys.int_var("n", 0, 3);
+        let props = vec![
+            ("good".to_string(), "n != 3".to_string()),
+            ("flaky".to_string(), "n != 2".to_string()),
+        ];
+        let path = std::env::temp_dir().join(format!(
+            "verdict-durable-check-unknown-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let (rec, resumed) = start_check_journal(&path, false, &sys, &props, "kind").unwrap();
+            assert!(resumed.is_empty());
+            rec.record_property("good", &CheckResult::Holds, "kind");
+            rec.record_property(
+                "flaky",
+                &CheckResult::Unknown(UnknownReason::EngineFailure),
+                "kind",
+            );
+        }
+        let (_rec, resumed) = start_check_journal(&path, true, &sys, &props, "kind").unwrap();
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(
+            resumed.get("good").map(|p| p.verdict),
+            Some(VerdictTag::Safe)
+        );
+        // The infra-unknown property gets a fresh chance on resume.
+        assert!(!resumed.contains_key("flaky"));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
