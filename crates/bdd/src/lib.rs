@@ -99,6 +99,21 @@ pub struct BddManager {
     /// key on a small id instead of a vector.
     cubes: Vec<Vec<u32>>,
     num_vars: u32,
+    stats: BddStats,
+}
+
+/// Manager statistics, cumulative over the manager's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BddStats {
+    /// Nodes allocated (excludes the two constant nodes).
+    pub nodes_allocated: u64,
+    /// `ite` cache lookups.
+    pub ite_cache_lookups: u64,
+    /// `ite` cache hits.
+    pub ite_cache_hits: u64,
+    /// Peak live node count (the arena never shrinks, so this tracks the
+    /// high-water mark of [`BddManager::node_count`]).
+    pub peak_live_nodes: u64,
 }
 
 /// A registered set of variables to quantify or rename over.
@@ -133,12 +148,20 @@ impl BddManager {
             and_exists_cache: HashMap::new(),
             cubes: Vec::new(),
             num_vars: 0,
+            stats: BddStats::default(),
         }
     }
 
     /// Number of live nodes (including the two constants).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Cumulative manager statistics.
+    pub fn stats(&self) -> BddStats {
+        let mut s = self.stats;
+        s.peak_live_nodes = s.peak_live_nodes.max(self.nodes.len() as u64);
+        s
     }
 
     /// Number of variables created.
@@ -186,6 +209,7 @@ impl BddManager {
         let b = Bdd(self.nodes.len() as u32);
         self.nodes.push(node);
         self.unique.insert(node, b);
+        self.stats.nodes_allocated += 1;
         b
     }
 
@@ -247,7 +271,9 @@ impl BddManager {
             return f;
         }
         let key = IteKey(f, g, h);
+        self.stats.ite_cache_lookups += 1;
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.stats.ite_cache_hits += 1;
             return r;
         }
         let v = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));

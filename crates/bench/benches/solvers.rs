@@ -9,7 +9,8 @@
 use std::time::{Duration, Instant};
 
 use verdict_logic::{Rational, Var};
-use verdict_mc::{bmc, kind, CheckOptions};
+use verdict_mc::prelude::*;
+use verdict_mc::Stats;
 use verdict_models::{RolloutModel, RolloutSpec, Topology};
 use verdict_sat::Solver;
 use verdict_smt::{LinExpr, Rel, SmtSolver};
@@ -88,7 +89,14 @@ fn bmc_depth() {
         )));
         let p = Expr::var(n).lt(Expr::int(depth as i64));
         bench(&format!("bmc_counter_depth/{depth}"), 10, || {
-            let r = bmc::check_invariant(&sys, &p, &CheckOptions::with_depth(depth + 1)).unwrap();
+            let r = engine(EngineKind::Bmc)
+                .check_invariant(
+                    &sys,
+                    &p,
+                    &CheckOptions::with_depth(depth + 1),
+                    &mut Stats::default(),
+                )
+                .unwrap();
             assert!(r.violated());
         });
     }
@@ -101,14 +109,26 @@ fn rollout_check() {
         .expect("valid topology");
     let falsify = model.pinned(1, 2, 1);
     bench("rollout_test_falsify", 10, || {
-        let r =
-            bmc::check_invariant(&falsify, &model.property, &CheckOptions::with_depth(8)).unwrap();
+        let r = engine(EngineKind::Bmc)
+            .check_invariant(
+                &falsify,
+                &model.property,
+                &CheckOptions::with_depth(8),
+                &mut Stats::default(),
+            )
+            .unwrap();
         assert!(r.violated());
     });
     let verify = model.pinned(1, 1, 1);
     bench("rollout_test_verify", 5, || {
-        let r =
-            kind::prove_invariant(&verify, &model.property, &CheckOptions::with_depth(24)).unwrap();
+        let r = engine(EngineKind::KInduction)
+            .check_invariant(
+                &verify,
+                &model.property,
+                &CheckOptions::with_depth(24),
+                &mut Stats::default(),
+            )
+            .unwrap();
         assert!(r.holds());
     });
 }

@@ -14,7 +14,8 @@
 use std::time::Duration;
 
 use verdict_bench::{fmt_duration, timed};
-use verdict_mc::{bmc, kind, CheckOptions};
+use verdict_mc::prelude::*;
+use verdict_mc::Stats;
 use verdict_models::{RolloutModel, RolloutSpec, Topology};
 
 fn main() {
@@ -39,13 +40,19 @@ fn main() {
 
             let sys = model.pinned(1, k_fail, 1);
             let opts = CheckOptions::with_depth(8).with_timeout(timeout);
-            let (fres, ftime) =
-                timed(|| bmc::check_invariant(&sys, &model.property, &opts).unwrap());
+            let (fres, ftime) = timed(|| {
+                engine(EngineKind::Bmc)
+                    .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+                    .unwrap()
+            });
 
             let sys = model.pinned(1, 0, 1);
             let opts = CheckOptions::with_depth(32).with_timeout(timeout);
-            let (vres, vtime) =
-                timed(|| kind::prove_invariant(&sys, &model.property, &opts).unwrap());
+            let (vres, vtime) = timed(|| {
+                engine(EngineKind::KInduction)
+                    .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+                    .unwrap()
+            });
             results.push(format!("{} / {}", fmt_duration(ftime), fmt_duration(vtime)));
             verdicts.push((fres.violated(), vres.holds()));
         }

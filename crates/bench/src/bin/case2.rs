@@ -11,7 +11,8 @@
 //! synthesized latency parameters and the weight-flapping loop.
 
 use verdict_bench::{flag_value, fmt_duration, timed};
-use verdict_mc::{smtbmc, CheckOptions};
+use verdict_mc::prelude::*;
+use verdict_mc::Stats;
 use verdict_models::lb_ecmp::{LbModel, LbSpec};
 
 fn main() {
@@ -29,7 +30,14 @@ fn main() {
         ("equilibrium -> F G stable", &model.conditional_liveness),
     ] {
         let (result, took) = timed(|| {
-            smtbmc::check_ltl(&model.system, phi, &CheckOptions::with_depth(depth)).unwrap()
+            engine(EngineKind::SmtBmc)
+                .check_ltl(
+                    &model.system,
+                    phi,
+                    &CheckOptions::with_depth(depth),
+                    &mut Stats::default(),
+                )
+                .unwrap()
         });
         println!("{name}  ({}):", fmt_duration(took));
         let Some(trace) = result.trace() else {

@@ -11,7 +11,8 @@
 
 use verdict_bench::{fmt_duration, timed};
 use verdict_mc::params::Property;
-use verdict_mc::{bmc, kind, CheckOptions, Verifier};
+use verdict_mc::prelude::*;
+use verdict_mc::Stats;
 use verdict_models::{RolloutModel, RolloutSpec, Topology};
 use verdict_ts::explicit::eval_state;
 use verdict_ts::Expr;
@@ -27,7 +28,14 @@ fn main() {
     // ---- Fig. 5 counterexample -----------------------------------------
     let sys = model.pinned(1, 2, 1);
     let (result, took) = timed(|| {
-        bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(10)).unwrap()
+        engine(EngineKind::Bmc)
+            .check_invariant(
+                &sys,
+                &model.property,
+                &CheckOptions::with_depth(10),
+                &mut Stats::default(),
+            )
+            .unwrap()
     });
     println!("p = 1, k = 2, m = 1  ({}):", fmt_duration(took));
     let trace = result.trace().expect("the paper's Fig. 5 violation");
@@ -53,7 +61,14 @@ fn main() {
         .expect("valid topology");
     let sys = gradual.pinned(1, 2, 1);
     let (result, took) = timed(|| {
-        bmc::check_invariant(&sys, &gradual.property, &CheckOptions::with_depth(10)).unwrap()
+        engine(EngineKind::Bmc)
+            .check_invariant(
+                &sys,
+                &gradual.property,
+                &CheckOptions::with_depth(10),
+                &mut Stats::default(),
+            )
+            .unwrap()
     });
     if let Some(trace) = result.trace() {
         print!(
@@ -70,7 +85,14 @@ fn main() {
     for (p, k, m) in [(1i64, 0i64, 1i64), (1, 1, 1), (2, 1, 1)] {
         let sys = model.pinned(p, k, m);
         let (result, took) = timed(|| {
-            kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(24)).unwrap()
+            engine(EngineKind::KInduction)
+                .check_invariant(
+                    &sys,
+                    &model.property,
+                    &CheckOptions::with_depth(24),
+                    &mut Stats::default(),
+                )
+                .unwrap()
         });
         println!(
             "\np = {p}, k = {k}, m = {m}  ({}): {}",

@@ -24,7 +24,8 @@
 use std::time::Duration;
 
 use verdict_bench::{flag_value, fmt_duration, timed};
-use verdict_mc::{bdd, bmc, kind, CheckOptions, CheckResult};
+use verdict_mc::prelude::*;
+use verdict_mc::Stats;
 use verdict_models::{RolloutModel, RolloutSpec, Topology};
 
 fn outcome(result: &CheckResult) -> &'static str {
@@ -101,7 +102,11 @@ fn main() {
         // failures allowed to cut off the front-end.
         let sys = model.pinned(1, k_fail, 1);
         let opts = CheckOptions::with_depth(depth).with_timeout(timeout);
-        let (res, took) = timed(|| bmc::check_invariant(&sys, &model.property, &opts).unwrap());
+        let (res, took) = timed(|| {
+            engine(EngineKind::Bmc)
+                .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+                .unwrap()
+        });
         let falsify = format!("{} {} (k={k_fail})", outcome(&res), fmt_duration(took));
 
         // Verification runs for k = 0, 1, 2 (k-induction; complete for
@@ -112,9 +117,13 @@ fn main() {
             let opts = CheckOptions::with_depth(64).with_timeout(timeout);
             let (res, took) = timed(|| {
                 if use_bdd {
-                    bdd::check_invariant(&sys, &model.property, &opts).unwrap()
+                    engine(EngineKind::Bdd)
+                        .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+                        .unwrap()
                 } else {
-                    kind::prove_invariant(&sys, &model.property, &opts).unwrap()
+                    engine(EngineKind::KInduction)
+                        .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+                        .unwrap()
                 }
             });
             verify.push(format!("{} {}", outcome(&res), fmt_duration(took)));

@@ -27,7 +27,8 @@ use std::path::PathBuf;
 
 use verdict_bench::{flag_value, fmt_duration, timed};
 use verdict_mc::params::{synthesize, synthesize_first_safe, Property, SynthesisEngine};
-use verdict_mc::{bdd, bmc, kind, portfolio, CheckOptions, CheckResult, Engine};
+use verdict_mc::prelude::*;
+use verdict_mc::Stats;
 use verdict_models::{RolloutModel, RolloutSpec, Topology};
 
 fn verdict_str(r: &CheckResult) -> &'static str {
@@ -124,19 +125,32 @@ fn main() {
         (2, 0, 3),
         (2, 1, 1),
     ];
-    let mut histogram: Vec<(Engine, usize)> = Vec::new();
+    let mut histogram: Vec<(EngineKind, usize)> = Vec::new();
     let mut config_rows = String::new();
     println!("portfolio racing (bmc vs kind vs bdd), per configuration:");
     for (i, &(p, k, m)) in configs.iter().enumerate() {
         let sys = paper_model.pinned(p, k, m);
         let opts = CheckOptions::with_depth(12);
-        let report = portfolio::check_invariant(&sys, &paper_model.property, &opts).unwrap();
-        let (b, b_wall) =
-            timed(|| bmc::check_invariant(&sys, &paper_model.property, &opts).unwrap());
-        let (ki, k_wall) =
-            timed(|| kind::prove_invariant(&sys, &paper_model.property, &opts).unwrap());
-        let (bd, d_wall) =
-            timed(|| bdd::check_invariant(&sys, &paper_model.property, &opts).unwrap());
+        let report = Verifier::new(&sys)
+            .engine(EngineKind::Portfolio)
+            .options(opts.clone())
+            .check_invariant_report(&paper_model.property)
+            .unwrap();
+        let (b, b_wall) = timed(|| {
+            verdict_mc::engine(EngineKind::Bmc)
+                .check_invariant(&sys, &paper_model.property, &opts, &mut Stats::default())
+                .unwrap()
+        });
+        let (ki, k_wall) = timed(|| {
+            verdict_mc::engine(EngineKind::KInduction)
+                .check_invariant(&sys, &paper_model.property, &opts, &mut Stats::default())
+                .unwrap()
+        });
+        let (bd, d_wall) = timed(|| {
+            verdict_mc::engine(EngineKind::Bdd)
+                .check_invariant(&sys, &paper_model.property, &opts, &mut Stats::default())
+                .unwrap()
+        });
         // The portfolio verdict must agree with every definitive
         // sequential verdict.
         for (name, r) in [("bmc", &b), ("kind", &ki), ("bdd", &bd)] {

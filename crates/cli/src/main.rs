@@ -10,12 +10,14 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use verdict_dsl::{parse, CompiledProperty};
 use verdict_journal::VerdictTag;
 use verdict_mc::{
-    certify, CheckOptions, CheckResult, Engine, PropertyKind, RetryPolicy, UnknownReason, Verifier,
+    certify, CheckOptions, CheckResult, EngineKind, PropertyKind, RetryPolicy, TraceSink,
+    UnknownReason, Verifier, STATS_SCHEMA_VERSION,
 };
 
 mod sigint;
@@ -78,8 +80,17 @@ OPTIONS (check/synth):
                        overflow, exhaust; also via env VERDICT_FAULT)
     --fault-seed N     derive a random fault spec from seed N
     --json             machine-readable output on stdout (one JSON
-                       document: verdicts, winning engine, certificate
-                       status, attempt counts, wall-clock millis)
+                       document, top-level \"schema\": 2: verdicts,
+                       winning engine, certificate status, attempt
+                       counts, wall-clock millis)
+    --stats            check only: report engine counters (SAT
+                       decisions/conflicts, simplex pivots, BDD nodes),
+                       per-depth unroll/solve timings, and phase timers
+                       per property — as a \"stats\" object under --json,
+                       as indented lines otherwise
+    --trace FILE       check only: append span/depth/mark events as
+                       JSON lines to FILE while solving (one object per
+                       line; shared by portfolio contenders)
 
 EXIT CODES (check):
     0   every property holds or is unknown for an honest reason
@@ -235,6 +246,34 @@ fn infra_failure(r: &CheckResult) -> bool {
     )
 }
 
+/// What a run concluded, boiled down to the bits the exit-code contract
+/// cares about. Shared by `check` and `synth` so the mapping lives in
+/// exactly one place.
+#[derive(Clone, Copy, Debug, Default)]
+struct Outcome {
+    /// Ctrl-C arrived (workers drained, journal intact).
+    interrupted: bool,
+    /// At least one property/assignment is violated (check only).
+    violated: bool,
+    /// Some verdict is unknown for an infrastructure reason.
+    infra_unknown: bool,
+}
+
+/// The process exit code for an [`Outcome`]: 130 interrupted, 2
+/// violated, 1 infrastructure failure, 0 otherwise (holds or honest
+/// unknown). Interruption takes precedence over everything.
+fn exit_code(o: &Outcome) -> u8 {
+    if o.interrupted {
+        130
+    } else if o.violated {
+        2
+    } else if o.infra_unknown {
+        1
+    } else {
+        0
+    }
+}
+
 /// Minimal JSON string quoting (quotes, backslashes, control characters).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -296,25 +335,39 @@ fn check(args: &[String]) -> ExitCode {
     };
 
     let engine = match flag_value(args, "--engine").as_deref() {
-        None | Some("auto") => Engine::Auto,
-        Some("bmc") => Engine::Bmc,
-        Some("kind") => Engine::KInduction,
-        Some("bdd") => Engine::Bdd,
-        Some("explicit") => Engine::Explicit,
-        Some("smtbmc") => Engine::SmtBmc,
-        Some("portfolio") => Engine::Portfolio,
+        None | Some("auto") => EngineKind::Auto,
+        Some("bmc") => EngineKind::Bmc,
+        Some("kind") => EngineKind::KInduction,
+        Some("bdd") => EngineKind::Bdd,
+        Some("explicit") => EngineKind::Explicit,
+        Some("smtbmc") => EngineKind::SmtBmc,
+        Some("portfolio") => EngineKind::Portfolio,
         Some(other) => {
             eprintln!("unknown engine `{other}`");
             return ExitCode::FAILURE;
         }
     };
-    let opts = match options_from(args) {
+    let mut opts = match options_from(args) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    let trace = match flag_value(args, "--trace") {
+        Some(p) => match TraceSink::create(Path::new(&p)) {
+            Ok(sink) => Some(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("--trace {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Some(sink) = &trace {
+        opts = opts.with_trace(sink.clone());
+    }
+    let stats_on = args.iter().any(|a| a == "--stats");
     if let Err(e) = install_faults(args) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
@@ -411,48 +464,32 @@ fn check(args: &[String]) -> ExitCode {
         };
         let max_attempts = opts.retry.as_ref().map_or(1, |p| p.max_attempts);
         let mut attempt = 1u32;
-        let (result, used_engine, wall) = loop {
+        let (result, used_engine, wall, mut stats, contenders) = loop {
             // Retries re-run the property with escalated budgets
             // (timeout, clause/node ceilings) per the policy.
             let run_opts = match &opts.retry {
                 Some(policy) if attempt > 1 => policy.escalate(&opts, attempt),
                 _ => opts.clone(),
             };
-            let started = std::time::Instant::now();
-            // Portfolio runs report which engine won the race; solo
-            // engines report themselves.
-            let outcome = if engine == Engine::Portfolio {
-                let report = match property {
-                    CompiledProperty::Invariant(p) => {
-                        verdict_mc::portfolio::check_invariant(&model.system, p, &run_opts)
-                    }
-                    CompiledProperty::Ltl(f) => {
-                        verdict_mc::portfolio::check_ltl(&model.system, f, &run_opts)
-                    }
-                    CompiledProperty::Ctl(f) => {
-                        verdict_mc::portfolio::check_ctl(&model.system, f, &run_opts)
-                    }
-                };
-                report.map(|r| (r.result, r.winner, r.wall))
-            } else {
-                let verifier = Verifier::new(&model.system)
-                    .engine(engine)
-                    .options(run_opts);
-                let result = match property {
-                    CompiledProperty::Invariant(p) => verifier.check_invariant(p),
-                    CompiledProperty::Ltl(f) => verifier.check_ltl(f),
-                    CompiledProperty::Ctl(f) => verifier.check_ctl(f),
-                };
-                result.map(|r| (r, verifier.effective_engine(), started.elapsed()))
+            // Every engine dispatches through the report path: portfolio
+            // runs report which engine won the race; solo engines report
+            // themselves and carry their own stats.
+            let verifier = Verifier::new(&model.system)
+                .engine(engine)
+                .options(run_opts);
+            let report = match property {
+                CompiledProperty::Invariant(p) => verifier.check_invariant_report(p),
+                CompiledProperty::Ltl(f) => verifier.check_ltl_report(f),
+                CompiledProperty::Ctl(f) => verifier.check_ctl_report(f),
             };
-            let (result, used_engine, wall) = match outcome {
-                Ok(o) => o,
+            let report = match report {
+                Ok(r) => r,
                 Err(e) => {
                     eprintln!("property `{name}`: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let retryable = matches!(&result, CheckResult::Unknown(r) if r.retryable())
+            let retryable = matches!(&report.result, CheckResult::Unknown(r) if r.retryable())
                 && !sigint::interrupted();
             if retryable && attempt < max_attempts {
                 if let Some(policy) = &opts.retry {
@@ -461,8 +498,15 @@ fn check(args: &[String]) -> ExitCode {
                 attempt += 1;
                 continue;
             }
-            break (result, used_engine, wall);
+            break (
+                report.result,
+                report.winner,
+                report.wall,
+                report.stats,
+                report.contender_stats,
+            );
         };
+        stats.retries += u64::from(attempt - 1);
         let cert = certify::status(opts.certify, used_engine, kind, &result);
         any_violated |= result.violated();
         infra_unknown |= infra_failure(&result);
@@ -470,8 +514,19 @@ fn check(args: &[String]) -> ExitCode {
             rec.record_property(name, &result, &used_engine.to_string());
         }
         if json {
+            let stats_field = if stats_on {
+                let per_contender: Vec<String> =
+                    contenders.iter().map(|(_, s)| s.counters_json()).collect();
+                format!(
+                    ",\"stats\":{},\"contenders\":[{}]",
+                    stats.to_json(),
+                    per_contender.join(",")
+                )
+            } else {
+                String::new()
+            };
             rows.push(format!(
-                "{{\"name\":{},\"verdict\":{},\"detail\":{},\"engine\":{},\"certificate\":{},\"wall_ms\":{}}}",
+                "{{\"name\":{},\"verdict\":{},\"detail\":{},\"engine\":{},\"certificate\":{},\"wall_ms\":{}{stats_field}}}",
                 json_str(name),
                 json_str(verdict_tag(&result)),
                 json_str(&result.to_string()),
@@ -486,28 +541,85 @@ fn check(args: &[String]) -> ExitCode {
                 String::new()
             };
             println!("property `{name}` ({wall:.2?}, engine {used_engine}): {result}{cert_note}");
+            if stats_on {
+                print_stats_text(&stats, &contenders);
+            }
+        }
+    }
+    if let Some(sink) = &trace {
+        if let Err(e) = sink.flush() {
+            eprintln!("--trace: {e}");
         }
     }
     // Interruption takes precedence over the verdict-derived code, and
     // the JSON document must report the code the process actually exits
     // with.
-    let code: u8 = if sigint::interrupted() {
-        130
-    } else if any_violated {
-        2
-    } else if infra_unknown {
-        1
-    } else {
-        0
-    };
+    let code = exit_code(&Outcome {
+        interrupted: sigint::interrupted(),
+        violated: any_violated,
+        infra_unknown,
+    });
     if json {
         println!(
-            "{{\"command\":\"check\",\"model\":{},\"properties\":[{}],\"exit_code\":{code}}}",
+            "{{\"schema\":{STATS_SCHEMA_VERSION},\"command\":\"check\",\"model\":{},\"properties\":[{}],\"exit_code\":{code}}}",
             json_str(path),
             rows.join(",")
         );
     }
     ExitCode::from(code)
+}
+
+/// Human-readable `--stats` rendering: one indented block per property
+/// with the counter groups that actually fired, plus phase timers and —
+/// for portfolio runs — a one-line summary per contender.
+fn print_stats_text(stats: &verdict_mc::Stats, contenders: &[(EngineKind, verdict_mc::Stats)]) {
+    use verdict_mc::stats::Phase;
+    if !stats.sat.is_zero() {
+        println!(
+            "  sat: {} decisions, {} propagations, {} conflicts, {} restarts, {} learnt clauses",
+            stats.sat.decisions,
+            stats.sat.propagations,
+            stats.sat.conflicts,
+            stats.sat.restarts,
+            stats.sat.learnt_clauses
+        );
+    }
+    if !stats.smt.is_zero() {
+        println!(
+            "  smt: {} pivots, {} bound flips, {} overflow poisonings",
+            stats.smt.pivots, stats.smt.bound_flips, stats.smt.overflow_poisonings
+        );
+    }
+    if !stats.bdd.is_zero() {
+        println!(
+            "  bdd: {} nodes, {:.1}% ite cache hits, {} peak live",
+            stats.bdd.nodes_allocated,
+            stats.bdd.ite_hit_rate() * 100.0,
+            stats.bdd.peak_live_nodes
+        );
+    }
+    if stats.fixpoint_iterations > 0 || stats.states_visited > 0 {
+        println!(
+            "  search: {} fixpoint iterations, {} states visited",
+            stats.fixpoint_iterations, stats.states_visited
+        );
+    }
+    println!(
+        "  phases: encode {}us, solve {}us, certify {}us, replay {}us; {} depth samples",
+        stats.phase_nanos(Phase::Encode) / 1_000,
+        stats.phase_nanos(Phase::Solve) / 1_000,
+        stats.phase_nanos(Phase::Certify) / 1_000,
+        stats.phase_nanos(Phase::Replay) / 1_000,
+        stats.depths.len()
+    );
+    if contenders.len() > 1 {
+        for (kind, s) in contenders {
+            println!(
+                "  contender {kind}: sat {} conflicts, smt {} pivots, bdd {} nodes, {} states",
+                s.sat.conflicts, s.smt.pivots, s.bdd.nodes_allocated, s.states_visited
+            );
+        }
+    }
 }
 
 fn synth(args: &[String]) -> ExitCode {
@@ -661,7 +773,7 @@ fn synth(args: &[String]) -> ExitCode {
                     .collect();
                 let names: Vec<String> = result.param_names.iter().map(|n| json_str(n)).collect();
                 println!(
-                    "{{\"command\":\"synth\",\"model\":{},\"property\":{},\"params\":[{}],\"verdicts\":[{}],\"wall_ms\":{}}}",
+                    "{{\"schema\":{STATS_SCHEMA_VERSION},\"command\":\"synth\",\"model\":{},\"property\":{},\"params\":[{}],\"verdicts\":[{}],\"wall_ms\":{}}}",
                     json_str(path),
                     json_str(name),
                     names.join(","),
@@ -672,10 +784,13 @@ fn synth(args: &[String]) -> ExitCode {
                 println!("property `{name}`:");
                 print!("{result}");
             }
-            if sigint::interrupted() {
-                return ExitCode::from(130);
-            }
-            ExitCode::SUCCESS
+            // Unsafe assignments are an answer here, not a failure: the
+            // sweep's job is to map the safe region, so only
+            // interruption changes the exit code.
+            ExitCode::from(exit_code(&Outcome {
+                interrupted: sigint::interrupted(),
+                ..Outcome::default()
+            }))
         }
         Err(e) => {
             eprintln!("synthesis failed: {e}");
@@ -764,4 +879,36 @@ fn fig2(args: &[String]) -> ExitCode {
         println!("  {t:>5}  {node}");
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_code_table() {
+        // (interrupted, violated, infra_unknown) -> code. Interruption
+        // beats violation beats infrastructure failure.
+        let table: [(bool, bool, bool, u8); 8] = [
+            (false, false, false, 0),
+            (false, false, true, 1),
+            (false, true, false, 2),
+            (false, true, true, 2),
+            (true, false, false, 130),
+            (true, false, true, 130),
+            (true, true, false, 130),
+            (true, true, true, 130),
+        ];
+        for (interrupted, violated, infra_unknown, want) in table {
+            let got = exit_code(&Outcome {
+                interrupted,
+                violated,
+                infra_unknown,
+            });
+            assert_eq!(
+                got, want,
+                "exit_code(interrupted={interrupted}, violated={violated}, infra={infra_unknown})"
+            );
+        }
+    }
 }

@@ -13,7 +13,7 @@
 //! signatures for a test-only facility. Tests that install plans must
 //! serialize on [`test_lock`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use verdict_prng::Prng;
@@ -167,6 +167,9 @@ static ARMED: AtomicBool = AtomicBool::new(false);
 /// Set when an `Exhaust` fault fires anywhere, so budget accounting can
 /// report `ResourceExhausted` even though no real ceiling was hit.
 static EXHAUST_FIRED: AtomicBool = AtomicBool::new(false);
+/// Monotone count of faults fired since process start (never reset by
+/// `install`/`clear`); observability layers snapshot it and report deltas.
+static FIRED_COUNT: AtomicU64 = AtomicU64::new(0);
 
 static ACTIVE: OnceLock<Mutex<Vec<ArmedFault>>> = OnceLock::new();
 
@@ -223,10 +226,19 @@ pub fn probe(site: &str) -> Option<FaultKind> {
             fired = Some(f.spec.kind);
         }
     }
+    if fired.is_some() {
+        FIRED_COUNT.fetch_add(1, Ordering::SeqCst);
+    }
     if fired == Some(FaultKind::Exhaust) {
         EXHAUST_FIRED.store(true, Ordering::SeqCst);
     }
     fired
+}
+
+/// Total faults fired since process start. Monotone — survives
+/// `install`/`clear` — so stats sinks can compute per-run deltas.
+pub fn fired_count() -> u64 {
+    FIRED_COUNT.load(Ordering::SeqCst)
 }
 
 /// Whether an `Exhaust` fault has fired since the last `install`/`clear`.

@@ -17,6 +17,7 @@ use verdict_ts::bits::{self, BoolAlg, Num};
 use verdict_ts::{Ctl, Expr, Ltl, Sort, System, Trace, Value, VarId, VarKind};
 
 use crate::result::{Budget, CheckOptions, CheckResult, McError};
+use crate::stats::{Phase, SpanTimer, Stats};
 use crate::tableau::violation_product;
 
 /// [`BoolAlg`] adapter over a [`BddManager`] (newtype for coherence).
@@ -80,6 +81,9 @@ pub struct SymbolicSystem<'s> {
     pub trans: Bdd,
     /// INVAR ∧ domain constraints (the legal state space).
     pub space: Bdd,
+    /// Fixpoint iterations performed so far (reachability rings plus
+    /// EU/EG rounds); snapshotted into [`Stats::fixpoint_iterations`].
+    fixpoints: u64,
 }
 
 impl<'s> SymbolicSystem<'s> {
@@ -122,6 +126,7 @@ impl<'s> SymbolicSystem<'s> {
             init: Bdd::TRUE,
             trans: Bdd::TRUE,
             space: Bdd::TRUE,
+            fixpoints: 0,
         };
 
         // Legal state space: domain constraints + INVAR (current vars).
@@ -168,6 +173,11 @@ impl<'s> SymbolicSystem<'s> {
     /// The manager (for node-count diagnostics).
     pub fn manager(&self) -> &BddManager {
         &self.man
+    }
+
+    /// Total fixpoint iterations performed by this encoding so far.
+    pub fn fixpoint_count(&self) -> u64 {
+        self.fixpoints
     }
 
     fn bdd_var_index(&self, v: VarId, bit: usize, next: bool) -> u32 {
@@ -427,6 +437,7 @@ impl<'s> SymbolicSystem<'s> {
         let mut rings = vec![self.init];
         let mut reach = self.init;
         loop {
+            self.fixpoints += 1;
             if budget.check_nodes(self.man.node_count()).is_some() {
                 return None;
             }
@@ -573,16 +584,51 @@ impl<'s> SymbolicSystem<'s> {
 }
 
 /// Complete invariant check by forward reachability.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Bdd)` instead"
+)]
 pub fn check_invariant(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
+    run_invariant(sys, p, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for invariant reachability (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
+    let encode = SpanTimer::begin(Phase::Encode);
     let mut enc = SymbolicSystem::new(sys)?;
+    stats.end_span(encode);
+    let res = invariant_fix(sys, p, opts, stats, &mut enc);
+    stats.fixpoint_iterations += enc.fixpoint_count();
+    stats.absorb_bdd(enc.manager());
+    res
+}
+
+fn invariant_fix(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    enc: &mut SymbolicSystem<'_>,
+) -> Result<CheckResult, McError> {
+    let budget = Budget::new(opts);
+    let encode = SpanTimer::begin(Phase::Encode);
     let p_bdd = enc.expr_bdd(p)?;
     let bad = enc.man.not(p_bdd);
-    let Some(rings) = enc.reachable(&budget) else {
+    stats.end_span(encode);
+    let solve = SpanTimer::begin(Phase::Solve);
+    let rings = enc.reachable(&budget);
+    stats.end_span(solve);
+    let Some(rings) = rings else {
         return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     // First ring intersecting ¬p.
@@ -604,10 +650,13 @@ pub fn check_invariant(
                 reach = enc.man.or(reach, r);
             }
             let inv = enc.bdd_to_expr(reach);
-            return Ok(crate::certify::gate_holds(
+            let certify = SpanTimer::begin(Phase::Certify);
+            let gated = crate::certify::gate_holds(
                 "BDD reachable-set",
                 crate::certify::check_inductive_invariant(sys, p, &inv, &budget),
-            ));
+            );
+            stats.end_span(certify);
+            return Ok(gated);
         }
         return Ok(CheckResult::Holds);
     };
@@ -623,7 +672,10 @@ pub fn check_invariant(
     states.reverse();
     let trace = Trace::new(sys, states, None);
     Ok(if opts.certify {
-        crate::certify::gate_invariant_cex(sys, p, trace)
+        let replay = SpanTimer::begin(Phase::Replay);
+        let gated = crate::certify::gate_invariant_cex(sys, p, trace);
+        stats.end_span(replay);
+        gated
     } else {
         CheckResult::Violated(trace)
     })
@@ -632,19 +684,55 @@ pub fn check_invariant(
 /// Full CTL model checking: does `phi` hold in every initial state?
 /// Fairness constraints of the system restrict path quantifiers to fair
 /// paths (fair-CTL semantics).
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Bdd)` instead"
+)]
 pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
+    run_ctl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for CTL (see [`crate::engine::engine`]).
+pub(crate) fn run_ctl(
+    sys: &System,
+    phi: &Ctl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
+    let encode = SpanTimer::begin(Phase::Encode);
     let mut enc = SymbolicSystem::new(sys)?;
+    stats.end_span(encode);
+    let res = ctl_fix(sys, phi, opts, stats, &mut enc);
+    stats.fixpoint_iterations += enc.fixpoint_count();
+    stats.absorb_bdd(enc.manager());
+    res
+}
+
+fn ctl_fix(
+    sys: &System,
+    phi: &Ctl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    enc: &mut SymbolicSystem<'_>,
+) -> Result<CheckResult, McError> {
+    let budget = Budget::new(opts);
+    let encode = SpanTimer::begin(Phase::Encode);
     let justice: Vec<Bdd> = sys
         .fairness()
         .iter()
         .map(|e| enc.expr_bdd(e))
         .collect::<Result<_, _>>()?;
-    let Some(fair) = fair_states(&mut enc, &justice, &budget) else {
+    stats.end_span(encode);
+    let solve = SpanTimer::begin(Phase::Solve);
+    let fair = fair_states(enc, &justice, &budget);
+    let Some(fair) = fair else {
+        stats.end_span(solve);
         return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     let base = phi.to_base();
-    let Some(sat) = eval_ctl(&mut enc, &base, fair, &justice, &budget) else {
+    let sat = eval_ctl(enc, &base, fair, &justice, &budget);
+    stats.end_span(solve);
+    let Some(sat) = sat else {
         return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     let nsat = enc.man.not(sat);
@@ -671,6 +759,7 @@ fn fair_states(enc: &mut SymbolicSystem<'_>, justice: &[Bdd], budget: &Budget) -
 fn eu_fix(enc: &mut SymbolicSystem<'_>, p: Bdd, q: Bdd, budget: &Budget) -> Option<Bdd> {
     let mut y = q;
     loop {
+        enc.fixpoints += 1;
         if budget.check_nodes(enc.man.node_count()).is_some() {
             return None;
         }
@@ -690,6 +779,7 @@ fn eu_fix(enc: &mut SymbolicSystem<'_>, p: Bdd, q: Bdd, budget: &Budget) -> Opti
 fn eg_fair(enc: &mut SymbolicSystem<'_>, p: Bdd, justice: &[Bdd], budget: &Budget) -> Option<Bdd> {
     let mut z = p;
     loop {
+        enc.fixpoints += 1;
         if budget.check_nodes(enc.man.node_count()).is_some() {
             return None;
         }
@@ -766,18 +856,53 @@ fn eval_ctl(
 /// Complete LTL check: tableau product + fair-cycle detection. A violation
 /// exists iff some initial product state starts a fair path; the trace is
 /// recovered by bounded fair-lasso search on the product.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Bdd)` instead"
+)]
 pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
+    run_ltl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for LTL (see [`crate::engine::engine`]).
+pub(crate) fn run_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
+    let encode = SpanTimer::begin(Phase::Encode);
     let product = violation_product(sys, phi);
     let mut enc = SymbolicSystem::new(&product.system)?;
+    stats.end_span(encode);
+    let res = ltl_fix(sys, phi, &product, opts, stats, &mut enc);
+    stats.fixpoint_iterations += enc.fixpoint_count();
+    stats.absorb_bdd(enc.manager());
+    res
+}
+
+fn ltl_fix(
+    sys: &System,
+    phi: &Ltl,
+    product: &crate::tableau::TableauProduct,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    enc: &mut SymbolicSystem<'_>,
+) -> Result<CheckResult, McError> {
+    let budget = Budget::new(opts);
+    let encode = SpanTimer::begin(Phase::Encode);
     let justice: Vec<Bdd> = product
         .justice
         .iter()
         .map(|e| enc.expr_bdd(e))
         .collect::<Result<_, _>>()?;
+    stats.end_span(encode);
     // Restrict to reachable states: cheaper fixpoints and sound verdicts
     // (fair cycles must be reachable from init).
-    let Some(rings) = enc.reachable(&budget) else {
+    let solve = SpanTimer::begin(Phase::Solve);
+    let rings = enc.reachable(&budget);
+    let Some(rings) = rings else {
+        stats.end_span(solve);
         return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     let mut reach = Bdd::FALSE;
@@ -786,8 +911,9 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
     }
     let saved_space = enc.space;
     enc.space = reach;
-    let fair = fair_states(&mut enc, &justice, &budget);
+    let fair = fair_states(enc, &justice, &budget);
     enc.space = saved_space;
+    stats.end_span(solve);
     let Some(fair) = fair else {
         return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
@@ -796,9 +922,12 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
         return Ok(CheckResult::Holds);
     }
     // Property violated; reconstruct a concrete lasso via bounded search.
-    match crate::bmc::find_fair_lasso(&product, opts)? {
+    match crate::bmc::find_fair_lasso(product, opts, stats)? {
         crate::bmc::LassoOutcome::Found(trace) => Ok(if opts.certify {
-            crate::certify::gate_ltl_cex(sys, phi, trace)
+            let replay = SpanTimer::begin(Phase::Replay);
+            let gated = crate::certify::gate_ltl_cex(sys, phi, trace);
+            stats.end_span(replay);
+            gated
         } else {
             CheckResult::Violated(trace)
         }),
@@ -812,7 +941,10 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
                 None,
             );
             Ok(if opts.certify {
-                crate::certify::gate_ltl_cex(sys, phi, trace)
+                let replay = SpanTimer::begin(Phase::Replay);
+                let gated = crate::certify::gate_ltl_cex(sys, phi, trace);
+                stats.end_span(replay);
+                gated
             } else {
                 CheckResult::Violated(trace)
             })
@@ -823,6 +955,22 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn check_invariant_t(
+        sys: &System,
+        p: &Expr,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, McError> {
+        run_invariant(sys, p, opts, &mut Stats::default())
+    }
+
+    fn check_ctl_t(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+        run_ctl(sys, phi, opts, &mut Stats::default())
+    }
+
+    fn check_ltl_t(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+        run_ltl(sys, phi, opts, &mut Stats::default())
+    }
 
     fn counter(limit: i64) -> (System, VarId) {
         let mut sys = System::new("counter");
@@ -839,7 +987,7 @@ mod tests {
     #[test]
     fn reachability_proves_invariant() {
         let (sys, n) = counter(5);
-        let r = check_invariant(
+        let r = check_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(5)),
             &CheckOptions::default(),
@@ -851,7 +999,7 @@ mod tests {
     #[test]
     fn reachability_finds_shortest_violation() {
         let (sys, n) = counter(5);
-        let r = check_invariant(
+        let r = check_invariant_t(
             &sys,
             &Expr::var(n).lt(Expr::int(3)),
             &CheckOptions::default(),
@@ -873,7 +1021,7 @@ mod tests {
             Expr::int(0),
             Expr::var(n).add(Expr::int(1)),
         )));
-        let r = check_invariant(
+        let r = check_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(3)),
             &CheckOptions::default(),
@@ -885,21 +1033,21 @@ mod tests {
     #[test]
     fn ctl_ef_and_ag() {
         let (sys, n) = counter(3);
-        let r = check_ctl(
+        let r = check_ctl_t(
             &sys,
             &Ctl::atom(Expr::var(n).eq(Expr::int(3))).ef(),
             &CheckOptions::default(),
         )
         .unwrap();
         assert!(r.holds(), "{r}");
-        let r = check_ctl(
+        let r = check_ctl_t(
             &sys,
             &Ctl::atom(Expr::var(n).le(Expr::int(3))).ag(),
             &CheckOptions::default(),
         )
         .unwrap();
         assert!(r.holds(), "{r}");
-        let r = check_ctl(
+        let r = check_ctl_t(
             &sys,
             &Ctl::atom(Expr::var(n).le(Expr::int(2))).ag(),
             &CheckOptions::default(),
@@ -915,10 +1063,10 @@ mod tests {
         let x = sys.bool_var("x");
         sys.add_init(Expr::var(x).not());
         let ex_x = Ctl::atom(Expr::var(x)).ex();
-        let r = check_ctl(&sys, &ex_x, &CheckOptions::default()).unwrap();
+        let r = check_ctl_t(&sys, &ex_x, &CheckOptions::default()).unwrap();
         assert!(r.holds(), "EX x: {r}");
         let ax_x = Ctl::atom(Expr::var(x)).ax();
-        let r = check_ctl(&sys, &ax_x, &CheckOptions::default()).unwrap();
+        let r = check_ctl_t(&sys, &ax_x, &CheckOptions::default()).unwrap();
         assert!(r.violated(), "AX x: {r}");
     }
 
@@ -930,10 +1078,10 @@ mod tests {
         let x = sys.bool_var("x");
         sys.add_init(Expr::var(x).not());
         let af_x = Ctl::atom(Expr::var(x)).af();
-        let r = check_ctl(&sys, &af_x, &CheckOptions::default()).unwrap();
+        let r = check_ctl_t(&sys, &af_x, &CheckOptions::default()).unwrap();
         assert!(r.violated(), "AF x without fairness: {r}");
         sys.add_fairness(Expr::var(x));
-        let r = check_ctl(&sys, &af_x, &CheckOptions::default()).unwrap();
+        let r = check_ctl_t(&sys, &af_x, &CheckOptions::default()).unwrap();
         assert!(r.holds(), "AF x with fairness: {r}");
     }
 
@@ -945,10 +1093,10 @@ mod tests {
         sys.add_init(Expr::var(x));
         sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
         let gfx = Ltl::atom(Expr::var(x)).eventually().always();
-        let r = check_ltl(&sys, &gfx, &CheckOptions::default()).unwrap();
+        let r = check_ltl_t(&sys, &gfx, &CheckOptions::default()).unwrap();
         assert!(r.holds(), "G F x: {r}");
         let fgx = Ltl::atom(Expr::var(x)).always().eventually();
-        let r = check_ltl(&sys, &fgx, &CheckOptions::default()).unwrap();
+        let r = check_ltl_t(&sys, &fgx, &CheckOptions::default()).unwrap();
         let t = r.trace().expect("F G x violated");
         assert!(t.loop_back.is_some(), "lasso expected:\n{t}");
     }
@@ -969,7 +1117,7 @@ mod tests {
         );
         sys.add_fairness(Expr::var(done));
         let phi = Ltl::atom(Expr::var(x)).always().eventually();
-        let r = check_ltl(&sys, &phi, &CheckOptions::default()).unwrap();
+        let r = check_ltl_t(&sys, &phi, &CheckOptions::default()).unwrap();
         assert!(r.holds(), "{r}");
     }
 
@@ -985,14 +1133,14 @@ mod tests {
             Expr::var(n).add(Expr::var(p)),
             Expr::var(n),
         )));
-        let r = check_invariant(
+        let r = check_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(10)),
             &CheckOptions::default(),
         )
         .unwrap();
         assert!(r.holds(), "{r}");
-        let r = check_invariant(
+        let r = check_invariant_t(
             &sys,
             &Expr::var(n).ne(Expr::int(9)),
             &CheckOptions::default(),

@@ -81,7 +81,7 @@ pub fn worst_case_after(
         // Violation of G(seen -> metric > bound) ⇔ metric ≤ bound is
         // reachable after the event.
         let p = Expr::var(seen).implies(metric.clone().gt(Expr::int(bound)));
-        crate::bmc::check_invariant(&inst, &p, opts)
+        crate::bmc::run_invariant(&inst, &p, opts, &mut crate::stats::Stats::default())
     };
 
     // Is the event itself reachable (metric ≤ hi always holds, so this

@@ -1,19 +1,18 @@
 //! SAT-based bounded model checking.
 //!
-//! * [`check_invariant`] — falsification of `G p`: unroll incrementally,
-//!   ask for `¬p` at each new step under an assumption literal, decode the
-//!   finite counterexample on success.
-//! * [`check_ltl`] — falsification of an arbitrary LTL property by
-//!   *fair-lasso search* on the tableau product ([`crate::tableau`]): find
-//!   a path `s₀ … s_k` with `s_k = s_l` whose loop satisfies every justice
-//!   constraint at least once.
+//! * Invariants — falsification of `G p`: unroll incrementally, ask for
+//!   `¬p` at each new step under an assumption literal, decode the finite
+//!   counterexample on success.
+//! * LTL — falsification of an arbitrary property by *fair-lasso search*
+//!   on the tableau product ([`crate::tableau`]): find a path `s₀ … s_k`
+//!   with `s_k = s_l` whose loop satisfies every justice constraint at
+//!   least once.
 //!
 //! BMC answers `Violated` definitively; on exhausting the depth bound it
 //! answers `Unknown` (use [`crate::kind`] or [`crate::bdd`] to prove).
-
 //!
 //! ```
-//! use verdict_mc::{bmc, CheckOptions};
+//! use verdict_mc::prelude::*;
 //! use verdict_ts::{Expr, System};
 //!
 //! let mut sys = System::new("counter");
@@ -21,15 +20,21 @@
 //! sys.add_init(Expr::var(n).eq(Expr::int(0)));
 //! sys.add_trans(Expr::next(n).eq(Expr::var(n).add(Expr::int(1))));
 //! // n reaches 3, so G(n < 3) is violated with a 4-state trace.
-//! let r = bmc::check_invariant(&sys, &Expr::var(n).lt(Expr::int(3)),
-//!                              &CheckOptions::with_depth(8)).unwrap();
+//! let mut stats = Stats::default();
+//! let r = engine(EngineKind::Bmc)
+//!     .check_invariant(&sys, &Expr::var(n).lt(Expr::int(3)),
+//!                      &CheckOptions::with_depth(8), &mut stats).unwrap();
 //! assert_eq!(r.trace().unwrap().len(), 4);
+//! assert_eq!(stats.depths.len(), 4); // depths 0..=3 each cost a solve
 //! ```
+use std::time::Instant;
+
 use verdict_logic::Formula;
 use verdict_sat::Solver;
 use verdict_ts::{Expr, Ltl, System, Trace, Unroller};
 
 use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::stats::{Phase, SpanTimer, Stats};
 use crate::tableau::{violation_product, TableauProduct};
 
 /// Feeds newly produced clauses into the solver.
@@ -45,29 +50,69 @@ fn sync(unroller: &mut Unroller<'_>, solver: &mut Solver) {
 /// Returns `Violated` with a shortest-per-depth-schedule counterexample,
 /// or `Unknown(DepthBound | Timeout | Cancelled)`. Never returns `Holds` — BMC alone
 /// cannot prove.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Bmc)` instead"
+)]
 pub fn check_invariant(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
+    run_invariant(sys, p, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for invariant BMC (see
+/// [`crate::engine::engine`]); records per-depth unroll/solve cost and
+/// SAT counters into `stats`.
+pub(crate) fn run_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
+    let mut solver = Solver::new();
+    let res = invariant_loop(sys, p, opts, stats, &mut solver);
+    stats.absorb_sat(solver.stats());
+    res
+}
+
+fn invariant_loop(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    solver: &mut Solver,
+) -> Result<CheckResult, McError> {
     let budget = Budget::new(opts);
     let mut unroller = Unroller::new(sys)?;
-    let mut solver = Solver::new();
     let bad = p.clone().not();
     for k in 0..=opts.max_depth {
         if let Some(reason) = budget.exceeded() {
             return Ok(CheckResult::Unknown(reason));
         }
+        let encode = SpanTimer::begin(Phase::Encode);
+        let t_unroll = Instant::now();
         unroller.extend_to(k);
         let bad_k = unroller.lower_bool(&bad, k);
         let bad_lit = unroller.literal_for(&bad_k);
-        sync(&mut unroller, &mut solver);
-        match solver.solve_limited(&[bad_lit], budget.limits()) {
+        sync(&mut unroller, solver);
+        let unroll_time = t_unroll.elapsed();
+        stats.end_span(encode);
+        let solve = SpanTimer::begin(Phase::Solve);
+        let t_solve = Instant::now();
+        let outcome = solver.solve_limited(&[bad_lit], budget.limits());
+        stats.record_depth(k, unroll_time, t_solve.elapsed());
+        stats.end_span(solve);
+        match outcome {
             verdict_sat::SolveResult::Sat(model) => {
                 let states = unroller.decode_trace(k + 1, &|v| model.value(v));
                 let trace = Trace::new(sys, states, None);
                 return Ok(if opts.certify {
-                    crate::certify::gate_invariant_cex(sys, p, trace)
+                    let replay = SpanTimer::begin(Phase::Replay);
+                    let gated = crate::certify::gate_invariant_cex(sys, p, trace);
+                    stats.end_span(replay);
+                    gated
                 } else {
                     CheckResult::Violated(trace)
                 });
@@ -89,11 +134,30 @@ pub fn check_invariant(
 
 /// Bounded falsification of an arbitrary LTL property via fair-lasso
 /// search on the tableau product.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Bmc)` instead"
+)]
 pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+    run_ltl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for LTL BMC (see [`crate::engine::engine`]).
+pub(crate) fn run_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
+    let encode = SpanTimer::begin(Phase::Encode);
     let product = violation_product(sys, phi);
-    match find_fair_lasso(&product, opts)? {
+    stats.end_span(encode);
+    match find_fair_lasso(&product, opts, stats)? {
         LassoOutcome::Found(trace) => Ok(if opts.certify {
-            crate::certify::gate_ltl_cex(sys, phi, trace)
+            let replay = SpanTimer::begin(Phase::Replay);
+            let gated = crate::certify::gate_ltl_cex(sys, phi, trace);
+            stats.end_span(replay);
+            gated
         } else {
             CheckResult::Violated(trace)
         }),
@@ -119,15 +183,29 @@ pub(crate) enum LassoOutcome {
 pub(crate) fn find_fair_lasso(
     product: &TableauProduct,
     opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<LassoOutcome, McError> {
+    let mut solver = Solver::new();
+    let res = lasso_loop(product, opts, stats, &mut solver);
+    stats.absorb_sat(solver.stats());
+    res
+}
+
+fn lasso_loop(
+    product: &TableauProduct,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    solver: &mut Solver,
 ) -> Result<LassoOutcome, McError> {
     let budget = Budget::new(opts);
     let sys = &product.system;
     let mut unroller = Unroller::new(sys)?;
-    let mut solver = Solver::new();
     for k in 1..=opts.max_depth {
         if let Some(reason) = budget.exceeded() {
             return Ok(LassoOutcome::GaveUp(reason));
         }
+        let encode = SpanTimer::begin(Phase::Encode);
+        let t_unroll = Instant::now();
         unroller.extend_to(k);
         // lasso_k = ∨_{l<k} [ s_l = s_k ∧ ∧_j ∨_{i=l..k-1} j@i ]
         let mut options = Vec::with_capacity(k);
@@ -142,8 +220,15 @@ pub(crate) fn find_fair_lasso(
         }
         let lasso = Formula::or_all(options);
         let lasso_lit = unroller.literal_for(&lasso);
-        sync(&mut unroller, &mut solver);
-        match solver.solve_limited(&[lasso_lit], budget.limits()) {
+        sync(&mut unroller, solver);
+        let unroll_time = t_unroll.elapsed();
+        stats.end_span(encode);
+        let solve = SpanTimer::begin(Phase::Solve);
+        let t_solve = Instant::now();
+        let outcome = solver.solve_limited(&[lasso_lit], budget.limits());
+        stats.record_depth(k, unroll_time, t_solve.elapsed());
+        stats.end_span(solve);
+        match outcome {
             verdict_sat::SolveResult::Sat(model) => {
                 let full = unroller.decode_trace(k + 1, &|v| model.value(v));
                 // Find the loop-back index by comparing decoded states.
@@ -179,6 +264,18 @@ mod tests {
     use super::*;
     use verdict_ts::Value;
 
+    fn run_invariant_t(
+        sys: &System,
+        p: &Expr,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, McError> {
+        run_invariant(sys, p, opts, &mut Stats::default())
+    }
+
+    fn run_ltl_t(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+        run_ltl(sys, phi, opts, &mut Stats::default())
+    }
+
     /// Saturating counter 0..=5.
     fn counter(limit: i64) -> (System, verdict_ts::VarId) {
         let mut sys = System::new("counter");
@@ -196,7 +293,7 @@ mod tests {
     fn invariant_violation_found_at_right_depth() {
         let (sys, n) = counter(5);
         // G(n < 4) is violated first at step 4.
-        let r = check_invariant(
+        let r = run_invariant_t(
             &sys,
             &Expr::var(n).lt(Expr::int(4)),
             &CheckOptions::default(),
@@ -211,7 +308,7 @@ mod tests {
     #[test]
     fn invariant_that_holds_is_unknown_for_bmc() {
         let (sys, n) = counter(5);
-        let r = check_invariant(
+        let r = run_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(5)),
             &CheckOptions::with_depth(8),
@@ -236,7 +333,7 @@ mod tests {
             Expr::var(n).add(Expr::var(p)),
             Expr::var(n),
         )));
-        let r = check_invariant(
+        let r = run_invariant_t(
             &sys,
             &Expr::var(n).ne(Expr::int(5)),
             &CheckOptions::default(),
@@ -255,7 +352,7 @@ mod tests {
         sys.add_init(Expr::var(x));
         sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
         let phi = Ltl::atom(Expr::var(x)).always().eventually();
-        let r = check_ltl(&sys, &phi, &CheckOptions::default()).unwrap();
+        let r = run_ltl_t(&sys, &phi, &CheckOptions::default()).unwrap();
         let trace = r.trace().expect("violated");
         assert!(trace.loop_back.is_some());
         // The loop must contain a ¬x state.
@@ -283,7 +380,7 @@ mod tests {
         // Fairness: done happens eventually (on fair paths).
         sys.add_fairness(Expr::var(done));
         let phi = Ltl::atom(Expr::var(x)).always().eventually();
-        let r = check_ltl(&sys, &phi, &CheckOptions::with_depth(12)).unwrap();
+        let r = run_ltl_t(&sys, &phi, &CheckOptions::with_depth(12)).unwrap();
         assert!(
             matches!(r, CheckResult::Unknown(UnknownReason::DepthBound)),
             "got {r}"
@@ -302,7 +399,7 @@ mod tests {
         sys.add_trans(Expr::next(n).eq(Expr::var(n)));
         let phi = Ltl::atom(Expr::var(n).le(Expr::int(2)))
             .until(Ltl::atom(Expr::var(n).eq(Expr::int(3))));
-        let r = check_ltl(&sys, &phi, &CheckOptions::default()).unwrap();
+        let r = run_ltl_t(&sys, &phi, &CheckOptions::default()).unwrap();
         assert!(r.violated(), "stuck counter never reaches 3: {r}");
     }
 
@@ -310,7 +407,7 @@ mod tests {
     fn timeout_respected() {
         let (sys, n) = counter(5);
         let opts = CheckOptions::with_depth(64).with_timeout(std::time::Duration::from_nanos(1));
-        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(5)), &opts).unwrap();
+        let r = run_invariant_t(&sys, &Expr::var(n).le(Expr::int(5)), &opts).unwrap();
         assert!(matches!(r, CheckResult::Unknown(UnknownReason::Timeout)));
     }
 
@@ -342,7 +439,7 @@ mod tests {
         let (sys, collision) = pigeonhole_system();
         let opts = CheckOptions::with_depth(4).with_timeout(Duration::from_millis(20));
         let start = Instant::now();
-        let r = check_invariant(&sys, &collision, &opts).unwrap();
+        let r = run_invariant_t(&sys, &collision, &opts).unwrap();
         let elapsed = start.elapsed();
         assert!(
             matches!(r, CheckResult::Unknown(UnknownReason::Timeout)),

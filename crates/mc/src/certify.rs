@@ -34,8 +34,8 @@ use verdict_logic::Formula;
 use verdict_sat::{check_proof, Solver};
 use verdict_ts::{replay, Expr, Ltl, System, Trace, Unroller};
 
+use crate::engine::EngineKind;
 use crate::result::{Budget, CheckResult, UnknownReason};
-use crate::verifier::Engine;
 
 /// What kind of certificate backed a verdict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,7 +102,7 @@ pub enum PropertyKind {
 /// passed its check inside the engine, so this is a pure classification.
 pub fn status(
     certify: bool,
-    engine: Engine,
+    engine: EngineKind,
     kind: PropertyKind,
     result: &CheckResult,
 ) -> CertificateStatus {
@@ -117,10 +117,10 @@ pub fn status(
             _ => CertificateStatus::Verified(CertificateKind::TraceReplay),
         },
         CheckResult::Holds => match (engine, kind) {
-            (Engine::KInduction, PropertyKind::Invariant) => {
+            (EngineKind::KInduction, PropertyKind::Invariant) => {
                 CertificateStatus::Verified(CertificateKind::Induction)
             }
-            (Engine::Bdd, PropertyKind::Invariant) => {
+            (EngineKind::Bdd, PropertyKind::Invariant) => {
                 CertificateStatus::Verified(CertificateKind::InductiveInvariant)
             }
             _ => CertificateStatus::Unsupported,
@@ -320,24 +320,34 @@ mod tests {
         use CertificateStatus as S;
         let holds = CheckResult::Holds;
         assert_eq!(
-            status(false, Engine::KInduction, PropertyKind::Invariant, &holds),
+            status(
+                false,
+                EngineKind::KInduction,
+                PropertyKind::Invariant,
+                &holds
+            ),
             S::NotRequested
         );
         assert_eq!(
-            status(true, Engine::KInduction, PropertyKind::Invariant, &holds),
+            status(
+                true,
+                EngineKind::KInduction,
+                PropertyKind::Invariant,
+                &holds
+            ),
             S::Verified(CertificateKind::Induction)
         );
         assert_eq!(
-            status(true, Engine::Bdd, PropertyKind::Invariant, &holds),
+            status(true, EngineKind::Bdd, PropertyKind::Invariant, &holds),
             S::Verified(CertificateKind::InductiveInvariant)
         );
         assert_eq!(
-            status(true, Engine::Explicit, PropertyKind::Invariant, &holds),
+            status(true, EngineKind::Explicit, PropertyKind::Invariant, &holds),
             S::Unsupported
         );
         let rejected = CheckResult::Unknown(UnknownReason::CertificateRejected);
         assert_eq!(
-            status(true, Engine::Bmc, PropertyKind::Invariant, &rejected),
+            status(true, EngineKind::Bmc, PropertyKind::Invariant, &rejected),
             S::Rejected
         );
     }

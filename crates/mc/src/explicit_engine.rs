@@ -19,6 +19,7 @@ use verdict_ts::explicit::{holds, initial_states, successors, State};
 use verdict_ts::{Ctl, Expr, Ltl, System, Trace};
 
 use crate::result::{Budget, CheckOptions, CheckResult, McError};
+use crate::stats::{Phase, SpanTimer, Stats};
 use crate::tableau::violation_product;
 
 /// The explored reachable graph of a finite system.
@@ -83,14 +84,30 @@ fn explore(sys: &System, budget: &Budget) -> Option<Graph> {
 }
 
 /// Complete invariant check by explicit BFS.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Explicit)` instead"
+)]
 pub fn check_invariant(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
+    run_invariant(sys, p, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for explicit invariant BFS (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
     sys.check()?;
     let budget = Budget::new(opts);
     let bad = p.clone().not();
+    let solve = SpanTimer::begin(Phase::Solve);
     // BFS keeping parents for trace reconstruction.
     let mut parent: HashMap<String, Option<State>> = HashMap::new();
     let mut queue = std::collections::VecDeque::new();
@@ -100,7 +117,9 @@ pub fn check_invariant(
         }
     }
     while let Some(s) = queue.pop_front() {
+        stats.states_visited += 1;
         if let Some(reason) = budget.exceeded() {
+            stats.end_span(solve);
             return Ok(CheckResult::Unknown(reason));
         }
         if holds(&bad, &s) {
@@ -112,8 +131,12 @@ pub fn check_invariant(
             }
             path.reverse();
             let trace = Trace::new(sys, path, None);
+            stats.end_span(solve);
             return Ok(if opts.certify {
-                crate::certify::gate_invariant_cex(sys, p, trace)
+                let replay = SpanTimer::begin(Phase::Replay);
+                let gated = crate::certify::gate_invariant_cex(sys, p, trace);
+                stats.end_span(replay);
+                gated
             } else {
                 CheckResult::Violated(trace)
             });
@@ -126,6 +149,7 @@ pub fn check_invariant(
             }
         }
     }
+    stats.end_span(solve);
     Ok(CheckResult::Holds)
 }
 
@@ -185,11 +209,34 @@ fn sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
 }
 
 /// Complete LTL check by SCC analysis on the tableau product.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Explicit)` instead"
+)]
 pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+    run_ltl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for explicit LTL (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
     let budget = Budget::new(opts);
+    let encode = SpanTimer::begin(Phase::Encode);
     let product = violation_product(sys, phi);
     product.system.check()?;
-    let Some(g) = explore(&product.system, &budget) else {
+    stats.end_span(encode);
+    let solve = SpanTimer::begin(Phase::Solve);
+    let explored = explore(&product.system, &budget);
+    if let Some(g) = &explored {
+        stats.states_visited += g.states.len() as u64;
+    }
+    stats.end_span(solve);
+    let Some(g) = explored else {
         return Ok(CheckResult::Unknown(budget.unknown_reason()));
     };
     // A fair SCC: has at least one internal edge (or self-loop) and
@@ -285,7 +332,10 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
     let mut trace = Trace::new(&product.system, states, Some(loop_back));
     trace.var_names.truncate(product.original_vars);
     Ok(if opts.certify {
-        crate::certify::gate_ltl_cex(sys, phi, trace)
+        let replay = SpanTimer::begin(Phase::Replay);
+        let gated = crate::certify::gate_ltl_cex(sys, phi, trace);
+        stats.end_span(replay);
+        gated
     } else {
         CheckResult::Violated(trace)
     })
@@ -326,13 +376,30 @@ fn bfs_within(
 
 /// Complete CTL check by explicit fixpoints (fairness honored like the BDD
 /// engine: quantifiers restricted to states opening a fair path).
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Explicit)` instead"
+)]
 pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+    run_ctl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for explicit CTL (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_ctl(
+    sys: &System,
+    phi: &Ctl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
     sys.check()?;
     let budget = Budget::new(opts);
     // CTL must be evaluated over the whole (invar-legal) state graph, not
     // just reachable states, to keep subformula semantics standard; for
     // the tiny models this engine targets that is fine.
+    let solve = SpanTimer::begin(Phase::Solve);
     let states = verdict_ts::explicit::all_states(sys);
+    stats.states_visited += states.len() as u64;
     let index: HashMap<String, usize> = states
         .iter()
         .enumerate()
@@ -343,6 +410,7 @@ pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckRe
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (i, s) in states.iter().enumerate() {
         if let Some(reason) = budget.exceeded() {
+            stats.end_span(solve);
             return Ok(CheckResult::Unknown(reason));
         }
         for nx in successors(sys, s) {
@@ -363,6 +431,7 @@ pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckRe
     let bad_init = initial_states(sys)
         .into_iter()
         .find(|s| !sat[index[&state_key(s)]]);
+    stats.end_span(solve);
     match bad_init {
         None => Ok(CheckResult::Holds),
         Some(s) => Ok(CheckResult::Violated(Trace::new(sys, vec![s], None))),
@@ -471,6 +540,22 @@ mod tests {
     use super::*;
     use verdict_ts::Value;
 
+    fn check_invariant_t(
+        sys: &System,
+        p: &Expr,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, McError> {
+        run_invariant(sys, p, opts, &mut Stats::default())
+    }
+
+    fn check_ltl_t(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+        run_ltl(sys, phi, opts, &mut Stats::default())
+    }
+
+    fn check_ctl_t(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+        run_ctl(sys, phi, opts, &mut Stats::default())
+    }
+
     fn counter(limit: i64) -> (System, verdict_ts::VarId) {
         let mut sys = System::new("counter");
         let n = sys.int_var("n", 0, limit);
@@ -486,14 +571,14 @@ mod tests {
     #[test]
     fn invariant_agreement_with_expectations() {
         let (sys, n) = counter(4);
-        let r = check_invariant(
+        let r = check_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(4)),
             &CheckOptions::default(),
         )
         .unwrap();
         assert!(r.holds());
-        let r = check_invariant(
+        let r = check_invariant_t(
             &sys,
             &Expr::var(n).lt(Expr::int(2)),
             &CheckOptions::default(),
@@ -511,11 +596,11 @@ mod tests {
         sys.add_init(Expr::var(x));
         sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
         let fgx = Ltl::atom(Expr::var(x)).always().eventually();
-        let r = check_ltl(&sys, &fgx, &CheckOptions::default()).unwrap();
+        let r = check_ltl_t(&sys, &fgx, &CheckOptions::default()).unwrap();
         let t = r.trace().expect("violated");
         assert!(t.loop_back.is_some());
         let gfx = Ltl::atom(Expr::var(x)).eventually().always();
-        let r = check_ltl(&sys, &gfx, &CheckOptions::default()).unwrap();
+        let r = check_ltl_t(&sys, &gfx, &CheckOptions::default()).unwrap();
         assert!(r.holds(), "{r}");
     }
 
@@ -528,8 +613,10 @@ mod tests {
             Ctl::atom(Expr::var(n).eq(Expr::int(1))).ax(),
             Ctl::atom(Expr::var(n).eq(Expr::int(2))).ef().not(),
         ] {
-            let explicit = check_ctl(&sys, &phi, &CheckOptions::default()).unwrap();
-            let symbolic = crate::bdd::check_ctl(&sys, &phi, &CheckOptions::default()).unwrap();
+            let explicit = check_ctl_t(&sys, &phi, &CheckOptions::default()).unwrap();
+            let symbolic =
+                crate::bdd::run_ctl(&sys, &phi, &CheckOptions::default(), &mut Stats::default())
+                    .unwrap();
             assert_eq!(explicit.holds(), symbolic.holds(), "disagreement on {phi}");
         }
     }
@@ -543,7 +630,7 @@ mod tests {
         sys.add_trans(Expr::var(done).implies(Expr::next(done)));
         sys.add_fairness(Expr::var(done));
         // F done holds on fair paths.
-        let r = check_ltl(
+        let r = check_ltl_t(
             &sys,
             &Ltl::atom(Expr::var(done)).eventually(),
             &CheckOptions::default(),
@@ -551,7 +638,7 @@ mod tests {
         .unwrap();
         assert!(r.holds(), "{r}");
         // G !done is violated on fair paths (they must reach done).
-        let r = check_ltl(
+        let r = check_ltl_t(
             &sys,
             &Ltl::atom(Expr::var(done).not()).always(),
             &CheckOptions::default(),

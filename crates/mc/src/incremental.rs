@@ -286,6 +286,7 @@ fn mark_core_hits(relevant: &mut [bool], core: &[Lit], param_bits: &HashMap<Var,
 mod tests {
     use super::*;
     use crate::result::CheckResult;
+    use crate::stats::Stats;
 
     /// The params.rs fixture: n += p (guard n ≤ 7), p ∈ 1..=3.
     /// G(n != 5) is violated for p = 1 and holds for p ∈ {2, 3}.
@@ -335,7 +336,9 @@ mod tests {
                     s.add_invar(Expr::var(p).eq(Expr::int(v)));
                     s
                 };
-                let reference = crate::kind::prove_invariant(&pinned, &prop, &opts).unwrap();
+                let reference =
+                    crate::kind::run_invariant(&pinned, &prop, &opts, &mut Stats::default())
+                        .unwrap();
                 let got = engine.check(&[Value::Int(v)], &opts).unwrap();
                 match reference {
                     CheckResult::Holds => {

@@ -9,59 +9,107 @@
 
 //!
 //! ```
-//! use verdict_mc::{kind, CheckOptions};
+//! use verdict_mc::prelude::*;
 //! use verdict_ts::{Expr, System};
 //!
 //! let mut sys = System::new("latch");
 //! let x = sys.bool_var("x");
 //! sys.add_init(Expr::var(x));
 //! sys.add_trans(Expr::var(x).implies(Expr::next(x))); // x latches
-//! let r = kind::prove_invariant(&sys, &Expr::var(x),
-//!                               &CheckOptions::default()).unwrap();
+//! let r = engine(EngineKind::KInduction)
+//!     .check_invariant(&sys, &Expr::var(x), &CheckOptions::default(),
+//!                      &mut Stats::default())
+//!     .unwrap();
 //! assert!(r.holds());
 //! ```
+use std::time::Instant;
+
 use verdict_sat::Solver;
 use verdict_ts::{Expr, System, Trace, Unroller};
 
 use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::stats::{Phase, SpanTimer, Stats};
 
 /// Proves or refutes the invariant `G p`.
 ///
 /// Returns `Holds` (proved by induction), `Violated` with a trace (found
 /// by the embedded base case), or `Unknown` on resource limits.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::KInduction)` instead"
+)]
 pub fn prove_invariant(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
+) -> Result<CheckResult, McError> {
+    run_invariant(sys, p, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for k-induction (see
+/// [`crate::engine::engine`]); per-depth samples cover both the base-case
+/// and induction-step queries at each k.
+pub(crate) fn run_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
+    let mut base_solver = Solver::new();
+    let mut ind_solver = Solver::new();
+    let res = induction_loop(sys, p, opts, stats, &mut base_solver, &mut ind_solver);
+    stats.absorb_sat(base_solver.stats());
+    stats.absorb_sat(ind_solver.stats());
+    res
+}
+
+fn induction_loop(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    base_solver: &mut Solver,
+    ind_solver: &mut Solver,
 ) -> Result<CheckResult, McError> {
     let budget = Budget::new(opts);
     let bad = p.clone().not();
 
     // Base-case engine: init-anchored unrolling.
     let mut base_unr = Unroller::new(sys)?;
-    let mut base_solver = Solver::new();
 
     // Induction engine: free (any-state) unrolling with simple paths.
     let mut ind_unr = Unroller::new_free(sys)?;
-    let mut ind_solver = Solver::new();
 
     for k in 0..=opts.max_depth {
         if let Some(reason) = budget.exceeded() {
             return Ok(CheckResult::Unknown(reason));
         }
         // ---- base case: violation at exactly step k?
+        let encode = SpanTimer::begin(Phase::Encode);
+        let t_unroll = Instant::now();
         base_unr.extend_to(k);
         let bad_k = base_unr.lower_bool(&bad, k);
         let bad_lit = base_unr.literal_for(&bad_k);
         for c in base_unr.drain_clauses() {
             base_solver.add_clause(c);
         }
-        match base_solver.solve_limited(&[bad_lit], budget.limits()) {
+        let mut unroll_time = t_unroll.elapsed();
+        stats.end_span(encode);
+        let solve = SpanTimer::begin(Phase::Solve);
+        let t_solve = Instant::now();
+        let base_outcome = base_solver.solve_limited(&[bad_lit], budget.limits());
+        let mut solve_time = t_solve.elapsed();
+        stats.end_span(solve);
+        match base_outcome {
             verdict_sat::SolveResult::Sat(model) => {
                 let states = base_unr.decode_trace(k + 1, &|v| model.value(v));
                 let trace = Trace::new(sys, states, None);
+                stats.record_depth(k, unroll_time, solve_time);
                 return Ok(if opts.certify {
-                    crate::certify::gate_invariant_cex(sys, p, trace)
+                    let replay = SpanTimer::begin(Phase::Replay);
+                    let gated = crate::certify::gate_invariant_cex(sys, p, trace);
+                    stats.end_span(replay);
+                    gated
                 } else {
                     CheckResult::Violated(trace)
                 });
@@ -70,6 +118,7 @@ pub fn prove_invariant(
                 base_solver.add_clause([!bad_lit]);
             }
             verdict_sat::SolveResult::Unknown => {
+                stats.record_depth(k, unroll_time, solve_time);
                 return Ok(CheckResult::Unknown(
                     budget.unknown_reason_sat(base_solver.num_clauses()),
                 ));
@@ -77,6 +126,8 @@ pub fn prove_invariant(
         }
 
         // ---- induction step: p@0..k-1 ∧ simple-path ∧ ¬p@k unsat?
+        let encode = SpanTimer::begin(Phase::Encode);
+        let t_unroll = Instant::now();
         ind_unr.extend_to(k);
         if k > 0 {
             // p holds at the newly-previous step on induction paths.
@@ -92,7 +143,15 @@ pub fn prove_invariant(
         for c in ind_unr.drain_clauses() {
             ind_solver.add_clause(c);
         }
-        match ind_solver.solve_limited(&[ind_bad_lit], budget.limits()) {
+        unroll_time += t_unroll.elapsed();
+        stats.end_span(encode);
+        let solve = SpanTimer::begin(Phase::Solve);
+        let t_solve = Instant::now();
+        let ind_outcome = ind_solver.solve_limited(&[ind_bad_lit], budget.limits());
+        solve_time += t_solve.elapsed();
+        stats.end_span(solve);
+        stats.record_depth(k, unroll_time, solve_time);
+        match ind_outcome {
             verdict_sat::SolveResult::Sat(_) => {
                 // Induction failed at this k; deepen.
             }
@@ -100,10 +159,13 @@ pub fn prove_invariant(
                 // Base (≤ k) + step (k) ⇒ G p. In certify mode the proven
                 // depth is re-checked from scratch before it is trusted.
                 return Ok(if opts.certify {
-                    crate::certify::gate_holds(
+                    let certify = SpanTimer::begin(Phase::Certify);
+                    let gated = crate::certify::gate_holds(
                         "k-induction",
                         crate::certify::recheck_induction(sys, p, k, &budget),
-                    )
+                    );
+                    stats.end_span(certify);
+                    gated
                 } else {
                     CheckResult::Holds
                 });
@@ -122,6 +184,14 @@ pub fn prove_invariant(
 mod tests {
     use super::*;
 
+    fn prove_invariant_t(
+        sys: &System,
+        p: &Expr,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, McError> {
+        run_invariant(sys, p, opts, &mut Stats::default())
+    }
+
     fn counter(limit: i64) -> (System, verdict_ts::VarId) {
         let mut sys = System::new("counter");
         let n = sys.int_var("n", 0, limit);
@@ -137,7 +207,7 @@ mod tests {
     #[test]
     fn proves_true_invariant() {
         let (sys, n) = counter(5);
-        let r = prove_invariant(
+        let r = prove_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(5)),
             &CheckOptions::default(),
@@ -149,7 +219,7 @@ mod tests {
     #[test]
     fn refutes_false_invariant_with_trace() {
         let (sys, n) = counter(5);
-        let r = prove_invariant(
+        let r = prove_invariant_t(
             &sys,
             &Expr::var(n).lt(Expr::int(3)),
             &CheckOptions::default(),
@@ -172,7 +242,7 @@ mod tests {
             Expr::int(0),
             Expr::var(n).add(Expr::int(1)),
         )));
-        let r = prove_invariant(
+        let r = prove_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(3)),
             &CheckOptions::default(),
@@ -193,7 +263,7 @@ mod tests {
             Expr::var(n).add(Expr::var(p)),
             Expr::var(n),
         )));
-        let r = prove_invariant(
+        let r = prove_invariant_t(
             &sys,
             &Expr::var(n).le(Expr::int(10)),
             &CheckOptions::default(),
@@ -201,7 +271,7 @@ mod tests {
         .unwrap();
         assert!(r.holds(), "got {r}");
         // But G(n != 10) fails for p=2 (0,2,...,8,10) and p=1.
-        let r = prove_invariant(
+        let r = prove_invariant_t(
             &sys,
             &Expr::var(n).ne(Expr::int(10)),
             &CheckOptions::default(),
@@ -213,7 +283,7 @@ mod tests {
     #[test]
     fn depth_bound_reported() {
         let (sys, n) = counter(5);
-        let r = prove_invariant(
+        let r = prove_invariant_t(
             &sys,
             // Holds, but not 1-inductive; depth 0 budget can't prove it.
             &Expr::var(n).le(Expr::int(5)),
@@ -247,7 +317,7 @@ mod tests {
         }
         let opts = CheckOptions::with_depth(4).with_timeout(Duration::from_millis(20));
         let start = Instant::now();
-        let r = prove_invariant(&sys, &collision, &opts).unwrap();
+        let r = prove_invariant_t(&sys, &collision, &opts).unwrap();
         let elapsed = start.elapsed();
         assert!(
             matches!(r, CheckResult::Unknown(UnknownReason::Timeout)),

@@ -47,12 +47,42 @@
 //! * [`verifier`] — the [`Verifier`] façade implementing the Fig. 4
 //!   workflow: model + property + constraints in, verdict + trace or
 //!   suggested parameters out.
+//! * [`engine`](mod@engine) — the unified [`Engine`] trait implemented by every
+//!   engine above, plus the [`engine()`](engine::engine) registry that the
+//!   façade, portfolio, and synthesis layers dispatch through.
+//! * [`stats`] — the structured observability sink ([`Stats`]): SAT /
+//!   simplex / BDD counters, per-depth timings, phase spans, and an
+//!   optional JSONL trace ([`stats::TraceSink`]).
+//!
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use verdict_mc::prelude::*;
+//! use verdict_ts::{Expr, System};
+//!
+//! let mut sys = System::new("counter");
+//! let n = sys.int_var("n", 0, 7);
+//! sys.add_init(Expr::var(n).eq(Expr::int(0)));
+//! sys.add_trans(Expr::next(n).eq(Expr::ite(
+//!     Expr::var(n).lt(Expr::int(7)),
+//!     Expr::var(n).add(Expr::int(1)),
+//!     Expr::var(n),
+//! )));
+//! let mut stats = Stats::default();
+//! let verdict = engine(EngineKind::KInduction)
+//!     .check_invariant(&sys, &Expr::var(n).le(Expr::int(7)),
+//!                      &CheckOptions::default(), &mut stats)
+//!     .unwrap();
+//! assert!(verdict.holds());
+//! assert!(stats.sat.decisions > 0);
+//! ```
 
 pub mod bdd;
 pub mod blast;
 pub mod bmc;
 pub mod certify;
 pub mod durable;
+pub mod engine;
 pub mod explicit_engine;
 pub mod incremental;
 pub mod kind;
@@ -61,12 +91,29 @@ pub mod portfolio;
 pub mod result;
 pub mod retry;
 pub mod smtbmc;
+pub mod stats;
 pub mod tableau;
 pub mod verifier;
 
 pub use certify::{CertificateKind, CertificateStatus, PropertyKind};
 pub use durable::{Durability, ResumeState, SweepRecorder};
+pub use engine::{engine, Engine, EngineKind};
 pub use portfolio::CheckReport;
-pub use result::{CheckOptions, CheckResult, McError, UnknownReason};
+pub use result::{CheckOptions, CheckOptionsBuilder, CheckResult, McError, UnknownReason};
 pub use retry::RetryPolicy;
-pub use verifier::{Engine, Verifier};
+pub use stats::{Stats, TraceSink, STATS_SCHEMA_VERSION};
+pub use verifier::Verifier;
+
+/// One-stop imports for the unified engine API.
+///
+/// Brings in the [`Engine`] trait, the [`engine()`](engine::engine)
+/// registry function, [`EngineKind`], and the types every check touches:
+/// [`CheckOptions`], [`CheckResult`], [`CheckReport`], [`Stats`], and
+/// [`UnknownReason`].
+pub mod prelude {
+    pub use crate::engine::{engine, Engine, EngineKind};
+    pub use crate::portfolio::CheckReport;
+    pub use crate::result::{CheckOptions, CheckResult, UnknownReason};
+    pub use crate::stats::Stats;
+    pub use crate::verifier::Verifier;
+}

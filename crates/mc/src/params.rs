@@ -154,6 +154,16 @@ impl SynthesisEngine {
             SynthesisEngine::Explicit => "explicit",
         }
     }
+
+    /// The [`EngineKind`](crate::engine::EngineKind) this synthesis engine
+    /// dispatches to.
+    pub fn kind(self) -> crate::engine::EngineKind {
+        match self {
+            SynthesisEngine::KInduction => crate::engine::EngineKind::KInduction,
+            SynthesisEngine::Bdd => crate::engine::EngineKind::Bdd,
+            SynthesisEngine::Explicit => crate::engine::EngineKind::Explicit,
+        }
+    }
 }
 
 /// The assignment cross-product in odometer order (the first parameter
@@ -233,23 +243,16 @@ fn check_assignment(
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
     let pinned = pin_system(sys, params, assignment);
-    match (property, engine) {
-        (Property::Invariant(p), SynthesisEngine::KInduction) => {
-            crate::kind::prove_invariant(&pinned, p, opts)
-        }
-        (Property::Invariant(p), SynthesisEngine::Bdd) => {
-            crate::bdd::check_invariant(&pinned, p, opts)
-        }
-        (Property::Invariant(p), SynthesisEngine::Explicit) => {
-            crate::explicit_engine::check_invariant(&pinned, p, opts)
-        }
-        (Property::Ltl(phi), SynthesisEngine::Bdd) => crate::bdd::check_ltl(&pinned, phi, opts),
-        (Property::Ltl(phi), SynthesisEngine::Explicit) => {
-            crate::explicit_engine::check_ltl(&pinned, phi, opts)
-        }
-        (Property::Ltl(_), SynthesisEngine::KInduction) => Err(McError(
+    // Per-assignment counters land in a scratch sink: sweep-level
+    // observability tracks verdicts and retries, not per-pin solver work.
+    let mut stats = crate::stats::Stats::default();
+    let eng = crate::engine::engine(engine.kind());
+    match property {
+        Property::Invariant(p) => eng.check_invariant(&pinned, p, opts, &mut stats),
+        Property::Ltl(_) if engine == SynthesisEngine::KInduction => Err(McError(
             "k-induction synthesizes safety properties only".to_string(),
         )),
+        Property::Ltl(phi) => eng.check_ltl(&pinned, phi, opts, &mut stats),
     }
 }
 
@@ -792,9 +795,11 @@ pub fn find_violating_params(
     property: &Property,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
+    let eng = crate::engine::engine(crate::engine::EngineKind::Bmc);
+    let mut stats = crate::stats::Stats::default();
     match property {
-        Property::Invariant(p) => crate::bmc::check_invariant(sys, p, opts),
-        Property::Ltl(phi) => crate::bmc::check_ltl(sys, phi, opts),
+        Property::Invariant(p) => eng.check_invariant(sys, p, opts, &mut stats),
+        Property::Ltl(phi) => eng.check_ltl(sys, phi, opts, &mut stats),
     }
 }
 

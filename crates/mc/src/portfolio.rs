@@ -31,8 +31,9 @@ use std::time::{Duration, Instant};
 
 use verdict_ts::{Ctl, Expr, Ltl, System};
 
+use crate::engine::EngineKind;
 use crate::result::{CheckOptions, CheckResult, McError, UnknownReason};
-use crate::verifier::Engine;
+use crate::stats::Stats;
 
 /// A verdict plus racing metadata: which engine won and how long the
 /// portfolio took wall-clock.
@@ -42,12 +43,16 @@ pub struct CheckReport {
     pub result: CheckResult,
     /// The engine that produced `result`. For a solo (non-raced) run this
     /// is simply the engine used.
-    pub winner: Engine,
+    pub winner: EngineKind,
     /// Wall-clock time from spawn to verdict.
     pub wall: Duration,
     /// Every contender's final outcome, in spawn order — losers typically
     /// report `Unknown(Cancelled)`.
-    pub outcomes: Vec<(Engine, CheckResult)>,
+    pub outcomes: Vec<(EngineKind, CheckResult)>,
+    /// The winner's solver/engine counters (the stats behind `result`).
+    pub stats: Stats,
+    /// Per-contender counter summaries, aligned with `outcomes`.
+    pub contender_stats: Vec<(EngineKind, Stats)>,
 }
 
 /// Best-effort extraction of a panic payload's message for diagnostics.
@@ -61,8 +66,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
-/// One contender: an engine tag plus the closure that runs it.
-pub type Contender<'a> = Box<dyn FnOnce(&CheckOptions) -> Result<CheckResult, McError> + Send + 'a>;
+/// One contender: an engine tag plus the closure that runs it, recording
+/// its counters into the per-contender [`Stats`] sink it is handed.
+pub type Contender<'a> =
+    Box<dyn FnOnce(&CheckOptions, &mut Stats) -> Result<CheckResult, McError> + Send + 'a>;
 
 /// Races `contenders` to the first definitive (`Holds`/`Violated`) verdict
 /// and cancels the rest via a shared stop flag.
@@ -77,13 +84,14 @@ pub type Contender<'a> = Box<dyn FnOnce(&CheckOptions) -> Result<CheckResult, Mc
 /// `check_*` wrappers cover the standard line-ups.
 pub fn race(
     opts: &CheckOptions,
-    contenders: Vec<(Engine, Contender<'_>)>,
+    contenders: Vec<(EngineKind, Contender<'_>)>,
 ) -> Result<CheckReport, McError> {
     let start = Instant::now();
     let caller_stop = opts.stop.clone();
     let race_stop = Arc::new(AtomicBool::new(false));
     let n = contenders.len();
-    let (tx, rx) = mpsc::channel::<(usize, Engine, Result<CheckResult, McError>)>();
+    type Verdict = (usize, EngineKind, Result<CheckResult, McError>, Stats);
+    let (tx, rx) = mpsc::channel::<Verdict>();
 
     let (slots, winner_idx) = std::thread::scope(|scope| {
         for (idx, (engine, run)) in contenders.into_iter().enumerate() {
@@ -92,7 +100,9 @@ pub fn race(
                 stop: Some(race_stop.clone()),
                 ..opts.clone()
             };
+            let trace = opts.trace.clone();
             scope.spawn(move || {
+                let mut stats = Stats::for_engine(engine).with_trace(trace);
                 // Contain contender panics: a crashing engine becomes an
                 // `Unknown(EngineFailure)` outcome instead of unwinding
                 // through the scope and aborting the whole race.
@@ -101,7 +111,7 @@ pub fn race(
                     // inside the containment boundary so an injected
                     // panic exercises it.
                     verdict_journal::fault::panic_if_armed("mc.portfolio.worker");
-                    run(&worker_opts)
+                    run(&worker_opts, &mut stats)
                 }))
                 .unwrap_or_else(|payload| {
                     let msg = panic_message(payload.as_ref());
@@ -110,22 +120,22 @@ pub fn race(
                 });
                 // The receiver never hangs up before all results arrive,
                 // but a send error must not panic the worker either way.
-                let _ = tx.send((idx, engine, res));
+                let _ = tx.send((idx, engine, res, stats));
             });
         }
         drop(tx);
 
-        let mut slots: Vec<Option<(Engine, Result<CheckResult, McError>)>> =
-            (0..n).map(|_| None).collect();
+        type Slot = Option<(EngineKind, Result<CheckResult, McError>, Stats)>;
+        let mut slots: Vec<Slot> = (0..n).map(|_| None).collect();
         let mut winner_idx = None;
         let mut received = 0;
         while received < n {
             match rx.recv_timeout(Duration::from_millis(5)) {
-                Ok((idx, engine, res)) => {
+                Ok((idx, engine, res, stats)) => {
                     received += 1;
                     let definitive =
                         matches!(res, Ok(CheckResult::Holds | CheckResult::Violated(_)));
-                    slots[idx] = Some((engine, res));
+                    slots[idx] = Some((engine, res, stats));
                     if definitive && winner_idx.is_none() {
                         winner_idx = Some(idx);
                         // First definitive verdict: cancel the losers.
@@ -148,17 +158,21 @@ pub fn race(
     });
 
     let wall = start.elapsed();
-    let mut outcomes: Vec<(Engine, CheckResult)> = Vec::with_capacity(n);
+    let mut outcomes: Vec<(EngineKind, CheckResult)> = Vec::with_capacity(n);
+    let mut contender_stats: Vec<(EngineKind, Stats)> = Vec::with_capacity(n);
     let mut first_err: Option<McError> = None;
-    let mut winner: Option<(Engine, CheckResult)> = None;
+    let mut winner: Option<(EngineKind, CheckResult, Stats)> = None;
     for (idx, slot) in slots.into_iter().enumerate() {
-        let Some((engine, res)) = slot else { continue };
+        let Some((engine, res, stats)) = slot else {
+            continue;
+        };
         match res {
             Ok(r) => {
                 if winner_idx == Some(idx) {
-                    winner = Some((engine, r.clone()));
+                    winner = Some((engine, r.clone(), stats.clone()));
                 }
                 outcomes.push((engine, r));
+                contender_stats.push((engine, stats));
             }
             Err(e) => {
                 if first_err.is_none() {
@@ -168,12 +182,14 @@ pub fn race(
         }
     }
 
-    if let Some((engine, result)) = winner {
+    if let Some((engine, result, stats)) = winner {
         return Ok(CheckReport {
             result,
             winner: engine,
             wall,
             outcomes,
+            stats,
+            contender_stats,
         });
     }
     // No definitive verdict: prefer the most informative Unknown.
@@ -187,13 +203,19 @@ pub fn race(
         CheckResult::Unknown(UnknownReason::EngineFailure) => 6,
         _ => 7,
     };
-    let best = outcomes.iter().min_by_key(|(_, r)| rank(r)).cloned();
+    let best = outcomes
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (_, r))| rank(r))
+        .map(|(i, (e, r))| (i, *e, r.clone()));
     match best {
-        Some((engine, result)) => Ok(CheckReport {
+        Some((idx, engine, result)) => Ok(CheckReport {
             result,
             winner: engine,
             wall,
             outcomes,
+            stats: contender_stats[idx].1.clone(),
+            contender_stats,
         }),
         None => Err(first_err.unwrap_or_else(|| McError("portfolio: no contenders".to_string()))),
     }
@@ -202,100 +224,195 @@ pub fn race(
 /// Runs a single engine and wraps its verdict in a [`CheckReport`] (used
 /// when there is nothing to race, e.g. real-valued systems → SMT only).
 fn solo(
-    engine: Engine,
+    engine: EngineKind,
     opts: &CheckOptions,
-    run: impl FnOnce(&CheckOptions) -> Result<CheckResult, McError>,
+    run: impl FnOnce(&CheckOptions, &mut Stats) -> Result<CheckResult, McError>,
 ) -> Result<CheckReport, McError> {
     let start = Instant::now();
-    let result = run(opts)?;
+    let mut stats = Stats::for_engine(engine).with_trace(opts.trace.clone());
+    let result = run(opts, &mut stats)?;
     Ok(CheckReport {
         winner: engine,
         wall: start.elapsed(),
         outcomes: vec![(engine, result.clone())],
+        contender_stats: vec![(engine, stats.clone())],
+        stats,
         result,
     })
 }
 
+/// Folds a finished report's winning stats back into the caller's sink
+/// (adopting the winner's depth samples when the caller has none).
+fn fold_stats(stats: &mut Stats, report: &CheckReport) {
+    stats.merge(&report.stats);
+    if stats.depths.is_empty() {
+        stats.depths.clone_from(&report.stats.depths);
+    }
+}
+
 /// Portfolio invariant check: BMC (falsifier) vs k-induction and BDD
 /// (provers) on finite systems; solo SMT-BMC on real-valued ones.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Portfolio)` instead"
+)]
 pub fn check_invariant(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckReport, McError> {
-    if sys.has_real_vars() {
-        return solo(Engine::SmtBmc, opts, |o| {
-            crate::smtbmc::check_invariant(sys, p, o)
-        });
-    }
-    race(
-        opts,
-        vec![
-            (
-                Engine::Bmc,
-                Box::new(|o: &CheckOptions| crate::bmc::check_invariant(sys, p, o)),
-            ),
-            (
-                Engine::KInduction,
-                Box::new(|o: &CheckOptions| crate::kind::prove_invariant(sys, p, o)),
-            ),
-            (
-                Engine::Bdd,
-                Box::new(|o: &CheckOptions| crate::bdd::check_invariant(sys, p, o)),
-            ),
-        ],
-    )
+    run_invariant(sys, p, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for the invariant portfolio (see
+/// [`crate::engine::engine`]); the winner's counters are folded into
+/// `stats` and the full per-contender breakdown rides on the report.
+pub(crate) fn run_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckReport, McError> {
+    let report = if sys.has_real_vars() {
+        solo(EngineKind::SmtBmc, opts, |o, st| {
+            crate::smtbmc::run_invariant(sys, p, o, st)
+        })
+    } else {
+        race(
+            opts,
+            vec![
+                (
+                    EngineKind::Bmc,
+                    Box::new(|o: &CheckOptions, st: &mut Stats| {
+                        crate::bmc::run_invariant(sys, p, o, st)
+                    }) as Contender<'_>,
+                ),
+                (
+                    EngineKind::KInduction,
+                    Box::new(|o: &CheckOptions, st: &mut Stats| {
+                        crate::kind::run_invariant(sys, p, o, st)
+                    }),
+                ),
+                (
+                    EngineKind::Bdd,
+                    Box::new(|o: &CheckOptions, st: &mut Stats| {
+                        crate::bdd::run_invariant(sys, p, o, st)
+                    }),
+                ),
+            ],
+        )
+    }?;
+    fold_stats(stats, &report);
+    Ok(report)
 }
 
 /// Portfolio LTL check: BMC fair-lasso search (falsifier) vs the complete
 /// BDD tableau engine; solo SMT-BMC on real-valued systems.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Portfolio)` instead"
+)]
 pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckReport, McError> {
-    if sys.has_real_vars() {
-        return solo(Engine::SmtBmc, opts, |o| {
-            crate::smtbmc::check_ltl(sys, phi, o)
-        });
-    }
-    race(
-        opts,
-        vec![
-            (
-                Engine::Bmc,
-                Box::new(|o: &CheckOptions| crate::bmc::check_ltl(sys, phi, o)),
-            ),
-            (
-                Engine::Bdd,
-                Box::new(|o: &CheckOptions| crate::bdd::check_ltl(sys, phi, o)),
-            ),
-        ],
-    )
+    run_ltl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for the LTL portfolio (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckReport, McError> {
+    let report = if sys.has_real_vars() {
+        solo(EngineKind::SmtBmc, opts, |o, st| {
+            crate::smtbmc::run_ltl(sys, phi, o, st)
+        })
+    } else {
+        race(
+            opts,
+            vec![
+                (
+                    EngineKind::Bmc,
+                    Box::new(|o: &CheckOptions, st: &mut Stats| {
+                        crate::bmc::run_ltl(sys, phi, o, st)
+                    }) as Contender<'_>,
+                ),
+                (
+                    EngineKind::Bdd,
+                    Box::new(|o: &CheckOptions, st: &mut Stats| {
+                        crate::bdd::run_ltl(sys, phi, o, st)
+                    }),
+                ),
+            ],
+        )
+    }?;
+    fold_stats(stats, &report);
+    Ok(report)
 }
 
 /// Portfolio CTL check: BDD fixpoints vs the explicit-state engine (both
 /// complete; whichever shape of state space is kinder wins).
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::Portfolio)` instead"
+)]
 pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckReport, McError> {
+    run_ctl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for the CTL portfolio (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_ctl(
+    sys: &System,
+    phi: &Ctl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckReport, McError> {
     if sys.has_real_vars() {
         return Err(McError(
             "CTL checking requires a finite-state system".to_string(),
         ));
     }
-    race(
+    let report = race(
         opts,
         vec![
             (
-                Engine::Bdd,
-                Box::new(|o: &CheckOptions| crate::bdd::check_ctl(sys, phi, o)),
+                EngineKind::Bdd,
+                Box::new(|o: &CheckOptions, st: &mut Stats| crate::bdd::run_ctl(sys, phi, o, st))
+                    as Contender<'_>,
             ),
             (
-                Engine::Explicit,
-                Box::new(|o: &CheckOptions| crate::explicit_engine::check_ctl(sys, phi, o)),
+                EngineKind::Explicit,
+                Box::new(|o: &CheckOptions, st: &mut Stats| {
+                    crate::explicit_engine::run_ctl(sys, phi, o, st)
+                }),
             ),
         ],
-    )
+    )?;
+    fold_stats(stats, &report);
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn check_invariant_t(
+        sys: &System,
+        p: &Expr,
+        opts: &CheckOptions,
+    ) -> Result<CheckReport, McError> {
+        run_invariant(sys, p, opts, &mut Stats::default())
+    }
+
+    fn check_ltl_t(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckReport, McError> {
+        run_ltl(sys, phi, opts, &mut Stats::default())
+    }
+
+    fn check_ctl_t(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckReport, McError> {
+        run_ctl(sys, phi, opts, &mut Stats::default())
+    }
 
     fn counter(limit: i64) -> (System, verdict_ts::VarId) {
         let mut sys = System::new("counter");
@@ -313,12 +430,15 @@ mod tests {
     fn portfolio_proves_and_falsifies() {
         let (sys, n) = counter(7);
         let opts = CheckOptions::default();
-        let holds = check_invariant(&sys, &Expr::var(n).le(Expr::int(7)), &opts).unwrap();
+        let holds = check_invariant_t(&sys, &Expr::var(n).le(Expr::int(7)), &opts).unwrap();
         assert!(holds.result.holds(), "{}", holds.result);
         // BMC cannot prove, so the winner must be a prover.
-        assert!(matches!(holds.winner, Engine::KInduction | Engine::Bdd));
+        assert!(matches!(
+            holds.winner,
+            EngineKind::KInduction | EngineKind::Bdd
+        ));
 
-        let viol = check_invariant(&sys, &Expr::var(n).lt(Expr::int(5)), &opts).unwrap();
+        let viol = check_invariant_t(&sys, &Expr::var(n).lt(Expr::int(5)), &opts).unwrap();
         assert!(viol.result.violated());
         assert!(!viol.outcomes.is_empty());
         assert!(viol.outcomes.iter().any(|(e, _)| *e == viol.winner));
@@ -329,7 +449,7 @@ mod tests {
         let (sys, n) = counter(7);
         let stop = Arc::new(AtomicBool::new(true)); // raised before the race
         let opts = CheckOptions::default().with_stop(stop);
-        let r = check_invariant(&sys, &Expr::var(n).le(Expr::int(7)), &opts);
+        let r = check_invariant_t(&sys, &Expr::var(n).le(Expr::int(7)), &opts);
         // Workers may still finish (tiny model) or come back Cancelled —
         // but the call must return, not hang, and never report Violated.
         let report = r.unwrap();
@@ -344,17 +464,35 @@ mod tests {
         sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
         let phi = Ltl::atom(Expr::var(x)).always().eventually();
         let opts = CheckOptions::default();
-        let racy = check_ltl(&sys, &phi, &opts).unwrap();
-        let seq = crate::bdd::check_ltl(&sys, &phi, &opts).unwrap();
+        let racy = check_ltl_t(&sys, &phi, &opts).unwrap();
+        let seq = crate::bdd::run_ltl(&sys, &phi, &opts, &mut Stats::default()).unwrap();
         assert_eq!(racy.result.violated(), seq.violated());
+    }
+
+    #[test]
+    fn report_carries_winner_and_contender_stats() {
+        let (sys, n) = counter(7);
+        let report = check_invariant_t(
+            &sys,
+            &Expr::var(n).lt(Expr::int(5)),
+            &CheckOptions::default(),
+        )
+        .unwrap();
+        assert!(report.result.violated());
+        assert_eq!(report.stats.engine, Some(report.winner));
+        assert!(!report.stats.counters_are_zero(), "winner did no work?");
+        assert_eq!(report.contender_stats.len(), report.outcomes.len());
+        for ((e1, _), (e2, _)) in report.outcomes.iter().zip(&report.contender_stats) {
+            assert_eq!(e1, e2);
+        }
     }
 
     #[test]
     fn ctl_portfolio() {
         let (sys, n) = counter(7);
         let phi = Ctl::atom(Expr::var(n).eq(Expr::int(7))).ef();
-        let r = check_ctl(&sys, &phi, &CheckOptions::default()).unwrap();
+        let r = check_ctl_t(&sys, &phi, &CheckOptions::default()).unwrap();
         assert!(r.result.holds());
-        assert!(matches!(r.winner, Engine::Bdd | Engine::Explicit));
+        assert!(matches!(r.winner, EngineKind::Bdd | EngineKind::Explicit));
     }
 }

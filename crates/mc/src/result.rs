@@ -10,6 +10,7 @@ use verdict_sat::Limits;
 use verdict_ts::Trace;
 
 use crate::retry::RetryPolicy;
+use crate::stats::TraceSink;
 
 /// Outcome of a model-checking run. `PartialEq` compares verdicts
 /// structurally (traces included) — what resume tests use to show a
@@ -210,6 +211,10 @@ pub struct CheckOptions {
     /// deadline/clause/node ceilings multiplied and a jittered backoff
     /// pause in between. `None` = one attempt, no retries.
     pub retry: Option<RetryPolicy>,
+    /// Structured trace sink: engines append JSONL span/depth/mark events
+    /// here as they run (see [`TraceSink`]). Shared — clones of the
+    /// options write to the same sink. `None` = no tracing.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for CheckOptions {
@@ -224,11 +229,33 @@ impl Default for CheckOptions {
             max_bdd_nodes: None,
             incremental: None,
             retry: None,
+            trace: None,
         }
     }
 }
 
 impl CheckOptions {
+    /// A fluent builder over every knob; finish with
+    /// [`CheckOptionsBuilder::build`].
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use verdict_mc::CheckOptions;
+    ///
+    /// let opts = CheckOptions::builder()
+    ///     .max_depth(32)
+    ///     .timeout(Duration::from_secs(5))
+    ///     .certify(true)
+    ///     .build();
+    /// assert_eq!(opts.max_depth, 32);
+    /// assert!(opts.certify);
+    /// ```
+    pub fn builder() -> CheckOptionsBuilder {
+        CheckOptionsBuilder {
+            opts: CheckOptions::default(),
+        }
+    }
+
     /// Options with a depth bound.
     pub fn with_depth(max_depth: usize) -> CheckOptions {
         CheckOptions {
@@ -286,6 +313,12 @@ impl CheckOptions {
         self
     }
 
+    /// Attaches a shared structured-trace sink.
+    pub fn with_trace(mut self, sink: Arc<TraceSink>) -> CheckOptions {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Returns self with `max_depth` replaced by `depth` **iff** it still
     /// holds the default value — used by CLIs whose subcommands have
     /// different depth defaults.
@@ -306,6 +339,79 @@ impl CheckOptions {
         self.jobs
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
             .max(1)
+    }
+}
+
+/// Fluent builder for [`CheckOptions`]; see [`CheckOptions::builder`].
+#[derive(Clone, Debug)]
+pub struct CheckOptionsBuilder {
+    opts: CheckOptions,
+}
+
+impl CheckOptionsBuilder {
+    /// Sets the maximum unrolling depth.
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.opts.max_depth = depth;
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.opts.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a shared cancellation flag.
+    pub fn stop(mut self, stop: Arc<AtomicBool>) -> Self {
+        self.opts.stop = Some(stop);
+        self
+    }
+
+    /// Sets the worker-thread count for parallel operations.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.opts.jobs = Some(jobs);
+        self
+    }
+
+    /// Enables or disables verdict certification.
+    pub fn certify(mut self, on: bool) -> Self {
+        self.opts.certify = on;
+        self
+    }
+
+    /// Caps the SAT clause database (memory backstop).
+    pub fn max_clauses(mut self, max: usize) -> Self {
+        self.opts.max_clauses = Some(max);
+        self
+    }
+
+    /// Caps the BDD node count (memory backstop).
+    pub fn max_bdd_nodes(mut self, max: usize) -> Self {
+        self.opts.max_bdd_nodes = Some(max);
+        self
+    }
+
+    /// Forces the incremental synthesis sweep on or off.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.opts.incremental = Some(on);
+        self
+    }
+
+    /// Attaches a retry policy for infrastructure failures.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.opts.retry = Some(policy);
+        self
+    }
+
+    /// Attaches a shared structured-trace sink.
+    pub fn trace(mut self, sink: Arc<TraceSink>) -> Self {
+        self.opts.trace = Some(sink);
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> CheckOptions {
+        self.opts
     }
 }
 
@@ -447,6 +553,27 @@ mod tests {
         assert!(o.deadline().is_some());
         assert!(o.effective_jobs() >= 1);
         assert_eq!(o.with_jobs(3).effective_jobs(), 3);
+    }
+
+    #[test]
+    fn fluent_builder_mirrors_with_methods() {
+        let built = CheckOptions::builder()
+            .max_depth(12)
+            .timeout(Duration::from_secs(3))
+            .jobs(2)
+            .certify(true)
+            .max_clauses(1000)
+            .max_bdd_nodes(2000)
+            .incremental(false)
+            .build();
+        assert_eq!(built.max_depth, 12);
+        assert_eq!(built.timeout, Some(Duration::from_secs(3)));
+        assert_eq!(built.jobs, Some(2));
+        assert!(built.certify);
+        assert_eq!(built.max_clauses, Some(1000));
+        assert_eq!(built.max_bdd_nodes, Some(2000));
+        assert_eq!(built.incremental, Some(false));
+        assert!(built.retry.is_none() && built.trace.is_none());
     }
 
     #[test]

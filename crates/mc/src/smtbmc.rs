@@ -14,7 +14,7 @@
 //!
 //! ```
 //! use verdict_logic::Rational;
-//! use verdict_mc::{smtbmc, CheckOptions};
+//! use verdict_mc::prelude::*;
 //! use verdict_ts::{Expr, System};
 //!
 //! // A drifting real-valued metric with a symbolic rate parameter.
@@ -25,16 +25,23 @@
 //! sys.add_init(Expr::var(rate).le(Expr::real(Rational::integer(2))));
 //! sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::var(rate))));
 //! // The checker picks a rate that breaks G(x < 3).
-//! let r = smtbmc::check_invariant(&sys, &Expr::var(x).lt(Expr::real(Rational::integer(3))),
-//!                                 &CheckOptions::with_depth(6)).unwrap();
+//! let mut stats = Stats::default();
+//! let r = engine(EngineKind::SmtBmc)
+//!     .check_invariant(&sys, &Expr::var(x).lt(Expr::real(Rational::integer(3))),
+//!                      &CheckOptions::with_depth(6), &mut stats)
+//!     .unwrap();
 //! assert!(r.violated());
+//! assert!(stats.smt.bound_flips > 0);
 //! ```
+use std::time::Instant;
+
 use verdict_logic::{Formula, Rational};
 use verdict_smt::{LinExpr, Rel, SmtResult, SmtSolver, TheoryVar};
 use verdict_ts::bits::{self, FormulaAlg, Num};
 use verdict_ts::{Expr, Ltl, Sort, System, Trace, Value, VarId, VarKind};
 
 use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::stats::{Phase, SpanTimer, Stats};
 use crate::tableau::violation_product;
 
 /// Per-variable, per-step solver handles.
@@ -520,27 +527,66 @@ fn unknown_reason_smt(unr: &mut SmtUnroller<'_>, budget: &Budget) -> UnknownReas
 }
 
 /// Bounded falsification of `G p` on a (possibly real-valued) system.
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::SmtBmc)` instead"
+)]
 pub fn check_invariant(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
 ) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
+    run_invariant(sys, p, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for invariant SMT-BMC (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_invariant(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
     let mut unr = SmtUnroller::new(sys)?;
+    let res = invariant_loop(sys, p, opts, stats, &mut unr);
+    stats.absorb_smt(unr.smt_mut());
+    res
+}
+
+fn invariant_loop(
+    sys: &System,
+    p: &Expr,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    unr: &mut SmtUnroller<'_>,
+) -> Result<CheckResult, McError> {
+    let budget = Budget::new(opts);
     let bad = p.clone().not();
     for k in 0..=opts.max_depth {
         if let Some(reason) = budget.exceeded() {
             return Ok(CheckResult::Unknown(reason));
         }
+        let encode = SpanTimer::begin(Phase::Encode);
+        let t_unroll = Instant::now();
         unr.extend_to(k);
         let bad_k = unr.lower_bool(&bad, k);
         let bad_lit = unr.smt_mut().define_literal(&bad_k);
-        match unr.smt_mut().solve_limited(&[bad_lit], budget.limits()) {
+        let unroll_time = t_unroll.elapsed();
+        stats.end_span(encode);
+        let solve = SpanTimer::begin(Phase::Solve);
+        let t_solve = Instant::now();
+        let outcome = unr.smt_mut().solve_limited(&[bad_lit], budget.limits());
+        stats.record_depth(k, unroll_time, t_solve.elapsed());
+        stats.end_span(solve);
+        match outcome {
             SmtResult::Sat(model) => {
                 let states = unr.decode_trace(k + 1, &model);
                 let trace = Trace::new(sys, states, None);
                 return Ok(if opts.certify {
-                    crate::certify::gate_invariant_cex(sys, p, trace)
+                    let replay = SpanTimer::begin(Phase::Replay);
+                    let gated = crate::certify::gate_invariant_cex(sys, p, trace);
+                    stats.end_span(replay);
+                    gated
                 } else {
                     CheckResult::Violated(trace)
                 });
@@ -552,7 +598,7 @@ pub fn check_invariant(
                 unr.smt_mut().assert_formula(neg);
             }
             SmtResult::Unknown => {
-                return Ok(CheckResult::Unknown(unknown_reason_smt(&mut unr, &budget)));
+                return Ok(CheckResult::Unknown(unknown_reason_smt(unr, &budget)));
             }
         }
     }
@@ -561,15 +607,45 @@ pub fn check_invariant(
 
 /// Bounded LTL falsification by fair-lasso search with exact loop-back on
 /// real variables (the paper's case study 2 shape).
+#[deprecated(
+    since = "0.2.0",
+    note = "dispatch through `verdict_mc::engine(EngineKind::SmtBmc)` instead"
+)]
 pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
+    run_ltl(sys, phi, opts, &mut Stats::default())
+}
+
+/// Trait-dispatch entry point for LTL SMT-BMC (see
+/// [`crate::engine::engine`]).
+pub(crate) fn run_ltl(
+    sys: &System,
+    phi: &Ltl,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+) -> Result<CheckResult, McError> {
     let product = violation_product(sys, phi);
+    let mut unr = SmtUnroller::new(&product.system)?;
+    let res = ltl_loop(sys, phi, &product, opts, stats, &mut unr);
+    stats.absorb_smt(unr.smt_mut());
+    res
+}
+
+fn ltl_loop(
+    sys: &System,
+    phi: &Ltl,
+    product: &crate::tableau::TableauProduct,
+    opts: &CheckOptions,
+    stats: &mut Stats,
+    unr: &mut SmtUnroller<'_>,
+) -> Result<CheckResult, McError> {
+    let budget = Budget::new(opts);
     let psys = &product.system;
-    let mut unr = SmtUnroller::new(psys)?;
     for k in 1..=opts.max_depth {
         if let Some(reason) = budget.exceeded() {
             return Ok(CheckResult::Unknown(reason));
         }
+        let encode = SpanTimer::begin(Phase::Encode);
+        let t_unroll = Instant::now();
         unr.extend_to(k);
         let mut options = Vec::with_capacity(k);
         for l in 0..k {
@@ -583,7 +659,14 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
         }
         let lasso = Formula::or_all(options);
         let lasso_lit = unr.smt_mut().define_literal(&lasso);
-        match unr.smt_mut().solve_limited(&[lasso_lit], budget.limits()) {
+        let unroll_time = t_unroll.elapsed();
+        stats.end_span(encode);
+        let solve = SpanTimer::begin(Phase::Solve);
+        let t_solve = Instant::now();
+        let outcome = unr.smt_mut().solve_limited(&[lasso_lit], budget.limits());
+        stats.record_depth(k, unroll_time, t_solve.elapsed());
+        stats.end_span(solve);
+        match outcome {
             SmtResult::Sat(model) => {
                 let full = unr.decode_trace(k + 1, &model);
                 let loop_back = (0..k).find(|&l| full[l] == full[k]).unwrap_or(0);
@@ -594,14 +677,17 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
                 let mut trace = Trace::new(psys, projected, Some(loop_back));
                 trace.var_names.truncate(product.original_vars);
                 return Ok(if opts.certify {
-                    crate::certify::gate_ltl_cex(sys, phi, trace)
+                    let replay = SpanTimer::begin(Phase::Replay);
+                    let gated = crate::certify::gate_ltl_cex(sys, phi, trace);
+                    stats.end_span(replay);
+                    gated
                 } else {
                     CheckResult::Violated(trace)
                 });
             }
             SmtResult::Unsat => {}
             SmtResult::Unknown => {
-                return Ok(CheckResult::Unknown(unknown_reason_smt(&mut unr, &budget)));
+                return Ok(CheckResult::Unknown(unknown_reason_smt(unr, &budget)));
             }
         }
     }
@@ -611,6 +697,18 @@ pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckRe
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn check_invariant_t(
+        sys: &System,
+        p: &Expr,
+        opts: &CheckOptions,
+    ) -> Result<CheckResult, McError> {
+        run_invariant(sys, p, opts, &mut Stats::default())
+    }
+
+    fn check_ltl_t(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
+        run_ltl(sys, phi, opts, &mut Stats::default())
+    }
 
     fn r(n: i128, d: i128) -> Rational {
         Rational::new(n, d)
@@ -637,7 +735,7 @@ mod tests {
     fn real_invariant_violation_with_parameter_solving() {
         let (sys, level, inflow) = bucket();
         let r10 = Expr::real(r(10, 1));
-        let res = check_invariant(
+        let res = check_invariant_t(
             &sys,
             &Expr::var(level).le(r10),
             &CheckOptions::with_depth(16),
@@ -660,7 +758,7 @@ mod tests {
     fn real_invariant_unknown_when_safe() {
         let (sys, level, _) = bucket();
         // level >= -depth is a trivially-safe bound BMC cannot violate.
-        let res = check_invariant(
+        let res = check_invariant_t(
             &sys,
             &Expr::var(level).ge(Expr::real(r(-100, 1))),
             &CheckOptions::with_depth(6),
@@ -685,7 +783,7 @@ mod tests {
             Expr::real(r(1, 2)),
         ))));
         // Reaching x = 4 at step 2 requires fast twice.
-        let res = check_invariant(
+        let res = check_invariant_t(
             &sys,
             &Expr::var(x).lt(Expr::real(r(4, 1))),
             &CheckOptions::with_depth(4),
@@ -711,7 +809,7 @@ mod tests {
         let phi = Ltl::atom(Expr::var(x).eq(Expr::real(Rational::ZERO)))
             .always()
             .eventually();
-        let res = check_ltl(&sys, &phi, &CheckOptions::with_depth(8)).unwrap();
+        let res = check_ltl_t(&sys, &phi, &CheckOptions::with_depth(8)).unwrap();
         let t = res.trace().expect("violated");
         assert!(t.loop_back.is_some(), "{t}");
     }
@@ -724,7 +822,7 @@ mod tests {
         let x = sys.real_var("x");
         sys.add_init(Expr::var(x).eq(Expr::real(Rational::ZERO)));
         sys.add_trans(Expr::next(x).eq(Expr::var(x).add(Expr::real(r(1, 2)))));
-        let res = check_invariant(
+        let res = check_invariant_t(
             &sys,
             &Expr::var(x).lt(Expr::real(Rational::ONE)),
             &CheckOptions::with_depth(4),

@@ -6,7 +6,7 @@
 //! suggested safe parameters.
 //!
 //! ```
-//! use verdict_mc::{Engine, Verifier};
+//! use verdict_mc::{EngineKind, Verifier};
 //! use verdict_ts::{Expr, System};
 //!
 //! let mut sys = System::new("counter");
@@ -27,15 +27,17 @@
 use verdict_ts::{Ctl, Expr, Ltl, System, VarId};
 
 use crate::durable::Durability;
+use crate::engine::{engine, EngineKind};
 use crate::params::{self, Property, SynthesisEngine, SynthesisResult};
 use crate::result::{CheckOptions, CheckResult, McError, UnknownReason};
+use crate::stats::Stats;
 
 /// Runs a solo engine with panic containment: an engine crash becomes
 /// `Unknown(EngineFailure)` instead of unwinding into the caller, so a
 /// CLI run survives a dying solver the same way portfolio contenders and
 /// synthesis workers do.
 fn contained(
-    engine: Engine,
+    engine: EngineKind,
     f: impl FnOnce() -> Result<CheckResult, McError>,
 ) -> Result<CheckResult, McError> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
@@ -51,47 +53,11 @@ fn contained(
     })
 }
 
-/// Engine selection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Engine {
-    /// Choose automatically: SMT-BMC for real-sorted systems; otherwise
-    /// k-induction for invariants (falsify + prove) and BDD for LTL/CTL.
-    #[default]
-    Auto,
-    /// SAT bounded model checking (falsification only).
-    Bmc,
-    /// k-induction (invariants; proves and falsifies).
-    KInduction,
-    /// BDD fixpoint engine (complete on finite systems).
-    Bdd,
-    /// Explicit-state reference engine (tiny finite systems).
-    Explicit,
-    /// SMT bounded model checking (real-valued systems; falsification).
-    SmtBmc,
-    /// Race a falsifier against the provers in parallel threads and keep
-    /// the first definitive verdict (see [`crate::portfolio`]).
-    Portfolio,
-}
-
-impl std::fmt::Display for Engine {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Engine::Auto => "auto",
-            Engine::Bmc => "bmc",
-            Engine::KInduction => "k-induction",
-            Engine::Bdd => "bdd",
-            Engine::Explicit => "explicit",
-            Engine::SmtBmc => "smt-bmc",
-            Engine::Portfolio => "portfolio",
-        })
-    }
-}
-
 /// The verification façade. Borrowing the system keeps the API cheap to
 /// use in parameter sweeps; all state lives in the engines per call.
 pub struct Verifier<'s> {
     sys: &'s System,
-    engine: Engine,
+    engine: EngineKind,
     opts: CheckOptions,
 }
 
@@ -100,13 +66,13 @@ impl<'s> Verifier<'s> {
     pub fn new(sys: &'s System) -> Verifier<'s> {
         Verifier {
             sys,
-            engine: Engine::Auto,
+            engine: EngineKind::Auto,
             opts: CheckOptions::default(),
         }
     }
 
     /// Selects a specific engine.
-    pub fn engine(mut self, engine: Engine) -> Self {
+    pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
         self
     }
@@ -119,38 +85,45 @@ impl<'s> Verifier<'s> {
 
     /// The engine a check will actually use once `Auto` is resolved
     /// against the system's sorts (reported in CLI/JSON output).
-    pub fn effective_engine(&self) -> Engine {
+    pub fn effective_engine(&self) -> EngineKind {
         match self.engine {
-            Engine::Auto => {
-                if self.sys.has_real_vars() {
-                    Engine::SmtBmc
-                } else {
-                    Engine::KInduction
-                }
-            }
+            EngineKind::Auto => crate::engine::resolve_auto(self.sys),
             e => e,
+        }
+    }
+
+    /// Hands back `stats` with the options' trace sink attached when the
+    /// caller didn't bring one of their own.
+    fn wire_trace(&self, stats: &mut Stats) {
+        if stats.trace().is_none() {
+            if let Some(sink) = &self.opts.trace {
+                *stats = std::mem::take(stats).with_trace(Some(sink.clone()));
+            }
         }
     }
 
     /// Checks the safety property `G p`.
     pub fn check_invariant(&self, p: &Expr) -> Result<CheckResult, McError> {
-        let engine = self.effective_engine();
-        contained(engine, || match engine {
-            Engine::Bmc => crate::bmc::check_invariant(self.sys, p, &self.opts),
-            Engine::KInduction => crate::kind::prove_invariant(self.sys, p, &self.opts),
-            Engine::Bdd => crate::bdd::check_invariant(self.sys, p, &self.opts),
-            Engine::Explicit => crate::explicit_engine::check_invariant(self.sys, p, &self.opts),
-            Engine::SmtBmc => crate::smtbmc::check_invariant(self.sys, p, &self.opts),
-            Engine::Portfolio => {
-                crate::portfolio::check_invariant(self.sys, p, &self.opts).map(|r| r.result)
-            }
-            Engine::Auto => unreachable!("resolved above"),
+        self.check_invariant_stats(p, &mut Stats::default())
+    }
+
+    /// Like [`Verifier::check_invariant`], recording engine counters and
+    /// phase timings into `stats`.
+    pub fn check_invariant_stats(
+        &self,
+        p: &Expr,
+        stats: &mut Stats,
+    ) -> Result<CheckResult, McError> {
+        let kind = self.effective_engine();
+        self.wire_trace(stats);
+        contained(kind, || {
+            engine(kind).check_invariant(self.sys, p, &self.opts, stats)
         })
     }
 
     /// Like [`Verifier::check_invariant`] but always returns the racing
-    /// metadata ([`crate::portfolio::CheckReport`]): winning engine and
-    /// wall-clock time. Non-portfolio engines run solo and report
+    /// metadata ([`crate::portfolio::CheckReport`]): winning engine, stats,
+    /// and wall-clock time. Non-portfolio engines run solo and report
     /// themselves as the winner.
     pub fn check_invariant_report(
         &self,
@@ -158,14 +131,21 @@ impl<'s> Verifier<'s> {
     ) -> Result<crate::portfolio::CheckReport, McError> {
         use std::time::Instant;
         match self.effective_engine() {
-            Engine::Portfolio => crate::portfolio::check_invariant(self.sys, p, &self.opts),
-            engine => {
+            EngineKind::Portfolio => {
+                let mut stats = Stats::default();
+                self.wire_trace(&mut stats);
+                crate::portfolio::run_invariant(self.sys, p, &self.opts, &mut stats)
+            }
+            kind => {
                 let start = Instant::now();
-                let result = self.check_invariant(p)?;
+                let mut stats = Stats::for_engine(kind);
+                let result = self.check_invariant_stats(p, &mut stats)?;
                 Ok(crate::portfolio::CheckReport {
-                    winner: engine,
+                    winner: kind,
                     wall: start.elapsed(),
-                    outcomes: vec![(engine, result.clone())],
+                    outcomes: vec![(kind, result.clone())],
+                    contender_stats: vec![(kind, stats.clone())],
+                    stats,
                     result,
                 })
             }
@@ -174,35 +154,86 @@ impl<'s> Verifier<'s> {
 
     /// Checks an LTL property.
     pub fn check_ltl(&self, phi: &Ltl) -> Result<CheckResult, McError> {
-        let engine = self.effective_engine();
-        contained(engine, || match engine {
-            Engine::Bmc => crate::bmc::check_ltl(self.sys, phi, &self.opts),
-            Engine::Bdd => crate::bdd::check_ltl(self.sys, phi, &self.opts),
-            Engine::Explicit => crate::explicit_engine::check_ltl(self.sys, phi, &self.opts),
-            Engine::SmtBmc => crate::smtbmc::check_ltl(self.sys, phi, &self.opts),
-            // k-induction does not handle liveness; fall back to the
-            // complete finite engine.
-            Engine::KInduction => crate::bdd::check_ltl(self.sys, phi, &self.opts),
-            Engine::Portfolio => {
-                crate::portfolio::check_ltl(self.sys, phi, &self.opts).map(|r| r.result)
-            }
-            Engine::Auto => unreachable!("resolved above"),
+        self.check_ltl_stats(phi, &mut Stats::default())
+    }
+
+    /// Like [`Verifier::check_ltl`], recording engine counters and phase
+    /// timings into `stats`.
+    pub fn check_ltl_stats(&self, phi: &Ltl, stats: &mut Stats) -> Result<CheckResult, McError> {
+        let kind = self.effective_engine();
+        self.wire_trace(stats);
+        contained(kind, || {
+            engine(kind).check_ltl(self.sys, phi, &self.opts, stats)
         })
+    }
+
+    /// Like [`Verifier::check_ltl`] but always returns the racing
+    /// metadata ([`crate::portfolio::CheckReport`]). Non-portfolio
+    /// engines run solo and report themselves as the winner.
+    pub fn check_ltl_report(&self, phi: &Ltl) -> Result<crate::portfolio::CheckReport, McError> {
+        use std::time::Instant;
+        match self.effective_engine() {
+            EngineKind::Portfolio => {
+                let mut stats = Stats::default();
+                self.wire_trace(&mut stats);
+                crate::portfolio::run_ltl(self.sys, phi, &self.opts, &mut stats)
+            }
+            kind => {
+                let start = Instant::now();
+                let mut stats = Stats::for_engine(kind);
+                let result = self.check_ltl_stats(phi, &mut stats)?;
+                Ok(crate::portfolio::CheckReport {
+                    winner: kind,
+                    wall: start.elapsed(),
+                    outcomes: vec![(kind, result.clone())],
+                    contender_stats: vec![(kind, stats.clone())],
+                    stats,
+                    result,
+                })
+            }
+        }
     }
 
     /// Checks a CTL property (finite engines only).
     pub fn check_ctl(&self, phi: &Ctl) -> Result<CheckResult, McError> {
-        let engine = self.effective_engine();
-        contained(engine, || match engine {
-            Engine::Explicit => crate::explicit_engine::check_ctl(self.sys, phi, &self.opts),
-            Engine::SmtBmc | Engine::Bmc => Err(McError(
-                "CTL requires a complete engine (BDD or explicit)".to_string(),
-            )),
-            Engine::Portfolio => {
-                crate::portfolio::check_ctl(self.sys, phi, &self.opts).map(|r| r.result)
-            }
-            _ => crate::bdd::check_ctl(self.sys, phi, &self.opts),
+        self.check_ctl_stats(phi, &mut Stats::default())
+    }
+
+    /// Like [`Verifier::check_ctl`], recording engine counters and phase
+    /// timings into `stats`.
+    pub fn check_ctl_stats(&self, phi: &Ctl, stats: &mut Stats) -> Result<CheckResult, McError> {
+        let kind = self.effective_engine();
+        self.wire_trace(stats);
+        contained(kind, || {
+            engine(kind).check_ctl(self.sys, phi, &self.opts, stats)
         })
+    }
+
+    /// Like [`Verifier::check_ctl`] but always returns the racing
+    /// metadata ([`crate::portfolio::CheckReport`]). Non-portfolio
+    /// engines run solo and report themselves as the winner.
+    pub fn check_ctl_report(&self, phi: &Ctl) -> Result<crate::portfolio::CheckReport, McError> {
+        use std::time::Instant;
+        match self.effective_engine() {
+            EngineKind::Portfolio => {
+                let mut stats = Stats::default();
+                self.wire_trace(&mut stats);
+                crate::portfolio::run_ctl(self.sys, phi, &self.opts, &mut stats)
+            }
+            kind => {
+                let start = Instant::now();
+                let mut stats = Stats::for_engine(kind);
+                let result = self.check_ctl_stats(phi, &mut stats)?;
+                Ok(crate::portfolio::CheckReport {
+                    winner: kind,
+                    wall: start.elapsed(),
+                    outcomes: vec![(kind, result.clone())],
+                    contender_stats: vec![(kind, stats.clone())],
+                    stats,
+                    result,
+                })
+            }
+        }
     }
 
     /// Synthesizes safe values for the given frozen parameters against an
@@ -278,8 +309,8 @@ impl<'s> Verifier<'s> {
     /// (needed by callers to fingerprint a journal before the sweep runs).
     pub fn synthesis_engine(&self, property: &Property) -> SynthesisEngine {
         match self.effective_engine() {
-            Engine::Bdd => SynthesisEngine::Bdd,
-            Engine::Explicit => SynthesisEngine::Explicit,
+            EngineKind::Bdd => SynthesisEngine::Bdd,
+            EngineKind::Explicit => SynthesisEngine::Explicit,
             _ => match property {
                 Property::Invariant(_) => SynthesisEngine::KInduction,
                 Property::Ltl(_) => SynthesisEngine::Bdd,
@@ -328,7 +359,7 @@ mod tests {
     #[test]
     fn engine_selection_respected() {
         let (sys, n) = counter();
-        let bmc = Verifier::new(&sys).engine(Engine::Bmc);
+        let bmc = Verifier::new(&sys).engine(EngineKind::Bmc);
         // BMC can only falsify; a holding invariant gives Unknown.
         let r = bmc
             .options(CheckOptions::with_depth(10))
@@ -353,7 +384,7 @@ mod tests {
     #[test]
     fn ctl_requires_complete_engine() {
         let (sys, n) = counter();
-        let v = Verifier::new(&sys).engine(Engine::Bmc);
+        let v = Verifier::new(&sys).engine(EngineKind::Bmc);
         assert!(v
             .check_ctl(&Ctl::atom(Expr::var(n).eq(Expr::int(7))).ef())
             .is_err());
@@ -362,6 +393,26 @@ mod tests {
             .check_ctl(&Ctl::atom(Expr::var(n).eq(Expr::int(7))).ef())
             .unwrap()
             .holds());
+    }
+
+    #[test]
+    fn stats_variants_record_counters() {
+        let (sys, n) = counter();
+        let v = Verifier::new(&sys);
+        let mut stats = Stats::default();
+        let r = v
+            .check_invariant_stats(&Expr::var(n).le(Expr::int(7)), &mut stats)
+            .unwrap();
+        assert!(r.holds());
+        assert_eq!(stats.engine, Some(EngineKind::KInduction));
+        assert!(!stats.counters_are_zero());
+        assert!(!stats.depths.is_empty());
+
+        let report = v
+            .check_invariant_report(&Expr::var(n).le(Expr::int(7)))
+            .unwrap();
+        assert_eq!(report.stats.engine, Some(report.winner));
+        assert!(!report.stats.counters_are_zero());
     }
 
     #[test]

@@ -4,11 +4,26 @@
 //! and (for falsification) BMC must match it on invariants, and BDD must
 //! match it on LTL verdicts.
 
-use verdict_mc::{
-    bdd, bmc, certify, explicit_engine, kind, CheckOptions, CheckResult, UnknownReason,
-};
+use verdict_mc::prelude::*;
+use verdict_mc::{certify, Stats, UnknownReason};
 use verdict_prng::Prng;
 use verdict_ts::{Expr, Ltl, System, Value, VarId};
+
+/// Dispatches an invariant check through the engine registry with a
+/// scratch stats sink.
+fn inv(kind: EngineKind, sys: &System, p: &Expr, opts: &CheckOptions) -> CheckResult {
+    engine(kind)
+        .check_invariant(sys, p, opts, &mut Stats::default())
+        .unwrap()
+}
+
+/// Dispatches an LTL check through the engine registry with a scratch
+/// stats sink.
+fn ltl(kind: EngineKind, sys: &System, phi: &Ltl, opts: &CheckOptions) -> CheckResult {
+    engine(kind)
+        .check_ltl(sys, phi, opts, &mut Stats::default())
+        .unwrap()
+}
 
 /// A random small finite system over a few booleans and one bounded int.
 /// Transitions are built from random guarded assignments so the system is
@@ -63,10 +78,10 @@ fn invariant_verdicts_agree_across_engines() {
         let bound = rng.gen_range_i64(1, 4);
         let p = Expr::var(n).lt(Expr::int(bound));
 
-        let oracle = explicit_engine::check_invariant(&sys, &p, &opts).unwrap();
-        let by_kind = kind::prove_invariant(&sys, &p, &opts).unwrap();
-        let by_bdd = bdd::check_invariant(&sys, &p, &opts).unwrap();
-        let by_bmc = bmc::check_invariant(&sys, &p, &opts).unwrap();
+        let oracle = inv(EngineKind::Explicit, &sys, &p, &opts);
+        let by_kind = inv(EngineKind::KInduction, &sys, &p, &opts);
+        let by_bdd = inv(EngineKind::Bdd, &sys, &p, &opts);
+        let by_bmc = inv(EngineKind::Bmc, &sys, &p, &opts);
 
         assert_eq!(
             oracle.holds(),
@@ -116,15 +131,15 @@ fn ltl_verdicts_agree_between_bdd_and_explicit() {
             3 => Ltl::atom(atom_n).eventually().always(),         // G F
             _ => Ltl::atom(atom_b).until(Ltl::atom(atom_n)),
         };
-        let oracle = explicit_engine::check_ltl(&sys, &phi, &opts).unwrap();
-        let by_bdd = bdd::check_ltl(&sys, &phi, &opts).unwrap();
+        let oracle = ltl(EngineKind::Explicit, &sys, &phi, &opts);
+        let by_bdd = ltl(EngineKind::Bdd, &sys, &phi, &opts);
         assert_eq!(
             oracle.holds(),
             by_bdd.holds(),
             "seed {seed} property {phi}\n{sys}"
         );
         // BMC lasso search must agree whenever it returns a verdict.
-        let by_bmc = bmc::check_ltl(&sys, &phi, &opts).unwrap();
+        let by_bmc = ltl(EngineKind::Bmc, &sys, &phi, &opts);
         if by_bmc.violated() {
             assert!(oracle.violated(), "seed {seed}: BMC phantom lasso {phi}");
         }
@@ -149,7 +164,7 @@ fn lasso_counterexamples_replay_under_semantics() {
         let (sys, bools, _n) = random_system(seed.wrapping_mul(131));
         let p = Expr::var(bools[0]);
         let phi = Ltl::atom(p.clone()).always().eventually(); // F G p
-        let r = bmc::check_ltl(&sys, &phi, &opts).unwrap();
+        let r = ltl(EngineKind::Bmc, &sys, &phi, &opts);
         let Some(trace) = r.trace() else { continue };
         let l = trace.loop_back.expect("liveness trace is a lasso");
         // Legal transitions.
@@ -186,16 +201,15 @@ fn certify_mode_agrees_with_plain_verdicts_across_engines() {
         let (sys, _bools, n) = random_system(seed.wrapping_mul(577));
         let mut rng = Prng::seed_from_u64(seed ^ 0x77aa);
         let p = Expr::var(n).lt(Expr::int(rng.gen_range_i64(1, 4)));
-        type Check = fn(&System, &Expr, &CheckOptions) -> Result<CheckResult, verdict_mc::McError>;
-        let engines: [(&str, Check); 4] = [
-            ("bmc", bmc::check_invariant),
-            ("kind", kind::prove_invariant),
-            ("bdd", bdd::check_invariant),
-            ("explicit", explicit_engine::check_invariant),
+        let engines = [
+            ("bmc", EngineKind::Bmc),
+            ("kind", EngineKind::KInduction),
+            ("bdd", EngineKind::Bdd),
+            ("explicit", EngineKind::Explicit),
         ];
-        for (name, check) in engines {
-            let a = check(&sys, &p, &plain).unwrap();
-            let b = check(&sys, &p, &certified).unwrap();
+        for (name, kind) in engines {
+            let a = inv(kind, &sys, &p, &plain);
+            let b = inv(kind, &sys, &p, &certified);
             assert_eq!(a.holds(), b.holds(), "seed {seed} {name}\n{sys}");
             assert_eq!(a.violated(), b.violated(), "seed {seed} {name}\n{sys}");
             assert!(
@@ -216,11 +230,11 @@ fn certified_ltl_verdicts_survive_replay() {
     for seed in 0..15u64 {
         let (sys, bools, _n) = random_system(seed.wrapping_mul(8121));
         let phi = Ltl::atom(Expr::var(bools[0])).always().eventually();
-        let a = bmc::check_ltl(&sys, &phi, &plain).unwrap();
-        let b = bmc::check_ltl(&sys, &phi, &certified).unwrap();
+        let a = ltl(EngineKind::Bmc, &sys, &phi, &plain);
+        let b = ltl(EngineKind::Bmc, &sys, &phi, &certified);
         assert_eq!(a.violated(), b.violated(), "seed {seed} bmc\n{sys}");
-        let a = bdd::check_ltl(&sys, &phi, &plain).unwrap();
-        let b = bdd::check_ltl(&sys, &phi, &certified).unwrap();
+        let a = ltl(EngineKind::Bdd, &sys, &phi, &plain);
+        let b = ltl(EngineKind::Bdd, &sys, &phi, &certified);
         assert_eq!(a.holds(), b.holds(), "seed {seed} bdd\n{sys}");
         assert_eq!(a.violated(), b.violated(), "seed {seed} bdd\n{sys}");
     }
@@ -246,7 +260,7 @@ fn mutated_invariant_trace_is_rejected() {
     // legal transition of the deterministic counter.
     let (sys, n) = det_counter(5);
     let p = Expr::var(n).lt(Expr::int(3));
-    let r = bmc::check_invariant(&sys, &p, &CheckOptions::with_depth(8)).unwrap();
+    let r = inv(EngineKind::Bmc, &sys, &p, &CheckOptions::with_depth(8));
     let CheckResult::Violated(mut trace) = r else {
         panic!("n reaches 3")
     };
@@ -272,7 +286,7 @@ fn mutated_lasso_trace_is_rejected() {
     sys.add_init(Expr::var(x));
     sys.add_trans(Expr::next(x).eq(Expr::var(x).not()));
     let phi = Ltl::atom(Expr::var(x)).always().eventually();
-    let r = bmc::check_ltl(&sys, &phi, &CheckOptions::with_depth(8)).unwrap();
+    let r = ltl(EngineKind::Bmc, &sys, &phi, &CheckOptions::with_depth(8));
     let CheckResult::Violated(mut trace) = r else {
         panic!("oscillator violates F G x")
     };
@@ -300,7 +314,7 @@ fn counterexample_traces_replay_under_semantics() {
     for seed in 0..25u64 {
         let (sys, _b, n) = random_system(seed.wrapping_mul(31));
         let p = Expr::var(n).lt(Expr::int(2));
-        let r = bmc::check_invariant(&sys, &p, &opts).unwrap();
+        let r = inv(EngineKind::Bmc, &sys, &p, &opts);
         let Some(trace) = r.trace() else { continue };
         // Initial state satisfies INIT and INVAR.
         let first = &trace.states[0];

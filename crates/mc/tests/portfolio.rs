@@ -5,7 +5,8 @@
 use std::time::{Duration, Instant};
 
 use verdict_mc::portfolio;
-use verdict_mc::{bdd, bmc, kind, CheckOptions, CheckResult, Engine, UnknownReason};
+use verdict_mc::prelude::*;
+use verdict_mc::{McError, Stats, UnknownReason};
 use verdict_ts::{Expr, System, VarId};
 
 /// A counter with a huge range: k-induction proves `c <= top` instantly
@@ -31,10 +32,13 @@ fn loser_observes_stop_flag_and_exits_promptly() {
     let (sys, c) = slow_for_bdd(1 << 20);
     let p = Expr::var(c).le(Expr::int(1 << 20));
     let started = Instant::now();
-    let report = portfolio::check_invariant(&sys, &p, &CheckOptions::default()).unwrap();
+    let report = Verifier::new(&sys)
+        .engine(EngineKind::Portfolio)
+        .check_invariant_report(&p)
+        .unwrap();
     let wall = started.elapsed();
     assert!(report.result.holds(), "{}", report.result);
-    assert_eq!(report.winner, Engine::KInduction);
+    assert_eq!(report.winner, EngineKind::KInduction);
     assert!(
         wall < Duration::from_secs(20),
         "portfolio took {wall:?}; loser did not cancel"
@@ -43,7 +47,7 @@ fn loser_observes_stop_flag_and_exits_promptly() {
     let bdd_outcome = report
         .outcomes
         .iter()
-        .find(|(e, _)| *e == Engine::Bdd)
+        .find(|(e, _)| *e == EngineKind::Bdd)
         .map(|(_, r)| r.clone());
     assert!(
         matches!(
@@ -63,15 +67,25 @@ fn portfolio_agrees_with_every_sequential_engine() {
         Expr::var(c).lt(Expr::int(4)), // violated at depth 4
         Expr::var(c).ne(Expr::int(7)), // violated at the fixpoint
     ] {
-        let report = portfolio::check_invariant(&sys, &prop, &opts).unwrap();
-        let b = bdd::check_invariant(&sys, &prop, &opts).unwrap();
-        let k = kind::prove_invariant(&sys, &prop, &opts).unwrap();
+        let report = Verifier::new(&sys)
+            .engine(EngineKind::Portfolio)
+            .options(opts.clone())
+            .check_invariant_report(&prop)
+            .unwrap();
+        let b = engine(EngineKind::Bdd)
+            .check_invariant(&sys, &prop, &opts, &mut Stats::default())
+            .unwrap();
+        let k = engine(EngineKind::KInduction)
+            .check_invariant(&sys, &prop, &opts, &mut Stats::default())
+            .unwrap();
         assert_eq!(report.result.holds(), b.holds(), "vs bdd: {prop:?}");
         assert_eq!(report.result.violated(), b.violated(), "vs bdd: {prop:?}");
         assert_eq!(report.result.holds(), k.holds(), "vs kind: {prop:?}");
         assert_eq!(report.result.violated(), k.violated(), "vs kind: {prop:?}");
         // BMC is a falsifier: on violated properties it must agree too.
-        let m = bmc::check_invariant(&sys, &prop, &opts).unwrap();
+        let m = engine(EngineKind::Bmc)
+            .check_invariant(&sys, &prop, &opts, &mut Stats::default())
+            .unwrap();
         if report.result.violated() {
             assert!(m.violated(), "vs bmc: {prop:?}");
         }
@@ -85,27 +99,29 @@ fn injected_panicking_contender_is_contained() {
     // still delivers the verdict.
     let (sys, c) = slow_for_bdd(7);
     let p = Expr::var(c).le(Expr::int(7));
-    let contenders: Vec<(Engine, portfolio::Contender)> = vec![
+    let contenders: Vec<(EngineKind, portfolio::Contender)> = vec![
         (
-            Engine::Bmc,
+            EngineKind::Bmc,
             Box::new(
-                |_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
+                |_o: &CheckOptions, _st: &mut Stats| -> Result<CheckResult, McError> {
                     panic!("injected engine failure")
                 },
             ),
         ),
         (
-            Engine::KInduction,
-            Box::new(|o: &CheckOptions| kind::prove_invariant(&sys, &p, o)),
+            EngineKind::KInduction,
+            Box::new(|o: &CheckOptions, st: &mut Stats| {
+                engine(EngineKind::KInduction).check_invariant(&sys, &p, o, st)
+            }),
         ),
     ];
     let report = portfolio::race(&CheckOptions::default(), contenders).unwrap();
     assert!(report.result.holds(), "survivor verdict: {}", report.result);
-    assert_eq!(report.winner, Engine::KInduction);
+    assert_eq!(report.winner, EngineKind::KInduction);
     let crashed = report
         .outcomes
         .iter()
-        .find(|(e, _)| *e == Engine::Bmc)
+        .find(|(e, _)| *e == EngineKind::Bmc)
         .map(|(_, r)| r.clone());
     assert!(
         matches!(
@@ -120,10 +136,10 @@ fn injected_panicking_contender_is_contained() {
 fn all_contenders_panicking_degrades_to_engine_failure() {
     // With every contender down the race must still return (no hang, no
     // propagated panic), reporting the failure as an Unknown verdict.
-    let contenders: Vec<(Engine, portfolio::Contender)> = vec![(
-        Engine::Bmc,
+    let contenders: Vec<(EngineKind, portfolio::Contender)> = vec![(
+        EngineKind::Bmc,
         Box::new(
-            |_o: &CheckOptions| -> Result<CheckResult, verdict_mc::McError> {
+            |_o: &CheckOptions, _st: &mut Stats| -> Result<CheckResult, McError> {
                 panic!("injected engine failure")
             },
         ),
@@ -155,7 +171,11 @@ fn deadline_still_bounds_a_portfolio_without_winner() {
     }
     .with_timeout(Duration::from_millis(300));
     let started = Instant::now();
-    let report = portfolio::check_invariant(&sys, &p, &opts).unwrap();
+    let report = Verifier::new(&sys)
+        .engine(EngineKind::Portfolio)
+        .options(opts)
+        .check_invariant_report(&p)
+        .unwrap();
     assert!(
         matches!(report.result, CheckResult::Unknown(_)),
         "{}",

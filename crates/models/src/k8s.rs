@@ -204,12 +204,22 @@ pub fn descheduler_oscillation(request_pct: i64, evict_threshold_pct: i64) -> K8
 #[cfg(test)]
 mod tests {
     use super::*;
-    use verdict_mc::{bdd, bmc, kind, CheckOptions};
+    use verdict_mc::prelude::*;
+    use verdict_mc::Stats;
+
+    /// Trait dispatch for LTL with a scratch stats sink.
+    fn ltl_check(kind: EngineKind, sys: &System, phi: &Ltl, opts: &CheckOptions) -> CheckResult {
+        engine(kind)
+            .check_ltl(sys, phi, opts, &mut Stats::default())
+            .unwrap()
+    }
 
     fn check(model: &K8sModel, opts: &CheckOptions) -> verdict_mc::CheckResult {
         match &model.property {
-            K8sProperty::Invariant(p) => bmc::check_invariant(&model.system, p, opts).unwrap(),
-            K8sProperty::Ltl(phi) => bmc::check_ltl(&model.system, phi, opts).unwrap(),
+            K8sProperty::Invariant(p) => engine(EngineKind::Bmc)
+                .check_invariant(&model.system, p, opts, &mut Stats::default())
+                .unwrap(),
+            K8sProperty::Ltl(phi) => ltl_check(EngineKind::Bmc, &model.system, phi, opts),
         }
     }
 
@@ -240,7 +250,7 @@ mod tests {
         fixed.add_trans(Expr::var(pod).eq(c(1)).implies(Expr::next(pod).eq(c(2))));
         fixed.add_trans(Expr::var(pod).eq(c(2)).implies(Expr::next(pod).eq(c(2))));
         let phi = Ltl::atom(Expr::var(pod).eq(c(2))).always().eventually();
-        let r = bdd::check_ltl(&fixed, &phi, &CheckOptions::default()).unwrap();
+        let r = ltl_check(EngineKind::Bdd, &fixed, &phi, &CheckOptions::default());
         assert!(r.holds(), "{r}");
     }
 
@@ -261,7 +271,14 @@ mod tests {
         let K8sProperty::Invariant(p) = &m.property else {
             panic!()
         };
-        let r = kind::prove_invariant(&m.system, p, &CheckOptions::with_depth(12)).unwrap();
+        let r = engine(EngineKind::KInduction)
+            .check_invariant(
+                &m.system,
+                p,
+                &CheckOptions::with_depth(12),
+                &mut Stats::default(),
+            )
+            .unwrap();
         assert!(r.holds(), "{r}");
     }
 
@@ -287,7 +304,7 @@ mod tests {
         let K8sProperty::Ltl(phi) = &m.property else {
             panic!()
         };
-        let r = bdd::check_ltl(&m.system, phi, &CheckOptions::default()).unwrap();
+        let r = ltl_check(EngineKind::Bdd, &m.system, phi, &CheckOptions::default());
         assert!(r.holds(), "{r}");
     }
 }

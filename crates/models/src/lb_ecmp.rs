@@ -203,7 +203,15 @@ impl LbModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use verdict_mc::{smtbmc, CheckOptions};
+    use verdict_mc::prelude::*;
+    use verdict_mc::Stats;
+
+    /// SMT-BMC LTL check through the engine registry.
+    fn smt_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> CheckResult {
+        engine(EngineKind::SmtBmc)
+            .check_ltl(sys, phi, opts, &mut Stats::default())
+            .unwrap()
+    }
     use verdict_ts::Value;
 
     #[test]
@@ -218,7 +226,7 @@ mod tests {
         // The paper: "the model checker finds a counter-example where the
         // system is unstable even before the sudden external traffic."
         let m = LbModel::build(&LbSpec::default());
-        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10)).unwrap();
+        let r = smt_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10));
         let t = r.trace().expect("F G stable must fail");
         assert!(t.loop_back.is_some(), "lasso expected:\n{t}");
     }
@@ -229,12 +237,11 @@ mod tests {
         // equilibrium exists from which the system starts oscillating
         // (after the external-traffic event) and never re-stabilizes.
         let m = LbModel::build(&LbSpec::default());
-        let r = smtbmc::check_ltl(
+        let r = smt_ltl(
             &m.system,
             &m.conditional_liveness,
             &CheckOptions::with_depth(12),
-        )
-        .unwrap();
+        );
         let t = r.trace().expect("equilibrium → F G stable must fail");
         let l = t.loop_back.expect("lasso");
         // The loop must contain weight flapping: some state in the loop
@@ -252,7 +259,7 @@ mod tests {
     #[test]
     fn counterexample_parameters_are_positive() {
         let m = LbModel::build(&LbSpec::default());
-        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10)).unwrap();
+        let r = smt_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10));
         let t = r.trace().unwrap();
         for name in ["m_a", "m_b", "m_link", "l_a", "l_b", "l_link"] {
             let Value::Real(v) = t.value(0, name).unwrap() else {
@@ -265,7 +272,7 @@ mod tests {
     #[test]
     fn turns_alternate_and_history_shifts() {
         let m = LbModel::build(&LbSpec::default());
-        let r = smtbmc::check_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10)).unwrap();
+        let r = smt_ltl(&m.system, &m.liveness, &CheckOptions::with_depth(10));
         let t = r.trace().unwrap();
         for step in 0..t.len() - 1 {
             assert_ne!(

@@ -185,7 +185,8 @@ pub fn bigquery_router_18037(demand: i64) -> LibraryModel {
 mod tests {
     use super::*;
     use verdict_mc::params::Property;
-    use verdict_mc::{CheckOptions, Verifier};
+    use verdict_mc::prelude::*;
+    use verdict_mc::Stats;
     use verdict_ts::Value;
 
     fn synth(model: &LibraryModel, depth: usize) -> Vec<i64> {
@@ -225,9 +226,14 @@ mod tests {
         let model = rate_limiter_retry(3, 2);
         let mut sys = model.system.clone();
         sys.add_invar(Expr::var(model.parameter.unwrap()).eq(Expr::int(1)));
-        let r =
-            verdict_mc::bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(16))
-                .unwrap();
+        let r = engine(EngineKind::Bmc)
+            .check_invariant(
+                &sys,
+                &model.property,
+                &CheckOptions::with_depth(16),
+                &mut Stats::default(),
+            )
+            .unwrap();
         let t = r.trace().expect("retry storm");
         // The retry backlog exceeds a full round of demand.
         let last = t.states.last().unwrap();
@@ -248,9 +254,14 @@ mod tests {
         // requests -> pressure -> throttling -> capacity < demand.
         let mut sys = model.system.clone();
         sys.add_invar(Expr::var(model.parameter.unwrap()).eq(Expr::int(2)));
-        let r =
-            verdict_mc::bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(16))
-                .unwrap();
+        let r = engine(EngineKind::Bmc)
+            .check_invariant(
+                &sys,
+                &model.property,
+                &CheckOptions::with_depth(16),
+                &mut Stats::default(),
+            )
+            .unwrap();
         let t = r.trace().expect("incident reproduces");
         let pressure_peaked =
             (0..t.len()).any(|s| matches!(t.value(s, "pressure"), Some(Value::Int(n)) if *n >= 2));

@@ -279,7 +279,15 @@ impl RolloutModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use verdict_mc::{bmc, kind, CheckOptions};
+    use verdict_mc::prelude::*;
+    use verdict_mc::Stats;
+
+    /// Trait dispatch with a scratch stats sink.
+    fn inv(kind: EngineKind, sys: &System, p: &Expr, opts: &CheckOptions) -> CheckResult {
+        engine(kind)
+            .check_invariant(sys, p, opts, &mut Stats::default())
+            .unwrap()
+    }
     use verdict_ts::Value;
 
     fn test_model(recompute: bool) -> RolloutModel {
@@ -314,7 +322,12 @@ mod tests {
         // Fig. 5: p = m = 1, k = 2 violates the property.
         let model = test_model(true);
         let sys = model.pinned(1, 2, 1);
-        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8)).unwrap();
+        let r = inv(
+            EngineKind::Bmc,
+            &sys,
+            &model.property,
+            &CheckOptions::with_depth(8),
+        );
         let t = r.trace().expect("violated, as in the paper's Fig. 5");
         // The violating state has fewer available nodes than m = 1.
         let last = t.states.last().unwrap();
@@ -328,8 +341,12 @@ mod tests {
         // 4 available forever.
         let model = test_model(true);
         let sys = model.pinned(0, 0, 1);
-        let r =
-            kind::prove_invariant(&sys, &model.property, &CheckOptions::with_depth(12)).unwrap();
+        let r = inv(
+            EngineKind::KInduction,
+            &sys,
+            &model.property,
+            &CheckOptions::with_depth(12),
+        );
         assert!(r.holds(), "{r}");
     }
 
@@ -346,18 +363,18 @@ mod tests {
         ] {
             let with_loop = test_model(true);
             let direct = test_model(false);
-            let r1 = bmc::check_invariant(
+            let r1 = inv(
+                EngineKind::Bmc,
                 &with_loop.pinned(p, k, m),
                 &with_loop.property,
                 &CheckOptions::with_depth(8),
-            )
-            .unwrap();
-            let r2 = bmc::check_invariant(
+            );
+            let r2 = inv(
+                EngineKind::Bmc,
                 &direct.pinned(p, k, m),
                 &direct.property,
                 &CheckOptions::with_depth(8),
-            )
-            .unwrap();
+            );
             assert_eq!(
                 r1.violated(),
                 expect_violation,
@@ -379,11 +396,21 @@ mod tests {
         let sys = model.pinned(1, 0, 0);
         // Violation of "updated_s1 is never true" shows updates do happen.
         let never_updated = Expr::var(model.updated[0]).not();
-        let r = bmc::check_invariant(&sys, &never_updated, &CheckOptions::with_depth(6)).unwrap();
+        let r = inv(
+            EngineKind::Bmc,
+            &sys,
+            &never_updated,
+            &CheckOptions::with_depth(6),
+        );
         assert!(r.violated(), "s1 can be updated");
         // An updated node that is down again would violate the machine.
         let bad = Expr::var(model.updated[0]).and(Expr::var(model.down[0]));
-        let r = kind::prove_invariant(&sys, &bad.not(), &CheckOptions::with_depth(10)).unwrap();
+        let r = inv(
+            EngineKind::KInduction,
+            &sys,
+            &bad.not(),
+            &CheckOptions::with_depth(10),
+        );
         assert!(r.holds(), "updated implies up: {r}");
     }
 
@@ -395,7 +422,12 @@ mod tests {
         let spec = RolloutSpec::paper_gradual(Topology::test_topology());
         let model = RolloutModel::build(&spec).expect("valid topology");
         let sys = model.pinned(1, 2, 1);
-        let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8)).unwrap();
+        let r = inv(
+            EngineKind::Bmc,
+            &sys,
+            &model.property,
+            &CheckOptions::with_depth(8),
+        );
         let t = r.trace().expect("still violated, just gradually");
         assert!(t.len() >= 3, "gradual trace has ≥ 2 failure steps:\n{t}");
         // No step introduces more than one new failure.

@@ -200,6 +200,8 @@ pub struct Stats {
     pub restarts: u64,
     /// Learnt clauses currently in the database.
     pub learnt_clauses: u64,
+    /// Total literals across all clauses ever learnt (unit learnts included).
+    pub learnt_literals: u64,
     /// Learnt clauses deleted by database reductions.
     pub deleted_clauses: u64,
     /// Theory final-check invocations.
@@ -444,6 +446,7 @@ impl Solver {
         });
         if learnt {
             self.stats.learnt_clauses += 1;
+            self.stats.learnt_literals += self.clauses[id as usize].lits.len() as u64;
         }
         id
     }
@@ -897,6 +900,7 @@ impl Solver {
                     self.log_proof(ProofEvent::Learn(learnt.clone()));
                 }
                 if learnt.len() == 1 {
+                    self.stats.learnt_literals += 1;
                     self.cancel_until(0);
                     if self.lit_value(asserting) == LBool::False {
                         self.log_proof(ProofEvent::Learn(Vec::new()));

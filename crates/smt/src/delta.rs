@@ -4,7 +4,7 @@
 //! so the simplex works in the ordered field Q(δ) where `x < c` becomes
 //! `x ≤ c - δ`. At the end, any found solution can be mapped back to plain
 //! rationals by substituting a small enough concrete positive δ
-//! ([`DeltaRational::concretize`] in `solver.rs` picks one by search).
+//! ([`crate::simplex::Simplex::concrete_delta`] picks one by search).
 
 use std::cmp::Ordering;
 use std::fmt;

@@ -10,7 +10,7 @@
 //! Architecture (classic lazy DPLL(T), Dutertre & de Moura, CAV'06):
 //!
 //! * [`LinExpr`] — linear expressions over [`TheoryVar`]s with exact
-//!   [`Rational`] coefficients.
+//!   [`verdict_logic::Rational`] coefficients.
 //! * [`delta::DeltaRational`] — rationals extended with an infinitesimal
 //!   `δ`, so strict bounds (`<`, `>`) reduce to weak bounds.
 //! * [`simplex::Simplex`] — the general simplex with per-variable bounds,

@@ -73,6 +73,10 @@ pub struct Simplex {
     upper: Vec<Option<Bound>>,
     /// Pivot counter (diagnostics).
     pivots: u64,
+    /// Nonbasic-variable bound flips (diagnostics).
+    bound_flips: u64,
+    /// Times tableau arithmetic overflowed and poisoned the valuation.
+    poisonings: u64,
     /// Raised when tableau arithmetic overflowed `i128`; the valuation is
     /// then unreliable and `check` reports [`SimplexResult::Overflow`].
     poisoned: bool,
@@ -95,6 +99,8 @@ impl Simplex {
             lower: Vec::new(),
             upper: Vec::new(),
             pivots: 0,
+            bound_flips: 0,
+            poisonings: 0,
             poisoned: false,
         }
     }
@@ -113,6 +119,22 @@ impl Simplex {
     /// Pivot operations performed so far.
     pub fn pivots(&self) -> u64 {
         self.pivots
+    }
+
+    /// Nonbasic-variable bound flips performed so far.
+    pub fn bound_flips(&self) -> u64 {
+        self.bound_flips
+    }
+
+    /// Times tableau arithmetic overflowed and poisoned the valuation.
+    pub fn poisonings(&self) -> u64 {
+        self.poisonings
+    }
+
+    /// Records an arithmetic overflow: raises the poison flag and counts it.
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.poisonings += 1;
     }
 
     /// Adds a fresh unconstrained variable and returns its index.
@@ -142,7 +164,7 @@ impl Simplex {
             match self.val[v].try_scale(c).and_then(|t| value.try_add(t)) {
                 Some(next) => value = next,
                 None => {
-                    self.poisoned = true;
+                    self.poison();
                     return s;
                 }
             }
@@ -154,12 +176,12 @@ impl Simplex {
                         .try_mul(cu)
                         .is_some_and(|ccu| add_coeff(&mut coeffs, u, ccu));
                     if !ok {
-                        self.poisoned = true;
+                        self.poison();
                         return s;
                     }
                 }
             } else if !add_coeff(&mut coeffs, v, c) {
-                self.poisoned = true;
+                self.poison();
                 return s;
             }
         }
@@ -246,8 +268,9 @@ impl Simplex {
     /// Sets a nonbasic variable's value, propagating to basic variables.
     /// On `i128` overflow the tableau is poisoned and the update aborted.
     fn update_nonbasic(&mut self, v: usize, to: DeltaRational) {
+        self.bound_flips += 1;
         let Some(d) = to.try_sub(self.val[v]) else {
-            self.poisoned = true;
+            self.poison();
             return;
         };
         for i in 0..self.rows.len() {
@@ -256,7 +279,7 @@ impl Simplex {
                 match d.try_scale(c).and_then(|t| self.val[basic].try_add(t)) {
                     Some(next) => self.val[basic] = next,
                     None => {
-                        self.poisoned = true;
+                        self.poison();
                         return;
                     }
                 }
@@ -274,7 +297,7 @@ impl Simplex {
             use verdict_journal::fault;
             match fault::probe("smt.pivot") {
                 Some(fault::FaultKind::Panic) => panic!("{} at smt.pivot", fault::PANIC_TAG),
-                Some(fault::FaultKind::Overflow) => self.poisoned = true,
+                Some(fault::FaultKind::Overflow) => self.poison(),
                 _ => {}
             }
         }
@@ -377,7 +400,7 @@ impl Simplex {
         {
             Some(t) => t,
             None => {
-                self.poisoned = true;
+                self.poison();
                 return;
             }
         };
@@ -385,7 +408,7 @@ impl Simplex {
         match self.val[xj].try_add(theta) {
             Some(next) => self.val[xj] = next,
             None => {
-                self.poisoned = true;
+                self.poison();
                 return;
             }
         }
@@ -399,7 +422,7 @@ impl Simplex {
                 match theta.try_scale(c).and_then(|t| self.val[basic].try_add(t)) {
                     Some(next) => self.val[basic] = next,
                     None => {
-                        self.poisoned = true;
+                        self.poison();
                         return;
                     }
                 }
@@ -419,7 +442,7 @@ impl Simplex {
                         new_coeffs.insert(k, -ai);
                     }
                     None => {
-                        self.poisoned = true;
+                        self.poison();
                         return;
                     }
                 }
@@ -441,7 +464,7 @@ impl Simplex {
                         .try_mul(cu)
                         .is_some_and(|ccu| add_coeff(&mut self.rows[k].coeffs, u, ccu));
                     if !ok {
-                        self.poisoned = true;
+                        self.poison();
                         return;
                     }
                 }

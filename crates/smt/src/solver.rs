@@ -387,6 +387,16 @@ impl SmtSolver {
     pub fn simplex_pivots(&self) -> u64 {
         self.simplex.pivots()
     }
+
+    /// Nonbasic bound-flip count from the simplex core.
+    pub fn simplex_bound_flips(&self) -> u64 {
+        self.simplex.bound_flips()
+    }
+
+    /// Times the simplex core overflowed `i128` and poisoned its valuation.
+    pub fn simplex_poisonings(&self) -> u64 {
+        self.simplex.poisonings()
+    }
 }
 
 /// The theory hook: asserts atom bounds per the Boolean model's polarity

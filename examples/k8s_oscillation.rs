@@ -11,7 +11,8 @@
 //! Run with: `cargo run --release --example k8s_oscillation`
 
 use verdict::ksim::ClusterSpec;
-use verdict::mc::{bdd, bmc, CheckOptions};
+use verdict::mc::prelude::*;
+use verdict::mc::Stats;
 use verdict::models::k8s::{descheduler_oscillation, K8sProperty};
 
 fn main() {
@@ -33,7 +34,14 @@ fn main() {
     let K8sProperty::Ltl(phi) = &model.property else {
         unreachable!()
     };
-    let result = bmc::check_ltl(&model.system, phi, &CheckOptions::with_depth(12)).unwrap();
+    let result = engine(EngineKind::Bmc)
+        .check_ltl(
+            &model.system,
+            phi,
+            &CheckOptions::with_depth(12),
+            &mut Stats::default(),
+        )
+        .unwrap();
     match result.trace() {
         Some(t) => println!(
             "  F(G settled) VIOLATED — lasso of {} states (loop at {}):\n{t}",
@@ -48,6 +56,13 @@ fn main() {
     let K8sProperty::Ltl(phi) = &fixed.property else {
         unreachable!()
     };
-    let result = bdd::check_ltl(&fixed.system, phi, &CheckOptions::default()).unwrap();
+    let result = engine(EngineKind::Bdd)
+        .check_ltl(
+            &fixed.system,
+            phi,
+            &CheckOptions::default(),
+            &mut Stats::default(),
+        )
+        .unwrap();
     println!("  with threshold 60% > request 50%: {result}");
 }

@@ -8,7 +8,7 @@
 //! *lasso-shaped execution* on which the weights oscillate forever —
 //! the paper's `F G stable` and `stable → F G stable` violations.
 
-use verdict::mc::smtbmc;
+use verdict::mc::Stats;
 use verdict::prelude::*;
 
 fn main() {
@@ -22,13 +22,22 @@ fn main() {
     // ---- F G stable -----------------------------------------------------
     println!("checking F G stable (the paper: fails even before the event):");
     let opts = CheckOptions::with_depth(10);
-    let result = smtbmc::check_ltl(&model.system, &model.liveness, &opts).unwrap();
+    let result = engine(EngineKind::SmtBmc)
+        .check_ltl(&model.system, &model.liveness, &opts, &mut Stats::default())
+        .unwrap();
     report(&result);
 
     // ---- equilibrium -> F G stable ---------------------------------------
     println!("\nchecking equilibrium -> F G stable (the refined property):");
     let opts = CheckOptions::with_depth(12);
-    let result = smtbmc::check_ltl(&model.system, &model.conditional_liveness, &opts).unwrap();
+    let result = engine(EngineKind::SmtBmc)
+        .check_ltl(
+            &model.system,
+            &model.conditional_liveness,
+            &opts,
+            &mut Stats::default(),
+        )
+        .unwrap();
     report(&result);
 }
 

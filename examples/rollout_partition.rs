@@ -28,7 +28,7 @@ fn main() {
     // ---- 1. falsification (Fig. 5) ------------------------------------
     let unsafe_sys = model.pinned(1, 2, 1);
     let verifier = Verifier::new(&unsafe_sys)
-        .engine(Engine::Bmc)
+        .engine(EngineKind::Bmc)
         .options(CheckOptions::with_depth(10));
     let result = verifier.check_invariant(&model.property).unwrap();
     println!("p = 1, k = 2, m = 1 (the paper's Fig. 5 setting):");

@@ -14,6 +14,7 @@ cargo test --workspace -q
 
 if [[ "${1:-}" != "--quick" ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 fi
 
 # Certified verdicts on the case-study examples: every counterexample must
@@ -34,6 +35,46 @@ for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
         exit 1
     fi
 done
+
+# Observability smoke: --stats --json must emit the versioned schema-2
+# document with nonzero counters and per-depth timings, and --trace must
+# write parseable JSONL, on both case-study models.
+stats_smoke_dir=$(mktemp -d)
+for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
+    trace_file="$stats_smoke_dir/$(basename "$model").trace.jsonl"
+    status=0
+    out=$(./target/release/verdict check "$model" --stats --json --trace "$trace_file") \
+        || status=$?
+    if [[ $status != 0 && $status != 2 ]]; then
+        echo "check.sh: verdict check --stats failed on $model (exit $status)" >&2
+        exit 1
+    fi
+    for field in '^{"schema":2,' '"stats":{"schema":2' '"depths":\[{"depth":' \
+                 '"phases":{"encode_us":' '"contenders":\['; do
+        if ! grep -qE "$field" <<<"$out"; then
+            echo "check.sh: --stats --json on $model missing $field" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+    done
+    # At least one counter group reports work (the determinism tests pin
+    # exact values; here we only require non-emptiness).
+    if ! grep -qE '"(decisions|pivots|nodes_allocated|states_visited)":[1-9]' <<<"$out"; then
+        echo "check.sh: --stats --json on $model has all-zero counters" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if [[ ! -s "$trace_file" ]]; then
+        echo "check.sh: --trace wrote nothing for $model" >&2
+        exit 1
+    fi
+    if grep -vqE '^\{"ts_us":[0-9]+,"kind":"(span|depth|mark)",' "$trace_file"; then
+        echo "check.sh: malformed trace line in $trace_file" >&2
+        grep -vE '^\{"ts_us":[0-9]+,"kind":"(span|depth|mark)",' "$trace_file" | head >&2
+        exit 1
+    fi
+done
+rm -rf "$stats_smoke_dir"
 
 # Incremental-synthesis smoke: one repetition on the small test topology.
 # The bench binary asserts the incremental sweep is verdict-for-verdict

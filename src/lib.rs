@@ -77,7 +77,9 @@ pub use verdict_incidents as incidents;
 pub mod prelude {
     pub use verdict_logic::Rational;
     pub use verdict_mc::params::Property;
-    pub use verdict_mc::{CheckOptions, CheckResult, Engine, Verifier};
+    pub use verdict_mc::{
+        engine, CheckOptions, CheckResult, Engine, EngineKind, Stats, UnknownReason, Verifier,
+    };
     pub use verdict_models::lb_ecmp::{LbModel, LbSpec};
     pub use verdict_models::{RolloutModel, RolloutSpec, Topology};
     pub use verdict_ts::{Ctl, Expr, Ltl, Sort, System, Trace, Value, VarKind};

@@ -6,8 +6,15 @@
 //! `Unknown(CertificateRejected)`; and `Holds` verdicts from k-induction
 //! must survive the fresh proof-logged re-check.
 
-use verdict::mc::{bmc, certify, kind, smtbmc, UnknownReason};
+use verdict::mc::{certify, UnknownReason};
 use verdict::prelude::*;
+
+/// Trait dispatch with a scratch stats sink.
+fn inv(kind: EngineKind, sys: &System, p: &Expr, opts: &CheckOptions) -> CheckResult {
+    engine(kind)
+        .check_invariant(sys, p, opts, &mut Stats::default())
+        .unwrap()
+}
 
 fn fig5_model() -> (RolloutModel, System) {
     let model = RolloutModel::build(&RolloutSpec::paper(Topology::test_topology()))
@@ -24,12 +31,12 @@ fn case_study_1_counterexamples_certify_across_engines() {
     let (model, sys) = fig5_model();
     let opts = CheckOptions::with_depth(8).with_certify();
 
-    let r = bmc::check_invariant(&sys, &model.property, &opts).unwrap();
+    let r = inv(EngineKind::Bmc, &sys, &model.property, &opts);
     let t = r.trace().expect("BMC violation must survive replay");
     certify::validate_invariant_cex(&sys, &model.property, t).expect("replay");
 
     // k-induction's embedded base case finds the same violation.
-    let r = kind::prove_invariant(&sys, &model.property, &opts).unwrap();
+    let r = inv(EngineKind::KInduction, &sys, &model.property, &opts);
     let t = r
         .trace()
         .expect("k-induction violation must survive replay");
@@ -44,7 +51,7 @@ fn case_study_1_safe_verdict_certifies() {
     let (model, _) = fig5_model();
     let sys = model.pinned(0, 0, 1);
     let opts = CheckOptions::with_depth(12).with_certify();
-    let r = kind::prove_invariant(&sys, &model.property, &opts).unwrap();
+    let r = inv(EngineKind::KInduction, &sys, &model.property, &opts);
     assert!(r.holds(), "proof must survive certification: {r}");
 }
 
@@ -56,7 +63,9 @@ fn case_study_2_lasso_counterexamples_certify() {
     let model = LbModel::build(&LbSpec::default());
     for (phi, depth) in [(&model.liveness, 10), (&model.conditional_liveness, 12)] {
         let opts = CheckOptions::with_depth(depth).with_certify();
-        let r = smtbmc::check_ltl(&model.system, phi, &opts).unwrap();
+        let r = engine(EngineKind::SmtBmc)
+            .check_ltl(&model.system, phi, &opts, &mut Stats::default())
+            .unwrap();
         let t = r.trace().expect("violation must survive replay");
         assert!(t.loop_back.is_some(), "liveness evidence is a lasso:\n{t}");
         certify::validate_ltl_cex(&model.system, phi, t).expect("replay");
@@ -69,7 +78,12 @@ fn case_study_2_lasso_counterexamples_certify() {
 #[test]
 fn corrupted_case_study_trace_is_rejected() {
     let (model, sys) = fig5_model();
-    let r = bmc::check_invariant(&sys, &model.property, &CheckOptions::with_depth(8)).unwrap();
+    let r = inv(
+        EngineKind::Bmc,
+        &sys,
+        &model.property,
+        &CheckOptions::with_depth(8),
+    );
     let CheckResult::Violated(mut trace) = r else {
         panic!("Fig. 5 configuration must be violated")
     };

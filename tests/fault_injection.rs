@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use verdict_journal::fault::{self, FaultKind, FaultPlan};
 use verdict_mc::params::{synthesize, Property, SynthesisEngine, SynthesisResult};
-use verdict_mc::{CheckOptions, CheckResult, Engine, RetryPolicy, UnknownReason, Verifier};
+use verdict_mc::{CheckOptions, CheckResult, EngineKind, RetryPolicy, UnknownReason, Verifier};
 use verdict_ts::{Expr, System, VarId};
 
 /// Case-study-style sweep model: which step sizes avoid hitting 5?
@@ -225,48 +225,48 @@ fn solo_engine_faults_are_contained() {
 
     // (site, kind, engine, expected reason); each runs the engine that
     // actually reaches the site.
-    let cases: &[(&str, FaultKind, Engine, UnknownReason)] = &[
+    let cases: &[(&str, FaultKind, EngineKind, UnknownReason)] = &[
         (
             "sat.solve",
             FaultKind::Panic,
-            Engine::Bmc,
+            EngineKind::Bmc,
             UnknownReason::EngineFailure,
         ),
         (
             "sat.solve",
             FaultKind::Exhaust,
-            Engine::KInduction,
+            EngineKind::KInduction,
             UnknownReason::ResourceExhausted,
         ),
         (
             "bdd.ite",
             FaultKind::Panic,
-            Engine::Bdd,
+            EngineKind::Bdd,
             UnknownReason::EngineFailure,
         ),
         (
             "smt.pivot",
             FaultKind::Panic,
-            Engine::SmtBmc,
+            EngineKind::SmtBmc,
             UnknownReason::EngineFailure,
         ),
         (
             "smt.pivot",
             FaultKind::Overflow,
-            Engine::SmtBmc,
+            EngineKind::SmtBmc,
             UnknownReason::ResourceExhausted,
         ),
         (
             "mc.portfolio.worker",
             FaultKind::Panic,
-            Engine::Portfolio,
+            EngineKind::Portfolio,
             UnknownReason::EngineFailure,
         ),
     ];
 
     for (site, kind, engine, expected) in cases {
         let ctx = format!("{site}:{} under {engine}", kind.tag());
-        let (sys, prop) = if *engine == Engine::SmtBmc {
+        let (sys, prop) = if *engine == EngineKind::SmtBmc {
             (&real_sys, &real_prop)
         } else {
             (&fin_sys, &fin_prop)
@@ -282,7 +282,7 @@ fn solo_engine_faults_are_contained() {
             // The portfolio races several contenders; killing one lets
             // another win, so a definitive verdict is acceptable — it
             // must only agree with the fault-free run.
-            Engine::Portfolio => {
+            EngineKind::Portfolio => {
                 let clean = Verifier::new(sys)
                     .engine(*engine)
                     .options(opts.clone())

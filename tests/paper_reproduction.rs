@@ -3,9 +3,22 @@
 
 use verdict::incidents;
 use verdict::ksim::ClusterSpec;
-use verdict::mc::{bmc, kind, smtbmc};
 use verdict::models::k8s;
 use verdict::prelude::*;
+
+/// Trait dispatch with a scratch stats sink.
+fn inv(kind: EngineKind, sys: &System, p: &Expr, opts: &CheckOptions) -> CheckResult {
+    engine(kind)
+        .check_invariant(sys, p, opts, &mut Stats::default())
+        .unwrap()
+}
+
+/// Trait dispatch for LTL with a scratch stats sink.
+fn ltl(kind: EngineKind, sys: &System, phi: &Ltl, opts: &CheckOptions) -> CheckResult {
+    engine(kind)
+        .check_ltl(sys, phi, opts, &mut Stats::default())
+        .unwrap()
+}
 
 /// Table 1: the aggregation over the embedded study matches the paper.
 #[test]
@@ -38,21 +51,21 @@ fn case_study_1() {
         .expect("valid topology");
 
     // Fig. 5 falsification.
-    let r = bmc::check_invariant(
+    let r = inv(
+        EngineKind::Bmc,
         &model.pinned(1, 2, 1),
         &model.property,
         &CheckOptions::with_depth(8),
-    )
-    .unwrap();
+    );
     assert!(r.violated());
 
     // Verification at k = 1.
-    let r = kind::prove_invariant(
+    let r = inv(
+        EngineKind::KInduction,
         &model.pinned(1, 1, 1),
         &model.property,
         &CheckOptions::with_depth(24),
-    )
-    .unwrap();
+    );
     assert!(r.holds(), "{r}");
 
     // Synthesis: safe non-zero p ∈ {1, 2}.
@@ -79,19 +92,19 @@ fn case_study_1() {
 #[test]
 fn case_study_2() {
     let model = LbModel::build(&LbSpec::default());
-    let r = smtbmc::check_ltl(
+    let r = ltl(
+        EngineKind::SmtBmc,
         &model.system,
         &model.liveness,
         &CheckOptions::with_depth(10),
-    )
-    .unwrap();
+    );
     assert!(r.trace().is_some_and(|t| t.loop_back.is_some()));
-    let r = smtbmc::check_ltl(
+    let r = ltl(
+        EngineKind::SmtBmc,
         &model.system,
         &model.conditional_liveness,
         &CheckOptions::with_depth(12),
-    )
-    .unwrap();
+    );
     let t = r.trace().expect("violated");
     // The external event fires somewhere before the loop completes.
     let ext_fired =
@@ -106,21 +119,19 @@ fn kubernetes_issue_models() {
     let k8s::K8sProperty::Ltl(phi) = &m.property else {
         panic!()
     };
-    assert!(
-        bmc::check_ltl(&m.system, phi, &CheckOptions::with_depth(10))
-            .unwrap()
-            .violated()
-    );
+    assert!(ltl(
+        EngineKind::Bmc,
+        &m.system,
+        phi,
+        &CheckOptions::with_depth(10)
+    )
+    .violated());
 
     let m = k8s::hpa_ruc(1, 5);
     let k8s::K8sProperty::Invariant(p) = &m.property else {
         panic!()
     };
-    assert!(
-        bmc::check_invariant(&m.system, p, &CheckOptions::with_depth(16))
-            .unwrap()
-            .violated()
-    );
+    assert!(inv(EngineKind::Bmc, &m.system, p, &CheckOptions::with_depth(16)).violated());
 }
 
 /// Figure 6's qualitative shape on the smallest instances: falsification
@@ -132,12 +143,12 @@ fn figure6_shape_smallest() {
         let name = topo.name.clone();
         let model = RolloutModel::build(&RolloutSpec::paper(topo)).expect("valid topology");
         for (k, expect_holds) in [(0i64, true), (1, true), (2, false)] {
-            let r = kind::prove_invariant(
+            let r = inv(
+                EngineKind::KInduction,
                 &model.pinned(1, k, 1),
                 &model.property,
                 &CheckOptions::with_depth(24),
-            )
-            .unwrap();
+            );
             assert_eq!(r.holds(), expect_holds, "{name} k={k}: {r:.0}");
         }
     }
@@ -158,6 +169,6 @@ fn dsl_to_engines() {
     let verdict::dsl::CompiledProperty::Ltl(phi) = m.property("fg").unwrap() else {
         panic!()
     };
-    let r = verdict::mc::bdd::check_ltl(&m.system, phi, &CheckOptions::default()).unwrap();
+    let r = ltl(EngineKind::Bdd, &m.system, phi, &CheckOptions::default());
     assert!(r.violated());
 }

@@ -4,7 +4,8 @@
 //! engine must agree with every sequential engine.
 
 use verdict_mc::params::{synthesize, synthesize_first_safe, Property, SynthesisEngine};
-use verdict_mc::{bdd, bmc, kind, portfolio, CheckOptions};
+use verdict_mc::prelude::*;
+use verdict_mc::Stats;
 use verdict_models::{RolloutModel, RolloutSpec, Topology};
 
 /// The case-study-1 model with a 16-assignment (p, k, m) cross product:
@@ -104,21 +105,31 @@ fn portfolio_agrees_with_sequential_engines_on_case_study_1() {
     for (p, k, m, expect_violated) in [(1, 2, 1, true), (0, 0, 1, false)] {
         let sys = model.pinned(p, k, m);
         let opts = CheckOptions::with_depth(12);
-        let report = portfolio::check_invariant(&sys, &model.property, &opts).unwrap();
+        let report = Verifier::new(&sys)
+            .engine(EngineKind::Portfolio)
+            .options(opts.clone())
+            .check_invariant_report(&model.property)
+            .unwrap();
         assert_eq!(
             report.result.violated(),
             expect_violated,
             "portfolio on (p={p},k={k},m={m}): {}",
             report.result
         );
-        let b = bdd::check_invariant(&sys, &model.property, &opts).unwrap();
-        let ki = kind::prove_invariant(&sys, &model.property, &opts).unwrap();
+        let b = engine(EngineKind::Bdd)
+            .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+            .unwrap();
+        let ki = engine(EngineKind::KInduction)
+            .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+            .unwrap();
         assert_eq!(report.result.violated(), b.violated(), "vs bdd");
         assert_eq!(report.result.holds(), b.holds(), "vs bdd");
         assert_eq!(report.result.violated(), ki.violated(), "vs kind");
         assert_eq!(report.result.holds(), ki.holds(), "vs kind");
         if expect_violated {
-            let mres = bmc::check_invariant(&sys, &model.property, &opts).unwrap();
+            let mres = engine(EngineKind::Bmc)
+                .check_invariant(&sys, &model.property, &opts, &mut Stats::default())
+                .unwrap();
             assert!(mres.violated(), "vs bmc");
         }
     }
