@@ -25,7 +25,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use verdict_bench::{flag_value, fmt_duration, timed};
+use verdict_bench::{flag_value, fmt_duration, host_provenance_json, timed};
 use verdict_mc::params::{synthesize, synthesize_first_safe, Property, SynthesisEngine};
 use verdict_mc::prelude::*;
 use verdict_mc::Stats;
@@ -56,6 +56,7 @@ fn main() {
         PathBuf::from,
     );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = host_provenance_json(cores, jobs, 1);
 
     println!("parallel verification benchmark (jobs {jobs}, depth {depth}, {cores} core(s))\n");
 
@@ -200,7 +201,7 @@ fn main() {
     println!("\nwinner histogram: {hist_json}");
 
     let json = format!(
-        "{{\n  \"host\": {{\"available_parallelism\": {cores}}},\n  \"sweep\": {{\n    \
+        "{{\n  \"host\": {host},\n  \"sweep\": {{\n    \
          \"model\": \"{}\",\n    \"engine\": \"kind\",\n    \"depth\": {depth},\n    \
          \"assignments\": {},\n    \"wall_secs_jobs1\": {:.6},\n    \
          \"wall_secs_jobs{jobs}\": {:.6},\n    \"speedup_jobs{jobs}\": {speedup:.3},\n    \

@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use verdict_bench::{flag_value, fmt_duration, timed};
+use verdict_bench::{flag_value, fmt_duration, host_provenance_json, timed};
 use verdict_dsl::{parse, CompiledProperty};
 use verdict_mc::params::{synthesize, Property, SynthesisEngine, SynthesisResult};
 use verdict_mc::CheckOptions;
@@ -152,6 +152,7 @@ fn main() {
         PathBuf::from,
     );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = host_provenance_json(cores, jobs, reps);
 
     println!(
         "incremental synthesis benchmark (jobs {jobs}, depth {depth}, best of {reps}, {cores} core(s))\n"
@@ -224,7 +225,7 @@ fn main() {
         );
     }
     let json = format!(
-        "{{\n  \"host\": {{\"available_parallelism\": {cores}}},\n  \
+        "{{\n  \"host\": {host},\n  \
          \"reps\": {reps},\n  \"cases\": [\n{cases}\n  ]\n}}\n"
     );
     std::fs::write(&out, json).expect("write BENCH_synth.json");

@@ -34,6 +34,44 @@ pub fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Short git revision of the checkout being measured, or `"unknown"`
+/// when the benchmark runs outside a git work tree (e.g. from an
+/// unpacked source tarball).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Renders the shared `"host"` provenance object embedded in the bench
+/// JSON files: core count, git revision, the widest `--jobs` setting the
+/// sweep exercises, and the repetition count. When the host has fewer
+/// cores than the widest jobs setting the parallel speedups in the file
+/// were physically unattainable, so the object carries
+/// `"degraded_host": true` and a loud warning goes to stderr.
+pub fn host_provenance_json(cores: usize, max_jobs: usize, reps: usize) -> String {
+    let degraded = cores < max_jobs;
+    if degraded {
+        eprintln!(
+            "WARNING: this host exposes {cores} core(s) but the sweep runs up to \
+             {max_jobs} jobs; parallel speedups measured here are bounded by the \
+             host, not the runtime. The output is tagged \"degraded_host\": true."
+        );
+    }
+    format!(
+        "{{\"available_parallelism\": {cores}, \"git_rev\": \"{}\", \
+         \"jobs\": {max_jobs}, \"reps\": {reps}, \"degraded_host\": {degraded}}}",
+        git_rev()
+    )
+}
+
 /// Simple `--flag value` extraction for the harness binaries.
 pub fn flag_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -56,6 +94,26 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_millis(12)), "12ms");
         assert_eq!(fmt_duration(Duration::from_secs_f64(2.34)), "2.3s");
         assert_eq!(fmt_duration(Duration::from_secs(120)), "120s");
+    }
+
+    #[test]
+    fn host_provenance_shape() {
+        let json = host_provenance_json(1, 4, 3);
+        for field in [
+            "\"available_parallelism\": 1",
+            "\"git_rev\": \"",
+            "\"jobs\": 4",
+            "\"reps\": 3",
+            "\"degraded_host\": true",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(host_provenance_json(8, 4, 1).contains("\"degraded_host\": false"));
+        // The revision is either a real short hash or the documented
+        // fallback — never an empty string.
+        let rev = git_rev();
+        assert!(!rev.is_empty());
+        assert!(rev == "unknown" || rev.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

@@ -55,6 +55,9 @@ OPTIONS (check/synth):
                        that don't matter). Default for invariant
                        properties under the k-induction engine
     --no-incremental   synth only: force the clone-per-assignment sweep
+    --no-sharing       disable learnt-clause exchange between portfolio
+                       contenders / synthesis workers (verdicts are
+                       identical either way; see DESIGN.md §13)
     --certify          independently validate every verdict: replay
                        counterexamples through the reference interpreter,
                        re-check proofs with fresh proof-logged SAT queries;
@@ -168,6 +171,9 @@ fn options_from(args: &[String]) -> Result<CheckOptions, String> {
         opts = opts.with_incremental(true);
     } else if no_incremental {
         opts = opts.with_incremental(false);
+    }
+    if args.iter().any(|a| a == "--no-sharing") {
+        opts = opts.with_sharing(false);
     }
     if let Some(r) = flag_value(args, "--retries") {
         let retries: u32 = r

@@ -1,10 +1,13 @@
 //! BDD fixpoint engine: complete verification for finite systems.
 //!
-//! * [`check_invariant`] — forward reachability with onion-ring trace
+//! Reached through the [`crate::engine::Engine`] trait
+//! (`engine(EngineKind::Bdd)`):
+//!
+//! * invariants — forward reachability with onion-ring trace
 //!   reconstruction.
-//! * [`check_ctl`] — full CTL over the `{EX, EU, EG}` base, with the
+//! * CTL — the full logic over the `{EX, EU, EG}` base, with the
 //!   system's fairness constraints honored via fair-EG.
-//! * [`check_ltl`] — tableau product + Emerson–Lei fair-cycle detection;
+//! * LTL — tableau product + Emerson–Lei fair-cycle detection;
 //!   counterexample traces are reconstructed by a bounded fair-lasso
 //!   search on the product.
 //!
@@ -583,21 +586,8 @@ impl<'s> SymbolicSystem<'s> {
     }
 }
 
-/// Complete invariant check by forward reachability.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Bdd)` instead"
-)]
-pub fn check_invariant(
-    sys: &System,
-    p: &Expr,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
-    run_invariant(sys, p, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for invariant reachability (see
-/// [`crate::engine::engine`]).
+/// Trait-dispatch entry point for the complete invariant check by
+/// forward reachability (see [`crate::engine::engine`]).
 pub(crate) fn run_invariant(
     sys: &System,
     p: &Expr,
@@ -681,18 +671,10 @@ fn invariant_fix(
     })
 }
 
-/// Full CTL model checking: does `phi` hold in every initial state?
-/// Fairness constraints of the system restrict path quantifiers to fair
-/// paths (fair-CTL semantics).
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Bdd)` instead"
-)]
-pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    run_ctl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for CTL (see [`crate::engine::engine`]).
+/// Trait-dispatch entry point for full CTL model checking: does `phi`
+/// hold in every initial state? Fairness constraints of the system
+/// restrict path quantifiers to fair paths — fair-CTL semantics (see
+/// [`crate::engine::engine`]).
 pub(crate) fn run_ctl(
     sys: &System,
     phi: &Ctl,
@@ -853,18 +835,10 @@ fn eval_ctl(
     })
 }
 
-/// Complete LTL check: tableau product + fair-cycle detection. A violation
-/// exists iff some initial product state starts a fair path; the trace is
-/// recovered by bounded fair-lasso search on the product.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Bdd)` instead"
-)]
-pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    run_ltl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for LTL (see [`crate::engine::engine`]).
+/// Trait-dispatch entry point for the complete LTL check: tableau
+/// product + fair-cycle detection. A violation exists iff some initial
+/// product state starts a fair path; the trace is recovered by bounded
+/// fair-lasso search on the product (see [`crate::engine::engine`]).
 pub(crate) fn run_ltl(
     sys: &System,
     phi: &Ltl,

@@ -44,27 +44,13 @@ fn sync(unroller: &mut Unroller<'_>, solver: &mut Solver) {
     }
 }
 
-/// Bounded falsification of the invariant `G p` (`p` a boolean expression
-/// over current-state variables).
+/// Trait-dispatch entry point for invariant BMC (see
+/// [`crate::engine::engine`]); records per-depth unroll/solve cost and
+/// SAT counters into `stats`.
 ///
 /// Returns `Violated` with a shortest-per-depth-schedule counterexample,
 /// or `Unknown(DepthBound | Timeout | Cancelled)`. Never returns `Holds` — BMC alone
 /// cannot prove.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Bmc)` instead"
-)]
-pub fn check_invariant(
-    sys: &System,
-    p: &Expr,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
-    run_invariant(sys, p, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for invariant BMC (see
-/// [`crate::engine::engine`]); records per-depth unroll/solve cost and
-/// SAT counters into `stats`.
 pub(crate) fn run_invariant(
     sys: &System,
     p: &Expr,
@@ -72,6 +58,10 @@ pub(crate) fn run_invariant(
     stats: &mut Stats,
 ) -> Result<CheckResult, McError> {
     let mut solver = Solver::new();
+    // The invariant unrolling emits the same clause stream as the
+    // k-induction base case, so a portfolio race can share learnt
+    // clauses between the two.
+    opts.attach_sharing(&mut solver);
     let res = invariant_loop(sys, p, opts, stats, &mut solver);
     stats.absorb_sat(solver.stats());
     res
@@ -132,17 +122,9 @@ fn invariant_loop(
     Ok(CheckResult::Unknown(UnknownReason::DepthBound))
 }
 
-/// Bounded falsification of an arbitrary LTL property via fair-lasso
-/// search on the tableau product.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Bmc)` instead"
-)]
-pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    run_ltl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for LTL BMC (see [`crate::engine::engine`]).
+/// Trait-dispatch entry point for LTL BMC — bounded falsification of an
+/// arbitrary LTL property via fair-lasso search on the tableau product
+/// (see [`crate::engine::engine`]).
 pub(crate) fn run_ltl(
     sys: &System,
     phi: &Ltl,
@@ -186,6 +168,9 @@ pub(crate) fn find_fair_lasso(
     stats: &mut Stats,
 ) -> Result<LassoOutcome, McError> {
     let mut solver = Solver::new();
+    // Lasso searches over the same tableau product emit identical
+    // streams, so concurrent searchers (LTL races) can exchange clauses.
+    opts.attach_sharing(&mut solver);
     let res = lasso_loop(product, opts, stats, &mut solver);
     stats.absorb_sat(solver.stats());
     res

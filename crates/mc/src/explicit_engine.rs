@@ -2,12 +2,13 @@
 //!
 //! Enumerates the reachable state graph outright, then answers:
 //!
-//! * invariants by BFS ([`check_invariant`]),
+//! * invariants by BFS,
 //! * LTL by SCC analysis on the tableau product — a reachable SCC with a
-//!   cycle that intersects every justice set is exactly a fair lasso
-//!   ([`check_ltl`]),
-//! * CTL by direct fixpoint evaluation over explicit state sets
-//!   ([`check_ctl`]).
+//!   cycle that intersects every justice set is exactly a fair lasso,
+//! * CTL by direct fixpoint evaluation over explicit state sets,
+//!
+//! all behind the [`crate::engine::Engine`] trait
+//! (`engine(EngineKind::Explicit)`).
 //!
 //! Everything here is exponential in the number of state bits; its role is
 //! to be *obviously correct* — the differential oracle the symbolic
@@ -83,21 +84,8 @@ fn explore(sys: &System, budget: &Budget) -> Option<Graph> {
     Some(g)
 }
 
-/// Complete invariant check by explicit BFS.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Explicit)` instead"
-)]
-pub fn check_invariant(
-    sys: &System,
-    p: &Expr,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
-    run_invariant(sys, p, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for explicit invariant BFS (see
-/// [`crate::engine::engine`]).
+/// Trait-dispatch entry point for the complete invariant check by
+/// explicit BFS (see [`crate::engine::engine`]).
 pub(crate) fn run_invariant(
     sys: &System,
     p: &Expr,
@@ -208,17 +196,8 @@ fn sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
     out
 }
 
-/// Complete LTL check by SCC analysis on the tableau product.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Explicit)` instead"
-)]
-pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    run_ltl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for explicit LTL (see
-/// [`crate::engine::engine`]).
+/// Trait-dispatch entry point for the complete LTL check by SCC analysis
+/// on the tableau product (see [`crate::engine::engine`]).
 pub(crate) fn run_ltl(
     sys: &System,
     phi: &Ltl,
@@ -374,17 +353,9 @@ fn bfs_within(
     vec![from]
 }
 
-/// Complete CTL check by explicit fixpoints (fairness honored like the BDD
-/// engine: quantifiers restricted to states opening a fair path).
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Explicit)` instead"
-)]
-pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    run_ctl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for explicit CTL (see
+/// Trait-dispatch entry point for the complete CTL check by explicit
+/// fixpoints — fairness honored like the BDD engine: quantifiers
+/// restricted to states opening a fair path (see
 /// [`crate::engine::engine`]).
 pub(crate) fn run_ctl(
     sys: &System,

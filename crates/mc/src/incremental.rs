@@ -159,9 +159,29 @@ impl<'s> PinnedKInduction<'s> {
         &self.prop
     }
 
+    /// Attaches a clause-sharing endpoint to the base-case solver. Call
+    /// right after construction (the solver must still be empty). Sibling
+    /// workers' base solvers grow identical `Unroller::new` clause
+    /// streams — assumption pins never enter the clause database — so
+    /// everything they learn is exchangeable; the free-unrolling
+    /// induction solver has a foreign prefix and stays detached. Returns
+    /// false when the hub is out of endpoints (the engine then simply
+    /// runs without sharing).
+    pub fn attach_sharing(&mut self, hub: &verdict_sat::ClauseHub) -> bool {
+        match hub.endpoint() {
+            Some(ep) => self.base_solver.attach_sharing(ep),
+            None => false,
+        }
+    }
+
+    /// Cumulative counters of the base-case solver (the sharing peer).
+    pub fn base_solver_stats(&self) -> verdict_sat::Stats {
+        self.base_solver.stats()
+    }
+
     /// Checks `G prop` with the parameters pinned to `assignment` by
     /// assumption literals. Runs the same per-depth schedule as
-    /// [`crate::kind::prove_invariant`] on a pinned clone, so verdicts
+    /// the k-induction engine on a pinned clone, so verdicts
     /// match the clone path query for query.
     pub fn check(
         &mut self,

@@ -30,25 +30,12 @@ use verdict_ts::{Expr, System, Trace, Unroller};
 use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
 use crate::stats::{Phase, SpanTimer, Stats};
 
-/// Proves or refutes the invariant `G p`.
+/// Trait-dispatch entry point for k-induction — proves or refutes the
+/// invariant `G p` (see [`crate::engine::engine`]); per-depth samples
+/// cover both the base-case and induction-step queries at each k.
 ///
 /// Returns `Holds` (proved by induction), `Violated` with a trace (found
 /// by the embedded base case), or `Unknown` on resource limits.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::KInduction)` instead"
-)]
-pub fn prove_invariant(
-    sys: &System,
-    p: &Expr,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
-    run_invariant(sys, p, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for k-induction (see
-/// [`crate::engine::engine`]); per-depth samples cover both the base-case
-/// and induction-step queries at each k.
 pub(crate) fn run_invariant(
     sys: &System,
     p: &Expr,
@@ -57,6 +44,11 @@ pub(crate) fn run_invariant(
 ) -> Result<CheckResult, McError> {
     let mut base_solver = Solver::new();
     let mut ind_solver = Solver::new();
+    // Only the base case shares: its init-anchored unrolling emits the
+    // same clause stream as BMC's, so races exchange clauses there. The
+    // induction solver's free unrolling has a foreign prefix — anything
+    // it exported would just be rejected by the peers' guards.
+    opts.attach_sharing(&mut base_solver);
     let res = induction_loop(sys, p, opts, stats, &mut base_solver, &mut ind_solver);
     stats.absorb_sat(base_solver.stats());
     stats.absorb_sat(ind_solver.stats());

@@ -31,10 +31,11 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use verdict_ring::{ring, Consumer, Doorbell, Published, PublishedReader};
+use verdict_sat::ClauseHub;
 use verdict_ts::{Expr, Ltl, System, Trace, Value, VarId};
 
 use verdict_journal::fault;
@@ -42,6 +43,7 @@ use verdict_journal::fault;
 use crate::durable::Durability;
 use crate::incremental::{HoldsPattern, PinnedKInduction, PinnedOutcome};
 use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
+use crate::stats::RuntimeCounters;
 
 /// The property being synthesized against.
 #[derive(Clone, Debug)]
@@ -73,6 +75,11 @@ pub struct SynthesisResult {
     pub param_names: Vec<String>,
     /// One verdict per enumerated assignment.
     pub verdicts: Vec<ParamVerdict>,
+    /// Parallel-runtime counters for the sweep: clause-sharing traffic
+    /// summed over the workers' persistent solvers plus the collector's
+    /// ring/parking activity. All zero for a sequential (`jobs = 1`)
+    /// sweep without a pre-installed sharing hub.
+    pub runtime: RuntimeCounters,
 }
 
 impl SynthesisResult {
@@ -314,27 +321,32 @@ fn check_assignment_contained(
 }
 
 /// A worker's persistent incremental state: one lazily-built
-/// [`PinnedKInduction`] engine plus the sweep-wide pool of transferable
-/// `Holds` patterns.
+/// [`PinnedKInduction`] engine plus a read handle on the sweep-wide pool
+/// of transferable `Holds` patterns.
 struct IncrementalChecker<'a> {
     engine: Option<PinnedKInduction<'a>>,
     sys: &'a System,
     params: &'a [VarId],
     prop: &'a Expr,
-    patterns: &'a Mutex<Vec<HoldsPattern>>,
+    patterns: PublishedReader<HoldsPattern>,
+    /// Clause-sharing hub for sibling workers' base solvers; the engine
+    /// attaches an endpoint when (re)built.
+    hub: Option<Arc<ClauseHub>>,
 }
 
 impl IncrementalChecker<'_> {
     fn check(&mut self, assignment: &[Value], opts: &CheckOptions) -> Result<Checked, McError> {
         // Core-pruned inheritance: a previous Holds proof whose unsat
         // cores ignored every parameter this assignment differs in
-        // transfers verbatim. A poisoned lock only means another worker
-        // panicked mid-push; the Vec is append-only, so its contents stay
-        // well-formed.
-        let inherited = {
-            let pats = self.patterns.lock().unwrap_or_else(|e| e.into_inner());
-            pats.iter().find(|p| p.matches(assignment)).map(|p| p.depth)
-        };
+        // transfers verbatim. The epoch-read store may serve a snapshot
+        // one publish behind — a missed pattern only costs a redundant
+        // solve, never a wrong answer.
+        let inherited = self
+            .patterns
+            .read()
+            .iter()
+            .find(|p| p.matches(assignment))
+            .map(|p| p.depth);
         if let Some(depth) = inherited {
             if !opts.certify {
                 return Ok(Checked {
@@ -357,9 +369,16 @@ impl IncrementalChecker<'_> {
         }
         let engine = match &mut self.engine {
             Some(e) => e,
-            None => self
-                .engine
-                .insert(PinnedKInduction::new(self.sys, self.params, self.prop)?),
+            None => {
+                let mut e = PinnedKInduction::new(self.sys, self.params, self.prop)?;
+                if let Some(hub) = &self.hub {
+                    // Best-effort: a hub out of endpoints (e.g. after a
+                    // panic-triggered rebuild) just means this worker
+                    // solves without sharing.
+                    e.attach_sharing(hub);
+                }
+                self.engine.insert(e)
+            }
         };
         match engine.check(assignment, opts)? {
             PinnedOutcome::Violated(trace) => {
@@ -384,8 +403,7 @@ impl IncrementalChecker<'_> {
                     CheckResult::Holds
                 };
                 if result.holds() && relevant.iter().any(|&r| !r) {
-                    let mut pats = self.patterns.lock().unwrap_or_else(|e| e.into_inner());
-                    pats.push(HoldsPattern {
+                    self.patterns.publish(HoldsPattern {
                         values: assignment.to_vec(),
                         relevant,
                         depth,
@@ -492,10 +510,42 @@ impl Checker<'_> {
             attempt += 1;
         }
     }
+
+    /// Clause-sharing counters of this worker's persistent solver, read
+    /// once at worker exit (the clone path creates throwaway engines and
+    /// reports nothing here).
+    fn runtime_counters(&self) -> RuntimeCounters {
+        match self {
+            Checker::Clone => RuntimeCounters::default(),
+            Checker::Incremental(inc) => match &inc.engine {
+                Some(e) => {
+                    let s = e.base_solver_stats();
+                    RuntimeCounters {
+                        clauses_exported: s.clauses_exported,
+                        clauses_imported: s.clauses_imported,
+                        imports_rejected: s.imports_rejected,
+                        import_hits: s.import_hits,
+                        ..RuntimeCounters::default()
+                    }
+                }
+                None => RuntimeCounters::default(),
+            },
+        }
+    }
 }
 
 /// Shards the assignments of `space` over `opts.effective_jobs()` workers
-/// and returns the verdicts in input (odometer) order.
+/// and returns the verdicts in input (odometer) order, plus the sweep's
+/// parallel-runtime counters.
+///
+/// Each worker publishes results into its own SPSC ring and rings a
+/// shared [`Doorbell`]; the collector parks between results instead of
+/// polling a channel, draining whole batches per wakeup. In incremental
+/// mode the workers' base solvers exchange learnt clauses through a
+/// [`ClauseHub`] (all workers unroll the identical unpinned system, and
+/// assumption pins never enter the clause database, so everything any of
+/// them learns is sound for the others — the solver-side prefix guard
+/// enforces exactly that).
 ///
 /// With `stop_at_first_safe`, the first `Holds` verdict raises a shared
 /// stop flag: outstanding workers exit cooperatively and unvisited
@@ -512,7 +562,7 @@ fn run_assignments(
     opts: &CheckOptions,
     stop_at_first_safe: bool,
     durability: &Durability<'_>,
-) -> Result<Vec<ParamVerdict>, McError> {
+) -> Result<(Vec<ParamVerdict>, RuntimeCounters), McError> {
     if matches!(
         (property, engine),
         (Property::Ltl(_), SynthesisEngine::KInduction)
@@ -531,14 +581,15 @@ fn run_assignments(
         }
         _ => None,
     };
-    let patterns = Mutex::new(Vec::<HoldsPattern>::new());
-    let make_checker = || match inc_prop {
+    let patterns = Arc::new(Published::<HoldsPattern>::new());
+    let make_checker = |hub: Option<Arc<ClauseHub>>| match inc_prop {
         Some(prop) => Checker::Incremental(Box::new(IncrementalChecker {
             engine: None,
             sys,
             params,
             prop,
-            patterns: &patterns,
+            patterns: patterns.reader(),
+            hub,
         })),
         None => Checker::Clone,
     };
@@ -546,7 +597,13 @@ fn run_assignments(
     let n = space.len();
     let jobs = opts.effective_jobs().min(n.max(1));
     if jobs <= 1 {
-        let mut checker = make_checker();
+        // Sequential: no hub unless the caller pre-installed one, so a
+        // `jobs = 1` sweep stays deterministic and sharing-free.
+        let mut checker = make_checker(if opts.sharing {
+            opts.share_hub.clone()
+        } else {
+            None
+        });
         let mut verdicts = Vec::with_capacity(n);
         let mut found_safe = false;
         for idx in 0..n {
@@ -571,31 +628,84 @@ fn run_assignments(
                 attempts,
             });
         }
-        return Ok(verdicts);
+        return Ok((verdicts, checker.runtime_counters()));
     }
 
     let pool_stop = Arc::new(AtomicBool::new(false));
     let caller_stop = opts.stop.clone();
+    // Learned-clause sharing between the workers' persistent base
+    // solvers (incremental mode only — the clone path builds per-pin
+    // systems whose clause streams differ, so there is nothing sound to
+    // exchange). Sized 2× jobs: a worker whose engine was rebuilt after
+    // a contained panic takes a fresh endpoint.
+    let hub = (opts.sharing && opts.share_hub.is_none() && inc_prop.is_some())
+        .then(|| ClauseHub::new(jobs * 2));
     let worker_opts = CheckOptions {
         stop: Some(pool_stop.clone()),
         ..opts.clone()
     };
     let next = AtomicUsize::new(0);
     type Slot = Result<(CheckResult, u32), McError>;
-    let (tx, rx) = mpsc::channel::<(usize, Slot)>();
     let mut slots: Vec<Option<Slot>> = (0..n).map(|_| None).collect();
 
-    std::thread::scope(|scope| {
+    // One result ring per worker plus a shared doorbell (built on this
+    // thread: the collector below parks on it). Workers' sharing
+    // counters are folded into `worker_runtime` once, at worker exit.
+    let mut producers = Vec::with_capacity(jobs);
+    let mut consumers: Vec<Consumer<(usize, Slot)>> = Vec::with_capacity(jobs);
+    for _ in 0..jobs {
+        let (p, c) = ring::<(usize, Slot)>(64);
+        producers.push(p);
+        consumers.push(c);
+    }
+    let bell = Doorbell::new();
+    let finished = AtomicUsize::new(0);
+    let worker_runtime = Mutex::new(RuntimeCounters::default());
+
+    // Increments the finished count and rings the collector no matter
+    // how the worker exits, so a dead worker can never strand a parked
+    // collector.
+    struct FinishGuard<'a> {
+        finished: &'a AtomicUsize,
+        bell: &'a Doorbell,
+    }
+    impl Drop for FinishGuard<'_> {
+        fn drop(&mut self) {
+            self.finished.fetch_add(1, Ordering::Release);
+            self.bell.ring();
+        }
+    }
+
+    let mut runtime = std::thread::scope(|scope| {
         let make_checker = &make_checker;
-        for _ in 0..jobs {
-            let tx = tx.clone();
+        for mut tx in producers {
             let next = &next;
             let pool_stop = pool_stop.clone();
             let worker_opts = worker_opts.clone();
+            let hub = hub.clone();
+            let (bell, finished, worker_runtime) = (&bell, &finished, &worker_runtime);
             scope.spawn(move || {
+                let _guard = FinishGuard { finished, bell };
                 // One persistent checker per worker: in incremental mode
                 // its solvers survive every assignment this worker claims.
-                let mut checker = make_checker();
+                let mut checker = make_checker(hub);
+                // Publish a result and ring the collector; when the ring
+                // is full (collector far behind), nudge it and yield
+                // until a slot frees up — the payload is never dropped.
+                let send = |tx: &mut verdict_ring::Producer<(usize, Slot)>,
+                            mut msg: (usize, Slot)| {
+                    loop {
+                        match tx.push(msg) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                msg = back;
+                                bell.ring();
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    bell.ring();
+                };
                 loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= n {
@@ -607,14 +717,16 @@ fn run_assignments(
                         if stop_at_first_safe && result.holds() {
                             pool_stop.store(true, Ordering::Relaxed);
                         }
-                        let _ = tx.send((idx, Ok((result, attempts))));
+                        send(&mut tx, (idx, Ok((result, attempts))));
                         continue;
                     }
                     if pool_stop.load(Ordering::Relaxed) {
                         // The sweep is already decided (first-safe hit or
                         // caller cancellation); don't start new work.
-                        let _ =
-                            tx.send((idx, Ok((CheckResult::Unknown(UnknownReason::Cancelled), 0))));
+                        send(
+                            &mut tx,
+                            (idx, Ok((CheckResult::Unknown(UnknownReason::Cancelled), 0))),
+                        );
                         continue;
                     }
                     let a = space.get(idx);
@@ -644,32 +756,61 @@ fn run_assignments(
                         }
                         Err(e) => Err(e),
                     };
-                    let _ = tx.send((idx, res));
+                    send(&mut tx, (idx, res));
                 }
+                let mine = checker.runtime_counters();
+                worker_runtime
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .add(mine);
             });
         }
-        drop(tx);
 
         let mut received = 0;
-        while received < n {
-            match rx.recv_timeout(Duration::from_millis(5)) {
-                Ok((idx, res)) => {
-                    slots[idx] = Some(res);
-                    received += 1;
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // Forward caller-side cancellation into the pool.
-                    if caller_stop
-                        .as_ref()
-                        .is_some_and(|s| s.load(Ordering::Relaxed))
-                    {
-                        pool_stop.store(true, Ordering::Relaxed);
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        let mut collector = RuntimeCounters::default();
+        // Only wake on a timer when there is a caller-side stop flag
+        // that nobody rings for; otherwise park until results arrive.
+        let tick = caller_stop.as_ref().map(|_| Duration::from_millis(25));
+        loop {
+            // Forward caller-side cancellation into the pool.
+            if caller_stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                pool_stop.store(true, Ordering::Relaxed);
             }
+            let mut batch = 0u64;
+            for rx in consumers.iter_mut() {
+                let got = rx.drain(|(idx, res)| {
+                    slots[idx] = Some(res);
+                });
+                batch += got as u64;
+                received += got;
+            }
+            if batch > 0 {
+                collector.ring_messages += batch;
+                collector.ring_batches += 1;
+            }
+            if received >= n {
+                break;
+            }
+            if batch == 0 && finished.load(Ordering::Acquire) >= jobs {
+                // Every worker exited and the rings are dry: a worker
+                // died without reporting (its slots stay `None`).
+                break;
+            }
+            bell.wait(tick, || {
+                finished.load(Ordering::Acquire) >= jobs
+                    || consumers.iter_mut().any(|rx| !rx.is_empty())
+            });
         }
+        let d = bell.counters();
+        collector.parks = d.parks;
+        collector.wakes = d.wakes;
+        collector.spurious_wakeups = d.spurious_wakeups;
+        collector
     });
+    runtime.add(*worker_runtime.lock().unwrap_or_else(|e| e.into_inner()));
 
     let mut verdicts = Vec::with_capacity(n);
     for (idx, slot) in slots.into_iter().enumerate() {
@@ -688,7 +829,7 @@ fn run_assignments(
             }),
         }
     }
-    Ok(verdicts)
+    Ok((verdicts, runtime))
 }
 
 pub(crate) fn validate_and_enumerate(
@@ -738,12 +879,13 @@ pub fn synthesize_durable(
     durability: &Durability<'_>,
 ) -> Result<SynthesisResult, McError> {
     let (param_names, space) = validate_and_enumerate(sys, params)?;
-    let verdicts = run_assignments(
+    let (verdicts, runtime) = run_assignments(
         sys, params, &space, property, engine, opts, false, durability,
     )?;
     Ok(SynthesisResult {
         param_names,
         verdicts,
+        runtime,
     })
 }
 
@@ -778,12 +920,13 @@ pub fn synthesize_first_safe_durable(
     durability: &Durability<'_>,
 ) -> Result<SynthesisResult, McError> {
     let (param_names, space) = validate_and_enumerate(sys, params)?;
-    let verdicts = run_assignments(
+    let (verdicts, runtime) = run_assignments(
         sys, params, &space, property, engine, opts, true, durability,
     )?;
     Ok(SynthesisResult {
         param_names,
         verdicts,
+        runtime,
     })
 }
 

@@ -24,16 +24,17 @@
 //! Real-valued systems fall back to a solo [`crate::smtbmc`] run — there
 //! is no second complete engine for QF_LRA models to race it against.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use verdict_ring::{ring, Consumer, Doorbell};
+use verdict_sat::ClauseHub;
 use verdict_ts::{Ctl, Expr, Ltl, System};
 
 use crate::engine::EngineKind;
 use crate::result::{CheckOptions, CheckResult, McError, UnknownReason};
-use crate::stats::Stats;
+use crate::stats::{RuntimeCounters, Stats};
 
 /// A verdict plus racing metadata: which engine won and how long the
 /// portfolio took wall-clock.
@@ -74,6 +75,17 @@ pub type Contender<'a> =
 /// Races `contenders` to the first definitive (`Holds`/`Violated`) verdict
 /// and cancels the rest via a shared stop flag.
 ///
+/// Each contender publishes its verdict into its own SPSC ring and rings
+/// a shared [`Doorbell`]; the collector parks between results instead of
+/// polling a channel. With no caller stop flag to forward the park is
+/// untimed — the collector wakes exactly once per verdict.
+///
+/// When `opts.sharing` is on (and no hub was pre-installed) the race
+/// also builds a [`ClauseHub`] sized for the line-up: contenders whose
+/// solvers unroll the same CNF prefix (BMC and the k-induction base
+/// case) exchange learnt clauses through it, guarded by the solver-side
+/// prefix check.
+///
 /// A stop flag already present in `opts` still works: the race monitor
 /// polls it and forwards a caller-side cancellation to every contender.
 ///
@@ -90,18 +102,47 @@ pub fn race(
     let caller_stop = opts.stop.clone();
     let race_stop = Arc::new(AtomicBool::new(false));
     let n = contenders.len();
-    type Verdict = (usize, EngineKind, Result<CheckResult, McError>, Stats);
-    let (tx, rx) = mpsc::channel::<Verdict>();
+    type Verdict = (EngineKind, Result<CheckResult, McError>, Stats);
 
-    let (slots, winner_idx) = std::thread::scope(|scope| {
-        for (idx, (engine, run)) in contenders.into_iter().enumerate() {
-            let tx = tx.clone();
+    // One ring per contender: single producer, and the slot index is the
+    // ring index, so nothing needs a lock or a tag.
+    let mut producers = Vec::with_capacity(n);
+    let mut consumers: Vec<Consumer<Verdict>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = ring::<Verdict>(2);
+        producers.push(tx);
+        consumers.push(rx);
+    }
+    // Built on this thread: the collector below parks on it.
+    let bell = Doorbell::new();
+    let finished = AtomicUsize::new(0);
+    let hub = (opts.sharing && opts.share_hub.is_none() && n > 1).then(|| ClauseHub::new(n));
+
+    // Increments the finished count and rings the collector no matter how
+    // the worker exits, so a worker that dies without publishing a
+    // verdict can never strand a parked (untimed) collector.
+    struct FinishGuard<'a> {
+        finished: &'a AtomicUsize,
+        bell: &'a Doorbell,
+    }
+    impl Drop for FinishGuard<'_> {
+        fn drop(&mut self) {
+            self.finished.fetch_add(1, Ordering::Release);
+            self.bell.ring();
+        }
+    }
+
+    let (slots, winner_idx, collector) = std::thread::scope(|scope| {
+        for ((engine, run), mut tx) in contenders.into_iter().zip(producers) {
             let worker_opts = CheckOptions {
                 stop: Some(race_stop.clone()),
+                share_hub: hub.clone().or_else(|| opts.share_hub.clone()),
                 ..opts.clone()
             };
             let trace = opts.trace.clone();
+            let (bell, finished) = (&bell, &finished);
             scope.spawn(move || {
+                let _guard = FinishGuard { finished, bell };
                 let mut stats = Stats::for_engine(engine).with_trace(trace);
                 // Contain contender panics: a crashing engine becomes an
                 // `Unknown(EngineFailure)` outcome instead of unwinding
@@ -118,20 +159,32 @@ pub fn race(
                     eprintln!("verdict-mc: {engine} engine panicked: {msg}");
                     Ok(CheckResult::Unknown(UnknownReason::EngineFailure))
                 });
-                // The receiver never hangs up before all results arrive,
-                // but a send error must not panic the worker either way.
-                let _ = tx.send((idx, engine, res, stats));
+                // Cannot fail: the ring holds 2 and this producer pushes
+                // exactly once. The guard rings the bell on drop.
+                let _ = tx.push((engine, res, stats));
             });
         }
-        drop(tx);
 
         type Slot = Option<(EngineKind, Result<CheckResult, McError>, Stats)>;
         let mut slots: Vec<Slot> = (0..n).map(|_| None).collect();
         let mut winner_idx = None;
         let mut received = 0;
-        while received < n {
-            match rx.recv_timeout(Duration::from_millis(5)) {
-                Ok((idx, engine, res, stats)) => {
+        let mut collector = RuntimeCounters::default();
+        // Only wake on a timer when there is a caller-side stop flag that
+        // nobody rings for; otherwise park until a verdict arrives.
+        let tick = caller_stop.as_ref().map(|_| Duration::from_millis(25));
+        loop {
+            // Forward caller-side cancellation into the race.
+            if caller_stop
+                .as_ref()
+                .is_some_and(|s| s.load(Ordering::Relaxed))
+            {
+                race_stop.store(true, Ordering::Relaxed);
+            }
+            let mut batch = 0u64;
+            for (idx, rx) in consumers.iter_mut().enumerate() {
+                if let Some((engine, res, stats)) = rx.pop() {
+                    batch += 1;
                     received += 1;
                     let definitive =
                         matches!(res, Ok(CheckResult::Holds | CheckResult::Violated(_)));
@@ -142,19 +195,29 @@ pub fn race(
                         race_stop.store(true, Ordering::Relaxed);
                     }
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // Forward caller-side cancellation into the race.
-                    if caller_stop
-                        .as_ref()
-                        .is_some_and(|s| s.load(Ordering::Relaxed))
-                    {
-                        race_stop.store(true, Ordering::Relaxed);
-                    }
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => break,
             }
+            if batch > 0 {
+                collector.ring_messages += batch;
+                collector.ring_batches += 1;
+            }
+            if received >= n {
+                break;
+            }
+            if batch == 0 && finished.load(Ordering::Acquire) >= n {
+                // Every worker exited and the rings are dry: a worker
+                // died without reporting (its slot stays `None`).
+                break;
+            }
+            bell.wait(tick, || {
+                finished.load(Ordering::Acquire) >= n
+                    || consumers.iter_mut().any(|rx| !rx.is_empty())
+            });
         }
-        (slots, winner_idx)
+        let d = bell.counters();
+        collector.parks = d.parks;
+        collector.wakes = d.wakes;
+        collector.spurious_wakeups = d.spurious_wakeups;
+        (slots, winner_idx, collector)
     });
 
     let wall = start.elapsed();
@@ -182,7 +245,10 @@ pub fn race(
         }
     }
 
-    if let Some((engine, result, stats)) = winner {
+    if let Some((engine, result, mut stats)) = winner {
+        // The collection machinery's counters describe the race itself;
+        // report them on the winning stats so the PR-5 sink sees them.
+        stats.runtime.add(collector);
         return Ok(CheckReport {
             result,
             winner: engine,
@@ -209,14 +275,18 @@ pub fn race(
         .min_by_key(|(_, (_, r))| rank(r))
         .map(|(i, (e, r))| (i, *e, r.clone()));
     match best {
-        Some((idx, engine, result)) => Ok(CheckReport {
-            result,
-            winner: engine,
-            wall,
-            outcomes,
-            stats: contender_stats[idx].1.clone(),
-            contender_stats,
-        }),
+        Some((idx, engine, result)) => {
+            let mut stats = contender_stats[idx].1.clone();
+            stats.runtime.add(collector);
+            Ok(CheckReport {
+                result,
+                winner: engine,
+                wall,
+                outcomes,
+                stats,
+                contender_stats,
+            })
+        }
         None => Err(first_err.unwrap_or_else(|| McError("portfolio: no contenders".to_string()))),
     }
 }
@@ -250,23 +320,11 @@ fn fold_stats(stats: &mut Stats, report: &CheckReport) {
     }
 }
 
-/// Portfolio invariant check: BMC (falsifier) vs k-induction and BDD
-/// (provers) on finite systems; solo SMT-BMC on real-valued ones.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Portfolio)` instead"
-)]
-pub fn check_invariant(
-    sys: &System,
-    p: &Expr,
-    opts: &CheckOptions,
-) -> Result<CheckReport, McError> {
-    run_invariant(sys, p, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for the invariant portfolio (see
-/// [`crate::engine::engine`]); the winner's counters are folded into
-/// `stats` and the full per-contender breakdown rides on the report.
+/// Trait-dispatch entry point for the invariant portfolio — BMC
+/// (falsifier) vs k-induction and BDD (provers) on finite systems, solo
+/// SMT-BMC on real-valued ones (see [`crate::engine::engine`]); the
+/// winner's counters are folded into `stats` and the full per-contender
+/// breakdown rides on the report.
 pub(crate) fn run_invariant(
     sys: &System,
     p: &Expr,
@@ -306,18 +364,9 @@ pub(crate) fn run_invariant(
     Ok(report)
 }
 
-/// Portfolio LTL check: BMC fair-lasso search (falsifier) vs the complete
-/// BDD tableau engine; solo SMT-BMC on real-valued systems.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Portfolio)` instead"
-)]
-pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckReport, McError> {
-    run_ltl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for the LTL portfolio (see
-/// [`crate::engine::engine`]).
+/// Trait-dispatch entry point for the LTL portfolio — BMC fair-lasso
+/// search (falsifier) vs the complete BDD tableau engine, solo SMT-BMC on
+/// real-valued systems (see [`crate::engine::engine`]).
 pub(crate) fn run_ltl(
     sys: &System,
     phi: &Ltl,
@@ -351,18 +400,9 @@ pub(crate) fn run_ltl(
     Ok(report)
 }
 
-/// Portfolio CTL check: BDD fixpoints vs the explicit-state engine (both
-/// complete; whichever shape of state space is kinder wins).
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::Portfolio)` instead"
-)]
-pub fn check_ctl(sys: &System, phi: &Ctl, opts: &CheckOptions) -> Result<CheckReport, McError> {
-    run_ctl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for the CTL portfolio (see
-/// [`crate::engine::engine`]).
+/// Trait-dispatch entry point for the CTL portfolio — BDD fixpoints vs
+/// the explicit-state engine, both complete; whichever shape of state
+/// space is kinder wins (see [`crate::engine::engine`]).
 pub(crate) fn run_ctl(
     sys: &System,
     phi: &Ctl,

@@ -215,6 +215,22 @@ pub struct CheckOptions {
     /// here as they run (see [`TraceSink`]). Shared — clones of the
     /// options write to the same sink. `None` = no tracing.
     pub trace: Option<Arc<TraceSink>>,
+    /// Allow learned-clause sharing between parallel solvers. Only takes
+    /// effect where a sharing hub gets installed (portfolio races and
+    /// incremental synthesis sweeps with ≥ 2 workers); single-solver runs
+    /// are unaffected, so jobs = 1 stats stay bit-identical. Soundness
+    /// does not depend on this flag: the solver-side prefix guard rejects
+    /// any clause not entailed by the importer's own input
+    /// (`verdict_sat::share`), and `certify` re-proves with fresh
+    /// import-free solvers either way.
+    pub sharing: bool,
+    /// The clause-sharing hub solvers attach to, installed internally by
+    /// the portfolio/synthesis layers when `sharing` is on (callers can
+    /// also pre-install one to make sequential runs exchange clauses —
+    /// see the clause-sharing tests). Engines that unroll the same CNF
+    /// prefix (BMC and the k-induction base case) take one endpoint each;
+    /// `None` = no sharing.
+    pub share_hub: Option<Arc<verdict_sat::ClauseHub>>,
 }
 
 impl Default for CheckOptions {
@@ -230,6 +246,8 @@ impl Default for CheckOptions {
             incremental: None,
             retry: None,
             trace: None,
+            sharing: true,
+            share_hub: None,
         }
     }
 }
@@ -319,6 +337,34 @@ impl CheckOptions {
         self
     }
 
+    /// Enables or disables learned-clause sharing between parallel
+    /// solvers (on by default; only effective where a hub is installed).
+    pub fn with_sharing(mut self, on: bool) -> CheckOptions {
+        self.sharing = on;
+        self
+    }
+
+    /// Installs a clause-sharing hub for the engines this run spawns.
+    pub fn with_share_hub(mut self, hub: Arc<verdict_sat::ClauseHub>) -> CheckOptions {
+        self.share_hub = Some(hub);
+        self
+    }
+
+    /// Attaches a sharing endpoint to `solver` if a hub is installed,
+    /// sharing is enabled, and the hub still has endpoints to give out.
+    /// Call before the solver sees its first clause — attachment on a
+    /// non-empty solver is refused by `verdict_sat`.
+    pub(crate) fn attach_sharing(&self, solver: &mut verdict_sat::Solver) {
+        if !self.sharing {
+            return;
+        }
+        if let Some(hub) = &self.share_hub {
+            if let Some(ep) = hub.endpoint() {
+                solver.attach_sharing(ep);
+            }
+        }
+    }
+
     /// Returns self with `max_depth` replaced by `depth` **iff** it still
     /// holds the default value — used by CLIs whose subcommands have
     /// different depth defaults.
@@ -406,6 +452,13 @@ impl CheckOptionsBuilder {
     /// Attaches a shared structured-trace sink.
     pub fn trace(mut self, sink: Arc<TraceSink>) -> Self {
         self.opts.trace = Some(sink);
+        self
+    }
+
+    /// Enables or disables learned-clause sharing between parallel
+    /// solvers.
+    pub fn sharing(mut self, on: bool) -> Self {
+        self.opts.sharing = on;
         self
     }
 

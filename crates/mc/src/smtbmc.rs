@@ -526,20 +526,8 @@ fn unknown_reason_smt(unr: &mut SmtUnroller<'_>, budget: &Budget) -> UnknownReas
     budget.unknown_reason_sat(clauses)
 }
 
-/// Bounded falsification of `G p` on a (possibly real-valued) system.
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::SmtBmc)` instead"
-)]
-pub fn check_invariant(
-    sys: &System,
-    p: &Expr,
-    opts: &CheckOptions,
-) -> Result<CheckResult, McError> {
-    run_invariant(sys, p, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for invariant SMT-BMC (see
+/// Trait-dispatch entry point for invariant SMT-BMC — bounded
+/// falsification of `G p` on a (possibly real-valued) system (see
 /// [`crate::engine::engine`]).
 pub(crate) fn run_invariant(
     sys: &System,
@@ -605,17 +593,9 @@ fn invariant_loop(
     Ok(CheckResult::Unknown(UnknownReason::DepthBound))
 }
 
-/// Bounded LTL falsification by fair-lasso search with exact loop-back on
-/// real variables (the paper's case study 2 shape).
-#[deprecated(
-    since = "0.2.0",
-    note = "dispatch through `verdict_mc::engine(EngineKind::SmtBmc)` instead"
-)]
-pub fn check_ltl(sys: &System, phi: &Ltl, opts: &CheckOptions) -> Result<CheckResult, McError> {
-    run_ltl(sys, phi, opts, &mut Stats::default())
-}
-
-/// Trait-dispatch entry point for LTL SMT-BMC (see
+/// Trait-dispatch entry point for LTL SMT-BMC — bounded LTL
+/// falsification by fair-lasso search with exact loop-back on real
+/// variables, the paper's case study 2 shape (see
 /// [`crate::engine::engine`]).
 pub(crate) fn run_ltl(
     sys: &System,

@@ -145,6 +145,54 @@ impl BddCounters {
     }
 }
 
+/// Parallel-runtime counters: learned-clause sharing traffic plus the
+/// lock-free collection machinery (SPSC rings and parked collectors)
+/// introduced with `verdict-ring`. All zero for single-worker runs with
+/// sharing disabled, which keeps the stats-determinism contract intact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Learnt clauses this run's solvers exported to sharing peers.
+    pub clauses_exported: u64,
+    /// Shared clauses imported after clearing the prefix guard.
+    pub clauses_imported: u64,
+    /// Shared clauses refused (foreign prefix or proof logging active).
+    pub imports_rejected: u64,
+    /// Imported clauses that became unit or conflicting in propagation.
+    pub import_hits: u64,
+    /// Messages drained from result-collection rings.
+    pub ring_messages: u64,
+    /// Nonempty drain sweeps over the result rings (messages ÷ batches
+    /// is the mean batch size).
+    pub ring_batches: u64,
+    /// Times a collector parked on its doorbell.
+    pub parks: u64,
+    /// Times a parked collector was woken by a producer.
+    pub wakes: u64,
+    /// Wakeups that found no work ready (timeouts and spurious unparks).
+    pub spurious_wakeups: u64,
+}
+
+impl RuntimeCounters {
+    /// Sums another group into this one (collectors fold their own
+    /// counters into the stats they report).
+    pub(crate) fn add(&mut self, o: RuntimeCounters) {
+        self.clauses_exported += o.clauses_exported;
+        self.clauses_imported += o.clauses_imported;
+        self.imports_rejected += o.imports_rejected;
+        self.import_hits += o.import_hits;
+        self.ring_messages += o.ring_messages;
+        self.ring_batches += o.ring_batches;
+        self.parks += o.parks;
+        self.wakes += o.wakes;
+        self.spurious_wakeups += o.spurious_wakeups;
+    }
+
+    /// True iff every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == RuntimeCounters::default()
+    }
+}
+
 impl From<verdict_bdd::BddStats> for BddCounters {
     fn from(s: verdict_bdd::BddStats) -> BddCounters {
         BddCounters {
@@ -237,6 +285,8 @@ pub struct Stats {
     pub smt: SmtCounters,
     /// BDD manager counters (symbolic engine only).
     pub bdd: BddCounters,
+    /// Parallel-runtime counters (clause sharing, ring traffic, parking).
+    pub runtime: RuntimeCounters,
     /// Per-depth unroll/solve cost for bounded engines, in depth order.
     pub depths: Vec<DepthSample>,
     /// Symbolic fixpoint iterations (reachability onion rings, EU/EG
@@ -283,6 +333,10 @@ impl Stats {
     /// once at exit).
     pub fn absorb_sat(&mut self, s: verdict_sat::Stats) {
         self.sat.add(SatCounters::from(s));
+        self.runtime.clauses_exported += s.clauses_exported;
+        self.runtime.clauses_imported += s.clauses_imported;
+        self.runtime.imports_rejected += s.imports_rejected;
+        self.runtime.import_hits += s.import_hits;
     }
 
     /// Adds the delta between two snapshots of a persistent SAT solver
@@ -298,6 +352,10 @@ impl Stats {
         d.learnt_literals -= b.learnt_literals;
         d.deleted_clauses -= b.deleted_clauses;
         self.sat.add(d);
+        self.runtime.clauses_exported += after.clauses_exported - before.clauses_exported;
+        self.runtime.clauses_imported += after.clauses_imported - before.clauses_imported;
+        self.runtime.imports_rejected += after.imports_rejected - before.imports_rejected;
+        self.runtime.import_hits += after.import_hits - before.import_hits;
     }
 
     /// Absorbs an SMT solver's counters: its SAT core plus the simplex.
@@ -351,6 +409,7 @@ impl Stats {
         self.sat.add(other.sat);
         self.smt.add(other.smt);
         self.bdd.add(other.bdd);
+        self.runtime.add(other.runtime);
         self.fixpoint_iterations += other.fixpoint_iterations;
         self.states_visited += other.states_visited;
         self.retries += other.retries;
@@ -365,6 +424,7 @@ impl Stats {
         self.sat.is_zero()
             && self.smt.is_zero()
             && self.bdd.is_zero()
+            && self.runtime.is_zero()
             && self.fixpoint_iterations == 0
             && self.states_visited == 0
             && self.retries == 0
@@ -382,6 +442,9 @@ impl Stats {
                 "\"smt\":{{\"pivots\":{},\"bound_flips\":{},\"overflow_poisonings\":{}}},",
                 "\"bdd\":{{\"nodes_allocated\":{},\"ite_cache_lookups\":{},",
                 "\"ite_cache_hits\":{},\"peak_live_nodes\":{}}},",
+                "\"runtime\":{{\"clauses_exported\":{},\"clauses_imported\":{},",
+                "\"imports_rejected\":{},\"import_hits\":{},\"ring_messages\":{},",
+                "\"ring_batches\":{},\"parks\":{},\"wakes\":{},\"spurious_wakeups\":{}}},",
                 "\"fixpoint_iterations\":{},\"states_visited\":{},",
                 "\"retries\":{},\"faults_injected\":{},\"depth_samples\":{}"
             ),
@@ -400,6 +463,15 @@ impl Stats {
             self.bdd.ite_cache_lookups,
             self.bdd.ite_cache_hits,
             self.bdd.peak_live_nodes,
+            self.runtime.clauses_exported,
+            self.runtime.clauses_imported,
+            self.runtime.imports_rejected,
+            self.runtime.import_hits,
+            self.runtime.ring_messages,
+            self.runtime.ring_batches,
+            self.runtime.parks,
+            self.runtime.wakes,
+            self.runtime.spurious_wakeups,
             self.fixpoint_iterations,
             self.states_visited,
             self.retries,

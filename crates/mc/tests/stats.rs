@@ -135,15 +135,28 @@ fn portfolio_report_carries_winner_and_contender_stats() {
         "winner produced no counters"
     );
     // Each contender contributes a per-engine summary aligned with the
-    // outcome list, and the winner's summary matches the headline stats.
+    // outcome list, and the winner's summary matches the headline stats
+    // modulo the runtime group, which the race collector folds into the
+    // headline (ring batches, parks) on top of the winner's own counters.
     assert_eq!(report.contender_stats.len(), report.outcomes.len());
     let winner_summary = report
         .contender_stats
         .iter()
         .find(|(k, _)| *k == report.winner)
         .expect("winner has a contender summary");
+    let strip_runtime = |s: &Stats| {
+        let mut s = s.clone();
+        s.runtime = Default::default();
+        s
+    };
     assert_eq!(
-        winner_summary.1.counters_json(),
+        strip_runtime(&winner_summary.1).counters_json(),
+        strip_runtime(&report.stats).counters_json()
+    );
+    // The collector saw at least the winner's verdict cross a ring.
+    assert!(
+        report.stats.runtime.ring_messages >= 1,
+        "race collector recorded no ring traffic:\n{}",
         report.stats.counters_json()
     );
 }

@@ -1,0 +1,188 @@
+//! Park/unpark wakeup for a consumer draining many rings.
+//!
+//! The pre-PR-6 collectors slept in `recv_timeout(5ms)` loops — a 200 Hz
+//! poll per collector whether or not anything happened. A [`Doorbell`]
+//! inverts that: producers ring after publishing (a `swap` plus, at
+//! most, one `unpark`), and the consumer parks until rung, with an
+//! optional timeout only when it must also poll state that nobody rings
+//! for (e.g. a caller-owned stop flag).
+//!
+//! The protocol is the standard three-state parking handshake:
+//! the consumer publishes `PARKED`, *re-checks for work*, then parks;
+//! a producer publishes its work, then swaps in `NOTIFIED` and unparks
+//! if it displaced `PARKED`. The re-check after publishing `PARKED`
+//! closes the lost-wakeup window, and a stale `NOTIFIED` token at worst
+//! costs one spurious pass — which the doorbell counts, so the Stats
+//! sink can prove the collector is not secretly spinning.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::thread::Thread;
+use std::time::{Duration, Instant};
+
+use crate::CachePadded;
+
+const IDLE: usize = 0;
+const PARKED: usize = 1;
+const NOTIFIED: usize = 2;
+
+/// Wakeup counters, read via [`Doorbell::counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DoorbellCounters {
+    /// Times the consumer actually parked.
+    pub parks: u64,
+    /// Parks that ended because a producer rang.
+    pub wakes: u64,
+    /// Parks that ended with no ring and no work (OS-spurious returns
+    /// and stale unpark tokens).
+    pub spurious_wakeups: u64,
+}
+
+/// A single-consumer wakeup cell; any number of producers may ring it.
+///
+/// Construct it **on the consumer thread** ([`Doorbell::new`] captures
+/// the current thread as the park target), share it via `Arc`, and only
+/// ever call [`wait`](Doorbell::wait) from that thread.
+#[derive(Debug)]
+pub struct Doorbell {
+    state: CachePadded<AtomicUsize>,
+    owner: Thread,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+    spurious: AtomicU64,
+}
+
+impl Doorbell {
+    /// Creates a doorbell whose `wait` parks the *calling* thread.
+    pub fn new() -> Self {
+        Doorbell {
+            state: CachePadded::new(AtomicUsize::new(IDLE)),
+            owner: std::thread::current(),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+            spurious: AtomicU64::new(0),
+        }
+    }
+
+    /// Rings the doorbell. Call *after* publishing work (the `Release`
+    /// swap orders the publication before the consumer's wakeup).
+    pub fn ring(&self) {
+        if self.state.swap(NOTIFIED, Ordering::Release) == PARKED {
+            self.owner.unpark();
+        }
+    }
+
+    /// Parks until rung, `has_work()` turns true, or `timeout` expires.
+    /// Returns `true` unless the timeout expired with no work; either
+    /// way the caller should re-examine all its inputs.
+    ///
+    /// `has_work` is re-evaluated after the consumer advertises itself
+    /// as parked, so a producer that published just before can never be
+    /// missed.
+    pub fn wait(&self, timeout: Option<Duration>, mut has_work: impl FnMut() -> bool) -> bool {
+        debug_assert_eq!(
+            std::thread::current().id(),
+            self.owner.id(),
+            "Doorbell::wait must run on the thread that built the doorbell"
+        );
+        if has_work() {
+            // Consume any stale token so the next wait doesn't wake hot.
+            self.state.store(IDLE, Ordering::Relaxed);
+            return true;
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            self.state.store(PARKED, Ordering::Release);
+            if has_work() {
+                self.state.store(IDLE, Ordering::Relaxed);
+                return true;
+            }
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        self.state.store(IDLE, Ordering::Relaxed);
+                        return has_work();
+                    }
+                    std::thread::park_timeout(d - now);
+                }
+                None => std::thread::park(),
+            }
+            let prev = self.state.swap(IDLE, Ordering::Acquire);
+            if prev == NOTIFIED {
+                self.wakes.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return has_work();
+                }
+            }
+            // Woke with no ring and (checked next loop) maybe no work.
+            self.spurious.fetch_add(1, Ordering::Relaxed);
+            if has_work() {
+                return true;
+            }
+        }
+    }
+
+    /// Snapshot of the wakeup counters.
+    pub fn counters(&self) -> DoorbellCounters {
+        DoorbellCounters {
+            parks: self.parks.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+            spurious_wakeups: self.spurious.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Doorbell {
+    fn default() -> Self {
+        Doorbell::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn ring_wakes_a_parked_waiter() {
+        let bell = Arc::new(Doorbell::new());
+        let flag = Arc::new(AtomicBool::new(false));
+        let (b, f) = (Arc::clone(&bell), Arc::clone(&flag));
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            f.store(true, Ordering::Release);
+            b.ring();
+        });
+        let woke = bell.wait(Some(Duration::from_secs(10)), || {
+            flag.load(Ordering::Acquire)
+        });
+        assert!(woke);
+        assert!(flag.load(Ordering::Acquire));
+        producer.join().unwrap();
+        assert!(bell.counters().parks >= 1);
+    }
+
+    #[test]
+    fn ring_before_wait_is_not_lost() {
+        let bell = Doorbell::new();
+        bell.ring();
+        // Work published before the wait: returns immediately.
+        assert!(bell.wait(Some(Duration::from_secs(5)), || true));
+        // Token from the pre-wait ring was consumed; a timed wait with
+        // no work now actually times out.
+        assert!(!bell.wait(Some(Duration::from_millis(10)), || false));
+    }
+
+    #[test]
+    fn timeout_expires_without_ring() {
+        let bell = Doorbell::new();
+        let t0 = Instant::now();
+        assert!(!bell.wait(Some(Duration::from_millis(25)), || false));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+}

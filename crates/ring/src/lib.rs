@@ -1,0 +1,75 @@
+//! Lock-free primitives for verdict's parallel runtime.
+//!
+//! Three building blocks, all allocation-free on their hot paths:
+//!
+//! * [`spsc`] — bounded single-producer/single-consumer rings with
+//!   128-byte cache-aligned head/tail counters, batched consumption
+//!   ([`spsc::Consumer::drain`]), and zero-copy batch publication
+//!   ([`spsc::Producer::reserve`] / commit). Fan-in is built from one
+//!   ring per producer, so no CAS loop ever runs: every counter has
+//!   exactly one writer.
+//! * [`doorbell`] — a park/unpark wakeup cell so a consumer draining
+//!   several rings can sleep instead of polling `recv_timeout` in a
+//!   loop, with counters for parks, wakes, and spurious wakeups.
+//! * [`published`] — an epoch-stamped append-only snapshot list: one
+//!   atomic epoch read on the hot path, a lock taken only when a new
+//!   version exists. Replaces `Mutex<Vec<T>>` stores that are read far
+//!   more often than they are written.
+//!
+//! ```
+//! let (mut tx, mut rx) = verdict_ring::spsc::ring::<u32>(8);
+//! tx.push(1).unwrap();
+//! tx.push(2).unwrap();
+//! let mut got = Vec::new();
+//! rx.drain(|v| got.push(v));
+//! assert_eq!(got, [1, 2]);
+//! ```
+
+pub mod doorbell;
+pub mod published;
+pub mod spsc;
+
+pub use doorbell::{Doorbell, DoorbellCounters};
+pub use published::{Published, PublishedReader};
+pub use spsc::{ring, Consumer, Producer};
+
+/// Pads and aligns a value to 128 bytes — two 64-byte lines, covering
+/// the adjacent-line prefetcher on x86 — so the producer- and
+/// consumer-owned counters of a ring never share a cache line (no false
+/// sharing between the two sides).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in its own pair of cache lines.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_two_lines() {
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+    }
+}

@@ -1,0 +1,161 @@
+//! Epoch-read snapshot list: append rarely, read constantly.
+//!
+//! The synthesis sweep's unsat-core pattern store was a
+//! `Mutex<Vec<HoldsPattern>>` that every worker locked before *every*
+//! check — a read-mostly structure paying a write-side price. A
+//! [`Published<T>`] keeps the current version behind an `Arc` and stamps
+//! every append with an epoch; a [`PublishedReader`] caches the `Arc`
+//! and re-locks only when the epoch it last saw has moved on. The hot
+//! read path is a single `Acquire` load.
+//!
+//! Readers may observe a snapshot a publish behind — callers use this
+//! for caches (a missed pattern costs a redundant solver call, never a
+//! wrong answer), which is why reads are allowed to be stale.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::CachePadded;
+
+/// An append-only list whose readers see immutable snapshots.
+#[derive(Debug)]
+pub struct Published<T> {
+    epoch: CachePadded<AtomicU64>,
+    items: Mutex<Arc<Vec<T>>>,
+}
+
+impl<T> Published<T> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Published {
+            epoch: CachePadded::new(AtomicU64::new(0)),
+            items: Mutex::new(Arc::new(Vec::new())),
+        }
+    }
+
+    /// Appends `item`, making a new snapshot visible to readers.
+    pub fn publish(&self, item: T)
+    where
+        T: Clone,
+    {
+        let mut guard = self.items.lock().unwrap_or_else(|e| e.into_inner());
+        let mut next: Vec<T> = (**guard).clone();
+        next.push(item);
+        *guard = Arc::new(next);
+        // Bump inside the lock so epochs and snapshots move together;
+        // Release pairs with the reader's Acquire.
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current snapshot (shared, immutable).
+    pub fn snapshot(&self) -> Arc<Vec<T>> {
+        Arc::clone(&self.items.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Items published so far.
+    pub fn len(&self) -> usize {
+        self.items.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True if nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A reader with its own snapshot cache.
+    pub fn reader(self: &Arc<Self>) -> PublishedReader<T> {
+        PublishedReader {
+            src: Arc::clone(self),
+            seen_epoch: 0,
+            cached: Arc::new(Vec::new()),
+            refreshes: 0,
+        }
+    }
+}
+
+impl<T> Default for Published<T> {
+    fn default() -> Self {
+        Published::new()
+    }
+}
+
+/// Per-thread read handle for a [`Published`] store.
+#[derive(Debug)]
+pub struct PublishedReader<T> {
+    src: Arc<Published<T>>,
+    seen_epoch: u64,
+    cached: Arc<Vec<T>>,
+    refreshes: u64,
+}
+
+impl<T> PublishedReader<T> {
+    /// The freshest snapshot this reader has seen. Locks only when the
+    /// epoch advanced since the last call; otherwise a single atomic
+    /// load.
+    pub fn read(&mut self) -> &[T] {
+        let epoch = self.src.epoch.load(Ordering::Acquire);
+        if epoch != self.seen_epoch {
+            self.cached = self.src.snapshot();
+            self.seen_epoch = epoch;
+            self.refreshes += 1;
+        }
+        &self.cached
+    }
+
+    /// Publishes through to the shared store.
+    pub fn publish(&self, item: T)
+    where
+        T: Clone,
+    {
+        self.src.publish(item);
+    }
+
+    /// How many times `read` had to take the lock — a proxy for how
+    /// cold the epoch cache is.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_cached_until_publish() {
+        let store = Arc::new(Published::new());
+        let mut reader = store.reader();
+        assert!(reader.read().is_empty());
+        assert_eq!(reader.refreshes(), 0, "empty epoch needs no refresh");
+        store.publish(1u32);
+        store.publish(2u32);
+        assert_eq!(reader.read(), [1, 2]);
+        assert_eq!(reader.refreshes(), 1, "two publishes, one refresh");
+        assert_eq!(reader.read(), [1, 2]);
+        assert_eq!(reader.refreshes(), 1, "no new epoch, no lock");
+    }
+
+    #[test]
+    fn concurrent_publish_and_read() {
+        let store = Arc::new(Published::<usize>::new());
+        let writer_store = Arc::clone(&store);
+        let writer = std::thread::spawn(move || {
+            for i in 0..100 {
+                writer_store.publish(i);
+            }
+        });
+        let mut reader = store.reader();
+        loop {
+            let snap = reader.read();
+            // Prefix property: snapshots are always 0..n in order.
+            for (i, &v) in snap.iter().enumerate() {
+                assert_eq!(v, i);
+            }
+            if snap.len() == 100 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,437 @@
+//! Bounded lock-free single-producer/single-consumer ring.
+//!
+//! The classic Lamport queue with two refinements from modern practice
+//! (FastFlow / rigtorp-style):
+//!
+//! * **Cache-line discipline.** `head` (consumer-owned) and `tail`
+//!   (producer-owned) live in separate 128-byte [`CachePadded`] cells,
+//!   so a push never invalidates the consumer's line and vice versa.
+//! * **Cached counters.** Each side keeps a local copy of the *other*
+//!   side's counter and only re-reads the shared atomic when the cached
+//!   value says the ring looks full/empty. In steady state a push is
+//!   one write to the slot plus one `Release` store; a drain of `n`
+//!   items is one `Acquire` load plus one `Release` store total.
+//!
+//! Counters are absolute (monotonically increasing) indices masked into
+//! the power-of-two buffer; full is `tail - head == capacity`, empty is
+//! `tail == head`, with no wasted slot and no wraparound ambiguity.
+//!
+//! This module is one of the two places the workspace's
+//! `unsafe_code = "deny"` lint is overridden (the other is the CLI's
+//! SIGINT handler). The unsafe core is small and local: slot cells are
+//! `UnsafeCell<MaybeUninit<T>>`, written only by the producer between
+//! `head` and publication, read only by the consumer after an `Acquire`
+//! load of `tail` — each slot has exactly one owner at any moment, which
+//! is exactly the invariant the safety comments argue.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::CachePadded;
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written only by the consumer.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Written only by the producer.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the ring hands out exactly one `Producer` and one `Consumer`;
+// all slot access is mediated by the head/tail protocol below (a slot is
+// touched by the producer only while `index >= head + capacity` is
+// false and `index < tail`-to-be, and by the consumer only after an
+// Acquire load of `tail` covers it), so `&Inner<T>` is safe to share
+// across the two threads whenever `T` itself may move between threads.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for Inner<T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access here (last Arc owner); drop the unread items.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = self.buf[i & self.mask].get();
+            // SAFETY: slots in `head..tail` were initialized by the
+            // producer and never read out by the consumer; `&mut self`
+            // proves no other thread can touch them now.
+            #[allow(unsafe_code)]
+            unsafe {
+                (*slot).assume_init_drop();
+            }
+        }
+    }
+}
+
+/// Creates a bounded SPSC ring holding at least `capacity` items
+/// (rounded up to a power of two, minimum 2). Returns the two endpoint
+/// handles; each is `Send` but not `Clone` — exactly one thread owns
+/// each side.
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        buf,
+        mask: cap - 1,
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            tail: 0,
+            cached_head: 0,
+        },
+        Consumer {
+            inner,
+            head: 0,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("capacity", &self.inner.buf.len())
+            .field("tail", &self.tail)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("capacity", &self.inner.buf.len())
+            .field("head", &self.head)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The write side of a ring. Owned by exactly one thread at a time.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local copy of the shared tail (this side is its only writer).
+    tail: usize,
+    /// Last observed consumer head; refreshed only when the ring looks
+    /// full, so the common-case push never loads the consumer's line.
+    cached_head: usize,
+}
+
+impl<T> Producer<T> {
+    /// Total slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.buf.len()
+    }
+
+    /// Slots currently free, from this side's (possibly stale) view.
+    /// Refreshes the consumer counter first, so the answer is a lower
+    /// bound that only another `push` can shrink.
+    pub fn free(&mut self) -> usize {
+        self.cached_head = self.inner.head.load(Ordering::Acquire);
+        self.capacity() - (self.tail - self.cached_head)
+    }
+
+    /// Pushes one item; returns it back if the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.tail - self.cached_head == self.capacity() {
+            self.cached_head = self.inner.head.load(Ordering::Acquire);
+            if self.tail - self.cached_head == self.capacity() {
+                return Err(value);
+            }
+        }
+        let slot = self.inner.buf[self.tail & self.inner.mask].get();
+        // SAFETY: `tail - head < capacity`, so this slot is outside the
+        // consumer's visible window (it reads only below the published
+        // tail) and owned by the producer until the Release store below.
+        #[allow(unsafe_code)]
+        unsafe {
+            (*slot).write(value);
+        }
+        self.tail += 1;
+        self.inner.tail.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Reserves up to `want` slots for zero-copy batch publication:
+    /// items are written directly into ring slots and become visible to
+    /// the consumer all at once, with a single `Release` store, when the
+    /// reservation is committed (or dropped). Returns a reservation of
+    /// [`Reservation::capacity`] ≤ `want` slots (possibly 0).
+    pub fn reserve(&mut self, want: usize) -> Reservation<'_, T> {
+        let free = self.free();
+        Reservation {
+            len: want.min(free),
+            written: 0,
+            prod: self,
+        }
+    }
+}
+
+/// A block of reserved ring slots (see [`Producer::reserve`]). Write
+/// with [`push`](Reservation::push); everything written becomes visible
+/// atomically on [`commit`](Reservation::commit) or drop. Unused slots
+/// are simply returned to the ring.
+pub struct Reservation<'a, T> {
+    prod: &'a mut Producer<T>,
+    len: usize,
+    written: usize,
+}
+
+impl<T> Reservation<'_, T> {
+    /// Slots available in this reservation.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Writes the next item into its final slot (no staging copy).
+    /// Returns `false`, dropping `value`, if the reservation is full.
+    pub fn push(&mut self, value: T) -> bool {
+        if self.written == self.len {
+            return false;
+        }
+        let idx = self.prod.tail + self.written;
+        let slot = self.prod.inner.buf[idx & self.prod.inner.mask].get();
+        // SAFETY: `idx < tail + len ≤ head + capacity`, so the slot is
+        // invisible to the consumer until the commit store and owned by
+        // this reservation (producer is unique, reservation borrows it).
+        #[allow(unsafe_code)]
+        unsafe {
+            (*slot).write(value);
+        }
+        self.written += 1;
+        true
+    }
+
+    /// Publishes everything written so far. Equivalent to dropping the
+    /// reservation; spelled out for call-site clarity.
+    pub fn commit(self) {}
+}
+
+impl<T> Drop for Reservation<'_, T> {
+    fn drop(&mut self) {
+        if self.written > 0 {
+            self.prod.tail += self.written;
+            self.prod
+                .inner
+                .tail
+                .store(self.prod.tail, Ordering::Release);
+        }
+    }
+}
+
+/// The read side of a ring. Owned by exactly one thread at a time.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local copy of the shared head (this side is its only writer).
+    head: usize,
+    /// Last observed producer tail; refreshed when the ring looks empty.
+    cached_tail: usize,
+}
+
+/// Publishes the consumer head on drop, so a panicking `drain` callback
+/// cannot cause already-read items to be dropped twice by `Inner::drop`.
+struct AdvanceGuard<'a, T> {
+    cons: &'a mut Consumer<T>,
+    head: usize,
+}
+
+impl<T> Drop for AdvanceGuard<'_, T> {
+    fn drop(&mut self) {
+        self.cons.head = self.head;
+        self.cons.inner.head.store(self.head, Ordering::Release);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops one item, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.head == self.cached_tail {
+            self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+            if self.head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = self.inner.buf[self.head & self.inner.mask].get();
+        // SAFETY: `head < cached_tail` and the Acquire load of `tail`
+        // synchronized with the producer's Release store, so the slot is
+        // initialized and the producer will not touch it again until we
+        // publish a head beyond it.
+        #[allow(unsafe_code)]
+        let value = unsafe { (*slot).assume_init_read() };
+        self.head += 1;
+        self.inner.head.store(self.head, Ordering::Release);
+        Some(value)
+    }
+
+    /// Drains every item currently visible, calling `f` on each in FIFO
+    /// order, with one `Acquire` load up front and one `Release` store
+    /// at the end regardless of batch size. Returns the batch size.
+    pub fn drain(&mut self, mut f: impl FnMut(T)) -> usize {
+        self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+        let n = self.cached_tail - self.head;
+        if n == 0 {
+            return 0;
+        }
+        let mask = self.inner.mask;
+        let inner = Arc::clone(&self.inner);
+        let start = self.head;
+        let mut guard = AdvanceGuard {
+            cons: self,
+            head: start,
+        };
+        for i in start..start + n {
+            let slot = inner.buf[i & mask].get();
+            // SAFETY: `i < cached_tail` per the Acquire load above; the
+            // guard publishes `head` past this slot even if `f` panics,
+            // so the item is read out exactly once.
+            #[allow(unsafe_code)]
+            let value = unsafe { (*slot).assume_init_read() };
+            guard.head = i + 1;
+            f(value);
+        }
+        drop(guard);
+        n
+    }
+
+    /// True if no items are currently visible (refreshes the producer
+    /// counter, so a `false` answer means `pop` will succeed).
+    pub fn is_empty(&mut self) -> bool {
+        if self.head != self.cached_tail {
+            return false;
+        }
+        self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+        self.head == self.cached_tail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_empty() {
+        let (mut tx, mut rx) = ring::<u64>(4);
+        assert!(rx.pop().is_none());
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "ring of 4 holds exactly 4");
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn wraps_around_many_times() {
+        let (mut tx, mut rx) = ring::<usize>(2);
+        for i in 0..1000 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn drain_is_batched_fifo() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        let mut got = Vec::new();
+        assert_eq!(rx.drain(|v| got.push(v)), 5);
+        assert_eq!(got, [0, 1, 2, 3, 4]);
+        assert_eq!(rx.drain(|v| got.push(v)), 0);
+    }
+
+    #[test]
+    fn reserve_commit_publishes_atomically() {
+        let (mut tx, mut rx) = ring::<u32>(8);
+        let mut r = tx.reserve(3);
+        assert_eq!(r.capacity(), 3);
+        assert!(r.push(10));
+        assert!(r.push(11));
+        // Not yet committed: consumer sees nothing.
+        assert!(rx.pop().is_none());
+        r.commit();
+        assert_eq!(rx.pop(), Some(10));
+        assert_eq!(rx.pop(), Some(11));
+        assert!(rx.pop().is_none(), "unused reserved slot not published");
+    }
+
+    #[test]
+    fn reserve_clamps_to_free_space() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        tx.push(0).unwrap();
+        tx.push(1).unwrap();
+        let mut r = tx.reserve(10);
+        assert_eq!(r.capacity(), 2);
+        assert!(r.push(2));
+        assert!(r.push(3));
+        assert!(!r.push(4), "over-reservation push refused");
+        drop(r); // drop publishes, same as commit
+        let mut got = Vec::new();
+        rx.drain(|v| got.push(v));
+        assert_eq!(got, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unread_items_are_dropped_with_ring() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = ring::<D>(4);
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        tx.push(D).unwrap();
+        drop(rx.pop()); // one read out and dropped
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn two_thread_handoff() {
+        let (mut tx, mut rx) = ring::<usize>(16);
+        let n = 10_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0;
+        while expect < n {
+            rx.drain(|v| {
+                assert_eq!(v, expect);
+                expect += 1;
+            });
+            if expect < n {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -37,7 +37,9 @@
 //! ```
 
 pub mod proof;
+pub mod share;
 pub mod solver;
 
 pub use proof::{check_proof, ProofError, ProofEvent};
+pub use share::{ClauseHub, Endpoint, ShareConfig, SharedClause};
 pub use solver::{Limits, Model, SolveResult, Solver, Stats, TheoryHook, TheoryVerdict};

@@ -103,8 +103,13 @@ pub fn check_proof(events: &[ProofEvent]) -> Result<(), ProofError> {
         match ev {
             ProofEvent::Input(c) => {
                 index.entry(key(c)).or_default().push(db.len());
+                // Store the sorted-deduped form: a clause with a repeated
+                // literal (CNF lowerings emit them) is semantically its
+                // deduped self, and the naive propagator below would
+                // otherwise count the duplicate as a second unassigned
+                // literal and never treat the clause as unit.
                 db.push(Entry {
-                    lits: c.clone(),
+                    lits: key(c),
                     active: true,
                 });
             }
@@ -117,7 +122,7 @@ pub fn check_proof(events: &[ProofEvent]) -> Result<(), ProofError> {
                 }
                 index.entry(key(c)).or_default().push(db.len());
                 db.push(Entry {
-                    lits: c.clone(),
+                    lits: key(c),
                     active: true,
                 });
             }
@@ -299,6 +304,22 @@ mod tests {
             check_proof(&events),
             Err(ProofError::NotRup(3, _))
         ));
+    }
+
+    #[test]
+    fn duplicate_literals_still_propagate() {
+        // CNF lowerings emit clauses like (!a | b | b). The checker must
+        // treat them as their deduped selves — here (!a | b) and (!a | !b)
+        // resolve with (a) to the empty clause, and each RUP step needs
+        // the duplicated clause to become unit.
+        let events = vec![
+            ProofEvent::Input(vec![l(0, true)]),
+            ProofEvent::Input(vec![l(0, false), l(1, true), l(1, true)]),
+            ProofEvent::Input(vec![l(0, false), l(1, false), l(1, false)]),
+            ProofEvent::Learn(vec![l(1, true)]),
+            ProofEvent::Learn(vec![]),
+        ];
+        assert_eq!(check_proof(&events), Ok(()));
     }
 
     #[test]

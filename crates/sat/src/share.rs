@@ -1,0 +1,329 @@
+//! Learned-clause sharing between solvers working on the same CNF prefix.
+//!
+//! ManySAT/HordeSat-style exchange adapted to this workspace's parallel
+//! layers (portfolio contenders, synthesis siblings): each solver owns a
+//! [`ClauseHub`] [`Endpoint`] — one lock-free SPSC ring per peer
+//! direction, so publication never takes a lock or runs a CAS loop —
+//! and exports its good learnt clauses (bounded LBD / length, see
+//! [`ShareConfig`]) as it learns them. Peers import at quiet points
+//! (solve entry and restart boundaries, i.e. decision level 0).
+//!
+//! # Soundness
+//!
+//! A learnt clause is a logical consequence of the clause *database it
+//! was learnt against* — importing it into a solver with a different
+//! database would be unsound. The guard is a **prefix hash chain**:
+//! every solver folds each clause it is handed through `add_clause`
+//! into a running FNV-1a chain, `h[k] = fnv(h[k-1], clause_k)`, and an
+//! export is stamped with the producer's `(k, h[k])` at learn time. The
+//! importer accepts iff its *own* chain has the same hash at position
+//! `k` — i.e. both solvers were fed byte-identical clause sequences up
+//! to `k`, so the clause is a consequence of the importer's first `k`
+//! inputs too (learnt clauses resolve only over input clauses and
+//! previously-accepted consequences of the same prefix). Solvers over
+//! different encodings (say, BMC's init-anchored unrolling vs.
+//! k-induction's free unrolling) diverge at clause 1 and exchange
+//! nothing, automatically.
+//!
+//! Two further rules keep `--certify` sound:
+//!
+//! * a solver with DRUP proof logging enabled never *imports* (an
+//!   imported clause would appear in resolutions without a derivation,
+//!   breaking RUP checking); certification always re-proves with fresh
+//!   proof-logged solvers, so sharing among the exploration solvers
+//!   never taints a certificate;
+//! * imports are re-normalized and attached as *learnt* clauses, so
+//!   database reduction can drop them like any other learnt clause.
+
+use std::sync::{Arc, Mutex};
+
+use verdict_logic::Lit;
+use verdict_ring::spsc::{ring, Consumer, Producer};
+
+/// Hash-chain seed: the FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one clause (as handed to `add_clause`, pre-normalization) into
+/// the chain. Byte-identical clause streams — and only those — produce
+/// equal chains.
+pub(crate) fn chain_step(prev: u64, lits: &[Lit]) -> u64 {
+    let mut h = prev;
+    let mut fold = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for b in (lits.len() as u32).to_le_bytes() {
+        fold(b);
+    }
+    for l in lits {
+        for b in (l.index() as u32).to_le_bytes() {
+            fold(b);
+        }
+    }
+    h
+}
+
+/// The running `add_clause` fingerprint of one solver: `hashes[k]` is
+/// the chain value after the first `k` clauses (`hashes[0]` is the FNV
+/// offset basis, shared by all empty solvers).
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixChain {
+    hashes: Vec<u64>,
+}
+
+impl PrefixChain {
+    pub(crate) fn new() -> PrefixChain {
+        PrefixChain {
+            hashes: vec![FNV_OFFSET],
+        }
+    }
+
+    /// Records the next clause handed to `add_clause`.
+    pub(crate) fn record(&mut self, lits: &[Lit]) {
+        let prev = *self.hashes.last().expect("chain starts non-empty");
+        self.hashes.push(chain_step(prev, lits));
+    }
+
+    /// Number of clauses recorded.
+    pub(crate) fn len(&self) -> u32 {
+        (self.hashes.len() - 1) as u32
+    }
+
+    /// The chain value at the current prefix end.
+    pub(crate) fn head(&self) -> u64 {
+        *self.hashes.last().expect("chain starts non-empty")
+    }
+
+    /// True iff this solver's first `len` clauses hash to `hash` — the
+    /// import guard.
+    pub(crate) fn covers(&self, len: u32, hash: u64) -> bool {
+        self.hashes.get(len as usize).is_some_and(|&h| h == hash)
+    }
+}
+
+/// One learnt clause in flight between solvers.
+#[derive(Debug, Clone)]
+pub struct SharedClause {
+    /// The clause literals (producer's learnt clause, unminimized order).
+    pub lits: Vec<Lit>,
+    /// Producer-side literal-block-distance at learn time.
+    pub lbd: u32,
+    /// Producer's `add_clause` count when the clause was learnt.
+    pub prefix_len: u32,
+    /// Producer's prefix chain value at `prefix_len`.
+    pub prefix_hash: u64,
+}
+
+/// Export filter and ring sizing for a [`ClauseHub`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShareConfig {
+    /// Export clauses with LBD at most this (glue clauses travel well).
+    pub max_lbd: u32,
+    /// Never export clauses longer than this, whatever their LBD.
+    pub max_len: usize,
+    /// Per-direction ring capacity, in clauses; the ring bounds memory,
+    /// and a full ring simply drops the export (sharing is best-effort).
+    pub ring_capacity: usize,
+}
+
+impl Default for ShareConfig {
+    fn default() -> Self {
+        ShareConfig {
+            max_lbd: 6,
+            max_len: 32,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// Per-direction ring pair storage, taken by `endpoint()`.
+type Slot = (usize, Producer<SharedClause>);
+type RSlot = Consumer<SharedClause>;
+
+/// A clause-exchange hub for up to `n` solvers: an `n × (n-1)` matrix of
+/// SPSC rings, one per ordered peer pair, created up front so the hot
+/// paths never allocate or lock. Hand one [`Endpoint`] to each solver
+/// via [`ClauseHub::endpoint`]; when the hub is exhausted the remaining
+/// solvers simply run without sharing.
+#[derive(Debug)]
+pub struct ClauseHub {
+    /// `producers[i]` = the send halves solver `i` uses (one per peer).
+    producers: Mutex<Vec<Option<Vec<Slot>>>>,
+    /// `consumers[i]` = the receive halves solver `i` drains.
+    consumers: Mutex<Vec<Option<Vec<RSlot>>>>,
+    next: Mutex<usize>,
+    config: ShareConfig,
+}
+
+impl ClauseHub {
+    /// Builds a hub for `n` endpoints with the given config.
+    pub fn with_config(n: usize, config: ShareConfig) -> Arc<ClauseHub> {
+        let mut producers: Vec<Option<Vec<Slot>>> = (0..n).map(|_| Some(Vec::new())).collect();
+        let mut consumers: Vec<Option<Vec<RSlot>>> = (0..n).map(|_| Some(Vec::new())).collect();
+        for (i, row) in producers.iter_mut().enumerate() {
+            let row = row.as_mut().expect("fresh slot");
+            for (j, sink) in consumers.iter_mut().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let (tx, rx) = ring::<SharedClause>(config.ring_capacity);
+                row.push((j, tx));
+                sink.as_mut().expect("fresh slot").push(rx);
+            }
+        }
+        Arc::new(ClauseHub {
+            producers: Mutex::new(producers),
+            consumers: Mutex::new(consumers),
+            next: Mutex::new(0),
+            config,
+        })
+    }
+
+    /// Builds a hub for `n` endpoints with [`ShareConfig::default`].
+    pub fn new(n: usize) -> Arc<ClauseHub> {
+        ClauseHub::with_config(n, ShareConfig::default())
+    }
+
+    /// Takes the next unclaimed endpoint, or `None` if all are handed
+    /// out. Claiming locks; everything after is lock-free.
+    pub fn endpoint(&self) -> Option<Endpoint> {
+        let mut next = self.next.lock().unwrap_or_else(|e| e.into_inner());
+        let id = *next;
+        let producers = self
+            .producers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(id)?
+            .take()?;
+        let consumers = self
+            .consumers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get_mut(id)?
+            .take()?;
+        *next = id + 1;
+        Some(Endpoint {
+            producers,
+            consumers,
+            config: self.config,
+        })
+    }
+}
+
+/// One solver's handle into a [`ClauseHub`]: send halves to every peer,
+/// receive halves from every peer. Attached to a solver with
+/// [`crate::Solver::attach_sharing`].
+#[derive(Debug)]
+pub struct Endpoint {
+    producers: Vec<Slot>,
+    consumers: Vec<RSlot>,
+    config: ShareConfig,
+}
+
+impl Endpoint {
+    /// True iff the filter admits a clause of this shape. Unit and
+    /// binary clauses always travel; otherwise LBD and length both
+    /// gate.
+    pub fn wants(&self, len: usize, lbd: u32) -> bool {
+        len <= 2 || (lbd <= self.config.max_lbd && len <= self.config.max_len)
+    }
+
+    /// Publishes a learnt clause to every peer ring (best-effort: full
+    /// rings drop). Returns how many peers received it.
+    pub fn export(&mut self, lits: &[Lit], lbd: u32, prefix_len: u32, prefix_hash: u64) -> u64 {
+        let mut delivered = 0u64;
+        for (_, tx) in &mut self.producers {
+            let msg = SharedClause {
+                lits: lits.to_vec(),
+                lbd,
+                prefix_len,
+                prefix_hash,
+            };
+            if tx.push(msg).is_ok() {
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Drains every pending import into `f`.
+    pub fn drain(&mut self, mut f: impl FnMut(SharedClause)) {
+        for rx in &mut self.consumers {
+            rx.drain(&mut f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_logic::Var;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(Var(v), pos)
+    }
+
+    #[test]
+    fn chain_distinguishes_order_and_content() {
+        let a = vec![lit(0, true), lit(1, false)];
+        let b = vec![lit(1, false), lit(0, true)];
+        let mut c1 = PrefixChain::new();
+        let mut c2 = PrefixChain::new();
+        assert_eq!(c1.head(), c2.head(), "empty chains agree");
+        c1.record(&a);
+        c2.record(&a);
+        assert_eq!(c1.head(), c2.head(), "same stream, same chain");
+        c1.record(&a);
+        c2.record(&b);
+        assert_ne!(c1.head(), c2.head(), "literal order matters");
+        assert!(c1.covers(1, c2.hashes[1]), "shared prefix still covered");
+        assert!(!c1.covers(2, c2.head()));
+        assert!(!c1.covers(99, c2.head()), "beyond prefix never covered");
+    }
+
+    #[test]
+    fn chain_separates_clause_boundaries() {
+        // [a b] [c] vs [a] [b c]: same flat literal stream, different
+        // clause boundaries, different chains (the length prefix).
+        let (a, b, c) = (lit(0, true), lit(1, true), lit(2, true));
+        let mut c1 = PrefixChain::new();
+        c1.record(&[a, b]);
+        c1.record(&[c]);
+        let mut c2 = PrefixChain::new();
+        c2.record(&[a]);
+        c2.record(&[b, c]);
+        assert_ne!(c1.head(), c2.head());
+    }
+
+    #[test]
+    fn hub_hands_out_n_endpoints_and_routes_all_pairs() {
+        let hub = ClauseHub::new(3);
+        let mut eps: Vec<Endpoint> = (0..3).map(|_| hub.endpoint().expect("3 slots")).collect();
+        assert!(hub.endpoint().is_none(), "hub exhausted after n");
+        // 0 exports; 1 and 2 each see it once.
+        let delivered = eps[0].export(&[lit(4, true)], 1, 7, 0xabcd);
+        assert_eq!(delivered, 2);
+        for peer in [1, 2] {
+            let mut got = Vec::new();
+            eps[peer].drain(|m| got.push(m));
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].lits, vec![lit(4, true)]);
+            assert_eq!((got[0].prefix_len, got[0].prefix_hash), (7, 0xabcd));
+        }
+        let mut got = Vec::new();
+        eps[0].drain(|m| got.push(m));
+        assert!(got.is_empty(), "no self-delivery");
+    }
+
+    #[test]
+    fn default_filter_gates_on_lbd_and_length() {
+        let hub = ClauseHub::new(2);
+        let ep = hub.endpoint().unwrap();
+        assert!(ep.wants(1, 30), "units always travel");
+        assert!(ep.wants(2, 30), "binaries always travel");
+        assert!(ep.wants(10, 6));
+        assert!(!ep.wants(10, 7), "LBD above threshold");
+        assert!(!ep.wants(64, 2), "too long even with good LBD");
+    }
+}

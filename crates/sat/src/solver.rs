@@ -12,6 +12,7 @@ use std::time::Instant;
 use verdict_logic::{Cnf, Lit, Var};
 
 use crate::proof::ProofEvent;
+use crate::share::{Endpoint, PrefixChain, SharedClause};
 
 /// Three-valued assignment state of a variable.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -39,6 +40,9 @@ struct ClauseData {
     /// Literal-block distance at learn time; lower is better.
     lbd: u32,
     deleted: bool,
+    /// Imported from a peer via clause sharing (counts import hits when
+    /// it later participates in a conflict).
+    shared: bool,
 }
 
 type ClauseId = u32;
@@ -208,6 +212,17 @@ pub struct Stats {
     pub theory_checks: u64,
     /// Theory lemmas learnt.
     pub theory_lemmas: u64,
+    /// Learnt clauses exported to peers via clause sharing (counted once
+    /// per peer delivery).
+    pub clauses_exported: u64,
+    /// Peer clauses accepted by the prefix guard and integrated.
+    pub clauses_imported: u64,
+    /// Peer clauses refused by the prefix guard (foreign CNF prefix) or
+    /// the proof-logging rule.
+    pub imports_rejected: u64,
+    /// Times an imported clause participated in a conflict (as the
+    /// conflicting clause or a resolved reason) — the payoff counter.
+    pub import_hits: u64,
 }
 
 /// A CDCL SAT solver. See the [crate docs](crate) for the feature list.
@@ -242,6 +257,17 @@ pub struct Solver {
     /// DRUP-style proof log; `Some` once [`Solver::enable_proof`] is called.
     proof: Option<Vec<ProofEvent>>,
 
+    /// Clause-sharing endpoint; `Some` once [`Solver::attach_sharing`]
+    /// is called.
+    sharing: Option<Endpoint>,
+    /// Running fingerprint of every clause handed to
+    /// [`Solver::add_clause`] — the sharing import guard (see
+    /// [`crate::share`]). Maintained only while sharing is attached.
+    prefix: Option<PrefixChain>,
+    /// Peer clauses stamped ahead of our prefix: parked until our chain
+    /// grows to cover them (bounded by [`MAX_PENDING_IMPORTS`]).
+    pending_imports: Vec<SharedClause>,
+
     ok: bool,
     stats: Stats,
 }
@@ -255,6 +281,9 @@ impl Default for Solver {
 const VAR_DECAY: f64 = 1.0 / 0.95;
 const RESCALE_LIMIT: f64 = 1e100;
 const LUBY_UNIT: u64 = 128;
+/// Cap on clauses parked while a sharing peer's prefix runs ahead of
+/// ours; overflow is rejected (sharing is best-effort, never a leak).
+const MAX_PENDING_IMPORTS: usize = 4096;
 
 impl Solver {
     /// An empty solver with no variables or clauses.
@@ -279,9 +308,32 @@ impl Solver {
             assumptions: Vec::new(),
             conflict_core: Vec::new(),
             proof: None,
+            sharing: None,
+            prefix: None,
+            pending_imports: Vec::new(),
             ok: true,
             stats: Stats::default(),
         }
+    }
+
+    /// Attaches a clause-sharing endpoint (see [`crate::share`]). Must
+    /// be called on an empty solver — the prefix fingerprint has to
+    /// cover every clause, so attaching after clauses exist returns
+    /// `false` and leaves sharing off. Imports are additionally
+    /// suppressed while proof logging is enabled (an imported clause has
+    /// no DRUP derivation here); exports still flow.
+    pub fn attach_sharing(&mut self, endpoint: Endpoint) -> bool {
+        if !self.clauses.is_empty() || !self.trail.is_empty() {
+            return false;
+        }
+        self.sharing = Some(endpoint);
+        self.prefix = Some(PrefixChain::new());
+        true
+    }
+
+    /// True iff a sharing endpoint is attached.
+    pub fn sharing_attached(&self) -> bool {
+        self.sharing.is_some()
     }
 
     /// Turns on DRUP-style proof logging. Every clause added from now on is
@@ -381,6 +433,11 @@ impl Solver {
         for l in &c {
             self.reserve_vars(l.var().0 + 1);
         }
+        if let Some(prefix) = &mut self.prefix {
+            // Fingerprint the clause exactly as handed in: two solvers
+            // may exchange learnt clauses only while these chains agree.
+            prefix.record(&c);
+        }
         if self.proof.is_some() {
             self.log_proof(ProofEvent::Input(c.clone()));
         }
@@ -419,13 +476,13 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(out, false, 0);
+                self.attach_clause(out, false, 0, false);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseId {
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32, shared: bool) -> ClauseId {
         debug_assert!(lits.len() >= 2);
         let id = self.clauses.len() as ClauseId;
         let w0 = Watcher {
@@ -443,6 +500,7 @@ impl Solver {
             learnt,
             lbd,
             deleted: false,
+            shared,
         });
         if learnt {
             self.stats.learnt_clauses += 1;
@@ -529,7 +587,11 @@ impl Solver {
                 if moved {
                     continue;
                 }
-                // Clause is unit or conflicting.
+                // Clause is unit or conflicting. Either way an imported
+                // clause just did real work: count the hit.
+                if self.clauses[cid].shared {
+                    self.stats.import_hits += 1;
+                }
                 if self.lit_value(first) == LBool::False {
                     // Conflict: restore the watch list (no entries were
                     // added to `watches[p]` while we held it) and stop.
@@ -837,6 +899,124 @@ impl Solver {
         }
     }
 
+    /// Offers a freshly-learnt clause to the sharing peers (no-op unless
+    /// an endpoint is attached and the filter wants the clause).
+    fn export_shared(&mut self, learnt: &[Lit], lbd: u32) {
+        let Some(prefix) = &self.prefix else {
+            return;
+        };
+        let (plen, phash) = (prefix.len(), prefix.head());
+        if let Some(ep) = &mut self.sharing {
+            if ep.wants(learnt.len(), lbd) {
+                self.stats.clauses_exported += ep.export(learnt, lbd, plen, phash);
+            }
+        }
+    }
+
+    /// Drains and integrates peer clauses. Must run at decision level 0
+    /// (solve entry / restart boundary). Returns `self.ok` — `false`
+    /// means an entailed import exposed level-0 unsatisfiability.
+    fn import_shared(&mut self) -> bool {
+        if self.sharing.is_none() || !self.ok {
+            return self.ok;
+        }
+        if self.proof.is_some() {
+            // Proof-logged solvers never import: the clause would enter
+            // resolutions without a DRUP derivation. Drain so the rings
+            // don't silt up, and account for the refusals.
+            let mut dropped = self.pending_imports.len() as u64;
+            self.pending_imports.clear();
+            if let Some(ep) = &mut self.sharing {
+                ep.drain(|_| dropped += 1);
+            }
+            self.stats.imports_rejected += dropped;
+            return self.ok;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut batch: Vec<SharedClause> = std::mem::take(&mut self.pending_imports);
+        if let Some(ep) = &mut self.sharing {
+            ep.drain(|m| batch.push(m));
+        }
+        for msg in batch {
+            let (our_len, covered) = match &self.prefix {
+                Some(p) => (p.len(), p.covers(msg.prefix_len, msg.prefix_hash)),
+                None => (0, false),
+            };
+            if !covered {
+                if msg.prefix_len > our_len && self.pending_imports.len() < MAX_PENDING_IMPORTS {
+                    // The peer is ahead of us on (what may be) the same
+                    // clause stream — common when a finished run seeded
+                    // the ring. Park the clause; once our own prefix
+                    // grows to cover the stamp it imports normally, and
+                    // if the chains turn out to diverge it is rejected
+                    // at that point instead.
+                    self.pending_imports.push(msg);
+                } else {
+                    // Foreign CNF prefix: not a consequence of our
+                    // database (or the parking lot is full).
+                    self.stats.imports_rejected += 1;
+                }
+                continue;
+            }
+            self.stats.clauses_imported += 1;
+            if !self.integrate_shared(msg) {
+                break;
+            }
+        }
+        self.ok
+    }
+
+    /// Integrates one guard-approved peer clause: re-normalized against
+    /// our level-0 facts (sound — the clause is entailed by our first
+    /// `prefix_len` inputs) and attached as a learnt, `shared` clause so
+    /// database reduction treats it like any other learnt clause.
+    fn integrate_shared(&mut self, msg: SharedClause) -> bool {
+        let mut c = msg.lits;
+        for l in &c {
+            self.reserve_vars(l.var().0 + 1);
+        }
+        c.sort_unstable();
+        c.dedup();
+        let mut out = Vec::with_capacity(c.len());
+        let mut prev: Option<Lit> = None;
+        for l in c {
+            if let Some(p) = prev {
+                if p == !l {
+                    return true; // tautology
+                }
+            }
+            prev = Some(l);
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                // Every literal false at level 0, yet the clause is a
+                // consequence of our database: the database is unsat.
+                self.stats.import_hits += 1;
+                self.ok = false;
+                false
+            }
+            1 => {
+                // A unit import is a level-0 fact put to work right
+                // here; its reason is `Decision`, so count the hit now.
+                self.stats.import_hits += 1;
+                self.enqueue(out[0], Reason::Decision);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out, true, msg.lbd, true);
+                true
+            }
+        }
+    }
+
     fn solve_full(
         &mut self,
         assumptions: &[Lit],
@@ -868,6 +1048,11 @@ impl Solver {
         if let Some(res) = self.fault_check() {
             return res;
         }
+        // Solve entry is a quiet point (decision level 0): pick up any
+        // clauses peers shared since the last call.
+        if !self.import_shared() {
+            return SolveResult::Unsat;
+        }
         self.conflicts_since_restart = 0;
         self.luby_index = 0;
         let mut restart_budget = LUBY_UNIT * luby(1);
@@ -892,6 +1077,7 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt, lbd) = self.analyze(confl);
+                self.export_shared(&learnt, lbd);
                 // Backtracking below the assumption prefix is fine: the main
                 // loop re-queues assumptions while decision level < prefix.
                 self.cancel_until(bt);
@@ -912,7 +1098,7 @@ impl Solver {
                     }
                     // Re-establish assumptions on next iterations.
                 } else {
-                    let cid = self.attach_clause(learnt, true, lbd);
+                    let cid = self.attach_clause(learnt, true, lbd, false);
                     self.enqueue(asserting, Reason::Clause(cid));
                 }
                 self.decay_activities();
@@ -946,6 +1132,11 @@ impl Solver {
                     self.luby_index += 1;
                     restart_budget = LUBY_UNIT * luby(self.luby_index + 1);
                     self.cancel_until(0);
+                    // Restart boundary: integrate peer clauses while the
+                    // trail is empty.
+                    if !self.import_shared() {
+                        return SolveResult::Unsat;
+                    }
                 }
                 if self.stats.learnt_clauses as f64 > self.max_learnts {
                     self.reduce_db();

@@ -1,0 +1,231 @@
+//! Clause-sharing soundness: verdicts survive imports, foreign and
+//! poisoned clauses are refused, proof-logged solvers never import.
+
+use verdict_logic::{Lit, Var};
+use verdict_sat::{ClauseHub, ShareConfig, Solver};
+
+/// Loads PHP(holes+1, holes) — hard UNSAT, lots of learnt glue.
+fn load_pigeonhole(s: &mut Solver, holes: u32) {
+    let pigeons = holes + 1;
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    for p in 0..pigeons {
+        s.add_clause((0..holes).map(|h| var(p, h).positive()));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+}
+
+#[test]
+fn same_prefix_peers_exchange_and_hit() {
+    let hub = ClauseHub::with_config(
+        2,
+        ShareConfig {
+            ring_capacity: 4096,
+            ..ShareConfig::default()
+        },
+    );
+    let mut a = Solver::new();
+    let mut b = Solver::new();
+    assert!(a.attach_sharing(hub.endpoint().unwrap()));
+    assert!(b.attach_sharing(hub.endpoint().unwrap()));
+    load_pigeonhole(&mut a, 7);
+    load_pigeonhole(&mut b, 7);
+
+    // A solves first and exports its glue clauses into the rings.
+    assert!(a.solve().is_unsat());
+    assert!(a.stats().clauses_exported > 0, "A exported nothing");
+
+    // B picks the exports up at solve entry; the prefix chains match, so
+    // they must all clear the guard, and on PHP they inevitably take
+    // part in conflicts.
+    assert!(b.solve().is_unsat());
+    let sb = b.stats();
+    assert!(sb.clauses_imported > 0, "B imported nothing");
+    assert_eq!(sb.imports_rejected, 0, "matching prefixes never reject");
+    assert!(sb.import_hits > 0, "imports never used in a conflict");
+    // Sharing must speed up (or at least not corrupt) the second solve:
+    // B sees strictly fewer conflicts than the solo baseline.
+    let mut solo = Solver::new();
+    load_pigeonhole(&mut solo, 7);
+    assert!(solo.solve().is_unsat());
+    assert!(
+        sb.conflicts <= solo.stats().conflicts,
+        "imports made the search worse: {} vs solo {}",
+        sb.conflicts,
+        solo.stats().conflicts
+    );
+}
+
+#[test]
+fn sat_instances_stay_sat_under_sharing() {
+    // Exact-fit pigeonhole (n pigeons, n holes) is SAT; sharing must not
+    // flip the verdict or produce a bogus model.
+    let holes = 6u32;
+    let load = |s: &mut Solver| {
+        let var = |p: u32, h: u32| Var(p * holes + h);
+        for p in 0..holes {
+            s.add_clause((0..holes).map(|h| var(p, h).positive()));
+        }
+        for h in 0..holes {
+            for p1 in 0..holes {
+                for p2 in (p1 + 1)..holes {
+                    s.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+    };
+    let hub = ClauseHub::new(2);
+    let mut a = Solver::new();
+    let mut b = Solver::new();
+    assert!(a.attach_sharing(hub.endpoint().unwrap()));
+    assert!(b.attach_sharing(hub.endpoint().unwrap()));
+    load(&mut a);
+    load(&mut b);
+    assert!(a.solve().is_sat());
+    match b.solve() {
+        verdict_sat::SolveResult::Sat(model) => {
+            // Model must genuinely satisfy: each pigeon somewhere, no
+            // hole doubly used.
+            let var = |p: u32, h: u32| Var(p * holes + h);
+            for p in 0..holes {
+                assert!((0..holes).any(|h| model.value(var(p, h))));
+            }
+            for h in 0..holes {
+                let occupants = (0..holes).filter(|&p| model.value(var(p, h))).count();
+                assert!(occupants <= 1, "hole {h} double-booked");
+            }
+        }
+        other => panic!("expected Sat, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_prefix_is_rejected() {
+    // A and B get *different* clause streams: every exchange must be
+    // refused by the prefix guard, and B's verdict must stay correct.
+    let hub = ClauseHub::new(2);
+    let mut a = Solver::new();
+    let mut b = Solver::new();
+    assert!(a.attach_sharing(hub.endpoint().unwrap()));
+    assert!(b.attach_sharing(hub.endpoint().unwrap()));
+    load_pigeonhole(&mut a, 6);
+    // B solves the SAT exact-fit variant over the same variable space.
+    let holes = 6u32;
+    let var = |p: u32, h: u32| Var(p * holes + h);
+    for p in 0..holes {
+        b.add_clause((0..holes).map(|h| var(p, h).positive()));
+    }
+    for h in 0..holes {
+        for p1 in 0..holes {
+            for p2 in (p1 + 1)..holes {
+                b.add_clause([var(p1, h).negative(), var(p2, h).negative()]);
+            }
+        }
+    }
+    assert!(a.solve().is_unsat());
+    assert!(b.solve().is_sat(), "foreign UNSAT clauses must not leak in");
+    // A's exports are stamped with a prefix longer than B's chain, so at
+    // this point B cannot tell "foreign" from "peer ahead": the clauses
+    // are parked, not imported.
+    let sb = b.stats();
+    assert_eq!(sb.clauses_imported, 0, "guard admitted a foreign clause");
+    // Grow B's chain past A's stamp with unrelated clauses. Now the
+    // parked messages are decidable — B's hash at A's stamped length
+    // differs — and the next solve entry must veto every one of them.
+    for i in 0..64u32 {
+        b.add_clause([Var(200 + i).positive()]);
+    }
+    assert!(b.solve().is_sat(), "padding clauses kept B satisfiable");
+    let sb = b.stats();
+    assert_eq!(sb.clauses_imported, 0, "guard admitted a foreign clause");
+    assert!(
+        sb.imports_rejected > 0,
+        "exchanges happened and were vetoed"
+    );
+}
+
+#[test]
+fn poisoned_clause_is_rejected() {
+    // A hostile/buggy peer ships a clause that would flip the verdict
+    // (the empty-ish unit clauses forcing a contradiction), stamped with
+    // a fabricated fingerprint. The guard must refuse it.
+    let hub = ClauseHub::new(2);
+    let mut attacker = hub.endpoint().unwrap();
+    let mut victim = Solver::new();
+    assert!(victim.attach_sharing(hub.endpoint().unwrap()));
+    // Victim's instance: trivially SAT (x0 or x1).
+    victim.add_clause([Var(0).positive(), Var(1).positive()]);
+    // Poison: force both false. Wrong prefix hash — guard must refuse.
+    attacker.export(&[Var(0).negative()], 1, 1, 0xdead_beef);
+    attacker.export(&[Var(1).negative()], 1, 1, 0xdead_beef);
+    assert!(
+        victim.solve().is_sat(),
+        "poisoned units flipped the verdict"
+    );
+    let s = victim.stats();
+    assert_eq!(s.clauses_imported, 0);
+    assert_eq!(s.imports_rejected, 2);
+}
+
+#[test]
+fn proof_logged_solver_refuses_valid_imports() {
+    // Even a guard-valid clause is refused while proof logging is on,
+    // and the resulting proof still checks.
+    let hub = ClauseHub::new(2);
+    let mut a = Solver::new();
+    let mut b = Solver::new();
+    b.enable_proof();
+    assert!(a.attach_sharing(hub.endpoint().unwrap()));
+    assert!(b.attach_sharing(hub.endpoint().unwrap()));
+    load_pigeonhole(&mut a, 5);
+    load_pigeonhole(&mut b, 5);
+    assert!(a.solve().is_unsat());
+    assert!(b.solve().is_unsat());
+    let sb = b.stats();
+    assert_eq!(sb.clauses_imported, 0, "proof-logged solver imported");
+    assert!(sb.imports_rejected > 0, "valid exchanges were offered");
+    let proof = b.take_proof();
+    verdict_sat::check_proof(&proof).expect("DRUP proof must still check");
+}
+
+#[test]
+fn attach_after_clauses_is_refused() {
+    let hub = ClauseHub::new(2);
+    let mut s = Solver::new();
+    s.add_clause([Var(0).positive()]);
+    assert!(
+        !s.attach_sharing(hub.endpoint().unwrap()),
+        "prefix chain cannot cover pre-existing clauses"
+    );
+    assert!(!s.sharing_attached());
+}
+
+#[test]
+fn incremental_peers_share_across_growing_prefixes() {
+    // Peers that grow their databases in lockstep (the incremental
+    // synthesis pattern) keep exchanging: clauses learnt at an earlier
+    // prefix stay importable after both sides extend.
+    let hub = ClauseHub::new(2);
+    let mut a = Solver::new();
+    let mut b = Solver::new();
+    assert!(a.attach_sharing(hub.endpoint().unwrap()));
+    assert!(b.attach_sharing(hub.endpoint().unwrap()));
+    load_pigeonhole(&mut a, 6);
+    load_pigeonhole(&mut b, 6);
+    let assume = Lit::new(Var(100), true);
+    // A solves under an assumption (irrelevant literal) and exports.
+    assert!(a.solve_with_assumptions(&[assume]).is_unsat());
+    // Both sides now extend identically; B then solves and must still
+    // accept A's earlier-prefix clauses.
+    a.add_clause([Var(200).positive(), Var(201).positive()]);
+    b.add_clause([Var(200).positive(), Var(201).positive()]);
+    assert!(b.solve().is_unsat());
+    let sb = b.stats();
+    assert!(sb.clauses_imported > 0, "earlier-prefix clauses refused");
+    assert_eq!(sb.imports_rejected, 0);
+}

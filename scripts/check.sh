@@ -15,6 +15,9 @@ cargo test --workspace -q
 if [[ "${1:-}" != "--quick" ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+    # Lock-free runtime stress lane: long-running SPSC/doorbell/published
+    # interleaving tests, feature-gated out of the default suite.
+    cargo test -p verdict-ring --features stress -q
 fi
 
 # Certified verdicts on the case-study examples: every counterexample must
@@ -76,14 +79,25 @@ for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
 done
 rm -rf "$stats_smoke_dir"
 
-# Incremental-synthesis smoke: one repetition on the small test topology.
-# The bench binary asserts the incremental sweep is verdict-for-verdict
-# identical to the clone path before it reports any timing, so this also
-# gates correctness, not just that the binary runs.
+# Incremental-synthesis smoke on the small test topology, at jobs 1 and
+# jobs 2. The bench binary asserts the incremental sweep is
+# verdict-for-verdict identical to the clone path before it reports any
+# timing, so this also gates correctness, not just that the binary runs.
 synth_out=$(mktemp)
 smoke_dir=$(mktemp -d)
 trap 'rm -f "$synth_out"; rm -rf "$smoke_dir"' EXIT
-./target/release/synth --topology test --reps 1 --out "$synth_out" >/dev/null
+./target/release/synth --topology test --jobs 2 --reps 2 --out "$synth_out" >/dev/null
+# The ring-based runtime must not make jobs=2 slower than jobs=1: allow
+# 15% plus a 50ms epsilon for thread spin-up and timer noise on starved
+# (single-core CI) hosts. Each case line carries incremental_secs twice,
+# jobs1 first, jobs2 second.
+while read -r j1 j2; do
+    awk -v j1="$j1" -v j2="$j2" 'BEGIN { exit !(j2 <= j1 * 1.15 + 0.05) }' || {
+        echo "check.sh: jobs=2 incremental sweep regressed: ${j2}s vs ${j1}s at jobs=1" >&2
+        cat "$synth_out" >&2
+        exit 1
+    }
+done < <(grep -o '"incremental_secs": [0-9.]*' "$synth_out" | awk '{print $2}' | paste - -)
 
 # Kill-and-resume smoke: SIGINT a journaled sweep mid-flight, resume it,
 # and require the verdict map to match an uninterrupted run exactly
