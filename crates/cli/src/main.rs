@@ -20,6 +20,7 @@ use verdict_mc::{
     UnknownReason, Verifier, STATS_SCHEMA_VERSION,
 };
 
+mod server_cmd;
 mod sigint;
 
 const USAGE: &str = "\
@@ -31,6 +32,22 @@ USAGE:
                                          synthesize safe values for frozen params
     verdict blast <model.vd> --event EXPR --metric EXPR [OPTIONS]
                                          worst metric value reachable after event
+    verdict serve --socket PATH --wal DIR [--workers N] [--queue N]
+                  [--grace SECS] [--segment-bytes N]
+                                         run the verdict daemon: accept jobs over a
+                                         Unix-socket JSONL API, journal every
+                                         acknowledged job in a group-commit WAL,
+                                         recover in-flight jobs on restart, drain
+                                         gracefully (exit 0) on SIGTERM/SIGINT
+    verdict submit <model.vd> --socket PATH [--synth --params a,b] [--prop NAME]
+                  [--engine E] [--depth N] [--deadline SECS] [--no-wait]
+                  [--events] [--json]
+                                         send a job to a running daemon; blocks for
+                                         the verdict (check exit codes) unless
+                                         --no-wait, which returns once the job is
+                                         durably acknowledged
+    verdict server-stats --socket PATH   print the daemon's stats JSON (schema 2,
+                                         including the server counter group)
     verdict table1                       print the incident-study table (Table 1)
     verdict fig2 [--minutes N]           run the Fig. 2 cluster simulation
     verdict fig1-dot                     print the Fig. 1 interaction graph as DOT
@@ -112,6 +129,9 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("synth") => synth(&args[1..]),
         Some("blast") => blast(&args[1..]),
+        Some("serve") => server_cmd::serve(&args[1..]),
+        Some("submit") => server_cmd::submit(&args[1..]),
+        Some("server-stats") => server_cmd::server_stats(&args[1..]),
         Some("table1") => {
             print!("{}", verdict_incidents::table1());
             ExitCode::SUCCESS
@@ -608,6 +628,20 @@ fn print_stats_text(stats: &verdict_mc::Stats, contenders: &[(EngineKind, verdic
         println!(
             "  search: {} fixpoint iterations, {} states visited",
             stats.fixpoint_iterations, stats.states_visited
+        );
+    }
+    if !stats.server.is_zero() {
+        println!(
+            "  server: {} accepted, {} rejected, {} completed, {} recovered; \
+             wal {} appends in {} group commits ({} fsyncs, {} rotations)",
+            stats.server.jobs_accepted,
+            stats.server.jobs_rejected,
+            stats.server.jobs_completed,
+            stats.server.jobs_recovered,
+            stats.server.wal_appends,
+            stats.server.wal_group_commits,
+            stats.server.wal_fsyncs,
+            stats.server.wal_rotations
         );
     }
     println!(

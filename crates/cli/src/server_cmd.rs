@@ -1,0 +1,305 @@
+//! `verdict serve` / `verdict submit` / `verdict server-stats` — the
+//! CLI face of the verdict-as-a-service daemon.
+
+use std::process::ExitCode;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use verdict_server::{Client, ClientError, JobKind, JobSpec, Server, ServerConfig};
+
+use crate::{exit_code, flag_value, sigint, Outcome};
+
+/// `verdict serve --socket PATH --wal DIR [--workers N] [--queue N]
+/// [--grace SECS] [--segment-bytes N]`: run the daemon until
+/// SIGTERM/SIGINT, then drain gracefully and exit 0.
+pub fn serve(args: &[String]) -> ExitCode {
+    let parsed = (|| -> Result<ServerConfig, String> {
+        let socket = flag_value(args, "--socket").ok_or("serve: missing --socket PATH")?;
+        let wal = flag_value(args, "--wal").ok_or("serve: missing --wal DIR")?;
+        let mut cfg = ServerConfig::new(socket, wal);
+        if let Some(w) = flag_value(args, "--workers") {
+            cfg.workers = w
+                .parse()
+                .ok()
+                .filter(|&w: &usize| w >= 1)
+                .ok_or_else(|| format!("--workers expects a positive number, got `{w}`"))?;
+        }
+        if let Some(q) = flag_value(args, "--queue") {
+            cfg.queue_capacity = q
+                .parse()
+                .ok()
+                .filter(|&q: &usize| q >= 1)
+                .ok_or_else(|| format!("--queue expects a positive number, got `{q}`"))?;
+        }
+        if let Some(g) = flag_value(args, "--grace") {
+            let secs: u64 = g
+                .parse()
+                .map_err(|_| format!("--grace expects seconds, got `{g}`"))?;
+            cfg.grace = Duration::from_secs(secs);
+        }
+        if let Some(s) = flag_value(args, "--segment-bytes") {
+            cfg.segment_bytes = s
+                .parse()
+                .ok()
+                .filter(|&b: &u64| b >= 1)
+                .ok_or_else(|| format!("--segment-bytes expects bytes, got `{s}`"))?;
+        }
+        Ok(cfg)
+    })();
+    let cfg = match parsed {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (server, recovery) = match Server::open(cfg) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if recovery.wal.tail.truncated {
+        let seg = recovery
+            .wal
+            .truncated_segment
+            .clone()
+            .unwrap_or_else(|| "wal".to_string());
+        eprintln!(
+            "warning: {}",
+            recovery.wal.tail.describe(std::path::Path::new(&seg))
+        );
+    }
+    eprintln!(
+        "verdict serve: recovered {} trusted, {} requeued, {} cancelled job(s) from {} WAL segment(s)",
+        recovery.jobs_trusted, recovery.jobs_requeued, recovery.jobs_cancelled,
+        recovery.wal.segments.max(1)
+    );
+
+    // SIGTERM and SIGINT route into the daemon's stop flag: stop
+    // admitting, drain, exit 0.
+    let stop = server.stop_flag();
+    let sig = sigint::install_with_message(
+        "verdict serve: stop signal received, draining (signal again to kill)",
+    );
+    std::thread::spawn(move || loop {
+        if sig.load(Ordering::SeqCst) {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    });
+
+    match server.run() {
+        Ok(report) => {
+            eprintln!(
+                "verdict serve: drained clean ({} completed, {} abandoned-but-journaled, \
+                 {} WAL appends in {} group commits)",
+                report.jobs_completed,
+                report.jobs_abandoned,
+                report.wal.appends,
+                report.wal.group_commits
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `verdict submit <model.vd> --socket PATH [--synth --params a,b]
+/// [--prop NAME] [--engine E] [--depth N] [--deadline SECS]
+/// [--no-wait] [--events] [--json]`: send a job to a running daemon.
+/// By default blocks until the verdict and maps it to the standard
+/// check exit codes; `--no-wait` prints the job id and returns as soon
+/// as the submit is durably acknowledged.
+pub fn submit(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("submit: missing model path");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("submit: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(socket) = flag_value(args, "--socket") else {
+        eprintln!("submit: missing --socket PATH");
+        return ExitCode::FAILURE;
+    };
+
+    let mut spec = JobSpec::check(&source);
+    if args.iter().any(|a| a == "--synth") {
+        spec.kind = JobKind::Synth;
+        let Some(params) = flag_value(args, "--params") else {
+            eprintln!("submit: --synth requires --params a,b,…");
+            return ExitCode::FAILURE;
+        };
+        spec.params = params
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect();
+    }
+    spec.prop = flag_value(args, "--prop");
+    if let Some(engine) = flag_value(args, "--engine") {
+        spec.engine = engine;
+    }
+    if let Some(d) = flag_value(args, "--depth") {
+        match d.parse() {
+            Ok(d) => spec.depth = Some(d),
+            Err(_) => {
+                eprintln!("--depth expects a number, got `{d}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(t) = flag_value(args, "--deadline") {
+        match t.parse::<u64>() {
+            Ok(secs) => spec.deadline_ms = Some(secs * 1000),
+            Err(_) => {
+                eprintln!("--deadline expects seconds, got `{t}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let no_wait = args.iter().any(|a| a == "--no-wait");
+    let events = args.iter().any(|a| a == "--events");
+
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("submit: cannot connect to {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let job = match client.submit(&spec) {
+        Ok(job) => job,
+        Err(ClientError::Rejected(r)) => {
+            if json {
+                println!("{}", r.to_json());
+            } else {
+                eprintln!("submit: rejected: {}", r.reason);
+                if let Some(d) = &r.detail {
+                    eprintln!("  {d}");
+                }
+                if let (Some(q), Some(c)) = (r.queued, r.capacity) {
+                    eprintln!("  queue {q}/{c} full");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("submit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if no_wait {
+        if json {
+            println!("{{\"schema\":2,\"command\":\"submit\",\"job\":{job},\"acknowledged\":true}}");
+        } else {
+            println!("job {job} acknowledged (durably journaled)");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = match client.wait(job, |ev| {
+        if events {
+            eprintln!("{ev}");
+        }
+    }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("submit: waiting for job {job} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut out = Outcome {
+        interrupted: outcome.state == "cancelled",
+        ..Outcome::default()
+    };
+    for row in &outcome.verdicts {
+        match row.verdict.as_str() {
+            // For synth, unsafe *assignments* are a normal sweep
+            // outcome (the answer, not a failure) — same as `verdict
+            // synth` locally.
+            "unsafe" => out.violated = spec.kind == JobKind::Check,
+            "unknown" => {
+                if matches!(
+                    row.reason.as_deref(),
+                    Some("engine-failure" | "resource-exhausted" | "certificate-rejected")
+                ) {
+                    out.infra_unknown = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    if json {
+        let rows: Vec<String> = outcome
+            .verdicts
+            .iter()
+            .map(|r| r.to_json().to_string())
+            .collect();
+        println!(
+            "{{\"schema\":2,\"command\":\"submit\",\"job\":{job},\"state\":{},\"recovered\":{},\"verdicts\":[{}],\"exit_code\":{}}}",
+            crate::json_str(&outcome.state),
+            outcome.recovered,
+            rows.join(","),
+            exit_code(&out)
+        );
+    } else {
+        for row in &outcome.verdicts {
+            let reason = row
+                .reason
+                .as_ref()
+                .map(|r| format!(" ({r})"))
+                .unwrap_or_default();
+            println!(
+                "{}: {}{} [{}]",
+                row.name,
+                row.verdict.to_uppercase(),
+                reason,
+                row.engine
+            );
+        }
+        if outcome.state == "cancelled" {
+            println!("job {job}: cancelled");
+        }
+    }
+    ExitCode::from(exit_code(&out))
+}
+
+/// `verdict server-stats --socket PATH`: print the daemon's schema-2
+/// stats document (engine counters plus the `server` group) to stdout.
+pub fn server_stats(args: &[String]) -> ExitCode {
+    let Some(socket) = flag_value(args, "--socket") else {
+        eprintln!("server-stats: missing --socket PATH");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("server-stats: cannot connect to {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.stats() {
+        Ok(stats) => {
+            println!("{stats}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("server-stats: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

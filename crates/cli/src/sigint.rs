@@ -1,10 +1,13 @@
-//! Cooperative SIGINT handling without external crates.
+//! Cooperative SIGINT/SIGTERM handling without external crates.
 //!
-//! The first Ctrl-C must not kill the process mid-write: engines poll a
+//! The first signal must not kill the process mid-write: engines poll a
 //! shared stop flag, workers drain, and the verdict journal keeps every
-//! fsync'd record. The handler itself only stores to a process-global
-//! atomic (async-signal-safe) and restores the default disposition so a
-//! second Ctrl-C hard-kills; a watcher thread bridges the atomic into
+//! fsync'd record. SIGTERM (the fleet manager's polite shutdown) and
+//! SIGINT (Ctrl-C) route into the same flag, so `verdict serve` drains
+//! identically whether an operator or an init system asks it to stop.
+//! The handler itself only stores to a process-global atomic
+//! (async-signal-safe) and restores the default dispositions so a
+//! second signal hard-kills; a watcher thread bridges the atomic into
 //! the `Arc<AtomicBool>` the engines actually poll.
 //!
 //! This is the one place the workspace's `unsafe_code = "deny"` lint is
@@ -18,6 +21,7 @@ use std::time::Duration;
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
 const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
 const SIG_DFL: usize = 0;
 
 #[allow(unsafe_code)]
@@ -27,30 +31,41 @@ mod ffi {
     }
 }
 
-extern "C" fn on_sigint(_sig: i32) {
+extern "C" fn on_stop_signal(_sig: i32) {
     INTERRUPTED.store(true, Ordering::SeqCst);
-    // Restore the default disposition: a second Ctrl-C kills immediately
-    // instead of being swallowed by a stuck drain.
+    // Restore the default dispositions: a second SIGINT/SIGTERM kills
+    // immediately instead of being swallowed by a stuck drain.
     #[allow(unsafe_code)]
     unsafe {
         ffi::signal(SIGINT, SIG_DFL);
+        ffi::signal(SIGTERM, SIG_DFL);
     }
 }
 
-/// Installs the handler and returns the stop flag it raises. Wire the
-/// flag into [`verdict_mc::CheckOptions::with_stop`]; interrupted
-/// engines report `Unknown(Cancelled)`, which is never journaled, so a
-/// resumed run re-checks exactly the undecided assignments.
+/// Installs SIGINT+SIGTERM handlers and returns the stop flag they
+/// raise. Wire the flag into [`verdict_mc::CheckOptions::with_stop`];
+/// interrupted engines report `Unknown(Cancelled)`, which is never
+/// journaled, so a resumed run re-checks exactly the undecided
+/// assignments.
 pub fn install() -> Arc<AtomicBool> {
+    install_with_message(
+        "interrupted: draining workers, journal stays intact (Ctrl-C again to kill)",
+    )
+}
+
+/// Like [`install`], with a caller-chosen first-signal message — the
+/// daemon prints a drain notice instead of the CLI's journal notice.
+pub fn install_with_message(message: &'static str) -> Arc<AtomicBool> {
     let stop = Arc::new(AtomicBool::new(false));
     #[allow(unsafe_code)]
     unsafe {
-        ffi::signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        ffi::signal(SIGINT, on_stop_signal as extern "C" fn(i32) as usize);
+        ffi::signal(SIGTERM, on_stop_signal as extern "C" fn(i32) as usize);
     }
     let flag = stop.clone();
     std::thread::spawn(move || loop {
         if INTERRUPTED.load(Ordering::SeqCst) {
-            eprintln!("interrupted: draining workers, journal stays intact (Ctrl-C again to kill)");
+            eprintln!("{message}");
             flag.store(true, Ordering::SeqCst);
             return;
         }
@@ -59,7 +74,7 @@ pub fn install() -> Arc<AtomicBool> {
     stop
 }
 
-/// True once the first Ctrl-C has been seen.
+/// True once the first SIGINT/SIGTERM has been seen.
 pub fn interrupted() -> bool {
     INTERRUPTED.load(Ordering::SeqCst)
 }

@@ -1,0 +1,262 @@
+//! Daemon lifecycle through the real `verdict` binary: concurrent
+//! submits, SIGKILL mid-flight, restart recovery to the same verdicts a
+//! plain `verdict check` produces, and a SIGTERM drain that exits 0.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use verdict_journal::json::Json;
+use verdict_server::{Client, JobSpec};
+
+const BIN: &str = env!("CARGO_BIN_EXE_verdict");
+
+/// A model every engine decides instantly.
+const TINY: &str = "\
+system tiny {
+    var n : 0..7;
+    init n = 0;
+    trans next(n) = if n < 7 then n + 1 else n;
+    invariant in_range: n <= 7;
+}
+";
+
+/// A model the explicit engine grinds on for >30s but abandons within
+/// ~10ms of a cancel or deadline (see crates/server/tests/daemon.rs).
+const SLOW: &str = "\
+system slow {
+    var n : 0..20000;
+    init n = 0;
+    trans next(n) = if n < 20000 then n + 1 else n;
+    invariant nonneg: n >= 0;
+}
+";
+
+/// Minimal self-cleaning tempdir (no external crates allowed).
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new() -> TempDir {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "verdict-lifecycle-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir { path }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A daemon subprocess on `dir`'s socket/WAL; killed on drop so a
+/// failing test never leaks a process.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(dir: &Path) -> Daemon {
+        Daemon::spawn_with(dir, &[])
+    }
+
+    fn spawn_with(dir: &Path, extra: &[&str]) -> Daemon {
+        let socket = dir.join("verdict.sock");
+        let child = Command::new(BIN)
+            .args(["serve", "--socket"])
+            .arg(&socket)
+            .arg("--wal")
+            .arg(dir.join("wal"))
+            .args(["--workers", "1", "--grace", "5"])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        Daemon { child, socket }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_with_retry(&self.socket, Duration::from_secs(10))
+            .expect("client connects to daemon")
+    }
+
+    /// SIGKILL — the crash under test, not a shutdown path.
+    fn sigkill(mut self) {
+        self.child.kill().expect("sigkill");
+        self.child.wait().expect("reap");
+        self.child = spent_child();
+    }
+
+    /// SIGTERM, then the daemon's exit code after draining.
+    fn sigterm_and_wait(mut self) -> i32 {
+        let pid = self.child.id().to_string();
+        let ok = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("kill runs")
+            .success();
+        assert!(ok, "kill -TERM failed");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                self.child = spent_child();
+                return status.code().expect("daemon exits with a code");
+            }
+            assert!(Instant::now() < deadline, "daemon did not drain in time");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// A reaped placeholder so `Drop` has nothing left to kill.
+fn spent_child() -> Child {
+    Command::new("true").spawn().expect("placeholder child")
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn wait_until_running(client: &mut Client, job: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = client.status(job).expect("status");
+        if s.state == "running" {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {job} never started running (state {})",
+            s.state
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn slow_spec() -> JobSpec {
+    let mut spec = JobSpec::check(SLOW);
+    spec.engine = "explicit".into();
+    spec.deadline_ms = Some(60_000);
+    spec
+}
+
+#[test]
+fn sigkill_mid_flight_restart_recovers_reference_verdicts() {
+    let dir = TempDir::new();
+
+    // Reference verdict from the plain one-shot CLI path.
+    let model_path = dir.path.join("tiny.vd");
+    std::fs::write(&model_path, TINY).unwrap();
+    let reference = Command::new(BIN)
+        .arg("check")
+        .arg(&model_path)
+        .output()
+        .expect("reference check runs");
+    assert!(reference.status.success(), "reference check exits 0");
+    let ref_out = String::from_utf8_lossy(&reference.stdout).to_string();
+    assert!(ref_out.contains("HOLDS"), "reference: {ref_out}");
+
+    // Life 1: one completed job, one mid-flight, two queued — then die.
+    let daemon = Daemon::spawn(&dir.path);
+    let mut client = daemon.client();
+    let done_job = client.submit(&JobSpec::check(TINY)).expect("submit");
+    let done_life1 = client.wait(done_job, |_| {}).expect("wait");
+    assert_eq!(done_life1.state, "done");
+    assert_eq!(done_life1.verdicts.len(), 1);
+    assert_eq!(done_life1.verdicts[0].name, "in_range");
+    // Same answer as the reference run: HOLDS ⇔ safe.
+    assert_eq!(done_life1.verdicts[0].verdict, "safe");
+
+    let slow_job = client.submit(&slow_spec()).expect("submit slow");
+    wait_until_running(&mut client, slow_job);
+    let queued_a = client.submit(&JobSpec::check(TINY)).expect("submit");
+    let queued_b = client.submit(&JobSpec::check(TINY)).expect("submit");
+    daemon.sigkill();
+
+    // Life 2: every acknowledged job must come back — the decided one
+    // with its exact verdicts, the rest re-run to the reference answer.
+    let daemon = Daemon::spawn(&dir.path);
+    let mut client = daemon.client();
+    let recovered = client.status(done_job).expect("status after restart");
+    assert_eq!(recovered.state, "done");
+    assert!(recovered.recovered, "decided job is trusted, not re-run");
+    assert_eq!(recovered.verdicts.len(), done_life1.verdicts.len());
+    for (a, b) in recovered.verdicts.iter().zip(&done_life1.verdicts) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    // The interrupted slow job is requeued (running again, since it was
+    // first in line); cancel it to free the single worker.
+    wait_until_running(&mut client, slow_job);
+    client.cancel(slow_job).expect("cancel slow");
+    for job in [queued_a, queued_b] {
+        let out = client.wait(job, |_| {}).expect("wait requeued");
+        assert_eq!(out.state, "done", "job {job} re-ran after the crash");
+        assert_eq!(out.verdicts[0].name, "in_range");
+        assert_eq!(out.verdicts[0].verdict, "safe");
+    }
+
+    // Graceful goodbye: SIGTERM drains and exits 0.
+    assert_eq!(daemon.sigterm_and_wait(), 0);
+}
+
+#[test]
+fn concurrent_submitters_amortize_fsyncs_and_drain_exits_zero() {
+    let dir = TempDir::new();
+    // Queue big enough that backpressure never rejects the burst — this
+    // test measures the WAL, not admission control.
+    let daemon = Daemon::spawn_with(&dir.path, &["--queue", "200"]);
+
+    // 4 concurrent submitters, each with its own connection, all
+    // appending admission records to the WAL at once.
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let socket = daemon.socket.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect_with_retry(&socket, Duration::from_secs(10))
+                .expect("submitter connects");
+            (0..25)
+                .map(|_| client.submit(&JobSpec::check(TINY)).expect("submit"))
+                .collect::<Vec<u64>>()
+        }));
+    }
+    let jobs: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("submitter thread"))
+        .collect();
+    assert_eq!(jobs.len(), 100, "every concurrent submit acknowledged");
+
+    let mut client = daemon.client();
+    let stats = client.stats().expect("stats");
+    let counter = |name: &str| -> i64 {
+        stats
+            .get("server")
+            .and_then(|s| s.get(name))
+            .and_then(Json::as_int)
+            .unwrap_or_else(|| panic!("stats missing server.{name}"))
+    };
+    assert_eq!(counter("jobs_accepted"), 100);
+    // The group-commit win: 100 concurrent durable appends took
+    // measurably fewer fsyncs than one-per-record.
+    assert!(
+        counter("wal_fsyncs") < counter("wal_appends"),
+        "fsyncs {} !< appends {}",
+        counter("wal_fsyncs"),
+        counter("wal_appends")
+    );
+
+    assert_eq!(daemon.sigterm_and_wait(), 0);
+}

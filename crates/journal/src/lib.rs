@@ -22,6 +22,7 @@
 
 pub mod fault;
 pub mod json;
+pub mod wal;
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -394,6 +395,40 @@ pub fn decode_line(line: &str) -> Result<Record, String> {
     Record::from_json(&v)
 }
 
+/// Structured report of what tail recovery did on open, so callers (the
+/// serving daemon in particular) can log and count it instead of relying
+/// on a stderr warning.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TailRecovery {
+    /// Intact records kept (including the header, for journals).
+    pub records_kept: usize,
+    /// Complete-looking records dropped along with the torn tail.
+    pub records_dropped: usize,
+    /// True when the file was actually cut back.
+    pub truncated: bool,
+    /// Byte offset the file was truncated to (end of last good record).
+    pub truncated_at: u64,
+    /// Bytes removed by the truncation.
+    pub dropped_bytes: u64,
+    /// Why the first bad record was rejected, when `truncated`.
+    pub reason: Option<String>,
+}
+
+impl TailRecovery {
+    /// One-line human rendering (used by the legacy stderr warning path).
+    pub fn describe(&self, path: &Path) -> String {
+        format!(
+            "journal {}: truncating corrupt tail at byte {} ({}); \
+             {} intact record(s) kept, {} dropped",
+            path.display(),
+            self.truncated_at,
+            self.reason.as_deref().unwrap_or("unknown"),
+            self.records_kept,
+            self.records_dropped,
+        )
+    }
+}
+
 /// Errors from opening or appending to a journal.
 #[derive(Debug)]
 pub enum JournalError {
@@ -459,20 +494,36 @@ impl Journal {
         Ok(j)
     }
 
-    /// Opens an existing journal for resumption.
-    ///
-    /// Reads and verifies every line; at the first torn or corrupt line
-    /// the file is truncated back to the end of the last good record and
-    /// a warning is printed to stderr. Returns the open journal
-    /// (positioned for append) and the intact records, header first.
-    ///
-    /// Fails with [`JournalError::Mismatch`] if the file is empty, has no
-    /// header, or the header's fingerprint/version differ from
-    /// `expect_fingerprint` (pass `None` to skip the fingerprint check).
+    /// Opens an existing journal for resumption, printing a stderr
+    /// warning if a corrupt tail was truncated. Thin wrapper over
+    /// [`Journal::open_resume_report`] for callers that don't need the
+    /// structured [`TailRecovery`].
     pub fn open_resume(
         path: &Path,
         expect_fingerprint: Option<u64>,
     ) -> Result<(Journal, Vec<Record>), JournalError> {
+        let (journal, records, recovery) = Journal::open_resume_report(path, expect_fingerprint)?;
+        if recovery.truncated {
+            eprintln!("warning: {}", recovery.describe(path));
+        }
+        Ok((journal, records))
+    }
+
+    /// Opens an existing journal for resumption.
+    ///
+    /// Reads and verifies every line; at the first torn or corrupt line
+    /// the file is truncated back to the end of the last good record.
+    /// Returns the open journal (positioned for append), the intact
+    /// records (header first), and a [`TailRecovery`] describing any
+    /// truncation — nothing is printed, the caller owns reporting.
+    ///
+    /// Fails with [`JournalError::Mismatch`] if the file is empty, has no
+    /// header, or the header's fingerprint/version differ from
+    /// `expect_fingerprint` (pass `None` to skip the fingerprint check).
+    pub fn open_resume_report(
+        path: &Path,
+        expect_fingerprint: Option<u64>,
+    ) -> Result<(Journal, Vec<Record>, TailRecovery), JournalError> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         // Read as bytes: a corrupt tail may not be valid UTF-8, and it
         // must be truncated like any other bad record, not turn the
@@ -539,13 +590,22 @@ impl Journal {
             }
         }
 
+        let mut recovery = TailRecovery {
+            records_kept: records.len(),
+            ..TailRecovery::default()
+        };
         if let Some(why) = bad {
-            eprintln!(
-                "warning: journal {}: truncating corrupt tail at byte {good_end} ({why}); \
-                 {} intact record(s) kept",
-                path.display(),
-                records.len()
-            );
+            // The bad record plus every complete-looking line after it
+            // are dropped; count them so the caller can report losses.
+            recovery.records_dropped = raw[good_end..]
+                .iter()
+                .filter(|&&b| b == b'\n')
+                .count()
+                .max(1);
+            recovery.truncated = true;
+            recovery.truncated_at = good_end as u64;
+            recovery.dropped_bytes = (raw.len() - good_end) as u64;
+            recovery.reason = Some(why);
             file.set_len(good_end as u64)?;
             file.sync_data()?;
         }
@@ -556,6 +616,7 @@ impl Journal {
                 path: path.to_path_buf(),
             },
             records,
+            recovery,
         ))
     }
 

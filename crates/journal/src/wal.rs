@@ -1,0 +1,841 @@
+//! Group-commit, segment-rotated write-ahead log.
+//!
+//! The PR-4 [`crate::Journal`] fsyncs once per appended record — correct,
+//! and fine when solver time dwarfs fsync time. A serving daemon breaks
+//! that assumption: thousands of concurrent job records would serialize
+//! on one fsync each. This module is the ringwal-style upgrade:
+//!
+//! * **Per-writer rings.** Every [`WalWriter`] owns the producer side of
+//!   a `verdict-ring` SPSC ring; no writer ever contends with another on
+//!   the append path. A dedicated committer thread drains all rings.
+//! * **Group commit.** The committer writes everything currently visible
+//!   across all rings as one batch, then calls `fsync` **once** and only
+//!   then acknowledges every record in the batch. While an fsync is in
+//!   flight new appends pile up in the rings, so the next batch is
+//!   bigger — fsyncs amortize naturally under load, with no commit-delay
+//!   timer. [`Wal::stats`] exposes appends vs. fsyncs so the effect is
+//!   measurable (the `server` stats group surfaces it).
+//! * **CRC'd segments with rotation.** Records are checksummed JSONL
+//!   lines (`{"seq":N,"rec":…,"crc":"…"}`, FNV-1a like the journal) in
+//!   numbered segment files (`seg-00000001.wal`, …) rotated at a size
+//!   threshold. [`Wal::open`] re-verifies every record, truncates a torn
+//!   tail, and reports what it kept and dropped as a structured
+//!   [`WalRecovery`] — a SIGKILL at any byte boundary recovers every
+//!   acknowledged record.
+//!
+//! An [`WalWriter::append`] that returns `Ok(seq)` is a durability
+//! guarantee: the record was written and fsync'd. Records a crash cuts
+//! before the fsync were, by construction, never acknowledged.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use verdict_ring::{ring, Consumer, Doorbell, Producer};
+
+use crate::{fnv1a64, TailRecovery};
+
+/// Segment file name for 1-based index `n`.
+fn segment_name(n: u64) -> String {
+    format!("seg-{n:08}.wal")
+}
+
+/// Parses a segment file name back to its index.
+fn segment_index(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".wal")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Clone, Debug)]
+pub struct WalOptions {
+    /// Rotate to a new segment once the current one exceeds this many
+    /// bytes (checked between group commits, so a segment may overshoot
+    /// by up to one batch).
+    pub segment_bytes: u64,
+    /// Capacity of each writer's ring (records in flight per writer).
+    pub ring_capacity: usize,
+    /// Maximum records folded into one group commit.
+    pub batch_limit: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> WalOptions {
+        WalOptions {
+            segment_bytes: 4 << 20,
+            ring_capacity: 256,
+            batch_limit: 4096,
+        }
+    }
+}
+
+/// Errors from WAL operations.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// The committer thread hit an I/O error earlier; the WAL no longer
+    /// accepts appends (recovery on restart is the way out).
+    Poisoned(String),
+    /// The record payload is not a single line.
+    Payload(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Poisoned(m) => write!(f, "wal poisoned: {m}"),
+            WalError::Payload(m) => write!(f, "wal payload rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+/// Counter snapshot, read via [`Wal::stats`]. `appends` counts records
+/// durably committed; `fsyncs < appends` is the group-commit win.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records durably appended (acknowledged).
+    pub appends: u64,
+    /// Group commits performed (batches of ≥ 1 record).
+    pub group_commits: u64,
+    /// `fsync` calls issued (group commits plus rotation syncs).
+    pub fsyncs: u64,
+    /// Segment rotations performed.
+    pub rotations: u64,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Clone, Debug, Default)]
+pub struct WalRecovery {
+    /// Intact record payloads, in sequence order.
+    pub records: Vec<String>,
+    /// Segment files scanned.
+    pub segments: usize,
+    /// Complete-looking lines dropped after the first corrupt record
+    /// (the torn record itself is counted too).
+    pub records_dropped: usize,
+    /// Torn/corrupt-tail details for the segment that was cut, if any.
+    pub tail: TailRecovery,
+    /// Segment file the tail was truncated in, if any.
+    pub truncated_segment: Option<String>,
+}
+
+/// Serializes one WAL frame (no trailing newline).
+fn encode_frame(seq: u64, payload: &str) -> String {
+    let body = format!("{{\"seq\":{seq},\"rec\":{payload}}}");
+    let crc = fnv1a64(body.as_bytes());
+    format!("{},\"crc\":\"{crc:016x}\"}}", &body[..body.len() - 1])
+}
+
+/// Verifies and splits one WAL frame into `(seq, payload)`.
+fn decode_frame(line: &str) -> Result<(u64, &str), String> {
+    let (prefix, rest) = line.rsplit_once(",\"crc\":\"").ok_or("missing crc field")?;
+    let hex = rest.strip_suffix("\"}").ok_or("malformed crc field")?;
+    let stored = u64::from_str_radix(hex, 16).map_err(|_| "bad crc hex".to_string())?;
+    let body = format!("{prefix}}}");
+    if fnv1a64(body.as_bytes()) != stored {
+        return Err("checksum mismatch".to_string());
+    }
+    let inner = prefix
+        .strip_prefix("{\"seq\":")
+        .ok_or("missing seq field")?;
+    let (digits, payload) = inner.split_once(",\"rec\":").ok_or("missing rec field")?;
+    let seq: u64 = digits.parse().map_err(|_| "bad seq".to_string())?;
+    Ok((seq, payload))
+}
+
+/// One in-flight append: payload plus the cell the committer resolves.
+struct Pending {
+    payload: String,
+    ack: Arc<AckCell>,
+}
+
+/// Resolution state of one append, shared writer ↔ committer.
+struct AckCell {
+    state: Mutex<AckState>,
+    cv: Condvar,
+}
+
+enum AckState {
+    Waiting,
+    Durable(u64),
+    Failed(String),
+}
+
+impl AckCell {
+    fn new() -> Arc<AckCell> {
+        Arc::new(AckCell {
+            state: Mutex::new(AckState::Waiting),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn resolve(&self, outcome: AckState) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *g = outcome;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<u64, WalError> {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*g {
+                AckState::Waiting => {
+                    g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+                }
+                AckState::Durable(seq) => return Ok(*seq),
+                AckState::Failed(m) => return Err(WalError::Poisoned(m.clone())),
+            }
+        }
+    }
+}
+
+/// State shared between writers, the committer thread, and the handle.
+struct Shared {
+    dir: PathBuf,
+    opts: WalOptions,
+    /// Rung by writers after pushing; built on the committer thread.
+    doorbell: Doorbell,
+    /// Records pushed but not yet resolved — the committer's work signal.
+    backlog: AtomicU64,
+    /// New writers park their ring consumers here for adoption.
+    inbox: Mutex<Vec<Consumer<Pending>>>,
+    /// Set when the committer can no longer write; appends fail fast.
+    poisoned: Mutex<Option<String>>,
+    /// Tells the committer to drain and exit.
+    closing: AtomicBool,
+    appends: AtomicU64,
+    group_commits: AtomicU64,
+    fsyncs: AtomicU64,
+    rotations: AtomicU64,
+}
+
+/// The open write-ahead log. Create writers with [`Wal::writer`]; close
+/// with [`Wal::close`] (or drop) to drain and fsync everything pending.
+pub struct Wal {
+    shared: Arc<Shared>,
+    committer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.shared.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The append handle for one writer thread. Not `Clone` — each handle
+/// owns one SPSC ring; hand every concurrent appender its own (or pool
+/// them with [`WriterPool`]).
+pub struct WalWriter {
+    producer: Producer<Pending>,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter").finish_non_exhaustive()
+    }
+}
+
+impl WalWriter {
+    /// Appends one record and blocks until it is fsync'd (possibly as
+    /// part of a larger group commit). Returns the record's sequence
+    /// number. The payload must be a single line (one JSON value by
+    /// convention; the WAL itself treats it as opaque bytes).
+    pub fn append(&mut self, payload: &str) -> Result<u64, WalError> {
+        self.append_nowait(payload)?.wait()
+    }
+
+    /// Appends without waiting: the returned ticket resolves when the
+    /// record's group commit completes. Lets one writer keep many
+    /// records in flight (deeper batches than one-append-per-writer).
+    pub fn append_nowait(&mut self, payload: &str) -> Result<WalTicket, WalError> {
+        if payload.contains('\n') {
+            return Err(WalError::Payload("payload contains a newline".into()));
+        }
+        if let Some(m) = &*self
+            .shared
+            .poisoned
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+        {
+            return Err(WalError::Poisoned(m.clone()));
+        }
+        let ack = AckCell::new();
+        let mut pending = Pending {
+            payload: payload.to_string(),
+            ack: Arc::clone(&ack),
+        };
+        // Count before pushing so the committer's has-work check can
+        // never observe a pushed record with a zero backlog.
+        self.shared.backlog.fetch_add(1, Ordering::Release);
+        loop {
+            match self.producer.push(pending) {
+                Ok(()) => break,
+                Err(back) => {
+                    // Ring full: the committer is behind; nudge it and
+                    // yield rather than spin.
+                    pending = back;
+                    self.shared.doorbell.ring();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.shared.doorbell.ring();
+        Ok(WalTicket { ack })
+    }
+}
+
+/// A pending append from [`WalWriter::append_nowait`].
+#[derive(Debug)]
+pub struct WalTicket {
+    ack: Arc<AckCell>,
+}
+
+impl std::fmt::Debug for AckCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AckCell").finish_non_exhaustive()
+    }
+}
+
+impl WalTicket {
+    /// Blocks until the record is durable; returns its sequence number.
+    pub fn wait(self) -> Result<u64, WalError> {
+        self.ack.wait()
+    }
+}
+
+/// A checkout pool over a fixed set of [`WalWriter`]s, for callers with
+/// more (or shorter-lived) threads than writers — e.g. a daemon's
+/// per-connection handlers. Checkout serializes only on a brief mutex;
+/// the appends themselves still go through per-writer rings.
+pub struct WriterPool {
+    writers: Mutex<Vec<WalWriter>>,
+    cv: Condvar,
+}
+
+impl std::fmt::Debug for WriterPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriterPool").finish_non_exhaustive()
+    }
+}
+
+impl WriterPool {
+    /// A pool of `n` fresh writers on `wal`.
+    pub fn new(wal: &Wal, n: usize) -> WriterPool {
+        WriterPool {
+            writers: Mutex::new((0..n.max(1)).map(|_| wal.writer()).collect()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Appends durably through any free writer (blocks while all are
+    /// mid-append).
+    pub fn append(&self, payload: &str) -> Result<u64, WalError> {
+        let mut g = self.writers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut w = loop {
+            if let Some(w) = g.pop() {
+                break w;
+            }
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        };
+        drop(g);
+        let result = w.append(payload);
+        self.writers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(w);
+        self.cv.notify_one();
+        result
+    }
+}
+
+impl Wal {
+    /// Opens (creating if necessary) the WAL at directory `dir`,
+    /// recovering every intact record: segments are scanned in order,
+    /// each frame's CRC and sequence number verified, and the log
+    /// truncated at the first torn or corrupt frame. Returns the open
+    /// WAL (appends continue after the recovered tail) and the recovery
+    /// report — the caller decides how to log it.
+    pub fn open(dir: &Path, opts: WalOptions) -> Result<(Wal, WalRecovery), WalError> {
+        fs::create_dir_all(dir)?;
+        let mut segments: Vec<u64> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| segment_index(&e.file_name().to_string_lossy()))
+            .collect();
+        segments.sort_unstable();
+
+        let mut recovery = WalRecovery::default();
+        let mut next_seq: u64 = 1;
+        // (segment index, byte offset) where the good prefix ends.
+        let mut cut: Option<(u64, u64, String)> = None;
+        for (i, &seg) in segments.iter().enumerate() {
+            recovery.segments += 1;
+            let path = dir.join(segment_name(seg));
+            let mut raw = Vec::new();
+            File::open(&path)?.read_to_end(&mut raw)?;
+            let mut pos = 0usize;
+            let mut good_end = 0usize;
+            while pos < raw.len() {
+                let Some(nl) = raw[pos..].iter().position(|&b| b == b'\n') else {
+                    cut = Some((
+                        seg,
+                        good_end as u64,
+                        "torn final record (no newline)".into(),
+                    ));
+                    recovery.records_dropped += 1;
+                    break;
+                };
+                let decoded = std::str::from_utf8(&raw[pos..pos + nl])
+                    .map_err(|_| "invalid utf-8".to_string())
+                    .and_then(decode_frame)
+                    .and_then(|(seq, payload)| {
+                        if seq == next_seq {
+                            Ok(payload.to_string())
+                        } else {
+                            Err(format!("sequence gap (found {seq}, expected {next_seq})"))
+                        }
+                    });
+                match decoded {
+                    Ok(payload) => {
+                        recovery.records.push(payload);
+                        next_seq += 1;
+                        pos += nl + 1;
+                        good_end = pos;
+                    }
+                    Err(e) => {
+                        cut = Some((seg, good_end as u64, e));
+                        // Count the bad line plus every remaining
+                        // newline-terminated line in this segment.
+                        recovery.records_dropped +=
+                            raw[pos..].iter().filter(|&&b| b == b'\n').count().max(1);
+                        break;
+                    }
+                }
+            }
+            if let Some((cut_seg, at, reason)) = &cut {
+                // Everything after the first corruption is untrusted:
+                // truncate this segment and delete any later ones (the
+                // common SIGKILL case cuts only the final segment's
+                // tail, so acknowledged records are never here).
+                let bytes_dropped = raw.len() as u64 - at;
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(*at)?;
+                file.sync_data()?;
+                for &later in &segments[i + 1..] {
+                    let later_path = dir.join(segment_name(later));
+                    let mut later_raw = Vec::new();
+                    File::open(&later_path)?.read_to_end(&mut later_raw)?;
+                    recovery.records_dropped += later_raw.iter().filter(|&&b| b == b'\n').count();
+                    fs::remove_file(&later_path)?;
+                }
+                recovery.tail = TailRecovery {
+                    records_kept: recovery.records.len(),
+                    records_dropped: recovery.records_dropped,
+                    truncated: true,
+                    truncated_at: *at,
+                    dropped_bytes: bytes_dropped,
+                    reason: Some(reason.clone()),
+                };
+                recovery.truncated_segment = Some(segment_name(*cut_seg));
+                break;
+            }
+        }
+        if !recovery.tail.truncated {
+            recovery.tail.records_kept = recovery.records.len();
+        }
+
+        // Resume appending into the last surviving segment (or a fresh
+        // first one).
+        let current_seg = match &recovery.truncated_segment {
+            Some(name) => segment_index(name).expect("own segment name parses"),
+            None => segments.last().copied().unwrap_or(1),
+        };
+        let current_path = dir.join(segment_name(current_seg));
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&current_path)?;
+        let current_len = file.metadata()?.len();
+        sync_dir(dir);
+
+        let shared_seed = (Arc::new(Mutex::new(None::<Arc<Shared>>)), Condvar::new());
+        // The doorbell must be constructed on the committer thread (it
+        // parks that thread), so Shared is built there and handed back.
+        let dir_owned = dir.to_path_buf();
+        let seed = Arc::new(shared_seed);
+        let seed2 = Arc::clone(&seed);
+        let committer = std::thread::Builder::new()
+            .name("wal-committer".into())
+            .spawn(move || {
+                let shared = Arc::new(Shared {
+                    dir: dir_owned,
+                    opts,
+                    doorbell: Doorbell::new(),
+                    backlog: AtomicU64::new(0),
+                    inbox: Mutex::new(Vec::new()),
+                    poisoned: Mutex::new(None),
+                    closing: AtomicBool::new(false),
+                    appends: AtomicU64::new(0),
+                    group_commits: AtomicU64::new(0),
+                    fsyncs: AtomicU64::new(0),
+                    rotations: AtomicU64::new(0),
+                });
+                {
+                    let (lock, cv) = &*seed2;
+                    *lock.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&shared));
+                    cv.notify_all();
+                }
+                committer_loop(shared, file, current_seg, current_len, next_seq);
+            })
+            .expect("wal committer thread spawns");
+
+        let (lock, cv) = &*seed;
+        let mut g = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while g.is_none() {
+            g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        let shared = g.take().expect("committer published shared state");
+        drop(g);
+
+        Ok((
+            Wal {
+                shared,
+                committer: Some(committer),
+            },
+            recovery,
+        ))
+    }
+
+    /// Creates a new writer with its own ring. Writers are adopted by
+    /// the committer and live as long as the WAL — hand long-lived
+    /// threads their own, pool short-lived ones ([`WriterPool`]).
+    pub fn writer(&self) -> WalWriter {
+        let (producer, consumer) = ring::<Pending>(self.shared.opts.ring_capacity);
+        self.shared
+            .inbox
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(consumer);
+        self.shared.doorbell.ring();
+        WalWriter {
+            producer,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.shared.appends.load(Ordering::Relaxed),
+            group_commits: self.shared.group_commits.load(Ordering::Relaxed),
+            fsyncs: self.shared.fsyncs.load(Ordering::Relaxed),
+            rotations: self.shared.rotations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    /// Drains every pending append, fsyncs, and stops the committer.
+    /// Outstanding appends resolve before this returns.
+    pub fn close(mut self) {
+        self.close_inner();
+    }
+
+    fn close_inner(&mut self) {
+        if let Some(handle) = self.committer.take() {
+            self.shared.closing.store(true, Ordering::Release);
+            self.shared.doorbell.ring();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.close_inner();
+    }
+}
+
+/// Best-effort directory fsync so segment creation/removal survives a
+/// crash of the whole machine, not just the process. Ignored on
+/// filesystems that refuse to sync directories.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// The committer: adopt new rings, drain a batch, write, fsync once,
+/// acknowledge, rotate when the segment is full.
+fn committer_loop(
+    shared: Arc<Shared>,
+    mut file: File,
+    mut segment: u64,
+    mut segment_len: u64,
+    mut next_seq: u64,
+) {
+    let mut consumers: Vec<Consumer<Pending>> = Vec::new();
+    let mut batch: Vec<Pending> = Vec::new();
+    let mut buf = String::new();
+    loop {
+        let closing = shared.closing.load(Ordering::Acquire);
+        if !closing {
+            // Park until a writer rings (or a periodic close check).
+            shared.doorbell.wait(Some(Duration::from_millis(100)), || {
+                shared.backlog.load(Ordering::Acquire) > 0 || shared.closing.load(Ordering::Acquire)
+            });
+        }
+        {
+            let mut inbox = shared.inbox.lock().unwrap_or_else(|e| e.into_inner());
+            consumers.append(&mut inbox);
+        }
+        batch.clear();
+        // Sweep all rings repeatedly until a full pass finds nothing —
+        // stragglers published during the sweep join this commit instead
+        // of paying for their own fsync.
+        loop {
+            let mut drained = 0usize;
+            for c in &mut consumers {
+                drained += c.drain(|p| batch.push(p));
+                if batch.len() >= shared.opts.batch_limit {
+                    break;
+                }
+            }
+            if drained == 0 || batch.len() >= shared.opts.batch_limit {
+                break;
+            }
+        }
+        if batch.is_empty() {
+            if shared.closing.load(Ordering::Acquire) && shared.backlog.load(Ordering::Acquire) == 0
+            {
+                let _ = file.sync_data();
+                return;
+            }
+            continue;
+        }
+
+        // Rotate between commits once the segment is over the limit.
+        if segment_len > shared.opts.segment_bytes {
+            match rotate(&shared, &mut file, &mut segment) {
+                Ok(()) => segment_len = 0,
+                Err(e) => {
+                    poison(&shared, &mut batch, &e);
+                    continue;
+                }
+            }
+        }
+
+        buf.clear();
+        let first_seq = next_seq;
+        for p in &batch {
+            buf.push_str(&encode_frame(next_seq, &p.payload));
+            buf.push('\n');
+            next_seq += 1;
+        }
+        let commit = file
+            .write_all(buf.as_bytes())
+            .and_then(|()| file.sync_data());
+        match commit {
+            Ok(()) => {
+                segment_len += buf.len() as u64;
+                shared
+                    .appends
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                shared.group_commits.fetch_add(1, Ordering::Relaxed);
+                shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+                for (i, p) in batch.drain(..).enumerate() {
+                    p.ack.resolve(AckState::Durable(first_seq + i as u64));
+                }
+                shared
+                    .backlog
+                    .fetch_sub(next_seq - first_seq, Ordering::Release);
+            }
+            Err(e) => {
+                next_seq = first_seq;
+                poison(&shared, &mut batch, &format!("group commit failed: {e}"));
+            }
+        }
+    }
+}
+
+/// Marks the WAL failed: the batch (and every later append) resolves
+/// with an error instead of hanging a writer forever.
+fn poison(shared: &Shared, batch: &mut Vec<Pending>, why: &str) {
+    {
+        let mut g = shared.poisoned.lock().unwrap_or_else(|e| e.into_inner());
+        if g.is_none() {
+            *g = Some(why.to_string());
+        }
+    }
+    let n = batch.len() as u64;
+    for p in batch.drain(..) {
+        p.ack.resolve(AckState::Failed(why.to_string()));
+    }
+    shared.backlog.fetch_sub(n, Ordering::Release);
+}
+
+/// Closes the current segment durably and opens the next one.
+fn rotate(shared: &Shared, file: &mut File, segment: &mut u64) -> Result<(), String> {
+    file.sync_data().map_err(|e| format!("segment sync: {e}"))?;
+    shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+    *segment += 1;
+    let path = shared.dir.join(segment_name(*segment));
+    let next = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("segment create {}: {e}", path.display()))?;
+    sync_dir(&shared.dir);
+    shared.rotations.fetch_add(1, Ordering::Relaxed);
+    *file = next;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("verdict-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let line = encode_frame(7, "{\"k\":\"v\"}");
+        let (seq, payload) = decode_frame(&line).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(payload, "{\"k\":\"v\"}");
+        assert!(decode_frame(&line.replace("\"v\"", "\"w\"")).is_err());
+        assert!(decode_frame("garbage").is_err());
+    }
+
+    #[test]
+    fn append_recover_round_trip() {
+        let dir = tmp_dir("basic");
+        {
+            let (wal, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+            assert!(rec.records.is_empty());
+            let mut w = wal.writer();
+            for i in 0..10 {
+                let seq = w.append(&format!("{{\"i\":{i}}}")).unwrap();
+                assert_eq!(seq, i + 1);
+            }
+            wal.close();
+        }
+        let (wal, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(rec.records.len(), 10);
+        assert_eq!(rec.records[3], "{\"i\":3}");
+        assert!(!rec.tail.truncated);
+        // Appends continue after the recovered tail with the next seq.
+        let mut w = wal.writer();
+        assert_eq!(w.append("{\"i\":10}").unwrap(), 11);
+        wal.close();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_spreads_segments() {
+        let dir = tmp_dir("rotate");
+        let opts = WalOptions {
+            segment_bytes: 128,
+            ..WalOptions::default()
+        };
+        {
+            let (wal, _) = Wal::open(&dir, opts.clone()).unwrap();
+            let mut w = wal.writer();
+            for i in 0..40 {
+                w.append(&format!("{{\"i\":{i}}}")).unwrap();
+            }
+            assert!(wal.stats().rotations >= 2, "{:?}", wal.stats());
+            wal.close();
+        }
+        let segs = fs::read_dir(&dir).unwrap().count();
+        assert!(segs >= 3, "expected several segments, got {segs}");
+        let (wal, rec) = Wal::open(&dir, opts).unwrap();
+        assert_eq!(rec.records.len(), 40);
+        assert!(rec.segments >= 3);
+        wal.close();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pipelined_appends_group_commit() {
+        let dir = tmp_dir("group");
+        let (wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        let mut w = wal.writer();
+        let tickets: Vec<WalTicket> = (0..64)
+            .map(|i| w.append_nowait(&format!("{{\"i\":{i}}}")).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let s = wal.stats();
+        assert_eq!(s.appends, 64);
+        assert!(
+            s.fsyncs < s.appends,
+            "group commit must amortize fsyncs: {s:?}"
+        );
+        wal.close();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_preserve_every_ack() {
+        let dir = tmp_dir("conc");
+        let (wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let mut w = wal.writer();
+            handles.push(std::thread::spawn(move || {
+                (0..50)
+                    .map(|i| w.append(&format!("{{\"t\":{t},\"i\":{i}}}")).unwrap())
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut seqs: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        seqs.sort_unstable();
+        // Every acked seq is unique and dense.
+        assert_eq!(seqs, (1..=200).collect::<Vec<u64>>());
+        wal.close();
+        let (wal, rec) = Wal::open(&dir, WalOptions::default()).unwrap();
+        assert_eq!(rec.records.len(), 200);
+        wal.close();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newline_payload_rejected() {
+        let dir = tmp_dir("nl");
+        let (wal, _) = Wal::open(&dir, WalOptions::default()).unwrap();
+        let mut w = wal.writer();
+        assert!(matches!(w.append("{\"a\":\n1}"), Err(WalError::Payload(_))));
+        wal.close();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

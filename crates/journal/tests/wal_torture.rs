@@ -1,0 +1,285 @@
+//! WAL torture: simulated SIGKILL cuts at every byte of the tail,
+//! rotation-boundary cuts, mid-group-commit cuts, and bit flips — after
+//! each, recovery must yield exactly the acknowledged prefix, repair
+//! must be idempotent, and the log must keep accepting appends.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use verdict_journal::wal::{Wal, WalOptions};
+
+/// Self-cleaning tempdir (no external crates).
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "verdict-wal-torture-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).unwrap();
+        TempDir { path }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+fn small_segments() -> WalOptions {
+    WalOptions {
+        segment_bytes: 160,
+        ..WalOptions::default()
+    }
+}
+
+/// Sorted (index, path) list of segment files in a WAL dir.
+fn segments(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let idx: u64 = name
+                .strip_prefix("seg-")?
+                .strip_suffix(".wal")?
+                .parse()
+                .ok()?;
+            Some((idx, e.path()))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Builds a reference WAL of `n` payloads under `opts`, closed cleanly.
+/// Returns the payloads.
+fn build_reference(dir: &Path, opts: WalOptions, n: usize) -> Vec<String> {
+    let (wal, recovery) = Wal::open(dir, opts).unwrap();
+    assert!(recovery.records.is_empty());
+    let mut writer = wal.writer();
+    let payloads: Vec<String> = (0..n)
+        .map(|i| format!("{{\"job\":{i},\"verdict\":\"safe\"}}"))
+        .collect();
+    for p in &payloads {
+        writer.append(p).unwrap();
+    }
+    drop(writer);
+    wal.close();
+    payloads
+}
+
+/// Copies a reference WAL dir, truncating the *last* segment to
+/// `keep_bytes` — the exact effect of SIGKILL after that many tail
+/// bytes reached the disk.
+fn clone_with_tail_cut(reference: &Path, target: &Path, keep_bytes: u64) {
+    fs::create_dir_all(target).unwrap();
+    let segs = segments(reference);
+    let (last, rest) = segs.split_last().expect("reference has segments");
+    for (idx, path) in rest {
+        fs::copy(path, target.join(format!("seg-{idx:08}.wal"))).unwrap();
+    }
+    let raw = fs::read(&last.1).unwrap();
+    let keep = (keep_bytes as usize).min(raw.len());
+    fs::write(target.join(format!("seg-{:08}.wal", last.0)), &raw[..keep]).unwrap();
+}
+
+/// How many reference records survive when the final segment keeps only
+/// `keep` bytes: full lines fit entirely; a torn line is dropped.
+fn expected_survivors(reference: &Path, keep: usize, total: usize) -> usize {
+    let segs = segments(reference);
+    let (last, rest) = segs.split_last().unwrap();
+    let earlier: usize = rest
+        .iter()
+        .map(|(_, p)| fs::read(p).unwrap().iter().filter(|&&b| b == b'\n').count())
+        .sum();
+    let raw = fs::read(&last.1).unwrap();
+    let in_last = raw[..keep.min(raw.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count();
+    (earlier + in_last).min(total)
+}
+
+#[test]
+fn tail_cut_at_every_byte_recovers_exact_prefix() {
+    let reference = TempDir::new("ref");
+    let payloads = build_reference(&reference.path, small_segments(), 12);
+    let segs = segments(&reference.path);
+    assert!(segs.len() >= 3, "want rotation in play, got {}", segs.len());
+    let last_len = fs::read(&segs.last().unwrap().1).unwrap().len();
+
+    for keep in 0..=last_len {
+        let cut = TempDir::new("cut");
+        clone_with_tail_cut(&reference.path, &cut.path, keep as u64);
+        let want = expected_survivors(&reference.path, keep, payloads.len());
+        let (wal, recovery) = Wal::open(&cut.path, small_segments()).unwrap();
+        assert_eq!(
+            recovery.records,
+            &payloads[..want],
+            "keep={keep}: recovery must yield exactly the durable prefix"
+        );
+        // A cut mid-line is reported as a truncation with a position.
+        if recovery.tail.truncated {
+            assert!(recovery.tail.reason.is_some());
+            assert_eq!(recovery.tail.records_kept, want);
+        }
+        wal.close();
+
+        // Repair is idempotent: a second open finds a clean log with
+        // the same records and nothing more to truncate.
+        let (wal, again) = Wal::open(&cut.path, small_segments()).unwrap();
+        assert_eq!(again.records, &payloads[..want]);
+        assert!(
+            !again.tail.truncated,
+            "keep={keep}: second open must be clean"
+        );
+        wal.close();
+    }
+}
+
+#[test]
+fn rotation_boundary_cuts_keep_earlier_segments() {
+    let reference = TempDir::new("rotref");
+    let payloads = build_reference(&reference.path, small_segments(), 12);
+    let segs = segments(&reference.path);
+    assert!(segs.len() >= 3);
+
+    // SIGKILL immediately after rotation: the freshly-created segment
+    // is empty. Everything in the earlier segments survives.
+    let cut = TempDir::new("rotcut");
+    clone_with_tail_cut(&reference.path, &cut.path, 0);
+    let want = expected_survivors(&reference.path, 0, payloads.len());
+    assert!(want > 0, "earlier segments should hold records");
+    let (wal, recovery) = Wal::open(&cut.path, small_segments()).unwrap();
+    assert_eq!(recovery.records, &payloads[..want]);
+
+    // And the log keeps going: new appends land after the survivors.
+    let mut writer = wal.writer();
+    writer
+        .append("{\"job\":99,\"verdict\":\"unsafe\"}")
+        .unwrap();
+    wal.close();
+    let (wal, after) = Wal::open(&cut.path, small_segments()).unwrap();
+    assert_eq!(after.records.len(), want + 1);
+    assert_eq!(after.records[want], "{\"job\":99,\"verdict\":\"unsafe\"}");
+    wal.close();
+}
+
+#[test]
+fn mid_group_commit_cut_recovers_batch_prefix() {
+    // Pipelined appends so one group commit carries many records, then
+    // cut mid-batch: the batch's prefix survives, the tail is dropped.
+    let reference = TempDir::new("gcref");
+    let opts = WalOptions::default();
+    let payloads: Vec<String> = (0..64).map(|i| format!("{{\"batch\":{i}}}")).collect();
+    {
+        let (wal, _) = Wal::open(&reference.path, opts.clone()).unwrap();
+        let mut writer = wal.writer();
+        let tickets: Vec<_> = payloads
+            .iter()
+            .map(|p| writer.append_nowait(p).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = wal.stats();
+        assert!(
+            stats.group_commits < stats.appends,
+            "expected batching: {stats:?}"
+        );
+        wal.close();
+    }
+    let raw = fs::read(&segments(&reference.path)[0].1).unwrap();
+    // Cut in the middle of the byte stream — mid-record with high
+    // probability, mid-batch by construction.
+    let keep = raw.len() / 2;
+    let cut = TempDir::new("gccut");
+    clone_with_tail_cut(&reference.path, &cut.path, keep as u64);
+    let want = expected_survivors(&reference.path, keep, payloads.len());
+    let (wal, recovery) = Wal::open(&cut.path, opts).unwrap();
+    assert_eq!(recovery.records, &payloads[..want]);
+    wal.close();
+}
+
+#[test]
+fn bit_flip_truncates_at_corruption_and_drops_later_segments() {
+    let dir = TempDir::new("flip");
+    let payloads = build_reference(&dir.path, small_segments(), 12);
+    let segs = segments(&dir.path);
+    assert!(segs.len() >= 3);
+
+    // Flip one payload bit in the middle segment (inside a `"safe"`
+    // literal, so the flip never creates or destroys a line break).
+    let victim = &segs[1].1;
+    let mut raw = fs::read(victim).unwrap();
+    let pos = raw
+        .windows(4)
+        .position(|w| w == b"safe")
+        .expect("payload text present");
+    raw[pos] ^= 0x01;
+    fs::write(victim, &raw).unwrap();
+
+    let kept_before: usize = fs::read(&segs[0].1)
+        .unwrap()
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count();
+    let (wal, recovery) = Wal::open(&dir.path, small_segments()).unwrap();
+    // Everything before the corrupt frame survives; the corrupt frame
+    // and everything after (including later segments) is dropped —
+    // better a short honest log than a long lying one.
+    assert!(recovery.records.len() >= kept_before);
+    assert!(recovery.records.len() < payloads.len());
+    assert_eq!(recovery.records, &payloads[..recovery.records.len()]);
+    assert!(recovery.tail.truncated);
+    assert!(recovery.tail.records_dropped > 0);
+    assert_eq!(
+        recovery.tail.records_kept + recovery.tail.records_dropped,
+        payloads.len(),
+        "every reference record is accounted for, kept or dropped"
+    );
+    // Later segments are gone from disk.
+    assert_eq!(segments(&dir.path).len(), 2);
+    wal.close();
+
+    // Idempotent: reopening reports a clean log.
+    let kept = recovery.records;
+    let (wal, again) = Wal::open(&dir.path, small_segments()).unwrap();
+    assert_eq!(again.records, kept);
+    assert!(!again.tail.truncated);
+    wal.close();
+}
+
+#[test]
+fn sequence_gap_is_rejected() {
+    // Deleting a whole *middle* segment leaves a sequence gap: records
+    // after the gap must not be trusted even though their CRCs pass.
+    let dir = TempDir::new("gap");
+    let payloads = build_reference(&dir.path, small_segments(), 12);
+    let segs = segments(&dir.path);
+    assert!(segs.len() >= 3);
+    let first_counts: usize = fs::read(&segs[0].1)
+        .unwrap()
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count();
+    fs::remove_file(&segs[1].1).unwrap();
+
+    let (wal, recovery) = Wal::open(&dir.path, small_segments()).unwrap();
+    assert_eq!(recovery.records, &payloads[..first_counts]);
+    assert!(recovery.tail.truncated);
+    assert!(recovery
+        .tail
+        .reason
+        .as_deref()
+        .unwrap()
+        .contains("sequence gap"));
+    wal.close();
+}

@@ -101,7 +101,7 @@ pub use engine::{engine, Engine, EngineKind};
 pub use portfolio::CheckReport;
 pub use result::{CheckOptions, CheckOptionsBuilder, CheckResult, McError, UnknownReason};
 pub use retry::RetryPolicy;
-pub use stats::{Stats, TraceSink, STATS_SCHEMA_VERSION};
+pub use stats::{ServerCounters, Stats, TraceSink, STATS_SCHEMA_VERSION};
 pub use verifier::Verifier;
 
 /// One-stop imports for the unified engine API.

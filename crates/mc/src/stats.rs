@@ -193,6 +193,60 @@ impl RuntimeCounters {
     }
 }
 
+/// Serving-daemon counters: job admission/lifecycle tallies plus the
+/// group-commit WAL's I/O behaviour. All zero for plain CLI runs, which
+/// keeps the stats-determinism contract intact; the `verdict-server`
+/// crate fills them in and surfaces them through the daemon's `stats`
+/// operation. `wal_fsyncs < wal_appends` is the group-commit win the
+/// server bench asserts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Jobs admitted (durably journaled and queued or started).
+    pub jobs_accepted: u64,
+    /// Jobs refused with a structured reason (queue full, draining,
+    /// parse error, WAL failure).
+    pub jobs_rejected: u64,
+    /// Jobs currently waiting in the admission queue.
+    pub jobs_queued: u64,
+    /// Jobs currently executing on a worker.
+    pub jobs_running: u64,
+    /// Jobs finished with a recorded verdict map.
+    pub jobs_completed: u64,
+    /// Jobs re-enqueued (or re-reported) from the WAL on restart.
+    pub jobs_recovered: u64,
+    /// Records durably appended to the WAL.
+    pub wal_appends: u64,
+    /// Group commits performed (batches sharing one fsync).
+    pub wal_group_commits: u64,
+    /// `fsync` calls the WAL issued.
+    pub wal_fsyncs: u64,
+    /// WAL segment rotations.
+    pub wal_rotations: u64,
+}
+
+impl ServerCounters {
+    /// Sums another group into this one (gauges `jobs_queued` and
+    /// `jobs_running` are summed too — merging is for aggregating
+    /// disjoint servers, not snapshots of one).
+    pub fn add(&mut self, o: ServerCounters) {
+        self.jobs_accepted += o.jobs_accepted;
+        self.jobs_rejected += o.jobs_rejected;
+        self.jobs_queued += o.jobs_queued;
+        self.jobs_running += o.jobs_running;
+        self.jobs_completed += o.jobs_completed;
+        self.jobs_recovered += o.jobs_recovered;
+        self.wal_appends += o.wal_appends;
+        self.wal_group_commits += o.wal_group_commits;
+        self.wal_fsyncs += o.wal_fsyncs;
+        self.wal_rotations += o.wal_rotations;
+    }
+
+    /// True iff every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == ServerCounters::default()
+    }
+}
+
 impl From<verdict_bdd::BddStats> for BddCounters {
     fn from(s: verdict_bdd::BddStats) -> BddCounters {
         BddCounters {
@@ -287,6 +341,9 @@ pub struct Stats {
     pub bdd: BddCounters,
     /// Parallel-runtime counters (clause sharing, ring traffic, parking).
     pub runtime: RuntimeCounters,
+    /// Serving-daemon counters (job lifecycle, WAL I/O); zero outside
+    /// `verdict serve`.
+    pub server: ServerCounters,
     /// Per-depth unroll/solve cost for bounded engines, in depth order.
     pub depths: Vec<DepthSample>,
     /// Symbolic fixpoint iterations (reachability onion rings, EU/EG
@@ -410,6 +467,7 @@ impl Stats {
         self.smt.add(other.smt);
         self.bdd.add(other.bdd);
         self.runtime.add(other.runtime);
+        self.server.add(other.server);
         self.fixpoint_iterations += other.fixpoint_iterations;
         self.states_visited += other.states_visited;
         self.retries += other.retries;
@@ -425,6 +483,7 @@ impl Stats {
             && self.smt.is_zero()
             && self.bdd.is_zero()
             && self.runtime.is_zero()
+            && self.server.is_zero()
             && self.fixpoint_iterations == 0
             && self.states_visited == 0
             && self.retries == 0
@@ -445,6 +504,10 @@ impl Stats {
                 "\"runtime\":{{\"clauses_exported\":{},\"clauses_imported\":{},",
                 "\"imports_rejected\":{},\"import_hits\":{},\"ring_messages\":{},",
                 "\"ring_batches\":{},\"parks\":{},\"wakes\":{},\"spurious_wakeups\":{}}},",
+                "\"server\":{{\"jobs_accepted\":{},\"jobs_rejected\":{},",
+                "\"jobs_queued\":{},\"jobs_running\":{},\"jobs_completed\":{},",
+                "\"jobs_recovered\":{},\"wal_appends\":{},\"wal_group_commits\":{},",
+                "\"wal_fsyncs\":{},\"wal_rotations\":{}}},",
                 "\"fixpoint_iterations\":{},\"states_visited\":{},",
                 "\"retries\":{},\"faults_injected\":{},\"depth_samples\":{}"
             ),
@@ -472,6 +535,16 @@ impl Stats {
             self.runtime.parks,
             self.runtime.wakes,
             self.runtime.spurious_wakeups,
+            self.server.jobs_accepted,
+            self.server.jobs_rejected,
+            self.server.jobs_queued,
+            self.server.jobs_running,
+            self.server.jobs_completed,
+            self.server.jobs_recovered,
+            self.server.wal_appends,
+            self.server.wal_group_commits,
+            self.server.wal_fsyncs,
+            self.server.wal_rotations,
             self.fixpoint_iterations,
             self.states_visited,
             self.retries,

@@ -1,0 +1,238 @@
+//! A blocking client for the daemon's Unix-socket JSONL API.
+//!
+//! One [`Client`] wraps one connection. Requests are serialized calls;
+//! [`Client::wait`] additionally streams the job's trace events through
+//! a callback before returning the final outcome.
+
+use std::io::{self, Read as _, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use verdict_journal::json::{parse, Json};
+
+use crate::proto::{JobSpec, Rejection, Request, VerdictRow};
+
+/// The terminal snapshot of a job, as reported by `status`/`wait`.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Job id.
+    pub job: u64,
+    /// `queued` / `running` / `done` / `cancelled`.
+    pub state: String,
+    /// True when the verdicts came from WAL recovery, not a fresh run.
+    pub recovered: bool,
+    /// Per-property (or per-assignment, for synth) verdict rows.
+    pub verdicts: Vec<VerdictRow>,
+}
+
+impl JobOutcome {
+    fn from_json(v: &Json) -> Result<JobOutcome, String> {
+        let job = v
+            .get("job")
+            .and_then(Json::as_int)
+            .ok_or("missing job id")? as u64;
+        let state = v
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("missing state")?
+            .to_string();
+        let recovered = matches!(v.get("recovered"), Some(Json::Bool(true)));
+        let verdicts = match v.get("verdicts").and_then(Json::as_arr) {
+            Some(rows) => rows
+                .iter()
+                .map(VerdictRow::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(JobOutcome {
+            job,
+            state,
+            recovered,
+            verdicts,
+        })
+    }
+}
+
+/// Client-side failures: transport errors, server rejections, or
+/// malformed responses.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (daemon gone, connection refused, …).
+    Io(io::Error),
+    /// The server answered with a structured rejection.
+    Rejected(Rejection),
+    /// The server's response didn't parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Rejected(r) => {
+                write!(f, "rejected: {}", r.reason)?;
+                if let Some(d) = &r.detail {
+                    write!(f, " ({d})")?;
+                }
+                Ok(())
+            }
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A connection to a running daemon.
+pub struct Client {
+    stream: UnixStream,
+    acc: Vec<u8>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(socket.as_ref())?;
+        Ok(Client {
+            stream,
+            acc: Vec::new(),
+        })
+    }
+
+    /// Connects, retrying for up to `patience` — for scripts that start
+    /// the daemon and immediately submit.
+    pub fn connect_with_retry(
+        socket: impl AsRef<Path>,
+        patience: Duration,
+    ) -> Result<Client, ClientError> {
+        let deadline = std::time::Instant::now() + patience;
+        loop {
+            match UnixStream::connect(socket.as_ref()) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        stream,
+                        acc: Vec::new(),
+                    })
+                }
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e.into()),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads the next JSONL line from the server.
+    fn read_doc(&mut self) -> Result<Json, ClientError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(nl) = self.acc.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = self.acc.drain(..=nl).collect();
+                let line = String::from_utf8_lossy(&raw[..raw.len() - 1]).into_owned();
+                return parse(&line).map_err(|e| ClientError::Protocol(e.to_string()));
+            }
+            match self.stream.read(&mut buf)? {
+                0 => {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                n => self.acc.extend_from_slice(&buf[..n]),
+            }
+        }
+    }
+
+    /// Turns `{"ok":false,…}` responses into [`ClientError::Rejected`].
+    fn expect_ok(doc: Json) -> Result<Json, ClientError> {
+        match doc.get("ok") {
+            Some(Json::Bool(true)) => Ok(doc),
+            _ => match Rejection::from_json(&doc) {
+                Ok(r) => Err(ClientError::Rejected(r)),
+                Err(m) => Err(ClientError::Protocol(m)),
+            },
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        Self::expect_ok(self.read_doc()?).map(|_| ())
+    }
+
+    /// Submits a job; `Ok` means the job is durably journaled.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, ClientError> {
+        self.send(&Request::Submit(spec.clone()))?;
+        let doc = Self::expect_ok(self.read_doc()?)?;
+        doc.get("job")
+            .and_then(Json::as_int)
+            .map(|j| j as u64)
+            .ok_or_else(|| ClientError::Protocol("submit ack missing job id".into()))
+    }
+
+    /// A point-in-time snapshot of a job.
+    pub fn status(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Status { job })?;
+        let doc = Self::expect_ok(self.read_doc()?)?;
+        JobOutcome::from_json(&doc).map_err(ClientError::Protocol)
+    }
+
+    /// Blocks until the job finishes, feeding each streamed trace event
+    /// line (a PR-5 trace JSONL document) to `on_event`.
+    pub fn wait(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&str),
+    ) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Wait { job })?;
+        loop {
+            let doc = self.read_doc()?;
+            if let Some(ev) = doc.get("event") {
+                on_event(&ev.to_string());
+                continue;
+            }
+            let doc = Self::expect_ok(doc)?;
+            return JobOutcome::from_json(&doc).map_err(ClientError::Protocol);
+        }
+    }
+
+    /// Requests cancellation; durable once this returns `Ok`.
+    pub fn cancel(&mut self, job: u64) -> Result<(), ClientError> {
+        self.send(&Request::Cancel { job })?;
+        Self::expect_ok(self.read_doc()?).map(|_| ())
+    }
+
+    /// Fetches the server's schema-2 stats document (engine counters
+    /// plus the `server` group).
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.send(&Request::Stats)?;
+        let doc = Self::expect_ok(self.read_doc()?)?;
+        doc.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("stats response missing stats".into()))
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        Self::expect_ok(self.read_doc()?).map(|_| ())
+    }
+}

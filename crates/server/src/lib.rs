@@ -1,0 +1,1112 @@
+//! Verdict-as-a-service: a crash-safe verification job daemon.
+//!
+//! The paper pitches verification as *infrastructure* — a standing
+//! service operators query continuously, not a one-shot CLI. This crate
+//! is that daemon. It accepts `check`/`synth` jobs over a local
+//! Unix-socket JSONL API ([`proto`]), schedules them across a bounded
+//! worker fleet, and streams per-job progress using the `--trace` JSONL
+//! event format as the wire format.
+//!
+//! The robustness surface is the point:
+//!
+//! * **Durability.** Every admitted job is written to a group-commit
+//!   write-ahead log ([`verdict_journal::wal`]) *before* the submit is
+//!   acknowledged — an acked job survives `SIGKILL` at any byte
+//!   boundary. Completion writes a `done` record with the full verdict
+//!   map; on restart, decided verdicts are trusted (the PR-4 re-gating
+//!   policy — the WAL pins the exact model source, so a `done` record
+//!   provably describes the same input) and everything else re-runs.
+//! * **Admission control.** The queue is bounded. A full queue, a
+//!   draining server, or an unparseable model rejects with a structured
+//!   reason ([`proto::Rejection`]) — never unbounded growth, never a
+//!   silent hang.
+//! * **Deadlines and cancellation.** Per-job wall-clock deadlines and
+//!   `cancel` both route into the engines' cooperative stop-flag
+//!   plumbing; a cancel is journaled so it survives restart too.
+//! * **Graceful drain.** SIGTERM/SIGINT (or the `shutdown` op) stops
+//!   admission, lets running jobs finish within a grace period, then
+//!   raises their stop flags; queued jobs are already journaled and
+//!   re-run on the next start. The daemon exits 0.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read as _, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use verdict_journal::json::Json;
+use verdict_journal::wal::{Wal, WalError, WalOptions, WalRecovery, WriterPool};
+use verdict_mc::{
+    CheckOptions, CheckResult, EngineKind, ServerCounters, Stats, TraceSink, UnknownReason,
+    Verifier,
+};
+
+mod client;
+pub mod proto;
+
+pub use client::{Client, ClientError, JobOutcome};
+pub use proto::{JobKind, JobSpec, Rejection, Request, VerdictRow};
+
+/// How the daemon is wired: socket path, WAL directory, fleet size, and
+/// admission-queue capacity.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// Directory for the write-ahead log's segment files.
+    pub wal_dir: PathBuf,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Maximum jobs waiting in the admission queue; submits beyond this
+    /// are rejected with `queue-full`.
+    pub queue_capacity: usize,
+    /// WAL segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// How long a drain waits for running jobs before raising their
+    /// stop flags.
+    pub grace: Duration,
+}
+
+impl ServerConfig {
+    /// A config with defaults for everything but the two paths.
+    pub fn new(socket: impl Into<PathBuf>, wal_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            socket: socket.into(),
+            wal_dir: wal_dir.into(),
+            workers: 2,
+            queue_capacity: 64,
+            segment_bytes: 4 << 20,
+            grace: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Errors from opening or running the daemon.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Underlying socket/filesystem failure.
+    Io(io::Error),
+    /// The write-ahead log failed.
+    Wal(WalError),
+    /// Another live daemon already owns the socket.
+    SocketBusy(PathBuf),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "server i/o error: {e}"),
+            ServerError::Wal(e) => write!(f, "server wal error: {e}"),
+            ServerError::SocketBusy(p) => write!(
+                f,
+                "another daemon is already serving on {} (connect to it, or stop it first)",
+                p.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> ServerError {
+        ServerError::Io(e)
+    }
+}
+
+impl From<WalError> for ServerError {
+    fn from(e: WalError) -> ServerError {
+        ServerError::Wal(e)
+    }
+}
+
+/// What [`Server::open`] recovered from the WAL.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// WAL scan details (segments, torn-tail truncation).
+    pub wal: WalRecovery,
+    /// Jobs re-enqueued because they were admitted but not finished (or
+    /// finished with undecided verdicts).
+    pub jobs_requeued: u64,
+    /// Jobs whose decided verdict maps were trusted and re-reported.
+    pub jobs_trusted: u64,
+    /// Jobs that were durably cancelled.
+    pub jobs_cancelled: u64,
+}
+
+/// What a completed drain looked like.
+#[derive(Clone, Debug, Default)]
+pub struct DrainReport {
+    /// Jobs that finished during this server's lifetime.
+    pub jobs_completed: u64,
+    /// Jobs still queued or stopped mid-run at exit; all are journaled
+    /// and re-run on the next start.
+    pub jobs_abandoned: u64,
+    /// Final WAL counters.
+    pub wal: verdict_journal::wal::WalStats,
+}
+
+/// Job lifecycle phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum JobPhase {
+    Queued,
+    Running,
+    Done,
+    Cancelled,
+}
+
+impl JobPhase {
+    fn tag(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Mutable job state, guarded by the job's mutex.
+struct JobState {
+    phase: JobPhase,
+    /// PR-5 trace JSONL lines, appended live while the job runs.
+    events: Vec<String>,
+    verdicts: Vec<VerdictRow>,
+    /// True when the verdicts were recovered from the WAL, not computed
+    /// by this process.
+    recovered: bool,
+}
+
+/// One job: immutable spec plus guarded state plus its stop flag.
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    stop: Arc<AtomicBool>,
+    /// Set by the `cancel` op (as opposed to a drain raising `stop`).
+    cancel_requested: AtomicBool,
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn new(id: u64, spec: JobSpec) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            spec,
+            stop: Arc::new(AtomicBool::new(false)),
+            cancel_requested: AtomicBool::new(false),
+            state: Mutex::new(JobState {
+                phase: JobPhase::Queued,
+                events: Vec::new(),
+                verdicts: Vec::new(),
+                recovered: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn set_phase(&self, phase: JobPhase, verdicts: Vec<VerdictRow>, recovered: bool) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        g.phase = phase;
+        g.verdicts = verdicts;
+        g.recovered = recovered;
+        self.cv.notify_all();
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+struct Inner {
+    cfg: ServerConfig,
+    wal: Wal,
+    pool: WriterPool,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    /// Jobs queued or mid-admission — the bounded-queue occupancy count.
+    admitted: AtomicU64,
+    running: AtomicU64,
+    next_job: AtomicU64,
+    /// Set on SIGTERM/SIGINT/`shutdown`: stop admitting, begin drain.
+    stop: Arc<AtomicBool>,
+    /// Set once drain is complete: connection handlers exit.
+    terminating: AtomicBool,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    recovered: AtomicU64,
+    /// Aggregate engine stats across every job this process ran.
+    engine_stats: Mutex<Stats>,
+}
+
+impl Inner {
+    fn server_counters(&self) -> ServerCounters {
+        let wal = self.wal.stats();
+        ServerCounters {
+            jobs_accepted: self.accepted.load(Ordering::Relaxed),
+            jobs_rejected: self.rejected.load(Ordering::Relaxed),
+            jobs_queued: self.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as u64,
+            jobs_running: self.running.load(Ordering::Relaxed),
+            jobs_completed: self.completed.load(Ordering::Relaxed),
+            jobs_recovered: self.recovered.load(Ordering::Relaxed),
+            wal_appends: wal.appends,
+            wal_group_commits: wal.group_commits,
+            wal_fsyncs: wal.fsyncs,
+            wal_rotations: wal.rotations,
+        }
+    }
+}
+
+/// The daemon. [`Server::open`] binds the socket and recovers the WAL;
+/// [`Server::run`] blocks serving until the stop flag is raised and the
+/// drain completes.
+pub struct Server {
+    inner: Arc<Inner>,
+    listener: UnixListener,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("socket", &self.inner.cfg.socket)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Opens the WAL (recovering every acknowledged job), binds the
+    /// socket, and returns the ready-to-run server plus what recovery
+    /// found. The socket is connectable as soon as this returns, even
+    /// before [`Server::run`] starts accepting.
+    pub fn open(cfg: ServerConfig) -> Result<(Server, RecoveryReport), ServerError> {
+        // A leftover socket file from a SIGKILL'd daemon must not block
+        // restart — but a *live* daemon must not be usurped.
+        if cfg.socket.exists() {
+            match UnixStream::connect(&cfg.socket) {
+                Ok(_) => return Err(ServerError::SocketBusy(cfg.socket.clone())),
+                Err(_) => {
+                    let _ = std::fs::remove_file(&cfg.socket);
+                }
+            }
+        }
+        let (wal, wal_recovery) = Wal::open(
+            &cfg.wal_dir,
+            WalOptions {
+                segment_bytes: cfg.segment_bytes,
+                ..WalOptions::default()
+            },
+        )?;
+        let pool = WriterPool::new(&wal, cfg.workers.max(2));
+        let listener = UnixListener::bind(&cfg.socket)?;
+
+        let inner = Arc::new(Inner {
+            cfg,
+            wal,
+            pool,
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            running: AtomicU64::new(0),
+            next_job: AtomicU64::new(1),
+            stop: Arc::new(AtomicBool::new(false)),
+            terminating: AtomicBool::new(false),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            engine_stats: Mutex::new(Stats::default()),
+        });
+
+        let mut report = RecoveryReport {
+            wal: wal_recovery,
+            ..RecoveryReport::default()
+        };
+        recover_jobs(&inner, &report.wal.records.clone(), &mut report);
+        Ok((Server { inner, listener }, report))
+    }
+
+    /// The flag that triggers graceful drain — wire SIGTERM/SIGINT to
+    /// set it. The `shutdown` op sets the same flag.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner.stop)
+    }
+
+    /// Serves until the stop flag is raised, then drains: admission
+    /// stops, running jobs get `grace` to finish before their stop
+    /// flags are raised, queued jobs are left journaled for the next
+    /// start. Returns once everything is quiesced and the socket is
+    /// unlinked.
+    pub fn run(self) -> Result<DrainReport, ServerError> {
+        let inner = Arc::clone(&self.inner);
+        let mut workers = Vec::new();
+        for i in 0..inner.cfg.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("verdict-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("worker thread spawns"),
+            );
+        }
+
+        self.listener.set_nonblocking(true)?;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !inner.stop.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let inner = Arc::clone(&inner);
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("verdict-conn".to_string())
+                            .spawn(move || handle_connection(stream, &inner))
+                            .expect("connection thread spawns"),
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    // A transient accept failure must not kill the
+                    // daemon; back off and retry.
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+
+        // Drain: wake idle workers so they observe the stop flag, give
+        // running jobs the grace period, then cancel the stragglers.
+        inner.queue_cv.notify_all();
+        let deadline = Instant::now() + inner.cfg.grace;
+        while inner.running.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if inner.running.load(Ordering::Acquire) > 0 {
+            let jobs = inner.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            for job in jobs.values() {
+                job.stop.store(true, Ordering::Release);
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        inner.terminating.store(true, Ordering::Release);
+        for h in handlers {
+            let _ = h.join();
+        }
+
+        let abandoned = {
+            let jobs = inner.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            jobs.values()
+                .filter(|j| {
+                    let g = j.state.lock().unwrap_or_else(|e| e.into_inner());
+                    matches!(g.phase, JobPhase::Queued | JobPhase::Running)
+                        || (g.phase == JobPhase::Cancelled
+                            && !j.cancel_requested.load(Ordering::Acquire))
+                })
+                .count() as u64
+        };
+        let report = DrainReport {
+            jobs_completed: inner.completed.load(Ordering::Relaxed),
+            jobs_abandoned: abandoned,
+            wal: inner.wal.stats(),
+        };
+        let _ = std::fs::remove_file(&inner.cfg.socket);
+        // Dropping the last Arc closes the WAL (drains + final fsync).
+        drop(inner);
+        Ok(report)
+    }
+}
+
+/// Replays the WAL into job state: `submit` without a matching `done`
+/// or `cancel` re-enqueues; `done` with every verdict decided is
+/// trusted; `done` with any undecided verdict re-runs (the re-gating
+/// policy); `cancel` sticks.
+fn recover_jobs(inner: &Arc<Inner>, records: &[String], report: &mut RecoveryReport) {
+    struct Entry {
+        spec: Option<JobSpec>,
+        done: Option<Vec<VerdictRow>>,
+        cancelled: bool,
+    }
+    let mut entries: HashMap<u64, Entry> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for payload in records {
+        let Ok(v) = verdict_journal::json::parse(payload) else {
+            continue;
+        };
+        let Some(id) = v.get("job").and_then(Json::as_int).filter(|&j| j >= 0) else {
+            continue;
+        };
+        let id = id as u64;
+        let entry = entries.entry(id).or_insert_with(|| {
+            order.push(id);
+            Entry {
+                spec: None,
+                done: None,
+                cancelled: false,
+            }
+        });
+        match v.get("type").and_then(Json::as_str) {
+            Some("submit") => {
+                if let Some(spec) = v.get("spec").and_then(|s| JobSpec::from_json(s).ok()) {
+                    entry.spec = Some(spec);
+                }
+            }
+            Some("done") => {
+                if let Some(rows) = v.get("verdicts").and_then(Json::as_arr) {
+                    let rows: Result<Vec<_>, _> = rows.iter().map(VerdictRow::from_json).collect();
+                    if let Ok(rows) = rows {
+                        entry.done = Some(rows);
+                    }
+                }
+            }
+            Some("cancel") => entry.cancelled = true,
+            _ => {}
+        }
+    }
+
+    let mut max_id = 0u64;
+    for id in order {
+        max_id = max_id.max(id);
+        let entry = &entries[&id];
+        let Some(spec) = entry.spec.clone() else {
+            continue;
+        };
+        let job = Job::new(id, spec);
+        if entry.cancelled {
+            job.set_phase(JobPhase::Cancelled, Vec::new(), true);
+            job.cancel_requested.store(true, Ordering::Release);
+            report.jobs_cancelled += 1;
+        } else if let Some(rows) = entry
+            .done
+            .as_ref()
+            .filter(|rows| rows.iter().all(VerdictRow::decided))
+        {
+            job.set_phase(JobPhase::Done, rows.clone(), true);
+            report.jobs_trusted += 1;
+            inner.recovered.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Unfinished, or finished with undecided verdicts: re-run.
+            // The submit record is already durable — no new WAL write.
+            report.jobs_requeued += 1;
+            inner.recovered.fetch_add(1, Ordering::Relaxed);
+            inner.admitted.fetch_add(1, Ordering::Relaxed);
+            inner
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(id);
+        }
+        inner
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, job);
+    }
+    inner.next_job.store(max_id + 1, Ordering::Release);
+}
+
+/// Admission: validate, reserve a queue slot, journal durably, enqueue.
+/// The WAL append *is* the acknowledgment — a submit that returns a job
+/// id survives SIGKILL from this moment on.
+fn submit(inner: &Arc<Inner>, spec: JobSpec) -> Result<u64, Rejection> {
+    let reject = |r: Rejection| {
+        inner.rejected.fetch_add(1, Ordering::Relaxed);
+        Err(r)
+    };
+    if inner.stop.load(Ordering::Acquire) {
+        return reject(Rejection::new("draining"));
+    }
+    if let Err(e) = validate_spec(&spec) {
+        return reject(e);
+    }
+    // Reserve a bounded-queue slot before the (slow) durable append so
+    // concurrent submits can never overshoot the capacity.
+    let occupied = inner.admitted.fetch_add(1, Ordering::SeqCst) + 1;
+    if occupied > inner.cfg.queue_capacity as u64 {
+        inner.admitted.fetch_sub(1, Ordering::SeqCst);
+        let mut r = Rejection::new("queue-full");
+        r.queued = Some(occupied - 1);
+        r.capacity = Some(inner.cfg.queue_capacity as u64);
+        return reject(r);
+    }
+    let id = inner.next_job.fetch_add(1, Ordering::SeqCst);
+    let record = proto::obj(vec![
+        ("type", Json::Str("submit".into())),
+        ("job", Json::Int(id as i64)),
+        ("spec", spec.to_json()),
+    ])
+    .to_string();
+    if let Err(e) = inner.pool.append(&record) {
+        inner.admitted.fetch_sub(1, Ordering::SeqCst);
+        return reject(Rejection::new("wal-error").with_detail(e.to_string()));
+    }
+    let job = Job::new(id, spec);
+    inner
+        .jobs
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, job);
+    inner
+        .queue
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push_back(id);
+    inner.queue_cv.notify_one();
+    inner.accepted.fetch_add(1, Ordering::Relaxed);
+    Ok(id)
+}
+
+/// Rejects malformed jobs at admission, before anything is journaled:
+/// the model must parse, the engine tag must exist, named properties
+/// and parameters must resolve.
+fn validate_spec(spec: &JobSpec) -> Result<(), Rejection> {
+    let model = verdict_dsl::parse(&spec.source)
+        .map_err(|e| Rejection::new("parse-error").with_detail(e.to_string()))?;
+    if engine_from_tag(&spec.engine).is_none() {
+        return Err(
+            Rejection::new("bad-request").with_detail(format!("unknown engine `{}`", spec.engine))
+        );
+    }
+    if let Some(prop) = &spec.prop {
+        if !model.properties.iter().any(|(n, _)| n == prop) {
+            return Err(Rejection::new("bad-request")
+                .with_detail(format!("model has no property `{prop}`")));
+        }
+    }
+    match spec.kind {
+        JobKind::Check => {
+            if model.properties.is_empty() {
+                return Err(
+                    Rejection::new("bad-request").with_detail("model has no properties".into())
+                );
+            }
+        }
+        JobKind::Synth => {
+            if spec.params.is_empty() {
+                return Err(
+                    Rejection::new("bad-request").with_detail("synth requires params".into())
+                );
+            }
+            for p in &spec.params {
+                if model.system.var_by_name(p).is_none() {
+                    return Err(Rejection::new("bad-request")
+                        .with_detail(format!("unknown parameter `{p}`")));
+                }
+            }
+            let selected = model
+                .properties
+                .iter()
+                .filter(|(n, _)| spec.prop.as_deref().is_none_or(|p| p == n))
+                .count();
+            if selected != 1 {
+                return Err(Rejection::new("bad-request")
+                    .with_detail("synth needs exactly one property (use prop)".into()));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn engine_from_tag(tag: &str) -> Option<EngineKind> {
+    match tag {
+        "auto" => Some(EngineKind::Auto),
+        "bmc" => Some(EngineKind::Bmc),
+        "kind" => Some(EngineKind::KInduction),
+        "bdd" => Some(EngineKind::Bdd),
+        "explicit" => Some(EngineKind::Explicit),
+        "smtbmc" => Some(EngineKind::SmtBmc),
+        "portfolio" => Some(EngineKind::Portfolio),
+        _ => None,
+    }
+}
+
+/// Durably journals a cancel and raises the job's stop flag. Queued
+/// jobs flip to `cancelled` immediately; running jobs get there when
+/// the engine observes the flag.
+fn cancel(inner: &Arc<Inner>, id: u64) -> Result<(), Rejection> {
+    let job = {
+        let jobs = inner.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.get(&id).cloned()
+    };
+    let Some(job) = job else {
+        return Err(Rejection::new("bad-request").with_detail(format!("no job {id}")));
+    };
+    {
+        let g = job.state.lock().unwrap_or_else(|e| e.into_inner());
+        if matches!(g.phase, JobPhase::Done | JobPhase::Cancelled) {
+            return Ok(());
+        }
+    }
+    let record = proto::obj(vec![
+        ("type", Json::Str("cancel".into())),
+        ("job", Json::Int(id as i64)),
+    ])
+    .to_string();
+    if let Err(e) = inner.pool.append(&record) {
+        return Err(Rejection::new("wal-error").with_detail(e.to_string()));
+    }
+    job.cancel_requested.store(true, Ordering::Release);
+    job.stop.store(true, Ordering::Release);
+    let mut g = job.state.lock().unwrap_or_else(|e| e.into_inner());
+    if g.phase == JobPhase::Queued {
+        g.phase = JobPhase::Cancelled;
+        job.cv.notify_all();
+    }
+    Ok(())
+}
+
+/// An `io::Write` that turns the engines' trace byte stream back into
+/// whole JSONL lines on the job's event list, waking `wait` streams.
+struct JobEventWriter {
+    job: Arc<Job>,
+    partial: Vec<u8>,
+}
+
+impl io::Write for JobEventWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.partial.extend_from_slice(buf);
+        while let Some(nl) = self.partial.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.partial.drain(..=nl).collect();
+            if let Ok(s) = std::str::from_utf8(&line[..line.len() - 1]) {
+                let mut g = self.job.state.lock().unwrap_or_else(|e| e.into_inner());
+                g.events.push(s.to_string());
+                self.job.cv.notify_all();
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Worker: pop a job, run it, journal the outcome, repeat until drain.
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let id = {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if inner.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(id) = q.pop_front() {
+                    inner.admitted.fetch_sub(1, Ordering::SeqCst);
+                    break id;
+                }
+                let (guard, _) = inner
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let job = {
+            let jobs = inner.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            jobs.get(&id).cloned()
+        };
+        let Some(job) = job else { continue };
+        {
+            // Cancelled while queued: nothing to run.
+            let mut g = job.state.lock().unwrap_or_else(|e| e.into_inner());
+            if g.phase != JobPhase::Queued {
+                continue;
+            }
+            g.phase = JobPhase::Running;
+            job.cv.notify_all();
+        }
+        inner.running.fetch_add(1, Ordering::SeqCst);
+        run_job(inner, &job);
+        inner.running.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Executes one job and records the outcome. A `done` record is written
+/// only for runs with no cancelled verdicts: a cancelled run is either
+/// user-cancelled (its `cancel` record is already durable) or a drain
+/// casualty (its `submit` record re-runs it on restart).
+fn run_job(inner: &Arc<Inner>, job: &Arc<Job>) {
+    let sink = Arc::new(TraceSink::from_writer(Box::new(JobEventWriter {
+        job: Arc::clone(job),
+        partial: Vec::new(),
+    })));
+    let (rows, stats) = execute_spec(&job.spec, Arc::clone(&job.stop), Some(sink));
+    if let Some(stats) = stats {
+        inner
+            .engine_stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .merge(&stats);
+    }
+    let was_stopped = job.stop.load(Ordering::Acquire);
+    let any_cancelled = rows.iter().any(|r| r.verdict == "cancelled");
+    if was_stopped && any_cancelled {
+        job.set_phase(JobPhase::Cancelled, rows, false);
+        return;
+    }
+    let record = proto::obj(vec![
+        ("type", Json::Str("done".into())),
+        ("job", Json::Int(job.id as i64)),
+        (
+            "verdicts",
+            Json::Arr(rows.iter().map(VerdictRow::to_json).collect()),
+        ),
+    ])
+    .to_string();
+    // A WAL failure here leaves the job complete in memory but not
+    // durable — it re-runs on restart, which is safe (just wasteful).
+    let _ = inner.pool.append(&record);
+    inner.completed.fetch_add(1, Ordering::Relaxed);
+    job.set_phase(JobPhase::Done, rows, false);
+}
+
+/// Runs a spec to a verdict-row list. Public within the crate so the
+/// bench and the tests can execute specs exactly like a worker does.
+pub(crate) fn execute_spec(
+    spec: &JobSpec,
+    stop: Arc<AtomicBool>,
+    sink: Option<Arc<TraceSink>>,
+) -> (Vec<VerdictRow>, Option<Stats>) {
+    let model = match verdict_dsl::parse(&spec.source) {
+        Ok(m) => m,
+        Err(e) => {
+            // Validated at admission; reaching this means the model was
+            // corrupted in flight — surface as an engine failure.
+            return (
+                vec![VerdictRow {
+                    name: "(model)".into(),
+                    verdict: "unknown".into(),
+                    reason: Some(UnknownReason::EngineFailure.tag().into()),
+                    engine: spec.engine.clone(),
+                    detail: e.to_string(),
+                }],
+                None,
+            );
+        }
+    };
+    let engine = engine_from_tag(&spec.engine).unwrap_or(EngineKind::Auto);
+    let mut opts = CheckOptions::default().with_jobs(1).with_stop(stop);
+    if let Some(d) = spec.depth {
+        opts.max_depth = d;
+    }
+    if let Some(ms) = spec.deadline_ms {
+        opts = opts.with_timeout(Duration::from_millis(ms));
+    }
+    if let Some(sink) = sink {
+        opts = opts.with_trace(sink);
+    }
+    match spec.kind {
+        JobKind::Check => {
+            let mut rows = Vec::new();
+            let mut agg = Stats::default();
+            for (name, property) in model
+                .properties
+                .iter()
+                .filter(|(n, _)| spec.prop.as_deref().is_none_or(|p| p == n))
+            {
+                let verifier = Verifier::new(&model.system)
+                    .engine(engine)
+                    .options(opts.clone());
+                let report = match property {
+                    verdict_dsl::CompiledProperty::Invariant(p) => {
+                        verifier.check_invariant_report(p)
+                    }
+                    verdict_dsl::CompiledProperty::Ltl(f) => verifier.check_ltl_report(f),
+                    verdict_dsl::CompiledProperty::Ctl(f) => verifier.check_ctl_report(f),
+                };
+                match report {
+                    Ok(r) => {
+                        agg.merge(&r.stats);
+                        rows.push(VerdictRow {
+                            name: name.clone(),
+                            verdict: verdict_tag(&r.result).to_string(),
+                            reason: match &r.result {
+                                CheckResult::Unknown(reason) => Some(reason.tag().to_string()),
+                                _ => None,
+                            },
+                            engine: r.winner.to_string(),
+                            detail: r.result.to_string(),
+                        });
+                    }
+                    Err(e) => rows.push(VerdictRow {
+                        name: name.clone(),
+                        verdict: "unknown".into(),
+                        reason: Some(UnknownReason::EngineFailure.tag().into()),
+                        engine: spec.engine.clone(),
+                        detail: e.to_string(),
+                    }),
+                }
+            }
+            (rows, Some(agg))
+        }
+        JobKind::Synth => {
+            let params: Vec<_> = spec
+                .params
+                .iter()
+                .filter_map(|p| model.system.var_by_name(p))
+                .collect();
+            let (name, property) = match model
+                .properties
+                .iter()
+                .find(|(n, _)| spec.prop.as_deref().is_none_or(|p| p == n))
+            {
+                Some(pair) => pair,
+                None => return (Vec::new(), None),
+            };
+            let prop = match property {
+                verdict_dsl::CompiledProperty::Invariant(p) => {
+                    verdict_mc::params::Property::Invariant(p.clone())
+                }
+                verdict_dsl::CompiledProperty::Ltl(f) => {
+                    verdict_mc::params::Property::Ltl(f.clone())
+                }
+                verdict_dsl::CompiledProperty::Ctl(_) => {
+                    return (
+                        vec![VerdictRow {
+                            name: name.clone(),
+                            verdict: "unknown".into(),
+                            reason: Some(UnknownReason::EngineFailure.tag().into()),
+                            engine: spec.engine.clone(),
+                            detail: "synth supports invariant and ltl properties".into(),
+                        }],
+                        None,
+                    );
+                }
+            };
+            let verifier = Verifier::new(&model.system).engine(engine).options(opts);
+            let synth_engine = verifier.synthesis_engine(&prop);
+            match verifier.synthesize_params_durable(
+                &params,
+                &prop,
+                &verdict_mc::Durability::none(),
+            ) {
+                Ok(result) => {
+                    let rows = result
+                        .verdicts
+                        .iter()
+                        .map(|v| {
+                            let assignment: Vec<String> = result
+                                .param_names
+                                .iter()
+                                .zip(&v.values)
+                                .map(|(n, x)| format!("{n}={x}"))
+                                .collect();
+                            VerdictRow {
+                                name: assignment.join(","),
+                                verdict: verdict_tag(&v.result).to_string(),
+                                reason: match &v.result {
+                                    CheckResult::Unknown(r) => Some(r.tag().to_string()),
+                                    _ => None,
+                                },
+                                engine: format!("{synth_engine:?}").to_lowercase(),
+                                detail: v.result.to_string(),
+                            }
+                        })
+                        .collect();
+                    (rows, None)
+                }
+                Err(e) => (
+                    vec![VerdictRow {
+                        name: name.clone(),
+                        verdict: "unknown".into(),
+                        reason: Some(UnknownReason::EngineFailure.tag().into()),
+                        engine: spec.engine.clone(),
+                        detail: e.to_string(),
+                    }],
+                    None,
+                ),
+            }
+        }
+    }
+}
+
+/// The same coarse verdict bucket the CLI uses.
+fn verdict_tag(r: &CheckResult) -> &'static str {
+    match r {
+        CheckResult::Holds => "safe",
+        CheckResult::Violated(_) => "unsafe",
+        CheckResult::Unknown(UnknownReason::Cancelled) => "cancelled",
+        CheckResult::Unknown(_) => "unknown",
+    }
+}
+
+/// Serializes a job snapshot into a response document.
+fn status_json(job: &Arc<Job>) -> Json {
+    let g = job.state.lock().unwrap_or_else(|e| e.into_inner());
+    proto::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("job", Json::Int(job.id as i64)),
+        ("state", Json::Str(g.phase.tag().to_string())),
+        ("recovered", Json::Bool(g.recovered)),
+        (
+            "verdicts",
+            Json::Arr(g.verdicts.iter().map(VerdictRow::to_json).collect()),
+        ),
+    ])
+}
+
+/// One connection: read JSONL requests, answer each. Uses a short read
+/// timeout so the handler can notice server termination mid-read.
+fn handle_connection(stream: UnixStream, inner: &Arc<Inner>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = stream;
+    let Ok(mut writer) = reader.try_clone() else {
+        return;
+    };
+    let mut acc: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        // Extract the next complete line, reading more as needed.
+        let line = loop {
+            if let Some(nl) = acc.iter().position(|&b| b == b'\n') {
+                let raw: Vec<u8> = acc.drain(..=nl).collect();
+                break String::from_utf8_lossy(&raw[..raw.len() - 1]).into_owned();
+            }
+            match reader.read(&mut buf) {
+                Ok(0) => return,
+                Ok(n) => acc.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if inner.terminating.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response_ok = match Request::parse(&line) {
+            Ok(req) => respond(&req, inner, &mut writer),
+            Err(e) => write_line(
+                &mut writer,
+                &Rejection::new("bad-request").with_detail(e).to_json(),
+            ),
+        };
+        if response_ok.is_err() {
+            return;
+        }
+    }
+}
+
+fn write_line(w: &mut UnixStream, v: &Json) -> io::Result<()> {
+    let mut line = v.to_string();
+    line.push('\n');
+    w.write_all(line.as_bytes())
+}
+
+/// Answers one request. Errors mean the client hung up.
+fn respond(req: &Request, inner: &Arc<Inner>, w: &mut UnixStream) -> io::Result<()> {
+    match req {
+        Request::Ping => write_line(w, &proto::obj(vec![("ok", Json::Bool(true))])),
+        Request::Submit(spec) => match submit(inner, spec.clone()) {
+            Ok(id) => write_line(
+                w,
+                &proto::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("job", Json::Int(id as i64)),
+                ]),
+            ),
+            Err(r) => write_line(w, &r.to_json()),
+        },
+        Request::Status { job } => {
+            let found = {
+                let jobs = inner.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                jobs.get(job).cloned()
+            };
+            match found {
+                Some(j) => write_line(w, &status_json(&j)),
+                None => write_line(
+                    w,
+                    &Rejection::new("bad-request")
+                        .with_detail(format!("no job {job}"))
+                        .to_json(),
+                ),
+            }
+        }
+        Request::Wait { job } => {
+            let found = {
+                let jobs = inner.jobs.lock().unwrap_or_else(|e| e.into_inner());
+                jobs.get(job).cloned()
+            };
+            let Some(j) = found else {
+                return write_line(
+                    w,
+                    &Rejection::new("bad-request")
+                        .with_detail(format!("no job {job}"))
+                        .to_json(),
+                );
+            };
+            // Stream trace events as they land, then the final state.
+            let mut seen = 0usize;
+            loop {
+                let (pending, finished): (Vec<String>, bool) = {
+                    let g = j.state.lock().unwrap_or_else(|e| e.into_inner());
+                    let pending = g.events[seen.min(g.events.len())..].to_vec();
+                    (
+                        pending,
+                        matches!(g.phase, JobPhase::Done | JobPhase::Cancelled),
+                    )
+                };
+                for ev in &pending {
+                    seen += 1;
+                    // Events are verbatim PR-5 trace JSONL lines.
+                    let mut framed = format!("{{\"job\":{},\"event\":{ev}}}", j.id);
+                    framed.push('\n');
+                    w.write_all(framed.as_bytes())?;
+                }
+                if finished {
+                    return write_line(w, &status_json(&j));
+                }
+                if inner.terminating.load(Ordering::Acquire) {
+                    return write_line(
+                        w,
+                        &Rejection::new("draining")
+                            .with_detail("server shutting down".into())
+                            .to_json(),
+                    );
+                }
+                let g = j.state.lock().unwrap_or_else(|e| e.into_inner());
+                let _ =
+                    j.cv.wait_timeout(g, Duration::from_millis(100))
+                        .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        Request::Cancel { job } => match cancel(inner, *job) {
+            Ok(()) => write_line(w, &proto::obj(vec![("ok", Json::Bool(true))])),
+            Err(r) => write_line(w, &r.to_json()),
+        },
+        Request::Stats => {
+            let mut stats = inner
+                .engine_stats
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone();
+            stats.server = inner.server_counters();
+            // to_json is already a JSON document; frame it raw.
+            let mut line = format!("{{\"ok\":true,\"stats\":{}}}", stats.to_json());
+            line.push('\n');
+            w.write_all(line.as_bytes())
+        }
+        Request::Shutdown => {
+            inner.stop.store(true, Ordering::Release);
+            inner.queue_cv.notify_all();
+            write_line(
+                w,
+                &proto::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("draining", Json::Bool(true)),
+                ]),
+            )
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Wire protocol and WAL record shapes.
+//!
+//! Everything on the socket and in the WAL is line-delimited JSON built
+//! with the journal's in-tree parser — no external dependencies. One
+//! request per line; most operations answer with exactly one line, and
+//! `wait` streams `{"job":N,"event":…}` lines (PR-5 trace events,
+//! verbatim) before its final document.
+
+use std::collections::BTreeMap;
+
+use verdict_journal::json::{parse, Json};
+
+/// Builds a JSON object from ordered pairs.
+pub(crate) fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+/// What kind of work a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// Check every (or one named) property of the model.
+    Check,
+    /// Parameter synthesis sweep over the named frozen params.
+    Synth,
+}
+
+impl JobKind {
+    /// Stable lowercase tag used on the wire and in the WAL.
+    pub fn tag(self) -> &'static str {
+        match self {
+            JobKind::Check => "check",
+            JobKind::Synth => "synth",
+        }
+    }
+
+    /// Parses a tag produced by [`JobKind::tag`].
+    pub fn from_tag(s: &str) -> Option<JobKind> {
+        match s {
+            "check" => Some(JobKind::Check),
+            "synth" => Some(JobKind::Synth),
+            _ => None,
+        }
+    }
+}
+
+/// A job request: the model source travels inline so the daemon never
+/// depends on the submitter's filesystem, and so the WAL's `submit`
+/// record pins the exact model — recovery re-runs byte-identical input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Check or synth.
+    pub kind: JobKind,
+    /// The `.vd` model source text.
+    pub source: String,
+    /// Restrict to one named property (required for synth with several).
+    pub prop: Option<String>,
+    /// Engine tag (`auto`, `bmc`, `kind`, `bdd`, `explicit`, `smtbmc`,
+    /// `portfolio`).
+    pub engine: String,
+    /// Unrolling depth bound; engine default when absent.
+    pub depth: Option<usize>,
+    /// Wall-clock budget for the whole job, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Frozen parameter names (synth only).
+    pub params: Vec<String>,
+}
+
+impl JobSpec {
+    /// A check job over `source` with defaults everywhere else.
+    pub fn check(source: &str) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Check,
+            source: source.to_string(),
+            prop: None,
+            engine: "auto".to_string(),
+            depth: None,
+            deadline_ms: None,
+            params: Vec::new(),
+        }
+    }
+
+    /// A synth job over `source` sweeping `params`.
+    pub fn synth(source: &str, params: &[&str]) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Synth,
+            source: source.to_string(),
+            prop: None,
+            engine: "auto".to_string(),
+            depth: None,
+            deadline_ms: None,
+            params: params.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+
+    /// JSON form (wire `submit` requests and WAL `submit` records).
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("kind", Json::Str(self.kind.tag().to_string())),
+            ("source", Json::Str(self.source.clone())),
+            (
+                "prop",
+                self.prop
+                    .as_ref()
+                    .map_or(Json::Null, |p| Json::Str(p.clone())),
+            ),
+            ("engine", Json::Str(self.engine.clone())),
+            (
+                "depth",
+                self.depth.map_or(Json::Null, |d| Json::Int(d as i64)),
+            ),
+            (
+                "deadline_ms",
+                self.deadline_ms.map_or(Json::Null, |d| Json::Int(d as i64)),
+            ),
+            (
+                "params",
+                Json::Arr(self.params.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(JobKind::from_tag)
+            .ok_or("spec missing or bad `kind`")?;
+        let source = v
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or("spec missing `source`")?
+            .to_string();
+        let params = match v.get("params") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(p) => p
+                .as_arr()
+                .ok_or("spec `params` must be an array")?
+                .iter()
+                .map(|x| {
+                    x.as_str()
+                        .map(str::to_string)
+                        .ok_or("non-string param name")
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(JobSpec {
+            kind,
+            source,
+            prop: v.get("prop").and_then(Json::as_str).map(str::to_string),
+            engine: v
+                .get("engine")
+                .and_then(Json::as_str)
+                .unwrap_or("auto")
+                .to_string(),
+            depth: v.get("depth").and_then(Json::as_int).map(|d| d as usize),
+            deadline_ms: v
+                .get("deadline_ms")
+                .and_then(Json::as_int)
+                .map(|d| d as u64),
+            params,
+        })
+    }
+}
+
+/// One per-property (check) or per-assignment (synth) verdict row, as
+/// carried in WAL `done` records and in `status`/`wait` responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerdictRow {
+    /// Property name (check) or `a=1,b=2`-style assignment (synth).
+    pub name: String,
+    /// Coarse tag: `safe`, `unsafe`, `unknown`, `cancelled`.
+    pub verdict: String,
+    /// `UnknownReason` tag when `verdict` is `unknown`/`cancelled`.
+    pub reason: Option<String>,
+    /// The engine that produced the verdict.
+    pub engine: String,
+    /// Human-readable detail (counterexample summary etc.).
+    pub detail: String,
+}
+
+impl VerdictRow {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("verdict", Json::Str(self.verdict.clone())),
+            (
+                "reason",
+                self.reason
+                    .as_ref()
+                    .map_or(Json::Null, |r| Json::Str(r.clone())),
+            ),
+            ("engine", Json::Str(self.engine.clone())),
+            ("detail", Json::Str(self.detail.clone())),
+        ])
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(v: &Json) -> Result<VerdictRow, String> {
+        let field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("verdict row missing `{k}`"))
+        };
+        Ok(VerdictRow {
+            name: field("name")?,
+            verdict: field("verdict")?,
+            reason: v.get("reason").and_then(Json::as_str).map(str::to_string),
+            engine: field("engine")?,
+            detail: field("detail")?,
+        })
+    }
+
+    /// True for decided verdicts (safe/unsafe) — the PR-4 re-gating
+    /// policy trusts these across a restart; anything else re-runs.
+    pub fn decided(&self) -> bool {
+        self.verdict == "safe" || self.verdict == "unsafe"
+    }
+}
+
+/// A parsed client request (one JSONL line).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Admit a job.
+    Submit(JobSpec),
+    /// Snapshot one job's state.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Stream a job's trace events, then its final state.
+    Wait {
+        /// Job id.
+        job: u64,
+    },
+    /// Cancel a queued or running job (durably journaled).
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Server stats (schema-2 JSON, including the `server` group).
+    Stats,
+    /// Begin graceful drain, as if SIGTERM arrived.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = parse(line).map_err(|e| e.to_string())?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request missing `op`")?;
+        let job = || -> Result<u64, String> {
+            v.get("job")
+                .and_then(Json::as_int)
+                .filter(|&j| j >= 0)
+                .map(|j| j as u64)
+                .ok_or_else(|| "request missing `job`".to_string())
+        };
+        match op {
+            "ping" => Ok(Request::Ping),
+            "submit" => {
+                let spec = v.get("spec").ok_or("submit missing `spec`")?;
+                Ok(Request::Submit(JobSpec::from_json(spec)?))
+            }
+            "status" => Ok(Request::Status { job: job()? }),
+            "wait" => Ok(Request::Wait { job: job()? }),
+            "cancel" => Ok(Request::Cancel { job: job()? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Serializes this request to its wire line (no newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Ping => obj(vec![("op", Json::Str("ping".into()))]),
+            Request::Submit(spec) => obj(vec![
+                ("op", Json::Str("submit".into())),
+                ("spec", spec.to_json()),
+            ]),
+            Request::Status { job } => obj(vec![
+                ("op", Json::Str("status".into())),
+                ("job", Json::Int(*job as i64)),
+            ]),
+            Request::Wait { job } => obj(vec![
+                ("op", Json::Str("wait".into())),
+                ("job", Json::Int(*job as i64)),
+            ]),
+            Request::Cancel { job } => obj(vec![
+                ("op", Json::Str("cancel".into())),
+                ("job", Json::Int(*job as i64)),
+            ]),
+            Request::Stats => obj(vec![("op", Json::Str("stats".into()))]),
+            Request::Shutdown => obj(vec![("op", Json::Str("shutdown".into()))]),
+        }
+        .to_string()
+    }
+}
+
+/// A structured admission refusal. The daemon never blocks or queues
+/// unboundedly: a submit either returns a job id or one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rejection {
+    /// Machine-readable reason: `queue-full`, `draining`, `parse-error`,
+    /// `bad-request`, or `wal-error`.
+    pub reason: String,
+    /// Human-readable detail, when there is more to say.
+    pub detail: Option<String>,
+    /// Jobs currently queued (present for `queue-full`).
+    pub queued: Option<u64>,
+    /// The admission queue's capacity (present for `queue-full`).
+    pub capacity: Option<u64>,
+}
+
+impl Rejection {
+    /// A bare rejection with only a reason tag.
+    pub fn new(reason: &str) -> Rejection {
+        Rejection {
+            reason: reason.to_string(),
+            detail: None,
+            queued: None,
+            capacity: None,
+        }
+    }
+
+    /// Adds human-readable detail.
+    pub fn with_detail(mut self, detail: String) -> Rejection {
+        self.detail = Some(detail);
+        self
+    }
+
+    /// JSON form (merged into the `ok:false` response).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("ok", Json::Bool(false)),
+            ("reason", Json::Str(self.reason.clone())),
+        ];
+        if let Some(d) = &self.detail {
+            pairs.push(("detail", Json::Str(d.clone())));
+        }
+        if let Some(q) = self.queued {
+            pairs.push(("queued", Json::Int(q as i64)));
+        }
+        if let Some(c) = self.capacity {
+            pairs.push(("capacity", Json::Int(c as i64)));
+        }
+        obj(pairs)
+    }
+
+    /// Parses the JSON form of an `ok:false` response.
+    pub fn from_json(v: &Json) -> Result<Rejection, String> {
+        if !matches!(v.get("ok"), Some(Json::Bool(false))) {
+            return Err(format!("not a rejection: {v}"));
+        }
+        Ok(Rejection {
+            reason: v
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or("rejection missing `reason`")?
+                .to_string(),
+            detail: v.get("detail").and_then(Json::as_str).map(str::to_string),
+            queued: v.get("queued").and_then(Json::as_int).map(|q| q as u64),
+            capacity: v.get("capacity").and_then(Json::as_int).map(|c| c as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trip() {
+        let spec = JobSpec {
+            kind: JobKind::Synth,
+            source: "system s { var n : 0..3; init n = 0; trans next(n) = n; }".into(),
+            prop: Some("miss".into()),
+            engine: "kind".into(),
+            depth: Some(32),
+            deadline_ms: Some(5000),
+            params: vec!["a".into(), "b".into()],
+        };
+        assert_eq!(
+            JobSpec::from_json(&parse(&spec.to_json().to_string()).unwrap()).unwrap(),
+            spec
+        );
+        let bare = JobSpec::check("system s {}");
+        assert_eq!(
+            JobSpec::from_json(&parse(&bare.to_json().to_string()).unwrap()).unwrap(),
+            bare
+        );
+    }
+
+    #[test]
+    fn request_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Submit(JobSpec::check("x")),
+            Request::Status { job: 3 },
+            Request::Wait { job: 9 },
+            Request::Cancel { job: 1 },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        }
+        assert!(Request::parse("{\"op\":\"nope\"}").is_err());
+        assert!(Request::parse("garbage").is_err());
+        assert!(Request::parse("{\"op\":\"status\"}").is_err());
+    }
+
+    #[test]
+    fn rejection_shape() {
+        let r = Rejection {
+            reason: "queue-full".into(),
+            detail: None,
+            queued: Some(8),
+            capacity: Some(8),
+        };
+        let line = r.to_json().to_string();
+        assert!(line.contains("\"ok\":false"));
+        assert!(line.contains("\"reason\":\"queue-full\""));
+        assert!(line.contains("\"queued\":8"));
+    }
+}

@@ -148,4 +148,75 @@ fi
     --fault mc.synth.worker:panic:1 --json >/dev/null 2>&1 \
     || { echo "check.sh: fault injection crashed the sweep" >&2; exit 1; }
 
+# Verdict-as-a-service lane: run the daemon, complete both case studies
+# through it, leave a slow job mid-flight, SIGKILL the daemon, restart on
+# the same WAL, and require (a) the recovery banner to account for every
+# acknowledged job — decided ones trusted, the interrupted one requeued —
+# and (b) a SIGTERM drain that exits 0.
+srv_dir="$smoke_dir/server"
+mkdir -p "$srv_dir"
+cat >"$srv_dir/slow.vd" <<'VD'
+system slow {
+    var n : 0..20000;
+    init n = 0;
+    trans next(n) = if n < 20000 then n + 1 else n;
+    invariant nonneg: n >= 0;
+}
+VD
+./target/release/verdict serve --socket "$srv_dir/sock" --wal "$srv_dir/wal" \
+    --workers 2 --grace 5 2>"$srv_dir/serve1.log" &
+daemon=$!
+for _ in $(seq 1 500); do [[ -S "$srv_dir/sock" ]] && break; sleep 0.01; done
+for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
+    status=0
+    ./target/release/verdict submit "$model" --socket "$srv_dir/sock" --json \
+        >>"$srv_dir/submits.json" || status=$?
+    if [[ $status != 0 && $status != 2 ]]; then
+        echo "check.sh: verdict submit failed on $model (exit $status)" >&2
+        cat "$srv_dir/serve1.log" >&2
+        exit 1
+    fi
+done
+# A job the explicit engine grinds on (but abandons promptly when asked):
+# acknowledged durably, still running when the daemon dies.
+./target/release/verdict submit "$srv_dir/slow.vd" --socket "$srv_dir/sock" \
+    --engine explicit --deadline 60 --no-wait >/dev/null
+sleep 0.3
+kill -9 "$daemon" 2>/dev/null || true
+wait "$daemon" 2>/dev/null || true
+
+./target/release/verdict serve --socket "$srv_dir/sock" --wal "$srv_dir/wal" \
+    --workers 2 --grace 1 2>"$srv_dir/serve2.log" &
+daemon=$!
+# The socket binds inside Server::open but the recovery banner prints
+# just after it returns — poll the log, not the socket.
+for _ in $(seq 1 500); do
+    grep -q "recovered" "$srv_dir/serve2.log" 2>/dev/null && break
+    sleep 0.01
+done
+if ! grep -q "recovered 2 trusted, 1 requeued, 0 cancelled" "$srv_dir/serve2.log"; then
+    echo "check.sh: daemon restart did not recover the WAL as expected" >&2
+    cat "$srv_dir/serve2.log" >&2
+    exit 1
+fi
+stats=$(./target/release/verdict server-stats --socket "$srv_dir/sock")
+if ! grep -q '"jobs_recovered":3' <<<"$stats"; then
+    echo "check.sh: server stats missing recovered jobs" >&2
+    echo "$stats" >&2
+    exit 1
+fi
+kill -TERM "$daemon" 2>/dev/null || true
+drain_status=0
+wait "$daemon" || drain_status=$?
+if [[ $drain_status != 0 ]]; then
+    echo "check.sh: SIGTERM drain exited $drain_status (want 0)" >&2
+    cat "$srv_dir/serve2.log" >&2
+    exit 1
+fi
+if ! grep -q "drained clean" "$srv_dir/serve2.log"; then
+    echo "check.sh: drain summary missing from daemon log" >&2
+    cat "$srv_dir/serve2.log" >&2
+    exit 1
+fi
+
 echo "check.sh: all green"
