@@ -20,9 +20,37 @@
 //!   for transition systems.
 //! * Model counting and cube extraction support counterexample recovery.
 //!
-//! Variable order is the creation order of [`BddManager::new_var`]; the
-//! encoder in `verdict-ts` interleaves current- and next-state bits, which
-//! is the standard order for transition relations.
+//! # Variable order and reordering
+//!
+//! Nodes store *variable ids* (stable names, assigned by creation order in
+//! [`BddManager::new_var`]); the *position* of a variable in the order is
+//! its *level*, held in a `var → level` permutation. All structural
+//! decisions — top-variable selection in `ite`, quantification scheduling
+//! in `and_exists`, free-variable counting in `sat_count` — compare
+//! levels, never ids. [`BddManager::reorder`] installs a new permutation
+//! by rebuilding the given roots into a fresh arena (which doubles as
+//! garbage collection: unreachable nodes are dropped), and
+//! [`BddManager::sift`] searches for a better order by bounded
+//! block-sifting. Because the arena is append-only between reorders, a
+//! reorder invalidates *every* outstanding handle: callers must re-derive
+//! all live roots from the handles `reorder`/`sift` return.
+//!
+//! # Resource ceilings
+//!
+//! [`BddManager::set_node_limit`] arms a hard node ceiling enforced inside
+//! node construction itself (so one huge `and_exists` cannot blow past the
+//! budget before a caller polls). Once the ceiling is hit the manager is
+//! *poisoned*: every subsequent operation short-circuits to ⊥ and
+//! [`BddManager::limit_exceeded`] reports `true`. Poisoned results are
+//! garbage — callers must check `limit_exceeded()` before interpreting
+//! any result computed since the limit was armed.
+//!
+//! [`BddManager::set_deadline`] arms a wall-clock deadline with the same
+//! poisoning contract, polled every few thousand allocations inside node
+//! construction ([`BddManager::deadline_exceeded`] reports expiry). This
+//! is what makes a timeout mean something on models whose *encoding*
+//! explodes: the grind is inside a single `and`/`and_exists` call, where
+//! no outer loop ever gets a chance to poll.
 //!
 //! ```
 //! use verdict_bdd::BddManager;
@@ -38,10 +66,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 /// A handle to a BDD node inside a [`BddManager`].
 ///
-/// Handles are only meaningful with the manager that created them.
+/// Handles are only meaningful with the manager that created them, and
+/// only until the next [`BddManager::reorder`]/[`BddManager::sift`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bdd(u32);
 
@@ -84,6 +114,17 @@ struct Node {
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 struct IteKey(Bdd, Bdd, Bdd);
 
+/// Operation caches are cleared wholesale when they reach this many
+/// entries: across a long synthesis sweep an unbounded memo table is a
+/// slow memory leak (every distinct `(f, g, h)` triple ever seen stays
+/// resident). Clearing costs a warm-up penalty on the next operation but
+/// bounds residency at roughly `CACHE_CAP × entry size` (≈ 48 MB for the
+/// `ite` cache). Both caches are also cleared on reorder, where stale
+/// entries would be outright wrong, not merely cold.
+const CACHE_CAP: usize = 1 << 20;
+// The cap must stay generous or long fixpoints thrash on re-derivation.
+const _: () = assert!(CACHE_CAP >= 1 << 16);
+
 /// The node store and operation caches.
 ///
 /// All operations take `&mut self` because they may allocate nodes and
@@ -93,32 +134,82 @@ pub struct BddManager {
     nodes: Vec<Node>,
     unique: HashMap<Node, Bdd>,
     ite_cache: HashMap<IteKey, Bdd>,
-    /// Cache for `and_exists`, keyed by (a, b, cube-id).
+    /// Cache for `and_exists`, keyed by (a, b, cube-id ∥ cube position).
     and_exists_cache: HashMap<(Bdd, Bdd, u64), Bdd>,
-    /// Interned quantification cubes (sorted variable lists), so caches can
-    /// key on a small id instead of a vector.
+    /// Interned quantification cubes (variable lists sorted by *id*, the
+    /// stable interning key), so caches can key on a small id instead of a
+    /// vector.
     cubes: Vec<Vec<u32>>,
+    /// The same cubes sorted by current *level* — the iteration order
+    /// `and_exists` needs. Recomputed on every reorder.
+    cube_levels: Vec<Vec<u32>>,
+    /// `var2level[v]` = position of variable `v` in the current order.
+    var2level: Vec<u32>,
+    /// Inverse permutation: `level2var[l]` = variable at position `l`.
+    level2var: Vec<u32>,
     num_vars: u32,
+    /// Hard ceiling on arena size (None = unlimited).
+    node_limit: Option<usize>,
+    /// Sticky poison flag: set when the ceiling is hit, never cleared.
+    limit_hit: bool,
+    /// Wall-clock deadline (None = unlimited), polled inside node
+    /// construction every [`DEADLINE_POLL_INTERVAL`] allocations.
+    deadline: Option<Instant>,
+    /// Sticky poison flag: set when the deadline expires, never cleared.
+    deadline_hit: bool,
+    /// Allocations remaining until the next deadline poll.
+    deadline_fuel: u32,
     stats: BddStats,
 }
 
-/// Manager statistics, cumulative over the manager's lifetime.
+/// Node allocations between wall-clock polls of the armed deadline: rare
+/// enough that `Instant::now` is noise, frequent enough (well under a
+/// millisecond of allocation work) that a deadline overrun stays small.
+const DEADLINE_POLL_INTERVAL: u32 = 4096;
+
+/// Manager statistics, cumulative over the manager's lifetime (rebuilds
+/// during reorder carry them forward).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BddStats {
-    /// Nodes allocated (excludes the two constant nodes).
+    /// Nodes allocated (excludes the two constant nodes; includes nodes
+    /// re-allocated by committed reorder rebuilds, excludes trial rebuilds
+    /// in scratch arenas during sifting).
     pub nodes_allocated: u64,
     /// `ite` cache lookups.
     pub ite_cache_lookups: u64,
     /// `ite` cache hits.
     pub ite_cache_hits: u64,
-    /// Peak live node count (the arena never shrinks, so this tracks the
-    /// high-water mark of [`BddManager::node_count`]).
+    /// Peak live node count: the high-water mark of
+    /// [`BddManager::node_count`], sampled before each reorder shrinks the
+    /// arena (so garbage collection never lowers the reported peak).
     pub peak_live_nodes: u64,
+    /// Times an operation cache was cleared for reaching [`CACHE_CAP`]
+    /// (reorder-forced clears are not counted here).
+    pub cache_clears: u64,
+    /// Committed reorders (every sift that rebuilds counts once).
+    pub reorders: u64,
+    /// Arena size just before each committed reorder, summed.
+    pub sift_nodes_before: u64,
+    /// Arena size just after each committed reorder, summed.
+    pub sift_nodes_after: u64,
 }
 
 /// A registered set of variables to quantify or rename over.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct VarSet(u64);
+
+/// What a [`BddManager::sift`] call did, including the remapped handles
+/// for every root passed in (old handles are invalid afterwards).
+#[derive(Clone, Debug)]
+pub struct SiftOutcome {
+    /// Arena size (live nodes) before the rebuild.
+    pub nodes_before: usize,
+    /// Arena size after the rebuild (≤ before: even an order-preserving
+    /// rebuild garbage-collects unreachable nodes).
+    pub nodes_after: usize,
+    /// The roots passed in, remapped into the new arena, same order.
+    pub roots: Vec<Bdd>,
+}
 
 impl Default for BddManager {
     fn default() -> Self {
@@ -147,7 +238,15 @@ impl BddManager {
             ite_cache: HashMap::new(),
             and_exists_cache: HashMap::new(),
             cubes: Vec::new(),
+            cube_levels: Vec::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
             num_vars: 0,
+            node_limit: None,
+            limit_hit: false,
+            deadline: None,
+            deadline_hit: false,
+            deadline_fuel: DEADLINE_POLL_INTERVAL,
             stats: BddStats::default(),
         }
     }
@@ -169,6 +268,54 @@ impl BddManager {
         self.num_vars
     }
 
+    /// Arms a hard ceiling on arena size, enforced inside node
+    /// construction. `None` disarms the ceiling (but does not clear an
+    /// already-set poison flag).
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.node_limit = limit;
+    }
+
+    /// True once the node ceiling has been hit. From that point every
+    /// operation short-circuits to ⊥ and all results computed since the
+    /// limit was armed are unreliable — check this before interpreting
+    /// any verdict derived from this manager.
+    pub fn limit_exceeded(&self) -> bool {
+        self.limit_hit
+    }
+
+    /// Arms a wall-clock deadline enforced inside node construction,
+    /// so even a single monolithic `and`/`and_exists` unwinds promptly
+    /// when time runs out. `None` disarms the deadline (but does not
+    /// clear an already-set poison flag).
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// True once the armed deadline has expired. Same poisoning contract
+    /// as [`BddManager::limit_exceeded`]: everything computed since is
+    /// garbage.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.deadline_hit
+    }
+
+    /// True if either poison flag is set — the manager's results are
+    /// garbage and every operation short-circuits to ⊥. Distinguish the
+    /// cause with [`BddManager::limit_exceeded`] /
+    /// [`BddManager::deadline_exceeded`].
+    pub fn poisoned(&self) -> bool {
+        self.limit_hit || self.deadline_hit
+    }
+
+    /// Current variable order: the variable id at each level, top first.
+    pub fn current_order(&self) -> Vec<u32> {
+        self.level2var.clone()
+    }
+
+    /// Level (position in the order) of variable `v`.
+    pub fn level_of(&self, v: u32) -> u32 {
+        self.var2level[v as usize]
+    }
+
     /// A constant BDD.
     pub fn constant(&self, value: bool) -> Bdd {
         if value {
@@ -179,10 +326,13 @@ impl BddManager {
     }
 
     /// Creates the next variable in the order and returns its positive
-    /// literal as a BDD.
+    /// literal as a BDD. New variables start at the bottom of the order
+    /// (level = id until the first reorder).
     pub fn new_var(&mut self) -> Bdd {
         let v = self.num_vars;
         self.num_vars += 1;
+        self.var2level.push(v);
+        self.level2var.push(v);
         self.mk_node(v, Bdd::FALSE, Bdd::TRUE)
     }
 
@@ -202,9 +352,34 @@ impl BddManager {
         if low == high {
             return low;
         }
+        if self.limit_hit || self.deadline_hit {
+            return Bdd::FALSE;
+        }
+        if let Some(deadline) = self.deadline {
+            // Amortize the clock read over a batch of constructions
+            // (counting unique-table hits too: heavy-dedup recursions
+            // must still poll); the poison then unwinds the in-flight
+            // recursion just like the node ceiling does.
+            self.deadline_fuel -= 1;
+            if self.deadline_fuel == 0 {
+                self.deadline_fuel = DEADLINE_POLL_INTERVAL;
+                if Instant::now() >= deadline {
+                    self.deadline_hit = true;
+                    return Bdd::FALSE;
+                }
+            }
+        }
         let node = Node { var, low, high };
         if let Some(&b) = self.unique.get(&node) {
             return b;
+        }
+        if let Some(limit) = self.node_limit {
+            if self.nodes.len() >= limit {
+                // Poison: from here on every construction collapses to ⊥,
+                // so recursions unwind promptly instead of allocating.
+                self.limit_hit = true;
+                return Bdd::FALSE;
+            }
         }
         let b = Bdd(self.nodes.len() as u32);
         self.nodes.push(node);
@@ -231,17 +406,19 @@ impl BddManager {
         (n.var, n.low, n.high)
     }
 
-    /// Top variable of `b` (`u32::MAX` for constants).
-    fn top_var(&self, b: Bdd) -> u32 {
+    /// Level of the top variable of `b` (`u32::MAX` for constants).
+    /// Structural decisions compare levels, never variable ids — ids do
+    /// not order once the manager has been reordered.
+    fn top_level(&self, b: Bdd) -> u32 {
         if b.is_constant() {
             u32::MAX
         } else {
-            self.node(b).var
+            self.var2level[self.node(b).var as usize]
         }
     }
 
-    /// Cofactors of `b` with respect to variable `v` (which must be at or
-    /// above `b`'s top variable in the order).
+    /// Cofactors of `b` with respect to variable `v` (whose level must be
+    /// at or above `b`'s top level in the order).
     fn cofactors(&self, b: Bdd, v: u32) -> (Bdd, Bdd) {
         if b.is_constant() || self.node(b).var != v {
             (b, b)
@@ -257,6 +434,9 @@ impl BddManager {
         // exhaustion is simulated at the mc budget layer). Free when no
         // fault plan is armed.
         verdict_journal::fault::panic_if_armed("bdd.ite");
+        if self.limit_hit || self.deadline_hit {
+            return Bdd::FALSE;
+        }
         // Terminal cases.
         if f == Bdd::TRUE {
             return g;
@@ -276,13 +456,24 @@ impl BddManager {
             self.stats.ite_cache_hits += 1;
             return r;
         }
-        let v = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
+        let lf = self.top_level(f);
+        let lg = self.top_level(g);
+        let lh = self.top_level(h);
+        let v = self.level2var[lf.min(lg).min(lh) as usize];
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let (h0, h1) = self.cofactors(h, v);
         let low = self.ite(f0, g0, h0);
         let high = self.ite(f1, g1, h1);
         let r = self.mk_node(v, low, high);
+        if self.limit_hit || self.deadline_hit {
+            // Poisoned subresults must not be memoized as real answers.
+            return Bdd::FALSE;
+        }
+        if self.ite_cache.len() >= CACHE_CAP {
+            self.ite_cache.clear();
+            self.stats.cache_clears += 1;
+        }
         self.ite_cache.insert(key, r);
         r
     }
@@ -344,7 +535,8 @@ impl BddManager {
     }
 
     /// Registers a set of variables for quantification/renaming. The set is
-    /// interned so repeated image computations share caches.
+    /// interned so repeated image computations share caches. `VarSet`s
+    /// survive reorders (they name variables, not levels).
     pub fn var_set<I: IntoIterator<Item = u32>>(&mut self, vars: I) -> VarSet {
         let mut vs: Vec<u32> = vars.into_iter().collect();
         vs.sort_unstable();
@@ -355,12 +547,22 @@ impl BddManager {
         if let Some(i) = self.cubes.iter().position(|c| *c == vs) {
             return VarSet(i as u64);
         }
+        let mut by_level = vs.clone();
+        by_level.sort_unstable_by_key(|&v| self.var2level[v as usize]);
         self.cubes.push(vs);
+        self.cube_levels.push(by_level);
         VarSet(self.cubes.len() as u64 - 1)
     }
 
-    fn cube_vars(&self, s: VarSet) -> &[u32] {
+    /// The variables of a registered set, in ascending id order.
+    pub fn var_set_vars(&self, s: VarSet) -> &[u32] {
         &self.cubes[s.0 as usize]
+    }
+
+    /// The variables of `s` quantified in `and_exists`, in the current
+    /// level order (top of the order first).
+    fn cube_by_level(&self, s: VarSet) -> &[u32] {
+        &self.cube_levels[s.0 as usize]
     }
 
     /// Existential quantification: `∃ vars. f`.
@@ -385,15 +587,16 @@ impl BddManager {
     }
 
     fn and_exists_rec(&mut self, f: Bdd, g: Bdd, vars: VarSet, from: usize) -> Bdd {
-        if f == Bdd::FALSE || g == Bdd::FALSE {
+        if f == Bdd::FALSE || g == Bdd::FALSE || self.limit_hit || self.deadline_hit {
             return Bdd::FALSE;
         }
-        let cube = self.cube_vars(vars);
-        // Skip cube variables that are below both tops... actually above:
-        // advance past cube vars smaller than both top variables.
-        let top = self.top_var(f).min(self.top_var(g));
+        // Advance past cube variables whose level is above both tops:
+        // they no longer occur in either operand, so ∃ over them is a
+        // no-op.
+        let top = self.top_level(f).min(self.top_level(g));
+        let cube = self.cube_by_level(vars);
         let mut from = from;
-        while from < cube.len() && cube[from] < top {
+        while from < cube.len() && self.var2level[cube[from] as usize] < top {
             from += 1;
         }
         if f == Bdd::TRUE && g == Bdd::TRUE {
@@ -407,9 +610,8 @@ impl BddManager {
         if let Some(&r) = self.and_exists_cache.get(&key) {
             return r;
         }
-        let cube = self.cube_vars(vars);
-        let qvar = cube[from];
-        let v = top;
+        let qvar = self.cube_by_level(vars)[from];
+        let v = self.level2var[top as usize];
         let (f0, f1) = self.cofactors(f, v);
         let (g0, g1) = self.cofactors(g, v);
         let r = if v == qvar {
@@ -422,25 +624,36 @@ impl BddManager {
                 self.or(low, high)
             }
         } else {
-            debug_assert!(v < qvar);
+            debug_assert!(top < self.var2level[qvar as usize]);
             let low = self.and_exists_rec(f0, g0, vars, from);
             let high = self.and_exists_rec(f1, g1, vars, from);
             self.mk_node(v, low, high)
         };
+        if self.limit_hit || self.deadline_hit {
+            return Bdd::FALSE;
+        }
+        if self.and_exists_cache.len() >= CACHE_CAP {
+            self.and_exists_cache.clear();
+            self.stats.cache_clears += 1;
+        }
         self.and_exists_cache.insert(key, r);
         r
     }
 
     /// Renames variables: each `(from, to)` pair substitutes variable
     /// `from` with variable `to`. Pairs must map distinct sources to
-    /// distinct targets, and the mapping must be order-preserving
-    /// (`from` and `to` lists both strictly increasing), which holds for
-    /// the interleaved current↔next encodings used in `verdict-ts`.
+    /// distinct targets, and the mapping must preserve the *level* order
+    /// (sources and targets sorted by level give the same pair sequence),
+    /// which holds for the interleaved current↔next encodings used in
+    /// `verdict-ts` — and keeps holding after block-sifting, because
+    /// current/next bit pairs move as one block.
     pub fn rename(&mut self, f: Bdd, pairs: &[(u32, u32)]) -> Bdd {
-        for w in pairs.windows(2) {
+        let mut by_level: Vec<(u32, u32)> = pairs.to_vec();
+        by_level.sort_unstable_by_key(|&(from, _)| self.var2level[from as usize]);
+        for w in by_level.windows(2) {
             assert!(
-                w[0].0 < w[1].0 && w[0].1 < w[1].1,
-                "rename map must be strictly increasing"
+                self.var2level[w[0].1 as usize] < self.var2level[w[1].1 as usize],
+                "rename map must be strictly increasing (in level order)"
             );
         }
         let map: HashMap<u32, u32> = pairs.iter().copied().collect();
@@ -465,7 +678,10 @@ impl BddManager {
         let high = self.rename_rec(n.high, map, cache);
         let var = map.get(&n.var).copied().unwrap_or(n.var);
         // Order preservation guarantees var is still above low/high tops.
-        debug_assert!(var < self.top_var(low) && var < self.top_var(high));
+        debug_assert!(
+            self.var2level[var as usize] < self.top_level(low)
+                && self.var2level[var as usize] < self.top_level(high)
+        );
         let r = self.mk_node(var, low, high);
         cache.insert(f, r);
         r
@@ -479,14 +695,74 @@ impl BddManager {
         self.exists(conj, vs)
     }
 
+    /// Care-set simplification (Coudert–Madre restrict, a.k.a. sibling
+    /// substitution): returns `g` with `g ∧ care = f ∧ care`, choosing
+    /// `g` freely outside `care`. When `care` prunes most of the space
+    /// — a reachable-state set, an invariant — `g` is typically far
+    /// smaller than `f`, which makes this the right operator for
+    /// lowering formulas *after* reachability instead of over the full
+    /// free state space.
+    ///
+    /// With `care = FALSE` every result is valid; this returns `FALSE`.
+    pub fn simplify(&mut self, f: Bdd, care: Bdd) -> Bdd {
+        let mut memo = HashMap::new();
+        self.simplify_rec(f, care, &mut memo)
+    }
+
+    fn simplify_rec(&mut self, f: Bdd, c: Bdd, memo: &mut HashMap<(Bdd, Bdd), Bdd>) -> Bdd {
+        if c == Bdd::FALSE {
+            return Bdd::FALSE;
+        }
+        if c == Bdd::TRUE || f.is_constant() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&(f, c)) {
+            return r;
+        }
+        let (lf, lc) = (self.top_level(f), self.top_level(c));
+        let r = if lc < lf {
+            // The care set branches on a variable `f` does not test:
+            // any state in either branch must keep `f`'s value, so
+            // simplify against the union of the two care branches.
+            let cn = self.node(c);
+            let c2 = self.or(cn.low, cn.high);
+            self.simplify_rec(f, c2, memo)
+        } else {
+            let fnode = self.node(f);
+            let (c0, c1) = if lc == lf {
+                let cn = self.node(c);
+                (cn.low, cn.high)
+            } else {
+                (c, c)
+            };
+            if c0 == Bdd::FALSE {
+                // The low branch is entirely don't-care: substitute the
+                // sibling, eliminating the test on this variable.
+                self.simplify_rec(fnode.high, c1, memo)
+            } else if c1 == Bdd::FALSE {
+                self.simplify_rec(fnode.low, c0, memo)
+            } else {
+                let low = self.simplify_rec(fnode.low, c0, memo);
+                let high = self.simplify_rec(fnode.high, c1, memo);
+                self.mk_node(fnode.var, low, high)
+            }
+        };
+        memo.insert((f, c), r);
+        r
+    }
+
     /// Number of satisfying assignments of `f` over `total_vars` variables.
     ///
     /// Returned as `f64` (state-space sizes are reported, not enumerated).
     pub fn sat_count(&self, f: Bdd, total_vars: u32) -> f64 {
         assert!(total_vars >= self.num_vars || f.is_constant());
-        // cnt(b) = solutions of b over the variables [topv(b), total_vars),
-        // where topv(constant) = total_vars.
-        let topv = |b: Bdd| self.top_var(b).min(total_vars);
+        // cnt(b) = solutions of b over the levels [top_level(b), total),
+        // where top_level(constant) = total. Variables beyond num_vars
+        // (callers may count over a larger universe) sit at levels
+        // num_vars..total. The count is order-independent; levels only
+        // decide which factor of 2 lands where.
+        let total = total_vars;
+        let toplv = |b: Bdd| self.top_level(b).min(total);
         let mut cache: HashMap<Bdd, f64> = HashMap::new();
         fn go(m: &BddManager, b: Bdd, total: u32, cache: &mut HashMap<Bdd, f64>) -> f64 {
             if b == Bdd::FALSE {
@@ -499,15 +775,16 @@ impl BddManager {
                 return c;
             }
             let n = m.node(b);
-            let lv = m.top_var(n.low).min(total);
-            let hv = m.top_var(n.high).min(total);
-            let low = go(m, n.low, total, cache) * ((lv - n.var - 1) as f64).exp2();
-            let high = go(m, n.high, total, cache) * ((hv - n.var - 1) as f64).exp2();
+            let nl = m.var2level[n.var as usize];
+            let lv = m.top_level(n.low).min(total);
+            let hv = m.top_level(n.high).min(total);
+            let low = go(m, n.low, total, cache) * ((lv - nl - 1) as f64).exp2();
+            let high = go(m, n.high, total, cache) * ((hv - nl - 1) as f64).exp2();
             let c = low + high;
             cache.insert(b, c);
             c
         }
-        go(self, f, total_vars, &mut cache) * (topv(f) as f64).exp2()
+        go(self, f, total, &mut cache) * (toplv(f) as f64).exp2()
     }
 
     /// One satisfying assignment of `f` as `(var, value)` pairs for the
@@ -549,8 +826,14 @@ impl BddManager {
 
     /// Number of nodes reachable from `f` (its size).
     pub fn size(&self, f: Bdd) -> usize {
+        self.size_multi(std::slice::from_ref(&f))
+    }
+
+    /// Number of distinct nodes reachable from any of `roots` (shared
+    /// structure counted once), plus the two constants.
+    pub fn size_multi(&self, roots: &[Bdd]) -> usize {
         let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![f];
+        let mut stack: Vec<Bdd> = roots.to_vec();
         while let Some(b) = stack.pop() {
             if b.is_constant() || !seen.insert(b) {
                 continue;
@@ -560,6 +843,288 @@ impl BddManager {
             stack.push(n.high);
         }
         seen.len() + 2
+    }
+
+    // ----- Reordering ---------------------------------------------------
+
+    /// Rebuilds `roots` into a fresh arena under the variable order
+    /// `level2var` (a permutation of all variable ids, top of the order
+    /// first) and installs that arena as the manager's store. Returns the
+    /// remapped roots, in order. Every handle not in `roots` is invalid
+    /// afterwards; both operation caches are cleared (stale entries would
+    /// be wrong under the new order); interned `VarSet`s survive.
+    ///
+    /// This is also the manager's garbage collector: nodes unreachable
+    /// from `roots` are dropped even when the order is unchanged.
+    pub fn reorder(&mut self, level2var: &[u32], roots: &[Bdd]) -> Vec<Bdd> {
+        let before = self.nodes.len();
+        self.stats.peak_live_nodes = self.stats.peak_live_nodes.max(before as u64);
+        let (rebuilt, rebuilt_roots) = self.transfer_roots(level2var, roots);
+        // The ite-based transfer leaves up to one literal node per variable
+        // as garbage; compact so the committed arena holds exactly the
+        // reachable nodes.
+        let (mut fresh, new_roots) = rebuilt.copy_reachable(&rebuilt_roots);
+        // Carry the manager identity into the rebuilt arena: cumulative
+        // stats, interned cubes (ids are stable), the ceiling, and poison.
+        fresh.stats.nodes_allocated += self.stats.nodes_allocated;
+        fresh.stats.ite_cache_lookups += self.stats.ite_cache_lookups;
+        fresh.stats.ite_cache_hits += self.stats.ite_cache_hits;
+        fresh.stats.peak_live_nodes = self.stats.peak_live_nodes;
+        fresh.stats.cache_clears += self.stats.cache_clears;
+        fresh.stats.reorders = self.stats.reorders + 1;
+        fresh.stats.sift_nodes_before = self.stats.sift_nodes_before + before as u64;
+        fresh.stats.sift_nodes_after = self.stats.sift_nodes_after + fresh.nodes.len() as u64;
+        fresh.cubes = std::mem::take(&mut self.cubes);
+        fresh.cube_levels = fresh
+            .cubes
+            .iter()
+            .map(|c| {
+                let mut by_level = c.clone();
+                by_level.sort_unstable_by_key(|&v| fresh.var2level[v as usize]);
+                by_level
+            })
+            .collect();
+        fresh.node_limit = self.node_limit;
+        fresh.limit_hit = fresh.limit_hit || self.limit_hit;
+        fresh.deadline = self.deadline;
+        fresh.deadline_hit = fresh.deadline_hit || self.deadline_hit;
+        *self = fresh;
+        new_roots
+    }
+
+    /// Garbage collection: rebuilds the arena keeping only the nodes
+    /// reachable from `roots`, under the unchanged variable order (a
+    /// pure structural copy — far cheaper than a reordering transfer).
+    /// Returns the remapped roots, in order. Every handle not in
+    /// `roots` is invalid afterwards; operation caches are cleared
+    /// (they may reference collected nodes); interned `VarSet`s
+    /// survive. The pre-collection arena size feeds the
+    /// `peak_live_nodes` high-water mark, so collection never hides a
+    /// memory spike.
+    pub fn gc(&mut self, roots: &[Bdd]) -> Vec<Bdd> {
+        let before = self.nodes.len();
+        self.stats.peak_live_nodes = self.stats.peak_live_nodes.max(before as u64);
+        let (mut fresh, new_roots) = self.copy_reachable(roots);
+        fresh.stats.nodes_allocated += self.stats.nodes_allocated;
+        fresh.stats.ite_cache_lookups += self.stats.ite_cache_lookups;
+        fresh.stats.ite_cache_hits += self.stats.ite_cache_hits;
+        fresh.stats.peak_live_nodes = self.stats.peak_live_nodes;
+        fresh.stats.cache_clears = self.stats.cache_clears;
+        fresh.stats.reorders = self.stats.reorders;
+        fresh.stats.sift_nodes_before = self.stats.sift_nodes_before;
+        fresh.stats.sift_nodes_after = self.stats.sift_nodes_after;
+        fresh.cubes = std::mem::take(&mut self.cubes);
+        fresh.cube_levels = fresh
+            .cubes
+            .iter()
+            .map(|c| {
+                let mut by_level = c.clone();
+                by_level.sort_unstable_by_key(|&v| fresh.var2level[v as usize]);
+                by_level
+            })
+            .collect();
+        fresh.node_limit = self.node_limit;
+        fresh.limit_hit = fresh.limit_hit || self.limit_hit;
+        fresh.deadline = self.deadline;
+        fresh.deadline_hit = fresh.deadline_hit || self.deadline_hit;
+        *self = fresh;
+        new_roots
+    }
+
+    /// Transfers `roots` into a brand-new manager laid out under
+    /// `level2var`, without touching `self`. Used both by [`Self::reorder`]
+    /// (which commits the result) and by sifting trials (which only read
+    /// the resulting arena size and drop it).
+    fn transfer_roots(&self, level2var: &[u32], roots: &[Bdd]) -> (BddManager, Vec<Bdd>) {
+        assert_eq!(
+            level2var.len(),
+            self.num_vars as usize,
+            "order must cover every variable"
+        );
+        let mut var2level = vec![u32::MAX; self.num_vars as usize];
+        for (lvl, &v) in level2var.iter().enumerate() {
+            assert!(v < self.num_vars, "unknown variable {v} in order");
+            assert_eq!(var2level[v as usize], u32::MAX, "duplicate variable {v}");
+            var2level[v as usize] = lvl as u32;
+        }
+        let mut fresh = BddManager::new();
+        fresh.num_vars = self.num_vars;
+        fresh.var2level = var2level;
+        fresh.level2var = level2var.to_vec();
+        // The rebuild must not be capped by the old ceiling: a transfer is
+        // how we *recover* headroom. The caller reinstalls the limit.
+        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        let new_roots = roots
+            .iter()
+            .map(|&r| self.transfer_rec(r, &mut fresh, &mut memo))
+            .collect();
+        (fresh, new_roots)
+    }
+
+    /// Copies the nodes reachable from `roots` into a fresh manager with
+    /// the *same* variable order (a pure `mk_node` rebuild — structure is
+    /// unchanged, so no re-normalization is needed). This is the
+    /// garbage-collection half of [`Self::reorder`].
+    fn copy_reachable(&self, roots: &[Bdd]) -> (BddManager, Vec<Bdd>) {
+        let mut fresh = BddManager::new();
+        fresh.num_vars = self.num_vars;
+        fresh.var2level = self.var2level.clone();
+        fresh.level2var = self.level2var.clone();
+        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        fn copy(
+            m: &BddManager,
+            b: Bdd,
+            fresh: &mut BddManager,
+            memo: &mut HashMap<Bdd, Bdd>,
+        ) -> Bdd {
+            if b.is_constant() {
+                return b;
+            }
+            if let Some(&r) = memo.get(&b) {
+                return r;
+            }
+            let n = m.node(b);
+            let low = copy(m, n.low, fresh, memo);
+            let high = copy(m, n.high, fresh, memo);
+            let r = fresh.mk_node(n.var, low, high);
+            memo.insert(b, r);
+            r
+        }
+        let new_roots = roots
+            .iter()
+            .map(|&r| copy(self, r, &mut fresh, &mut memo))
+            .collect();
+        (fresh, new_roots)
+    }
+
+    fn transfer_rec(&self, b: Bdd, fresh: &mut BddManager, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if b.is_constant() {
+            return b;
+        }
+        if let Some(&r) = memo.get(&b) {
+            return r;
+        }
+        let n = self.node(b);
+        let low = self.transfer_rec(n.low, fresh, memo);
+        let high = self.transfer_rec(n.high, fresh, memo);
+        // Under the new order the children's tops may sit above this
+        // variable, so a plain mk_node is not canonical: route through
+        // ite on the literal, which re-normalizes.
+        let lit = fresh.var(n.var);
+        let r = fresh.ite(lit, high, low);
+        memo.insert(b, r);
+        r
+    }
+
+    /// Bounded block-sifting: searches for a variable order that shrinks
+    /// the shared size of `roots`, then commits one [`Self::reorder`] —
+    /// which always runs, because the rebuild doubles as garbage
+    /// collection even when no better order is found.
+    ///
+    /// `blocks` partitions the variable ids into groups that move
+    /// together (the engine passes current/next bit pairs so rename maps
+    /// stay level-order-preserving). The heuristic: rank blocks by how
+    /// many live nodes sit on their variables, take the `max_blocks`
+    /// fattest, and for each try a window of candidate positions, scoring
+    /// every candidate by rebuilding into a scratch arena and reading its
+    /// size. Greedy accept per block.
+    pub fn sift(&mut self, roots: &[Bdd], blocks: &[Vec<u32>], max_blocks: usize) -> SiftOutcome {
+        let nodes_before = self.nodes.len();
+        // Current block order: sort blocks by the level of their topmost
+        // variable.
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        order.sort_unstable_by_key(|&i| {
+            blocks[i]
+                .iter()
+                .map(|&v| self.var2level[v as usize])
+                .min()
+                .unwrap_or(u32::MAX)
+        });
+
+        // Fatness: live nodes labeled with each block's variables.
+        let mut var_block = vec![usize::MAX; self.num_vars as usize];
+        for (bi, block) in blocks.iter().enumerate() {
+            for &v in block {
+                var_block[v as usize] = bi;
+            }
+        }
+        let mut fat = vec![0usize; blocks.len()];
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        while let Some(b) = stack.pop() {
+            if b.is_constant() || !seen.insert(b) {
+                continue;
+            }
+            let n = self.node(b);
+            if var_block[n.var as usize] != usize::MAX {
+                fat[var_block[n.var as usize]] += 1;
+            }
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        drop(seen);
+
+        let mut candidates: Vec<usize> = (0..blocks.len()).collect();
+        candidates.sort_unstable_by_key(|&i| std::cmp::Reverse(fat[i]));
+        candidates.truncate(max_blocks);
+
+        let flatten = |order: &[usize]| -> Vec<u32> {
+            order
+                .iter()
+                .flat_map(|&bi| {
+                    let mut vs = blocks[bi].clone();
+                    vs.sort_unstable_by_key(|&v| self.var2level[v as usize]);
+                    vs
+                })
+                .collect()
+        };
+
+        // Score a candidate order by the *reachable* size of the rebuilt
+        // roots, not the scratch arena length: the transfer allocates up
+        // to one literal node per variable as a side effect, which would
+        // wash out small differences between orders.
+        let score = |m: &BddManager, order: &[u32]| -> usize {
+            let (fresh, new_roots) = m.transfer_roots(order, roots);
+            fresh.size_multi(&new_roots)
+        };
+        let mut best_size = score(self, &flatten(&order));
+        for &bi in &candidates {
+            let cur_pos = order.iter().position(|&x| x == bi).unwrap();
+            let last = order.len() - 1;
+            // Candidate positions: a window of power-of-two hops around
+            // the current position plus both ends of the order.
+            let mut positions: Vec<usize> = [1usize, 2, 4, 8, 16]
+                .iter()
+                .flat_map(|&d| [cur_pos.saturating_sub(d), (cur_pos + d).min(last)])
+                .chain([0, last])
+                .collect();
+            positions.sort_unstable();
+            positions.dedup();
+            positions.retain(|&p| p != cur_pos);
+
+            let mut best_pos = cur_pos;
+            for &p in &positions {
+                let mut trial = order.clone();
+                let item = trial.remove(cur_pos);
+                trial.insert(p, item);
+                let size = score(self, &flatten(&trial));
+                if size < best_size {
+                    best_size = size;
+                    best_pos = p;
+                }
+            }
+            if best_pos != cur_pos {
+                let item = order.remove(cur_pos);
+                order.insert(best_pos, item);
+            }
+        }
+
+        let roots = self.reorder(&flatten(&order), roots);
+        SiftOutcome {
+            nodes_before,
+            nodes_after: self.nodes.len(),
+            roots,
+        }
     }
 }
 
@@ -595,6 +1160,96 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn simplify_agrees_inside_care_set() {
+        // Exhaustive: over every pair from a pool of random-ish functions
+        // on 4 variables, simplify(f, c) ∧ c must equal f ∧ c.
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|_| m.new_var()).collect();
+        let mut pool = vec![Bdd::TRUE, Bdd::FALSE];
+        // A deterministic spread of functions: all single literals, some
+        // pairwise ops, one three-way.
+        for &v in &vars {
+            pool.push(v);
+            pool.push(m.not(v));
+        }
+        for i in 0..vars.len() {
+            for j in (i + 1)..vars.len() {
+                pool.push(m.and(vars[i], vars[j]));
+                pool.push(m.or(vars[i], vars[j]));
+                pool.push(m.xor(vars[i], vars[j]));
+            }
+        }
+        let vi = m.iff(vars[0], vars[3]);
+        pool.push(m.and(vi, vars[1]));
+        for &f in &pool {
+            for &c in &pool {
+                let g = m.simplify(f, c);
+                let gc = m.and(g, c);
+                let fc = m.and(f, c);
+                assert_eq!(gc, fc, "simplify broke f∧c");
+                assert!(m.size(g) <= m.size(f) + 1, "simplify should not blow up");
+            }
+        }
+    }
+
+    #[test]
+    fn gc_drops_garbage_and_keeps_roots_valid() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..6).map(|_| m.new_var()).collect();
+        // Live function plus a pile of dead intermediates.
+        let live = {
+            let a = m.and(vars[0], vars[1]);
+            m.or(a, vars[2])
+        };
+        for i in 0..6 {
+            for j in 0..6 {
+                let x = m.xor(vars[i], vars[j]);
+                let _dead = m.and(x, vars[(i + j) % 6]);
+            }
+        }
+        let before = m.node_count();
+        let roots = m.gc(&[live]);
+        let live = roots[0];
+        assert!(m.node_count() < before, "collection must shrink the arena");
+        assert!(
+            m.stats().peak_live_nodes >= before as u64,
+            "collection must not hide the high-water mark"
+        );
+        // The remapped root still computes the same function.
+        for bits in 0..8u8 {
+            let mut a = vec![false; 6];
+            for (i, s) in a.iter_mut().enumerate().take(3) {
+                *s = bits & (1 << i) != 0;
+            }
+            assert_eq!(m.eval(live, &a), (a[0] && a[1]) || a[2]);
+        }
+        // And the manager still operates (caches were cleared, not
+        // corrupted).
+        let x = m.var(3);
+        let f = m.and(live, x);
+        assert_ne!(f, Bdd::FALSE);
+    }
+
+    #[test]
+    fn simplify_collapses_under_tight_care() {
+        // care pins x0..x2 false; f = parity over all four collapses to
+        // a single-literal function of x3.
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|_| m.new_var()).collect();
+        let mut parity = Bdd::FALSE;
+        for &v in &vars {
+            parity = m.xor(parity, v);
+        }
+        let mut care = Bdd::TRUE;
+        for &v in &vars[..3] {
+            let nv = m.not(v);
+            care = m.and(care, nv);
+        }
+        let g = m.simplify(parity, care);
+        assert_eq!(g, vars[3], "parity restricted to x0=x1=x2=0 is x3");
     }
 
     #[test]
@@ -765,5 +1420,294 @@ mod tests {
         let f = m.and(x, y);
         assert_eq!(m.size(f), 4); // two decision nodes + two constants
         assert_eq!(m.size(Bdd::TRUE), 2);
+    }
+
+    // ----- Reordering, node limits, cache bounds ------------------------
+
+    /// Builds `(x0∧x1) ∨ (x2∧x3) ∨ (x4∧x5)` — linear-sized under the
+    /// natural order, exponential under the interleaved-pairs order
+    /// `[0, 2, 4, 1, 3, 5]`. The classic sifting benchmark function.
+    fn chain_of_ands(m: &mut BddManager) -> Bdd {
+        let vs: Vec<Bdd> = (0..6).map(|_| m.new_var()).collect();
+        let a = m.and(vs[0], vs[1]);
+        let b = m.and(vs[2], vs[3]);
+        let c = m.and(vs[4], vs[5]);
+        let ab = m.or(a, b);
+        m.or(ab, c)
+    }
+
+    #[test]
+    fn reorder_preserves_semantics_and_collects_garbage() {
+        let mut m = BddManager::new();
+        let f = chain_of_ands(&mut m);
+        // Pile up garbage nodes the reorder should drop.
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                let (a, b) = (m.var(i), m.var(j));
+                let x = m.xor(a, b);
+                let _ = m.ite(x, f, a);
+            }
+        }
+        let before = m.node_count();
+        // A deliberately bad order: pairs split across the halves.
+        let roots = m.reorder(&[0, 2, 4, 1, 3, 5], &[f]);
+        let f2 = roots[0];
+        assert!(m.node_count() < before, "reorder must garbage-collect");
+        for bits in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let spec = (a[0] && a[1]) || (a[2] && a[3]) || (a[4] && a[5]);
+            assert_eq!(m.eval(f2, &a), spec, "bits={bits:06b}");
+        }
+        // And back to the identity order.
+        let roots = m.reorder(&[0, 1, 2, 3, 4, 5], &[f2]);
+        for bits in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let spec = (a[0] && a[1]) || (a[2] && a[3]) || (a[4] && a[5]);
+            assert_eq!(m.eval(roots[0], &a), spec);
+        }
+        assert_eq!(m.stats().reorders, 2);
+        assert!(m.stats().sift_nodes_before >= m.stats().sift_nodes_after);
+    }
+
+    #[test]
+    fn operations_stay_correct_under_non_identity_order() {
+        let mut m = BddManager::new();
+        let f = chain_of_ands(&mut m);
+        let roots = m.reorder(&[5, 3, 1, 4, 2, 0], &[f]);
+        let f = roots[0];
+        // ite / and / or against fresh literals under the new order.
+        let x0 = m.var(0);
+        let g = m.and(f, x0);
+        for bits in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let spec = ((a[0] && a[1]) || (a[2] && a[3]) || (a[4] && a[5])) && a[0];
+            assert_eq!(m.eval(g, &a), spec);
+        }
+        // Quantification under the new order.
+        let vs = m.var_set([0u32, 1]);
+        let e = m.exists(f, vs);
+        for bits in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            // ∃x0,x1. f — compute the spec by brute force over the
+            // quantified bits:
+            let mut any = false;
+            for b0 in [false, true] {
+                for b1 in [false, true] {
+                    let mut a2 = a.clone();
+                    a2[0] = b0;
+                    a2[1] = b1;
+                    any |= (a2[0] && a2[1]) || (a2[2] && a2[3]) || (a2[4] && a2[5]);
+                }
+            }
+            assert_eq!(m.eval(e, &a), any);
+        }
+        // Rename under the new order: must preserve relative level order.
+        // Variables 0 and 1 sit at levels 5 and 2; map each one step.
+        let h = m.and(x0, f);
+        let _ = h;
+        // sat_count is order-independent.
+        assert_eq!(m.sat_count(f, 6), {
+            let mut n = 0u32;
+            for bits in 0..64u32 {
+                let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+                if (a[0] && a[1]) || (a[2] && a[3]) || (a[4] && a[5]) {
+                    n += 1;
+                }
+            }
+            n as f64
+        });
+    }
+
+    #[test]
+    fn sift_shrinks_badly_ordered_function() {
+        let mut m = BddManager::new();
+        let f = chain_of_ands(&mut m);
+        // Force the pathological order first: 0,2,4 above 1,3,5.
+        let roots = m.reorder(&[0, 2, 4, 1, 3, 5], &[f]);
+        let f = roots[0];
+        let bad = m.size(f);
+        let blocks: Vec<Vec<u32>> = (0..6).map(|v| vec![v]).collect();
+        let out = m.sift(&[f], &blocks, 6);
+        let f = out.roots[0];
+        assert!(
+            m.size(f) < bad,
+            "sift should beat the pathological order: {} vs {bad}",
+            m.size(f)
+        );
+        for bits in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let spec = (a[0] && a[1]) || (a[2] && a[3]) || (a[4] && a[5]);
+            assert_eq!(m.eval(f, &a), spec);
+        }
+        assert!(out.nodes_after <= out.nodes_before);
+        assert!(m.stats().reorders >= 2);
+    }
+
+    #[test]
+    fn sift_respects_blocks() {
+        let mut m = BddManager::new();
+        let f = chain_of_ands(&mut m);
+        let blocks: Vec<Vec<u32>> = vec![vec![0, 1], vec![2, 3], vec![4, 5]];
+        let out = m.sift(&[f], &blocks, 3);
+        // Block members must stay adjacent in the final order.
+        let order = m.current_order();
+        for block in &blocks {
+            let positions: Vec<usize> = block
+                .iter()
+                .map(|&v| order.iter().position(|&x| x == v).unwrap())
+                .collect();
+            let (lo, hi) = (
+                *positions.iter().min().unwrap(),
+                *positions.iter().max().unwrap(),
+            );
+            assert_eq!(hi - lo, block.len() - 1, "block {block:?} split: {order:?}");
+        }
+        for bits in 0..64u32 {
+            let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let spec = (a[0] && a[1]) || (a[2] && a[3]) || (a[4] && a[5]);
+            assert_eq!(m.eval(out.roots[0], &a), spec);
+        }
+    }
+
+    #[test]
+    fn node_limit_poisons_promptly_and_stays_sticky() {
+        let mut m = BddManager::new();
+        for _ in 0..32 {
+            m.new_var();
+        }
+        m.set_node_limit(Some(64));
+        assert!(!m.limit_exceeded());
+        // A function whose BDD is far larger than 64 nodes: the ceiling
+        // must trip during construction, not after.
+        let mut acc = Bdd::FALSE;
+        for i in 0..16u32 {
+            let a = m.var(2 * i);
+            let b = m.var(2 * i + 1);
+            let t = m.and(a, b);
+            acc = m.or(acc, t);
+            if m.limit_exceeded() {
+                break;
+            }
+        }
+        assert!(m.limit_exceeded(), "ceiling of 64 nodes must trip");
+        assert!(
+            m.node_count() <= 64 + 2,
+            "arena must not blow past the ceiling: {}",
+            m.node_count()
+        );
+        // Sticky: further operations short-circuit to ⊥.
+        let x = m.var(0);
+        assert_eq!(m.and(x, Bdd::TRUE), Bdd::FALSE);
+        assert!(m.limit_exceeded());
+    }
+
+    #[test]
+    fn expired_deadline_poisons_mid_construction() {
+        let mut m = BddManager::new();
+        for _ in 0..40 {
+            m.new_var();
+        }
+        m.set_deadline(Some(Instant::now()));
+        assert!(
+            !m.deadline_exceeded(),
+            "arming alone must not poison — only an allocation poll does"
+        );
+        // Keep constructing until one poll interval of mk_node calls has
+        // passed; the expired deadline must trip *inside* the work,
+        // bounding total allocations near the poll granularity.
+        let mut acc = Bdd::FALSE;
+        for round in 0..100_000u32 {
+            let x = m.var(round % 40);
+            let y = m.var((round + 7) % 40);
+            let t = m.and(x, y);
+            acc = m.xor(acc, t);
+            if m.deadline_exceeded() {
+                break;
+            }
+        }
+        assert!(m.deadline_exceeded(), "expired deadline must trip");
+        assert!(m.poisoned());
+        assert!(!m.limit_exceeded(), "distinct cause from the node ceiling");
+        assert!(
+            m.node_count() <= 2 * DEADLINE_POLL_INTERVAL as usize,
+            "poison must land within a poll interval or two: {}",
+            m.node_count()
+        );
+        // Sticky, exactly like the ceiling.
+        let x = m.var(0);
+        assert_eq!(m.or(x, Bdd::FALSE), Bdd::FALSE);
+        // A comfortable future deadline never fires.
+        let mut fresh = BddManager::new();
+        let far = Instant::now() + std::time::Duration::from_secs(3600);
+        fresh.set_deadline(Some(far));
+        let a = fresh.new_var();
+        let b = fresh.new_var();
+        let f = fresh.and(a, b);
+        assert!(!fresh.poisoned());
+        assert_ne!(f, Bdd::FALSE);
+    }
+
+    #[test]
+    fn node_limit_trips_inside_and_exists() {
+        let mut m = BddManager::new();
+        for _ in 0..40 {
+            m.new_var();
+        }
+        // Build the operands within a generous ceiling, then tighten it so
+        // only the fused product can trip it.
+        let mut f = Bdd::TRUE;
+        for i in 0..10u32 {
+            let a = m.var(i);
+            let b = m.var(i + 20);
+            let t = m.iff(a, b);
+            f = m.and(f, t);
+        }
+        let mut g = Bdd::TRUE;
+        for i in 10..20u32 {
+            let a = m.var(i);
+            let b = m.var(i + 20);
+            let t = m.xor(a, b);
+            g = m.and(g, t);
+        }
+        assert!(!m.limit_exceeded());
+        m.set_node_limit(Some(m.node_count() + 8));
+        let vs = m.var_set(0..20u32);
+        let r = m.and_exists(f, g, vs);
+        assert!(m.limit_exceeded(), "and_exists must hit the tight ceiling");
+        assert_eq!(r, Bdd::FALSE, "poisoned result collapses to ⊥");
+    }
+
+    #[test]
+    fn caches_are_bounded() {
+        // White-box: CACHE_CAP is too large to hit in a unit test, so this
+        // only checks the clear accounting plumbing via stats and relies
+        // on the cap constant for the bound itself.
+        let mut m = BddManager::new();
+        let x = m.new_var();
+        let y = m.new_var();
+        let _ = m.and(x, y);
+        assert_eq!(m.stats().cache_clears, 0);
+    }
+
+    #[test]
+    fn reorder_keeps_varsets_valid() {
+        let mut m = BddManager::new();
+        let f = chain_of_ands(&mut m);
+        let vs = m.var_set([0u32, 2, 4]);
+        let e1 = m.exists(f, vs);
+        let semantics = |m: &BddManager, e: Bdd| {
+            let mut out = Vec::new();
+            for bits in 0..64u32 {
+                let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+                out.push(m.eval(e, &a));
+            }
+            out
+        };
+        let sem1 = semantics(&m, e1);
+        let roots = m.reorder(&[4, 5, 0, 1, 2, 3], &[f]);
+        let f = roots[0];
+        // Same VarSet handle, new order: must still quantify {0, 2, 4}.
+        let e2 = m.exists(f, vs);
+        assert_eq!(semantics(&m, e2), sem1);
     }
 }

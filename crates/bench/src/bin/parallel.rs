@@ -25,7 +25,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use verdict_bench::{flag_value, fmt_duration, host_provenance_json, timed};
+use verdict_bench::{flag_value, fmt_duration, host_provenance_json, sample_cores, timed};
 use verdict_mc::params::{synthesize, synthesize_first_safe, Property, SynthesisEngine};
 use verdict_mc::prelude::*;
 use verdict_mc::Stats;
@@ -55,8 +55,7 @@ fn main() {
         },
         PathBuf::from,
     );
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let host = host_provenance_json(cores, jobs, 1);
+    let cores = sample_cores();
 
     println!("parallel verification benchmark (jobs {jobs}, depth {depth}, {cores} core(s))\n");
 
@@ -200,6 +199,9 @@ fn main() {
     }
     println!("\nwinner histogram: {hist_json}");
 
+    // Re-sample after the measured runs: if the host lost cores mid-run
+    // the degraded flag must reflect the worst budget observed.
+    let host = host_provenance_json(cores.min(sample_cores()), jobs, 1);
     let json = format!(
         "{{\n  \"host\": {host},\n  \"sweep\": {{\n    \
          \"model\": \"{}\",\n    \"engine\": \"kind\",\n    \"depth\": {depth},\n    \

@@ -26,7 +26,7 @@ use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
-use verdict_bench::{flag_value, host_provenance_json};
+use verdict_bench::{flag_value, host_provenance_json, sample_cores};
 use verdict_server::{Client, JobSpec, Server, ServerConfig};
 
 /// Decided instantly by every engine, so the bench measures the daemon
@@ -159,8 +159,7 @@ fn main() {
         },
         PathBuf::from,
     );
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let host = host_provenance_json(cores, workers.max(submitters), 1);
+    let cores = sample_cores();
     let dir = std::env::temp_dir().join(format!("verdict-bench-server-{}", std::process::id()));
 
     println!(
@@ -198,6 +197,9 @@ fn main() {
         fleet.submitters
     );
 
+    // Re-sample after the measured runs: if the host lost cores mid-run
+    // the degraded flag must reflect the worst budget observed.
+    let host = host_provenance_json(cores.min(sample_cores()), workers.max(submitters), 1);
     let json = format!(
         "{{\n  \"host\": {host},\n  \"workers\": {workers},\n  \
          \"solo\": {},\n  \"fleet\": {},\n  \

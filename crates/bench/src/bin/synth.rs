@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use verdict_bench::{flag_value, fmt_duration, host_provenance_json, timed};
+use verdict_bench::{flag_value, fmt_duration, host_provenance_json, sample_cores, timed};
 use verdict_dsl::{parse, CompiledProperty};
 use verdict_mc::params::{synthesize, Property, SynthesisEngine, SynthesisResult};
 use verdict_mc::CheckOptions;
@@ -151,8 +151,7 @@ fn main() {
         },
         PathBuf::from,
     );
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let host = host_provenance_json(cores, jobs, reps);
+    let cores = sample_cores();
 
     println!(
         "incremental synthesis benchmark (jobs {jobs}, depth {depth}, best of {reps}, {cores} core(s))\n"
@@ -224,6 +223,9 @@ fn main() {
             c.inc_par.as_secs_f64(),
         );
     }
+    // Re-sample after the measured runs: if the host lost cores mid-run
+    // the degraded flag must reflect the worst budget observed.
+    let host = host_provenance_json(cores.min(sample_cores()), jobs, reps);
     let json = format!(
         "{{\n  \"host\": {host},\n  \
          \"reps\": {reps},\n  \"cases\": [\n{cases}\n  ]\n}}\n"

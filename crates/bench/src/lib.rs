@@ -50,6 +50,15 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Samples `available_parallelism` right now. The JSON-writing bench
+/// binaries call this once at startup (for the banner) and once again
+/// after the measured runs: on shared or cgroup-limited hosts the core
+/// budget can shrink mid-run, so the provenance object must reflect the
+/// worst parallelism observed, not an optimistic startup snapshot.
+pub fn sample_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Renders the shared `"host"` provenance object embedded in the bench
 /// JSON files: core count, git revision, the widest `--jobs` setting the
 /// sweep exercises, and the repetition count. When the host has fewer

@@ -75,6 +75,19 @@ OPTIONS (check/synth):
     --no-sharing       disable learnt-clause exchange between portfolio
                        contenders / synthesis workers (verdicts are
                        identical either way; see DESIGN.md §13)
+    --bdd-partitioned  symbolic engine: image via per-variable update
+                       partitions chained with early quantification
+                       (the default; see DESIGN.md §15)
+    --bdd-monolithic   symbolic engine: one conjoined transition-relation
+                       BDD (baseline; verdicts are identical either way)
+    --bdd-no-sift      disable dynamic variable reordering (sifting) in
+                       the symbolic engine
+    --bdd-sift-threshold N
+                       live-node count that triggers the first sift
+                       (default: adaptive, 4x the post-encoding size)
+    --max-bdd-nodes N  BDD node ceiling: the manager refuses further
+                       allocation and the run demotes to UNKNOWN
+                       (resource-exhausted) instead of exhausting memory
     --certify          independently validate every verdict: replay
                        counterexamples through the reference interpreter,
                        re-check proofs with fresh proof-logged SAT queries;
@@ -194,6 +207,29 @@ fn options_from(args: &[String]) -> Result<CheckOptions, String> {
     }
     if args.iter().any(|a| a == "--no-sharing") {
         opts = opts.with_sharing(false);
+    }
+    let bdd_part = args.iter().any(|a| a == "--bdd-partitioned");
+    let bdd_mono = args.iter().any(|a| a == "--bdd-monolithic");
+    if bdd_part && bdd_mono {
+        return Err("--bdd-partitioned and --bdd-monolithic are mutually exclusive".to_string());
+    }
+    if bdd_mono {
+        opts = opts.with_bdd_partitioned(false);
+    }
+    if args.iter().any(|a| a == "--bdd-no-sift") {
+        opts = opts.with_bdd_sift(false);
+    }
+    if let Some(t) = flag_value(args, "--bdd-sift-threshold") {
+        let nodes: usize = t
+            .parse()
+            .map_err(|_| format!("--bdd-sift-threshold expects a node count, got `{t}`"))?;
+        opts = opts.with_bdd_sift_threshold(nodes);
+    }
+    if let Some(m) = flag_value(args, "--max-bdd-nodes") {
+        let max: usize = m
+            .parse()
+            .map_err(|_| format!("--max-bdd-nodes expects a node count, got `{m}`"))?;
+        opts = opts.with_max_bdd_nodes(max);
     }
     if let Some(r) = flag_value(args, "--retries") {
         let retries: u32 = r
@@ -618,10 +654,16 @@ fn print_stats_text(stats: &verdict_mc::Stats, contenders: &[(EngineKind, verdic
     }
     if !stats.bdd.is_zero() {
         println!(
-            "  bdd: {} nodes, {:.1}% ite cache hits, {} peak live",
+            "  bdd: {} nodes, {:.1}% ite cache hits, {} peak live, {} partition(s), \
+             {} sift(s) ({} -> {} nodes), {} cache clears",
             stats.bdd.nodes_allocated,
             stats.bdd.ite_hit_rate() * 100.0,
-            stats.bdd.peak_live_nodes
+            stats.bdd.peak_live_nodes,
+            stats.bdd.partitions,
+            stats.bdd.sifts,
+            stats.bdd.sift_nodes_before,
+            stats.bdd.sift_nodes_after,
+            stats.bdd.cache_clears
         );
     }
     if stats.fixpoint_iterations > 0 || stats.states_visited > 0 {

@@ -19,9 +19,29 @@ use verdict_bdd::{Bdd, BddManager, VarSet};
 use verdict_ts::bits::{self, BoolAlg, Num};
 use verdict_ts::{Ctl, Expr, Ltl, Sort, System, Trace, Value, VarId, VarKind};
 
-use crate::result::{Budget, CheckOptions, CheckResult, McError};
+use crate::result::{Budget, CheckOptions, CheckResult, McError, UnknownReason};
 use crate::stats::{Phase, SpanTimer, Stats};
 use crate::tableau::violation_product;
+
+/// Node-size cap for merging adjacent per-variable clusters into one
+/// partition. Deliberately small: the relation stays per-variable except
+/// where updates are trivial (frozen params, domain bits), because early
+/// quantification — not cluster count — is what keeps intermediate image
+/// products off the monolithic blowup curve.
+const PARTITION_NODE_CAP: usize = 50;
+
+/// Fattest variable blocks moved per sift pass (each trial reorders the
+/// whole arena, so the pass cost is `blocks × candidate positions ×
+/// O(nodes)`).
+const MAX_SIFT_BLOCKS: usize = 8;
+
+/// Floor for the adaptive sift trigger: below this the arena is too
+/// small for reordering to pay for itself.
+const MIN_SIFT_TRIGGER: usize = 20_000;
+
+/// Floor for the adaptive garbage-collection trigger: below this the
+/// arena is too small for a collection pass to matter.
+const GC_MIN_TRIGGER: usize = 1 << 12;
 
 /// [`BoolAlg`] adapter over a [`BddManager`] (newtype for coherence).
 pub struct BddAlg<'m>(pub &'m mut BddManager);
@@ -63,6 +83,29 @@ fn sort_width(sort: &Sort) -> Result<usize, McError> {
     Ok(64 - (card - 1).leading_zeros() as usize)
 }
 
+/// One cluster of the partitioned transition relation together with its
+/// early-quantification schedule: the variables quantified out right
+/// after this partition is conjoined are exactly those no later
+/// partition (in chain order) mentions.
+#[derive(Clone, Copy)]
+struct Partition {
+    /// Conjunction of the cluster's update constraints (current + next
+    /// vars).
+    rel: Bdd,
+    /// Current-state vars whose last mention is this partition
+    /// (quantified here during [`SymbolicSystem::image`]).
+    img_quant: VarSet,
+    /// Next-state vars whose last mention is this partition (for
+    /// [`SymbolicSystem::preimage`]).
+    pre_quant: VarSet,
+}
+
+/// Index into the engine's protected-root registry: handles stored there
+/// are remapped when a sift invalidates the arena, so fixpoint loops can
+/// keep BDDs alive across dynamic reordering.
+#[derive(Clone, Copy, Debug)]
+struct RootId(usize);
+
 /// The symbolic encoding of a finite system: interleaved current/next BDD
 /// variables per state bit, plus the INIT / TRANS / INVAR BDDs.
 pub struct SymbolicSystem<'s> {
@@ -80,20 +123,64 @@ pub struct SymbolicSystem<'s> {
     next_to_cur: Vec<(u32, u32)>,
     /// INIT ∧ INVAR ∧ domains.
     pub init: Bdd,
-    /// TRANS ∧ frozen-equality ∧ next-state INVAR/domains.
+    /// TRANS ∧ frozen-equality ∧ next-state INVAR/domains — monolithic
+    /// mode only; stays `TRUE` when the relation is partitioned.
     pub trans: Bdd,
     /// INVAR ∧ domain constraints (the legal state space).
     pub space: Bdd,
+    /// Whether images chain over `partitions` instead of `trans`.
+    partitioned: bool,
+    partitions: Vec<Partition>,
+    /// Current-state vars no partition mentions: quantified out of the
+    /// source set before the image chain starts.
+    img_prequant: VarSet,
+    /// Next-state vars no partition mentions (preimage counterpart).
+    pre_prequant: VarSet,
+    /// Garbage collection fires when the arena outgrows this many
+    /// nodes (re-armed to 4× the post-collection live set).
+    gc_trigger: usize,
+    /// Dynamic-reordering configuration: sifting fires when the arena
+    /// grows past `sift_threshold` live nodes (re-armed after each pass).
+    sift_enabled: bool,
+    sift_threshold: usize,
+    sift_fixed: Option<usize>,
+    /// `(reachable nodes before, after)` per sift, for stats/tracing.
+    sift_events: Vec<(usize, usize)>,
+    /// Caller-held handles that must survive a sift (stack discipline:
+    /// see [`SymbolicSystem::protect`]).
+    protected: Vec<Bdd>,
+    /// Care set for expression lowering: when set, every intermediate
+    /// boolean BDD is simplified against it (sibling substitution), so
+    /// results are only trusted inside the care set. Installed by
+    /// [`SymbolicSystem::expr_bdd_within`].
+    care: Option<Bdd>,
     /// Fixpoint iterations performed so far (reachability rings plus
     /// EU/EG rounds); snapshotted into [`Stats::fixpoint_iterations`].
     fixpoints: u64,
 }
 
 impl<'s> SymbolicSystem<'s> {
-    /// Builds the encoding. Fails on real-sorted variables.
+    /// Builds the encoding with default options (partitioned relation,
+    /// sifting on, no node ceiling). Fails on real-sorted variables.
     pub fn new(sys: &'s System) -> Result<SymbolicSystem<'s>, McError> {
+        SymbolicSystem::configured(sys, &CheckOptions::default())
+    }
+
+    /// Builds the encoding honoring the symbolic-engine knobs in `opts`
+    /// (`bdd_partitioned`, `bdd_sift`, `bdd_sift_threshold`,
+    /// `max_bdd_nodes`). The node ceiling is installed *before* lowering
+    /// starts, so even encoding a pathological model cannot blow past it;
+    /// callers must consult [`BddManager::limit_exceeded`] before
+    /// trusting any BDD built here.
+    pub fn configured(sys: &'s System, opts: &CheckOptions) -> Result<SymbolicSystem<'s>, McError> {
         sys.check()?;
         let mut man = BddManager::new();
+        man.set_node_limit(opts.max_bdd_nodes);
+        // The wall-clock deadline is enforced inside the manager too:
+        // on models whose *encoding* explodes (a monolithic `and_all`
+        // over a wide relation) the grind is inside a single BDD call,
+        // where no engine loop ever gets a chance to poll the budget.
+        man.set_deadline(opts.deadline());
         let mut bit_base = Vec::with_capacity(sys.num_vars());
         let mut widths = Vec::with_capacity(sys.num_vars());
         let mut total_bits = 0usize;
@@ -109,6 +196,7 @@ impl<'s> SymbolicSystem<'s> {
         }
         let current_set = man.var_set((0..total_bits).map(|i| 2 * i as u32));
         let next_set = man.var_set((0..total_bits).map(|i| 2 * i as u32 + 1));
+        let empty_set = man.var_set([]);
         let cur_to_next: Vec<(u32, u32)> = (0..total_bits)
             .map(|i| (2 * i as u32, 2 * i as u32 + 1))
             .collect();
@@ -129,48 +217,189 @@ impl<'s> SymbolicSystem<'s> {
             init: Bdd::TRUE,
             trans: Bdd::TRUE,
             space: Bdd::TRUE,
+            partitioned: opts.bdd_partitioned,
+            partitions: Vec::new(),
+            img_prequant: empty_set,
+            pre_prequant: empty_set,
+            gc_trigger: GC_MIN_TRIGGER,
+            sift_enabled: opts.bdd_sift,
+            sift_threshold: usize::MAX,
+            sift_fixed: opts.bdd_sift_threshold,
+            sift_events: Vec::new(),
+            protected: Vec::new(),
+            care: None,
             fixpoints: 0,
         };
 
         // Legal state space: domain constraints + INVAR (current vars).
+        // Lowering leaves dead intermediates behind; collecting at
+        // every stage boundary keeps the arena's high-water mark near
+        // the live set instead of the sum of all lowering garbage.
         let mut space = Bdd::TRUE;
         for v in sys.var_ids() {
             let d = enc.domain_constraint(v, false);
             space = enc.man.and(space, d);
         }
+        // Each constraint is lowered under the accumulated set as its
+        // care set: constraints already conjoined (parameter pins,
+        // "nothing failed yet") collapse later ones (deep connectivity
+        // expansions) *during* lowering, instead of paying for the
+        // exact full-space BDD and then conjoining it away.
         for inv in sys.invar() {
-            let b = enc.expr_bdd(inv)?;
+            let b = enc.expr_bdd_within(inv, space)?;
             space = enc.man.and(space, b);
+            space = enc.maybe_gc(vec![space])[0];
         }
         enc.space = space;
 
         // INIT.
         let mut init = space;
         for e in sys.init() {
-            let b = enc.expr_bdd(e)?;
+            let b = enc.expr_bdd_within(e, init)?;
             init = enc.man.and(init, b);
+            init = enc.maybe_gc(vec![init])[0];
         }
         enc.init = init;
 
-        // TRANS: constraints ∧ frozen equality ∧ next-space.
-        let mut trans = Bdd::TRUE;
+        // TRANS, as a list of conjuncts: the model's own transition
+        // constraints, frozen-variable equalities, and next-state
+        // legality (per-variable domain constraints plus renamed INVAR
+        // — the monolithic `rename(space)` distributed so each conjunct
+        // stays attached to the variables it mentions).
+        let mut conjuncts: Vec<Bdd> = Vec::new();
         for e in sys.trans() {
-            let b = enc.expr_bdd(e)?;
-            trans = enc.man.and(trans, b);
+            conjuncts.push(enc.expr_bdd(e)?);
+            conjuncts = enc.maybe_gc(conjuncts);
         }
         for v in sys.var_ids() {
             if sys.decl(v).kind == VarKind::Frozen {
                 let eq = enc.var_bits_equal_cur_next(v);
-                trans = enc.man.and(trans, eq);
+                conjuncts.push(eq);
             }
         }
-        let next_space = {
+        for v in sys.var_ids() {
+            let d = enc.domain_constraint(v, true);
+            conjuncts.push(d);
+        }
+        for inv in sys.invar() {
+            let b = enc.expr_bdd(inv)?;
             let map = enc.cur_to_next.clone();
-            enc.man.rename(space, &map)
+            conjuncts.push(enc.man.rename(b, &map));
+            conjuncts = enc.maybe_gc(conjuncts);
+        }
+        conjuncts.retain(|&c| c != Bdd::TRUE);
+
+        if enc.partitioned {
+            enc.build_partitions(&conjuncts);
+        } else {
+            enc.trans = enc.man.and_all(conjuncts);
+        }
+        enc.maybe_gc(Vec::new());
+
+        enc.sift_threshold = match enc.sift_fixed {
+            Some(t) => t,
+            None => (4 * enc.man.node_count()).max(MIN_SIFT_TRIGGER),
         };
-        trans = enc.man.and(trans, next_space);
-        enc.trans = trans;
         Ok(enc)
+    }
+
+    /// Clusters the transition conjuncts into partitions and computes the
+    /// early-quantification schedules. Conjuncts are bucketed by the
+    /// system variable owning their lowest next-state bit (pure-guard
+    /// conjuncts with no next bits ride with their lowest current bit),
+    /// then adjacent buckets merge while the merged BDD stays under
+    /// [`PARTITION_NODE_CAP`] nodes.
+    fn build_partitions(&mut self, conjuncts: &[Bdd]) {
+        let mut buckets: Vec<Vec<Bdd>> = vec![Vec::new(); self.sys.num_vars().max(1)];
+        for &c in conjuncts {
+            let sup = self.support(c);
+            let key_bit = sup
+                .iter()
+                .copied()
+                .filter(|b| b % 2 == 1)
+                .min()
+                .or_else(|| sup.iter().copied().min());
+            let key = key_bit.map_or(0, |b| self.owner_var(b));
+            buckets[key].push(c);
+        }
+        let mut rels: Vec<Bdd> = Vec::new();
+        for bucket in buckets {
+            if bucket.is_empty() {
+                continue;
+            }
+            let r = self.man.and_all(bucket);
+            match rels.last().copied() {
+                Some(prev) if self.man.size(prev) + self.man.size(r) <= PARTITION_NODE_CAP => {
+                    let merged = self.man.and(prev, r);
+                    *rels.last_mut().expect("nonempty") = merged;
+                }
+                _ => rels.push(r),
+            }
+        }
+        if rels.is_empty() {
+            // Fully unconstrained system: one trivial partition keeps the
+            // image chain well-formed.
+            rels.push(Bdd::TRUE);
+        }
+        // The bucket conjunctions are done with the raw conjuncts;
+        // collect their garbage before the supports are computed.
+        let rels = self.maybe_gc(rels);
+        let k = rels.len();
+        let sups: Vec<std::collections::HashSet<u32>> =
+            rels.iter().map(|&r| self.support(r)).collect();
+        let mut img_lists: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut pre_lists: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut img_pre: Vec<u32> = Vec::new();
+        let mut pre_pre: Vec<u32> = Vec::new();
+        for i in 0..self.total_bits {
+            let cur = 2 * i as u32;
+            let next = cur + 1;
+            match (0..k).rev().find(|&j| sups[j].contains(&cur)) {
+                Some(j) => img_lists[j].push(cur),
+                None => img_pre.push(cur),
+            }
+            match (0..k).rev().find(|&j| sups[j].contains(&next)) {
+                Some(j) => pre_lists[j].push(next),
+                None => pre_pre.push(next),
+            }
+        }
+        self.img_prequant = self.man.var_set(img_pre);
+        self.pre_prequant = self.man.var_set(pre_pre);
+        self.partitions = Vec::with_capacity(k);
+        for ((rel, img), pre) in rels.into_iter().zip(img_lists).zip(pre_lists) {
+            let img_quant = self.man.var_set(img);
+            let pre_quant = self.man.var_set(pre);
+            self.partitions.push(Partition {
+                rel,
+                img_quant,
+                pre_quant,
+            });
+        }
+    }
+
+    /// The set of BDD variables a function depends on.
+    fn support(&self, b: Bdd) -> std::collections::HashSet<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut sup = std::collections::HashSet::new();
+        let mut stack = vec![b];
+        while let Some(x) = stack.pop() {
+            if x.is_constant() || !seen.insert(x) {
+                continue;
+            }
+            let (v, low, high) = self.man.node_parts(x);
+            sup.insert(v);
+            stack.push(low);
+            stack.push(high);
+        }
+        sup
+    }
+
+    /// The system variable owning BDD variable `bdd_var`.
+    fn owner_var(&self, bdd_var: u32) -> usize {
+        let pos = (bdd_var / 2) as usize;
+        // Zero-width variables share a base with their successor; the
+        // last base ≤ pos is the owner.
+        self.bit_base.partition_point(|&b| b <= pos) - 1
     }
 
     /// The manager (for node-count diagnostics).
@@ -178,9 +407,155 @@ impl<'s> SymbolicSystem<'s> {
         &self.man
     }
 
+    /// Mutable manager access, for callers composing their own boolean
+    /// operations over handles obtained from this encoding. Handles
+    /// built this way are NOT sift-safe — either disable sifting or
+    /// keep such composition outside the reachability loop.
+    pub fn manager_mut(&mut self) -> &mut BddManager {
+        &mut self.man
+    }
+
+    /// Why every result this manager now produces is garbage, if it is:
+    /// the node ceiling poisons to `ResourceExhausted`, the wall-clock
+    /// deadline to `Timeout`. Engines consult this at every phase
+    /// boundary before trusting any BDD built since the last check.
+    pub fn give_up(&self) -> Option<UnknownReason> {
+        if self.man.limit_exceeded() {
+            Some(UnknownReason::ResourceExhausted)
+        } else if self.man.deadline_exceeded() {
+            Some(UnknownReason::Timeout)
+        } else {
+            None
+        }
+    }
+
     /// Total fixpoint iterations performed by this encoding so far.
     pub fn fixpoint_count(&self) -> u64 {
         self.fixpoints
+    }
+
+    /// Transition-relation partitions this encoding images over (1 in
+    /// monolithic mode).
+    pub fn partition_count(&self) -> usize {
+        if self.partitioned {
+            self.partitions.len()
+        } else {
+            1
+        }
+    }
+
+    /// `(reachable nodes before, after)` for every sift performed.
+    pub fn sift_log(&self) -> &[(usize, usize)] {
+        &self.sift_events
+    }
+
+    /// Registers a handle to survive sifting: the registry is remapped
+    /// alongside the engine's own roots whenever a reorder invalidates
+    /// the arena. Stack discipline — release with
+    /// [`SymbolicSystem::unprotect_to`] in reverse order.
+    fn protect(&mut self, b: Bdd) -> RootId {
+        self.protected.push(b);
+        RootId(self.protected.len() - 1)
+    }
+
+    /// The current handle behind a protected slot (fresh after any sift).
+    fn root(&self, id: RootId) -> Bdd {
+        self.protected[id.0]
+    }
+
+    /// Replaces the handle in a protected slot.
+    fn set_root(&mut self, id: RootId, b: Bdd) {
+        self.protected[id.0] = b;
+    }
+
+    /// Releases `id` and every slot protected after it.
+    fn unprotect_to(&mut self, id: RootId) {
+        self.protected.truncate(id.0);
+    }
+
+    /// Sifts if the arena has outgrown the trigger threshold: reorders
+    /// the fattest variable blocks (current/next bit pairs move as one so
+    /// the interleaving invariant survives), remaps every engine root and
+    /// protected handle, and re-arms the trigger at twice the compacted
+    /// size. All handles not registered via [`SymbolicSystem::protect`]
+    /// are invalidated — only call from points where the live set is
+    /// exactly the engine roots plus the registry.
+    /// Engine-owned handles that must survive an arena rebuild (GC or
+    /// sift): INIT/TRANS/space, partition relations, and the protected
+    /// registry — in that fixed order, which [`Self::install_roots`]
+    /// mirrors.
+    fn engine_roots(&self) -> Vec<Bdd> {
+        let mut roots = vec![self.init, self.trans, self.space];
+        for p in &self.partitions {
+            roots.push(p.rel);
+        }
+        roots.extend(self.protected.iter().copied());
+        roots
+    }
+
+    /// Reinstalls the engine roots from a rebuild's remapped handle
+    /// list (same order as [`Self::engine_roots`], possibly followed by
+    /// caller extras, which are returned remapped).
+    fn install_roots(&mut self, remapped: Vec<Bdd>) -> Vec<Bdd> {
+        let mut it = remapped.into_iter();
+        self.init = it.next().expect("root");
+        self.trans = it.next().expect("root");
+        self.space = it.next().expect("root");
+        for p in &mut self.partitions {
+            p.rel = it.next().expect("root");
+        }
+        for slot in &mut self.protected {
+            *slot = it.next().expect("root");
+        }
+        it.collect()
+    }
+
+    /// Collects lowering garbage once the arena has outgrown the live
+    /// set. Engine roots and `extras` survive (extras come back
+    /// remapped); every other handle is invalidated — callers must not
+    /// hold any. Cheap no-op below the adaptive trigger.
+    fn maybe_gc(&mut self, extras: Vec<Bdd>) -> Vec<Bdd> {
+        debug_assert!(self.care.is_none(), "care-set handle would go stale");
+        if self.man.node_count() < self.gc_trigger || self.man.poisoned() {
+            return extras;
+        }
+        let mut roots = self.engine_roots();
+        roots.extend(extras.iter().copied());
+        let remapped = self.man.gc(&roots);
+        let out = self.install_roots(remapped);
+        self.gc_trigger = (4 * self.man.node_count()).max(GC_MIN_TRIGGER);
+        out
+    }
+
+    fn maybe_sift(&mut self) {
+        if !self.sift_enabled
+            || self.total_bits == 0
+            || self.man.poisoned()
+            || self.man.node_count() < self.sift_threshold
+        {
+            return;
+        }
+        // Collect before judging size: most arena growth is operation
+        // garbage, and collection is far cheaper than a sifting pass.
+        // Sift only when the *live* set still exceeds the threshold.
+        let roots = self.engine_roots();
+        let remapped = self.man.gc(&roots);
+        self.install_roots(remapped);
+        self.gc_trigger = (4 * self.man.node_count()).max(GC_MIN_TRIGGER);
+        if self.man.node_count() < self.sift_threshold {
+            return;
+        }
+        let roots = self.engine_roots();
+        let blocks: Vec<Vec<u32>> = (0..self.total_bits)
+            .map(|i| vec![2 * i as u32, 2 * i as u32 + 1])
+            .collect();
+        let out = self.man.sift(&roots, &blocks, MAX_SIFT_BLOCKS);
+        self.install_roots(out.roots);
+        self.sift_events.push((out.nodes_before, out.nodes_after));
+        self.sift_threshold = out
+            .nodes_after
+            .saturating_mul(2)
+            .max(self.sift_fixed.unwrap_or(MIN_SIFT_TRIGGER));
     }
 
     fn bdd_var_index(&self, v: VarId, bit: usize, next: bool) -> u32 {
@@ -214,6 +589,21 @@ impl<'s> SymbolicSystem<'s> {
         Ok(self.lower_bool(e, &mut seen))
     }
 
+    /// Lowers a boolean expression under a care set: every intermediate
+    /// boolean BDD is simplified by sibling substitution against
+    /// `care`, so the result agrees with the exact lowering *inside*
+    /// `care` and is unconstrained elsewhere. Lowering a property
+    /// against the already-computed reachable set this way sidesteps
+    /// the full-space blowup of order-hostile formulas (deep
+    /// connectivity expansions, view-vs-truth comparators) whose exact
+    /// BDDs dwarf the reachable set itself.
+    pub fn expr_bdd_within(&mut self, e: &Expr, care: Bdd) -> Result<Bdd, McError> {
+        self.care = Some(care);
+        let r = self.expr_bdd(e);
+        self.care = None;
+        r
+    }
+
     fn lower_bool(
         &mut self,
         e: &Expr,
@@ -223,7 +613,10 @@ impl<'s> SymbolicSystem<'s> {
         if let Some(&hit) = seen.get(&key) {
             return hit;
         }
-        let result = self.lower_bool_uncached(e, seen);
+        let mut result = self.lower_bool_uncached(e, seen);
+        if let Some(care) = self.care {
+            result = self.man.simplify(result, care);
+        }
         seen.insert(key, result);
         result
     }
@@ -419,40 +812,85 @@ impl<'s> SymbolicSystem<'s> {
         bits::bits_eq(&mut alg, &cur, &next)
     }
 
-    /// Forward image: states reachable in one step from `s`.
+    /// Forward image: states reachable in one step from `s`. Partitioned
+    /// mode chains `and_exists` over the clusters, quantifying each
+    /// current-state variable at its last mention, so no intermediate
+    /// product ever carries the full monolithic relation.
     pub fn image(&mut self, s: Bdd) -> Bdd {
-        let stepped = self.man.and_exists(s, self.trans, self.current_set);
+        let stepped = if self.partitioned {
+            let mut acc = self.man.exists(s, self.img_prequant);
+            for i in 0..self.partitions.len() {
+                let p = self.partitions[i];
+                acc = self.man.and_exists(acc, p.rel, p.img_quant);
+            }
+            acc
+        } else {
+            self.man.and_exists(s, self.trans, self.current_set)
+        };
         let map = self.next_to_cur.clone();
         self.man.rename(stepped, &map)
     }
 
-    /// Backward image: states with a successor in `s`.
+    /// Backward image: states with a successor in `s` (same chained
+    /// schedule as [`SymbolicSystem::image`], quantifying next-state
+    /// variables at their last mention).
     pub fn preimage(&mut self, s: Bdd) -> Bdd {
         let map = self.cur_to_next.clone();
         let s_next = self.man.rename(s, &map);
-        self.man.and_exists(self.trans, s_next, self.next_set)
+        if self.partitioned {
+            let mut acc = self.man.exists(s_next, self.pre_prequant);
+            for i in 0..self.partitions.len() {
+                let p = self.partitions[i];
+                acc = self.man.and_exists(acc, p.rel, p.pre_quant);
+            }
+            acc
+        } else {
+            self.man.and_exists(self.trans, s_next, self.next_set)
+        }
     }
 
     /// Onion rings of reachability from `init`; `None` on timeout,
-    /// cancellation, or node-count overflow (consult the budget for
-    /// which).
+    /// cancellation, or node-count overflow (consult the budget and
+    /// [`BddManager::limit_exceeded`] for which). This is the only loop
+    /// that triggers sifting — rings live in the protected registry so a
+    /// mid-fixpoint reorder cannot orphan them.
     pub fn reachable(&mut self, budget: &Budget) -> Option<Vec<Bdd>> {
-        let mut rings = vec![self.init];
-        let mut reach = self.init;
-        loop {
+        let reach_id = self.protect(self.init);
+        let mut ring_ids = vec![self.protect(self.init)];
+        let ok = loop {
             self.fixpoints += 1;
             if budget.check_nodes(self.man.node_count()).is_some() {
-                return None;
+                break false;
             }
-            let frontier = *rings.last().expect("nonempty");
+            self.maybe_sift();
+            let frontier = self.root(*ring_ids.last().expect("nonempty"));
             let img = self.image(frontier);
+            let reach = self.root(reach_id);
             let not_reach = self.man.not(reach);
             let new = self.man.and(img, not_reach);
-            if new == Bdd::FALSE {
-                return Some(rings);
+            // A poisoned manager collapses everything to FALSE — check
+            // both poison flags before trusting `new` as a fixpoint
+            // witness.
+            if self.man.poisoned() {
+                break false;
             }
-            reach = self.man.or(reach, new);
-            rings.push(new);
+            if new == Bdd::FALSE {
+                break true;
+            }
+            let grown = self.man.or(reach, new);
+            self.set_root(reach_id, grown);
+            ring_ids.push(self.protect(new));
+            // Image chains shed intermediates every iteration; the
+            // rings and reach live in the protected registry, so
+            // nothing the loop still needs can be collected.
+            self.maybe_gc(Vec::new());
+        };
+        let rings: Vec<Bdd> = ring_ids.iter().map(|&id| self.root(id)).collect();
+        self.unprotect_to(reach_id);
+        if ok {
+            Some(rings)
+        } else {
+            None
         }
     }
 
@@ -586,6 +1024,30 @@ impl<'s> SymbolicSystem<'s> {
     }
 }
 
+/// Why a fixpoint gave up: the manager's own poisoned ceiling beats the
+/// budget's explanation (a poisoned arena is always `ResourceExhausted`,
+/// whatever the clock says).
+fn give_up_reason(enc: &SymbolicSystem<'_>, budget: &Budget) -> UnknownReason {
+    enc.give_up().unwrap_or_else(|| budget.unknown_reason())
+}
+
+/// Folds the encoding's observability into the stats sink: manager
+/// counters, partition count, and one trace mark per sift.
+fn finish_stats(stats: &mut Stats, enc: &SymbolicSystem<'_>) {
+    stats.fixpoint_iterations += enc.fixpoint_count();
+    stats.absorb_bdd(enc.manager());
+    stats.bdd.partitions = stats.bdd.partitions.max(enc.partition_count() as u64);
+    if let Some(t) = stats.trace() {
+        for &(before, after) in enc.sift_log() {
+            t.mark(
+                "bdd",
+                "sift",
+                &format!("nodes_before={before} nodes_after={after}"),
+            );
+        }
+    }
+}
+
 /// Trait-dispatch entry point for the complete invariant check by
 /// forward reachability (see [`crate::engine::engine`]).
 pub(crate) fn run_invariant(
@@ -594,12 +1056,19 @@ pub(crate) fn run_invariant(
     opts: &CheckOptions,
     stats: &mut Stats,
 ) -> Result<CheckResult, McError> {
+    // One budget for the whole check: the deadline armed inside the
+    // manager during encode and the deadline the fixpoint loops poll
+    // are the same instant, so encode time counts against the timeout.
+    let budget = Budget::new(opts);
     let encode = SpanTimer::begin(Phase::Encode);
-    let mut enc = SymbolicSystem::new(sys)?;
+    let mut enc = SymbolicSystem::configured(sys, opts)?;
     stats.end_span(encode);
-    let res = invariant_fix(sys, p, opts, stats, &mut enc);
-    stats.fixpoint_iterations += enc.fixpoint_count();
-    stats.absorb_bdd(enc.manager());
+    let res = if let Some(reason) = enc.give_up() {
+        Ok(CheckResult::Unknown(reason))
+    } else {
+        invariant_fix(sys, p, opts, &budget, stats, &mut enc)
+    };
+    finish_stats(stats, &enc);
     res
 }
 
@@ -607,24 +1076,40 @@ fn invariant_fix(
     sys: &System,
     p: &Expr,
     opts: &CheckOptions,
+    budget: &Budget,
     stats: &mut Stats,
     enc: &mut SymbolicSystem<'_>,
 ) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
-    let encode = SpanTimer::begin(Phase::Encode);
-    let p_bdd = enc.expr_bdd(p)?;
-    let bad = enc.man.not(p_bdd);
-    stats.end_span(encode);
+    // Reachability FIRST: the rings are cheap to saturate partition by
+    // partition, and their union then serves as the care set for
+    // lowering the property. Exact property BDDs over the free state
+    // space (deep connectivity expansions, view-vs-truth comparators)
+    // can dwarf the reachable set by orders of magnitude; restricted
+    // lowering never pays for states no execution visits.
     let solve = SpanTimer::begin(Phase::Solve);
-    let rings = enc.reachable(&budget);
+    let rings = enc.reachable(budget);
     stats.end_span(solve);
     let Some(rings) = rings else {
-        return Ok(CheckResult::Unknown(budget.unknown_reason()));
+        return Ok(CheckResult::Unknown(give_up_reason(enc, budget)));
     };
+    let encode = SpanTimer::begin(Phase::Encode);
+    let mut reach = Bdd::FALSE;
+    for &r in &rings {
+        reach = enc.man.or(reach, r);
+    }
+    let p_bdd = enc.expr_bdd_within(p, reach)?;
+    let bad = enc.man.not(p_bdd);
+    stats.end_span(encode);
+    if let Some(reason) = enc.give_up() {
+        return Ok(CheckResult::Unknown(reason));
+    }
     // First ring intersecting ¬p.
     let mut hit = None;
     for (i, &ring) in rings.iter().enumerate() {
         let overlap = enc.man.and(ring, bad);
+        if let Some(reason) = enc.give_up() {
+            return Ok(CheckResult::Unknown(reason));
+        }
         if overlap != Bdd::FALSE {
             hit = Some((i, overlap));
             break;
@@ -635,15 +1120,24 @@ fn invariant_fix(
             // Certificate: the reachable set is an inductive invariant
             // implying p. Export it as an expression and re-check the
             // three obligations with fresh proof-logged SAT queries.
-            let mut reach = Bdd::FALSE;
-            for &r in &rings {
-                reach = enc.man.or(reach, r);
+            // Under partitioning, first re-check inductiveness against
+            // every partition symbolically: one more chained image must
+            // stay inside the computed set. A nonempty escape means the
+            // partitioned fixpoint lied — withhold the verdict.
+            let img = enc.image(reach);
+            let not_reach = enc.man.not(reach);
+            let escaped = enc.man.and(img, not_reach);
+            if let Some(reason) = enc.give_up() {
+                return Ok(CheckResult::Unknown(reason));
+            }
+            if escaped != Bdd::FALSE {
+                return Ok(CheckResult::Unknown(UnknownReason::CertificateRejected));
             }
             let inv = enc.bdd_to_expr(reach);
             let certify = SpanTimer::begin(Phase::Certify);
             let gated = crate::certify::gate_holds(
                 "BDD reachable-set",
-                crate::certify::check_inductive_invariant(sys, p, &inv, &budget),
+                crate::certify::check_inductive_invariant(sys, p, &inv, budget),
             );
             stats.end_span(certify);
             return Ok(gated);
@@ -656,6 +1150,9 @@ fn invariant_fix(
         let cur_bdd = enc.state_bdd(states.last().expect("nonempty"));
         let pre = enc.preimage(cur_bdd);
         let in_ring = enc.man.and(pre, rings[ring_idx]);
+        if let Some(reason) = enc.give_up() {
+            return Ok(CheckResult::Unknown(reason));
+        }
         debug_assert!(in_ring != Bdd::FALSE, "onion ring reconstruction");
         states.push(enc.pick_state(in_ring));
     }
@@ -681,23 +1178,26 @@ pub(crate) fn run_ctl(
     opts: &CheckOptions,
     stats: &mut Stats,
 ) -> Result<CheckResult, McError> {
+    let budget = Budget::new(opts);
     let encode = SpanTimer::begin(Phase::Encode);
-    let mut enc = SymbolicSystem::new(sys)?;
+    let mut enc = SymbolicSystem::configured(sys, opts)?;
     stats.end_span(encode);
-    let res = ctl_fix(sys, phi, opts, stats, &mut enc);
-    stats.fixpoint_iterations += enc.fixpoint_count();
-    stats.absorb_bdd(enc.manager());
+    let res = if let Some(reason) = enc.give_up() {
+        Ok(CheckResult::Unknown(reason))
+    } else {
+        ctl_fix(sys, phi, &budget, stats, &mut enc)
+    };
+    finish_stats(stats, &enc);
     res
 }
 
 fn ctl_fix(
     sys: &System,
     phi: &Ctl,
-    opts: &CheckOptions,
+    budget: &Budget,
     stats: &mut Stats,
     enc: &mut SymbolicSystem<'_>,
 ) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
     let encode = SpanTimer::begin(Phase::Encode);
     let justice: Vec<Bdd> = sys
         .fairness()
@@ -705,20 +1205,26 @@ fn ctl_fix(
         .map(|e| enc.expr_bdd(e))
         .collect::<Result<_, _>>()?;
     stats.end_span(encode);
+    if let Some(reason) = enc.give_up() {
+        return Ok(CheckResult::Unknown(reason));
+    }
     let solve = SpanTimer::begin(Phase::Solve);
-    let fair = fair_states(enc, &justice, &budget);
+    let fair = fair_states(enc, &justice, budget);
     let Some(fair) = fair else {
         stats.end_span(solve);
-        return Ok(CheckResult::Unknown(budget.unknown_reason()));
+        return Ok(CheckResult::Unknown(give_up_reason(enc, budget)));
     };
     let base = phi.to_base();
-    let sat = eval_ctl(enc, &base, fair, &justice, &budget);
+    let sat = eval_ctl(enc, &base, fair, &justice, budget);
     stats.end_span(solve);
     let Some(sat) = sat else {
-        return Ok(CheckResult::Unknown(budget.unknown_reason()));
+        return Ok(CheckResult::Unknown(give_up_reason(enc, budget)));
     };
     let nsat = enc.man.not(sat);
     let cex = enc.man.and(enc.init, nsat);
+    if let Some(reason) = enc.give_up() {
+        return Ok(CheckResult::Unknown(reason));
+    }
     if cex == Bdd::FALSE {
         Ok(CheckResult::Holds)
     } else {
@@ -748,6 +1254,11 @@ fn eu_fix(enc: &mut SymbolicSystem<'_>, p: Bdd, q: Bdd, budget: &Budget) -> Opti
         let pre = enc.preimage(y);
         let step = enc.man.and(p, pre);
         let ynew = enc.man.or(y, step);
+        // Poisoned results collapse to FALSE; never mistake that for
+        // convergence.
+        if enc.man.poisoned() {
+            return None;
+        }
         if ynew == y {
             return Some(y);
         }
@@ -776,6 +1287,9 @@ fn eg_fair(enc: &mut SymbolicSystem<'_>, p: Bdd, justice: &[Bdd], budget: &Budge
                 let pre = enc.preimage(eu);
                 znew = enc.man.and(znew, pre);
             }
+        }
+        if enc.man.poisoned() {
+            return None;
         }
         if znew == z {
             return Some(z);
@@ -845,13 +1359,17 @@ pub(crate) fn run_ltl(
     opts: &CheckOptions,
     stats: &mut Stats,
 ) -> Result<CheckResult, McError> {
+    let budget = Budget::new(opts);
     let encode = SpanTimer::begin(Phase::Encode);
     let product = violation_product(sys, phi);
-    let mut enc = SymbolicSystem::new(&product.system)?;
+    let mut enc = SymbolicSystem::configured(&product.system, opts)?;
     stats.end_span(encode);
-    let res = ltl_fix(sys, phi, &product, opts, stats, &mut enc);
-    stats.fixpoint_iterations += enc.fixpoint_count();
-    stats.absorb_bdd(enc.manager());
+    let res = if let Some(reason) = enc.give_up() {
+        Ok(CheckResult::Unknown(reason))
+    } else {
+        ltl_fix(sys, phi, &product, opts, &budget, stats, &mut enc)
+    };
+    finish_stats(stats, &enc);
     res
 }
 
@@ -860,10 +1378,10 @@ fn ltl_fix(
     phi: &Ltl,
     product: &crate::tableau::TableauProduct,
     opts: &CheckOptions,
+    budget: &Budget,
     stats: &mut Stats,
     enc: &mut SymbolicSystem<'_>,
 ) -> Result<CheckResult, McError> {
-    let budget = Budget::new(opts);
     let encode = SpanTimer::begin(Phase::Encode);
     let justice: Vec<Bdd> = product
         .justice
@@ -871,27 +1389,53 @@ fn ltl_fix(
         .map(|e| enc.expr_bdd(e))
         .collect::<Result<_, _>>()?;
     stats.end_span(encode);
-    // Restrict to reachable states: cheaper fixpoints and sound verdicts
-    // (fair cycles must be reachable from init).
+    if let Some(reason) = enc.give_up() {
+        return Ok(CheckResult::Unknown(reason));
+    }
+    // Lockstep forward/backward over the partitions: the forward sweep
+    // restricts to reachable states (cheaper fixpoints and sound
+    // verdicts — fair cycles must be reachable from init), then the
+    // backward Emerson–Lei pass runs under that restriction. The justice
+    // sets must survive any sift inside the forward sweep.
+    let justice_base = justice.first().map(|_| enc.protect(justice[0]));
+    for &j in justice.iter().skip(1) {
+        enc.protect(j);
+    }
     let solve = SpanTimer::begin(Phase::Solve);
-    let rings = enc.reachable(&budget);
+    let rings = enc.reachable(budget);
+    let justice: Vec<Bdd> = match justice_base {
+        Some(base) => (0..justice.len())
+            .map(|k| enc.root(RootId(base.0 + k)))
+            .collect(),
+        None => Vec::new(),
+    };
+    if let Some(base) = justice_base {
+        enc.unprotect_to(base);
+    }
     let Some(rings) = rings else {
         stats.end_span(solve);
-        return Ok(CheckResult::Unknown(budget.unknown_reason()));
+        return Ok(CheckResult::Unknown(give_up_reason(enc, budget)));
     };
     let mut reach = Bdd::FALSE;
     for r in rings {
         reach = enc.man.or(reach, r);
     }
+    if let Some(reason) = enc.give_up() {
+        stats.end_span(solve);
+        return Ok(CheckResult::Unknown(reason));
+    }
     let saved_space = enc.space;
     enc.space = reach;
-    let fair = fair_states(enc, &justice, &budget);
+    let fair = fair_states(enc, &justice, budget);
     enc.space = saved_space;
     stats.end_span(solve);
     let Some(fair) = fair else {
-        return Ok(CheckResult::Unknown(budget.unknown_reason()));
+        return Ok(CheckResult::Unknown(give_up_reason(enc, budget)));
     };
     let witness = enc.man.and(enc.init, fair);
+    if let Some(reason) = enc.give_up() {
+        return Ok(CheckResult::Unknown(reason));
+    }
     if witness == Bdd::FALSE {
         return Ok(CheckResult::Holds);
     }
@@ -1128,5 +1672,72 @@ mod tests {
         let mut sys = System::new("real");
         sys.real_var("r");
         assert!(SymbolicSystem::new(&sys).is_err());
+    }
+
+    #[test]
+    fn monolithic_matches_partitioned() {
+        let (sys, n) = counter(5);
+        for p in [Expr::var(n).le(Expr::int(5)), Expr::var(n).lt(Expr::int(3))] {
+            let part = check_invariant_t(&sys, &p, &CheckOptions::default()).unwrap();
+            let mono = check_invariant_t(
+                &sys,
+                &p,
+                &CheckOptions::default().with_bdd_partitioned(false),
+            )
+            .unwrap();
+            assert_eq!(part, mono, "partitioned vs monolithic on {p}");
+        }
+    }
+
+    #[test]
+    fn partitioned_builds_multiple_clusters() {
+        // Independent counters land in separate partitions (their update
+        // BDDs stay tiny, so adjacent clusters may merge — but never into
+        // one monolith spanning all 6 variables given the node cap).
+        let mut sys = System::new("many");
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            let v = sys.int_var(name, 0, 255);
+            sys.add_init(Expr::var(v).eq(Expr::int(0)));
+            sys.add_trans(Expr::next(v).eq(Expr::ite(
+                Expr::var(v).lt(Expr::int(255)),
+                Expr::var(v).add(Expr::int(1)),
+                Expr::int(0),
+            )));
+        }
+        let enc = SymbolicSystem::new(&sys).unwrap();
+        assert!(
+            enc.partition_count() >= 2,
+            "expected a partitioned relation, got {} cluster(s)",
+            enc.partition_count()
+        );
+    }
+
+    #[test]
+    fn tiny_node_ceiling_is_prompt_unknown() {
+        let (sys, n) = counter(5);
+        let opts = CheckOptions::default().with_max_bdd_nodes(16);
+        let r = check_invariant_t(&sys, &Expr::var(n).le(Expr::int(5)), &opts).unwrap();
+        assert_eq!(
+            r,
+            CheckResult::Unknown(UnknownReason::ResourceExhausted),
+            "poisoned manager must demote to ResourceExhausted, not Holds"
+        );
+    }
+
+    #[test]
+    fn forced_sift_keeps_verdicts() {
+        // A threshold of 1 forces a sift on every reachability ring; the
+        // verdicts and trace must match the unsifted run exactly.
+        let (sys, n) = counter(12);
+        let sifted = CheckOptions::default().with_bdd_sift_threshold(1);
+        let plain = CheckOptions::default().with_bdd_sift(false);
+        for p in [
+            Expr::var(n).le(Expr::int(12)),
+            Expr::var(n).lt(Expr::int(7)),
+        ] {
+            let a = check_invariant_t(&sys, &p, &sifted).unwrap();
+            let b = check_invariant_t(&sys, &p, &plain).unwrap();
+            assert_eq!(a, b, "sift changed the verdict on {p}");
+        }
     }
 }

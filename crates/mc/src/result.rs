@@ -231,6 +231,21 @@ pub struct CheckOptions {
     /// prefix (BMC and the k-induction base case) take one endpoint each;
     /// `None` = no sharing.
     pub share_hub: Option<Arc<verdict_sat::ClauseHub>>,
+    /// Symbolic engine: use the partitioned transition relation (one
+    /// clustered update BDD per group of state variables, images by
+    /// chained `and_exists` with early quantification) instead of one
+    /// monolithic `trans` BDD. On by default — the monolithic relation is
+    /// kept as a baseline/debugging path (`--bdd-monolithic`).
+    pub bdd_partitioned: bool,
+    /// Symbolic engine: allow dynamic variable reordering (block sifting)
+    /// when the manager's live-node count crosses the growth threshold.
+    /// On by default; `--bdd-no-sift` disables it.
+    pub bdd_sift: bool,
+    /// Symbolic engine: live-node count that triggers the first sift.
+    /// `None` = adaptive (a multiple of the post-encoding node count,
+    /// doubling after each sift). A fixed value is mostly a test hook for
+    /// forcing sifts on small models.
+    pub bdd_sift_threshold: Option<usize>,
 }
 
 impl Default for CheckOptions {
@@ -248,6 +263,9 @@ impl Default for CheckOptions {
             trace: None,
             sharing: true,
             share_hub: None,
+            bdd_partitioned: true,
+            bdd_sift: true,
+            bdd_sift_threshold: None,
         }
     }
 }
@@ -347,6 +365,27 @@ impl CheckOptions {
     /// Installs a clause-sharing hub for the engines this run spawns.
     pub fn with_share_hub(mut self, hub: Arc<verdict_sat::ClauseHub>) -> CheckOptions {
         self.share_hub = Some(hub);
+        self
+    }
+
+    /// Selects the partitioned (true, default) or monolithic (false)
+    /// transition relation in the symbolic engine.
+    pub fn with_bdd_partitioned(mut self, on: bool) -> CheckOptions {
+        self.bdd_partitioned = on;
+        self
+    }
+
+    /// Enables or disables dynamic variable reordering (sifting) in the
+    /// symbolic engine.
+    pub fn with_bdd_sift(mut self, on: bool) -> CheckOptions {
+        self.bdd_sift = on;
+        self
+    }
+
+    /// Fixes the live-node count that triggers sifting instead of the
+    /// adaptive default.
+    pub fn with_bdd_sift_threshold(mut self, nodes: usize) -> CheckOptions {
+        self.bdd_sift_threshold = Some(nodes);
         self
     }
 
@@ -459,6 +498,25 @@ impl CheckOptionsBuilder {
     /// solvers.
     pub fn sharing(mut self, on: bool) -> Self {
         self.opts.sharing = on;
+        self
+    }
+
+    /// Selects the partitioned (true, default) or monolithic (false)
+    /// symbolic transition relation.
+    pub fn bdd_partitioned(mut self, on: bool) -> Self {
+        self.opts.bdd_partitioned = on;
+        self
+    }
+
+    /// Enables or disables BDD variable sifting.
+    pub fn bdd_sift(mut self, on: bool) -> Self {
+        self.opts.bdd_sift = on;
+        self
+    }
+
+    /// Fixes the sift trigger threshold (live nodes).
+    pub fn bdd_sift_threshold(mut self, nodes: usize) -> Self {
+        self.opts.bdd_sift_threshold = Some(nodes);
         self
     }
 

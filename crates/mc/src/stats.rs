@@ -120,6 +120,17 @@ pub struct BddCounters {
     pub ite_cache_hits: u64,
     /// High-water mark of the manager's live node count.
     pub peak_live_nodes: u64,
+    /// Transition-relation partitions (1 under `--bdd-monolithic`).
+    pub partitions: u64,
+    /// Dynamic variable reorders (sifts) performed.
+    pub sifts: u64,
+    /// Reachable nodes immediately before each sift, summed.
+    pub sift_nodes_before: u64,
+    /// Reachable nodes immediately after each sift, summed.
+    pub sift_nodes_after: u64,
+    /// Bounded-cache evictions (wholesale `ite`/`and_exists` cache
+    /// clears: capacity pressure or a reorder invalidating entries).
+    pub cache_clears: u64,
 }
 
 impl BddCounters {
@@ -128,6 +139,11 @@ impl BddCounters {
         self.ite_cache_lookups += o.ite_cache_lookups;
         self.ite_cache_hits += o.ite_cache_hits;
         self.peak_live_nodes = self.peak_live_nodes.max(o.peak_live_nodes);
+        self.partitions = self.partitions.max(o.partitions);
+        self.sifts += o.sifts;
+        self.sift_nodes_before += o.sift_nodes_before;
+        self.sift_nodes_after += o.sift_nodes_after;
+        self.cache_clears += o.cache_clears;
     }
 
     /// `ite` cache hit rate in `[0, 1]`; 0 when there were no lookups.
@@ -254,6 +270,11 @@ impl From<verdict_bdd::BddStats> for BddCounters {
             ite_cache_lookups: s.ite_cache_lookups,
             ite_cache_hits: s.ite_cache_hits,
             peak_live_nodes: s.peak_live_nodes,
+            partitions: 0, // engine-level, filled in by the symbolic engine
+            sifts: s.reorders,
+            sift_nodes_before: s.sift_nodes_before,
+            sift_nodes_after: s.sift_nodes_after,
+            cache_clears: s.cache_clears,
         }
     }
 }
@@ -500,7 +521,9 @@ impl Stats {
                 "\"deleted_clauses\":{}}},",
                 "\"smt\":{{\"pivots\":{},\"bound_flips\":{},\"overflow_poisonings\":{}}},",
                 "\"bdd\":{{\"nodes_allocated\":{},\"ite_cache_lookups\":{},",
-                "\"ite_cache_hits\":{},\"peak_live_nodes\":{}}},",
+                "\"ite_cache_hits\":{},\"peak_live_nodes\":{},\"partitions\":{},",
+                "\"sifts\":{},\"sift_nodes_before\":{},\"sift_nodes_after\":{},",
+                "\"cache_clears\":{}}},",
                 "\"runtime\":{{\"clauses_exported\":{},\"clauses_imported\":{},",
                 "\"imports_rejected\":{},\"import_hits\":{},\"ring_messages\":{},",
                 "\"ring_batches\":{},\"parks\":{},\"wakes\":{},\"spurious_wakeups\":{}}},",
@@ -526,6 +549,11 @@ impl Stats {
             self.bdd.ite_cache_lookups,
             self.bdd.ite_cache_hits,
             self.bdd.peak_live_nodes,
+            self.bdd.partitions,
+            self.bdd.sifts,
+            self.bdd.sift_nodes_before,
+            self.bdd.sift_nodes_after,
+            self.bdd.cache_clears,
             self.runtime.clauses_exported,
             self.runtime.clauses_imported,
             self.runtime.imports_rejected,

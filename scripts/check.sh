@@ -219,4 +219,53 @@ if ! grep -q "drained clean" "$srv_dir/serve2.log"; then
     exit 1
 fi
 
+# Partitioned symbolic engine lane.
+# (a) The partitioned relation is a pure optimization: partitioned and
+# monolithic BDD runs must produce identical verdicts (and traces) on
+# the finite case studies. (Exit 2 = violated is expected; wall times
+# stripped before comparing.)
+for model in examples/models/step_counter.vd examples/models/taint_loop.vd; do
+    part_status=0 mono_status=0
+    part=$(./target/release/verdict check "$model" --engine bdd --json \
+        | sed 's/"wall_ms":[0-9]*//') || part_status=$?
+    mono=$(./target/release/verdict check "$model" --engine bdd --bdd-monolithic --json \
+        | sed 's/"wall_ms":[0-9]*//') || mono_status=$?
+    for s in "$part_status" "$mono_status"; do
+        if [[ $s != 0 && $s != 2 ]]; then
+            echo "check.sh: BDD check failed on $model (exit $s)" >&2
+            exit 1
+        fi
+    done
+    if [[ "$part" != "$mono" || "$part_status" != "$mono_status" ]]; then
+        echo "check.sh: partitioned and monolithic BDD disagree on $model" >&2
+        diff <(echo "$part") <(echo "$mono") >&2 || true
+        exit 1
+    fi
+done
+# (b) Memory-safety regression: a tiny node ceiling must degrade to a
+# prompt, explicit resource-exhausted Unknown (exit 1), never a crash,
+# wrong verdict, or timeout-length thrash.
+ceiling_status=0
+ceiling=$(timeout 30 ./target/release/verdict check examples/models/step_counter.vd \
+    --engine bdd --max-bdd-nodes 40 --json) || ceiling_status=$?
+if [[ $ceiling_status != 1 ]] || ! grep -q 'resource budget exhausted' <<<"$ceiling"; then
+    echo "check.sh: tiny --max-bdd-nodes did not fail promptly (exit $ceiling_status)" >&2
+    echo "$ceiling" >&2
+    exit 1
+fi
+# (c) The fat-tree sweep the partitioning exists for: k up to 6 must
+# verify under the partitioned relation within the lane budget. The
+# bench binary itself asserts mono/part verdict agreement wherever both
+# are definitive before writing a line of JSON.
+bdd_bench="$smoke_dir/bench_bdd.json"
+timeout 600 ./target/release/bdd --max-arity 6 --timeout-secs 120 --out "$bdd_bench" \
+    >/dev/null \
+    || { echo "check.sh: BDD bench sweep failed" >&2; exit 1; }
+if ! grep '"topology": "fattree6"' "$bdd_bench" \
+    | grep -q '"partitioned": {"verdict": "holds"'; then
+    echo "check.sh: fattree6 did not verify under the partitioned relation" >&2
+    cat "$bdd_bench" >&2
+    exit 1
+fi
+
 echo "check.sh: all green"
