@@ -183,7 +183,7 @@ pub struct BddStats {
     /// [`BddManager::node_count`], sampled before each reorder shrinks the
     /// arena (so garbage collection never lowers the reported peak).
     pub peak_live_nodes: u64,
-    /// Times an operation cache was cleared for reaching [`CACHE_CAP`]
+    /// Times an operation cache was cleared for reaching `CACHE_CAP`
     /// (reorder-forced clears are not counted here).
     pub cache_clears: u64,
     /// Committed reorders (every sift that rebuilds counts once).

@@ -33,21 +33,34 @@ USAGE:
     verdict blast <model.vd> --event EXPR --metric EXPR [OPTIONS]
                                          worst metric value reachable after event
     verdict serve --socket PATH --wal DIR [--workers N] [--queue N]
-                  [--grace SECS] [--segment-bytes N]
+                  [--grace SECS] [--segment-bytes N] [--watchdog-grace-ms MS]
+                  [--hedge-after-ms MS | --no-hedge] [--quarantine-after N]
+                  [--quarantine-ttl SECS] [--fault SPEC | --fault-seed N]
                                          run the verdict daemon: accept jobs over a
                                          Unix-socket JSONL API, journal every
                                          acknowledged job in a group-commit WAL,
                                          recover in-flight jobs on restart, drain
-                                         gracefully (exit 0) on SIGTERM/SIGINT
+                                         gracefully (exit 0) on SIGTERM/SIGINT.
+                                         A watchdog escalates hung workers (stop
+                                         flag -> solver poisoning -> abandonment
+                                         with a respawned slot), slow jobs get a
+                                         hedged second run on a spare worker, and
+                                         specs that crash-loop are quarantined
     verdict submit <model.vd> --socket PATH [--synth --params a,b] [--prop NAME]
-                  [--engine E] [--depth N] [--deadline SECS] [--no-wait]
-                  [--events] [--json]
+                  [--engine E] [--depth N] [--deadline SECS] [--certify]
+                  [--resilient] [--no-wait] [--events] [--json]
                                          send a job to a running daemon; blocks for
                                          the verdict (check exit codes) unless
                                          --no-wait, which returns once the job is
-                                         durably acknowledged
+                                         durably acknowledged. --resilient retries
+                                         the submit across reconnects under an
+                                         idempotency key (never double-runs)
+    verdict unquarantine --socket PATH FINGERPRINT
+                                         lift a crash-loop quarantine early (the
+                                         fingerprint is printed in the rejection)
     verdict server-stats --socket PATH   print the daemon's stats JSON (schema 2,
-                                         including the server counter group)
+                                         including the server and supervision
+                                         counter groups)
     verdict table1                       print the incident-study table (Table 1)
     verdict fig2 [--minutes N]           run the Fig. 2 cluster simulation
     verdict fig1-dot                     print the Fig. 1 interaction graph as DOT
@@ -131,7 +144,7 @@ EXIT CODES (check):
     2   at least one property is violated
     1   usage, parse, or engine error — including a property left
         unknown by an infrastructure failure (engine-failure,
-        resource-exhausted, certificate-rejected)
+        resource-exhausted, certificate-rejected, hung-worker)
     130 interrupted (first Ctrl-C drains workers and keeps the
         journal intact; resume with --resume)
 ";
@@ -144,6 +157,7 @@ fn main() -> ExitCode {
         Some("blast") => blast(&args[1..]),
         Some("serve") => server_cmd::serve(&args[1..]),
         Some("submit") => server_cmd::submit(&args[1..]),
+        Some("unquarantine") => server_cmd::unquarantine(&args[1..]),
         Some("server-stats") => server_cmd::server_stats(&args[1..]),
         Some("table1") => {
             print!("{}", verdict_incidents::table1());
@@ -304,6 +318,7 @@ fn infra_failure(r: &CheckResult) -> bool {
             UnknownReason::EngineFailure
                 | UnknownReason::ResourceExhausted
                 | UnknownReason::CertificateRejected
+                | UnknownReason::HungWorker
         )
     )
 }
@@ -684,6 +699,23 @@ fn print_stats_text(stats: &verdict_mc::Stats, contenders: &[(EngineKind, verdic
             stats.server.wal_group_commits,
             stats.server.wal_fsyncs,
             stats.server.wal_rotations
+        );
+    }
+    if !stats.supervision.is_zero() {
+        println!(
+            "  supervision: {} heartbeats, {} escalations, {} hung workers \
+             ({} respawned); hedges {} launched ({} won, {} lost, {} wasted); \
+             quarantine {} armed, {} hits",
+            stats.supervision.heartbeats,
+            stats.supervision.escalations,
+            stats.supervision.hung_workers,
+            stats.supervision.workers_respawned,
+            stats.supervision.hedges_launched,
+            stats.supervision.hedges_won,
+            stats.supervision.hedges_lost,
+            stats.supervision.hedges_wasted,
+            stats.supervision.quarantined,
+            stats.supervision.quarantine_hits
         );
     }
     println!(

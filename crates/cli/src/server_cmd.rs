@@ -10,9 +10,15 @@ use verdict_server::{Client, ClientError, JobKind, JobSpec, Server, ServerConfig
 use crate::{exit_code, flag_value, sigint, Outcome};
 
 /// `verdict serve --socket PATH --wal DIR [--workers N] [--queue N]
-/// [--grace SECS] [--segment-bytes N]`: run the daemon until
-/// SIGTERM/SIGINT, then drain gracefully and exit 0.
+/// [--grace SECS] [--segment-bytes N] [--watchdog-grace-ms MS]
+/// [--hedge-after-ms MS | --no-hedge] [--quarantine-after N]
+/// [--quarantine-ttl SECS] [--fault SPEC | --fault-seed N]`: run the
+/// daemon until SIGTERM/SIGINT, then drain gracefully and exit 0.
 pub fn serve(args: &[String]) -> ExitCode {
+    if let Err(e) = crate::install_faults(args) {
+        eprintln!("serve: {e}");
+        return ExitCode::FAILURE;
+    }
     let parsed = (|| -> Result<ServerConfig, String> {
         let socket = flag_value(args, "--socket").ok_or("serve: missing --socket PATH")?;
         let wal = flag_value(args, "--wal").ok_or("serve: missing --wal DIR")?;
@@ -43,6 +49,35 @@ pub fn serve(args: &[String]) -> ExitCode {
                 .ok()
                 .filter(|&b: &u64| b >= 1)
                 .ok_or_else(|| format!("--segment-bytes expects bytes, got `{s}`"))?;
+        }
+        if let Some(ms) = flag_value(args, "--watchdog-grace-ms") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("--watchdog-grace-ms expects millis, got `{ms}`"))?;
+            cfg.watchdog_grace = Duration::from_millis(ms.max(1));
+        }
+        let no_hedge = args.iter().any(|a| a == "--no-hedge");
+        if let Some(ms) = flag_value(args, "--hedge-after-ms") {
+            if no_hedge {
+                return Err("--hedge-after-ms and --no-hedge are mutually exclusive".to_string());
+            }
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("--hedge-after-ms expects millis, got `{ms}`"))?;
+            cfg.hedge_after = Some(Duration::from_millis(ms.max(1)));
+        } else if no_hedge {
+            cfg.hedge_after = None;
+        }
+        if let Some(n) = flag_value(args, "--quarantine-after") {
+            cfg.quarantine_after = n.parse().map_err(|_| {
+                format!("--quarantine-after expects a count, got `{n}` (0 disables)")
+            })?;
+        }
+        if let Some(s) = flag_value(args, "--quarantine-ttl") {
+            let secs: u64 = s
+                .parse()
+                .map_err(|_| format!("--quarantine-ttl expects seconds, got `{s}`"))?;
+            cfg.quarantine_ttl = Duration::from_secs(secs.max(1));
         }
         Ok(cfg)
     })();
@@ -113,10 +148,12 @@ pub fn serve(args: &[String]) -> ExitCode {
 
 /// `verdict submit <model.vd> --socket PATH [--synth --params a,b]
 /// [--prop NAME] [--engine E] [--depth N] [--deadline SECS]
-/// [--no-wait] [--events] [--json]`: send a job to a running daemon.
-/// By default blocks until the verdict and maps it to the standard
-/// check exit codes; `--no-wait` prints the job id and returns as soon
-/// as the submit is durably acknowledged.
+/// [--certify] [--resilient] [--no-wait] [--events] [--json]`: send a
+/// job to a running daemon. By default blocks until the verdict and
+/// maps it to the standard check exit codes; `--no-wait` prints the
+/// job id and returns as soon as the submit is durably acknowledged.
+/// `--resilient` rides out daemon restarts and socket timeouts by
+/// reconnecting and resubmitting under an idempotency key.
 pub fn submit(args: &[String]) -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
         eprintln!("submit: missing model path");
@@ -169,9 +206,11 @@ pub fn submit(args: &[String]) -> ExitCode {
             }
         }
     }
+    spec.certify = args.iter().any(|a| a == "--certify");
     let json = args.iter().any(|a| a == "--json");
     let no_wait = args.iter().any(|a| a == "--no-wait");
     let events = args.iter().any(|a| a == "--events");
+    let resilient = args.iter().any(|a| a == "--resilient");
 
     let mut client = match Client::connect(&socket) {
         Ok(c) => c,
@@ -180,7 +219,12 @@ pub fn submit(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let job = match client.submit(&spec) {
+    let submitted = if resilient {
+        client.submit_resilient(&spec, Duration::from_secs(10))
+    } else {
+        client.submit(&spec)
+    };
+    let job = match submitted {
         Ok(job) => job,
         Err(ClientError::Rejected(r)) => {
             if json {
@@ -192,6 +236,15 @@ pub fn submit(args: &[String]) -> ExitCode {
                 }
                 if let (Some(q), Some(c)) = (r.queued, r.capacity) {
                     eprintln!("  queue {q}/{c} full");
+                }
+                if let Some(fp) = &r.fingerprint {
+                    let after = r
+                        .retry_after_ms
+                        .map(|ms| format!(" (retry in {ms}ms)"))
+                        .unwrap_or_default();
+                    eprintln!(
+                        "  lift early with: verdict unquarantine --socket <PATH> {fp}{after}"
+                    );
                 }
             }
             return ExitCode::FAILURE;
@@ -235,7 +288,12 @@ pub fn submit(args: &[String]) -> ExitCode {
             "unknown" => {
                 if matches!(
                     row.reason.as_deref(),
-                    Some("engine-failure" | "resource-exhausted" | "certificate-rejected")
+                    Some(
+                        "engine-failure"
+                            | "resource-exhausted"
+                            | "certificate-rejected"
+                            | "hung-worker"
+                    )
                 ) {
                     out.infra_unknown = true;
                 }
@@ -278,8 +336,52 @@ pub fn submit(args: &[String]) -> ExitCode {
     ExitCode::from(exit_code(&out))
 }
 
+/// `verdict unquarantine --socket PATH FINGERPRINT`: lift a crash-loop
+/// quarantine early. The fingerprint is the 16-digit hex string printed
+/// in `quarantined` rejections.
+pub fn unquarantine(args: &[String]) -> ExitCode {
+    let Some(socket) = flag_value(args, "--socket") else {
+        eprintln!("unquarantine: missing --socket PATH");
+        return ExitCode::FAILURE;
+    };
+    let fp = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).is_none_or(|p| p != "--socket")
+        })
+        .map(|(_, a)| a.clone())
+        .next();
+    let Some(fp) = fp else {
+        eprintln!("unquarantine: missing FINGERPRINT (16-digit hex, from the rejection)");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match Client::connect(&socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("unquarantine: cannot connect to {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.unquarantine(&fp) {
+        Ok(true) => {
+            println!("quarantine on {fp} lifted");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("no active quarantine on {fp}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("unquarantine: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `verdict server-stats --socket PATH`: print the daemon's schema-2
-/// stats document (engine counters plus the `server` group) to stdout.
+/// stats document (engine counters plus the `server` and `supervision`
+/// groups) to stdout.
 pub fn server_stats(args: &[String]) -> ExitCode {
     let Some(socket) = flag_value(args, "--socket") else {
         eprintln!("server-stats: missing --socket PATH");

@@ -63,6 +63,9 @@ pub const SITES: &[&str] = &[
     "mc.portfolio.worker",
     "mc.certify",
     "journal.append",
+    "server.worker.hang",
+    "server.worker.panic",
+    "wal.append",
 ];
 
 /// One armed fault: fire `kind` on the `hit`-th arrival at `site`.

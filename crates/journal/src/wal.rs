@@ -270,6 +270,18 @@ impl WalWriter {
         if payload.contains('\n') {
             return Err(WalError::Payload("payload contains a newline".into()));
         }
+        // Fault-injection probe at site `wal.append`: `Panic` panics in
+        // the appending thread, other kinds surface as an I/O error —
+        // both exercise the daemon's reserve-before-append unwinding.
+        match crate::fault::probe("wal.append") {
+            Some(crate::fault::FaultKind::Panic) => {
+                panic!("{} at wal.append", crate::fault::PANIC_TAG);
+            }
+            Some(_) => {
+                return Err(WalError::Io(io::Error::other("injected wal.append fault")));
+            }
+            None => {}
+        }
         if let Some(m) = &*self
             .shared
             .poisoned

@@ -99,9 +99,11 @@ pub use certify::{CertificateKind, CertificateStatus, PropertyKind};
 pub use durable::{Durability, ResumeState, SweepRecorder};
 pub use engine::{engine, Engine, EngineKind};
 pub use portfolio::CheckReport;
-pub use result::{CheckOptions, CheckOptionsBuilder, CheckResult, McError, UnknownReason};
+pub use result::{
+    CheckOptions, CheckOptionsBuilder, CheckResult, McError, Supervision, UnknownReason,
+};
 pub use retry::RetryPolicy;
-pub use stats::{ServerCounters, Stats, TraceSink, STATS_SCHEMA_VERSION};
+pub use stats::{ServerCounters, Stats, SupervisionCounters, TraceSink, STATS_SCHEMA_VERSION};
 pub use verifier::Verifier;
 
 /// One-stop imports for the unified engine API.

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use verdict_journal::fault;
+use verdict_ring::Heartbeat;
 use verdict_sat::Limits;
 use verdict_ts::Trace;
 
@@ -84,6 +85,10 @@ pub enum UnknownReason {
     /// A memory-shaped resource ceiling was hit: SAT clause count, BDD
     /// node count, or exact-rational overflow in the simplex.
     ResourceExhausted,
+    /// A supervision watchdog declared the worker running this check
+    /// hung (stopped polling its budget past `deadline + grace`) and
+    /// escalated: the verdict is honest-Unknown, not a logical limit.
+    HungWorker,
 }
 
 impl UnknownReason {
@@ -97,6 +102,7 @@ impl UnknownReason {
             UnknownReason::CertificateRejected => "certificate-rejected",
             UnknownReason::EngineFailure => "engine-failure",
             UnknownReason::ResourceExhausted => "resource-exhausted",
+            UnknownReason::HungWorker => "hung-worker",
         }
     }
 
@@ -110,6 +116,7 @@ impl UnknownReason {
             "certificate-rejected" => Some(UnknownReason::CertificateRejected),
             "engine-failure" => Some(UnknownReason::EngineFailure),
             "resource-exhausted" => Some(UnknownReason::ResourceExhausted),
+            "hung-worker" => Some(UnknownReason::HungWorker),
             _ => None,
         }
     }
@@ -124,6 +131,7 @@ impl UnknownReason {
             UnknownReason::EngineFailure
                 | UnknownReason::ResourceExhausted
                 | UnknownReason::Timeout
+                | UnknownReason::HungWorker
         )
     }
 }
@@ -144,7 +152,62 @@ impl fmt::Display for UnknownReason {
             UnknownReason::ResourceExhausted => {
                 write!(f, "resource budget exhausted")
             }
+            UnknownReason::HungWorker => {
+                write!(f, "worker hung (watchdog escalation)")
+            }
         }
+    }
+}
+
+/// The supervision handle a watchdog shares with one engine run: a
+/// per-worker [`Heartbeat`] the run stamps on every budget poll (proof
+/// of liveness by *change*), and a poison flag the watchdog raises as
+/// its second escalation step when raising the stop flag did not get
+/// the worker back.
+///
+/// Poison differs from the stop flag in what the verdict says: a
+/// stop-flag exit reports [`UnknownReason::Cancelled`] (someone chose
+/// to cancel), a poisoned exit reports [`UnknownReason::HungWorker`]
+/// (the watchdog declared the run wedged). Both are cooperative — a
+/// thread that never polls its budget responds to neither, which is
+/// exactly what the heartbeat exposes.
+#[derive(Debug, Default)]
+pub struct Supervision {
+    heartbeat: Arc<Heartbeat>,
+    poison: AtomicBool,
+}
+
+impl Supervision {
+    /// A handle stamping `heartbeat` — typically the supervised worker
+    /// slot's cell, shared across every job that slot runs.
+    pub fn new(heartbeat: Arc<Heartbeat>) -> Supervision {
+        Supervision {
+            heartbeat,
+            poison: AtomicBool::new(false),
+        }
+    }
+
+    /// Stamps one beat on the worker's heartbeat cell.
+    #[inline]
+    pub fn beat(&self) {
+        self.heartbeat.beat();
+    }
+
+    /// The heartbeat cell this handle stamps.
+    pub fn heartbeat(&self) -> &Arc<Heartbeat> {
+        &self.heartbeat
+    }
+
+    /// Watchdog escalation step two: make every subsequent budget poll
+    /// in this run report [`UnknownReason::HungWorker`].
+    pub fn poison(&self) {
+        self.poison.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the watchdog has poisoned this run.
+    #[inline]
+    pub fn poisoned(&self) -> bool {
+        self.poison.load(Ordering::Relaxed)
     }
 }
 
@@ -246,6 +309,11 @@ pub struct CheckOptions {
     /// doubling after each sift). A fixed value is mostly a test hook for
     /// forcing sifts on small models.
     pub bdd_sift_threshold: Option<usize>,
+    /// Watchdog supervision handle: every budget poll stamps its
+    /// heartbeat, and a poisoned handle makes polls report
+    /// [`UnknownReason::HungWorker`]. `None` = unsupervised (the
+    /// default everywhere outside the daemon's worker pool).
+    pub supervision: Option<Arc<Supervision>>,
 }
 
 impl Default for CheckOptions {
@@ -266,6 +334,7 @@ impl Default for CheckOptions {
             bdd_partitioned: true,
             bdd_sift: true,
             bdd_sift_threshold: None,
+            supervision: None,
         }
     }
 }
@@ -386,6 +455,12 @@ impl CheckOptions {
     /// adaptive default.
     pub fn with_bdd_sift_threshold(mut self, nodes: usize) -> CheckOptions {
         self.bdd_sift_threshold = Some(nodes);
+        self
+    }
+
+    /// Attaches a watchdog supervision handle (heartbeat + poison flag).
+    pub fn with_supervision(mut self, sup: Arc<Supervision>) -> CheckOptions {
+        self.supervision = Some(sup);
         self
     }
 
@@ -520,6 +595,12 @@ impl CheckOptionsBuilder {
         self
     }
 
+    /// Attaches a watchdog supervision handle (heartbeat + poison flag).
+    pub fn supervision(mut self, sup: Arc<Supervision>) -> Self {
+        self.opts.supervision = Some(sup);
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> CheckOptions {
         self.opts
@@ -545,6 +626,9 @@ pub struct Budget {
     /// fixpoint helpers that only return `None`. Shared across clones of
     /// the budget.
     node_overflow: Arc<AtomicBool>,
+    /// Watchdog handle: every poll stamps its heartbeat; a poisoned
+    /// handle turns polls into [`UnknownReason::HungWorker`].
+    supervision: Option<Arc<Supervision>>,
 }
 
 impl Budget {
@@ -557,6 +641,7 @@ impl Budget {
             max_clauses: opts.max_clauses,
             max_bdd_nodes: opts.max_bdd_nodes,
             node_overflow: Arc::new(AtomicBool::new(false)),
+            supervision: opts.supervision.clone(),
         }
     }
 
@@ -567,8 +652,23 @@ impl Budget {
             .is_some_and(|s| s.load(Ordering::Relaxed))
     }
 
-    /// The reason to abort now, if any (cancellation wins over timeout).
+    /// True if the watchdog has poisoned this run.
+    fn poisoned(&self) -> bool {
+        self.supervision.as_ref().is_some_and(|s| s.poisoned())
+    }
+
+    /// The reason to abort now, if any. Each poll stamps the worker's
+    /// heartbeat — liveness is proven by the act of asking. Watchdog
+    /// poisoning wins over cancellation (the stop flag was raised by the
+    /// same escalation one step earlier, and `HungWorker` is the honest
+    /// label); cancellation wins over timeout.
     pub fn exceeded(&self) -> Option<UnknownReason> {
+        if let Some(sup) = &self.supervision {
+            sup.beat();
+            if sup.poisoned() {
+                return Some(UnknownReason::HungWorker);
+            }
+        }
         if self.cancelled() {
             return Some(UnknownReason::Cancelled);
         }
@@ -600,7 +700,9 @@ impl Budget {
 
     /// Why a solver just gave up `Unknown` under `self.limits()`.
     pub fn unknown_reason(&self) -> UnknownReason {
-        if self.cancelled() {
+        if self.poisoned() {
+            UnknownReason::HungWorker
+        } else if self.cancelled() {
             UnknownReason::Cancelled
         } else if self.node_overflow.load(Ordering::Relaxed) || fault::exhaust_fired() {
             UnknownReason::ResourceExhausted
@@ -613,7 +715,9 @@ impl Budget {
     /// `Unknown`: the clause ceiling is distinguished from
     /// cancellation/timeout.
     pub fn unknown_reason_sat(&self, num_clauses: usize) -> UnknownReason {
-        if self.cancelled() {
+        if self.poisoned() {
+            UnknownReason::HungWorker
+        } else if self.cancelled() {
             UnknownReason::Cancelled
         } else if matches!(self.max_clauses, Some(max) if num_clauses >= max)
             || fault::exhaust_fired()

@@ -263,6 +263,60 @@ impl ServerCounters {
     }
 }
 
+/// Supervision-layer counters: the self-healing machinery of the
+/// serving daemon (watchdog escalations, hedged re-execution, crash-loop
+/// quarantine). All zero for plain CLI runs — the group only moves when
+/// `verdict-server`'s supervisor thread is alive — so the
+/// stats-determinism contract is untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisionCounters {
+    /// Total heartbeat stamps across the worker fleet (each budget poll
+    /// by a supervised run is one beat).
+    pub heartbeats: u64,
+    /// Watchdog escalation steps taken (stop-flag raise, solver
+    /// poisoning, and thread abandonment each count one).
+    pub escalations: u64,
+    /// Runs the watchdog declared hung and abandoned.
+    pub hung_workers: u64,
+    /// Worker slots respawned after their thread was abandoned.
+    pub workers_respawned: u64,
+    /// Speculative second runs launched past the hedge threshold.
+    pub hedges_launched: u64,
+    /// Hedges whose verdict finalized the job (the primary lost).
+    pub hedges_won: u64,
+    /// Hedges beaten by the primary run (launched, then cancelled).
+    pub hedges_lost: u64,
+    /// Hedge runs that finished without a usable verdict (undecided, or
+    /// job already finalized when they reported).
+    pub hedges_wasted: u64,
+    /// Submits rejected because the spec fingerprint was quarantined.
+    pub quarantine_hits: u64,
+    /// Spec fingerprints placed into quarantine (crash/hang loop
+    /// tripped the consecutive-failure threshold).
+    pub quarantined: u64,
+}
+
+impl SupervisionCounters {
+    /// Sums another group into this one.
+    pub fn add(&mut self, o: SupervisionCounters) {
+        self.heartbeats += o.heartbeats;
+        self.escalations += o.escalations;
+        self.hung_workers += o.hung_workers;
+        self.workers_respawned += o.workers_respawned;
+        self.hedges_launched += o.hedges_launched;
+        self.hedges_won += o.hedges_won;
+        self.hedges_lost += o.hedges_lost;
+        self.hedges_wasted += o.hedges_wasted;
+        self.quarantine_hits += o.quarantine_hits;
+        self.quarantined += o.quarantined;
+    }
+
+    /// True iff every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == SupervisionCounters::default()
+    }
+}
+
 impl From<verdict_bdd::BddStats> for BddCounters {
     fn from(s: verdict_bdd::BddStats) -> BddCounters {
         BddCounters {
@@ -365,6 +419,9 @@ pub struct Stats {
     /// Serving-daemon counters (job lifecycle, WAL I/O); zero outside
     /// `verdict serve`.
     pub server: ServerCounters,
+    /// Self-healing counters (watchdog, hedging, quarantine); zero
+    /// outside `verdict serve`.
+    pub supervision: SupervisionCounters,
     /// Per-depth unroll/solve cost for bounded engines, in depth order.
     pub depths: Vec<DepthSample>,
     /// Symbolic fixpoint iterations (reachability onion rings, EU/EG
@@ -489,6 +546,7 @@ impl Stats {
         self.bdd.add(other.bdd);
         self.runtime.add(other.runtime);
         self.server.add(other.server);
+        self.supervision.add(other.supervision);
         self.fixpoint_iterations += other.fixpoint_iterations;
         self.states_visited += other.states_visited;
         self.retries += other.retries;
@@ -505,6 +563,7 @@ impl Stats {
             && self.bdd.is_zero()
             && self.runtime.is_zero()
             && self.server.is_zero()
+            && self.supervision.is_zero()
             && self.fixpoint_iterations == 0
             && self.states_visited == 0
             && self.retries == 0
@@ -531,6 +590,10 @@ impl Stats {
                 "\"jobs_queued\":{},\"jobs_running\":{},\"jobs_completed\":{},",
                 "\"jobs_recovered\":{},\"wal_appends\":{},\"wal_group_commits\":{},",
                 "\"wal_fsyncs\":{},\"wal_rotations\":{}}},",
+                "\"supervision\":{{\"heartbeats\":{},\"escalations\":{},",
+                "\"hung_workers\":{},\"workers_respawned\":{},",
+                "\"hedges_launched\":{},\"hedges_won\":{},\"hedges_lost\":{},",
+                "\"hedges_wasted\":{},\"quarantine_hits\":{},\"quarantined\":{}}},",
                 "\"fixpoint_iterations\":{},\"states_visited\":{},",
                 "\"retries\":{},\"faults_injected\":{},\"depth_samples\":{}"
             ),
@@ -573,6 +636,16 @@ impl Stats {
             self.server.wal_group_commits,
             self.server.wal_fsyncs,
             self.server.wal_rotations,
+            self.supervision.heartbeats,
+            self.supervision.escalations,
+            self.supervision.hung_workers,
+            self.supervision.workers_respawned,
+            self.supervision.hedges_launched,
+            self.supervision.hedges_won,
+            self.supervision.hedges_lost,
+            self.supervision.hedges_wasted,
+            self.supervision.quarantine_hits,
+            self.supervision.quarantined,
             self.fixpoint_iterations,
             self.states_visited,
             self.retries,

@@ -1,0 +1,75 @@
+//! Per-worker heartbeat cells for supervision.
+//!
+//! A [`Heartbeat`] is a monotone counter a worker stamps from its hot
+//! loop (budget polls, probe sites) and a watchdog samples from another
+//! thread. Liveness is inferred from *change*: a supervisor snapshots
+//! [`Heartbeat::count`] periodically and treats a counter that has not
+//! moved for longer than its staleness window as a wedged worker. The
+//! cell is cache-padded so a fleet of workers stamping their own cells
+//! never false-share, and both sides use relaxed ordering — the
+//! watchdog needs freshness on the order of milliseconds, not
+//! synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::CachePadded;
+
+/// A cache-padded monotone beat counter: one writer (the supervised
+/// worker), any number of sampling readers (watchdogs, stats).
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    beats: CachePadded<AtomicU64>,
+}
+
+impl Heartbeat {
+    /// A fresh cell with zero beats.
+    pub const fn new() -> Heartbeat {
+        Heartbeat {
+            beats: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Stamps one beat. Called from the worker's polling loop; a single
+    /// relaxed `fetch_add`, safe to call millions of times per second.
+    #[inline]
+    pub fn beat(&self) {
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current beat count. Watchdogs compare successive snapshots; an
+    /// unchanged count across a staleness window means the worker is not
+    /// polling (hung solver, livelock, lost thread).
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.beats.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_are_monotone() {
+        let hb = Heartbeat::new();
+        assert_eq!(hb.count(), 0);
+        hb.beat();
+        hb.beat();
+        assert_eq!(hb.count(), 2);
+    }
+
+    #[test]
+    fn cross_thread_visibility() {
+        let hb = std::sync::Arc::new(Heartbeat::new());
+        let h = {
+            let hb = hb.clone();
+            std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    hb.beat();
+                }
+            })
+        };
+        h.join().unwrap();
+        assert_eq!(hb.count(), 1000);
+    }
+}

@@ -1,6 +1,6 @@
 //! Lock-free primitives for verdict's parallel runtime.
 //!
-//! Three building blocks, all allocation-free on their hot paths:
+//! Four building blocks, all allocation-free on their hot paths:
 //!
 //! * [`spsc`] — bounded single-producer/single-consumer rings with
 //!   128-byte cache-aligned head/tail counters, batched consumption
@@ -11,6 +11,9 @@
 //! * [`doorbell`] — a park/unpark wakeup cell so a consumer draining
 //!   several rings can sleep instead of polling `recv_timeout` in a
 //!   loop, with counters for parks, wakes, and spurious wakeups.
+//! * [`heartbeat`] — a cache-padded monotone beat counter a worker
+//!   stamps from its polling loop and a watchdog samples to detect
+//!   wedged threads by *absence of change*.
 //! * [`published`] — an epoch-stamped append-only snapshot list: one
 //!   atomic epoch read on the hot path, a lock taken only when a new
 //!   version exists. Replaces `Mutex<Vec<T>>` stores that are read far
@@ -26,10 +29,12 @@
 //! ```
 
 pub mod doorbell;
+pub mod heartbeat;
 pub mod published;
 pub mod spsc;
 
 pub use doorbell::{Doorbell, DoorbellCounters};
+pub use heartbeat::Heartbeat;
 pub use published::{Published, PublishedReader};
 pub use spsc::{ring, Consumer, Producer};
 

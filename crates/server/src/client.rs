@@ -3,15 +3,32 @@
 //! One [`Client`] wraps one connection. Requests are serialized calls;
 //! [`Client::wait`] additionally streams the job's trace events through
 //! a callback before returning the final outcome.
+//!
+//! Resilience: sockets carry read/write timeouts (`SO_RCVTIMEO` /
+//! `SO_SNDTIMEO`) so a wedged daemon surfaces as a structured
+//! [`ClientError::Timeout`] instead of a client that blocks forever —
+//! the server sends periodic keepalive lines on long `wait` streams so
+//! a healthy-but-slow job never trips it. [`Client::connect_with_retry`]
+//! uses seeded jittered backoff so a fleet of restarting clients does
+//! not stampede the socket, and [`Client::submit_resilient`] retries a
+//! submit across reconnects under an idempotency key, so the job never
+//! double-runs.
 
 use std::io::{self, Read as _, Write as _};
 use std::os::unix::net::UnixStream;
-use std::path::Path;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use verdict_journal::json::{parse, Json};
+use verdict_mc::RetryPolicy;
 
 use crate::proto::{JobSpec, Rejection, Request, VerdictRow};
+
+/// Default socket read/write timeout. Generous relative to the server's
+/// ~1 s keepalive cadence on `wait` streams: only a daemon that has
+/// stopped writing *anything* for this long trips it.
+const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// The terminal snapshot of a job, as reported by `status`/`wait`.
 #[derive(Clone, Debug)]
@@ -54,12 +71,15 @@ impl JobOutcome {
     }
 }
 
-/// Client-side failures: transport errors, server rejections, or
-/// malformed responses.
+/// Client-side failures: transport errors, timeouts, server rejections,
+/// or malformed responses.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket-level failure (daemon gone, connection refused, …).
     Io(io::Error),
+    /// The socket read/write timeout elapsed — the daemon stopped
+    /// responding mid-exchange (wedged or killed without closing).
+    Timeout(io::Error),
     /// The server answered with a structured rejection.
     Rejected(Rejection),
     /// The server's response didn't parse.
@@ -70,6 +90,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Timeout(e) => write!(f, "client timeout: daemon unresponsive ({e})"),
             ClientError::Rejected(r) => {
                 write!(f, "rejected: {}", r.reason)?;
                 if let Some(d) = &r.detail {
@@ -86,14 +107,39 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
-        ClientError::Io(e)
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            ClientError::Timeout(e)
+        } else {
+            ClientError::Io(e)
+        }
     }
+}
+
+/// Monotone per-process counter feeding generated idempotency keys.
+static IDEM_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique idempotency key: pid + wall-clock nanos + sequence.
+fn generate_idem_key() -> String {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    format!(
+        "c{}-{:x}-{}",
+        std::process::id(),
+        nanos,
+        IDEM_SEQ.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 /// A connection to a running daemon.
 pub struct Client {
     stream: UnixStream,
     acc: Vec<u8>,
+    socket: PathBuf,
+    io_timeout: Option<Duration>,
 }
 
 impl std::fmt::Debug for Client {
@@ -103,34 +149,70 @@ impl std::fmt::Debug for Client {
 }
 
 impl Client {
-    /// Connects to the daemon's socket.
-    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, ClientError> {
-        let stream = UnixStream::connect(socket.as_ref())?;
+    fn from_stream(stream: UnixStream, socket: PathBuf) -> Result<Client, ClientError> {
+        stream.set_read_timeout(Some(DEFAULT_IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_IO_TIMEOUT))?;
         Ok(Client {
             stream,
             acc: Vec::new(),
+            socket,
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
         })
     }
 
+    /// Connects to the daemon's socket. The connection carries a 30 s
+    /// read/write timeout (see [`Client::set_io_timeout`]).
+    pub fn connect(socket: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(socket.as_ref())?;
+        Client::from_stream(stream, socket.as_ref().to_path_buf())
+    }
+
     /// Connects, retrying for up to `patience` — for scripts that start
-    /// the daemon and immediately submit.
+    /// the daemon and immediately submit. Retries back off with seeded
+    /// jitter (the PR-4 retry helper) so many clients restarting
+    /// together spread their attempts instead of stampeding the socket.
     pub fn connect_with_retry(
         socket: impl AsRef<Path>,
         patience: Duration,
     ) -> Result<Client, ClientError> {
-        let deadline = std::time::Instant::now() + patience;
+        let deadline = Instant::now() + patience;
+        let policy = RetryPolicy::with_retries(u32::MAX)
+            .with_backoff(Duration::from_millis(10))
+            .with_seed(u64::from(std::process::id()));
+        let mut attempt: u32 = 1;
         loop {
             match UnixStream::connect(socket.as_ref()) {
                 Ok(stream) => {
-                    return Ok(Client {
-                        stream,
-                        acc: Vec::new(),
-                    })
+                    return Client::from_stream(stream, socket.as_ref().to_path_buf());
                 }
-                Err(e) if std::time::Instant::now() >= deadline => return Err(e.into()),
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                Err(e) if Instant::now() >= deadline => return Err(e.into()),
+                Err(_) => {
+                    attempt = attempt.saturating_add(1);
+                    let pause = policy
+                        .backoff_for(0, attempt)
+                        .min(Duration::from_millis(250));
+                    std::thread::sleep(pause.max(Duration::from_millis(5)));
+                }
             }
         }
+    }
+
+    /// Overrides the socket read/write timeout (`None` = block forever,
+    /// the pre-supervision behaviour).
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Drops the current connection and dials the socket again.
+    fn reconnect(&mut self, patience: Duration) -> Result<(), ClientError> {
+        let fresh = Client::connect_with_retry(&self.socket, patience)?;
+        self.stream = fresh.stream;
+        self.acc.clear();
+        let t = self.io_timeout;
+        self.set_io_timeout(t)
     }
 
     fn send(&mut self, req: &Request) -> Result<(), ClientError> {
@@ -188,6 +270,46 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("submit ack missing job id".into()))
     }
 
+    /// Submits a job, riding out transport failures: on an I/O error or
+    /// timeout it reconnects (jittered) and resubmits until `patience`
+    /// runs out. The spec is pinned to an idempotency key first
+    /// (generating one if the caller didn't), so a submit whose *ack*
+    /// was lost is deduplicated by the daemon instead of double-run.
+    /// Rejections and protocol errors are not retried.
+    pub fn submit_resilient(
+        &mut self,
+        spec: &JobSpec,
+        patience: Duration,
+    ) -> Result<u64, ClientError> {
+        let mut spec = spec.clone();
+        if spec.idem.is_none() {
+            spec.idem = Some(generate_idem_key());
+        }
+        let deadline = Instant::now() + patience;
+        let policy = RetryPolicy::with_retries(u32::MAX)
+            .with_backoff(Duration::from_millis(20))
+            .with_seed(u64::from(std::process::id()) ^ 0x5eed);
+        let mut attempt: u32 = 1;
+        loop {
+            match self.submit(&spec) {
+                Ok(id) => return Ok(id),
+                Err(e @ (ClientError::Rejected(_) | ClientError::Protocol(_))) => return Err(e),
+                Err(e @ (ClientError::Io(_) | ClientError::Timeout(_))) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    attempt = attempt.saturating_add(1);
+                    let pause = policy
+                        .backoff_for(0, attempt)
+                        .min(Duration::from_millis(500));
+                    std::thread::sleep(pause.max(Duration::from_millis(5)));
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    self.reconnect(remaining.max(Duration::from_millis(50)))?;
+                }
+            }
+        }
+    }
+
     /// A point-in-time snapshot of a job.
     pub fn status(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
         self.send(&Request::Status { job })?;
@@ -196,7 +318,9 @@ impl Client {
     }
 
     /// Blocks until the job finishes, feeding each streamed trace event
-    /// line (a PR-5 trace JSONL document) to `on_event`.
+    /// line (a PR-5 trace JSONL document) to `on_event`. Server
+    /// keepalive lines (sent so the socket timeout doesn't fire on
+    /// long-running jobs) are consumed silently.
     pub fn wait(
         &mut self,
         job: u64,
@@ -205,6 +329,9 @@ impl Client {
         self.send(&Request::Wait { job })?;
         loop {
             let doc = self.read_doc()?;
+            if matches!(doc.get("keepalive"), Some(Json::Bool(true))) {
+                continue;
+            }
             if let Some(ev) = doc.get("event") {
                 on_event(&ev.to_string());
                 continue;
@@ -221,13 +348,22 @@ impl Client {
     }
 
     /// Fetches the server's schema-2 stats document (engine counters
-    /// plus the `server` group).
+    /// plus the `server` and `supervision` groups).
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.send(&Request::Stats)?;
         let doc = Self::expect_ok(self.read_doc()?)?;
         doc.get("stats")
             .cloned()
             .ok_or_else(|| ClientError::Protocol("stats response missing stats".into()))
+    }
+
+    /// Lifts a quarantine by spec fingerprint (as printed in a
+    /// `quarantined` rejection). Returns true if an armed quarantine
+    /// was actually cleared.
+    pub fn unquarantine(&mut self, fp: &str) -> Result<bool, ClientError> {
+        self.send(&Request::Unquarantine { fp: fp.to_string() })?;
+        let doc = Self::expect_ok(self.read_doc()?)?;
+        Ok(matches!(doc.get("cleared"), Some(Json::Bool(true))))
     }
 
     /// Asks the daemon to drain and exit.

@@ -64,10 +64,19 @@ pub struct JobSpec {
     pub engine: String,
     /// Unrolling depth bound; engine default when absent.
     pub depth: Option<usize>,
-    /// Wall-clock budget for the whole job, in milliseconds.
+    /// Wall-clock budget for the whole job, in milliseconds. Counted
+    /// from *admission*: time spent waiting in the queue is charged
+    /// against it, so a client's deadline means what it says.
     pub deadline_ms: Option<u64>,
     /// Frozen parameter names (synth only).
     pub params: Vec<String>,
+    /// Certify verdicts before reporting (trace replay + proof
+    /// re-checking), exactly like the CLI's `--certify`.
+    pub certify: bool,
+    /// Client-chosen idempotency key: a resubmit carrying a key the
+    /// daemon has already admitted returns the original job id instead
+    /// of double-running — what makes reconnect-and-resubmit safe.
+    pub idem: Option<String>,
 }
 
 impl JobSpec {
@@ -81,6 +90,8 @@ impl JobSpec {
             depth: None,
             deadline_ms: None,
             params: Vec::new(),
+            certify: false,
+            idem: None,
         }
     }
 
@@ -94,7 +105,26 @@ impl JobSpec {
             depth: None,
             deadline_ms: None,
             params: params.iter().map(|p| p.to_string()).collect(),
+            certify: false,
+            idem: None,
         }
+    }
+
+    /// The spec's check fingerprint: a stable 64-bit hash over the
+    /// fields that determine *what runs* (kind, source, prop, engine,
+    /// depth, params) — deadlines and idempotency keys are excluded.
+    /// The quarantine table and the hedge-latency sketch key on this.
+    pub fn fingerprint(&self) -> u64 {
+        let canon = format!(
+            "{}\u{0}{}\u{0}{}\u{0}{}\u{0}{}\u{0}{}",
+            self.kind.tag(),
+            self.source,
+            self.prop.as_deref().unwrap_or(""),
+            self.engine,
+            self.depth.map_or(-1i64, |d| d as i64),
+            self.params.join(","),
+        );
+        verdict_journal::fnv1a64(canon.as_bytes())
     }
 
     /// JSON form (wire `submit` requests and WAL `submit` records).
@@ -120,6 +150,13 @@ impl JobSpec {
             (
                 "params",
                 Json::Arr(self.params.iter().map(|p| Json::Str(p.clone())).collect()),
+            ),
+            ("certify", Json::Bool(self.certify)),
+            (
+                "idem",
+                self.idem
+                    .as_ref()
+                    .map_or(Json::Null, |k| Json::Str(k.clone())),
             ),
         ])
     }
@@ -164,6 +201,8 @@ impl JobSpec {
                 .and_then(Json::as_int)
                 .map(|d| d as u64),
             params,
+            certify: matches!(v.get("certify"), Some(Json::Bool(true))),
+            idem: v.get("idem").and_then(Json::as_str).map(str::to_string),
         })
     }
 }
@@ -247,8 +286,15 @@ pub enum Request {
         /// Job id.
         job: u64,
     },
-    /// Server stats (schema-2 JSON, including the `server` group).
+    /// Server stats (schema-2 JSON, including the `server` and
+    /// `supervision` groups).
     Stats,
+    /// Lift a quarantine: re-admit the spec fingerprint (as printed in
+    /// a `quarantined` rejection) before its TTL expires.
+    Unquarantine {
+        /// The spec fingerprint, as a 16-digit lowercase hex string.
+        fp: String,
+    },
     /// Begin graceful drain, as if SIGTERM arrived.
     Shutdown,
 }
@@ -278,6 +324,13 @@ impl Request {
             "wait" => Ok(Request::Wait { job: job()? }),
             "cancel" => Ok(Request::Cancel { job: job()? }),
             "stats" => Ok(Request::Stats),
+            "unquarantine" => Ok(Request::Unquarantine {
+                fp: v
+                    .get("fp")
+                    .and_then(Json::as_str)
+                    .ok_or("unquarantine missing `fp`")?
+                    .to_string(),
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op `{other}`")),
         }
@@ -304,6 +357,10 @@ impl Request {
                 ("job", Json::Int(*job as i64)),
             ]),
             Request::Stats => obj(vec![("op", Json::Str("stats".into()))]),
+            Request::Unquarantine { fp } => obj(vec![
+                ("op", Json::Str("unquarantine".into())),
+                ("fp", Json::Str(fp.clone())),
+            ]),
             Request::Shutdown => obj(vec![("op", Json::Str("shutdown".into()))]),
         }
         .to_string()
@@ -315,7 +372,7 @@ impl Request {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rejection {
     /// Machine-readable reason: `queue-full`, `draining`, `parse-error`,
-    /// `bad-request`, or `wal-error`.
+    /// `bad-request`, `wal-error`, or `quarantined`.
     pub reason: String,
     /// Human-readable detail, when there is more to say.
     pub detail: Option<String>,
@@ -323,6 +380,12 @@ pub struct Rejection {
     pub queued: Option<u64>,
     /// The admission queue's capacity (present for `queue-full`).
     pub capacity: Option<u64>,
+    /// The spec fingerprint, hex (present for `quarantined`) — pass it
+    /// to the `unquarantine` op to lift the circuit breaker early.
+    pub fingerprint: Option<String>,
+    /// Milliseconds until the quarantine TTL expires (present for
+    /// `quarantined`).
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Rejection {
@@ -333,6 +396,8 @@ impl Rejection {
             detail: None,
             queued: None,
             capacity: None,
+            fingerprint: None,
+            retry_after_ms: None,
         }
     }
 
@@ -357,6 +422,12 @@ impl Rejection {
         if let Some(c) = self.capacity {
             pairs.push(("capacity", Json::Int(c as i64)));
         }
+        if let Some(fp) = &self.fingerprint {
+            pairs.push(("fingerprint", Json::Str(fp.clone())));
+        }
+        if let Some(ms) = self.retry_after_ms {
+            pairs.push(("retry_after_ms", Json::Int(ms as i64)));
+        }
         obj(pairs)
     }
 
@@ -374,6 +445,14 @@ impl Rejection {
             detail: v.get("detail").and_then(Json::as_str).map(str::to_string),
             queued: v.get("queued").and_then(Json::as_int).map(|q| q as u64),
             capacity: v.get("capacity").and_then(Json::as_int).map(|c| c as u64),
+            fingerprint: v
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+            retry_after_ms: v
+                .get("retry_after_ms")
+                .and_then(Json::as_int)
+                .map(|m| m as u64),
         })
     }
 }
@@ -392,6 +471,8 @@ mod tests {
             depth: Some(32),
             deadline_ms: Some(5000),
             params: vec!["a".into(), "b".into()],
+            certify: true,
+            idem: Some("client-7-42".into()),
         };
         assert_eq!(
             JobSpec::from_json(&parse(&spec.to_json().to_string()).unwrap()).unwrap(),
@@ -405,6 +486,17 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_ignores_deadline_and_idem() {
+        let mut a = JobSpec::check("system s {}");
+        let mut b = a.clone();
+        b.deadline_ms = Some(100);
+        b.idem = Some("k".into());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.engine = "bdd".into();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
     fn request_round_trip() {
         for req in [
             Request::Ping,
@@ -413,6 +505,9 @@ mod tests {
             Request::Wait { job: 9 },
             Request::Cancel { job: 1 },
             Request::Stats,
+            Request::Unquarantine {
+                fp: "00ff00ff00ff00ff".into(),
+            },
             Request::Shutdown,
         ] {
             assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
@@ -429,10 +524,17 @@ mod tests {
             detail: None,
             queued: Some(8),
             capacity: Some(8),
+            fingerprint: None,
+            retry_after_ms: None,
         };
         let line = r.to_json().to_string();
         assert!(line.contains("\"ok\":false"));
         assert!(line.contains("\"reason\":\"queue-full\""));
         assert!(line.contains("\"queued\":8"));
+        let mut q = Rejection::new("quarantined");
+        q.fingerprint = Some("00ff00ff00ff00ff".into());
+        q.retry_after_ms = Some(1234);
+        let parsed = Rejection::from_json(&parse(&q.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(parsed, q);
     }
 }

@@ -1,0 +1,460 @@
+//! Self-healing daemon tests: watchdog escalation, worker respawn,
+//! panic containment, crash-loop quarantine, hedged re-execution,
+//! deadline propagation, idempotent resubmits, and client timeouts.
+//!
+//! Fault injection is process-global, so every test (even one that
+//! installs no faults) serializes on the journal crate's test lock.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use verdict_journal::fault;
+use verdict_journal::json::Json;
+use verdict_server::{Client, ClientError, JobSpec, Server, ServerConfig};
+
+/// A model every engine decides instantly.
+const TINY: &str = "\
+system tiny {
+    var n : 0..7;
+    init n = 0;
+    trans next(n) = if n < 7 then n + 1 else n;
+    invariant in_range: n <= 7;
+}
+";
+
+/// A model the explicit engine grinds on for >30s, but the provers
+/// (k-induction, portfolio) decide instantly — the hedging testbed.
+const SLOW: &str = "\
+system slow {
+    var n : 0..20000;
+    init n = 0;
+    trans next(n) = if n < 20000 then n + 1 else n;
+    invariant nonneg: n >= 0;
+}
+";
+
+struct TestServer {
+    socket: PathBuf,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    runner: Option<std::thread::JoinHandle<verdict_server::DrainReport>>,
+    _dir: tempdir::TempDir,
+}
+
+impl TestServer {
+    fn start(configure: impl FnOnce(&mut ServerConfig)) -> TestServer {
+        let dir = tempdir::TempDir::new();
+        let socket = dir.path.join("verdict.sock");
+        let mut cfg = ServerConfig::new(&socket, dir.path.join("wal"));
+        cfg.workers = 1;
+        cfg.grace = Duration::from_secs(2);
+        configure(&mut cfg);
+        let (server, _recovery) = Server::open(cfg).expect("server opens");
+        let stop = server.stop_flag();
+        let runner = std::thread::spawn(move || server.run().expect("server runs"));
+        TestServer {
+            socket,
+            stop,
+            runner: Some(runner),
+            _dir: dir,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_with_retry(&self.socket, Duration::from_secs(5)).expect("client connects")
+    }
+
+    fn finish(mut self) -> verdict_server::DrainReport {
+        self.stop.store(true, Ordering::Release);
+        self.runner.take().unwrap().join().expect("runner joins")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(r) = self.runner.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+/// Minimal self-cleaning tempdir (no external crates allowed).
+mod tempdir {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempDir {
+        pub path: PathBuf,
+    }
+
+    impl TempDir {
+        pub fn new() -> TempDir {
+            let path = std::env::temp_dir().join(format!(
+                "verdict-supervision-test-{}-{}",
+                std::process::id(),
+                NEXT.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&path).unwrap();
+            TempDir { path }
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+fn wait_until_running(client: &mut Client, job: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = client.status(job).expect("status");
+        if s.state == "running" {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {job} never started running (state {})",
+            s.state
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn supervision_counter(client: &mut Client, name: &str) -> i64 {
+    let stats = client.stats().expect("stats");
+    stats
+        .get("supervision")
+        .and_then(|s| s.get(name))
+        .and_then(Json::as_int)
+        .unwrap_or_else(|| panic!("stats missing supervision.{name}"))
+}
+
+#[test]
+fn watchdog_abandons_hung_worker_and_respawns_the_slot() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    // One worker, tight watchdog, hedging off: a wedged job must be
+    // escalated (stop -> poison -> abandon), finalized honestly, and
+    // the slot must come back for the next job.
+    let server = TestServer::start(|cfg| {
+        cfg.workers = 1;
+        cfg.watchdog_grace = Duration::from_millis(100);
+        cfg.hedge_after = None;
+    });
+    fault::install(&fault::FaultPlan::parse("server.worker.hang:panic:1").unwrap());
+    let mut client = server.client();
+
+    let mut spec = JobSpec::check(TINY);
+    spec.deadline_ms = Some(100);
+    let hung = client.submit(&spec).expect("submit");
+    let started = Instant::now();
+    let outcome = client.wait(hung, |_| {}).expect("wait");
+    assert_eq!(outcome.state, "done");
+    assert_eq!(outcome.verdicts.len(), 1);
+    assert_eq!(outcome.verdicts[0].verdict, "unknown");
+    assert_eq!(outcome.verdicts[0].reason.as_deref(), Some("hung-worker"));
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "watchdog took {:?} to abandon a wedged worker",
+        started.elapsed()
+    );
+
+    // The respawned slot serves the next job normally.
+    let next = client.submit(&JobSpec::check(TINY)).expect("resubmit");
+    let outcome = client.wait(next, |_| {}).expect("wait next");
+    assert_eq!(outcome.state, "done");
+    assert_eq!(outcome.verdicts[0].verdict, "safe");
+
+    assert!(supervision_counter(&mut client, "escalations") >= 1);
+    assert!(supervision_counter(&mut client, "hung_workers") >= 1);
+    assert!(supervision_counter(&mut client, "workers_respawned") >= 1);
+    fault::clear();
+    let report = server.finish();
+    // The hung job's verdict was journaled, not lost.
+    assert_eq!(report.jobs_completed, 2);
+    assert_eq!(report.jobs_abandoned, 0);
+}
+
+#[test]
+fn worker_panic_is_contained_and_crash_loops_are_quarantined() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    let server = TestServer::start(|cfg| {
+        cfg.workers = 1;
+        cfg.quarantine_after = 2;
+        cfg.hedge_after = None;
+    });
+    fault::install(
+        &fault::FaultPlan::parse("server.worker.panic:panic:1,server.worker.panic:panic:2")
+            .unwrap(),
+    );
+    let mut client = server.client();
+
+    // Two panics of the same spec: each is contained into an honest
+    // engine-failure verdict (the daemon survives)…
+    for _ in 0..2 {
+        let job = client.submit(&JobSpec::check(TINY)).expect("submit");
+        let outcome = client.wait(job, |_| {}).expect("wait");
+        assert_eq!(outcome.state, "done");
+        assert_eq!(outcome.verdicts[0].verdict, "unknown");
+        assert_eq!(
+            outcome.verdicts[0].reason.as_deref(),
+            Some("engine-failure")
+        );
+        assert!(
+            outcome.verdicts[0].detail.contains("panicked"),
+            "detail should name the panic: {}",
+            outcome.verdicts[0].detail
+        );
+    }
+
+    // …and the second one arms the circuit breaker.
+    let fp = match client.submit(&JobSpec::check(TINY)) {
+        Err(ClientError::Rejected(r)) => {
+            assert_eq!(r.reason, "quarantined");
+            assert!(r.retry_after_ms.is_some());
+            r.fingerprint.expect("quarantined rejection carries the fp")
+        }
+        other => panic!("expected quarantined rejection, got {other:?}"),
+    };
+    assert!(supervision_counter(&mut client, "quarantined") >= 1);
+    assert!(supervision_counter(&mut client, "quarantine_hits") >= 1);
+
+    // Lifting it (faults exhausted) lets the spec run clean again.
+    assert!(client.unquarantine(&fp).expect("unquarantine"), "was armed");
+    assert!(
+        !client.unquarantine(&fp).expect("second lift"),
+        "idempotent"
+    );
+    let job = client.submit(&JobSpec::check(TINY)).expect("submit clean");
+    let outcome = client.wait(job, |_| {}).expect("wait clean");
+    assert_eq!(outcome.verdicts[0].verdict, "safe");
+    fault::clear();
+    server.finish();
+}
+
+#[test]
+fn hedged_reexecution_wins_without_changing_the_verdict() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    let server = TestServer::start(|cfg| {
+        cfg.workers = 2;
+        cfg.hedge_after = Some(Duration::from_millis(50));
+    });
+    let mut client = server.client();
+
+    // The explicit engine grinds on SLOW for >30s; the hedge races a
+    // portfolio run that proves `nonneg` immediately. The job must
+    // return the same verdict an unhedged run would eventually reach
+    // (the invariant genuinely holds), just much sooner — with
+    // certification on, so hedged verdicts stay independently checked.
+    let mut spec = JobSpec::check(SLOW);
+    spec.engine = "explicit".into();
+    spec.certify = true;
+    let job = client.submit(&spec).expect("submit");
+    let started = Instant::now();
+    let outcome = client.wait(job, |_| {}).expect("wait");
+    assert_eq!(outcome.state, "done");
+    assert_eq!(outcome.verdicts[0].verdict, "safe");
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "hedge never rescued the slow primary ({:?})",
+        started.elapsed()
+    );
+    assert!(supervision_counter(&mut client, "hedges_launched") >= 1);
+    assert!(supervision_counter(&mut client, "hedges_won") >= 1);
+    server.finish();
+}
+
+#[test]
+fn deadline_counts_queue_wait() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    let server = TestServer::start(|cfg| {
+        cfg.workers = 1;
+        cfg.hedge_after = None;
+    });
+    let mut client = server.client();
+
+    // Occupy the only worker…
+    let mut blocker = JobSpec::check(SLOW);
+    blocker.engine = "explicit".into();
+    blocker.deadline_ms = Some(60_000);
+    let blocker_id = client.submit(&blocker).expect("blocker");
+    wait_until_running(&mut client, blocker_id);
+
+    // …so this job's whole 200ms budget burns in the queue.
+    let mut starved = JobSpec::check(TINY);
+    starved.deadline_ms = Some(200);
+    let starved_id = client.submit(&starved).expect("starved");
+    std::thread::sleep(Duration::from_millis(400));
+    client.cancel(blocker_id).expect("cancel blocker");
+
+    let outcome = client.wait(starved_id, |_| {}).expect("wait starved");
+    assert_eq!(outcome.state, "done");
+    assert_eq!(outcome.verdicts[0].verdict, "unknown");
+    assert_eq!(outcome.verdicts[0].reason.as_deref(), Some("timeout"));
+    assert!(
+        outcome.verdicts[0].detail.contains("queued"),
+        "detail should say the deadline expired in the queue: {}",
+        outcome.verdicts[0].detail
+    );
+    server.finish();
+}
+
+#[test]
+fn idempotency_key_deduplicates_resubmits() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    let server = TestServer::start(|cfg| {
+        cfg.hedge_after = None;
+    });
+    let mut client = server.client();
+
+    let mut spec = JobSpec::check(TINY);
+    spec.idem = Some("retry-key-1".into());
+    let first = client.submit(&spec).expect("first");
+    let replay = client.submit(&spec).expect("replay");
+    assert_eq!(first, replay, "same key must map to the same job");
+
+    let mut other = spec.clone();
+    other.idem = Some("retry-key-2".into());
+    let second = client.submit(&other).expect("second");
+    assert_ne!(first, second, "a fresh key admits a fresh job");
+
+    // submit_resilient pins a generated key — safe to call on a healthy
+    // connection too.
+    let resilient = client
+        .submit_resilient(&JobSpec::check(TINY), Duration::from_secs(5))
+        .expect("resilient");
+    let outcome = client.wait(resilient, |_| {}).expect("wait");
+    assert_eq!(outcome.verdicts[0].verdict, "safe");
+    server.finish();
+}
+
+#[test]
+fn drain_with_hung_worker_escalates_and_requeues_without_journaling() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    let dir = tempdir::TempDir::new();
+    let wal_dir = dir.path.join("wal");
+    let socket_a = dir.path.join("a.sock");
+    let socket_b = dir.path.join("b.sock");
+
+    // Life 1: wedge the only worker on a job with no deadline, then
+    // drain. The watchdog (not the full grace budget) must unstick the
+    // exit, and the hung job must NOT get a done record.
+    {
+        let mut cfg = ServerConfig::new(&socket_a, &wal_dir);
+        cfg.workers = 1;
+        cfg.grace = Duration::from_millis(300);
+        cfg.watchdog_grace = Duration::from_millis(100);
+        cfg.hedge_after = None;
+        let (server, _) = Server::open(cfg).expect("open");
+        let stop = server.stop_flag();
+        let runner = std::thread::spawn(move || server.run().expect("run"));
+        fault::install(&fault::FaultPlan::parse("server.worker.hang:panic:1").unwrap());
+        let mut client =
+            Client::connect_with_retry(&socket_a, Duration::from_secs(5)).expect("connect");
+        let job = client.submit(&JobSpec::check(TINY)).expect("submit");
+        wait_until_running(&mut client, job);
+
+        let begun = Instant::now();
+        stop.store(true, Ordering::Release);
+        let report = runner.join().expect("drain completes");
+        fault::clear();
+        assert!(
+            begun.elapsed() < Duration::from_secs(10),
+            "drain with a wedged worker took {:?}",
+            begun.elapsed()
+        );
+        assert_eq!(report.jobs_completed, 0);
+        assert_eq!(report.jobs_abandoned, 1);
+    }
+
+    // Life 2: the hung job re-enters the queue from its submit record
+    // (requeued, not trusted) and completes clean without the fault.
+    let mut cfg = ServerConfig::new(&socket_b, &wal_dir);
+    cfg.workers = 1;
+    cfg.grace = Duration::from_millis(300);
+    let (server, recovery) = Server::open(cfg).expect("reopen");
+    assert_eq!(recovery.jobs_requeued, 1);
+    assert_eq!(recovery.jobs_trusted, 0);
+    let stop = server.stop_flag();
+    let runner = std::thread::spawn(move || server.run().expect("run"));
+    let mut client =
+        Client::connect_with_retry(&socket_b, Duration::from_secs(5)).expect("connect");
+    let outcome = client.wait(1, |_| {}).expect("wait recovered job");
+    assert_eq!(outcome.state, "done");
+    assert_eq!(outcome.verdicts[0].verdict, "safe");
+    stop.store(true, Ordering::Release);
+    runner.join().expect("drain");
+}
+
+#[test]
+fn client_read_timeout_is_structured() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    // A listener that accepts and then never answers: the client must
+    // surface a structured Timeout, not block forever.
+    let dir = tempdir::TempDir::new();
+    let socket = dir.path.join("mute.sock");
+    let listener = std::os::unix::net::UnixListener::bind(&socket).expect("bind");
+    let sink = std::thread::spawn(move || {
+        let mut held = Vec::new();
+        for stream in listener.incoming() {
+            match stream {
+                Ok(s) => held.push(s),
+                Err(_) => return,
+            }
+        }
+    });
+
+    let mut client = Client::connect(&socket).expect("connect");
+    client
+        .set_io_timeout(Some(Duration::from_millis(150)))
+        .expect("set timeout");
+    let started = Instant::now();
+    match client.ping() {
+        Err(ClientError::Timeout(_)) => {}
+        other => panic!("expected ClientError::Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "timeout took {:?}",
+        started.elapsed()
+    );
+    drop(client);
+    let _ = std::fs::remove_file(&socket);
+    drop(sink);
+}
+
+#[test]
+fn keepalives_carry_long_waits_past_the_socket_timeout() {
+    let _guard = fault::test_lock();
+    fault::clear();
+    let server = TestServer::start(|cfg| {
+        cfg.workers = 1;
+        cfg.hedge_after = None;
+    });
+    let mut client = server.client();
+    // Job runs ~3s with no trace output near the end; the client reads
+    // with a 2s timeout. Only the server's keepalive lines make this
+    // wait survive.
+    let mut spec = JobSpec::check(SLOW);
+    spec.engine = "explicit".into();
+    spec.deadline_ms = Some(3_000);
+    let job = client.submit(&spec).expect("submit");
+    client
+        .set_io_timeout(Some(Duration::from_secs(2)))
+        .expect("set timeout");
+    let outcome = client.wait(job, |_| {}).expect("wait rides keepalives");
+    assert_eq!(outcome.state, "done");
+    assert_eq!(outcome.verdicts[0].reason.as_deref(), Some("timeout"));
+    server.finish();
+}

@@ -219,6 +219,159 @@ if ! grep -q "drained clean" "$srv_dir/serve2.log"; then
     exit 1
 fi
 
+# Self-healing chaos lane: a daemon with injected worker panics and a
+# worker hang must (a) contain each panic into an honest engine-failure
+# verdict, (b) quarantine the crash-looping spec and honor unquarantine,
+# (c) abandon the hung worker via the watchdog and respawn the slot,
+# (d) still serve the reference verdicts to concurrent submitters once
+# the faults are exhausted, and (e) drain clean on SIGTERM.
+chaos_dir="$smoke_dir/chaos"
+mkdir -p "$chaos_dir"
+cat >"$chaos_dir/sac.vd" <<'VD'
+system sacrificial {
+    var n : 0..7;
+    init n = 0;
+    trans next(n) = if n < 7 then n + 1 else n;
+    invariant in_range: n <= 7;
+}
+VD
+# The hang probe sits ahead of the panic probe and counts one arrival
+# per execution, so the schedule is exact: executions 1 and 2 panic,
+# executions 3 and 4 (the two concurrent slow jobs) hang — wedging the
+# entire two-worker fleet at once.
+./target/release/verdict serve --socket "$chaos_dir/sock" --wal "$chaos_dir/wal" \
+    --workers 2 --grace 5 --watchdog-grace-ms 250 --quarantine-after 2 --no-hedge \
+    --fault 'server.worker.panic:panic:1,server.worker.panic:panic:2,server.worker.hang:panic:3,server.worker.hang:panic:4' \
+    2>"$chaos_dir/serve.log" &
+daemon=$!
+for _ in $(seq 1 500); do [[ -S "$chaos_dir/sock" ]] && break; sleep 0.01; done
+# Two injected panics on the same spec: both contained, second one arms
+# the circuit breaker.
+for i in 1 2; do
+    status=0
+    out=$(./target/release/verdict submit "$chaos_dir/sac.vd" \
+        --socket "$chaos_dir/sock" --json) || status=$?
+    if [[ $status != 1 ]] || ! grep -q '"reason":"engine-failure"' <<<"$out"; then
+        echo "check.sh: chaos panic $i not contained (exit $status)" >&2
+        echo "$out" >&2
+        cat "$chaos_dir/serve.log" >&2
+        exit 1
+    fi
+done
+status=0
+out=$(./target/release/verdict submit "$chaos_dir/sac.vd" \
+    --socket "$chaos_dir/sock" --json) || status=$?
+if [[ $status != 1 ]] || ! grep -q '"reason":"quarantined"' <<<"$out"; then
+    echo "check.sh: crash-looping spec was not quarantined (exit $status)" >&2
+    echo "$out" >&2
+    exit 1
+fi
+fp=$(grep -o '"fingerprint":"[0-9a-f]*"' <<<"$out" | cut -d'"' -f4)
+# Wedge BOTH workers at once: two concurrent jobs hang past their
+# deadline, the watchdog escalates each, abandons both threads,
+# respawns both slots, and each job returns an honest unknown.
+hang_pids=()
+for i in 1 2; do
+    ./target/release/verdict submit "$srv_dir/slow.vd" --socket "$chaos_dir/sock" \
+        --engine explicit --deadline 1 --json >"$chaos_dir/hang.$i.json" &
+    hang_pids+=($!)
+done
+for i in 1 2; do
+    status=0
+    wait "${hang_pids[$((i - 1))]}" || status=$?
+    if [[ $status != 1 ]] || ! grep -q '"reason":"hung-worker"' "$chaos_dir/hang.$i.json"; then
+        echo "check.sh: wedged worker $i did not yield unknown/hung-worker (exit $status)" >&2
+        cat "$chaos_dir/hang.$i.json" "$chaos_dir/serve.log" >&2
+        exit 1
+    fi
+done
+# Lift the quarantine; the spec (faults exhausted) now runs clean on a
+# respawned slot.
+./target/release/verdict unquarantine --socket "$chaos_dir/sock" "$fp" >/dev/null
+status=0
+./target/release/verdict submit "$chaos_dir/sac.vd" --socket "$chaos_dir/sock" \
+    >/dev/null || status=$?
+if [[ $status != 0 ]]; then
+    echo "check.sh: unquarantined spec failed to run clean (exit $status)" >&2
+    cat "$chaos_dir/serve.log" >&2
+    exit 1
+fi
+# Four concurrent submitters of the reference case studies: every
+# verdict must match the local reference run, despite the earlier chaos.
+ref_verdicts=$(for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
+    ./target/release/verdict check "$model" --json || true
+done | grep -o '"verdict":"[a-z]*"' | sort)
+pids=()
+for i in 1 2; do
+    for model in examples/models/step_counter.vd examples/models/leaky_bucket.vd; do
+        ./target/release/verdict submit "$model" --socket "$chaos_dir/sock" --json \
+            >"$chaos_dir/sub.$i.$(basename "$model").json" &
+        pids+=($!)
+    done
+done
+for pid in "${pids[@]}"; do
+    status=0
+    wait "$pid" || status=$?
+    if [[ $status != 0 && $status != 2 ]]; then
+        echo "check.sh: concurrent chaos submit failed (exit $status)" >&2
+        cat "$chaos_dir"/sub.*.json >&2
+        exit 1
+    fi
+done
+got_verdicts=$(cat "$chaos_dir"/sub.*.json | grep -o '"verdict":"[a-z]*"' | sort)
+if [[ "$got_verdicts" != "$(printf '%s\n%s\n' "$ref_verdicts" "$ref_verdicts" | sort)" ]]; then
+    echo "check.sh: chaos-lane verdicts diverge from the reference run" >&2
+    diff <(echo "$ref_verdicts") <(echo "$got_verdicts") >&2 || true
+    exit 1
+fi
+# The supervision counters must have seen the whole story.
+stats=$(./target/release/verdict server-stats --socket "$chaos_dir/sock")
+for probe in '"escalations":[1-9]' '"hung_workers":[1-9]' \
+             '"workers_respawned":[1-9]' '"quarantine_hits":[1-9]' \
+             '"quarantined":[1-9]'; do
+    if ! grep -qE "$probe" <<<"$stats"; then
+        echo "check.sh: chaos-lane stats missing $probe" >&2
+        echo "$stats" >&2
+        exit 1
+    fi
+done
+kill -TERM "$daemon" 2>/dev/null || true
+drain_status=0
+wait "$daemon" || drain_status=$?
+if [[ $drain_status != 0 ]] || ! grep -q "drained clean" "$chaos_dir/serve.log"; then
+    echo "check.sh: chaos-lane SIGTERM drain exited $drain_status (want 0, clean)" >&2
+    cat "$chaos_dir/serve.log" >&2
+    exit 1
+fi
+
+# Hedged re-execution smoke: a job the explicit engine grinds on must be
+# rescued by a speculative portfolio run — same verdict an unhedged run
+# would reach, delivered promptly, with the certificate checked.
+hedge_dir="$smoke_dir/hedge"
+mkdir -p "$hedge_dir"
+./target/release/verdict serve --socket "$hedge_dir/sock" --wal "$hedge_dir/wal" \
+    --workers 2 --grace 5 --hedge-after-ms 100 2>"$hedge_dir/serve.log" &
+daemon=$!
+for _ in $(seq 1 500); do [[ -S "$hedge_dir/sock" ]] && break; sleep 0.01; done
+status=0
+out=$(timeout 60 ./target/release/verdict submit "$srv_dir/slow.vd" \
+    --socket "$hedge_dir/sock" --engine explicit --deadline 120 --certify --json) \
+    || status=$?
+if [[ $status != 0 ]] || ! grep -q '"verdict":"safe"' <<<"$out"; then
+    echo "check.sh: hedge did not rescue the slow primary (exit $status)" >&2
+    echo "$out" >&2
+    cat "$hedge_dir/serve.log" >&2
+    exit 1
+fi
+stats=$(./target/release/verdict server-stats --socket "$hedge_dir/sock")
+if ! grep -qE '"hedges_won":[1-9]' <<<"$stats"; then
+    echo "check.sh: hedge smoke ran but hedges_won is zero" >&2
+    echo "$stats" >&2
+    exit 1
+fi
+kill -TERM "$daemon" 2>/dev/null || true
+wait "$daemon" || { echo "check.sh: hedge-lane drain failed" >&2; exit 1; }
+
 # Partitioned symbolic engine lane.
 # (a) The partitioned relation is a pure optimization: partitioned and
 # monolithic BDD runs must produce identical verdicts (and traces) on
