@@ -81,12 +81,20 @@ pub fn host_provenance_json(cores: usize, max_jobs: usize, reps: usize) -> Strin
     )
 }
 
-/// Simple `--flag value` extraction for the harness binaries.
+/// Simple `--flag value` extraction for the harness binaries (the
+/// shared `verdict_mc::spec` helper over this process's argv).
 pub fn flag_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
+    verdict_mc::spec::flag_value(&args, flag)
+}
+
+/// Builds [`verdict_mc::result::CheckOptions`] from this process's argv through the unified
+/// `verdict_mc::spec` flag surface (`--depth`, `--timeout`, `--jobs`,
+/// `--certify`, …), so the harness binaries accept exactly the flags
+/// the CLI does.
+pub fn options_from_argv() -> Result<verdict_mc::result::CheckOptions, String> {
+    let args: Vec<String> = std::env::args().collect();
+    verdict_mc::spec::options_from_args(&args)
 }
 
 /// True if a bare `--flag` is present.

@@ -11,15 +11,15 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
 
 use verdict_dsl::{parse, CompiledProperty};
 use verdict_journal::VerdictTag;
 use verdict_mc::{
-    certify, CheckOptions, CheckResult, EngineKind, PropertyKind, RetryPolicy, TraceSink,
-    UnknownReason, Verifier, STATS_SCHEMA_VERSION,
+    certify, CheckOptions, CheckResult, EngineKind, PropertyKind, TraceSink, UnknownReason,
+    Verifier, STATS_SCHEMA_VERSION,
 };
 
+mod scenarios_cmd;
 mod server_cmd;
 mod sigint;
 
@@ -61,6 +61,26 @@ USAGE:
     verdict server-stats --socket PATH   print the daemon's stats JSON (schema 2,
                                          including the server and supervision
                                          counter groups)
+    verdict scenarios [--pattern P,..] [--seed N] [--samples N] [--list]
+                  [--jobs N] [--depth N] [--timeout SECS] [--certify]
+                  [--engine E] [--socket PATH] [--json]
+                                         generate the incident-driven scenario
+                                         matrix (5 control-loop interference
+                                         patterns x parameter grid, each instance
+                                         with a ground-truth property pack), run
+                                         every instance through the engines —
+                                         locally on a worker pool, or via a
+                                         running daemon with --socket — and score
+                                         verdicts against expectations, rolled up
+                                         per pattern with the Table 1 incident
+                                         ids. --samples N adds seeded random
+                                         parameter draws on top of the base grid;
+                                         --list only enumerates. Exit codes:
+                                         0 all verdicts match, 2 any mismatch,
+                                         1 infrastructure failure, 130 interrupted
+    verdict schema                       dump the versioned JSON output contract
+                                         (field shapes for check/synth/scenarios/
+                                         server-stats documents)
     verdict table1                       print the incident-study table (Table 1)
     verdict fig2 [--minutes N]           run the Fig. 2 cluster simulation
     verdict fig1-dot                     print the Fig. 1 interaction graph as DOT
@@ -159,6 +179,8 @@ fn main() -> ExitCode {
         Some("submit") => server_cmd::submit(&args[1..]),
         Some("unquarantine") => server_cmd::unquarantine(&args[1..]),
         Some("server-stats") => server_cmd::server_stats(&args[1..]),
+        Some("scenarios") => scenarios_cmd::scenarios(&args[1..]),
+        Some("schema") => scenarios_cmd::schema(&args[1..]),
         Some("table1") => {
             print!("{}", verdict_incidents::table1());
             ExitCode::SUCCESS
@@ -182,91 +204,11 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parses `--depth` / `--timeout` with validation (a typo'd value is an
-/// error, not a silent fallback to the default).
+/// Parses the shared engine-budget flags through the unified
+/// `verdict_mc::spec` path (a typo'd value is an error, not a silent
+/// fallback to the default).
 fn options_from(args: &[String]) -> Result<CheckOptions, String> {
-    let mut opts = CheckOptions::default();
-    if let Some(d) = flag_value(args, "--depth") {
-        opts.max_depth = d
-            .parse()
-            .map_err(|_| format!("--depth expects a number, got `{d}`"))?;
-    }
-    if let Some(t) = flag_value(args, "--timeout") {
-        let secs: u64 = t
-            .parse()
-            .map_err(|_| format!("--timeout expects seconds, got `{t}`"))?;
-        opts = opts.with_timeout(Duration::from_secs(secs));
-    }
-    if let Some(j) = flag_value(args, "--jobs") {
-        let jobs: usize = j
-            .parse()
-            .map_err(|_| format!("--jobs expects a number, got `{j}`"))?;
-        if jobs == 0 {
-            return Err("--jobs must be at least 1".to_string());
-        }
-        opts = opts.with_jobs(jobs);
-    }
-    if args.iter().any(|a| a == "--certify") {
-        opts = opts.with_certify();
-    }
-    let incremental = args.iter().any(|a| a == "--incremental");
-    let no_incremental = args.iter().any(|a| a == "--no-incremental");
-    if incremental && no_incremental {
-        return Err("--incremental and --no-incremental are mutually exclusive".to_string());
-    }
-    if incremental {
-        opts = opts.with_incremental(true);
-    } else if no_incremental {
-        opts = opts.with_incremental(false);
-    }
-    if args.iter().any(|a| a == "--no-sharing") {
-        opts = opts.with_sharing(false);
-    }
-    let bdd_part = args.iter().any(|a| a == "--bdd-partitioned");
-    let bdd_mono = args.iter().any(|a| a == "--bdd-monolithic");
-    if bdd_part && bdd_mono {
-        return Err("--bdd-partitioned and --bdd-monolithic are mutually exclusive".to_string());
-    }
-    if bdd_mono {
-        opts = opts.with_bdd_partitioned(false);
-    }
-    if args.iter().any(|a| a == "--bdd-no-sift") {
-        opts = opts.with_bdd_sift(false);
-    }
-    if let Some(t) = flag_value(args, "--bdd-sift-threshold") {
-        let nodes: usize = t
-            .parse()
-            .map_err(|_| format!("--bdd-sift-threshold expects a node count, got `{t}`"))?;
-        opts = opts.with_bdd_sift_threshold(nodes);
-    }
-    if let Some(m) = flag_value(args, "--max-bdd-nodes") {
-        let max: usize = m
-            .parse()
-            .map_err(|_| format!("--max-bdd-nodes expects a node count, got `{m}`"))?;
-        opts = opts.with_max_bdd_nodes(max);
-    }
-    if let Some(r) = flag_value(args, "--retries") {
-        let retries: u32 = r
-            .parse()
-            .map_err(|_| format!("--retries expects a number, got `{r}`"))?;
-        if retries > 0 {
-            let mut policy = RetryPolicy::with_retries(retries);
-            if let Some(f) = flag_value(args, "--retry-factor") {
-                policy = policy.with_factor(
-                    f.parse()
-                        .map_err(|_| format!("--retry-factor expects a number, got `{f}`"))?,
-                );
-            }
-            if let Some(b) = flag_value(args, "--retry-backoff-ms") {
-                policy = policy
-                    .with_backoff(Duration::from_millis(b.parse().map_err(|_| {
-                        format!("--retry-backoff-ms expects millis, got `{b}`")
-                    })?));
-            }
-            opts = opts.with_retry(policy);
-        }
-    }
-    Ok(opts)
+    verdict_mc::spec::options_from_args(args)
 }
 
 /// Installs the deterministic fault-injection plan from `--fault SPEC`,
@@ -372,24 +314,16 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// The coarse verdict bucket used in JSON output and the exit code.
-/// Cooperatively-cancelled slots (a first-safe sweep skipping its tail)
-/// get their own tag: they are skipped on purpose, not failed.
+/// The coarse verdict bucket used in JSON output and the exit code —
+/// the shared `verdict_mc::spec` mapping, so local and server rows
+/// always use the same tags.
 fn verdict_tag(r: &CheckResult) -> &'static str {
-    match r {
-        CheckResult::Holds => "safe",
-        CheckResult::Violated(_) => "unsafe",
-        CheckResult::Unknown(UnknownReason::Cancelled) => "cancelled",
-        CheckResult::Unknown(_) => "unknown",
-    }
+    verdict_mc::spec::verdict_tag(r)
 }
 
-/// Pulls `--flag value` out of an argument list.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+/// Pulls `--flag value` out of an argument list (shared
+/// `verdict_mc::spec` helper).
+use verdict_mc::spec::flag_value;
 
 fn check(args: &[String]) -> ExitCode {
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {

@@ -171,42 +171,22 @@ pub fn submit(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let mut spec = JobSpec::check(&source);
-    if args.iter().any(|a| a == "--synth") {
-        spec.kind = JobKind::Synth;
-        let Some(params) = flag_value(args, "--params") else {
-            eprintln!("submit: --synth requires --params a,b,…");
+    let kind = if args.iter().any(|a| a == "--synth") {
+        JobKind::Synth
+    } else {
+        JobKind::Check
+    };
+    let spec = match JobSpec::from_cli_args(kind, &source, args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("submit: {e}");
             return ExitCode::FAILURE;
-        };
-        spec.params = params
-            .split(',')
-            .map(|p| p.trim().to_string())
-            .filter(|p| !p.is_empty())
-            .collect();
-    }
-    spec.prop = flag_value(args, "--prop");
-    if let Some(engine) = flag_value(args, "--engine") {
-        spec.engine = engine;
-    }
-    if let Some(d) = flag_value(args, "--depth") {
-        match d.parse() {
-            Ok(d) => spec.depth = Some(d),
-            Err(_) => {
-                eprintln!("--depth expects a number, got `{d}`");
-                return ExitCode::FAILURE;
-            }
         }
+    };
+    if kind == JobKind::Synth && spec.params.is_empty() {
+        eprintln!("submit: --synth requires --params a,b,\u{2026}");
+        return ExitCode::FAILURE;
     }
-    if let Some(t) = flag_value(args, "--deadline") {
-        match t.parse::<u64>() {
-            Ok(secs) => spec.deadline_ms = Some(secs * 1000),
-            Err(_) => {
-                eprintln!("--deadline expects seconds, got `{t}`");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    spec.certify = args.iter().any(|a| a == "--certify");
     let json = args.iter().any(|a| a == "--json");
     let no_wait = args.iter().any(|a| a == "--no-wait");
     let events = args.iter().any(|a| a == "--events");

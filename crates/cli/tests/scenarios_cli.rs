@@ -1,0 +1,199 @@
+//! The `verdict scenarios` sweep through the real binary: the local
+//! matrix scores clean against its ground truth, `--list` enumerates
+//! the acceptance-floor matrix, and a sweep routed through a live
+//! daemon produces verdict-for-verdict the same report as the local
+//! pool (the unified job-spec guarantee, observed end to end).
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use verdict_journal::json::{parse, Json};
+use verdict_server::Client;
+
+const BIN: &str = env!("CARGO_BIN_EXE_verdict");
+
+/// Minimal self-cleaning tempdir (no external crates allowed).
+struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    fn new() -> TempDir {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "verdict-scenarios-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir { path }
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A daemon subprocess; killed on drop so a failing test never leaks.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(dir: &Path) -> Daemon {
+        let socket = dir.join("verdict.sock");
+        let child = Command::new(BIN)
+            .args(["serve", "--socket"])
+            .arg(&socket)
+            .arg("--wal")
+            .arg(dir.join("wal"))
+            .args(["--workers", "2", "--grace", "5"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        // Block until the socket accepts connections.
+        drop(
+            Client::connect_with_retry(&socket, Duration::from_secs(10)).expect("daemon comes up"),
+        );
+        Daemon { child, socket }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Runs `verdict scenarios <args> --json` and parses the report.
+fn sweep(args: &[&str]) -> (Json, i32) {
+    let out = Command::new(BIN)
+        .arg("scenarios")
+        .args(args)
+        .arg("--json")
+        .output()
+        .expect("scenarios runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = parse(&stdout).unwrap_or_else(|e| panic!("bad JSON ({e}): {stdout}"));
+    (doc, out.status.code().expect("exit code"))
+}
+
+/// Flattens a report to (scenario id, property, verdict) triples.
+fn verdicts(doc: &Json) -> Vec<(String, String, String)> {
+    let mut rows = Vec::new();
+    for s in doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .expect("scenarios")
+    {
+        let id = s.get("id").and_then(Json::as_str).expect("id").to_string();
+        for p in s
+            .get("properties")
+            .and_then(Json::as_arr)
+            .expect("properties")
+        {
+            rows.push((
+                id.clone(),
+                p.get("name")
+                    .and_then(Json::as_str)
+                    .expect("name")
+                    .to_string(),
+                p.get("verdict")
+                    .and_then(Json::as_str)
+                    .expect("verdict")
+                    .to_string(),
+            ));
+        }
+    }
+    rows
+}
+
+#[test]
+fn list_enumerates_the_acceptance_floor_matrix() {
+    let (doc, code) = sweep(&["--list"]);
+    assert_eq!(code, 0);
+    assert_eq!(doc.get("schema").and_then(Json::as_int), Some(2));
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .expect("scenarios");
+    assert!(
+        scenarios.len() >= 40,
+        "matrix floor: {} < 40 instances",
+        scenarios.len()
+    );
+    let mut patterns: Vec<&str> = scenarios
+        .iter()
+        .filter_map(|s| s.get("pattern").and_then(Json::as_str))
+        .collect();
+    patterns.sort_unstable();
+    patterns.dedup();
+    assert_eq!(patterns.len(), 5, "all five patterns: {patterns:?}");
+}
+
+#[test]
+fn local_sweep_scores_clean_and_maps_patterns_to_incidents() {
+    let (doc, code) = sweep(&["--pattern", "config-canary,split-brain"]);
+    assert_eq!(code, 0, "every verdict matches its expectation");
+    assert_eq!(doc.get("exit_code").and_then(Json::as_int), Some(0));
+    for s in doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .expect("scenarios")
+    {
+        for p in s
+            .get("properties")
+            .and_then(Json::as_arr)
+            .expect("properties")
+        {
+            assert!(
+                matches!(p.get("match"), Some(Json::Bool(true))),
+                "mismatch in {:?}: {p:?}",
+                s.get("id")
+            );
+        }
+    }
+    let patterns = doc
+        .get("patterns")
+        .and_then(Json::as_arr)
+        .expect("patterns");
+    assert_eq!(patterns.len(), 2);
+    for p in patterns {
+        let incidents = p
+            .get("incidents")
+            .and_then(Json::as_arr)
+            .expect("incidents");
+        assert!(
+            !incidents.is_empty(),
+            "pattern {:?} maps to no Table 1 incident",
+            p.get("pattern")
+        );
+        assert_eq!(p.get("mismatched").and_then(Json::as_int), Some(0));
+        assert_eq!(p.get("infra").and_then(Json::as_int), Some(0));
+    }
+}
+
+#[test]
+fn server_sweep_agrees_with_local_verdict_for_verdict() {
+    let dir = TempDir::new();
+    let daemon = Daemon::spawn(&dir.path);
+    let socket = daemon.socket.to_str().expect("utf-8 socket path");
+
+    let (local, local_code) = sweep(&["--pattern", "config-canary"]);
+    let (remote, remote_code) = sweep(&["--pattern", "config-canary", "--socket", socket]);
+
+    assert_eq!(local_code, 0);
+    assert_eq!(remote_code, 0);
+    assert_eq!(local.get("mode").and_then(Json::as_str), Some("local"));
+    assert_eq!(remote.get("mode").and_then(Json::as_str), Some("server"));
+    let lv = verdicts(&local);
+    let rv = verdicts(&remote);
+    assert!(!lv.is_empty());
+    assert_eq!(lv, rv, "local and through-server sweeps disagree");
+}

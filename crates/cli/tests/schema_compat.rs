@@ -1,0 +1,121 @@
+//! The output contract, frozen: `verdict schema` documents the shape
+//! of every machine-readable JSON document, and this test pins the
+//! schema-2 field sets. Removing or retyping a field fails here until
+//! `STATS_SCHEMA_VERSION` is bumped (at which point a new baseline
+//! must be frozen); *adding* fields is always compatible and passes.
+
+use std::process::Command;
+
+use verdict_journal::json::{parse, Json};
+
+const BIN: &str = env!("CARGO_BIN_EXE_verdict");
+
+/// The frozen schema-2 baseline: (command, section, field, type).
+/// Every tuple must exist verbatim in the live `verdict schema` dump.
+const BASELINE_V2: &[(&str, &str, &str, &str)] = &[
+    // verdict check --json
+    ("check", "fields", "schema", "int"),
+    ("check", "fields", "command", "check"),
+    ("check", "fields", "model", "string"),
+    ("check", "fields", "properties", "[property]"),
+    ("check", "fields", "exit_code", "int"),
+    ("check", "property", "name", "string"),
+    (
+        "check",
+        "property",
+        "verdict",
+        "safe|unsafe|cancelled|unknown",
+    ),
+    ("check", "property", "detail", "string"),
+    ("check", "property", "engine", "string"),
+    ("check", "property", "certificate", "string"),
+    ("check", "property", "wall_ms", "int"),
+    // verdict synth --json
+    ("synth", "fields", "schema", "int"),
+    ("synth", "fields", "model", "string"),
+    ("synth", "fields", "property", "string"),
+    ("synth", "fields", "params", "[string]"),
+    ("synth", "fields", "verdicts", "[assignment]"),
+    ("synth", "fields", "wall_ms", "int"),
+    ("synth", "assignment", "values", "[string]"),
+    (
+        "synth",
+        "assignment",
+        "verdict",
+        "safe|unsafe|cancelled|unknown",
+    ),
+    ("synth", "assignment", "attempts", "int"),
+    ("synth", "assignment", "reason", "string?"),
+    // verdict scenarios --json
+    ("scenarios", "fields", "schema", "int"),
+    ("scenarios", "fields", "mode", "local|server|list"),
+    ("scenarios", "fields", "scenarios", "[scenario]"),
+    ("scenarios", "fields", "patterns", "[pattern]"),
+    ("scenarios", "fields", "exit_code", "int"),
+    ("scenarios", "scenario", "id", "string"),
+    ("scenarios", "scenario", "pattern", "string"),
+    ("scenarios", "scenario", "properties", "[property]"),
+    ("scenarios", "property", "expected", "safe|unsafe"),
+    (
+        "scenarios",
+        "property",
+        "verdict",
+        "safe|unsafe|cancelled|unknown",
+    ),
+    ("scenarios", "property", "match", "bool"),
+    ("scenarios", "pattern", "incidents", "[string]"),
+    ("scenarios", "pattern", "matched", "int"),
+    ("scenarios", "pattern", "mismatched", "int"),
+    ("scenarios", "pattern", "infra", "int"),
+    // verdict server-stats (the daemon's stats document)
+    ("server-stats", "fields", "schema", "int"),
+    ("server-stats", "fields", "sat", "object"),
+    ("server-stats", "fields", "smt", "object"),
+    ("server-stats", "fields", "bdd", "object"),
+    ("server-stats", "fields", "server", "object"),
+    ("server-stats", "fields", "supervision", "object"),
+    ("server-stats", "fields", "retries", "int"),
+];
+
+#[test]
+fn schema_dump_is_backward_compatible_with_the_frozen_baseline() {
+    let out = Command::new(BIN)
+        .arg("schema")
+        .output()
+        .expect("schema runs");
+    assert!(out.status.success(), "verdict schema exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = parse(&stdout).unwrap_or_else(|e| panic!("bad JSON ({e}): {stdout}"));
+
+    // The baseline below freezes schema *2*. A version bump deliberately
+    // un-freezes the contract — the bumped schema needs a new baseline,
+    // which is the one change this test must not block.
+    let version = doc
+        .get("schema")
+        .and_then(Json::as_int)
+        .expect("schema version");
+    if version != 2 {
+        eprintln!("schema version {version} != 2: baseline not enforced (freeze a new one)");
+        return;
+    }
+
+    let commands = doc.get("commands").expect("commands object");
+    for (command, section, field, ty) in BASELINE_V2 {
+        let got = commands
+            .get(command)
+            .and_then(|c| c.get(section))
+            .and_then(|s| s.get(field))
+            .and_then(Json::as_str);
+        match got {
+            None => panic!(
+                "schema-2 field removed without a version bump: \
+                 {command}.{section}.{field} (expected type `{ty}`)"
+            ),
+            Some(got) if got != *ty => panic!(
+                "schema-2 field retyped without a version bump: \
+                 {command}.{section}.{field} is `{got}`, baseline says `{ty}`"
+            ),
+            Some(_) => {}
+        }
+    }
+}

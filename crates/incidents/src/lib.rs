@@ -32,6 +32,68 @@ pub enum Provider {
     Aws,
 }
 
+/// A recurring control-loop interaction pattern behind the studied
+/// incidents.
+///
+/// The paper's §2 argument is that the 53 incidents are not 53 distinct
+/// failure modes: they reduce to a handful of interaction shapes
+/// between control loops and the environment. This enum names the five
+/// the scenario factory (`verdict-scenarios`) can generate checkable
+/// models for; [`Incident::patterns`] labels each incident with the
+/// patterns its root cause exhibits, and [`by_pattern`] inverts that
+/// mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pattern {
+    /// A rollout (or instance replacement) shrinks serving capacity
+    /// while a load balancer concentrates traffic on the survivors.
+    RolloutLb,
+    /// Two reactive controllers (autoscaler, descheduler, weighted
+    /// balancer) chase each other's output and never settle.
+    AutoscalerDescheduler,
+    /// A capacity loss (drain, failover, limiter cut) pushes survivors
+    /// past their capacity, failing them in turn.
+    CascadingFailover,
+    /// A configuration change ships faster than its blast radius is
+    /// observable, so a bad config is promoted fleet-wide.
+    ConfigCanary,
+    /// A partition (network, DNS, leadership) splits the system into
+    /// sides that each believe they are authoritative.
+    SplitBrain,
+}
+
+impl Pattern {
+    /// All five patterns, in a stable order.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::RolloutLb,
+        Pattern::AutoscalerDescheduler,
+        Pattern::CascadingFailover,
+        Pattern::ConfigCanary,
+        Pattern::SplitBrain,
+    ];
+
+    /// Stable kebab-case tag (CLI flags, JSON reports).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Pattern::RolloutLb => "rollout-lb",
+            Pattern::AutoscalerDescheduler => "autoscaler-descheduler",
+            Pattern::CascadingFailover => "cascading-failover",
+            Pattern::ConfigCanary => "config-canary",
+            Pattern::SplitBrain => "split-brain",
+        }
+    }
+
+    /// Parses a tag produced by [`Pattern::tag`].
+    pub fn from_tag(s: &str) -> Option<Pattern> {
+        Pattern::ALL.into_iter().find(|p| p.tag() == s)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
 /// One studied incident with its characteristic labels.
 #[derive(Clone, Debug)]
 pub struct Incident {
@@ -54,6 +116,89 @@ pub struct Incident {
     /// True for entries reconstructed to match the published aggregates
     /// (false only for the incidents the paper documents individually).
     pub reconstructed: bool,
+}
+
+impl Incident {
+    /// The interaction patterns this incident's root cause exhibits.
+    ///
+    /// The labels derive from the documented root-cause summary (the
+    /// dataset's keying material — the reconstructed entries share the
+    /// study's seventeen root-cause classes), so the scenario factory
+    /// keys off a real API instead of re-deriving them from prose. An
+    /// incident can exhibit several patterns: #19007 is a rollout *and*
+    /// a partition *and* a cascade, which is the paper's point.
+    pub fn patterns(&self) -> &'static [Pattern] {
+        use Pattern::*;
+        let s = self.summary;
+        // The two documented incidents first (their summaries are
+        // unique), then one arm per reconstructed root-cause class.
+        if s.starts_with("Pub/Sub") {
+            return &[RolloutLb, CascadingFailover, SplitBrain];
+        }
+        if s.starts_with("BigQuery") {
+            return &[AutoscalerDescheduler, CascadingFailover];
+        }
+        if s.starts_with("software rollout restarted") {
+            return &[RolloutLb, CascadingFailover];
+        }
+        if s.starts_with("provisioning automation") {
+            return &[RolloutLb];
+        }
+        if s.starts_with("traffic-engineering shift") {
+            return &[RolloutLb];
+        }
+        if s.starts_with("autoscaler scaled down") {
+            return &[AutoscalerDescheduler];
+        }
+        if s.starts_with("load balancer weight oscillation") {
+            return &[AutoscalerDescheduler];
+        }
+        if s.starts_with("maintenance drain") {
+            return &[CascadingFailover];
+        }
+        if s.starts_with("capacity reduction") {
+            return &[CascadingFailover];
+        }
+        if s.starts_with("failure detector timeout") {
+            return &[CascadingFailover];
+        }
+        if s.starts_with("garbage-collection pressure") {
+            return &[CascadingFailover];
+        }
+        if s.starts_with("replicated metadata store") {
+            return &[CascadingFailover];
+        }
+        if s.starts_with("quota enforcement misconfigured") {
+            return &[ConfigCanary, RolloutLb];
+        }
+        if s.starts_with("configuration push") {
+            return &[ConfigCanary];
+        }
+        if s.starts_with("a rollback restored an old schema") {
+            return &[ConfigCanary];
+        }
+        if s.starts_with("network partition") {
+            return &[SplitBrain, CascadingFailover];
+        }
+        if s.starts_with("DNS/service-discovery change") {
+            return &[SplitBrain, ConfigCanary];
+        }
+        if s.starts_with("leader re-election loop") {
+            return &[SplitBrain];
+        }
+        &[]
+    }
+}
+
+/// The incidents exhibiting `pattern`, in dataset order — the inverse
+/// of [`Incident::patterns`]. The scenario factory uses this to stamp
+/// each generated pattern's report with the real incident ids it
+/// models.
+pub fn by_pattern(pattern: Pattern) -> Vec<&'static Incident> {
+    INCIDENTS
+        .iter()
+        .filter(|i| i.patterns().contains(&pattern))
+        .collect()
 }
 
 /// One row of Table 1: a characteristic with per-provider counts.
@@ -265,6 +410,57 @@ mod tests {
         assert_eq!(t.google_studied, 0);
         assert_eq!(t.aws_studied, 11);
         assert_eq!(t.rows[0].total, 8);
+    }
+
+    #[test]
+    fn every_incident_exhibits_a_pattern() {
+        for i in INCIDENTS {
+            assert!(
+                !i.patterns().is_empty(),
+                "incident {} ({}) has no pattern label",
+                i.id,
+                i.summary
+            );
+        }
+    }
+
+    #[test]
+    fn every_pattern_has_incidents() {
+        for p in Pattern::ALL {
+            let hits = by_pattern(p);
+            assert!(!hits.is_empty(), "pattern {p} maps to no incidents");
+            // by_pattern inverts patterns().
+            for i in &hits {
+                assert!(i.patterns().contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn documented_incidents_carry_patterns() {
+        // #19007: rollout + partition + retry-overload cascade, exactly
+        // as the report reads.
+        let i = INCIDENTS.iter().find(|i| i.id.contains("19007")).unwrap();
+        for p in [
+            Pattern::RolloutLb,
+            Pattern::CascadingFailover,
+            Pattern::SplitBrain,
+        ] {
+            assert!(i.patterns().contains(&p), "{p}");
+        }
+        // #18037: a limiter reacting to a misleading metric cut
+        // capacity — the oscillation/cascade family.
+        let i = INCIDENTS.iter().find(|i| i.id.contains("18037")).unwrap();
+        assert!(i.patterns().contains(&Pattern::AutoscalerDescheduler));
+    }
+
+    #[test]
+    fn pattern_tags_round_trip() {
+        for p in Pattern::ALL {
+            assert_eq!(Pattern::from_tag(p.tag()), Some(p));
+            assert_eq!(p.to_string(), p.tag());
+        }
+        assert_eq!(Pattern::from_tag("nope"), None);
     }
 
     #[test]

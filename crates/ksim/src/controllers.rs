@@ -6,7 +6,10 @@
 //! descheduler → taint manager), one tick at a time. The ordering is part
 //! of the deterministic contract.
 
-use crate::types::{DeschedulerPolicy, Pod, PodPhase, RolloutStrategy};
+use crate::types::{
+    CanaryPhase, CanaryState, DeschedulerPolicy, Pod, PodDisruptionBudget, PodPhase,
+    RolloutStrategy,
+};
 
 /// Shared mutable view passed to controllers.
 pub struct ClusterState {
@@ -305,6 +308,178 @@ pub fn taint_manager(state: &mut ClusterState, now: u64, grace: u64) {
     }
 }
 
+/// True if evicting one more pod of `deployment` keeps every
+/// PodDisruptionBudget satisfied.
+pub fn pdb_allows_eviction(
+    state: &ClusterState,
+    pdbs: &[PodDisruptionBudget],
+    deployment: usize,
+) -> bool {
+    let live = state.live_pods(deployment).len() as u32;
+    pdbs.iter()
+        .filter(|b| b.deployment == deployment)
+        .all(|b| live > b.min_available)
+}
+
+/// PodDisruptionBudget-aware node drain: evicts the node's running pods
+/// one by one, skipping any eviction that would drop its deployment
+/// below a budget's `min_available` (the Kubernetes eviction-API
+/// contract). Returns the number of pods actually evicted — a caller
+/// seeing fewer than the node hosts knows the drain is blocked.
+pub fn drain_node(
+    state: &mut ClusterState,
+    node: usize,
+    pdbs: &[PodDisruptionBudget],
+    now: u64,
+    grace: u64,
+) -> usize {
+    let candidates: Vec<usize> = state
+        .pods
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.phase == PodPhase::Running && p.node == Some(node))
+        .map(|(i, _)| i)
+        .collect();
+    let mut evicted = 0;
+    for i in candidates {
+        let d = state.pods[i].deployment;
+        if pdb_allows_eviction(state, pdbs, d) {
+            state.evict(i, now, grace);
+            evicted += 1;
+        }
+    }
+    evicted
+}
+
+/// Cluster-autoscaler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterAutoscalerConfig {
+    /// Never scale below this many nodes.
+    pub min_nodes: usize,
+    /// Never scale above this many nodes.
+    pub max_nodes: usize,
+    /// Allocatable CPU of each provisioned node.
+    pub node_capacity: crate::types::Milli,
+    /// Scale down when overall worker utilization (per-mille) is below
+    /// this and some worker is empty.
+    pub scale_down_below_permille: u32,
+}
+
+/// Cluster autoscaler: provisions a node when a pending pod fits on no
+/// existing one, and deprovisions the newest empty worker when the
+/// fleet runs cold. Interacting with a bin-packing descheduler, this is
+/// the loop behind the autoscaler-oscillation incident pattern.
+pub fn cluster_autoscaler(state: &mut ClusterState, cfg: &ClusterAutoscalerConfig) {
+    let workers = state.nodes.iter().filter(|n| !n.master).count();
+    // Scale up: an unschedulable pending pod and headroom to grow.
+    let unschedulable = state.pods.iter().any(|p| {
+        p.phase == PodPhase::Pending
+            && !state.nodes.iter().enumerate().any(|(n, node)| {
+                !node.master
+                    && node.taints.iter().all(|t| p.tolerations.contains(t))
+                    && state.node_usage(n) + p.cpu_request <= node.cpu_capacity
+            })
+    });
+    if unschedulable && workers < cfg.max_nodes {
+        let name = format!("auto-{}", state.nodes.len());
+        state
+            .nodes
+            .push(crate::types::NodeSpec::worker(&name, cfg.node_capacity));
+        return;
+    }
+    // Scale down: only ever the *last* node (so pod→node indices stay
+    // valid), only when it is an empty worker and the fleet is cold.
+    if workers <= cfg.min_nodes {
+        return;
+    }
+    let last = state.nodes.len() - 1;
+    if state.nodes[last].master || state.node_usage(last) > 0 {
+        return;
+    }
+    let (mut used, mut cap) = (0u64, 0u64);
+    for (n, node) in state.nodes.iter().enumerate() {
+        if !node.master {
+            used += u64::from(state.node_usage(n));
+            cap += u64::from(node.cpu_capacity);
+        }
+    }
+    if cap > 0 && used * 1000 / cap < u64::from(cfg.scale_down_below_permille) {
+        state.nodes.pop();
+    }
+}
+
+/// Progressive canary rollout controller with service-mesh traffic
+/// shifting: keeps one new-generation canary pod live while baking,
+/// ramps mesh weight onto it, rolls back once a bad config becomes
+/// observable (`detect_after` ticks of exposure), and promotes the new
+/// generation fleet-wide when the bake completes first. The
+/// config-canary incident pattern is exactly the race between
+/// `detect_after` and `bake_ticks`.
+pub fn canary_rollout(state: &mut ClusterState, canary: &mut CanaryState, now: u64, grace: u64) {
+    if canary.phase != CanaryPhase::Baking {
+        return;
+    }
+    let d = canary.deployment;
+    let spec = state.deployments[d].clone();
+    let canary_generation = spec.generation + 1;
+    let elapsed = now.saturating_sub(canary.started_at);
+    // Bad config observable: roll back, evict the canary, drop traffic.
+    if canary.bad && elapsed >= canary.detect_after {
+        let victims: Vec<usize> = state
+            .pods
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.deployment == d && p.generation == canary_generation)
+            .map(|(i, _)| i)
+            .collect();
+        for v in victims {
+            state.evict(v, now, grace);
+        }
+        canary.phase = CanaryPhase::RolledBack;
+        canary.weight_pct = 0;
+        return;
+    }
+    // Bake complete: promote the generation fleet-wide; the rolling
+    // update controller replaces the remaining old pods.
+    if elapsed >= canary.bake_ticks {
+        state.deployments[d].generation = canary_generation;
+        canary.phase = CanaryPhase::Promoted;
+        canary.weight_pct = 100;
+        return;
+    }
+    // Keep exactly one canary pod live.
+    let have_canary = state.pods.iter().any(|p| {
+        p.deployment == d
+            && p.generation == canary_generation
+            && matches!(p.phase, PodPhase::Pending | PodPhase::Running)
+    });
+    if !have_canary {
+        let ordinal = state.ordinals[d];
+        state.ordinals[d] += 1;
+        state.pods.push(Pod {
+            name: format!("{}-canary-{}", spec.name, ordinal),
+            deployment: d,
+            cpu_request: spec.cpu_request,
+            phase: PodPhase::Pending,
+            node: None,
+            created_at: now,
+            generation: canary_generation,
+            tolerations: spec.tolerations.clone(),
+        });
+    }
+    // Progressive traffic shift: ramp linearly to at most half the
+    // traffic while baking.
+    canary.weight_pct = (50 * elapsed)
+        .checked_div(canary.bake_ticks)
+        .map_or(50, |w| w.min(50) as u32);
+}
+
+/// Service-mesh routing table for a rollout: traffic share in percent
+/// for the (stable, canary) generations.
+pub fn mesh_weights(canary: &CanaryState) -> (u32, u32) {
+    (100 - canary.weight_pct, canary.weight_pct)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +618,135 @@ mod tests {
             PodPhase::Terminated,
             "NoExecute taint evicts"
         );
+    }
+
+    #[test]
+    fn pdb_blocks_drain_below_min_available() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 1000), NodeSpec::worker("w2", 1000)],
+            vec![DeploymentSpec::new("app", 2, 400)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        assert_eq!(s.live_pods(0).len(), 2);
+        let pdbs = [PodDisruptionBudget {
+            deployment: 0,
+            min_available: 2,
+        }];
+        // Both pods protected: the drain evicts nothing.
+        let evicted = drain_node(&mut s, 0, &pdbs, 0, 0);
+        assert_eq!(evicted, 0);
+        assert_eq!(s.live_pods(0).len(), 2);
+        // Budget of 1 lets one pod go per node.
+        let pdbs = [PodDisruptionBudget {
+            deployment: 0,
+            min_available: 1,
+        }];
+        let node = s.pods[0].node.unwrap();
+        assert_eq!(drain_node(&mut s, node, &pdbs, 0, 0), 1);
+        assert_eq!(s.live_pods(0).len(), 1);
+    }
+
+    #[test]
+    fn cluster_autoscaler_grows_and_shrinks() {
+        let cfg = ClusterAutoscalerConfig {
+            min_nodes: 1,
+            max_nodes: 3,
+            node_capacity: 1000,
+            scale_down_below_permille: 300,
+        };
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 1000)],
+            vec![DeploymentSpec::new("app", 2, 800)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        // One pod fits, the second is unschedulable: a node is added.
+        assert_eq!(s.live_pods(0).len(), 2);
+        assert!(s.pods.iter().any(|p| p.phase == PodPhase::Pending));
+        cluster_autoscaler(&mut s, &cfg);
+        assert_eq!(s.nodes.len(), 2);
+        scheduler(&mut s);
+        assert!(s.pods.iter().all(|p| p.phase == PodPhase::Running));
+        // Workload shrinks to nothing on the new node and the fleet runs
+        // cold: the empty tail node is deprovisioned.
+        s.deployments[0].replicas = 0;
+        deployment_controller(&mut s, 1);
+        s.reap_terminating(1);
+        for p in &mut s.pods {
+            p.phase = PodPhase::Terminated;
+            p.node = None;
+        }
+        cluster_autoscaler(&mut s, &cfg);
+        assert_eq!(s.nodes.len(), 1, "empty tail node removed");
+        // Never below min_nodes.
+        cluster_autoscaler(&mut s, &cfg);
+        assert_eq!(s.nodes.len(), 1);
+    }
+
+    #[test]
+    fn canary_promotes_when_detection_would_be_late() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 2000)],
+            vec![DeploymentSpec::new("app", 1, 100)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        // Bad config, but detection needs 5 ticks and the bake is 3.
+        let mut canary = CanaryState::start(0, 0, 3, 5, true);
+        for now in 0..4 {
+            canary_rollout(&mut s, &mut canary, now, 0);
+            scheduler(&mut s);
+        }
+        assert_eq!(canary.phase, CanaryPhase::Promoted, "bad config shipped");
+        assert_eq!(mesh_weights(&canary), (0, 100));
+        assert_eq!(s.deployments[0].generation, 1);
+    }
+
+    #[test]
+    fn canary_rolls_back_when_detection_wins() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 2000)],
+            vec![DeploymentSpec::new("app", 1, 100)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        // Detection at 2 ticks beats the 6-tick bake.
+        let mut canary = CanaryState::start(0, 0, 6, 2, true);
+        for now in 0..4 {
+            canary_rollout(&mut s, &mut canary, now, 0);
+            scheduler(&mut s);
+        }
+        assert_eq!(canary.phase, CanaryPhase::RolledBack);
+        assert_eq!(mesh_weights(&canary), (100, 0));
+        assert_eq!(s.deployments[0].generation, 0, "old config stays");
+        assert!(
+            !s.pods
+                .iter()
+                .any(|p| p.generation == 1
+                    && matches!(p.phase, PodPhase::Pending | PodPhase::Running)),
+            "canary pod evicted"
+        );
+    }
+
+    #[test]
+    fn canary_ramps_mesh_weight_progressively() {
+        let mut s = state(
+            vec![NodeSpec::worker("w1", 2000)],
+            vec![DeploymentSpec::new("app", 1, 100)],
+        );
+        deployment_controller(&mut s, 0);
+        scheduler(&mut s);
+        let mut canary = CanaryState::start(0, 0, 10, 100, false);
+        let mut last = 0;
+        for now in 0..10 {
+            canary_rollout(&mut s, &mut canary, now, 0);
+            let (stable, shifted) = mesh_weights(&canary);
+            assert_eq!(stable + shifted, 100);
+            assert!(shifted <= 50, "baking canary never takes majority traffic");
+            assert!(shifted >= last, "weight ramp is monotone");
+            last = shifted;
+        }
     }
 
     #[test]

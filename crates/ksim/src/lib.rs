@@ -32,5 +32,8 @@ pub mod workload;
 
 pub use engine::{ClusterSpec, Simulation};
 pub use metrics::Metrics;
-pub use types::{DeploymentSpec, DeschedulerPolicy, NodeSpec, PodPhase, RolloutStrategy};
+pub use types::{
+    CanaryPhase, CanaryState, DeploymentSpec, DeschedulerPolicy, NodeSpec, PodDisruptionBudget,
+    PodPhase, RolloutStrategy,
+};
 pub use workload::{WorkloadGen, WorkloadSpec};

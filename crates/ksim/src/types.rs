@@ -144,6 +144,70 @@ pub enum DeschedulerPolicy {
     RemoveDuplicates,
 }
 
+/// A PodDisruptionBudget: voluntary disruptions (drains, descheduling)
+/// must leave at least `min_available` live pods of the deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct PodDisruptionBudget {
+    /// Deployment index the budget protects.
+    pub deployment: usize,
+    /// Minimum live pods that must survive any voluntary eviction.
+    pub min_available: u32,
+}
+
+/// Phase of a progressive canary rollout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CanaryPhase {
+    /// The canary pod is live and traffic is ramping onto it.
+    Baking,
+    /// The new generation was promoted fleet-wide.
+    Promoted,
+    /// The canary was rolled back (bad config detected in time).
+    RolledBack,
+}
+
+/// State of a progressive canary rollout driven by
+/// [`crate::controllers::canary_rollout`].
+#[derive(Clone, Debug)]
+pub struct CanaryState {
+    /// Deployment under rollout.
+    pub deployment: usize,
+    /// Tick the rollout started.
+    pub started_at: u64,
+    /// Bake duration: promotion fires once this many ticks elapsed.
+    pub bake_ticks: u64,
+    /// Ticks of exposure before a bad config becomes observable.
+    pub detect_after: u64,
+    /// Whether the new config is actually bad (ground truth the
+    /// detection signal reveals after `detect_after` ticks).
+    pub bad: bool,
+    /// Current phase.
+    pub phase: CanaryPhase,
+    /// Service-mesh traffic share currently routed to the canary, in
+    /// percent.
+    pub weight_pct: u32,
+}
+
+impl CanaryState {
+    /// A fresh bake starting at `now`.
+    pub fn start(
+        deployment: usize,
+        now: u64,
+        bake_ticks: u64,
+        detect_after: u64,
+        bad: bool,
+    ) -> CanaryState {
+        CanaryState {
+            deployment,
+            started_at: now,
+            bake_ticks,
+            detect_after,
+            bad,
+            phase: CanaryPhase::Baking,
+            weight_pct: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,25 @@ impl EngineKind {
             EngineKind::Portfolio => "portfolio",
         }
     }
+
+    /// Parses an engine tag. Accepts both the canonical [`tag`] spelling
+    /// and the historical CLI/wire aliases (`kind`, `smtbmc`), so every
+    /// surface — CLI flags, job specs on the wire, WAL records — parses
+    /// through this one function.
+    ///
+    /// [`tag`]: EngineKind::tag
+    pub fn from_tag(s: &str) -> Option<EngineKind> {
+        match s {
+            "auto" => Some(EngineKind::Auto),
+            "bmc" => Some(EngineKind::Bmc),
+            "kind" | "k-induction" => Some(EngineKind::KInduction),
+            "bdd" => Some(EngineKind::Bdd),
+            "explicit" => Some(EngineKind::Explicit),
+            "smtbmc" | "smt-bmc" => Some(EngineKind::SmtBmc),
+            "portfolio" => Some(EngineKind::Portfolio),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for EngineKind {
@@ -478,6 +497,24 @@ mod tests {
         ] {
             assert_eq!(engine(kind).kind(), kind);
         }
+    }
+
+    #[test]
+    fn from_tag_round_trips_and_accepts_aliases() {
+        for kind in [
+            EngineKind::Auto,
+            EngineKind::Bmc,
+            EngineKind::KInduction,
+            EngineKind::Bdd,
+            EngineKind::Explicit,
+            EngineKind::SmtBmc,
+            EngineKind::Portfolio,
+        ] {
+            assert_eq!(EngineKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_tag("kind"), Some(EngineKind::KInduction));
+        assert_eq!(EngineKind::from_tag("smtbmc"), Some(EngineKind::SmtBmc));
+        assert_eq!(EngineKind::from_tag("nuxmv"), None);
     }
 
     #[test]

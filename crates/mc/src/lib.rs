@@ -91,6 +91,7 @@ pub mod portfolio;
 pub mod result;
 pub mod retry;
 pub mod smtbmc;
+pub mod spec;
 pub mod stats;
 pub mod tableau;
 pub mod verifier;
@@ -103,6 +104,7 @@ pub use result::{
     CheckOptions, CheckOptionsBuilder, CheckResult, McError, Supervision, UnknownReason,
 };
 pub use retry::RetryPolicy;
+pub use spec::{ExecContext, JobKind, JobSpec, SpecError, VerdictRow};
 pub use stats::{ServerCounters, Stats, SupervisionCounters, TraceSink, STATS_SCHEMA_VERSION};
 pub use verifier::Verifier;
 

@@ -22,6 +22,10 @@
 //!   Fig. 2 experiment).
 //! * [`interaction`] — the controller/metric interaction graph of Fig. 1
 //!   as a data structure with DOT export.
+//! * [`zoo`] — the controller zoo behind the scenario factory's incident
+//!   patterns: canary/progressive rollout, cluster autoscaler,
+//!   service-mesh split-brain routing, and PodDisruptionBudget-aware
+//!   eviction.
 //! * [`library`] — further common controllers from §2/§3.1: an
 //!   autoscaler, a rate limiter with retry amplification, and an abstract
 //!   model of Google ticket #18037 (router × GC × load balancer).
@@ -32,6 +36,7 @@ pub mod lb_ecmp;
 pub mod library;
 pub mod rollout;
 pub mod topology;
+pub mod zoo;
 
 pub use rollout::{RolloutModel, RolloutSpec};
 pub use topology::Topology;

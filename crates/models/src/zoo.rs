@@ -1,0 +1,341 @@
+//! The controller zoo: transition-system builders for the controllers
+//! behind the scenario factory's incident patterns.
+//!
+//! `k8s` models the three §3 failure modes individually; this module
+//! fills in the controllers the incident study needs beyond them
+//! (ROADMAP item 4 / the paper's §5 "library of models"):
+//!
+//! * [`canary_rollout`] — a canary/progressive-rollout controller whose
+//!   bake time races the observability of a bad config (the
+//!   config-canary incident pattern).
+//! * [`cluster_autoscaler`] — a node autoscaler against a bin-packing
+//!   descheduler, the closed loop behind autoscaler oscillation
+//!   incidents.
+//! * [`mesh_split_brain`] — service-mesh routing during a partition:
+//!   each side's mesh keeps routing writes to its local primary, so a
+//!   quorum misconfiguration yields two write targets at once.
+//! * [`pdb_eviction`] — a PodDisruptionBudget-aware eviction loop: a
+//!   rolling drain either honors `minAvailable` or (with PDBs ignored)
+//!   cuts below it.
+//!
+//! Every builder returns the [`K8sModel`] pairing of system +
+//! distinguished property, same as the `k8s` module, so callers can
+//! hand them to any engine uniformly. These are the programmatic twins
+//! of the `.vd` templates in `verdict-scenarios`: same transition
+//! structure, built through the typed `verdict-ts` API instead of the
+//! DSL.
+
+use verdict_ts::{EnumSort, Expr, Ltl, Sort, System, VarKind};
+
+use crate::k8s::{K8sModel, K8sProperty};
+
+/// Integer ceiling division for strictly positive `b`.
+fn ceil_div(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// Canary/progressive rollout controller (config-canary pattern).
+///
+/// A new config bakes on the canary until tick `promote_at`, then ships
+/// fleet-wide; a bad config only becomes observable from tick
+/// `detect_after`. The distinguished invariant — a bad config is never
+/// promoted — holds iff `detect_after <= promote_at`.
+pub fn canary_rollout(promote_at: i64, detect_after: i64) -> K8sModel {
+    let window = promote_at + 2;
+    let phase_sort = EnumSort::new("rollout_phase", &["canary", "promoted", "rolledback"]);
+    let c = |i: u32| Expr::Const(verdict_ts::Value::Enum(phase_sort.clone(), i));
+    let (canary, promoted, rolledback) = (c(0), c(1), c(2));
+
+    let mut sys = System::new("zoo-canary-rollout");
+    let phase = sys.add_var("phase", Sort::Enum(phase_sort), VarKind::State);
+    let t = sys.int_var("t", 0, window);
+    let bad = sys.bool_var("bad");
+
+    sys.add_init(Expr::var(phase).eq(canary.clone()));
+    sys.add_init(Expr::var(t).eq(Expr::int(0)));
+    // `bad` is a frozen environment bit: free at init, constant after.
+    sys.add_trans(Expr::next(bad).iff(Expr::var(bad)));
+    sys.add_trans(Expr::next(t).eq(Expr::ite(
+        Expr::var(t).lt(Expr::int(window)),
+        Expr::var(t).add(Expr::int(1)),
+        Expr::var(t),
+    )));
+    let detected = Expr::var(bad).and(Expr::var(t).ge(Expr::int(detect_after)));
+    let bake_done = Expr::var(t).ge(Expr::int(promote_at));
+    sys.add_trans(Expr::next(phase).eq(Expr::ite(
+        Expr::var(phase).eq(canary.clone()),
+        Expr::ite(
+            detected,
+            rolledback,
+            Expr::ite(bake_done, promoted.clone(), canary),
+        ),
+        Expr::var(phase),
+    )));
+
+    let property = K8sProperty::Invariant(Expr::var(phase).eq(promoted).and(Expr::var(bad)).not());
+    let model = K8sModel {
+        system: sys,
+        property,
+    };
+    model.system.check().expect("canary model type-checks");
+    model
+}
+
+/// Cluster autoscaler × descheduler closed loop (oscillation pattern).
+///
+/// The autoscaler adds a node while per-node load exceeds `grow` units
+/// and the descheduler's bin-packing removes one while it is under
+/// `shrink` units, clamped to `[lo, hi]` nodes. With `shrink > grow`
+/// no node count satisfies both controllers and the fleet oscillates;
+/// the distinguished invariant bounds the direction-flip count at 2.
+pub fn cluster_autoscaler(
+    lo: i64,
+    hi: i64,
+    load: i64,
+    grow: i64,
+    shrink: i64,
+    n0: i64,
+) -> K8sModel {
+    let step = |n: i64| -> i64 {
+        if load > n * grow {
+            (n + 1).min(hi)
+        } else if load < n * shrink {
+            (n - 1).max(lo)
+        } else {
+            n
+        }
+    };
+    let mut sys = System::new("zoo-cluster-autoscaler");
+    let nodes = sys.int_var("nodes", lo, hi);
+    let grew = sys.bool_var("grew");
+    let flips = sys.int_var("flips", 0, 4);
+
+    sys.add_init(Expr::var(nodes).eq(Expr::int(n0)));
+    sys.add_init(Expr::var(grew).not());
+    sys.add_init(Expr::var(flips).eq(Expr::int(0)));
+
+    // target = the controllers' combined step function, unrolled over
+    // each concrete node count (the same closed form the simulator and
+    // the scenario template use).
+    let mut target = Expr::int(step(hi));
+    for n in (lo..hi).rev() {
+        target = Expr::ite(
+            Expr::var(nodes).eq(Expr::int(n)),
+            Expr::int(step(n)),
+            target,
+        );
+    }
+    let grows = target.clone().gt(Expr::var(nodes));
+    let shrinks = target.clone().lt(Expr::var(nodes));
+    let flip = Expr::var(grew)
+        .and(shrinks.clone())
+        .or(Expr::var(grew).not().and(grows.clone()));
+    sys.add_trans(Expr::next(nodes).eq(target));
+    sys.add_trans(Expr::next(grew).iff(Expr::ite(
+        grows,
+        Expr::tt(),
+        Expr::ite(shrinks, Expr::ff(), Expr::var(grew)),
+    )));
+    sys.add_trans(Expr::next(flips).eq(Expr::ite(
+        flip.and(Expr::var(flips).lt(Expr::int(4))),
+        Expr::var(flips).add(Expr::int(1)),
+        Expr::var(flips),
+    )));
+
+    let property = K8sProperty::Invariant(Expr::var(flips).le(Expr::int(2)));
+    let model = K8sModel {
+        system: sys,
+        property,
+    };
+    model.system.check().expect("autoscaler model type-checks");
+    model
+}
+
+/// Service-mesh routing during a partition (split-brain pattern).
+///
+/// A partition splits `members` sidecars into `side_a` and the rest for
+/// `horizon` ticks; each side's mesh elects (and routes writes to) a
+/// local primary iff the side holds `quorum` votes. The distinguished
+/// invariant — at most one write target at a time — is violated exactly
+/// when both sides reach quorum (a quorum misconfigured at or below
+/// half the membership).
+pub fn mesh_split_brain(members: i64, side_a: i64, quorum: i64) -> K8sModel {
+    let horizon = 4i64;
+    let pa = side_a >= quorum;
+    let pb = (members - side_a) >= quorum;
+    let mut sys = System::new("zoo-mesh-split-brain");
+    let t = sys.int_var("t", 0, horizon);
+    let a_primary = sys.bool_var("a_primary");
+    let b_primary = sys.bool_var("b_primary");
+
+    sys.add_init(Expr::var(t).eq(Expr::int(0)));
+    sys.add_init(Expr::var(a_primary));
+    sys.add_init(Expr::var(b_primary).not());
+    sys.add_trans(Expr::next(t).eq(Expr::ite(
+        Expr::var(t).lt(Expr::int(horizon)),
+        Expr::var(t).add(Expr::int(1)),
+        Expr::var(t),
+    )));
+    let healing = Expr::var(t).ge(Expr::int(horizon - 1));
+    sys.add_trans(Expr::next(a_primary).iff(Expr::ite(
+        healing.clone(),
+        Expr::tt(),
+        Expr::bool(pa),
+    )));
+    sys.add_trans(Expr::next(b_primary).iff(Expr::ite(healing, Expr::ff(), Expr::bool(pb))));
+
+    let property = K8sProperty::Invariant(Expr::var(a_primary).and(Expr::var(b_primary)).not());
+    let model = K8sModel {
+        system: sys,
+        property,
+    };
+    model.system.check().expect("mesh model type-checks");
+    model
+}
+
+/// PodDisruptionBudget-aware eviction (rollout × LB pattern).
+///
+/// A rolling drain cycles the fleet between `replicas` and
+/// `replicas - batch` healthy instances. With `respect_pdb` the
+/// eviction loop refuses to disrupt below `min_available`; without it
+/// the drain ignores the budget. The distinguished invariant — at
+/// least `min_available` instances stay up — holds iff the budget is
+/// respected or the batch never cuts below it anyway. The paired LTL
+/// obligation (the fleet always returns to full strength) holds either
+/// way; [`K8sModel`] carries the invariant and the LTL is returned
+/// alongside.
+pub fn pdb_eviction(
+    replicas: i64,
+    batch: i64,
+    min_available: i64,
+    respect_pdb: bool,
+) -> (K8sModel, Ltl) {
+    let unconstrained = replicas - batch;
+    let floor = if respect_pdb {
+        unconstrained.max(min_available)
+    } else {
+        unconstrained
+    };
+    let mut sys = System::new("zoo-pdb-eviction");
+    let up = sys.int_var("up", 0, replicas);
+    let draining = sys.bool_var("draining");
+
+    sys.add_init(Expr::var(up).eq(Expr::int(replicas)));
+    sys.add_init(Expr::var(draining));
+    sys.add_trans(Expr::next(up).eq(Expr::ite(
+        Expr::var(draining),
+        Expr::ite(
+            Expr::var(up).gt(Expr::int(floor)),
+            Expr::var(up).sub(Expr::int(1)),
+            Expr::var(up),
+        ),
+        Expr::ite(
+            Expr::var(up).lt(Expr::int(replicas)),
+            Expr::var(up).add(Expr::int(1)),
+            Expr::var(up),
+        ),
+    )));
+    sys.add_trans(Expr::next(draining).iff(Expr::ite(
+        Expr::var(draining),
+        Expr::var(up).sub(Expr::int(1)).gt(Expr::int(floor)),
+        Expr::var(up).add(Expr::int(1)).ge(Expr::int(replicas)),
+    )));
+
+    let property = K8sProperty::Invariant(Expr::var(up).ge(Expr::int(min_available)));
+    let recovers = Ltl::atom(Expr::var(up).eq(Expr::int(replicas)))
+        .eventually()
+        .always();
+    let model = K8sModel {
+        system: sys,
+        property,
+    };
+    model.system.check().expect("pdb model type-checks");
+    (model, recovers)
+}
+
+/// Closed-form safety of [`pdb_eviction`]'s invariant, for tests and
+/// sweeps: the drain floor stays at or above the budget.
+pub fn pdb_eviction_safe(replicas: i64, batch: i64, min_available: i64, respect_pdb: bool) -> bool {
+    let floor = if respect_pdb {
+        (replicas - batch).max(min_available)
+    } else {
+        replicas - batch
+    };
+    floor >= min_available && replicas >= min_available
+}
+
+/// Closed-form capacity need shared by the drain models (`ceil(load /
+/// cap)` healthy instances to carry `load`).
+pub fn capacity_need(load: i64, cap: i64) -> i64 {
+    ceil_div(load, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_mc::prelude::*;
+    use verdict_mc::Stats;
+
+    fn invariant_verdict(model: &K8sModel, depth: usize) -> CheckResult {
+        let K8sProperty::Invariant(p) = &model.property else {
+            panic!("expected invariant property");
+        };
+        engine(EngineKind::KInduction)
+            .check_invariant(
+                &model.system,
+                p,
+                &CheckOptions::with_depth(depth),
+                &mut Stats::default(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn canary_detects_before_promotion_iff_window_allows() {
+        assert!(invariant_verdict(&canary_rollout(4, 2), 16).holds());
+        let late = invariant_verdict(&canary_rollout(3, 5), 16);
+        assert!(late.trace().is_some(), "late detection promotes bad config");
+    }
+
+    #[test]
+    fn autoscaler_flips_bounded_iff_thresholds_compatible() {
+        // grow 4 / shrink 2 over load 10: settles at 3 nodes.
+        assert!(invariant_verdict(&cluster_autoscaler(1, 8, 10, 4, 2, 1), 32).holds());
+        // shrink 4 > grow 3: the 3↔4 oscillation flips forever.
+        let osc = invariant_verdict(&cluster_autoscaler(1, 6, 10, 3, 4, 2), 32);
+        assert!(osc.trace().is_some(), "oscillation must exceed flip budget");
+    }
+
+    #[test]
+    fn mesh_split_brain_iff_double_quorum() {
+        assert!(invariant_verdict(&mesh_split_brain(5, 2, 3), 16).holds());
+        let split = invariant_verdict(&mesh_split_brain(5, 2, 2), 16);
+        assert!(split.trace().is_some(), "quorum 2 of 5 double-elects");
+    }
+
+    #[test]
+    fn pdb_protects_availability() {
+        // Drain of 3/4 would cut below minAvailable 2 — the PDB refuses.
+        let (honored, _) = pdb_eviction(4, 3, 2, true);
+        assert!(invariant_verdict(&honored, 16).holds());
+        assert!(pdb_eviction_safe(4, 3, 2, true));
+        // Same drain with PDBs ignored violates the budget.
+        let (ignored, _) = pdb_eviction(4, 3, 2, false);
+        assert!(invariant_verdict(&ignored, 16).trace().is_some());
+        assert!(!pdb_eviction_safe(4, 3, 2, false));
+    }
+
+    #[test]
+    fn pdb_drain_always_recovers() {
+        let (model, recovers) = pdb_eviction(4, 2, 2, true);
+        let r = engine(EngineKind::Bdd)
+            .check_ltl(
+                &model.system,
+                &recovers,
+                &CheckOptions::default(),
+                &mut Stats::default(),
+            )
+            .unwrap();
+        assert!(r.holds(), "{r}");
+    }
+}

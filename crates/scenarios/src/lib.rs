@@ -1,0 +1,730 @@
+//! Incident-driven scenario factory.
+//!
+//! The paper's §2 argument is that the 53 studied cloud incidents
+//! reduce to a handful of control-loop interaction patterns. This
+//! crate turns each [`Pattern`] into a *parameterized model template*:
+//! a generator that, given concrete parameters (fleet sizes, load,
+//! thresholds, quorums), emits a `.vd` model plus a property pack
+//! (one invariant + one LTL obligation per template) together with the
+//! ground-truth expectation for every property at that parameter
+//! point. The expectation comes from a closed form or an exact Rust
+//! simulation of the same transition function the template encodes, so
+//! the sweep harness can score engine verdicts instead of merely
+//! collecting them — a wrong verdict is a harness failure, not a shrug.
+//!
+//! Generation is deterministic: the same [`GenConfig`] (seed, sample
+//! count, pattern filter) produces a byte-identical scenario list, so
+//! a matrix run is reproducible end to end. The base grid alone spans
+//! ≥ 8 instances per pattern with both safe and deliberately-unsafe
+//! points, and `samples` adds seeded random draws on top.
+
+use std::collections::BTreeSet;
+
+use verdict_prng::Prng;
+
+pub use verdict_incidents::Pattern;
+
+/// Ground truth for one property at one parameter point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expectation {
+    /// The property holds on this instance.
+    Safe,
+    /// The property is violated on this instance (deliberately-unsafe
+    /// grid points exercise counterexample search and certification).
+    Unsafe,
+}
+
+impl Expectation {
+    /// The verdict tag an engine must produce to match (`safe`/`unsafe`).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Expectation::Safe => "safe",
+            Expectation::Unsafe => "unsafe",
+        }
+    }
+
+    fn of(safe: bool) -> Expectation {
+        if safe {
+            Expectation::Safe
+        } else {
+            Expectation::Unsafe
+        }
+    }
+}
+
+/// Property class, for reporting (engines treat them differently).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropKind {
+    /// State invariant (`invariant name: …`).
+    Invariant,
+    /// Linear-time obligation (`ltl name: …`).
+    Ltl,
+}
+
+impl PropKind {
+    /// Stable lowercase tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PropKind::Invariant => "invariant",
+            PropKind::Ltl => "ltl",
+        }
+    }
+}
+
+/// One property in a scenario's pack, with its ground truth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioProperty {
+    /// Property name as declared in the model source.
+    pub name: &'static str,
+    /// Invariant or LTL.
+    pub kind: PropKind,
+    /// Ground-truth expectation at this parameter point.
+    pub expected: Expectation,
+}
+
+/// One concrete model instance: a `.vd` source with its property pack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Stable identifier (`<pattern>-<params>`), unique per instance.
+    pub id: String,
+    /// The incident pattern this instance exercises.
+    pub pattern: Pattern,
+    /// Concrete parameter values, in declaration order.
+    pub params: Vec<(&'static str, i64)>,
+    /// One-line description of the instance.
+    pub summary: String,
+    /// Complete `.vd` model source.
+    pub source: String,
+    /// Property pack with ground truth.
+    pub properties: Vec<ScenarioProperty>,
+}
+
+impl Scenario {
+    /// The expectation for a named property, if it is in the pack.
+    pub fn expected(&self, prop: &str) -> Option<Expectation> {
+        self.properties
+            .iter()
+            .find(|p| p.name == prop)
+            .map(|p| p.expected)
+    }
+}
+
+/// Generation parameters. `Default` is the full base grid, seed 0, no
+/// extra samples.
+#[derive(Clone, Debug, Default)]
+pub struct GenConfig {
+    /// Seed for the extra random draws (and nothing else — the base
+    /// grid is fixed).
+    pub seed: u64,
+    /// Extra seeded random parameter points per pattern, on top of the
+    /// base grid. Duplicates of existing points are skipped.
+    pub samples: usize,
+    /// Patterns to generate; empty means all five.
+    pub patterns: Vec<Pattern>,
+}
+
+/// Ids of the Table 1 incidents that exhibit `pattern` (the
+/// `verdict_incidents::by_pattern` index, projected to ids).
+pub fn incident_ids(pattern: Pattern) -> Vec<&'static str> {
+    verdict_incidents::by_pattern(pattern)
+        .into_iter()
+        .map(|i| i.id)
+        .collect()
+}
+
+/// Generates the deterministic scenario matrix for `cfg`: per pattern,
+/// the fixed base grid followed by `cfg.samples` seeded random draws
+/// (deduplicated against the grid). Output order is stable: patterns
+/// in [`Pattern::ALL`] order, grid before samples.
+pub fn generate(cfg: &GenConfig) -> Vec<Scenario> {
+    let wanted: Vec<Pattern> = if cfg.patterns.is_empty() {
+        Pattern::ALL.to_vec()
+    } else {
+        cfg.patterns.clone()
+    };
+    let mut out = Vec::new();
+    for (pi, pattern) in Pattern::ALL.into_iter().enumerate() {
+        if !wanted.contains(&pattern) {
+            continue;
+        }
+        let mut seen: BTreeSet<Vec<i64>> = BTreeSet::new();
+        for point in base_grid(pattern) {
+            let scenario = build(pattern, &point);
+            seen.insert(point);
+            out.push(scenario);
+        }
+        // Per-pattern stream so adding a pattern filter never shifts
+        // another pattern's draws.
+        let mut prng = Prng::seed_from_u64(cfg.seed ^ (0x5ce7a910 + pi as u64));
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < cfg.samples && attempts < cfg.samples * 20 + 100 {
+            attempts += 1;
+            let point = sample(pattern, &mut prng);
+            if seen.insert(point.clone()) {
+                out.push(build(pattern, &point));
+                added += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Integer ceiling division for strictly positive `b`.
+fn ceil_div(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// The fixed base grid for a pattern: ≥ 8 parameter points mixing safe
+/// and deliberately-unsafe instances.
+fn base_grid(pattern: Pattern) -> Vec<Vec<i64>> {
+    match pattern {
+        // (replicas, batch, capacity, load)
+        Pattern::RolloutLb => vec![
+            vec![4, 1, 2, 6],
+            vec![4, 2, 2, 6],
+            vec![6, 2, 2, 8],
+            vec![6, 3, 2, 10],
+            vec![8, 2, 2, 8],
+            vec![8, 4, 2, 14],
+            vec![10, 2, 3, 24],
+            vec![10, 5, 3, 27],
+        ],
+        // (lo, hi, load, grow_per_node, shrink_per_node, initial)
+        Pattern::AutoscalerDescheduler => vec![
+            vec![1, 8, 10, 4, 2, 1],
+            vec![1, 6, 10, 3, 4, 2],
+            vec![2, 10, 24, 4, 2, 2],
+            vec![1, 5, 9, 2, 3, 5],
+            vec![2, 12, 30, 3, 1, 12],
+            vec![1, 10, 16, 2, 2, 10],
+            vec![1, 4, 12, 2, 5, 1],
+            vec![3, 9, 40, 6, 5, 9],
+            vec![1, 6, 11, 3, 4, 6],
+        ],
+        // (nodes, capacity, load, failure_budget)
+        Pattern::CascadingFailover => vec![
+            vec![4, 2, 4, 1],
+            vec![4, 2, 6, 2],
+            vec![5, 2, 6, 2],
+            vec![5, 2, 8, 2],
+            vec![6, 2, 6, 3],
+            vec![6, 2, 10, 2],
+            vec![6, 3, 9, 3],
+            vec![8, 2, 10, 4],
+        ],
+        // (promote_at, detect_after)
+        Pattern::ConfigCanary => vec![
+            vec![3, 2],
+            vec![3, 4],
+            vec![4, 1],
+            vec![4, 6],
+            vec![5, 5],
+            vec![5, 6],
+            vec![6, 3],
+            vec![2, 4],
+        ],
+        // (members, side_a, quorum)
+        Pattern::SplitBrain => vec![
+            vec![3, 1, 2],
+            vec![3, 1, 1],
+            vec![5, 2, 3],
+            vec![5, 2, 2],
+            vec![5, 3, 3],
+            vec![7, 3, 4],
+            vec![7, 3, 3],
+            vec![9, 4, 4],
+        ],
+    }
+}
+
+/// One seeded random parameter point for a pattern, within the same
+/// well-formedness envelope as the base grid.
+fn sample(pattern: Pattern, prng: &mut Prng) -> Vec<i64> {
+    match pattern {
+        Pattern::RolloutLb => {
+            let r = prng.gen_range_i64(2, 12);
+            let b = prng.gen_range_i64(1, r - 1);
+            let c = prng.gen_range_i64(1, 4);
+            let l = prng.gen_range_i64(1, r * c);
+            vec![r, b, c, l]
+        }
+        Pattern::AutoscalerDescheduler => {
+            let lo = prng.gen_range_i64(1, 3);
+            let hi = lo + prng.gen_range_i64(3, 9);
+            let grow = prng.gen_range_i64(1, 6);
+            let shrink = prng.gen_range_i64(1, 6);
+            let load = prng.gen_range_i64(2, hi * grow.max(shrink));
+            let n0 = prng.gen_range_i64(lo, hi);
+            vec![lo, hi, load, grow, shrink, n0]
+        }
+        Pattern::CascadingFailover => {
+            let n = prng.gen_range_i64(3, 10);
+            let c = prng.gen_range_i64(1, 4);
+            let l = prng.gen_range_i64(1, n * c);
+            let k = prng.gen_range_i64(1, n - 1);
+            vec![n, c, l, k]
+        }
+        Pattern::ConfigCanary => {
+            let p = prng.gen_range_i64(2, 8);
+            let e = prng.gen_range_i64(1, p + 2);
+            vec![p, e]
+        }
+        Pattern::SplitBrain => {
+            let m = prng.gen_range_i64(3, 9);
+            let a = prng.gen_range_i64(1, m - 1);
+            let q = prng.gen_range_i64(1, m);
+            vec![m, a, q]
+        }
+    }
+}
+
+/// Builds the concrete scenario for a parameter point.
+fn build(pattern: Pattern, point: &[i64]) -> Scenario {
+    match pattern {
+        Pattern::RolloutLb => rollout_lb(point[0], point[1], point[2], point[3]),
+        Pattern::AutoscalerDescheduler => {
+            autoscaler_descheduler(point[0], point[1], point[2], point[3], point[4], point[5])
+        }
+        Pattern::CascadingFailover => cascading_failover(point[0], point[1], point[2], point[3]),
+        Pattern::ConfigCanary => config_canary(point[0], point[1]),
+        Pattern::SplitBrain => split_brain(point[0], point[1], point[2]),
+    }
+}
+
+fn scenario_id(pattern: Pattern, params: &[(&'static str, i64)]) -> String {
+    let mut id = pattern.tag().to_string();
+    for (k, v) in params {
+        id.push('-');
+        id.push_str(k);
+        id.push_str(&v.to_string());
+    }
+    id
+}
+
+/// Rollout × load-balancer interference: a rolling update drains
+/// `batch` of `replicas` instances at a time while the balancer keeps
+/// spreading `load` over the survivors (capacity `cap` each). Safe iff
+/// the drained fleet still covers the load:
+/// `replicas - batch >= ceil(load / cap)`.
+fn rollout_lb(replicas: i64, batch: i64, cap: i64, load: i64) -> Scenario {
+    let low = replicas - batch;
+    let need = ceil_div(load, cap);
+    let params = vec![
+        ("replicas", replicas),
+        ("batch", batch),
+        ("cap", cap),
+        ("load", load),
+    ];
+    let source = format!(
+        "// Rolling update cycles the fleet between {replicas} and {low} healthy\n\
+         // replicas while the balancer needs {need} to carry load {load}.\n\
+         system rollout_lb {{\n\
+         \x20   var up : 0..{replicas};\n\
+         \x20   var draining : bool;\n\
+         \x20   init up = {replicas} & draining;\n\
+         \x20   trans next(up) = if draining then (if up > {low} then up - 1 else up)\n\
+         \x20                    else (if up < {replicas} then up + 1 else up);\n\
+         \x20   trans next(draining) = if draining then up - 1 > {low} else up + 1 >= {replicas};\n\
+         \x20   invariant no_overload: up >= {need};\n\
+         \x20   ltl recovers: G (F (up = {replicas}));\n\
+         }}\n"
+    );
+    Scenario {
+        id: scenario_id(Pattern::RolloutLb, &params),
+        pattern: Pattern::RolloutLb,
+        summary: format!(
+            "rollout drains {batch}/{replicas} replicas under load {load} (cap {cap}/replica)"
+        ),
+        params,
+        source,
+        properties: vec![
+            ScenarioProperty {
+                name: "no_overload",
+                kind: PropKind::Invariant,
+                expected: Expectation::of(low >= need),
+            },
+            ScenarioProperty {
+                name: "recovers",
+                kind: PropKind::Ltl,
+                // The rollout cycle always returns to full strength.
+                expected: Expectation::Safe,
+            },
+        ],
+    }
+}
+
+/// The autoscaler step function: grow while the per-node load exceeds
+/// `grow` units, shrink while it is under `shrink` units, clamped to
+/// `[lo, hi]`. Grow wins ties, as in a scale-up-biased autoscaler.
+fn autoscaler_step(n: i64, lo: i64, hi: i64, load: i64, grow: i64, shrink: i64) -> i64 {
+    if load > n * grow {
+        (n + 1).min(hi)
+    } else if load < n * shrink {
+        (n - 1).max(lo)
+    } else {
+        n
+    }
+}
+
+/// Autoscaler × descheduler oscillation: a scale-up controller and a
+/// bin-packing descheduler chase each other when the shrink threshold
+/// exceeds the grow threshold, so no node count satisfies both. The
+/// model is the exact deterministic closed loop; expectations come
+/// from simulating it to its cycle.
+fn autoscaler_descheduler(
+    lo: i64,
+    hi: i64,
+    load: i64,
+    grow: i64,
+    shrink: i64,
+    n0: i64,
+) -> Scenario {
+    let params = vec![
+        ("lo", lo),
+        ("hi", hi),
+        ("load", load),
+        ("grow", grow),
+        ("shrink", shrink),
+        ("n0", n0),
+    ];
+    let step = |n: i64| autoscaler_step(n, lo, hi, load, grow, shrink);
+
+    // Exact simulation of (nodes, grew, flips) until the state repeats:
+    // `few_flips` is violated iff flips ever exceeds 2, `settles` holds
+    // iff the trajectory reaches a fixpoint of the step function.
+    let mut seen = BTreeSet::new();
+    let mut state = (n0, false, 0i64);
+    let mut max_flips = 0;
+    let mut settled = false;
+    while seen.insert(state) {
+        let (n, grew, flips) = state;
+        let target = step(n);
+        if target == n {
+            settled = true;
+            break;
+        }
+        let grows = target > n;
+        let flip = grew != grows;
+        let flips = if flip && flips < 4 { flips + 1 } else { flips };
+        max_flips = max_flips.max(flips);
+        state = (target, grows, flips);
+    }
+
+    // next(nodes) as a nested if over each concrete count, so the model
+    // is the simulated function, literally.
+    let mut target_expr = String::new();
+    for n in lo..hi {
+        target_expr.push_str(&format!("if nodes = {n} then {} else ", step(n)));
+    }
+    target_expr.push_str(&step(hi).to_string());
+    let fixpoints: Vec<String> = (lo..=hi)
+        .filter(|&n| step(n) == n)
+        .map(|n| format!("nodes = {n}"))
+        .collect();
+    let stable_expr = if fixpoints.is_empty() {
+        "false".to_string()
+    } else {
+        fixpoints.join(" | ")
+    };
+    let source = format!(
+        "// Autoscaler (grow while load/node > {grow}) vs descheduler (shrink\n\
+         // while load/node < {shrink}) over load {load}, {lo}..{hi} nodes.\n\
+         system autoscaler_descheduler {{\n\
+         \x20   var nodes : {lo}..{hi};\n\
+         \x20   var grew : bool;\n\
+         \x20   var flips : 0..4;\n\
+         \x20   init nodes = {n0} & !grew & flips = 0;\n\
+         \x20   define target = {target_expr};\n\
+         \x20   define grows = target > nodes;\n\
+         \x20   define shrinks = target < nodes;\n\
+         \x20   define flip = (grew & shrinks) | (!grew & grows);\n\
+         \x20   define stable = {stable_expr};\n\
+         \x20   trans next(nodes) = target;\n\
+         \x20   trans next(grew) = if grows then true else (if shrinks then false else grew);\n\
+         \x20   trans next(flips) = if flip & flips < 4 then flips + 1 else flips;\n\
+         \x20   invariant few_flips: flips <= 2;\n\
+         \x20   ltl settles: F (G stable);\n\
+         }}\n"
+    );
+    Scenario {
+        id: scenario_id(Pattern::AutoscalerDescheduler, &params),
+        pattern: Pattern::AutoscalerDescheduler,
+        summary: format!(
+            "autoscaler (>{grow}/node grows) vs descheduler (<{shrink}/node shrinks) at load {load}"
+        ),
+        params,
+        source,
+        properties: vec![
+            ScenarioProperty {
+                name: "few_flips",
+                kind: PropKind::Invariant,
+                expected: Expectation::of(max_flips <= 2),
+            },
+            ScenarioProperty {
+                name: "settles",
+                kind: PropKind::Ltl,
+                expected: Expectation::of(settled),
+            },
+        ],
+    }
+}
+
+/// Cascading failover: `budget` environment failures can drop nodes;
+/// once the survivors no longer cover the load, overload failures
+/// cascade to total loss. Safe iff the failure budget never pushes the
+/// fleet past the overload threshold `nodes - ceil(load / cap)`.
+fn cascading_failover(nodes: i64, cap: i64, load: i64, budget: i64) -> Scenario {
+    let need = ceil_div(load, cap);
+    let threshold = nodes - need;
+    let params = vec![
+        ("nodes", nodes),
+        ("cap", cap),
+        ("load", load),
+        ("budget", budget),
+    ];
+    // Reachable maximum of `down`: the environment can spend its budget
+    // while at or below the threshold; one step past it the cascade is
+    // forced all the way to `nodes`.
+    let reach = if budget <= threshold { budget } else { nodes };
+    let source = format!(
+        "// {budget} environment failures against {nodes} nodes; overload\n\
+         // cascades once fewer than {need} survivors carry load {load}.\n\
+         system cascading_failover {{\n\
+         \x20   var down : 0..{nodes};\n\
+         \x20   var budget : 0..{budget};\n\
+         \x20   init down = 0 & budget = {budget};\n\
+         \x20   trans (down > {threshold} & down < {nodes}) ->\n\
+         \x20       (next(down) = down + 1 & next(budget) = budget);\n\
+         \x20   trans (down <= {threshold}) ->\n\
+         \x20       ((next(down) = down & next(budget) = budget) |\n\
+         \x20        (budget > 0 & next(down) = down + 1 & next(budget) = budget - 1));\n\
+         \x20   trans (down = {nodes}) -> (next(down) = down & next(budget) = budget);\n\
+         \x20   invariant contained: down <= {budget};\n\
+         \x20   ltl never_total_loss: G (down < {nodes});\n\
+         }}\n"
+    );
+    Scenario {
+        id: scenario_id(Pattern::CascadingFailover, &params),
+        pattern: Pattern::CascadingFailover,
+        summary: format!(
+            "{budget} failures against {nodes} nodes needing {need} survivors for load {load}"
+        ),
+        params,
+        source,
+        properties: vec![
+            ScenarioProperty {
+                name: "contained",
+                kind: PropKind::Invariant,
+                expected: Expectation::of(reach <= budget),
+            },
+            ScenarioProperty {
+                name: "never_total_loss",
+                kind: PropKind::Ltl,
+                expected: Expectation::of(reach < nodes),
+            },
+        ],
+    }
+}
+
+/// Config-canary gone wrong: a bad config is observable only after
+/// `detect` ticks of canary bake time, but promotion fires at tick
+/// `promote`. Safe iff `detect <= promote` — the blast radius becomes
+/// visible before the config ships fleet-wide.
+fn config_canary(promote: i64, detect: i64) -> Scenario {
+    let window = promote + 2;
+    let params = vec![("promote", promote), ("detect", detect)];
+    let source = format!(
+        "// Canary bakes until tick {promote}, but a bad config is only\n\
+         // detectable from tick {detect}; `bad` is a frozen environment bit.\n\
+         system config_canary {{\n\
+         \x20   var phase : {{canary, promoted, rolledback}};\n\
+         \x20   var t : 0..{window};\n\
+         \x20   var bad : bool;\n\
+         \x20   init phase = canary & t = 0;\n\
+         \x20   trans next(bad) = bad;\n\
+         \x20   trans next(t) = if t < {window} then t + 1 else t;\n\
+         \x20   trans next(phase) = if phase = canary\n\
+         \x20       then (if bad & t >= {detect} then rolledback\n\
+         \x20             else (if t >= {promote} then promoted else canary))\n\
+         \x20       else phase;\n\
+         \x20   invariant no_bad_promote: !(phase = promoted & bad);\n\
+         \x20   ltl resolves: F (G (phase = promoted | phase = rolledback));\n\
+         }}\n"
+    );
+    Scenario {
+        id: scenario_id(Pattern::ConfigCanary, &params),
+        pattern: Pattern::ConfigCanary,
+        summary: format!(
+            "canary promotes at tick {promote}, bad config detectable from tick {detect}"
+        ),
+        params,
+        source,
+        properties: vec![
+            ScenarioProperty {
+                name: "no_bad_promote",
+                kind: PropKind::Invariant,
+                expected: Expectation::of(detect <= promote),
+            },
+            ScenarioProperty {
+                name: "resolves",
+                kind: PropKind::Ltl,
+                // Every trace ends promoted or rolled back.
+                expected: Expectation::Safe,
+            },
+        ],
+    }
+}
+
+/// Multi-cluster split-brain: a partition splits `members` into sides
+/// of `side_a` and `members - side_a`; each side elects a primary iff
+/// it holds `quorum` votes. Safe iff at most one side can reach quorum
+/// — violated exactly when the quorum is misconfigured at or below
+/// half the membership.
+fn split_brain(members: i64, side_a: i64, quorum: i64) -> Scenario {
+    let horizon = 4;
+    let heal_at = horizon - 1;
+    let pa = side_a >= quorum;
+    let pb = (members - side_a) >= quorum;
+    let params = vec![("members", members), ("side_a", side_a), ("quorum", quorum)];
+    let source = format!(
+        "// Partition splits {members} members into {side_a} | {rest}; each side\n\
+         // elects a primary iff it holds {quorum} votes; heal at tick {horizon}.\n\
+         system split_brain {{\n\
+         \x20   var t : 0..{horizon};\n\
+         \x20   var a_primary : bool;\n\
+         \x20   var b_primary : bool;\n\
+         \x20   init t = 0 & a_primary & !b_primary;\n\
+         \x20   trans next(t) = if t < {horizon} then t + 1 else t;\n\
+         \x20   trans next(a_primary) = if t >= {heal_at} then true else {pa};\n\
+         \x20   trans next(b_primary) = if t >= {heal_at} then false else {pb};\n\
+         \x20   invariant one_primary: !(a_primary & b_primary);\n\
+         \x20   ltl heals: F (G (a_primary & !b_primary));\n\
+         }}\n",
+        rest = members - side_a,
+    );
+    Scenario {
+        id: scenario_id(Pattern::SplitBrain, &params),
+        pattern: Pattern::SplitBrain,
+        summary: format!(
+            "partition {side_a}|{rest} of {members} members with quorum {quorum}",
+            rest = members - side_a
+        ),
+        params,
+        source,
+        properties: vec![
+            ScenarioProperty {
+                name: "one_primary",
+                kind: PropKind::Invariant,
+                expected: Expectation::of(!(pa && pb)),
+            },
+            ScenarioProperty {
+                name: "heals",
+                kind: PropKind::Ltl,
+                // After the partition heals, side A holds the single
+                // primary forever.
+                expected: Expectation::Safe,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_grid_spans_the_matrix_floor() {
+        let all = generate(&GenConfig::default());
+        assert!(all.len() >= 40, "only {} base instances", all.len());
+        for pattern in Pattern::ALL {
+            let of: Vec<_> = all.iter().filter(|s| s.pattern == pattern).collect();
+            assert!(of.len() >= 8, "{pattern}: only {} instances", of.len());
+            // Every pattern must carry at least one deliberately-unsafe
+            // instance (counterexample + certification coverage) and at
+            // least one safe one.
+            assert!(of.iter().any(|s| s
+                .properties
+                .iter()
+                .any(|p| p.expected == Expectation::Unsafe)));
+            assert!(of
+                .iter()
+                .any(|s| s.properties.iter().all(|p| p.expected == Expectation::Safe)));
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_stable() {
+        let all = generate(&GenConfig {
+            seed: 7,
+            samples: 3,
+            patterns: Vec::new(),
+        });
+        let mut ids: Vec<_> = all.iter().map(|s| s.id.clone()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "duplicate scenario ids");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig {
+            seed: 42,
+            samples: 5,
+            patterns: Vec::new(),
+        };
+        assert_eq!(generate(&cfg), generate(&cfg));
+        // A different seed moves the sampled tail but not the grid.
+        let other = generate(&GenConfig {
+            seed: 43,
+            ..cfg.clone()
+        });
+        assert_ne!(generate(&cfg), other);
+        let base = generate(&GenConfig::default());
+        for (a, b) in base.iter().zip(generate(&cfg).iter()) {
+            let _ = (a, b);
+        }
+        assert!(generate(&cfg).len() > base.len());
+    }
+
+    #[test]
+    fn pattern_filter_restricts_output() {
+        let only = generate(&GenConfig {
+            seed: 0,
+            samples: 2,
+            patterns: vec![Pattern::SplitBrain],
+        });
+        assert!(!only.is_empty());
+        assert!(only.iter().all(|s| s.pattern == Pattern::SplitBrain));
+    }
+
+    #[test]
+    fn every_pattern_has_incident_ids() {
+        for pattern in Pattern::ALL {
+            assert!(
+                !incident_ids(pattern).is_empty(),
+                "{pattern} maps to no Table 1 incidents"
+            );
+        }
+    }
+
+    #[test]
+    fn every_source_parses() {
+        for s in generate(&GenConfig {
+            seed: 1,
+            samples: 4,
+            patterns: Vec::new(),
+        }) {
+            let model = verdict_dsl::parse(&s.source)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{}", s.id, s.source));
+            for p in &s.properties {
+                assert!(
+                    model.properties.iter().any(|(n, _)| n == p.name),
+                    "{}: missing property {}",
+                    s.id,
+                    p.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The scenario matrix against the real engines: every base-grid
+//! instance must produce exactly the verdict its generator predicts,
+//! and the deliberately-unsafe instances must certify.
+
+use verdict_mc::spec::{ExecContext, JobSpec};
+use verdict_scenarios::{generate, Expectation, GenConfig, Pattern};
+
+/// Every property of every base-grid instance gets the predicted
+/// verdict through the unified spec execution path.
+#[test]
+fn base_grid_verdicts_match_expectations() {
+    let ctx = ExecContext::default();
+    for s in generate(&GenConfig::default()) {
+        let mut spec = JobSpec::check(&s.source);
+        spec.depth = Some(64);
+        let (rows, _) = verdict_mc::spec::execute(&spec, &ctx);
+        assert_eq!(rows.len(), s.properties.len(), "{}", s.id);
+        for p in &s.properties {
+            let row = rows
+                .iter()
+                .find(|r| r.name == p.name)
+                .unwrap_or_else(|| panic!("{}: no verdict for {}", s.id, p.name));
+            assert_eq!(
+                row.verdict,
+                p.expected.tag(),
+                "{}/{}: expected {}, engines said {} ({})",
+                s.id,
+                p.name,
+                p.expected.tag(),
+                row.verdict,
+                row.detail
+            );
+        }
+    }
+}
+
+/// At least one deliberately-unsafe instance per pattern, and its
+/// counterexample survives `--certify` (trace replay re-checks it).
+#[test]
+fn unsafe_instances_certify_per_pattern() {
+    let ctx = ExecContext::default();
+    for pattern in Pattern::ALL {
+        let scenarios = generate(&GenConfig {
+            seed: 0,
+            samples: 0,
+            patterns: vec![pattern],
+        });
+        let s = scenarios
+            .iter()
+            .find(|s| {
+                s.properties
+                    .iter()
+                    .any(|p| p.expected == Expectation::Unsafe)
+            })
+            .unwrap_or_else(|| panic!("{pattern}: no deliberately-unsafe instance"));
+        let unsafe_prop = s
+            .properties
+            .iter()
+            .find(|p| p.expected == Expectation::Unsafe)
+            .unwrap();
+        let mut spec = JobSpec::check(&s.source);
+        spec.prop = Some(unsafe_prop.name.to_string());
+        spec.depth = Some(64);
+        spec.certify = true;
+        let (rows, _) = verdict_mc::spec::execute(&spec, &ctx);
+        assert_eq!(rows.len(), 1, "{}", s.id);
+        assert_eq!(
+            rows[0].verdict, "unsafe",
+            "{}/{}: certification rejected or verdict changed: {} ({})",
+            s.id, unsafe_prop.name, rows[0].verdict, rows[0].detail
+        );
+    }
+}

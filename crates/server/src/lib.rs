@@ -63,8 +63,7 @@ use std::time::{Duration, Instant};
 use verdict_journal::json::Json;
 use verdict_journal::wal::{Wal, WalError, WalOptions, WalRecovery, WriterPool};
 use verdict_mc::{
-    CheckOptions, CheckResult, EngineKind, ServerCounters, Stats, Supervision, SupervisionCounters,
-    TraceSink, UnknownReason, Verifier,
+    ServerCounters, Stats, Supervision, SupervisionCounters, TraceSink, UnknownReason,
 };
 use verdict_ring::Heartbeat;
 
@@ -975,68 +974,14 @@ fn submit(inner: &Arc<Inner>, spec: JobSpec) -> Result<u64, Rejection> {
     Ok(id)
 }
 
-/// Rejects malformed jobs at admission, before anything is journaled:
-/// the model must parse, the engine tag must exist, named properties
-/// and parameters must resolve.
+/// Rejects malformed jobs at admission, before anything is journaled,
+/// through the shared `verdict_mc::spec` validation gate — the same
+/// rules the CLI applies locally, mapped onto wire rejections.
 fn validate_spec(spec: &JobSpec) -> Result<(), Rejection> {
-    let model = verdict_dsl::parse(&spec.source)
-        .map_err(|e| Rejection::new("parse-error").with_detail(e.to_string()))?;
-    if engine_from_tag(&spec.engine).is_none() {
-        return Err(
-            Rejection::new("bad-request").with_detail(format!("unknown engine `{}`", spec.engine))
-        );
-    }
-    if let Some(prop) = &spec.prop {
-        if !model.properties.iter().any(|(n, _)| n == prop) {
-            return Err(Rejection::new("bad-request")
-                .with_detail(format!("model has no property `{prop}`")));
-        }
-    }
-    match spec.kind {
-        JobKind::Check => {
-            if model.properties.is_empty() {
-                return Err(
-                    Rejection::new("bad-request").with_detail("model has no properties".into())
-                );
-            }
-        }
-        JobKind::Synth => {
-            if spec.params.is_empty() {
-                return Err(
-                    Rejection::new("bad-request").with_detail("synth requires params".into())
-                );
-            }
-            for p in &spec.params {
-                if model.system.var_by_name(p).is_none() {
-                    return Err(Rejection::new("bad-request")
-                        .with_detail(format!("unknown parameter `{p}`")));
-                }
-            }
-            let selected = model
-                .properties
-                .iter()
-                .filter(|(n, _)| spec.prop.as_deref().is_none_or(|p| p == n))
-                .count();
-            if selected != 1 {
-                return Err(Rejection::new("bad-request")
-                    .with_detail("synth needs exactly one property (use prop)".into()));
-            }
-        }
-    }
-    Ok(())
-}
-
-fn engine_from_tag(tag: &str) -> Option<EngineKind> {
-    match tag {
-        "auto" => Some(EngineKind::Auto),
-        "bmc" => Some(EngineKind::Bmc),
-        "kind" => Some(EngineKind::KInduction),
-        "bdd" => Some(EngineKind::Bdd),
-        "explicit" => Some(EngineKind::Explicit),
-        "smtbmc" => Some(EngineKind::SmtBmc),
-        "portfolio" => Some(EngineKind::Portfolio),
-        _ => None,
-    }
+    spec.validate().map(|_| ()).map_err(|e| match e {
+        verdict_mc::spec::SpecError::Parse(m) => Rejection::new("parse-error").with_detail(m),
+        verdict_mc::spec::SpecError::BadRequest(m) => Rejection::new("bad-request").with_detail(m),
+    })
 }
 
 /// Durably journals a cancel and raises the job's stop flags. Queued
@@ -1708,12 +1653,15 @@ fn maybe_hedge(inner: &Arc<Inner>, exec: &Arc<Execution>) {
         .push(handle);
 }
 
-/// Runs a spec to a verdict-row list. Public within the crate so the
-/// bench and the tests can execute specs exactly like a worker does.
-/// `timeout` (the job's remaining deadline budget) takes precedence
-/// over the spec's `deadline_ms`; `engine_override` replaces the spec's
-/// engine tag (hedged re-execution); `supervision` threads the
-/// heartbeat/poison handle into every engine budget poll.
+/// Runs a spec to a verdict-row list through the shared
+/// `verdict_mc::spec::execute` path — the same function the CLI's
+/// local sweep uses, which is what makes local and remote verdicts
+/// agree structurally. Public within the crate so the bench and the
+/// tests can execute specs exactly like a worker does. `timeout` (the
+/// job's remaining deadline budget) takes precedence over the spec's
+/// `deadline_ms`; `engine_override` replaces the spec's engine tag
+/// (hedged re-execution); `supervision` threads the heartbeat/poison
+/// handle into every engine budget poll.
 pub(crate) fn execute_spec(
     spec: &JobSpec,
     stop: Arc<AtomicBool>,
@@ -1722,174 +1670,15 @@ pub(crate) fn execute_spec(
     timeout: Option<Duration>,
     engine_override: Option<&str>,
 ) -> (Vec<VerdictRow>, Option<Stats>) {
-    let model = match verdict_dsl::parse(&spec.source) {
-        Ok(m) => m,
-        Err(e) => {
-            // Validated at admission; reaching this means the model was
-            // corrupted in flight — surface as an engine failure.
-            return (
-                vec![VerdictRow {
-                    name: "(model)".into(),
-                    verdict: "unknown".into(),
-                    reason: Some(UnknownReason::EngineFailure.tag().into()),
-                    engine: spec.engine.clone(),
-                    detail: e.to_string(),
-                }],
-                None,
-            );
-        }
+    let ctx = verdict_mc::spec::ExecContext {
+        stop: Some(stop),
+        sink,
+        supervision,
+        timeout,
+        engine_override: engine_override.map(str::to_string),
+        jobs: 1,
     };
-    let engine_tag = engine_override.unwrap_or(&spec.engine);
-    let engine = engine_from_tag(engine_tag).unwrap_or(EngineKind::Auto);
-    let mut opts = CheckOptions::default().with_jobs(1).with_stop(stop);
-    if let Some(d) = spec.depth {
-        opts.max_depth = d;
-    }
-    if let Some(t) = timeout.or(spec.deadline_ms.map(Duration::from_millis)) {
-        opts = opts.with_timeout(t);
-    }
-    if spec.certify {
-        opts = opts.with_certify();
-    }
-    if let Some(sup) = supervision {
-        opts = opts.with_supervision(sup);
-    }
-    if let Some(sink) = sink {
-        opts = opts.with_trace(sink);
-    }
-    match spec.kind {
-        JobKind::Check => {
-            let mut rows = Vec::new();
-            let mut agg = Stats::default();
-            for (name, property) in model
-                .properties
-                .iter()
-                .filter(|(n, _)| spec.prop.as_deref().is_none_or(|p| p == n))
-            {
-                let verifier = Verifier::new(&model.system)
-                    .engine(engine)
-                    .options(opts.clone());
-                let report = match property {
-                    verdict_dsl::CompiledProperty::Invariant(p) => {
-                        verifier.check_invariant_report(p)
-                    }
-                    verdict_dsl::CompiledProperty::Ltl(f) => verifier.check_ltl_report(f),
-                    verdict_dsl::CompiledProperty::Ctl(f) => verifier.check_ctl_report(f),
-                };
-                match report {
-                    Ok(r) => {
-                        agg.merge(&r.stats);
-                        rows.push(VerdictRow {
-                            name: name.clone(),
-                            verdict: verdict_tag(&r.result).to_string(),
-                            reason: match &r.result {
-                                CheckResult::Unknown(reason) => Some(reason.tag().to_string()),
-                                _ => None,
-                            },
-                            engine: r.winner.to_string(),
-                            detail: r.result.to_string(),
-                        });
-                    }
-                    Err(e) => rows.push(VerdictRow {
-                        name: name.clone(),
-                        verdict: "unknown".into(),
-                        reason: Some(UnknownReason::EngineFailure.tag().into()),
-                        engine: engine_tag.to_string(),
-                        detail: e.to_string(),
-                    }),
-                }
-            }
-            (rows, Some(agg))
-        }
-        JobKind::Synth => {
-            let params: Vec<_> = spec
-                .params
-                .iter()
-                .filter_map(|p| model.system.var_by_name(p))
-                .collect();
-            let (name, property) = match model
-                .properties
-                .iter()
-                .find(|(n, _)| spec.prop.as_deref().is_none_or(|p| p == n))
-            {
-                Some(pair) => pair,
-                None => return (Vec::new(), None),
-            };
-            let prop = match property {
-                verdict_dsl::CompiledProperty::Invariant(p) => {
-                    verdict_mc::params::Property::Invariant(p.clone())
-                }
-                verdict_dsl::CompiledProperty::Ltl(f) => {
-                    verdict_mc::params::Property::Ltl(f.clone())
-                }
-                verdict_dsl::CompiledProperty::Ctl(_) => {
-                    return (
-                        vec![VerdictRow {
-                            name: name.clone(),
-                            verdict: "unknown".into(),
-                            reason: Some(UnknownReason::EngineFailure.tag().into()),
-                            engine: engine_tag.to_string(),
-                            detail: "synth supports invariant and ltl properties".into(),
-                        }],
-                        None,
-                    );
-                }
-            };
-            let verifier = Verifier::new(&model.system).engine(engine).options(opts);
-            let synth_engine = verifier.synthesis_engine(&prop);
-            match verifier.synthesize_params_durable(
-                &params,
-                &prop,
-                &verdict_mc::Durability::none(),
-            ) {
-                Ok(result) => {
-                    let rows = result
-                        .verdicts
-                        .iter()
-                        .map(|v| {
-                            let assignment: Vec<String> = result
-                                .param_names
-                                .iter()
-                                .zip(&v.values)
-                                .map(|(n, x)| format!("{n}={x}"))
-                                .collect();
-                            VerdictRow {
-                                name: assignment.join(","),
-                                verdict: verdict_tag(&v.result).to_string(),
-                                reason: match &v.result {
-                                    CheckResult::Unknown(r) => Some(r.tag().to_string()),
-                                    _ => None,
-                                },
-                                engine: format!("{synth_engine:?}").to_lowercase(),
-                                detail: v.result.to_string(),
-                            }
-                        })
-                        .collect();
-                    (rows, None)
-                }
-                Err(e) => (
-                    vec![VerdictRow {
-                        name: name.clone(),
-                        verdict: "unknown".into(),
-                        reason: Some(UnknownReason::EngineFailure.tag().into()),
-                        engine: engine_tag.to_string(),
-                        detail: e.to_string(),
-                    }],
-                    None,
-                ),
-            }
-        }
-    }
-}
-
-/// The same coarse verdict bucket the CLI uses.
-fn verdict_tag(r: &CheckResult) -> &'static str {
-    match r {
-        CheckResult::Holds => "safe",
-        CheckResult::Violated(_) => "unsafe",
-        CheckResult::Unknown(UnknownReason::Cancelled) => "cancelled",
-        CheckResult::Unknown(_) => "unknown",
-    }
+    verdict_mc::spec::execute(spec, &ctx)
 }
 
 /// Serializes a job snapshot into a response document.

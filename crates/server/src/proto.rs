@@ -20,249 +20,11 @@ pub(crate) fn obj(pairs: Vec<(&str, Json)>) -> Json {
     )
 }
 
-/// What kind of work a job runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum JobKind {
-    /// Check every (or one named) property of the model.
-    Check,
-    /// Parameter synthesis sweep over the named frozen params.
-    Synth,
-}
-
-impl JobKind {
-    /// Stable lowercase tag used on the wire and in the WAL.
-    pub fn tag(self) -> &'static str {
-        match self {
-            JobKind::Check => "check",
-            JobKind::Synth => "synth",
-        }
-    }
-
-    /// Parses a tag produced by [`JobKind::tag`].
-    pub fn from_tag(s: &str) -> Option<JobKind> {
-        match s {
-            "check" => Some(JobKind::Check),
-            "synth" => Some(JobKind::Synth),
-            _ => None,
-        }
-    }
-}
-
-/// A job request: the model source travels inline so the daemon never
-/// depends on the submitter's filesystem, and so the WAL's `submit`
-/// record pins the exact model — recovery re-runs byte-identical input.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct JobSpec {
-    /// Check or synth.
-    pub kind: JobKind,
-    /// The `.vd` model source text.
-    pub source: String,
-    /// Restrict to one named property (required for synth with several).
-    pub prop: Option<String>,
-    /// Engine tag (`auto`, `bmc`, `kind`, `bdd`, `explicit`, `smtbmc`,
-    /// `portfolio`).
-    pub engine: String,
-    /// Unrolling depth bound; engine default when absent.
-    pub depth: Option<usize>,
-    /// Wall-clock budget for the whole job, in milliseconds. Counted
-    /// from *admission*: time spent waiting in the queue is charged
-    /// against it, so a client's deadline means what it says.
-    pub deadline_ms: Option<u64>,
-    /// Frozen parameter names (synth only).
-    pub params: Vec<String>,
-    /// Certify verdicts before reporting (trace replay + proof
-    /// re-checking), exactly like the CLI's `--certify`.
-    pub certify: bool,
-    /// Client-chosen idempotency key: a resubmit carrying a key the
-    /// daemon has already admitted returns the original job id instead
-    /// of double-running — what makes reconnect-and-resubmit safe.
-    pub idem: Option<String>,
-}
-
-impl JobSpec {
-    /// A check job over `source` with defaults everywhere else.
-    pub fn check(source: &str) -> JobSpec {
-        JobSpec {
-            kind: JobKind::Check,
-            source: source.to_string(),
-            prop: None,
-            engine: "auto".to_string(),
-            depth: None,
-            deadline_ms: None,
-            params: Vec::new(),
-            certify: false,
-            idem: None,
-        }
-    }
-
-    /// A synth job over `source` sweeping `params`.
-    pub fn synth(source: &str, params: &[&str]) -> JobSpec {
-        JobSpec {
-            kind: JobKind::Synth,
-            source: source.to_string(),
-            prop: None,
-            engine: "auto".to_string(),
-            depth: None,
-            deadline_ms: None,
-            params: params.iter().map(|p| p.to_string()).collect(),
-            certify: false,
-            idem: None,
-        }
-    }
-
-    /// The spec's check fingerprint: a stable 64-bit hash over the
-    /// fields that determine *what runs* (kind, source, prop, engine,
-    /// depth, params) — deadlines and idempotency keys are excluded.
-    /// The quarantine table and the hedge-latency sketch key on this.
-    pub fn fingerprint(&self) -> u64 {
-        let canon = format!(
-            "{}\u{0}{}\u{0}{}\u{0}{}\u{0}{}\u{0}{}",
-            self.kind.tag(),
-            self.source,
-            self.prop.as_deref().unwrap_or(""),
-            self.engine,
-            self.depth.map_or(-1i64, |d| d as i64),
-            self.params.join(","),
-        );
-        verdict_journal::fnv1a64(canon.as_bytes())
-    }
-
-    /// JSON form (wire `submit` requests and WAL `submit` records).
-    pub fn to_json(&self) -> Json {
-        obj(vec![
-            ("kind", Json::Str(self.kind.tag().to_string())),
-            ("source", Json::Str(self.source.clone())),
-            (
-                "prop",
-                self.prop
-                    .as_ref()
-                    .map_or(Json::Null, |p| Json::Str(p.clone())),
-            ),
-            ("engine", Json::Str(self.engine.clone())),
-            (
-                "depth",
-                self.depth.map_or(Json::Null, |d| Json::Int(d as i64)),
-            ),
-            (
-                "deadline_ms",
-                self.deadline_ms.map_or(Json::Null, |d| Json::Int(d as i64)),
-            ),
-            (
-                "params",
-                Json::Arr(self.params.iter().map(|p| Json::Str(p.clone())).collect()),
-            ),
-            ("certify", Json::Bool(self.certify)),
-            (
-                "idem",
-                self.idem
-                    .as_ref()
-                    .map_or(Json::Null, |k| Json::Str(k.clone())),
-            ),
-        ])
-    }
-
-    /// Parses the JSON form.
-    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
-        let kind = v
-            .get("kind")
-            .and_then(Json::as_str)
-            .and_then(JobKind::from_tag)
-            .ok_or("spec missing or bad `kind`")?;
-        let source = v
-            .get("source")
-            .and_then(Json::as_str)
-            .ok_or("spec missing `source`")?
-            .to_string();
-        let params = match v.get("params") {
-            None | Some(Json::Null) => Vec::new(),
-            Some(p) => p
-                .as_arr()
-                .ok_or("spec `params` must be an array")?
-                .iter()
-                .map(|x| {
-                    x.as_str()
-                        .map(str::to_string)
-                        .ok_or("non-string param name")
-                })
-                .collect::<Result<Vec<_>, _>>()?,
-        };
-        Ok(JobSpec {
-            kind,
-            source,
-            prop: v.get("prop").and_then(Json::as_str).map(str::to_string),
-            engine: v
-                .get("engine")
-                .and_then(Json::as_str)
-                .unwrap_or("auto")
-                .to_string(),
-            depth: v.get("depth").and_then(Json::as_int).map(|d| d as usize),
-            deadline_ms: v
-                .get("deadline_ms")
-                .and_then(Json::as_int)
-                .map(|d| d as u64),
-            params,
-            certify: matches!(v.get("certify"), Some(Json::Bool(true))),
-            idem: v.get("idem").and_then(Json::as_str).map(str::to_string),
-        })
-    }
-}
-
-/// One per-property (check) or per-assignment (synth) verdict row, as
-/// carried in WAL `done` records and in `status`/`wait` responses.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct VerdictRow {
-    /// Property name (check) or `a=1,b=2`-style assignment (synth).
-    pub name: String,
-    /// Coarse tag: `safe`, `unsafe`, `unknown`, `cancelled`.
-    pub verdict: String,
-    /// `UnknownReason` tag when `verdict` is `unknown`/`cancelled`.
-    pub reason: Option<String>,
-    /// The engine that produced the verdict.
-    pub engine: String,
-    /// Human-readable detail (counterexample summary etc.).
-    pub detail: String,
-}
-
-impl VerdictRow {
-    /// JSON form.
-    pub fn to_json(&self) -> Json {
-        obj(vec![
-            ("name", Json::Str(self.name.clone())),
-            ("verdict", Json::Str(self.verdict.clone())),
-            (
-                "reason",
-                self.reason
-                    .as_ref()
-                    .map_or(Json::Null, |r| Json::Str(r.clone())),
-            ),
-            ("engine", Json::Str(self.engine.clone())),
-            ("detail", Json::Str(self.detail.clone())),
-        ])
-    }
-
-    /// Parses the JSON form.
-    pub fn from_json(v: &Json) -> Result<VerdictRow, String> {
-        let field = |k: &str| -> Result<String, String> {
-            v.get(k)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("verdict row missing `{k}`"))
-        };
-        Ok(VerdictRow {
-            name: field("name")?,
-            verdict: field("verdict")?,
-            reason: v.get("reason").and_then(Json::as_str).map(str::to_string),
-            engine: field("engine")?,
-            detail: field("detail")?,
-        })
-    }
-
-    /// True for decided verdicts (safe/unsafe) — the PR-4 re-gating
-    /// policy trusts these across a restart; anything else re-runs.
-    pub fn decided(&self) -> bool {
-        self.verdict == "safe" || self.verdict == "unsafe"
-    }
-}
+/// The job-spec types are the unified `verdict_mc::spec` ones — the
+/// wire serializes exactly the type every local entry point builds, so
+/// the local and remote paths cannot drift. Re-exported here so the
+/// protocol module remains the one-stop import for wire shapes.
+pub use verdict_mc::spec::{JobKind, JobSpec, VerdictRow};
 
 /// A parsed client request (one JSONL line).
 #[derive(Clone, Debug, PartialEq)]

@@ -18,6 +18,10 @@ if [[ "${1:-}" != "--quick" ]]; then
     # Lock-free runtime stress lane: long-running SPSC/doorbell/published
     # interleaving tests, feature-gated out of the default suite.
     cargo test -p verdict-ring --features stress -q
+    # Output-contract guard: `verdict schema` against the frozen schema-2
+    # baseline — removing or retyping a documented field without bumping
+    # STATS_SCHEMA_VERSION fails here.
+    cargo test -p verdict-cli --test schema_compat -q
 fi
 
 # Certified verdicts on the case-study examples: every counterexample must
@@ -418,6 +422,72 @@ if ! grep '"topology": "fattree6"' "$bdd_bench" \
     | grep -q '"partitioned": {"verdict": "holds"'; then
     echo "check.sh: fattree6 did not verify under the partitioned relation" >&2
     cat "$bdd_bench" >&2
+    exit 1
+fi
+
+# Scenario-factory lane: enumerate the incident-driven matrix, sweep it
+# locally under --certify, and push one pattern through a daemon.
+# Required: (a) the enumeration floor — at least 40 instances spanning
+# all five interference patterns, each mapped to at least one Table 1
+# incident; (b) every engine verdict matches its ground-truth
+# expectation (exit 0; the deliberately-unsafe grid points certify
+# their counterexamples); (c) the through-server report is identical to
+# the local one modulo the "mode" tag; (d) the exit-code contract
+# rejects a bogus pattern with a usage error.
+scen_dir="$smoke_dir/scenarios"
+mkdir -p "$scen_dir"
+listing=$(./target/release/verdict scenarios --list --json)
+n_instances=$(grep -o '"id":' <<<"$listing" | wc -l)
+if [[ $n_instances -lt 40 ]]; then
+    echo "check.sh: scenario matrix floor: $n_instances < 40 instances" >&2
+    exit 1
+fi
+for p in rollout-lb autoscaler-descheduler cascading-failover config-canary split-brain; do
+    if ! grep -q "\"pattern\":\"$p\"" <<<"$listing"; then
+        echo "check.sh: scenario matrix missing pattern $p" >&2
+        exit 1
+    fi
+done
+status=0
+scen_local=$(./target/release/verdict scenarios --certify --json) || status=$?
+if [[ $status != 0 ]]; then
+    echo "check.sh: certified scenario sweep exited $status (want 0: all matched)" >&2
+    echo "$scen_local" >&2
+    exit 1
+fi
+if grep -qE '"(mismatched|infra)":[1-9]' <<<"$scen_local"; then
+    echo "check.sh: scenario sweep rollup reports mismatches/infra failures" >&2
+    echo "$scen_local" >&2
+    exit 1
+fi
+if grep -q '"incidents":\[\]' <<<"$scen_local"; then
+    echo "check.sh: a scenario pattern maps to no Table 1 incident" >&2
+    exit 1
+fi
+./target/release/verdict serve --socket "$scen_dir/sock" --wal "$scen_dir/wal" \
+    --workers 2 --grace 5 2>"$scen_dir/serve.log" &
+daemon=$!
+for _ in $(seq 1 500); do [[ -S "$scen_dir/sock" ]] && break; sleep 0.01; done
+status=0
+scen_srv=$(./target/release/verdict scenarios --pattern config-canary \
+    --socket "$scen_dir/sock" --json) || status=$?
+if [[ $status != 0 ]]; then
+    echo "check.sh: through-server scenario sweep exited $status" >&2
+    cat "$scen_dir/serve.log" >&2
+    exit 1
+fi
+scen_ref=$(./target/release/verdict scenarios --pattern config-canary --json) \
+    || { echo "check.sh: local config-canary sweep failed" >&2; exit 1; }
+if [[ "$(sed 's/"mode":"server"/"mode":"-"/' <<<"$scen_srv")" \
+   != "$(sed 's/"mode":"local"/"mode":"-"/' <<<"$scen_ref")" ]]; then
+    echo "check.sh: local and through-server scenario reports diverge" >&2
+    diff <(echo "$scen_ref") <(echo "$scen_srv") >&2 || true
+    exit 1
+fi
+kill -TERM "$daemon" 2>/dev/null || true
+wait "$daemon" || { echo "check.sh: scenario-lane drain failed" >&2; exit 1; }
+if ./target/release/verdict scenarios --pattern bogus >/dev/null 2>&1; then
+    echo "check.sh: bogus pattern did not fail with a usage error" >&2
     exit 1
 fi
 
